@@ -1,0 +1,187 @@
+//! APN-style baseline: model-level uniform quantization.
+//!
+//! Any-Precision DNNs train one network executable at several uniform
+//! bit-widths, using knowledge distillation; evaluated at a single width
+//! (as the paper's Figure 4 does, "neural networks of APN were set to
+//! individual bit-width"), the system reduces to *uniform quantization of
+//! every filter at that width plus KD fine-tuning* — which is what this
+//! module implements, sharing the refining recipe with CQ so the
+//! comparison isolates the bit-allocation policy.
+
+use cbq_core::{refine, teacher_probs, CqError, RefineConfig, Result};
+use cbq_data::SyntheticImages;
+use cbq_nn::{evaluate, Layer, Phase, Sequential, Trainer, TrainerConfig};
+use cbq_quant::{
+    install_act_quant, install_uniform, model_size_bits, set_act_bits, set_act_calibration,
+    BitArrangement, BitWidth, SizeReport,
+};
+use rand::Rng;
+
+/// Configuration for an APN-style run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApnConfig {
+    /// Uniform weight bit-width for every quantizable filter.
+    pub weight_bits: u8,
+    /// Activation bit-width (0 disables activation quantization).
+    pub act_bits: u8,
+    /// Optional pre-training recipe; `None` assumes a trained model.
+    pub pretrain: Option<TrainerConfig>,
+    /// KD refining recipe (shared shape with CQ's for a fair comparison).
+    pub refine: RefineConfig,
+    /// Batch size for evaluations.
+    pub eval_batch: usize,
+    /// Samples used to calibrate activation clip bounds.
+    pub calibration_samples: usize,
+}
+
+impl ApnConfig {
+    /// A `weight/activation`-bit APN setting with CPU-scale defaults.
+    pub fn new(weight_bits: u8, act_bits: u8) -> Self {
+        ApnConfig {
+            weight_bits,
+            act_bits,
+            pretrain: Some(TrainerConfig::quick(15, 0.05)),
+            refine: RefineConfig::quick(10, 0.01),
+            eval_batch: 200,
+            calibration_samples: 200,
+        }
+    }
+}
+
+/// Results of an APN-style run.
+#[derive(Debug, Clone)]
+pub struct ApnReport {
+    /// Test accuracy of the full-precision model.
+    pub fp_accuracy: f32,
+    /// Test accuracy after uniform quantization, before refining.
+    pub pre_refine_accuracy: f32,
+    /// Test accuracy after KD refining.
+    pub final_accuracy: f32,
+    /// The uniform arrangement that was installed.
+    pub arrangement: BitArrangement,
+    /// Storage accounting.
+    pub size: SizeReport,
+}
+
+/// Runs the APN-style baseline: uniform weight quantization at
+/// `weight_bits`, activation quantization at `act_bits`, KD refining.
+///
+/// # Errors
+///
+/// Returns [`CqError::InvalidConfig`] for invalid bit-widths or
+/// propagates training/evaluation errors.
+pub fn run_apn(
+    mut model: Sequential,
+    data: &SyntheticImages,
+    config: &ApnConfig,
+    rng: &mut impl Rng,
+) -> Result<ApnReport> {
+    let wbits = BitWidth::new(config.weight_bits).map_err(CqError::Quant)?;
+    if config.eval_batch == 0 || config.calibration_samples == 0 {
+        return Err(CqError::InvalidConfig(
+            "eval_batch and calibration_samples must be positive".into(),
+        ));
+    }
+    if let Some(tc) = &config.pretrain {
+        Trainer::new(tc.clone()).fit(&mut model, data.train(), rng)?;
+    }
+    let fp_accuracy = evaluate(&mut model, data.test(), config.eval_batch)?;
+    let teacher = teacher_probs(&mut model, data.train(), config.eval_batch)?;
+
+    install_act_quant(&mut model);
+    set_act_calibration(&mut model, true);
+    let calib = data.val().head(config.calibration_samples)?;
+    for batch in calib.batches(config.eval_batch) {
+        model.forward(&batch.images, Phase::Eval)?;
+    }
+    set_act_calibration(&mut model, false);
+    if config.act_bits > 0 {
+        let abits = BitWidth::new(config.act_bits).map_err(CqError::Quant)?;
+        set_act_bits(&mut model, Some(abits));
+    }
+
+    let arrangement = install_uniform(&mut model, wbits);
+    let pre_refine_accuracy = evaluate(&mut model, data.test(), config.eval_batch)?;
+    refine(&mut model, data.train(), &teacher, &config.refine, rng)?;
+    let final_accuracy = evaluate(&mut model, data.test(), config.eval_batch)?;
+    let quantized = arrangement.total_weights();
+    let total = model.param_count();
+    let size = model_size_bits(&arrangement, total.saturating_sub(quantized));
+    Ok(ApnReport {
+        fp_accuracy,
+        pre_refine_accuracy,
+        final_accuracy,
+        arrangement,
+        size,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbq_data::SyntheticSpec;
+    use cbq_nn::models;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn quick_config(weight_bits: u8, act_bits: u8) -> ApnConfig {
+        let mut c = ApnConfig::new(weight_bits, act_bits);
+        c.pretrain = Some(TrainerConfig {
+            batch_size: 16,
+            ..TrainerConfig::quick(10, 0.05)
+        });
+        c.refine = RefineConfig {
+            batch_size: 16,
+            ..RefineConfig::quick(6, 0.02)
+        };
+        c
+    }
+
+    #[test]
+    fn apn_end_to_end() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let data = SyntheticImages::generate(&SyntheticSpec::tiny(3), &mut rng).unwrap();
+        let model = models::mlp(&[data.feature_len(), 20, 10, 3], &mut rng).unwrap();
+        let report = run_apn(model, &data, &quick_config(4, 4), &mut rng).unwrap();
+        assert!(report.fp_accuracy > 0.8);
+        assert!((report.arrangement.average_bits() - 4.0).abs() < 1e-6);
+        assert!(
+            report.final_accuracy > 0.6,
+            "4-bit APN too weak: {}",
+            report.final_accuracy
+        );
+        assert!(report.size.compression_ratio() > 1.0);
+    }
+
+    #[test]
+    fn lower_bits_hurt_more_before_refining() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let data = SyntheticImages::generate(&SyntheticSpec::tiny(3), &mut rng).unwrap();
+        let m8 = models::mlp(&[data.feature_len(), 20, 10, 3], &mut rng).unwrap();
+        let mut rng_b = StdRng::seed_from_u64(32);
+        let data_b = SyntheticImages::generate(&SyntheticSpec::tiny(3), &mut rng_b).unwrap();
+        let m1 = models::mlp(&[data_b.feature_len(), 20, 10, 3], &mut rng_b).unwrap();
+        let mut cfg8 = quick_config(8, 0);
+        cfg8.refine.epochs = 0;
+        let mut cfg1 = quick_config(1, 0);
+        cfg1.refine.epochs = 0;
+        let r8 = run_apn(m8, &data, &cfg8, &mut rng).unwrap();
+        let r1 = run_apn(m1, &data_b, &cfg1, &mut rng_b).unwrap();
+        assert!(
+            r8.pre_refine_accuracy >= r1.pre_refine_accuracy - 0.05,
+            "8-bit {} should hold up better than 1-bit {}",
+            r8.pre_refine_accuracy,
+            r1.pre_refine_accuracy
+        );
+    }
+
+    #[test]
+    fn invalid_bits_rejected() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let data = SyntheticImages::generate(&SyntheticSpec::tiny(2), &mut rng).unwrap();
+        let model = models::mlp(&[data.feature_len(), 8, 2], &mut rng).unwrap();
+        let mut cfg = quick_config(9, 0);
+        cfg.pretrain = None;
+        assert!(run_apn(model, &data, &cfg, &mut rng).is_err());
+    }
+}

@@ -1,0 +1,203 @@
+//! Loss-aware greedy bit allocation, the family of methods the paper's
+//! related work (\[8\], DA2-style) draws from: instead of class-based
+//! scores, measure each layer's *accuracy sensitivity* to quantization
+//! directly and spend the bit budget greedily where it hurts least.
+//!
+//! Algorithm: start with every quantizable layer at `max_bits`; at each
+//! step, probe the validation accuracy of lowering every layer by one
+//! bit; take the cheapest move (smallest accuracy drop per weight saved);
+//! repeat until the average bit-width reaches the target. This needs
+//! `O(layers)` probes per step — the per-iteration cost the paper's
+//! one-backward-pass scoring avoids — so it doubles as a runtime
+//! comparison point for the importance bench.
+
+use cbq_core::{CqError, Result};
+use cbq_data::Subset;
+use cbq_nn::{evaluate, Sequential};
+use cbq_quant::{install_arrangement, quant_units, BitArrangement, BitWidth, UnitArrangement};
+use serde::{Deserialize, Serialize};
+
+/// Configuration for the greedy loss-aware allocation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LossAwareConfig {
+    /// Target average bit-width over the quantized weights.
+    pub target_avg_bits: f32,
+    /// Starting (maximum) bit-width.
+    pub max_bits: u8,
+    /// Validation samples per probe.
+    pub probe_samples: usize,
+    /// Batch size for probes.
+    pub batch_size: usize,
+}
+
+impl LossAwareConfig {
+    /// Defaults matching [`SearchConfig::new`](cbq_core::SearchConfig::new).
+    pub fn new(target_avg_bits: f32) -> Self {
+        LossAwareConfig {
+            target_avg_bits,
+            max_bits: 4,
+            probe_samples: 200,
+            batch_size: 100,
+        }
+    }
+}
+
+/// Outcome of the greedy allocation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LossAwareOutcome {
+    /// Final per-layer arrangement (installed on the network).
+    pub arrangement: BitArrangement,
+    /// Average bit-width achieved.
+    pub final_avg_bits: f32,
+    /// Probe accuracy of the final arrangement.
+    pub final_probe_accuracy: f32,
+    /// Number of accuracy probes spent (the method's cost driver).
+    pub probes: usize,
+}
+
+/// Runs greedy loss-aware per-layer bit allocation on a trained network.
+///
+/// On return the final arrangement is installed; refine with
+/// [`cbq_core::refine()`] for a fair comparison against CQ.
+///
+/// # Errors
+///
+/// Returns [`CqError::InvalidConfig`] for invalid settings or an empty
+/// quantizable-unit set; propagates evaluation errors.
+pub fn allocate_loss_aware(
+    net: &mut Sequential,
+    val: &Subset,
+    config: &LossAwareConfig,
+) -> Result<LossAwareOutcome> {
+    if config.max_bits == 0 || config.max_bits > 8 {
+        return Err(CqError::InvalidConfig("max_bits must be in 1..=8".into()));
+    }
+    if config.target_avg_bits < 0.0 || config.target_avg_bits > config.max_bits as f32 {
+        return Err(CqError::InvalidConfig(
+            "target outside [0, max_bits]".into(),
+        ));
+    }
+    let units = quant_units(net);
+    if units.is_empty() {
+        return Err(CqError::InvalidConfig(
+            "network has no quantizable units".into(),
+        ));
+    }
+    let probe_set = val.head(config.probe_samples)?;
+    let start = BitWidth::new(config.max_bits).map_err(CqError::Quant)?;
+    // One shared bit level per layer (classic loss-aware granularity).
+    let mut levels: Vec<BitWidth> = vec![start; units.len()];
+    let build = |levels: &[BitWidth]| -> BitArrangement {
+        let mut arr = BitArrangement::new();
+        for (info, &b) in units.iter().zip(levels) {
+            arr.push(UnitArrangement::uniform(
+                info.name.clone(),
+                info.out_channels,
+                info.weights_per_filter(),
+                b,
+            ));
+        }
+        arr
+    };
+    let mut probes = 0usize;
+    let mut arrangement = build(&levels);
+    while arrangement.average_bits() > config.target_avg_bits {
+        // Probe lowering each layer by one bit; pick the gentlest drop,
+        // normalized by the weights it saves.
+        let mut best: Option<(usize, f32)> = None;
+        for i in 0..levels.len() {
+            if levels[i].is_pruned() {
+                continue;
+            }
+            let mut trial = levels.clone();
+            trial[i] = trial[i].lower();
+            let arr = build(&trial);
+            install_arrangement(net, &arr).map_err(CqError::Quant)?;
+            let acc = evaluate(net, &probe_set, config.batch_size)?;
+            probes += 1;
+            let saved = units[i].weight_len as f32;
+            let cost = -acc / saved; // lower cost = higher acc per saved weight
+            if best.map(|(_, c)| cost < c).unwrap_or(true) {
+                best = Some((i, cost));
+            }
+        }
+        let Some((i, _)) = best else { break };
+        levels[i] = levels[i].lower();
+        arrangement = build(&levels);
+    }
+    install_arrangement(net, &arrangement).map_err(CqError::Quant)?;
+    let final_probe_accuracy = evaluate(net, &probe_set, config.batch_size)?;
+    Ok(LossAwareOutcome {
+        final_avg_bits: arrangement.average_bits(),
+        final_probe_accuracy,
+        arrangement,
+        probes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbq_data::{SyntheticImages, SyntheticSpec};
+    use cbq_nn::{models, Trainer, TrainerConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn trained(seed: u64) -> (Sequential, SyntheticImages) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data = SyntheticImages::generate(&SyntheticSpec::tiny(3), &mut rng).unwrap();
+        let mut net = models::mlp(&[data.feature_len(), 24, 12, 3], &mut rng).unwrap();
+        let tc = TrainerConfig {
+            batch_size: 16,
+            ..TrainerConfig::quick(8, 0.05)
+        };
+        Trainer::new(tc)
+            .fit(&mut net, data.train(), &mut rng)
+            .unwrap();
+        (net, data)
+    }
+
+    #[test]
+    fn allocation_meets_target() {
+        let (mut net, data) = trained(50);
+        let mut cfg = LossAwareConfig::new(2.0);
+        cfg.probe_samples = 24;
+        let out = allocate_loss_aware(&mut net, data.val(), &cfg).unwrap();
+        assert!(
+            out.final_avg_bits <= 2.0 + 1e-4,
+            "avg {}",
+            out.final_avg_bits
+        );
+        assert!(out.probes > 0);
+        // per-layer granularity: uniform bits within each unit
+        for unit in out.arrangement.units() {
+            let first = unit.bits[0];
+            assert!(unit.bits.iter().all(|&b| b == first));
+        }
+    }
+
+    #[test]
+    fn target_at_max_bits_needs_no_moves() {
+        let (mut net, data) = trained(51);
+        let mut cfg = LossAwareConfig::new(4.0);
+        cfg.probe_samples = 24;
+        let out = allocate_loss_aware(&mut net, data.val(), &cfg).unwrap();
+        assert_eq!(out.probes, 0);
+        assert!((out.final_avg_bits - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let (mut net, data) = trained(52);
+        assert!(allocate_loss_aware(
+            &mut net,
+            data.val(),
+            &LossAwareConfig {
+                max_bits: 0,
+                ..LossAwareConfig::new(2.0)
+            }
+        )
+        .is_err());
+        assert!(allocate_loss_aware(&mut net, data.val(), &LossAwareConfig::new(9.0)).is_err());
+    }
+}

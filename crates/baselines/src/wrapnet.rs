@@ -1,0 +1,349 @@
+//! WrapNet-style baseline: uniform quantization with a low-bit-width
+//! integer accumulator.
+//!
+//! WrapNet (Ni et al., ICLR 2021) executes quantized inference on
+//! accumulators narrower than the worst-case sum, letting overflowing
+//! partial sums **wrap around** and training the network (with a cyclic
+//! activation) to tolerate it. The authors' testbed is unavailable, so we
+//! simulate the salient mechanism: after each ReLU/quantization stage,
+//! values beyond the accumulator's representable range `[-L, L)` wrap
+//! modularly, where `L` scales with the headroom between the accumulator
+//! width and the activation width:
+//!
+//! ```text
+//! L = 2^(acc_bits - act_bits) * calibrated_activation_max
+//! ```
+//!
+//! Fewer accumulator bits (or more activation bits) shrink `L`, making
+//! overflow — and the accuracy penalty the paper's Figure 5 shows — more
+//! frequent. Training runs with the wrap in the loop, as WrapNet does, so
+//! the network adapts as far as the mechanism allows.
+
+use cbq_core::{refine, teacher_probs, CqError, RefineConfig, Result};
+use cbq_data::SyntheticImages;
+use cbq_nn::{
+    evaluate, ActivationQuantizer, Layer, LayerKind, Phase, Sequential, Trainer, TrainerConfig,
+};
+use cbq_quant::{
+    install_uniform, model_size_bits, BitArrangement, BitWidth, SizeReport, UniformQuantizer,
+};
+use cbq_tensor::Tensor;
+use rand::Rng;
+
+/// Activation quantizer with accumulator-wraparound simulation.
+///
+/// In calibration mode it records the activation maximum like the plain
+/// [`ActQuant`](cbq_quant::ActQuant); when active it first wraps values
+/// into the accumulator range `[-L, L)` and then applies the uniform
+/// `[0, b]` activation quantizer. The straight-through mask passes
+/// gradients only where no wrap occurred and the value lay inside the
+/// clip range.
+#[derive(Debug, Clone)]
+pub struct WrapActQuant {
+    bits: Option<BitWidth>,
+    acc_bits: u8,
+    calibrating: bool,
+    observed_max: f32,
+}
+
+impl WrapActQuant {
+    /// Creates a disabled wrap quantizer with the given accumulator
+    /// width.
+    pub fn new(acc_bits: u8) -> Self {
+        WrapActQuant {
+            bits: None,
+            acc_bits,
+            calibrating: false,
+            observed_max: 0.0,
+        }
+    }
+
+    /// The simulated accumulator range bound `L` for the current
+    /// calibration and activation width.
+    pub fn wrap_bound(&self) -> f32 {
+        let act_bits = self.bits.map(BitWidth::bits).unwrap_or(0);
+        let headroom = self.acc_bits.saturating_sub(act_bits) as i32;
+        self.observed_max.max(f32::MIN_POSITIVE) * 2f32.powi(headroom)
+    }
+
+    fn wrap(x: f32, l: f32) -> f32 {
+        if l <= 0.0 {
+            return x;
+        }
+        let two_l = 2.0 * l;
+        let mut v = (x + l) % two_l;
+        if v < 0.0 {
+            v += two_l;
+        }
+        v - l
+    }
+}
+
+impl ActivationQuantizer for WrapActQuant {
+    fn apply(&mut self, x: &Tensor) -> (Tensor, Tensor) {
+        if self.calibrating {
+            let batch_max = x.as_slice().iter().fold(0.0f32, |m, &v| m.max(v));
+            self.observed_max = self.observed_max.max(batch_max);
+            return (x.clone(), Tensor::ones(x.shape()));
+        }
+        let Some(bits) = self.bits else {
+            return (x.clone(), Tensor::ones(x.shape()));
+        };
+        let l = self.wrap_bound();
+        let q = UniformQuantizer::activation(self.observed_max, bits);
+        let hi = q.hi();
+        let mut out = Tensor::zeros(x.shape());
+        let mut mask = Tensor::zeros(x.shape());
+        let src = x.as_slice();
+        {
+            let o = out.as_mut_slice();
+            let m = mask.as_mut_slice();
+            for i in 0..src.len() {
+                let wrapped = Self::wrap(src[i], l);
+                o[i] = q.quantize(wrapped);
+                let no_wrap = (wrapped - src[i]).abs() < 1e-6;
+                m[i] = if no_wrap && (0.0..=hi).contains(&src[i]) {
+                    1.0
+                } else {
+                    0.0
+                };
+            }
+        }
+        (out, mask)
+    }
+
+    fn set_bits(&mut self, bits: Option<u8>) {
+        self.bits = bits.and_then(|b| BitWidth::new(b).ok());
+    }
+
+    fn bits(&self) -> Option<u8> {
+        self.bits.map(BitWidth::bits)
+    }
+
+    fn set_calibrating(&mut self, on: bool) {
+        if on {
+            self.observed_max = 0.0;
+        }
+        self.calibrating = on;
+    }
+
+    fn clip(&self) -> f32 {
+        self.observed_max
+    }
+}
+
+/// Configuration for a WrapNet-style run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WrapNetConfig {
+    /// Uniform weight bit-width.
+    pub weight_bits: u8,
+    /// Activation bit-width.
+    pub act_bits: u8,
+    /// Simulated accumulator width (WrapNet's headline setting is 8).
+    pub acc_bits: u8,
+    /// Optional pre-training recipe.
+    pub pretrain: Option<TrainerConfig>,
+    /// KD refining recipe (wrap active in the loop).
+    pub refine: RefineConfig,
+    /// Batch size for evaluations.
+    pub eval_batch: usize,
+    /// Samples used to calibrate activation clip bounds.
+    pub calibration_samples: usize,
+}
+
+impl WrapNetConfig {
+    /// A `weight/activation`-bit WrapNet setting with an 8-bit
+    /// accumulator and CPU-scale defaults.
+    pub fn new(weight_bits: u8, act_bits: u8) -> Self {
+        WrapNetConfig {
+            weight_bits,
+            act_bits,
+            acc_bits: 8,
+            pretrain: Some(TrainerConfig::quick(15, 0.05)),
+            refine: RefineConfig::quick(10, 0.01),
+            eval_batch: 200,
+            calibration_samples: 200,
+        }
+    }
+}
+
+/// Results of a WrapNet-style run.
+#[derive(Debug, Clone)]
+pub struct WrapNetReport {
+    /// Test accuracy of the full-precision model.
+    pub fp_accuracy: f32,
+    /// Test accuracy after quantization + wrap, before refining.
+    pub pre_refine_accuracy: f32,
+    /// Test accuracy after KD refining with the wrap in the loop.
+    pub final_accuracy: f32,
+    /// The uniform arrangement installed.
+    pub arrangement: BitArrangement,
+    /// Storage accounting.
+    pub size: SizeReport,
+}
+
+/// Installs [`WrapActQuant`] on every ReLU. Returns the number installed.
+fn install_wrap_quant(net: &mut dyn Layer, acc_bits: u8) -> usize {
+    let mut count = 0;
+    net.visit_layers_mut(&mut |l| {
+        if l.kind() == LayerKind::Relu {
+            l.set_activation_quantizer(Some(Box::new(WrapActQuant::new(acc_bits))));
+            count += 1;
+        }
+    });
+    count
+}
+
+/// Runs the WrapNet-style baseline.
+///
+/// # Errors
+///
+/// Returns [`CqError::InvalidConfig`] for invalid widths or propagates
+/// training/evaluation errors.
+pub fn run_wrapnet(
+    mut model: Sequential,
+    data: &SyntheticImages,
+    config: &WrapNetConfig,
+    rng: &mut impl Rng,
+) -> Result<WrapNetReport> {
+    let wbits = BitWidth::new(config.weight_bits).map_err(CqError::Quant)?;
+    if config.act_bits == 0 || config.act_bits > 8 {
+        return Err(CqError::InvalidConfig(
+            "wrapnet needs act_bits in 1..=8".into(),
+        ));
+    }
+    if config.acc_bits == 0 {
+        return Err(CqError::InvalidConfig("acc_bits must be positive".into()));
+    }
+    if let Some(tc) = &config.pretrain {
+        Trainer::new(tc.clone()).fit(&mut model, data.train(), rng)?;
+    }
+    let fp_accuracy = evaluate(&mut model, data.test(), config.eval_batch)?;
+    let teacher = teacher_probs(&mut model, data.train(), config.eval_batch)?;
+
+    install_wrap_quant(&mut model, config.acc_bits);
+    cbq_quant::set_act_calibration(&mut model, true);
+    let calib = data.val().head(config.calibration_samples)?;
+    for batch in calib.batches(config.eval_batch.max(1)) {
+        model.forward(&batch.images, Phase::Eval)?;
+    }
+    cbq_quant::set_act_calibration(&mut model, false);
+    cbq_quant::set_act_bits(
+        &mut model,
+        Some(BitWidth::new(config.act_bits).map_err(CqError::Quant)?),
+    );
+
+    let arrangement = install_uniform(&mut model, wbits);
+    let pre_refine_accuracy = evaluate(&mut model, data.test(), config.eval_batch)?;
+    refine(&mut model, data.train(), &teacher, &config.refine, rng)?;
+    let final_accuracy = evaluate(&mut model, data.test(), config.eval_batch)?;
+    let quantized = arrangement.total_weights();
+    let total = model.param_count();
+    let size = model_size_bits(&arrangement, total.saturating_sub(quantized));
+    Ok(WrapNetReport {
+        fp_accuracy,
+        pre_refine_accuracy,
+        final_accuracy,
+        arrangement,
+        size,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbq_data::SyntheticSpec;
+    use cbq_nn::models;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn wrap_function_is_modular() {
+        assert_eq!(WrapActQuant::wrap(0.5, 1.0), 0.5);
+        assert!((WrapActQuant::wrap(1.5, 1.0) - (-0.5)).abs() < 1e-6);
+        assert!((WrapActQuant::wrap(-1.5, 1.0) - 0.5).abs() < 1e-6);
+        assert_eq!(WrapActQuant::wrap(3.0, 0.0), 3.0);
+    }
+
+    #[test]
+    fn wrap_bound_scales_with_headroom() {
+        let mut q = WrapActQuant::new(8);
+        q.observed_max = 2.0;
+        q.set_bits(Some(3));
+        // 2^(8-3) * 2.0 = 64
+        assert!((q.wrap_bound() - 64.0).abs() < 1e-4);
+        q.set_bits(Some(7));
+        // 2^(8-7) * 2.0 = 4
+        assert!((q.wrap_bound() - 4.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn values_within_range_pass_wrapped_quantizer() {
+        let mut q = WrapActQuant::new(8);
+        q.observed_max = 4.0;
+        q.set_bits(Some(8));
+        let x = Tensor::from_vec(vec![1.0, 3.0], &[2]).unwrap();
+        let (y, mask) = q.apply(&x);
+        assert!((y.as_slice()[0] - 1.0).abs() < 0.05);
+        assert!((y.as_slice()[1] - 3.0).abs() < 0.05);
+        assert_eq!(mask.as_slice(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn overflow_wraps_and_blocks_gradient() {
+        let mut q = WrapActQuant::new(4);
+        q.observed_max = 1.0;
+        q.set_bits(Some(4));
+        // headroom 0: L = 1.0, so x = 1.5 wraps to -0.5 -> clips to 0
+        let x = Tensor::from_vec(vec![1.5], &[1]).unwrap();
+        let (y, mask) = q.apply(&x);
+        assert_eq!(y.as_slice()[0], 0.0);
+        assert_eq!(mask.as_slice()[0], 0.0);
+    }
+
+    #[test]
+    fn wrapnet_end_to_end_and_narrow_accumulator_hurts() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let data = SyntheticImages::generate(&SyntheticSpec::tiny(3), &mut rng).unwrap();
+        let make = |rng: &mut StdRng| models::mlp(&[data.feature_len(), 20, 10, 3], rng).unwrap();
+        let mut cfg = WrapNetConfig::new(4, 4);
+        cfg.pretrain = Some(TrainerConfig {
+            batch_size: 16,
+            ..TrainerConfig::quick(10, 0.05)
+        });
+        cfg.refine = RefineConfig {
+            batch_size: 16,
+            ..RefineConfig::quick(4, 0.02)
+        };
+        let wide = run_wrapnet(make(&mut rng), &data, &cfg, &mut rng).unwrap();
+        assert!(wide.fp_accuracy > 0.8);
+        assert!(wide.final_accuracy > 0.5, "8-bit accumulator run too weak");
+        let mut narrow_cfg = cfg.clone();
+        narrow_cfg.acc_bits = 4; // zero headroom over 4-bit activations
+        narrow_cfg.refine.epochs = 0;
+        let mut cfg_nr = cfg.clone();
+        cfg_nr.refine.epochs = 0;
+        let mut rng2 = StdRng::seed_from_u64(41);
+        let data2 = SyntheticImages::generate(&SyntheticSpec::tiny(3), &mut rng2).unwrap();
+        let wide_nr = run_wrapnet(make(&mut rng2), &data2, &cfg_nr, &mut rng2).unwrap();
+        let mut rng3 = StdRng::seed_from_u64(41);
+        let data3 = SyntheticImages::generate(&SyntheticSpec::tiny(3), &mut rng3).unwrap();
+        let narrow = run_wrapnet(make(&mut rng3), &data3, &narrow_cfg, &mut rng3).unwrap();
+        assert!(
+            narrow.pre_refine_accuracy <= wide_nr.pre_refine_accuracy + 0.05,
+            "narrow accumulator {} should not beat wide {}",
+            narrow.pre_refine_accuracy,
+            wide_nr.pre_refine_accuracy
+        );
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let data = SyntheticImages::generate(&SyntheticSpec::tiny(2), &mut rng).unwrap();
+        let model = models::mlp(&[data.feature_len(), 8, 2], &mut rng).unwrap();
+        let mut cfg = WrapNetConfig::new(2, 0);
+        cfg.pretrain = None;
+        assert!(run_wrapnet(model, &data, &cfg, &mut rng).is_err());
+    }
+}

@@ -1,0 +1,82 @@
+//! Criterion benchmark backing the paper's efficiency claim: the Taylor
+//! approximation (Eq. 5, one backward pass per class batch) versus the
+//! exact ablation definition (Eq. 4, one forward pass per neuron).
+
+use cbq_core::{score_network, ScoreConfig};
+use cbq_data::{SyntheticImages, SyntheticSpec};
+use cbq_nn::{losses, models, Layer, Phase, Sequential};
+use cbq_tensor::Tensor;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn setup() -> (Sequential, SyntheticImages) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let spec = SyntheticSpec::tiny(3);
+    let data = SyntheticImages::generate(&spec, &mut rng).unwrap();
+    let net = models::mlp(&[spec.feature_len(), 16, 8, 3], &mut rng).unwrap();
+    (net, data)
+}
+
+/// Eq. 4 computed literally: zero one hidden activation at a time and
+/// re-run the forward pass (here emulated by re-running the full forward
+/// per neuron — the cost profile the paper's "time-consuming" remark is
+/// about).
+fn exact_ablation_cost(net: &mut Sequential, images: &Tensor, neurons: usize) -> f32 {
+    let mut acc = 0.0f32;
+    for _ in 0..neurons {
+        let out = net.forward(images, Phase::Eval).unwrap();
+        acc += out.sum();
+    }
+    acc
+}
+
+fn bench_taylor_vs_ablation(c: &mut Criterion) {
+    let (mut net, data) = setup();
+    let mut group = c.benchmark_group("importance_scoring");
+    group.sample_size(10);
+    group.bench_function("taylor_one_backward(eq5)", |b| {
+        b.iter(|| {
+            let s = score_network(
+                &mut net,
+                data.val(),
+                3,
+                &ScoreConfig {
+                    samples_per_class: 8,
+                    epsilon: 1e-30,
+                },
+            )
+            .unwrap();
+            black_box(s.max_phi())
+        })
+    });
+    // One forward pass per hidden neuron (16 + 8 = 24 neurons) per class
+    // batch — the loop Eq. 4 implies.
+    let batch = data.val().class_batch(0, 8).unwrap();
+    group.bench_function("exact_ablation(eq4, 24 neurons)", |b| {
+        b.iter(|| black_box(exact_ablation_cost(&mut net, &batch.images, 24)))
+    });
+    group.finish();
+}
+
+fn bench_backward_pass(c: &mut Criterion) {
+    let (mut net, data) = setup();
+    let batch = data.val().class_batch(0, 8).unwrap();
+    let mut group = c.benchmark_group("scoring_primitives");
+    group.bench_function("forward_backward_class_batch", |b| {
+        b.iter(|| {
+            let logits = net.forward(&batch.images, Phase::Eval).unwrap();
+            let seed = losses::one_hot(&batch.labels, logits.shape()[1]).unwrap();
+            black_box(net.backward(&seed).unwrap());
+            net.zero_grad();
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_taylor_vs_ablation, bench_backward_pass
+}
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion benchmark of inference overhead: fp32 forward vs fake-quant
+//! forward (weight transform + activation quantizer), per layer type and
+//! for a whole VGG-small.
+
+use cbq_nn::{models, Layer, Phase};
+use cbq_quant::{install_act_quant, install_uniform, set_act_bits, set_act_calibration, BitWidth};
+use cbq_tensor::{conv2d, ConvSpec, Tensor};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_conv_kernel(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let x = Tensor::randn(&[4, 16, 12, 12], 1.0, &mut rng);
+    let w = Tensor::randn(&[32, 16, 3, 3], 0.1, &mut rng);
+    let spec = ConvSpec::new(1, 1);
+    c.bench_function("conv2d_16x32_12x12_b4", |b| {
+        b.iter(|| black_box(conv2d(&x, &w, None, spec).unwrap()))
+    });
+}
+
+fn bench_vgg_forward(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let cfg = models::VggConfig::for_input(3, 12, 12, 10);
+    let mut fp = models::vgg_small(&cfg, &mut rng).unwrap();
+    let x = Tensor::randn(&[8, 3, 12, 12], 1.0, &mut rng);
+    let mut group = c.benchmark_group("vgg_small_forward_b8");
+    group.sample_size(20);
+    group.bench_function("fp32", |b| {
+        b.iter(|| black_box(fp.forward(&x, Phase::Eval).unwrap()))
+    });
+    // fake-quant: 2-bit weights per filter + 2-bit activations
+    let mut rng2 = StdRng::seed_from_u64(1);
+    let mut q = models::vgg_small(&cfg, &mut rng2).unwrap();
+    install_uniform(&mut q, BitWidth::new(2).unwrap());
+    install_act_quant(&mut q);
+    set_act_calibration(&mut q, true);
+    q.forward(&x, Phase::Eval).unwrap();
+    set_act_calibration(&mut q, false);
+    set_act_bits(&mut q, Some(BitWidth::new(2).unwrap()));
+    group.bench_function("fake_quant_2bit", |b| {
+        b.iter(|| black_box(q.forward(&x, Phase::Eval).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_conv_kernel, bench_vgg_forward
+}
+criterion_main!(benches);

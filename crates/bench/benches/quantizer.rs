@@ -1,0 +1,60 @@
+//! Criterion micro-benchmarks of the Eq. 1–3 uniform quantizer: scalar
+//! throughput per bit-width, tensor size scaling, and per-filter vs
+//! whole-layer application.
+
+use cbq_nn::WeightTransform;
+use cbq_quant::{BitWidth, PerFilterQuantizer, UniformQuantizer};
+use cbq_tensor::Tensor;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_quantize_tensor(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut group = c.benchmark_group("quantize_tensor");
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let t = Tensor::randn(&[n], 1.0, &mut rng);
+        let q = UniformQuantizer::symmetric(1.0, BitWidth::new(4).unwrap());
+        group.bench_with_input(BenchmarkId::new("4bit", n), &t, |b, t| {
+            b.iter(|| black_box(q.quantize_tensor(t)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_bit_widths(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let t = Tensor::randn(&[10_000], 1.0, &mut rng);
+    let mut group = c.benchmark_group("quantize_by_bits");
+    for bits in [0u8, 1, 2, 4, 8] {
+        let q = UniformQuantizer::symmetric(1.0, BitWidth::new(bits).unwrap());
+        group.bench_with_input(BenchmarkId::from_parameter(bits), &t, |b, t| {
+            b.iter(|| black_box(q.quantize_tensor(t)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_per_filter_transform(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    // a conv weight tensor [64, 32, 3, 3]
+    let w = Tensor::randn(&[64, 32, 3, 3], 0.1, &mut rng);
+    let mixed: Vec<BitWidth> = (0..64)
+        .map(|i| BitWidth::new((i % 5) as u8).unwrap())
+        .collect();
+    let per_filter = PerFilterQuantizer::new(mixed);
+    let uniform = PerFilterQuantizer::new(vec![BitWidth::new(4).unwrap(); 64]);
+    let mut group = c.benchmark_group("per_filter_transform");
+    group.bench_function("mixed_0_to_4_bits", |b| {
+        b.iter(|| black_box(per_filter.apply(&w)))
+    });
+    group.bench_function("uniform_4bit", |b| b.iter(|| black_box(uniform.apply(&w))));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_quantize_tensor, bench_bit_widths, bench_per_filter_transform
+}
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Criterion benchmark of the threshold-search machinery: cost of one
+//! arrangement construction + install as the filter count grows, and the
+//! full search loop on a small trained network.
+
+use cbq_core::{score_network, search, ScoreConfig, SearchConfig};
+use cbq_data::{SyntheticImages, SyntheticSpec};
+use cbq_nn::{models, Trainer, TrainerConfig};
+use cbq_quant::{install_arrangement, BitArrangement, BitWidth, UnitArrangement};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_arrangement_install(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut group = c.benchmark_group("install_arrangement");
+    for &width in &[32usize, 128, 512] {
+        let mut net = cbq_nn::Sequential::new("n");
+        net.push(cbq_nn::layers::Linear::new("fc1", 64, width, true, &mut rng).unwrap());
+        net.push(cbq_nn::layers::Relu::new("r1"));
+        net.push(
+            cbq_nn::layers::Linear::new("fc2", width, 10, true, &mut rng)
+                .unwrap()
+                .without_quantization(),
+        );
+        let mut arr = BitArrangement::new();
+        arr.push(UnitArrangement::uniform(
+            "fc1",
+            width,
+            64,
+            BitWidth::new(2).unwrap(),
+        ));
+        group.bench_with_input(BenchmarkId::from_parameter(width), &arr, |b, arr| {
+            b.iter(|| black_box(install_arrangement(&mut net, arr).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_search(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let data = SyntheticImages::generate(&SyntheticSpec::tiny(3), &mut rng).unwrap();
+    let mut net = models::mlp(&[data.feature_len(), 24, 12, 3], &mut rng).unwrap();
+    let tc = TrainerConfig {
+        batch_size: 16,
+        ..TrainerConfig::quick(6, 0.05)
+    };
+    Trainer::new(tc)
+        .fit(&mut net, data.train(), &mut rng)
+        .unwrap();
+    let scores = score_network(
+        &mut net,
+        data.val(),
+        3,
+        &ScoreConfig {
+            samples_per_class: 8,
+            epsilon: 1e-30,
+        },
+    )
+    .unwrap();
+    let mut group = c.benchmark_group("threshold_search");
+    group.sample_size(10);
+    for &step in &[0.1f64, 0.25, 0.5] {
+        group.bench_with_input(BenchmarkId::new("step", step), &step, |b, &step| {
+            b.iter(|| {
+                let mut cfg = SearchConfig::new(2.0);
+                cfg.step = step;
+                cfg.probe_samples = 24;
+                black_box(search(&mut net, &scores, data.val(), &cfg).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_arrangement_install, bench_full_search
+}
+criterion_main!(benches);

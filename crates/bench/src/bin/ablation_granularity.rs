@@ -1,0 +1,111 @@
+//! Ablation: allocation granularity and allocation criterion.
+//!
+//! ```sh
+//! cargo run --release -p cbq-bench --bin ablation_granularity
+//! ```
+//!
+//! Same model (VGG-small), dataset (hard CIFAR-10-like), bit budget
+//! (2.0 average) and refining recipe, four allocation policies:
+//!
+//! 1. CQ per-filter (the paper's method),
+//! 2. CQ per-layer (HAQ-style granularity with CQ scores),
+//! 3. greedy loss-aware per-layer (related-work criterion),
+//! 4. uniform 2-bit (APN-style, no allocation at all).
+//!
+//! Expected: per-filter ≥ per-layer ≥ uniform; loss-aware competitive
+//! but orders of magnitude more probes than CQ's one-backward scoring.
+
+use cbq_baselines::{allocate_loss_aware, LossAwareConfig};
+use cbq_bench::FigureWriter;
+use cbq_core::{
+    refine, score_network, search, teacher_probs, Granularity, RefineConfig, ScoreConfig,
+    SearchConfig,
+};
+use cbq_data::SyntheticImages;
+use cbq_nn::{evaluate, models, Layer, Phase, Sequential, Trainer, TrainerConfig};
+use cbq_quant::{install_act_quant, install_uniform, set_act_bits, set_act_calibration, BitWidth};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn prepared(
+    epochs: usize,
+) -> Result<(Sequential, SyntheticImages, cbq_tensor::Tensor, StdRng), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(5);
+    let data = SyntheticImages::generate(&cbq_bench::hard_cifar10_like(), &mut rng)?;
+    let vcfg = models::VggConfig::for_input(3, 12, 12, 10);
+    let mut model = models::vgg_small(&vcfg, &mut rng)?;
+    Trainer::new(TrainerConfig::quick(epochs, 0.02)).fit(&mut model, data.train(), &mut rng)?;
+    let teacher = teacher_probs(&mut model, data.train(), 200)?;
+    install_act_quant(&mut model);
+    set_act_calibration(&mut model, true);
+    for batch in data.val().head(200)?.batches(200) {
+        model.forward(&batch.images, Phase::Eval)?;
+    }
+    set_act_calibration(&mut model, false);
+    set_act_bits(&mut model, Some(BitWidth::new(2)?));
+    Ok((model, data, teacher, rng))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let epochs: usize = std::env::var("CBQ_EPOCHS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    let mut w = FigureWriter::new("ablation_granularity");
+    w.comment("Granularity/criterion ablation: VGG-small, hard CIFAR10-like, 2.0 avg bits");
+    w.row(&[
+        "policy".into(),
+        "pre_refine_pct".into(),
+        "final_pct".into(),
+        "avg_bits".into(),
+        "probes".into(),
+    ]);
+
+    for policy in ["cq-per-filter", "cq-per-layer", "loss-aware", "uniform"] {
+        let (mut model, data, teacher, mut rng) = prepared(epochs)?;
+        let (avg_bits, probes) = match policy {
+            "cq-per-filter" | "cq-per-layer" => {
+                let scores = score_network(&mut model, data.val(), 10, &ScoreConfig::new())?;
+                let mut cfg = SearchConfig::new(2.0);
+                cfg.step = 0.2;
+                cfg.granularity = if policy == "cq-per-layer" {
+                    Granularity::PerLayer
+                } else {
+                    Granularity::PerFilter
+                };
+                let out = search(&mut model, &scores, data.val(), &cfg)?;
+                (
+                    out.final_avg_bits,
+                    out.trace.iter().filter(|s| !s.squeeze).count(),
+                )
+            }
+            "loss-aware" => {
+                let out = allocate_loss_aware(&mut model, data.val(), &LossAwareConfig::new(2.0))?;
+                (out.final_avg_bits, out.probes)
+            }
+            _ => {
+                let arr = install_uniform(&mut model, BitWidth::new(2)?);
+                (arr.average_bits(), 0)
+            }
+        };
+        let pre = evaluate(&mut model, data.test(), 200)?;
+        refine(
+            &mut model,
+            data.train(),
+            &teacher,
+            &RefineConfig::quick(epochs * 2, 0.004),
+            &mut rng,
+        )?;
+        let fin = evaluate(&mut model, data.test(), 200)?;
+        w.row(&[
+            policy.into(),
+            format!("{:.2}", 100.0 * pre),
+            format!("{:.2}", 100.0 * fin),
+            format!("{avg_bits:.3}"),
+            probes.to_string(),
+        ]);
+    }
+    let path = w.save()?;
+    eprintln!("wrote {}", path.display());
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! Ablation: how much does the knowledge-distillation term of Eq. 10
+//! contribute during refining?
+//!
+//! ```sh
+//! cargo run --release -p cbq-bench --bin ablation_kd
+//! ```
+//!
+//! Runs the same CQ pipeline on VGG-small / CIFAR-10 at 2.0/2.0 with
+//! `α = 0.3` (the paper), `α = 1.0` (pure cross-entropy, no teacher) and
+//! `α = 0.0` (pure distillation). Expected: the mixed loss matches or
+//! beats pure CE.
+
+use cbq_bench::FigureWriter;
+use cbq_core::{CqConfig, CqPipeline, RefineConfig};
+use cbq_data::SyntheticImages;
+use cbq_nn::{models, TrainerConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let epochs: usize = std::env::var("CBQ_EPOCHS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    let mut w = FigureWriter::new("ablation_kd");
+    w.comment("KD ablation: VGG-small / CIFAR10-like at 2.0/2.0, refine alpha sweep");
+    w.row(&[
+        "alpha".into(),
+        "pre_refine_pct".into(),
+        "final_pct".into(),
+        "gain_pts".into(),
+    ]);
+    for &alpha in &[0.3f32, 1.0, 0.0] {
+        let mut rng = StdRng::seed_from_u64(5);
+        let data = SyntheticImages::generate(&cbq_bench::hard_cifar10_like(), &mut rng)?;
+        let vcfg = models::VggConfig::for_input(3, 12, 12, 10);
+        let model = models::vgg_small(&vcfg, &mut rng)?;
+        let mut cfg = CqConfig::new(2.0, 2.0);
+        cfg.pretrain = Some(TrainerConfig::quick(epochs, 0.02));
+        cfg.refine = RefineConfig {
+            alpha,
+            ..RefineConfig::quick(epochs * 2, 0.004)
+        };
+        cfg.search.step = 0.2;
+        let report = CqPipeline::new(cfg).run(model, &data, &mut rng)?;
+        w.row(&[
+            format!("{alpha:.1}"),
+            format!("{:.2}", 100.0 * report.pre_refine_accuracy),
+            format!("{:.2}", 100.0 * report.final_accuracy),
+            format!("{:.2}", 100.0 * report.refine_gain()),
+        ]);
+    }
+    let path = w.save()?;
+    eprintln!("wrote {}", path.display());
+    Ok(())
+}

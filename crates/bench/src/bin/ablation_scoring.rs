@@ -1,0 +1,110 @@
+//! Ablation: does the *class-based* criterion matter, or would any
+//! per-filter ranking do?
+//!
+//! ```sh
+//! cargo run --release -p cbq-bench --bin ablation_scoring
+//! ```
+//!
+//! Runs the identical search + refine budget on VGG-small / CIFAR-10 at
+//! 2.0/2.0 with three score sources: the paper's class-based scores,
+//! per-filter weight-magnitude scores, and random scores. Expected:
+//! class-based ≥ magnitude ≥ random on final accuracy.
+
+use cbq_bench::FigureWriter;
+use cbq_core::{
+    refine, score_network, search, teacher_probs, RefineConfig, ScoreConfig, SearchConfig,
+};
+use cbq_data::SyntheticImages;
+use cbq_nn::{evaluate, models, Layer, Phase, Trainer, TrainerConfig};
+use cbq_quant::{install_act_quant, set_act_bits, set_act_calibration, BitWidth};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let epochs: usize = std::env::var("CBQ_EPOCHS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    let mut w = FigureWriter::new("ablation_scoring");
+    w.comment("Scoring ablation: VGG-small / CIFAR10-like at 2.0/2.0, same search+refine budget");
+    w.row(&[
+        "score_source".into(),
+        "pre_refine_pct".into(),
+        "final_pct".into(),
+        "avg_bits".into(),
+    ]);
+
+    for source in ["class-based", "magnitude", "random"] {
+        let mut rng = StdRng::seed_from_u64(5);
+        let data = SyntheticImages::generate(&cbq_bench::hard_cifar10_like(), &mut rng)?;
+        let vcfg = models::VggConfig::for_input(3, 12, 12, 10);
+        let mut model = models::vgg_small(&vcfg, &mut rng)?;
+        Trainer::new(TrainerConfig::quick(epochs, 0.02)).fit(&mut model, data.train(), &mut rng)?;
+        let teacher = teacher_probs(&mut model, data.train(), 200)?;
+
+        // Always compute the real scores (for unit structure), then
+        // overwrite phi according to the ablated source.
+        let mut scores = score_network(&mut model, data.val(), 10, &ScoreConfig::new())?;
+        match source {
+            "class-based" => {}
+            "magnitude" => {
+                // Rescale per-filter |w|max into [0, M] so thresholds and
+                // step sizes stay comparable.
+                let mut mags: Vec<Vec<f32>> = Vec::new();
+                model.visit_layers_mut(&mut |l| {
+                    if l.quantizable() {
+                        if let Some(m) = l.weight_channel_max_abs() {
+                            mags.push(m);
+                        }
+                    }
+                });
+                let global_max = mags
+                    .iter()
+                    .flat_map(|m| m.iter())
+                    .fold(0.0f32, |a, &b| a.max(b))
+                    .max(f32::MIN_POSITIVE);
+                for (unit, m) in scores.units.iter_mut().zip(mags) {
+                    unit.phi = m.iter().map(|&v| 10.0 * (v / global_max) as f64).collect();
+                }
+            }
+            "random" => {
+                for unit in scores.units.iter_mut() {
+                    unit.phi = (0..unit.out_channels)
+                        .map(|_| rng.gen_range(0.0..10.0))
+                        .collect();
+                }
+            }
+            _ => unreachable!(),
+        }
+
+        install_act_quant(&mut model);
+        set_act_calibration(&mut model, true);
+        for batch in data.val().head(200)?.batches(200) {
+            model.forward(&batch.images, Phase::Eval)?;
+        }
+        set_act_calibration(&mut model, false);
+        set_act_bits(&mut model, Some(BitWidth::new(2)?));
+
+        let mut scfg = SearchConfig::new(2.0);
+        scfg.step = 0.2;
+        let outcome = search(&mut model, &scores, data.val(), &scfg)?;
+        let pre = evaluate(&mut model, data.test(), 200)?;
+        refine(
+            &mut model,
+            data.train(),
+            &teacher,
+            &RefineConfig::quick(epochs * 2, 0.004),
+            &mut rng,
+        )?;
+        let fin = evaluate(&mut model, data.test(), 200)?;
+        w.row(&[
+            source.into(),
+            format!("{:.2}", 100.0 * pre),
+            format!("{:.2}", 100.0 * fin),
+            format!("{:.3}", outcome.final_avg_bits),
+        ]);
+    }
+    let path = w.save()?;
+    eprintln!("wrote {}", path.display());
+    Ok(())
+}

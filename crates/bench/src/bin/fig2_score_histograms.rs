@@ -1,0 +1,61 @@
+//! Figure 2: histograms of the number of filters versus importance score,
+//! per layer, for the floating-point VGG-small network on CIFAR-10.
+//!
+//! ```sh
+//! cargo run --release -p cbq-bench --bin fig2_score_histograms
+//! ```
+//!
+//! Output: one CSV block per layer with 20 score bins spanning
+//! `[0, num_classes]`. Expected shape (paper): different layers have
+//! different distributions — later FC layers skew toward low scores
+//! (few-class filters), early/middle conv layers hold more all-class
+//! filters.
+
+use cbq_bench::{run_spec, scale_from_env, DatasetKind, FigureWriter, Method, ModelKind, RunSpec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = scale_from_env();
+    let spec = RunSpec {
+        model: ModelKind::VggSmall,
+        dataset: DatasetKind::C10Like,
+        method: Method::Cq,
+        weight_bits: 2.0,
+        act_bits: 2,
+        seed: 0,
+    };
+    let summary = run_spec(&spec, scale)?;
+    let classes = match scale {
+        cbq_bench::ExperimentScale::Small => 10.0,
+        cbq_bench::ExperimentScale::Full => 10.0,
+    };
+    let bins = 20usize;
+    let mut w = FigureWriter::new("fig2_score_histograms");
+    w.comment("Figure 2: filters per importance-score bin, per VGG-small layer");
+    w.comment(format!(
+        "bins: {bins} over [0, {classes}] (score = classes the filter serves)"
+    ));
+    w.row(&[
+        "layer".into(),
+        "bin_lo".into(),
+        "bin_hi".into(),
+        "filters".into(),
+    ]);
+    for (name, phi) in summary.unit_names.iter().zip(&summary.sorted_phi) {
+        let mut hist = vec![0usize; bins];
+        for &p in phi {
+            let idx = ((p / classes) * bins as f64).floor() as usize;
+            hist[idx.min(bins - 1)] += 1;
+        }
+        for (b, &count) in hist.iter().enumerate() {
+            w.row(&[
+                name.clone(),
+                format!("{:.2}", b as f64 * classes / bins as f64),
+                format!("{:.2}", (b + 1) as f64 * classes / bins as f64),
+                count.to_string(),
+            ]);
+        }
+    }
+    let path = w.save()?;
+    eprintln!("wrote {}", path.display());
+    Ok(())
+}

@@ -1,0 +1,76 @@
+//! Figure 3: the search process — sorted filter importance curves with
+//! the thresholds moving upward until each accuracy target is violated.
+//!
+//! ```sh
+//! cargo run --release -p cbq-bench --bin fig3_search_trace
+//! ```
+//!
+//! Output: (a) the sorted importance-score curve per layer (the blue
+//! curves of Fig. 3) and (b) the probe trace — every threshold position
+//! visited, the probe accuracy there, and the average bit-width. Expected
+//! shape: accuracy decreases as each threshold climbs; each `p_k` freezes
+//! when accuracy crosses its target `T_k = T_{k-1} * 0.8` from `T_1 = 50%`.
+
+use cbq_bench::{run_spec, scale_from_env, DatasetKind, FigureWriter, Method, ModelKind, RunSpec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = scale_from_env();
+    let spec = RunSpec {
+        model: ModelKind::VggSmall,
+        dataset: DatasetKind::C10Like,
+        method: Method::Cq,
+        weight_bits: 2.0,
+        act_bits: 2,
+        seed: 0,
+    };
+    let summary = run_spec(&spec, scale)?;
+
+    let mut w = FigureWriter::new("fig3_search_trace");
+    w.comment("Figure 3 (a): sorted filter importance scores per layer");
+    w.row(&["layer".into(), "sorted_index".into(), "score".into()]);
+    for (name, phi) in summary.unit_names.iter().zip(&summary.sorted_phi) {
+        for (i, &p) in phi.iter().enumerate() {
+            w.row(&[name.clone(), i.to_string(), format!("{p:.4}")]);
+        }
+    }
+    w.comment("Figure 3 (b): threshold trajectory during the search");
+    w.comment("phase: probe = accuracy-checked move, squeeze = phase-2 bit squeeze");
+    w.row(&[
+        "step".into(),
+        "threshold_k".into(),
+        "position".into(),
+        "accuracy".into(),
+        "avg_bits".into(),
+        "phase".into(),
+    ]);
+    for (i, s) in summary.trace.iter().enumerate() {
+        w.row(&[
+            i.to_string(),
+            format!("p{}", s.threshold_index + 1),
+            format!("{:.2}", s.threshold),
+            if s.squeeze {
+                "-".into()
+            } else {
+                format!("{:.4}", s.accuracy)
+            },
+            format!("{:.4}", s.avg_bits),
+            if s.squeeze {
+                "squeeze".into()
+            } else {
+                "probe".into()
+            },
+        ]);
+    }
+    w.comment(format!(
+        "final thresholds: {:?}, final avg bits {:.3}",
+        summary
+            .thresholds
+            .iter()
+            .map(|t| format!("{t:.2}"))
+            .collect::<Vec<_>>(),
+        summary.avg_bits
+    ));
+    let path = w.save()?;
+    eprintln!("wrote {}", path.display());
+    Ok(())
+}

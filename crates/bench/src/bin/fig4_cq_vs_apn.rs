@@ -1,0 +1,72 @@
+//! Figure 4: accuracy of CQ vs APN vs full precision at 2.0/2.0, 3.0/3.0
+//! and 4.0/4.0 weight/activation settings, on VGG-small and ResNet-20-x1
+//! (CIFAR-10) and VGG-small and ResNet-20-x5 (CIFAR-100).
+//!
+//! ```sh
+//! cargo run --release -p cbq-bench --bin fig4_cq_vs_apn
+//! ```
+//!
+//! Expected shape (paper): CQ ≥ APN at every setting, with the largest
+//! gaps at 2.0/2.0 and on the wider ResNet-20-x5/CIFAR-100 pairing;
+//! 4.0/4.0 settings approach the full-precision bars.
+
+use cbq_bench::{run_spec, scale_from_env, DatasetKind, FigureWriter, Method, ModelKind, RunSpec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = scale_from_env();
+    let grid = [
+        (ModelKind::VggSmall, DatasetKind::C10Like),
+        (ModelKind::ResNet20 { expand: 1 }, DatasetKind::C10Like),
+        (ModelKind::VggSmall, DatasetKind::C100Like),
+        (ModelKind::ResNet20 { expand: 5 }, DatasetKind::C100Like),
+    ];
+    let settings = [2.0f32, 3.0, 4.0];
+    let mut w = FigureWriter::new("fig4_cq_vs_apn");
+    w.comment("Figure 4: CQ vs APN vs full precision (accuracy %, weight/act bits equal)");
+    w.row(&[
+        "model".into(),
+        "dataset".into(),
+        "setting".into(),
+        "method".into(),
+        "accuracy_pct".into(),
+        "avg_bits".into(),
+    ]);
+    for (model, dataset) in grid {
+        for &bits in &settings {
+            let mut fp_logged = false;
+            for method in [Method::Cq, Method::Apn] {
+                let spec = RunSpec {
+                    model,
+                    dataset,
+                    method,
+                    weight_bits: bits,
+                    act_bits: bits as u8,
+                    seed: 0,
+                };
+                let s = run_spec(&spec, scale)?;
+                if !fp_logged {
+                    w.row(&[
+                        model.label(),
+                        dataset.label().into(),
+                        format!("{bits:.1}/{bits:.1}"),
+                        "FP32".into(),
+                        format!("{:.2}", 100.0 * s.fp_accuracy),
+                        "32.00".into(),
+                    ]);
+                    fp_logged = true;
+                }
+                w.row(&[
+                    model.label(),
+                    dataset.label().into(),
+                    format!("{bits:.1}/{bits:.1}"),
+                    method.label().into(),
+                    format!("{:.2}", 100.0 * s.final_accuracy),
+                    format!("{:.2}", s.avg_bits),
+                ]);
+            }
+        }
+    }
+    let path = w.save()?;
+    eprintln!("wrote {}", path.display());
+    Ok(())
+}

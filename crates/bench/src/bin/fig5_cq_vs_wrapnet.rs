@@ -1,0 +1,47 @@
+//! Figure 5: accuracy of CQ vs WrapNet on ResNet-20-x1 / CIFAR-10 at the
+//! 1.0/3.0, 1.0/7.0, 2.0/4.0 and 2.0/7.0 weight/activation settings.
+//!
+//! ```sh
+//! cargo run --release -p cbq-bench --bin fig5_cq_vs_wrapnet
+//! ```
+//!
+//! Expected shape (paper): CQ above WN at every setting, with the largest
+//! gap around 2.0/4.0, and CQ more stable as the activation width drops.
+
+use cbq_bench::{run_spec, scale_from_env, DatasetKind, FigureWriter, Method, ModelKind, RunSpec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = scale_from_env();
+    let settings: [(f32, u8); 4] = [(1.0, 3), (1.0, 7), (2.0, 4), (2.0, 7)];
+    let mut w = FigureWriter::new("fig5_cq_vs_wrapnet");
+    w.comment("Figure 5: CQ vs WrapNet on ResNet-20-x1 / CIFAR10 (accuracy %)");
+    w.comment("WN simulated with an 8-bit wraparound accumulator (see DESIGN.md)");
+    w.row(&[
+        "setting".into(),
+        "method".into(),
+        "accuracy_pct".into(),
+        "avg_bits".into(),
+    ]);
+    for (wbits, abits) in settings {
+        for method in [Method::Cq, Method::WrapNet { acc_bits: 8 }] {
+            let spec = RunSpec {
+                model: ModelKind::ResNet20 { expand: 1 },
+                dataset: DatasetKind::C10Like,
+                method,
+                weight_bits: wbits,
+                act_bits: abits,
+                seed: 0,
+            };
+            let s = run_spec(&spec, scale)?;
+            w.row(&[
+                format!("{wbits:.1}/{abits}.0"),
+                method.label().into(),
+                format!("{:.2}", 100.0 * s.final_accuracy),
+                format!("{:.2}", s.avg_bits),
+            ]);
+        }
+    }
+    let path = w.save()?;
+    eprintln!("wrote {}", path.display());
+    Ok(())
+}

@@ -1,0 +1,79 @@
+//! Figure 6: sorted filter importance-score distribution of VGG-small at
+//! the 2.0/2.0 setting on CIFAR-10, with the final bit-width thresholds
+//! overlaid.
+//!
+//! ```sh
+//! cargo run --release -p cbq-bench --bin fig6_threshold_distribution
+//! ```
+//!
+//! Expected shape (paper): most layers hold many low-score filters that
+//! land below the 0/1-bit threshold (especially the FC layers 5 and 6),
+//! while the last hidden layer keeps every filter at 2+ bits.
+
+use cbq_bench::{run_spec, scale_from_env, DatasetKind, FigureWriter, Method, ModelKind, RunSpec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = scale_from_env();
+    let spec = RunSpec {
+        model: ModelKind::VggSmall,
+        dataset: DatasetKind::C10Like,
+        method: Method::Cq,
+        weight_bits: 2.0,
+        act_bits: 2,
+        seed: 0,
+    };
+    let summary = run_spec(&spec, scale)?;
+
+    let mut w = FigureWriter::new("fig6_threshold_distribution");
+    w.comment("Figure 6: sorted filter scores per layer + final thresholds, VGG-small 2.0/2.0");
+    w.comment(format!(
+        "thresholds (0/1b, 1/2b, 2/3b, 3/4b): {:?}",
+        summary
+            .thresholds
+            .iter()
+            .map(|t| format!("{t:.2}"))
+            .collect::<Vec<_>>()
+    ));
+    w.row(&[
+        "layer".into(),
+        "sorted_index".into(),
+        "score".into(),
+        "assigned_bits".into(),
+    ]);
+    for (name, phi) in summary.unit_names.iter().zip(&summary.sorted_phi) {
+        for (i, &p) in phi.iter().enumerate() {
+            let bits = summary.thresholds.iter().take_while(|&&t| p >= t).count();
+            let bits = if bits == summary.thresholds.len() {
+                4
+            } else {
+                bits
+            };
+            w.row(&[
+                name.clone(),
+                i.to_string(),
+                format!("{p:.4}"),
+                bits.to_string(),
+            ]);
+        }
+    }
+    // Per-layer summary: fraction pruned / at max bits.
+    w.comment("layer summaries");
+    w.row(&[
+        "layer".into(),
+        "filters".into(),
+        "pct_0bit".into(),
+        "pct_4bit".into(),
+    ]);
+    for (name, hist) in summary.unit_names.iter().zip(&summary.unit_histograms) {
+        let total: usize = hist.iter().sum();
+        w.row(&[
+            name.clone(),
+            total.to_string(),
+            format!("{:.1}", 100.0 * hist[0] as f64 / total.max(1) as f64),
+            format!("{:.1}", 100.0 * hist[4] as f64 / total.max(1) as f64),
+        ]);
+    }
+    let path = w.save()?;
+    eprintln!("wrote {}", path.display());
+    Ok(())
+}

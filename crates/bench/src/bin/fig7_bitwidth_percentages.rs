@@ -1,0 +1,68 @@
+//! Figure 7: percentage of filters at each bit-width for every network at
+//! the 2.0/2.0, 3.0/3.0 and 4.0/4.0 settings.
+//!
+//! ```sh
+//! cargo run --release -p cbq-bench --bin fig7_bitwidth_percentages
+//! ```
+//!
+//! Shares its runs with Figure 4 through the results cache. Expected
+//! shape (paper): VGG-small accumulates the most 0-bit (pruned) filters
+//! (mostly in the FC layers); the ResNets keep more filters at 1–2 bits;
+//! the 4.0/4.0 settings keep more filters at high widths.
+
+use cbq_bench::{run_spec, scale_from_env, DatasetKind, FigureWriter, Method, ModelKind, RunSpec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = scale_from_env();
+    let grid = [
+        (ModelKind::VggSmall, DatasetKind::C10Like),
+        (ModelKind::ResNet20 { expand: 1 }, DatasetKind::C10Like),
+        (ModelKind::VggSmall, DatasetKind::C100Like),
+        (ModelKind::ResNet20 { expand: 5 }, DatasetKind::C100Like),
+    ];
+    let settings = [2.0f32, 3.0, 4.0];
+    let mut w = FigureWriter::new("fig7_bitwidth_percentages");
+    w.comment("Figure 7: percentage of filters per bit-width (CQ arrangements)");
+    w.row(&[
+        "model".into(),
+        "dataset".into(),
+        "setting".into(),
+        "pct_0b".into(),
+        "pct_1b".into(),
+        "pct_2b".into(),
+        "pct_3b".into(),
+        "pct_4b".into(),
+    ]);
+    for (model, dataset) in grid {
+        for &bits in &settings {
+            let spec = RunSpec {
+                model,
+                dataset,
+                method: Method::Cq,
+                weight_bits: bits,
+                act_bits: bits as u8,
+                seed: 0,
+            };
+            let s = run_spec(&spec, scale)?;
+            let mut total = [0usize; 9];
+            for hist in &s.unit_histograms {
+                for (t, &c) in total.iter_mut().zip(hist) {
+                    *t += c;
+                }
+            }
+            let sum: usize = total.iter().sum();
+            let mut row = vec![
+                model.label(),
+                dataset.label().into(),
+                format!("{bits:.1}/{bits:.1}"),
+            ];
+            for &count in &total[..5] {
+                row.push(format!("{:.1}", 100.0 * count as f64 / sum.max(1) as f64));
+            }
+            w.row(&row);
+        }
+    }
+    let path = w.save()?;
+    eprintln!("wrote {}", path.display());
+    Ok(())
+}

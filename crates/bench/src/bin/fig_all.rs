@@ -1,0 +1,35 @@
+//! Convenience runner: regenerates every paper figure and ablation in
+//! sequence (cache-aware, so already-computed runs are free).
+//!
+//! ```sh
+//! cargo run --release -p cbq-bench --bin fig_all
+//! ```
+
+use std::process::Command;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bins = [
+        "fig4_cq_vs_apn",
+        "fig5_cq_vs_wrapnet",
+        "fig2_score_histograms",
+        "fig3_search_trace",
+        "fig6_threshold_distribution",
+        "fig7_bitwidth_percentages",
+        "ablation_scoring",
+        "ablation_kd",
+        "ablation_granularity",
+    ];
+    let exe_dir = std::env::current_exe()?
+        .parent()
+        .ok_or("executable has no parent directory")?
+        .to_path_buf();
+    for bin in bins {
+        eprintln!("== {bin} ==");
+        let status = Command::new(exe_dir.join(bin)).status()?;
+        if !status.success() {
+            return Err(format!("{bin} failed with {status}").into());
+        }
+    }
+    eprintln!("all figures regenerated; CSVs in results/");
+    Ok(())
+}

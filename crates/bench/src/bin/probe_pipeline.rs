@@ -1,0 +1,35 @@
+//! End-to-end CQ pipeline probe on VGG-small / synthetic CIFAR-10 at the
+//! paper's 2.0/2.0 setting. Prints every phase's numbers.
+
+use cbq_core::{CqConfig, CqPipeline, RefineConfig};
+use cbq_data::{SyntheticImages, SyntheticSpec};
+use cbq_nn::{models, TrainerConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(0);
+    let data = SyntheticImages::generate(&SyntheticSpec::cifar10_like(), &mut rng)?;
+    let cfg = models::VggConfig::for_input(3, 12, 12, 10);
+    let model = models::vgg_small(&cfg, &mut rng)?;
+    let mut config = CqConfig::new(2.0, 2.0);
+    config.pretrain = Some(TrainerConfig::quick(4, 0.02));
+    config.refine = RefineConfig::quick(4, 0.004);
+    config.search.step = 0.2;
+    let t = Instant::now();
+    let report = CqPipeline::new(config).run(model, &data, &mut rng)?;
+    println!("total time {:?}", t.elapsed());
+    println!("fp acc          {:.2}%", 100.0 * report.fp_accuracy);
+    println!("pre-refine acc  {:.2}%", 100.0 * report.pre_refine_accuracy);
+    println!("final acc       {:.2}%", 100.0 * report.final_accuracy);
+    println!("avg bits        {:.3}", report.search.final_avg_bits);
+    println!("thresholds      {:?}", report.search.thresholds);
+    println!("search probes   {}", report.search.trace.len());
+    println!("compression     {:.2}x", report.size.compression_ratio());
+    for u in report.search.arrangement.units() {
+        let h = report.search.arrangement.unit_histogram(&u.name)?;
+        println!("  {:<8} {:?}", u.name, h.counts);
+    }
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! Quick sanity probe: trains the three paper models on the synthetic
+//! datasets and prints accuracy + wall-clock, to pick harness scales.
+
+use cbq_data::{SyntheticImages, SyntheticSpec};
+use cbq_nn::{evaluate, models, Trainer, TrainerConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(0);
+    let spec = SyntheticSpec::cifar10_like();
+    let t0 = Instant::now();
+    let data = SyntheticImages::generate(&spec, &mut rng)?;
+    eprintln!(
+        "dataset: {} train in {:?}",
+        data.train().len(),
+        t0.elapsed()
+    );
+
+    // VGG-small
+    let cfg = models::VggConfig::for_input(3, 12, 12, 10);
+    let mut vgg = models::vgg_small(&cfg, &mut rng)?;
+    let t = Instant::now();
+    let epochs = std::env::var("EPOCHS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    let tc = TrainerConfig {
+        verbose: true,
+        ..TrainerConfig::quick(epochs, 0.02)
+    };
+    Trainer::new(tc).fit(&mut vgg, data.train(), &mut rng)?;
+    let acc = evaluate(&mut vgg, data.test(), 200)?;
+    eprintln!(
+        "vgg-small: {:?} for {epochs} epochs, test acc {:.2}%",
+        t.elapsed(),
+        100.0 * acc
+    );
+
+    // ResNet-20-x1
+    let mut rn = models::resnet20(&models::ResNetConfig::resnet20(3, 1, 10), &mut rng)?;
+    let t = Instant::now();
+    let tc = TrainerConfig {
+        verbose: true,
+        ..TrainerConfig::quick(epochs, 0.1)
+    };
+    Trainer::new(tc).fit(&mut rn, data.train(), &mut rng)?;
+    let acc = evaluate(&mut rn, data.test(), 200)?;
+    eprintln!(
+        "resnet20-x1: {:?} for {epochs} epochs, test acc {:.2}%",
+        t.elapsed(),
+        100.0 * acc
+    );
+    Ok(())
+}

@@ -1,0 +1,465 @@
+//! The shared experiment grid behind the figure binaries.
+//!
+//! Every paper figure draws on runs of the same shape — (model, dataset,
+//! method, weight/activation bits) — so the grid is defined once here and
+//! each completed run is cached as JSON under `results/cache/`. Re-running
+//! a figure binary reuses every run it shares with previously generated
+//! figures (e.g. Figure 7 reads Figure 4's CQ runs from cache).
+//!
+//! Scale mapping (`CBQ_SCALE`):
+//!
+//! | | `small` (default) | `full` |
+//! |---|---|---|
+//! | CIFAR-10-like | 10 classes, 150/30/30 per class | 200/40/40 |
+//! | CIFAR-100-like | 25 classes, 40/10/10 per class | 100 classes, 60/10/10 |
+//! | ResNet-20-x5 stand-in | expand 2 | expand 5 |
+//! | pretrain / refine epochs | 3 / 3 | 12 / 12 |
+
+use crate::ExperimentScale;
+use cbq_baselines::{run_apn, run_wrapnet, ApnConfig, WrapNetConfig};
+use cbq_core::{CqConfig, CqPipeline, RefineConfig, SearchStep};
+use cbq_data::{SyntheticImages, SyntheticSpec};
+use cbq_nn::{models, Sequential, TrainerConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::path::PathBuf;
+
+/// Which network to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// The paper's VGG-small.
+    VggSmall,
+    /// ResNet-20 with the paper's expand factor (1 or 5).
+    ResNet20 {
+        /// Width expansion factor.
+        expand: usize,
+    },
+}
+
+impl ModelKind {
+    fn tag(&self) -> String {
+        match self {
+            ModelKind::VggSmall => "vgg".into(),
+            ModelKind::ResNet20 { expand } => format!("rn20x{expand}"),
+        }
+    }
+
+    /// Paper-style display name.
+    pub fn label(&self) -> String {
+        match self {
+            ModelKind::VggSmall => "VGG-small".into(),
+            ModelKind::ResNet20 { expand } => format!("ResNet-20-x{expand}"),
+        }
+    }
+}
+
+/// Which dataset to run on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DatasetKind {
+    /// The CIFAR-10 stand-in.
+    C10Like,
+    /// The CIFAR-100 stand-in.
+    C100Like,
+}
+
+impl DatasetKind {
+    fn tag(&self) -> &'static str {
+        match self {
+            DatasetKind::C10Like => "c10",
+            DatasetKind::C100Like => "c100",
+        }
+    }
+
+    /// Paper-style display name.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DatasetKind::C10Like => "CIFAR10",
+            DatasetKind::C100Like => "CIFAR100",
+        }
+    }
+
+    fn spec(&self, scale: ExperimentScale) -> SyntheticSpec {
+        match (self, scale) {
+            (DatasetKind::C10Like, ExperimentScale::Small) => SyntheticSpec {
+                train_per_class: 150,
+                val_per_class: 30,
+                test_per_class: 30,
+                ..hard_cifar10_like()
+            },
+            (DatasetKind::C10Like, ExperimentScale::Full) => hard_cifar10_like(),
+            (DatasetKind::C100Like, ExperimentScale::Small) => SyntheticSpec {
+                num_classes: 25,
+                train_per_class: 40,
+                val_per_class: 10,
+                test_per_class: 10,
+                shared_pool: 20,
+                ..hard_cifar100_like()
+            },
+            (DatasetKind::C100Like, ExperimentScale::Full) => hard_cifar100_like(),
+        }
+    }
+}
+
+/// Which quantization method to run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Method {
+    /// Class-based quantization (the paper's method).
+    Cq,
+    /// APN-style model-level uniform quantization.
+    Apn,
+    /// WrapNet-style uniform quantization with a narrow accumulator.
+    WrapNet {
+        /// Simulated accumulator bits.
+        acc_bits: u8,
+    },
+}
+
+impl Method {
+    fn tag(&self) -> String {
+        match self {
+            Method::Cq => "cq".into(),
+            Method::Apn => "apn".into(),
+            Method::WrapNet { acc_bits } => format!("wn{acc_bits}"),
+        }
+    }
+
+    /// Display name.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Method::Cq => "CQ",
+            Method::Apn => "APN",
+            Method::WrapNet { .. } => "WN",
+        }
+    }
+}
+
+/// One grid point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunSpec {
+    /// Network.
+    pub model: ModelKind,
+    /// Dataset.
+    pub dataset: DatasetKind,
+    /// Quantization method.
+    pub method: Method,
+    /// Target average weight bits (CQ) or uniform weight bits (APN/WN).
+    pub weight_bits: f32,
+    /// Activation bits.
+    pub act_bits: u8,
+    /// RNG seed (dataset + init + training).
+    pub seed: u64,
+}
+
+/// Bump when the training recipes below change, so stale cached runs are
+/// not silently reused.
+const RECIPE_VERSION: u32 = 3;
+
+/// The hardened CIFAR-10 stand-in the experiments run on: enough noise
+/// and feature sharing that the full-precision model lands around the
+/// paper's ~90% rather than saturating — the regime where quantization
+/// policies actually differ (calibrated in DESIGN.md).
+pub fn hard_cifar10_like() -> SyntheticSpec {
+    SyntheticSpec {
+        noise_std: 1.0,
+        gain_jitter: 0.5,
+        exclusive_features: 2,
+        shared_features: 4,
+        ..SyntheticSpec::cifar10_like()
+    }
+}
+
+/// The hardened CIFAR-100 stand-in (same hardness parameters).
+pub fn hard_cifar100_like() -> SyntheticSpec {
+    SyntheticSpec {
+        noise_std: 1.0,
+        gain_jitter: 0.5,
+        exclusive_features: 2,
+        shared_features: 4,
+        ..SyntheticSpec::cifar100_like()
+    }
+}
+
+impl RunSpec {
+    fn cache_key(&self, scale: ExperimentScale) -> String {
+        let scale_tag = match scale {
+            ExperimentScale::Small => "small",
+            ExperimentScale::Full => "full",
+        };
+        format!(
+            "{}_{}_{}_w{:.1}_a{}_{}_s{}_r{RECIPE_VERSION}",
+            self.model.tag(),
+            self.dataset.tag(),
+            self.method.tag(),
+            self.weight_bits,
+            self.act_bits,
+            scale_tag,
+            self.seed
+        )
+    }
+}
+
+/// Serializable result of one run — everything the figures read.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// The spec that produced this summary.
+    pub spec: RunSpec,
+    /// Full-precision test accuracy.
+    pub fp_accuracy: f32,
+    /// Test accuracy after quantization, before refining.
+    pub pre_refine_accuracy: f32,
+    /// Test accuracy after refining — the figures' headline number.
+    pub final_accuracy: f32,
+    /// Achieved average weight bit-width.
+    pub avg_bits: f32,
+    /// Final thresholds (CQ only).
+    pub thresholds: Vec<f64>,
+    /// Unit names in network order.
+    pub unit_names: Vec<String>,
+    /// Per-unit filter counts at bit-widths 0..=8.
+    pub unit_histograms: Vec<[usize; 9]>,
+    /// Per-unit sorted filter scores (CQ only; Figures 2, 3, 6).
+    pub sorted_phi: Vec<Vec<f64>>,
+    /// Search trace (CQ only; Figure 3).
+    pub trace: Vec<SearchStep>,
+    /// Wall-clock seconds the run took.
+    pub wall_seconds: f64,
+}
+
+fn cache_path(key: &str) -> PathBuf {
+    PathBuf::from("results/cache").join(format!("{key}.json"))
+}
+
+fn load_cached(key: &str) -> Option<RunSummary> {
+    let text = fs::read_to_string(cache_path(key)).ok()?;
+    serde_json::from_str(&text).ok()
+}
+
+fn store_cached(key: &str, summary: &RunSummary) {
+    if fs::create_dir_all("results/cache").is_ok() {
+        if let Ok(json) = serde_json::to_string(summary) {
+            let _ = fs::write(cache_path(key), json);
+        }
+    }
+}
+
+/// Builds the model for a grid point. Small scale maps the paper's
+/// expand-5 to expand-2 (documented in DESIGN.md).
+pub fn build_model(
+    model: ModelKind,
+    spec: &SyntheticSpec,
+    scale: ExperimentScale,
+    rng: &mut StdRng,
+) -> Result<Sequential, cbq_nn::NnError> {
+    match model {
+        ModelKind::VggSmall => {
+            let cfg = models::VggConfig::for_input(
+                spec.channels,
+                spec.height,
+                spec.width,
+                spec.num_classes,
+            );
+            models::vgg_small(&cfg, rng)
+        }
+        ModelKind::ResNet20 { expand } => {
+            let eff_expand = match (expand, scale) {
+                (5, ExperimentScale::Small) => 2,
+                (e, _) => e,
+            };
+            let cfg = models::ResNetConfig::resnet20(spec.channels, eff_expand, spec.num_classes);
+            models::resnet20(&cfg, rng)
+        }
+    }
+}
+
+fn training_recipes(model: ModelKind, scale: ExperimentScale) -> (TrainerConfig, RefineConfig) {
+    // Refining gets the larger share of the budget: the paper's search
+    // deliberately over-prunes (accuracy targets down to T1*R^k) and
+    // leans on a long KD fine-tune to recover — with too few refine
+    // epochs CQ under-recovers relative to uniform baselines.
+    let (pre_epochs, ref_epochs) = match scale {
+        ExperimentScale::Small => (3, 8),
+        ExperimentScale::Full => (12, 24),
+    };
+    let lr = match model {
+        ModelKind::VggSmall => 0.02,
+        ModelKind::ResNet20 { .. } => 0.1,
+    };
+    let pretrain = TrainerConfig::quick(pre_epochs, lr);
+    let refine = RefineConfig::quick(ref_epochs, lr / 5.0);
+    (pretrain, refine)
+}
+
+/// Runs one grid point (or loads it from the cache). Progress goes to
+/// stderr.
+///
+/// # Errors
+///
+/// Propagates dataset, model and pipeline errors.
+pub fn run_spec(
+    spec: &RunSpec,
+    scale: ExperimentScale,
+) -> Result<RunSummary, Box<dyn std::error::Error>> {
+    let key = spec.cache_key(scale);
+    if let Some(cached) = load_cached(&key) {
+        eprintln!("[cache] {key}");
+        return Ok(cached);
+    }
+    eprintln!("[run  ] {key}");
+    let start = std::time::Instant::now();
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let dspec = spec.dataset.spec(scale);
+    let data = SyntheticImages::generate(&dspec, &mut rng)?;
+    let model = build_model(spec.model, &dspec, scale, &mut rng)?;
+    let (pretrain, refine) = training_recipes(spec.model, scale);
+
+    let summary = match spec.method {
+        Method::Cq => {
+            let mut cfg = CqConfig::new(spec.weight_bits, spec.act_bits as f32);
+            cfg.pretrain = Some(pretrain);
+            cfg.refine = refine;
+            cfg.search.step = 0.2;
+            cfg.search.probe_samples = 200.min(data.val().len());
+            let report = CqPipeline::new(cfg).run(model, &data, &mut rng)?;
+            let arrangement = &report.search.arrangement;
+            RunSummary {
+                spec: spec.clone(),
+                fp_accuracy: report.fp_accuracy,
+                pre_refine_accuracy: report.pre_refine_accuracy,
+                final_accuracy: report.final_accuracy,
+                avg_bits: report.search.final_avg_bits,
+                thresholds: report.search.thresholds.clone(),
+                unit_names: arrangement.units().iter().map(|u| u.name.clone()).collect(),
+                unit_histograms: arrangement
+                    .units()
+                    .iter()
+                    .map(|u| {
+                        let mut h = [0usize; 9];
+                        for b in &u.bits {
+                            h[b.bits() as usize] += 1;
+                        }
+                        h
+                    })
+                    .collect(),
+                sorted_phi: report.scores.units.iter().map(|u| u.sorted_phi()).collect(),
+                trace: report.search.trace.clone(),
+                wall_seconds: start.elapsed().as_secs_f64(),
+            }
+        }
+        Method::Apn => {
+            let mut cfg = ApnConfig::new(spec.weight_bits.round() as u8, spec.act_bits);
+            cfg.pretrain = Some(pretrain);
+            cfg.refine = refine;
+            let report = run_apn(model, &data, &cfg, &mut rng)?;
+            summary_from_uniform(
+                spec,
+                report.fp_accuracy,
+                report.pre_refine_accuracy,
+                report.final_accuracy,
+                &report.arrangement,
+                start.elapsed().as_secs_f64(),
+            )
+        }
+        Method::WrapNet { acc_bits } => {
+            let mut cfg = WrapNetConfig::new(spec.weight_bits.round() as u8, spec.act_bits);
+            cfg.acc_bits = acc_bits;
+            cfg.pretrain = Some(pretrain);
+            cfg.refine = refine;
+            let report = run_wrapnet(model, &data, &cfg, &mut rng)?;
+            summary_from_uniform(
+                spec,
+                report.fp_accuracy,
+                report.pre_refine_accuracy,
+                report.final_accuracy,
+                &report.arrangement,
+                start.elapsed().as_secs_f64(),
+            )
+        }
+    };
+    store_cached(&key, &summary);
+    eprintln!(
+        "[done ] {key}: fp {:.1}% -> final {:.1}% at {:.2} bits ({:.0}s)",
+        100.0 * summary.fp_accuracy,
+        100.0 * summary.final_accuracy,
+        summary.avg_bits,
+        summary.wall_seconds
+    );
+    Ok(summary)
+}
+
+fn summary_from_uniform(
+    spec: &RunSpec,
+    fp: f32,
+    pre: f32,
+    fin: f32,
+    arrangement: &cbq_quant::BitArrangement,
+    wall: f64,
+) -> RunSummary {
+    RunSummary {
+        spec: spec.clone(),
+        fp_accuracy: fp,
+        pre_refine_accuracy: pre,
+        final_accuracy: fin,
+        avg_bits: arrangement.average_bits(),
+        thresholds: vec![],
+        unit_names: arrangement.units().iter().map(|u| u.name.clone()).collect(),
+        unit_histograms: arrangement
+            .units()
+            .iter()
+            .map(|u| {
+                let mut h = [0usize; 9];
+                for b in &u.bits {
+                    h[b.bits() as usize] += 1;
+                }
+                h
+            })
+            .collect(),
+        sorted_phi: vec![],
+        trace: vec![],
+        wall_seconds: wall,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_keys_distinguish_specs() {
+        let a = RunSpec {
+            model: ModelKind::VggSmall,
+            dataset: DatasetKind::C10Like,
+            method: Method::Cq,
+            weight_bits: 2.0,
+            act_bits: 2,
+            seed: 0,
+        };
+        let mut b = a.clone();
+        b.method = Method::Apn;
+        assert_ne!(
+            a.cache_key(ExperimentScale::Small),
+            b.cache_key(ExperimentScale::Small)
+        );
+        assert_ne!(
+            a.cache_key(ExperimentScale::Small),
+            a.cache_key(ExperimentScale::Full)
+        );
+    }
+
+    #[test]
+    fn dataset_specs_validate() {
+        for kind in [DatasetKind::C10Like, DatasetKind::C100Like] {
+            for scale in [ExperimentScale::Small, ExperimentScale::Full] {
+                kind.spec(scale).validate().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn labels_are_paper_style() {
+        assert_eq!(ModelKind::ResNet20 { expand: 5 }.label(), "ResNet-20-x5");
+        assert_eq!(DatasetKind::C100Like.label(), "CIFAR100");
+        assert_eq!(Method::Cq.label(), "CQ");
+    }
+}

@@ -1,0 +1,112 @@
+//! Scale selection and result emission for the figure harness.
+
+use std::fmt::Display;
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// How big an experiment to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExperimentScale {
+    /// CPU-minutes scale: reduced epochs and dataset sizes. Shapes hold;
+    /// absolute accuracies sit below the paper's GPU-scale numbers.
+    Small,
+    /// Longer training closer to the paper's protocol (tens of minutes).
+    Full,
+}
+
+impl ExperimentScale {
+    /// Multiplies an epoch count by the scale factor.
+    pub fn epochs(&self, small: usize, full: usize) -> usize {
+        match self {
+            ExperimentScale::Small => small,
+            ExperimentScale::Full => full,
+        }
+    }
+}
+
+/// Reads `CBQ_SCALE` (`small`/`full`, default `small`).
+pub fn scale_from_env() -> ExperimentScale {
+    match std::env::var("CBQ_SCALE")
+        .unwrap_or_default()
+        .to_lowercase()
+        .as_str()
+    {
+        "full" => ExperimentScale::Full,
+        _ => ExperimentScale::Small,
+    }
+}
+
+/// Writes figure data both to stdout and to `results/<name>.csv`.
+#[derive(Debug)]
+pub struct FigureWriter {
+    name: String,
+    lines: Vec<String>,
+}
+
+impl FigureWriter {
+    /// Creates a writer for figure `name` (e.g. `"fig4_cq_vs_apn"`).
+    pub fn new(name: impl Into<String>) -> Self {
+        FigureWriter {
+            name: name.into(),
+            lines: Vec::new(),
+        }
+    }
+
+    /// Emits a header / comment line.
+    pub fn comment(&mut self, text: impl Display) {
+        let line = format!("# {text}");
+        println!("{line}");
+        self.lines.push(line);
+    }
+
+    /// Emits one CSV data row.
+    pub fn row(&mut self, cells: &[String]) {
+        let line = cells.join(",");
+        println!("{line}");
+        self.lines.push(line);
+    }
+
+    /// Convenience: emits a row from display-able cells.
+    pub fn row_display(&mut self, cells: &[&dyn Display]) {
+        let strings: Vec<String> = cells.iter().map(|c| c.to_string()).collect();
+        self.row(&strings);
+    }
+
+    /// Flushes the collected lines to `results/<name>.csv`.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating the directory or file.
+    pub fn save(&self) -> std::io::Result<PathBuf> {
+        let dir = PathBuf::from("results");
+        fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{}.csv", self.name));
+        let mut f = fs::File::create(&path)?;
+        for line in &self.lines {
+            writeln!(f, "{line}")?;
+        }
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_epochs() {
+        assert_eq!(ExperimentScale::Small.epochs(5, 50), 5);
+        assert_eq!(ExperimentScale::Full.epochs(5, 50), 50);
+    }
+
+    #[test]
+    fn writer_accumulates() {
+        let mut w = FigureWriter::new("test_fig");
+        w.comment("hello");
+        w.row(&["a".into(), "b".into()]);
+        assert_eq!(w.lines.len(), 2);
+        assert!(w.lines[0].starts_with('#'));
+        assert_eq!(w.lines[1], "a,b");
+    }
+}

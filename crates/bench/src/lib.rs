@@ -1,0 +1,19 @@
+#![warn(missing_docs)]
+
+//! Shared harness utilities for the figure-regeneration binaries and
+//! Criterion micro-benchmarks.
+//!
+//! Each binary in `src/bin/` regenerates one figure of the paper; run
+//! them with `cargo run -p cbq-bench --release --bin <name>`. The
+//! `CBQ_SCALE` environment variable selects the experiment scale:
+//! `small` (default, minutes) or `full` (longer training, tighter to the
+//! paper's protocol).
+
+pub mod experiments;
+pub mod harness;
+
+pub use experiments::{
+    hard_cifar100_like, hard_cifar10_like, run_spec, DatasetKind, Method, ModelKind, RunSpec,
+    RunSummary,
+};
+pub use harness::{scale_from_env, ExperimentScale, FigureWriter};

@@ -1,0 +1,83 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by the class-based quantization pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CqError {
+    /// A network operation failed.
+    Nn(cbq_nn::NnError),
+    /// A quantization operation failed.
+    Quant(cbq_quant::QuantError),
+    /// A dataset operation failed.
+    Data(cbq_data::DataError),
+    /// A tensor operation failed.
+    Tensor(cbq_tensor::TensorError),
+    /// A configuration field is out of range.
+    InvalidConfig(String),
+    /// The scored units do not match the network's quantizable layers.
+    ScoreMismatch(String),
+}
+
+impl fmt::Display for CqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CqError::Nn(e) => write!(f, "network error: {e}"),
+            CqError::Quant(e) => write!(f, "quantization error: {e}"),
+            CqError::Data(e) => write!(f, "data error: {e}"),
+            CqError::Tensor(e) => write!(f, "tensor error: {e}"),
+            CqError::InvalidConfig(msg) => write!(f, "invalid cq config: {msg}"),
+            CqError::ScoreMismatch(msg) => write!(f, "score mismatch: {msg}"),
+        }
+    }
+}
+
+impl Error for CqError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CqError::Nn(e) => Some(e),
+            CqError::Quant(e) => Some(e),
+            CqError::Data(e) => Some(e),
+            CqError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<cbq_nn::NnError> for CqError {
+    fn from(e: cbq_nn::NnError) -> Self {
+        CqError::Nn(e)
+    }
+}
+
+impl From<cbq_quant::QuantError> for CqError {
+    fn from(e: cbq_quant::QuantError) -> Self {
+        CqError::Quant(e)
+    }
+}
+
+impl From<cbq_data::DataError> for CqError {
+    fn from(e: cbq_data::DataError) -> Self {
+        CqError::Data(e)
+    }
+}
+
+impl From<cbq_tensor::TensorError> for CqError {
+    fn from(e: cbq_tensor::TensorError) -> Self {
+        CqError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e = CqError::from(cbq_tensor::TensorError::Empty);
+        assert!(e.to_string().contains("tensor"));
+        assert!(Error::source(&e).is_some());
+        let e = CqError::InvalidConfig("bad".into());
+        assert!(e.to_string().contains("bad"));
+        assert!(Error::source(&e).is_none());
+    }
+}

@@ -1,0 +1,537 @@
+//! Class-based importance scoring (paper §III-A/B, Eqs. 4–8).
+//!
+//! For every quantizable layer ("unit") the scorer locates its *tap* — the
+//! next ReLU in execution order, whose activations are the unit's neuron
+//! outputs — then, class by class, runs one forward/backward pass over a
+//! batch of validation images with the gradient seeded at the class logit.
+//! The cached tap tensors yield the Taylor score `s = |a · ∂Φ/∂a|`
+//! (Eq. 5) per image and neuron; the fraction of a class's images in
+//! which `s > ε` is `β` (Eq. 6); `γ = Σ_m β` (Eq. 7) counts the classes a
+//! neuron serves; and a filter's score `φ` is the max `γ` over its
+//! neurons (Eq. 8).
+
+use crate::{CqError, Result};
+use cbq_data::Subset;
+use cbq_nn::{losses, Layer, LayerKind, Phase, Sequential};
+use cbq_quant::quant_units;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Configuration for the importance-scoring pass.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScoreConfig {
+    /// Validation images per class (`N_s` in Eq. 6).
+    pub samples_per_class: usize,
+    /// Criticality threshold `ε`. The paper uses 1e-50 with f64
+    /// activations; with f32 activations any positive value below the
+    /// smallest meaningful product works — default 1e-30.
+    pub epsilon: f64,
+}
+
+impl ScoreConfig {
+    /// Default scoring config: 40 images per class, `ε = 1e-30`.
+    pub fn new() -> Self {
+        ScoreConfig {
+            samples_per_class: 40,
+            epsilon: 1e-30,
+        }
+    }
+}
+
+impl Default for ScoreConfig {
+    fn default() -> Self {
+        ScoreConfig::new()
+    }
+}
+
+/// Scores for one quantizable unit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UnitScores {
+    /// Layer name.
+    pub name: String,
+    /// Name of the tap layer whose activations were scored.
+    pub tap: String,
+    /// Filters (conv output channels / FC output neurons).
+    pub out_channels: usize,
+    /// Scalar weights per filter (for average-bit accounting).
+    pub weights_per_filter: usize,
+    /// Neurons per filter at the tap (`H*W` for conv, 1 for FC).
+    pub neurons_per_filter: usize,
+    /// Per-neuron class score `γ` (Eq. 7), length
+    /// `out_channels * neurons_per_filter`.
+    pub gamma: Vec<f64>,
+    /// Per-filter score `φ` (Eq. 8), length `out_channels`.
+    pub phi: Vec<f64>,
+    /// Per-class, per-filter `β` (max over the filter's neurons) — the
+    /// Figure 1-style class-pathway diagnostics.
+    pub beta_filter: Vec<Vec<f64>>,
+}
+
+impl UnitScores {
+    /// Filter scores sorted ascending — the curves of Figures 3 and 6.
+    pub fn sorted_phi(&self) -> Vec<f64> {
+        let mut v = self.phi.clone();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("scores are finite"));
+        v
+    }
+
+    /// Histogram of `phi` over `bins` equal-width bins spanning
+    /// `[0, max_score]` — the data behind Figure 2.
+    pub fn phi_histogram(&self, bins: usize, max_score: f64) -> Vec<usize> {
+        let mut h = vec![0usize; bins.max(1)];
+        if max_score <= 0.0 {
+            return h;
+        }
+        for &p in &self.phi {
+            let idx = ((p / max_score) * bins as f64).floor() as usize;
+            h[idx.min(bins - 1)] += 1;
+        }
+        h
+    }
+}
+
+/// All unit scores for a network, in execution order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ImportanceScores {
+    /// Number of classes `M` used for scoring.
+    pub num_classes: usize,
+    /// Per-unit scores in network order.
+    pub units: Vec<UnitScores>,
+}
+
+impl ImportanceScores {
+    /// Finds a unit's scores by layer name.
+    pub fn unit(&self, name: &str) -> Option<&UnitScores> {
+        self.units.iter().find(|u| u.name == name)
+    }
+
+    /// The maximum filter score across all units (the search's upper
+    /// bound; at most `num_classes`).
+    pub fn max_phi(&self) -> f64 {
+        self.units
+            .iter()
+            .flat_map(|u| u.phi.iter().copied())
+            .fold(0.0f64, f64::max)
+    }
+
+    /// Total filters across units.
+    pub fn total_filters(&self) -> usize {
+        self.units.iter().map(|u| u.out_channels).sum()
+    }
+}
+
+/// One unit's tap association, discovered by flattening the network.
+#[derive(Debug, Clone)]
+struct TapPlan {
+    unit_name: String,
+    tap_name: String,
+    out_channels: usize,
+    weights_per_filter: usize,
+}
+
+/// Associates each quantizable layer with its importance tap: the next
+/// ReLU in execution order, or the layer itself when no ReLU follows.
+fn plan_taps(net: &mut Sequential) -> Vec<TapPlan> {
+    // (name, kind, quantizable, out_channels, weight_len) per flattened layer
+    type FlatLayer = (String, LayerKind, bool, Option<usize>, Option<usize>);
+    let mut flat: Vec<FlatLayer> = Vec::new();
+    net.visit_layers_mut(&mut |l| {
+        flat.push((
+            l.name().to_string(),
+            l.kind(),
+            l.quantizable(),
+            l.out_channels(),
+            l.weight_len(),
+        ));
+    });
+    let mut plans = Vec::new();
+    for (i, (name, _, quantizable, out_channels, weight_len)) in flat.iter().enumerate() {
+        if !*quantizable {
+            continue;
+        }
+        let (Some(out), Some(wlen)) = (out_channels, weight_len) else {
+            continue;
+        };
+        let tap = flat[i + 1..]
+            .iter()
+            .find(|(_, kind, _, _, _)| *kind == LayerKind::Relu)
+            .map(|(tap_name, _, _, _, _)| tap_name.clone())
+            .unwrap_or_else(|| name.clone());
+        plans.push(TapPlan {
+            unit_name: name.clone(),
+            tap_name: tap,
+            out_channels: *out,
+            weights_per_filter: wlen / out.max(&1),
+        });
+    }
+    plans
+}
+
+/// Computes class-based importance scores for every quantizable unit of
+/// `net` using the validation split (paper §III-A/B).
+///
+/// Runs `net` in eval mode — the network's weights and running statistics
+/// are read, gradients are accumulated and then cleared, so the model is
+/// unchanged afterwards.
+///
+/// # Example
+///
+/// ```no_run
+/// use cbq_core::{score_network, ScoreConfig};
+/// use cbq_data::{SyntheticImages, SyntheticSpec};
+/// use cbq_nn::models;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let data = SyntheticImages::generate(&SyntheticSpec::tiny(3), &mut rng)?;
+/// let mut net = models::mlp(&[data.feature_len(), 16, 8, 3], &mut rng)?;
+/// // ... train `net` first ...
+/// let scores = score_network(&mut net, data.val(), 3, &ScoreConfig::new())?;
+/// for unit in &scores.units {
+///     println!("{}: max filter score {:.2}", unit.name, unit.sorted_phi().last().unwrap());
+/// }
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// Returns [`CqError::ScoreMismatch`] when a tap's activation shape does
+/// not match its unit's filter count, or propagates dataset/layer errors
+/// (e.g. a class with no validation samples).
+pub fn score_network(
+    net: &mut Sequential,
+    val: &Subset,
+    num_classes: usize,
+    config: &ScoreConfig,
+) -> Result<ImportanceScores> {
+    if num_classes == 0 {
+        return Err(CqError::InvalidConfig(
+            "num_classes must be positive".into(),
+        ));
+    }
+    if config.samples_per_class == 0 {
+        return Err(CqError::InvalidConfig(
+            "samples_per_class must be positive".into(),
+        ));
+    }
+    let plans = plan_taps(net);
+    // Per unit: γ accumulator (per neuron) + per-class per-filter β.
+    let mut gamma: Vec<Vec<f64>> = Vec::with_capacity(plans.len());
+    let mut beta_filter: Vec<Vec<Vec<f64>>> = Vec::with_capacity(plans.len());
+    let mut neurons_per_filter: Vec<usize> = vec![0; plans.len()];
+    for _ in &plans {
+        gamma.push(Vec::new());
+        beta_filter.push(vec![Vec::new(); num_classes]);
+    }
+
+    #[allow(clippy::needless_range_loop)] // `class` indexes several accumulators
+    for class in 0..num_classes {
+        let batch = val.class_batch(class, config.samples_per_class)?;
+        let n_s = batch.len();
+        let logits = net.forward(&batch.images, Phase::Eval)?;
+        // Seed the backward pass with ∂Φ/∂logits = one-hot at the class
+        // logit: Φ(x_m) is the class-m output of the network.
+        let seed = losses::one_hot(&batch.labels, logits.shape()[1])?;
+        net.backward(&seed)?;
+
+        // Harvest tap tensors. Several units can share one tap (e.g. a
+        // residual block's conv2 and its downsample conv both read the
+        // post-add ReLU), so the map holds every interested unit index.
+        let mut wanted: HashMap<&str, Vec<usize>> = HashMap::new();
+        for (i, p) in plans.iter().enumerate() {
+            wanted.entry(p.tap_name.as_str()).or_default().push(i);
+        }
+        let mut harvest: Vec<Option<(cbq_tensor::Tensor, cbq_tensor::Tensor)>> =
+            vec![None; plans.len()];
+        net.visit_layers_mut(&mut |l| {
+            if let Some(indices) = wanted.get(l.name()) {
+                if let (Some(a), Some(g)) = (l.cached_output(), l.cached_grad_out()) {
+                    for &i in indices {
+                        harvest[i] = Some((a.clone(), g.clone()));
+                    }
+                }
+            }
+        });
+
+        for (i, plan) in plans.iter().enumerate() {
+            let (act, grad) = harvest[i].as_ref().ok_or_else(|| {
+                CqError::ScoreMismatch(format!(
+                    "tap {} for unit {} produced no cached activations",
+                    plan.tap_name, plan.unit_name
+                ))
+            })?;
+            let per_item = act.len() / n_s.max(1);
+            if per_item % plan.out_channels != 0 {
+                return Err(CqError::ScoreMismatch(format!(
+                    "tap {} activation size {} is not divisible by {} filters of unit {}",
+                    plan.tap_name, per_item, plan.out_channels, plan.unit_name
+                )));
+            }
+            let npf = per_item / plan.out_channels;
+            if gamma[i].is_empty() {
+                gamma[i] = vec![0.0; per_item];
+                neurons_per_filter[i] = npf;
+            }
+            // Count, per neuron, in how many of the class's images the
+            // neuron is critical (Eq. 5 + Eq. 6 numerator).
+            let a = act.as_slice();
+            let g = grad.as_slice();
+            let mut crit = vec![0u32; per_item];
+            for b in 0..n_s {
+                let base = b * per_item;
+                for n in 0..per_item {
+                    let s = (a[base + n] as f64 * g[base + n] as f64).abs();
+                    if s > config.epsilon {
+                        crit[n] += 1;
+                    }
+                }
+            }
+            // β per neuron, accumulated into γ; filter-level β kept for
+            // diagnostics.
+            let mut bf = vec![0.0f64; plan.out_channels];
+            for (n, &c) in crit.iter().enumerate() {
+                let beta = c as f64 / n_s as f64;
+                gamma[i][n] += beta;
+                let filter = n / npf;
+                if beta > bf[filter] {
+                    bf[filter] = beta;
+                }
+            }
+            beta_filter[i][class] = bf;
+        }
+    }
+    net.zero_grad();
+    net.clear_cache();
+
+    // Cross-check against the quant-unit walk so the search can rely on
+    // index alignment.
+    let units_check = quant_units(net);
+    if units_check.len() != plans.len() {
+        return Err(CqError::ScoreMismatch(format!(
+            "{} quant units but {} tap plans",
+            units_check.len(),
+            plans.len()
+        )));
+    }
+
+    let mut units = Vec::with_capacity(plans.len());
+    for (i, plan) in plans.iter().enumerate() {
+        let npf = neurons_per_filter[i].max(1);
+        let phi: Vec<f64> = (0..plan.out_channels)
+            .map(|k| {
+                gamma[i][k * npf..(k + 1) * npf]
+                    .iter()
+                    .copied()
+                    .fold(0.0f64, f64::max)
+            })
+            .collect();
+        units.push(UnitScores {
+            name: plan.unit_name.clone(),
+            tap: plan.tap_name.clone(),
+            out_channels: plan.out_channels,
+            weights_per_filter: plan.weights_per_filter,
+            neurons_per_filter: npf,
+            gamma: std::mem::take(&mut gamma[i]),
+            phi,
+            beta_filter: std::mem::take(&mut beta_filter[i]),
+        });
+    }
+    Ok(ImportanceScores { num_classes, units })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbq_data::{SyntheticImages, SyntheticSpec};
+    use cbq_nn::models;
+    use cbq_nn::{Trainer, TrainerConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn scored_mlp() -> (ImportanceScores, usize) {
+        let mut rng = StdRng::seed_from_u64(7);
+        let data = SyntheticImages::generate(&SyntheticSpec::tiny(3), &mut rng).unwrap();
+        let f = data.feature_len();
+        let flat_train = cbq_data::Subset::new(
+            data.train()
+                .images()
+                .reshape(&[data.train().len(), f])
+                .unwrap(),
+            data.train().labels().to_vec(),
+        )
+        .unwrap();
+        let flat_val = cbq_data::Subset::new(
+            data.val().images().reshape(&[data.val().len(), f]).unwrap(),
+            data.val().labels().to_vec(),
+        )
+        .unwrap();
+        let mut net = models::mlp(&[f, 16, 8, 3], &mut rng).unwrap();
+        let tc = TrainerConfig {
+            batch_size: 16,
+            ..TrainerConfig::quick(8, 0.05)
+        };
+        Trainer::new(tc)
+            .fit(&mut net, &flat_train, &mut rng)
+            .unwrap();
+        let scores = score_network(
+            &mut net,
+            &flat_val,
+            3,
+            &ScoreConfig {
+                samples_per_class: 8,
+                epsilon: 1e-30,
+            },
+        )
+        .unwrap();
+        (scores, f)
+    }
+
+    #[test]
+    fn mlp_scores_have_expected_structure() {
+        let (scores, _) = scored_mlp();
+        // quantizable units: only fc2 (first fc1 / output fc3 excluded)
+        assert_eq!(scores.units.len(), 1);
+        assert_eq!(scores.units[0].name, "fc2");
+        assert_eq!(scores.units[0].tap, "relu2");
+        assert_eq!(scores.units[0].out_channels, 8);
+        assert_eq!(scores.units[0].neurons_per_filter, 1);
+        assert_eq!(scores.units[0].phi.len(), 8);
+    }
+
+    #[test]
+    fn scores_are_bounded_by_class_count() {
+        let (scores, _) = scored_mlp();
+        for u in &scores.units {
+            for &p in &u.phi {
+                assert!((0.0..=3.0 + 1e-9).contains(&p), "phi {p} outside [0, M]");
+            }
+            for &g in &u.gamma {
+                assert!((0.0..=3.0 + 1e-9).contains(&g));
+            }
+        }
+        assert!(scores.max_phi() <= 3.0 + 1e-9);
+        assert!(
+            scores.max_phi() > 0.0,
+            "a trained network must have active neurons"
+        );
+    }
+
+    #[test]
+    fn beta_filter_rows_are_per_class() {
+        let (scores, _) = scored_mlp();
+        for u in &scores.units {
+            assert_eq!(u.beta_filter.len(), 3);
+            for row in &u.beta_filter {
+                assert_eq!(row.len(), u.out_channels);
+                assert!(row.iter().all(|&b| (0.0..=1.0).contains(&b)));
+            }
+        }
+    }
+
+    #[test]
+    fn sorted_phi_ascends_and_histogram_counts() {
+        let (scores, _) = scored_mlp();
+        let u = &scores.units[0];
+        let sorted = u.sorted_phi();
+        assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+        let h = u.phi_histogram(5, 3.0);
+        assert_eq!(h.iter().sum::<usize>(), u.out_channels);
+    }
+
+    #[test]
+    fn conv_units_have_spatial_neurons() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let data = SyntheticImages::generate(&SyntheticSpec::tiny(2), &mut rng).unwrap();
+        let cfg = cbq_nn::models::VggConfig {
+            in_channels: 1,
+            height: 8,
+            width: 8,
+            base_width: 4,
+            fc_dim: 16,
+            num_classes: 2,
+        };
+        let mut net = models::vgg_small(&cfg, &mut rng).unwrap();
+        // resize: tiny spec is 6x6, so regenerate with 8x8
+        let spec = SyntheticSpec {
+            height: 8,
+            width: 8,
+            ..SyntheticSpec::tiny(2)
+        };
+        let data8 = SyntheticImages::generate(&spec, &mut rng).unwrap();
+        let _ = data;
+        let scores = score_network(
+            &mut net,
+            data8.val(),
+            2,
+            &ScoreConfig {
+                samples_per_class: 4,
+                epsilon: 1e-30,
+            },
+        )
+        .unwrap();
+        let conv2 = scores.unit("conv2").unwrap();
+        assert_eq!(conv2.neurons_per_filter, 64, "conv2 tap is pre-pool 8x8");
+        assert_eq!(conv2.phi.len(), 4);
+        let fc5 = scores.unit("fc5").unwrap();
+        assert_eq!(fc5.neurons_per_filter, 1);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let data = SyntheticImages::generate(&SyntheticSpec::tiny(2), &mut rng).unwrap();
+        let f = data.feature_len();
+        let flat_val = cbq_data::Subset::new(
+            data.val().images().reshape(&[data.val().len(), f]).unwrap(),
+            data.val().labels().to_vec(),
+        )
+        .unwrap();
+        let mut net = models::mlp(&[f, 8, 2], &mut rng).unwrap();
+        assert!(score_network(&mut net, &flat_val, 0, &ScoreConfig::new()).is_err());
+        assert!(score_network(
+            &mut net,
+            &flat_val,
+            2,
+            &ScoreConfig {
+                samples_per_class: 0,
+                epsilon: 1e-30
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn dead_neurons_score_zero() {
+        // A network whose hidden layer weights are zero has no critical
+        // pathways: every score must be exactly zero.
+        let mut rng = StdRng::seed_from_u64(13);
+        let data = SyntheticImages::generate(&SyntheticSpec::tiny(2), &mut rng).unwrap();
+        let f = data.feature_len();
+        let flat_val = cbq_data::Subset::new(
+            data.val().images().reshape(&[data.val().len(), f]).unwrap(),
+            data.val().labels().to_vec(),
+        )
+        .unwrap();
+        let mut net = models::mlp(&[f, 8, 4, 2], &mut rng).unwrap();
+        net.visit_params(&mut |p| p.value.fill(0.0));
+        let scores = score_network(
+            &mut net,
+            &flat_val,
+            2,
+            &ScoreConfig {
+                samples_per_class: 4,
+                epsilon: 1e-30,
+            },
+        )
+        .unwrap();
+        for u in &scores.units {
+            assert!(
+                u.phi.iter().all(|&p| p == 0.0),
+                "unit {} scored nonzero",
+                u.name
+            );
+        }
+    }
+}

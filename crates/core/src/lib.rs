@@ -1,0 +1,56 @@
+#![warn(missing_docs)]
+
+//! # cbq-core — Class-based Quantization (DATE 2023)
+//!
+//! The paper's contribution, end to end:
+//!
+//! 1. **Importance scoring** ([`importance`]) — one backward pass per
+//!    class batch yields the Taylor criticality score
+//!    `s = |a · ∂Φ/∂a|` for every neuron (Eq. 5); thresholding at `ε`
+//!    gives per-class membership in the critical pathway (Eq. 6), summing
+//!    over classes gives the neuron score `γ` (Eq. 7), and a filter's
+//!    score `φ` is the max over its neurons (Eq. 8).
+//! 2. **Bit-width search** ([`search()`]) — filters sort by score; global
+//!    thresholds `p_1 … p_N` move upward in steps of `D`, each frozen when
+//!    validation accuracy drops below its target `T_k = T_{k-1}·R`
+//!    (§III-C), with a second squeeze phase when the average bit-width is
+//!    still above the user's target `B`.
+//! 3. **Refining** ([`refine()`]) — quantization-aware fine-tuning with the
+//!    knowledge-distillation loss `α·L_ce + (1-α)·KL` (Eq. 10) and the
+//!    straight-through estimator.
+//!
+//! [`CqPipeline`] chains the three phases behind one call.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use cbq_core::{CqConfig, CqPipeline};
+//! use cbq_data::{SyntheticImages, SyntheticSpec};
+//! use cbq_nn::models;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let data = SyntheticImages::generate(&SyntheticSpec::tiny(4), &mut rng)?;
+//! let model = models::mlp(&[data.feature_len(), 32, 16, 4], &mut rng)?;
+//! let report = CqPipeline::new(CqConfig::new(2.0, 2.0)).run(model, &data, &mut rng)?;
+//! println!("{:.1}% at {:.2} avg bits", 100.0 * report.final_accuracy, report.search.final_avg_bits);
+//! # Ok(())
+//! # }
+//! ```
+
+mod error;
+pub mod importance;
+pub mod pipeline;
+pub mod refine;
+pub mod search;
+
+pub use error::CqError;
+pub use importance::{score_network, ImportanceScores, ScoreConfig, UnitScores};
+pub use pipeline::{CqConfig, CqPipeline, CqReport};
+pub use refine::{refine, teacher_probs, RefineConfig};
+pub use search::{search, Granularity, SearchConfig, SearchOutcome, SearchStep};
+
+/// Result alias for fallible CQ operations.
+pub type Result<T> = std::result::Result<T, CqError>;

@@ -1,0 +1,330 @@
+//! The end-to-end class-based quantization pipeline: pre-train (optional)
+//! → score → calibrate activations → search → refine → evaluate.
+
+use crate::{
+    refine, score_network, search, teacher_probs, CqError, ImportanceScores, RefineConfig, Result,
+    ScoreConfig, SearchConfig, SearchOutcome,
+};
+use cbq_data::SyntheticImages;
+use cbq_nn::{evaluate, EpochStats, Layer, Phase, Sequential, Trainer, TrainerConfig};
+use cbq_quant::{
+    install_act_quant, model_size_bits, set_act_bits, set_act_calibration, BitWidth, SizeReport,
+};
+use rand::Rng;
+
+/// Configuration of a full CQ run.
+///
+/// `weight_bits` is the target *average* weight bit-width `B`; `act_bits`
+/// is the (integer) activation width, "directly set to the desired
+/// bit-widths" per §IV. The paper's `2.0/2.0`-style settings map to
+/// `CqConfig::new(2.0, 2.0)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CqConfig {
+    /// Target average weight bit-width `B`.
+    pub weight_bits: f32,
+    /// Activation bit-width (0 disables activation quantization).
+    pub act_bits: u8,
+    /// Importance-scoring settings (Eqs. 5–8).
+    pub score: ScoreConfig,
+    /// Threshold-search settings (§III-C); its `target_avg_bits` is
+    /// overwritten with `weight_bits` at run time.
+    pub search: SearchConfig,
+    /// Optional pre-training recipe; `None` assumes the model is already
+    /// trained.
+    pub pretrain: Option<TrainerConfig>,
+    /// Refining recipe (§III-D).
+    pub refine: RefineConfig,
+    /// Batch size for test-set evaluations.
+    pub eval_batch: usize,
+    /// Samples used to calibrate activation clip bounds.
+    pub calibration_samples: usize,
+}
+
+impl CqConfig {
+    /// Creates a config for a `weight/activation` bit setting with
+    /// CPU-scale defaults for every phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `act_bits` rounds outside `0..=8`; use the struct fields
+    /// directly for exotic settings.
+    pub fn new(weight_bits: f32, act_bits: f32) -> Self {
+        let act = act_bits.round();
+        assert!(
+            (0.0..=8.0).contains(&act),
+            "activation bits must round into 0..=8"
+        );
+        CqConfig {
+            weight_bits,
+            act_bits: act as u8,
+            score: ScoreConfig::new(),
+            search: SearchConfig::new(weight_bits),
+            pretrain: Some(TrainerConfig::quick(15, 0.05)),
+            refine: RefineConfig::quick(10, 0.01),
+            eval_batch: 200,
+            calibration_samples: 200,
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.act_bits > 8 {
+            return Err(CqError::InvalidConfig("act_bits must be <= 8".into()));
+        }
+        if self.eval_batch == 0 || self.calibration_samples == 0 {
+            return Err(CqError::InvalidConfig(
+                "eval_batch and calibration_samples must be positive".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Everything a CQ run produced.
+#[derive(Debug, Clone)]
+pub struct CqReport {
+    /// Test accuracy of the full-precision model.
+    pub fp_accuracy: f32,
+    /// Test accuracy right after the search, before refining.
+    pub pre_refine_accuracy: f32,
+    /// Test accuracy after KD refining — the headline number.
+    pub final_accuracy: f32,
+    /// The importance scores (Figures 2 and 6 read these).
+    pub scores: ImportanceScores,
+    /// The search outcome: thresholds, arrangement, trace (Figure 3).
+    pub search: SearchOutcome,
+    /// Refining statistics per epoch.
+    pub refine_stats: Vec<EpochStats>,
+    /// Storage accounting for the final arrangement.
+    pub size: SizeReport,
+    /// Final per-class test accuracy — a class-based method should not
+    /// sacrifice individual classes to the bit budget.
+    pub per_class_accuracy: Vec<f32>,
+}
+
+impl CqReport {
+    /// Accuracy recovered by refining, in accuracy points.
+    pub fn refine_gain(&self) -> f32 {
+        self.final_accuracy - self.pre_refine_accuracy
+    }
+
+    /// Accuracy gap to the full-precision model (positive = CQ worse).
+    pub fn fp_gap(&self) -> f32 {
+        self.fp_accuracy - self.final_accuracy
+    }
+}
+
+impl std::fmt::Display for CqReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "CQ report:")?;
+        writeln!(f, "  full precision : {:6.2}%", 100.0 * self.fp_accuracy)?;
+        writeln!(
+            f,
+            "  after search   : {:6.2}%",
+            100.0 * self.pre_refine_accuracy
+        )?;
+        writeln!(f, "  after refining : {:6.2}%", 100.0 * self.final_accuracy)?;
+        writeln!(f, "  average bits   : {:.3}", self.search.final_avg_bits)?;
+        writeln!(f, "  thresholds     : {:?}", self.search.thresholds)?;
+        write!(
+            f,
+            "  compression    : {:.2}x vs fp32",
+            self.size.compression_ratio()
+        )
+    }
+}
+
+/// The end-to-end class-based quantization pipeline (paper §III).
+#[derive(Debug, Clone)]
+pub struct CqPipeline {
+    config: CqConfig,
+}
+
+impl CqPipeline {
+    /// Creates a pipeline.
+    pub fn new(config: CqConfig) -> Self {
+        CqPipeline { config }
+    }
+
+    /// The pipeline's configuration.
+    pub fn config(&self) -> &CqConfig {
+        &self.config
+    }
+
+    /// Runs the full pipeline on `model` over `data`:
+    ///
+    /// 1. optional pre-training (cross-entropy),
+    /// 2. full-precision evaluation + teacher soft-target caching,
+    /// 3. importance scoring on the validation split (Eqs. 5–8),
+    /// 4. activation-quantizer installation + calibration,
+    /// 5. threshold search to the target average bit-width (§III-C),
+    /// 6. KD + STE refining (§III-D),
+    /// 7. final evaluation and size accounting.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration, dataset, network and search errors.
+    pub fn run(
+        &self,
+        mut model: Sequential,
+        data: &SyntheticImages,
+        rng: &mut impl Rng,
+    ) -> Result<CqReport> {
+        self.config.validate()?;
+
+        // 1. Pre-train if requested.
+        if let Some(tc) = &self.config.pretrain {
+            Trainer::new(tc.clone()).fit(&mut model, data.train(), rng)?;
+        }
+
+        // 2. Full-precision reference + frozen teacher.
+        let fp_accuracy = evaluate(&mut model, data.test(), self.config.eval_batch)?;
+        let teacher = teacher_probs(&mut model, data.train(), self.config.eval_batch)?;
+
+        // 3. Class-based importance scores.
+        let scores = score_network(
+            &mut model,
+            data.val(),
+            data.num_classes(),
+            &self.config.score,
+        )?;
+
+        // 4. Activation quantization: install, calibrate on validation
+        //    samples, then freeze at the configured width.
+        install_act_quant(&mut model);
+        set_act_calibration(&mut model, true);
+        let calib = data.val().head(self.config.calibration_samples)?;
+        for batch in calib.batches(self.config.eval_batch) {
+            model.forward(&batch.images, Phase::Eval)?;
+        }
+        set_act_calibration(&mut model, false);
+        if self.config.act_bits > 0 {
+            let bits = BitWidth::new(self.config.act_bits).map_err(CqError::Quant)?;
+            set_act_bits(&mut model, Some(bits));
+        }
+
+        // 5. Threshold search to the target average bit-width.
+        let mut search_cfg = self.config.search.clone();
+        search_cfg.target_avg_bits = self.config.weight_bits;
+        let outcome = search(&mut model, &scores, data.val(), &search_cfg)?;
+        let pre_refine_accuracy = evaluate(&mut model, data.test(), self.config.eval_batch)?;
+
+        // 6. KD refining through the installed transforms (STE).
+        let refine_stats = refine(&mut model, data.train(), &teacher, &self.config.refine, rng)?;
+
+        // 7. Final evaluation + accounting.
+        let final_accuracy = evaluate(&mut model, data.test(), self.config.eval_batch)?;
+        let per_class = cbq_nn::evaluate_per_class(
+            &mut model,
+            data.test(),
+            data.num_classes(),
+            self.config.eval_batch,
+        )?;
+        let per_class_accuracy = (0..data.num_classes())
+            .map(|c| per_class.class_accuracy(c))
+            .collect();
+        let quantized = outcome.arrangement.total_weights();
+        let total_params = model.param_count();
+        let size = model_size_bits(&outcome.arrangement, total_params.saturating_sub(quantized));
+
+        Ok(CqReport {
+            fp_accuracy,
+            pre_refine_accuracy,
+            final_accuracy,
+            scores,
+            search: outcome,
+            refine_stats,
+            size,
+            per_class_accuracy,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbq_data::SyntheticSpec;
+    use cbq_nn::models;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pipeline_end_to_end_on_tiny_mlp() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let data = SyntheticImages::generate(&SyntheticSpec::tiny(3), &mut rng).unwrap();
+        let model = models::mlp(&[data.feature_len(), 24, 12, 3], &mut rng).unwrap();
+        let mut config = CqConfig::new(2.0, 4.0);
+        config.pretrain = Some(cbq_nn::TrainerConfig {
+            batch_size: 16,
+            ..cbq_nn::TrainerConfig::quick(12, 0.05)
+        });
+        config.refine = RefineConfig {
+            batch_size: 16,
+            ..RefineConfig::quick(8, 0.02)
+        };
+        config.score.samples_per_class = 8;
+        config.search.probe_samples = 24;
+        let report = CqPipeline::new(config).run(model, &data, &mut rng).unwrap();
+        assert!(report.fp_accuracy > 0.8, "fp acc {}", report.fp_accuracy);
+        assert!(
+            report.search.final_avg_bits <= 2.0 + 1e-4,
+            "avg bits {} above target",
+            report.search.final_avg_bits
+        );
+        assert!(
+            report.final_accuracy > 0.5,
+            "final acc {} too low",
+            report.final_accuracy
+        );
+        assert!(report.size.compression_ratio() > 1.0);
+        assert_eq!(report.scores.num_classes, 3);
+        assert_eq!(report.per_class_accuracy.len(), 3);
+        let mean_pc: f32 =
+            report.per_class_accuracy.iter().sum::<f32>() / report.per_class_accuracy.len() as f32;
+        assert!(
+            (mean_pc - report.final_accuracy).abs() < 0.05,
+            "per-class mean vs overall"
+        );
+        assert!(report.to_string().contains("after refining"));
+    }
+
+    #[test]
+    fn config_validation() {
+        let mut c = CqConfig::new(2.0, 2.0);
+        c.act_bits = 9;
+        assert!(c.validate().is_err());
+        let mut c = CqConfig::new(2.0, 2.0);
+        c.eval_batch = 0;
+        assert!(c.validate().is_err());
+        assert!(CqConfig::new(3.0, 3.0).validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "activation bits")]
+    fn new_panics_on_out_of_range_act_bits() {
+        let _ = CqConfig::new(2.0, 9.0);
+    }
+
+    #[test]
+    fn report_helpers() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let data = SyntheticImages::generate(&SyntheticSpec::tiny(2), &mut rng).unwrap();
+        let model = models::mlp(&[data.feature_len(), 12, 6, 2], &mut rng).unwrap();
+        let mut config = CqConfig::new(3.0, 0.0); // no act quant
+        config.pretrain = Some(cbq_nn::TrainerConfig {
+            batch_size: 16,
+            ..cbq_nn::TrainerConfig::quick(8, 0.05)
+        });
+        config.refine = RefineConfig {
+            batch_size: 16,
+            ..RefineConfig::quick(4, 0.02)
+        };
+        config.score.samples_per_class = 6;
+        config.search.probe_samples = 16;
+        let report = CqPipeline::new(config).run(model, &data, &mut rng).unwrap();
+        assert!(
+            (report.refine_gain() - (report.final_accuracy - report.pre_refine_accuracy)).abs()
+                < 1e-6
+        );
+        assert!((report.fp_gap() - (report.fp_accuracy - report.final_accuracy)).abs() < 1e-6);
+    }
+}

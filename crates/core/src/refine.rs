@@ -1,0 +1,285 @@
+//! Knowledge-distillation refining of the quantized network (paper
+//! §III-D, Eq. 10).
+//!
+//! The full-precision model is the teacher. Because the teacher is frozen
+//! during refining, its soft targets are computed **once** over the
+//! training split ([`teacher_probs`]) and reused every epoch — the same
+//! math as batching the teacher forward pass inside the loop, at a
+//! fraction of the cost. The student trains with
+//! `L = α·L_ce + (1-α)·KL(teacher ‖ student)` through the installed
+//! fake-quantization transforms; gradients reach the full-precision
+//! shadow weights unchanged (straight-through estimator).
+
+use crate::{CqError, Result};
+use cbq_data::Subset;
+use cbq_nn::{losses, EpochStats, Layer, Phase, Sequential, Sgd, SgdConfig, StepLr};
+use cbq_tensor::Tensor;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for the refining phase.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RefineConfig {
+    /// Fine-tuning epochs.
+    pub epochs: usize,
+    /// Minibatch size (100 in the paper).
+    pub batch_size: usize,
+    /// Learning rate (the paper reuses the training-phase optimizer).
+    pub lr: f32,
+    /// Epochs at which the LR divides by `lr_gamma`.
+    pub lr_milestones: Vec<usize>,
+    /// LR division factor.
+    pub lr_gamma: f32,
+    /// SGD momentum.
+    pub momentum: f32,
+    /// L2 weight decay.
+    pub weight_decay: f32,
+    /// KD mixing factor `α` (0.3 in the paper).
+    pub alpha: f32,
+    /// Print one line per epoch to stderr when set.
+    pub verbose: bool,
+}
+
+impl RefineConfig {
+    /// A short refining recipe with the paper's `α = 0.3`.
+    pub fn quick(epochs: usize, lr: f32) -> Self {
+        RefineConfig {
+            epochs,
+            batch_size: 100,
+            lr,
+            lr_milestones: vec![epochs / 2, epochs * 3 / 4],
+            lr_gamma: 10.0,
+            momentum: 0.9,
+            weight_decay: 1e-4,
+            alpha: 0.3,
+            verbose: false,
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.batch_size == 0 {
+            return Err(CqError::InvalidConfig("batch_size must be positive".into()));
+        }
+        if !(0.0..=1.0).contains(&self.alpha) {
+            return Err(CqError::InvalidConfig(format!(
+                "alpha {} outside [0, 1]",
+                self.alpha
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Computes the frozen teacher's softmax outputs for every sample of
+/// `subset`, in eval mode: the `Y^fc` of Eq. 10.
+///
+/// Call this on the full-precision model *before* installing quantization
+/// transforms.
+///
+/// # Errors
+///
+/// Propagates layer errors.
+pub fn teacher_probs(net: &mut Sequential, subset: &Subset, batch_size: usize) -> Result<Tensor> {
+    let mut rows: Vec<Tensor> = Vec::new();
+    for batch in subset.batches(batch_size.max(1)) {
+        let logits = net.forward(&batch.images, Phase::Eval)?;
+        rows.push(losses::softmax_rows(&logits)?);
+    }
+    if rows.is_empty() {
+        return Ok(Tensor::zeros(&[0, 0]));
+    }
+    let cols = rows[0].shape()[1];
+    let mut data = Vec::new();
+    for r in &rows {
+        data.extend_from_slice(r.as_slice());
+    }
+    let total = data.len() / cols;
+    Ok(Tensor::from_vec(data, &[total, cols])?)
+}
+
+/// Fine-tunes the quantized student against cached teacher probabilities
+/// with the Eq. 10 loss. Returns per-epoch statistics.
+///
+/// `teacher` must hold one row per sample of `train`, aligned by index
+/// (as produced by [`teacher_probs`] on the same subset).
+///
+/// # Errors
+///
+/// Returns [`CqError::InvalidConfig`] for invalid settings or a
+/// teacher/train size mismatch; propagates layer and loss errors.
+pub fn refine(
+    net: &mut Sequential,
+    train: &Subset,
+    teacher: &Tensor,
+    config: &RefineConfig,
+    rng: &mut impl Rng,
+) -> Result<Vec<EpochStats>> {
+    config.validate()?;
+    let n = train.len();
+    if teacher.rank() != 2 || teacher.shape()[0] != n {
+        return Err(CqError::InvalidConfig(format!(
+            "teacher probs shape {:?} does not cover {n} training samples",
+            teacher.shape()
+        )));
+    }
+    let classes = teacher.shape()[1];
+    let item_dims: Vec<usize> = train.images().shape()[1..].to_vec();
+    let item_len: usize = item_dims.iter().product();
+    let images = train.images().as_slice();
+    let labels = train.labels();
+    let tp = teacher.as_slice();
+
+    let schedule = StepLr::new(config.lr, config.lr_milestones.clone(), config.lr_gamma);
+    let mut opt = Sgd::new(SgdConfig {
+        lr: config.lr,
+        momentum: config.momentum,
+        weight_decay: config.weight_decay,
+    });
+    let mut stats = Vec::with_capacity(config.epochs);
+    let mut order: Vec<usize> = (0..n).collect();
+    for epoch in 0..config.epochs {
+        opt.set_lr(schedule.lr_at(epoch));
+        order.shuffle(rng);
+        let mut loss_sum = 0.0f64;
+        let mut acc_sum = 0.0f64;
+        let mut batches = 0usize;
+        for chunk in order.chunks(config.batch_size) {
+            // Assemble the batch and its aligned teacher rows.
+            let mut xdata = Vec::with_capacity(chunk.len() * item_len);
+            let mut tdata = Vec::with_capacity(chunk.len() * classes);
+            let mut blabels = Vec::with_capacity(chunk.len());
+            for &i in chunk {
+                xdata.extend_from_slice(&images[i * item_len..(i + 1) * item_len]);
+                tdata.extend_from_slice(&tp[i * classes..(i + 1) * classes]);
+                blabels.push(labels[i]);
+            }
+            let mut dims = vec![chunk.len()];
+            dims.extend_from_slice(&item_dims);
+            let x = Tensor::from_vec(xdata, &dims)?;
+            let t = Tensor::from_vec(tdata, &[chunk.len(), classes])?;
+
+            net.zero_grad();
+            let logits = net.forward(&x, Phase::Train)?;
+            let (loss, grad) = losses::kd_loss(&logits, &t, &blabels, config.alpha)?;
+            let acc = losses::accuracy(&logits, &blabels)?;
+            net.backward(&grad)?;
+            opt.step(net)?;
+            loss_sum += loss as f64;
+            acc_sum += acc as f64;
+            batches += 1;
+        }
+        let es = EpochStats {
+            epoch,
+            loss: (loss_sum / batches.max(1) as f64) as f32,
+            train_accuracy: (acc_sum / batches.max(1) as f64) as f32,
+        };
+        if config.verbose {
+            eprintln!(
+                "refine epoch {:>3}: kd loss {:.4}  train acc {:.2}%",
+                epoch,
+                es.loss,
+                100.0 * es.train_accuracy
+            );
+        }
+        stats.push(es);
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbq_data::{SyntheticImages, SyntheticSpec};
+    use cbq_nn::{evaluate, models, Trainer, TrainerConfig};
+    use cbq_quant::{install_uniform, BitWidth};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn flat(sub: &Subset, f: usize) -> Subset {
+        Subset::new(
+            sub.images().reshape(&[sub.len(), f]).unwrap(),
+            sub.labels().to_vec(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn teacher_probs_rows_are_distributions() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let data = SyntheticImages::generate(&SyntheticSpec::tiny(3), &mut rng).unwrap();
+        let f = data.feature_len();
+        let val = flat(data.val(), f);
+        let mut net = models::mlp(&[f, 8, 3], &mut rng).unwrap();
+        let t = teacher_probs(&mut net, &val, 16).unwrap();
+        assert_eq!(t.shape(), &[val.len(), 3]);
+        for r in 0..val.len() {
+            let s: f32 = t.row(r).unwrap().sum();
+            assert!((s - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn refine_recovers_quantized_accuracy() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let data = SyntheticImages::generate(&SyntheticSpec::tiny(3), &mut rng).unwrap();
+        let f = data.feature_len();
+        let train = flat(data.train(), f);
+        let test = flat(data.test(), f);
+        let mut net = models::mlp(&[f, 24, 12, 3], &mut rng).unwrap();
+        let tc = TrainerConfig {
+            batch_size: 16,
+            ..TrainerConfig::quick(12, 0.05)
+        };
+        Trainer::new(tc).fit(&mut net, &train, &mut rng).unwrap();
+        let fp_acc = evaluate(&mut net, &test, 64).unwrap();
+        assert!(fp_acc > 0.8, "fp model too weak: {fp_acc}");
+        let teacher = teacher_probs(&mut net, &train, 64).unwrap();
+        // brutal 1-bit uniform quantization
+        install_uniform(&mut net, BitWidth::new(1).unwrap());
+        let hurt_acc = evaluate(&mut net, &test, 64).unwrap();
+        let mut cfg = RefineConfig::quick(10, 0.02);
+        cfg.batch_size = 16;
+        refine(&mut net, &train, &teacher, &cfg, &mut rng).unwrap();
+        let refined_acc = evaluate(&mut net, &test, 64).unwrap();
+        assert!(
+            refined_acc >= hurt_acc,
+            "refining regressed: {hurt_acc} -> {refined_acc}"
+        );
+        assert!(
+            refined_acc > 0.55,
+            "refined accuracy too low: {refined_acc}"
+        );
+    }
+
+    #[test]
+    fn refine_rejects_mismatched_teacher() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let data = SyntheticImages::generate(&SyntheticSpec::tiny(2), &mut rng).unwrap();
+        let f = data.feature_len();
+        let train = flat(data.train(), f);
+        let mut net = models::mlp(&[f, 8, 2], &mut rng).unwrap();
+        let bad_teacher = Tensor::zeros(&[3, 2]);
+        let cfg = RefineConfig::quick(1, 0.01);
+        assert!(refine(&mut net, &train, &bad_teacher, &cfg, &mut rng).is_err());
+    }
+
+    #[test]
+    fn refine_config_validation() {
+        let mut cfg = RefineConfig::quick(1, 0.01);
+        cfg.alpha = 2.0;
+        assert!(cfg.validate().is_err());
+        cfg.alpha = 0.3;
+        cfg.batch_size = 0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn teacher_probs_empty_subset() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut net = models::mlp(&[4, 2], &mut rng).unwrap();
+        let empty = Subset::new(Tensor::zeros(&[0, 4]), vec![]).unwrap();
+        let t = teacher_probs(&mut net, &empty, 8).unwrap();
+        assert_eq!(t.len(), 0);
+    }
+}

@@ -1,0 +1,433 @@
+//! The bit-width threshold search (paper §III-C).
+//!
+//! Filters start at the maximum width `N`. Global score thresholds
+//! `p_1 ≤ … ≤ p_N` partition filters into bit groups: below `p_1` → 0 bits
+//! (pruned), between `p_k` and `p_{k+1}` → `k` bits, at or above `p_N` →
+//! `N` bits. Phase 1 moves each threshold upward in steps of `D` until the
+//! validation accuracy falls below its target `T_k = T_{k-1}·R`; phase 2
+//! squeezes thresholds from `p_N` down to `p_1` toward the maximum score
+//! until the average bit-width reaches the user's target `B`.
+
+use crate::{CqError, ImportanceScores, Result};
+use cbq_data::Subset;
+use cbq_nn::{evaluate, Sequential};
+use cbq_quant::{install_arrangement, BitArrangement, BitWidth, UnitArrangement};
+use serde::{Deserialize, Serialize};
+
+/// Bit-allocation granularity.
+///
+/// The paper argues filter-level allocation (its contribution) beats the
+/// layer-level allocation of e.g. HAQ; [`Granularity::PerLayer`] exists
+/// to reproduce that comparison with everything else held equal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Granularity {
+    /// One bit-width per filter/neuron (the paper's method).
+    #[default]
+    PerFilter,
+    /// One bit-width per layer: every filter of a unit shares the width
+    /// derived from the layer's maximum filter score.
+    PerLayer,
+}
+
+/// Configuration for the threshold search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchConfig {
+    /// Target average bit-width `B` over all quantized weights.
+    pub target_avg_bits: f32,
+    /// Highest bit-width `N` in the search range `{0, …, N}` (the paper's
+    /// example uses 4).
+    pub max_bits: u8,
+    /// Threshold step `D`.
+    pub step: f64,
+    /// Initial target accuracy `T_1` (the paper's example uses 50 %).
+    pub t1: f32,
+    /// Decay factor `R ∈ [0, 1]` with `T_k = T_{k-1}·R` (0.8 in the
+    /// paper's example).
+    pub decay: f32,
+    /// Validation samples used per accuracy probe.
+    pub probe_samples: usize,
+    /// Batch size for accuracy probes.
+    pub batch_size: usize,
+    /// Allocation granularity (per-filter is the paper's method).
+    pub granularity: Granularity,
+}
+
+impl SearchConfig {
+    /// The paper's example setup: range `{0..4}`, `T_1 = 50 %`, `R = 0.8`,
+    /// step 0.1, toward the given average bit target.
+    pub fn new(target_avg_bits: f32) -> Self {
+        SearchConfig {
+            target_avg_bits,
+            max_bits: 4,
+            step: 0.1,
+            t1: 0.5,
+            decay: 0.8,
+            probe_samples: 200,
+            batch_size: 100,
+            granularity: Granularity::PerFilter,
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.max_bits == 0 || self.max_bits > 8 {
+            return Err(CqError::InvalidConfig("max_bits must be in 1..=8".into()));
+        }
+        if !(self.step.is_finite() && self.step > 0.0) {
+            return Err(CqError::InvalidConfig("step must be positive".into()));
+        }
+        if !(0.0..=1.0).contains(&self.t1) || !(0.0..=1.0).contains(&self.decay) {
+            return Err(CqError::InvalidConfig(
+                "t1 and decay must lie in [0, 1]".into(),
+            ));
+        }
+        if self.target_avg_bits < 0.0 || self.target_avg_bits > self.max_bits as f32 {
+            return Err(CqError::InvalidConfig(format!(
+                "target_avg_bits {} outside [0, {}]",
+                self.target_avg_bits, self.max_bits
+            )));
+        }
+        if self.probe_samples == 0 || self.batch_size == 0 {
+            return Err(CqError::InvalidConfig(
+                "probe_samples and batch_size must be positive".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// One probe during the search, recorded for Figure 3-style traces.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SearchStep {
+    /// Which threshold was moving (0-based: `p_{k+1}`).
+    pub threshold_index: usize,
+    /// Threshold position at this probe.
+    pub threshold: f64,
+    /// Probe accuracy (phase 1) or `None`-equivalent `-1.0` for phase-2
+    /// steps, which do not evaluate accuracy.
+    pub accuracy: f32,
+    /// Average bit-width of the implied arrangement.
+    pub avg_bits: f32,
+    /// `true` for phase-2 (squeeze) steps.
+    pub squeeze: bool,
+}
+
+/// The result of a threshold search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchOutcome {
+    /// Final threshold positions `p_1 … p_N`.
+    pub thresholds: Vec<f64>,
+    /// Final per-filter arrangement (already installed on the network).
+    pub arrangement: BitArrangement,
+    /// Probe trace for diagnostics and Figure 3.
+    pub trace: Vec<SearchStep>,
+    /// Average bit-width of the final arrangement.
+    pub final_avg_bits: f32,
+    /// Validation accuracy of the final (unrefined) arrangement.
+    pub final_probe_accuracy: f32,
+}
+
+/// Maps filter scores to bit-widths given the currently-determined
+/// thresholds (non-decreasing). With `j` thresholds determined, a filter
+/// scores `0` bits below `p_1`, `i` bits in `[p_i, p_{i+1})`, and `N`
+/// bits at or above `p_j`.
+fn bits_for_score(phi: f64, thresholds: &[f64], max_bits: u8) -> BitWidth {
+    let determined = thresholds.len();
+    if determined == 0 {
+        return BitWidth::new(max_bits).expect("validated max_bits");
+    }
+    let mut below = 0usize;
+    for &t in thresholds {
+        if phi < t {
+            break;
+        }
+        below += 1;
+    }
+    // `below` thresholds are <= phi. 0 passed → 0 bits; all passed → N.
+    if below == determined {
+        BitWidth::new(max_bits).expect("validated max_bits")
+    } else {
+        BitWidth::new(below as u8).expect("below < determined <= max_bits")
+    }
+}
+
+/// Builds the arrangement implied by the thresholds.
+fn arrangement_from(
+    scores: &ImportanceScores,
+    thresholds: &[f64],
+    max_bits: u8,
+    granularity: Granularity,
+) -> BitArrangement {
+    let mut arr = BitArrangement::new();
+    for unit in &scores.units {
+        let bits: Vec<BitWidth> = match granularity {
+            Granularity::PerFilter => unit
+                .phi
+                .iter()
+                .map(|&p| bits_for_score(p, thresholds, max_bits))
+                .collect(),
+            Granularity::PerLayer => {
+                let layer_score = unit.phi.iter().copied().fold(0.0f64, f64::max);
+                vec![bits_for_score(layer_score, thresholds, max_bits); unit.phi.len()]
+            }
+        };
+        arr.push(UnitArrangement {
+            name: unit.name.clone(),
+            bits,
+            weights_per_filter: unit.weights_per_filter,
+        });
+    }
+    arr
+}
+
+/// Runs the §III-C threshold search on a scored network.
+///
+/// On return the final arrangement is installed on `net` (weights
+/// fake-quantized accordingly); refining (§III-D) is a separate step.
+///
+/// # Example
+///
+/// ```no_run
+/// use cbq_core::{score_network, search, ScoreConfig, SearchConfig};
+/// use cbq_data::{SyntheticImages, SyntheticSpec};
+/// use cbq_nn::models;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let data = SyntheticImages::generate(&SyntheticSpec::tiny(3), &mut rng)?;
+/// let mut net = models::mlp(&[data.feature_len(), 16, 8, 3], &mut rng)?;
+/// // ... train `net` first ...
+/// let scores = score_network(&mut net, data.val(), 3, &ScoreConfig::new())?;
+/// let outcome = search(&mut net, &scores, data.val(), &SearchConfig::new(2.0))?;
+/// assert!(outcome.final_avg_bits <= 2.0);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// Returns [`CqError::InvalidConfig`] for invalid settings,
+/// [`CqError::ScoreMismatch`] when `scores` do not match `net`, or
+/// propagates evaluation errors.
+pub fn search(
+    net: &mut Sequential,
+    scores: &ImportanceScores,
+    val: &Subset,
+    config: &SearchConfig,
+) -> Result<SearchOutcome> {
+    config.validate()?;
+    if scores.units.is_empty() {
+        return Err(CqError::ScoreMismatch("no scored units".into()));
+    }
+    let n = config.max_bits;
+    let max_score = scores.max_phi().max(config.step);
+    let probe_set = val.head(config.probe_samples)?;
+    let mut trace: Vec<SearchStep> = Vec::new();
+    let mut determined: Vec<f64> = Vec::new();
+
+    let probe = |net: &mut Sequential, arr: &BitArrangement| -> Result<f32> {
+        install_arrangement(net, arr)?;
+        Ok(evaluate(net, &probe_set, config.batch_size)?)
+    };
+
+    // Phase 1: move each threshold upward until its accuracy target is
+    // violated or the average bit target is met.
+    let mut target = config.t1;
+    'outer: for k in 0..n as usize {
+        let mut p = determined.last().copied().unwrap_or(0.0);
+        loop {
+            let candidate = p + config.step;
+            if candidate > max_score + config.step {
+                break; // ran off the top of the score range
+            }
+            let mut trial = determined.clone();
+            trial.push(candidate);
+            let arr = arrangement_from(scores, &trial, n, config.granularity);
+            let avg = arr.average_bits();
+            let acc = probe(net, &arr)?;
+            trace.push(SearchStep {
+                threshold_index: k,
+                threshold: candidate,
+                accuracy: acc,
+                avg_bits: avg,
+                squeeze: false,
+            });
+            p = candidate;
+            if acc < target {
+                break; // p_k determined at the position where accuracy fell
+            }
+            if avg <= config.target_avg_bits {
+                determined.push(p);
+                break 'outer;
+            }
+        }
+        determined.push(p);
+        target *= config.decay;
+        let arr = arrangement_from(scores, &determined, n, config.granularity);
+        if arr.average_bits() <= config.target_avg_bits {
+            break;
+        }
+    }
+    // Undetermined thresholds collapse onto the last determined position.
+    while determined.len() < n as usize {
+        let last = determined.last().copied().unwrap_or(0.0);
+        determined.push(last);
+    }
+
+    // Phase 2: if the average is still above target, squeeze p_N … p_1
+    // upward toward the maximum score (no accuracy checks, §III-C).
+    let mut arr = arrangement_from(scores, &determined, n, config.granularity);
+    if arr.average_bits() > config.target_avg_bits {
+        'squeeze: for k in (0..n as usize).rev() {
+            let cap = if k + 1 < n as usize {
+                determined[k + 1]
+            } else {
+                max_score + config.step
+            };
+            while determined[k] < cap {
+                determined[k] = (determined[k] + config.step).min(cap);
+                arr = arrangement_from(scores, &determined, n, config.granularity);
+                trace.push(SearchStep {
+                    threshold_index: k,
+                    threshold: determined[k],
+                    accuracy: -1.0,
+                    avg_bits: arr.average_bits(),
+                    squeeze: true,
+                });
+                if arr.average_bits() <= config.target_avg_bits {
+                    break 'squeeze;
+                }
+            }
+        }
+    }
+
+    let final_acc = probe(net, &arr)?;
+    Ok(SearchOutcome {
+        thresholds: determined,
+        final_avg_bits: arr.average_bits(),
+        final_probe_accuracy: final_acc,
+        arrangement: arr,
+        trace,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::importance::UnitScores;
+
+    fn bw(b: u8) -> BitWidth {
+        BitWidth::new(b).unwrap()
+    }
+
+    fn fake_scores(phi: Vec<f64>) -> ImportanceScores {
+        let n = phi.len();
+        ImportanceScores {
+            num_classes: 10,
+            units: vec![UnitScores {
+                name: "u".into(),
+                tap: "relu".into(),
+                out_channels: n,
+                weights_per_filter: 4,
+                neurons_per_filter: 1,
+                gamma: phi.clone(),
+                phi,
+                beta_filter: vec![],
+            }],
+        }
+    }
+
+    #[test]
+    fn bits_for_score_partitions() {
+        let thresholds = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(bits_for_score(0.5, &thresholds, 4), bw(0));
+        assert_eq!(bits_for_score(1.0, &thresholds, 4), bw(1));
+        assert_eq!(bits_for_score(1.9, &thresholds, 4), bw(1));
+        assert_eq!(bits_for_score(2.5, &thresholds, 4), bw(2));
+        assert_eq!(bits_for_score(3.5, &thresholds, 4), bw(3));
+        assert_eq!(bits_for_score(4.0, &thresholds, 4), bw(4));
+        assert_eq!(bits_for_score(9.0, &thresholds, 4), bw(4));
+    }
+
+    #[test]
+    fn no_thresholds_means_max_bits() {
+        assert_eq!(bits_for_score(0.0, &[], 4), bw(4));
+    }
+
+    #[test]
+    fn partial_thresholds_jump_to_max() {
+        // only p_1 determined: below it 0 bits, above it N bits
+        let t = [2.0];
+        assert_eq!(bits_for_score(1.0, &t, 4), bw(0));
+        assert_eq!(bits_for_score(2.0, &t, 4), bw(4));
+    }
+
+    #[test]
+    fn arrangement_from_respects_scores() {
+        let scores = fake_scores(vec![0.5, 1.5, 2.5, 3.5, 4.5]);
+        let arr = arrangement_from(&scores, &[1.0, 2.0, 3.0, 4.0], 4, Granularity::PerFilter);
+        let bits: Vec<u8> = arr.units()[0].bits.iter().map(|b| b.bits()).collect();
+        assert_eq!(bits, vec![0, 1, 2, 3, 4]);
+        // avg = (0+1+2+3+4)/5 = 2.0
+        assert!((arr.average_bits() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(SearchConfig {
+            max_bits: 0,
+            ..SearchConfig::new(2.0)
+        }
+        .validate()
+        .is_err());
+        assert!(SearchConfig {
+            max_bits: 9,
+            ..SearchConfig::new(2.0)
+        }
+        .validate()
+        .is_err());
+        assert!(SearchConfig {
+            step: 0.0,
+            ..SearchConfig::new(2.0)
+        }
+        .validate()
+        .is_err());
+        assert!(SearchConfig {
+            t1: 1.5,
+            ..SearchConfig::new(2.0)
+        }
+        .validate()
+        .is_err());
+        assert!(SearchConfig {
+            decay: -0.1,
+            ..SearchConfig::new(2.0)
+        }
+        .validate()
+        .is_err());
+        assert!(SearchConfig::new(9.0).validate().is_err());
+        assert!(SearchConfig {
+            probe_samples: 0,
+            ..SearchConfig::new(2.0)
+        }
+        .validate()
+        .is_err());
+        assert!(SearchConfig::new(2.0).validate().is_ok());
+    }
+
+    #[test]
+    fn per_layer_granularity_gives_uniform_bits_within_units() {
+        let scores = fake_scores(vec![0.5, 1.5, 2.5, 3.5, 4.5]);
+        let arr = arrangement_from(&scores, &[1.0, 2.0, 3.0, 4.0], 4, Granularity::PerLayer);
+        // layer score = max phi = 4.5 -> 4 bits for every filter
+        assert!(arr.units()[0].bits.iter().all(|b| b.bits() == 4));
+    }
+
+    #[test]
+    fn granularity_default_is_per_filter() {
+        assert_eq!(Granularity::default(), Granularity::PerFilter);
+        assert_eq!(SearchConfig::new(2.0).granularity, Granularity::PerFilter);
+    }
+
+    // End-to-end search behaviour is covered by the integration tests in
+    // /tests and the pipeline tests, where a trained network exists.
+}

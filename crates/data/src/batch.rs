@@ -1,0 +1,84 @@
+use cbq_tensor::Tensor;
+
+/// One minibatch: a stacked image tensor `[B, C, H, W]` (or `[B, F]` for
+/// flat features) and its labels.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    /// Input tensor with the batch dimension leading.
+    pub images: Tensor,
+    /// One label per batch item.
+    pub labels: Vec<usize>,
+}
+
+impl Batch {
+    /// Number of samples in the batch.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the batch holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+}
+
+/// Iterator over minibatches of a [`Subset`], produced by
+/// [`Subset::batches`].
+///
+/// [`Subset`]: crate::Subset
+/// [`Subset::batches`]: crate::Subset::batches
+#[derive(Debug)]
+pub struct BatchIter<'a> {
+    pub(crate) images: &'a Tensor,
+    pub(crate) labels: &'a [usize],
+    pub(crate) order: Vec<usize>,
+    pub(crate) batch_size: usize,
+    pub(crate) cursor: usize,
+}
+
+impl Iterator for BatchIter<'_> {
+    type Item = Batch;
+
+    fn next(&mut self) -> Option<Batch> {
+        if self.cursor >= self.order.len() || self.batch_size == 0 {
+            return None;
+        }
+        let end = (self.cursor + self.batch_size).min(self.order.len());
+        let idxs = &self.order[self.cursor..end];
+        self.cursor = end;
+        let item_dims: Vec<usize> = self.images.shape()[1..].to_vec();
+        let item_len: usize = item_dims.iter().product();
+        let mut data = Vec::with_capacity(idxs.len() * item_len);
+        let src = self.images.as_slice();
+        let mut labels = Vec::with_capacity(idxs.len());
+        for &i in idxs {
+            data.extend_from_slice(&src[i * item_len..(i + 1) * item_len]);
+            labels.push(self.labels[i]);
+        }
+        let mut dims = vec![idxs.len()];
+        dims.extend_from_slice(&item_dims);
+        // from_vec cannot fail here: data length is idxs.len() * item_len.
+        let images = Tensor::from_vec(data, &dims).expect("batch tensor shape");
+        Some(Batch { images, labels })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_len_reporting() {
+        let b = Batch {
+            images: Tensor::zeros(&[3, 2]),
+            labels: vec![0, 1, 2],
+        };
+        assert_eq!(b.len(), 3);
+        assert!(!b.is_empty());
+        let e = Batch {
+            images: Tensor::zeros(&[0, 2]),
+            labels: vec![],
+        };
+        assert!(e.is_empty());
+    }
+}

@@ -1,0 +1,400 @@
+use crate::{Batch, BatchIter, DataError, FeaturePool, SyntheticSpec};
+use cbq_tensor::Tensor;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// One split of a dataset: a stacked tensor `[N, C, H, W]` and labels.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Subset {
+    images: Tensor,
+    labels: Vec<usize>,
+}
+
+impl Subset {
+    /// Creates a subset from pre-stacked images and labels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidSpec`] if the leading image dimension
+    /// disagrees with the label count.
+    pub fn new(images: Tensor, labels: Vec<usize>) -> Result<Self, DataError> {
+        let n = images.shape().first().copied().unwrap_or(0);
+        if n != labels.len() {
+            return Err(DataError::InvalidSpec(format!(
+                "{} images but {} labels",
+                n,
+                labels.len()
+            )));
+        }
+        Ok(Subset { images, labels })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the subset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The stacked image tensor, batch dimension leading.
+    pub fn images(&self) -> &Tensor {
+        &self.images
+    }
+
+    /// Labels, one per sample.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Iterates minibatches in index order.
+    pub fn batches(&self, batch_size: usize) -> BatchIter<'_> {
+        BatchIter {
+            images: &self.images,
+            labels: &self.labels,
+            order: (0..self.len()).collect(),
+            batch_size,
+            cursor: 0,
+        }
+    }
+
+    /// Iterates minibatches in a freshly shuffled order.
+    pub fn batches_shuffled(&self, batch_size: usize, rng: &mut impl Rng) -> BatchIter<'_> {
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        order.shuffle(rng);
+        BatchIter {
+            images: &self.images,
+            labels: &self.labels,
+            order,
+            batch_size,
+            cursor: 0,
+        }
+    }
+
+    /// Returns one batch containing every sample of `class` (up to `cap`
+    /// samples). Used by per-class importance scoring.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::ClassOutOfRange`] when the class never occurs.
+    pub fn class_batch(&self, class: usize, cap: usize) -> Result<Batch, DataError> {
+        let idxs: Vec<usize> = self
+            .labels
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l == class)
+            .map(|(i, _)| i)
+            .take(cap)
+            .collect();
+        if idxs.is_empty() {
+            let num_classes = self.labels.iter().copied().max().map_or(0, |m| m + 1);
+            return Err(DataError::ClassOutOfRange { class, num_classes });
+        }
+        let item_dims: Vec<usize> = self.images.shape()[1..].to_vec();
+        let item_len: usize = item_dims.iter().product();
+        let src = self.images.as_slice();
+        let mut data = Vec::with_capacity(idxs.len() * item_len);
+        for &i in &idxs {
+            data.extend_from_slice(&src[i * item_len..(i + 1) * item_len]);
+        }
+        let mut dims = vec![idxs.len()];
+        dims.extend_from_slice(&item_dims);
+        Ok(Batch {
+            images: Tensor::from_vec(data, &dims)?,
+            labels: vec![class; idxs.len()],
+        })
+    }
+
+    /// Copies the first `n` samples into a new subset (deterministic
+    /// down-sampling for fast accuracy probes during the search).
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor errors; `n` larger than the subset is clamped.
+    pub fn head(&self, n: usize) -> Result<Subset, DataError> {
+        let n = n.min(self.len());
+        let item_dims: Vec<usize> = self.images.shape()[1..].to_vec();
+        let item_len: usize = item_dims.iter().product();
+        let mut dims = vec![n];
+        dims.extend_from_slice(&item_dims);
+        let images = Tensor::from_vec(self.images.as_slice()[..n * item_len].to_vec(), &dims)?;
+        Subset::new(images, self.labels[..n].to_vec())
+    }
+}
+
+/// A generated synthetic dataset with train/val/test splits.
+///
+/// # Example
+///
+/// ```
+/// use cbq_data::{SyntheticImages, SyntheticSpec};
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let data = SyntheticImages::generate(&SyntheticSpec::tiny(3), &mut rng)?;
+/// let batch = data.train().batches(8).next().expect("non-empty split");
+/// assert_eq!(batch.images.shape()[0], 8);
+/// # Ok::<(), cbq_data::DataError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SyntheticImages {
+    spec: SyntheticSpec,
+    train: Subset,
+    val: Subset,
+    test: Subset,
+}
+
+impl SyntheticImages {
+    /// Generates a dataset from a spec. Samples are interleaved across
+    /// classes so un-shuffled batches are still class-balanced.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidSpec`] for an invalid spec.
+    pub fn generate(spec: &SyntheticSpec, rng: &mut impl Rng) -> Result<Self, DataError> {
+        spec.validate()?;
+        let pool = FeaturePool::build(spec, rng)?;
+        fn make_split<R: Rng>(
+            pool: &FeaturePool,
+            spec: &SyntheticSpec,
+            per_class: usize,
+            rng: &mut R,
+        ) -> Result<Subset, DataError> {
+            let n = per_class * spec.num_classes;
+            let item_len = spec.feature_len();
+            let mut data = Vec::with_capacity(n * item_len);
+            let mut labels = Vec::with_capacity(n);
+            // Interleave classes: sample s of class c sits at index
+            // s * num_classes + c.
+            for _s in 0..per_class {
+                for c in 0..spec.num_classes {
+                    let img = pool.sample(c, spec, rng)?;
+                    data.extend_from_slice(img.as_slice());
+                    labels.push(c);
+                }
+            }
+            let images = Tensor::from_vec(data, &[n, spec.channels, spec.height, spec.width])?;
+            Subset::new(images, labels)
+        }
+        let train = make_split(&pool, spec, spec.train_per_class, rng)?;
+        let val = make_split(&pool, spec, spec.val_per_class, rng)?;
+        let test = make_split(&pool, spec, spec.test_per_class, rng)?;
+        Ok(SyntheticImages {
+            spec: spec.clone(),
+            train,
+            val,
+            test,
+        })
+    }
+
+    /// The spec this dataset was generated from.
+    pub fn spec(&self) -> &SyntheticSpec {
+        &self.spec
+    }
+
+    /// Number of classes `M`.
+    pub fn num_classes(&self) -> usize {
+        self.spec.num_classes
+    }
+
+    /// Flattened feature length `C*H*W`.
+    pub fn feature_len(&self) -> usize {
+        self.spec.feature_len()
+    }
+
+    /// Training split.
+    pub fn train(&self) -> &Subset {
+        &self.train
+    }
+
+    /// Validation split (importance scoring + threshold search).
+    pub fn val(&self) -> &Subset {
+        &self.val
+    }
+
+    /// Held-out test split.
+    pub fn test(&self) -> &Subset {
+        &self.test
+    }
+
+    /// Writes the dataset as JSON so an experiment's exact inputs can be
+    /// archived and replayed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidSpec`] wrapping any I/O or
+    /// serialization failure.
+    pub fn to_json_file(&self, path: impl AsRef<std::path::Path>) -> Result<(), DataError> {
+        let json = serde_json::to_string(self)
+            .map_err(|e| DataError::InvalidSpec(format!("serialize: {e}")))?;
+        std::fs::write(path, json).map_err(|e| DataError::InvalidSpec(format!("write: {e}")))
+    }
+
+    /// Reads a dataset previously written by
+    /// [`SyntheticImages::to_json_file`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidSpec`] wrapping any I/O or parse
+    /// failure.
+    pub fn from_json_file(path: impl AsRef<std::path::Path>) -> Result<Self, DataError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| DataError::InvalidSpec(format!("read: {e}")))?;
+        serde_json::from_str(&text).map_err(|e| DataError::InvalidSpec(format!("parse: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_data() -> SyntheticImages {
+        let mut rng = StdRng::seed_from_u64(9);
+        SyntheticImages::generate(&SyntheticSpec::tiny(3), &mut rng).unwrap()
+    }
+
+    #[test]
+    fn split_sizes_match_spec() {
+        let d = tiny_data();
+        let s = d.spec().clone();
+        assert_eq!(d.train().len(), s.train_per_class * 3);
+        assert_eq!(d.val().len(), s.val_per_class * 3);
+        assert_eq!(d.test().len(), s.test_per_class * 3);
+    }
+
+    #[test]
+    fn labels_are_interleaved_and_balanced() {
+        let d = tiny_data();
+        let labels = d.train().labels();
+        assert_eq!(&labels[..6], &[0, 1, 2, 0, 1, 2]);
+        for c in 0..3 {
+            let count = labels.iter().filter(|&&l| l == c).count();
+            assert_eq!(count, d.spec().train_per_class);
+        }
+    }
+
+    #[test]
+    fn batches_cover_every_sample_once() {
+        let d = tiny_data();
+        let mut seen = 0;
+        for b in d.train().batches(7) {
+            seen += b.len();
+            assert_eq!(b.images.shape()[0], b.len());
+        }
+        assert_eq!(seen, d.train().len());
+    }
+
+    #[test]
+    fn shuffled_batches_permute() {
+        let d = tiny_data();
+        let mut rng = StdRng::seed_from_u64(10);
+        let plain: Vec<usize> = d.train().batches(1000).flat_map(|b| b.labels).collect();
+        let shuffled: Vec<usize> = d
+            .train()
+            .batches_shuffled(1000, &mut rng)
+            .flat_map(|b| b.labels)
+            .collect();
+        assert_eq!(plain.len(), shuffled.len());
+        assert_ne!(plain, shuffled, "shuffle produced identity permutation");
+        let mut a = plain.clone();
+        let mut b = shuffled.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "shuffle changed the multiset of labels");
+    }
+
+    #[test]
+    fn class_batch_selects_only_that_class() {
+        let d = tiny_data();
+        let b = d.val().class_batch(1, 5).unwrap();
+        assert_eq!(b.len(), 5);
+        assert!(b.labels.iter().all(|&l| l == 1));
+        assert!(d.val().class_batch(99, 5).is_err());
+    }
+
+    #[test]
+    fn head_truncates() {
+        let d = tiny_data();
+        let h = d.val().head(4).unwrap();
+        assert_eq!(h.len(), 4);
+        assert_eq!(h.labels(), &d.val().labels()[..4]);
+        let all = d.val().head(10_000).unwrap();
+        assert_eq!(all.len(), d.val().len());
+    }
+
+    #[test]
+    fn subset_rejects_mismatched_labels() {
+        let images = Tensor::zeros(&[3, 2]);
+        assert!(Subset::new(images, vec![0, 1]).is_err());
+    }
+
+    #[test]
+    fn zero_batch_size_yields_no_batches() {
+        let d = tiny_data();
+        assert!(d.train().batches(0).next().is_none());
+    }
+
+    #[test]
+    fn dataset_json_round_trip() {
+        let d = tiny_data();
+        let path = std::env::temp_dir().join("cbq_dataset_test.json");
+        d.to_json_file(&path).unwrap();
+        let back = SyntheticImages::from_json_file(&path).unwrap();
+        assert_eq!(back, d);
+        std::fs::remove_file(&path).ok();
+        assert!(SyntheticImages::from_json_file("/nonexistent/x.json").is_err());
+    }
+
+    #[test]
+    fn classes_are_separable_by_nearest_prototype() {
+        // The dataset must be learnable: nearest-class-mean classification
+        // on raw pixels should beat chance by a wide margin.
+        let d = tiny_data();
+        let n_classes = d.num_classes();
+        let f = d.feature_len();
+        let train = d.train();
+        let mut means = vec![vec![0.0f64; f]; n_classes];
+        let mut counts = vec![0usize; n_classes];
+        let src = train.images().as_slice();
+        for (i, &l) in train.labels().iter().enumerate() {
+            for (j, m) in means[l].iter_mut().enumerate() {
+                *m += src[i * f + j] as f64;
+            }
+            counts[l] += 1;
+        }
+        for (m, &c) in means.iter_mut().zip(&counts) {
+            for v in m.iter_mut() {
+                *v /= c as f64;
+            }
+        }
+        let test = d.test();
+        let tsrc = test.images().as_slice();
+        let mut correct = 0;
+        for (i, &l) in test.labels().iter().enumerate() {
+            let mut best = 0;
+            let mut best_d = f64::INFINITY;
+            for (c, m) in means.iter().enumerate() {
+                let dist: f64 = (0..f)
+                    .map(|j| {
+                        let diff = tsrc[i * f + j] as f64 - m[j];
+                        diff * diff
+                    })
+                    .sum();
+                if dist < best_d {
+                    best_d = dist;
+                    best = c;
+                }
+            }
+            if best == l {
+                correct += 1;
+            }
+        }
+        let acc = correct as f64 / test.len() as f64;
+        assert!(acc > 0.8, "nearest-mean accuracy only {acc}");
+    }
+}

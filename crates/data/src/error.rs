@@ -1,0 +1,61 @@
+use cbq_tensor::TensorError;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced while generating or slicing a dataset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// A spec field is out of its valid range.
+    InvalidSpec(String),
+    /// A class index exceeded the dataset's class count.
+    ClassOutOfRange {
+        /// Class requested.
+        class: usize,
+        /// Number of classes in the dataset.
+        num_classes: usize,
+    },
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::InvalidSpec(msg) => write!(f, "invalid dataset spec: {msg}"),
+            DataError::ClassOutOfRange { class, num_classes } => {
+                write!(f, "class {class} out of range for {num_classes} classes")
+            }
+            DataError::Tensor(e) => write!(f, "tensor error: {e}"),
+        }
+    }
+}
+
+impl Error for DataError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DataError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for DataError {
+    fn from(e: TensorError) -> Self {
+        DataError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = DataError::from(TensorError::Empty);
+        assert!(e.to_string().contains("tensor"));
+        assert!(Error::source(&e).is_some());
+        let e2 = DataError::InvalidSpec("zero classes".into());
+        assert!(e2.to_string().contains("zero classes"));
+        assert!(Error::source(&e2).is_none());
+    }
+}

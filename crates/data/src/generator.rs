@@ -1,0 +1,211 @@
+//! Feature-template machinery behind [`SyntheticImages`].
+//!
+//! A *feature template* is a smooth spatial pattern (a sum of a few random
+//! 2-D sinusoids) occupying the full image. Each class owns
+//! `exclusive_features` templates nobody else uses and borrows
+//! `shared_features` templates from a common pool, so classes overlap
+//! partially — the structure Figure 1 of the paper motivates: some neurons
+//! end up serving one class, some serve many.
+//!
+//! [`SyntheticImages`]: crate::SyntheticImages
+
+use crate::{DataError, SyntheticSpec};
+use cbq_tensor::Tensor;
+use rand::Rng;
+
+/// The template pool for one dataset: per-class exclusive templates plus a
+/// shared pool with per-class mixing weights.
+#[derive(Debug, Clone)]
+pub struct FeaturePool {
+    exclusive: Vec<Vec<Tensor>>,            // [class][feature] -> [C,H,W]
+    shared: Vec<Tensor>,                    // [pool] -> [C,H,W]
+    shared_weights: Vec<Vec<(usize, f32)>>, // [class] -> (pool index, weight)
+}
+
+/// Generates one smooth template of shape `[c, h, w]` as a sum of a few
+/// random sinusoids per channel, normalized to unit max-abs.
+fn smooth_template(c: usize, h: usize, w: usize, rng: &mut impl Rng) -> Tensor {
+    let mut t = Tensor::zeros(&[c, h, w]);
+    let waves = 3;
+    for ci in 0..c {
+        let mut params = Vec::with_capacity(waves);
+        for _ in 0..waves {
+            let fx: f32 = rng.gen_range(0.5..2.5);
+            let fy: f32 = rng.gen_range(0.5..2.5);
+            let phase: f32 = rng.gen_range(0.0..std::f32::consts::TAU);
+            let amp: f32 = rng.gen_range(0.4..1.0);
+            params.push((fx, fy, phase, amp));
+        }
+        for yi in 0..h {
+            for xi in 0..w {
+                let mut v = 0.0;
+                for &(fx, fy, phase, amp) in &params {
+                    let arg = std::f32::consts::TAU
+                        * (fx * xi as f32 / w as f32 + fy * yi as f32 / h as f32)
+                        + phase;
+                    v += amp * arg.sin();
+                }
+                t.set(&[ci, yi, xi], v);
+            }
+        }
+    }
+    let m = t.max_abs();
+    if m > 0.0 {
+        t.scale_inplace(1.0 / m);
+    }
+    t
+}
+
+impl FeaturePool {
+    /// Builds the template pool for a spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidSpec`] for an invalid spec.
+    pub fn build(spec: &SyntheticSpec, rng: &mut impl Rng) -> Result<Self, DataError> {
+        spec.validate()?;
+        let (c, h, w) = (spec.channels, spec.height, spec.width);
+        let exclusive = (0..spec.num_classes)
+            .map(|_| {
+                (0..spec.exclusive_features)
+                    .map(|_| smooth_template(c, h, w, rng))
+                    .collect()
+            })
+            .collect();
+        let shared: Vec<Tensor> = (0..spec.shared_pool)
+            .map(|_| smooth_template(c, h, w, rng))
+            .collect();
+        let shared_weights = (0..spec.num_classes)
+            .map(|_| {
+                let mut picks = Vec::with_capacity(spec.shared_features);
+                for _ in 0..spec.shared_features {
+                    let idx = rng.gen_range(0..spec.shared_pool.max(1));
+                    let weight = rng.gen_range(0.4..0.9);
+                    picks.push((idx, weight));
+                }
+                picks
+            })
+            .collect();
+        Ok(FeaturePool {
+            exclusive,
+            shared,
+            shared_weights,
+        })
+    }
+
+    /// Number of classes the pool serves.
+    pub fn num_classes(&self) -> usize {
+        self.exclusive.len()
+    }
+
+    /// The noiseless prototype image for `class` — the mixture of its
+    /// exclusive and shared templates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::ClassOutOfRange`] for an invalid class.
+    pub fn prototype(&self, class: usize) -> Result<Tensor, DataError> {
+        let ex = self
+            .exclusive
+            .get(class)
+            .ok_or(DataError::ClassOutOfRange {
+                class,
+                num_classes: self.num_classes(),
+            })?;
+        let dims = ex[0].shape().to_vec();
+        let mut proto = Tensor::zeros(&dims);
+        for t in ex {
+            proto.add_scaled(t, 1.0)?;
+        }
+        for &(idx, wgt) in &self.shared_weights[class] {
+            if let Some(t) = self.shared.get(idx) {
+                proto.add_scaled(t, wgt)?;
+            }
+        }
+        Ok(proto)
+    }
+
+    /// Draws one noisy sample of `class`: `gain * prototype + noise`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::ClassOutOfRange`] for an invalid class.
+    pub fn sample(
+        &self,
+        class: usize,
+        spec: &SyntheticSpec,
+        rng: &mut impl Rng,
+    ) -> Result<Tensor, DataError> {
+        let proto = self.prototype(class)?;
+        let gain = 1.0 + rng.gen_range(-spec.gain_jitter..=spec.gain_jitter);
+        let noise = Tensor::randn(proto.shape(), spec.noise_std, rng);
+        let mut img = proto.scale(gain);
+        img.add_scaled(&noise, 1.0)?;
+        Ok(img)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn templates_are_unit_normalized() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = smooth_template(2, 8, 8, &mut rng);
+        let m = t.max_abs();
+        assert!((m - 1.0).abs() < 1e-5, "max_abs {m}");
+    }
+
+    #[test]
+    fn pool_has_one_prototype_per_class() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let spec = SyntheticSpec::tiny(5);
+        let pool = FeaturePool::build(&spec, &mut rng).unwrap();
+        assert_eq!(pool.num_classes(), 5);
+        for c in 0..5 {
+            let p = pool.prototype(c).unwrap();
+            assert_eq!(p.shape(), &[1, 6, 6]);
+            assert!(p.max_abs() > 0.0);
+        }
+        assert!(pool.prototype(5).is_err());
+    }
+
+    #[test]
+    fn prototypes_differ_between_classes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let spec = SyntheticSpec::tiny(3);
+        let pool = FeaturePool::build(&spec, &mut rng).unwrap();
+        let p0 = pool.prototype(0).unwrap();
+        let p1 = pool.prototype(1).unwrap();
+        let diff = p0.sub(&p1).unwrap().norm_sq();
+        assert!(diff > 0.1, "prototypes nearly identical: {diff}");
+    }
+
+    #[test]
+    fn samples_cluster_around_prototype() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let spec = SyntheticSpec::tiny(2);
+        let pool = FeaturePool::build(&spec, &mut rng).unwrap();
+        let proto = pool.prototype(0).unwrap();
+        // Mean of many samples approaches the prototype (gain mean = 1).
+        let mut mean = Tensor::zeros(proto.shape());
+        let n = 300;
+        for _ in 0..n {
+            let s = pool.sample(0, &spec, &mut rng).unwrap();
+            mean.add_scaled(&s, 1.0 / n as f32).unwrap();
+        }
+        let err = mean.sub(&proto).unwrap().max_abs();
+        assert!(err < 0.15, "sample mean deviates from prototype by {err}");
+    }
+
+    #[test]
+    fn invalid_spec_rejected_by_build() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut spec = SyntheticSpec::tiny(2);
+        spec.num_classes = 0;
+        assert!(FeaturePool::build(&spec, &mut rng).is_err());
+    }
+}

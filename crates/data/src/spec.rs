@@ -1,0 +1,208 @@
+use crate::DataError;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for a synthetic class-structured image dataset.
+///
+/// The defaults mirror the roles the paper's datasets play: a 10-class
+/// "CIFAR-10-like" set and a 100-class "CIFAR-100-like" set, scaled to
+/// dimensions a CPU can train in minutes while preserving the property CQ
+/// exploits — per-class activation pathways with partial overlap between
+/// classes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SyntheticSpec {
+    /// Number of classes `M`.
+    pub num_classes: usize,
+    /// Image channels (3 for the CIFAR-like sets).
+    pub channels: usize,
+    /// Image height.
+    pub height: usize,
+    /// Image width.
+    pub width: usize,
+    /// Training samples generated per class.
+    pub train_per_class: usize,
+    /// Validation samples per class (used by importance scoring and the
+    /// threshold search).
+    pub val_per_class: usize,
+    /// Held-out test samples per class.
+    pub test_per_class: usize,
+    /// Features exclusive to each class.
+    pub exclusive_features: usize,
+    /// Features shared with other classes (drawn from a common pool).
+    pub shared_features: usize,
+    /// Size of the shared feature pool.
+    pub shared_pool: usize,
+    /// Standard deviation of the per-pixel Gaussian noise.
+    pub noise_std: f32,
+    /// Standard deviation of the per-sample multiplicative gain jitter.
+    pub gain_jitter: f32,
+}
+
+impl SyntheticSpec {
+    /// A 10-class set standing in for CIFAR-10: 3×12×12 images,
+    /// 200/40/40 train/val/test samples per class.
+    pub fn cifar10_like() -> Self {
+        SyntheticSpec {
+            num_classes: 10,
+            channels: 3,
+            height: 12,
+            width: 12,
+            train_per_class: 200,
+            val_per_class: 40,
+            test_per_class: 40,
+            exclusive_features: 3,
+            shared_features: 3,
+            shared_pool: 12,
+            noise_std: 0.35,
+            gain_jitter: 0.25,
+        }
+    }
+
+    /// A 100-class set standing in for CIFAR-100: same geometry as
+    /// [`SyntheticSpec::cifar10_like`], fewer samples per class.
+    pub fn cifar100_like() -> Self {
+        SyntheticSpec {
+            num_classes: 100,
+            train_per_class: 60,
+            val_per_class: 10,
+            test_per_class: 10,
+            shared_pool: 40,
+            ..SyntheticSpec::cifar10_like()
+        }
+    }
+
+    /// A very small set for unit tests and doc examples: `classes`
+    /// classes of 1×6×6 images, 20/8/8 samples per class.
+    pub fn tiny(classes: usize) -> Self {
+        SyntheticSpec {
+            num_classes: classes,
+            channels: 1,
+            height: 6,
+            width: 6,
+            train_per_class: 20,
+            val_per_class: 8,
+            test_per_class: 8,
+            exclusive_features: 2,
+            shared_features: 1,
+            shared_pool: 4,
+            noise_std: 0.25,
+            gain_jitter: 0.2,
+        }
+    }
+
+    /// Flattened feature length `channels * height * width`.
+    pub fn feature_len(&self) -> usize {
+        self.channels * self.height * self.width
+    }
+
+    /// Checks the spec is generatable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidSpec`] when any count is zero where a
+    /// positive value is required, or the noise level is not finite and
+    /// non-negative.
+    pub fn validate(&self) -> Result<(), DataError> {
+        if self.num_classes == 0 {
+            return Err(DataError::InvalidSpec(
+                "num_classes must be positive".into(),
+            ));
+        }
+        if self.channels == 0 || self.height == 0 || self.width == 0 {
+            return Err(DataError::InvalidSpec(
+                "image dimensions must be positive".into(),
+            ));
+        }
+        if self.train_per_class == 0 || self.val_per_class == 0 || self.test_per_class == 0 {
+            return Err(DataError::InvalidSpec(
+                "each split needs at least one sample per class".into(),
+            ));
+        }
+        if self.exclusive_features == 0 {
+            return Err(DataError::InvalidSpec(
+                "each class needs at least one exclusive feature".into(),
+            ));
+        }
+        if self.shared_features > 0 && self.shared_pool == 0 {
+            return Err(DataError::InvalidSpec(
+                "shared features requested but the shared pool is empty".into(),
+            ));
+        }
+        if !self.noise_std.is_finite() || self.noise_std < 0.0 {
+            return Err(DataError::InvalidSpec(
+                "noise_std must be finite and non-negative".into(),
+            ));
+        }
+        if !self.gain_jitter.is_finite() || self.gain_jitter < 0.0 {
+            return Err(DataError::InvalidSpec(
+                "gain_jitter must be finite and non-negative".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for SyntheticSpec {
+    fn default() -> Self {
+        SyntheticSpec::cifar10_like()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        SyntheticSpec::cifar10_like().validate().unwrap();
+        SyntheticSpec::cifar100_like().validate().unwrap();
+        SyntheticSpec::tiny(3).validate().unwrap();
+    }
+
+    #[test]
+    fn cifar100_has_100_classes() {
+        assert_eq!(SyntheticSpec::cifar100_like().num_classes, 100);
+    }
+
+    #[test]
+    fn feature_len_is_chw() {
+        let s = SyntheticSpec::cifar10_like();
+        assert_eq!(s.feature_len(), 3 * 12 * 12);
+    }
+
+    #[test]
+    fn invalid_specs_rejected() {
+        let mut s = SyntheticSpec::tiny(2);
+        s.num_classes = 0;
+        assert!(s.validate().is_err());
+
+        let mut s = SyntheticSpec::tiny(2);
+        s.height = 0;
+        assert!(s.validate().is_err());
+
+        let mut s = SyntheticSpec::tiny(2);
+        s.val_per_class = 0;
+        assert!(s.validate().is_err());
+
+        let mut s = SyntheticSpec::tiny(2);
+        s.exclusive_features = 0;
+        assert!(s.validate().is_err());
+
+        let mut s = SyntheticSpec::tiny(2);
+        s.shared_features = 2;
+        s.shared_pool = 0;
+        assert!(s.validate().is_err());
+
+        let mut s = SyntheticSpec::tiny(2);
+        s.noise_std = f32::NAN;
+        assert!(s.validate().is_err());
+
+        let mut s = SyntheticSpec::tiny(2);
+        s.gain_jitter = -1.0;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn default_is_cifar10_like() {
+        assert_eq!(SyntheticSpec::default(), SyntheticSpec::cifar10_like());
+    }
+}

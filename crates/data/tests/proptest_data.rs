@@ -1,0 +1,92 @@
+//! Property-based tests of the dataset generator's invariants.
+
+use cbq_data::{SyntheticImages, SyntheticSpec};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn small_spec(classes: usize, noise: f32) -> SyntheticSpec {
+    SyntheticSpec {
+        num_classes: classes,
+        channels: 1,
+        height: 5,
+        width: 5,
+        train_per_class: 6,
+        val_per_class: 3,
+        test_per_class: 3,
+        exclusive_features: 1,
+        shared_features: 1,
+        shared_pool: 3,
+        noise_std: noise,
+        gain_jitter: 0.2,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every split is exactly class-balanced with in-range labels.
+    #[test]
+    fn splits_are_balanced(classes in 1usize..6, seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data = SyntheticImages::generate(&small_spec(classes, 0.3), &mut rng).unwrap();
+        for subset in [data.train(), data.val(), data.test()] {
+            prop_assert!(subset.labels().iter().all(|&l| l < classes));
+            for c in 0..classes {
+                let count = subset.labels().iter().filter(|&&l| l == c).count();
+                prop_assert_eq!(count, subset.len() / classes);
+            }
+        }
+    }
+
+    /// Identical seeds generate identical datasets; different seeds differ.
+    #[test]
+    fn generation_is_deterministic(seed in 0u64..1000) {
+        let spec = small_spec(3, 0.3);
+        let mut r1 = StdRng::seed_from_u64(seed);
+        let mut r2 = StdRng::seed_from_u64(seed);
+        let a = SyntheticImages::generate(&spec, &mut r1).unwrap();
+        let b = SyntheticImages::generate(&spec, &mut r2).unwrap();
+        prop_assert_eq!(a.train().images().as_slice(), b.train().images().as_slice());
+        let mut r3 = StdRng::seed_from_u64(seed.wrapping_add(1));
+        let c = SyntheticImages::generate(&spec, &mut r3).unwrap();
+        prop_assert_ne!(a.train().images().as_slice(), c.train().images().as_slice());
+    }
+
+    /// All generated pixels are finite regardless of noise level.
+    #[test]
+    fn pixels_are_finite(noise in 0.0f32..3.0, seed in 0u64..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data = SyntheticImages::generate(&small_spec(2, noise), &mut rng).unwrap();
+        prop_assert!(data.train().images().as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    /// Class batches select only the requested class, up to the cap.
+    #[test]
+    fn class_batches_are_pure(class in 0usize..3, cap in 1usize..10) {
+        let mut rng = StdRng::seed_from_u64(7);
+        let data = SyntheticImages::generate(&small_spec(3, 0.3), &mut rng).unwrap();
+        let batch = data.val().class_batch(class, cap).unwrap();
+        prop_assert!(batch.labels.iter().all(|&l| l == class));
+        prop_assert!(batch.len() <= cap);
+        prop_assert!(batch.len() >= 1);
+    }
+
+    /// Shuffled batching is a permutation of plain batching.
+    #[test]
+    fn shuffle_is_permutation(seed in 0u64..500, batch in 1usize..8) {
+        let mut rng = StdRng::seed_from_u64(3);
+        let data = SyntheticImages::generate(&small_spec(2, 0.3), &mut rng).unwrap();
+        let mut shuffle_rng = StdRng::seed_from_u64(seed);
+        let mut plain: Vec<usize> =
+            data.train().batches(batch).flat_map(|b| b.labels).collect();
+        let mut shuffled: Vec<usize> = data
+            .train()
+            .batches_shuffled(batch, &mut shuffle_rng)
+            .flat_map(|b| b.labels)
+            .collect();
+        plain.sort_unstable();
+        shuffled.sort_unstable();
+        prop_assert_eq!(plain, shuffled);
+    }
+}

@@ -1,0 +1,81 @@
+use cbq_tensor::TensorError;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by network construction, forward or backward passes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NnError {
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+    /// `backward` was called before `forward` (no cached activations).
+    BackwardBeforeForward {
+        /// Layer that was asked to run backward.
+        layer: String,
+    },
+    /// A model-builder argument is out of range.
+    InvalidConfig(String),
+    /// A label was outside `0..num_classes`.
+    LabelOutOfRange {
+        /// Offending label.
+        label: usize,
+        /// Number of classes.
+        num_classes: usize,
+    },
+    /// Batch sizes of two paired inputs (e.g. logits vs labels) disagree.
+    BatchMismatch {
+        /// Size implied by the first operand.
+        lhs: usize,
+        /// Size implied by the second operand.
+        rhs: usize,
+    },
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::Tensor(e) => write!(f, "tensor error: {e}"),
+            NnError::BackwardBeforeForward { layer } => {
+                write!(f, "backward called before forward on layer {layer}")
+            }
+            NnError::InvalidConfig(msg) => write!(f, "invalid model config: {msg}"),
+            NnError::LabelOutOfRange { label, num_classes } => {
+                write!(f, "label {label} out of range for {num_classes} classes")
+            }
+            NnError::BatchMismatch { lhs, rhs } => {
+                write!(f, "batch size mismatch: {lhs} vs {rhs}")
+            }
+        }
+    }
+}
+
+impl Error for NnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NnError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for NnError {
+    fn from(e: TensorError) -> Self {
+        NnError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = NnError::from(TensorError::Empty);
+        assert!(e.to_string().contains("tensor"));
+        assert!(Error::source(&e).is_some());
+        let e = NnError::BackwardBeforeForward {
+            layer: "conv1".into(),
+        };
+        assert!(e.to_string().contains("conv1"));
+        assert!(Error::source(&e).is_none());
+    }
+}

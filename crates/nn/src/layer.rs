@@ -1,0 +1,194 @@
+use crate::{Param, Result};
+use cbq_tensor::Tensor;
+use std::fmt::Debug;
+
+/// Whether a forward pass is part of training or inference.
+///
+/// Training mode uses batch statistics in batch-norm and caches everything
+/// a backward pass needs; eval mode uses running statistics. Backward after
+/// an eval-mode forward is still supported (the importance-scoring pass of
+/// the paper runs exactly that way).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Training forward: batch statistics, full caching.
+    Train,
+    /// Inference forward: running statistics.
+    Eval,
+}
+
+/// Coarse classification of a layer, used by the quantization pipeline to
+/// find weight-bearing units and activation taps without downcasting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayerKind {
+    /// 2-D convolution.
+    Conv2d,
+    /// Fully-connected layer.
+    Linear,
+    /// Batch normalization.
+    BatchNorm,
+    /// Rectified linear activation.
+    Relu,
+    /// Pooling (max/avg/global).
+    Pool,
+    /// Shape adapter (flatten).
+    Reshape,
+    /// Container of other layers.
+    Container,
+    /// Anything else (activation quantizers from `cbq-quant`, …).
+    Other,
+}
+
+/// A stateful activation transformation hosted by [`Relu`] layers — the
+/// hook activation fake-quantization plugs into.
+///
+/// `apply` returns the transformed activations plus a straight-through
+/// mask: the backward pass multiplies the upstream gradient by the mask
+/// elementwise (1 where the gradient passes, 0 where the input was
+/// clipped).
+///
+/// [`Relu`]: crate::layers::Relu
+pub trait ActivationQuantizer: Debug + Send {
+    /// Transforms post-ReLU activations; returns `(output, ste_mask)`.
+    fn apply(&mut self, x: &Tensor) -> (Tensor, Tensor);
+
+    /// Sets the quantization bit-width; `None` disables (identity).
+    fn set_bits(&mut self, bits: Option<u8>);
+
+    /// The active bit-width, if any.
+    fn bits(&self) -> Option<u8>;
+
+    /// Enters/leaves calibration mode (recording the clip bound).
+    fn set_calibrating(&mut self, on: bool);
+
+    /// The recorded clip bound `b`.
+    fn clip(&self) -> f32;
+}
+
+/// A transformation applied to a layer's weights at forward time.
+///
+/// This is the hook fake quantization plugs into: the layer keeps its
+/// full-precision shadow weights, the transform produces the effective
+/// (quantized) weights used in both the forward pass *and* the
+/// input-gradient computation, and weight gradients are applied to the
+/// shadow weights untouched — which is precisely the straight-through
+/// estimator the paper's refining phase uses.
+pub trait WeightTransform: Debug + Send {
+    /// Produces the effective weight tensor from the shadow weights.
+    fn apply(&self, weight: &Tensor) -> Tensor;
+}
+
+/// A differentiable network layer with manual forward/backward.
+///
+/// Implementations cache whatever their backward pass needs during
+/// `forward`. `backward` consumes those caches and returns the gradient
+/// with respect to the layer input, accumulating parameter gradients into
+/// the layer's [`Param`]s.
+pub trait Layer: Debug + Send {
+    /// Runs the layer on `x`, caching intermediates for `backward`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`NnError`](crate::NnError) when `x` has an incompatible
+    /// shape.
+    fn forward(&mut self, x: &Tensor, phase: Phase) -> Result<Tensor>;
+
+    /// Propagates `grad_out` (gradient w.r.t. this layer's output) back to
+    /// the layer input, accumulating parameter gradients.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BackwardBeforeForward`](crate::NnError) when no
+    /// forward pass has been cached, or a shape error when `grad_out` does
+    /// not match the cached output.
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor>;
+
+    /// Visits every learnable parameter, in a stable order.
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param));
+
+    /// Visits every *leaf* layer in execution order. Leaves call
+    /// `f(self)`; containers recurse without visiting themselves.
+    fn visit_layers_mut(&mut self, f: &mut dyn FnMut(&mut dyn Layer));
+
+    /// The layer's kind, used for structural queries.
+    fn kind(&self) -> LayerKind;
+
+    /// Diagnostic name, e.g. `"conv2"`.
+    fn name(&self) -> &str;
+
+    /// Output of the most recent forward pass, if the layer caches it.
+    ///
+    /// ReLU layers always cache; weight-bearing layers cache too so they
+    /// can serve as their own importance tap when no ReLU follows them.
+    fn cached_output(&self) -> Option<&Tensor> {
+        None
+    }
+
+    /// Upstream gradient received by the most recent backward pass, if
+    /// cached. Together with [`Layer::cached_output`] this yields the
+    /// Taylor importance score `|a · ∂Φ/∂a|` of paper Eq. 5.
+    fn cached_grad_out(&self) -> Option<&Tensor> {
+        None
+    }
+
+    /// Number of output channels (conv) or output features (linear) for
+    /// weight-bearing layers; `None` otherwise.
+    fn out_channels(&self) -> Option<usize> {
+        None
+    }
+
+    /// Whether this layer participates in quantization. The paper excludes
+    /// the first and the output layer; model builders clear the flag there.
+    fn quantizable(&self) -> bool {
+        false
+    }
+
+    /// Total number of weight elements (excluding bias) for weight-bearing
+    /// layers; `None` otherwise. Used for average-bit-width accounting.
+    fn weight_len(&self) -> Option<usize> {
+        None
+    }
+
+    /// Per-output-channel maximum absolute weight, for weight-bearing
+    /// layers; `None` otherwise. Drives magnitude-based scoring baselines.
+    fn weight_channel_max_abs(&self) -> Option<Vec<f32>> {
+        None
+    }
+
+    /// Installs (or clears) the weight transform on a weight-bearing
+    /// layer. Default: no-op for layers without weights.
+    fn set_weight_transform(&mut self, _transform: Option<Box<dyn WeightTransform>>) {}
+
+    /// Installs (or clears) an activation quantizer. Default: no-op for
+    /// layers other than [`Relu`](crate::layers::Relu).
+    fn set_activation_quantizer(&mut self, _quantizer: Option<Box<dyn ActivationQuantizer>>) {}
+
+    /// Mutable access to the installed activation quantizer, if any.
+    fn activation_quantizer_mut(&mut self) -> Option<&mut (dyn ActivationQuantizer + 'static)> {
+        None
+    }
+
+    /// Drops cached activations to free memory between phases.
+    fn clear_cache(&mut self) {}
+
+    /// Non-parameter state that must survive serialization (batch-norm
+    /// running statistics). `None` for stateless layers.
+    fn extra_state(&self) -> Option<Vec<f32>> {
+        None
+    }
+
+    /// Restores state captured by [`Layer::extra_state`]. Layers without
+    /// extra state ignore the call.
+    fn set_extra_state(&mut self, _state: &[f32]) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_and_kind_are_comparable() {
+        assert_ne!(Phase::Train, Phase::Eval);
+        assert_eq!(LayerKind::Conv2d, LayerKind::Conv2d);
+        assert_ne!(LayerKind::Conv2d, LayerKind::Linear);
+    }
+}

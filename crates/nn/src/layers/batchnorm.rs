@@ -1,0 +1,387 @@
+// Per-channel statistics index several parallel arrays at once;
+// explicit indices are clearer than zipped iterators here.
+#![allow(clippy::needless_range_loop)]
+
+use crate::{Layer, LayerKind, NnError, Param, Phase, Result};
+use cbq_tensor::Tensor;
+
+/// Batch normalization over `[N, C, H, W]` with learnable affine
+/// parameters and running statistics.
+///
+/// Backward after an eval-mode forward is supported (the importance
+/// scoring pass of the paper runs backward through a frozen network):
+/// in that case the statistics are constants, so
+/// `dx = gy * gamma / sqrt(running_var + eps)`.
+#[derive(Debug)]
+pub struct BatchNorm2d {
+    gamma: Param,
+    beta: Param,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    channels: usize,
+    eps: f32,
+    momentum: f32,
+    name: String,
+    cached_xhat: Option<Tensor>,
+    cached_inv_std: Vec<f32>,
+    cached_phase: Phase,
+}
+
+impl BatchNorm2d {
+    /// Creates a batch-norm layer with `gamma = 1`, `beta = 0`,
+    /// `eps = 1e-5` and running-stat momentum `0.1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] for a zero channel count.
+    pub fn new(name: impl Into<String>, channels: usize) -> Result<Self> {
+        if channels == 0 {
+            return Err(NnError::InvalidConfig(
+                "batchnorm needs at least one channel".into(),
+            ));
+        }
+        let name = name.into();
+        Ok(BatchNorm2d {
+            gamma: Param::new(Tensor::ones(&[channels]), false, format!("{name}.gamma")),
+            beta: Param::new(Tensor::zeros(&[channels]), false, format!("{name}.beta")),
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+            channels,
+            eps: 1e-5,
+            momentum: 0.1,
+            name,
+            cached_xhat: None,
+            cached_inv_std: Vec::new(),
+            cached_phase: Phase::Eval,
+        })
+    }
+
+    /// The running per-channel means (inference statistics).
+    pub fn running_mean(&self) -> &[f32] {
+        &self.running_mean
+    }
+
+    /// The running per-channel variances (inference statistics).
+    pub fn running_var(&self) -> &[f32] {
+        &self.running_var
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn forward(&mut self, x: &Tensor, phase: Phase) -> Result<Tensor> {
+        x.shape_obj().ensure_rank(4)?;
+        let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+        if c != self.channels {
+            return Err(NnError::Tensor(cbq_tensor::TensorError::ShapeMismatch {
+                lhs: x.shape().to_vec(),
+                rhs: vec![n, self.channels, h, w],
+            }));
+        }
+        let m = (n * h * w) as f32;
+        let src = x.as_slice();
+        let plane = h * w;
+        let (mean, var): (Vec<f32>, Vec<f32>) = if phase == Phase::Train {
+            let mut mean = vec![0.0f64; c];
+            let mut var = vec![0.0f64; c];
+            for ni in 0..n {
+                for ci in 0..c {
+                    let base = (ni * c + ci) * plane;
+                    for &v in &src[base..base + plane] {
+                        mean[ci] += v as f64;
+                    }
+                }
+            }
+            for mc in mean.iter_mut() {
+                *mc /= m as f64;
+            }
+            for ni in 0..n {
+                for ci in 0..c {
+                    let base = (ni * c + ci) * plane;
+                    for &v in &src[base..base + plane] {
+                        let d = v as f64 - mean[ci];
+                        var[ci] += d * d;
+                    }
+                }
+            }
+            for vc in var.iter_mut() {
+                *vc /= m as f64;
+            }
+            let mean: Vec<f32> = mean.iter().map(|&v| v as f32).collect();
+            let var: Vec<f32> = var.iter().map(|&v| v as f32).collect();
+            for ci in 0..c {
+                self.running_mean[ci] =
+                    (1.0 - self.momentum) * self.running_mean[ci] + self.momentum * mean[ci];
+                self.running_var[ci] =
+                    (1.0 - self.momentum) * self.running_var[ci] + self.momentum * var[ci];
+            }
+            (mean, var)
+        } else {
+            (self.running_mean.clone(), self.running_var.clone())
+        };
+        let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
+        let g = self.gamma.value.as_slice();
+        let b = self.beta.value.as_slice();
+        let mut xhat = Tensor::zeros(x.shape());
+        let mut out = Tensor::zeros(x.shape());
+        {
+            let xh = xhat.as_mut_slice();
+            let o = out.as_mut_slice();
+            for ni in 0..n {
+                for ci in 0..c {
+                    let base = (ni * c + ci) * plane;
+                    let (mu, is, gc, bc) = (mean[ci], inv_std[ci], g[ci], b[ci]);
+                    for k in base..base + plane {
+                        let v = (src[k] - mu) * is;
+                        xh[k] = v;
+                        o[k] = gc * v + bc;
+                    }
+                }
+            }
+        }
+        self.cached_xhat = Some(xhat);
+        self.cached_inv_std = inv_std;
+        self.cached_phase = phase;
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let xhat = self
+            .cached_xhat
+            .as_ref()
+            .ok_or_else(|| NnError::BackwardBeforeForward {
+                layer: self.name.clone(),
+            })?;
+        xhat.shape_obj().ensure_same(grad_out.shape_obj())?;
+        let (n, c, h, w) = (
+            xhat.shape()[0],
+            xhat.shape()[1],
+            xhat.shape()[2],
+            xhat.shape()[3],
+        );
+        let plane = h * w;
+        let m = (n * h * w) as f32;
+        let gy = grad_out.as_slice();
+        let xh = xhat.as_slice();
+        let g = self.gamma.value.as_slice();
+
+        // Parameter gradients are identical in both phases.
+        let mut dgamma = vec![0.0f64; c];
+        let mut dbeta = vec![0.0f64; c];
+        for ni in 0..n {
+            for ci in 0..c {
+                let base = (ni * c + ci) * plane;
+                for k in base..base + plane {
+                    dgamma[ci] += (gy[k] * xh[k]) as f64;
+                    dbeta[ci] += gy[k] as f64;
+                }
+            }
+        }
+        for ci in 0..c {
+            self.gamma.grad.as_mut_slice()[ci] += dgamma[ci] as f32;
+            self.beta.grad.as_mut_slice()[ci] += dbeta[ci] as f32;
+        }
+
+        let mut grad_in = Tensor::zeros(xhat.shape());
+        let gi = grad_in.as_mut_slice();
+        if self.cached_phase == Phase::Train {
+            // dx = (gamma * inv_std / m) * (m*gy - sum(gy) - xhat * sum(gy*xhat))
+            for ci in 0..c {
+                let sum_gy = dbeta[ci] as f32;
+                let sum_gy_xh = dgamma[ci] as f32;
+                let coef = g[ci] * self.cached_inv_std[ci] / m;
+                for ni in 0..n {
+                    let base = (ni * c + ci) * plane;
+                    for k in base..base + plane {
+                        gi[k] = coef * (m * gy[k] - sum_gy - xh[k] * sum_gy_xh);
+                    }
+                }
+            }
+        } else {
+            // Statistics are constants in eval mode.
+            for ci in 0..c {
+                let coef = g[ci] * self.cached_inv_std[ci];
+                for ni in 0..n {
+                    let base = (ni * c + ci) * plane;
+                    for k in base..base + plane {
+                        gi[k] = coef * gy[k];
+                    }
+                }
+            }
+        }
+        Ok(grad_in)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.gamma);
+        f(&mut self.beta);
+    }
+
+    fn visit_layers_mut(&mut self, f: &mut dyn FnMut(&mut dyn Layer)) {
+        f(self);
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::BatchNorm
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn clear_cache(&mut self) {
+        self.cached_xhat = None;
+        self.cached_inv_std.clear();
+    }
+
+    fn extra_state(&self) -> Option<Vec<f32>> {
+        let mut state = self.running_mean.clone();
+        state.extend_from_slice(&self.running_var);
+        Some(state)
+    }
+
+    fn set_extra_state(&mut self, state: &[f32]) {
+        if state.len() == 2 * self.channels {
+            self.running_mean.copy_from_slice(&state[..self.channels]);
+            self.running_var.copy_from_slice(&state[self.channels..]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn train_forward_normalizes_per_channel() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut bn = BatchNorm2d::new("bn", 3).unwrap();
+        let x = Tensor::from_fn(&[4, 3, 5, 5], |_| rng.gen_range(-2.0..5.0));
+        let y = bn.forward(&x, Phase::Train).unwrap();
+        // each channel of y should have ~0 mean and ~1 variance
+        for ci in 0..3 {
+            let mut vals = Vec::new();
+            for ni in 0..4 {
+                for hi in 0..5 {
+                    for wi in 0..5 {
+                        vals.push(y.at(&[ni, ci, hi, wi]));
+                    }
+                }
+            }
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var: f32 =
+                vals.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
+            assert!(mean.abs() < 1e-4, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "var {var}");
+        }
+    }
+
+    #[test]
+    fn running_stats_track_batch_stats() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut bn = BatchNorm2d::new("bn", 1).unwrap();
+        // constant input with mean 3, var 0
+        let x = Tensor::full(&[2, 1, 4, 4], 3.0);
+        for _ in 0..50 {
+            bn.forward(&x, Phase::Train).unwrap();
+        }
+        assert!((bn.running_mean()[0] - 3.0).abs() < 0.05);
+        assert!(bn.running_var()[0] < 0.05);
+        let _ = rng.gen_range(0..2); // silence unused
+    }
+
+    #[test]
+    fn eval_uses_running_stats() {
+        let mut bn = BatchNorm2d::new("bn", 1).unwrap();
+        bn.running_mean = vec![2.0];
+        bn.running_var = vec![4.0];
+        let x = Tensor::full(&[1, 1, 2, 2], 6.0);
+        let y = bn.forward(&x, Phase::Eval).unwrap();
+        // (6-2)/2 = 2
+        for &v in y.as_slice() {
+            assert!((v - 2.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn train_backward_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut bn = BatchNorm2d::new("bn", 2).unwrap();
+        // random gamma/beta so gradients are non-trivial
+        bn.gamma.value = Tensor::randn(&[2], 1.0, &mut rng).map(|v| v + 1.5);
+        bn.beta.value = Tensor::randn(&[2], 0.5, &mut rng);
+        let x = Tensor::randn(&[2, 2, 3, 3], 1.0, &mut rng);
+        bn.forward(&x, Phase::Train).unwrap();
+        // loss = sum(y * k) with a fixed random k, so grad_out = k.
+        let k = Tensor::randn(&[2, 2, 3, 3], 1.0, &mut rng);
+        let gx = bn.backward(&k).unwrap();
+        let eps = 1e-2f32;
+        for idx in [0usize, 7, 17, 26, 35] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let lp = bn
+                .forward(&xp, Phase::Train)
+                .unwrap()
+                .mul(&k)
+                .unwrap()
+                .sum();
+            let lm = bn
+                .forward(&xm, Phase::Train)
+                .unwrap()
+                .mul(&k)
+                .unwrap()
+                .sum();
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (fd - gx.as_slice()[idx]).abs() < 3e-2,
+                "x[{idx}]: fd {fd} vs {}",
+                gx.as_slice()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn eval_backward_is_gain_only() {
+        let mut bn = BatchNorm2d::new("bn", 1).unwrap();
+        bn.running_mean = vec![0.0];
+        bn.running_var = vec![3.0];
+        bn.gamma.value = Tensor::from_vec(vec![2.0], &[1]).unwrap();
+        let x = Tensor::full(&[1, 1, 2, 2], 1.0);
+        bn.forward(&x, Phase::Eval).unwrap();
+        let gy = Tensor::ones(&[1, 1, 2, 2]);
+        let gx = bn.backward(&gy).unwrap();
+        let expect = 2.0 / (3.0f32 + 1e-5).sqrt();
+        for &v in gx.as_slice() {
+            assert!((v - expect).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn gamma_beta_grads() {
+        let mut bn = BatchNorm2d::new("bn", 1).unwrap();
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]).unwrap();
+        bn.forward(&x, Phase::Train).unwrap();
+        let gy = Tensor::ones(&[1, 1, 2, 2]);
+        bn.backward(&gy).unwrap();
+        bn.visit_params(&mut |p| {
+            if p.name.ends_with("beta") {
+                assert!((p.grad.as_slice()[0] - 4.0).abs() < 1e-4);
+            }
+            if p.name.ends_with("gamma") {
+                // sum of xhat over a symmetric batch is ~0
+                assert!(p.grad.as_slice()[0].abs() < 1e-3);
+            }
+        });
+    }
+
+    #[test]
+    fn channel_mismatch_rejected() {
+        let mut bn = BatchNorm2d::new("bn", 2).unwrap();
+        let x = Tensor::zeros(&[1, 3, 2, 2]);
+        assert!(bn.forward(&x, Phase::Train).is_err());
+        assert!(BatchNorm2d::new("bn", 0).is_err());
+    }
+}

@@ -1,0 +1,344 @@
+use crate::{Layer, LayerKind, NnError, Param, Phase, Result, WeightTransform};
+use cbq_tensor::{conv2d, conv2d_backward, ConvSpec, Tensor};
+use rand::Rng;
+
+/// 2-D convolution layer with an optional weight transform (fake
+/// quantization hook) and He-normal initialization.
+///
+/// Weights are `[out_channels, in_channels, k, k]`; the bias is optional
+/// (the model zoo disables it before batch norm).
+#[derive(Debug)]
+pub struct Conv2d {
+    weight: Param,
+    bias: Option<Param>,
+    spec: ConvSpec,
+    kernel: usize,
+    in_channels: usize,
+    out_channels: usize,
+    quantize: bool,
+    name: String,
+    transform: Option<Box<dyn WeightTransform>>,
+    cached_input: Option<Tensor>,
+    cached_eff_weight: Option<Tensor>,
+    cached_output: Option<Tensor>,
+    cached_grad_out: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a convolution with He-normal initialized weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] for zero-sized channel or kernel
+    /// arguments.
+    #[allow(clippy::too_many_arguments)] // mirrors the conv layer's full geometry
+    pub fn new(
+        name: impl Into<String>,
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        bias: bool,
+        rng: &mut impl Rng,
+    ) -> Result<Self> {
+        if in_channels == 0 || out_channels == 0 || kernel == 0 || stride == 0 {
+            return Err(NnError::InvalidConfig(
+                "conv2d channels, kernel and stride must be positive".into(),
+            ));
+        }
+        let name = name.into();
+        let fan_in = (in_channels * kernel * kernel) as f32;
+        let std = (2.0 / fan_in).sqrt();
+        let weight = Param::new(
+            Tensor::randn(&[out_channels, in_channels, kernel, kernel], std, rng),
+            true,
+            format!("{name}.weight"),
+        );
+        let bias = bias.then(|| {
+            Param::new(
+                Tensor::zeros(&[out_channels]),
+                false,
+                format!("{name}.bias"),
+            )
+        });
+        Ok(Conv2d {
+            weight,
+            bias,
+            spec: ConvSpec::new(stride, padding),
+            kernel,
+            in_channels,
+            out_channels,
+            quantize: true,
+            name,
+            transform: None,
+            cached_input: None,
+            cached_eff_weight: None,
+            cached_output: None,
+            cached_grad_out: None,
+        })
+    }
+
+    /// Marks the layer as excluded from quantization (first/output layers
+    /// in the paper's protocol). Returns `self` for builder chaining.
+    pub fn without_quantization(mut self) -> Self {
+        self.quantize = false;
+        self
+    }
+
+    /// The full-precision shadow weights.
+    pub fn weight(&self) -> &Tensor {
+        &self.weight.value
+    }
+
+    /// Mutable access to the shadow weights (tests, surgery).
+    pub fn weight_mut(&mut self) -> &mut Tensor {
+        &mut self.weight.value
+    }
+
+    /// Input channel count.
+    pub fn in_channels(&self) -> usize {
+        self.in_channels
+    }
+
+    /// Kernel extent.
+    pub fn kernel(&self) -> usize {
+        self.kernel
+    }
+
+    /// The effective weights the next forward pass will use (after the
+    /// installed transform, if any).
+    pub fn effective_weight(&self) -> Tensor {
+        match &self.transform {
+            Some(t) => t.apply(&self.weight.value),
+            None => self.weight.value.clone(),
+        }
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, x: &Tensor, phase: Phase) -> Result<Tensor> {
+        let eff = self.effective_weight();
+        let out = conv2d(x, &eff, self.bias.as_ref().map(|b| &b.value), self.spec)?;
+        self.cached_input = Some(x.clone());
+        self.cached_eff_weight = Some(eff);
+        if phase == Phase::Train || phase == Phase::Eval {
+            self.cached_output = Some(out.clone());
+        }
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let input = self
+            .cached_input
+            .as_ref()
+            .ok_or_else(|| NnError::BackwardBeforeForward {
+                layer: self.name.clone(),
+            })?;
+        let eff =
+            self.cached_eff_weight
+                .as_ref()
+                .ok_or_else(|| NnError::BackwardBeforeForward {
+                    layer: self.name.clone(),
+                })?;
+        let grads = conv2d_backward(input, eff, grad_out, self.spec)?;
+        // Straight-through estimator: the weight gradient computed against
+        // the effective (quantized) weights is applied to the shadow
+        // weights unchanged.
+        self.weight.grad.add_scaled(&grads.grad_weight, 1.0)?;
+        if let Some(b) = &mut self.bias {
+            b.grad.add_scaled(&grads.grad_bias, 1.0)?;
+        }
+        self.cached_grad_out = Some(grad_out.clone());
+        Ok(grads.grad_input)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        if let Some(b) = &mut self.bias {
+            f(b);
+        }
+    }
+
+    fn visit_layers_mut(&mut self, f: &mut dyn FnMut(&mut dyn Layer)) {
+        f(self);
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Conv2d
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn cached_output(&self) -> Option<&Tensor> {
+        self.cached_output.as_ref()
+    }
+
+    fn cached_grad_out(&self) -> Option<&Tensor> {
+        self.cached_grad_out.as_ref()
+    }
+
+    fn out_channels(&self) -> Option<usize> {
+        Some(self.out_channels)
+    }
+
+    fn quantizable(&self) -> bool {
+        self.quantize
+    }
+
+    fn weight_len(&self) -> Option<usize> {
+        Some(self.weight.value.len())
+    }
+
+    fn weight_channel_max_abs(&self) -> Option<Vec<f32>> {
+        let per = self.weight.value.len() / self.out_channels.max(1);
+        Some(
+            self.weight
+                .value
+                .as_slice()
+                .chunks(per)
+                .map(|c| c.iter().fold(0.0f32, |m, &v| m.max(v.abs())))
+                .collect(),
+        )
+    }
+
+    fn set_weight_transform(&mut self, transform: Option<Box<dyn WeightTransform>>) {
+        self.transform = transform;
+    }
+
+    fn clear_cache(&mut self) {
+        self.cached_input = None;
+        self.cached_eff_weight = None;
+        self.cached_output = None;
+        self.cached_grad_out = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[derive(Debug)]
+    struct Halve;
+    impl WeightTransform for Halve {
+        fn apply(&self, w: &Tensor) -> Tensor {
+            w.scale(0.5)
+        }
+    }
+
+    #[test]
+    fn forward_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut conv = Conv2d::new("c", 3, 8, 3, 1, 1, true, &mut rng).unwrap();
+        let x = Tensor::randn(&[2, 3, 6, 6], 1.0, &mut rng);
+        let y = conv.forward(&x, Phase::Train).unwrap();
+        assert_eq!(y.shape(), &[2, 8, 6, 6]);
+        assert_eq!(conv.out_channels(), Some(8));
+    }
+
+    #[test]
+    fn backward_before_forward_errors() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut conv = Conv2d::new("c", 1, 1, 3, 1, 1, true, &mut rng).unwrap();
+        let g = Tensor::zeros(&[1, 1, 4, 4]);
+        assert!(matches!(
+            conv.backward(&g),
+            Err(NnError::BackwardBeforeForward { .. })
+        ));
+    }
+
+    #[test]
+    fn weight_transform_changes_output_but_not_shadow() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut conv = Conv2d::new("c", 1, 2, 3, 1, 1, false, &mut rng).unwrap();
+        let x = Tensor::randn(&[1, 1, 5, 5], 1.0, &mut rng);
+        let y_plain = conv.forward(&x, Phase::Eval).unwrap();
+        let shadow_before = conv.weight().clone();
+        conv.set_weight_transform(Some(Box::new(Halve)));
+        let y_half = conv.forward(&x, Phase::Eval).unwrap();
+        assert_eq!(conv.weight(), &shadow_before, "shadow weights mutated");
+        for (a, b) in y_plain.as_slice().iter().zip(y_half.as_slice()) {
+            assert!((a * 0.5 - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn gradients_accumulate_across_backwards() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut conv = Conv2d::new("c", 1, 1, 3, 1, 1, true, &mut rng).unwrap();
+        let x = Tensor::randn(&[1, 1, 5, 5], 1.0, &mut rng);
+        let y = conv.forward(&x, Phase::Train).unwrap();
+        let gy = Tensor::ones(y.shape());
+        conv.backward(&gy).unwrap();
+        let mut g1 = Tensor::zeros(&[1]);
+        conv.visit_params(&mut |p| {
+            if p.name.ends_with("weight") {
+                g1 = p.grad.clone();
+            }
+        });
+        conv.forward(&x, Phase::Train).unwrap();
+        conv.backward(&gy).unwrap();
+        conv.visit_params(&mut |p| {
+            if p.name.ends_with("weight") {
+                for (a, b) in p.grad.as_slice().iter().zip(g1.as_slice()) {
+                    assert!((a - 2.0 * b).abs() < 1e-4, "grad did not accumulate");
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn ste_applies_grad_to_shadow_even_with_transform() {
+        // With a transform installed, the *input* gradient must use the
+        // transformed weights while the weight gradient lands on the
+        // shadow parameter.
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut conv = Conv2d::new("c", 1, 1, 1, 1, 0, false, &mut rng).unwrap();
+        conv.set_weight_transform(Some(Box::new(Halve)));
+        let x = Tensor::from_vec(vec![2.0], &[1, 1, 1, 1]).unwrap();
+        let y = conv.forward(&x, Phase::Train).unwrap();
+        let w = conv.weight().as_slice()[0];
+        assert!((y.as_slice()[0] - 0.5 * w * 2.0).abs() < 1e-6);
+        let gy = Tensor::ones(&[1, 1, 1, 1]);
+        let gx = conv.backward(&gy).unwrap();
+        // d(out)/d(in) = effective weight = w/2
+        assert!((gx.as_slice()[0] - 0.5 * w).abs() < 1e-6);
+        conv.visit_params(&mut |p| {
+            // d(out)/d(w_eff) = x = 2.0, applied straight through.
+            assert!((p.grad.as_slice()[0] - 2.0).abs() < 1e-6);
+        });
+    }
+
+    #[test]
+    fn zero_config_rejected() {
+        let mut rng = StdRng::seed_from_u64(6);
+        assert!(Conv2d::new("c", 0, 1, 3, 1, 1, true, &mut rng).is_err());
+        assert!(Conv2d::new("c", 1, 0, 3, 1, 1, true, &mut rng).is_err());
+        assert!(Conv2d::new("c", 1, 1, 0, 1, 1, true, &mut rng).is_err());
+        assert!(Conv2d::new("c", 1, 1, 3, 0, 1, true, &mut rng).is_err());
+    }
+
+    #[test]
+    fn without_quantization_clears_flag() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let conv = Conv2d::new("c", 1, 1, 3, 1, 1, true, &mut rng).unwrap();
+        assert!(conv.quantizable());
+        let conv = conv.without_quantization();
+        assert!(!conv.quantizable());
+    }
+
+    #[test]
+    fn clear_cache_frees_activations() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut conv = Conv2d::new("c", 1, 1, 3, 1, 1, true, &mut rng).unwrap();
+        let x = Tensor::randn(&[1, 1, 5, 5], 1.0, &mut rng);
+        conv.forward(&x, Phase::Train).unwrap();
+        assert!(conv.cached_output().is_some());
+        conv.clear_cache();
+        assert!(conv.cached_output().is_none());
+    }
+}

@@ -1,0 +1,157 @@
+use crate::{Layer, LayerKind, NnError, Param, Phase, Result};
+use cbq_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Inverted dropout: during training each activation is zeroed with
+/// probability `p` and survivors are scaled by `1/(1-p)` so eval-mode
+/// forward passes need no rescaling. Identity in eval mode.
+///
+/// The layer owns its RNG (seeded at construction) so training runs stay
+/// reproducible without threading an RNG through `forward`.
+#[derive(Debug)]
+pub struct Dropout {
+    p: f32,
+    name: String,
+    rng: StdRng,
+    cached_mask: Option<Tensor>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] for `p` outside `[0, 1)`.
+    pub fn new(name: impl Into<String>, p: f32, seed: u64) -> Result<Self> {
+        if !(0.0..1.0).contains(&p) {
+            return Err(NnError::InvalidConfig(format!(
+                "dropout p {p} outside [0, 1)"
+            )));
+        }
+        Ok(Dropout {
+            p,
+            name: name.into(),
+            rng: StdRng::seed_from_u64(seed),
+            cached_mask: None,
+        })
+    }
+
+    /// The drop probability.
+    pub fn p(&self) -> f32 {
+        self.p
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, x: &Tensor, phase: Phase) -> Result<Tensor> {
+        if phase == Phase::Eval || self.p == 0.0 {
+            self.cached_mask = Some(Tensor::ones(x.shape()));
+            return Ok(x.clone());
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let rng = &mut self.rng;
+        let mask = Tensor::from_fn(
+            x.shape(),
+            |_| {
+                if rng.gen::<f32>() < keep {
+                    scale
+                } else {
+                    0.0
+                }
+            },
+        );
+        let out = x.mul(&mask)?;
+        self.cached_mask = Some(mask);
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let mask = self
+            .cached_mask
+            .as_ref()
+            .ok_or_else(|| NnError::BackwardBeforeForward {
+                layer: self.name.clone(),
+            })?;
+        Ok(grad_out.mul(mask)?)
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn visit_layers_mut(&mut self, f: &mut dyn FnMut(&mut dyn Layer)) {
+        f(self);
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Other
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn clear_cache(&mut self) {
+        self.cached_mask = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let mut d = Dropout::new("d", 0.5, 1).unwrap();
+        let x = Tensor::from_fn(&[4, 4], |i| i as f32);
+        let y = d.forward(&x, Phase::Eval).unwrap();
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn train_mode_drops_and_rescales() {
+        let mut d = Dropout::new("d", 0.5, 2).unwrap();
+        let x = Tensor::ones(&[1, 1000]);
+        let y = d.forward(&x, Phase::Train).unwrap();
+        let zeros = y.count(|v| v == 0.0);
+        let kept = y.count(|v| (v - 2.0).abs() < 1e-6);
+        assert_eq!(zeros + kept, 1000);
+        assert!(
+            (350..650).contains(&zeros),
+            "dropped {zeros} of 1000 at p=0.5"
+        );
+        // expectation preserved
+        assert!((y.mean() - 1.0).abs() < 0.15);
+    }
+
+    #[test]
+    fn backward_reuses_mask() {
+        let mut d = Dropout::new("d", 0.5, 3).unwrap();
+        let x = Tensor::ones(&[1, 100]);
+        let y = d.forward(&x, Phase::Train).unwrap();
+        let g = d.backward(&Tensor::ones(&[1, 100])).unwrap();
+        // gradient zero exactly where output was dropped
+        for (gy, yy) in g.as_slice().iter().zip(y.as_slice()) {
+            assert_eq!(*gy == 0.0, *yy == 0.0);
+        }
+    }
+
+    #[test]
+    fn zero_p_passes_through_in_train() {
+        let mut d = Dropout::new("d", 0.0, 4).unwrap();
+        let x = Tensor::from_fn(&[8], |i| i as f32);
+        assert_eq!(d.forward(&x, Phase::Train).unwrap(), x);
+    }
+
+    #[test]
+    fn invalid_p_rejected() {
+        assert!(Dropout::new("d", 1.0, 0).is_err());
+        assert!(Dropout::new("d", -0.1, 0).is_err());
+    }
+
+    #[test]
+    fn backward_before_forward_errors() {
+        let mut d = Dropout::new("d", 0.3, 5).unwrap();
+        assert!(d.backward(&Tensor::zeros(&[1])).is_err());
+    }
+}

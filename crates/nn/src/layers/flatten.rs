@@ -1,0 +1,84 @@
+use crate::{Layer, LayerKind, NnError, Param, Phase, Result};
+use cbq_tensor::Tensor;
+
+/// Flattens `[N, ...]` into `[N, prod(...)]` — the CNN-to-FC adapter.
+#[derive(Debug, Default)]
+pub struct Flatten {
+    name: String,
+    cached_dims: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new(name: impl Into<String>) -> Self {
+        Flatten {
+            name: name.into(),
+            cached_dims: None,
+        }
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, x: &Tensor, _phase: Phase) -> Result<Tensor> {
+        if x.rank() == 0 {
+            return Err(NnError::Tensor(cbq_tensor::TensorError::RankMismatch {
+                expected: 2,
+                actual: 0,
+            }));
+        }
+        let n = x.shape()[0];
+        let rest: usize = x.shape()[1..].iter().product();
+        self.cached_dims = Some(x.shape().to_vec());
+        Ok(x.reshape(&[n, rest])?)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let dims = self
+            .cached_dims
+            .as_ref()
+            .ok_or_else(|| NnError::BackwardBeforeForward {
+                layer: self.name.clone(),
+            })?;
+        Ok(grad_out.reshape(dims)?)
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn visit_layers_mut(&mut self, f: &mut dyn FnMut(&mut dyn Layer)) {
+        f(self);
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Reshape
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn clear_cache(&mut self) {
+        self.cached_dims = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flatten_and_restore() {
+        let mut fl = Flatten::new("fl");
+        let x = Tensor::from_fn(&[2, 3, 2, 2], |i| i as f32);
+        let y = fl.forward(&x, Phase::Eval).unwrap();
+        assert_eq!(y.shape(), &[2, 12]);
+        let gx = fl.backward(&y).unwrap();
+        assert_eq!(gx.shape(), &[2, 3, 2, 2]);
+        assert_eq!(gx.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn backward_before_forward_errors() {
+        let mut fl = Flatten::new("fl");
+        assert!(fl.backward(&Tensor::zeros(&[2, 2])).is_err());
+    }
+}

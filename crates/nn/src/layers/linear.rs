@@ -1,0 +1,306 @@
+use crate::{Layer, LayerKind, NnError, Param, Phase, Result, WeightTransform};
+use cbq_tensor::Tensor;
+use rand::Rng;
+
+/// Fully-connected layer `y = x · Wᵀ + b` with weights `[out, in]`.
+///
+/// Like [`Conv2d`](crate::layers::Conv2d) it supports a weight transform
+/// for fake quantization; gradients pass straight through to the shadow
+/// weights (STE).
+#[derive(Debug)]
+pub struct Linear {
+    weight: Param,
+    bias: Option<Param>,
+    in_features: usize,
+    out_features: usize,
+    quantize: bool,
+    name: String,
+    transform: Option<Box<dyn WeightTransform>>,
+    cached_input: Option<Tensor>,
+    cached_eff_weight: Option<Tensor>,
+    cached_output: Option<Tensor>,
+    cached_grad_out: Option<Tensor>,
+}
+
+impl Linear {
+    /// Creates a linear layer with He-normal initialized weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] for zero-sized dimensions.
+    pub fn new(
+        name: impl Into<String>,
+        in_features: usize,
+        out_features: usize,
+        bias: bool,
+        rng: &mut impl Rng,
+    ) -> Result<Self> {
+        if in_features == 0 || out_features == 0 {
+            return Err(NnError::InvalidConfig(
+                "linear dimensions must be positive".into(),
+            ));
+        }
+        let name = name.into();
+        let std = (2.0 / in_features as f32).sqrt();
+        let weight = Param::new(
+            Tensor::randn(&[out_features, in_features], std, rng),
+            true,
+            format!("{name}.weight"),
+        );
+        let bias = bias.then(|| {
+            Param::new(
+                Tensor::zeros(&[out_features]),
+                false,
+                format!("{name}.bias"),
+            )
+        });
+        Ok(Linear {
+            weight,
+            bias,
+            in_features,
+            out_features,
+            quantize: true,
+            name,
+            transform: None,
+            cached_input: None,
+            cached_eff_weight: None,
+            cached_output: None,
+            cached_grad_out: None,
+        })
+    }
+
+    /// Marks the layer as excluded from quantization. Returns `self` for
+    /// builder chaining.
+    pub fn without_quantization(mut self) -> Self {
+        self.quantize = false;
+        self
+    }
+
+    /// The full-precision shadow weights, `[out, in]`.
+    pub fn weight(&self) -> &Tensor {
+        &self.weight.value
+    }
+
+    /// Mutable access to the shadow weights.
+    pub fn weight_mut(&mut self) -> &mut Tensor {
+        &mut self.weight.value
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// The effective weights after the installed transform, if any.
+    pub fn effective_weight(&self) -> Tensor {
+        match &self.transform {
+            Some(t) => t.apply(&self.weight.value),
+            None => self.weight.value.clone(),
+        }
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&mut self, x: &Tensor, _phase: Phase) -> Result<Tensor> {
+        x.shape_obj().ensure_rank(2)?;
+        let eff = self.effective_weight();
+        let mut out = x.matmul_nt(&eff)?; // [B, out]
+        if let Some(b) = &self.bias {
+            let bs = b.value.as_slice();
+            let o = self.out_features;
+            for (i, v) in out.as_mut_slice().iter_mut().enumerate() {
+                *v += bs[i % o];
+            }
+        }
+        self.cached_input = Some(x.clone());
+        self.cached_eff_weight = Some(eff);
+        self.cached_output = Some(out.clone());
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let input = self
+            .cached_input
+            .as_ref()
+            .ok_or_else(|| NnError::BackwardBeforeForward {
+                layer: self.name.clone(),
+            })?;
+        let eff =
+            self.cached_eff_weight
+                .as_ref()
+                .ok_or_else(|| NnError::BackwardBeforeForward {
+                    layer: self.name.clone(),
+                })?;
+        // dW = gyᵀ · x, applied straight through to the shadow weights.
+        let gw = grad_out.matmul_tn(input)?;
+        self.weight.grad.add_scaled(&gw, 1.0)?;
+        if let Some(b) = &mut self.bias {
+            let o = self.out_features;
+            let gb = b.grad.as_mut_slice();
+            for (i, &g) in grad_out.as_slice().iter().enumerate() {
+                gb[i % o] += g;
+            }
+        }
+        self.cached_grad_out = Some(grad_out.clone());
+        // dX = gy · W_eff
+        Ok(grad_out.matmul(eff)?)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        if let Some(b) = &mut self.bias {
+            f(b);
+        }
+    }
+
+    fn visit_layers_mut(&mut self, f: &mut dyn FnMut(&mut dyn Layer)) {
+        f(self);
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Linear
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn cached_output(&self) -> Option<&Tensor> {
+        self.cached_output.as_ref()
+    }
+
+    fn cached_grad_out(&self) -> Option<&Tensor> {
+        self.cached_grad_out.as_ref()
+    }
+
+    fn out_channels(&self) -> Option<usize> {
+        Some(self.out_features)
+    }
+
+    fn quantizable(&self) -> bool {
+        self.quantize
+    }
+
+    fn weight_len(&self) -> Option<usize> {
+        Some(self.weight.value.len())
+    }
+
+    fn weight_channel_max_abs(&self) -> Option<Vec<f32>> {
+        Some(
+            self.weight
+                .value
+                .as_slice()
+                .chunks(self.in_features)
+                .map(|c| c.iter().fold(0.0f32, |m, &v| m.max(v.abs())))
+                .collect(),
+        )
+    }
+
+    fn set_weight_transform(&mut self, transform: Option<Box<dyn WeightTransform>>) {
+        self.transform = transform;
+    }
+
+    fn clear_cache(&mut self) {
+        self.cached_input = None;
+        self.cached_eff_weight = None;
+        self.cached_output = None;
+        self.cached_grad_out = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_matches_manual_computation() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut lin = Linear::new("fc", 3, 2, true, &mut rng).unwrap();
+        lin.weight.value = Tensor::from_vec(vec![1.0, 0.0, -1.0, 0.5, 0.5, 0.5], &[2, 3]).unwrap();
+        if let Some(b) = &mut lin.bias {
+            b.value = Tensor::from_vec(vec![1.0, -1.0], &[2]).unwrap();
+        }
+        let x = Tensor::from_vec(vec![2.0, 4.0, 6.0], &[1, 3]).unwrap();
+        let y = lin.forward(&x, Phase::Eval).unwrap();
+        // row0: 2-6+1 = -3 ; row1: 1+2+3-1 = 5
+        assert_eq!(y.as_slice(), &[-3.0, 5.0]);
+    }
+
+    #[test]
+    fn backward_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut lin = Linear::new("fc", 4, 3, true, &mut rng).unwrap();
+        let x = Tensor::randn(&[2, 4], 1.0, &mut rng);
+        let y = lin.forward(&x, Phase::Train).unwrap();
+        let gy = Tensor::ones(y.shape());
+        let gx = lin.backward(&gy).unwrap();
+        let eps = 1e-2f32;
+        // input grad
+        for idx in 0..8 {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let fd = (lin.forward(&xp, Phase::Train).unwrap().sum()
+                - lin.forward(&xm, Phase::Train).unwrap().sum())
+                / (2.0 * eps);
+            assert!((fd - gx.as_slice()[idx]).abs() < 1e-2, "input[{idx}]");
+        }
+        // weight grad (recompute cleanly)
+        let mut lin2 = Linear::new("fc", 4, 3, true, &mut rng).unwrap();
+        lin2.forward(&x, Phase::Train).unwrap();
+        lin2.backward(&gy).unwrap();
+        let mut wgrad = Tensor::zeros(&[1]);
+        lin2.visit_params(&mut |p| {
+            if p.name.ends_with("weight") {
+                wgrad = p.grad.clone();
+            }
+        });
+        for idx in [0usize, 5, 11] {
+            let mut wp = lin2.weight.value.clone();
+            wp.as_mut_slice()[idx] += eps;
+            let mut wm = lin2.weight.value.clone();
+            wm.as_mut_slice()[idx] -= eps;
+            let orig = lin2.weight.value.clone();
+            lin2.weight.value = wp;
+            let lp = lin2.forward(&x, Phase::Train).unwrap().sum();
+            lin2.weight.value = wm;
+            let lm = lin2.forward(&x, Phase::Train).unwrap().sum();
+            lin2.weight.value = orig;
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!((fd - wgrad.as_slice()[idx]).abs() < 1e-2, "weight[{idx}]");
+        }
+    }
+
+    #[test]
+    fn bias_grad_is_column_sum() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut lin = Linear::new("fc", 2, 2, true, &mut rng).unwrap();
+        let x = Tensor::randn(&[3, 2], 1.0, &mut rng);
+        lin.forward(&x, Phase::Train).unwrap();
+        let gy = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[3, 2]).unwrap();
+        lin.backward(&gy).unwrap();
+        lin.visit_params(&mut |p| {
+            if p.name.ends_with("bias") {
+                assert_eq!(p.grad.as_slice(), &[9.0, 12.0]);
+            }
+        });
+    }
+
+    #[test]
+    fn rejects_wrong_rank() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut lin = Linear::new("fc", 4, 2, true, &mut rng).unwrap();
+        let x = Tensor::zeros(&[4]);
+        assert!(lin.forward(&x, Phase::Eval).is_err());
+    }
+
+    #[test]
+    fn zero_dims_rejected() {
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(Linear::new("fc", 0, 2, true, &mut rng).is_err());
+        assert!(Linear::new("fc", 2, 0, true, &mut rng).is_err());
+    }
+}

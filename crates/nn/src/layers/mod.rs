@@ -1,0 +1,20 @@
+//! The layer zoo: convolution, linear, batch-norm, ReLU, pooling, flatten
+//! and the residual basic block.
+
+mod batchnorm;
+mod conv;
+mod dropout;
+mod flatten;
+mod linear;
+mod pool;
+mod relu;
+mod residual;
+
+pub use batchnorm::BatchNorm2d;
+pub use conv::Conv2d;
+pub use dropout::Dropout;
+pub use flatten::Flatten;
+pub use linear::Linear;
+pub use pool::{AvgPool2dLayer, GlobalAvgPoolLayer, MaxPool2dLayer};
+pub use relu::Relu;
+pub use residual::BasicBlock;

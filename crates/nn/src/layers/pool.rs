@@ -1,0 +1,218 @@
+use crate::{Layer, LayerKind, NnError, Param, Phase, Result};
+use cbq_tensor::{
+    avg_pool2d, avg_pool2d_backward, global_avg_pool, global_avg_pool_backward, max_pool2d,
+    max_pool2d_backward, MaxPoolIndices, PoolSpec, Tensor,
+};
+
+/// Max-pooling layer.
+#[derive(Debug)]
+pub struct MaxPool2dLayer {
+    spec: PoolSpec,
+    name: String,
+    cached_indices: Option<MaxPoolIndices>,
+}
+
+impl MaxPool2dLayer {
+    /// Creates a max-pool layer; `kernel`/`stride` of 2/2 halves the map.
+    pub fn new(name: impl Into<String>, kernel: usize, stride: usize) -> Self {
+        MaxPool2dLayer {
+            spec: PoolSpec::new(kernel, stride),
+            name: name.into(),
+            cached_indices: None,
+        }
+    }
+}
+
+impl Layer for MaxPool2dLayer {
+    fn forward(&mut self, x: &Tensor, _phase: Phase) -> Result<Tensor> {
+        let (out, idx) = max_pool2d(x, self.spec)?;
+        self.cached_indices = Some(idx);
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let idx = self
+            .cached_indices
+            .as_ref()
+            .ok_or_else(|| NnError::BackwardBeforeForward {
+                layer: self.name.clone(),
+            })?;
+        Ok(max_pool2d_backward(grad_out, idx)?)
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn visit_layers_mut(&mut self, f: &mut dyn FnMut(&mut dyn Layer)) {
+        f(self);
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Pool
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn clear_cache(&mut self) {
+        self.cached_indices = None;
+    }
+}
+
+/// Average-pooling layer.
+#[derive(Debug)]
+pub struct AvgPool2dLayer {
+    spec: PoolSpec,
+    name: String,
+    cached_dims: Option<[usize; 4]>,
+}
+
+impl AvgPool2dLayer {
+    /// Creates an average-pool layer.
+    pub fn new(name: impl Into<String>, kernel: usize, stride: usize) -> Self {
+        AvgPool2dLayer {
+            spec: PoolSpec::new(kernel, stride),
+            name: name.into(),
+            cached_dims: None,
+        }
+    }
+}
+
+impl Layer for AvgPool2dLayer {
+    fn forward(&mut self, x: &Tensor, _phase: Phase) -> Result<Tensor> {
+        let dims = [x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]];
+        let out = avg_pool2d(x, self.spec)?;
+        self.cached_dims = Some(dims);
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let dims = self
+            .cached_dims
+            .ok_or_else(|| NnError::BackwardBeforeForward {
+                layer: self.name.clone(),
+            })?;
+        Ok(avg_pool2d_backward(grad_out, dims, self.spec)?)
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn visit_layers_mut(&mut self, f: &mut dyn FnMut(&mut dyn Layer)) {
+        f(self);
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Pool
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn clear_cache(&mut self) {
+        self.cached_dims = None;
+    }
+}
+
+/// Global average pooling `[N, C, H, W] -> [N, C]` (the ResNet head).
+#[derive(Debug)]
+pub struct GlobalAvgPoolLayer {
+    name: String,
+    cached_dims: Option<[usize; 4]>,
+}
+
+impl GlobalAvgPoolLayer {
+    /// Creates a global average-pool layer.
+    pub fn new(name: impl Into<String>) -> Self {
+        GlobalAvgPoolLayer {
+            name: name.into(),
+            cached_dims: None,
+        }
+    }
+}
+
+impl Layer for GlobalAvgPoolLayer {
+    fn forward(&mut self, x: &Tensor, _phase: Phase) -> Result<Tensor> {
+        let dims = [x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]];
+        let out = global_avg_pool(x)?;
+        self.cached_dims = Some(dims);
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let dims = self
+            .cached_dims
+            .ok_or_else(|| NnError::BackwardBeforeForward {
+                layer: self.name.clone(),
+            })?;
+        Ok(global_avg_pool_backward(grad_out, dims)?)
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn visit_layers_mut(&mut self, f: &mut dyn FnMut(&mut dyn Layer)) {
+        f(self);
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Pool
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn clear_cache(&mut self) {
+        self.cached_dims = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_pool_layer_round_trip() {
+        let mut p = MaxPool2dLayer::new("mp", 2, 2);
+        let x = Tensor::from_vec((1..=16).map(|v| v as f32).collect(), &[1, 1, 4, 4]).unwrap();
+        let y = p.forward(&x, Phase::Eval).unwrap();
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        let gy = Tensor::ones(y.shape());
+        let gx = p.backward(&gy).unwrap();
+        assert_eq!(gx.sum(), 4.0);
+    }
+
+    #[test]
+    fn avg_pool_layer_round_trip() {
+        let mut p = AvgPool2dLayer::new("ap", 2, 2);
+        let x = Tensor::ones(&[1, 1, 4, 4]);
+        let y = p.forward(&x, Phase::Eval).unwrap();
+        assert!(y.as_slice().iter().all(|&v| (v - 1.0).abs() < 1e-6));
+        let gx = p.backward(&Tensor::ones(y.shape())).unwrap();
+        assert!((gx.sum() - 4.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn global_pool_layer_round_trip() {
+        let mut p = GlobalAvgPoolLayer::new("gap");
+        let x = Tensor::ones(&[2, 3, 4, 4]);
+        let y = p.forward(&x, Phase::Eval).unwrap();
+        assert_eq!(y.shape(), &[2, 3]);
+        let gx = p.backward(&Tensor::ones(&[2, 3])).unwrap();
+        assert_eq!(gx.shape(), &[2, 3, 4, 4]);
+        assert!((gx.sum() - 6.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn backward_before_forward_errors() {
+        assert!(MaxPool2dLayer::new("p", 2, 2)
+            .backward(&Tensor::zeros(&[1, 1, 1, 1]))
+            .is_err());
+        assert!(AvgPool2dLayer::new("p", 2, 2)
+            .backward(&Tensor::zeros(&[1, 1, 1, 1]))
+            .is_err());
+        assert!(GlobalAvgPoolLayer::new("p")
+            .backward(&Tensor::zeros(&[1, 1]))
+            .is_err());
+    }
+}

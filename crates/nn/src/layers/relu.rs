@@ -1,0 +1,184 @@
+use crate::{ActivationQuantizer, Layer, LayerKind, NnError, Param, Phase, Result};
+use cbq_tensor::Tensor;
+
+/// Rectified linear activation, optionally followed by an installed
+/// [`ActivationQuantizer`].
+///
+/// ReLU layers are the *importance taps* of the class-based quantization
+/// algorithm: they cache their output activations and the upstream
+/// gradient of the most recent backward pass, so the scorer can read the
+/// Taylor term `|a · ∂Φ/∂a|` (paper Eq. 5) without touching layer
+/// internals. When an activation quantizer is installed, the cached
+/// output is the *quantized* activation and the backward pass applies the
+/// quantizer's straight-through mask before the ReLU mask.
+#[derive(Debug, Default)]
+pub struct Relu {
+    name: String,
+    quantizer: Option<Box<dyn ActivationQuantizer>>,
+    cached_relu_out: Option<Tensor>,
+    cached_quant_mask: Option<Tensor>,
+    cached_output: Option<Tensor>,
+    cached_grad_out: Option<Tensor>,
+}
+
+impl Relu {
+    /// Creates a named ReLU.
+    pub fn new(name: impl Into<String>) -> Self {
+        Relu {
+            name: name.into(),
+            quantizer: None,
+            cached_relu_out: None,
+            cached_quant_mask: None,
+            cached_output: None,
+            cached_grad_out: None,
+        }
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, x: &Tensor, _phase: Phase) -> Result<Tensor> {
+        let relu_out = x.map(|v| v.max(0.0));
+        let (out, mask) = match &mut self.quantizer {
+            Some(q) => {
+                let (out, mask) = q.apply(&relu_out);
+                (out, Some(mask))
+            }
+            None => (relu_out.clone(), None),
+        };
+        self.cached_relu_out = Some(relu_out);
+        self.cached_quant_mask = mask;
+        self.cached_output = Some(out.clone());
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let relu_out =
+            self.cached_relu_out
+                .as_ref()
+                .ok_or_else(|| NnError::BackwardBeforeForward {
+                    layer: self.name.clone(),
+                })?;
+        let after_quant = match &self.cached_quant_mask {
+            Some(mask) => grad_out.mul(mask)?,
+            None => grad_out.clone(),
+        };
+        let grad_in = relu_out.zip_map(&after_quant, |o, g| if o > 0.0 { g } else { 0.0 })?;
+        self.cached_grad_out = Some(grad_out.clone());
+        Ok(grad_in)
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn visit_layers_mut(&mut self, f: &mut dyn FnMut(&mut dyn Layer)) {
+        f(self);
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Relu
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn cached_output(&self) -> Option<&Tensor> {
+        self.cached_output.as_ref()
+    }
+
+    fn cached_grad_out(&self) -> Option<&Tensor> {
+        self.cached_grad_out.as_ref()
+    }
+
+    fn set_activation_quantizer(&mut self, quantizer: Option<Box<dyn ActivationQuantizer>>) {
+        self.quantizer = quantizer;
+    }
+
+    fn activation_quantizer_mut(&mut self) -> Option<&mut (dyn ActivationQuantizer + 'static)> {
+        self.quantizer.as_deref_mut()
+    }
+
+    fn clear_cache(&mut self) {
+        self.cached_relu_out = None;
+        self.cached_quant_mask = None;
+        self.cached_output = None;
+        self.cached_grad_out = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_clamps_negatives() {
+        let mut r = Relu::new("r");
+        let x = Tensor::from_vec(vec![-1.0, 0.0, 2.0], &[3]).unwrap();
+        let y = r.forward(&x, Phase::Eval).unwrap();
+        assert_eq!(y.as_slice(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn backward_masks_gradient() {
+        let mut r = Relu::new("r");
+        let x = Tensor::from_vec(vec![-1.0, 3.0], &[2]).unwrap();
+        r.forward(&x, Phase::Train).unwrap();
+        let gy = Tensor::from_vec(vec![5.0, 7.0], &[2]).unwrap();
+        let gx = r.backward(&gy).unwrap();
+        assert_eq!(gx.as_slice(), &[0.0, 7.0]);
+    }
+
+    #[test]
+    fn taps_expose_activation_and_grad() {
+        let mut r = Relu::new("r");
+        let x = Tensor::from_vec(vec![1.0, -2.0], &[2]).unwrap();
+        r.forward(&x, Phase::Eval).unwrap();
+        let gy = Tensor::from_vec(vec![0.5, 0.5], &[2]).unwrap();
+        r.backward(&gy).unwrap();
+        assert_eq!(r.cached_output().unwrap().as_slice(), &[1.0, 0.0]);
+        assert_eq!(r.cached_grad_out().unwrap().as_slice(), &[0.5, 0.5]);
+        r.clear_cache();
+        assert!(r.cached_output().is_none());
+    }
+
+    #[test]
+    fn backward_before_forward_errors() {
+        let mut r = Relu::new("r");
+        assert!(r.backward(&Tensor::zeros(&[1])).is_err());
+    }
+
+    #[derive(Debug)]
+    struct HalveAboveOne {
+        bits: Option<u8>,
+    }
+    impl ActivationQuantizer for HalveAboveOne {
+        fn apply(&mut self, x: &Tensor) -> (Tensor, Tensor) {
+            // clip at 1.0: output min(x, 1), mask 1 where x <= 1
+            let out = x.map(|v| v.min(1.0));
+            let mask = x.map(|v| if v <= 1.0 { 1.0 } else { 0.0 });
+            (out, mask)
+        }
+        fn set_bits(&mut self, bits: Option<u8>) {
+            self.bits = bits;
+        }
+        fn bits(&self) -> Option<u8> {
+            self.bits
+        }
+        fn set_calibrating(&mut self, _on: bool) {}
+        fn clip(&self) -> f32 {
+            1.0
+        }
+    }
+
+    #[test]
+    fn installed_quantizer_shapes_forward_and_backward() {
+        let mut r = Relu::new("r");
+        r.set_activation_quantizer(Some(Box::new(HalveAboveOne { bits: Some(2) })));
+        let x = Tensor::from_vec(vec![-1.0, 0.5, 3.0], &[3]).unwrap();
+        let y = r.forward(&x, Phase::Train).unwrap();
+        assert_eq!(y.as_slice(), &[0.0, 0.5, 1.0]);
+        let gx = r.backward(&Tensor::ones(&[3])).unwrap();
+        // -1: relu-masked; 0.5 passes; 3.0: clipped by quantizer
+        assert_eq!(gx.as_slice(), &[0.0, 1.0, 0.0]);
+        assert_eq!(r.activation_quantizer_mut().unwrap().bits(), Some(2));
+    }
+}

@@ -1,0 +1,277 @@
+use crate::layers::{BatchNorm2d, Conv2d, Relu};
+use crate::{Layer, LayerKind, NnError, Param, Phase, Result};
+use cbq_tensor::Tensor;
+use rand::Rng;
+
+/// The ResNet basic block: two 3×3 conv/BN stages plus a skip connection,
+/// with a ReLU after the residual addition.
+///
+/// When the block changes resolution or width, the skip path is a strided
+/// 1×1 convolution + BN (the standard "option B" projection shortcut).
+#[derive(Debug)]
+pub struct BasicBlock {
+    conv1: Conv2d,
+    bn1: BatchNorm2d,
+    relu1: Relu,
+    conv2: Conv2d,
+    bn2: BatchNorm2d,
+    downsample: Option<(Conv2d, BatchNorm2d)>,
+    relu2: Relu,
+    name: String,
+    cached_input: Option<Tensor>,
+}
+
+impl BasicBlock {
+    /// Creates a basic block mapping `in_channels` to `out_channels` with
+    /// the given stride on the first convolution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] for zero-sized arguments.
+    pub fn new(
+        name: impl Into<String>,
+        in_channels: usize,
+        out_channels: usize,
+        stride: usize,
+        rng: &mut impl Rng,
+    ) -> Result<Self> {
+        let name = name.into();
+        let conv1 = Conv2d::new(
+            format!("{name}.conv1"),
+            in_channels,
+            out_channels,
+            3,
+            stride,
+            1,
+            false,
+            rng,
+        )?;
+        let bn1 = BatchNorm2d::new(format!("{name}.bn1"), out_channels)?;
+        let relu1 = Relu::new(format!("{name}.relu1"));
+        let conv2 = Conv2d::new(
+            format!("{name}.conv2"),
+            out_channels,
+            out_channels,
+            3,
+            1,
+            1,
+            false,
+            rng,
+        )?;
+        let bn2 = BatchNorm2d::new(format!("{name}.bn2"), out_channels)?;
+        let downsample = if stride != 1 || in_channels != out_channels {
+            Some((
+                Conv2d::new(
+                    format!("{name}.downsample.conv"),
+                    in_channels,
+                    out_channels,
+                    1,
+                    stride,
+                    0,
+                    false,
+                    rng,
+                )?,
+                BatchNorm2d::new(format!("{name}.downsample.bn"), out_channels)?,
+            ))
+        } else {
+            None
+        };
+        let relu2 = Relu::new(format!("{name}.relu2"));
+        Ok(BasicBlock {
+            conv1,
+            bn1,
+            relu1,
+            conv2,
+            bn2,
+            downsample,
+            relu2,
+            name,
+            cached_input: None,
+        })
+    }
+
+    /// Whether the block uses a projection shortcut.
+    pub fn has_downsample(&self) -> bool {
+        self.downsample.is_some()
+    }
+}
+
+impl Layer for BasicBlock {
+    fn forward(&mut self, x: &Tensor, phase: Phase) -> Result<Tensor> {
+        let main = self.conv1.forward(x, phase)?;
+        let main = self.bn1.forward(&main, phase)?;
+        let main = self.relu1.forward(&main, phase)?;
+        let main = self.conv2.forward(&main, phase)?;
+        let main = self.bn2.forward(&main, phase)?;
+        let skip = match &mut self.downsample {
+            Some((conv, bn)) => {
+                let s = conv.forward(x, phase)?;
+                bn.forward(&s, phase)?
+            }
+            None => x.clone(),
+        };
+        let summed = main.add(&skip)?;
+        self.cached_input = Some(x.clone());
+        self.relu2.forward(&summed, phase)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        if self.cached_input.is_none() {
+            return Err(NnError::BackwardBeforeForward {
+                layer: self.name.clone(),
+            });
+        }
+        let g_sum = self.relu2.backward(grad_out)?;
+        // Main path.
+        let g = self.bn2.backward(&g_sum)?;
+        let g = self.conv2.backward(&g)?;
+        let g = self.relu1.backward(&g)?;
+        let g = self.bn1.backward(&g)?;
+        let g_main = self.conv1.backward(&g)?;
+        // Skip path.
+        let g_skip = match &mut self.downsample {
+            Some((conv, bn)) => {
+                let g = bn.backward(&g_sum)?;
+                conv.backward(&g)?
+            }
+            None => g_sum,
+        };
+        Ok(g_main.add(&g_skip)?)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.conv1.visit_params(f);
+        self.bn1.visit_params(f);
+        self.conv2.visit_params(f);
+        self.bn2.visit_params(f);
+        if let Some((conv, bn)) = &mut self.downsample {
+            conv.visit_params(f);
+            bn.visit_params(f);
+        }
+    }
+
+    fn visit_layers_mut(&mut self, f: &mut dyn FnMut(&mut dyn Layer)) {
+        self.conv1.visit_layers_mut(f);
+        self.bn1.visit_layers_mut(f);
+        self.relu1.visit_layers_mut(f);
+        self.conv2.visit_layers_mut(f);
+        self.bn2.visit_layers_mut(f);
+        if let Some((conv, bn)) = &mut self.downsample {
+            conv.visit_layers_mut(f);
+            bn.visit_layers_mut(f);
+        }
+        self.relu2.visit_layers_mut(f);
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Container
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn clear_cache(&mut self) {
+        self.conv1.clear_cache();
+        self.bn1.clear_cache();
+        self.relu1.clear_cache();
+        self.conv2.clear_cache();
+        self.bn2.clear_cache();
+        if let Some((conv, bn)) = &mut self.downsample {
+            conv.clear_cache();
+            bn.clear_cache();
+        }
+        self.relu2.clear_cache();
+        self.cached_input = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identity_block_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut block = BasicBlock::new("b", 4, 4, 1, &mut rng).unwrap();
+        assert!(!block.has_downsample());
+        let x = Tensor::randn(&[2, 4, 6, 6], 1.0, &mut rng);
+        let y = block.forward(&x, Phase::Train).unwrap();
+        assert_eq!(y.shape(), &[2, 4, 6, 6]);
+    }
+
+    #[test]
+    fn downsample_block_halves_resolution() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut block = BasicBlock::new("b", 4, 8, 2, &mut rng).unwrap();
+        assert!(block.has_downsample());
+        let x = Tensor::randn(&[1, 4, 6, 6], 1.0, &mut rng);
+        let y = block.forward(&x, Phase::Train).unwrap();
+        assert_eq!(y.shape(), &[1, 8, 3, 3]);
+    }
+
+    #[test]
+    fn backward_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut block = BasicBlock::new("b", 2, 2, 1, &mut rng).unwrap();
+        let x = Tensor::randn(&[1, 2, 4, 4], 1.0, &mut rng);
+        block.forward(&x, Phase::Train).unwrap();
+        let gy = Tensor::ones(&[1, 2, 4, 4]);
+        let gx = block.backward(&gy).unwrap();
+        let eps = 1e-2f32;
+        for idx in [0usize, 9, 18, 27] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let fd = (block.forward(&xp, Phase::Train).unwrap().sum()
+                - block.forward(&xm, Phase::Train).unwrap().sum())
+                / (2.0 * eps);
+            assert!(
+                (fd - gx.as_slice()[idx]).abs() < 5e-2,
+                "x[{idx}]: fd {fd} vs {}",
+                gx.as_slice()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn visit_order_puts_relu_after_convs() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut block = BasicBlock::new("b", 2, 4, 2, &mut rng).unwrap();
+        let mut names = Vec::new();
+        block.visit_layers_mut(&mut |l| names.push(l.name().to_string()));
+        assert_eq!(
+            names,
+            vec![
+                "b.conv1",
+                "b.bn1",
+                "b.relu1",
+                "b.conv2",
+                "b.bn2",
+                "b.downsample.conv",
+                "b.downsample.bn",
+                "b.relu2"
+            ]
+        );
+    }
+
+    #[test]
+    fn param_visit_covers_downsample() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut block = BasicBlock::new("b", 2, 4, 2, &mut rng).unwrap();
+        let mut names = Vec::new();
+        block.visit_params(&mut |p| names.push(p.name.clone()));
+        assert!(names.iter().any(|n| n.contains("downsample.conv")));
+        assert!(names.iter().any(|n| n.contains("bn2.gamma")));
+    }
+
+    #[test]
+    fn backward_before_forward_errors() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut block = BasicBlock::new("b", 2, 2, 1, &mut rng).unwrap();
+        assert!(block.backward(&Tensor::zeros(&[1, 2, 4, 4])).is_err());
+    }
+}

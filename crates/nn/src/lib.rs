@@ -1,0 +1,65 @@
+#![warn(missing_docs)]
+
+//! Minimal neural-network training stack for the CBQ reproduction.
+//!
+//! The class-based quantization algorithm needs four capabilities from its
+//! substrate, and this crate provides exactly those:
+//!
+//! 1. **Forward inference** through CNN/MLP classifiers ([`Sequential`],
+//!    the layer zoo in [`layers`]).
+//! 2. **Backward passes that expose per-activation gradients**, so the
+//!    Taylor importance score `|a · ∂Φ/∂a|` (paper Eq. 5) can be read off
+//!    the ReLU taps ([`Layer::cached_output`] / [`Layer::cached_grad_out`]).
+//! 3. **A weight-transform hook** on every weight-bearing layer
+//!    ([`WeightTransform`]), which the `cbq-quant` crate uses for fake
+//!    quantization; gradients flow straight through to the full-precision
+//!    shadow weights, which *is* the straight-through estimator of §III-D.
+//! 4. **SGD training with momentum / weight decay / step LR** ([`Sgd`],
+//!    [`Trainer`]) for the pre-training and refining phases.
+//!
+//! Everything is manual, layer-wise backprop — no tape autograd — so every
+//! gradient is unit-tested against finite differences.
+//!
+//! # Example
+//!
+//! ```
+//! use cbq_nn::{models, losses, Layer, Phase};
+//! use cbq_tensor::Tensor;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let mut net = models::mlp(&[4, 8, 3], &mut rng)?;
+//! let x = Tensor::randn(&[2, 4], 1.0, &mut rng);
+//! let logits = net.forward(&x, Phase::Eval)?;
+//! assert_eq!(logits.shape(), &[2, 3]);
+//! let probs = losses::softmax_rows(&logits)?;
+//! assert!((probs.row(0)?.sum() - 1.0).abs() < 1e-5);
+//! # Ok::<(), cbq_nn::NnError>(())
+//! ```
+
+mod adam;
+mod error;
+mod layer;
+pub mod layers;
+pub mod losses;
+pub mod models;
+mod optim;
+mod param;
+mod sequential;
+mod serialize;
+mod trainer;
+
+pub use adam::{Adam, AdamConfig, CosineLr};
+pub use error::NnError;
+pub use layer::{ActivationQuantizer, Layer, LayerKind, Phase, WeightTransform};
+pub use optim::{Sgd, SgdConfig, StepLr};
+pub use param::Param;
+pub use sequential::Sequential;
+pub use serialize::{load_state_dict, state_dict, StateDict};
+pub use trainer::{
+    evaluate, evaluate_per_class, ClassAccuracy, EpochStats, Trainer, TrainerConfig,
+};
+
+/// Result alias for fallible network operations.
+pub type Result<T> = std::result::Result<T, NnError>;

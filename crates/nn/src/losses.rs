@@ -1,0 +1,328 @@
+//! Classification losses: softmax cross-entropy and the knowledge
+//! distillation loss of the paper's refining phase (Eq. 10).
+
+use crate::{NnError, Result};
+use cbq_tensor::Tensor;
+
+/// Row-wise softmax of a `[B, C]` logits tensor.
+///
+/// # Errors
+///
+/// Returns a rank error for non-rank-2 input.
+pub fn softmax_rows(logits: &Tensor) -> Result<Tensor> {
+    logits.shape_obj().ensure_rank(2)?;
+    let (b, c) = (logits.shape()[0], logits.shape()[1]);
+    let mut out = Tensor::zeros(&[b, c]);
+    let src = logits.as_slice();
+    let dst = out.as_mut_slice();
+    for r in 0..b {
+        let row = &src[r * c..(r + 1) * c];
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut z = 0.0f32;
+        for (j, &v) in row.iter().enumerate() {
+            let e = (v - m).exp();
+            dst[r * c + j] = e;
+            z += e;
+        }
+        for v in &mut dst[r * c..(r + 1) * c] {
+            *v /= z;
+        }
+    }
+    Ok(out)
+}
+
+/// One-hot encodes labels into a `[B, C]` tensor.
+///
+/// # Errors
+///
+/// Returns [`NnError::LabelOutOfRange`] for a label `>= num_classes`.
+pub fn one_hot(labels: &[usize], num_classes: usize) -> Result<Tensor> {
+    let mut out = Tensor::zeros(&[labels.len(), num_classes]);
+    for (i, &l) in labels.iter().enumerate() {
+        if l >= num_classes {
+            return Err(NnError::LabelOutOfRange {
+                label: l,
+                num_classes,
+            });
+        }
+        out.as_mut_slice()[i * num_classes + l] = 1.0;
+    }
+    Ok(out)
+}
+
+/// Mean softmax cross-entropy and its gradient with respect to the logits.
+///
+/// Returns `(loss, grad)` where `grad = (softmax(logits) - onehot) / B`.
+///
+/// # Errors
+///
+/// Returns a batch-size mismatch or label error for inconsistent inputs.
+pub fn cross_entropy(logits: &Tensor, labels: &[usize]) -> Result<(f32, Tensor)> {
+    logits.shape_obj().ensure_rank(2)?;
+    let (b, c) = (logits.shape()[0], logits.shape()[1]);
+    if b != labels.len() {
+        return Err(NnError::BatchMismatch {
+            lhs: b,
+            rhs: labels.len(),
+        });
+    }
+    if b == 0 {
+        return Ok((0.0, Tensor::zeros(&[0, c])));
+    }
+    let probs = softmax_rows(logits)?;
+    let mut loss = 0.0f64;
+    let mut grad = probs.clone();
+    let g = grad.as_mut_slice();
+    for (i, &l) in labels.iter().enumerate() {
+        if l >= c {
+            return Err(NnError::LabelOutOfRange {
+                label: l,
+                num_classes: c,
+            });
+        }
+        let p = probs.as_slice()[i * c + l].max(1e-12);
+        loss -= (p as f64).ln();
+        g[i * c + l] -= 1.0;
+    }
+    let scale = 1.0 / b as f32;
+    for v in g.iter_mut() {
+        *v *= scale;
+    }
+    Ok(((loss / b as f64) as f32, grad))
+}
+
+/// Classification accuracy of logits against labels, in `[0, 1]`.
+///
+/// # Errors
+///
+/// Returns a batch-size mismatch for inconsistent inputs.
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> Result<f32> {
+    let preds = logits.argmax_rows()?;
+    if preds.len() != labels.len() {
+        return Err(NnError::BatchMismatch {
+            lhs: preds.len(),
+            rhs: labels.len(),
+        });
+    }
+    if labels.is_empty() {
+        return Ok(0.0);
+    }
+    let correct = preds.iter().zip(labels).filter(|(p, l)| p == l).count();
+    Ok(correct as f32 / labels.len() as f32)
+}
+
+/// The knowledge-distillation loss of the paper's refining phase
+/// (Eq. 10): `L = alpha * L_ce + (1 - alpha) * KL(teacher ‖ student)`.
+///
+/// The paper's formula as printed, `Σ Y log(Y_fp / Y)`, is the *negative*
+/// KL divergence; minimizing it would push the student away from the
+/// teacher, so — like every KD implementation — we use the standard
+/// direction `KL(teacher ‖ student) = Σ T log(T / S)` (noted in
+/// DESIGN.md).
+///
+/// Returns `(loss, grad)` where the gradient with respect to the student
+/// logits is `[alpha * (S - onehot) + (1 - alpha) * (S - T)] / B`.
+///
+/// # Errors
+///
+/// Returns shape/batch errors for inconsistent operands or an
+/// [`NnError::InvalidConfig`] for `alpha` outside `[0, 1]`.
+pub fn kd_loss(
+    student_logits: &Tensor,
+    teacher_probs: &Tensor,
+    labels: &[usize],
+    alpha: f32,
+) -> Result<(f32, Tensor)> {
+    if !(0.0..=1.0).contains(&alpha) {
+        return Err(NnError::InvalidConfig(format!(
+            "alpha {alpha} outside [0, 1]"
+        )));
+    }
+    student_logits
+        .shape_obj()
+        .ensure_same(teacher_probs.shape_obj())?;
+    let (b, c) = (student_logits.shape()[0], student_logits.shape()[1]);
+    if b != labels.len() {
+        return Err(NnError::BatchMismatch {
+            lhs: b,
+            rhs: labels.len(),
+        });
+    }
+    if b == 0 {
+        return Ok((0.0, Tensor::zeros(&[0, c])));
+    }
+    let s = softmax_rows(student_logits)?;
+    let mut loss = 0.0f64;
+    let mut grad = Tensor::zeros(&[b, c]);
+    let g = grad.as_mut_slice();
+    let sp = s.as_slice();
+    let tp = teacher_probs.as_slice();
+    for (i, &l) in labels.iter().enumerate() {
+        if l >= c {
+            return Err(NnError::LabelOutOfRange {
+                label: l,
+                num_classes: c,
+            });
+        }
+        // cross-entropy term
+        let p = sp[i * c + l].max(1e-12);
+        loss -= alpha as f64 * (p as f64).ln();
+        // KL(T || S) term
+        for j in 0..c {
+            let t = tp[i * c + j];
+            if t > 1e-12 {
+                loss += (1.0 - alpha) as f64
+                    * t as f64
+                    * ((t as f64).ln() - (sp[i * c + j].max(1e-12) as f64).ln());
+            }
+            g[i * c + j] = alpha * sp[i * c + j] + (1.0 - alpha) * (sp[i * c + j] - t);
+        }
+        g[i * c + l] -= alpha;
+    }
+    let scale = 1.0 / b as f32;
+    for v in g.iter_mut() {
+        *v *= scale;
+    }
+    Ok(((loss / b as f64) as f32, grad))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let logits = Tensor::randn(&[5, 7], 3.0, &mut rng);
+        let p = softmax_rows(&logits).unwrap();
+        for r in 0..5 {
+            let s: f32 = p.row(r).unwrap().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+            assert!(p.row(r).unwrap().as_slice().iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let a = Tensor::from_vec(vec![1000.0, 1001.0], &[1, 2]).unwrap();
+        let p = softmax_rows(&a).unwrap();
+        assert!(p.as_slice().iter().all(|v| v.is_finite()));
+        let b = Tensor::from_vec(vec![0.0, 1.0], &[1, 2]).unwrap();
+        let q = softmax_rows(&b).unwrap();
+        for (x, y) in p.as_slice().iter().zip(q.as_slice()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn one_hot_encodes() {
+        let t = one_hot(&[2, 0], 3).unwrap();
+        assert_eq!(t.as_slice(), &[0.0, 0.0, 1.0, 1.0, 0.0, 0.0]);
+        assert!(one_hot(&[3], 3).is_err());
+    }
+
+    #[test]
+    fn cross_entropy_of_perfect_prediction_is_small() {
+        let logits = Tensor::from_vec(vec![20.0, 0.0, 0.0, 0.0, 20.0, 0.0], &[2, 3]).unwrap();
+        let (loss, _) = cross_entropy(&logits, &[0, 1]).unwrap();
+        assert!(loss < 1e-3);
+    }
+
+    #[test]
+    fn cross_entropy_uniform_is_log_c() {
+        let logits = Tensor::zeros(&[4, 8]);
+        let (loss, _) = cross_entropy(&logits, &[0, 1, 2, 3]).unwrap();
+        assert!((loss - (8.0f32).ln()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn cross_entropy_grad_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let logits = Tensor::randn(&[3, 4], 1.0, &mut rng);
+        let labels = [1usize, 3, 0];
+        let (_, grad) = cross_entropy(&logits, &labels).unwrap();
+        let eps = 1e-3f32;
+        for idx in 0..12 {
+            let mut lp = logits.clone();
+            lp.as_mut_slice()[idx] += eps;
+            let mut lm = logits.clone();
+            lm.as_mut_slice()[idx] -= eps;
+            let fd = (cross_entropy(&lp, &labels).unwrap().0
+                - cross_entropy(&lm, &labels).unwrap().0)
+                / (2.0 * eps);
+            assert!((fd - grad.as_slice()[idx]).abs() < 1e-3, "logit[{idx}]");
+        }
+    }
+
+    #[test]
+    fn cross_entropy_grad_rows_sum_to_zero() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let logits = Tensor::randn(&[2, 5], 1.0, &mut rng);
+        let (_, grad) = cross_entropy(&logits, &[0, 4]).unwrap();
+        for r in 0..2 {
+            assert!(grad.row(r).unwrap().sum().abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn accuracy_counts_matches() {
+        let logits = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0], &[3, 2]).unwrap();
+        let acc = accuracy(&logits, &[0, 1, 1]).unwrap();
+        assert!((acc - 2.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn kd_loss_zero_when_student_equals_teacher_and_alpha_zero() {
+        let logits = Tensor::from_vec(vec![1.0, 2.0, 0.5, -1.0], &[2, 2]).unwrap();
+        let teacher = softmax_rows(&logits).unwrap();
+        let (loss, grad) = kd_loss(&logits, &teacher, &[0, 1], 0.0).unwrap();
+        assert!(loss.abs() < 1e-5);
+        assert!(grad.max_abs() < 1e-6);
+    }
+
+    #[test]
+    fn kd_loss_reduces_to_ce_at_alpha_one() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let logits = Tensor::randn(&[3, 4], 1.0, &mut rng);
+        let teacher = softmax_rows(&Tensor::randn(&[3, 4], 1.0, &mut rng)).unwrap();
+        let labels = [0usize, 2, 3];
+        let (kd, kd_grad) = kd_loss(&logits, &teacher, &labels, 1.0).unwrap();
+        let (ce, ce_grad) = cross_entropy(&logits, &labels).unwrap();
+        assert!((kd - ce).abs() < 1e-5);
+        for (a, b) in kd_grad.as_slice().iter().zip(ce_grad.as_slice()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn kd_grad_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let logits = Tensor::randn(&[2, 3], 1.0, &mut rng);
+        let teacher = softmax_rows(&Tensor::randn(&[2, 3], 1.0, &mut rng)).unwrap();
+        let labels = [2usize, 0];
+        let alpha = 0.3;
+        let (_, grad) = kd_loss(&logits, &teacher, &labels, alpha).unwrap();
+        let eps = 1e-3f32;
+        for idx in 0..6 {
+            let mut lp = logits.clone();
+            lp.as_mut_slice()[idx] += eps;
+            let mut lm = logits.clone();
+            lm.as_mut_slice()[idx] -= eps;
+            let fd = (kd_loss(&lp, &teacher, &labels, alpha).unwrap().0
+                - kd_loss(&lm, &teacher, &labels, alpha).unwrap().0)
+                / (2.0 * eps);
+            assert!((fd - grad.as_slice()[idx]).abs() < 1e-3, "logit[{idx}]");
+        }
+    }
+
+    #[test]
+    fn kd_rejects_bad_alpha_and_shapes() {
+        let l = Tensor::zeros(&[1, 2]);
+        let t = Tensor::zeros(&[1, 2]);
+        assert!(kd_loss(&l, &t, &[0], 1.5).is_err());
+        assert!(kd_loss(&l, &Tensor::zeros(&[1, 3]), &[0], 0.5).is_err());
+        assert!(kd_loss(&l, &t, &[0, 1], 0.5).is_err());
+    }
+}

@@ -1,0 +1,358 @@
+//! The paper's model zoo: MLP, VGG-small and ResNet-20 with a width
+//! expansion factor.
+//!
+//! All builders follow the paper's quantization protocol: the first
+//! weight-bearing layer and the output layer are marked
+//! non-quantizable; everything in between is fair game for the bit-width
+//! search.
+
+use crate::layers::{
+    BasicBlock, BatchNorm2d, Conv2d, Flatten, GlobalAvgPoolLayer, Linear, MaxPool2dLayer, Relu,
+};
+use crate::{NnError, Result, Sequential};
+use rand::Rng;
+
+/// Geometry of VGG-small, scaled for CPU training. The defaults pair with
+/// [`SyntheticSpec::cifar10_like`]'s 3×12×12 images.
+///
+/// [`SyntheticSpec::cifar10_like`]: https://docs.rs/cbq-data
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VggConfig {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Input height.
+    pub height: usize,
+    /// Input width.
+    pub width: usize,
+    /// Width of the first conv pair; the second pair doubles it.
+    pub base_width: usize,
+    /// Width of the first fully-connected layer; fc6/fc7 halve it twice.
+    pub fc_dim: usize,
+    /// Output classes.
+    pub num_classes: usize,
+}
+
+impl VggConfig {
+    /// Default geometry for the synthetic CIFAR-10-like set.
+    pub fn for_input(in_channels: usize, height: usize, width: usize, num_classes: usize) -> Self {
+        VggConfig {
+            in_channels,
+            height,
+            width,
+            base_width: 16,
+            fc_dim: 128,
+            num_classes,
+        }
+    }
+}
+
+/// Geometry of ResNet-20 with the paper's expansion factor (x1 / x5).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResNetConfig {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Base width of the first stage before expansion (16 in the paper;
+    /// smaller here for CPU budgets).
+    pub base_width: usize,
+    /// The paper's expand factor: x1 or x5.
+    pub expand: usize,
+    /// Residual blocks per stage (3 for ResNet-20).
+    pub blocks_per_stage: usize,
+    /// Output classes.
+    pub num_classes: usize,
+}
+
+impl ResNetConfig {
+    /// ResNet-20-x`expand` on `in_channels` input with `num_classes`
+    /// outputs, base width 8 (CPU-scaled from the paper's 16).
+    pub fn resnet20(in_channels: usize, expand: usize, num_classes: usize) -> Self {
+        ResNetConfig {
+            in_channels,
+            base_width: 8,
+            expand,
+            blocks_per_stage: 3,
+            num_classes,
+        }
+    }
+}
+
+/// Builds a multi-layer perceptron with ReLU between layers.
+///
+/// `sizes` lists the layer widths including input and output, e.g.
+/// `&[784, 128, 64, 10]`. The first and last linear layers are excluded
+/// from quantization per the paper's protocol.
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidConfig`] for fewer than two sizes or a zero
+/// width.
+pub fn mlp(sizes: &[usize], rng: &mut impl Rng) -> Result<Sequential> {
+    if sizes.len() < 2 {
+        return Err(NnError::InvalidConfig(
+            "mlp needs at least input and output sizes".into(),
+        ));
+    }
+    let mut net = Sequential::new("mlp");
+    // Accept [N, C, H, W] image batches as well as flat [N, F] features.
+    net.push(Flatten::new("flatten0"));
+    let last = sizes.len() - 2;
+    for (i, pair) in sizes.windows(2).enumerate() {
+        let layer = Linear::new(format!("fc{}", i + 1), pair[0], pair[1], true, rng)?;
+        let layer = if i == 0 || i == last {
+            layer.without_quantization()
+        } else {
+            layer
+        };
+        net.push(layer);
+        if i != last {
+            net.push(Relu::new(format!("relu{}", i + 1)));
+        }
+    }
+    Ok(net)
+}
+
+/// Builds VGG-small: four 3×3 conv layers (two width tiers with max-pool
+/// between), then three fully-connected layers and the classifier head.
+///
+/// Layer numbering follows the paper's Figure 6: conv1–conv4 are layers
+/// 1–4, fc5–fc7 are layers 5–7, and fc8 is the unquantized output layer.
+///
+/// # Example
+///
+/// ```
+/// use cbq_nn::{models, Layer, Phase};
+/// use cbq_tensor::Tensor;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// # fn main() -> Result<(), cbq_nn::NnError> {
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let cfg = models::VggConfig::for_input(3, 12, 12, 10);
+/// let mut net = models::vgg_small(&cfg, &mut rng)?;
+/// let logits = net.forward(&Tensor::zeros(&[1, 3, 12, 12]), Phase::Eval)?;
+/// assert_eq!(logits.shape(), &[1, 10]);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidConfig`] when the spatial size does not
+/// survive two 2× poolings or any width is zero.
+pub fn vgg_small(config: &VggConfig, rng: &mut impl Rng) -> Result<Sequential> {
+    let VggConfig {
+        in_channels,
+        height,
+        width,
+        base_width,
+        fc_dim,
+        num_classes,
+    } = *config;
+    if base_width == 0 || fc_dim < 4 || num_classes == 0 {
+        return Err(NnError::InvalidConfig(
+            "vgg widths must be positive (fc_dim >= 4)".into(),
+        ));
+    }
+    if height % 4 != 0 || width % 4 != 0 || height < 4 || width < 4 {
+        return Err(NnError::InvalidConfig(format!(
+            "vgg-small needs input divisible by 4, got {height}x{width}"
+        )));
+    }
+    let w2 = base_width * 2;
+    let (fh, fw) = (height / 4, width / 4);
+    let mut net = Sequential::new("vgg_small");
+    net.push(
+        Conv2d::new("conv1", in_channels, base_width, 3, 1, 1, false, rng)?.without_quantization(),
+    );
+    net.push(BatchNorm2d::new("bn1", base_width)?);
+    net.push(Relu::new("relu1"));
+    net.push(Conv2d::new(
+        "conv2", base_width, base_width, 3, 1, 1, false, rng,
+    )?);
+    net.push(BatchNorm2d::new("bn2", base_width)?);
+    net.push(Relu::new("relu2"));
+    net.push(MaxPool2dLayer::new("pool2", 2, 2));
+    net.push(Conv2d::new("conv3", base_width, w2, 3, 1, 1, false, rng)?);
+    net.push(BatchNorm2d::new("bn3", w2)?);
+    net.push(Relu::new("relu3"));
+    net.push(Conv2d::new("conv4", w2, w2, 3, 1, 1, false, rng)?);
+    net.push(BatchNorm2d::new("bn4", w2)?);
+    net.push(Relu::new("relu4"));
+    net.push(MaxPool2dLayer::new("pool4", 2, 2));
+    net.push(Flatten::new("flatten"));
+    net.push(Linear::new("fc5", w2 * fh * fw, fc_dim, true, rng)?);
+    net.push(Relu::new("relu5"));
+    net.push(Linear::new("fc6", fc_dim, fc_dim / 2, true, rng)?);
+    net.push(Relu::new("relu6"));
+    net.push(Linear::new("fc7", fc_dim / 2, fc_dim / 4, true, rng)?);
+    net.push(Relu::new("relu7"));
+    net.push(Linear::new("fc8", fc_dim / 4, num_classes, true, rng)?.without_quantization());
+    Ok(net)
+}
+
+/// Builds ResNet-20 (3 stages × `blocks_per_stage` basic blocks) with the
+/// paper's width expansion factor.
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidConfig`] for zero-valued fields.
+pub fn resnet20(config: &ResNetConfig, rng: &mut impl Rng) -> Result<Sequential> {
+    let ResNetConfig {
+        in_channels,
+        base_width,
+        expand,
+        blocks_per_stage,
+        num_classes,
+    } = *config;
+    if base_width == 0 || expand == 0 || blocks_per_stage == 0 || num_classes == 0 {
+        return Err(NnError::InvalidConfig(
+            "resnet fields must be positive".into(),
+        ));
+    }
+    let w1 = base_width * expand;
+    let mut net = Sequential::new(format!("resnet20_x{expand}"));
+    net.push(Conv2d::new("conv1", in_channels, w1, 3, 1, 1, false, rng)?.without_quantization());
+    net.push(BatchNorm2d::new("bn1", w1)?);
+    net.push(Relu::new("relu1"));
+    let widths = [w1, w1 * 2, w1 * 4];
+    let mut in_w = w1;
+    for (s, &w) in widths.iter().enumerate() {
+        for b in 0..blocks_per_stage {
+            let stride = if s > 0 && b == 0 { 2 } else { 1 };
+            net.push(BasicBlock::new(
+                format!("stage{}.block{}", s + 1, b + 1),
+                in_w,
+                w,
+                stride,
+                rng,
+            )?);
+            in_w = w;
+        }
+    }
+    net.push(GlobalAvgPoolLayer::new("gap"));
+    net.push(Linear::new("fc", in_w, num_classes, true, rng)?.without_quantization());
+    Ok(net)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Layer, LayerKind, Phase};
+    use cbq_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mlp_shapes_and_quant_flags() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut net = mlp(&[6, 8, 4, 3], &mut rng).unwrap();
+        let y = net.forward(&Tensor::zeros(&[2, 6]), Phase::Eval).unwrap();
+        assert_eq!(y.shape(), &[2, 3]);
+        let mut flags = Vec::new();
+        net.visit_layers_mut(&mut |l| {
+            if l.kind() == LayerKind::Linear {
+                flags.push((l.name().to_string(), l.quantizable()));
+            }
+        });
+        assert_eq!(
+            flags,
+            vec![
+                ("fc1".into(), false),
+                ("fc2".into(), true),
+                ("fc3".into(), false)
+            ]
+        );
+    }
+
+    #[test]
+    fn mlp_rejects_too_few_sizes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(mlp(&[5], &mut rng).is_err());
+    }
+
+    #[test]
+    fn vgg_small_forward_shape() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let cfg = VggConfig::for_input(3, 12, 12, 10);
+        let mut net = vgg_small(&cfg, &mut rng).unwrap();
+        let x = Tensor::randn(&[2, 3, 12, 12], 1.0, &mut rng);
+        let y = net.forward(&x, Phase::Eval).unwrap();
+        assert_eq!(y.shape(), &[2, 10]);
+    }
+
+    #[test]
+    fn vgg_small_quant_units_are_layers_2_to_7() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let cfg = VggConfig::for_input(3, 12, 12, 10);
+        let mut net = vgg_small(&cfg, &mut rng).unwrap();
+        let mut units = Vec::new();
+        net.visit_layers_mut(&mut |l| {
+            if l.quantizable() {
+                units.push(l.name().to_string());
+            }
+        });
+        assert_eq!(units, vec!["conv2", "conv3", "conv4", "fc5", "fc6", "fc7"]);
+    }
+
+    #[test]
+    fn vgg_rejects_bad_geometry() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let cfg = VggConfig::for_input(3, 10, 12, 10);
+        assert!(vgg_small(&cfg, &mut rng).is_err());
+    }
+
+    #[test]
+    fn resnet20_forward_shape_and_depth() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let cfg = ResNetConfig::resnet20(3, 1, 10);
+        let mut net = resnet20(&cfg, &mut rng).unwrap();
+        let x = Tensor::randn(&[2, 3, 12, 12], 1.0, &mut rng);
+        let y = net.forward(&x, Phase::Eval).unwrap();
+        assert_eq!(y.shape(), &[2, 10]);
+        // 20 weight layers: conv1 + 9 blocks * 2 convs + fc = 20 (plus
+        // 2 downsample convs).
+        let mut convs = 0;
+        let mut linears = 0;
+        net.visit_layers_mut(&mut |l| match l.kind() {
+            LayerKind::Conv2d => convs += 1,
+            LayerKind::Linear => linears += 1,
+            _ => {}
+        });
+        assert_eq!(convs, 1 + 9 * 2 + 2);
+        assert_eq!(linears, 1);
+    }
+
+    #[test]
+    fn resnet20_expand_multiplies_width() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut n1 = resnet20(&ResNetConfig::resnet20(3, 1, 10), &mut rng).unwrap();
+        let mut n5 = resnet20(&ResNetConfig::resnet20(3, 5, 10), &mut rng).unwrap();
+        let p1 = n1.param_count();
+        let p5 = n5.param_count();
+        assert!(p5 > p1 * 15, "x5 should be ~25x larger: {p1} vs {p5}");
+    }
+
+    #[test]
+    fn resnet_first_and_output_not_quantizable() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut net = resnet20(&ResNetConfig::resnet20(3, 1, 10), &mut rng).unwrap();
+        let mut first_last = Vec::new();
+        net.visit_layers_mut(&mut |l| {
+            if l.name() == "conv1" || l.name() == "fc" {
+                first_last.push(l.quantizable());
+            }
+        });
+        assert_eq!(first_last, vec![false, false]);
+    }
+
+    #[test]
+    fn resnet_trains_one_step_without_error() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut net = resnet20(&ResNetConfig::resnet20(1, 1, 4), &mut rng).unwrap();
+        let x = Tensor::randn(&[2, 1, 8, 8], 1.0, &mut rng);
+        let y = net.forward(&x, Phase::Train).unwrap();
+        let (_, grad) = crate::losses::cross_entropy(&y, &[0, 1]).unwrap();
+        net.backward(&grad).unwrap();
+        let mut opt = crate::Sgd::new(crate::SgdConfig::resnet(0.1));
+        opt.step(&mut net).unwrap();
+    }
+}

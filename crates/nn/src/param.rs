@@ -1,0 +1,72 @@
+use cbq_tensor::Tensor;
+
+/// One learnable parameter: its value, accumulated gradient, and training
+/// metadata.
+///
+/// Optimizers walk parameters through [`Layer::visit_params`] in a stable
+/// order, so per-parameter optimizer state (momentum buffers) can be kept
+/// positionally.
+///
+/// [`Layer::visit_params`]: crate::Layer::visit_params
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Current value.
+    pub value: Tensor,
+    /// Gradient accumulated by the last backward pass(es).
+    pub grad: Tensor,
+    /// Whether weight decay applies (disabled for biases and batch-norm
+    /// affine parameters, matching common CIFAR training practice).
+    pub weight_decay: bool,
+    /// Human-readable name, e.g. `"conv2.weight"`.
+    pub name: String,
+}
+
+impl Param {
+    /// Creates a parameter with a zeroed gradient buffer.
+    pub fn new(value: Tensor, weight_decay: bool, name: impl Into<String>) -> Self {
+        let grad = Tensor::zeros(value.shape());
+        Param {
+            value,
+            grad,
+            weight_decay,
+            name: name.into(),
+        }
+    }
+
+    /// Clears the gradient buffer.
+    pub fn zero_grad(&mut self) {
+        self.grad.fill(0.0);
+    }
+
+    /// Number of scalar elements in the parameter.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// Whether the parameter is empty.
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_param_has_zero_grad() {
+        let p = Param::new(Tensor::ones(&[2, 3]), true, "w");
+        assert_eq!(p.grad.shape(), &[2, 3]);
+        assert!(p.grad.as_slice().iter().all(|&g| g == 0.0));
+        assert_eq!(p.len(), 6);
+        assert_eq!(p.name, "w");
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut p = Param::new(Tensor::ones(&[2]), false, "b");
+        p.grad = Tensor::ones(&[2]);
+        p.zero_grad();
+        assert!(p.grad.as_slice().iter().all(|&g| g == 0.0));
+    }
+}

@@ -1,0 +1,254 @@
+use crate::{Layer, LayerKind, Param, Phase, Result, WeightTransform};
+use cbq_tensor::Tensor;
+
+/// An ordered stack of layers, itself a [`Layer`], so residual blocks and
+/// whole networks compose.
+///
+/// # Example
+///
+/// ```
+/// use cbq_nn::{Layer, Sequential, Phase};
+/// use cbq_nn::layers::{Linear, Relu};
+/// use cbq_tensor::Tensor;
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let mut net = Sequential::new("net");
+/// net.push(Linear::new("fc1", 4, 8, true, &mut rng)?);
+/// net.push(Relu::new("relu1"));
+/// net.push(Linear::new("fc2", 8, 2, true, &mut rng)?);
+/// let y = net.forward(&Tensor::zeros(&[1, 4]), Phase::Eval)?;
+/// assert_eq!(y.shape(), &[1, 2]);
+/// # Ok::<(), cbq_nn::NnError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct Sequential {
+    name: String,
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Creates an empty stack.
+    pub fn new(name: impl Into<String>) -> Self {
+        Sequential {
+            name: name.into(),
+            layers: Vec::new(),
+        }
+    }
+
+    /// Appends a layer.
+    pub fn push(&mut self, layer: impl Layer + 'static) {
+        self.layers.push(Box::new(layer));
+    }
+
+    /// Appends an already-boxed layer.
+    pub fn push_boxed(&mut self, layer: Box<dyn Layer>) {
+        self.layers.push(layer);
+    }
+
+    /// Number of direct child layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the stack is empty.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Clears every parameter gradient in the network.
+    pub fn zero_grad(&mut self) {
+        self.visit_params(&mut |p| p.zero_grad());
+    }
+
+    /// Total number of scalar parameters.
+    pub fn param_count(&mut self) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |p| n += p.len());
+        n
+    }
+
+    /// Renders a layer table with kinds, output channels and parameter
+    /// counts — the `print(model)` of this stack.
+    pub fn summary(&mut self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let params = self.param_count();
+        let _ = writeln!(out, "{} (total params: {params})", self.name);
+        let mut rows: Vec<(String, String, Option<usize>)> = Vec::new();
+        self.visit_layers_mut(&mut |l| {
+            rows.push((
+                l.name().to_string(),
+                format!("{:?}", l.kind()),
+                l.out_channels(),
+            ));
+        });
+        for (name, kind, out_ch) in rows {
+            let ch = out_ch.map(|c| c.to_string()).unwrap_or_else(|| "-".into());
+            let _ = writeln!(out, "  {name:<24} {kind:<12} out {ch}");
+        }
+        out
+    }
+
+    /// Runs a full forward + backward pass: `forward(x)` then backward from
+    /// `grad_out`. Convenience for scoring and training loops.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any layer error.
+    pub fn forward_backward(
+        &mut self,
+        x: &Tensor,
+        phase: Phase,
+        grad_out: &Tensor,
+    ) -> Result<(Tensor, Tensor)> {
+        let out = self.forward(x, phase)?;
+        let grad_in = self.backward(grad_out)?;
+        Ok((out, grad_in))
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, x: &Tensor, phase: Phase) -> Result<Tensor> {
+        let mut cur = x.clone();
+        for layer in &mut self.layers {
+            cur = layer.forward(&cur, phase)?;
+        }
+        Ok(cur)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let mut cur = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            cur = layer.backward(&cur)?;
+        }
+        Ok(cur)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for layer in &mut self.layers {
+            layer.visit_params(f);
+        }
+    }
+
+    fn visit_layers_mut(&mut self, f: &mut dyn FnMut(&mut dyn Layer)) {
+        for layer in &mut self.layers {
+            layer.visit_layers_mut(f);
+        }
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Container
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn set_weight_transform(&mut self, _transform: Option<Box<dyn WeightTransform>>) {
+        // Containers do not own weights; install transforms on leaves via
+        // visit_layers_mut.
+    }
+
+    fn clear_cache(&mut self) {
+        for layer in &mut self.layers {
+            layer.clear_cache();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Linear, Relu};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn two_layer(rng: &mut StdRng) -> Sequential {
+        let mut net = Sequential::new("net");
+        net.push(Linear::new("fc1", 3, 5, true, rng).unwrap());
+        net.push(Relu::new("relu1"));
+        net.push(Linear::new("fc2", 5, 2, true, rng).unwrap());
+        net
+    }
+
+    #[test]
+    fn forward_composes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut net = two_layer(&mut rng);
+        let x = Tensor::randn(&[4, 3], 1.0, &mut rng);
+        let y = net.forward(&x, Phase::Eval).unwrap();
+        assert_eq!(y.shape(), &[4, 2]);
+    }
+
+    #[test]
+    fn backward_matches_finite_difference_end_to_end() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut net = two_layer(&mut rng);
+        let x = Tensor::randn(&[2, 3], 1.0, &mut rng);
+        net.forward(&x, Phase::Train).unwrap();
+        let gy = Tensor::ones(&[2, 2]);
+        let gx = net.backward(&gy).unwrap();
+        let eps = 1e-2f32;
+        for idx in 0..6 {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let fd = (net.forward(&xp, Phase::Train).unwrap().sum()
+                - net.forward(&xm, Phase::Train).unwrap().sum())
+                / (2.0 * eps);
+            assert!((fd - gx.as_slice()[idx]).abs() < 2e-2, "x[{idx}]");
+        }
+    }
+
+    #[test]
+    fn visit_layers_flattens_in_order() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut net = two_layer(&mut rng);
+        let mut names = Vec::new();
+        net.visit_layers_mut(&mut |l| names.push(l.name().to_string()));
+        assert_eq!(names, vec!["fc1", "relu1", "fc2"]);
+    }
+
+    #[test]
+    fn zero_grad_and_param_count() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut net = two_layer(&mut rng);
+        // 3*5+5 + 5*2+2 = 32
+        assert_eq!(net.param_count(), 32);
+        let x = Tensor::randn(&[1, 3], 1.0, &mut rng);
+        net.forward(&x, Phase::Train).unwrap();
+        net.backward(&Tensor::ones(&[1, 2])).unwrap();
+        let mut any_nonzero = false;
+        net.visit_params(&mut |p| any_nonzero |= p.grad.max_abs() > 0.0);
+        assert!(any_nonzero);
+        net.zero_grad();
+        net.visit_params(&mut |p| assert_eq!(p.grad.max_abs(), 0.0));
+    }
+
+    #[test]
+    fn summary_lists_layers_and_params() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut net = two_layer(&mut rng);
+        let s = net.summary();
+        assert!(s.contains("total params: 32"));
+        assert!(s.contains("fc1"));
+        assert!(s.contains("Relu"));
+        assert!(s.contains("out 2"));
+    }
+
+    #[test]
+    fn nested_sequentials_flatten() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut inner = Sequential::new("inner");
+        inner.push(Linear::new("fc_a", 2, 2, true, &mut rng).unwrap());
+        let mut outer = Sequential::new("outer");
+        outer.push(Linear::new("fc0", 2, 2, true, &mut rng).unwrap());
+        outer.push(inner);
+        let mut names = Vec::new();
+        outer.visit_layers_mut(&mut |l| names.push(l.name().to_string()));
+        assert_eq!(names, vec!["fc0", "fc_a"]);
+    }
+}

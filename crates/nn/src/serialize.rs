@@ -1,0 +1,178 @@
+//! Model state serialization: capture and restore every parameter and
+//! every layer's extra state (batch-norm running statistics) by name.
+//!
+//! The format is a plain name→tensor map, serde-serializable, so trained
+//! models survive process boundaries and a searched quantization can be
+//! re-applied later (see the `deploy_arrangement` example).
+
+use crate::{Layer, NnError, Result, Sequential};
+use cbq_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A serializable snapshot of a network's learnable and running state.
+///
+/// # Example
+///
+/// ```
+/// use cbq_nn::{models, state_dict, load_state_dict, Layer, Phase};
+/// use cbq_tensor::Tensor;
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let mut a = models::mlp(&[4, 8, 2], &mut rng)?;
+/// let mut b = models::mlp(&[4, 8, 2], &mut rng)?; // different init
+/// let snapshot = state_dict(&mut a);
+/// load_state_dict(&mut b, &snapshot)?;
+/// let x = Tensor::randn(&[1, 4], 1.0, &mut rng);
+/// assert_eq!(a.forward(&x, Phase::Eval)?, b.forward(&x, Phase::Eval)?);
+/// # Ok::<(), cbq_nn::NnError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct StateDict {
+    /// Parameter values by fully-qualified name.
+    pub params: BTreeMap<String, Tensor>,
+    /// Per-layer extra state (running statistics) by layer name.
+    pub extra: BTreeMap<String, Vec<f32>>,
+}
+
+impl StateDict {
+    /// Number of parameter tensors captured.
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Whether the snapshot holds no parameters.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+}
+
+/// Captures a snapshot of every parameter and every layer's extra state.
+pub fn state_dict(net: &mut Sequential) -> StateDict {
+    let mut dict = StateDict::default();
+    net.visit_params(&mut |p| {
+        dict.params.insert(p.name.clone(), p.value.clone());
+    });
+    net.visit_layers_mut(&mut |l| {
+        if let Some(state) = l.extra_state() {
+            dict.extra.insert(l.name().to_string(), state);
+        }
+    });
+    dict
+}
+
+/// Restores a snapshot into `net`, matching by name.
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidConfig`] when a parameter is missing from
+/// the snapshot or its shape disagrees; the network may be partially
+/// updated in that case, so reload a known-good snapshot on failure.
+pub fn load_state_dict(net: &mut Sequential, dict: &StateDict) -> Result<()> {
+    let mut error: Option<NnError> = None;
+    net.visit_params(&mut |p| {
+        if error.is_some() {
+            return;
+        }
+        match dict.params.get(&p.name) {
+            None => {
+                error = Some(NnError::InvalidConfig(format!(
+                    "parameter {} missing from state dict",
+                    p.name
+                )));
+            }
+            Some(value) if value.shape() != p.value.shape() => {
+                error = Some(NnError::InvalidConfig(format!(
+                    "parameter {} has shape {:?}, snapshot holds {:?}",
+                    p.name,
+                    p.value.shape(),
+                    value.shape()
+                )));
+            }
+            Some(value) => {
+                p.value = value.clone();
+            }
+        }
+    });
+    if let Some(e) = error {
+        return Err(e);
+    }
+    net.visit_layers_mut(&mut |l| {
+        if let Some(state) = dict.extra.get(l.name()) {
+            l.set_extra_state(state);
+        }
+    });
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{models, Phase, Trainer, TrainerConfig};
+    use cbq_data::{SyntheticImages, SyntheticSpec};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn round_trip_reproduces_outputs_including_bn_stats() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let data = SyntheticImages::generate(
+            &SyntheticSpec {
+                height: 8,
+                width: 8,
+                ..SyntheticSpec::tiny(2)
+            },
+            &mut rng,
+        )
+        .unwrap();
+        let rcfg = models::ResNetConfig {
+            in_channels: 1,
+            base_width: 4,
+            expand: 1,
+            blocks_per_stage: 1,
+            num_classes: 2,
+        };
+        let mut a = models::resnet20(&rcfg, &mut rng).unwrap();
+        // train a little so BN running stats are non-trivial
+        let tc = TrainerConfig {
+            batch_size: 8,
+            ..TrainerConfig::quick(2, 0.05)
+        };
+        Trainer::new(tc)
+            .fit(&mut a, data.train(), &mut rng)
+            .unwrap();
+        let snapshot = state_dict(&mut a);
+        assert!(!snapshot.is_empty());
+        assert!(snapshot.extra.keys().any(|k| k.contains("bn")));
+
+        let mut b = models::resnet20(&rcfg, &mut rng).unwrap();
+        load_state_dict(&mut b, &snapshot).unwrap();
+        let x = data.test().batches(4).next().unwrap().images;
+        let ya = a.forward(&x, Phase::Eval).unwrap();
+        let yb = b.forward(&x, Phase::Eval).unwrap();
+        assert!(ya.sub(&yb).unwrap().max_abs() < 1e-6);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut net = models::mlp(&[4, 6, 2], &mut rng).unwrap();
+        let dict = state_dict(&mut net);
+        let json = serde_json::to_string(&dict).unwrap();
+        let back: StateDict = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, dict);
+    }
+
+    #[test]
+    fn missing_and_mismatched_params_rejected() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut small = models::mlp(&[4, 6, 2], &mut rng).unwrap();
+        let mut big = models::mlp(&[4, 8, 2], &mut rng).unwrap();
+        let dict = state_dict(&mut small);
+        assert!(load_state_dict(&mut big, &dict).is_err());
+        let empty = StateDict::default();
+        assert!(load_state_dict(&mut small, &empty).is_err());
+    }
+}

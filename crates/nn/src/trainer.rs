@@ -1,0 +1,314 @@
+use crate::{losses, Layer, Phase, Result, Sequential, Sgd, SgdConfig, StepLr};
+use cbq_data::Subset;
+use rand::Rng;
+
+/// Hyperparameters for [`Trainer`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainerConfig {
+    /// Number of passes over the training split.
+    pub epochs: usize,
+    /// Minibatch size (100 in the paper).
+    pub batch_size: usize,
+    /// Base learning rate.
+    pub lr: f32,
+    /// Epochs at which the LR is divided by `lr_gamma` (100/150/300 in the
+    /// paper).
+    pub lr_milestones: Vec<usize>,
+    /// LR division factor at each milestone (10 in the paper).
+    pub lr_gamma: f32,
+    /// SGD momentum.
+    pub momentum: f32,
+    /// L2 weight decay.
+    pub weight_decay: f32,
+    /// Print one line per epoch to stderr when set.
+    pub verbose: bool,
+}
+
+impl TrainerConfig {
+    /// A short CPU-scale recipe mirroring the paper's hyperparameters at
+    /// reduced epoch count: SGD(momentum 0.9), batch 100, step LR.
+    pub fn quick(epochs: usize, lr: f32) -> Self {
+        TrainerConfig {
+            epochs,
+            batch_size: 100,
+            lr,
+            lr_milestones: vec![epochs / 2, epochs * 3 / 4],
+            lr_gamma: 10.0,
+            momentum: 0.9,
+            weight_decay: 1e-4,
+            verbose: false,
+        }
+    }
+}
+
+/// Per-epoch training statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochStats {
+    /// 0-based epoch index.
+    pub epoch: usize,
+    /// Mean cross-entropy over the epoch's batches.
+    pub loss: f32,
+    /// Training accuracy over the epoch's batches, in `[0, 1]`.
+    pub train_accuracy: f32,
+}
+
+/// Cross-entropy trainer used for the pre-training phase (the refining
+/// phase lives in `cbq-core`, where the KD loss applies).
+///
+/// # Example
+///
+/// ```no_run
+/// use cbq_nn::{evaluate, models, Trainer, TrainerConfig};
+/// use cbq_data::{SyntheticImages, SyntheticSpec};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let data = SyntheticImages::generate(&SyntheticSpec::tiny(3), &mut rng)?;
+/// let mut net = models::mlp(&[data.feature_len(), 16, 3], &mut rng)?;
+/// let stats = Trainer::new(TrainerConfig::quick(10, 0.05))
+///     .fit(&mut net, data.train(), &mut rng)?;
+/// println!("final loss {:.4}", stats.last().unwrap().loss);
+/// println!("test accuracy {:.1}%", 100.0 * evaluate(&mut net, data.test(), 64)?);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Trainer {
+    config: TrainerConfig,
+}
+
+impl Trainer {
+    /// Creates a trainer.
+    pub fn new(config: TrainerConfig) -> Self {
+        Trainer { config }
+    }
+
+    /// Trains `net` on `train` with shuffled minibatches, returning the
+    /// per-epoch statistics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any layer or loss error.
+    pub fn fit(
+        &self,
+        net: &mut Sequential,
+        train: &Subset,
+        rng: &mut impl Rng,
+    ) -> Result<Vec<EpochStats>> {
+        let schedule = StepLr::new(
+            self.config.lr,
+            self.config.lr_milestones.clone(),
+            self.config.lr_gamma,
+        );
+        let mut opt = Sgd::new(SgdConfig {
+            lr: self.config.lr,
+            momentum: self.config.momentum,
+            weight_decay: self.config.weight_decay,
+        });
+        let mut stats = Vec::with_capacity(self.config.epochs);
+        for epoch in 0..self.config.epochs {
+            opt.set_lr(schedule.lr_at(epoch));
+            let mut loss_sum = 0.0f64;
+            let mut acc_sum = 0.0f64;
+            let mut batches = 0usize;
+            for batch in train.batches_shuffled(self.config.batch_size, rng) {
+                net.zero_grad();
+                let logits = net.forward(&batch.images, Phase::Train)?;
+                let (loss, grad) = losses::cross_entropy(&logits, &batch.labels)?;
+                let acc = losses::accuracy(&logits, &batch.labels)?;
+                net.backward(&grad)?;
+                opt.step(net)?;
+                loss_sum += loss as f64;
+                acc_sum += acc as f64;
+                batches += 1;
+            }
+            let epoch_stats = EpochStats {
+                epoch,
+                loss: (loss_sum / batches.max(1) as f64) as f32,
+                train_accuracy: (acc_sum / batches.max(1) as f64) as f32,
+            };
+            if self.config.verbose {
+                eprintln!(
+                    "epoch {:>3}: loss {:.4}  train acc {:.2}%  lr {:.5}",
+                    epoch,
+                    epoch_stats.loss,
+                    100.0 * epoch_stats.train_accuracy,
+                    opt.lr()
+                );
+            }
+            stats.push(epoch_stats);
+        }
+        Ok(stats)
+    }
+}
+
+/// Evaluates classification accuracy of `net` on `subset` in eval mode.
+///
+/// # Errors
+///
+/// Propagates any layer error.
+pub fn evaluate(net: &mut Sequential, subset: &Subset, batch_size: usize) -> Result<f32> {
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for batch in subset.batches(batch_size.max(1)) {
+        let logits = net.forward(&batch.images, Phase::Eval)?;
+        let preds = logits.argmax_rows()?;
+        correct += preds
+            .iter()
+            .zip(&batch.labels)
+            .filter(|(p, l)| p == l)
+            .count();
+        total += batch.len();
+    }
+    Ok(if total == 0 {
+        0.0
+    } else {
+        correct as f32 / total as f32
+    })
+}
+
+/// Per-class accuracy report from [`evaluate_per_class`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassAccuracy {
+    /// Correct predictions per class.
+    pub correct: Vec<usize>,
+    /// Samples seen per class.
+    pub total: Vec<usize>,
+}
+
+impl ClassAccuracy {
+    /// Accuracy of one class in `[0, 1]` (0 for unseen classes).
+    pub fn class_accuracy(&self, class: usize) -> f32 {
+        match (self.correct.get(class), self.total.get(class)) {
+            (Some(&c), Some(&t)) if t > 0 => c as f32 / t as f32,
+            _ => 0.0,
+        }
+    }
+
+    /// Overall accuracy in `[0, 1]`.
+    pub fn overall(&self) -> f32 {
+        let total: usize = self.total.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        self.correct.iter().sum::<usize>() as f32 / total as f32
+    }
+}
+
+/// Evaluates accuracy per class — useful for spotting classes sacrificed
+/// by an aggressive bit arrangement.
+///
+/// # Errors
+///
+/// Propagates any layer error.
+pub fn evaluate_per_class(
+    net: &mut Sequential,
+    subset: &Subset,
+    num_classes: usize,
+    batch_size: usize,
+) -> Result<ClassAccuracy> {
+    let mut acc = ClassAccuracy {
+        correct: vec![0; num_classes],
+        total: vec![0; num_classes],
+    };
+    for batch in subset.batches(batch_size.max(1)) {
+        let logits = net.forward(&batch.images, Phase::Eval)?;
+        let preds = logits.argmax_rows()?;
+        for (&p, &l) in preds.iter().zip(&batch.labels) {
+            if l < num_classes {
+                acc.total[l] += 1;
+                if p == l {
+                    acc.correct[l] += 1;
+                }
+            }
+        }
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models;
+    use cbq_data::{SyntheticImages, SyntheticSpec};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mlp_learns_tiny_synthetic_dataset() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let data = SyntheticImages::generate(&SyntheticSpec::tiny(3), &mut rng).unwrap();
+        // flatten images into [N, F] by reshaping the subset tensors
+        let f = data.feature_len();
+        let train = Subset::new(
+            data.train()
+                .images()
+                .reshape(&[data.train().len(), f])
+                .unwrap(),
+            data.train().labels().to_vec(),
+        )
+        .unwrap();
+        let test = Subset::new(
+            data.test()
+                .images()
+                .reshape(&[data.test().len(), f])
+                .unwrap(),
+            data.test().labels().to_vec(),
+        )
+        .unwrap();
+        let mut net = models::mlp(&[f, 24, 3], &mut rng).unwrap();
+        let config = TrainerConfig {
+            batch_size: 16,
+            ..TrainerConfig::quick(15, 0.05)
+        };
+        let stats = Trainer::new(config)
+            .fit(&mut net, &train, &mut rng)
+            .unwrap();
+        assert_eq!(stats.len(), 15);
+        assert!(
+            stats.last().unwrap().loss < stats.first().unwrap().loss,
+            "loss did not decrease"
+        );
+        let acc = evaluate(&mut net, &test, 64).unwrap();
+        assert!(acc > 0.8, "test accuracy only {acc}");
+    }
+
+    #[test]
+    fn evaluate_on_empty_subset_is_zero() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut net = models::mlp(&[4, 2], &mut rng).unwrap();
+        let empty = Subset::new(cbq_tensor::Tensor::zeros(&[0, 4]), vec![]).unwrap();
+        assert_eq!(evaluate(&mut net, &empty, 8).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn quick_config_milestones() {
+        let c = TrainerConfig::quick(100, 0.1);
+        assert_eq!(c.lr_milestones, vec![50, 75]);
+        assert_eq!(c.batch_size, 100);
+    }
+
+    #[test]
+    fn per_class_accuracy_counts() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let data = SyntheticImages::generate(&SyntheticSpec::tiny(3), &mut rng).unwrap();
+        let mut net = models::mlp(&[data.feature_len(), 16, 3], &mut rng).unwrap();
+        let tc = TrainerConfig {
+            batch_size: 16,
+            ..TrainerConfig::quick(8, 0.05)
+        };
+        Trainer::new(tc)
+            .fit(&mut net, data.train(), &mut rng)
+            .unwrap();
+        let report = evaluate_per_class(&mut net, data.test(), 3, 32).unwrap();
+        assert_eq!(report.total.iter().sum::<usize>(), data.test().len());
+        let overall = evaluate(&mut net, data.test(), 32).unwrap();
+        assert!((report.overall() - overall).abs() < 1e-6);
+        for c in 0..3 {
+            assert_eq!(report.total[c], data.spec().test_per_class);
+            assert!(report.class_accuracy(c) <= 1.0);
+        }
+        assert_eq!(report.class_accuracy(99), 0.0);
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests of the training stack's mathematical invariants.
+
+use cbq_nn::layers::{Linear, Relu};
+use cbq_nn::{losses, Layer, Phase, Sequential};
+use cbq_tensor::Tensor;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Softmax rows are probability distributions for any finite logits.
+    #[test]
+    fn softmax_rows_are_distributions(
+        data in prop::collection::vec(-30.0f32..30.0, 2..24),
+    ) {
+        let cols = 2 + data.len() % 4;
+        let rows = data.len() / cols;
+        prop_assume!(rows > 0);
+        let logits = Tensor::from_vec(data[..rows * cols].to_vec(), &[rows, cols]).unwrap();
+        let p = losses::softmax_rows(&logits).unwrap();
+        for r in 0..rows {
+            let row = p.row(r).unwrap();
+            prop_assert!((row.sum() - 1.0).abs() < 1e-4);
+            prop_assert!(row.as_slice().iter().all(|&v| (0.0..=1.0 + 1e-6).contains(&v)));
+        }
+    }
+
+    /// Cross-entropy is non-negative and its gradient rows sum to zero.
+    #[test]
+    fn cross_entropy_invariants(
+        data in prop::collection::vec(-10.0f32..10.0, 6..30),
+        label_seed in 0usize..1000,
+    ) {
+        let cols = 3;
+        let rows = data.len() / cols;
+        let logits = Tensor::from_vec(data[..rows * cols].to_vec(), &[rows, cols]).unwrap();
+        let labels: Vec<usize> = (0..rows).map(|i| (label_seed + i) % cols).collect();
+        let (loss, grad) = losses::cross_entropy(&logits, &labels).unwrap();
+        prop_assert!(loss >= -1e-6);
+        for r in 0..rows {
+            prop_assert!(grad.row(r).unwrap().sum().abs() < 1e-5);
+        }
+    }
+
+    /// KD loss interpolates: at alpha=1 it equals CE for any teacher.
+    #[test]
+    fn kd_alpha_one_is_ce(
+        seed in 0u64..500,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let logits = Tensor::randn(&[3, 4], 2.0, &mut rng);
+        let teacher = losses::softmax_rows(&Tensor::randn(&[3, 4], 2.0, &mut rng)).unwrap();
+        let labels = [0usize, 1, 2];
+        let (kd, _) = losses::kd_loss(&logits, &teacher, &labels, 1.0).unwrap();
+        let (ce, _) = losses::cross_entropy(&logits, &labels).unwrap();
+        prop_assert!((kd - ce).abs() < 1e-5);
+    }
+
+    /// A forward pass is deterministic: same input, same output.
+    #[test]
+    fn forward_is_deterministic(seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut net = Sequential::new("n");
+        net.push(Linear::new("fc1", 5, 7, true, &mut rng).unwrap());
+        net.push(Relu::new("r"));
+        net.push(Linear::new("fc2", 7, 2, true, &mut rng).unwrap());
+        let x = Tensor::randn(&[3, 5], 1.0, &mut rng);
+        let a = net.forward(&x, Phase::Eval).unwrap();
+        let b = net.forward(&x, Phase::Eval).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Network output is linear in the final layer's scale: doubling the
+    /// last weights doubles the logits (ReLU nets are positively
+    /// homogeneous per layer).
+    #[test]
+    fn last_layer_scaling_scales_logits(seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut net = Sequential::new("n");
+        net.push(Linear::new("fc1", 4, 6, true, &mut rng).unwrap());
+        net.push(Relu::new("r"));
+        net.push(Linear::new("fc2", 6, 3, false, &mut rng).unwrap());
+        let x = Tensor::randn(&[2, 4], 1.0, &mut rng);
+        let y1 = net.forward(&x, Phase::Eval).unwrap();
+        net.visit_params(&mut |p| {
+            if p.name == "fc2.weight" {
+                p.value.scale_inplace(2.0);
+            }
+        });
+        let y2 = net.forward(&x, Phase::Eval).unwrap();
+        for (a, b) in y1.as_slice().iter().zip(y2.as_slice()) {
+            prop_assert!((2.0 * a - b).abs() < 1e-4);
+        }
+    }
+
+    /// Gradient accumulation is additive: two backward passes double the
+    /// parameter gradients.
+    #[test]
+    fn gradients_accumulate_linearly(seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut net = Sequential::new("n");
+        net.push(Linear::new("fc", 3, 2, true, &mut rng).unwrap());
+        let x = Tensor::randn(&[2, 3], 1.0, &mut rng);
+        let gy = Tensor::randn(&[2, 2], 1.0, &mut rng);
+        net.forward(&x, Phase::Train).unwrap();
+        net.backward(&gy).unwrap();
+        let mut once = Vec::new();
+        net.visit_params(&mut |p| once.push(p.grad.clone()));
+        net.forward(&x, Phase::Train).unwrap();
+        net.backward(&gy).unwrap();
+        let mut idx = 0;
+        net.visit_params(&mut |p| {
+            for (a, b) in p.grad.as_slice().iter().zip(once[idx].as_slice()) {
+                assert!((a - 2.0 * b).abs() < 1e-4);
+            }
+            idx += 1;
+        });
+    }
+}

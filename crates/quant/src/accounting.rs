@@ -1,0 +1,78 @@
+use crate::BitArrangement;
+use serde::{Deserialize, Serialize};
+
+/// Storage accounting for a quantized model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SizeReport {
+    /// Weights covered by the arrangement (quantized layers only).
+    pub quantized_weights: usize,
+    /// Bits those weights occupy after quantization.
+    pub quantized_bits: u64,
+    /// Weights outside the arrangement (first/output layers, BN, biases)
+    /// kept at full precision.
+    pub fullprec_weights: usize,
+    /// Average bit-width over the quantized weights.
+    pub average_bits: f32,
+    /// Total model size in bits (quantized + 32-bit full-precision part).
+    pub total_bits: u64,
+    /// Size of the same model entirely at fp32, in bits.
+    pub fp32_bits: u64,
+}
+
+impl SizeReport {
+    /// Compression ratio of the whole model versus fp32.
+    pub fn compression_ratio(&self) -> f32 {
+        if self.total_bits == 0 {
+            return 0.0;
+        }
+        self.fp32_bits as f32 / self.total_bits as f32
+    }
+}
+
+/// Computes a [`SizeReport`] for an arrangement plus the count of
+/// parameters left at full precision.
+pub fn model_size_bits(arrangement: &BitArrangement, fullprec_weights: usize) -> SizeReport {
+    let quantized_weights = arrangement.total_weights();
+    let quantized_bits: u64 = arrangement.units().iter().map(|u| u.total_bits()).sum();
+    let total_bits = quantized_bits + 32 * fullprec_weights as u64;
+    let fp32_bits = 32 * (quantized_weights + fullprec_weights) as u64;
+    SizeReport {
+        quantized_weights,
+        quantized_bits,
+        fullprec_weights,
+        average_bits: arrangement.average_bits(),
+        total_bits,
+        fp32_bits,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BitWidth, UnitArrangement};
+
+    #[test]
+    fn size_report_math() {
+        let mut arr = BitArrangement::new();
+        arr.push(UnitArrangement::uniform(
+            "u",
+            2,
+            10,
+            BitWidth::new(4).unwrap(),
+        ));
+        let r = model_size_bits(&arr, 5);
+        assert_eq!(r.quantized_weights, 20);
+        assert_eq!(r.quantized_bits, 80);
+        assert_eq!(r.total_bits, 80 + 160);
+        assert_eq!(r.fp32_bits, 32 * 25);
+        assert!((r.average_bits - 4.0).abs() < 1e-6);
+        assert!((r.compression_ratio() - 800.0 / 240.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn empty_model() {
+        let r = model_size_bits(&BitArrangement::new(), 0);
+        assert_eq!(r.total_bits, 0);
+        assert_eq!(r.compression_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,202 @@
+use crate::{BitWidth, UniformQuantizer};
+use cbq_nn::{ActivationQuantizer, Layer};
+use cbq_tensor::Tensor;
+
+/// Activation fake-quantizer, installed on every ReLU of a network.
+///
+/// Matches §II-A of the paper: activations quantize over `[0, b]` where
+/// `b` is "the maximum absolute value of activations in the layer during
+/// the inference" — recorded by running the network in *calibration* mode
+/// over a batch before enabling quantization. The straight-through mask
+/// passes gradients where the input lay inside `[0, b]` and zeroes them
+/// above the clip bound.
+///
+/// With `bits = None` (or during calibration) the quantizer is an
+/// identity.
+#[derive(Debug, Clone)]
+pub struct ActQuant {
+    bits: Option<BitWidth>,
+    calibrating: bool,
+    observed_max: f32,
+}
+
+impl ActQuant {
+    /// Creates a disabled (identity) activation quantizer.
+    pub fn new() -> Self {
+        ActQuant {
+            bits: None,
+            calibrating: false,
+            observed_max: 0.0,
+        }
+    }
+
+    /// Creates a quantizer with a preset clip bound and width.
+    pub fn with_clip(clip: f32, bits: BitWidth) -> Self {
+        ActQuant {
+            bits: Some(bits),
+            calibrating: false,
+            observed_max: clip,
+        }
+    }
+
+    /// The calibrated clip bound `b`.
+    pub fn observed_max(&self) -> f32 {
+        self.observed_max
+    }
+}
+
+impl Default for ActQuant {
+    fn default() -> Self {
+        ActQuant::new()
+    }
+}
+
+impl ActivationQuantizer for ActQuant {
+    fn apply(&mut self, x: &Tensor) -> (Tensor, Tensor) {
+        if self.calibrating {
+            let batch_max = x.as_slice().iter().fold(0.0f32, |m, &v| m.max(v));
+            self.observed_max = self.observed_max.max(batch_max);
+            return (x.clone(), Tensor::ones(x.shape()));
+        }
+        match self.bits {
+            None => (x.clone(), Tensor::ones(x.shape())),
+            Some(bits) => {
+                let q = UniformQuantizer::activation(self.observed_max, bits);
+                let hi = q.hi();
+                let mask = x.map(|v| if (0.0..=hi).contains(&v) { 1.0 } else { 0.0 });
+                (q.quantize_tensor(x), mask)
+            }
+        }
+    }
+
+    fn set_bits(&mut self, bits: Option<u8>) {
+        self.bits = bits.and_then(|b| BitWidth::new(b).ok());
+    }
+
+    fn bits(&self) -> Option<u8> {
+        self.bits.map(BitWidth::bits)
+    }
+
+    fn set_calibrating(&mut self, on: bool) {
+        if on {
+            self.observed_max = 0.0;
+        }
+        self.calibrating = on;
+    }
+
+    fn clip(&self) -> f32 {
+        self.observed_max
+    }
+}
+
+/// Installs a fresh [`ActQuant`] (disabled) on every ReLU of the network.
+/// Returns the number of quantizers installed.
+pub fn install_act_quant(net: &mut dyn Layer) -> usize {
+    let mut count = 0;
+    net.visit_layers_mut(&mut |l| {
+        if l.kind() == cbq_nn::LayerKind::Relu {
+            l.set_activation_quantizer(Some(Box::new(ActQuant::new())));
+            count += 1;
+        }
+    });
+    count
+}
+
+/// Sets every installed activation quantizer to `bits` (`None` disables).
+pub fn set_act_bits(net: &mut dyn Layer, bits: Option<BitWidth>) {
+    net.visit_layers_mut(&mut |l| {
+        if let Some(q) = l.activation_quantizer_mut() {
+            q.set_bits(bits.map(BitWidth::bits));
+        }
+    });
+}
+
+/// Toggles calibration mode on every installed activation quantizer.
+/// Entering calibration resets the recorded maxima.
+pub fn set_act_calibration(net: &mut dyn Layer, on: bool) {
+    net.visit_layers_mut(&mut |l| {
+        if let Some(q) = l.activation_quantizer_mut() {
+            q.set_calibrating(on);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbq_nn::layers::{Linear, Relu};
+    use cbq_nn::{Phase, Sequential};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn bw(b: u8) -> BitWidth {
+        BitWidth::new(b).unwrap()
+    }
+
+    #[test]
+    fn disabled_is_identity() {
+        let mut aq = ActQuant::new();
+        let x = Tensor::from_vec(vec![0.3, 1.7], &[2]).unwrap();
+        let (y, m) = aq.apply(&x);
+        assert_eq!(y, x);
+        assert!(m.as_slice().iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn calibration_tracks_max() {
+        let mut aq = ActQuant::new();
+        aq.set_calibrating(true);
+        aq.apply(&Tensor::from_vec(vec![0.5, 2.0], &[2]).unwrap());
+        aq.apply(&Tensor::from_vec(vec![3.5, 1.0], &[2]).unwrap());
+        aq.set_calibrating(false);
+        assert_eq!(aq.observed_max(), 3.5);
+        assert_eq!(aq.clip(), 3.5);
+    }
+
+    #[test]
+    fn quantizes_to_levels_after_calibration() {
+        let mut aq = ActQuant::with_clip(4.0, bw(2));
+        // levels over [0,4]: 0, 4/3, 8/3, 4
+        let x = Tensor::from_vec(vec![0.1, 1.5, 3.0, 9.0], &[4]).unwrap();
+        let (y, mask) = aq.apply(&x);
+        assert!((y.as_slice()[0] - 0.0).abs() < 1e-6);
+        assert!((y.as_slice()[1] - 4.0 / 3.0).abs() < 1e-5);
+        assert!((y.as_slice()[2] - 8.0 / 3.0).abs() < 1e-5);
+        assert!((y.as_slice()[3] - 4.0).abs() < 1e-6);
+        assert_eq!(mask.as_slice(), &[1.0, 1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn set_bits_rejects_out_of_range_silently() {
+        let mut aq = ActQuant::new();
+        aq.set_bits(Some(99));
+        assert_eq!(ActivationQuantizer::bits(&aq), None);
+        aq.set_bits(Some(3));
+        assert_eq!(ActivationQuantizer::bits(&aq), Some(3));
+    }
+
+    #[test]
+    fn network_install_and_control() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut net = Sequential::new("n");
+        net.push(Linear::new("fc1", 2, 4, true, &mut rng).unwrap());
+        net.push(Relu::new("r1"));
+        net.push(Linear::new("fc2", 4, 2, true, &mut rng).unwrap());
+        net.push(Relu::new("r2"));
+        let installed = install_act_quant(&mut net);
+        assert_eq!(installed, 2);
+        // calibrate
+        set_act_calibration(&mut net, true);
+        let x = Tensor::randn(&[8, 2], 1.0, &mut rng);
+        net.forward(&x, Phase::Eval).unwrap();
+        set_act_calibration(&mut net, false);
+        // enable 2-bit activations: outputs should now take few levels
+        set_act_bits(&mut net, Some(bw(2)));
+        let y = net.forward(&x, Phase::Eval).unwrap();
+        assert!(y.as_slice().iter().all(|v| v.is_finite()));
+        // disable restores identity behaviour
+        set_act_bits(&mut net, None);
+        let y2 = net.forward(&x, Phase::Eval).unwrap();
+        assert_ne!(y, y2);
+    }
+}

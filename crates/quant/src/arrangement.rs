@@ -1,0 +1,351 @@
+use crate::{BitWidth, QuantError, Result};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Per-filter bit-widths for one quantizable layer ("unit").
+///
+/// `bits[k]` is the width assigned to filter `k` (conv output channel or
+/// FC output neuron); `weights_per_filter` is how many scalar weights each
+/// filter holds, used to weight the average-bit computation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UnitArrangement {
+    /// Layer name, matching [`Layer::name`](cbq_nn::Layer::name).
+    pub name: String,
+    /// Bit-width per filter/neuron.
+    pub bits: Vec<BitWidth>,
+    /// Scalar weights per filter (`in_c * k * k` for conv, `in` for FC).
+    pub weights_per_filter: usize,
+}
+
+impl UnitArrangement {
+    /// Creates a unit with every filter at `bits`.
+    pub fn uniform(
+        name: impl Into<String>,
+        filters: usize,
+        weights_per_filter: usize,
+        bits: BitWidth,
+    ) -> Self {
+        UnitArrangement {
+            name: name.into(),
+            bits: vec![bits; filters],
+            weights_per_filter,
+        }
+    }
+
+    /// Number of filters in the unit.
+    pub fn filters(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Total scalar weights in the unit.
+    pub fn weight_count(&self) -> usize {
+        self.bits.len() * self.weights_per_filter
+    }
+
+    /// Total bits this unit occupies after quantization.
+    pub fn total_bits(&self) -> u64 {
+        self.bits
+            .iter()
+            .map(|b| b.bits() as u64 * self.weights_per_filter as u64)
+            .sum()
+    }
+
+    /// Fraction of filters that are pruned (0-bit).
+    pub fn pruned_fraction(&self) -> f32 {
+        if self.bits.is_empty() {
+            return 0.0;
+        }
+        self.bits.iter().filter(|b| b.is_pruned()).count() as f32 / self.bits.len() as f32
+    }
+}
+
+/// Histogram of filters per bit-width across an arrangement (Figure 7's
+/// raw data).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct BitHistogram {
+    /// `counts[b]` = number of filters assigned `b` bits, for `b` in 0..=8.
+    pub counts: [usize; 9],
+}
+
+impl BitHistogram {
+    /// Total filters counted.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Percentage of filters at each bit-width, in order 0..=8.
+    pub fn percentages(&self) -> [f32; 9] {
+        let total = self.total().max(1) as f32;
+        let mut out = [0.0f32; 9];
+        for (o, &c) in out.iter_mut().zip(&self.counts) {
+            *o = 100.0 * c as f32 / total;
+        }
+        out
+    }
+}
+
+/// A complete per-filter bit-width assignment for a network — the output
+/// of the class-based search and the input to
+/// [`install_arrangement`](crate::install_arrangement).
+///
+/// # Example
+///
+/// ```
+/// use cbq_quant::{BitArrangement, BitWidth, UnitArrangement};
+///
+/// let mut arr = BitArrangement::new();
+/// arr.push(UnitArrangement::uniform("conv2", 4, 9, BitWidth::new(2)?));
+/// arr.push(UnitArrangement::uniform("fc5", 8, 16, BitWidth::new(4)?));
+/// // conv2: 4*9 weights at 2 bits; fc5: 8*16 weights at 4 bits
+/// let avg = arr.average_bits();
+/// assert!((avg - (36.0 * 2.0 + 128.0 * 4.0) / 164.0).abs() < 1e-6);
+/// # Ok::<(), cbq_quant::QuantError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct BitArrangement {
+    units: Vec<UnitArrangement>,
+}
+
+impl BitArrangement {
+    /// Creates an empty arrangement.
+    pub fn new() -> Self {
+        BitArrangement { units: Vec::new() }
+    }
+
+    /// Appends a unit.
+    pub fn push(&mut self, unit: UnitArrangement) {
+        self.units.push(unit);
+    }
+
+    /// The units in network order.
+    pub fn units(&self) -> &[UnitArrangement] {
+        &self.units
+    }
+
+    /// Mutable access to the units (the search mutates bits in place).
+    pub fn units_mut(&mut self) -> &mut [UnitArrangement] {
+        &mut self.units
+    }
+
+    /// Number of units.
+    pub fn len(&self) -> usize {
+        self.units.len()
+    }
+
+    /// Whether the arrangement holds no units.
+    pub fn is_empty(&self) -> bool {
+        self.units.is_empty()
+    }
+
+    /// Finds a unit by layer name.
+    pub fn unit(&self, name: &str) -> Option<&UnitArrangement> {
+        self.units.iter().find(|u| u.name == name)
+    }
+
+    /// Total scalar weights covered by the arrangement.
+    pub fn total_weights(&self) -> usize {
+        self.units.iter().map(|u| u.weight_count()).sum()
+    }
+
+    /// The weight-count-weighted average bit-width — the paper's
+    /// `Σ b_i / N` over all quantized weights (first/output layers are
+    /// simply not part of the arrangement).
+    pub fn average_bits(&self) -> f32 {
+        let total = self.total_weights();
+        if total == 0 {
+            return 0.0;
+        }
+        let bits: u64 = self.units.iter().map(|u| u.total_bits()).sum();
+        bits as f32 / total as f32
+    }
+
+    /// Histogram of filters per bit-width across all units.
+    pub fn histogram(&self) -> BitHistogram {
+        let mut h = BitHistogram::default();
+        for u in &self.units {
+            for b in &u.bits {
+                h.counts[b.bits() as usize] += 1;
+            }
+        }
+        h
+    }
+
+    /// Histogram for a single unit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::ArrangementMismatch`] for an unknown name.
+    pub fn unit_histogram(&self, name: &str) -> Result<BitHistogram> {
+        let unit = self
+            .unit(name)
+            .ok_or_else(|| QuantError::ArrangementMismatch(format!("no unit named {name}")))?;
+        let mut h = BitHistogram::default();
+        for b in &unit.bits {
+            h.counts[b.bits() as usize] += 1;
+        }
+        Ok(h)
+    }
+
+    /// Sets every filter of every unit to `bits`.
+    pub fn set_uniform(&mut self, bits: BitWidth) {
+        for u in &mut self.units {
+            for b in &mut u.bits {
+                *b = bits;
+            }
+        }
+    }
+
+    /// Writes the arrangement as pretty-printed JSON — the deployment
+    /// artifact a hardware flow consumes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::ArrangementMismatch`] wrapping any I/O or
+    /// serialization failure.
+    pub fn to_json_file(&self, path: impl AsRef<std::path::Path>) -> Result<()> {
+        let json = serde_json::to_string_pretty(self)
+            .map_err(|e| QuantError::ArrangementMismatch(format!("serialize: {e}")))?;
+        std::fs::write(path, json)
+            .map_err(|e| QuantError::ArrangementMismatch(format!("write: {e}")))
+    }
+
+    /// Reads an arrangement previously written by
+    /// [`BitArrangement::to_json_file`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::ArrangementMismatch`] wrapping any I/O or
+    /// parse failure.
+    pub fn from_json_file(path: impl AsRef<std::path::Path>) -> Result<Self> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| QuantError::ArrangementMismatch(format!("read: {e}")))?;
+        serde_json::from_str(&text)
+            .map_err(|e| QuantError::ArrangementMismatch(format!("parse: {e}")))
+    }
+}
+
+impl fmt::Display for BitArrangement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "BitArrangement (avg {:.3} bits over {} weights)",
+            self.average_bits(),
+            self.total_weights()
+        )?;
+        for u in &self.units {
+            let h = {
+                let mut h = BitHistogram::default();
+                for b in &u.bits {
+                    h.counts[b.bits() as usize] += 1;
+                }
+                h
+            };
+            write!(f, "  {:<12} {} filters:", u.name, u.filters())?;
+            for (bits, &count) in h.counts.iter().enumerate() {
+                if count > 0 {
+                    write!(f, " {count}x{bits}b")?;
+                }
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bw(b: u8) -> BitWidth {
+        BitWidth::new(b).unwrap()
+    }
+
+    fn sample() -> BitArrangement {
+        let mut arr = BitArrangement::new();
+        arr.push(UnitArrangement::uniform("conv2", 4, 9, bw(2)));
+        arr.push(UnitArrangement::uniform("fc5", 2, 16, bw(4)));
+        arr
+    }
+
+    #[test]
+    fn average_is_weight_weighted() {
+        let arr = sample();
+        // 36 weights @2b + 32 weights @4b = 200 bits over 68 weights
+        assert!((arr.average_bits() - 200.0 / 68.0).abs() < 1e-6);
+        assert_eq!(arr.total_weights(), 68);
+    }
+
+    #[test]
+    fn empty_average_is_zero() {
+        assert_eq!(BitArrangement::new().average_bits(), 0.0);
+    }
+
+    #[test]
+    fn histogram_counts() {
+        let mut arr = sample();
+        arr.units_mut()[0].bits[0] = BitWidth::ZERO;
+        let h = arr.histogram();
+        assert_eq!(h.counts[0], 1);
+        assert_eq!(h.counts[2], 3);
+        assert_eq!(h.counts[4], 2);
+        assert_eq!(h.total(), 6);
+        let p = h.percentages();
+        assert!((p[2] - 50.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn unit_lookup_and_histogram() {
+        let arr = sample();
+        assert!(arr.unit("conv2").is_some());
+        assert!(arr.unit("nope").is_none());
+        let h = arr.unit_histogram("fc5").unwrap();
+        assert_eq!(h.counts[4], 2);
+        assert!(arr.unit_histogram("nope").is_err());
+    }
+
+    #[test]
+    fn pruned_fraction() {
+        let mut u = UnitArrangement::uniform("u", 4, 3, bw(1));
+        assert_eq!(u.pruned_fraction(), 0.0);
+        u.bits[0] = BitWidth::ZERO;
+        u.bits[1] = BitWidth::ZERO;
+        assert!((u.pruned_fraction() - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn set_uniform_overwrites() {
+        let mut arr = sample();
+        arr.set_uniform(bw(1));
+        assert!(arr
+            .units()
+            .iter()
+            .all(|u| u.bits.iter().all(|&b| b == bw(1))));
+        assert!((arr.average_bits() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let arr = sample();
+        let json = serde_json::to_string(&arr).unwrap();
+        let back: BitArrangement = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, arr);
+    }
+
+    #[test]
+    fn display_mentions_units() {
+        let s = sample().to_string();
+        assert!(s.contains("conv2"));
+        assert!(s.contains("4x2b"));
+    }
+
+    #[test]
+    fn json_file_round_trip() {
+        let arr = sample();
+        let path = std::env::temp_dir().join("cbq_arrangement_test.json");
+        arr.to_json_file(&path).unwrap();
+        let back = BitArrangement::from_json_file(&path).unwrap();
+        assert_eq!(back, arr);
+        std::fs::remove_file(&path).ok();
+        assert!(BitArrangement::from_json_file("/nonexistent/nope.json").is_err());
+    }
+}

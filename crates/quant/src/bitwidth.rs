@@ -1,0 +1,127 @@
+use crate::{QuantError, Result};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A validated quantization bit-width in `0..=8`.
+///
+/// `0` bits means the weights are pruned (quantized to zero) — the paper
+/// treats pruning as the 0-bit end of the same spectrum. The upper limit
+/// of 8 covers every setting in the paper's evaluation (≤ 7 bits).
+///
+/// # Example
+///
+/// ```
+/// use cbq_quant::BitWidth;
+///
+/// let b = BitWidth::new(3)?;
+/// assert_eq!(b.levels(), 8);
+/// assert!(BitWidth::new(9).is_err());
+/// assert!(BitWidth::ZERO.is_pruned());
+/// # Ok::<(), cbq_quant::QuantError>(())
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(try_from = "u8", into = "u8")]
+pub struct BitWidth(u8);
+
+impl BitWidth {
+    /// The pruned width: 0 bits.
+    pub const ZERO: BitWidth = BitWidth(0);
+    /// The maximum supported width: 8 bits.
+    pub const MAX: BitWidth = BitWidth(8);
+
+    /// Creates a bit-width.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::BitWidthOutOfRange`] for `bits > 8`.
+    pub fn new(bits: u8) -> Result<Self> {
+        if bits > 8 {
+            return Err(QuantError::BitWidthOutOfRange { bits });
+        }
+        Ok(BitWidth(bits))
+    }
+
+    /// The raw number of bits.
+    pub fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// Number of representable levels, `2^bits` (1 for pruned weights —
+    /// the single level is zero).
+    pub fn levels(self) -> u32 {
+        1u32 << self.0
+    }
+
+    /// Whether this width prunes the weights entirely.
+    pub fn is_pruned(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The next lower width, saturating at zero.
+    pub fn lower(self) -> BitWidth {
+        BitWidth(self.0.saturating_sub(1))
+    }
+}
+
+impl fmt::Display for BitWidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-bit", self.0)
+    }
+}
+
+impl TryFrom<u8> for BitWidth {
+    type Error = QuantError;
+
+    fn try_from(bits: u8) -> Result<Self> {
+        BitWidth::new(bits)
+    }
+}
+
+impl From<BitWidth> for u8 {
+    fn from(b: BitWidth) -> u8 {
+        b.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_bounds() {
+        for bits in 0..=8u8 {
+            let b = BitWidth::new(bits).unwrap();
+            assert_eq!(b.bits(), bits);
+            assert_eq!(b.levels(), 1 << bits);
+        }
+        assert!(BitWidth::new(9).is_err());
+    }
+
+    #[test]
+    fn ordering_and_lower() {
+        assert!(BitWidth::new(2).unwrap() < BitWidth::new(3).unwrap());
+        assert_eq!(BitWidth::new(1).unwrap().lower(), BitWidth::ZERO);
+        assert_eq!(BitWidth::ZERO.lower(), BitWidth::ZERO);
+    }
+
+    #[test]
+    fn display_and_serde() {
+        let b = BitWidth::new(4).unwrap();
+        assert_eq!(b.to_string(), "4-bit");
+        let json = serde_json::to_string(&b).unwrap();
+        assert_eq!(json, "4");
+        let back: BitWidth = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, b);
+        let bad: std::result::Result<BitWidth, _> = serde_json::from_str("12");
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn pruned_flag() {
+        assert!(BitWidth::ZERO.is_pruned());
+        assert!(!BitWidth::new(1).unwrap().is_pruned());
+        assert_eq!(BitWidth::ZERO.levels(), 1);
+    }
+}

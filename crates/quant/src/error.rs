@@ -1,0 +1,81 @@
+use cbq_tensor::TensorError;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by the quantization substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QuantError {
+    /// A bit-width outside the supported `0..=8` range.
+    BitWidthOutOfRange {
+        /// Requested bits.
+        bits: u8,
+    },
+    /// A quantization range with `lo >= hi` or non-finite bounds.
+    InvalidRange {
+        /// Lower bound.
+        lo: f32,
+        /// Upper bound.
+        hi: f32,
+    },
+    /// An arrangement does not match the network it is being applied to.
+    ArrangementMismatch(String),
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+    /// A network error surfaced during installation.
+    Nn(String),
+}
+
+impl fmt::Display for QuantError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuantError::BitWidthOutOfRange { bits } => {
+                write!(f, "bit-width {bits} outside supported range 0..=8")
+            }
+            QuantError::InvalidRange { lo, hi } => {
+                write!(f, "invalid quantization range [{lo}, {hi}]")
+            }
+            QuantError::ArrangementMismatch(msg) => write!(f, "arrangement mismatch: {msg}"),
+            QuantError::Tensor(e) => write!(f, "tensor error: {e}"),
+            QuantError::Nn(msg) => write!(f, "network error: {msg}"),
+        }
+    }
+}
+
+impl Error for QuantError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            QuantError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for QuantError {
+    fn from(e: TensorError) -> Self {
+        QuantError::Tensor(e)
+    }
+}
+
+impl From<cbq_nn::NnError> for QuantError {
+    fn from(e: cbq_nn::NnError) -> Self {
+        QuantError::Nn(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(QuantError::BitWidthOutOfRange { bits: 9 }
+            .to_string()
+            .contains('9'));
+        assert!(QuantError::InvalidRange { lo: 1.0, hi: 0.0 }
+            .to_string()
+            .contains("invalid"));
+        assert!(QuantError::from(TensorError::Empty)
+            .to_string()
+            .contains("tensor"));
+    }
+}

@@ -1,0 +1,536 @@
+//! Reference integer inference engine.
+//!
+//! Fake quantization (the training path) computes in f32 on quantized
+//! *values*. Deployment hardware computes on quantized *codes* with
+//! integer multiply-accumulate. This module implements the code-domain
+//! execution and proves the two agree — the property that makes the
+//! whole fake-quant training story meaningful on real accelerators.
+//!
+//! Encodings (derived from the Eq. 1–3 quantizer):
+//!
+//! - **Weights**, `b` bits, symmetric over `[-B, B]`, `N = 2^b` levels at
+//!   `x_q = (2B/(N-1))·k − B`: stored as the odd-spaced integer code
+//!   `v = 2k − (N−1) ∈ [−(N−1), N−1]` with scale `s_w = B/(N−1)`, so
+//!   `x_q = s_w · v` exactly.
+//! - **Activations**, `a` bits over `[0, C]`, `M = 2^a` levels: stored as
+//!   the level index `j ∈ [0, M−1]` with scale `s_a = C/(M−1)`.
+//!
+//! A dot product is then `Σ w·x = s_w·s_a · Σ v·j` with the inner sum in
+//! exact integer arithmetic. An optional accumulator width wraps the
+//! running sum into `[−2^(n−1), 2^(n−1))` after every addition — the
+//! overflow behaviour the WrapNet baseline simulates at training time.
+
+use crate::{BitWidth, QuantError, Result};
+use cbq_tensor::Tensor;
+
+/// A batch of integer-coded activations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntActivations {
+    codes: Vec<i32>,
+    scale: f32,
+    batch: usize,
+    features: usize,
+}
+
+impl IntActivations {
+    /// Quantizes a `[batch, features]` activation tensor to integer codes
+    /// over `[0, clip]` at `bits`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::InvalidRange`] for a non-positive clip or
+    /// [`QuantError::BitWidthOutOfRange`] for 0 bits (activations cannot
+    /// be pruned wholesale).
+    pub fn quantize(x: &Tensor, clip: f32, bits: BitWidth) -> Result<Self> {
+        if bits.is_pruned() {
+            return Err(QuantError::BitWidthOutOfRange { bits: 0 });
+        }
+        if !(clip.is_finite() && clip > 0.0) {
+            return Err(QuantError::InvalidRange { lo: 0.0, hi: clip });
+        }
+        x.shape_obj().ensure_rank(2)?;
+        let m = bits.levels() as f32;
+        let scale = clip / (m - 1.0);
+        let codes = x
+            .as_slice()
+            .iter()
+            .map(|&v| {
+                let clamped = v.clamp(0.0, clip);
+                (clamped / scale).round() as i32
+            })
+            .collect();
+        Ok(IntActivations {
+            codes,
+            scale,
+            batch: x.shape()[0],
+            features: x.shape()[1],
+        })
+    }
+
+    /// The quantization scale `s_a`.
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// Decodes back to f32 values (the fake-quant representation).
+    pub fn dequantize(&self) -> Tensor {
+        Tensor::from_vec(
+            self.codes.iter().map(|&c| c as f32 * self.scale).collect(),
+            &[self.batch, self.features],
+        )
+        .expect("codes length matches recorded dims")
+    }
+
+    /// Number of samples.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Features per sample.
+    pub fn features(&self) -> usize {
+        self.features
+    }
+}
+
+/// A linear layer compiled to integer codes, one bit-width per output
+/// neuron (filter).
+///
+/// # Example
+///
+/// ```
+/// use cbq_quant::{BitWidth, IntActivations, IntegerLinear};
+/// use cbq_tensor::Tensor;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let w = Tensor::from_vec(vec![0.5, -0.5, 1.0, 0.25], &[2, 2])?;
+/// let lin = IntegerLinear::quantize(&w, &[BitWidth::new(4)?; 2], None)?;
+/// let x = Tensor::from_vec(vec![1.0, 2.0], &[1, 2])?;
+/// let codes = IntActivations::quantize(&x, 2.0, BitWidth::new(8)?)?;
+/// let y = lin.forward(&codes)?; // integer MACs, f32 rescale
+/// assert_eq!(y.shape(), &[1, 2]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntegerLinear {
+    codes: Vec<i32>, // [out, in]
+    filter_scales: Vec<f32>,
+    out_features: usize,
+    in_features: usize,
+    bias: Option<Vec<f32>>,
+}
+
+impl IntegerLinear {
+    /// Compiles an `[out, in]` weight tensor to integer codes with the
+    /// given per-filter bit-widths. The symmetric bound `B` is the
+    /// layer-wide `max|w|`, matching [`PerFilterQuantizer`].
+    ///
+    /// [`PerFilterQuantizer`]: crate::PerFilterQuantizer
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::ArrangementMismatch`] when `bits` does not
+    /// have one entry per output row.
+    pub fn quantize(weight: &Tensor, bits: &[BitWidth], bias: Option<&Tensor>) -> Result<Self> {
+        weight.shape_obj().ensure_rank(2)?;
+        let (out, inf) = (weight.shape()[0], weight.shape()[1]);
+        if bits.len() != out {
+            return Err(QuantError::ArrangementMismatch(format!(
+                "{} filters but {} bit entries",
+                out,
+                bits.len()
+            )));
+        }
+        let bound = weight.max_abs().max(f32::MIN_POSITIVE);
+        let mut codes = vec![0i32; out * inf];
+        let mut filter_scales = vec![0.0f32; out];
+        let w = weight.as_slice();
+        for (k, &b) in bits.iter().enumerate() {
+            if b.is_pruned() {
+                filter_scales[k] = 0.0;
+                continue;
+            }
+            let n = b.levels() as f32;
+            let scale = bound / (n - 1.0);
+            filter_scales[k] = scale;
+            for i in 0..inf {
+                // level index in 0..N, then odd-spaced code 2k-(N-1)
+                let x = w[k * inf + i].clamp(-bound, bound);
+                let level = ((n - 1.0) * (x + bound) / (2.0 * bound)).round() as i32;
+                codes[k * inf + i] = 2 * level - (b.levels() as i32 - 1);
+            }
+        }
+        Ok(IntegerLinear {
+            codes,
+            filter_scales,
+            out_features: out,
+            in_features: inf,
+            bias: bias.map(|b| b.as_slice().to_vec()),
+        })
+    }
+
+    /// The dequantized weights — must equal the fake-quant
+    /// [`PerFilterQuantizer`](crate::PerFilterQuantizer) output.
+    pub fn dequantized_weights(&self) -> Tensor {
+        let mut out = vec![0.0f32; self.codes.len()];
+        for k in 0..self.out_features {
+            let s = self.filter_scales[k];
+            for i in 0..self.in_features {
+                out[k * self.in_features + i] = self.codes[k * self.in_features + i] as f32 * s;
+            }
+        }
+        Tensor::from_vec(out, &[self.out_features, self.in_features])
+            .expect("codes length matches dims")
+    }
+
+    /// Integer forward pass: exact i64 accumulation of code products,
+    /// rescaled to f32 and bias-added. Equals the fake-quant matmul up to
+    /// f32 rounding.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error when the activation width disagrees.
+    pub fn forward(&self, x: &IntActivations) -> Result<Tensor> {
+        self.forward_with_accumulator(x, None)
+    }
+
+    /// Integer forward pass with an optional accumulator width: the
+    /// running sum wraps into the signed `acc_bits` range after every
+    /// addition, reproducing narrow-accumulator hardware (WrapNet's
+    /// regime).
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error when the activation width disagrees, or
+    /// [`QuantError::BitWidthOutOfRange`] for `acc_bits == 0`.
+    pub fn forward_with_accumulator(
+        &self,
+        x: &IntActivations,
+        acc_bits: Option<u8>,
+    ) -> Result<Tensor> {
+        if x.features != self.in_features {
+            return Err(QuantError::ArrangementMismatch(format!(
+                "activation features {} vs layer input {}",
+                x.features, self.in_features
+            )));
+        }
+        let wrap = match acc_bits {
+            None => None,
+            Some(0) => return Err(QuantError::BitWidthOutOfRange { bits: 0 }),
+            Some(n) => Some(1i64 << (n - 1)),
+        };
+        let mut out = vec![0.0f32; x.batch * self.out_features];
+        for b in 0..x.batch {
+            let arow = &x.codes[b * self.in_features..(b + 1) * self.in_features];
+            for k in 0..self.out_features {
+                let wrow = &self.codes[k * self.in_features..(k + 1) * self.in_features];
+                let mut acc: i64 = 0;
+                match wrap {
+                    None => {
+                        for i in 0..self.in_features {
+                            acc += wrow[i] as i64 * arow[i] as i64;
+                        }
+                    }
+                    Some(l) => {
+                        for i in 0..self.in_features {
+                            acc += wrow[i] as i64 * arow[i] as i64;
+                            // wrap into [-L, L)
+                            acc = (acc + l).rem_euclid(2 * l) - l;
+                        }
+                    }
+                }
+                let mut y = acc as f32 * self.filter_scales[k] * x.scale;
+                if let Some(bias) = &self.bias {
+                    y += bias[k];
+                }
+                out[b * self.out_features + k] = y;
+            }
+        }
+        Ok(Tensor::from_vec(out, &[x.batch, self.out_features])?)
+    }
+
+    /// Output width.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// Input width.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+}
+
+/// A conv layer compiled to integer codes, one bit-width per output
+/// channel. Uses direct (nested-loop) integer convolution — a reference
+/// implementation for validating the fake-quant path, not a fast kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntegerConv2d {
+    codes: Vec<i32>, // [out, in, k, k]
+    filter_scales: Vec<f32>,
+    out_channels: usize,
+    in_channels: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    bias: Option<Vec<f32>>,
+}
+
+impl IntegerConv2d {
+    /// Compiles an `[O, C, K, K]` weight tensor to integer codes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::ArrangementMismatch`] when `bits` does not
+    /// have one entry per output channel.
+    pub fn quantize(
+        weight: &Tensor,
+        bits: &[BitWidth],
+        bias: Option<&Tensor>,
+        stride: usize,
+        padding: usize,
+    ) -> Result<Self> {
+        weight.shape_obj().ensure_rank(4)?;
+        let (o, c, k, k2) = (
+            weight.shape()[0],
+            weight.shape()[1],
+            weight.shape()[2],
+            weight.shape()[3],
+        );
+        if k != k2 {
+            return Err(QuantError::ArrangementMismatch("non-square kernel".into()));
+        }
+        if bits.len() != o {
+            return Err(QuantError::ArrangementMismatch(format!(
+                "{o} channels but {} bit entries",
+                bits.len()
+            )));
+        }
+        let flat = weight.reshape(&[o, c * k * k])?;
+        let lin = IntegerLinear::quantize(&flat, bits, None)?;
+        Ok(IntegerConv2d {
+            codes: lin.codes,
+            filter_scales: lin.filter_scales,
+            out_channels: o,
+            in_channels: c,
+            kernel: k,
+            stride,
+            padding,
+            bias: bias.map(|b| b.as_slice().to_vec()),
+        })
+    }
+
+    /// Integer convolution over a `[N, C, H, W]` activation batch encoded
+    /// at `(codes, scale)` — pass data through
+    /// [`IntActivations::quantize`] on the flattened per-image tensor and
+    /// keep the same scale.
+    ///
+    /// For simplicity the input here is an f32 tensor of *codes* (exact
+    /// small integers) plus the shared activation scale.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape/geometry errors for inconsistent operands.
+    pub fn forward_codes(&self, codes: &Tensor, act_scale: f32) -> Result<Tensor> {
+        codes.shape_obj().ensure_rank(4)?;
+        let (n, c, h, w) = (
+            codes.shape()[0],
+            codes.shape()[1],
+            codes.shape()[2],
+            codes.shape()[3],
+        );
+        if c != self.in_channels {
+            return Err(QuantError::ArrangementMismatch(format!(
+                "input channels {c} vs layer {}",
+                self.in_channels
+            )));
+        }
+        let k = self.kernel;
+        let spec = cbq_tensor::ConvSpec::new(self.stride, self.padding);
+        let oh = spec.out_extent(h, k)?;
+        let ow = spec.out_extent(w, k)?;
+        let src = codes.as_slice();
+        let mut out = vec![0.0f32; n * self.out_channels * oh * ow];
+        for ni in 0..n {
+            for oc in 0..self.out_channels {
+                let wbase = oc * self.in_channels * k * k;
+                for yi in 0..oh {
+                    for xi in 0..ow {
+                        let mut acc: i64 = 0;
+                        for ci in 0..self.in_channels {
+                            for ki in 0..k {
+                                let ii = (yi * self.stride + ki) as isize - self.padding as isize;
+                                if ii < 0 || ii >= h as isize {
+                                    continue;
+                                }
+                                for kj in 0..k {
+                                    let jj =
+                                        (xi * self.stride + kj) as isize - self.padding as isize;
+                                    if jj < 0 || jj >= w as isize {
+                                        continue;
+                                    }
+                                    let a = src[((ni * c + ci) * h + ii as usize) * w + jj as usize]
+                                        as i64;
+                                    let wv = self.codes[wbase + (ci * k + ki) * k + kj] as i64;
+                                    acc += a * wv;
+                                }
+                            }
+                        }
+                        let mut y = acc as f32 * self.filter_scales[oc] * act_scale;
+                        if let Some(bias) = &self.bias {
+                            y += bias[oc];
+                        }
+                        out[((ni * self.out_channels + oc) * oh + yi) * ow + xi] = y;
+                    }
+                }
+            }
+        }
+        Ok(Tensor::from_vec(out, &[n, self.out_channels, oh, ow])?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PerFilterQuantizer, UniformQuantizer};
+    use cbq_nn::WeightTransform;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn bw(b: u8) -> BitWidth {
+        BitWidth::new(b).unwrap()
+    }
+
+    #[test]
+    fn activation_codes_round_trip() {
+        let x = Tensor::from_vec(vec![0.0, 1.0, 2.0, 4.0, -1.0, 9.0], &[2, 3]).unwrap();
+        let ia = IntActivations::quantize(&x, 4.0, bw(2)).unwrap();
+        // levels 0, 4/3, 8/3, 4; codes 0..3
+        let d = ia.dequantize();
+        let q = UniformQuantizer::activation(4.0, bw(2));
+        for (a, b) in d.as_slice().iter().zip(x.as_slice()) {
+            assert!((a - q.quantize(*b)).abs() < 1e-5);
+        }
+        assert!(IntActivations::quantize(&x, 0.0, bw(2)).is_err());
+        assert!(IntActivations::quantize(&x, 4.0, BitWidth::ZERO).is_err());
+    }
+
+    #[test]
+    fn dequantized_weights_match_fake_quant() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = Tensor::randn(&[5, 7], 0.3, &mut rng);
+        let bits = vec![bw(1), bw(2), bw(3), bw(4), BitWidth::ZERO];
+        let lin = IntegerLinear::quantize(&w, &bits, None).unwrap();
+        let fake = PerFilterQuantizer::new(bits).apply(&w);
+        let diff = lin.dequantized_weights().sub(&fake).unwrap().max_abs();
+        assert!(
+            diff < 1e-5,
+            "integer codes disagree with fake quant by {diff}"
+        );
+    }
+
+    #[test]
+    fn integer_linear_matches_fake_quant_matmul() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let w = Tensor::randn(&[6, 10], 0.4, &mut rng);
+        let bias = Tensor::randn(&[6], 0.1, &mut rng);
+        let bits = vec![bw(2), bw(3), bw(4), bw(8), bw(1), bw(2)];
+        let lin = IntegerLinear::quantize(&w, &bits, Some(&bias)).unwrap();
+        // activations: relu-like positive inputs, 3-bit over [0, 2]
+        let x = Tensor::rand_uniform(&[4, 10], 0.0, 2.5, &mut rng);
+        let ia = IntActivations::quantize(&x, 2.0, bw(3)).unwrap();
+        let y_int = lin.forward(&ia).unwrap();
+        // fake-quant reference
+        let wq = PerFilterQuantizer::new(bits).apply(&w);
+        let xq = ia.dequantize();
+        let mut y_ref = xq.matmul_nt(&wq).unwrap();
+        for (i, v) in y_ref.as_mut_slice().iter_mut().enumerate() {
+            *v += bias.as_slice()[i % 6];
+        }
+        let diff = y_int.sub(&y_ref).unwrap().max_abs();
+        assert!(
+            diff < 1e-3,
+            "integer path deviates from fake-quant by {diff}"
+        );
+    }
+
+    #[test]
+    fn pruned_filter_outputs_only_bias() {
+        let w = Tensor::from_vec(vec![0.5, -0.5, 0.25, 0.75], &[2, 2]).unwrap();
+        let bias = Tensor::from_vec(vec![1.0, -2.0], &[2]).unwrap();
+        let lin = IntegerLinear::quantize(&w, &[BitWidth::ZERO, bw(8)], Some(&bias)).unwrap();
+        let x = Tensor::from_vec(vec![1.0, 1.0], &[1, 2]).unwrap();
+        let ia = IntActivations::quantize(&x, 1.0, bw(8)).unwrap();
+        let y = lin.forward(&ia).unwrap();
+        assert!(
+            (y.as_slice()[0] - 1.0).abs() < 1e-6,
+            "pruned filter must pass only bias"
+        );
+    }
+
+    #[test]
+    fn narrow_accumulator_wraps_wide_does_not() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let w = Tensor::randn(&[3, 64], 0.5, &mut rng);
+        let bits = vec![bw(8); 3];
+        let lin = IntegerLinear::quantize(&w, &bits, None).unwrap();
+        let x = Tensor::rand_uniform(&[2, 64], 0.0, 3.0, &mut rng);
+        let ia = IntActivations::quantize(&x, 3.0, bw(7)).unwrap();
+        let exact = lin.forward(&ia).unwrap();
+        let wide = lin.forward_with_accumulator(&ia, Some(48)).unwrap();
+        assert!(
+            exact.sub(&wide).unwrap().max_abs() < 1e-6,
+            "48-bit accumulator must be exact"
+        );
+        let narrow = lin.forward_with_accumulator(&ia, Some(8)).unwrap();
+        assert!(
+            exact.sub(&narrow).unwrap().max_abs() > 1e-3,
+            "8-bit accumulator should overflow on 64-wide 8x7-bit products"
+        );
+        assert!(lin.forward_with_accumulator(&ia, Some(0)).is_err());
+    }
+
+    #[test]
+    fn integer_conv_matches_fake_quant_conv() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let w = Tensor::randn(&[4, 2, 3, 3], 0.3, &mut rng);
+        let bias = Tensor::randn(&[4], 0.1, &mut rng);
+        let bits = vec![bw(2), bw(4), BitWidth::ZERO, bw(8)];
+        let conv = IntegerConv2d::quantize(&w, &bits, Some(&bias), 1, 1).unwrap();
+        // codes for a 2x2-channel 5x5 activation map at 3 bits over [0,2]
+        let x = Tensor::rand_uniform(&[2, 2, 5, 5], 0.0, 2.2, &mut rng);
+        let flat = x.reshape(&[2, 2 * 5 * 5]).unwrap();
+        let ia = IntActivations::quantize(&flat, 2.0, bw(3)).unwrap();
+        let codes = Tensor::from_vec(
+            ia.dequantize()
+                .as_slice()
+                .iter()
+                .map(|v| (v / ia.scale()).round())
+                .collect(),
+            &[2, 2, 5, 5],
+        )
+        .unwrap();
+        let y_int = conv.forward_codes(&codes, ia.scale()).unwrap();
+        // fake-quant reference
+        let wq = PerFilterQuantizer::new(bits).apply(&w);
+        let xq = ia.dequantize().reshape(&[2, 2, 5, 5]).unwrap();
+        let y_ref =
+            cbq_tensor::conv2d(&xq, &wq, Some(&bias), cbq_tensor::ConvSpec::new(1, 1)).unwrap();
+        let diff = y_int.sub(&y_ref).unwrap().max_abs();
+        assert!(
+            diff < 1e-3,
+            "integer conv deviates from fake-quant by {diff}"
+        );
+    }
+
+    #[test]
+    fn shape_mismatches_rejected() {
+        let w = Tensor::zeros(&[2, 3]);
+        assert!(IntegerLinear::quantize(&w, &[bw(2)], None).is_err());
+        let lin = IntegerLinear::quantize(&w, &[bw(2), bw(2)], None).unwrap();
+        let x = Tensor::ones(&[1, 4]);
+        let ia = IntActivations::quantize(&x, 1.0, bw(2)).unwrap();
+        assert!(lin.forward(&ia).is_err());
+        let wc = Tensor::zeros(&[2, 1, 3, 2]);
+        assert!(IntegerConv2d::quantize(&wc, &[bw(2), bw(2)], None, 1, 1).is_err());
+    }
+}

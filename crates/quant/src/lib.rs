@@ -1,0 +1,59 @@
+#![warn(missing_docs)]
+
+//! Uniform quantization substrate for the CBQ reproduction.
+//!
+//! This crate implements the paper's quantization machinery (§II-A,
+//! Eqs. 1–3) and everything needed to *apply* a per-filter bit-width
+//! assignment to a network from `cbq-nn`:
+//!
+//! - [`BitWidth`] — a validated 0..=8-bit width (0 bits = pruned).
+//! - [`UniformQuantizer`] — clip → normalize → round → rescale, exactly
+//!   Eqs. 1–3; symmetric for weights, `[0, b]` for post-ReLU activations.
+//! - [`BitArrangement`] — the per-filter bit-width assignment the search
+//!   in `cbq-core` produces, with average-bit-width and size accounting.
+//! - [`PerFilterQuantizer`] — a [`WeightTransform`] that fake-quantizes a
+//!   layer's weights filter-by-filter; installing it on a network's layers
+//!   turns ordinary forward/backward into quantization-aware training with
+//!   a straight-through estimator.
+//! - [`ActQuant`] — an activation-quantization layer with a calibration
+//!   mode that records the observed activation maximum (the paper's `b`).
+//!
+//! [`WeightTransform`]: cbq_nn::WeightTransform
+//!
+//! # Example
+//!
+//! ```
+//! use cbq_quant::{BitWidth, UniformQuantizer};
+//!
+//! let q = UniformQuantizer::symmetric(1.0, BitWidth::new(2)?);
+//! // 2 bits = 4 levels across [-1, 1]
+//! assert_eq!(q.quantize(0.9), 1.0);
+//! assert!((q.quantize(0.2) - 0.3333).abs() < 1e-3);
+//! # Ok::<(), cbq_quant::QuantError>(())
+//! ```
+
+mod accounting;
+mod act_quant;
+mod arrangement;
+mod bitwidth;
+mod error;
+pub mod integer;
+mod quantizer;
+mod report;
+mod transforms;
+
+pub use accounting::{model_size_bits, SizeReport};
+pub use act_quant::{install_act_quant, set_act_bits, set_act_calibration, ActQuant};
+pub use arrangement::{BitArrangement, BitHistogram, UnitArrangement};
+pub use bitwidth::BitWidth;
+pub use error::QuantError;
+pub use integer::{IntActivations, IntegerConv2d, IntegerLinear};
+pub use quantizer::UniformQuantizer;
+pub use report::quant_state_report;
+pub use transforms::{
+    clear_weight_transforms, install_arrangement, install_uniform, quant_units, BoundMode,
+    PerFilterQuantizer, QuantUnitInfo,
+};
+
+/// Result alias for fallible quantization operations.
+pub type Result<T> = std::result::Result<T, QuantError>;

@@ -1,0 +1,227 @@
+use crate::{BitWidth, QuantError, Result};
+use cbq_tensor::Tensor;
+
+/// The paper's uniform quantizer (§II-A, Eqs. 1–3).
+///
+/// A value `x` is clipped to `[lo, hi]` (Eq. 1), normalized and rounded to
+/// `N = 2^bits` levels (Eq. 2), then rescaled back (Eq. 3):
+///
+/// ```text
+/// x_c = clamp(x, lo, hi)
+/// x_r = round((N-1) * (x_c - lo) / (hi - lo)) / (N-1)
+/// x_q = (hi - lo) * x_r + lo
+/// ```
+///
+/// Weights use a symmetric range `[-b, b]` with `b = max|w|` of the layer;
+/// post-ReLU activations use `[0, b]` with `b` the maximum activation seen
+/// during calibration. A 0-bit quantizer maps everything to zero
+/// (pruning).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UniformQuantizer {
+    lo: f32,
+    hi: f32,
+    bits: BitWidth,
+}
+
+impl UniformQuantizer {
+    /// Creates a quantizer over an explicit range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::InvalidRange`] for a non-finite or empty
+    /// range.
+    pub fn new(lo: f32, hi: f32, bits: BitWidth) -> Result<Self> {
+        if !lo.is_finite() || !hi.is_finite() || lo >= hi {
+            return Err(QuantError::InvalidRange { lo, hi });
+        }
+        Ok(UniformQuantizer { lo, hi, bits })
+    }
+
+    /// Symmetric weight quantizer over `[-bound, bound]`.
+    ///
+    /// A non-positive or non-finite `bound` (e.g. an all-zero weight
+    /// tensor) degenerates to a tiny symmetric range so quantization still
+    /// maps everything to zero instead of erroring.
+    pub fn symmetric(bound: f32, bits: BitWidth) -> Self {
+        let b = if bound.is_finite() && bound > 0.0 {
+            bound
+        } else {
+            f32::MIN_POSITIVE
+        };
+        UniformQuantizer {
+            lo: -b,
+            hi: b,
+            bits,
+        }
+    }
+
+    /// Activation quantizer over `[0, bound]` (post-ReLU ranges).
+    pub fn activation(bound: f32, bits: BitWidth) -> Self {
+        let b = if bound.is_finite() && bound > 0.0 {
+            bound
+        } else {
+            f32::MIN_POSITIVE
+        };
+        UniformQuantizer {
+            lo: 0.0,
+            hi: b,
+            bits,
+        }
+    }
+
+    /// Lower clip bound `a`.
+    pub fn lo(&self) -> f32 {
+        self.lo
+    }
+
+    /// Upper clip bound `b`.
+    pub fn hi(&self) -> f32 {
+        self.hi
+    }
+
+    /// The quantizer's bit-width.
+    pub fn bits(&self) -> BitWidth {
+        self.bits
+    }
+
+    /// Quantizes one value per Eqs. 1–3.
+    pub fn quantize(&self, x: f32) -> f32 {
+        if self.bits.is_pruned() {
+            return 0.0;
+        }
+        // A degenerate range (all-zero weight tensor) quantizes to zero
+        // rather than to subnormal noise.
+        if self.hi - self.lo <= f32::MIN_POSITIVE * 4.0 {
+            return 0.0;
+        }
+        let n_minus_1 = (self.bits.levels() - 1) as f32;
+        let xc = x.clamp(self.lo, self.hi);
+        let xr = ((n_minus_1 * (xc - self.lo) / (self.hi - self.lo)).round()) / n_minus_1;
+        (self.hi - self.lo) * xr + self.lo
+    }
+
+    /// Quantizes every element of a tensor.
+    pub fn quantize_tensor(&self, t: &Tensor) -> Tensor {
+        t.map(|x| self.quantize(x))
+    }
+
+    /// Quantizes a slice in place.
+    pub fn quantize_slice(&self, xs: &mut [f32]) {
+        for x in xs {
+            *x = self.quantize(*x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bw(b: u8) -> BitWidth {
+        BitWidth::new(b).unwrap()
+    }
+
+    #[test]
+    fn clips_to_range() {
+        let q = UniformQuantizer::new(-1.0, 1.0, bw(8)).unwrap();
+        assert_eq!(q.quantize(5.0), 1.0);
+        assert_eq!(q.quantize(-5.0), -1.0);
+    }
+
+    #[test]
+    fn one_bit_symmetric_has_two_levels() {
+        let q = UniformQuantizer::symmetric(1.0, bw(1));
+        // levels: -1 and +1
+        assert_eq!(q.quantize(0.9), 1.0);
+        assert_eq!(q.quantize(-0.2), -1.0);
+        assert_eq!(q.quantize(0.1), 1.0); // rounds up from midpoint 0
+    }
+
+    #[test]
+    fn two_bit_levels_match_formula() {
+        // N = 4 levels over [-1, 1]: -1, -1/3, 1/3, 1
+        let q = UniformQuantizer::symmetric(1.0, bw(2));
+        for (x, want) in [
+            (-1.0, -1.0),
+            (-0.4, -1.0 / 3.0),
+            (0.2, 1.0 / 3.0),
+            (0.8, 1.0),
+        ] {
+            assert!((q.quantize(x) - want).abs() < 1e-6, "{x}");
+        }
+    }
+
+    #[test]
+    fn zero_bits_prunes() {
+        let q = UniformQuantizer::symmetric(1.0, BitWidth::ZERO);
+        assert_eq!(q.quantize(0.7), 0.0);
+        assert_eq!(q.quantize(-123.0), 0.0);
+    }
+
+    #[test]
+    fn idempotent() {
+        let q = UniformQuantizer::symmetric(2.0, bw(3));
+        for x in [-1.7f32, -0.2, 0.0, 0.4, 1.9, 5.0] {
+            let once = q.quantize(x);
+            assert_eq!(q.quantize(once), once, "not idempotent at {x}");
+        }
+    }
+
+    #[test]
+    fn endpoints_are_exact() {
+        let q = UniformQuantizer::new(-3.0, 5.0, bw(4)).unwrap();
+        assert_eq!(q.quantize(-3.0), -3.0);
+        assert_eq!(q.quantize(5.0), 5.0);
+    }
+
+    #[test]
+    fn activation_range_starts_at_zero() {
+        let q = UniformQuantizer::activation(4.0, bw(2));
+        assert_eq!(q.lo(), 0.0);
+        assert_eq!(q.quantize(-1.0), 0.0);
+        // levels 0, 4/3, 8/3, 4
+        assert!((q.quantize(1.5) - 4.0 / 3.0).abs() < 1e-6);
+        assert_eq!(q.quantize(9.0), 4.0);
+    }
+
+    #[test]
+    fn degenerate_bounds_fall_back() {
+        let q = UniformQuantizer::symmetric(0.0, bw(4));
+        assert_eq!(q.quantize(0.0), 0.0);
+        let q = UniformQuantizer::activation(f32::NAN, bw(4));
+        assert!(q.hi() > 0.0);
+    }
+
+    #[test]
+    fn invalid_explicit_range_rejected() {
+        assert!(UniformQuantizer::new(1.0, 1.0, bw(2)).is_err());
+        assert!(UniformQuantizer::new(f32::NAN, 1.0, bw(2)).is_err());
+        assert!(UniformQuantizer::new(2.0, -2.0, bw(2)).is_err());
+    }
+
+    #[test]
+    fn tensor_and_slice_match_scalar() {
+        let q = UniformQuantizer::symmetric(1.0, bw(3));
+        let t = Tensor::from_vec(vec![-0.9, -0.1, 0.3, 0.77], &[4]).unwrap();
+        let qt = q.quantize_tensor(&t);
+        let mut s = t.as_slice().to_vec();
+        q.quantize_slice(&mut s);
+        for i in 0..4 {
+            assert_eq!(qt.as_slice()[i], q.quantize(t.as_slice()[i]));
+            assert_eq!(s[i], qt.as_slice()[i]);
+        }
+    }
+
+    #[test]
+    fn level_count_is_bounded_by_two_pow_bits() {
+        let q = UniformQuantizer::symmetric(1.0, bw(3));
+        let mut seen = std::collections::BTreeSet::new();
+        let mut x = -1.5f32;
+        while x <= 1.5 {
+            seen.insert((q.quantize(x) * 1e6).round() as i64);
+            x += 0.001;
+        }
+        assert!(seen.len() <= 8, "3-bit produced {} levels", seen.len());
+        assert!(seen.len() >= 7, "3-bit produced only {} levels", seen.len());
+    }
+}

@@ -1,0 +1,104 @@
+//! Human-readable inspection of a network's quantization state —
+//! the `print(model)`-style debugging aid of PyTorch quantization flows.
+
+use crate::quant_units;
+use cbq_nn::{Layer, LayerKind};
+use std::fmt::Write as _;
+
+/// Summarizes the network's quantization state: quantizable units, which
+/// layers carry weight transforms, and the per-ReLU activation-quantizer
+/// settings.
+///
+/// # Example
+///
+/// ```
+/// use cbq_nn::models;
+/// use cbq_quant::{install_act_quant, quant_state_report};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// # fn main() -> Result<(), cbq_nn::NnError> {
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let mut net = models::mlp(&[4, 8, 6, 2], &mut rng)?;
+/// install_act_quant(&mut net);
+/// let report = quant_state_report(&mut net);
+/// assert!(report.contains("fc2"));
+/// assert!(report.contains("act quantizer"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn quant_state_report(net: &mut dyn Layer) -> String {
+    let mut out = String::new();
+    let units = quant_units(net);
+    let _ = writeln!(out, "quantizable units: {}", units.len());
+    for u in &units {
+        let _ = writeln!(
+            out,
+            "  {:<20} {} filters x {} weights",
+            u.name,
+            u.out_channels,
+            u.weights_per_filter()
+        );
+    }
+    let _ = writeln!(out, "layers:");
+    net.visit_layers_mut(&mut |l| {
+        let mut notes = Vec::new();
+        if l.kind() == LayerKind::Relu {
+            match l.activation_quantizer_mut() {
+                Some(q) => {
+                    let bits = q
+                        .bits()
+                        .map(|b| format!("{b}-bit"))
+                        .unwrap_or_else(|| "disabled".into());
+                    notes.push(format!("act quantizer {bits}, clip {:.3}", q.clip()));
+                }
+                None => notes.push("no act quantizer".into()),
+            }
+        }
+        if l.quantizable() {
+            notes.push("weight-quantizable".into());
+        }
+        let _ = writeln!(
+            out,
+            "  {:<20} {:?}{}{}",
+            l.name(),
+            l.kind(),
+            if notes.is_empty() { "" } else { " — " },
+            notes.join(", ")
+        );
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{install_act_quant, set_act_bits, BitWidth};
+    use cbq_nn::{models, Sequential};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_net() -> Sequential {
+        let mut rng = StdRng::seed_from_u64(1);
+        models::mlp(&[4, 8, 6, 2], &mut rng).unwrap()
+    }
+
+    #[test]
+    fn report_lists_units_and_layers() {
+        let mut net = sample_net();
+        let r = quant_state_report(&mut net);
+        // fc1 (first) and fc3 (output) are excluded; only fc2 quantizes.
+        assert!(r.contains("quantizable units: 1"), "{r}");
+        assert!(r.contains("fc2"));
+        assert!(r.contains("fc3")); // still listed in the layer walk
+        assert!(r.contains("no act quantizer"));
+    }
+
+    #[test]
+    fn report_reflects_act_quant_state() {
+        let mut net = sample_net();
+        install_act_quant(&mut net);
+        set_act_bits(&mut net, Some(BitWidth::new(3).unwrap()));
+        let r = quant_state_report(&mut net);
+        assert!(r.contains("act quantizer 3-bit"), "{r}");
+    }
+}

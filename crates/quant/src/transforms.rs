@@ -1,0 +1,348 @@
+use crate::{BitArrangement, BitWidth, QuantError, Result, UniformQuantizer, UnitArrangement};
+use cbq_nn::{Layer, WeightTransform};
+use cbq_tensor::Tensor;
+
+/// Structural description of one quantizable layer discovered by
+/// [`quant_units`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuantUnitInfo {
+    /// Layer name.
+    pub name: String,
+    /// Filters (conv output channels / FC output neurons).
+    pub out_channels: usize,
+    /// Total scalar weights in the layer.
+    pub weight_len: usize,
+}
+
+impl QuantUnitInfo {
+    /// Scalar weights per filter.
+    pub fn weights_per_filter(&self) -> usize {
+        self.weight_len / self.out_channels.max(1)
+    }
+}
+
+/// Lists the network's quantizable weight-bearing layers in execution
+/// order — the paper's "filters and neurons" universe (first and output
+/// layers are already excluded by the model builders).
+pub fn quant_units(net: &mut dyn Layer) -> Vec<QuantUnitInfo> {
+    let mut units = Vec::new();
+    net.visit_layers_mut(&mut |l| {
+        if l.quantizable() {
+            if let (Some(out), Some(len)) = (l.out_channels(), l.weight_len()) {
+                units.push(QuantUnitInfo {
+                    name: l.name().to_string(),
+                    out_channels: out,
+                    weight_len: len,
+                });
+            }
+        }
+    });
+    units
+}
+
+/// Where the symmetric clip bound `b` of the weight quantizer comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BoundMode {
+    /// Layer-wide `max|w|`, the paper's choice (§II-A: "the upper bound b
+    /// is the maximum absolute value of weights in the layer").
+    #[default]
+    PerLayer,
+    /// Per-filter `max|w|` — a finer scale that trades hardware
+    /// simplicity (one scale per layer) for lower quantization error on
+    /// small-magnitude filters. Available for ablations.
+    PerFilter,
+}
+
+/// Fake-quantizes a weight tensor filter-by-filter.
+///
+/// The symmetric clip bound is recomputed from the current shadow weights
+/// on every application so QAT tracks the weights as they move; its
+/// granularity is set by [`BoundMode`] (the paper uses
+/// [`BoundMode::PerLayer`]). Filters at 0 bits are zeroed (pruned).
+#[derive(Debug, Clone)]
+pub struct PerFilterQuantizer {
+    bits: Vec<BitWidth>,
+    bound_mode: BoundMode,
+}
+
+impl PerFilterQuantizer {
+    /// Creates a transform assigning `bits[k]` to filter `k`, with the
+    /// paper's layer-wide bound.
+    pub fn new(bits: Vec<BitWidth>) -> Self {
+        PerFilterQuantizer {
+            bits,
+            bound_mode: BoundMode::PerLayer,
+        }
+    }
+
+    /// Selects the bound granularity. Returns `self` for chaining.
+    pub fn with_bound_mode(mut self, mode: BoundMode) -> Self {
+        self.bound_mode = mode;
+        self
+    }
+
+    /// The per-filter widths.
+    pub fn bits(&self) -> &[BitWidth] {
+        &self.bits
+    }
+
+    /// The bound granularity in use.
+    pub fn bound_mode(&self) -> BoundMode {
+        self.bound_mode
+    }
+}
+
+impl WeightTransform for PerFilterQuantizer {
+    fn apply(&self, weight: &Tensor) -> Tensor {
+        let filters = self.bits.len();
+        if filters == 0 || weight.is_empty() {
+            return weight.clone();
+        }
+        let per_filter = weight.len() / filters;
+        let layer_bound = weight.max_abs();
+        let mut out = weight.clone();
+        let data = out.as_mut_slice();
+        for (k, &bits) in self.bits.iter().enumerate() {
+            let chunk = &mut data[k * per_filter..(k + 1) * per_filter];
+            let bound = match self.bound_mode {
+                BoundMode::PerLayer => layer_bound,
+                BoundMode::PerFilter => chunk.iter().fold(0.0f32, |m, &v| m.max(v.abs())),
+            };
+            let q = UniformQuantizer::symmetric(bound, bits);
+            q.quantize_slice(chunk);
+        }
+        out
+    }
+}
+
+/// Installs a per-filter arrangement onto the network's quantizable
+/// layers, replacing any existing weight transforms.
+///
+/// # Example
+///
+/// ```
+/// use cbq_quant::{install_uniform, install_arrangement, BitWidth};
+/// use cbq_nn::{models, Layer, Phase};
+/// use cbq_tensor::Tensor;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let mut net = models::mlp(&[4, 8, 6, 2], &mut rng)?;
+/// // start uniform, then tweak one unit and re-install
+/// let mut arrangement = install_uniform(&mut net, BitWidth::new(4)?);
+/// arrangement.units_mut()[0].bits[0] = BitWidth::ZERO; // prune one neuron
+/// install_arrangement(&mut net, &arrangement)?;
+/// let y = net.forward(&Tensor::zeros(&[1, 4]), Phase::Eval)?;
+/// assert_eq!(y.shape(), &[1, 2]);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// Returns [`QuantError::ArrangementMismatch`] when a quantizable layer
+/// has no unit in the arrangement or the filter counts disagree.
+pub fn install_arrangement(net: &mut dyn Layer, arrangement: &BitArrangement) -> Result<()> {
+    // Validate first so a failed install leaves the network untouched.
+    let units = quant_units(net);
+    for info in &units {
+        let unit = arrangement.unit(&info.name).ok_or_else(|| {
+            QuantError::ArrangementMismatch(format!("layer {} missing from arrangement", info.name))
+        })?;
+        if unit.filters() != info.out_channels {
+            return Err(QuantError::ArrangementMismatch(format!(
+                "layer {} has {} filters but the arrangement lists {}",
+                info.name,
+                info.out_channels,
+                unit.filters()
+            )));
+        }
+    }
+    net.visit_layers_mut(&mut |l| {
+        if l.quantizable() && l.out_channels().is_some() {
+            if let Some(unit) = arrangement.unit(l.name()) {
+                l.set_weight_transform(Some(Box::new(PerFilterQuantizer::new(unit.bits.clone()))));
+            }
+        }
+    });
+    Ok(())
+}
+
+/// Builds a uniform arrangement (every filter at `bits`) for the network,
+/// installs it, and returns it — the APN-style model-level setting.
+pub fn install_uniform(net: &mut dyn Layer, bits: BitWidth) -> BitArrangement {
+    let mut arrangement = BitArrangement::new();
+    for info in quant_units(net) {
+        arrangement.push(UnitArrangement::uniform(
+            info.name.clone(),
+            info.out_channels,
+            info.weights_per_filter(),
+            bits,
+        ));
+    }
+    // A uniform arrangement built from the same walk always matches.
+    install_arrangement(net, &arrangement).expect("uniform arrangement matches by construction");
+    arrangement
+}
+
+/// Removes every weight transform, restoring full-precision forward
+/// passes.
+pub fn clear_weight_transforms(net: &mut dyn Layer) {
+    net.visit_layers_mut(&mut |l| {
+        if l.out_channels().is_some() {
+            l.set_weight_transform(None);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbq_nn::layers::{Conv2d, Linear, Relu};
+    use cbq_nn::{Phase, Sequential};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn bw(b: u8) -> BitWidth {
+        BitWidth::new(b).unwrap()
+    }
+
+    fn small_net(rng: &mut StdRng) -> Sequential {
+        let mut net = Sequential::new("n");
+        net.push(
+            Conv2d::new("conv1", 1, 2, 3, 1, 1, false, rng)
+                .unwrap()
+                .without_quantization(),
+        );
+        net.push(Relu::new("r1"));
+        net.push(Conv2d::new("conv2", 2, 3, 3, 1, 1, false, rng).unwrap());
+        net.push(Relu::new("r2"));
+        net
+    }
+
+    #[test]
+    fn quant_units_skips_excluded_layers() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut net = small_net(&mut rng);
+        let units = quant_units(&mut net);
+        assert_eq!(units.len(), 1);
+        assert_eq!(units[0].name, "conv2");
+        assert_eq!(units[0].out_channels, 3);
+        assert_eq!(units[0].weight_len, 3 * 2 * 9);
+        assert_eq!(units[0].weights_per_filter(), 18);
+    }
+
+    #[test]
+    fn per_filter_quantizer_prunes_zero_bit_filters() {
+        let w = Tensor::from_vec(vec![0.5, -0.8, 0.1, 0.9], &[2, 2]).unwrap();
+        let t = PerFilterQuantizer::new(vec![BitWidth::ZERO, bw(8)]);
+        let q = t.apply(&w);
+        assert_eq!(&q.as_slice()[..2], &[0.0, 0.0]);
+        // 8-bit over [-0.9, 0.9]: near-identity
+        assert!((q.as_slice()[2] - 0.1).abs() < 0.01);
+        assert!((q.as_slice()[3] - 0.9).abs() < 0.01);
+    }
+
+    #[test]
+    fn per_filter_quantizer_uses_layer_wide_bound() {
+        // Filter 0 has small weights but must share filter 1's range.
+        let w = Tensor::from_vec(vec![0.1, 0.1, 1.0, -1.0], &[2, 2]).unwrap();
+        let t = PerFilterQuantizer::new(vec![bw(1), bw(1)]);
+        let q = t.apply(&w);
+        // 1 bit over [-1, 1]: levels ±1. 0.1 rounds to +1.
+        assert_eq!(q.as_slice(), &[1.0, 1.0, 1.0, -1.0]);
+    }
+
+    #[test]
+    fn per_filter_bound_mode_tracks_each_filter() {
+        let w = Tensor::from_vec(vec![0.1, -0.1, 1.0, -1.0], &[2, 2]).unwrap();
+        let t = PerFilterQuantizer::new(vec![bw(1), bw(1)]).with_bound_mode(BoundMode::PerFilter);
+        assert_eq!(t.bound_mode(), BoundMode::PerFilter);
+        let q = t.apply(&w);
+        // filter 0 quantizes over [-0.1, 0.1]: levels ±0.1
+        assert!((q.as_slice()[0] - 0.1).abs() < 1e-6);
+        assert!((q.as_slice()[1] + 0.1).abs() < 1e-6);
+        assert_eq!(&q.as_slice()[2..], &[1.0, -1.0]);
+    }
+
+    #[test]
+    fn per_filter_bound_reduces_error_on_small_filters() {
+        let mut rng = StdRng::seed_from_u64(9);
+        // filter 0 tiny, filter 1 large
+        let mut w = Tensor::randn(&[2, 16], 0.02, &mut rng);
+        for v in &mut w.as_mut_slice()[16..] {
+            *v *= 50.0;
+        }
+        let layer = PerFilterQuantizer::new(vec![bw(3), bw(3)]).apply(&w);
+        let filt = PerFilterQuantizer::new(vec![bw(3), bw(3)])
+            .with_bound_mode(BoundMode::PerFilter)
+            .apply(&w);
+        let err = |q: &Tensor| {
+            q.sub(&w).unwrap().as_slice()[..16]
+                .iter()
+                .map(|e| e * e)
+                .sum::<f32>()
+        };
+        assert!(
+            err(&filt) < err(&layer),
+            "per-filter bound should fit the small filter better"
+        );
+    }
+
+    #[test]
+    fn install_and_clear_round_trip() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut net = small_net(&mut rng);
+        let x = Tensor::randn(&[1, 1, 5, 5], 1.0, &mut rng);
+        let y_fp = net.forward(&x, Phase::Eval).unwrap();
+        let arr = install_uniform(&mut net, bw(1));
+        assert!((arr.average_bits() - 1.0).abs() < 1e-6);
+        let y_q = net.forward(&x, Phase::Eval).unwrap();
+        assert!(
+            y_fp.sub(&y_q).unwrap().max_abs() > 1e-4,
+            "1-bit quantization should change the output"
+        );
+        clear_weight_transforms(&mut net);
+        let y_back = net.forward(&x, Phase::Eval).unwrap();
+        assert!(y_fp.sub(&y_back).unwrap().max_abs() < 1e-6);
+    }
+
+    #[test]
+    fn install_rejects_mismatched_arrangement() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut net = small_net(&mut rng);
+        // wrong filter count
+        let mut arr = BitArrangement::new();
+        arr.push(UnitArrangement::uniform("conv2", 5, 18, bw(2)));
+        assert!(matches!(
+            install_arrangement(&mut net, &arr),
+            Err(QuantError::ArrangementMismatch(_))
+        ));
+        // missing unit
+        let arr2 = BitArrangement::new();
+        assert!(install_arrangement(&mut net, &arr2).is_err());
+    }
+
+    #[test]
+    fn linear_units_work_too() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut net = Sequential::new("n");
+        net.push(Linear::new("fc1", 4, 6, true, &mut rng).unwrap());
+        let units = quant_units(&mut net);
+        assert_eq!(units[0].weights_per_filter(), 4);
+        let arr = install_uniform(&mut net, bw(2));
+        assert_eq!(arr.units()[0].filters(), 6);
+    }
+
+    #[test]
+    fn eight_bit_is_near_identity_for_training() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut net = small_net(&mut rng);
+        let x = Tensor::randn(&[1, 1, 5, 5], 1.0, &mut rng);
+        let y_fp = net.forward(&x, Phase::Eval).unwrap();
+        install_uniform(&mut net, bw(8));
+        let y_q = net.forward(&x, Phase::Eval).unwrap();
+        assert!(y_fp.sub(&y_q).unwrap().max_abs() < 0.05);
+    }
+}

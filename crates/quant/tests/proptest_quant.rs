@@ -1,0 +1,125 @@
+//! Property-based tests of the quantizer's defining invariants (Eqs. 1–3)
+//! and of the arrangement accounting.
+
+use cbq_quant::{BitArrangement, BitWidth, UniformQuantizer, UnitArrangement};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn bits_strategy() -> impl Strategy<Value = BitWidth> {
+    (0u8..=8).prop_map(|b| BitWidth::new(b).unwrap())
+}
+
+proptest! {
+    /// Quantization is idempotent: q(q(x)) = q(x).
+    #[test]
+    fn idempotent(x in -100.0f32..100.0, bound in 0.01f32..50.0, bits in bits_strategy()) {
+        let q = UniformQuantizer::symmetric(bound, bits);
+        let once = q.quantize(x);
+        prop_assert_eq!(q.quantize(once), once);
+    }
+
+    /// Output stays inside the clip range.
+    #[test]
+    fn output_in_range(x in -100.0f32..100.0, bound in 0.01f32..50.0, bits in bits_strategy()) {
+        let q = UniformQuantizer::symmetric(bound, bits);
+        let y = q.quantize(x);
+        prop_assert!(y >= -bound - 1e-4 && y <= bound + 1e-4, "{} outside [-{}, {}]", y, bound, bound);
+    }
+
+    /// Quantization is monotone non-decreasing.
+    #[test]
+    fn monotone(a in -10.0f32..10.0, delta in 0.0f32..5.0, bits in bits_strategy()) {
+        let q = UniformQuantizer::symmetric(4.0, bits);
+        prop_assert!(q.quantize(a + delta) >= q.quantize(a));
+    }
+
+    /// The number of distinct output levels never exceeds 2^bits.
+    #[test]
+    fn level_count_bounded(bits in 1u8..=6, bound in 0.5f32..5.0) {
+        let q = UniformQuantizer::symmetric(bound, BitWidth::new(bits).unwrap());
+        let mut levels = BTreeSet::new();
+        let steps = 400;
+        for i in 0..=steps {
+            let x = -1.5 * bound + 3.0 * bound * i as f32 / steps as f32;
+            levels.insert((q.quantize(x) * 1e5).round() as i64);
+        }
+        prop_assert!(levels.len() <= (1usize << bits), "{} levels at {} bits", levels.len(), bits);
+    }
+
+    /// Quantization error is bounded by half an interval inside the clip
+    /// range.
+    #[test]
+    fn error_bounded_by_half_step(x in -1.0f32..1.0, bits in 1u8..=8) {
+        let bound = 1.0f32;
+        let q = UniformQuantizer::symmetric(bound, BitWidth::new(bits).unwrap());
+        let n = (1u32 << bits) as f32;
+        let step = 2.0 * bound / (n - 1.0);
+        let err = (q.quantize(x) - x).abs();
+        prop_assert!(err <= step / 2.0 + 1e-5, "error {} > half step {}", err, step / 2.0);
+    }
+
+    /// Activation quantizers never output negatives.
+    #[test]
+    fn activation_non_negative(x in -10.0f32..10.0, bound in 0.1f32..10.0, bits in bits_strategy()) {
+        let q = UniformQuantizer::activation(bound, bits);
+        prop_assert!(q.quantize(x) >= 0.0);
+    }
+
+    /// Arrangement average is a true weighted mean: between min and max
+    /// assigned bits, and exactly linear in unit weight counts.
+    #[test]
+    fn average_bits_is_weighted_mean(
+        filters in prop::collection::vec((0u8..=8, 1usize..20), 1..6),
+    ) {
+        let mut arr = BitArrangement::new();
+        for (i, &(bits, wpf)) in filters.iter().enumerate() {
+            arr.push(UnitArrangement::uniform(
+                format!("u{i}"),
+                3,
+                wpf,
+                BitWidth::new(bits).unwrap(),
+            ));
+        }
+        let avg = arr.average_bits();
+        let lo = filters.iter().map(|&(b, _)| b).min().unwrap() as f32;
+        let hi = filters.iter().map(|&(b, _)| b).max().unwrap() as f32;
+        prop_assert!(avg >= lo - 1e-5 && avg <= hi + 1e-5);
+        // direct recomputation
+        let total: usize = filters.iter().map(|&(_, w)| 3 * w).sum();
+        let bits_sum: usize = filters.iter().map(|&(b, w)| b as usize * 3 * w).sum();
+        prop_assert!((avg - bits_sum as f32 / total as f32).abs() < 1e-5);
+    }
+
+    /// Serde round trip preserves arrangements exactly.
+    #[test]
+    fn arrangement_serde_round_trip(
+        bits in prop::collection::vec(0u8..=8, 1..20),
+        wpf in 1usize..50,
+    ) {
+        let mut arr = BitArrangement::new();
+        let unit = UnitArrangement {
+            name: "u".into(),
+            bits: bits.iter().map(|&b| BitWidth::new(b).unwrap()).collect(),
+            weights_per_filter: wpf,
+        };
+        arr.push(unit);
+        let json = serde_json::to_string(&arr).unwrap();
+        let back: BitArrangement = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back, arr);
+    }
+
+    /// Histogram totals equal filter counts.
+    #[test]
+    fn histogram_total_matches(bits in prop::collection::vec(0u8..=8, 1..40)) {
+        let mut arr = BitArrangement::new();
+        arr.push(UnitArrangement {
+            name: "u".into(),
+            bits: bits.iter().map(|&b| BitWidth::new(b).unwrap()).collect(),
+            weights_per_filter: 2,
+        });
+        let h = arr.histogram();
+        prop_assert_eq!(h.total(), bits.len());
+        let pct_sum: f32 = h.percentages().iter().sum();
+        prop_assert!((pct_sum - 100.0).abs() < 1e-3);
+    }
+}

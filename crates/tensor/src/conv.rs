@@ -1,0 +1,456 @@
+//! 2-D convolution via im2col/col2im, with full backward passes.
+//!
+//! Layout conventions: activations are `[N, C, H, W]`, weights are
+//! `[O, C, KH, KW]`, biases are `[O]`. The im2col matrix for one batch item
+//! is `[C*KH*KW, OH*OW]`, so the forward pass is a single matrix product
+//! per item and the backward pass reuses the same matrix for both the
+//! weight gradient and (through [`col2im`]) the input gradient.
+
+use crate::{Result, Tensor, TensorError};
+
+/// Geometry of a convolution or correlation: stride and zero padding,
+/// identical in both spatial directions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConvSpec {
+    /// Step between receptive fields.
+    pub stride: usize,
+    /// Zero padding added on every border.
+    pub padding: usize,
+}
+
+impl ConvSpec {
+    /// Unit-stride, unpadded convolution.
+    pub fn new(stride: usize, padding: usize) -> Self {
+        ConvSpec { stride, padding }
+    }
+
+    /// Output spatial size for an input extent `n` and kernel extent `k`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidGeometry`] if the stride is zero or the
+    /// kernel does not fit in the padded input.
+    pub fn out_extent(&self, n: usize, k: usize) -> Result<usize> {
+        if self.stride == 0 {
+            return Err(TensorError::InvalidGeometry(
+                "stride must be positive".into(),
+            ));
+        }
+        let padded = n + 2 * self.padding;
+        if k == 0 || k > padded {
+            return Err(TensorError::InvalidGeometry(format!(
+                "kernel extent {k} does not fit padded input extent {padded}"
+            )));
+        }
+        Ok((padded - k) / self.stride + 1)
+    }
+}
+
+impl Default for ConvSpec {
+    fn default() -> Self {
+        ConvSpec {
+            stride: 1,
+            padding: 0,
+        }
+    }
+}
+
+/// Gradients produced by [`conv2d_backward`].
+#[derive(Debug, Clone)]
+pub struct Conv2dGrads {
+    /// Gradient with respect to the input, `[N, C, H, W]`.
+    pub grad_input: Tensor,
+    /// Gradient with respect to the weights, `[O, C, KH, KW]`.
+    pub grad_weight: Tensor,
+    /// Gradient with respect to the bias, `[O]`.
+    pub grad_bias: Tensor,
+}
+
+/// Unfolds one image `[C, H, W]` into the im2col matrix
+/// `[C*KH*KW, OH*OW]` for the given kernel size and geometry.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for non-rank-3 input and
+/// [`TensorError::InvalidGeometry`] when the kernel does not fit.
+pub fn im2col(input: &Tensor, kh: usize, kw: usize, spec: ConvSpec) -> Result<Tensor> {
+    input.shape_obj().ensure_rank(3)?;
+    let (c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2]);
+    let oh = spec.out_extent(h, kh)?;
+    let ow = spec.out_extent(w, kw)?;
+    let rows = c * kh * kw;
+    let cols = oh * ow;
+    let mut out = vec![0.0f32; rows * cols];
+    let data = input.as_slice();
+    let pad = spec.padding as isize;
+    for ci in 0..c {
+        for ki in 0..kh {
+            for kj in 0..kw {
+                let row = (ci * kh + ki) * kw + kj;
+                let base = row * cols;
+                for oi in 0..oh {
+                    let ii = (oi * spec.stride) as isize + ki as isize - pad;
+                    if ii < 0 || ii >= h as isize {
+                        continue;
+                    }
+                    let in_row = (ci * h + ii as usize) * w;
+                    for oj in 0..ow {
+                        let jj = (oj * spec.stride) as isize + kj as isize - pad;
+                        if jj < 0 || jj >= w as isize {
+                            continue;
+                        }
+                        out[base + oi * ow + oj] = data[in_row + jj as usize];
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[rows, cols])
+}
+
+/// Folds an im2col-shaped gradient `[C*KH*KW, OH*OW]` back onto an image
+/// gradient `[C, H, W]`, summing overlapping contributions. Adjoint of
+/// [`im2col`].
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when the matrix does not match the
+/// implied geometry or [`TensorError::InvalidGeometry`] when the kernel does
+/// not fit.
+pub fn col2im(
+    cols_mat: &Tensor,
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    spec: ConvSpec,
+) -> Result<Tensor> {
+    let oh = spec.out_extent(h, kh)?;
+    let ow = spec.out_extent(w, kw)?;
+    let rows = c * kh * kw;
+    let cols = oh * ow;
+    if cols_mat.shape() != [rows, cols] {
+        return Err(TensorError::ShapeMismatch {
+            lhs: cols_mat.shape().to_vec(),
+            rhs: vec![rows, cols],
+        });
+    }
+    let mut out = vec![0.0f32; c * h * w];
+    let data = cols_mat.as_slice();
+    let pad = spec.padding as isize;
+    for ci in 0..c {
+        for ki in 0..kh {
+            for kj in 0..kw {
+                let row = (ci * kh + ki) * kw + kj;
+                let base = row * cols;
+                for oi in 0..oh {
+                    let ii = (oi * spec.stride) as isize + ki as isize - pad;
+                    if ii < 0 || ii >= h as isize {
+                        continue;
+                    }
+                    let out_row = (ci * h + ii as usize) * w;
+                    for oj in 0..ow {
+                        let jj = (oj * spec.stride) as isize + kj as isize - pad;
+                        if jj < 0 || jj >= w as isize {
+                            continue;
+                        }
+                        out[out_row + jj as usize] += data[base + oi * ow + oj];
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[c, h, w])
+}
+
+/// Batched 2-D convolution: `[N, C, H, W] * [O, C, KH, KW] -> [N, O, OH, OW]`.
+///
+/// # Errors
+///
+/// Returns a shape or geometry error when the operand ranks, channel counts
+/// or kernel size are inconsistent.
+pub fn conv2d(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    spec: ConvSpec,
+) -> Result<Tensor> {
+    input.shape_obj().ensure_rank(4)?;
+    weight.shape_obj().ensure_rank(4)?;
+    let (n, c, h, w) = (
+        input.shape()[0],
+        input.shape()[1],
+        input.shape()[2],
+        input.shape()[3],
+    );
+    let (o, wc, kh, kw) = (
+        weight.shape()[0],
+        weight.shape()[1],
+        weight.shape()[2],
+        weight.shape()[3],
+    );
+    if c != wc {
+        return Err(TensorError::ShapeMismatch {
+            lhs: input.shape().to_vec(),
+            rhs: weight.shape().to_vec(),
+        });
+    }
+    if let Some(b) = bias {
+        if b.shape() != [o] {
+            return Err(TensorError::ShapeMismatch {
+                lhs: b.shape().to_vec(),
+                rhs: vec![o],
+            });
+        }
+    }
+    let oh = spec.out_extent(h, kh)?;
+    let ow = spec.out_extent(w, kw)?;
+    let w2 = weight.reshape(&[o, c * kh * kw])?;
+    let mut out = Tensor::zeros(&[n, o, oh, ow]);
+    let plane = o * oh * ow;
+    for ni in 0..n {
+        let item = Tensor::from_vec(
+            input.as_slice()[ni * c * h * w..(ni + 1) * c * h * w].to_vec(),
+            &[c, h, w],
+        )?;
+        let cols = im2col(&item, kh, kw, spec)?;
+        let prod = w2.matmul(&cols)?; // [o, oh*ow]
+        let dst = &mut out.as_mut_slice()[ni * plane..(ni + 1) * plane];
+        dst.copy_from_slice(prod.as_slice());
+        if let Some(b) = bias {
+            for oi in 0..o {
+                let bv = b.as_slice()[oi];
+                for v in &mut dst[oi * oh * ow..(oi + 1) * oh * ow] {
+                    *v += bv;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Backward pass of [`conv2d`]: gradients with respect to input, weight and
+/// bias, given the upstream gradient `grad_out` of shape `[N, O, OH, OW]`.
+///
+/// # Errors
+///
+/// Returns a shape or geometry error when the operands are inconsistent
+/// with the forward geometry.
+pub fn conv2d_backward(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_out: &Tensor,
+    spec: ConvSpec,
+) -> Result<Conv2dGrads> {
+    input.shape_obj().ensure_rank(4)?;
+    weight.shape_obj().ensure_rank(4)?;
+    grad_out.shape_obj().ensure_rank(4)?;
+    let (n, c, h, w) = (
+        input.shape()[0],
+        input.shape()[1],
+        input.shape()[2],
+        input.shape()[3],
+    );
+    let (o, _, kh, kw) = (
+        weight.shape()[0],
+        weight.shape()[1],
+        weight.shape()[2],
+        weight.shape()[3],
+    );
+    let oh = spec.out_extent(h, kh)?;
+    let ow = spec.out_extent(w, kw)?;
+    if grad_out.shape() != [n, o, oh, ow] {
+        return Err(TensorError::ShapeMismatch {
+            lhs: grad_out.shape().to_vec(),
+            rhs: vec![n, o, oh, ow],
+        });
+    }
+    let k = c * kh * kw;
+    let w2 = weight.reshape(&[o, k])?;
+    let mut grad_input = Tensor::zeros(&[n, c, h, w]);
+    let mut grad_weight2 = Tensor::zeros(&[o, k]);
+    let mut grad_bias = Tensor::zeros(&[o]);
+    let plane = o * oh * ow;
+    let img = c * h * w;
+    for ni in 0..n {
+        let item = Tensor::from_vec(
+            input.as_slice()[ni * img..(ni + 1) * img].to_vec(),
+            &[c, h, w],
+        )?;
+        let cols = im2col(&item, kh, kw, spec)?; // [k, oh*ow]
+        let gy = Tensor::from_vec(
+            grad_out.as_slice()[ni * plane..(ni + 1) * plane].to_vec(),
+            &[o, oh * ow],
+        )?;
+        // dW += gy · cols^T
+        let gw = gy.matmul_nt(&cols)?;
+        grad_weight2.add_scaled(&gw, 1.0)?;
+        // db += row sums of gy
+        for oi in 0..o {
+            let s: f32 = gy.as_slice()[oi * oh * ow..(oi + 1) * oh * ow].iter().sum();
+            grad_bias.as_mut_slice()[oi] += s;
+        }
+        // dX = col2im(W^T · gy)
+        let gcols = w2.matmul_tn(&gy)?; // [k, oh*ow]
+        let gx = col2im(&gcols, c, h, w, kh, kw, spec)?;
+        grad_input.as_mut_slice()[ni * img..(ni + 1) * img].copy_from_slice(gx.as_slice());
+    }
+    Ok(Conv2dGrads {
+        grad_input,
+        grad_weight: grad_weight2.into_reshape(&[o, c, kh, kw])?,
+        grad_bias,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn naive_conv2d(x: &Tensor, w: &Tensor, b: Option<&Tensor>, spec: ConvSpec) -> Tensor {
+        let (n, c, h, ww) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+        let (o, _, kh, kw) = (w.shape()[0], w.shape()[1], w.shape()[2], w.shape()[3]);
+        let oh = spec.out_extent(h, kh).unwrap();
+        let ow = spec.out_extent(ww, kw).unwrap();
+        let mut out = Tensor::zeros(&[n, o, oh, ow]);
+        for ni in 0..n {
+            for oi in 0..o {
+                for yi in 0..oh {
+                    for xi in 0..ow {
+                        let mut acc = b.map(|b| b.as_slice()[oi]).unwrap_or(0.0);
+                        for ci in 0..c {
+                            for ki in 0..kh {
+                                for kj in 0..kw {
+                                    let ii =
+                                        (yi * spec.stride + ki) as isize - spec.padding as isize;
+                                    let jj =
+                                        (xi * spec.stride + kj) as isize - spec.padding as isize;
+                                    if ii < 0 || jj < 0 || ii >= h as isize || jj >= ww as isize {
+                                        continue;
+                                    }
+                                    acc += x.at(&[ni, ci, ii as usize, jj as usize])
+                                        * w.at(&[oi, ci, ki, kj]);
+                                }
+                            }
+                        }
+                        out.set(&[ni, oi, yi, xi], acc);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn out_extent_math() {
+        let s = ConvSpec::new(1, 1);
+        assert_eq!(s.out_extent(8, 3).unwrap(), 8);
+        let s2 = ConvSpec::new(2, 0);
+        assert_eq!(s2.out_extent(8, 2).unwrap(), 4);
+        assert!(ConvSpec::new(0, 0).out_extent(8, 3).is_err());
+        assert!(ConvSpec::new(1, 0).out_extent(2, 5).is_err());
+    }
+
+    #[test]
+    fn conv_matches_naive_padded_strided() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for &(stride, pad) in &[(1usize, 0usize), (1, 1), (2, 1)] {
+            let spec = ConvSpec::new(stride, pad);
+            let x = Tensor::randn(&[2, 3, 6, 6], 1.0, &mut rng);
+            let w = Tensor::randn(&[4, 3, 3, 3], 0.5, &mut rng);
+            let b = Tensor::randn(&[4], 0.1, &mut rng);
+            let fast = conv2d(&x, &w, Some(&b), spec).unwrap();
+            let slow = naive_conv2d(&x, &w, Some(&b), spec);
+            assert_eq!(fast.shape(), slow.shape());
+            for (a, c) in fast.as_slice().iter().zip(slow.as_slice()) {
+                assert!(
+                    (a - c).abs() < 1e-3,
+                    "stride {stride} pad {pad}: {a} vs {c}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn im2col_col2im_are_adjoint() {
+        // <im2col(x), y> == <x, col2im(y)> for random x, y — the defining
+        // property that makes the backward pass correct.
+        let mut rng = StdRng::seed_from_u64(23);
+        let spec = ConvSpec::new(2, 1);
+        let x = Tensor::randn(&[2, 5, 5], 1.0, &mut rng);
+        let cols = im2col(&x, 3, 3, spec).unwrap();
+        let y = Tensor::randn(cols.shape(), 1.0, &mut rng);
+        let lhs: f32 = cols.mul(&y).unwrap().sum();
+        let folded = col2im(&y, 2, 5, 5, 3, 3, spec).unwrap();
+        let rhs: f32 = folded.mul(&x).unwrap().sum();
+        assert!((lhs - rhs).abs() < 1e-2, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn conv_backward_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(29);
+        let spec = ConvSpec::new(1, 1);
+        let x = Tensor::randn(&[1, 2, 4, 4], 1.0, &mut rng);
+        let w = Tensor::randn(&[3, 2, 3, 3], 0.5, &mut rng);
+        let b = Tensor::randn(&[3], 0.1, &mut rng);
+        // loss = sum(conv(x)) so grad_out = ones.
+        let y = conv2d(&x, &w, Some(&b), spec).unwrap();
+        let gy = Tensor::ones(y.shape());
+        let grads = conv2d_backward(&x, &w, &gy, spec).unwrap();
+        let eps = 1e-2f32;
+        // check a handful of weight coordinates
+        for idx in [0usize, 7, 20, 35, 53] {
+            let mut wp = w.clone();
+            wp.as_mut_slice()[idx] += eps;
+            let mut wm = w.clone();
+            wm.as_mut_slice()[idx] -= eps;
+            let lp = conv2d(&x, &wp, Some(&b), spec).unwrap().sum();
+            let lm = conv2d(&x, &wm, Some(&b), spec).unwrap().sum();
+            let fd = (lp - lm) / (2.0 * eps);
+            let an = grads.grad_weight.as_slice()[idx];
+            assert!((fd - an).abs() < 2e-2, "weight[{idx}]: fd {fd} vs an {an}");
+        }
+        // check input coordinates
+        for idx in [0usize, 5, 13, 31] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let lp = conv2d(&xp, &w, Some(&b), spec).unwrap().sum();
+            let lm = conv2d(&xm, &w, Some(&b), spec).unwrap().sum();
+            let fd = (lp - lm) / (2.0 * eps);
+            let an = grads.grad_input.as_slice()[idx];
+            assert!((fd - an).abs() < 2e-2, "input[{idx}]: fd {fd} vs an {an}");
+        }
+        // bias gradient is just the output count per channel
+        let per_channel = (y.len() / 3) as f32;
+        for &gb in grads.grad_bias.as_slice() {
+            assert!((gb - per_channel).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn channel_mismatch_errors() {
+        let x = Tensor::zeros(&[1, 3, 4, 4]);
+        let w = Tensor::zeros(&[2, 4, 3, 3]);
+        assert!(conv2d(&x, &w, None, ConvSpec::default()).is_err());
+    }
+
+    #[test]
+    fn bias_shape_checked() {
+        let x = Tensor::zeros(&[1, 1, 4, 4]);
+        let w = Tensor::zeros(&[2, 1, 3, 3]);
+        let bad_bias = Tensor::zeros(&[3]);
+        assert!(conv2d(&x, &w, Some(&bad_bias), ConvSpec::default()).is_err());
+    }
+
+    #[test]
+    fn one_by_one_conv_is_channel_mix() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]).unwrap();
+        let w = Tensor::from_vec(vec![2.0], &[1, 1, 1, 1]).unwrap();
+        let y = conv2d(&x, &w, None, ConvSpec::default()).unwrap();
+        assert_eq!(y.as_slice(), &[2.0, 4.0, 6.0, 8.0]);
+    }
+}

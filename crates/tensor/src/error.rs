@@ -1,0 +1,138 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by tensor operations.
+///
+/// Every fallible operation in this crate reports a structured error so
+/// callers can distinguish shape bugs from data bugs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The number of elements implied by a shape does not match the data
+    /// length supplied.
+    LengthMismatch {
+        /// Elements the shape requires.
+        expected: usize,
+        /// Elements actually supplied.
+        actual: usize,
+    },
+    /// Two shapes that must match (e.g. elementwise operands) do not.
+    ShapeMismatch {
+        /// Left-hand operand shape.
+        lhs: Vec<usize>,
+        /// Right-hand operand shape.
+        rhs: Vec<usize>,
+    },
+    /// An operation required a specific rank (number of dimensions).
+    RankMismatch {
+        /// Rank the operation requires.
+        expected: usize,
+        /// Rank of the tensor given.
+        actual: usize,
+    },
+    /// Inner dimensions of a matrix multiplication disagree.
+    MatmulDimMismatch {
+        /// Columns of the left matrix.
+        lhs_cols: usize,
+        /// Rows of the right matrix.
+        rhs_rows: usize,
+    },
+    /// An axis index was out of range for the tensor's rank.
+    AxisOutOfRange {
+        /// Axis requested.
+        axis: usize,
+        /// Rank of the tensor.
+        rank: usize,
+    },
+    /// A convolution/pooling geometry is impossible (e.g. kernel larger
+    /// than padded input).
+    InvalidGeometry(String),
+    /// A reshape changed the total element count.
+    ReshapeMismatch {
+        /// Element count of the source tensor.
+        from: usize,
+        /// Element count of the requested shape.
+        to: usize,
+    },
+    /// A tensor that must be non-empty was empty.
+    Empty,
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "data length {actual} does not match shape ({expected} elements)"
+                )
+            }
+            TensorError::ShapeMismatch { lhs, rhs } => {
+                write!(f, "shape mismatch: {lhs:?} vs {rhs:?}")
+            }
+            TensorError::RankMismatch { expected, actual } => {
+                write!(f, "expected rank {expected}, got rank {actual}")
+            }
+            TensorError::MatmulDimMismatch { lhs_cols, rhs_rows } => {
+                write!(
+                    f,
+                    "matmul inner dimensions disagree: {lhs_cols} vs {rhs_rows}"
+                )
+            }
+            TensorError::AxisOutOfRange { axis, rank } => {
+                write!(f, "axis {axis} out of range for rank {rank}")
+            }
+            TensorError::InvalidGeometry(msg) => write!(f, "invalid geometry: {msg}"),
+            TensorError::ReshapeMismatch { from, to } => {
+                write!(
+                    f,
+                    "cannot reshape {from} elements into shape with {to} elements"
+                )
+            }
+            TensorError::Empty => write!(f, "operation requires a non-empty tensor"),
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs: Vec<TensorError> = vec![
+            TensorError::LengthMismatch {
+                expected: 4,
+                actual: 3,
+            },
+            TensorError::ShapeMismatch {
+                lhs: vec![2],
+                rhs: vec![3],
+            },
+            TensorError::RankMismatch {
+                expected: 2,
+                actual: 1,
+            },
+            TensorError::MatmulDimMismatch {
+                lhs_cols: 2,
+                rhs_rows: 3,
+            },
+            TensorError::AxisOutOfRange { axis: 5, rank: 2 },
+            TensorError::InvalidGeometry("kernel too large".into()),
+            TensorError::ReshapeMismatch { from: 4, to: 5 },
+            TensorError::Empty,
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+
+//! Dense `f32` tensor library for the CBQ workspace.
+//!
+//! This crate is the numerical substrate under the class-based quantization
+//! pipeline: a contiguous, row-major n-dimensional tensor with the operations
+//! a small CNN training stack needs — elementwise arithmetic, matrix
+//! multiplication, im2col convolution (forward and backward), pooling, and
+//! reductions. It is deliberately simple: no views, no lazy evaluation, no
+//! broadcasting beyond scalar and per-channel forms, which keeps gradient
+//! code easy to audit against finite differences.
+//!
+//! # Example
+//!
+//! ```
+//! use cbq_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+//! let b = Tensor::ones(&[2, 2]);
+//! let c = a.matmul(&b)?;
+//! assert_eq!(c.shape(), &[2, 2]);
+//! assert_eq!(c.as_slice()[0], 3.0);
+//! # Ok::<(), cbq_tensor::TensorError>(())
+//! ```
+
+mod conv;
+mod error;
+mod matmul;
+mod ops;
+pub mod parallel;
+mod pool;
+mod shape;
+mod tensor;
+
+pub use conv::{col2im, conv2d, conv2d_backward, im2col, Conv2dGrads, ConvSpec};
+pub use error::TensorError;
+pub use pool::{
+    avg_pool2d, avg_pool2d_backward, global_avg_pool, global_avg_pool_backward, max_pool2d,
+    max_pool2d_backward, MaxPoolIndices, PoolSpec,
+};
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Result alias for fallible tensor operations.
+pub type Result<T> = std::result::Result<T, TensorError>;

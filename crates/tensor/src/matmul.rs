@@ -1,0 +1,225 @@
+use crate::parallel::parallel_chunks_mut;
+use crate::{Result, Tensor, TensorError};
+
+impl Tensor {
+    /// Matrix product of two rank-2 tensors: `[m, k] x [k, n] -> [m, n]`.
+    ///
+    /// Uses an ikj loop order (streaming the right operand row-wise) and
+    /// parallelizes over output rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-rank-2 operands and
+    /// [`TensorError::MatmulDimMismatch`] when the inner dimensions differ.
+    pub fn matmul(&self, rhs: &Tensor) -> Result<Tensor> {
+        self.shape_obj().ensure_rank(2)?;
+        rhs.shape_obj().ensure_rank(2)?;
+        let (m, k) = (self.shape()[0], self.shape()[1]);
+        let (k2, n) = (rhs.shape()[0], rhs.shape()[1]);
+        if k != k2 {
+            return Err(TensorError::MatmulDimMismatch {
+                lhs_cols: k,
+                rhs_rows: k2,
+            });
+        }
+        let mut out = vec![0.0f32; m * n];
+        if n > 0 {
+            let a = self.as_slice();
+            let b = rhs.as_slice();
+            parallel_chunks_mut(&mut out, n, |i, row| {
+                for p in 0..k {
+                    let aik = a[i * k + p];
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    let brow = &b[p * n..(p + 1) * n];
+                    for (o, &bv) in row.iter_mut().zip(brow) {
+                        *o += aik * bv;
+                    }
+                }
+            });
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// `self^T x rhs`: `[k, m]^T x [k, n] -> [m, n]` without materializing
+    /// the transpose. Used for weight gradients (`x^T · dy`).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Tensor::matmul`], with the inner dimension taken
+    /// from `self`'s rows.
+    pub fn matmul_tn(&self, rhs: &Tensor) -> Result<Tensor> {
+        self.shape_obj().ensure_rank(2)?;
+        rhs.shape_obj().ensure_rank(2)?;
+        let (k, m) = (self.shape()[0], self.shape()[1]);
+        let (k2, n) = (rhs.shape()[0], rhs.shape()[1]);
+        if k != k2 {
+            return Err(TensorError::MatmulDimMismatch {
+                lhs_cols: k,
+                rhs_rows: k2,
+            });
+        }
+        let mut out = vec![0.0f32; m * n];
+        if n > 0 {
+            let a = self.as_slice();
+            let b = rhs.as_slice();
+            parallel_chunks_mut(&mut out, n, |i, row| {
+                for p in 0..k {
+                    let a_pi = a[p * m + i];
+                    if a_pi == 0.0 {
+                        continue;
+                    }
+                    let brow = &b[p * n..(p + 1) * n];
+                    for (o, &bv) in row.iter_mut().zip(brow) {
+                        *o += a_pi * bv;
+                    }
+                }
+            });
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// `self x rhs^T`: `[m, k] x [n, k]^T -> [m, n]` without materializing
+    /// the transpose. Used for input gradients (`dy · w`) when weights are
+    /// stored `[out, in]`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Tensor::matmul`], with the inner dimension taken
+    /// from both operands' columns.
+    pub fn matmul_nt(&self, rhs: &Tensor) -> Result<Tensor> {
+        self.shape_obj().ensure_rank(2)?;
+        rhs.shape_obj().ensure_rank(2)?;
+        let (m, k) = (self.shape()[0], self.shape()[1]);
+        let (n, k2) = (rhs.shape()[0], rhs.shape()[1]);
+        if k != k2 {
+            return Err(TensorError::MatmulDimMismatch {
+                lhs_cols: k,
+                rhs_rows: k2,
+            });
+        }
+        let mut out = vec![0.0f32; m * n];
+        if n > 0 {
+            let a = self.as_slice();
+            let b = rhs.as_slice();
+            parallel_chunks_mut(&mut out, n, |i, row| {
+                let arow = &a[i * k..(i + 1) * k];
+                for (j, o) in row.iter_mut().enumerate() {
+                    let brow = &b[j * k..(j + 1) * k];
+                    let mut acc = 0.0f32;
+                    for (&av, &bv) in arow.iter().zip(brow) {
+                        acc += av * bv;
+                    }
+                    *o = acc;
+                }
+            });
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn naive(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.shape()[0], a.shape()[1]);
+        let n = b.shape()[1];
+        let mut out = Tensor::zeros(&[m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for p in 0..k {
+                    acc += a.at(&[i, p]) * b.at(&[p, j]);
+                }
+                out.set(&[i, j], acc);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matmul_small_known() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let a = Tensor::randn(&[7, 5], 1.0, &mut rng);
+        let b = Tensor::randn(&[5, 9], 1.0, &mut rng);
+        let fast = a.matmul(&b).unwrap();
+        let slow = naive(&a, &b);
+        for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn matmul_tn_equals_explicit_transpose() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let a = Tensor::randn(&[6, 4], 1.0, &mut rng);
+        let b = Tensor::randn(&[6, 3], 1.0, &mut rng);
+        let fused = a.matmul_tn(&b).unwrap();
+        let explicit = a.transpose2d().unwrap().matmul(&b).unwrap();
+        for (x, y) in fused.as_slice().iter().zip(explicit.as_slice()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn matmul_nt_equals_explicit_transpose() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let a = Tensor::randn(&[6, 4], 1.0, &mut rng);
+        let b = Tensor::randn(&[5, 4], 1.0, &mut rng);
+        let fused = a.matmul_nt(&b).unwrap();
+        let explicit = a.matmul(&b.transpose2d().unwrap()).unwrap();
+        for (x, y) in fused.as_slice().iter().zip(explicit.as_slice()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn dimension_mismatch_errors() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 2]);
+        assert!(matches!(
+            a.matmul(&b),
+            Err(TensorError::MatmulDimMismatch { .. })
+        ));
+        let v = Tensor::zeros(&[3]);
+        assert!(matches!(
+            a.matmul(&v),
+            Err(TensorError::RankMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let mut rng = StdRng::seed_from_u64(19);
+        let a = Tensor::randn(&[4, 4], 1.0, &mut rng);
+        let eye = Tensor::from_fn(&[4, 4], |i| if i / 4 == i % 4 { 1.0 } else { 0.0 });
+        let prod = a.matmul(&eye).unwrap();
+        for (x, y) in prod.as_slice().iter().zip(a.as_slice()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn zero_sized_dims() {
+        let a = Tensor::zeros(&[0, 3]);
+        let b = Tensor::zeros(&[3, 2]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.shape(), &[0, 2]);
+        let d = Tensor::zeros(&[2, 3])
+            .matmul(&Tensor::zeros(&[3, 0]))
+            .unwrap();
+        assert_eq!(d.shape(), &[2, 0]);
+    }
+}

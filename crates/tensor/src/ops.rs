@@ -1,0 +1,213 @@
+//! Operator overloads and axis-wise reductions.
+//!
+//! The arithmetic operators work on references (`&a + &b`) so operands
+//! stay usable; they panic on shape mismatch, which is documented per
+//! impl — use the fallible [`Tensor::add`]-family methods when shapes are
+//! not statically known to agree.
+
+use crate::{Result, Tensor, TensorError};
+use std::ops::{Add, Mul, Neg, Sub};
+
+impl Add for &Tensor {
+    type Output = Tensor;
+
+    /// Elementwise sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ; use [`Tensor::add`] for a fallible
+    /// version.
+    fn add(self, rhs: &Tensor) -> Tensor {
+        Tensor::add(self, rhs).expect("operand shapes must match for +")
+    }
+}
+
+impl Sub for &Tensor {
+    type Output = Tensor;
+
+    /// Elementwise difference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ; use [`Tensor::sub`] for a fallible
+    /// version.
+    fn sub(self, rhs: &Tensor) -> Tensor {
+        Tensor::sub(self, rhs).expect("operand shapes must match for -")
+    }
+}
+
+impl Mul for &Tensor {
+    type Output = Tensor;
+
+    /// Elementwise (Hadamard) product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ; use [`Tensor::mul`] for a fallible
+    /// version.
+    fn mul(self, rhs: &Tensor) -> Tensor {
+        Tensor::mul(self, rhs).expect("operand shapes must match for *")
+    }
+}
+
+impl Mul<f32> for &Tensor {
+    type Output = Tensor;
+
+    fn mul(self, rhs: f32) -> Tensor {
+        self.scale(rhs)
+    }
+}
+
+impl Neg for &Tensor {
+    type Output = Tensor;
+
+    fn neg(self) -> Tensor {
+        self.scale(-1.0)
+    }
+}
+
+impl Tensor {
+    /// Sums over one axis, removing it: `[d0, …, dk, …] -> [d0, …, …]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::AxisOutOfRange`] for an invalid axis.
+    pub fn sum_axis(&self, axis: usize) -> Result<Tensor> {
+        let dims = self.shape();
+        if axis >= dims.len() {
+            return Err(TensorError::AxisOutOfRange {
+                axis,
+                rank: dims.len(),
+            });
+        }
+        let outer: usize = dims[..axis].iter().product();
+        let mid = dims[axis];
+        let inner: usize = dims[axis + 1..].iter().product();
+        let mut out_dims: Vec<usize> = dims[..axis].to_vec();
+        out_dims.extend_from_slice(&dims[axis + 1..]);
+        let mut out = vec![0.0f32; outer * inner];
+        let src = self.as_slice();
+        for o in 0..outer {
+            for m in 0..mid {
+                let base = (o * mid + m) * inner;
+                let dst = &mut out[o * inner..(o + 1) * inner];
+                for (d, &s) in dst.iter_mut().zip(&src[base..base + inner]) {
+                    *d += s;
+                }
+            }
+        }
+        Tensor::from_vec(out, &out_dims)
+    }
+
+    /// Mean over one axis, removing it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::AxisOutOfRange`] for an invalid axis.
+    pub fn mean_axis(&self, axis: usize) -> Result<Tensor> {
+        let n = self.shape_obj().dim(axis)? as f32;
+        let mut s = self.sum_axis(axis)?;
+        if n > 0.0 {
+            s.scale_inplace(1.0 / n);
+        }
+        Ok(s)
+    }
+
+    /// Concatenates tensors along the leading axis. All operands must
+    /// agree on the trailing dimensions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::Empty`] for no operands or a shape error on
+    /// disagreement.
+    pub fn concat(items: &[Tensor]) -> Result<Tensor> {
+        let first = items.first().ok_or(TensorError::Empty)?;
+        if first.rank() == 0 {
+            return Err(TensorError::RankMismatch {
+                expected: 1,
+                actual: 0,
+            });
+        }
+        let tail: Vec<usize> = first.shape()[1..].to_vec();
+        let mut lead = 0usize;
+        let mut data = Vec::new();
+        for item in items {
+            if item.rank() == 0 || item.shape()[1..] != tail[..] {
+                return Err(TensorError::ShapeMismatch {
+                    lhs: item.shape().to_vec(),
+                    rhs: first.shape().to_vec(),
+                });
+            }
+            lead += item.shape()[0];
+            data.extend_from_slice(item.as_slice());
+        }
+        let mut dims = vec![lead];
+        dims.extend_from_slice(&tail);
+        Tensor::from_vec(data, &dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operator_sugar() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        let b = Tensor::from_vec(vec![3.0, 5.0], &[2]).unwrap();
+        assert_eq!((&a + &b).as_slice(), &[4.0, 7.0]);
+        assert_eq!((&b - &a).as_slice(), &[2.0, 3.0]);
+        assert_eq!((&a * &b).as_slice(), &[3.0, 10.0]);
+        assert_eq!((&a * 2.0).as_slice(), &[2.0, 4.0]);
+        assert_eq!((-&a).as_slice(), &[-1.0, -2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "match")]
+    fn operator_panics_on_mismatch() {
+        let a = Tensor::zeros(&[2]);
+        let b = Tensor::zeros(&[3]);
+        let _ = &a + &b;
+    }
+
+    #[test]
+    fn sum_axis_each_position() {
+        let t = Tensor::from_fn(&[2, 3, 4], |i| i as f32);
+        let s0 = t.sum_axis(0).unwrap();
+        assert_eq!(s0.shape(), &[3, 4]);
+        assert_eq!(s0.at(&[0, 0]), 0.0 + 12.0);
+        let s1 = t.sum_axis(1).unwrap();
+        assert_eq!(s1.shape(), &[2, 4]);
+        assert_eq!(s1.at(&[0, 0]), 0.0 + 4.0 + 8.0);
+        let s2 = t.sum_axis(2).unwrap();
+        assert_eq!(s2.shape(), &[2, 3]);
+        assert_eq!(s2.at(&[0, 0]), 0.0 + 1.0 + 2.0 + 3.0);
+        assert!(t.sum_axis(3).is_err());
+    }
+
+    #[test]
+    fn sum_axis_total_matches_sum() {
+        let t = Tensor::from_fn(&[3, 5], |i| (i as f32 * 0.7).sin());
+        let total_by_axis = t.sum_axis(0).unwrap().sum();
+        assert!((total_by_axis - t.sum()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn mean_axis_divides() {
+        let t = Tensor::from_vec(vec![1.0, 3.0, 5.0, 7.0], &[2, 2]).unwrap();
+        let m = t.mean_axis(0).unwrap();
+        assert_eq!(m.as_slice(), &[3.0, 5.0]);
+    }
+
+    #[test]
+    fn concat_along_leading_axis() {
+        let a = Tensor::from_fn(&[2, 3], |i| i as f32);
+        let b = Tensor::from_fn(&[1, 3], |i| 100.0 + i as f32);
+        let c = Tensor::concat(&[a.clone(), b]).unwrap();
+        assert_eq!(c.shape(), &[3, 3]);
+        assert_eq!(c.at(&[2, 1]), 101.0);
+        let bad = Tensor::zeros(&[1, 4]);
+        assert!(Tensor::concat(&[a, bad]).is_err());
+        assert!(Tensor::concat(&[]).is_err());
+    }
+}

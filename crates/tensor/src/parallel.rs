@@ -1,0 +1,152 @@
+//! Minimal data-parallel helpers built on [`std::thread::scope`].
+//!
+//! The CBQ stack parallelizes over batch items and output channels; both
+//! patterns reduce to "split a disjoint output buffer into chunks and let
+//! one thread fill each chunk", which scoped threads express safely without
+//! any external dependency.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads used by [`parallel_chunks_mut`] and
+/// [`parallel_for`]. Defaults to the machine's available parallelism,
+/// capped at 8 (the kernels here stop scaling beyond that on typical
+/// laptop-class hardware).
+pub fn worker_count() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
+}
+
+/// Splits `out` into `chunk` sized pieces and applies `f(chunk_index, piece)`
+/// to each, in parallel.
+///
+/// `chunk` is the number of *elements* per logical work item; consecutive
+/// work items are grouped so every thread handles a contiguous range. Falls
+/// back to a sequential loop for small inputs where thread spawn overhead
+/// would dominate.
+///
+/// # Panics
+///
+/// Panics if `chunk` is zero or does not divide `out.len()`.
+pub fn parallel_chunks_mut<F>(out: &mut [f32], chunk: usize, f: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    assert!(chunk > 0, "chunk size must be positive");
+    assert_eq!(
+        out.len() % chunk,
+        0,
+        "chunk size must divide the buffer length"
+    );
+    let items = out.len() / chunk;
+    let workers = worker_count();
+    if workers <= 1 || items <= 1 || out.len() < 4096 {
+        for (i, piece) in out.chunks_mut(chunk).enumerate() {
+            f(i, piece);
+        }
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    let f = &f;
+    let next = &next;
+    // Hand out work items through an atomic counter so uneven item costs
+    // (e.g. first conv layer vs last) still balance across threads.
+    let ptr = out.as_mut_ptr() as usize;
+    std::thread::scope(|s| {
+        for _ in 0..workers.min(items) {
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items {
+                    break;
+                }
+                // SAFETY: each item index is claimed exactly once, and items
+                // map to disjoint, in-bounds sub-slices of `out`.
+                let piece = unsafe {
+                    std::slice::from_raw_parts_mut((ptr as *mut f32).add(i * chunk), chunk)
+                };
+                f(i, piece);
+            });
+        }
+    });
+}
+
+/// Runs `f(i)` for every `i` in `0..n`, in parallel, for side-effect-free
+/// accumulation into thread-local state exposed through `f`'s captures
+/// (e.g. atomics or per-index disjoint outputs managed by the caller).
+///
+/// Small `n` runs sequentially.
+pub fn parallel_for<F>(n: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    let workers = worker_count();
+    if workers <= 1 || n <= 1 {
+        for i in 0..n {
+            f(i);
+        }
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    let f = &f;
+    let next = &next;
+    std::thread::scope(|s| {
+        for _ in 0..workers.min(n) {
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                f(i);
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn chunks_cover_all_items_once() {
+        let mut buf = vec![0.0f32; 16 * 1024];
+        parallel_chunks_mut(&mut buf, 1024, |i, piece| {
+            for x in piece.iter_mut() {
+                *x = i as f32 + 1.0;
+            }
+        });
+        for (i, chunk) in buf.chunks(1024).enumerate() {
+            assert!(chunk.iter().all(|&x| x == i as f32 + 1.0));
+        }
+    }
+
+    #[test]
+    fn small_buffers_run_sequentially() {
+        let mut buf = vec![0.0f32; 8];
+        parallel_chunks_mut(&mut buf, 2, |i, piece| piece.fill(i as f32));
+        assert_eq!(buf, vec![0.0, 0.0, 1.0, 1.0, 2.0, 2.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "divide")]
+    fn chunk_must_divide() {
+        let mut buf = vec![0.0f32; 7];
+        parallel_chunks_mut(&mut buf, 2, |_, _| {});
+    }
+
+    #[test]
+    fn parallel_for_visits_each_index_once() {
+        let n = 1000;
+        let sum = AtomicU64::new(0);
+        parallel_for(n, |i| {
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), (n as u64 - 1) * n as u64 / 2);
+    }
+
+    #[test]
+    fn worker_count_positive() {
+        assert!(worker_count() >= 1);
+    }
+}

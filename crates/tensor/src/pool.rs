@@ -1,0 +1,359 @@
+//! Spatial pooling: max, average and global-average, with backward passes.
+
+use crate::{ConvSpec, Result, Tensor, TensorError};
+
+/// Geometry of a pooling window: size and stride (padding is always zero —
+/// the model zoo only needs valid pooling).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PoolSpec {
+    /// Window extent in both spatial directions.
+    pub kernel: usize,
+    /// Step between windows.
+    pub stride: usize,
+}
+
+impl PoolSpec {
+    /// Creates a pooling spec. A typical CNN downsampling stage uses
+    /// `PoolSpec::new(2, 2)`.
+    pub fn new(kernel: usize, stride: usize) -> Self {
+        PoolSpec { kernel, stride }
+    }
+
+    fn conv_spec(&self) -> ConvSpec {
+        ConvSpec {
+            stride: self.stride,
+            padding: 0,
+        }
+    }
+}
+
+/// Winner indices recorded by [`max_pool2d`], needed by its backward pass.
+#[derive(Debug, Clone)]
+pub struct MaxPoolIndices {
+    indices: Vec<usize>,
+    input_dims: [usize; 4],
+}
+
+/// Max pooling over `[N, C, H, W]`, returning the pooled tensor and the
+/// winner indices for the backward pass.
+///
+/// # Errors
+///
+/// Returns a rank or geometry error for invalid operands.
+pub fn max_pool2d(input: &Tensor, spec: PoolSpec) -> Result<(Tensor, MaxPoolIndices)> {
+    input.shape_obj().ensure_rank(4)?;
+    let (n, c, h, w) = (
+        input.shape()[0],
+        input.shape()[1],
+        input.shape()[2],
+        input.shape()[3],
+    );
+    let cs = spec.conv_spec();
+    let oh = cs.out_extent(h, spec.kernel)?;
+    let ow = cs.out_extent(w, spec.kernel)?;
+    let mut out = vec![f32::NEG_INFINITY; n * c * oh * ow];
+    let mut idx = vec![0usize; n * c * oh * ow];
+    let data = input.as_slice();
+    for ni in 0..n {
+        for ci in 0..c {
+            let in_base = (ni * c + ci) * h * w;
+            let out_base = (ni * c + ci) * oh * ow;
+            for oi in 0..oh {
+                for oj in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = 0;
+                    for ki in 0..spec.kernel {
+                        for kj in 0..spec.kernel {
+                            let p = in_base + (oi * spec.stride + ki) * w + oj * spec.stride + kj;
+                            if data[p] > best {
+                                best = data[p];
+                                best_idx = p;
+                            }
+                        }
+                    }
+                    out[out_base + oi * ow + oj] = best;
+                    idx[out_base + oi * ow + oj] = best_idx;
+                }
+            }
+        }
+    }
+    Ok((
+        Tensor::from_vec(out, &[n, c, oh, ow])?,
+        MaxPoolIndices {
+            indices: idx,
+            input_dims: [n, c, h, w],
+        },
+    ))
+}
+
+/// Backward pass of [`max_pool2d`]: routes each upstream gradient to the
+/// winning input position.
+///
+/// # Errors
+///
+/// Returns [`TensorError::LengthMismatch`] when `grad_out` disagrees with
+/// the recorded indices.
+pub fn max_pool2d_backward(grad_out: &Tensor, indices: &MaxPoolIndices) -> Result<Tensor> {
+    if grad_out.len() != indices.indices.len() {
+        return Err(TensorError::LengthMismatch {
+            expected: indices.indices.len(),
+            actual: grad_out.len(),
+        });
+    }
+    let [n, c, h, w] = indices.input_dims;
+    let mut grad_in = Tensor::zeros(&[n, c, h, w]);
+    let gi = grad_in.as_mut_slice();
+    for (&src, &g) in indices.indices.iter().zip(grad_out.as_slice()) {
+        gi[src] += g;
+    }
+    Ok(grad_in)
+}
+
+/// Average pooling over `[N, C, H, W]`.
+///
+/// # Errors
+///
+/// Returns a rank or geometry error for invalid operands.
+pub fn avg_pool2d(input: &Tensor, spec: PoolSpec) -> Result<Tensor> {
+    input.shape_obj().ensure_rank(4)?;
+    let (n, c, h, w) = (
+        input.shape()[0],
+        input.shape()[1],
+        input.shape()[2],
+        input.shape()[3],
+    );
+    let cs = spec.conv_spec();
+    let oh = cs.out_extent(h, spec.kernel)?;
+    let ow = cs.out_extent(w, spec.kernel)?;
+    let norm = 1.0 / (spec.kernel * spec.kernel) as f32;
+    let mut out = vec![0.0f32; n * c * oh * ow];
+    let data = input.as_slice();
+    for ni in 0..n {
+        for ci in 0..c {
+            let in_base = (ni * c + ci) * h * w;
+            let out_base = (ni * c + ci) * oh * ow;
+            for oi in 0..oh {
+                for oj in 0..ow {
+                    let mut acc = 0.0;
+                    for ki in 0..spec.kernel {
+                        for kj in 0..spec.kernel {
+                            acc +=
+                                data[in_base + (oi * spec.stride + ki) * w + oj * spec.stride + kj];
+                        }
+                    }
+                    out[out_base + oi * ow + oj] = acc * norm;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[n, c, oh, ow])
+}
+
+/// Backward pass of [`avg_pool2d`]: spreads each upstream gradient evenly
+/// over its window.
+///
+/// # Errors
+///
+/// Returns a rank or geometry error when `grad_out` disagrees with the
+/// stated input geometry.
+pub fn avg_pool2d_backward(
+    grad_out: &Tensor,
+    input_dims: [usize; 4],
+    spec: PoolSpec,
+) -> Result<Tensor> {
+    grad_out.shape_obj().ensure_rank(4)?;
+    let [n, c, h, w] = input_dims;
+    let cs = spec.conv_spec();
+    let oh = cs.out_extent(h, spec.kernel)?;
+    let ow = cs.out_extent(w, spec.kernel)?;
+    if grad_out.shape() != [n, c, oh, ow] {
+        return Err(TensorError::ShapeMismatch {
+            lhs: grad_out.shape().to_vec(),
+            rhs: vec![n, c, oh, ow],
+        });
+    }
+    let norm = 1.0 / (spec.kernel * spec.kernel) as f32;
+    let mut grad_in = Tensor::zeros(&[n, c, h, w]);
+    let gi = grad_in.as_mut_slice();
+    let go = grad_out.as_slice();
+    for ni in 0..n {
+        for ci in 0..c {
+            let in_base = (ni * c + ci) * h * w;
+            let out_base = (ni * c + ci) * oh * ow;
+            for oi in 0..oh {
+                for oj in 0..ow {
+                    let g = go[out_base + oi * ow + oj] * norm;
+                    for ki in 0..spec.kernel {
+                        for kj in 0..spec.kernel {
+                            gi[in_base + (oi * spec.stride + ki) * w + oj * spec.stride + kj] += g;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(grad_in)
+}
+
+/// Global average pooling `[N, C, H, W] -> [N, C]`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for non-rank-4 input.
+pub fn global_avg_pool(input: &Tensor) -> Result<Tensor> {
+    input.shape_obj().ensure_rank(4)?;
+    let (n, c, h, w) = (
+        input.shape()[0],
+        input.shape()[1],
+        input.shape()[2],
+        input.shape()[3],
+    );
+    let hw = (h * w).max(1);
+    let mut out = vec![0.0f32; n * c];
+    let data = input.as_slice();
+    for (i, o) in out.iter_mut().enumerate() {
+        let base = i * h * w;
+        let s: f32 = data[base..base + h * w].iter().sum();
+        *o = s / hw as f32;
+    }
+    Tensor::from_vec(out, &[n, c])
+}
+
+/// Backward pass of [`global_avg_pool`].
+///
+/// # Errors
+///
+/// Returns a shape error when `grad_out` is not `[N, C]` for the given
+/// input dims.
+pub fn global_avg_pool_backward(grad_out: &Tensor, input_dims: [usize; 4]) -> Result<Tensor> {
+    let [n, c, h, w] = input_dims;
+    if grad_out.shape() != [n, c] {
+        return Err(TensorError::ShapeMismatch {
+            lhs: grad_out.shape().to_vec(),
+            rhs: vec![n, c],
+        });
+    }
+    let norm = 1.0 / (h * w).max(1) as f32;
+    let mut grad_in = Tensor::zeros(&[n, c, h, w]);
+    let gi = grad_in.as_mut_slice();
+    for (i, &g) in grad_out.as_slice().iter().enumerate() {
+        let base = i * h * w;
+        for v in &mut gi[base..base + h * w] {
+            *v = g * norm;
+        }
+    }
+    Ok(grad_in)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn max_pool_known_values() {
+        let x = Tensor::from_vec(
+            vec![
+                1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0,
+                16.0,
+            ],
+            &[1, 1, 4, 4],
+        )
+        .unwrap();
+        let (y, _) = max_pool2d(&x, PoolSpec::new(2, 2)).unwrap();
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        assert_eq!(y.as_slice(), &[6.0, 8.0, 14.0, 16.0]);
+    }
+
+    #[test]
+    fn max_pool_backward_routes_to_winner() {
+        let x = Tensor::from_vec(vec![1.0, 5.0, 2.0, 3.0], &[1, 1, 2, 2]).unwrap();
+        let (_, idx) = max_pool2d(&x, PoolSpec::new(2, 2)).unwrap();
+        let gy = Tensor::from_vec(vec![7.0], &[1, 1, 1, 1]).unwrap();
+        let gx = max_pool2d_backward(&gy, &idx).unwrap();
+        assert_eq!(gx.as_slice(), &[0.0, 7.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn avg_pool_known_values() {
+        let x = Tensor::from_vec(vec![1.0, 3.0, 5.0, 7.0], &[1, 1, 2, 2]).unwrap();
+        let y = avg_pool2d(&x, PoolSpec::new(2, 2)).unwrap();
+        assert_eq!(y.as_slice(), &[4.0]);
+    }
+
+    #[test]
+    fn avg_pool_backward_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let x = Tensor::randn(&[1, 2, 4, 4], 1.0, &mut rng);
+        let spec = PoolSpec::new(2, 2);
+        let y = avg_pool2d(&x, spec).unwrap();
+        let gy = Tensor::ones(y.shape());
+        let gx = avg_pool2d_backward(&gy, [1, 2, 4, 4], spec).unwrap();
+        let eps = 1e-2f32;
+        for idx in [0usize, 3, 9, 21, 31] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let fd = (avg_pool2d(&xp, spec).unwrap().sum() - avg_pool2d(&xm, spec).unwrap().sum())
+                / (2.0 * eps);
+            assert!((fd - gx.as_slice()[idx]).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn max_pool_backward_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(37);
+        let x = Tensor::randn(&[1, 1, 4, 4], 1.0, &mut rng);
+        let spec = PoolSpec::new(2, 2);
+        let (y, idx) = max_pool2d(&x, spec).unwrap();
+        let gy = Tensor::ones(y.shape());
+        let gx = max_pool2d_backward(&gy, &idx).unwrap();
+        let eps = 1e-3f32;
+        for i in 0..16 {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[i] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[i] -= eps;
+            let fd = (max_pool2d(&xp, spec).unwrap().0.sum()
+                - max_pool2d(&xm, spec).unwrap().0.sum())
+                / (2.0 * eps);
+            assert!((fd - gx.as_slice()[i]).abs() < 0.51, "pos {i}");
+        }
+    }
+
+    #[test]
+    fn global_avg_pool_and_backward() {
+        let x = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0],
+            &[1, 2, 2, 2],
+        )
+        .unwrap();
+        let y = global_avg_pool(&x).unwrap();
+        assert_eq!(y.shape(), &[1, 2]);
+        assert_eq!(y.as_slice(), &[2.5, 25.0]);
+        let gy = Tensor::from_vec(vec![4.0, 8.0], &[1, 2]).unwrap();
+        let gx = global_avg_pool_backward(&gy, [1, 2, 2, 2]).unwrap();
+        assert_eq!(gx.as_slice(), &[1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn pool_geometry_errors() {
+        let x = Tensor::zeros(&[1, 1, 3, 3]);
+        assert!(max_pool2d(&x, PoolSpec::new(4, 1)).is_err());
+        assert!(avg_pool2d(&x, PoolSpec::new(2, 0)).is_err());
+        let bad_rank = Tensor::zeros(&[3, 3]);
+        assert!(global_avg_pool(&bad_rank).is_err());
+    }
+
+    #[test]
+    fn mismatched_grad_shapes_error() {
+        let x = Tensor::zeros(&[1, 1, 4, 4]);
+        let (_, idx) = max_pool2d(&x, PoolSpec::new(2, 2)).unwrap();
+        let wrong = Tensor::zeros(&[1, 1, 3, 3]);
+        assert!(max_pool2d_backward(&wrong, &idx).is_err());
+        assert!(avg_pool2d_backward(&wrong, [1, 1, 4, 4], PoolSpec::new(2, 2)).is_err());
+        assert!(global_avg_pool_backward(&Tensor::zeros(&[2, 2]), [1, 1, 2, 2]).is_err());
+    }
+}

@@ -1,0 +1,678 @@
+use crate::{Result, Shape, TensorError};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dense, contiguous, row-major `f32` tensor.
+///
+/// `Tensor` is the single data type flowing through the CBQ stack:
+/// activations, weights, gradients and datasets all use it. Storage is a
+/// flat `Vec<f32>` plus a [`Shape`]; there are no strided views, so every
+/// operation's memory behaviour is obvious.
+///
+/// # Example
+///
+/// ```
+/// use cbq_tensor::Tensor;
+///
+/// let t = Tensor::from_vec(vec![1.0, -2.0, 3.0, -4.0], &[2, 2])?;
+/// assert_eq!(t.max_abs(), 4.0);
+/// assert_eq!(t.sum(), -2.0);
+/// let relu = t.map(|x| x.max(0.0));
+/// assert_eq!(relu.as_slice(), &[1.0, 0.0, 3.0, 0.0]);
+/// # Ok::<(), cbq_tensor::TensorError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    data: Vec<f32>,
+    shape: Shape,
+}
+
+impl Tensor {
+    /// Creates a tensor from raw data and a shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if `data.len()` differs from
+    /// the element count implied by `dims`.
+    pub fn from_vec(data: Vec<f32>, dims: &[usize]) -> Result<Self> {
+        let shape = Shape::new(dims);
+        if data.len() != shape.len() {
+            return Err(TensorError::LengthMismatch {
+                expected: shape.len(),
+                actual: data.len(),
+            });
+        }
+        Ok(Tensor { data, shape })
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(dims: &[usize], value: f32) -> Self {
+        let shape = Shape::new(dims);
+        Tensor {
+            data: vec![value; shape.len()],
+            shape,
+        }
+    }
+
+    /// Creates a tensor of zeros.
+    pub fn zeros(dims: &[usize]) -> Self {
+        Tensor::full(dims, 0.0)
+    }
+
+    /// Creates a tensor of ones.
+    pub fn ones(dims: &[usize]) -> Self {
+        Tensor::full(dims, 1.0)
+    }
+
+    /// Creates a rank-0 tensor holding a single value.
+    pub fn scalar(value: f32) -> Self {
+        Tensor {
+            data: vec![value],
+            shape: Shape::new(&[]),
+        }
+    }
+
+    /// Creates a tensor whose element at linear index `i` is `f(i)`.
+    pub fn from_fn(dims: &[usize], mut f: impl FnMut(usize) -> f32) -> Self {
+        let shape = Shape::new(dims);
+        let data = (0..shape.len()).map(&mut f).collect();
+        Tensor { data, shape }
+    }
+
+    /// Creates a tensor with elements drawn from `N(0, std^2)`.
+    pub fn randn(dims: &[usize], std: f32, rng: &mut impl Rng) -> Self {
+        let shape = Shape::new(dims);
+        let n = shape.len();
+        let mut data = Vec::with_capacity(n);
+        // Box-Muller transform: two uniforms give two independent normals.
+        while data.len() < n {
+            let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+            let u2: f32 = rng.gen_range(0.0..1.0);
+            let r = (-2.0 * u1.ln()).sqrt();
+            let theta = 2.0 * std::f32::consts::PI * u2;
+            data.push(r * theta.cos() * std);
+            if data.len() < n {
+                data.push(r * theta.sin() * std);
+            }
+        }
+        Tensor { data, shape }
+    }
+
+    /// Creates a tensor with elements drawn uniformly from `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn rand_uniform(dims: &[usize], lo: f32, hi: f32, rng: &mut impl Rng) -> Self {
+        assert!(lo < hi, "uniform range must be non-empty");
+        Tensor::from_fn(dims, |_| rng.gen_range(lo..hi))
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// The tensor's shape as a [`Shape`] value.
+    pub fn shape_obj(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.shape.rank()
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor holds zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the underlying data, row-major.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying data, row-major.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns its data buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at a multi-index.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds on an out-of-bounds index.
+    pub fn at(&self, index: &[usize]) -> f32 {
+        self.data[self.shape.offset(index)]
+    }
+
+    /// Sets the element at a multi-index.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds on an out-of-bounds index.
+    pub fn set(&mut self, index: &[usize], value: f32) {
+        let off = self.shape.offset(index);
+        self.data[off] = value;
+    }
+
+    /// Returns a tensor with the same data and a new shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ReshapeMismatch`] if the element counts differ.
+    pub fn reshape(&self, dims: &[usize]) -> Result<Tensor> {
+        let shape = Shape::new(dims);
+        if shape.len() != self.len() {
+            return Err(TensorError::ReshapeMismatch {
+                from: self.len(),
+                to: shape.len(),
+            });
+        }
+        Ok(Tensor {
+            data: self.data.clone(),
+            shape,
+        })
+    }
+
+    /// Consuming reshape that avoids copying the buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ReshapeMismatch`] if the element counts differ.
+    pub fn into_reshape(self, dims: &[usize]) -> Result<Tensor> {
+        let shape = Shape::new(dims);
+        if shape.len() != self.data.len() {
+            return Err(TensorError::ReshapeMismatch {
+                from: self.data.len(),
+                to: shape.len(),
+            });
+        }
+        Ok(Tensor {
+            data: self.data,
+            shape,
+        })
+    }
+
+    /// Flattens to rank 1.
+    pub fn flatten(&self) -> Tensor {
+        Tensor {
+            data: self.data.clone(),
+            shape: Shape::new(&[self.len()]),
+        }
+    }
+
+    /// Applies `f` to every element, producing a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            data: self.data.iter().map(|&x| f(x)).collect(),
+            shape: self.shape.clone(),
+        }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Combines two same-shaped tensors elementwise with `f`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Result<Tensor> {
+        self.shape.ensure_same(&other.shape)?;
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Ok(Tensor {
+            data,
+            shape: self.shape.clone(),
+        })
+    }
+
+    /// Elementwise sum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn add(&self, other: &Tensor) -> Result<Tensor> {
+        self.zip_map(other, |a, b| a + b)
+    }
+
+    /// Elementwise difference.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn sub(&self, other: &Tensor) -> Result<Tensor> {
+        self.zip_map(other, |a, b| a - b)
+    }
+
+    /// Elementwise product (Hadamard).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn mul(&self, other: &Tensor) -> Result<Tensor> {
+        self.zip_map(other, |a, b| a * b)
+    }
+
+    /// Adds `alpha * other` into `self` (BLAS `axpy`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn add_scaled(&mut self, other: &Tensor, alpha: f32) -> Result<()> {
+        self.shape.ensure_same(&other.shape)?;
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+        Ok(())
+    }
+
+    /// Multiplies every element by `alpha`, in place.
+    pub fn scale_inplace(&mut self, alpha: f32) {
+        for x in &mut self.data {
+            *x *= alpha;
+        }
+    }
+
+    /// Returns the tensor scaled by `alpha`.
+    pub fn scale(&self, alpha: f32) -> Tensor {
+        self.map(|x| x * alpha)
+    }
+
+    /// Sets every element to zero without reallocating.
+    pub fn fill(&mut self, value: f32) {
+        for x in &mut self.data {
+            *x = value;
+        }
+    }
+
+    /// Sum of all elements (f64 accumulation for stability).
+    pub fn sum(&self) -> f32 {
+        self.data.iter().map(|&x| x as f64).sum::<f64>() as f32
+    }
+
+    /// Arithmetic mean of all elements.
+    ///
+    /// Returns `0.0` for an empty tensor.
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Largest absolute value, or `0.0` for an empty tensor.
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &x| m.max(x.abs()))
+    }
+
+    /// Largest element.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::Empty`] for an empty tensor.
+    pub fn max(&self) -> Result<f32> {
+        self.data
+            .iter()
+            .copied()
+            .reduce(f32::max)
+            .ok_or(TensorError::Empty)
+    }
+
+    /// Smallest element.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::Empty`] for an empty tensor.
+    pub fn min(&self) -> Result<f32> {
+        self.data
+            .iter()
+            .copied()
+            .reduce(f32::min)
+            .ok_or(TensorError::Empty)
+    }
+
+    /// Index of the largest element in a rank-1 tensor or flattened view.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::Empty`] for an empty tensor.
+    pub fn argmax(&self) -> Result<usize> {
+        if self.data.is_empty() {
+            return Err(TensorError::Empty);
+        }
+        let mut best = 0;
+        for (i, &x) in self.data.iter().enumerate() {
+            if x > self.data[best] {
+                best = i;
+            }
+        }
+        Ok(best)
+    }
+
+    /// Per-row argmax for a rank-2 `[rows, cols]` tensor — the predicted
+    /// class for each sample in a logits batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] if the tensor is not rank 2 and
+    /// [`TensorError::Empty`] if it has no columns.
+    pub fn argmax_rows(&self) -> Result<Vec<usize>> {
+        self.shape.ensure_rank(2)?;
+        let (rows, cols) = (self.shape.dims()[0], self.shape.dims()[1]);
+        if cols == 0 {
+            return Err(TensorError::Empty);
+        }
+        let mut out = Vec::with_capacity(rows);
+        for r in 0..rows {
+            let row = &self.data[r * cols..(r + 1) * cols];
+            let mut best = 0;
+            for (i, &x) in row.iter().enumerate() {
+                if x > row[best] {
+                    best = i;
+                }
+            }
+            out.push(best);
+        }
+        Ok(out)
+    }
+
+    /// Transpose of a rank-2 tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] if the tensor is not rank 2.
+    pub fn transpose2d(&self) -> Result<Tensor> {
+        self.shape.ensure_rank(2)?;
+        let (rows, cols) = (self.shape.dims()[0], self.shape.dims()[1]);
+        let mut data = vec![0.0f32; self.data.len()];
+        for r in 0..rows {
+            for c in 0..cols {
+                data[c * rows + r] = self.data[r * cols + c];
+            }
+        }
+        Tensor::from_vec(data, &[cols, rows])
+    }
+
+    /// Copies row `row` of a rank-2 tensor into a new rank-1 tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-rank-2 input or
+    /// [`TensorError::AxisOutOfRange`] when `row` is out of bounds.
+    pub fn row(&self, row: usize) -> Result<Tensor> {
+        self.shape.ensure_rank(2)?;
+        let (rows, cols) = (self.shape.dims()[0], self.shape.dims()[1]);
+        if row >= rows {
+            return Err(TensorError::AxisOutOfRange {
+                axis: row,
+                rank: rows,
+            });
+        }
+        Tensor::from_vec(self.data[row * cols..(row + 1) * cols].to_vec(), &[cols])
+    }
+
+    /// Stacks rank-`r` tensors of identical shape into a rank-`r+1` tensor
+    /// along a new leading axis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::Empty`] for an empty input list and
+    /// [`TensorError::ShapeMismatch`] when the items disagree in shape.
+    pub fn stack(items: &[Tensor]) -> Result<Tensor> {
+        let first = items.first().ok_or(TensorError::Empty)?;
+        let mut data = Vec::with_capacity(first.len() * items.len());
+        for item in items {
+            first.shape.ensure_same(&item.shape)?;
+            data.extend_from_slice(&item.data);
+        }
+        let mut dims = vec![items.len()];
+        dims.extend_from_slice(first.shape());
+        Tensor::from_vec(data, &dims)
+    }
+
+    /// Splits the leading axis, returning one tensor per slice. Inverse of
+    /// [`Tensor::stack`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for a rank-0 tensor.
+    pub fn unstack(&self) -> Result<Vec<Tensor>> {
+        if self.rank() == 0 {
+            return Err(TensorError::RankMismatch {
+                expected: 1,
+                actual: 0,
+            });
+        }
+        let n = self.shape.dims()[0];
+        let inner: Vec<usize> = self.shape.dims()[1..].to_vec();
+        let chunk = inner.iter().product::<usize>();
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            out.push(Tensor::from_vec(
+                self.data[i * chunk..(i + 1) * chunk].to_vec(),
+                &inner,
+            )?);
+        }
+        Ok(out)
+    }
+
+    /// Squared L2 norm of all elements.
+    pub fn norm_sq(&self) -> f32 {
+        self.data
+            .iter()
+            .map(|&x| (x as f64) * (x as f64))
+            .sum::<f64>() as f32
+    }
+
+    /// Number of elements for which `pred` holds.
+    pub fn count(&self, pred: impl Fn(f32) -> bool) -> usize {
+        self.data.iter().filter(|&&x| pred(x)).count()
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{} ", self.shape)?;
+        if self.len() <= 8 {
+            write!(f, "{:?}", self.data)
+        } else {
+            write!(
+                f,
+                "[{:.4}, {:.4}, …, {:.4}]",
+                self.data[0],
+                self.data[1],
+                self.data[self.len() - 1]
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_and_accessors() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        assert_eq!(t.shape(), &[2, 3]);
+        assert_eq!(t.rank(), 2);
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.at(&[1, 2]), 6.0);
+    }
+
+    #[test]
+    fn from_vec_rejects_bad_length() {
+        assert!(matches!(
+            Tensor::from_vec(vec![1.0; 5], &[2, 3]),
+            Err(TensorError::LengthMismatch {
+                expected: 6,
+                actual: 5
+            })
+        ));
+    }
+
+    #[test]
+    fn fill_constructors() {
+        assert!(Tensor::zeros(&[3]).as_slice().iter().all(|&x| x == 0.0));
+        assert!(Tensor::ones(&[3]).as_slice().iter().all(|&x| x == 1.0));
+        assert!(Tensor::full(&[3], 2.5).as_slice().iter().all(|&x| x == 2.5));
+        assert_eq!(Tensor::scalar(7.0).len(), 1);
+    }
+
+    #[test]
+    fn set_and_at_round_trip() {
+        let mut t = Tensor::zeros(&[2, 2]);
+        t.set(&[0, 1], 9.0);
+        assert_eq!(t.at(&[0, 1]), 9.0);
+        assert_eq!(t.at(&[1, 0]), 0.0);
+    }
+
+    #[test]
+    fn randn_has_plausible_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = Tensor::randn(&[10_000], 2.0, &mut rng);
+        let mean = t.mean();
+        let var = t.map(|x| (x - mean) * (x - mean)).mean();
+        assert!(mean.abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn rand_uniform_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = Tensor::rand_uniform(&[1000], -1.0, 1.0, &mut rng);
+        assert!(t.as_slice().iter().all(|&x| (-1.0..1.0).contains(&x)));
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        let b = Tensor::from_vec(vec![3.0, 5.0], &[2]).unwrap();
+        assert_eq!(a.add(&b).unwrap().as_slice(), &[4.0, 7.0]);
+        assert_eq!(b.sub(&a).unwrap().as_slice(), &[2.0, 3.0]);
+        assert_eq!(a.mul(&b).unwrap().as_slice(), &[3.0, 10.0]);
+    }
+
+    #[test]
+    fn elementwise_shape_mismatch() {
+        let a = Tensor::zeros(&[2]);
+        let b = Tensor::zeros(&[3]);
+        assert!(a.add(&b).is_err());
+    }
+
+    #[test]
+    fn add_scaled_is_axpy() {
+        let mut a = Tensor::from_vec(vec![1.0, 1.0], &[2]).unwrap();
+        let b = Tensor::from_vec(vec![2.0, 4.0], &[2]).unwrap();
+        a.add_scaled(&b, 0.5).unwrap();
+        assert_eq!(a.as_slice(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn reductions() {
+        let t = Tensor::from_vec(vec![-3.0, 1.0, 2.0], &[3]).unwrap();
+        assert_eq!(t.sum(), 0.0);
+        assert_eq!(t.mean(), 0.0);
+        assert_eq!(t.max_abs(), 3.0);
+        assert_eq!(t.max().unwrap(), 2.0);
+        assert_eq!(t.min().unwrap(), -3.0);
+        assert_eq!(t.argmax().unwrap(), 2);
+    }
+
+    #[test]
+    fn empty_reductions_error() {
+        let t = Tensor::zeros(&[0]);
+        assert!(t.max().is_err());
+        assert!(t.min().is_err());
+        assert!(t.argmax().is_err());
+        assert_eq!(t.mean(), 0.0);
+    }
+
+    #[test]
+    fn argmax_rows_per_sample() {
+        let t = Tensor::from_vec(vec![0.1, 0.9, 0.5, 0.7, 0.3, 0.1], &[2, 3]).unwrap();
+        assert_eq!(t.argmax_rows().unwrap(), vec![1, 0]);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[4]).unwrap();
+        let r = t.reshape(&[2, 2]).unwrap();
+        assert_eq!(r.shape(), &[2, 2]);
+        assert_eq!(r.as_slice(), t.as_slice());
+        assert!(t.reshape(&[3]).is_err());
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let tt = t.transpose2d().unwrap();
+        assert_eq!(tt.shape(), &[3, 2]);
+        assert_eq!(tt.at(&[2, 1]), 6.0);
+        assert_eq!(tt.transpose2d().unwrap(), t);
+    }
+
+    #[test]
+    fn stack_unstack_round_trip() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        let b = Tensor::from_vec(vec![3.0, 4.0], &[2]).unwrap();
+        let s = Tensor::stack(&[a.clone(), b.clone()]).unwrap();
+        assert_eq!(s.shape(), &[2, 2]);
+        let parts = s.unstack().unwrap();
+        assert_eq!(parts, vec![a, b]);
+    }
+
+    #[test]
+    fn stack_rejects_mismatched_shapes() {
+        let a = Tensor::zeros(&[2]);
+        let b = Tensor::zeros(&[3]);
+        assert!(Tensor::stack(&[a, b]).is_err());
+        assert!(Tensor::stack(&[]).is_err());
+    }
+
+    #[test]
+    fn row_extraction() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        assert_eq!(t.row(1).unwrap().as_slice(), &[3.0, 4.0]);
+        assert!(t.row(2).is_err());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = Tensor::from_vec(vec![1.5, -2.5], &[2, 1]).unwrap();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Tensor = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn count_predicate() {
+        let t = Tensor::from_vec(vec![-1.0, 0.0, 2.0, 3.0], &[4]).unwrap();
+        assert_eq!(t.count(|x| x > 0.0), 2);
+    }
+}

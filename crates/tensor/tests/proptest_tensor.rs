@@ -1,0 +1,108 @@
+//! Property-based tests of the tensor substrate's algebraic invariants.
+
+use cbq_tensor::{col2im, conv2d, im2col, ConvSpec, Tensor};
+use proptest::prelude::*;
+
+fn small_dims() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(1usize..5, 1..4)
+}
+
+proptest! {
+    #[test]
+    fn reshape_round_trip(dims in small_dims()) {
+        let len: usize = dims.iter().product();
+        let t = Tensor::from_fn(&dims, |i| i as f32);
+        let flat = t.reshape(&[len]).unwrap();
+        let back = flat.reshape(&dims).unwrap();
+        prop_assert_eq!(back, t);
+    }
+
+    #[test]
+    fn stack_unstack_round_trip(n in 1usize..5, inner in small_dims()) {
+        let items: Vec<Tensor> = (0..n)
+            .map(|k| Tensor::from_fn(&inner, |i| (k * 100 + i) as f32))
+            .collect();
+        let stacked = Tensor::stack(&items).unwrap();
+        let back = stacked.unstack().unwrap();
+        prop_assert_eq!(back, items);
+    }
+
+    #[test]
+    fn add_is_commutative(data1 in prop::collection::vec(-10.0f32..10.0, 1..32)) {
+        let n = data1.len();
+        let data2: Vec<f32> = data1.iter().map(|x| x * 0.5 - 1.0).collect();
+        let a = Tensor::from_vec(data1, &[n]).unwrap();
+        let b = Tensor::from_vec(data2, &[n]).unwrap();
+        prop_assert_eq!(a.add(&b).unwrap(), b.add(&a).unwrap());
+    }
+
+    #[test]
+    fn transpose_is_involution(rows in 1usize..6, cols in 1usize..6) {
+        let t = Tensor::from_fn(&[rows, cols], |i| i as f32);
+        prop_assert_eq!(t.transpose2d().unwrap().transpose2d().unwrap(), t);
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(m in 1usize..4, k in 1usize..4, n in 1usize..4) {
+        let a = Tensor::from_fn(&[m, k], |i| (i as f32 * 0.37).sin());
+        let b = Tensor::from_fn(&[k, n], |i| (i as f32 * 0.61).cos());
+        let c = Tensor::from_fn(&[k, n], |i| (i as f32 * 0.13).sin());
+        let lhs = a.matmul(&b.add(&c).unwrap()).unwrap();
+        let rhs = a.matmul(&b).unwrap().add(&a.matmul(&c).unwrap()).unwrap();
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn im2col_col2im_adjoint(
+        c in 1usize..3,
+        hw in 3usize..7,
+        stride in 1usize..3,
+        pad in 0usize..2,
+    ) {
+        let spec = ConvSpec::new(stride, pad);
+        let k = 3usize;
+        prop_assume!(hw + 2 * pad >= k);
+        let x = Tensor::from_fn(&[c, hw, hw], |i| ((i * 7919) % 13) as f32 - 6.0);
+        let cols = im2col(&x, k, k, spec).unwrap();
+        let y = Tensor::from_fn(cols.shape(), |i| ((i * 104729) % 11) as f32 - 5.0);
+        let lhs = cols.mul(&y).unwrap().sum();
+        let folded = col2im(&y, c, hw, hw, k, k, spec).unwrap();
+        let rhs = folded.mul(&x).unwrap().sum();
+        prop_assert!((lhs - rhs).abs() < 1.0, "adjoint broken: {} vs {}", lhs, rhs);
+    }
+
+    #[test]
+    fn conv_with_zero_weights_is_zero(
+        n in 1usize..3,
+        c in 1usize..3,
+        o in 1usize..3,
+    ) {
+        let x = Tensor::from_fn(&[n, c, 5, 5], |i| i as f32);
+        let w = Tensor::zeros(&[o, c, 3, 3]);
+        let y = conv2d(&x, &w, None, ConvSpec::new(1, 1)).unwrap();
+        prop_assert!(y.max_abs() == 0.0);
+    }
+
+    #[test]
+    fn argmax_rows_picks_maximum(rows in 1usize..5, cols in 1usize..6) {
+        let t = Tensor::from_fn(&[rows, cols], |i| ((i * 31) % 17) as f32);
+        let picks = t.argmax_rows().unwrap();
+        for (r, &p) in picks.iter().enumerate() {
+            let row = t.row(r).unwrap();
+            for &v in row.as_slice() {
+                prop_assert!(row.as_slice()[p] >= v);
+            }
+        }
+    }
+
+    #[test]
+    fn scale_then_sum_is_linear(alpha in -4.0f32..4.0, data in prop::collection::vec(-5.0f32..5.0, 1..24)) {
+        let n = data.len();
+        let t = Tensor::from_vec(data, &[n]).unwrap();
+        let lhs = t.scale(alpha).sum();
+        let rhs = alpha * t.sum();
+        prop_assert!((lhs - rhs).abs() < 1e-2);
+    }
+}

@@ -1,0 +1,76 @@
+//! The paper's flagship scenario: VGG-small on (synthetic) CIFAR-10,
+//! quantized to a 2.0/2.0 weight/activation setting.
+//!
+//! ```sh
+//! cargo run --release --example cifar10_vgg            # ~1 minute
+//! CBQ_EPOCHS=12 cargo run --release --example cifar10_vgg  # closer to paper
+//! ```
+//!
+//! Prints the per-phase accuracies, the searched thresholds (Figure 6's
+//! horizontal lines) and the per-layer bit-width distribution (Figure 7's
+//! stacks) for the VGG-small network.
+
+use cbq::core::{CqConfig, CqPipeline, RefineConfig};
+use cbq::data::{SyntheticImages, SyntheticSpec};
+use cbq::nn::{models, TrainerConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let epochs: usize = std::env::var("CBQ_EPOCHS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let mut rng = StdRng::seed_from_u64(0);
+    let data = SyntheticImages::generate(&SyntheticSpec::cifar10_like(), &mut rng)?;
+    let vcfg = models::VggConfig::for_input(3, 12, 12, data.num_classes());
+    let model = models::vgg_small(&vcfg, &mut rng)?;
+
+    let mut config = CqConfig::new(2.0, 2.0);
+    config.pretrain = Some(TrainerConfig::quick(epochs, 0.02));
+    config.refine = RefineConfig::quick(epochs, 0.004);
+    config.search.step = 0.2;
+    let report = CqPipeline::new(config).run(model, &data, &mut rng)?;
+
+    println!("== VGG-small on synthetic CIFAR-10, 2.0/2.0 ==");
+    println!("full precision : {:6.2}%", 100.0 * report.fp_accuracy);
+    println!(
+        "searched (raw) : {:6.2}%",
+        100.0 * report.pre_refine_accuracy
+    );
+    println!("refined        : {:6.2}%", 100.0 * report.final_accuracy);
+    println!(
+        "average bits   : {:.3} (target 2.0)",
+        report.search.final_avg_bits
+    );
+    println!(
+        "thresholds p1..p4 (cf. paper Fig. 6): {:?}",
+        report
+            .search
+            .thresholds
+            .iter()
+            .map(|t| format!("{t:.1}"))
+            .collect::<Vec<_>>()
+    );
+    println!("\nlayer   0b   1b   2b   3b   4b   (filter counts, cf. Fig. 7)");
+    for unit in report.search.arrangement.units() {
+        let h = report.search.arrangement.unit_histogram(&unit.name)?;
+        print!("{:<6}", unit.name);
+        for c in &h.counts[..5] {
+            print!(" {c:>4}");
+        }
+        println!();
+    }
+    println!("\nimportance-score ranges per layer (cf. Fig. 2):");
+    for unit in &report.scores.units {
+        let sorted = unit.sorted_phi();
+        println!(
+            "  {:<6} min {:.2}  median {:.2}  max {:.2}",
+            unit.name,
+            sorted.first().copied().unwrap_or(0.0),
+            sorted.get(sorted.len() / 2).copied().unwrap_or(0.0),
+            sorted.last().copied().unwrap_or(0.0)
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,83 @@
+//! Head-to-head: CQ vs APN-style uniform quantization vs WrapNet-style
+//! low-precision accumulation, on ResNet-20-x1 over synthetic CIFAR-10.
+//!
+//! ```sh
+//! cargo run --release --example compare_baselines
+//! ```
+//!
+//! All three methods share the dataset, architecture, pre-training and
+//! refining recipes, so the only difference is the quantization policy —
+//! the comparison Figures 4 and 5 of the paper make.
+
+use cbq::baselines::{run_apn, run_wrapnet, ApnConfig, WrapNetConfig};
+use cbq::core::{CqConfig, CqPipeline, RefineConfig};
+use cbq::data::{SyntheticImages, SyntheticSpec};
+use cbq::nn::{models, Sequential, TrainerConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn fresh(seed: u64) -> Result<(SyntheticImages, Sequential, StdRng), Box<dyn std::error::Error>> {
+    // Same seed => same dataset and same initial weights for every method.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data = SyntheticImages::generate(&SyntheticSpec::cifar10_like(), &mut rng)?;
+    let model = models::resnet20(&models::ResNetConfig::resnet20(3, 1, 10), &mut rng)?;
+    Ok((data, model, rng))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let epochs: usize = std::env::var("CBQ_EPOCHS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    let pretrain = TrainerConfig::quick(epochs, 0.1);
+    let refine = RefineConfig::quick(epochs, 0.01);
+    let bits = 2u8;
+
+    // Class-based quantization.
+    let (data, model, mut rng) = fresh(11)?;
+    let mut cq_cfg = CqConfig::new(bits as f32, bits as f32);
+    cq_cfg.pretrain = Some(pretrain.clone());
+    cq_cfg.refine = refine.clone();
+    cq_cfg.search.step = 0.2;
+    let cq = CqPipeline::new(cq_cfg).run(model, &data, &mut rng)?;
+
+    // APN-style uniform quantization.
+    let (data, model, mut rng) = fresh(11)?;
+    let mut apn_cfg = ApnConfig::new(bits, bits);
+    apn_cfg.pretrain = Some(pretrain.clone());
+    apn_cfg.refine = refine.clone();
+    let apn = run_apn(model, &data, &apn_cfg, &mut rng)?;
+
+    // WrapNet-style low-precision accumulator.
+    let (data, model, mut rng) = fresh(11)?;
+    let mut wn_cfg = WrapNetConfig::new(bits, bits + 2);
+    wn_cfg.pretrain = Some(pretrain);
+    wn_cfg.refine = refine;
+    let wn = run_wrapnet(model, &data, &wn_cfg, &mut rng)?;
+
+    println!("== ResNet-20-x1 on synthetic CIFAR-10, {bits}.0/{bits}.0 ==");
+    println!("method      fp acc   quantized   refined   avg bits");
+    println!(
+        "CQ          {:5.1}%      {:5.1}%    {:5.1}%      {:.2}",
+        100.0 * cq.fp_accuracy,
+        100.0 * cq.pre_refine_accuracy,
+        100.0 * cq.final_accuracy,
+        cq.search.final_avg_bits
+    );
+    println!(
+        "APN         {:5.1}%      {:5.1}%    {:5.1}%      {:.2}",
+        100.0 * apn.fp_accuracy,
+        100.0 * apn.pre_refine_accuracy,
+        100.0 * apn.final_accuracy,
+        apn.arrangement.average_bits()
+    );
+    println!(
+        "WrapNet     {:5.1}%      {:5.1}%    {:5.1}%      {:.2}  (acc 8b, act {}b)",
+        100.0 * wn.fp_accuracy,
+        100.0 * wn.pre_refine_accuracy,
+        100.0 * wn.final_accuracy,
+        wn.arrangement.average_bits(),
+        bits + 2
+    );
+    Ok(())
+}

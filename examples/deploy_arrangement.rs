@@ -1,0 +1,64 @@
+//! Deployment workflow: search a bit arrangement once, export it as JSON,
+//! and re-install it on a freshly loaded model later.
+//!
+//! ```sh
+//! cargo run --release --example deploy_arrangement
+//! ```
+//!
+//! This is the artifact a hardware team would consume: the per-filter
+//! bit-width table, with size accounting, serialized with serde.
+
+use cbq::core::{score_network, search, ScoreConfig, SearchConfig};
+use cbq::data::{SyntheticImages, SyntheticSpec};
+use cbq::nn::{evaluate, models, Trainer, TrainerConfig};
+use cbq::quant::{install_arrangement, model_size_bits, BitArrangement};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(3);
+    let data = SyntheticImages::generate(&SyntheticSpec::tiny(4), &mut rng)?;
+    let mut model = models::mlp(&[data.feature_len(), 32, 16, 4], &mut rng)?;
+    let tc = TrainerConfig {
+        batch_size: 16,
+        ..TrainerConfig::quick(12, 0.05)
+    };
+    Trainer::new(tc).fit(&mut model, data.train(), &mut rng)?;
+
+    // Score and search to 2.0 average bits.
+    let scores = score_network(&mut model, data.val(), 4, &ScoreConfig::new())?;
+    let mut cfg = SearchConfig::new(2.0);
+    cfg.probe_samples = 32;
+    let outcome = search(&mut model, &scores, data.val(), &cfg)?;
+    let acc_installed = evaluate(&mut model, data.test(), 64)?;
+
+    // Export the arrangement.
+    let json = serde_json::to_string_pretty(&outcome.arrangement)?;
+    let path = std::env::temp_dir().join("cbq_arrangement.json");
+    std::fs::write(&path, &json)?;
+    println!(
+        "exported arrangement to {} ({} bytes)",
+        path.display(),
+        json.len()
+    );
+
+    // ... later, in a fresh process: reload and re-install.
+    let loaded: BitArrangement = serde_json::from_str(&std::fs::read_to_string(&path)?)?;
+    assert_eq!(loaded, outcome.arrangement);
+    install_arrangement(&mut model, &loaded)?;
+    let acc_reloaded = evaluate(&mut model, data.test(), 64)?;
+    assert!((acc_installed - acc_reloaded).abs() < 1e-6);
+
+    let size = model_size_bits(&loaded, 0);
+    println!("average bits      : {:.3}", loaded.average_bits());
+    println!(
+        "accuracy          : {:.2}% (identical before/after reload)",
+        100.0 * acc_reloaded
+    );
+    println!(
+        "quantized weights : {} in {} bits",
+        size.quantized_weights, size.quantized_bits
+    );
+    println!("{loaded}");
+    Ok(())
+}

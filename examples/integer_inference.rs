@@ -1,0 +1,99 @@
+//! From fake-quant training to integer deployment: quantize a trained
+//! MLP, then execute it with true integer code arithmetic and compare.
+//!
+//! ```sh
+//! cargo run --release --example integer_inference
+//! ```
+//!
+//! This is the handoff a fixed-point accelerator needs: integer weight
+//! codes, per-filter scales, calibrated activation scales — and proof
+//! that the integer path reproduces the trained network's predictions.
+
+use cbq::data::{SyntheticImages, SyntheticSpec};
+use cbq::nn::{evaluate, models, state_dict, Layer, Phase, Trainer, TrainerConfig};
+use cbq::quant::{
+    install_act_quant, install_uniform, set_act_bits, set_act_calibration, BitWidth,
+    IntActivations, IntegerLinear,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(11);
+    let data = SyntheticImages::generate(&SyntheticSpec::tiny(3), &mut rng)?;
+    let f = data.feature_len();
+    let mut net = models::mlp(&[f, 16, 8, 3], &mut rng)?;
+    let tc = TrainerConfig {
+        batch_size: 16,
+        ..TrainerConfig::quick(10, 0.05)
+    };
+    Trainer::new(tc).fit(&mut net, data.train(), &mut rng)?;
+
+    // Quantize: 4-bit weights on the hidden layer, 4-bit activations.
+    install_act_quant(&mut net);
+    set_act_calibration(&mut net, true);
+    for batch in data.val().batches(32) {
+        net.forward(&batch.images, Phase::Eval)?;
+    }
+    set_act_calibration(&mut net, false);
+    let bits = BitWidth::new(4)?;
+    set_act_bits(&mut net, Some(bits));
+    install_uniform(&mut net, bits);
+    let fq_acc = evaluate(&mut net, data.test(), 64)?;
+
+    // Export: weights + calibrated clips.
+    let params = state_dict(&mut net);
+    let mut clips = Vec::new();
+    net.visit_layers_mut(&mut |l| {
+        if let Some(q) = l.activation_quantizer_mut() {
+            clips.push(q.clip());
+        }
+    });
+    let w1 = &params.params["fc1.weight"];
+    let b1 = &params.params["fc1.bias"];
+    let w2 = &params.params["fc2.weight"];
+    let b2 = &params.params["fc2.bias"];
+    let w3 = &params.params["fc3.weight"];
+    let b3 = &params.params["fc3.bias"];
+    let lin2 = IntegerLinear::quantize(w2, &vec![bits; 8], Some(b2))?;
+    println!(
+        "compiled fc2 to integer codes: {}x{} weights",
+        lin2.out_features(),
+        lin2.in_features()
+    );
+
+    // Integer inference over the test set.
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for batch in data.test().batches(32) {
+        let x = batch.images.reshape(&[batch.len(), f])?;
+        // fc1 is the unquantized first layer (paper protocol): f32.
+        let mut h1 = x.matmul_nt(w1)?;
+        for (i, v) in h1.as_mut_slice().iter_mut().enumerate() {
+            *v += b1.as_slice()[i % 16];
+        }
+        let h1 = h1.map(|v| v.max(0.0));
+        // hidden layer in integer arithmetic
+        let codes = IntActivations::quantize(&h1, clips[0], bits)?;
+        let h2 = lin2.forward(&codes)?;
+        let h2 = h2.map(|v| v.max(0.0));
+        let codes2 = IntActivations::quantize(&h2, clips[1], bits)?;
+        // output layer f32 (unquantized)
+        let mut logits = codes2.dequantize().matmul_nt(w3)?;
+        for (i, v) in logits.as_mut_slice().iter_mut().enumerate() {
+            *v += b3.as_slice()[i % 3];
+        }
+        for (p, &l) in logits.argmax_rows()?.iter().zip(&batch.labels) {
+            total += 1;
+            if *p == l {
+                correct += 1;
+            }
+        }
+    }
+    let int_acc = correct as f32 / total as f32;
+    println!("fake-quant accuracy   : {:.2}%", 100.0 * fq_acc);
+    println!("integer-path accuracy : {:.2}%", 100.0 * int_acc);
+    assert!((fq_acc - int_acc).abs() < 0.02, "paths disagree");
+    println!("integer deployment reproduces the trained network ✓");
+    Ok(())
+}

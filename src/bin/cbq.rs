@@ -1,0 +1,249 @@
+//! `cbq` — command-line front end for the class-based quantization
+//! pipeline.
+//!
+//! ```sh
+//! cargo run --release --bin cbq -- \
+//!     --model vgg --dataset c10 --wbits 2.0 --abits 2 --epochs 4 \
+//!     --seed 0 --out report.json
+//! ```
+//!
+//! Generates the synthetic dataset, trains the model, runs the full CQ
+//! pipeline, prints a summary, and (optionally) writes the searched bit
+//! arrangement plus the headline numbers as JSON.
+
+use cbq::core::{CqConfig, CqPipeline, RefineConfig};
+use cbq::data::{SyntheticImages, SyntheticSpec};
+use cbq::nn::{models, Sequential, TrainerConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::process::ExitCode;
+
+/// Parsed command-line options.
+#[derive(Debug, Clone, PartialEq)]
+struct Options {
+    model: String,
+    dataset: String,
+    wbits: f32,
+    abits: u8,
+    epochs: usize,
+    seed: u64,
+    out: Option<String>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            model: "vgg".into(),
+            dataset: "c10".into(),
+            wbits: 2.0,
+            abits: 2,
+            epochs: 4,
+            seed: 0,
+            out: None,
+        }
+    }
+}
+
+const USAGE: &str = "usage: cbq [--model vgg|resnet20x1|resnet20x5|mlp] \
+[--dataset c10|c100] [--wbits F] [--abits N] [--epochs N] [--seed N] \
+[--out FILE.json]";
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--model" => opts.model = value("--model")?.clone(),
+            "--dataset" => opts.dataset = value("--dataset")?.clone(),
+            "--wbits" => {
+                opts.wbits = value("--wbits")?
+                    .parse()
+                    .map_err(|e| format!("--wbits: {e}"))?;
+            }
+            "--abits" => {
+                opts.abits = value("--abits")?
+                    .parse()
+                    .map_err(|e| format!("--abits: {e}"))?;
+            }
+            "--epochs" => {
+                opts.epochs = value("--epochs")?
+                    .parse()
+                    .map_err(|e| format!("--epochs: {e}"))?;
+            }
+            "--seed" => {
+                opts.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--out" => opts.out = Some(value("--out")?.clone()),
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    if !["vgg", "resnet20x1", "resnet20x5", "mlp"].contains(&opts.model.as_str()) {
+        return Err(format!("unknown model {}\n{USAGE}", opts.model));
+    }
+    if !["c10", "c100"].contains(&opts.dataset.as_str()) {
+        return Err(format!("unknown dataset {}\n{USAGE}", opts.dataset));
+    }
+    if opts.wbits <= 0.0 || opts.wbits > 8.0 {
+        return Err("--wbits must lie in (0, 8]".into());
+    }
+    if opts.abits > 8 {
+        return Err("--abits must lie in 0..=8".into());
+    }
+    Ok(opts)
+}
+
+fn build_model(
+    opts: &Options,
+    spec: &SyntheticSpec,
+    rng: &mut StdRng,
+) -> Result<Sequential, cbq::nn::NnError> {
+    match opts.model.as_str() {
+        "vgg" => models::vgg_small(
+            &models::VggConfig::for_input(spec.channels, spec.height, spec.width, spec.num_classes),
+            rng,
+        ),
+        "resnet20x1" => models::resnet20(
+            &models::ResNetConfig::resnet20(spec.channels, 1, spec.num_classes),
+            rng,
+        ),
+        "resnet20x5" => models::resnet20(
+            &models::ResNetConfig::resnet20(spec.channels, 5, spec.num_classes),
+            rng,
+        ),
+        _ => models::mlp(&[spec.feature_len(), 64, 32, 16, spec.num_classes], rng),
+    }
+}
+
+fn run(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let spec = match opts.dataset.as_str() {
+        "c100" => SyntheticSpec::cifar100_like(),
+        _ => SyntheticSpec::cifar10_like(),
+    };
+    let data = SyntheticImages::generate(&spec, &mut rng)?;
+    let model = build_model(opts, &spec, &mut rng)?;
+
+    let lr = if opts.model == "vgg" { 0.02 } else { 0.1 };
+    let mut config = CqConfig::new(opts.wbits, opts.abits as f32);
+    config.pretrain = Some(TrainerConfig::quick(opts.epochs, lr));
+    config.refine = RefineConfig::quick(opts.epochs, lr / 5.0);
+    config.search.step = 0.2;
+    eprintln!(
+        "cbq: {} on {} -> {:.1}-bit weights / {}-bit activations, {} epochs, seed {}",
+        opts.model, opts.dataset, opts.wbits, opts.abits, opts.epochs, opts.seed
+    );
+    let report = CqPipeline::new(config).run(model, &data, &mut rng)?;
+
+    println!("full precision : {:6.2}%", 100.0 * report.fp_accuracy);
+    println!(
+        "after search   : {:6.2}%",
+        100.0 * report.pre_refine_accuracy
+    );
+    println!("after refining : {:6.2}%", 100.0 * report.final_accuracy);
+    println!(
+        "average bits   : {:.3} (target {:.1})",
+        report.search.final_avg_bits, opts.wbits
+    );
+    println!(
+        "compression    : {:.2}x vs fp32",
+        report.size.compression_ratio()
+    );
+
+    if let Some(path) = &opts.out {
+        let payload = serde_json::json!({
+            "model": opts.model,
+            "dataset": opts.dataset,
+            "weight_bits_target": opts.wbits,
+            "act_bits": opts.abits,
+            "seed": opts.seed,
+            "fp_accuracy": report.fp_accuracy,
+            "pre_refine_accuracy": report.pre_refine_accuracy,
+            "final_accuracy": report.final_accuracy,
+            "avg_bits": report.search.final_avg_bits,
+            "thresholds": report.search.thresholds,
+            "arrangement": report.search.arrangement,
+        });
+        std::fs::write(path, serde_json::to_string_pretty(&payload)?)?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("cbq: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_parse() {
+        let o = parse_args(&[]).unwrap();
+        assert_eq!(o, Options::default());
+    }
+
+    #[test]
+    fn full_flag_set_parses() {
+        let o = parse_args(&args(&[
+            "--model",
+            "resnet20x1",
+            "--dataset",
+            "c100",
+            "--wbits",
+            "3.0",
+            "--abits",
+            "4",
+            "--epochs",
+            "7",
+            "--seed",
+            "42",
+            "--out",
+            "x.json",
+        ]))
+        .unwrap();
+        assert_eq!(o.model, "resnet20x1");
+        assert_eq!(o.dataset, "c100");
+        assert_eq!(o.wbits, 3.0);
+        assert_eq!(o.abits, 4);
+        assert_eq!(o.epochs, 7);
+        assert_eq!(o.seed, 42);
+        assert_eq!(o.out.as_deref(), Some("x.json"));
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(parse_args(&args(&["--model", "alexnet"])).is_err());
+        assert!(parse_args(&args(&["--dataset", "imagenet"])).is_err());
+        assert!(parse_args(&args(&["--wbits", "9.0"])).is_err());
+        assert!(parse_args(&args(&["--wbits", "0"])).is_err());
+        assert!(parse_args(&args(&["--abits", "12"])).is_err());
+        assert!(parse_args(&args(&["--abits"])).is_err());
+        assert!(parse_args(&args(&["--frobnicate"])).is_err());
+        assert!(parse_args(&args(&["--help"])).is_err());
+    }
+}

@@ -1,0 +1,51 @@
+#![warn(missing_docs)]
+
+//! # cbq — Class-based Quantization for Neural Networks
+//!
+//! A from-scratch Rust reproduction of *"Class-based Quantization for
+//! Neural Networks"* (Sun, Zhang, Gu, Li, Schlichtmann — DATE 2023).
+//!
+//! CQ assigns a *per-filter / per-neuron* uniform-quantization bit-width by
+//! measuring how many classes each filter matters to (its *class-based
+//! importance score*), then searching score thresholds that partition the
+//! filters into bit-width groups until a target average bit-width is met,
+//! and finally fine-tuning the quantized network with knowledge
+//! distillation and a straight-through estimator.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! - [`tensor`] — dense f32 tensors, matmul, im2col convolution, pooling
+//! - [`data`] — synthetic class-structured datasets (CIFAR-like)
+//! - [`nn`] — layers, losses, SGD, the model zoo (VGG-small, ResNet-20)
+//! - [`quant`] — the uniform quantizer, bit arrangements, fake-quant, STE
+//! - [`core`] — the paper's contribution: importance scores, threshold
+//!   search, knowledge-distillation refining, the end-to-end pipeline
+//! - [`baselines`] — APN-style uniform quantization and a WrapNet-style
+//!   low-precision-accumulator baseline
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use cbq::core::{CqConfig, CqPipeline};
+//! use cbq::data::{SyntheticImages, SyntheticSpec};
+//! use cbq::nn::models;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let data = SyntheticImages::generate(&SyntheticSpec::cifar10_like(), &mut rng)?;
+//! let model = models::mlp(&[data.feature_len(), 64, 32, data.num_classes()], &mut rng)?;
+//! let config = CqConfig::new(2.0, 2.0); // 2.0-bit weights / 2.0-bit activations
+//! let report = CqPipeline::new(config).run(model, &data, &mut rng)?;
+//! println!("quantized accuracy: {:.2}%", 100.0 * report.final_accuracy);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use cbq_baselines as baselines;
+pub use cbq_core as core;
+pub use cbq_data as data;
+pub use cbq_nn as nn;
+pub use cbq_quant as quant;
+pub use cbq_tensor as tensor;

@@ -1,0 +1,95 @@
+//! Deployment-path integration test: a trained, searched, fake-quantized
+//! network must produce the same outputs when executed with true integer
+//! code arithmetic (`cbq_quant::integer`) — the property that makes the
+//! fake-quant training story valid on integer hardware.
+
+use cbq::data::{SyntheticImages, SyntheticSpec};
+use cbq::nn::{models, state_dict, Layer, Phase, Trainer, TrainerConfig};
+use cbq::quant::{
+    install_act_quant, install_uniform, set_act_bits, set_act_calibration, BitWidth,
+    IntActivations, IntegerLinear,
+};
+use cbq::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn integer_execution_matches_fake_quant_network() {
+    let mut rng = StdRng::seed_from_u64(400);
+    let data = SyntheticImages::generate(&SyntheticSpec::tiny(3), &mut rng).unwrap();
+    let f = data.feature_len();
+    // mlp: flatten0, fc1 (fp), relu1, fc2 (quantized), relu2, fc3 (fp out)
+    let mut net = models::mlp(&[f, 16, 8, 3], &mut rng).unwrap();
+    let tc = TrainerConfig {
+        batch_size: 16,
+        ..TrainerConfig::quick(6, 0.05)
+    };
+    Trainer::new(tc)
+        .fit(&mut net, data.train(), &mut rng)
+        .unwrap();
+
+    // calibrate + enable activation quantization, quantize fc2 to 4 bits
+    install_act_quant(&mut net);
+    set_act_calibration(&mut net, true);
+    for batch in data.val().batches(32) {
+        net.forward(&batch.images, Phase::Eval).unwrap();
+    }
+    set_act_calibration(&mut net, false);
+    let act_bits = BitWidth::new(4).unwrap();
+    set_act_bits(&mut net, Some(act_bits));
+    let weight_bits = BitWidth::new(4).unwrap();
+    install_uniform(&mut net, weight_bits);
+
+    // reference: fake-quant forward through the network
+    let batch = data.test().batches(8).next().unwrap();
+    let reference = net.forward(&batch.images, Phase::Eval).unwrap();
+
+    // extract weights and calibrated clips
+    let params = state_dict(&mut net);
+    let w1 = params.params.get("fc1.weight").unwrap().clone();
+    let b1 = params.params.get("fc1.bias").unwrap().clone();
+    let w2 = params.params.get("fc2.weight").unwrap().clone();
+    let b2 = params.params.get("fc2.bias").unwrap().clone();
+    let w3 = params.params.get("fc3.weight").unwrap().clone();
+    let b3 = params.params.get("fc3.bias").unwrap().clone();
+    let mut clips = Vec::new();
+    net.visit_layers_mut(&mut |l| {
+        if let Some(q) = l.activation_quantizer_mut() {
+            clips.push(q.clip());
+        }
+    });
+    assert_eq!(clips.len(), 2);
+
+    // manual mixed fp/integer execution
+    let x = batch.images.reshape(&[batch.len(), f]).unwrap();
+    // fc1 (fp, unquantized weights) + bias
+    let mut h1 = x.matmul_nt(&w1).unwrap();
+    for (i, v) in h1.as_mut_slice().iter_mut().enumerate() {
+        *v += b1.as_slice()[i % 16];
+    }
+    // relu1 + 4-bit activation codes at clip[0]
+    let h1 = h1.map(|v| v.max(0.0));
+    let a1 = IntActivations::quantize(&h1, clips[0], act_bits).unwrap();
+    // fc2 in integer code arithmetic (4-bit weights)
+    let lin2 = IntegerLinear::quantize(&w2, &vec![weight_bits; 8], Some(&b2)).unwrap();
+    let h2 = lin2.forward(&a1).unwrap();
+    // relu2 + codes at clip[1]
+    let h2 = h2.map(|v| v.max(0.0));
+    let a2 = IntActivations::quantize(&h2, clips[1], act_bits).unwrap();
+    // fc3 (fp output layer) applied to dequantized activations
+    let mut logits = a2.dequantize().matmul_nt(&w3).unwrap();
+    for (i, v) in logits.as_mut_slice().iter_mut().enumerate() {
+        *v += b3.as_slice()[i % 3];
+    }
+
+    let diff = logits.sub(&reference).unwrap().max_abs();
+    assert!(
+        diff < 1e-3,
+        "integer deployment path deviates from fake-quant network by {diff}"
+    );
+    // and predictions agree exactly
+    assert_eq!(
+        logits.argmax_rows().unwrap(),
+        reference.argmax_rows().unwrap()
+    );
+}

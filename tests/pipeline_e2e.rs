@@ -1,0 +1,178 @@
+//! End-to-end integration tests spanning every crate: data generation →
+//! training → scoring → search → refining → accounting, through the
+//! public facade API.
+
+use cbq::core::{CqConfig, CqPipeline, RefineConfig, ScoreConfig};
+use cbq::data::{SyntheticImages, SyntheticSpec};
+use cbq::nn::{models, TrainerConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn quick_config(weight_bits: f32, act_bits: f32) -> CqConfig {
+    let mut config = CqConfig::new(weight_bits, act_bits);
+    config.pretrain = Some(TrainerConfig {
+        batch_size: 16,
+        ..TrainerConfig::quick(10, 0.05)
+    });
+    config.refine = RefineConfig {
+        batch_size: 16,
+        ..RefineConfig::quick(6, 0.02)
+    };
+    config.score = ScoreConfig {
+        samples_per_class: 8,
+        epsilon: 1e-30,
+    };
+    config.search.probe_samples = 32;
+    config
+}
+
+#[test]
+fn mlp_pipeline_meets_bit_target_and_recovers_accuracy() {
+    let mut rng = StdRng::seed_from_u64(100);
+    let spec = SyntheticSpec {
+        train_per_class: 80,
+        ..SyntheticSpec::tiny(4)
+    };
+    let data = SyntheticImages::generate(&spec, &mut rng).unwrap();
+    let model = models::mlp(&[data.feature_len(), 48, 24, 12, 4], &mut rng).unwrap();
+    let mut config = quick_config(2.0, 4.0);
+    config.pretrain = Some(TrainerConfig {
+        batch_size: 16,
+        ..TrainerConfig::quick(25, 0.08)
+    });
+    let report = CqPipeline::new(config).run(model, &data, &mut rng).unwrap();
+
+    assert!(report.fp_accuracy > 0.8, "fp {:.3}", report.fp_accuracy);
+    assert!(
+        report.search.final_avg_bits <= 2.0 + 1e-4,
+        "avg bits {} above target",
+        report.search.final_avg_bits
+    );
+    assert!(
+        report.final_accuracy >= report.pre_refine_accuracy - 0.05,
+        "refining regressed: {} -> {}",
+        report.pre_refine_accuracy,
+        report.final_accuracy
+    );
+    assert!(
+        report.final_accuracy > 0.6,
+        "final {:.3}",
+        report.final_accuracy
+    );
+    // thresholds non-decreasing
+    for w in report.search.thresholds.windows(2) {
+        assert!(
+            w[0] <= w[1] + 1e-12,
+            "thresholds not sorted: {:?}",
+            report.search.thresholds
+        );
+    }
+    // arrangement covers exactly the hidden quantizable layers
+    let names: Vec<&str> = report
+        .search
+        .arrangement
+        .units()
+        .iter()
+        .map(|u| u.name.as_str())
+        .collect();
+    assert_eq!(names, vec!["fc2", "fc3"]);
+}
+
+#[test]
+fn vgg_pipeline_runs_and_prunes_fc_layers_most() {
+    let mut rng = StdRng::seed_from_u64(101);
+    let spec = SyntheticSpec {
+        num_classes: 4,
+        channels: 1,
+        height: 8,
+        width: 8,
+        train_per_class: 60,
+        val_per_class: 16,
+        test_per_class: 16,
+        ..SyntheticSpec::tiny(4)
+    };
+    let data = SyntheticImages::generate(&spec, &mut rng).unwrap();
+    let vcfg = cbq::nn::models::VggConfig {
+        in_channels: 1,
+        height: 8,
+        width: 8,
+        base_width: 8,
+        fc_dim: 32,
+        num_classes: 4,
+    };
+    let model = models::vgg_small(&vcfg, &mut rng).unwrap();
+    let mut config = quick_config(2.0, 2.0);
+    config.search.step = 0.2;
+    let report = CqPipeline::new(config).run(model, &data, &mut rng).unwrap();
+
+    assert!(report.search.final_avg_bits <= 2.0 + 1e-4);
+    // all six quantizable layers present, in order
+    let names: Vec<&str> = report
+        .search
+        .arrangement
+        .units()
+        .iter()
+        .map(|u| u.name.as_str())
+        .collect();
+    assert_eq!(names, vec!["conv2", "conv3", "conv4", "fc5", "fc6", "fc7"]);
+    // compression must beat 32/max_bits lower bound sanity
+    assert!(report.size.compression_ratio() > 2.0);
+}
+
+#[test]
+fn resnet_pipeline_scores_every_block_conv() {
+    let mut rng = StdRng::seed_from_u64(102);
+    let spec = SyntheticSpec {
+        channels: 1,
+        height: 8,
+        width: 8,
+        train_per_class: 40,
+        val_per_class: 12,
+        test_per_class: 12,
+        ..SyntheticSpec::tiny(3)
+    };
+    let data = SyntheticImages::generate(&spec, &mut rng).unwrap();
+    let rcfg = cbq::nn::models::ResNetConfig {
+        in_channels: 1,
+        base_width: 4,
+        expand: 1,
+        blocks_per_stage: 2,
+        num_classes: 3,
+    };
+    let model = models::resnet20(&rcfg, &mut rng).unwrap();
+    let mut config = quick_config(2.0, 3.0);
+    config.search.step = 0.3;
+    let report = CqPipeline::new(config).run(model, &data, &mut rng).unwrap();
+
+    // 6 blocks * 2 convs + 2 downsample convs = 14 quantizable units
+    assert_eq!(report.search.arrangement.units().len(), 14);
+    assert!(report.search.final_avg_bits <= 2.0 + 1e-4);
+    // scores exist for every unit and stay within [0, classes]
+    for unit in &report.scores.units {
+        assert!(!unit.phi.is_empty());
+        assert!(unit.phi.iter().all(|&p| (0.0..=3.0 + 1e-9).contains(&p)));
+    }
+}
+
+#[test]
+fn higher_bit_budget_never_reduces_final_accuracy_much() {
+    // 4.0 average bits should do at least as well as 1.0 average bits
+    // (generous 10-point slack keeps the test robust to training noise).
+    let run = |bits: f32| {
+        let mut rng = StdRng::seed_from_u64(103);
+        let data = SyntheticImages::generate(&SyntheticSpec::tiny(3), &mut rng).unwrap();
+        let model = models::mlp(&[data.feature_len(), 24, 12, 3], &mut rng).unwrap();
+        CqPipeline::new(quick_config(bits, 0.0))
+            .run(model, &data, &mut rng)
+            .unwrap()
+    };
+    let low = run(1.0);
+    let high = run(4.0);
+    assert!(low.search.final_avg_bits <= 1.0 + 1e-4);
+    assert!(
+        high.final_accuracy >= low.final_accuracy - 0.10,
+        "4-bit {} unexpectedly below 1-bit {}",
+        high.final_accuracy,
+        low.final_accuracy
+    );
+}

@@ -1,0 +1,48 @@
+//! Property-based tests over the full pipeline: random bit budgets and
+//! activation widths must always produce valid reports on a tiny model.
+
+use cbq::core::{CqConfig, CqPipeline, RefineConfig, ScoreConfig};
+use cbq::data::{SyntheticImages, SyntheticSpec};
+use cbq::nn::{models, TrainerConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn pipeline_is_total_over_valid_configs(
+        weight_bits in 0.5f32..4.0,
+        act_bits in 0u8..=6,
+        seed in 0u64..100,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data = SyntheticImages::generate(&SyntheticSpec::tiny(3), &mut rng).unwrap();
+        let model = models::mlp(&[data.feature_len(), 20, 10, 3], &mut rng).unwrap();
+        let mut config = CqConfig::new(weight_bits, act_bits as f32);
+        config.pretrain =
+            Some(TrainerConfig { batch_size: 16, ..TrainerConfig::quick(4, 0.05) });
+        config.refine = RefineConfig { batch_size: 16, ..RefineConfig::quick(2, 0.02) };
+        config.score = ScoreConfig { samples_per_class: 4, epsilon: 1e-30 };
+        config.search.probe_samples = 12;
+        config.search.step = 0.25;
+        let report = CqPipeline::new(config).run(model, &data, &mut rng).unwrap();
+
+        // Hard invariants that must hold for every valid configuration.
+        prop_assert!(report.search.final_avg_bits <= weight_bits + 1e-4);
+        prop_assert!(report.search.final_avg_bits >= 0.0);
+        prop_assert!((0.0..=1.0).contains(&report.final_accuracy));
+        prop_assert!((0.0..=1.0).contains(&report.fp_accuracy));
+        prop_assert!(report.size.compression_ratio() >= 1.0);
+        prop_assert_eq!(report.per_class_accuracy.len(), 3);
+        for w in report.search.thresholds.windows(2) {
+            prop_assert!(w[0] <= w[1] + 1e-12);
+        }
+        // the arrangement the report carries recomputes to the same average
+        prop_assert!(
+            (report.search.arrangement.average_bits() - report.search.final_avg_bits).abs()
+                < 1e-6
+        );
+    }
+}

@@ -1,0 +1,135 @@
+//! Integration tests of the quantization substrate against live networks:
+//! QAT through fake-quant transforms, activation calibration, arrangement
+//! round trips.
+
+use cbq::data::{SyntheticImages, SyntheticSpec};
+use cbq::nn::{evaluate, losses, models, Layer, Phase, Sgd, SgdConfig, Trainer, TrainerConfig};
+use cbq::quant::{
+    clear_weight_transforms, install_act_quant, install_arrangement, install_uniform, quant_units,
+    set_act_bits, set_act_calibration, BitArrangement, BitWidth,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn qat_improves_a_quantized_network() {
+    let mut rng = StdRng::seed_from_u64(200);
+    let data = SyntheticImages::generate(&SyntheticSpec::tiny(3), &mut rng).unwrap();
+    let mut net = models::mlp(&[data.feature_len(), 24, 12, 3], &mut rng).unwrap();
+    let tc = TrainerConfig {
+        batch_size: 16,
+        ..TrainerConfig::quick(10, 0.05)
+    };
+    Trainer::new(tc)
+        .fit(&mut net, data.train(), &mut rng)
+        .unwrap();
+
+    install_uniform(&mut net, BitWidth::new(1).unwrap());
+    let before = evaluate(&mut net, data.test(), 64).unwrap();
+
+    // plain cross-entropy QAT through the STE
+    let mut opt = Sgd::new(SgdConfig {
+        lr: 0.02,
+        momentum: 0.9,
+        weight_decay: 1e-4,
+    });
+    for _ in 0..8 {
+        for batch in data.train().batches_shuffled(16, &mut rng) {
+            net.zero_grad();
+            let logits = net.forward(&batch.images, Phase::Train).unwrap();
+            let (_, grad) = losses::cross_entropy(&logits, &batch.labels).unwrap();
+            net.backward(&grad).unwrap();
+            opt.step(&mut net).unwrap();
+        }
+    }
+    let after = evaluate(&mut net, data.test(), 64).unwrap();
+    assert!(after >= before, "QAT regressed: {before} -> {after}");
+    assert!(after > 0.5, "QAT failed to learn: {after}");
+}
+
+#[test]
+fn activation_calibration_bounds_match_observations() {
+    let mut rng = StdRng::seed_from_u64(201);
+    let data = SyntheticImages::generate(&SyntheticSpec::tiny(2), &mut rng).unwrap();
+    let mut net = models::mlp(&[data.feature_len(), 16, 2], &mut rng).unwrap();
+    let n = install_act_quant(&mut net);
+    assert_eq!(n, 1, "one hidden ReLU expected");
+    set_act_calibration(&mut net, true);
+    for batch in data.val().batches(16) {
+        net.forward(&batch.images, Phase::Eval).unwrap();
+    }
+    set_act_calibration(&mut net, false);
+    let mut clip = None;
+    net.visit_layers_mut(&mut |l| {
+        if let Some(q) = l.activation_quantizer_mut() {
+            clip = Some(q.clip());
+        }
+    });
+    let clip = clip.expect("quantizer installed");
+    assert!(clip > 0.0, "calibration saw no positive activations");
+
+    // with 8-bit activations the outputs barely change
+    let x = data.test().batches(8).next().unwrap().images;
+    set_act_bits(&mut net, None);
+    let y_fp = net.forward(&x, Phase::Eval).unwrap();
+    set_act_bits(&mut net, Some(BitWidth::new(8).unwrap()));
+    let y_q8 = net.forward(&x, Phase::Eval).unwrap();
+    let diff = y_fp.sub(&y_q8).unwrap().max_abs();
+    assert!(diff < 0.25, "8-bit activations changed logits by {diff}");
+}
+
+#[test]
+fn arrangement_survives_serde_and_reinstall() {
+    let mut rng = StdRng::seed_from_u64(202);
+    let data = SyntheticImages::generate(&SyntheticSpec::tiny(2), &mut rng).unwrap();
+    let mut net = models::mlp(&[data.feature_len(), 16, 8, 2], &mut rng).unwrap();
+    let arr = install_uniform(&mut net, BitWidth::new(3).unwrap());
+    let acc1 = evaluate(&mut net, data.test(), 64).unwrap();
+
+    let json = serde_json::to_string(&arr).unwrap();
+    let loaded: BitArrangement = serde_json::from_str(&json).unwrap();
+    assert_eq!(loaded, arr);
+
+    clear_weight_transforms(&mut net);
+    install_arrangement(&mut net, &loaded).unwrap();
+    let acc2 = evaluate(&mut net, data.test(), 64).unwrap();
+    assert!(
+        (acc1 - acc2).abs() < 1e-6,
+        "reinstall changed accuracy: {acc1} vs {acc2}"
+    );
+}
+
+#[test]
+fn quant_units_align_across_model_zoo() {
+    let mut rng = StdRng::seed_from_u64(203);
+    // VGG-small: 6 units
+    let vcfg = models::VggConfig::for_input(3, 12, 12, 10);
+    let mut vgg = models::vgg_small(&vcfg, &mut rng).unwrap();
+    assert_eq!(quant_units(&mut vgg).len(), 6);
+    // ResNet-20 (3 stages x 3 blocks): 18 block convs + 2 downsample
+    let rcfg = models::ResNetConfig::resnet20(3, 1, 10);
+    let mut rn = models::resnet20(&rcfg, &mut rng).unwrap();
+    assert_eq!(quant_units(&mut rn).len(), 20);
+    // MLP with 3 hidden layers: 2 quantizable
+    let mut mlp = models::mlp(&[10, 8, 8, 8, 2], &mut rng).unwrap();
+    assert_eq!(quant_units(&mut mlp).len(), 2);
+}
+
+#[test]
+fn pruned_filters_produce_zero_contributions() {
+    let mut rng = StdRng::seed_from_u64(204);
+    let mut net = cbq::nn::Sequential::new("n");
+    net.push(cbq::nn::layers::Linear::new("fc1", 4, 4, false, &mut rng).unwrap());
+    // prune every filter of fc1
+    let mut arr = BitArrangement::new();
+    arr.push(cbq::quant::UnitArrangement::uniform(
+        "fc1",
+        4,
+        4,
+        BitWidth::ZERO,
+    ));
+    install_arrangement(&mut net, &arr).unwrap();
+    let x = cbq::tensor::Tensor::randn(&[2, 4], 1.0, &mut rng);
+    let y = net.forward(&x, Phase::Eval).unwrap();
+    assert!(y.max_abs() == 0.0, "pruned layer must output zeros");
+}

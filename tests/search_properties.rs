@@ -1,0 +1,152 @@
+//! Integration + property tests of the §III-C threshold search through
+//! the public API.
+
+use cbq::core::{score_network, search, ScoreConfig, SearchConfig};
+use cbq::data::{SyntheticImages, SyntheticSpec};
+use cbq::nn::{models, Sequential, Trainer, TrainerConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn trained_mlp(seed: u64) -> (Sequential, SyntheticImages, StdRng) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data = SyntheticImages::generate(&SyntheticSpec::tiny(3), &mut rng).unwrap();
+    let mut net = models::mlp(&[data.feature_len(), 24, 12, 3], &mut rng).unwrap();
+    let tc = TrainerConfig {
+        batch_size: 16,
+        ..TrainerConfig::quick(8, 0.05)
+    };
+    Trainer::new(tc)
+        .fit(&mut net, data.train(), &mut rng)
+        .unwrap();
+    (net, data, rng)
+}
+
+#[test]
+fn search_meets_every_feasible_target() {
+    let (mut net, data, _) = trained_mlp(300);
+    let scores = score_network(
+        &mut net,
+        data.val(),
+        3,
+        &ScoreConfig {
+            samples_per_class: 8,
+            epsilon: 1e-30,
+        },
+    )
+    .unwrap();
+    for &target in &[0.5f32, 1.0, 2.0, 3.0, 4.0] {
+        let mut cfg = SearchConfig::new(target);
+        cfg.probe_samples = 24;
+        let outcome = search(&mut net, &scores, data.val(), &cfg).unwrap();
+        assert!(
+            outcome.final_avg_bits <= target + 1e-4,
+            "target {target}: got {}",
+            outcome.final_avg_bits
+        );
+        // thresholds sorted
+        for w in outcome.thresholds.windows(2) {
+            assert!(w[0] <= w[1] + 1e-12);
+        }
+        // arrangement consistent with its own average
+        let recomputed = outcome.arrangement.average_bits();
+        assert!((recomputed - outcome.final_avg_bits).abs() < 1e-6);
+    }
+}
+
+#[test]
+fn squeeze_trace_is_monotone_decreasing_in_avg_bits() {
+    let (mut net, data, _) = trained_mlp(301);
+    let scores = score_network(
+        &mut net,
+        data.val(),
+        3,
+        &ScoreConfig {
+            samples_per_class: 8,
+            epsilon: 1e-30,
+        },
+    )
+    .unwrap();
+    let mut cfg = SearchConfig::new(0.5);
+    cfg.probe_samples = 24;
+    let outcome = search(&mut net, &scores, data.val(), &cfg).unwrap();
+    let squeeze_bits: Vec<f32> = outcome
+        .trace
+        .iter()
+        .filter(|s| s.squeeze)
+        .map(|s| s.avg_bits)
+        .collect();
+    for w in squeeze_bits.windows(2) {
+        assert!(
+            w[1] <= w[0] + 1e-6,
+            "squeeze increased avg bits: {:?}",
+            squeeze_bits
+        );
+    }
+}
+
+#[test]
+fn higher_scores_get_at_least_as_many_bits() {
+    let (mut net, data, _) = trained_mlp(302);
+    let scores = score_network(
+        &mut net,
+        data.val(),
+        3,
+        &ScoreConfig {
+            samples_per_class: 8,
+            epsilon: 1e-30,
+        },
+    )
+    .unwrap();
+    let mut cfg = SearchConfig::new(2.0);
+    cfg.probe_samples = 24;
+    let outcome = search(&mut net, &scores, data.val(), &cfg).unwrap();
+    for (unit_scores, unit_arr) in scores.units.iter().zip(outcome.arrangement.units()) {
+        assert_eq!(unit_scores.name, unit_arr.name);
+        for i in 0..unit_scores.phi.len() {
+            for j in 0..unit_scores.phi.len() {
+                if unit_scores.phi[i] > unit_scores.phi[j] {
+                    assert!(
+                        unit_arr.bits[i] >= unit_arr.bits[j],
+                        "filter {i} (score {}) got {:?} < filter {j} (score {}) {:?}",
+                        unit_scores.phi[i],
+                        unit_arr.bits[i],
+                        unit_scores.phi[j],
+                        unit_arr.bits[j]
+                    );
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Average bits of any searched arrangement stays within [0, max_bits]
+    /// and meets the target, across random step sizes and targets.
+    #[test]
+    fn search_respects_target_for_random_configs(
+        target in 0.25f32..4.0,
+        step in 0.05f64..0.5,
+    ) {
+        let (mut net, data, _) = trained_mlp(303);
+        let scores = score_network(
+            &mut net,
+            data.val(),
+            3,
+            &ScoreConfig { samples_per_class: 4, epsilon: 1e-30 },
+        ).unwrap();
+        let mut cfg = SearchConfig::new(target);
+        cfg.step = step;
+        cfg.probe_samples = 12;
+        let outcome = search(&mut net, &scores, data.val(), &cfg).unwrap();
+        prop_assert!(outcome.final_avg_bits <= target + 1e-4);
+        prop_assert!(outcome.final_avg_bits >= 0.0);
+        for unit in outcome.arrangement.units() {
+            for b in &unit.bits {
+                prop_assert!(b.bits() <= cfg.max_bits);
+            }
+        }
+    }
+}

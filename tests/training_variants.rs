@@ -1,0 +1,89 @@
+//! Integration tests of the optional training machinery: Adam, cosine
+//! schedules, dropout-regularized models, and state-dict round trips
+//! through a quantized pipeline.
+
+use cbq::data::{SyntheticImages, SyntheticSpec};
+use cbq::nn::layers::{Dropout, Linear, Relu};
+use cbq::nn::{
+    evaluate, load_state_dict, losses, state_dict, Adam, AdamConfig, CosineLr, Layer, Phase,
+    Sequential,
+};
+use cbq::quant::{install_uniform, BitWidth};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn dropout_mlp(f: usize, classes: usize, rng: &mut StdRng) -> Sequential {
+    let mut net = Sequential::new("dropout_mlp");
+    net.push(cbq::nn::layers::Flatten::new("flatten0"));
+    net.push(Linear::new("fc1", f, 24, true, rng).unwrap().without_quantization());
+    net.push(Relu::new("relu1"));
+    net.push(Dropout::new("drop1", 0.2, 7).unwrap());
+    net.push(Linear::new("fc2", 24, 12, true, rng).unwrap());
+    net.push(Relu::new("relu2"));
+    net.push(Linear::new("fc3", 12, classes, true, rng).unwrap().without_quantization());
+    net
+}
+
+#[test]
+fn adam_with_cosine_trains_a_dropout_model() {
+    let mut rng = StdRng::seed_from_u64(600);
+    let data = SyntheticImages::generate(&SyntheticSpec::tiny(3), &mut rng).unwrap();
+    let mut net = dropout_mlp(data.feature_len(), 3, &mut rng);
+    let schedule = CosineLr::new(0.01, 0.0005, 12);
+    let mut opt = Adam::new(AdamConfig::new(0.01));
+    for epoch in 0..12 {
+        opt.set_lr(schedule.lr_at(epoch));
+        for batch in data.train().batches_shuffled(16, &mut rng) {
+            net.zero_grad();
+            let logits = net.forward(&batch.images, Phase::Train).unwrap();
+            let (_, grad) = losses::cross_entropy(&logits, &batch.labels).unwrap();
+            net.backward(&grad).unwrap();
+            opt.step(&mut net).unwrap();
+        }
+    }
+    let acc = evaluate(&mut net, data.test(), 64).unwrap();
+    assert!(acc > 0.8, "adam+cosine+dropout failed to learn: {acc}");
+}
+
+#[test]
+fn quantized_model_survives_state_dict_round_trip() {
+    let mut rng = StdRng::seed_from_u64(601);
+    let data = SyntheticImages::generate(&SyntheticSpec::tiny(3), &mut rng).unwrap();
+    let mut net = dropout_mlp(data.feature_len(), 3, &mut rng);
+    let mut opt = Adam::new(AdamConfig::new(0.01));
+    for batch in data.train().batches_shuffled(16, &mut rng) {
+        net.zero_grad();
+        let logits = net.forward(&batch.images, Phase::Train).unwrap();
+        let (_, grad) = losses::cross_entropy(&logits, &batch.labels).unwrap();
+        net.backward(&grad).unwrap();
+        opt.step(&mut net).unwrap();
+    }
+    install_uniform(&mut net, BitWidth::new(3).unwrap());
+    let acc_before = evaluate(&mut net, data.test(), 64).unwrap();
+
+    // snapshot -> fresh model -> restore -> re-quantize -> same accuracy
+    let snapshot = state_dict(&mut net);
+    let json = serde_json::to_string(&snapshot).unwrap();
+    let restored: cbq::nn::StateDict = serde_json::from_str(&json).unwrap();
+    let mut rng2 = StdRng::seed_from_u64(999);
+    let mut fresh = dropout_mlp(data.feature_len(), 3, &mut rng2);
+    load_state_dict(&mut fresh, &restored).unwrap();
+    install_uniform(&mut fresh, BitWidth::new(3).unwrap());
+    let acc_after = evaluate(&mut fresh, data.test(), 64).unwrap();
+    assert!((acc_before - acc_after).abs() < 1e-6);
+}
+
+#[test]
+fn dropout_layer_is_identity_at_eval_inside_network() {
+    let mut rng = StdRng::seed_from_u64(602);
+    let data = SyntheticImages::generate(&SyntheticSpec::tiny(2), &mut rng).unwrap();
+    let mut net = dropout_mlp(data.feature_len(), 2, &mut rng);
+    let x = data.test().batches(4).next().unwrap().images;
+    let a = net.forward(&x, Phase::Eval).unwrap();
+    let b = net.forward(&x, Phase::Eval).unwrap();
+    assert_eq!(a, b, "eval-mode dropout must be deterministic");
+    // train mode differs across calls (random masks)
+    let c = net.forward(&x, Phase::Train).unwrap();
+    let d = net.forward(&x, Phase::Train).unwrap();
+    assert_ne!(c, d, "train-mode dropout should vary");
+}
