@@ -61,6 +61,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             },
         ]);
     }
+    // Per-threshold digest, precomputed by the search itself
+    // (SearchOutcome::threshold_summaries) rather than re-derived here.
+    w.comment(format!(
+        "Figure 3 (c): per-threshold summary ({} accuracy probes total)",
+        summary.probe_count
+    ));
+    w.row(&[
+        "threshold_k".into(),
+        "probes".into(),
+        "squeeze_moves".into(),
+        "final_position".into(),
+        "last_probe_accuracy".into(),
+    ]);
+    for s in &summary.threshold_summaries {
+        w.row(&[
+            format!("p{}", s.threshold_index + 1),
+            s.probes.to_string(),
+            s.squeeze_moves.to_string(),
+            format!("{:.2}", s.final_position),
+            if s.last_probe_accuracy < 0.0 {
+                "-".into()
+            } else {
+                format!("{:.4}", s.last_probe_accuracy)
+            },
+        ]);
+    }
     w.comment(format!(
         "final thresholds: {:?}, final avg bits {:.3}",
         summary

@@ -17,14 +17,16 @@
 
 use crate::ExperimentScale;
 use cbq_baselines::{run_apn, run_wrapnet, ApnConfig, WrapNetConfig};
-use cbq_core::{CqConfig, CqPipeline, RefineConfig, SearchStep};
+use cbq_core::{CqConfig, CqPipeline, RefineConfig, SearchStep, ThresholdSummary};
 use cbq_data::{SyntheticImages, SyntheticSpec};
 use cbq_nn::{models, Sequential, TrainerConfig};
+use cbq_telemetry::{Collector, RunReport, Telemetry};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::fs;
 use std::path::PathBuf;
+use std::sync::Arc;
 
 /// Which network to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -225,6 +227,13 @@ pub struct RunSummary {
     pub trace: Vec<SearchStep>,
     /// Wall-clock seconds the run took.
     pub wall_seconds: f64,
+    /// Accuracy probes the search spent (CQ only). `#[serde(default)]`
+    /// keeps pre-telemetry cache entries loadable.
+    #[serde(default)]
+    pub probe_count: usize,
+    /// Per-threshold digest of the search trace (CQ only).
+    #[serde(default)]
+    pub threshold_summaries: Vec<ThresholdSummary>,
 }
 
 fn cache_path(key: &str) -> PathBuf {
@@ -242,6 +251,17 @@ fn store_cached(key: &str, summary: &RunSummary) {
             let _ = fs::write(cache_path(key), json);
         }
     }
+}
+
+/// Writes the run's observability report: per-experiment under
+/// `results/reports/<key>.json`, plus `results/run_report.json` (latest
+/// run) and `BENCH_observability.json` (perf snapshot future PRs diff
+/// against). Best-effort — report I/O never fails an experiment.
+fn store_run_report(key: &str, collector: &Collector) {
+    let report = RunReport::from_records(key, &collector.records());
+    let _ = report.write_json(PathBuf::from("results/reports").join(format!("{key}.json")));
+    let _ = report.write_json("results/run_report.json");
+    let _ = report.write_json("BENCH_observability.json");
 }
 
 /// Builds the model for a grid point. Small scale maps the paper's
@@ -321,7 +341,11 @@ pub fn run_spec(
             cfg.refine = refine;
             cfg.search.step = 0.2;
             cfg.search.probe_samples = 200.min(data.val().len());
-            let report = CqPipeline::new(cfg).run(model, &data, &mut rng)?;
+            let collector = Arc::new(Collector::new());
+            let report = CqPipeline::new(cfg)
+                .with_telemetry(Telemetry::new(vec![collector.clone()]))
+                .run(model, &data, &mut rng)?;
+            store_run_report(&key, &collector);
             let arrangement = &report.search.arrangement;
             RunSummary {
                 spec: spec.clone(),
@@ -345,6 +369,8 @@ pub fn run_spec(
                 sorted_phi: report.scores.units.iter().map(|u| u.sorted_phi()).collect(),
                 trace: report.search.trace.clone(),
                 wall_seconds: start.elapsed().as_secs_f64(),
+                probe_count: report.search.probe_count,
+                threshold_summaries: report.search.threshold_summaries.clone(),
             }
         }
         Method::Apn => {
@@ -418,6 +444,8 @@ fn summary_from_uniform(
         sorted_phi: vec![],
         trace: vec![],
         wall_seconds: wall,
+        probe_count: 0,
+        threshold_summaries: vec![],
     }
 }
 

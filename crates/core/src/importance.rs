@@ -14,6 +14,7 @@ use crate::{CqError, Result};
 use cbq_data::Subset;
 use cbq_nn::{losses, Layer, LayerKind, Phase, Sequential};
 use cbq_quant::quant_units;
+use cbq_telemetry::Telemetry;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -206,6 +207,24 @@ pub fn score_network(
     num_classes: usize,
     config: &ScoreConfig,
 ) -> Result<ImportanceScores> {
+    score_network_traced(net, val, num_classes, config, &Telemetry::disabled())
+}
+
+/// [`score_network`] with telemetry: wraps the pass in a `score` span,
+/// counts `score.forward_passes` / `score.backward_passes` /
+/// `score.images`, and reports the per-image scoring cost as the
+/// `score.ms_per_image` gauge.
+///
+/// # Errors
+///
+/// Same as [`score_network`].
+pub fn score_network_traced(
+    net: &mut Sequential,
+    val: &Subset,
+    num_classes: usize,
+    config: &ScoreConfig,
+    tel: &Telemetry,
+) -> Result<ImportanceScores> {
     if num_classes == 0 {
         return Err(CqError::InvalidConfig(
             "num_classes must be positive".into(),
@@ -216,6 +235,8 @@ pub fn score_network(
             "samples_per_class must be positive".into(),
         ));
     }
+    let span = tel.span_with("score", &[("num_classes", num_classes.into())]);
+    let t0 = tel.elapsed_s();
     let plans = plan_taps(net);
     // Per unit: γ accumulator (per neuron) + per-class per-filter β.
     let mut gamma: Vec<Vec<f64>> = Vec::with_capacity(plans.len());
@@ -226,6 +247,7 @@ pub fn score_network(
         beta_filter.push(vec![Vec::new(); num_classes]);
     }
 
+    let mut images_scored = 0u64;
     #[allow(clippy::needless_range_loop)] // `class` indexes several accumulators
     for class in 0..num_classes {
         let batch = val.class_batch(class, config.samples_per_class)?;
@@ -235,6 +257,14 @@ pub fn score_network(
         // logit: Φ(x_m) is the class-m output of the network.
         let seed = losses::one_hot(&batch.labels, logits.shape()[1])?;
         net.backward(&seed)?;
+        tel.counter_add("score.forward_passes", 1);
+        tel.counter_add("score.backward_passes", 1);
+        tel.counter_add("score.images", n_s as u64);
+        images_scored += n_s as u64;
+        tel.trace(
+            "score.class",
+            &[("class", class.into()), ("samples", n_s.into())],
+        );
 
         // Harvest tap tensors. Several units can share one tap (e.g. a
         // residual block's conv2 and its downsample conv both read the
@@ -338,6 +368,13 @@ pub fn score_network(
             beta_filter: std::mem::take(&mut beta_filter[i]),
         });
     }
+    if images_scored > 0 {
+        tel.gauge(
+            "score.ms_per_image",
+            (tel.elapsed_s() - t0) * 1000.0 / images_scored as f64,
+        );
+    }
+    span.end();
     Ok(ImportanceScores { num_classes, units })
 }
 

@@ -46,11 +46,16 @@ pub mod pipeline;
 pub mod refine;
 pub mod search;
 
+pub use cbq_telemetry::Telemetry;
 pub use error::CqError;
-pub use importance::{score_network, ImportanceScores, ScoreConfig, UnitScores};
+pub use importance::{
+    score_network, score_network_traced, ImportanceScores, ScoreConfig, UnitScores,
+};
 pub use pipeline::{CqConfig, CqPipeline, CqReport};
-pub use refine::{refine, teacher_probs, RefineConfig};
-pub use search::{search, Granularity, SearchConfig, SearchOutcome, SearchStep};
+pub use refine::{refine, refine_traced, teacher_probs, RefineConfig};
+pub use search::{
+    search, search_traced, Granularity, SearchConfig, SearchOutcome, SearchStep, ThresholdSummary,
+};
 
 /// Result alias for fallible CQ operations.
 pub type Result<T> = std::result::Result<T, CqError>;

@@ -2,14 +2,15 @@
 //! → score → calibrate activations → search → refine → evaluate.
 
 use crate::{
-    refine, score_network, search, teacher_probs, CqError, ImportanceScores, RefineConfig, Result,
-    ScoreConfig, SearchConfig, SearchOutcome,
+    refine_traced, score_network_traced, search_traced, teacher_probs, CqError, ImportanceScores,
+    RefineConfig, Result, ScoreConfig, SearchConfig, SearchOutcome,
 };
 use cbq_data::SyntheticImages;
 use cbq_nn::{evaluate, EpochStats, Layer, Phase, Sequential, Trainer, TrainerConfig};
 use cbq_quant::{
     install_act_quant, model_size_bits, set_act_bits, set_act_calibration, BitWidth, SizeReport,
 };
+use cbq_telemetry::Telemetry;
 use rand::Rng;
 
 /// Configuration of a full CQ run.
@@ -137,12 +138,32 @@ impl std::fmt::Display for CqReport {
 #[derive(Debug, Clone)]
 pub struct CqPipeline {
     config: CqConfig,
+    telemetry: Telemetry,
 }
 
 impl CqPipeline {
     /// Creates a pipeline.
     pub fn new(config: CqConfig) -> Self {
-        CqPipeline { config }
+        CqPipeline {
+            config,
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// Attaches a telemetry handle: every phase of [`CqPipeline::run`]
+    /// then emits spans (`pipeline`, `pretrain`, `train`, `score`,
+    /// `calibrate`, `search`, `refine`, `eval.*`), counters and gauges to
+    /// its sinks.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// The attached telemetry handle (disabled unless
+    /// [`CqPipeline::with_telemetry`] was called).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The pipeline's configuration.
@@ -170,48 +191,72 @@ impl CqPipeline {
         rng: &mut impl Rng,
     ) -> Result<CqReport> {
         self.config.validate()?;
+        let tel = &self.telemetry;
+        let pipeline_span = tel.span("pipeline");
 
         // 1. Pre-train if requested.
         if let Some(tc) = &self.config.pretrain {
-            Trainer::new(tc.clone()).fit(&mut model, data.train(), rng)?;
+            let span = tel.span_with("pretrain", &[("epochs", tc.epochs.into())]);
+            Trainer::new(tc.clone()).with_telemetry(tel.clone()).fit(
+                &mut model,
+                data.train(),
+                rng,
+            )?;
+            span.end();
         }
 
         // 2. Full-precision reference + frozen teacher.
+        let span = tel.span("eval.fp");
         let fp_accuracy = evaluate(&mut model, data.test(), self.config.eval_batch)?;
         let teacher = teacher_probs(&mut model, data.train(), self.config.eval_batch)?;
+        span.end();
+        tel.gauge("pipeline.fp_accuracy", fp_accuracy as f64);
 
         // 3. Class-based importance scores.
-        let scores = score_network(
+        let scores = score_network_traced(
             &mut model,
             data.val(),
             data.num_classes(),
             &self.config.score,
+            tel,
         )?;
 
         // 4. Activation quantization: install, calibrate on validation
         //    samples, then freeze at the configured width.
+        let span = tel.span_with("calibrate", &[("act_bits", self.config.act_bits.into())]);
         install_act_quant(&mut model);
         set_act_calibration(&mut model, true);
         let calib = data.val().head(self.config.calibration_samples)?;
         for batch in calib.batches(self.config.eval_batch) {
             model.forward(&batch.images, Phase::Eval)?;
+            tel.counter_add("calibrate.forward_passes", 1);
         }
         set_act_calibration(&mut model, false);
         if self.config.act_bits > 0 {
             let bits = BitWidth::new(self.config.act_bits).map_err(CqError::Quant)?;
             set_act_bits(&mut model, Some(bits));
         }
+        span.end();
 
         // 5. Threshold search to the target average bit-width.
         let mut search_cfg = self.config.search.clone();
         search_cfg.target_avg_bits = self.config.weight_bits;
-        let outcome = search(&mut model, &scores, data.val(), &search_cfg)?;
+        let outcome = search_traced(&mut model, &scores, data.val(), &search_cfg, tel)?;
         let pre_refine_accuracy = evaluate(&mut model, data.test(), self.config.eval_batch)?;
+        tel.gauge("pipeline.pre_refine_accuracy", pre_refine_accuracy as f64);
 
         // 6. KD refining through the installed transforms (STE).
-        let refine_stats = refine(&mut model, data.train(), &teacher, &self.config.refine, rng)?;
+        let refine_stats = refine_traced(
+            &mut model,
+            data.train(),
+            &teacher,
+            &self.config.refine,
+            rng,
+            tel,
+        )?;
 
         // 7. Final evaluation + accounting.
+        let span = tel.span("eval.final");
         let final_accuracy = evaluate(&mut model, data.test(), self.config.eval_batch)?;
         let per_class = cbq_nn::evaluate_per_class(
             &mut model,
@@ -219,12 +264,27 @@ impl CqPipeline {
             data.num_classes(),
             self.config.eval_batch,
         )?;
+        span.end();
         let per_class_accuracy = (0..data.num_classes())
             .map(|c| per_class.class_accuracy(c))
             .collect();
         let quantized = outcome.arrangement.total_weights();
         let total_params = model.param_count();
         let size = model_size_bits(&outcome.arrangement, total_params.saturating_sub(quantized));
+
+        tel.gauge("pipeline.final_accuracy", final_accuracy as f64);
+        tel.gauge("pipeline.avg_bits", outcome.final_avg_bits as f64);
+        tel.info(
+            "pipeline.done",
+            &[
+                ("fp_accuracy", fp_accuracy.into()),
+                ("final_accuracy", final_accuracy.into()),
+                ("avg_bits", outcome.final_avg_bits.into()),
+                ("probe_count", outcome.probe_count.into()),
+            ],
+        );
+        pipeline_span.end();
+        tel.flush();
 
         Ok(CqReport {
             fp_accuracy,

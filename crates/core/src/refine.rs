@@ -13,6 +13,7 @@
 use crate::{CqError, Result};
 use cbq_data::Subset;
 use cbq_nn::{losses, EpochStats, Layer, Phase, Sequential, Sgd, SgdConfig, StepLr};
+use cbq_telemetry::{Level, Telemetry};
 use cbq_tensor::Tensor;
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -115,7 +116,35 @@ pub fn refine(
     config: &RefineConfig,
     rng: &mut impl Rng,
 ) -> Result<Vec<EpochStats>> {
+    refine_traced(net, train, teacher, config, rng, &Telemetry::disabled())
+}
+
+/// [`refine`] with telemetry: wraps the fine-tuning in a `refine` span,
+/// counts forward/backward passes, tracks the KD loss components as the
+/// `refine.kd_loss.ce` / `refine.kd_loss.kl` gauges, and emits one
+/// `refine.epoch` event per epoch (`info` when `config.verbose`, `debug`
+/// otherwise).
+///
+/// When `tel` is disabled, falls back to a `CBQ_LOG`-driven stderr logger
+/// so `verbose` keeps printing progress lines.
+///
+/// # Errors
+///
+/// Same as [`refine`].
+pub fn refine_traced(
+    net: &mut Sequential,
+    train: &Subset,
+    teacher: &Tensor,
+    config: &RefineConfig,
+    rng: &mut impl Rng,
+    tel: &Telemetry,
+) -> Result<Vec<EpochStats>> {
     config.validate()?;
+    let tel = if tel.is_enabled() {
+        tel.clone()
+    } else {
+        Telemetry::from_env()
+    };
     let n = train.len();
     if teacher.rank() != 2 || teacher.shape()[0] != n {
         return Err(CqError::InvalidConfig(format!(
@@ -136,12 +165,15 @@ pub fn refine(
         momentum: config.momentum,
         weight_decay: config.weight_decay,
     });
+    let span = tel.span_with("refine", &[("epochs", config.epochs.into())]);
     let mut stats = Vec::with_capacity(config.epochs);
     let mut order: Vec<usize> = (0..n).collect();
     for epoch in 0..config.epochs {
         opt.set_lr(schedule.lr_at(epoch));
         order.shuffle(rng);
         let mut loss_sum = 0.0f64;
+        let mut ce_sum = 0.0f64;
+        let mut kl_sum = 0.0f64;
         let mut acc_sum = 0.0f64;
         let mut batches = 0usize;
         for chunk in order.chunks(config.batch_size) {
@@ -161,29 +193,45 @@ pub fn refine(
 
             net.zero_grad();
             let logits = net.forward(&x, Phase::Train)?;
-            let (loss, grad) = losses::kd_loss(&logits, &t, &blabels, config.alpha)?;
+            let parts = losses::kd_loss_parts(&logits, &t, &blabels, config.alpha)?;
             let acc = losses::accuracy(&logits, &blabels)?;
-            net.backward(&grad)?;
+            net.backward(&parts.grad)?;
             opt.step(net)?;
-            loss_sum += loss as f64;
+            loss_sum += parts.loss as f64;
+            ce_sum += parts.ce as f64;
+            kl_sum += parts.kl as f64;
             acc_sum += acc as f64;
             batches += 1;
         }
+        tel.counter_add("refine.forward_passes", batches as u64);
+        tel.counter_add("refine.backward_passes", batches as u64);
+        let scale = 1.0 / batches.max(1) as f64;
+        tel.gauge("refine.kd_loss.ce", ce_sum * scale);
+        tel.gauge("refine.kd_loss.kl", kl_sum * scale);
         let es = EpochStats {
             epoch,
-            loss: (loss_sum / batches.max(1) as f64) as f32,
-            train_accuracy: (acc_sum / batches.max(1) as f64) as f32,
+            loss: (loss_sum * scale) as f32,
+            train_accuracy: (acc_sum * scale) as f32,
         };
-        if config.verbose {
-            eprintln!(
-                "refine epoch {:>3}: kd loss {:.4}  train acc {:.2}%",
-                epoch,
-                es.loss,
-                100.0 * es.train_accuracy
-            );
-        }
+        let level = if config.verbose {
+            Level::Info
+        } else {
+            Level::Debug
+        };
+        tel.event(
+            level,
+            "refine.epoch",
+            &[
+                ("epoch", epoch.into()),
+                ("kd_loss", es.loss.into()),
+                ("ce", (ce_sum * scale).into()),
+                ("kl", (kl_sum * scale).into()),
+                ("train_accuracy", es.train_accuracy.into()),
+            ],
+        );
         stats.push(es);
     }
+    span.end();
     Ok(stats)
 }
 

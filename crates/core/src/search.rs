@@ -12,6 +12,7 @@ use crate::{CqError, ImportanceScores, Result};
 use cbq_data::Subset;
 use cbq_nn::{evaluate, Sequential};
 use cbq_quant::{install_arrangement, BitArrangement, BitWidth, UnitArrangement};
+use cbq_telemetry::Telemetry;
 use serde::{Deserialize, Serialize};
 
 /// Bit-allocation granularity.
@@ -111,6 +112,23 @@ pub struct SearchStep {
     pub squeeze: bool,
 }
 
+/// Per-threshold summary of the search trace, precomputed so diagnostics
+/// (e.g. the Figure 3 regeneration) need not re-walk the raw trace.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ThresholdSummary {
+    /// 0-based threshold index (`p_{k+1}`).
+    pub threshold_index: usize,
+    /// Phase-1 accuracy probes spent on this threshold.
+    pub probes: usize,
+    /// Phase-2 squeeze moves applied to this threshold.
+    pub squeeze_moves: usize,
+    /// Final threshold position.
+    pub final_position: f64,
+    /// Accuracy of the last phase-1 probe for this threshold (-1.0 when
+    /// it was never probed).
+    pub last_probe_accuracy: f32,
+}
+
 /// The result of a threshold search.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SearchOutcome {
@@ -124,6 +142,40 @@ pub struct SearchOutcome {
     pub final_avg_bits: f32,
     /// Validation accuracy of the final (unrefined) arrangement.
     pub final_probe_accuracy: f32,
+    /// Total accuracy probes performed (phase-1 moves plus the final
+    /// probe). `#[serde(default)]` keeps pre-telemetry results loadable.
+    #[serde(default)]
+    pub probe_count: usize,
+    /// Per-threshold digest of the trace.
+    #[serde(default)]
+    pub threshold_summaries: Vec<ThresholdSummary>,
+}
+
+/// Builds the per-threshold digest from the raw trace and the final
+/// threshold positions.
+fn summarize_thresholds(trace: &[SearchStep], thresholds: &[f64]) -> Vec<ThresholdSummary> {
+    let mut summaries: Vec<ThresholdSummary> = thresholds
+        .iter()
+        .enumerate()
+        .map(|(k, &p)| ThresholdSummary {
+            threshold_index: k,
+            final_position: p,
+            last_probe_accuracy: -1.0,
+            ..ThresholdSummary::default()
+        })
+        .collect();
+    for step in trace {
+        let Some(s) = summaries.get_mut(step.threshold_index) else {
+            continue;
+        };
+        if step.squeeze {
+            s.squeeze_moves += 1;
+        } else {
+            s.probes += 1;
+            s.last_probe_accuracy = step.accuracy;
+        }
+    }
+    summaries
 }
 
 /// Maps filter scores to bit-widths given the currently-determined
@@ -215,6 +267,24 @@ pub fn search(
     val: &Subset,
     config: &SearchConfig,
 ) -> Result<SearchOutcome> {
+    search_traced(net, scores, val, config, &Telemetry::disabled())
+}
+
+/// [`search`] with telemetry: wraps the phases in `search` /
+/// `search.phase1` / `search.phase2` spans, counts `search.probes`,
+/// `probe.forward_passes` and `search.squeeze_steps`, and tracks the
+/// moving average bit-width as the `search.avg_bits` gauge.
+///
+/// # Errors
+///
+/// Same as [`search`].
+pub fn search_traced(
+    net: &mut Sequential,
+    scores: &ImportanceScores,
+    val: &Subset,
+    config: &SearchConfig,
+    tel: &Telemetry,
+) -> Result<SearchOutcome> {
     config.validate()?;
     if scores.units.is_empty() {
         return Err(CqError::ScoreMismatch("no scored units".into()));
@@ -222,16 +292,31 @@ pub fn search(
     let n = config.max_bits;
     let max_score = scores.max_phi().max(config.step);
     let probe_set = val.head(config.probe_samples)?;
+    // Forward passes (batches) per accuracy probe.
+    let batches_per_probe = probe_set.len().div_ceil(config.batch_size.max(1)) as u64;
     let mut trace: Vec<SearchStep> = Vec::new();
     let mut determined: Vec<f64> = Vec::new();
+    let mut probe_count = 0usize;
 
-    let probe = |net: &mut Sequential, arr: &BitArrangement| -> Result<f32> {
+    let search_span = tel.span_with(
+        "search",
+        &[
+            ("target_avg_bits", config.target_avg_bits.into()),
+            ("max_bits", config.max_bits.into()),
+        ],
+    );
+    let probe = |net: &mut Sequential, arr: &BitArrangement, count: &mut usize| -> Result<f32> {
         install_arrangement(net, arr)?;
-        Ok(evaluate(net, &probe_set, config.batch_size)?)
+        let acc = evaluate(net, &probe_set, config.batch_size)?;
+        *count += 1;
+        tel.counter_add("search.probes", 1);
+        tel.counter_add("probe.forward_passes", batches_per_probe);
+        Ok(acc)
     };
 
     // Phase 1: move each threshold upward until its accuracy target is
     // violated or the average bit target is met.
+    let phase1 = tel.span("search.phase1");
     let mut target = config.t1;
     'outer: for k in 0..n as usize {
         let mut p = determined.last().copied().unwrap_or(0.0);
@@ -244,7 +329,17 @@ pub fn search(
             trial.push(candidate);
             let arr = arrangement_from(scores, &trial, n, config.granularity);
             let avg = arr.average_bits();
-            let acc = probe(net, &arr)?;
+            let acc = probe(net, &arr, &mut probe_count)?;
+            tel.gauge("search.avg_bits", avg as f64);
+            tel.trace(
+                "search.move",
+                &[
+                    ("threshold_index", k.into()),
+                    ("threshold", candidate.into()),
+                    ("accuracy", acc.into()),
+                    ("avg_bits", avg.into()),
+                ],
+            );
             trace.push(SearchStep {
                 threshold_index: k,
                 threshold: candidate,
@@ -262,12 +357,21 @@ pub fn search(
             }
         }
         determined.push(p);
+        tel.debug(
+            "search.threshold_determined",
+            &[
+                ("threshold_index", k.into()),
+                ("position", p.into()),
+                ("target_accuracy", target.into()),
+            ],
+        );
         target *= config.decay;
         let arr = arrangement_from(scores, &determined, n, config.granularity);
         if arr.average_bits() <= config.target_avg_bits {
             break;
         }
     }
+    phase1.end();
     // Undetermined thresholds collapse onto the last determined position.
     while determined.len() < n as usize {
         let last = determined.last().copied().unwrap_or(0.0);
@@ -278,6 +382,7 @@ pub fn search(
     // upward toward the maximum score (no accuracy checks, §III-C).
     let mut arr = arrangement_from(scores, &determined, n, config.granularity);
     if arr.average_bits() > config.target_avg_bits {
+        let phase2 = tel.span("search.phase2");
         'squeeze: for k in (0..n as usize).rev() {
             let cap = if k + 1 < n as usize {
                 determined[k + 1]
@@ -287,6 +392,8 @@ pub fn search(
             while determined[k] < cap {
                 determined[k] = (determined[k] + config.step).min(cap);
                 arr = arrangement_from(scores, &determined, n, config.granularity);
+                tel.counter_add("search.squeeze_steps", 1);
+                tel.gauge("search.avg_bits", arr.average_bits() as f64);
                 trace.push(SearchStep {
                     threshold_index: k,
                     threshold: determined[k],
@@ -299,15 +406,21 @@ pub fn search(
                 }
             }
         }
+        phase2.end();
     }
 
-    let final_acc = probe(net, &arr)?;
+    let final_acc = probe(net, &arr, &mut probe_count)?;
+    tel.gauge("search.avg_bits", arr.average_bits() as f64);
+    search_span.end();
+    let threshold_summaries = summarize_thresholds(&trace, &determined);
     Ok(SearchOutcome {
         thresholds: determined,
         final_avg_bits: arr.average_bits(),
         final_probe_accuracy: final_acc,
         arrangement: arr,
         trace,
+        probe_count,
+        threshold_summaries,
     })
 }
 

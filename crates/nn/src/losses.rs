@@ -133,6 +133,36 @@ pub fn kd_loss(
     labels: &[usize],
     alpha: f32,
 ) -> Result<(f32, Tensor)> {
+    let parts = kd_loss_parts(student_logits, teacher_probs, labels, alpha)?;
+    Ok((parts.loss, parts.grad))
+}
+
+/// The KD loss with its two terms broken out, for telemetry and loss-curve
+/// diagnostics.
+#[derive(Debug, Clone)]
+pub struct KdLossParts {
+    /// The (already `alpha`-weighted) cross-entropy term, batch-averaged.
+    pub ce: f32,
+    /// The (already `(1 - alpha)`-weighted) `KL(teacher ‖ student)` term,
+    /// batch-averaged.
+    pub kl: f32,
+    /// Total loss, `ce + kl`.
+    pub loss: f32,
+    /// Gradient with respect to the student logits.
+    pub grad: Tensor,
+}
+
+/// [`kd_loss`] with the cross-entropy and KL terms reported separately.
+///
+/// # Errors
+///
+/// Same as [`kd_loss`].
+pub fn kd_loss_parts(
+    student_logits: &Tensor,
+    teacher_probs: &Tensor,
+    labels: &[usize],
+    alpha: f32,
+) -> Result<KdLossParts> {
     if !(0.0..=1.0).contains(&alpha) {
         return Err(NnError::InvalidConfig(format!(
             "alpha {alpha} outside [0, 1]"
@@ -149,10 +179,16 @@ pub fn kd_loss(
         });
     }
     if b == 0 {
-        return Ok((0.0, Tensor::zeros(&[0, c])));
+        return Ok(KdLossParts {
+            ce: 0.0,
+            kl: 0.0,
+            loss: 0.0,
+            grad: Tensor::zeros(&[0, c]),
+        });
     }
     let s = softmax_rows(student_logits)?;
-    let mut loss = 0.0f64;
+    let mut ce = 0.0f64;
+    let mut kl = 0.0f64;
     let mut grad = Tensor::zeros(&[b, c]);
     let g = grad.as_mut_slice();
     let sp = s.as_slice();
@@ -166,12 +202,12 @@ pub fn kd_loss(
         }
         // cross-entropy term
         let p = sp[i * c + l].max(1e-12);
-        loss -= alpha as f64 * (p as f64).ln();
+        ce -= alpha as f64 * (p as f64).ln();
         // KL(T || S) term
         for j in 0..c {
             let t = tp[i * c + j];
             if t > 1e-12 {
-                loss += (1.0 - alpha) as f64
+                kl += (1.0 - alpha) as f64
                     * t as f64
                     * ((t as f64).ln() - (sp[i * c + j].max(1e-12) as f64).ln());
             }
@@ -183,7 +219,14 @@ pub fn kd_loss(
     for v in g.iter_mut() {
         *v *= scale;
     }
-    Ok(((loss / b as f64) as f32, grad))
+    let ce = (ce / b as f64) as f32;
+    let kl = (kl / b as f64) as f32;
+    Ok(KdLossParts {
+        ce,
+        kl,
+        loss: ce + kl,
+        grad,
+    })
 }
 
 #[cfg(test)]

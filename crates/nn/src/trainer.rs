@@ -1,5 +1,6 @@
 use crate::{losses, Layer, Phase, Result, Sequential, Sgd, SgdConfig, StepLr};
 use cbq_data::Subset;
+use cbq_telemetry::{Level, Telemetry};
 use rand::Rng;
 
 /// Hyperparameters for [`Trainer`].
@@ -76,12 +77,25 @@ pub struct EpochStats {
 #[derive(Debug)]
 pub struct Trainer {
     config: TrainerConfig,
+    telemetry: Telemetry,
 }
 
 impl Trainer {
     /// Creates a trainer.
     pub fn new(config: TrainerConfig) -> Self {
-        Trainer { config }
+        Trainer {
+            config,
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// Attaches a telemetry handle; [`Trainer::fit`] then emits a `train`
+    /// span, per-epoch `train.epoch` events and forward/backward counters
+    /// to it instead of the `CBQ_LOG`-driven stderr fallback.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Trains `net` on `train` with shuffled minibatches, returning the
@@ -106,6 +120,14 @@ impl Trainer {
             momentum: self.config.momentum,
             weight_decay: self.config.weight_decay,
         });
+        // An explicitly attached handle wins; otherwise fall back to the
+        // CBQ_LOG-driven stderr logger so `verbose` keeps printing.
+        let tel = if self.telemetry.is_enabled() {
+            self.telemetry.clone()
+        } else {
+            Telemetry::from_env()
+        };
+        let span = tel.span("train");
         let mut stats = Vec::with_capacity(self.config.epochs);
         for epoch in 0..self.config.epochs {
             opt.set_lr(schedule.lr_at(epoch));
@@ -123,22 +145,31 @@ impl Trainer {
                 acc_sum += acc as f64;
                 batches += 1;
             }
+            tel.counter_add("train.forward_passes", batches as u64);
+            tel.counter_add("train.backward_passes", batches as u64);
             let epoch_stats = EpochStats {
                 epoch,
                 loss: (loss_sum / batches.max(1) as f64) as f32,
                 train_accuracy: (acc_sum / batches.max(1) as f64) as f32,
             };
-            if self.config.verbose {
-                eprintln!(
-                    "epoch {:>3}: loss {:.4}  train acc {:.2}%  lr {:.5}",
-                    epoch,
-                    epoch_stats.loss,
-                    100.0 * epoch_stats.train_accuracy,
-                    opt.lr()
-                );
-            }
+            let level = if self.config.verbose {
+                Level::Info
+            } else {
+                Level::Debug
+            };
+            tel.event(
+                level,
+                "train.epoch",
+                &[
+                    ("epoch", epoch.into()),
+                    ("loss", epoch_stats.loss.into()),
+                    ("train_accuracy", epoch_stats.train_accuracy.into()),
+                    ("lr", opt.lr().into()),
+                ],
+            );
             stats.push(epoch_stats);
         }
+        drop(span);
         Ok(stats)
     }
 }

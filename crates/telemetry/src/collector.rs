@@ -1,0 +1,195 @@
+//! In-memory sink for tests and for building [`crate::RunReport`]s.
+
+use crate::record::{Level, Record, RecordKind};
+use crate::sinks::Sink;
+use std::sync::Mutex;
+
+/// A sink that retains every record in memory.
+///
+/// Keep an `Arc<Collector>` alongside the [`crate::Telemetry`] handle and
+/// query it after the instrumented code ran:
+///
+/// ```
+/// use cbq_telemetry::{Collector, Telemetry};
+/// use std::sync::Arc;
+///
+/// let collector = Arc::new(Collector::new());
+/// let tel = Telemetry::new(vec![collector.clone()]);
+/// tel.counter_add("probe.forward_passes", 3);
+/// assert_eq!(collector.counter_total("probe.forward_passes"), 3);
+/// ```
+#[derive(Debug, Default)]
+pub struct Collector {
+    records: Mutex<Vec<Record>>,
+}
+
+impl Collector {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Collector::default()
+    }
+
+    /// A snapshot of every record seen so far.
+    pub fn records(&self) -> Vec<Record> {
+        self.records.lock().map(|r| r.clone()).unwrap_or_default()
+    }
+
+    /// Number of records seen.
+    pub fn len(&self) -> usize {
+        self.records.lock().map(|r| r.len()).unwrap_or(0)
+    }
+
+    /// True when no record was seen.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every retained record.
+    pub fn clear(&self) {
+        if let Ok(mut r) = self.records.lock() {
+            r.clear();
+        }
+    }
+
+    /// Final running total of a counter (0 when never incremented).
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.records()
+            .iter()
+            .rev()
+            .find_map(|r| match &r.kind {
+                RecordKind::Counter { total, .. } if r.name == name => Some(*total),
+                _ => None,
+            })
+            .unwrap_or(0)
+    }
+
+    /// Durations of every completed span with this name, in emission
+    /// order.
+    pub fn span_durations(&self, name: &str) -> Vec<f64> {
+        self.records()
+            .iter()
+            .filter_map(|r| match &r.kind {
+                RecordKind::SpanEnd { duration_s } if r.name == name => Some(*duration_s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Total wall-time across completed spans with this name.
+    pub fn span_total_secs(&self, name: &str) -> f64 {
+        self.span_durations(name).iter().sum()
+    }
+
+    /// Number of completed spans with this name.
+    pub fn span_count(&self, name: &str) -> usize {
+        self.span_durations(name).len()
+    }
+
+    /// True when at least one span with this name completed.
+    pub fn has_span(&self, name: &str) -> bool {
+        self.span_count(name) > 0
+    }
+
+    /// Last observed value of a gauge.
+    pub fn gauge_last(&self, name: &str) -> Option<f64> {
+        self.records().iter().rev().find_map(|r| match &r.kind {
+            RecordKind::Gauge { value } if r.name == name => Some(*value),
+            _ => None,
+        })
+    }
+
+    /// Every event with the given name.
+    pub fn events(&self, name: &str) -> Vec<Record> {
+        self.records()
+            .into_iter()
+            .filter(|r| matches!(r.kind, RecordKind::Event { .. }) && r.name == name)
+            .collect()
+    }
+
+    /// Every event at or above (more severe than) the given level.
+    pub fn events_at_most(&self, level: Level) -> Vec<Record> {
+        self.records()
+            .into_iter()
+            .filter(|r| match r.kind {
+                RecordKind::Event { level: l } => l <= level,
+                _ => false,
+            })
+            .collect()
+    }
+}
+
+impl Sink for Collector {
+    fn record(&self, record: &Record) {
+        if let Ok(mut r) = self.records.lock() {
+            r.push(record.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn push(c: &Collector, name: &str, kind: RecordKind) {
+        c.record(&Record {
+            t_s: 0.0,
+            span_id: 0,
+            parent_id: 0,
+            name: name.into(),
+            kind,
+            fields: vec![],
+        });
+    }
+
+    #[test]
+    fn counter_total_reads_last_record() {
+        let c = Collector::new();
+        assert_eq!(c.counter_total("x"), 0);
+        push(&c, "x", RecordKind::Counter { delta: 1, total: 1 });
+        push(&c, "y", RecordKind::Counter { delta: 5, total: 5 });
+        push(&c, "x", RecordKind::Counter { delta: 2, total: 3 });
+        assert_eq!(c.counter_total("x"), 3);
+        assert_eq!(c.counter_total("y"), 5);
+    }
+
+    #[test]
+    fn span_queries() {
+        let c = Collector::new();
+        assert!(!c.has_span("s"));
+        push(&c, "s", RecordKind::SpanStart);
+        push(&c, "s", RecordKind::SpanEnd { duration_s: 0.25 });
+        push(&c, "s", RecordKind::SpanEnd { duration_s: 0.5 });
+        assert_eq!(c.span_count("s"), 2);
+        assert!((c.span_total_secs("s") - 0.75).abs() < 1e-12);
+        assert!(c.has_span("s"));
+    }
+
+    #[test]
+    fn gauge_and_events() {
+        let c = Collector::new();
+        push(&c, "g", RecordKind::Gauge { value: 1.0 });
+        push(&c, "g", RecordKind::Gauge { value: 2.0 });
+        assert_eq!(c.gauge_last("g"), Some(2.0));
+        assert_eq!(c.gauge_last("h"), None);
+        push(&c, "e", RecordKind::Event { level: Level::Warn });
+        push(
+            &c,
+            "e",
+            RecordKind::Event {
+                level: Level::Trace,
+            },
+        );
+        assert_eq!(c.events("e").len(), 2);
+        assert_eq!(c.events_at_most(Level::Info).len(), 1);
+    }
+
+    #[test]
+    fn clear_and_len() {
+        let c = Collector::new();
+        push(&c, "a", RecordKind::SpanStart);
+        assert_eq!(c.len(), 1);
+        assert!(!c.is_empty());
+        c.clear();
+        assert!(c.is_empty());
+    }
+}

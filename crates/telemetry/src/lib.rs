@@ -1,0 +1,66 @@
+#![warn(missing_docs)]
+
+//! # cbq-telemetry — observability for the CBQ pipeline
+//!
+//! A lightweight, dependency-free (std-only) telemetry layer used by every
+//! phase of the class-based quantization pipeline: importance scoring
+//! (paper §III-A/B), threshold search (§III-C), KD refining (§III-D), the
+//! trainers, and the figure/bench harness.
+//!
+//! The model is deliberately small:
+//!
+//! - a [`Telemetry`] handle (cheap to clone, thread-safe) owns a set of
+//!   [`Sink`]s and fans every [`Record`] out to all of them;
+//! - [`Telemetry::span`] opens a **nested timed span** whose guard emits a
+//!   `SpanEnd` record with the measured duration on drop;
+//! - [`Telemetry::counter_add`] bumps a **monotonic counter** (e.g.
+//!   `probe.forward_passes`) and records both the delta and the running
+//!   total;
+//! - [`Telemetry::gauge`] records an instantaneous value (e.g.
+//!   `search.avg_bits` as it converges toward the bit target `B`);
+//! - [`Telemetry::event`] emits a level-filtered **structured event** with
+//!   arbitrary key/value fields.
+//!
+//! Three sinks ship with the crate:
+//!
+//! - [`StderrSink`] — human-readable, level-filtered via the `CBQ_LOG`
+//!   environment variable (`error|warn|info|debug|trace`, default `info`);
+//! - [`JsonlSink`] — one JSON object per record, for machine-readable
+//!   traces (`--trace-out` on the `cbq` CLI);
+//! - [`Collector`] — in-memory, for asserting emitted telemetry in tests.
+//!
+//! [`RunReport`] aggregates a record stream into per-phase wall-time and
+//! final counter totals — the `results/run_report.json` artifact the bench
+//! harness writes after each experiment.
+//!
+//! # Example
+//!
+//! ```
+//! use cbq_telemetry::{Collector, Level, Telemetry};
+//! use std::sync::Arc;
+//!
+//! let collector = Arc::new(Collector::new());
+//! let tel = Telemetry::new(vec![collector.clone()]);
+//! {
+//!     let _outer = tel.span("search");
+//!     let _inner = tel.span("search.phase1");
+//!     tel.counter_add("probe.forward_passes", 1);
+//!     tel.gauge("search.avg_bits", 2.5);
+//!     tel.event(Level::Info, "search.probe", &[("accuracy", 0.91.into())]);
+//! }
+//! assert_eq!(collector.counter_total("probe.forward_passes"), 1);
+//! assert!(collector.span_total_secs("search.phase1") >= 0.0);
+//! ```
+
+mod collector;
+mod json;
+mod record;
+mod report;
+mod sinks;
+mod telemetry;
+
+pub use collector::Collector;
+pub use record::{FieldValue, Level, Record, RecordKind};
+pub use report::{PhaseTiming, RunReport};
+pub use sinks::{JsonlSink, Sink, StderrSink};
+pub use telemetry::{SpanGuard, Telemetry};

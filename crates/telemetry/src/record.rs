@@ -1,0 +1,375 @@
+//! The record types every sink consumes: levels, field values, and the
+//! tagged [`Record`] itself.
+
+use crate::json;
+use std::fmt;
+
+/// Verbosity level of an event, ordered from most to least severe.
+///
+/// `Error < Warn < Info < Debug < Trace`: a sink configured at `Info`
+/// shows `Error`, `Warn` and `Info` records and hides the rest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Level {
+    /// The run cannot proceed or produced a wrong result.
+    Error,
+    /// Something surprising that does not stop the run.
+    Warn,
+    /// Per-phase progress (the default visibility).
+    Info,
+    /// Per-epoch / per-threshold detail.
+    Debug,
+    /// Per-probe / per-batch firehose.
+    Trace,
+}
+
+impl Level {
+    /// Parses a level name, case-insensitively. Accepts the first letter
+    /// as an abbreviation (`e`, `w`, `i`, `d`, `t`).
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "error" | "e" => Some(Level::Error),
+            "warn" | "warning" | "w" => Some(Level::Warn),
+            "info" | "i" => Some(Level::Info),
+            "debug" | "d" => Some(Level::Debug),
+            "trace" | "t" => Some(Level::Trace),
+            _ => None,
+        }
+    }
+
+    /// The level configured by the `CBQ_LOG` environment variable,
+    /// defaulting to [`Level::Info`] when unset or unparseable.
+    pub fn from_env() -> Level {
+        std::env::var("CBQ_LOG")
+            .ok()
+            .and_then(|v| Level::parse(&v))
+            .unwrap_or(Level::Info)
+    }
+
+    /// Fixed-width lowercase name (for aligned stderr output).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A structured field value attached to a record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Floating-point value (accuracies, losses, bit averages).
+    F64(f64),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer (counts, epochs, indices).
+    U64(u64),
+    /// String value.
+    Str(String),
+    /// Boolean flag.
+    Bool(bool),
+}
+
+impl FieldValue {
+    /// JSON encoding of the value.
+    pub fn to_json(&self) -> String {
+        match self {
+            FieldValue::F64(v) => json::number(*v),
+            FieldValue::I64(v) => v.to_string(),
+            FieldValue::U64(v) => v.to_string(),
+            FieldValue::Str(s) => json::string(s),
+            FieldValue::Bool(b) => b.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for FieldValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldValue::F64(v) => write!(f, "{v:.4}"),
+            FieldValue::I64(v) => write!(f, "{v}"),
+            FieldValue::U64(v) => write!(f, "{v}"),
+            FieldValue::Str(s) => f.write_str(s),
+            FieldValue::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+impl From<f32> for FieldValue {
+    fn from(v: f32) -> Self {
+        FieldValue::F64(v as f64)
+    }
+}
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<u8> for FieldValue {
+    fn from(v: u8) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+/// What kind of measurement a [`Record`] carries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecordKind {
+    /// A span opened.
+    SpanStart,
+    /// A span closed after `duration_s` seconds.
+    SpanEnd {
+        /// Measured wall-time of the span in seconds.
+        duration_s: f64,
+    },
+    /// A monotonic counter moved by `delta` to `total`.
+    Counter {
+        /// Increment applied by this record.
+        delta: u64,
+        /// Running total after the increment.
+        total: u64,
+    },
+    /// An instantaneous value.
+    Gauge {
+        /// The observed value.
+        value: f64,
+    },
+    /// A structured log event at the given level.
+    Event {
+        /// Verbosity of the event.
+        level: Level,
+    },
+}
+
+impl RecordKind {
+    /// Short tag used in JSON output and stderr rendering.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            RecordKind::SpanStart => "span_start",
+            RecordKind::SpanEnd { .. } => "span_end",
+            RecordKind::Counter { .. } => "counter",
+            RecordKind::Gauge { .. } => "gauge",
+            RecordKind::Event { .. } => "event",
+        }
+    }
+
+    /// The level a sink should filter this record at. Events carry their
+    /// own level; spans render at `Debug`; counters and gauges at `Trace`.
+    pub fn level(&self) -> Level {
+        match self {
+            RecordKind::Event { level } => *level,
+            RecordKind::SpanStart | RecordKind::SpanEnd { .. } => Level::Debug,
+            RecordKind::Counter { .. } | RecordKind::Gauge { .. } => Level::Trace,
+        }
+    }
+}
+
+/// One telemetry record, fanned out to every sink.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// Seconds since the owning [`crate::Telemetry`] handle was created
+    /// (monotonic clock).
+    pub t_s: f64,
+    /// Span id for span records, 0 otherwise.
+    pub span_id: u64,
+    /// Id of the enclosing span at emission time, 0 at the root.
+    pub parent_id: u64,
+    /// Record name (span name, counter name, gauge name, event name).
+    pub name: String,
+    /// The measurement.
+    pub kind: RecordKind,
+    /// Structured fields.
+    pub fields: Vec<(String, FieldValue)>,
+}
+
+impl Record {
+    /// Encodes the record as a single-line JSON object (no trailing
+    /// newline) — the JSONL trace format.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(96);
+        out.push('{');
+        out.push_str(&format!("\"t\":{}", json::number(self.t_s)));
+        out.push_str(&format!(",\"kind\":{}", json::string(self.kind.tag())));
+        out.push_str(&format!(",\"name\":{}", json::string(&self.name)));
+        if self.span_id != 0 {
+            out.push_str(&format!(",\"span\":{}", self.span_id));
+        }
+        if self.parent_id != 0 {
+            out.push_str(&format!(",\"parent\":{}", self.parent_id));
+        }
+        match &self.kind {
+            RecordKind::SpanEnd { duration_s } => {
+                out.push_str(&format!(",\"secs\":{}", json::number(*duration_s)));
+            }
+            RecordKind::Counter { delta, total } => {
+                out.push_str(&format!(",\"delta\":{delta},\"total\":{total}"));
+            }
+            RecordKind::Gauge { value } => {
+                out.push_str(&format!(",\"value\":{}", json::number(*value)));
+            }
+            RecordKind::Event { level } => {
+                out.push_str(&format!(",\"level\":{}", json::string(level.name())));
+            }
+            RecordKind::SpanStart => {}
+        }
+        if !self.fields.is_empty() {
+            out.push_str(",\"fields\":{");
+            for (i, (k, v)) in self.fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&json::string(k));
+                out.push(':');
+                out.push_str(&v.to_json());
+            }
+            out.push('}');
+        }
+        out.push('}');
+        out
+    }
+
+    /// Human-readable one-line rendering (the stderr format).
+    pub fn to_human(&self) -> String {
+        let mut out = format!(
+            "[{:>5}] {:>9.3}s {}",
+            self.kind.level(),
+            self.t_s,
+            self.name
+        );
+        match &self.kind {
+            RecordKind::SpanStart => out.push_str(" {"),
+            RecordKind::SpanEnd { duration_s } => {
+                out.push_str(&format!(" }} ({duration_s:.3}s)"));
+            }
+            RecordKind::Counter { delta, total } => {
+                out.push_str(&format!(" +{delta} = {total}"));
+            }
+            RecordKind::Gauge { value } => out.push_str(&format!(" = {value:.4}")),
+            RecordKind::Event { .. } => {}
+        }
+        for (k, v) in &self.fields {
+            out.push_str(&format!(" {k}={v}"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_ordering_and_parse() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Info < Level::Trace);
+        assert_eq!(Level::parse("DEBUG"), Some(Level::Debug));
+        assert_eq!(Level::parse(" warn "), Some(Level::Warn));
+        assert_eq!(Level::parse("t"), Some(Level::Trace));
+        assert_eq!(Level::parse("nope"), None);
+        assert_eq!(Level::Warn.to_string(), "warn");
+    }
+
+    #[test]
+    fn field_value_conversions() {
+        assert_eq!(FieldValue::from(1.5f32), FieldValue::F64(1.5));
+        assert_eq!(FieldValue::from(3usize), FieldValue::U64(3));
+        assert_eq!(FieldValue::from("x"), FieldValue::Str("x".into()));
+        assert_eq!(FieldValue::from(true), FieldValue::Bool(true));
+        assert_eq!(FieldValue::from(-2i64).to_json(), "-2");
+    }
+
+    #[test]
+    fn record_json_shape() {
+        let r = Record {
+            t_s: 1.25,
+            span_id: 7,
+            parent_id: 3,
+            name: "search.phase1".into(),
+            kind: RecordKind::SpanEnd { duration_s: 0.5 },
+            fields: vec![("avg_bits".into(), 2.0f64.into())],
+        };
+        let j = r.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'), "{j}");
+        assert!(j.contains("\"kind\":\"span_end\""), "{j}");
+        assert!(j.contains("\"name\":\"search.phase1\""), "{j}");
+        assert!(j.contains("\"span\":7"), "{j}");
+        assert!(j.contains("\"parent\":3"), "{j}");
+        assert!(j.contains("\"secs\":0.5"), "{j}");
+        assert!(j.contains("\"fields\":{\"avg_bits\":2"), "{j}");
+    }
+
+    #[test]
+    fn record_json_escapes_strings() {
+        let r = Record {
+            t_s: 0.0,
+            span_id: 0,
+            parent_id: 0,
+            name: "we\"ird\nname".into(),
+            kind: RecordKind::Event { level: Level::Info },
+            fields: vec![],
+        };
+        let j = r.to_json();
+        assert!(j.contains("we\\\"ird\\nname"), "{j}");
+    }
+
+    #[test]
+    fn counter_json_has_delta_and_total() {
+        let r = Record {
+            t_s: 0.0,
+            span_id: 0,
+            parent_id: 0,
+            name: "probe.forward_passes".into(),
+            kind: RecordKind::Counter { delta: 2, total: 9 },
+            fields: vec![],
+        };
+        assert!(r.to_json().contains("\"delta\":2,\"total\":9"));
+        assert!(r.to_human().contains("+2 = 9"));
+    }
+
+    #[test]
+    fn implicit_levels() {
+        assert_eq!(RecordKind::SpanStart.level(), Level::Debug);
+        assert_eq!(RecordKind::Gauge { value: 0.0 }.level(), Level::Trace);
+        assert_eq!(
+            RecordKind::Event { level: Level::Warn }.level(),
+            Level::Warn
+        );
+    }
+}

@@ -1,0 +1,266 @@
+//! Machine-readable per-run reports aggregated from a record stream.
+//!
+//! The bench harness builds a [`RunReport`] from the [`crate::Collector`]
+//! attached to each experiment and writes it to `results/run_report.json`
+//! (plus a `BENCH_observability.json` perf snapshot), so every future
+//! performance PR can diff per-phase wall-time and counter totals.
+
+use crate::json;
+use crate::record::{Record, RecordKind};
+use std::path::Path;
+
+/// Aggregate timing of one span name ("phase").
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseTiming {
+    /// Span name (e.g. `search.phase1`).
+    pub name: String,
+    /// Completed spans with this name.
+    pub count: usize,
+    /// Total wall-time across those spans, seconds.
+    pub total_s: f64,
+}
+
+/// Per-phase wall-time, counter totals and final gauge values of one run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunReport {
+    /// Run label (cache key, CLI invocation, test name, …).
+    pub label: String,
+    /// Timestamp of the last record, seconds from telemetry start — the
+    /// run's observed wall-time.
+    pub total_s: f64,
+    /// Aggregated span timings, in order of first completion.
+    pub phases: Vec<PhaseTiming>,
+    /// Final counter totals, in order of first increment.
+    pub counters: Vec<(String, u64)>,
+    /// Last observed value per gauge, in order of first observation.
+    pub gauges: Vec<(String, f64)>,
+}
+
+impl RunReport {
+    /// Aggregates a record stream (as captured by a
+    /// [`crate::Collector`]) into a report.
+    pub fn from_records(label: impl Into<String>, records: &[Record]) -> RunReport {
+        let mut report = RunReport {
+            label: label.into(),
+            ..RunReport::default()
+        };
+        for rec in records {
+            report.total_s = report.total_s.max(rec.t_s);
+            match &rec.kind {
+                RecordKind::SpanEnd { duration_s } => {
+                    match report.phases.iter_mut().find(|p| p.name == rec.name) {
+                        Some(p) => {
+                            p.count += 1;
+                            p.total_s += duration_s;
+                        }
+                        None => report.phases.push(PhaseTiming {
+                            name: rec.name.clone(),
+                            count: 1,
+                            total_s: *duration_s,
+                        }),
+                    }
+                }
+                RecordKind::Counter { total, .. } => {
+                    match report.counters.iter_mut().find(|(n, _)| *n == rec.name) {
+                        Some((_, t)) => *t = *total,
+                        None => report.counters.push((rec.name.clone(), *total)),
+                    }
+                }
+                RecordKind::Gauge { value } => {
+                    match report.gauges.iter_mut().find(|(n, _)| *n == rec.name) {
+                        Some((_, v)) => *v = *value,
+                        None => report.gauges.push((rec.name.clone(), *value)),
+                    }
+                }
+                RecordKind::SpanStart | RecordKind::Event { .. } => {}
+            }
+        }
+        report
+    }
+
+    /// Total wall-time of one phase (0 when absent).
+    pub fn phase_secs(&self, name: &str) -> f64 {
+        self.phases
+            .iter()
+            .find(|p| p.name == name)
+            .map(|p| p.total_s)
+            .unwrap_or(0.0)
+    }
+
+    /// Final total of one counter (0 when absent).
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, t)| *t)
+            .unwrap_or(0)
+    }
+
+    /// Pretty-printed JSON document for the report.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(512);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"label\": {},\n", json::string(&self.label)));
+        out.push_str(&format!(
+            "  \"total_seconds\": {},\n",
+            json::number(self.total_s)
+        ));
+        out.push_str("  \"phases\": [\n");
+        for (i, p) in self.phases.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": {}, \"count\": {}, \"seconds\": {}}}{}\n",
+                json::string(&p.name),
+                p.count,
+                json::number(p.total_s),
+                if i + 1 < self.phases.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"counters\": {");
+        for (i, (n, t)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    {}: {}", json::string(n), t));
+        }
+        if !self.counters.is_empty() {
+            out.push('\n');
+            out.push_str("  ");
+        }
+        out.push_str("},\n");
+        out.push_str("  \"gauges\": {");
+        for (i, (n, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    {}: {}", json::string(n), json::number(*v)));
+        }
+        if !self.gauges.is_empty() {
+            out.push('\n');
+            out.push_str("  ");
+        }
+        out.push_str("}\n");
+        out.push_str("}\n");
+        out
+    }
+
+    /// Writes the JSON report to `path`, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from directory or file creation.
+    pub fn write_json(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, self.to_json())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{Level, Record};
+
+    fn rec(t_s: f64, name: &str, kind: RecordKind) -> Record {
+        Record {
+            t_s,
+            span_id: 0,
+            parent_id: 0,
+            name: name.into(),
+            kind,
+            fields: vec![],
+        }
+    }
+
+    fn sample() -> Vec<Record> {
+        vec![
+            rec(0.0, "search", RecordKind::SpanStart),
+            rec(
+                0.1,
+                "search.phase1",
+                RecordKind::SpanEnd { duration_s: 0.1 },
+            ),
+            rec(
+                0.2,
+                "search.phase1",
+                RecordKind::SpanEnd { duration_s: 0.3 },
+            ),
+            rec(0.5, "search", RecordKind::SpanEnd { duration_s: 0.5 }),
+            rec(
+                0.3,
+                "probe.forward_passes",
+                RecordKind::Counter { delta: 1, total: 1 },
+            ),
+            rec(
+                0.4,
+                "probe.forward_passes",
+                RecordKind::Counter { delta: 1, total: 2 },
+            ),
+            rec(0.4, "search.avg_bits", RecordKind::Gauge { value: 3.0 }),
+            rec(0.5, "search.avg_bits", RecordKind::Gauge { value: 2.0 }),
+            rec(0.5, "note", RecordKind::Event { level: Level::Info }),
+        ]
+    }
+
+    #[test]
+    fn aggregates_phases_counters_gauges() {
+        let r = RunReport::from_records("test", &sample());
+        assert_eq!(r.label, "test");
+        assert!((r.total_s - 0.5).abs() < 1e-12);
+        assert_eq!(r.phases.len(), 2);
+        let p1 = &r.phases[0];
+        assert_eq!(p1.name, "search.phase1");
+        assert_eq!(p1.count, 2);
+        assert!((p1.total_s - 0.4).abs() < 1e-12);
+        assert!((r.phase_secs("search") - 0.5).abs() < 1e-12);
+        assert_eq!(r.phase_secs("missing"), 0.0);
+        assert_eq!(r.counter_total("probe.forward_passes"), 2);
+        assert_eq!(r.counter_total("missing"), 0);
+        assert_eq!(r.gauges, vec![("search.avg_bits".to_string(), 2.0)]);
+    }
+
+    #[test]
+    fn json_document_shape() {
+        let r = RunReport::from_records("vgg_c10", &sample());
+        let j = r.to_json();
+        assert!(j.contains("\"label\": \"vgg_c10\""), "{j}");
+        assert!(j.contains("\"phases\": ["), "{j}");
+        assert!(
+            j.contains("\"name\": \"search.phase1\", \"count\": 2"),
+            "{j}"
+        );
+        assert!(j.contains("\"probe.forward_passes\": 2"), "{j}");
+        assert!(j.contains("\"search.avg_bits\": 2"), "{j}");
+        // crude balance check on braces/brackets
+        assert_eq!(
+            j.matches('{').count(),
+            j.matches('}').count(),
+            "unbalanced braces in {j}"
+        );
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn empty_report_is_valid() {
+        let r = RunReport::from_records("empty", &[]);
+        let j = r.to_json();
+        assert!(j.contains("\"phases\": [\n  ]"), "{j}");
+        assert!(j.contains("\"counters\": {}"), "{j}");
+        assert_eq!(r.total_s, 0.0);
+    }
+
+    #[test]
+    fn write_json_creates_dirs() {
+        let dir = std::env::temp_dir().join("cbq_telemetry_test/report");
+        let path = dir.join("run_report.json");
+        let r = RunReport::from_records("w", &sample());
+        r.write_json(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"label\": \"w\""));
+        std::fs::remove_file(&path).ok();
+    }
+}

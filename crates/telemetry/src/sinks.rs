@@ -1,0 +1,179 @@
+//! Sink trait and the two file-ish sinks: level-filtered stderr and a
+//! JSONL trace writer. The in-memory [`crate::Collector`] lives in its own
+//! module.
+
+use crate::record::{Level, Record};
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// A destination for telemetry records. Sinks must be shareable across
+/// threads; the [`crate::Telemetry`] handle holds them behind `Arc`.
+pub trait Sink: Send + Sync {
+    /// Consumes one record.
+    fn record(&self, record: &Record);
+
+    /// Flushes any buffered output. Default: no-op.
+    fn flush(&self) {}
+}
+
+/// Human-readable stderr logger, filtered by [`Level`].
+///
+/// A record is printed when its level ([`crate::RecordKind::level`]) is at
+/// or above the sink's threshold — i.e. `StderrSink::new(Level::Info)`
+/// prints errors, warnings and info events but hides spans (`Debug`) and
+/// counters/gauges (`Trace`).
+#[derive(Debug)]
+pub struct StderrSink {
+    min_level: Level,
+}
+
+impl StderrSink {
+    /// Creates a stderr sink showing records up to `min_level`.
+    pub fn new(min_level: Level) -> Self {
+        StderrSink { min_level }
+    }
+
+    /// Creates a stderr sink at the `CBQ_LOG` level (default `info`).
+    pub fn from_env() -> Self {
+        StderrSink::new(Level::from_env())
+    }
+
+    /// The configured threshold.
+    pub fn level(&self) -> Level {
+        self.min_level
+    }
+}
+
+impl Sink for StderrSink {
+    fn record(&self, record: &Record) {
+        if record.kind.level() <= self.min_level {
+            eprintln!("{}", record.to_human());
+        }
+    }
+}
+
+/// JSONL trace writer: one JSON object per record, append-only.
+///
+/// Lines follow the schema of [`Record::to_json`]; the file is buffered
+/// and flushed on [`Sink::flush`] and on drop.
+pub struct JsonlSink {
+    path: PathBuf,
+    file: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    /// Creates (truncates) the trace file at `path`, creating parent
+    /// directories as needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from directory or file creation.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file = File::create(&path)?;
+        Ok(JsonlSink {
+            path,
+            file: Mutex::new(BufWriter::new(file)),
+        })
+    }
+
+    /// The trace file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl std::fmt::Debug for JsonlSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonlSink")
+            .field("path", &self.path)
+            .finish()
+    }
+}
+
+impl Sink for JsonlSink {
+    fn record(&self, record: &Record) {
+        if let Ok(mut file) = self.file.lock() {
+            let _ = writeln!(file, "{}", record.to_json());
+        }
+    }
+
+    fn flush(&self) {
+        if let Ok(mut file) = self.file.lock() {
+            let _ = file.flush();
+        }
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        Sink::flush(self);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::RecordKind;
+
+    fn rec(name: &str, kind: RecordKind) -> Record {
+        Record {
+            t_s: 0.5,
+            span_id: 0,
+            parent_id: 0,
+            name: name.into(),
+            kind,
+            fields: vec![],
+        }
+    }
+
+    #[test]
+    fn stderr_sink_threshold() {
+        let sink = StderrSink::new(Level::Info);
+        assert_eq!(sink.level(), Level::Info);
+        // Filtering itself is pure on RecordKind::level(); spot-check the
+        // comparison used by `record`.
+        assert!(RecordKind::Event { level: Level::Warn }.level() <= sink.level());
+        assert!(RecordKind::SpanStart.level() > sink.level());
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_record() {
+        let dir = std::env::temp_dir().join("cbq_telemetry_test");
+        let path = dir.join("trace_writes.jsonl");
+        let sink = JsonlSink::create(&path).unwrap();
+        sink.record(&rec("a", RecordKind::SpanStart));
+        sink.record(&rec("b", RecordKind::Counter { delta: 1, total: 1 }));
+        Sink::flush(&sink);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"name\":\"a\""));
+        assert!(lines[1].contains("\"total\":1"));
+        for l in lines {
+            assert!(l.starts_with('{') && l.ends_with('}'));
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn jsonl_sink_creates_parent_dirs_and_flushes_on_drop() {
+        let dir = std::env::temp_dir().join("cbq_telemetry_test/nested/deeper");
+        let path = dir.join("trace_drop.jsonl");
+        {
+            let sink = JsonlSink::create(&path).unwrap();
+            assert_eq!(sink.path(), path.as_path());
+            sink.record(&rec("x", RecordKind::Gauge { value: 1.5 }));
+        } // dropped here -> flushed
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"value\":1.5"));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,421 @@
+//! The [`Telemetry`] handle: span guards, counters, gauges, events, and
+//! sink fan-out.
+
+use crate::record::{FieldValue, Level, Record, RecordKind};
+use crate::sinks::{Sink, StderrSink};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+struct Inner {
+    start: Instant,
+    sinks: Vec<Arc<dyn Sink>>,
+    counters: Mutex<HashMap<String, u64>>,
+    /// Stack of currently open span ids (innermost last). The pipeline is
+    /// single-threaded, so a plain stack models nesting faithfully; under
+    /// concurrent use parents degrade gracefully to "most recently opened
+    /// span" without affecting durations or counts.
+    stack: Mutex<Vec<u64>>,
+    next_id: AtomicU64,
+}
+
+/// A cheaply clonable handle that fans telemetry out to its sinks.
+///
+/// A handle with no sinks ([`Telemetry::disabled`]) skips all work, so
+/// instrumented code can call it unconditionally.
+#[derive(Clone)]
+pub struct Telemetry {
+    inner: Option<Arc<Inner>>,
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            Some(inner) => f
+                .debug_struct("Telemetry")
+                .field("sinks", &inner.sinks.len())
+                .finish(),
+            None => f.write_str("Telemetry(disabled)"),
+        }
+    }
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Telemetry::disabled()
+    }
+}
+
+impl Telemetry {
+    /// Creates a handle fanning out to the given sinks.
+    pub fn new(sinks: Vec<Arc<dyn Sink>>) -> Telemetry {
+        if sinks.is_empty() {
+            return Telemetry::disabled();
+        }
+        Telemetry {
+            inner: Some(Arc::new(Inner {
+                start: Instant::now(),
+                sinks,
+                counters: Mutex::new(HashMap::new()),
+                stack: Mutex::new(Vec::new()),
+                next_id: AtomicU64::new(1),
+            })),
+        }
+    }
+
+    /// A no-op handle: every call returns immediately.
+    pub fn disabled() -> Telemetry {
+        Telemetry { inner: None }
+    }
+
+    /// A handle logging human-readable output to stderr at the `CBQ_LOG`
+    /// level (default `info`) — the drop-in replacement for ad-hoc
+    /// `eprintln!` progress lines.
+    pub fn from_env() -> Telemetry {
+        Telemetry::new(vec![Arc::new(StderrSink::from_env())])
+    }
+
+    /// True when at least one sink is attached.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Seconds since this handle was created (0 when disabled).
+    pub fn elapsed_s(&self) -> f64 {
+        self.inner
+            .as_ref()
+            .map(|i| i.start.elapsed().as_secs_f64())
+            .unwrap_or(0.0)
+    }
+
+    fn emit(&self, span_id: u64, name: &str, kind: RecordKind, fields: &[(&str, FieldValue)]) {
+        let Some(inner) = &self.inner else { return };
+        let parent_id = {
+            let stack = inner.stack.lock().ok();
+            stack
+                .as_ref()
+                .and_then(|s| {
+                    // The record's own span is on the stack while it is
+                    // open; its parent is the entry underneath.
+                    let top = s.last().copied();
+                    if top == Some(span_id) && span_id != 0 {
+                        s.iter().rev().nth(1).copied()
+                    } else {
+                        top
+                    }
+                })
+                .unwrap_or(0)
+        };
+        let record = Record {
+            t_s: inner.start.elapsed().as_secs_f64(),
+            span_id,
+            parent_id,
+            name: name.to_string(),
+            kind,
+            fields: fields
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        };
+        for sink in &inner.sinks {
+            sink.record(&record);
+        }
+    }
+
+    /// Opens a nested timed span. The returned guard emits a `SpanEnd`
+    /// record with the measured duration when dropped (or on
+    /// [`SpanGuard::end`]).
+    pub fn span(&self, name: &str) -> SpanGuard {
+        self.span_with(name, &[])
+    }
+
+    /// Opens a span carrying structured fields on its start record.
+    pub fn span_with(&self, name: &str, fields: &[(&str, FieldValue)]) -> SpanGuard {
+        let Some(inner) = &self.inner else {
+            return SpanGuard {
+                tel: Telemetry::disabled(),
+                id: 0,
+                name: String::new(),
+                start: Instant::now(),
+                done: true,
+            };
+        };
+        let id = inner.next_id.fetch_add(1, Ordering::Relaxed);
+        if let Ok(mut stack) = inner.stack.lock() {
+            stack.push(id);
+        }
+        self.emit(id, name, RecordKind::SpanStart, fields);
+        SpanGuard {
+            tel: self.clone(),
+            id,
+            name: name.to_string(),
+            start: Instant::now(),
+            done: false,
+        }
+    }
+
+    /// Adds `delta` to a monotonic counter, returning the new total.
+    pub fn counter_add(&self, name: &str, delta: u64) -> u64 {
+        let Some(inner) = &self.inner else { return 0 };
+        let total = {
+            let mut counters = match inner.counters.lock() {
+                Ok(c) => c,
+                Err(_) => return 0,
+            };
+            let entry = counters.entry(name.to_string()).or_insert(0);
+            *entry += delta;
+            *entry
+        };
+        self.emit(0, name, RecordKind::Counter { delta, total }, &[]);
+        total
+    }
+
+    /// Current total of a counter (0 when unknown or disabled).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.inner
+            .as_ref()
+            .and_then(|i| {
+                i.counters
+                    .lock()
+                    .ok()
+                    .map(|c| c.get(name).copied().unwrap_or(0))
+            })
+            .unwrap_or(0)
+    }
+
+    /// Records an instantaneous value.
+    pub fn gauge(&self, name: &str, value: f64) {
+        self.emit(0, name, RecordKind::Gauge { value }, &[]);
+    }
+
+    /// Emits a structured event at the given level.
+    pub fn event(&self, level: Level, name: &str, fields: &[(&str, FieldValue)]) {
+        self.emit(0, name, RecordKind::Event { level }, fields);
+    }
+
+    /// [`Telemetry::event`] at `Level::Info`.
+    pub fn info(&self, name: &str, fields: &[(&str, FieldValue)]) {
+        self.event(Level::Info, name, fields);
+    }
+
+    /// [`Telemetry::event`] at `Level::Debug`.
+    pub fn debug(&self, name: &str, fields: &[(&str, FieldValue)]) {
+        self.event(Level::Debug, name, fields);
+    }
+
+    /// [`Telemetry::event`] at `Level::Trace`.
+    pub fn trace(&self, name: &str, fields: &[(&str, FieldValue)]) {
+        self.event(Level::Trace, name, fields);
+    }
+
+    /// [`Telemetry::event`] at `Level::Warn`.
+    pub fn warn(&self, name: &str, fields: &[(&str, FieldValue)]) {
+        self.event(Level::Warn, name, fields);
+    }
+
+    /// Flushes every sink.
+    pub fn flush(&self) {
+        if let Some(inner) = &self.inner {
+            for sink in &inner.sinks {
+                sink.flush();
+            }
+        }
+    }
+
+    fn close_span(&self, id: u64, name: &str, start: Instant) {
+        let Some(inner) = &self.inner else { return };
+        let duration_s = start.elapsed().as_secs_f64();
+        // Emit before popping so the record's parent resolves correctly
+        // (emit treats a top-of-stack == own id specially).
+        self.emit(id, name, RecordKind::SpanEnd { duration_s }, &[]);
+        if let Ok(mut stack) = inner.stack.lock() {
+            if let Some(pos) = stack.iter().rposition(|&s| s == id) {
+                stack.truncate(pos);
+            }
+        }
+    }
+}
+
+/// Guard for an open span; closing it (drop or [`SpanGuard::end`]) emits
+/// the `SpanEnd` record with the measured duration.
+#[derive(Debug)]
+pub struct SpanGuard {
+    tel: Telemetry,
+    id: u64,
+    name: String,
+    start: Instant,
+    done: bool,
+}
+
+impl SpanGuard {
+    /// Closes the span now (equivalent to dropping it).
+    pub fn end(mut self) {
+        self.finish();
+    }
+
+    /// The span's id (0 for a disabled handle).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    fn finish(&mut self) {
+        if !self.done {
+            self.done = true;
+            self.tel.close_span(self.id, &self.name, self.start);
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collector::Collector;
+    use crate::record::RecordKind;
+
+    fn collected() -> (Telemetry, Arc<Collector>) {
+        let c = Arc::new(Collector::new());
+        (Telemetry::new(vec![c.clone()]), c)
+    }
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let tel = Telemetry::disabled();
+        assert!(!tel.is_enabled());
+        let g = tel.span("x");
+        assert_eq!(g.id(), 0);
+        drop(g);
+        assert_eq!(tel.counter_add("c", 5), 0);
+        assert_eq!(tel.counter("c"), 0);
+        tel.gauge("g", 1.0);
+        tel.info("e", &[]);
+        tel.flush();
+        assert_eq!(tel.elapsed_s(), 0.0);
+        assert_eq!(format!("{tel:?}"), "Telemetry(disabled)");
+    }
+
+    #[test]
+    fn empty_sink_list_is_disabled() {
+        assert!(!Telemetry::new(vec![]).is_enabled());
+    }
+
+    #[test]
+    fn span_emits_start_and_end_with_duration() {
+        let (tel, c) = collected();
+        {
+            let _g = tel.span("phase");
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        let recs = c.records();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].kind, RecordKind::SpanStart);
+        assert_eq!(recs[0].name, "phase");
+        match recs[1].kind {
+            RecordKind::SpanEnd { duration_s } => {
+                assert!(duration_s >= 0.004, "duration {duration_s}")
+            }
+            ref k => panic!("expected SpanEnd, got {k:?}"),
+        }
+        assert_eq!(recs[0].span_id, recs[1].span_id);
+    }
+
+    #[test]
+    fn nested_spans_record_parents() {
+        let (tel, c) = collected();
+        {
+            let outer = tel.span("outer");
+            let outer_id = outer.id();
+            {
+                let inner = tel.span("inner");
+                assert_ne!(inner.id(), outer_id);
+                tel.counter_add("k", 1);
+            }
+            let _ = outer;
+        }
+        let recs = c.records();
+        // outer start, inner start, counter, inner end, outer end
+        assert_eq!(recs.len(), 5);
+        let outer_id = recs[0].span_id;
+        assert_eq!(recs[0].parent_id, 0, "outer span is a root");
+        assert_eq!(recs[1].parent_id, outer_id, "inner nests under outer");
+        assert_eq!(recs[2].parent_id, recs[1].span_id, "counter inside inner");
+        assert_eq!(recs[3].parent_id, outer_id, "inner end under outer");
+        assert_eq!(recs[4].parent_id, 0, "outer end at root");
+    }
+
+    #[test]
+    fn explicit_end_closes_once() {
+        let (tel, c) = collected();
+        let g = tel.span("s");
+        g.end();
+        assert_eq!(c.span_count("s"), 1);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn counters_accumulate_and_report_totals() {
+        let (tel, c) = collected();
+        assert_eq!(tel.counter_add("probe.forward_passes", 1), 1);
+        assert_eq!(tel.counter_add("probe.forward_passes", 2), 3);
+        assert_eq!(tel.counter("probe.forward_passes"), 3);
+        assert_eq!(tel.counter("unknown"), 0);
+        assert_eq!(c.counter_total("probe.forward_passes"), 3);
+    }
+
+    #[test]
+    fn fan_out_reaches_every_sink() {
+        let a = Arc::new(Collector::new());
+        let b = Arc::new(Collector::new());
+        let tel = Telemetry::new(vec![a.clone(), b.clone()]);
+        tel.gauge("g", 4.0);
+        {
+            let _s = tel.span("s");
+        }
+        for c in [&a, &b] {
+            assert_eq!(c.gauge_last("g"), Some(4.0));
+            assert_eq!(c.span_count("s"), 1);
+        }
+        assert_eq!(a.len(), b.len());
+    }
+
+    #[test]
+    fn events_carry_levels_and_fields() {
+        let (tel, c) = collected();
+        tel.warn("w", &[("reason", "test".into())]);
+        tel.debug("d", &[("epoch", 3usize.into())]);
+        tel.trace("t", &[]);
+        tel.info("i", &[]);
+        assert_eq!(c.events_at_most(Level::Warn).len(), 1);
+        assert_eq!(c.events_at_most(Level::Info).len(), 2);
+        assert_eq!(c.events_at_most(Level::Trace).len(), 4);
+        let w = &c.events("w")[0];
+        assert_eq!(w.fields[0].0, "reason");
+    }
+
+    #[test]
+    fn out_of_order_guard_drop_is_tolerated() {
+        let (tel, c) = collected();
+        let outer = tel.span("outer");
+        let inner = tel.span("inner");
+        drop(outer); // dropped before inner: stack pops down to outer
+        drop(inner); // closing a no-longer-stacked span still records
+        assert_eq!(c.span_count("outer"), 1);
+        assert_eq!(c.span_count("inner"), 1);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let (tel, c) = collected();
+        let tel2 = tel.clone();
+        tel.counter_add("x", 1);
+        tel2.counter_add("x", 1);
+        assert_eq!(tel.counter("x"), 2);
+        assert_eq!(c.counter_total("x"), 2);
+    }
+}

@@ -13,9 +13,14 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let epochs: usize = std::env::var("CBQ_EPOCHS").ok().and_then(|v| v.parse().ok()).unwrap_or(3);
-    let classes: usize =
-        std::env::var("CBQ_CLASSES").ok().and_then(|v| v.parse().ok()).unwrap_or(20);
+    let epochs: usize = std::env::var("CBQ_EPOCHS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    let classes: usize = std::env::var("CBQ_CLASSES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20);
     let mut rng = StdRng::seed_from_u64(2);
     let spec = SyntheticSpec {
         num_classes: classes,

@@ -14,9 +14,11 @@
 use cbq::core::{CqConfig, CqPipeline, RefineConfig};
 use cbq::data::{SyntheticImages, SyntheticSpec};
 use cbq::nn::{models, Sequential, TrainerConfig};
+use cbq::telemetry::{JsonlSink, Level, Sink, StderrSink, Telemetry};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 /// Parsed command-line options.
 #[derive(Debug, Clone, PartialEq)]
@@ -28,6 +30,8 @@ struct Options {
     epochs: usize,
     seed: u64,
     out: Option<String>,
+    log_level: Option<Level>,
+    trace_out: Option<String>,
 }
 
 impl Default for Options {
@@ -40,13 +44,29 @@ impl Default for Options {
             epochs: 4,
             seed: 0,
             out: None,
+            log_level: None,
+            trace_out: None,
         }
     }
 }
 
 const USAGE: &str = "usage: cbq [--model vgg|resnet20x1|resnet20x5|mlp] \
 [--dataset c10|c100] [--wbits F] [--abits N] [--epochs N] [--seed N] \
-[--out FILE.json]";
+[--out FILE.json] [--log-level error|warn|info|debug|trace] \
+[--trace-out FILE.jsonl]";
+
+fn parse_level(s: &str) -> Result<Level, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "error" => Ok(Level::Error),
+        "warn" => Ok(Level::Warn),
+        "info" => Ok(Level::Info),
+        "debug" => Ok(Level::Debug),
+        "trace" => Ok(Level::Trace),
+        other => Err(format!(
+            "--log-level: unknown level {other} (expected error|warn|info|debug|trace)"
+        )),
+    }
+}
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut opts = Options::default();
@@ -79,6 +99,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .map_err(|e| format!("--seed: {e}"))?;
             }
             "--out" => opts.out = Some(value("--out")?.clone()),
+            "--log-level" => opts.log_level = Some(parse_level(value("--log-level")?)?),
+            "--trace-out" => opts.trace_out = Some(value("--trace-out")?.clone()),
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
         }
@@ -120,7 +142,20 @@ fn build_model(
     }
 }
 
+fn build_telemetry(opts: &Options) -> Result<Telemetry, Box<dyn std::error::Error>> {
+    let stderr = match opts.log_level {
+        Some(level) => StderrSink::new(level),
+        None => StderrSink::from_env(),
+    };
+    let mut sinks: Vec<Arc<dyn Sink>> = vec![Arc::new(stderr)];
+    if let Some(path) = &opts.trace_out {
+        sinks.push(Arc::new(JsonlSink::create(path)?));
+    }
+    Ok(Telemetry::new(sinks))
+}
+
 fn run(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    let telemetry = build_telemetry(opts)?;
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let spec = match opts.dataset.as_str() {
         "c100" => SyntheticSpec::cifar100_like(),
@@ -138,7 +173,13 @@ fn run(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
         "cbq: {} on {} -> {:.1}-bit weights / {}-bit activations, {} epochs, seed {}",
         opts.model, opts.dataset, opts.wbits, opts.abits, opts.epochs, opts.seed
     );
-    let report = CqPipeline::new(config).run(model, &data, &mut rng)?;
+    let report = CqPipeline::new(config)
+        .with_telemetry(telemetry.clone())
+        .run(model, &data, &mut rng)?;
+    telemetry.flush();
+    if let Some(path) = &opts.trace_out {
+        eprintln!("wrote trace {path}");
+    }
 
     println!("full precision : {:6.2}%", 100.0 * report.fp_accuracy);
     println!(
@@ -236,6 +277,26 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_flags_parse() {
+        let o = parse_args(&args(&[
+            "--log-level",
+            "debug",
+            "--trace-out",
+            "trace.jsonl",
+        ]))
+        .unwrap();
+        assert_eq!(o.log_level, Some(Level::Debug));
+        assert_eq!(o.trace_out.as_deref(), Some("trace.jsonl"));
+        // Case-insensitive level names.
+        let o = parse_args(&args(&["--log-level", "TRACE"])).unwrap();
+        assert_eq!(o.log_level, Some(Level::Trace));
+        // Unset by default.
+        let o = parse_args(&[]).unwrap();
+        assert_eq!(o.log_level, None);
+        assert_eq!(o.trace_out, None);
+    }
+
+    #[test]
     fn invalid_inputs_rejected() {
         assert!(parse_args(&args(&["--model", "alexnet"])).is_err());
         assert!(parse_args(&args(&["--dataset", "imagenet"])).is_err());
@@ -245,5 +306,7 @@ mod tests {
         assert!(parse_args(&args(&["--abits"])).is_err());
         assert!(parse_args(&args(&["--frobnicate"])).is_err());
         assert!(parse_args(&args(&["--help"])).is_err());
+        assert!(parse_args(&args(&["--log-level", "loud"])).is_err());
+        assert!(parse_args(&args(&["--trace-out"])).is_err());
     }
 }

@@ -22,6 +22,8 @@
 //!   search, knowledge-distillation refining, the end-to-end pipeline
 //! - [`baselines`] — APN-style uniform quantization and a WrapNet-style
 //!   low-precision-accumulator baseline
+//! - [`telemetry`] — structured spans, counters, and run reports emitted
+//!   by every pipeline phase (`CBQ_LOG`, `--log-level`, `--trace-out`)
 //!
 //! # Quickstart
 //!
@@ -48,4 +50,5 @@ pub use cbq_core as core;
 pub use cbq_data as data;
 pub use cbq_nn as nn;
 pub use cbq_quant as quant;
+pub use cbq_telemetry as telemetry;
 pub use cbq_tensor as tensor;

@@ -1,0 +1,124 @@
+//! Telemetry integration test: a full CQ pipeline run against an
+//! in-memory [`Collector`] must emit the expected phase spans, coherent
+//! probe accounting, and a [`RunReport`] that aggregates them.
+
+use cbq::core::{CqConfig, CqPipeline, RefineConfig, ScoreConfig};
+use cbq::data::{SyntheticImages, SyntheticSpec};
+use cbq::nn::{models, TrainerConfig};
+use cbq::telemetry::{Collector, Level, RunReport, Telemetry};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn quick_config(weight_bits: f32, act_bits: f32) -> CqConfig {
+    let mut config = CqConfig::new(weight_bits, act_bits);
+    config.pretrain = Some(TrainerConfig {
+        batch_size: 16,
+        ..TrainerConfig::quick(6, 0.05)
+    });
+    config.refine = RefineConfig {
+        batch_size: 16,
+        ..RefineConfig::quick(3, 0.02)
+    };
+    config.score = ScoreConfig {
+        samples_per_class: 8,
+        epsilon: 1e-30,
+    };
+    config.search.probe_samples = 32;
+    config
+}
+
+#[test]
+fn pipeline_emits_phase_spans_and_probe_accounting() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let data = SyntheticImages::generate(&SyntheticSpec::tiny(4), &mut rng).unwrap();
+    let model = models::mlp(&[data.feature_len(), 32, 16, 4], &mut rng).unwrap();
+
+    let collector = Arc::new(Collector::new());
+    let report = CqPipeline::new(quick_config(2.0, 2.0))
+        .with_telemetry(Telemetry::new(vec![collector.clone()]))
+        .run(model, &data, &mut rng)
+        .unwrap();
+
+    // Every pipeline phase opened (and closed) a span.
+    for phase in [
+        "pipeline",
+        "pretrain",
+        "eval.fp",
+        "score",
+        "calibrate",
+        "search",
+        "search.phase1",
+        "refine",
+        "eval.final",
+    ] {
+        assert!(collector.has_span(phase), "missing span {phase}");
+        for d in collector.span_durations(phase) {
+            assert!(d >= 0.0, "negative duration for {phase}");
+        }
+    }
+    // The pipeline span encloses everything once.
+    assert_eq!(collector.span_count("pipeline"), 1);
+
+    // Probe accounting: the search counted its own probes, and each probe
+    // cost at least one forward pass over the probe set.
+    let probes = collector.counter_total("search.probes");
+    assert!(probes > 0, "no probes counted");
+    assert_eq!(probes as usize, report.search.probe_count);
+    assert!(collector.counter_total("probe.forward_passes") >= probes);
+
+    // Scoring did forward+backward work per class.
+    assert!(collector.counter_total("score.forward_passes") >= 4);
+    assert_eq!(
+        collector.counter_total("score.forward_passes"),
+        collector.counter_total("score.backward_passes")
+    );
+
+    // Final gauges mirror the report.
+    let final_acc = collector.gauge_last("pipeline.final_accuracy").unwrap();
+    assert!((final_acc - f64::from(report.final_accuracy)).abs() < 1e-6);
+    let avg_bits = collector.gauge_last("pipeline.avg_bits").unwrap();
+    assert!((avg_bits - f64::from(report.search.final_avg_bits)).abs() < 1e-6);
+
+    // The run closed with the summary event.
+    let done = collector.events_at_most(Level::Info);
+    assert!(
+        done.iter().any(|r| r.name == "pipeline.done"),
+        "pipeline.done event not emitted"
+    );
+
+    // A RunReport built from the same stream sees the phases and counters.
+    let run_report = RunReport::from_records("e2e", &collector.records());
+    for phase in ["pretrain", "score", "search", "refine"] {
+        assert!(
+            run_report.phases.iter().any(|p| p.name == phase),
+            "run report missing phase {phase}"
+        );
+    }
+    assert_eq!(run_report.counter_total("search.probes"), probes);
+    let json = run_report.to_json();
+    assert!(json.contains("\"label\": \"e2e\""));
+    assert!(json.contains("search.probes"));
+}
+
+#[test]
+fn disabled_telemetry_changes_nothing() {
+    let run = |with_tel: bool| {
+        let mut rng = StdRng::seed_from_u64(11);
+        let data = SyntheticImages::generate(&SyntheticSpec::tiny(3), &mut rng).unwrap();
+        let model = models::mlp(&[data.feature_len(), 24, 12, 3], &mut rng).unwrap();
+        let pipeline = if with_tel {
+            CqPipeline::new(quick_config(2.0, 0.0))
+                .with_telemetry(Telemetry::new(vec![Arc::new(Collector::new())]))
+        } else {
+            CqPipeline::new(quick_config(2.0, 0.0))
+        };
+        pipeline.run(model, &data, &mut rng).unwrap()
+    };
+    let plain = run(false);
+    let traced = run(true);
+    // Instrumentation must not perturb the numerics.
+    assert_eq!(plain.final_accuracy, traced.final_accuracy);
+    assert_eq!(plain.search.final_avg_bits, traced.search.final_avg_bits);
+    assert_eq!(plain.search.probe_count, traced.search.probe_count);
+}

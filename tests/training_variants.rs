@@ -15,12 +15,20 @@ use rand::SeedableRng;
 fn dropout_mlp(f: usize, classes: usize, rng: &mut StdRng) -> Sequential {
     let mut net = Sequential::new("dropout_mlp");
     net.push(cbq::nn::layers::Flatten::new("flatten0"));
-    net.push(Linear::new("fc1", f, 24, true, rng).unwrap().without_quantization());
+    net.push(
+        Linear::new("fc1", f, 24, true, rng)
+            .unwrap()
+            .without_quantization(),
+    );
     net.push(Relu::new("relu1"));
     net.push(Dropout::new("drop1", 0.2, 7).unwrap());
     net.push(Linear::new("fc2", 24, 12, true, rng).unwrap());
     net.push(Relu::new("relu2"));
-    net.push(Linear::new("fc3", 12, classes, true, rng).unwrap().without_quantization());
+    net.push(
+        Linear::new("fc3", 12, classes, true, rng)
+            .unwrap()
+            .without_quantization(),
+    );
     net
 }
 
