@@ -30,7 +30,7 @@ fn bench_arrangement_install(c: &mut Criterion) {
             BitWidth::new(2).unwrap(),
         ));
         group.bench_with_input(BenchmarkId::from_parameter(width), &arr, |b, arr| {
-            b.iter(|| black_box(install_arrangement(&mut net, arr).unwrap()))
+            b.iter(|| install_arrangement(&mut net, black_box(arr)).unwrap())
         });
     }
     group.finish();

@@ -248,7 +248,9 @@ fn load_cached(key: &str) -> Option<RunSummary> {
 fn store_cached(key: &str, summary: &RunSummary) {
     if fs::create_dir_all("results/cache").is_ok() {
         if let Ok(json) = serde_json::to_string(summary) {
-            let _ = fs::write(cache_path(key), json);
+            // Atomic: a run killed mid-write must not leave a torn cache
+            // entry that a later run would silently fail to parse.
+            let _ = cbq_resilience::atomic_write_text(cache_path(key), &json);
         }
     }
 }

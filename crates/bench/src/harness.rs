@@ -1,8 +1,8 @@
 //! Scale selection and result emission for the figure harness.
 
+use cbq_resilience::atomic_write_text;
 use std::fmt::Display;
 use std::fs;
-use std::io::Write as _;
 use std::path::PathBuf;
 
 /// How big an experiment to run.
@@ -73,7 +73,9 @@ impl FigureWriter {
         self.row(&strings);
     }
 
-    /// Flushes the collected lines to `results/<name>.csv`.
+    /// Flushes the collected lines to `results/<name>.csv` via an
+    /// atomic temp-file + rename, so a crash mid-save never leaves a
+    /// half-written figure behind a stale-looking mtime.
     ///
     /// # Errors
     ///
@@ -82,10 +84,9 @@ impl FigureWriter {
         let dir = PathBuf::from("results");
         fs::create_dir_all(&dir)?;
         let path = dir.join(format!("{}.csv", self.name));
-        let mut f = fs::File::create(&path)?;
-        for line in &self.lines {
-            writeln!(f, "{line}")?;
-        }
+        let mut body = self.lines.join("\n");
+        body.push('\n');
+        atomic_write_text(&path, &body).map_err(std::io::Error::other)?;
         Ok(path)
     }
 }

@@ -1,0 +1,633 @@
+//! Phase-level checkpoint payloads for the CQ pipeline.
+//!
+//! Each pipeline phase persists exactly the state a resumed run needs to
+//! continue as if it had never stopped, mapped onto the paper's phases:
+//!
+//! | phase       | paper  | payload                                        |
+//! |-------------|--------|------------------------------------------------|
+//! | `pretrain`  | §IV    | trained weights ([`PretrainCkpt`])             |
+//! | `scores`    | §III-A/B | fp accuracy, teacher probs, importance scores ([`ScoresCkpt`]) |
+//! | `calibrate` | §II-A  | activation clip bounds `b` ([`CalibrateCkpt`]) |
+//! | `search`    | §III-C | search outcome + pre-refine accuracy ([`SearchCkpt`]) |
+//! | `refine`    | §III-D | per-epoch student weights, SGD velocities, stats ([`RefineCkpt`]) |
+//!
+//! Payloads use the dependency-free binary codec of `cbq-resilience`
+//! (floats as raw IEEE-754 bits, so round-trips are bit-exact) and travel
+//! inside its checksummed [`Checkpoint`](cbq_resilience::Checkpoint)
+//! container, written atomically by a
+//! [`CheckpointStore`](cbq_resilience::CheckpointStore).
+
+use crate::importance::UnitScores;
+use crate::{
+    CqError, ImportanceScores, RefineResume, Result, SearchOutcome, SearchStep, ThresholdSummary,
+};
+use cbq_nn::{EpochStats, StateDict};
+use cbq_quant::{BitArrangement, BitWidth, UnitArrangement};
+use cbq_resilience::{ByteReader, ByteWriter, ResilienceError};
+use cbq_tensor::Tensor;
+
+/// Schema version stamped into every pipeline checkpoint. Bump on any
+/// payload layout change; the store rejects mismatched versions and the
+/// pipeline recomputes the phase.
+pub const CHECKPOINT_SCHEMA: u32 = 1;
+
+/// Phase name of the pre-training checkpoint.
+pub const PHASE_PRETRAIN: &str = "pretrain";
+/// Phase name of the scoring checkpoint (also holds the frozen teacher).
+pub const PHASE_SCORES: &str = "scores";
+/// Phase name of the activation-calibration checkpoint.
+pub const PHASE_CALIBRATE: &str = "calibrate";
+/// Phase name of the threshold-search checkpoint.
+pub const PHASE_SEARCH: &str = "search";
+/// Phase name of the (per-epoch) refining checkpoint.
+pub const PHASE_REFINE: &str = "refine";
+
+fn trailing(r: &ByteReader<'_>, what: &str) -> Result<()> {
+    if r.is_exhausted() {
+        Ok(())
+    } else {
+        Err(CqError::Resilience(ResilienceError::Corrupt(format!(
+            "{what}: {} trailing bytes after payload",
+            r.remaining()
+        ))))
+    }
+}
+
+fn put_tensor(w: &mut ByteWriter, t: &Tensor) {
+    w.put_usize_slice(t.shape());
+    w.put_f32_slice(t.as_slice());
+}
+
+fn get_tensor(r: &mut ByteReader<'_>) -> Result<Tensor> {
+    let shape = r.get_usize_vec()?;
+    let data = r.get_f32_vec()?;
+    Ok(Tensor::from_vec(data, &shape)?)
+}
+
+fn put_epoch_stats(w: &mut ByteWriter, stats: &[EpochStats]) {
+    w.put_usize(stats.len());
+    for s in stats {
+        w.put_usize(s.epoch);
+        w.put_f32(s.loss);
+        w.put_f32(s.train_accuracy);
+    }
+}
+
+fn get_epoch_stats(r: &mut ByteReader<'_>) -> Result<Vec<EpochStats>> {
+    let n = r.get_usize()?;
+    let mut stats = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        stats.push(EpochStats {
+            epoch: r.get_usize()?,
+            loss: r.get_f32()?,
+            train_accuracy: r.get_f32()?,
+        });
+    }
+    Ok(stats)
+}
+
+fn put_scores(w: &mut ByteWriter, scores: &ImportanceScores) {
+    w.put_usize(scores.num_classes);
+    w.put_usize(scores.units.len());
+    for u in &scores.units {
+        w.put_str(&u.name);
+        w.put_str(&u.tap);
+        w.put_usize(u.out_channels);
+        w.put_usize(u.weights_per_filter);
+        w.put_usize(u.neurons_per_filter);
+        w.put_f64_slice(&u.gamma);
+        w.put_f64_slice(&u.phi);
+        w.put_usize(u.beta_filter.len());
+        for row in &u.beta_filter {
+            w.put_f64_slice(row);
+        }
+    }
+}
+
+fn get_scores(r: &mut ByteReader<'_>) -> Result<ImportanceScores> {
+    let num_classes = r.get_usize()?;
+    let n = r.get_usize()?;
+    let mut units = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        let name = r.get_string()?;
+        let tap = r.get_string()?;
+        let out_channels = r.get_usize()?;
+        let weights_per_filter = r.get_usize()?;
+        let neurons_per_filter = r.get_usize()?;
+        let gamma = r.get_f64_vec()?;
+        let phi = r.get_f64_vec()?;
+        let rows = r.get_usize()?;
+        let mut beta_filter = Vec::with_capacity(rows.min(1 << 20));
+        for _ in 0..rows {
+            beta_filter.push(r.get_f64_vec()?);
+        }
+        units.push(UnitScores {
+            name,
+            tap,
+            out_channels,
+            weights_per_filter,
+            neurons_per_filter,
+            gamma,
+            phi,
+            beta_filter,
+        });
+    }
+    Ok(ImportanceScores { num_classes, units })
+}
+
+fn put_arrangement(w: &mut ByteWriter, arr: &BitArrangement) {
+    w.put_usize(arr.units().len());
+    for u in arr.units() {
+        w.put_str(&u.name);
+        w.put_usize(u.weights_per_filter);
+        w.put_usize(u.bits.len());
+        for b in &u.bits {
+            w.put_u8(b.bits());
+        }
+    }
+}
+
+fn get_arrangement(r: &mut ByteReader<'_>) -> Result<BitArrangement> {
+    let n = r.get_usize()?;
+    let mut arr = BitArrangement::new();
+    for _ in 0..n {
+        let name = r.get_string()?;
+        let weights_per_filter = r.get_usize()?;
+        let count = r.get_usize()?;
+        let mut bits = Vec::with_capacity(count.min(1 << 20));
+        for _ in 0..count {
+            bits.push(BitWidth::new(r.get_u8()?).map_err(CqError::Quant)?);
+        }
+        arr.push(UnitArrangement {
+            name,
+            bits,
+            weights_per_filter,
+        });
+    }
+    Ok(arr)
+}
+
+fn put_outcome(w: &mut ByteWriter, o: &SearchOutcome) {
+    w.put_f64_slice(&o.thresholds);
+    put_arrangement(w, &o.arrangement);
+    w.put_usize(o.trace.len());
+    for s in &o.trace {
+        w.put_usize(s.threshold_index);
+        w.put_f64(s.threshold);
+        w.put_f32(s.accuracy);
+        w.put_f32(s.avg_bits);
+        w.put_bool(s.squeeze);
+    }
+    w.put_f32(o.final_avg_bits);
+    w.put_f32(o.final_probe_accuracy);
+    w.put_usize(o.probe_count);
+    w.put_usize(o.threshold_summaries.len());
+    for s in &o.threshold_summaries {
+        w.put_usize(s.threshold_index);
+        w.put_usize(s.probes);
+        w.put_usize(s.squeeze_moves);
+        w.put_f64(s.final_position);
+        w.put_f32(s.last_probe_accuracy);
+    }
+    match &o.budget_exhausted {
+        Some(reason) => {
+            w.put_bool(true);
+            w.put_str(reason);
+        }
+        None => w.put_bool(false),
+    }
+}
+
+fn get_outcome(r: &mut ByteReader<'_>) -> Result<SearchOutcome> {
+    let thresholds = r.get_f64_vec()?;
+    let arrangement = get_arrangement(r)?;
+    let n = r.get_usize()?;
+    let mut trace = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        trace.push(SearchStep {
+            threshold_index: r.get_usize()?,
+            threshold: r.get_f64()?,
+            accuracy: r.get_f32()?,
+            avg_bits: r.get_f32()?,
+            squeeze: r.get_bool()?,
+        });
+    }
+    let final_avg_bits = r.get_f32()?;
+    let final_probe_accuracy = r.get_f32()?;
+    let probe_count = r.get_usize()?;
+    let n = r.get_usize()?;
+    let mut threshold_summaries = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        threshold_summaries.push(ThresholdSummary {
+            threshold_index: r.get_usize()?,
+            probes: r.get_usize()?,
+            squeeze_moves: r.get_usize()?,
+            final_position: r.get_f64()?,
+            last_probe_accuracy: r.get_f32()?,
+        });
+    }
+    let budget_exhausted = if r.get_bool()? {
+        Some(r.get_string()?)
+    } else {
+        None
+    };
+    Ok(SearchOutcome {
+        thresholds,
+        arrangement,
+        trace,
+        final_avg_bits,
+        final_probe_accuracy,
+        probe_count,
+        threshold_summaries,
+        budget_exhausted,
+    })
+}
+
+fn put_state(w: &mut ByteWriter, state: &StateDict) {
+    w.put_bytes(&state.to_bytes());
+}
+
+fn get_state(r: &mut ByteReader<'_>) -> Result<StateDict> {
+    let bytes = r.get_bytes()?;
+    Ok(StateDict::from_bytes(&bytes)?)
+}
+
+/// Payload of the `pretrain` checkpoint: the trained weights.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PretrainCkpt {
+    /// Full-precision weights after pre-training.
+    pub state: StateDict,
+}
+
+impl PretrainCkpt {
+    /// Serializes the payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        put_state(&mut w, &self.state);
+        w.into_bytes()
+    }
+
+    /// Decodes a payload produced by [`PretrainCkpt::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a decode error for truncated or malformed bytes; never
+    /// panics or returns partial state.
+    pub fn decode(bytes: &[u8]) -> Result<Self> {
+        let mut r = ByteReader::new(bytes);
+        let state = get_state(&mut r)?;
+        trailing(&r, "pretrain checkpoint")?;
+        Ok(PretrainCkpt { state })
+    }
+}
+
+/// Payload of the `scores` checkpoint: everything the scoring phase and
+/// the full-precision reference evaluation produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoresCkpt {
+    /// Test accuracy of the full-precision model.
+    pub fp_accuracy: f32,
+    /// Frozen teacher soft targets over the training split.
+    pub teacher: Tensor,
+    /// Class-based importance scores (Eqs. 5–8).
+    pub scores: ImportanceScores,
+}
+
+impl ScoresCkpt {
+    /// Serializes the payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_f32(self.fp_accuracy);
+        put_tensor(&mut w, &self.teacher);
+        put_scores(&mut w, &self.scores);
+        w.into_bytes()
+    }
+
+    /// Decodes a payload produced by [`ScoresCkpt::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a decode error for truncated or malformed bytes.
+    pub fn decode(bytes: &[u8]) -> Result<Self> {
+        let mut r = ByteReader::new(bytes);
+        let fp_accuracy = r.get_f32()?;
+        let teacher = get_tensor(&mut r)?;
+        let scores = get_scores(&mut r)?;
+        trailing(&r, "scores checkpoint")?;
+        Ok(ScoresCkpt {
+            fp_accuracy,
+            teacher,
+            scores,
+        })
+    }
+}
+
+/// Payload of the `calibrate` checkpoint: per-layer activation clip
+/// bounds `b` (§II-A), keyed by layer name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibrateCkpt {
+    /// `(layer name, clip bound)` pairs from `act_clip_bounds`.
+    pub clips: Vec<(String, f32)>,
+}
+
+impl CalibrateCkpt {
+    /// Serializes the payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_usize(self.clips.len());
+        for (name, clip) in &self.clips {
+            w.put_str(name);
+            w.put_f32(*clip);
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes a payload produced by [`CalibrateCkpt::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a decode error for truncated or malformed bytes.
+    pub fn decode(bytes: &[u8]) -> Result<Self> {
+        let mut r = ByteReader::new(bytes);
+        let n = r.get_usize()?;
+        let mut clips = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            let name = r.get_string()?;
+            let clip = r.get_f32()?;
+            clips.push((name, clip));
+        }
+        trailing(&r, "calibrate checkpoint")?;
+        Ok(CalibrateCkpt { clips })
+    }
+}
+
+/// Payload of the `search` checkpoint: the §III-C outcome plus the
+/// pre-refine test accuracy measured on the installed arrangement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchCkpt {
+    /// Threshold-search outcome (arrangement, trace, thresholds).
+    pub outcome: SearchOutcome,
+    /// Test accuracy right after the search, before refining.
+    pub pre_refine_accuracy: f32,
+}
+
+impl SearchCkpt {
+    /// Serializes the payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        put_outcome(&mut w, &self.outcome);
+        w.put_f32(self.pre_refine_accuracy);
+        w.into_bytes()
+    }
+
+    /// Decodes a payload produced by [`SearchCkpt::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a decode error for truncated or malformed bytes.
+    pub fn decode(bytes: &[u8]) -> Result<Self> {
+        let mut r = ByteReader::new(bytes);
+        let outcome = get_outcome(&mut r)?;
+        let pre_refine_accuracy = r.get_f32()?;
+        trailing(&r, "search checkpoint")?;
+        Ok(SearchCkpt {
+            outcome,
+            pre_refine_accuracy,
+        })
+    }
+}
+
+/// Payload of the `refine` checkpoint, rewritten after every completed
+/// epoch: a serialized [`RefineResume`] snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RefineCkpt {
+    /// First epoch still to run.
+    pub next_epoch: usize,
+    /// Student weights at the snapshot.
+    pub state: StateDict,
+    /// SGD velocity buffers, in `visit_params` order.
+    pub velocities: Vec<Tensor>,
+    /// Stats for the completed epochs.
+    pub stats: Vec<EpochStats>,
+}
+
+impl RefineCkpt {
+    /// Builds the payload from a mid-refine snapshot.
+    pub fn from_resume(resume: &RefineResume) -> Self {
+        RefineCkpt {
+            next_epoch: resume.next_epoch,
+            state: resume.state.clone(),
+            velocities: resume.velocities.clone(),
+            stats: resume.stats.clone(),
+        }
+    }
+
+    /// Converts the payload back into a resume snapshot.
+    pub fn into_resume(self) -> RefineResume {
+        RefineResume {
+            next_epoch: self.next_epoch,
+            state: self.state,
+            velocities: self.velocities,
+            stats: self.stats,
+        }
+    }
+
+    /// Serializes the payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_usize(self.next_epoch);
+        put_state(&mut w, &self.state);
+        w.put_usize(self.velocities.len());
+        for v in &self.velocities {
+            put_tensor(&mut w, v);
+        }
+        put_epoch_stats(&mut w, &self.stats);
+        w.into_bytes()
+    }
+
+    /// Decodes a payload produced by [`RefineCkpt::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a decode error for truncated or malformed bytes.
+    pub fn decode(bytes: &[u8]) -> Result<Self> {
+        let mut r = ByteReader::new(bytes);
+        let next_epoch = r.get_usize()?;
+        let state = get_state(&mut r)?;
+        let n = r.get_usize()?;
+        let mut velocities = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            velocities.push(get_tensor(&mut r)?);
+        }
+        let stats = get_epoch_stats(&mut r)?;
+        trailing(&r, "refine checkpoint")?;
+        Ok(RefineCkpt {
+            next_epoch,
+            state,
+            velocities,
+            stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_scores() -> ImportanceScores {
+        ImportanceScores {
+            num_classes: 3,
+            units: vec![
+                UnitScores {
+                    name: "fc1".into(),
+                    tap: "r1".into(),
+                    out_channels: 2,
+                    weights_per_filter: 4,
+                    neurons_per_filter: 1,
+                    gamma: vec![0.5, 2.25],
+                    phi: vec![0.5, 2.25],
+                    beta_filter: vec![vec![0.0, 0.5, 1.0], vec![1.0, 0.75, 0.25]],
+                },
+                UnitScores {
+                    name: "fc2".into(),
+                    tap: "r2".into(),
+                    out_channels: 1,
+                    weights_per_filter: 2,
+                    neurons_per_filter: 1,
+                    gamma: vec![3.0],
+                    phi: vec![3.0],
+                    beta_filter: vec![],
+                },
+            ],
+        }
+    }
+
+    fn sample_outcome() -> SearchOutcome {
+        let mut arr = BitArrangement::new();
+        arr.push(UnitArrangement {
+            name: "fc1".into(),
+            bits: vec![BitWidth::new(0).unwrap(), BitWidth::new(4).unwrap()],
+            weights_per_filter: 4,
+        });
+        SearchOutcome {
+            thresholds: vec![0.1, 0.2, 0.3, 0.4],
+            arrangement: arr,
+            trace: vec![SearchStep {
+                threshold_index: 0,
+                threshold: 0.1,
+                accuracy: 0.75,
+                avg_bits: 2.0,
+                squeeze: false,
+            }],
+            final_avg_bits: 2.0,
+            final_probe_accuracy: 0.75,
+            probe_count: 2,
+            threshold_summaries: vec![ThresholdSummary {
+                threshold_index: 0,
+                probes: 1,
+                squeeze_moves: 0,
+                final_position: 0.1,
+                last_probe_accuracy: 0.75,
+            }],
+            budget_exhausted: Some("probe budget exhausted after 2 probes".into()),
+        }
+    }
+
+    fn sample_state() -> StateDict {
+        let mut net = {
+            use cbq_nn::layers::Linear;
+            use cbq_nn::Sequential;
+            use rand::rngs::StdRng;
+            use rand::SeedableRng;
+            let mut rng = StdRng::seed_from_u64(5);
+            let mut net = Sequential::new("n");
+            net.push(Linear::new("fc", 3, 2, true, &mut rng).unwrap());
+            net
+        };
+        cbq_nn::state_dict(&mut net)
+    }
+
+    #[test]
+    fn scores_ckpt_round_trip_is_bit_exact() {
+        let ckpt = ScoresCkpt {
+            fp_accuracy: 0.875,
+            teacher: Tensor::from_vec(vec![0.25, 0.75, 0.5, 0.5], &[2, 2]).unwrap(),
+            scores: sample_scores(),
+        };
+        let decoded = ScoresCkpt::decode(&ckpt.encode()).unwrap();
+        assert_eq!(decoded, ckpt);
+    }
+
+    #[test]
+    fn search_ckpt_round_trip_preserves_budget_reason() {
+        let ckpt = SearchCkpt {
+            outcome: sample_outcome(),
+            pre_refine_accuracy: 0.625,
+        };
+        let decoded = SearchCkpt::decode(&ckpt.encode()).unwrap();
+        assert_eq!(decoded, ckpt);
+
+        let mut no_budget = ckpt.clone();
+        no_budget.outcome.budget_exhausted = None;
+        let decoded = SearchCkpt::decode(&no_budget.encode()).unwrap();
+        assert_eq!(decoded, no_budget);
+    }
+
+    #[test]
+    fn calibrate_and_pretrain_round_trip() {
+        let cal = CalibrateCkpt {
+            clips: vec![("r1".into(), 1.5), ("r2".into(), 0.0)],
+        };
+        assert_eq!(CalibrateCkpt::decode(&cal.encode()).unwrap(), cal);
+
+        let pre = PretrainCkpt {
+            state: sample_state(),
+        };
+        assert_eq!(PretrainCkpt::decode(&pre.encode()).unwrap(), pre);
+    }
+
+    #[test]
+    fn refine_ckpt_round_trip() {
+        let ckpt = RefineCkpt {
+            next_epoch: 3,
+            state: sample_state(),
+            velocities: vec![Tensor::from_vec(vec![0.1, -0.2], &[2]).unwrap()],
+            stats: vec![
+                EpochStats {
+                    epoch: 0,
+                    loss: 1.5,
+                    train_accuracy: 0.5,
+                },
+                EpochStats {
+                    epoch: 1,
+                    loss: 1.0,
+                    train_accuracy: 0.625,
+                },
+            ],
+        };
+        let decoded = RefineCkpt::decode(&ckpt.encode()).unwrap();
+        assert_eq!(decoded, ckpt);
+    }
+
+    #[test]
+    fn truncation_errors_at_every_cut_never_panics() {
+        let full = SearchCkpt {
+            outcome: sample_outcome(),
+            pre_refine_accuracy: 0.625,
+        }
+        .encode();
+        for cut in 0..full.len() {
+            assert!(
+                SearchCkpt::decode(&full[..cut]).is_err(),
+                "cut at {cut} decoded successfully"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = CalibrateCkpt { clips: vec![] }.encode();
+        bytes.push(0);
+        assert!(CalibrateCkpt::decode(&bytes).is_err());
+    }
+}

@@ -16,6 +16,10 @@ pub enum CqError {
     InvalidConfig(String),
     /// The scored units do not match the network's quantizable layers.
     ScoreMismatch(String),
+    /// A checkpoint or atomic-write operation failed.
+    Resilience(cbq_resilience::ResilienceError),
+    /// A phase-boundary numeric guard found NaN/Inf.
+    NonFinite(String),
 }
 
 impl fmt::Display for CqError {
@@ -27,6 +31,8 @@ impl fmt::Display for CqError {
             CqError::Tensor(e) => write!(f, "tensor error: {e}"),
             CqError::InvalidConfig(msg) => write!(f, "invalid cq config: {msg}"),
             CqError::ScoreMismatch(msg) => write!(f, "score mismatch: {msg}"),
+            CqError::Resilience(e) => write!(f, "resilience error: {e}"),
+            CqError::NonFinite(msg) => write!(f, "non-finite values: {msg}"),
         }
     }
 }
@@ -38,6 +44,7 @@ impl Error for CqError {
             CqError::Quant(e) => Some(e),
             CqError::Data(e) => Some(e),
             CqError::Tensor(e) => Some(e),
+            CqError::Resilience(e) => Some(e),
             _ => None,
         }
     }
@@ -64,6 +71,12 @@ impl From<cbq_data::DataError> for CqError {
 impl From<cbq_tensor::TensorError> for CqError {
     fn from(e: cbq_tensor::TensorError) -> Self {
         CqError::Tensor(e)
+    }
+}
+
+impl From<cbq_resilience::ResilienceError> for CqError {
+    fn from(e: cbq_resilience::ResilienceError) -> Self {
+        CqError::Resilience(e)
     }
 }
 

@@ -375,7 +375,32 @@ pub fn score_network_traced(
         );
     }
     span.end();
-    Ok(ImportanceScores { num_classes, units })
+    let scores = ImportanceScores { num_classes, units };
+    ensure_scores_finite(&scores)?;
+    Ok(scores)
+}
+
+/// Phase-boundary numeric guard: a single NaN in `phi` would silently
+/// poison every threshold comparison of the §III-C search (NaN compares
+/// false against everything), so reject non-finite scores here with a
+/// diagnosis instead of letting the search mis-allocate bits.
+fn ensure_scores_finite(scores: &ImportanceScores) -> Result<()> {
+    for unit in &scores.units {
+        for (what, values) in [("gamma", &unit.gamma), ("phi", &unit.phi)] {
+            let report = cbq_resilience::scan_finite_f64(values);
+            if !report.is_finite() {
+                return Err(CqError::NonFinite(format!(
+                    "importance {what} of unit {}: {} NaN + {} Inf of {} values (first at index {})",
+                    unit.name,
+                    report.nan,
+                    report.inf,
+                    report.total,
+                    report.first_bad.unwrap_or(0)
+                )));
+            }
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -386,6 +411,27 @@ mod tests {
     use cbq_nn::{Trainer, TrainerConfig};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+
+    #[test]
+    fn non_finite_scores_rejected_with_diagnosis() {
+        let scores = ImportanceScores {
+            num_classes: 2,
+            units: vec![UnitScores {
+                name: "fc1".into(),
+                tap: "r1".into(),
+                out_channels: 2,
+                weights_per_filter: 4,
+                neurons_per_filter: 1,
+                gamma: vec![1.0, f64::NAN],
+                phi: vec![1.0, 2.0],
+                beta_filter: vec![],
+            }],
+        };
+        let err = ensure_scores_finite(&scores).unwrap_err();
+        assert!(matches!(err, CqError::NonFinite(_)), "got {err}");
+        let msg = err.to_string();
+        assert!(msg.contains("gamma") && msg.contains("fc1"), "{msg}");
+    }
 
     fn scored_mlp() -> (ImportanceScores, usize) {
         let mut rng = StdRng::seed_from_u64(7);

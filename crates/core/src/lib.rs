@@ -40,6 +40,7 @@
 //! # }
 //! ```
 
+pub mod checkpoint;
 mod error;
 pub mod importance;
 pub mod pipeline;
@@ -47,12 +48,17 @@ pub mod refine;
 pub mod search;
 
 pub use cbq_telemetry::Telemetry;
+pub use checkpoint::{
+    CalibrateCkpt, PretrainCkpt, RefineCkpt, ScoresCkpt, SearchCkpt, CHECKPOINT_SCHEMA,
+};
 pub use error::CqError;
 pub use importance::{
     score_network, score_network_traced, ImportanceScores, ScoreConfig, UnitScores,
 };
 pub use pipeline::{CqConfig, CqPipeline, CqReport};
-pub use refine::{refine, refine_traced, teacher_probs, RefineConfig};
+pub use refine::{
+    refine, refine_resumable, refine_traced, teacher_probs, OnEpoch, RefineConfig, RefineResume,
+};
 pub use search::{
     search, search_traced, Granularity, SearchConfig, SearchOutcome, SearchStep, ThresholdSummary,
 };

@@ -1,17 +1,34 @@
 //! The end-to-end class-based quantization pipeline: pre-train (optional)
 //! → score → calibrate activations → search → refine → evaluate.
+//!
+//! With [`CqPipeline::with_checkpoint_dir`] every phase persists a
+//! checksummed checkpoint after completing (atomic write-temp → fsync →
+//! rename); [`CqPipeline::with_resume`] picks a run back up from the last
+//! valid checkpoint, recomputing any phase whose file is missing,
+//! truncated or corrupted.
 
+use crate::checkpoint::{
+    CalibrateCkpt, PretrainCkpt, RefineCkpt, ScoresCkpt, SearchCkpt, CHECKPOINT_SCHEMA,
+    PHASE_CALIBRATE, PHASE_PRETRAIN, PHASE_REFINE, PHASE_SCORES, PHASE_SEARCH,
+};
 use crate::{
-    refine_traced, score_network_traced, search_traced, teacher_probs, CqError, ImportanceScores,
-    RefineConfig, Result, ScoreConfig, SearchConfig, SearchOutcome,
+    refine_resumable, score_network_traced, search_traced, teacher_probs, CqError,
+    ImportanceScores, RefineConfig, RefineResume, Result, ScoreConfig, SearchConfig, SearchOutcome,
 };
 use cbq_data::SyntheticImages;
-use cbq_nn::{evaluate, EpochStats, Layer, Phase, Sequential, Trainer, TrainerConfig};
-use cbq_quant::{
-    install_act_quant, model_size_bits, set_act_bits, set_act_calibration, BitWidth, SizeReport,
+use cbq_nn::{
+    evaluate, load_state_dict, state_dict, EpochStats, Layer, Phase, Sequential, Trainer,
+    TrainerConfig,
 };
-use cbq_telemetry::Telemetry;
+use cbq_quant::{
+    act_clip_bounds, install_act_quant, install_arrangement, model_size_bits,
+    restore_act_clip_bounds, set_act_bits, set_act_calibration, BitWidth, SizeReport,
+};
+use cbq_resilience::{CheckpointStore, FaultPlan, LoadOutcome};
+use cbq_telemetry::{Level, Telemetry};
 use rand::Rng;
+use std::path::PathBuf;
+use std::sync::Arc;
 
 /// Configuration of a full CQ run.
 ///
@@ -45,19 +62,20 @@ impl CqConfig {
     /// Creates a config for a `weight/activation` bit setting with
     /// CPU-scale defaults for every phase.
     ///
-    /// # Panics
-    ///
-    /// Panics if `act_bits` rounds outside `0..=8`; use the struct fields
-    /// directly for exotic settings.
+    /// An `act_bits` that rounds outside `0..=8` is stored as an invalid
+    /// sentinel and surfaces as [`CqError::InvalidConfig`] from
+    /// [`CqConfig::validate`] (which [`CqPipeline::run`] calls first) —
+    /// construction itself never panics.
     pub fn new(weight_bits: f32, act_bits: f32) -> Self {
         let act = act_bits.round();
-        assert!(
-            (0.0..=8.0).contains(&act),
-            "activation bits must round into 0..=8"
-        );
+        let act = if (0.0..=8.0).contains(&act) {
+            act as u8
+        } else {
+            u8::MAX
+        };
         CqConfig {
             weight_bits,
-            act_bits: act as u8,
+            act_bits: act,
             score: ScoreConfig::new(),
             search: SearchConfig::new(weight_bits),
             pretrain: Some(TrainerConfig::quick(15, 0.05)),
@@ -67,7 +85,12 @@ impl CqConfig {
         }
     }
 
-    fn validate(&self) -> Result<()> {
+    /// Checks every field that [`CqPipeline::run`] depends on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CqError::InvalidConfig`] naming the offending field.
+    pub fn validate(&self) -> Result<()> {
         if self.act_bits > 8 {
             return Err(CqError::InvalidConfig("act_bits must be <= 8".into()));
         }
@@ -139,6 +162,9 @@ impl std::fmt::Display for CqReport {
 pub struct CqPipeline {
     config: CqConfig,
     telemetry: Telemetry,
+    checkpoint_dir: Option<PathBuf>,
+    resume: bool,
+    fault: Arc<FaultPlan>,
 }
 
 impl CqPipeline {
@@ -147,6 +173,9 @@ impl CqPipeline {
         CqPipeline {
             config,
             telemetry: Telemetry::disabled(),
+            checkpoint_dir: None,
+            resume: false,
+            fault: Arc::new(FaultPlan::none()),
         }
     }
 
@@ -157,6 +186,37 @@ impl CqPipeline {
     #[must_use]
     pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
         self.telemetry = telemetry;
+        self
+    }
+
+    /// Persists a checkpoint into `dir` after every completed phase
+    /// (`pretrain.ckpt`, `scores.ckpt`, `calibrate.ckpt`, `search.ckpt`,
+    /// and a per-epoch `refine.ckpt`). Writes are atomic: temp file →
+    /// fsync → rename, so a crash never leaves a half-written checkpoint
+    /// under the final name.
+    #[must_use]
+    pub fn with_checkpoint_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.checkpoint_dir = Some(dir.into());
+        self
+    }
+
+    /// When set (and a checkpoint directory is attached), each phase first
+    /// tries to load its checkpoint — verifying length, CRC-64 checksum
+    /// and schema version — and recomputes from scratch on any mismatch,
+    /// emitting a `checkpoint.invalid` warning instead of failing.
+    #[must_use]
+    pub fn with_resume(mut self, resume: bool) -> Self {
+        self.resume = resume;
+        self
+    }
+
+    /// Attaches a deterministic fault-injection plan (chaos testing):
+    /// `fail-at:<phase>` aborts right after that phase's checkpoint is
+    /// written, `truncate:<phase>` corrupts the freshly written file, and
+    /// `poison-grad:<step>` flips a training gradient to NaN.
+    #[must_use]
+    pub fn with_fault_plan(mut self, fault: Arc<FaultPlan>) -> Self {
+        self.fault = fault;
         self
     }
 
@@ -183,7 +243,8 @@ impl CqPipeline {
     ///
     /// # Errors
     ///
-    /// Propagates configuration, dataset, network and search errors.
+    /// Propagates configuration, dataset, network, search and checkpoint
+    /// I/O errors, plus [`CqError::Resilience`] for injected faults.
     pub fn run(
         &self,
         mut model: Sequential,
@@ -192,68 +253,171 @@ impl CqPipeline {
     ) -> Result<CqReport> {
         self.config.validate()?;
         let tel = &self.telemetry;
+        let store = match &self.checkpoint_dir {
+            Some(dir) => Some(CheckpointStore::open(dir, CHECKPOINT_SCHEMA)?),
+            None => None,
+        };
+        let fault = &self.fault;
+        // Runs after each phase completes: persist the checkpoint, then
+        // fire any armed fault for the phase (truncation corrupts the file
+        // just written; fail-at simulates a crash *after* the write, which
+        // is exactly what resume must recover from).
+        let after_phase = |phase: &str, payload: Vec<u8>| -> Result<()> {
+            if let Some(store) = store.as_ref() {
+                store.save(phase, payload)?;
+                tel.event(Level::Debug, "checkpoint.saved", &[("phase", phase.into())]);
+                if fault.should_truncate(phase) {
+                    FaultPlan::truncate_file(&store.path_for(phase))?;
+                }
+            }
+            fault.check_phase(phase)?;
+            Ok(())
+        };
         let pipeline_span = tel.span("pipeline");
 
         // 1. Pre-train if requested.
         if let Some(tc) = &self.config.pretrain {
-            let span = tel.span_with("pretrain", &[("epochs", tc.epochs.into())]);
-            Trainer::new(tc.clone()).with_telemetry(tel.clone()).fit(
-                &mut model,
-                data.train(),
-                rng,
-            )?;
-            span.end();
+            let resumed = load_phase(store.as_ref(), self.resume, tel, PHASE_PRETRAIN, |b| {
+                PretrainCkpt::decode(b)
+            });
+            match resumed {
+                Some(ckpt) => load_state_dict(&mut model, &ckpt.state)?,
+                None => {
+                    let span = tel.span_with("pretrain", &[("epochs", tc.epochs.into())]);
+                    Trainer::new(tc.clone())
+                        .with_telemetry(tel.clone())
+                        .with_fault_plan(self.fault.clone())
+                        .fit(&mut model, data.train(), rng)?;
+                    span.end();
+                    let ckpt = PretrainCkpt {
+                        state: state_dict(&mut model),
+                    };
+                    after_phase(PHASE_PRETRAIN, ckpt.encode())?;
+                }
+            }
         }
 
-        // 2. Full-precision reference + frozen teacher.
-        let span = tel.span("eval.fp");
-        let fp_accuracy = evaluate(&mut model, data.test(), self.config.eval_batch)?;
-        let teacher = teacher_probs(&mut model, data.train(), self.config.eval_batch)?;
-        span.end();
+        // 2+3. Full-precision reference, frozen teacher and class-based
+        //      importance scores (one checkpoint: all are pure functions
+        //      of the pretrained weights).
+        let resumed = load_phase(store.as_ref(), self.resume, tel, PHASE_SCORES, |b| {
+            ScoresCkpt::decode(b)
+        });
+        let (fp_accuracy, teacher, scores) = match resumed {
+            Some(ckpt) => (ckpt.fp_accuracy, ckpt.teacher, ckpt.scores),
+            None => {
+                let span = tel.span("eval.fp");
+                let fp_accuracy = evaluate(&mut model, data.test(), self.config.eval_batch)?;
+                let teacher = teacher_probs(&mut model, data.train(), self.config.eval_batch)?;
+                span.end();
+                let scores = score_network_traced(
+                    &mut model,
+                    data.val(),
+                    data.num_classes(),
+                    &self.config.score,
+                    tel,
+                )?;
+                let ckpt = ScoresCkpt {
+                    fp_accuracy,
+                    teacher,
+                    scores,
+                };
+                after_phase(PHASE_SCORES, ckpt.encode())?;
+                (ckpt.fp_accuracy, ckpt.teacher, ckpt.scores)
+            }
+        };
         tel.gauge("pipeline.fp_accuracy", fp_accuracy as f64);
 
-        // 3. Class-based importance scores.
-        let scores = score_network_traced(
-            &mut model,
-            data.val(),
-            data.num_classes(),
-            &self.config.score,
-            tel,
-        )?;
-
         // 4. Activation quantization: install, calibrate on validation
-        //    samples, then freeze at the configured width.
+        //    samples (or restore checkpointed clip bounds), then freeze at
+        //    the configured width.
         let span = tel.span_with("calibrate", &[("act_bits", self.config.act_bits.into())]);
         install_act_quant(&mut model);
-        set_act_calibration(&mut model, true);
-        let calib = data.val().head(self.config.calibration_samples)?;
-        for batch in calib.batches(self.config.eval_batch) {
-            model.forward(&batch.images, Phase::Eval)?;
-            tel.counter_add("calibrate.forward_passes", 1);
+        let resumed = load_phase(store.as_ref(), self.resume, tel, PHASE_CALIBRATE, |b| {
+            CalibrateCkpt::decode(b)
+        });
+        match resumed {
+            Some(ckpt) => {
+                restore_act_clip_bounds(&mut model, &ckpt.clips);
+            }
+            None => {
+                set_act_calibration(&mut model, true);
+                let calib = data.val().head(self.config.calibration_samples)?;
+                for batch in calib.batches(self.config.eval_batch) {
+                    model.forward(&batch.images, Phase::Eval)?;
+                    tel.counter_add("calibrate.forward_passes", 1);
+                }
+                set_act_calibration(&mut model, false);
+                let ckpt = CalibrateCkpt {
+                    clips: act_clip_bounds(&mut model),
+                };
+                after_phase(PHASE_CALIBRATE, ckpt.encode())?;
+            }
         }
-        set_act_calibration(&mut model, false);
         if self.config.act_bits > 0 {
             let bits = BitWidth::new(self.config.act_bits).map_err(CqError::Quant)?;
             set_act_bits(&mut model, Some(bits));
         }
         span.end();
 
-        // 5. Threshold search to the target average bit-width.
-        let mut search_cfg = self.config.search.clone();
-        search_cfg.target_avg_bits = self.config.weight_bits;
-        let outcome = search_traced(&mut model, &scores, data.val(), &search_cfg, tel)?;
-        let pre_refine_accuracy = evaluate(&mut model, data.test(), self.config.eval_batch)?;
+        // 5. Threshold search to the target average bit-width. A resumed
+        //    outcome reinstalls its arrangement so the fake-quantized
+        //    model matches the post-search state exactly.
+        let resumed = load_phase(store.as_ref(), self.resume, tel, PHASE_SEARCH, |b| {
+            SearchCkpt::decode(b)
+        });
+        let (outcome, pre_refine_accuracy) = match resumed {
+            Some(ckpt) => {
+                install_arrangement(&mut model, &ckpt.outcome.arrangement)?;
+                (ckpt.outcome, ckpt.pre_refine_accuracy)
+            }
+            None => {
+                let mut search_cfg = self.config.search.clone();
+                search_cfg.target_avg_bits = self.config.weight_bits;
+                let outcome = search_traced(&mut model, &scores, data.val(), &search_cfg, tel)?;
+                let pre_refine_accuracy =
+                    evaluate(&mut model, data.test(), self.config.eval_batch)?;
+                let ckpt = SearchCkpt {
+                    outcome,
+                    pre_refine_accuracy,
+                };
+                after_phase(PHASE_SEARCH, ckpt.encode())?;
+                (ckpt.outcome, ckpt.pre_refine_accuracy)
+            }
+        };
         tel.gauge("pipeline.pre_refine_accuracy", pre_refine_accuracy as f64);
 
-        // 6. KD refining through the installed transforms (STE).
-        let refine_stats = refine_traced(
+        // 6. KD refining through the installed transforms (STE), with a
+        //    per-epoch checkpoint so a crash costs at most one epoch.
+        let refine_resume = load_phase(store.as_ref(), self.resume, tel, PHASE_REFINE, |b| {
+            RefineCkpt::decode(b)
+        })
+        .map(RefineCkpt::into_resume);
+        let store_ref = store.as_ref();
+        let mut on_epoch = |snapshot: &RefineResume| -> Result<()> {
+            if let Some(store) = store_ref {
+                store.save(PHASE_REFINE, RefineCkpt::from_resume(snapshot).encode())?;
+                if fault.should_truncate(PHASE_REFINE) {
+                    FaultPlan::truncate_file(&store.path_for(PHASE_REFINE))?;
+                }
+            }
+            // `fail-at:refine-epoch-<k>` simulates a crash right after
+            // epoch k's checkpoint lands.
+            fault.check_phase(&format!("refine-epoch-{}", snapshot.next_epoch - 1))?;
+            Ok(())
+        };
+        let refine_stats = refine_resumable(
             &mut model,
             data.train(),
             &teacher,
             &self.config.refine,
             rng,
             tel,
+            fault,
+            refine_resume,
+            Some(&mut on_epoch),
         )?;
+        fault.check_phase(PHASE_REFINE)?;
 
         // 7. Final evaluation + accounting.
         let span = tel.span("eval.final");
@@ -296,6 +460,49 @@ impl CqPipeline {
             size,
             per_class_accuracy,
         })
+    }
+}
+
+/// Loads and decodes one phase's checkpoint when resuming. Any failure —
+/// missing file, bad length, checksum or schema mismatch, or a payload
+/// that no longer decodes — yields `None` so the pipeline recomputes the
+/// phase; corruption is reported as a `checkpoint.invalid` warning and
+/// the stale file is removed.
+fn load_phase<T>(
+    store: Option<&CheckpointStore>,
+    resume: bool,
+    tel: &Telemetry,
+    phase: &str,
+    decode: impl FnOnce(&[u8]) -> Result<T>,
+) -> Option<T> {
+    if !resume {
+        return None;
+    }
+    let store = store?;
+    let invalid = |detail: String| {
+        tel.event(
+            Level::Warn,
+            "checkpoint.invalid",
+            &[("phase", phase.into()), ("error", detail.into())],
+        );
+        store.invalidate(phase);
+    };
+    match store.load(phase) {
+        LoadOutcome::Loaded(payload) => match decode(&payload) {
+            Ok(value) => {
+                tel.event(Level::Info, "checkpoint.loaded", &[("phase", phase.into())]);
+                Some(value)
+            }
+            Err(e) => {
+                invalid(e.to_string());
+                None
+            }
+        },
+        LoadOutcome::Absent => None,
+        LoadOutcome::Invalid(e) => {
+            invalid(e.to_string());
+            None
+        }
     }
 }
 
@@ -359,9 +566,22 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "activation bits")]
-    fn new_panics_on_out_of_range_act_bits() {
-        let _ = CqConfig::new(2.0, 9.0);
+    fn out_of_range_act_bits_error_instead_of_panic() {
+        // Construction must not panic; validation reports the error.
+        let c = CqConfig::new(2.0, 9.0);
+        assert!(matches!(c.validate(), Err(CqError::InvalidConfig(_))));
+        let c = CqConfig::new(2.0, -1.0);
+        assert!(c.validate().is_err());
+        assert!(CqConfig::new(2.0, 8.0).validate().is_ok());
+
+        // The pipeline surfaces it as an error before doing any work.
+        let mut rng = StdRng::seed_from_u64(1);
+        let data = SyntheticImages::generate(&SyntheticSpec::tiny(2), &mut rng).unwrap();
+        let model = models::mlp(&[data.feature_len(), 4, 2], &mut rng).unwrap();
+        let err = CqPipeline::new(CqConfig::new(2.0, 9.0))
+            .run(model, &data, &mut rng)
+            .unwrap_err();
+        assert!(matches!(err, CqError::InvalidConfig(_)), "got {err}");
     }
 
     #[test]

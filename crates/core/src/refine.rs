@@ -12,11 +12,16 @@
 
 use crate::{CqError, Result};
 use cbq_data::Subset;
-use cbq_nn::{losses, EpochStats, Layer, Phase, Sequential, Sgd, SgdConfig, StepLr};
+use cbq_nn::{
+    load_state_dict, losses, non_finite_step, poison_first_gradient, state_dict, EpochStats, Layer,
+    Phase, Sequential, Sgd, SgdConfig, StateDict, StepLr,
+};
+use cbq_resilience::{FaultPlan, GuardAction, GuardPolicy, GuardState};
 use cbq_telemetry::{Level, Telemetry};
 use cbq_tensor::Tensor;
+use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use rand::Rng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 /// Configuration for the refining phase.
@@ -40,6 +45,18 @@ pub struct RefineConfig {
     pub alpha: f32,
     /// Print one line per epoch to stderr when set.
     pub verbose: bool,
+    /// When set, epoch `e` shuffles its batches with a fresh
+    /// `StdRng::seed_from_u64(shuffle_seed + e)` instead of the caller's
+    /// RNG, making each epoch's batch order a pure function of
+    /// `(seed, epoch)` — required for a resumed run to replay the exact
+    /// batches an uninterrupted run would have seen.
+    #[serde(default)]
+    pub shuffle_seed: Option<u64>,
+    /// Numeric-guard policy for NaN/Inf in the per-step loss/gradients.
+    /// Not serialized (operational policy, not an experiment parameter);
+    /// deserialized configs get the default ([`GuardPolicy::Abort`]).
+    #[serde(skip)]
+    pub guard: GuardPolicy,
 }
 
 impl RefineConfig {
@@ -55,6 +72,8 @@ impl RefineConfig {
             weight_decay: 1e-4,
             alpha: 0.3,
             verbose: false,
+            shuffle_seed: None,
+            guard: GuardPolicy::default(),
         }
     }
 
@@ -139,6 +158,70 @@ pub fn refine_traced(
     rng: &mut impl Rng,
     tel: &Telemetry,
 ) -> Result<Vec<EpochStats>> {
+    refine_resumable(
+        net,
+        train,
+        teacher,
+        config,
+        rng,
+        tel,
+        &FaultPlan::none(),
+        None,
+        None,
+    )
+}
+
+/// A mid-refine snapshot: everything needed to continue fine-tuning from
+/// the start of epoch `next_epoch` exactly as the uninterrupted run would
+/// have (weights, optimizer momentum, and the stats collected so far).
+///
+/// Produced after every epoch by the `on_epoch` callback of
+/// [`refine_resumable`] and accepted back as its `resume` argument.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RefineResume {
+    /// First epoch still to run (0-based).
+    pub next_epoch: usize,
+    /// Student weights at the end of epoch `next_epoch - 1`.
+    pub state: StateDict,
+    /// SGD velocity buffers, in `visit_params` order.
+    pub velocities: Vec<Tensor>,
+    /// Per-epoch stats for the epochs already completed.
+    pub stats: Vec<EpochStats>,
+}
+
+/// Per-epoch observer for [`refine_resumable`]: receives the snapshot
+/// after each completed epoch (the pipeline persists it as the `refine`
+/// checkpoint). An error aborts refining — deliberately, so a failed
+/// checkpoint write surfaces instead of silently losing crash safety.
+pub type OnEpoch<'a> = &'a mut dyn FnMut(&RefineResume) -> Result<()>;
+
+/// [`refine_traced`] with crash-safety hooks: resumes from a
+/// [`RefineResume`] snapshot, reports one after every completed epoch via
+/// `on_epoch`, honours the numeric [`GuardPolicy`] in
+/// [`RefineConfig::guard`], and threads a [`FaultPlan`] through the step
+/// loop for chaos testing.
+///
+/// With [`RefineConfig::shuffle_seed`] set, an interrupted run resumed
+/// from the snapshot replays the exact remaining epochs of the
+/// uninterrupted run, bit for bit.
+///
+/// # Errors
+///
+/// Same as [`refine`], plus [`CqError::NonFinite`] when the guard policy
+/// is [`GuardPolicy::Abort`] (or a halving budget runs out) and
+/// [`CqError::Nn`] for a snapshot that does not fit the network.
+#[allow(clippy::too_many_arguments)]
+pub fn refine_resumable(
+    net: &mut Sequential,
+    train: &Subset,
+    teacher: &Tensor,
+    config: &RefineConfig,
+    rng: &mut impl Rng,
+    tel: &Telemetry,
+    fault: &FaultPlan,
+    resume: Option<RefineResume>,
+    mut on_epoch: Option<OnEpoch<'_>>,
+) -> Result<Vec<EpochStats>> {
     config.validate()?;
     let tel = if tel.is_enabled() {
         tel.clone()
@@ -167,10 +250,31 @@ pub fn refine_traced(
     });
     let span = tel.span_with("refine", &[("epochs", config.epochs.into())]);
     let mut stats = Vec::with_capacity(config.epochs);
+    let mut start_epoch = 0usize;
+    if let Some(snapshot) = resume {
+        load_state_dict(net, &snapshot.state)?;
+        opt.set_velocities(snapshot.velocities);
+        stats = snapshot.stats;
+        start_epoch = snapshot.next_epoch.min(config.epochs);
+        tel.event(
+            Level::Info,
+            "refine.resumed",
+            &[("next_epoch", start_epoch.into())],
+        );
+    }
+    let mut guard = GuardState::new(config.guard);
     let mut order: Vec<usize> = (0..n).collect();
-    for epoch in 0..config.epochs {
-        opt.set_lr(schedule.lr_at(epoch));
-        order.shuffle(rng);
+    for epoch in start_epoch..config.epochs {
+        opt.set_lr(schedule.lr_at(epoch) * guard.lr_scale());
+        if let Some(seed) = config.shuffle_seed {
+            // Pure function of (seed, epoch): reset to identity so the
+            // permutation does not depend on earlier epochs' shuffles.
+            order = (0..n).collect();
+            let mut epoch_rng = StdRng::seed_from_u64(seed.wrapping_add(epoch as u64));
+            order.shuffle(&mut epoch_rng);
+        } else {
+            order.shuffle(rng);
+        }
         let mut loss_sum = 0.0f64;
         let mut ce_sum = 0.0f64;
         let mut kl_sum = 0.0f64;
@@ -196,6 +300,32 @@ pub fn refine_traced(
             let parts = losses::kd_loss_parts(&logits, &t, &blabels, config.alpha)?;
             let acc = losses::accuracy(&logits, &blabels)?;
             net.backward(&parts.grad)?;
+            if fault.poison_this_step() {
+                poison_first_gradient(net);
+            }
+            if let Some(diagnosis) = non_finite_step(net, parts.loss) {
+                tel.event(
+                    Level::Warn,
+                    "refine.guard_trip",
+                    &[
+                        ("epoch", epoch.into()),
+                        ("trips", guard.trips().into()),
+                        ("diagnosis", diagnosis.as_str().into()),
+                    ],
+                );
+                match guard.on_trip() {
+                    GuardAction::Abort => {
+                        return Err(CqError::NonFinite(format!(
+                            "refine epoch {epoch}: {diagnosis} (guard policy: abort)"
+                        )));
+                    }
+                    GuardAction::SkipStep => continue,
+                    GuardAction::SkipStepWithLrScale(scale) => {
+                        opt.set_lr(schedule.lr_at(epoch) * scale);
+                        continue;
+                    }
+                }
+            }
             opt.step(net)?;
             loss_sum += parts.loss as f64;
             ce_sum += parts.ce as f64;
@@ -230,6 +360,15 @@ pub fn refine_traced(
             ],
         );
         stats.push(es);
+        if let Some(cb) = on_epoch.as_deref_mut() {
+            let snapshot = RefineResume {
+                next_epoch: epoch + 1,
+                state: state_dict(net),
+                velocities: opt.velocities().to_vec(),
+                stats: stats.clone(),
+            };
+            cb(&snapshot)?;
+        }
     }
     span.end();
     Ok(stats)
@@ -320,6 +459,124 @@ mod tests {
         cfg.alpha = 0.3;
         cfg.batch_size = 0;
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn resume_replays_uninterrupted_run_bit_exact() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let data = SyntheticImages::generate(&SyntheticSpec::tiny(3), &mut rng).unwrap();
+        let f = data.feature_len();
+        let train = flat(data.train(), f);
+        let mut net = models::mlp(&[f, 16, 3], &mut rng).unwrap();
+        let tc = TrainerConfig {
+            batch_size: 16,
+            ..TrainerConfig::quick(3, 0.05)
+        };
+        Trainer::new(tc).fit(&mut net, &train, &mut rng).unwrap();
+        let teacher = teacher_probs(&mut net, &train, 64).unwrap();
+        install_uniform(&mut net, BitWidth::new(2).unwrap());
+        let sd0 = cbq_nn::state_dict(&mut net);
+
+        let mut cfg = RefineConfig::quick(4, 0.02);
+        cfg.batch_size = 16;
+        cfg.shuffle_seed = Some(99);
+
+        // Uninterrupted run; keep the snapshot taken after epoch 1.
+        let mut snapshot: Option<RefineResume> = None;
+        let mut grab = |s: &RefineResume| {
+            if s.next_epoch == 2 {
+                snapshot = Some(s.clone());
+            }
+            Ok(())
+        };
+        let full_stats = refine_resumable(
+            &mut net,
+            &train,
+            &teacher,
+            &cfg,
+            &mut rng,
+            &Telemetry::disabled(),
+            &FaultPlan::none(),
+            None,
+            Some(&mut grab),
+        )
+        .unwrap();
+        let full_bytes = cbq_nn::state_dict(&mut net).to_bytes();
+        let snapshot = snapshot.expect("snapshot after epoch 1");
+
+        // Crash-and-resume: fresh weights, then continue from the snapshot.
+        cbq_nn::load_state_dict(&mut net, &sd0).unwrap();
+        let resumed_stats = refine_resumable(
+            &mut net,
+            &train,
+            &teacher,
+            &cfg,
+            &mut rng,
+            &Telemetry::disabled(),
+            &FaultPlan::none(),
+            Some(snapshot),
+            None,
+        )
+        .unwrap();
+        let resumed_bytes = cbq_nn::state_dict(&mut net).to_bytes();
+        assert_eq!(full_bytes, resumed_bytes, "resumed weights diverged");
+        assert_eq!(&full_stats[2..], &resumed_stats[2..]);
+    }
+
+    #[test]
+    fn fault_poison_trips_abort_guard() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let data = SyntheticImages::generate(&SyntheticSpec::tiny(2), &mut rng).unwrap();
+        let f = data.feature_len();
+        let train = flat(data.train(), f);
+        let mut net = models::mlp(&[f, 8, 2], &mut rng).unwrap();
+        let teacher = teacher_probs(&mut net, &train, 64).unwrap();
+        let cfg = RefineConfig::quick(1, 0.01);
+        let fault = FaultPlan::none().poison_gradient_at_step(0);
+        let err = refine_resumable(
+            &mut net,
+            &train,
+            &teacher,
+            &cfg,
+            &mut rng,
+            &Telemetry::disabled(),
+            &fault,
+            None,
+            None,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CqError::NonFinite(_)), "got {err}");
+    }
+
+    #[test]
+    fn fault_poison_skipped_with_skip_batch_policy() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let data = SyntheticImages::generate(&SyntheticSpec::tiny(2), &mut rng).unwrap();
+        let f = data.feature_len();
+        let train = flat(data.train(), f);
+        let mut net = models::mlp(&[f, 8, 2], &mut rng).unwrap();
+        let teacher = teacher_probs(&mut net, &train, 64).unwrap();
+        let mut cfg = RefineConfig::quick(1, 0.01);
+        cfg.guard = GuardPolicy::SkipBatch;
+        let fault = FaultPlan::none().poison_gradient_at_step(0);
+        let stats = refine_resumable(
+            &mut net,
+            &train,
+            &teacher,
+            &cfg,
+            &mut rng,
+            &Telemetry::disabled(),
+            &fault,
+            None,
+            None,
+        )
+        .unwrap();
+        assert_eq!(stats.len(), 1);
+        let mut finite = true;
+        net.visit_params(&mut |p| {
+            finite &= p.value.as_slice().iter().all(|v| v.is_finite());
+        });
+        assert!(finite, "weights corrupted despite skip-batch guard");
     }
 
     #[test]

@@ -12,7 +12,8 @@ use crate::{CqError, ImportanceScores, Result};
 use cbq_data::Subset;
 use cbq_nn::{evaluate, Sequential};
 use cbq_quant::{install_arrangement, BitArrangement, BitWidth, UnitArrangement};
-use cbq_telemetry::Telemetry;
+use cbq_resilience::{BudgetExhausted, BudgetTracker, SearchBudget};
+use cbq_telemetry::{Level, Telemetry};
 use serde::{Deserialize, Serialize};
 
 /// Bit-allocation granularity.
@@ -51,6 +52,14 @@ pub struct SearchConfig {
     pub batch_size: usize,
     /// Allocation granularity (per-filter is the paper's method).
     pub granularity: Granularity,
+    /// Optional cap on accuracy probes; when hit the search ends
+    /// gracefully with the best thresholds found so far (one final
+    /// reporting probe still runs to measure the chosen arrangement).
+    #[serde(default)]
+    pub max_probes: Option<u64>,
+    /// Optional wall-clock deadline in seconds, same graceful semantics.
+    #[serde(default)]
+    pub max_seconds: Option<f64>,
 }
 
 impl SearchConfig {
@@ -66,6 +75,16 @@ impl SearchConfig {
             probe_samples: 200,
             batch_size: 100,
             granularity: Granularity::PerFilter,
+            max_probes: None,
+            max_seconds: None,
+        }
+    }
+
+    /// The budget implied by `max_probes` / `max_seconds`.
+    pub fn budget(&self) -> SearchBudget {
+        SearchBudget {
+            max_probes: self.max_probes,
+            max_seconds: self.max_seconds,
         }
     }
 
@@ -91,6 +110,18 @@ impl SearchConfig {
             return Err(CqError::InvalidConfig(
                 "probe_samples and batch_size must be positive".into(),
             ));
+        }
+        if self.max_probes == Some(0) {
+            return Err(CqError::InvalidConfig(
+                "max_probes of 0 would end the search before the first probe".into(),
+            ));
+        }
+        if let Some(s) = self.max_seconds {
+            if !(s.is_finite() && s > 0.0) {
+                return Err(CqError::InvalidConfig(format!(
+                    "max_seconds {s} must be positive and finite"
+                )));
+            }
         }
         Ok(())
     }
@@ -149,6 +180,10 @@ pub struct SearchOutcome {
     /// Per-threshold digest of the trace.
     #[serde(default)]
     pub threshold_summaries: Vec<ThresholdSummary>,
+    /// Why the budget ended the search early, when it did (`None` for a
+    /// search that ran to completion).
+    #[serde(default)]
+    pub budget_exhausted: Option<String>,
 }
 
 /// Builds the per-threshold digest from the raw trace and the final
@@ -297,6 +332,15 @@ pub fn search_traced(
     let mut trace: Vec<SearchStep> = Vec::new();
     let mut determined: Vec<f64> = Vec::new();
     let mut probe_count = 0usize;
+    let mut tracker = BudgetTracker::start(config.budget());
+    let mut budget_exhausted: Option<String> = None;
+    let report_exhaustion = |reason: &BudgetExhausted| {
+        tel.event(
+            Level::Warn,
+            "search.budget_exhausted",
+            &[("reason", reason.to_string().into())],
+        );
+    };
 
     let search_span = tel.span_with(
         "search",
@@ -305,10 +349,15 @@ pub fn search_traced(
             ("max_bits", config.max_bits.into()),
         ],
     );
-    let probe = |net: &mut Sequential, arr: &BitArrangement, count: &mut usize| -> Result<f32> {
+    let probe = |net: &mut Sequential,
+                 arr: &BitArrangement,
+                 count: &mut usize,
+                 tracker: &mut BudgetTracker|
+     -> Result<f32> {
         install_arrangement(net, arr)?;
         let acc = evaluate(net, &probe_set, config.batch_size)?;
         *count += 1;
+        tracker.record_probe();
         tel.counter_add("search.probes", 1);
         tel.counter_add("probe.forward_passes", batches_per_probe);
         Ok(acc)
@@ -321,6 +370,12 @@ pub fn search_traced(
     'outer: for k in 0..n as usize {
         let mut p = determined.last().copied().unwrap_or(0.0);
         loop {
+            if let Some(reason) = tracker.exhausted() {
+                report_exhaustion(&reason);
+                budget_exhausted = Some(reason.to_string());
+                determined.push(p);
+                break 'outer;
+            }
             let candidate = p + config.step;
             if candidate > max_score + config.step {
                 break; // ran off the top of the score range
@@ -329,7 +384,7 @@ pub fn search_traced(
             trial.push(candidate);
             let arr = arrangement_from(scores, &trial, n, config.granularity);
             let avg = arr.average_bits();
-            let acc = probe(net, &arr, &mut probe_count)?;
+            let acc = probe(net, &arr, &mut probe_count, &mut tracker)?;
             tel.gauge("search.avg_bits", avg as f64);
             tel.trace(
                 "search.move",
@@ -390,6 +445,15 @@ pub fn search_traced(
                 max_score + config.step
             };
             while determined[k] < cap {
+                // Squeeze moves are probe-free, so only the wall-clock
+                // budget can end phase 2 early.
+                if budget_exhausted.is_none() {
+                    if let Some(reason @ BudgetExhausted::WallClock { .. }) = tracker.exhausted() {
+                        report_exhaustion(&reason);
+                        budget_exhausted = Some(reason.to_string());
+                        break 'squeeze;
+                    }
+                }
                 determined[k] = (determined[k] + config.step).min(cap);
                 arr = arrangement_from(scores, &determined, n, config.granularity);
                 tel.counter_add("search.squeeze_steps", 1);
@@ -409,7 +473,7 @@ pub fn search_traced(
         phase2.end();
     }
 
-    let final_acc = probe(net, &arr, &mut probe_count)?;
+    let final_acc = probe(net, &arr, &mut probe_count, &mut tracker)?;
     tel.gauge("search.avg_bits", arr.average_bits() as f64);
     search_span.end();
     let threshold_summaries = summarize_thresholds(&trace, &determined);
@@ -421,6 +485,7 @@ pub fn search_traced(
         trace,
         probe_count,
         threshold_summaries,
+        budget_exhausted,
     })
 }
 
@@ -525,6 +590,36 @@ mod tests {
         .validate()
         .is_err());
         assert!(SearchConfig::new(2.0).validate().is_ok());
+    }
+
+    #[test]
+    fn budget_config_validation() {
+        assert!(SearchConfig {
+            max_probes: Some(0),
+            ..SearchConfig::new(2.0)
+        }
+        .validate()
+        .is_err());
+        assert!(SearchConfig {
+            max_seconds: Some(0.0),
+            ..SearchConfig::new(2.0)
+        }
+        .validate()
+        .is_err());
+        assert!(SearchConfig {
+            max_seconds: Some(f64::NAN),
+            ..SearchConfig::new(2.0)
+        }
+        .validate()
+        .is_err());
+        let limited = SearchConfig {
+            max_probes: Some(5),
+            max_seconds: Some(1.0),
+            ..SearchConfig::new(2.0)
+        };
+        assert!(limited.validate().is_ok());
+        assert!(limited.budget().is_limited());
+        assert!(!SearchConfig::new(2.0).budget().is_limited());
     }
 
     #[test]

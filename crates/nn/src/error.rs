@@ -28,6 +28,9 @@ pub enum NnError {
         /// Size implied by the second operand.
         rhs: usize,
     },
+    /// A numeric guard found NaN/Inf and the active policy chose to
+    /// abort. The message carries the diagnosis (what, where, counts).
+    NonFinite(String),
 }
 
 impl fmt::Display for NnError {
@@ -44,6 +47,7 @@ impl fmt::Display for NnError {
             NnError::BatchMismatch { lhs, rhs } => {
                 write!(f, "batch size mismatch: {lhs} vs {rhs}")
             }
+            NnError::NonFinite(msg) => write!(f, "non-finite values: {msg}"),
         }
     }
 }

@@ -62,6 +62,10 @@ pub trait ActivationQuantizer: Debug + Send {
 
     /// The recorded clip bound `b`.
     fn clip(&self) -> f32;
+
+    /// Overrides the clip bound (restoring calibration from a checkpoint).
+    /// The default is a no-op for quantizers without a stored bound.
+    fn set_clip(&mut self, _clip: f32) {}
 }
 
 /// A transformation applied to a layer's weights at forward time.

@@ -64,6 +64,19 @@ impl Sgd {
         self.config.lr = lr;
     }
 
+    /// The velocity buffers, in [`Layer::visit_params`] order (empty
+    /// before the first step). Exposed so a checkpoint can capture the
+    /// full optimizer state for bit-exact resume.
+    pub fn velocities(&self) -> &[cbq_tensor::Tensor] {
+        &self.velocities
+    }
+
+    /// Restores velocity buffers captured by [`Sgd::velocities`]. The
+    /// next [`Sgd::step`] validates the count against the network.
+    pub fn set_velocities(&mut self, velocities: Vec<cbq_tensor::Tensor>) {
+        self.velocities = velocities;
+    }
+
     /// Applies one update step to every parameter of `net` using the
     /// gradients accumulated by the latest backward pass(es).
     ///

@@ -6,6 +6,7 @@
 //! re-applied later (see the `deploy_arrangement` example).
 
 use crate::{Layer, NnError, Result, Sequential};
+use cbq_resilience::{ByteReader, ByteWriter};
 use cbq_tensor::Tensor;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -46,6 +47,65 @@ impl StateDict {
     /// Whether the snapshot holds no parameters.
     pub fn is_empty(&self) -> bool {
         self.params.is_empty()
+    }
+
+    /// Encodes the snapshot with the checkpoint codec. Floats are stored
+    /// as raw IEEE-754 bits, so decode reproduces them bit-for-bit, and
+    /// `BTreeMap` iteration makes the byte stream deterministic.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_usize(self.params.len());
+        for (name, tensor) in &self.params {
+            w.put_str(name);
+            w.put_usize_slice(tensor.shape());
+            w.put_f32_slice(tensor.as_slice());
+        }
+        w.put_usize(self.extra.len());
+        for (name, state) in &self.extra {
+            w.put_str(name);
+            w.put_f32_slice(state);
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes a snapshot written by [`StateDict::to_bytes`].
+    ///
+    /// The whole payload is validated before anything is returned, so a
+    /// truncated or corrupted input can never yield a partially loaded
+    /// snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] describing the first decode
+    /// failure (truncation, shape/data mismatch, or trailing garbage).
+    pub fn from_bytes(bytes: &[u8]) -> Result<StateDict> {
+        let bad =
+            |e: &dyn std::fmt::Display| NnError::InvalidConfig(format!("state dict decode: {e}"));
+        let mut r = ByteReader::new(bytes);
+        let mut dict = StateDict::default();
+        let n_params = r.get_usize().map_err(|e| bad(&e))?;
+        for _ in 0..n_params {
+            let name = r.get_string().map_err(|e| bad(&e))?;
+            let shape = r.get_usize_vec().map_err(|e| bad(&e))?;
+            let data = r.get_f32_vec().map_err(|e| bad(&e))?;
+            let tensor = Tensor::from_vec(data, &shape).map_err(|e| {
+                NnError::InvalidConfig(format!("state dict decode: tensor {name}: {e}"))
+            })?;
+            dict.params.insert(name, tensor);
+        }
+        let n_extra = r.get_usize().map_err(|e| bad(&e))?;
+        for _ in 0..n_extra {
+            let name = r.get_string().map_err(|e| bad(&e))?;
+            let state = r.get_f32_vec().map_err(|e| bad(&e))?;
+            dict.extra.insert(name, state);
+        }
+        if !r.is_exhausted() {
+            return Err(NnError::InvalidConfig(format!(
+                "state dict decode: {} trailing bytes",
+                r.remaining()
+            )));
+        }
+        Ok(dict)
     }
 }
 
@@ -163,6 +223,51 @@ mod tests {
         let json = serde_json::to_string(&dict).unwrap();
         let back: StateDict = serde_json::from_str(&json).unwrap();
         assert_eq!(back, dict);
+    }
+
+    #[test]
+    fn binary_round_trip_is_bit_exact() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut net = models::mlp(&[4, 6, 2], &mut rng).unwrap();
+        let mut dict = state_dict(&mut net);
+        dict.extra.insert("bn0".into(), vec![0.5, -1.25, 3.0]);
+        let bytes = dict.to_bytes();
+        let back = StateDict::from_bytes(&bytes).unwrap();
+        assert_eq!(back, dict);
+        // deterministic encoding: same dict, same bytes
+        assert_eq!(back.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn truncated_bytes_error_and_never_load_partial_weights() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut net = models::mlp(&[4, 6, 2], &mut rng).unwrap();
+        let dict = state_dict(&mut net);
+        let bytes = dict.to_bytes();
+        for cut in 0..bytes.len() {
+            match StateDict::from_bytes(&bytes[..cut]) {
+                Err(NnError::InvalidConfig(_)) => {}
+                Ok(_) => panic!("truncation at {cut} silently produced a state dict"),
+                Err(e) => panic!("unexpected error kind at {cut}: {e}"),
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_lengths_and_trailing_bytes_rejected() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut net = models::mlp(&[4, 2], &mut rng).unwrap();
+        let dict = state_dict(&mut net);
+        let bytes = dict.to_bytes();
+        // absurd parameter count in the header
+        let mut bad = bytes.clone();
+        bad[..8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(StateDict::from_bytes(&bad).is_err());
+        // trailing garbage after a valid payload
+        let mut extra = bytes.clone();
+        extra.push(0);
+        assert!(StateDict::from_bytes(&extra).is_err());
+        assert!(StateDict::from_bytes(&[]).is_err());
     }
 
     #[test]

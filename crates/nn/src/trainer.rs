@@ -1,7 +1,9 @@
-use crate::{losses, Layer, Phase, Result, Sequential, Sgd, SgdConfig, StepLr};
+use crate::{losses, Layer, NnError, Phase, Result, Sequential, Sgd, SgdConfig, StepLr};
 use cbq_data::Subset;
+use cbq_resilience::{scan_finite_f32, FaultPlan, GuardAction, GuardPolicy, GuardState};
 use cbq_telemetry::{Level, Telemetry};
 use rand::Rng;
+use std::sync::Arc;
 
 /// Hyperparameters for [`Trainer`].
 #[derive(Debug, Clone, PartialEq)]
@@ -23,6 +25,8 @@ pub struct TrainerConfig {
     pub weight_decay: f32,
     /// Print one line per epoch to stderr when set.
     pub verbose: bool,
+    /// Reaction when a loss or gradient turns NaN/Inf mid-training.
+    pub guard: GuardPolicy,
 }
 
 impl TrainerConfig {
@@ -38,6 +42,7 @@ impl TrainerConfig {
             momentum: 0.9,
             weight_decay: 1e-4,
             verbose: false,
+            guard: GuardPolicy::Abort,
         }
     }
 }
@@ -78,6 +83,7 @@ pub struct EpochStats {
 pub struct Trainer {
     config: TrainerConfig,
     telemetry: Telemetry,
+    fault: Arc<FaultPlan>,
 }
 
 impl Trainer {
@@ -86,7 +92,17 @@ impl Trainer {
         Trainer {
             config,
             telemetry: Telemetry::disabled(),
+            fault: Arc::new(FaultPlan::none()),
         }
+    }
+
+    /// Attaches a fault-injection plan (chaos testing): armed
+    /// `poison-grad` steps overwrite one gradient value with NaN right
+    /// after the backward pass, exercising the numeric guards.
+    #[must_use]
+    pub fn with_fault_plan(mut self, fault: Arc<FaultPlan>) -> Self {
+        self.fault = fault;
+        self
     }
 
     /// Attaches a telemetry handle; [`Trainer::fit`] then emits a `train`
@@ -128,9 +144,10 @@ impl Trainer {
             Telemetry::from_env()
         };
         let span = tel.span("train");
+        let mut guard = GuardState::new(self.config.guard);
         let mut stats = Vec::with_capacity(self.config.epochs);
         for epoch in 0..self.config.epochs {
-            opt.set_lr(schedule.lr_at(epoch));
+            opt.set_lr(schedule.lr_at(epoch) * guard.lr_scale());
             let mut loss_sum = 0.0f64;
             let mut acc_sum = 0.0f64;
             let mut batches = 0usize;
@@ -140,6 +157,32 @@ impl Trainer {
                 let (loss, grad) = losses::cross_entropy(&logits, &batch.labels)?;
                 let acc = losses::accuracy(&logits, &batch.labels)?;
                 net.backward(&grad)?;
+                if self.fault.poison_this_step() {
+                    poison_first_gradient(net);
+                }
+                if let Some(diagnosis) = non_finite_step(net, loss) {
+                    tel.event(
+                        Level::Warn,
+                        "train.guard_trip",
+                        &[
+                            ("epoch", epoch.into()),
+                            ("trips", guard.trips().into()),
+                            ("diagnosis", diagnosis.as_str().into()),
+                        ],
+                    );
+                    match guard.on_trip() {
+                        GuardAction::Abort => {
+                            return Err(NnError::NonFinite(format!(
+                                "epoch {epoch}: {diagnosis} (guard policy: abort)"
+                            )));
+                        }
+                        GuardAction::SkipStep => continue,
+                        GuardAction::SkipStepWithLrScale(scale) => {
+                            opt.set_lr(schedule.lr_at(epoch) * scale);
+                            continue;
+                        }
+                    }
+                }
                 opt.step(net)?;
                 loss_sum += loss as f64;
                 acc_sum += acc as f64;
@@ -172,6 +215,50 @@ impl Trainer {
         drop(span);
         Ok(stats)
     }
+}
+
+/// Overwrites one gradient value of the first parameter with NaN — the
+/// deterministic poisoning used by [`FaultPlan::poison_gradient_at_step`].
+/// Public so every training loop (pretraining here, refining in
+/// `cbq-core`) injects the exact same fault.
+pub fn poison_first_gradient(net: &mut Sequential) {
+    let mut done = false;
+    net.visit_params(&mut |p| {
+        if done {
+            return;
+        }
+        if let Some(g) = p.grad.as_mut_slice().first_mut() {
+            *g = f32::NAN;
+            done = true;
+        }
+    });
+}
+
+/// Scans the step's loss and every parameter gradient for NaN/Inf,
+/// returning a diagnosis naming the first offender. Shared by every
+/// training loop that honours a [`GuardPolicy`].
+pub fn non_finite_step(net: &mut Sequential, loss: f32) -> Option<String> {
+    if !loss.is_finite() {
+        return Some(format!("loss is {loss}"));
+    }
+    let mut diagnosis = None;
+    net.visit_params(&mut |p| {
+        if diagnosis.is_some() {
+            return;
+        }
+        let rep = scan_finite_f32(p.grad.as_slice());
+        if !rep.is_finite() {
+            diagnosis = Some(format!(
+                "gradient of {}: {} NaN + {} Inf of {} values (first at index {})",
+                p.name,
+                rep.nan,
+                rep.inf,
+                rep.total,
+                rep.first_bad.unwrap_or(0)
+            ));
+        }
+    });
+    diagnosis
 }
 
 /// Evaluates classification accuracy of `net` on `subset` in eval mode.
@@ -318,6 +405,72 @@ mod tests {
         let c = TrainerConfig::quick(100, 0.1);
         assert_eq!(c.lr_milestones, vec![50, 75]);
         assert_eq!(c.batch_size, 100);
+    }
+
+    #[test]
+    fn guard_abort_stops_on_poisoned_gradient() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let data = SyntheticImages::generate(&SyntheticSpec::tiny(2), &mut rng).unwrap();
+        let mut net = models::mlp(&[data.feature_len(), 8, 2], &mut rng).unwrap();
+        let tc = TrainerConfig {
+            batch_size: 16,
+            ..TrainerConfig::quick(2, 0.05)
+        };
+        let plan = Arc::new(FaultPlan::none().poison_gradient_at_step(1));
+        let err = Trainer::new(tc)
+            .with_fault_plan(plan)
+            .fit(&mut net, data.train(), &mut rng)
+            .unwrap_err();
+        match err {
+            NnError::NonFinite(msg) => {
+                assert!(msg.contains("NaN"), "diagnosis missing NaN count: {msg}");
+                assert!(msg.contains("gradient of"), "diagnosis missing site: {msg}");
+            }
+            other => panic!("expected NonFinite, got {other}"),
+        }
+    }
+
+    #[test]
+    fn guard_skip_batch_survives_poisoned_gradient() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let data = SyntheticImages::generate(&SyntheticSpec::tiny(2), &mut rng).unwrap();
+        let mut net = models::mlp(&[data.feature_len(), 8, 2], &mut rng).unwrap();
+        let tc = TrainerConfig {
+            batch_size: 16,
+            guard: GuardPolicy::SkipBatch,
+            ..TrainerConfig::quick(4, 0.05)
+        };
+        let plan = Arc::new(FaultPlan::none().poison_gradient_at_step(0));
+        let stats = Trainer::new(tc)
+            .with_fault_plan(plan)
+            .fit(&mut net, data.train(), &mut rng)
+            .unwrap();
+        assert_eq!(stats.len(), 4);
+        // the poisoned NaN never entered the weights
+        net.visit_params(&mut |p| {
+            assert!(p.value.as_slice().iter().all(|v| v.is_finite()));
+        });
+    }
+
+    #[test]
+    fn guard_halve_lr_survives_within_budget() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let data = SyntheticImages::generate(&SyntheticSpec::tiny(2), &mut rng).unwrap();
+        let mut net = models::mlp(&[data.feature_len(), 8, 2], &mut rng).unwrap();
+        let tc = TrainerConfig {
+            batch_size: 16,
+            guard: GuardPolicy::HalveLr { max_halvings: 2 },
+            ..TrainerConfig::quick(3, 0.05)
+        };
+        let plan = Arc::new(FaultPlan::none().poison_gradient_at_step(2));
+        let stats = Trainer::new(tc)
+            .with_fault_plan(plan)
+            .fit(&mut net, data.train(), &mut rng)
+            .unwrap();
+        assert_eq!(stats.len(), 3);
+        net.visit_params(&mut |p| {
+            assert!(p.value.as_slice().iter().all(|v| v.is_finite()));
+        });
     }
 
     #[test]

@@ -87,6 +87,10 @@ impl ActivationQuantizer for ActQuant {
     fn clip(&self) -> f32 {
         self.observed_max
     }
+
+    fn set_clip(&mut self, clip: f32) {
+        self.observed_max = clip;
+    }
 }
 
 /// Installs a fresh [`ActQuant`] (disabled) on every ReLU of the network.
@@ -119,6 +123,37 @@ pub fn set_act_calibration(net: &mut dyn Layer, on: bool) {
             q.set_calibrating(on);
         }
     });
+}
+
+/// Captures every installed quantizer's calibrated clip bound, keyed by
+/// layer name — the activation-calibration state a checkpoint must hold
+/// (clip bounds live in the quantizers, not in the model's state dict).
+pub fn act_clip_bounds(net: &mut dyn Layer) -> Vec<(String, f32)> {
+    let mut bounds = Vec::new();
+    net.visit_layers_mut(&mut |l| {
+        let name = l.name().to_string();
+        if let Some(q) = l.activation_quantizer_mut() {
+            bounds.push((name, q.clip()));
+        }
+    });
+    bounds
+}
+
+/// Restores clip bounds captured by [`act_clip_bounds`] onto the
+/// network's installed quantizers, matching by layer name. Returns how
+/// many bounds were applied (names without a quantizer are skipped).
+pub fn restore_act_clip_bounds(net: &mut dyn Layer, bounds: &[(String, f32)]) -> usize {
+    let mut restored = 0;
+    net.visit_layers_mut(&mut |l| {
+        let Some((_, clip)) = bounds.iter().find(|(name, _)| name == l.name()) else {
+            return;
+        };
+        if let Some(q) = l.activation_quantizer_mut() {
+            q.set_clip(*clip);
+            restored += 1;
+        }
+    });
+    restored
 }
 
 #[cfg(test)]
@@ -173,6 +208,35 @@ mod tests {
         assert_eq!(ActivationQuantizer::bits(&aq), None);
         aq.set_bits(Some(3));
         assert_eq!(ActivationQuantizer::bits(&aq), Some(3));
+    }
+
+    #[test]
+    fn clip_bounds_capture_and_restore() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut net = Sequential::new("n");
+        net.push(Linear::new("fc1", 2, 4, true, &mut rng).unwrap());
+        net.push(Relu::new("r1"));
+        net.push(Linear::new("fc2", 4, 2, true, &mut rng).unwrap());
+        net.push(Relu::new("r2"));
+        install_act_quant(&mut net);
+        set_act_calibration(&mut net, true);
+        let x = Tensor::randn(&[8, 2], 1.0, &mut rng);
+        net.forward(&x, Phase::Eval).unwrap();
+        set_act_calibration(&mut net, false);
+        let bounds = act_clip_bounds(&mut net);
+        assert_eq!(bounds.len(), 2);
+        assert!(bounds.iter().any(|(n, _)| n == "r1"));
+
+        // a freshly installed network restores to the calibrated state
+        let mut net2 = Sequential::new("n");
+        let mut rng2 = StdRng::seed_from_u64(2);
+        net2.push(Linear::new("fc1", 2, 4, true, &mut rng2).unwrap());
+        net2.push(Relu::new("r1"));
+        net2.push(Linear::new("fc2", 4, 2, true, &mut rng2).unwrap());
+        net2.push(Relu::new("r2"));
+        install_act_quant(&mut net2);
+        assert_eq!(restore_act_clip_bounds(&mut net2, &bounds), 2);
+        assert_eq!(act_clip_bounds(&mut net2), bounds);
     }
 
     #[test]

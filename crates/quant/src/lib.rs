@@ -43,7 +43,10 @@ mod report;
 mod transforms;
 
 pub use accounting::{model_size_bits, SizeReport};
-pub use act_quant::{install_act_quant, set_act_bits, set_act_calibration, ActQuant};
+pub use act_quant::{
+    act_clip_bounds, install_act_quant, restore_act_clip_bounds, set_act_bits, set_act_calibration,
+    ActQuant,
+};
 pub use arrangement::{BitArrangement, BitHistogram, UnitArrangement};
 pub use bitwidth::BitWidth;
 pub use error::QuantError;

@@ -1,0 +1,126 @@
+//! Atomic file replacement: write-temp → fsync → rename.
+//!
+//! A killed process can leave a half-written file; readers then see torn
+//! JSON or a truncated checkpoint. POSIX `rename(2)` within one directory
+//! is atomic, so writing the full contents to a temporary sibling, syncing
+//! it, and renaming over the destination guarantees every reader sees
+//! either the old complete file or the new complete file — never a mix.
+
+use crate::error::{ResilienceError, Result};
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+/// Atomically replaces `path` with `bytes`.
+///
+/// Parent directories are created as needed. The temporary file lives in
+/// the destination directory (rename across filesystems is not atomic)
+/// and carries the process id so concurrent writers never collide.
+///
+/// # Errors
+///
+/// Returns [`ResilienceError::Io`] for any underlying filesystem error;
+/// the temporary file is removed on failure.
+pub fn atomic_write(path: impl AsRef<Path>, bytes: &[u8]) -> Result<()> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent)
+                .map_err(|e| ResilienceError::Io(format!("create_dir_all {parent:?}: {e}")))?;
+        }
+    }
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| ResilienceError::Io(format!("{path:?} has no file name")))?
+        .to_string_lossy()
+        .into_owned();
+    let tmp = path.with_file_name(format!(".{file_name}.tmp.{}", std::process::id()));
+
+    let write_result = (|| -> std::io::Result<()> {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        // Durability point: data must be on disk before the rename makes
+        // it visible, or a crash could publish an empty file.
+        f.sync_all()?;
+        Ok(())
+    })();
+    if let Err(e) = write_result {
+        let _ = fs::remove_file(&tmp);
+        return Err(ResilienceError::Io(format!("write {tmp:?}: {e}")));
+    }
+    if let Err(e) = fs::rename(&tmp, path) {
+        let _ = fs::remove_file(&tmp);
+        return Err(ResilienceError::Io(format!(
+            "rename {tmp:?} -> {path:?}: {e}"
+        )));
+    }
+    // Best-effort directory sync so the rename itself is durable; some
+    // filesystems (and all of Windows) don't support fsync on directories.
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            if let Ok(dir) = fs::File::open(parent) {
+                let _ = dir.sync_all();
+            }
+        }
+    }
+    Ok(())
+}
+
+/// [`atomic_write`] for text content.
+///
+/// # Errors
+///
+/// Same as [`atomic_write`].
+pub fn atomic_write_text(path: impl AsRef<Path>, text: &str) -> Result<()> {
+    atomic_write(path, text.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "cbq_resilience_atomic_{tag}_{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn writes_and_replaces() {
+        let dir = tmp_dir("replace");
+        let path = dir.join("out.json");
+        atomic_write(&path, b"first").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"first");
+        atomic_write(&path, b"second, longer contents").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"second, longer contents");
+        // no temp droppings left behind
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files left: {leftovers:?}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn creates_parent_directories() {
+        let dir = tmp_dir("parents");
+        let path = dir.join("a/b/c.txt");
+        atomic_write_text(&path, "nested").unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "nested");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn errors_on_directory_target() {
+        let dir = tmp_dir("dirtarget");
+        // Writing over an existing directory must error, not loop or panic.
+        assert!(atomic_write(&dir, b"x").is_err());
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,157 @@
+//! Search budgets: probe-count and wall-clock limits.
+//!
+//! The threshold search probes accuracy by re-quantising and evaluating
+//! the network; on a slow machine an aggressive grid can run for hours.
+//! A budget lets a run end *gracefully* — keeping the best thresholds
+//! found so far — instead of being killed from outside.
+
+use std::time::Instant;
+
+/// Limits on the threshold search. `None` means unlimited.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SearchBudget {
+    /// Maximum number of accuracy probes.
+    pub max_probes: Option<u64>,
+    /// Maximum wall-clock seconds.
+    pub max_seconds: Option<f64>,
+}
+
+impl SearchBudget {
+    /// A budget with no limits (never exhausts).
+    pub fn unlimited() -> Self {
+        SearchBudget::default()
+    }
+
+    /// Whether any limit is set.
+    pub fn is_limited(&self) -> bool {
+        self.max_probes.is_some() || self.max_seconds.is_some()
+    }
+}
+
+/// Why a budget ended the search early.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BudgetExhausted {
+    /// The probe limit was reached.
+    Probes {
+        /// Probes used (equals the limit).
+        used: u64,
+    },
+    /// The wall-clock limit was reached.
+    WallClock {
+        /// Seconds elapsed when the check fired.
+        elapsed: u64,
+    },
+}
+
+impl std::fmt::Display for BudgetExhausted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BudgetExhausted::Probes { used } => write!(f, "probe budget exhausted ({used} probes)"),
+            BudgetExhausted::WallClock { elapsed } => {
+                write!(f, "wall-clock budget exhausted (~{elapsed}s elapsed)")
+            }
+        }
+    }
+}
+
+/// Tracks consumption against a [`SearchBudget`].
+#[derive(Debug, Clone)]
+pub struct BudgetTracker {
+    budget: SearchBudget,
+    started: Instant,
+    probes: u64,
+}
+
+impl BudgetTracker {
+    /// Starts the clock.
+    pub fn start(budget: SearchBudget) -> Self {
+        BudgetTracker {
+            budget,
+            started: Instant::now(),
+            probes: 0,
+        }
+    }
+
+    /// Records one accuracy probe.
+    pub fn record_probe(&mut self) {
+        self.probes += 1;
+    }
+
+    /// Probes recorded so far.
+    pub fn probes(&self) -> u64 {
+        self.probes
+    }
+
+    /// Seconds since the tracker started.
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// Returns the exhaustion reason once any limit is hit.
+    pub fn exhausted(&self) -> Option<BudgetExhausted> {
+        if let Some(max) = self.budget.max_probes {
+            if self.probes >= max {
+                return Some(BudgetExhausted::Probes { used: self.probes });
+            }
+        }
+        if let Some(max) = self.budget.max_seconds {
+            let elapsed = self.elapsed_seconds();
+            if elapsed >= max {
+                return Some(BudgetExhausted::WallClock {
+                    elapsed: elapsed as u64,
+                });
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_exhausts() {
+        let mut t = BudgetTracker::start(SearchBudget::unlimited());
+        assert!(!t.budget.is_limited());
+        for _ in 0..1000 {
+            t.record_probe();
+        }
+        assert_eq!(t.exhausted(), None);
+    }
+
+    #[test]
+    fn probe_limit_trips_at_exactly_max() {
+        let mut t = BudgetTracker::start(SearchBudget {
+            max_probes: Some(3),
+            max_seconds: None,
+        });
+        t.record_probe();
+        t.record_probe();
+        assert_eq!(t.exhausted(), None);
+        t.record_probe();
+        assert_eq!(t.exhausted(), Some(BudgetExhausted::Probes { used: 3 }));
+    }
+
+    #[test]
+    fn wall_clock_limit_trips() {
+        let t = BudgetTracker::start(SearchBudget {
+            max_probes: None,
+            max_seconds: Some(0.0),
+        });
+        assert!(matches!(
+            t.exhausted(),
+            Some(BudgetExhausted::WallClock { .. })
+        ));
+    }
+
+    #[test]
+    fn exhaustion_reason_displays() {
+        assert!(BudgetExhausted::Probes { used: 7 }
+            .to_string()
+            .contains("7 probes"));
+        assert!(BudgetExhausted::WallClock { elapsed: 12 }
+            .to_string()
+            .contains("12s"));
+    }
+}

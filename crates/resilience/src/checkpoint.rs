@@ -1,0 +1,330 @@
+//! Versioned, checksummed checkpoint files and a per-run store.
+//!
+//! Container layout (all integers little-endian):
+//!
+//! ```text
+//! magic        8 bytes   "CBQCKPT\x01"
+//! schema       u32       writer's schema version
+//! phase        str       phase name (length-prefixed UTF-8)
+//! payload_len  u64       payload byte count
+//! payload      bytes
+//! crc64        u64       CRC-64/XZ over everything above
+//! ```
+//!
+//! Readers verify magic, declared lengths and the trailing checksum before
+//! handing the payload out, so a torn or bit-flipped file surfaces as
+//! [`ResilienceError::Corrupt`] — never as silently wrong weights.
+
+use crate::atomic::atomic_write;
+use crate::codec::{ByteReader, ByteWriter};
+use crate::error::{ResilienceError, Result};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+const MAGIC: &[u8; 8] = b"CBQCKPT\x01";
+
+/// CRC-64/XZ (ECMA-182 polynomial, reflected), table-free bitwise form.
+/// Checkpoints are megabytes at most and written once per phase, so the
+/// simple implementation is plenty fast.
+pub fn crc64(bytes: &[u8]) -> u64 {
+    const POLY: u64 = 0xC96C_5795_D787_0F42; // reflected ECMA-182
+    let mut crc = !0u64;
+    for &b in bytes {
+        crc ^= b as u64;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (POLY & mask);
+        }
+    }
+    !crc
+}
+
+/// One decoded checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Pipeline phase this checkpoint completes.
+    pub phase: String,
+    /// Schema version the writer used.
+    pub schema_version: u32,
+    /// Opaque phase payload (see `cbq-core`'s codecs).
+    pub payload: Vec<u8>,
+}
+
+impl Checkpoint {
+    /// Serializes the container (header + payload + checksum).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_u32(self.schema_version);
+        w.put_str(&self.phase);
+        w.put_usize(self.payload.len());
+        let mut out = Vec::with_capacity(MAGIC.len() + w.len() + self.payload.len() + 8);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&w.into_bytes());
+        out.extend_from_slice(&self.payload);
+        let crc = crc64(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Parses and integrity-checks a container.
+    ///
+    /// # Errors
+    ///
+    /// [`ResilienceError::Corrupt`] on bad magic, short file, length
+    /// mismatch or checksum mismatch.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Checkpoint> {
+        if bytes.len() < MAGIC.len() + 8 {
+            return Err(ResilienceError::Corrupt(format!(
+                "file too short ({} bytes) to be a checkpoint",
+                bytes.len()
+            )));
+        }
+        if &bytes[..MAGIC.len()] != MAGIC {
+            return Err(ResilienceError::Corrupt("bad magic".into()));
+        }
+        let (body, crc_bytes) = bytes.split_at(bytes.len() - 8);
+        let stored = u64::from_le_bytes(crc_bytes.try_into().expect("8 bytes"));
+        let computed = crc64(body);
+        if stored != computed {
+            return Err(ResilienceError::Corrupt(format!(
+                "checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+            )));
+        }
+        let mut r = ByteReader::new(&body[MAGIC.len()..]);
+        let schema_version = r.get_u32().map_err(corrupt)?;
+        let phase = r.get_string().map_err(corrupt)?;
+        let payload_len = r.get_usize().map_err(corrupt)?;
+        if payload_len != r.remaining() {
+            return Err(ResilienceError::Corrupt(format!(
+                "payload length {payload_len} disagrees with {} bytes present",
+                r.remaining()
+            )));
+        }
+        let payload = r.get_bytes_exact(payload_len).map_err(corrupt)?;
+        Ok(Checkpoint {
+            phase,
+            schema_version,
+            payload,
+        })
+    }
+}
+
+fn corrupt(e: ResilienceError) -> ResilienceError {
+    ResilienceError::Corrupt(format!("malformed header: {e}"))
+}
+
+/// A directory of per-phase checkpoints for one run.
+///
+/// Each phase writes one file, `<phase>.ckpt`, atomically. Loading
+/// verifies integrity and the expected schema version; a corrupt file is
+/// reported (not returned), so callers fall back to recomputing that
+/// phase from the previous one.
+#[derive(Debug, Clone)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+    schema_version: u32,
+}
+
+/// Outcome of [`CheckpointStore::load`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LoadOutcome {
+    /// A valid checkpoint for the phase was found.
+    Loaded(Vec<u8>),
+    /// No checkpoint file exists for the phase.
+    Absent,
+    /// A file exists but failed integrity or version checks.
+    Invalid(ResilienceError),
+}
+
+impl LoadOutcome {
+    /// The payload, if a valid checkpoint was loaded.
+    pub fn payload(self) -> Option<Vec<u8>> {
+        match self {
+            LoadOutcome::Loaded(p) => Some(p),
+            _ => None,
+        }
+    }
+}
+
+impl CheckpointStore {
+    /// Opens (creating if needed) a checkpoint directory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResilienceError::Io`] when the directory cannot be
+    /// created.
+    pub fn open(dir: impl Into<PathBuf>, schema_version: u32) -> Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)
+            .map_err(|e| ResilienceError::Io(format!("create checkpoint dir {dir:?}: {e}")))?;
+        Ok(CheckpointStore {
+            dir,
+            schema_version,
+        })
+    }
+
+    /// The store's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of a phase's checkpoint file.
+    pub fn path_for(&self, phase: &str) -> PathBuf {
+        self.dir.join(format!("{phase}.ckpt"))
+    }
+
+    /// Atomically writes a phase checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResilienceError::Io`] on filesystem failure.
+    pub fn save(&self, phase: &str, payload: Vec<u8>) -> Result<()> {
+        let ckpt = Checkpoint {
+            phase: phase.to_string(),
+            schema_version: self.schema_version,
+            payload,
+        };
+        atomic_write(self.path_for(phase), &ckpt.to_bytes())
+    }
+
+    /// Loads and verifies a phase checkpoint.
+    ///
+    /// Integrity failures are *returned as data* ([`LoadOutcome::Invalid`])
+    /// rather than as an `Err`: a corrupt checkpoint is an expected,
+    /// recoverable condition — the caller recomputes the phase.
+    pub fn load(&self, phase: &str) -> LoadOutcome {
+        let path = self.path_for(phase);
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return LoadOutcome::Absent,
+            Err(e) => {
+                return LoadOutcome::Invalid(ResilienceError::Io(format!("read {path:?}: {e}")))
+            }
+        };
+        let ckpt = match Checkpoint::from_bytes(&bytes) {
+            Ok(c) => c,
+            Err(e) => return LoadOutcome::Invalid(e),
+        };
+        if ckpt.schema_version != self.schema_version {
+            return LoadOutcome::Invalid(ResilienceError::SchemaVersion {
+                found: ckpt.schema_version,
+                expected: self.schema_version,
+            });
+        }
+        if ckpt.phase != phase {
+            return LoadOutcome::Invalid(ResilienceError::Corrupt(format!(
+                "file {path:?} holds phase {:?}, expected {phase:?}",
+                ckpt.phase
+            )));
+        }
+        LoadOutcome::Loaded(ckpt.payload)
+    }
+
+    /// Removes a phase's checkpoint (used when a later run invalidates
+    /// earlier state). Missing files are fine.
+    pub fn invalidate(&self, phase: &str) {
+        let _ = fs::remove_file(self.path_for(phase));
+    }
+}
+
+impl ByteReader<'_> {
+    /// Reads exactly `n` raw bytes (used by the container parser, where
+    /// the length was validated against the file size already).
+    pub fn get_bytes_exact(&mut self, n: usize) -> Result<Vec<u8>> {
+        let mut v = Vec::with_capacity(n.min(self.remaining()));
+        for _ in 0..n {
+            v.push(self.get_u8()?);
+        }
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store(tag: &str) -> CheckpointStore {
+        let dir =
+            std::env::temp_dir().join(format!("cbq_resilience_ckpt_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        CheckpointStore::open(dir, 1).unwrap()
+    }
+
+    #[test]
+    fn crc64_known_vector() {
+        // CRC-64/XZ("123456789") = 0x995DC9BBDF1939FA
+        assert_eq!(crc64(b"123456789"), 0x995D_C9BB_DF19_39FA);
+        assert_eq!(crc64(b""), 0);
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let s = store("roundtrip");
+        s.save("scores", vec![1, 2, 3, 250]).unwrap();
+        assert_eq!(s.load("scores"), LoadOutcome::Loaded(vec![1, 2, 3, 250]));
+        assert_eq!(s.load("missing"), LoadOutcome::Absent);
+        fs::remove_dir_all(s.dir()).ok();
+    }
+
+    #[test]
+    fn every_truncation_is_detected() {
+        let s = store("trunc");
+        s.save("search", (0..200u8).collect()).unwrap();
+        let path = s.path_for("search");
+        let full = fs::read(&path).unwrap();
+        for cut in 0..full.len() {
+            fs::write(&path, &full[..cut]).unwrap();
+            match s.load("search") {
+                LoadOutcome::Invalid(_) => {}
+                other => panic!("truncation at {cut} not detected: {other:?}"),
+            }
+        }
+        fs::remove_dir_all(s.dir()).ok();
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        let s = store("bitflip");
+        s.save("refine", vec![9; 64]).unwrap();
+        let path = s.path_for("refine");
+        let full = fs::read(&path).unwrap();
+        for byte in 0..full.len() {
+            let mut bad = full.clone();
+            bad[byte] ^= 0x10;
+            fs::write(&path, &bad).unwrap();
+            match s.load("refine") {
+                LoadOutcome::Invalid(_) => {}
+                other => panic!("bit flip in byte {byte} not detected: {other:?}"),
+            }
+        }
+        fs::remove_dir_all(s.dir()).ok();
+    }
+
+    #[test]
+    fn schema_and_phase_mismatches_rejected() {
+        let s = store("schema");
+        s.save("calibrate", vec![1]).unwrap();
+        let wrong_version = CheckpointStore::open(s.dir().to_path_buf(), 2).unwrap();
+        assert!(matches!(
+            wrong_version.load("calibrate"),
+            LoadOutcome::Invalid(ResilienceError::SchemaVersion {
+                found: 1,
+                expected: 2
+            })
+        ));
+        // phase name inside the file must match the file the caller asked for
+        fs::copy(s.path_for("calibrate"), s.path_for("search")).unwrap();
+        assert!(matches!(s.load("search"), LoadOutcome::Invalid(_)));
+        fs::remove_dir_all(s.dir()).ok();
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let s = store("invalidate");
+        s.save("pretrain", vec![5]).unwrap();
+        s.invalidate("pretrain");
+        assert_eq!(s.load("pretrain"), LoadOutcome::Absent);
+        s.invalidate("pretrain"); // second removal is a no-op
+        fs::remove_dir_all(s.dir()).ok();
+    }
+}

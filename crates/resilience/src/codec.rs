@@ -1,0 +1,340 @@
+//! A minimal length-checked binary codec for checkpoint payloads.
+//!
+//! Floats are written as raw IEEE-754 bits, so an encode → decode round
+//! trip is bit-exact — a resumed run sees exactly the numbers the
+//! interrupted run computed, which is what makes resume-equals-rerun
+//! checkable at all. Every read is bounds-checked and returns
+//! [`ResilienceError::Truncated`] instead of panicking on short input.
+
+use crate::error::{ResilienceError, Result};
+
+/// Cap on decoded collection lengths: a corrupted length prefix must fail
+/// fast, not attempt a multi-terabyte allocation.
+const MAX_LEN: usize = 1 << 32;
+
+/// Append-only byte sink for encoding.
+#[derive(Debug, Default, Clone)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        ByteWriter::default()
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Writes one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a little-endian u32.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian u64.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a usize as u64 (portable across word sizes).
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Writes an f32 as its raw bits.
+    pub fn put_f32(&mut self, v: f32) {
+        self.put_u32(v.to_bits());
+    }
+
+    /// Writes an f64 as its raw bits.
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Writes a bool as one byte.
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(v as u8);
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_usize(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Writes a length-prefixed raw byte slice.
+    pub fn put_bytes(&mut self, b: &[u8]) {
+        self.put_usize(b.len());
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Writes a length-prefixed f32 slice (raw bits).
+    pub fn put_f32_slice(&mut self, v: &[f32]) {
+        self.put_usize(v.len());
+        for &x in v {
+            self.put_f32(x);
+        }
+    }
+
+    /// Writes a length-prefixed f64 slice (raw bits).
+    pub fn put_f64_slice(&mut self, v: &[f64]) {
+        self.put_usize(v.len());
+        for &x in v {
+            self.put_f64(x);
+        }
+    }
+
+    /// Writes a length-prefixed usize slice.
+    pub fn put_usize_slice(&mut self, v: &[usize]) {
+        self.put_usize(v.len());
+        for &x in v {
+            self.put_usize(x);
+        }
+    }
+}
+
+/// Bounds-checked reader over an encoded payload.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Creates a reader over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether every byte has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(ResilienceError::Truncated {
+                needed: n,
+                available: self.remaining(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian u32.
+    pub fn get_u32(&mut self) -> Result<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian u64.
+    pub fn get_u64(&mut self) -> Result<u64> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads a usize (stored as u64), rejecting values past [`MAX_LEN`].
+    pub fn get_usize(&mut self) -> Result<usize> {
+        let v = self.get_u64()?;
+        if v > MAX_LEN as u64 {
+            return Err(ResilienceError::Decode(format!(
+                "length {v} exceeds sanity cap {MAX_LEN}"
+            )));
+        }
+        Ok(v as usize)
+    }
+
+    /// Reads an f32 from raw bits.
+    pub fn get_f32(&mut self) -> Result<f32> {
+        Ok(f32::from_bits(self.get_u32()?))
+    }
+
+    /// Reads an f64 from raw bits.
+    pub fn get_f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Reads a bool, rejecting bytes other than 0/1.
+    pub fn get_bool(&mut self) -> Result<bool> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(ResilienceError::Decode(format!("bad bool byte {other}"))),
+        }
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn get_string(&mut self) -> Result<String> {
+        let len = self.get_usize()?;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|e| ResilienceError::Decode(format!("invalid utf-8 string: {e}")))
+    }
+
+    /// Reads a length-prefixed raw byte vector.
+    pub fn get_bytes(&mut self) -> Result<Vec<u8>> {
+        let len = self.get_usize()?;
+        Ok(self.take(len)?.to_vec())
+    }
+
+    /// Reads a length-prefixed f32 vector.
+    pub fn get_f32_vec(&mut self) -> Result<Vec<f32>> {
+        let len = self.get_usize()?;
+        // Bound the reservation by what the buffer can actually hold.
+        if self.remaining() < len.saturating_mul(4) {
+            return Err(ResilienceError::Truncated {
+                needed: len * 4,
+                available: self.remaining(),
+            });
+        }
+        let mut v = Vec::with_capacity(len);
+        for _ in 0..len {
+            v.push(self.get_f32()?);
+        }
+        Ok(v)
+    }
+
+    /// Reads a length-prefixed f64 vector.
+    pub fn get_f64_vec(&mut self) -> Result<Vec<f64>> {
+        let len = self.get_usize()?;
+        if self.remaining() < len.saturating_mul(8) {
+            return Err(ResilienceError::Truncated {
+                needed: len * 8,
+                available: self.remaining(),
+            });
+        }
+        let mut v = Vec::with_capacity(len);
+        for _ in 0..len {
+            v.push(self.get_f64()?);
+        }
+        Ok(v)
+    }
+
+    /// Reads a length-prefixed usize vector.
+    pub fn get_usize_vec(&mut self) -> Result<Vec<usize>> {
+        let len = self.get_usize()?;
+        if self.remaining() < len.saturating_mul(8) {
+            return Err(ResilienceError::Truncated {
+                needed: len * 8,
+                available: self.remaining(),
+            });
+        }
+        let mut v = Vec::with_capacity(len);
+        for _ in 0..len {
+            v.push(self.get_usize()?);
+        }
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_primitives() {
+        let mut w = ByteWriter::new();
+        w.put_u8(7);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 1);
+        w.put_usize(42);
+        w.put_f32(-0.25);
+        w.put_f64(std::f64::consts::PI);
+        w.put_bool(true);
+        w.put_str("thresholds");
+        w.put_bytes(&[1, 2, 3]);
+        w.put_f32_slice(&[1.5, -2.5]);
+        w.put_f64_slice(&[0.125]);
+        w.put_usize_slice(&[9, 8]);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.get_usize().unwrap(), 42);
+        assert_eq!(r.get_f32().unwrap(), -0.25);
+        assert_eq!(r.get_f64().unwrap(), std::f64::consts::PI);
+        assert!(r.get_bool().unwrap());
+        assert_eq!(r.get_string().unwrap(), "thresholds");
+        assert_eq!(r.get_bytes().unwrap(), vec![1, 2, 3]);
+        assert_eq!(r.get_f32_vec().unwrap(), vec![1.5, -2.5]);
+        assert_eq!(r.get_f64_vec().unwrap(), vec![0.125]);
+        assert_eq!(r.get_usize_vec().unwrap(), vec![9, 8]);
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn nan_bits_survive_round_trip() {
+        // Resume must reproduce even pathological values bit-for-bit.
+        let weird = f32::from_bits(0x7FC0_1234); // a specific NaN payload
+        let mut w = ByteWriter::new();
+        w.put_f32(weird);
+        let bytes = w.into_bytes();
+        let got = ByteReader::new(&bytes).get_f32().unwrap();
+        assert_eq!(got.to_bits(), weird.to_bits());
+    }
+
+    #[test]
+    fn truncated_reads_error_not_panic() {
+        let mut w = ByteWriter::new();
+        w.put_f64_slice(&[1.0, 2.0, 3.0]);
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut r = ByteReader::new(&bytes[..cut]);
+            assert!(r.get_f64_vec().is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn absurd_length_prefix_rejected() {
+        let mut w = ByteWriter::new();
+        w.put_u64(u64::MAX); // a "length" that cannot be allocated
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(matches!(r.get_usize(), Err(ResilienceError::Decode(_))));
+    }
+
+    #[test]
+    fn bad_bool_and_utf8_rejected() {
+        let mut r = ByteReader::new(&[2]);
+        assert!(r.get_bool().is_err());
+        let mut w = ByteWriter::new();
+        w.put_usize(2);
+        let mut bytes = w.into_bytes();
+        bytes.extend_from_slice(&[0xFF, 0xFE]);
+        let mut r = ByteReader::new(&bytes);
+        assert!(r.get_string().is_err());
+    }
+}

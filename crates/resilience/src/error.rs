@@ -1,0 +1,101 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by the resilience layer.
+///
+/// I/O failures are carried as strings (`std::io::Error` is neither
+/// `Clone` nor `PartialEq`, and callers only ever report these).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResilienceError {
+    /// An underlying file operation failed.
+    Io(String),
+    /// A checkpoint file failed an integrity check (bad magic, length or
+    /// checksum). The message names the file and the failed check.
+    Corrupt(String),
+    /// A checkpoint was written by an incompatible schema.
+    SchemaVersion {
+        /// Version found in the file.
+        found: u32,
+        /// Version this build expects.
+        expected: u32,
+    },
+    /// A decode ran past the end of the payload.
+    Truncated {
+        /// Bytes the decoder needed.
+        needed: usize,
+        /// Bytes that remained.
+        available: usize,
+    },
+    /// A decoded value is structurally invalid (bad tag, absurd length).
+    Decode(String),
+    /// A deterministic fault injected by a [`FaultPlan`](crate::FaultPlan)
+    /// fired; the message names the injection site.
+    FaultInjected(String),
+}
+
+impl fmt::Display for ResilienceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResilienceError::Io(msg) => write!(f, "i/o error: {msg}"),
+            ResilienceError::Corrupt(msg) => write!(f, "corrupt checkpoint: {msg}"),
+            ResilienceError::SchemaVersion { found, expected } => {
+                write!(
+                    f,
+                    "checkpoint schema v{found}, this build expects v{expected}"
+                )
+            }
+            ResilienceError::Truncated { needed, available } => {
+                write!(
+                    f,
+                    "truncated payload: needed {needed} bytes, {available} left"
+                )
+            }
+            ResilienceError::Decode(msg) => write!(f, "decode error: {msg}"),
+            ResilienceError::FaultInjected(site) => write!(f, "injected fault at {site}"),
+        }
+    }
+}
+
+impl Error for ResilienceError {}
+
+impl From<std::io::Error> for ResilienceError {
+    fn from(e: std::io::Error) -> Self {
+        ResilienceError::Io(e.to_string())
+    }
+}
+
+/// Result alias for resilience operations.
+pub type Result<T> = std::result::Result<T, ResilienceError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failure() {
+        assert!(ResilienceError::Corrupt("x.ckpt: bad crc".into())
+            .to_string()
+            .contains("bad crc"));
+        assert!(ResilienceError::SchemaVersion {
+            found: 2,
+            expected: 1
+        }
+        .to_string()
+        .contains("v2"));
+        assert!(ResilienceError::Truncated {
+            needed: 8,
+            available: 3
+        }
+        .to_string()
+        .contains("8 bytes"));
+        assert!(ResilienceError::FaultInjected("search".into())
+            .to_string()
+            .contains("search"));
+    }
+
+    #[test]
+    fn io_errors_convert() {
+        let e: ResilienceError = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(e.to_string().contains("gone"));
+    }
+}

@@ -1,0 +1,225 @@
+//! Deterministic fault injection for chaos testing.
+//!
+//! A [`FaultPlan`] is armed once per run and fires each fault exactly
+//! once, at a deterministic point: a named pipeline phase, a specific
+//! optimizer step, or the next checkpoint write. Because the trigger is
+//! positional rather than random, an interrupted-then-resumed run can be
+//! compared bit-for-bit against an uninterrupted one.
+
+use crate::error::{ResilienceError, Result};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// A deterministic set of faults to inject into one run.
+///
+/// All trigger state is atomic, so a plan can be shared across threads
+/// behind an `Arc` without locks.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    fail_phase: Option<String>,
+    fail_phase_armed: AtomicBool,
+    poison_step: Option<u64>,
+    poison_armed: AtomicBool,
+    truncate_phase: Option<String>,
+    truncate_armed: AtomicBool,
+    steps_seen: AtomicU64,
+}
+
+impl PartialEq for FaultPlan {
+    fn eq(&self, other: &Self) -> bool {
+        self.fail_phase == other.fail_phase
+            && self.poison_step == other.poison_step
+            && self.truncate_phase == other.truncate_phase
+            && self.fail_phase_armed.load(Ordering::SeqCst)
+                == other.fail_phase_armed.load(Ordering::SeqCst)
+            && self.poison_armed.load(Ordering::SeqCst) == other.poison_armed.load(Ordering::SeqCst)
+            && self.truncate_armed.load(Ordering::SeqCst)
+                == other.truncate_armed.load(Ordering::SeqCst)
+            && self.steps_seen.load(Ordering::SeqCst) == other.steps_seen.load(Ordering::SeqCst)
+    }
+}
+
+impl Clone for FaultPlan {
+    fn clone(&self) -> Self {
+        FaultPlan {
+            fail_phase: self.fail_phase.clone(),
+            fail_phase_armed: AtomicBool::new(self.fail_phase_armed.load(Ordering::SeqCst)),
+            poison_step: self.poison_step,
+            poison_armed: AtomicBool::new(self.poison_armed.load(Ordering::SeqCst)),
+            truncate_phase: self.truncate_phase.clone(),
+            truncate_armed: AtomicBool::new(self.truncate_armed.load(Ordering::SeqCst)),
+            steps_seen: AtomicU64::new(self.steps_seen.load(Ordering::SeqCst)),
+        }
+    }
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Whether this plan injects anything at all.
+    pub fn is_empty(&self) -> bool {
+        self.fail_phase.is_none() && self.poison_step.is_none() && self.truncate_phase.is_none()
+    }
+
+    /// Arms a one-shot failure at the end of the named pipeline phase
+    /// (after its work completes, before its checkpoint is written).
+    pub fn fail_at_phase(mut self, phase: &str) -> Self {
+        self.fail_phase = Some(phase.to_string());
+        self.fail_phase_armed = AtomicBool::new(true);
+        self
+    }
+
+    /// Arms a one-shot gradient poisoning (NaN) at the given global
+    /// optimizer step (0-based).
+    pub fn poison_gradient_at_step(mut self, step: u64) -> Self {
+        self.poison_step = Some(step);
+        self.poison_armed = AtomicBool::new(true);
+        self
+    }
+
+    /// Arms a one-shot truncation of the named phase's checkpoint file
+    /// right after it is written.
+    pub fn truncate_checkpoint(mut self, phase: &str) -> Self {
+        self.truncate_phase = Some(phase.to_string());
+        self.truncate_armed = AtomicBool::new(true);
+        self
+    }
+
+    /// Parses a CLI spec. Grammar, comma-separated:
+    /// `fail-at:<phase>`, `poison-grad:<step>`, `truncate:<phase>`.
+    ///
+    /// # Errors
+    ///
+    /// [`ResilienceError::Decode`] on an unrecognised clause.
+    pub fn parse(spec: &str) -> Result<Self> {
+        let mut plan = FaultPlan::none();
+        for clause in spec.split(',').filter(|c| !c.trim().is_empty()) {
+            let clause = clause.trim();
+            if let Some(phase) = clause.strip_prefix("fail-at:") {
+                plan = plan.fail_at_phase(phase);
+            } else if let Some(step) = clause.strip_prefix("poison-grad:") {
+                let step = step.parse().map_err(|_| {
+                    ResilienceError::Decode(format!("bad poison-grad step {step:?}"))
+                })?;
+                plan = plan.poison_gradient_at_step(step);
+            } else if let Some(phase) = clause.strip_prefix("truncate:") {
+                plan = plan.truncate_checkpoint(phase);
+            } else {
+                return Err(ResilienceError::Decode(format!(
+                    "unknown fault clause {clause:?} (expected fail-at:<phase>, poison-grad:<step> or truncate:<phase>)"
+                )));
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Fires (once) if the plan kills the run at the end of `phase`.
+    ///
+    /// # Errors
+    ///
+    /// [`ResilienceError::FaultInjected`] the first time the armed phase
+    /// is reached; `Ok(())` otherwise.
+    pub fn check_phase(&self, phase: &str) -> Result<()> {
+        if self.fail_phase.as_deref() == Some(phase)
+            && self.fail_phase_armed.swap(false, Ordering::SeqCst)
+        {
+            return Err(ResilienceError::FaultInjected(format!("phase {phase}")));
+        }
+        Ok(())
+    }
+
+    /// Advances the global step counter and reports (once) whether this
+    /// step's gradients should be poisoned with NaN.
+    pub fn poison_this_step(&self) -> bool {
+        let step = self.steps_seen.fetch_add(1, Ordering::SeqCst);
+        self.poison_step == Some(step) && self.poison_armed.swap(false, Ordering::SeqCst)
+    }
+
+    /// Reports (once) whether the just-written checkpoint for `phase`
+    /// should be truncated to simulate a torn write.
+    pub fn should_truncate(&self, phase: &str) -> bool {
+        self.truncate_phase.as_deref() == Some(phase)
+            && self.truncate_armed.swap(false, Ordering::SeqCst)
+    }
+
+    /// Truncates `path` to half its length — the canonical torn-write
+    /// simulation used by the chaos harness.
+    ///
+    /// # Errors
+    ///
+    /// [`ResilienceError::Io`] if the file cannot be read or rewritten.
+    pub fn truncate_file(path: &std::path::Path) -> Result<()> {
+        let bytes = std::fs::read(path)
+            .map_err(|e| ResilienceError::Io(format!("read {path:?} for truncation: {e}")))?;
+        let keep = bytes.len() / 2;
+        std::fs::write(path, &bytes[..keep])
+            .map_err(|e| ResilienceError::Io(format!("truncate {path:?}: {e}")))?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_injects_nothing() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_empty());
+        assert!(plan.check_phase("search").is_ok());
+        assert!(!plan.poison_this_step());
+        assert!(!plan.should_truncate("scores"));
+    }
+
+    #[test]
+    fn phase_failure_fires_exactly_once() {
+        let plan = FaultPlan::none().fail_at_phase("search");
+        assert!(plan.check_phase("scores").is_ok());
+        assert!(matches!(
+            plan.check_phase("search"),
+            Err(ResilienceError::FaultInjected(_))
+        ));
+        // one-shot: a resumed run passes the same point cleanly
+        assert!(plan.check_phase("search").is_ok());
+    }
+
+    #[test]
+    fn poison_fires_at_exact_step_once() {
+        let plan = FaultPlan::none().poison_gradient_at_step(2);
+        assert!(!plan.poison_this_step()); // step 0
+        assert!(!plan.poison_this_step()); // step 1
+        assert!(plan.poison_this_step()); // step 2
+        assert!(!plan.poison_this_step()); // step 3
+    }
+
+    #[test]
+    fn truncate_fires_once() {
+        let plan = FaultPlan::none().truncate_checkpoint("calibrate");
+        assert!(!plan.should_truncate("scores"));
+        assert!(plan.should_truncate("calibrate"));
+        assert!(!plan.should_truncate("calibrate"));
+    }
+
+    #[test]
+    fn parse_grammar() {
+        let plan = FaultPlan::parse("fail-at:search, poison-grad:12 ,truncate:scores").unwrap();
+        assert!(!plan.is_empty());
+        assert!(plan.check_phase("search").is_err());
+        assert!(plan.should_truncate("scores"));
+        assert!(FaultPlan::parse("").unwrap().is_empty());
+        assert!(FaultPlan::parse("poison-grad:nope").is_err());
+        assert!(FaultPlan::parse("explode:now").is_err());
+    }
+
+    #[test]
+    fn truncate_file_halves() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("cbq_fault_trunc_{}", std::process::id()));
+        std::fs::write(&path, vec![7u8; 100]).unwrap();
+        FaultPlan::truncate_file(&path).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap().len(), 50);
+        std::fs::remove_file(&path).ok();
+    }
+}

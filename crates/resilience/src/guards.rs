@@ -1,0 +1,310 @@
+//! Numeric guards: NaN/Inf detection and the policy for reacting to it.
+//!
+//! A single NaN in a gradient silently poisons every weight it touches;
+//! by the time accuracy collapses the cause is long gone. The guards here
+//! check tensors at phase boundaries and per training step, and the
+//! [`GuardPolicy`] decides what happens when a check trips.
+
+use crate::error::{ResilienceError, Result};
+
+/// Summary of a finiteness scan over a buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FiniteReport {
+    /// Values scanned.
+    pub total: usize,
+    /// NaN values found.
+    pub nan: usize,
+    /// Infinite values found.
+    pub inf: usize,
+    /// Index of the first non-finite value, if any.
+    pub first_bad: Option<usize>,
+}
+
+impl FiniteReport {
+    /// Whether every value was finite.
+    pub fn is_finite(&self) -> bool {
+        self.nan == 0 && self.inf == 0
+    }
+
+    /// Folds another report (e.g. for a later buffer) into this one.
+    /// `offset` shifts the other report's `first_bad` index.
+    pub fn merge(&mut self, other: &FiniteReport, offset: usize) {
+        if self.first_bad.is_none() {
+            self.first_bad = other.first_bad.map(|i| i + offset);
+        }
+        self.total += other.total;
+        self.nan += other.nan;
+        self.inf += other.inf;
+    }
+}
+
+/// Scans an f32 buffer for NaN/Inf.
+pub fn scan_finite_f32(values: &[f32]) -> FiniteReport {
+    let mut rep = FiniteReport {
+        total: values.len(),
+        ..FiniteReport::default()
+    };
+    for (i, &v) in values.iter().enumerate() {
+        if v.is_nan() {
+            rep.nan += 1;
+        } else if v.is_infinite() {
+            rep.inf += 1;
+        } else {
+            continue;
+        }
+        if rep.first_bad.is_none() {
+            rep.first_bad = Some(i);
+        }
+    }
+    rep
+}
+
+/// Scans an f64 buffer for NaN/Inf.
+pub fn scan_finite_f64(values: &[f64]) -> FiniteReport {
+    let mut rep = FiniteReport {
+        total: values.len(),
+        ..FiniteReport::default()
+    };
+    for (i, &v) in values.iter().enumerate() {
+        if v.is_nan() {
+            rep.nan += 1;
+        } else if v.is_infinite() {
+            rep.inf += 1;
+        } else {
+            continue;
+        }
+        if rep.first_bad.is_none() {
+            rep.first_bad = Some(i);
+        }
+    }
+    rep
+}
+
+/// Errors unless every value in `values` is finite.
+///
+/// # Errors
+///
+/// [`ResilienceError::Decode`] is *not* used here; non-finite data is its
+/// own failure mode, reported as [`ResilienceError::Corrupt`] with a
+/// diagnosis naming `what`, the counts and the first offending index.
+pub fn ensure_finite_f32(what: &str, values: &[f32]) -> Result<()> {
+    let rep = scan_finite_f32(values);
+    if rep.is_finite() {
+        Ok(())
+    } else {
+        Err(non_finite(what, &rep))
+    }
+}
+
+/// f64 twin of [`ensure_finite_f32`].
+///
+/// # Errors
+///
+/// Same as [`ensure_finite_f32`].
+pub fn ensure_finite_f64(what: &str, values: &[f64]) -> Result<()> {
+    let rep = scan_finite_f64(values);
+    if rep.is_finite() {
+        Ok(())
+    } else {
+        Err(non_finite(what, &rep))
+    }
+}
+
+fn non_finite(what: &str, rep: &FiniteReport) -> ResilienceError {
+    ResilienceError::Corrupt(format!(
+        "{what}: {} NaN + {} Inf of {} values (first at index {})",
+        rep.nan,
+        rep.inf,
+        rep.total,
+        rep.first_bad.unwrap_or(0)
+    ))
+}
+
+/// What to do when a numeric guard trips during training.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GuardPolicy {
+    /// Stop immediately with a diagnosis (default — silent corruption is
+    /// worse than a dead run).
+    #[default]
+    Abort,
+    /// Drop the offending batch: zero the gradients, skip the optimizer
+    /// step, continue with the next batch.
+    SkipBatch,
+    /// Skip the step and halve the learning rate, up to `max_halvings`
+    /// times; abort once the budget is spent.
+    HalveLr {
+        /// Halvings allowed before giving up.
+        max_halvings: u32,
+    },
+}
+
+impl GuardPolicy {
+    /// Parses a CLI spec: `abort`, `skip-batch`, or `halve-lr[:N]`.
+    ///
+    /// # Errors
+    ///
+    /// [`ResilienceError::Decode`] on an unrecognised spec.
+    pub fn parse(spec: &str) -> Result<Self> {
+        match spec {
+            "abort" => Ok(GuardPolicy::Abort),
+            "skip-batch" => Ok(GuardPolicy::SkipBatch),
+            "halve-lr" => Ok(GuardPolicy::HalveLr { max_halvings: 3 }),
+            other => {
+                if let Some(n) = other.strip_prefix("halve-lr:") {
+                    let max_halvings = n.parse().map_err(|_| {
+                        ResilienceError::Decode(format!("bad halve-lr count {n:?}"))
+                    })?;
+                    Ok(GuardPolicy::HalveLr { max_halvings })
+                } else {
+                    Err(ResilienceError::Decode(format!(
+                        "unknown guard policy {other:?} (expected abort, skip-batch or halve-lr[:N])"
+                    )))
+                }
+            }
+        }
+    }
+}
+
+/// Mutable per-run state for applying a [`GuardPolicy`].
+#[derive(Debug, Clone, Copy)]
+pub struct GuardState {
+    policy: GuardPolicy,
+    halvings: u32,
+    trips: u64,
+    lr_scale: f32,
+}
+
+/// The action a trainer must take after a guard trip.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GuardAction {
+    /// Abort training with the given diagnosis.
+    Abort,
+    /// Zero gradients and skip this optimizer step.
+    SkipStep,
+    /// Skip this step and continue with the returned LR scale applied.
+    SkipStepWithLrScale(f32),
+}
+
+impl GuardState {
+    /// Fresh state for a policy.
+    pub fn new(policy: GuardPolicy) -> Self {
+        GuardState {
+            policy,
+            halvings: 0,
+            trips: 0,
+            lr_scale: 1.0,
+        }
+    }
+
+    /// The configured policy.
+    pub fn policy(&self) -> GuardPolicy {
+        self.policy
+    }
+
+    /// Times a guard has tripped so far.
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    /// Current learning-rate scale (1.0 until `HalveLr` trips).
+    pub fn lr_scale(&self) -> f32 {
+        self.lr_scale
+    }
+
+    /// Records a trip and decides the trainer's next move.
+    pub fn on_trip(&mut self) -> GuardAction {
+        self.trips += 1;
+        match self.policy {
+            GuardPolicy::Abort => GuardAction::Abort,
+            GuardPolicy::SkipBatch => GuardAction::SkipStep,
+            GuardPolicy::HalveLr { max_halvings } => {
+                if self.halvings >= max_halvings {
+                    GuardAction::Abort
+                } else {
+                    self.halvings += 1;
+                    self.lr_scale *= 0.5;
+                    GuardAction::SkipStepWithLrScale(self.lr_scale)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_counts_and_locates() {
+        let rep = scan_finite_f32(&[1.0, f32::NAN, f32::INFINITY, f32::NEG_INFINITY, 2.0]);
+        assert_eq!(rep.total, 5);
+        assert_eq!(rep.nan, 1);
+        assert_eq!(rep.inf, 2);
+        assert_eq!(rep.first_bad, Some(1));
+        assert!(!rep.is_finite());
+        assert!(scan_finite_f64(&[0.0, -5.5]).is_finite());
+    }
+
+    #[test]
+    fn merge_accumulates_with_offset() {
+        let mut a = scan_finite_f32(&[1.0, 2.0]);
+        let b = scan_finite_f32(&[f32::NAN]);
+        a.merge(&b, 2);
+        assert_eq!(a.total, 3);
+        assert_eq!(a.nan, 1);
+        assert_eq!(a.first_bad, Some(2));
+    }
+
+    #[test]
+    fn ensure_finite_diagnoses() {
+        assert!(ensure_finite_f32("scores", &[1.0]).is_ok());
+        let err = ensure_finite_f64("loss", &[f64::NAN]).unwrap_err();
+        assert!(err.to_string().contains("loss"));
+        assert!(err.to_string().contains("1 NaN"));
+    }
+
+    #[test]
+    fn policy_parse() {
+        assert_eq!(GuardPolicy::parse("abort").unwrap(), GuardPolicy::Abort);
+        assert_eq!(
+            GuardPolicy::parse("skip-batch").unwrap(),
+            GuardPolicy::SkipBatch
+        );
+        assert_eq!(
+            GuardPolicy::parse("halve-lr").unwrap(),
+            GuardPolicy::HalveLr { max_halvings: 3 }
+        );
+        assert_eq!(
+            GuardPolicy::parse("halve-lr:5").unwrap(),
+            GuardPolicy::HalveLr { max_halvings: 5 }
+        );
+        assert!(GuardPolicy::parse("retry-forever").is_err());
+        assert!(GuardPolicy::parse("halve-lr:x").is_err());
+    }
+
+    #[test]
+    fn abort_policy_aborts_immediately() {
+        let mut s = GuardState::new(GuardPolicy::Abort);
+        assert_eq!(s.on_trip(), GuardAction::Abort);
+        assert_eq!(s.trips(), 1);
+    }
+
+    #[test]
+    fn skip_batch_never_aborts() {
+        let mut s = GuardState::new(GuardPolicy::SkipBatch);
+        for _ in 0..10 {
+            assert_eq!(s.on_trip(), GuardAction::SkipStep);
+        }
+        assert_eq!(s.trips(), 10);
+        assert_eq!(s.lr_scale(), 1.0);
+    }
+
+    #[test]
+    fn halve_lr_is_bounded() {
+        let mut s = GuardState::new(GuardPolicy::HalveLr { max_halvings: 2 });
+        assert_eq!(s.on_trip(), GuardAction::SkipStepWithLrScale(0.5));
+        assert_eq!(s.on_trip(), GuardAction::SkipStepWithLrScale(0.25));
+        assert_eq!(s.on_trip(), GuardAction::Abort);
+        assert_eq!(s.lr_scale(), 0.25);
+    }
+}

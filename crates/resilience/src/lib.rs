@@ -1,0 +1,42 @@
+//! Crash-safety layer for the CBQ workspace.
+//!
+//! The CQ pipeline (pretrain → score → calibrate → search → refine) can
+//! run for hours; this crate makes a killed or corrupted run recoverable
+//! and a numerically poisoned run diagnosable:
+//!
+//! - [`atomic_write`] — write-temp → fsync → rename file replacement, so
+//!   readers never observe a torn file;
+//! - [`CheckpointStore`] / [`Checkpoint`] — versioned, CRC-64-checksummed
+//!   per-phase checkpoints with corruption detection and fallback;
+//! - [`ByteWriter`] / [`ByteReader`] — a bounds-checked binary codec that
+//!   stores floats as raw IEEE-754 bits, making resume bit-exact;
+//! - [`GuardPolicy`] / [`GuardState`] and the `ensure_finite_*` checks —
+//!   NaN/Inf detection with abort / skip-batch / halve-LR reactions;
+//! - [`SearchBudget`] / [`BudgetTracker`] — probe-count and wall-clock
+//!   limits that end the threshold search gracefully;
+//! - [`FaultPlan`] — deterministic fault injection (fail at phase, poison
+//!   a gradient step, truncate a checkpoint) for chaos tests.
+//!
+//! The crate is dependency-free on purpose: it sits below every other
+//! workspace crate and must build anywhere `std` does.
+
+#![warn(missing_docs)]
+
+mod atomic;
+mod budget;
+mod checkpoint;
+mod codec;
+mod error;
+mod fault;
+mod guards;
+
+pub use atomic::{atomic_write, atomic_write_text};
+pub use budget::{BudgetExhausted, BudgetTracker, SearchBudget};
+pub use checkpoint::{crc64, Checkpoint, CheckpointStore, LoadOutcome};
+pub use codec::{ByteReader, ByteWriter};
+pub use error::{ResilienceError, Result};
+pub use fault::FaultPlan;
+pub use guards::{
+    ensure_finite_f32, ensure_finite_f64, scan_finite_f32, scan_finite_f64, FiniteReport,
+    GuardAction, GuardPolicy, GuardState,
+};

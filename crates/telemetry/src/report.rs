@@ -146,6 +146,11 @@ impl RunReport {
 
     /// Writes the JSON report to `path`, creating parent directories.
     ///
+    /// The write goes through a sibling temp file, is flushed to disk,
+    /// and is then renamed into place, so readers never observe a torn
+    /// report. (Inlined rather than borrowed from `cbq-resilience` to
+    /// keep this crate dependency-free.)
+    ///
     /// # Errors
     ///
     /// Returns any I/O error from directory or file creation.
@@ -156,7 +161,21 @@ impl RunReport {
                 std::fs::create_dir_all(parent)?;
             }
         }
-        std::fs::write(path, self.to_json())
+        let file_name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "report".to_string());
+        let tmp = path.with_file_name(format!(".{file_name}.tmp-{}", std::process::id()));
+        let result = (|| {
+            let mut f = std::fs::File::create(&tmp)?;
+            std::io::Write::write_all(&mut f, self.to_json().as_bytes())?;
+            f.sync_all()?;
+            std::fs::rename(&tmp, path)
+        })();
+        if result.is_err() {
+            let _ = std::fs::remove_file(&tmp);
+        }
+        result
     }
 }
 

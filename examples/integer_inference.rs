@@ -55,7 +55,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let b2 = &params.params["fc2.bias"];
     let w3 = &params.params["fc3.weight"];
     let b3 = &params.params["fc3.bias"];
-    let lin2 = IntegerLinear::quantize(w2, &vec![bits; 8], Some(b2))?;
+    let lin2 = IntegerLinear::quantize(w2, &[bits; 8], Some(b2))?;
     println!(
         "compiled fc2 to integer codes: {}x{} weights",
         lin2.out_features(),

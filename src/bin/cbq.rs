@@ -14,6 +14,7 @@
 use cbq::core::{CqConfig, CqPipeline, RefineConfig};
 use cbq::data::{SyntheticImages, SyntheticSpec};
 use cbq::nn::{models, Sequential, TrainerConfig};
+use cbq::resilience::{atomic_write_text, FaultPlan, GuardPolicy};
 use cbq::telemetry::{JsonlSink, Level, Sink, StderrSink, Telemetry};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -32,6 +33,12 @@ struct Options {
     out: Option<String>,
     log_level: Option<Level>,
     trace_out: Option<String>,
+    checkpoint_dir: Option<String>,
+    resume: Option<String>,
+    max_probes: Option<u64>,
+    search_deadline: Option<f64>,
+    guard: GuardPolicy,
+    faults: Option<FaultPlan>,
 }
 
 impl Default for Options {
@@ -46,6 +53,12 @@ impl Default for Options {
             out: None,
             log_level: None,
             trace_out: None,
+            checkpoint_dir: None,
+            resume: None,
+            max_probes: None,
+            search_deadline: None,
+            guard: GuardPolicy::Abort,
+            faults: None,
         }
     }
 }
@@ -53,7 +66,9 @@ impl Default for Options {
 const USAGE: &str = "usage: cbq [--model vgg|resnet20x1|resnet20x5|mlp] \
 [--dataset c10|c100] [--wbits F] [--abits N] [--epochs N] [--seed N] \
 [--out FILE.json] [--log-level error|warn|info|debug|trace] \
-[--trace-out FILE.jsonl]";
+[--trace-out FILE.jsonl] [--checkpoint-dir DIR] [--resume DIR] \
+[--max-probes N] [--search-deadline SECONDS] \
+[--guard abort|skip-batch|halve-lr[:N]] [--faults SPEC]";
 
 fn parse_level(s: &str) -> Result<Level, String> {
     match s.to_ascii_lowercase().as_str() {
@@ -101,6 +116,31 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--out" => opts.out = Some(value("--out")?.clone()),
             "--log-level" => opts.log_level = Some(parse_level(value("--log-level")?)?),
             "--trace-out" => opts.trace_out = Some(value("--trace-out")?.clone()),
+            "--checkpoint-dir" => opts.checkpoint_dir = Some(value("--checkpoint-dir")?.clone()),
+            "--resume" => opts.resume = Some(value("--resume")?.clone()),
+            "--max-probes" => {
+                opts.max_probes = Some(
+                    value("--max-probes")?
+                        .parse()
+                        .map_err(|e| format!("--max-probes: {e}"))?,
+                );
+            }
+            "--search-deadline" => {
+                opts.search_deadline = Some(
+                    value("--search-deadline")?
+                        .parse()
+                        .map_err(|e| format!("--search-deadline: {e}"))?,
+                );
+            }
+            "--guard" => {
+                opts.guard =
+                    GuardPolicy::parse(value("--guard")?).map_err(|e| format!("--guard: {e}"))?;
+            }
+            "--faults" => {
+                opts.faults = Some(
+                    FaultPlan::parse(value("--faults")?).map_err(|e| format!("--faults: {e}"))?,
+                );
+            }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
         }
@@ -166,16 +206,34 @@ fn run(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
 
     let lr = if opts.model == "vgg" { 0.02 } else { 0.1 };
     let mut config = CqConfig::new(opts.wbits, opts.abits as f32);
-    config.pretrain = Some(TrainerConfig::quick(opts.epochs, lr));
+    let mut pretrain = TrainerConfig::quick(opts.epochs, lr);
+    pretrain.guard = opts.guard;
+    config.pretrain = Some(pretrain);
     config.refine = RefineConfig::quick(opts.epochs, lr / 5.0);
+    config.refine.guard = opts.guard;
+    // Checkpointed runs pin the refine shuffle to the run seed so a
+    // resumed run replays the interrupted one bit for bit.
+    if opts.checkpoint_dir.is_some() || opts.resume.is_some() {
+        config.refine.shuffle_seed = Some(opts.seed);
+    }
     config.search.step = 0.2;
+    config.search.max_probes = opts.max_probes;
+    config.search.max_seconds = opts.search_deadline;
     eprintln!(
         "cbq: {} on {} -> {:.1}-bit weights / {}-bit activations, {} epochs, seed {}",
         opts.model, opts.dataset, opts.wbits, opts.abits, opts.epochs, opts.seed
     );
-    let report = CqPipeline::new(config)
-        .with_telemetry(telemetry.clone())
-        .run(model, &data, &mut rng)?;
+    let mut pipeline = CqPipeline::new(config).with_telemetry(telemetry.clone());
+    // --resume implies checkpointing into the same directory, so the run
+    // keeps extending its own checkpoint trail.
+    if let Some(dir) = opts.resume.as_ref().or(opts.checkpoint_dir.as_ref()) {
+        pipeline = pipeline.with_checkpoint_dir(dir);
+    }
+    pipeline = pipeline.with_resume(opts.resume.is_some());
+    if let Some(faults) = &opts.faults {
+        pipeline = pipeline.with_fault_plan(Arc::new(faults.clone()));
+    }
+    let report = pipeline.run(model, &data, &mut rng)?;
     telemetry.flush();
     if let Some(path) = &opts.trace_out {
         eprintln!("wrote trace {path}");
@@ -210,7 +268,7 @@ fn run(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
             "thresholds": report.search.thresholds,
             "arrangement": report.search.arrangement,
         });
-        std::fs::write(path, serde_json::to_string_pretty(&payload)?)?;
+        atomic_write_text(path, &serde_json::to_string_pretty(&payload)?)?;
         eprintln!("wrote {path}");
     }
     Ok(())
@@ -294,6 +352,36 @@ mod tests {
         let o = parse_args(&[]).unwrap();
         assert_eq!(o.log_level, None);
         assert_eq!(o.trace_out, None);
+    }
+
+    #[test]
+    fn resilience_flags_parse() {
+        let o = parse_args(&args(&[
+            "--checkpoint-dir",
+            "ckpts",
+            "--max-probes",
+            "50",
+            "--search-deadline",
+            "12.5",
+            "--guard",
+            "halve-lr:3",
+            "--faults",
+            "fail-at:search,poison-grad:7",
+        ]))
+        .unwrap();
+        assert_eq!(o.checkpoint_dir.as_deref(), Some("ckpts"));
+        assert_eq!(o.max_probes, Some(50));
+        assert_eq!(o.search_deadline, Some(12.5));
+        assert_eq!(o.guard, GuardPolicy::HalveLr { max_halvings: 3 });
+        assert!(o.faults.is_some());
+
+        let o = parse_args(&args(&["--resume", "ckpts"])).unwrap();
+        assert_eq!(o.resume.as_deref(), Some("ckpts"));
+        assert_eq!(o.checkpoint_dir, None);
+
+        assert!(parse_args(&args(&["--guard", "explode"])).is_err());
+        assert!(parse_args(&args(&["--faults", "nonsense"])).is_err());
+        assert!(parse_args(&args(&["--max-probes", "many"])).is_err());
     }
 
     #[test]

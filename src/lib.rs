@@ -24,6 +24,9 @@
 //!   low-precision-accumulator baseline
 //! - [`telemetry`] — structured spans, counters, and run reports emitted
 //!   by every pipeline phase (`CBQ_LOG`, `--log-level`, `--trace-out`)
+//! - [`resilience`] — crash-safe checkpoints (atomic writes, CRC-64
+//!   integrity), NaN/Inf guards, search budgets, and deterministic fault
+//!   injection for chaos testing (`--resume`, `--faults`)
 //!
 //! # Quickstart
 //!
@@ -50,5 +53,6 @@ pub use cbq_core as core;
 pub use cbq_data as data;
 pub use cbq_nn as nn;
 pub use cbq_quant as quant;
+pub use cbq_resilience as resilience;
 pub use cbq_telemetry as telemetry;
 pub use cbq_tensor as tensor;

@@ -9,7 +9,6 @@ use cbq::quant::{
     install_act_quant, install_uniform, set_act_bits, set_act_calibration, BitWidth,
     IntActivations, IntegerLinear,
 };
-use cbq::tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -71,7 +70,7 @@ fn integer_execution_matches_fake_quant_network() {
     let h1 = h1.map(|v| v.max(0.0));
     let a1 = IntActivations::quantize(&h1, clips[0], act_bits).unwrap();
     // fc2 in integer code arithmetic (4-bit weights)
-    let lin2 = IntegerLinear::quantize(&w2, &vec![weight_bits; 8], Some(&b2)).unwrap();
+    let lin2 = IntegerLinear::quantize(&w2, &[weight_bits; 8], Some(&b2)).unwrap();
     let h2 = lin2.forward(&a1).unwrap();
     // relu2 + codes at clip[1]
     let h2 = h2.map(|v| v.max(0.0));

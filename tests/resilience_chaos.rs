@@ -1,0 +1,139 @@
+//! Crash-safety integration tests: a pipeline run interrupted by an
+//! injected fault and then resumed from its checkpoints must reproduce
+//! the uninterrupted run bit-for-bit, even when the checkpoint it crashed
+//! behind was torn mid-write. (The `chaos` binary in `cbq-bench` sweeps
+//! every phase; these tests cover the representative cases in CI.)
+
+use cbq::core::{CqConfig, CqPipeline, CqReport, RefineConfig, ScoreConfig};
+use cbq::data::{SyntheticImages, SyntheticSpec};
+use cbq::nn::{models, Sequential, TrainerConfig};
+use cbq::resilience::FaultPlan;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+const SEED: u64 = 42;
+
+fn quick_config() -> CqConfig {
+    let mut config = CqConfig::new(2.0, 2.0);
+    config.pretrain = Some(TrainerConfig {
+        batch_size: 16,
+        ..TrainerConfig::quick(2, 0.05)
+    });
+    config.refine = RefineConfig {
+        batch_size: 16,
+        // Seeded shuffle: resumed epochs replay the same batch order as
+        // the uninterrupted run.
+        shuffle_seed: Some(SEED),
+        ..RefineConfig::quick(3, 0.02)
+    };
+    config.score = ScoreConfig {
+        samples_per_class: 8,
+        epsilon: 1e-30,
+    };
+    config.search.step = 0.25;
+    config.search.probe_samples = 32;
+    config.eval_batch = 64;
+    config.calibration_samples = 64;
+    config
+}
+
+/// Identical (model, data) for every run in a test.
+fn fresh_inputs() -> (Sequential, SyntheticImages) {
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let data = SyntheticImages::generate(&SyntheticSpec::tiny(4), &mut rng).unwrap();
+    let model = models::mlp(&[data.feature_len(), 24, 16, 4], &mut rng).unwrap();
+    (model, data)
+}
+
+fn run_once(dir: Option<&Path>, resume: bool, fault: FaultPlan) -> cbq::core::Result<CqReport> {
+    let (model, data) = fresh_inputs();
+    let mut rng = StdRng::seed_from_u64(SEED ^ 0x5bd1_e995);
+    let mut pipeline = CqPipeline::new(quick_config()).with_fault_plan(Arc::new(fault));
+    if let Some(dir) = dir {
+        pipeline = pipeline.with_checkpoint_dir(dir).with_resume(resume);
+    }
+    pipeline.run(model, &data, &mut rng)
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cbq_chaos_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn assert_matches_baseline(baseline: &CqReport, resumed: &CqReport, scenario: &str) {
+    assert_eq!(
+        baseline.search, resumed.search,
+        "{scenario}: resumed search outcome diverged"
+    );
+    assert_eq!(
+        baseline.refine_stats, resumed.refine_stats,
+        "{scenario}: resumed refine stats diverged"
+    );
+    for (what, a, b) in [
+        ("fp_accuracy", baseline.fp_accuracy, resumed.fp_accuracy),
+        (
+            "pre_refine_accuracy",
+            baseline.pre_refine_accuracy,
+            resumed.pre_refine_accuracy,
+        ),
+        (
+            "final_accuracy",
+            baseline.final_accuracy,
+            resumed.final_accuracy,
+        ),
+    ] {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "{scenario}: {what} diverged ({a} vs {b})"
+        );
+    }
+}
+
+#[test]
+fn interrupted_then_resumed_matches_uninterrupted() {
+    let baseline = run_once(None, false, FaultPlan::none()).unwrap();
+
+    // Crash after an early phase (everything downstream recomputed) and
+    // mid-refine (the per-epoch checkpoint path).
+    for fault in ["fail-at:scores", "fail-at:refine-epoch-1"] {
+        let dir = scratch_dir("resume");
+        let crashed = run_once(Some(&dir), false, FaultPlan::parse(fault).unwrap());
+        assert!(crashed.is_err(), "{fault} did not interrupt the run");
+
+        let resumed = run_once(Some(&dir), true, FaultPlan::none()).unwrap();
+        assert_matches_baseline(&baseline, &resumed, fault);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+#[test]
+fn truncated_checkpoint_is_detected_and_recovered() {
+    let baseline = run_once(None, false, FaultPlan::none()).unwrap();
+
+    // The search checkpoint is torn right after it is written, then the
+    // process dies. Resume must spot the corruption (CRC mismatch),
+    // recompute the search, and still land on the baseline.
+    let dir = scratch_dir("torn");
+    let fault = FaultPlan::parse("truncate:search,fail-at:search").unwrap();
+    let crashed = run_once(Some(&dir), false, fault);
+    assert!(crashed.is_err());
+
+    let resumed = run_once(Some(&dir), true, FaultPlan::none()).unwrap();
+    assert_matches_baseline(&baseline, &resumed, "torn search checkpoint");
+    // the recomputed search re-wrote a valid checkpoint
+    assert!(dir.join("search.ckpt").exists());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn resume_with_empty_directory_runs_from_scratch() {
+    let baseline = run_once(None, false, FaultPlan::none()).unwrap();
+    let dir = scratch_dir("empty");
+    let resumed = run_once(Some(&dir), true, FaultPlan::none()).unwrap();
+    assert_matches_baseline(&baseline, &resumed, "resume from empty dir");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
