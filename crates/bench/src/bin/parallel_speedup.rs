@@ -1,0 +1,209 @@
+//! Measures serial vs parallel wall-clock for the three parallelized
+//! phases — importance scoring, threshold-search probes, and sharded
+//! gradient accumulation — on the default bench workload, verifies that
+//! parallel results are bit-identical to serial, and writes the numbers
+//! to `results/BENCH_parallel.json` (the CI workflow publishes that file
+//! as an artifact).
+//!
+//! ```sh
+//! cargo run --release -p cbq-bench --bin parallel_speedup
+//! THREADS=8 REPS=5 cargo run --release -p cbq-bench --bin parallel_speedup
+//! ```
+
+use cbq_core::{
+    score_network_with, search_with, Parallelism, ScoreConfig, SearchConfig, Telemetry,
+};
+use cbq_data::{SyntheticImages, SyntheticSpec};
+use cbq_nn::{models, Layer, Trainer, TrainerConfig};
+use cbq_resilience::atomic_write_text;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+}
+
+/// Best-of-`reps` wall-clock for `f`, in seconds.
+fn time_best<T>(reps: usize, mut f: impl FnMut() -> T) -> (T, f64) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let v = f();
+        best = best.min(t.elapsed().as_secs_f64());
+        out = Some(v);
+    }
+    (out.expect("reps >= 1"), best)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let threads = env_usize("THREADS", 4);
+    let reps = env_usize("REPS", 3);
+    let par = Parallelism::new(threads);
+    let serial = Parallelism::serial();
+    let tel = Telemetry::disabled();
+
+    // Default bench workload: VGG-small on the CIFAR-10-like synthetic
+    // set, briefly pretrained so scores and probes are meaningful.
+    let mut rng = StdRng::seed_from_u64(0);
+    let spec = SyntheticSpec::cifar10_like();
+    let data = SyntheticImages::generate(&spec, &mut rng)?;
+    let cfg =
+        models::VggConfig::for_input(spec.channels, spec.height, spec.width, spec.num_classes);
+    let mut net = models::vgg_small(&cfg, &mut rng)?;
+    let tc = TrainerConfig::quick(2, 0.02);
+    Trainer::new(tc.clone()).fit(&mut net, data.train(), &mut rng)?;
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    eprintln!(
+        "workload ready: vgg_small, {} train images, {host_cores} host core(s)",
+        data.train().len()
+    );
+
+    // Phase 1: importance scoring.
+    let score_cfg = ScoreConfig::new();
+    let (scores_serial, score_serial_s) = time_best(reps, || {
+        score_network_with(
+            &mut net,
+            data.val(),
+            spec.num_classes,
+            &score_cfg,
+            &tel,
+            serial,
+        )
+        .expect("serial scoring")
+    });
+    let (scores_par, score_par_s) = time_best(reps, || {
+        score_network_with(
+            &mut net,
+            data.val(),
+            spec.num_classes,
+            &score_cfg,
+            &tel,
+            par,
+        )
+        .expect("parallel scoring")
+    });
+    let score_exact = scores_serial == scores_par;
+    eprintln!(
+        "score : serial {score_serial_s:.3}s  x{threads} {score_par_s:.3}s  speedup {:.2}x  bit_exact {score_exact}",
+        score_serial_s / score_par_s.max(1e-12)
+    );
+
+    // Phase 2: threshold-search probes. Each run installs transforms on a
+    // fresh clone so timings never see a previously quantized network.
+    let mut search_cfg = SearchConfig::new(2.0);
+    search_cfg.step = 0.2;
+    let (outcome_serial, search_serial_s) = time_best(reps, || {
+        let mut probe_net = net.clone();
+        search_with(
+            &mut probe_net,
+            &scores_serial,
+            data.val(),
+            &search_cfg,
+            &tel,
+            serial,
+        )
+        .expect("serial search")
+    });
+    let (outcome_par, search_par_s) = time_best(reps, || {
+        let mut probe_net = net.clone();
+        search_with(
+            &mut probe_net,
+            &scores_serial,
+            data.val(),
+            &search_cfg,
+            &tel,
+            par,
+        )
+        .expect("parallel search")
+    });
+    let search_exact = outcome_serial == outcome_par;
+    eprintln!(
+        "search: serial {search_serial_s:.3}s  x{threads} {search_par_s:.3}s  speedup {:.2}x  bit_exact {search_exact} ({} probes, {} cache hits)",
+        search_serial_s / search_par_s.max(1e-12),
+        outcome_par.probe_count,
+        outcome_par.probe_cache_hits
+    );
+
+    // Phase 3: sharded gradient accumulation (one refine-scale epoch).
+    // Shard count is fixed; only the worker budget varies, so the trained
+    // weights must match bit for bit.
+    let shard_tc = TrainerConfig {
+        epochs: 1,
+        grad_shards: threads,
+        ..tc
+    };
+    let train_epoch = |budget: Parallelism| -> (Vec<f32>, f64) {
+        let mut trainee = net.clone();
+        let mut train_rng = StdRng::seed_from_u64(7);
+        let t = Instant::now();
+        Trainer::new(shard_tc.clone())
+            .with_parallelism(budget)
+            .fit(&mut trainee, data.train(), &mut train_rng)
+            .expect("sharded epoch");
+        let secs = t.elapsed().as_secs_f64();
+        let mut weights = Vec::new();
+        trainee.visit_params(&mut |p| weights.extend_from_slice(p.value.as_slice()));
+        (weights, secs)
+    };
+    let (w_serial, train_serial_s) = train_epoch(serial);
+    let (w_par, train_par_s) = train_epoch(par);
+    let train_exact = w_serial.len() == w_par.len()
+        && w_serial
+            .iter()
+            .zip(&w_par)
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+    eprintln!(
+        "train : serial {train_serial_s:.3}s  x{threads} {train_par_s:.3}s  speedup {:.2}x  bit_exact {train_exact}",
+        train_serial_s / train_par_s.max(1e-12)
+    );
+
+    let payload = serde_json::json!({
+        "workload": "vgg_small/cifar10_like",
+        "threads": threads,
+        "reps": reps,
+        "host_cores": host_cores,
+        "phases": [
+            {
+                "name": "score",
+                "serial_s": score_serial_s,
+                "parallel_s": score_par_s,
+                "speedup": score_serial_s / score_par_s.max(1e-12),
+                "bit_exact": score_exact,
+            },
+            {
+                "name": "search",
+                "serial_s": search_serial_s,
+                "parallel_s": search_par_s,
+                "speedup": search_serial_s / search_par_s.max(1e-12),
+                "bit_exact": search_exact,
+            },
+            {
+                "name": "train_grad_shards",
+                "serial_s": train_serial_s,
+                "parallel_s": train_par_s,
+                "speedup": train_serial_s / train_par_s.max(1e-12),
+                "bit_exact": train_exact,
+            },
+        ],
+    });
+    std::fs::create_dir_all("results")?;
+    atomic_write_text(
+        "results/BENCH_parallel.json",
+        &serde_json::to_string_pretty(&payload)?,
+    )?;
+    eprintln!("wrote results/BENCH_parallel.json");
+
+    if !(score_exact && search_exact && train_exact) {
+        eprintln!("BIT-EXACTNESS VIOLATION — see results/BENCH_parallel.json");
+        std::process::exit(1);
+    }
+    Ok(())
+}

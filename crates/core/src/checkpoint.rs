@@ -29,7 +29,11 @@ use cbq_tensor::Tensor;
 /// Schema version stamped into every pipeline checkpoint. Bump on any
 /// payload layout change; the store rejects mismatched versions and the
 /// pipeline recomputes the phase.
-pub const CHECKPOINT_SCHEMA: u32 = 1;
+///
+/// History: v1 — initial layout; v2 — `SearchOutcome.probe_cache_hits`
+/// added to the search payload, run metadata (`meta.ckpt`) records the
+/// worker count.
+pub const CHECKPOINT_SCHEMA: u32 = 2;
 
 /// Phase name of the pre-training checkpoint.
 pub const PHASE_PRETRAIN: &str = "pretrain";
@@ -181,6 +185,7 @@ fn put_outcome(w: &mut ByteWriter, o: &SearchOutcome) {
     w.put_f32(o.final_avg_bits);
     w.put_f32(o.final_probe_accuracy);
     w.put_usize(o.probe_count);
+    w.put_usize(o.probe_cache_hits);
     w.put_usize(o.threshold_summaries.len());
     for s in &o.threshold_summaries {
         w.put_usize(s.threshold_index);
@@ -215,6 +220,7 @@ fn get_outcome(r: &mut ByteReader<'_>) -> Result<SearchOutcome> {
     let final_avg_bits = r.get_f32()?;
     let final_probe_accuracy = r.get_f32()?;
     let probe_count = r.get_usize()?;
+    let probe_cache_hits = r.get_usize()?;
     let n = r.get_usize()?;
     let mut threshold_summaries = Vec::with_capacity(n.min(1 << 20));
     for _ in 0..n {
@@ -238,6 +244,7 @@ fn get_outcome(r: &mut ByteReader<'_>) -> Result<SearchOutcome> {
         final_avg_bits,
         final_probe_accuracy,
         probe_count,
+        probe_cache_hits,
         threshold_summaries,
         budget_exhausted,
     })
@@ -522,6 +529,7 @@ mod tests {
             final_avg_bits: 2.0,
             final_probe_accuracy: 0.75,
             probe_count: 2,
+            probe_cache_hits: 1,
             threshold_summaries: vec![ThresholdSummary {
                 threshold_index: 0,
                 probes: 1,

@@ -11,10 +11,12 @@
 //! neurons (Eq. 8).
 
 use crate::{CqError, Result};
-use cbq_data::Subset;
+use cbq_data::{Batch, Subset};
 use cbq_nn::{losses, Layer, LayerKind, Phase, Sequential};
 use cbq_quant::quant_units;
 use cbq_telemetry::Telemetry;
+use cbq_tensor::parallel::{parallel_map_with, Parallelism};
+use cbq_tensor::Tensor;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -225,6 +227,108 @@ pub fn score_network_traced(
     config: &ScoreConfig,
     tel: &Telemetry,
 ) -> Result<ImportanceScores> {
+    score_network_with(net, val, num_classes, config, tel, Parallelism::auto())
+}
+
+/// Per-shard output of one forward/backward task: integer critical-pathway
+/// counts per unit (the Eq. 6 numerator), the per-image tap width per
+/// unit, and the shard's compute seconds (for the speedup gauge).
+struct ShardCounts {
+    crit: Vec<Vec<u32>>,
+    per_item: Vec<usize>,
+    secs: f64,
+}
+
+/// Runs one eval-mode forward/backward over `images` on `net` and counts,
+/// per unit neuron, in how many images the neuron is critical
+/// (`|a · ∂Φ/∂a| > ε`, Eq. 5 + Eq. 6 numerator).
+fn count_critical(
+    net: &mut Sequential,
+    plans: &[TapPlan],
+    wanted: &HashMap<&str, Vec<usize>>,
+    images: &Tensor,
+    labels: &[usize],
+    epsilon: f64,
+) -> Result<(Vec<Vec<u32>>, Vec<usize>)> {
+    let n_s = labels.len();
+    let logits = net.forward(images, Phase::Eval)?;
+    // Seed the backward pass with ∂Φ/∂logits = one-hot at the class
+    // logit: Φ(x_m) is the class-m output of the network.
+    let seed = losses::one_hot(labels, logits.shape()[1])?;
+    net.backward(&seed)?;
+
+    // Harvest tap tensors. Several units can share one tap (e.g. a
+    // residual block's conv2 and its downsample conv both read the
+    // post-add ReLU), so the map holds every interested unit index.
+    let mut harvest: Vec<Option<(Tensor, Tensor)>> = vec![None; plans.len()];
+    net.visit_layers_mut(&mut |l| {
+        if let Some(indices) = wanted.get(l.name()) {
+            if let (Some(a), Some(g)) = (l.cached_output(), l.cached_grad_out()) {
+                for &i in indices {
+                    harvest[i] = Some((a.clone(), g.clone()));
+                }
+            }
+        }
+    });
+
+    let mut crit_all = Vec::with_capacity(plans.len());
+    let mut per_item_all = Vec::with_capacity(plans.len());
+    for (i, plan) in plans.iter().enumerate() {
+        let (act, grad) = harvest[i].as_ref().ok_or_else(|| {
+            CqError::ScoreMismatch(format!(
+                "tap {} for unit {} produced no cached activations",
+                plan.tap_name, plan.unit_name
+            ))
+        })?;
+        let per_item = act.len() / n_s.max(1);
+        if !per_item.is_multiple_of(plan.out_channels) {
+            return Err(CqError::ScoreMismatch(format!(
+                "tap {} activation size {} is not divisible by {} filters of unit {}",
+                plan.tap_name, per_item, plan.out_channels, plan.unit_name
+            )));
+        }
+        let a = act.as_slice();
+        let g = grad.as_slice();
+        let mut crit = vec![0u32; per_item];
+        for b in 0..n_s {
+            let base = b * per_item;
+            for n in 0..per_item {
+                let s = (a[base + n] as f64 * g[base + n] as f64).abs();
+                if s > epsilon {
+                    crit[n] += 1;
+                }
+            }
+        }
+        crit_all.push(crit);
+        per_item_all.push(per_item);
+    }
+    Ok((crit_all, per_item_all))
+}
+
+/// [`score_network_traced`] with an explicit worker budget.
+///
+/// Each class batch is split into at most `par.threads()` contiguous image
+/// shards; every worker scores its shards on a private clone of `net`,
+/// accumulating *integer* critical-pathway counts. The merge then sums the
+/// shard counts and derives `β`, `γ`, `φ` in fixed class order. Eval-mode
+/// forward/backward is per-sample independent (batch norm reads running
+/// statistics, dropout is identity), so every image's tap activations and
+/// gradients are bitwise identical regardless of which shard carries it —
+/// and integer addition is order-independent — which makes the resulting
+/// scores bit-identical to the serial path at any thread count.
+/// `par.threads() == 1` runs the one-batch-per-class serial path inline.
+///
+/// # Errors
+///
+/// Same as [`score_network`].
+pub fn score_network_with(
+    net: &mut Sequential,
+    val: &Subset,
+    num_classes: usize,
+    config: &ScoreConfig,
+    tel: &Telemetry,
+    par: Parallelism,
+) -> Result<ImportanceScores> {
     if num_classes == 0 {
         return Err(CqError::InvalidConfig(
             "num_classes must be positive".into(),
@@ -235,88 +339,116 @@ pub fn score_network_traced(
             "samples_per_class must be positive".into(),
         ));
     }
-    let span = tel.span_with("score", &[("num_classes", num_classes.into())]);
+    let threads = par.threads().max(1);
+    let span = tel.span_with(
+        "score",
+        &[
+            ("num_classes", num_classes.into()),
+            ("threads", threads.into()),
+        ],
+    );
     let t0 = tel.elapsed_s();
     let plans = plan_taps(net);
-    // Per unit: γ accumulator (per neuron) + per-class per-filter β.
-    let mut gamma: Vec<Vec<f64>> = Vec::with_capacity(plans.len());
-    let mut beta_filter: Vec<Vec<Vec<f64>>> = Vec::with_capacity(plans.len());
-    let mut neurons_per_filter: Vec<usize> = vec![0; plans.len()];
-    for _ in &plans {
-        gamma.push(Vec::new());
-        beta_filter.push(vec![Vec::new(); num_classes]);
+    let mut wanted: HashMap<&str, Vec<usize>> = HashMap::new();
+    for (i, p) in plans.iter().enumerate() {
+        wanted.entry(p.tap_name.as_str()).or_default().push(i);
     }
 
+    // Materialize the class batches up front so shard boundaries are known
+    // before any worker starts.
+    let mut class_batches: Vec<Batch> = Vec::with_capacity(num_classes);
+    for class in 0..num_classes {
+        class_batches.push(val.class_batch(class, config.samples_per_class)?);
+    }
+
+    // One task per (class, shard). `threads == 1` yields exactly one shard
+    // per class — literally the serial one-batch-per-class path.
+    let mut tasks: Vec<(usize, usize, usize)> = Vec::new();
+    for (class, batch) in class_batches.iter().enumerate() {
+        let n_s = batch.len();
+        for s in 0..threads {
+            let start = s * n_s / threads;
+            let end = (s + 1) * n_s / threads;
+            if start < end {
+                tasks.push((class, start, end));
+            }
+        }
+    }
+
+    let workers = threads.min(tasks.len()).max(1);
+    let clones: Vec<Sequential> = (0..workers).map(|_| net.clone()).collect();
+    let tasks_ref = &tasks;
+    let plans_ref = &plans;
+    let wanted_ref = &wanted;
+    let batches_ref = &class_batches;
+    let epsilon = config.epsilon;
+    let results: Vec<Result<ShardCounts>> =
+        parallel_map_with(clones, tasks.len(), move |worker, ti| {
+            let (class, start, end) = tasks_ref[ti];
+            let batch = &batches_ref[class];
+            let item_dims = &batch.images.shape()[1..];
+            let item_len: usize = item_dims.iter().product();
+            let data = batch.images.as_slice()[start * item_len..end * item_len].to_vec();
+            let mut dims = vec![end - start];
+            dims.extend_from_slice(item_dims);
+            let images = Tensor::from_vec(data, &dims)?;
+            let clock = std::time::Instant::now();
+            let (crit, per_item) = count_critical(
+                worker,
+                plans_ref,
+                wanted_ref,
+                &images,
+                &batch.labels[start..end],
+                epsilon,
+            )?;
+            Ok(ShardCounts {
+                crit,
+                per_item,
+                secs: clock.elapsed().as_secs_f64(),
+            })
+        });
+
+    // Collect shard counts per class in task order (= shard order).
+    let mut by_class: Vec<Vec<ShardCounts>> = (0..num_classes).map(|_| Vec::new()).collect();
     let mut images_scored = 0u64;
+    let mut busy_s = 0.0f64;
+    let n_tasks = results.len();
+    for (ti, res) in results.into_iter().enumerate() {
+        let counts = res?;
+        busy_s += counts.secs;
+        images_scored += (tasks[ti].2 - tasks[ti].1) as u64;
+        by_class[tasks[ti].0].push(counts);
+    }
+    tel.counter_add("score.forward_passes", n_tasks as u64);
+    tel.counter_add("score.backward_passes", n_tasks as u64);
+    tel.counter_add("score.images", images_scored);
+
+    // Fixed-order merge: per unit, sum the integer shard counts, then fold
+    // β into γ class by class — the same float operations, in the same
+    // order, as the serial path.
+    let mut gamma: Vec<Vec<f64>> = vec![Vec::new(); plans.len()];
+    let mut beta_filter: Vec<Vec<Vec<f64>>> = vec![vec![Vec::new(); num_classes]; plans.len()];
+    let mut neurons_per_filter: Vec<usize> = vec![0; plans.len()];
     #[allow(clippy::needless_range_loop)] // `class` indexes several accumulators
     for class in 0..num_classes {
-        let batch = val.class_batch(class, config.samples_per_class)?;
-        let n_s = batch.len();
-        let logits = net.forward(&batch.images, Phase::Eval)?;
-        // Seed the backward pass with ∂Φ/∂logits = one-hot at the class
-        // logit: Φ(x_m) is the class-m output of the network.
-        let seed = losses::one_hot(&batch.labels, logits.shape()[1])?;
-        net.backward(&seed)?;
-        tel.counter_add("score.forward_passes", 1);
-        tel.counter_add("score.backward_passes", 1);
-        tel.counter_add("score.images", n_s as u64);
-        images_scored += n_s as u64;
+        let n_s = class_batches[class].len();
         tel.trace(
             "score.class",
             &[("class", class.into()), ("samples", n_s.into())],
         );
-
-        // Harvest tap tensors. Several units can share one tap (e.g. a
-        // residual block's conv2 and its downsample conv both read the
-        // post-add ReLU), so the map holds every interested unit index.
-        let mut wanted: HashMap<&str, Vec<usize>> = HashMap::new();
-        for (i, p) in plans.iter().enumerate() {
-            wanted.entry(p.tap_name.as_str()).or_default().push(i);
-        }
-        let mut harvest: Vec<Option<(cbq_tensor::Tensor, cbq_tensor::Tensor)>> =
-            vec![None; plans.len()];
-        net.visit_layers_mut(&mut |l| {
-            if let Some(indices) = wanted.get(l.name()) {
-                if let (Some(a), Some(g)) = (l.cached_output(), l.cached_grad_out()) {
-                    for &i in indices {
-                        harvest[i] = Some((a.clone(), g.clone()));
-                    }
-                }
-            }
-        });
-
         for (i, plan) in plans.iter().enumerate() {
-            let (act, grad) = harvest[i].as_ref().ok_or_else(|| {
-                CqError::ScoreMismatch(format!(
-                    "tap {} for unit {} produced no cached activations",
-                    plan.tap_name, plan.unit_name
-                ))
-            })?;
-            let per_item = act.len() / n_s.max(1);
-            if per_item % plan.out_channels != 0 {
-                return Err(CqError::ScoreMismatch(format!(
-                    "tap {} activation size {} is not divisible by {} filters of unit {}",
-                    plan.tap_name, per_item, plan.out_channels, plan.unit_name
-                )));
+            let per_item = by_class[class][0].per_item[i];
+            let mut crit = vec![0u32; per_item];
+            for shard in &by_class[class] {
+                debug_assert_eq!(shard.per_item[i], per_item);
+                for (n, &c) in shard.crit[i].iter().enumerate() {
+                    crit[n] += c;
+                }
             }
             let npf = per_item / plan.out_channels;
             if gamma[i].is_empty() {
                 gamma[i] = vec![0.0; per_item];
                 neurons_per_filter[i] = npf;
-            }
-            // Count, per neuron, in how many of the class's images the
-            // neuron is critical (Eq. 5 + Eq. 6 numerator).
-            let a = act.as_slice();
-            let g = grad.as_slice();
-            let mut crit = vec![0u32; per_item];
-            for b in 0..n_s {
-                let base = b * per_item;
-                for n in 0..per_item {
-                    let s = (a[base + n] as f64 * g[base + n] as f64).abs();
-                    if s > config.epsilon {
-                        crit[n] += 1;
-                    }
-                }
             }
             // β per neuron, accumulated into γ; filter-level β kept for
             // diagnostics.
@@ -332,8 +464,6 @@ pub fn score_network_traced(
             beta_filter[i][class] = bf;
         }
     }
-    net.zero_grad();
-    net.clear_cache();
 
     // Cross-check against the quant-unit walk so the search can rely on
     // index alignment.
@@ -368,11 +498,14 @@ pub fn score_network_traced(
             beta_filter: std::mem::take(&mut beta_filter[i]),
         });
     }
+    let wall_s = tel.elapsed_s() - t0;
     if images_scored > 0 {
-        tel.gauge(
-            "score.ms_per_image",
-            (tel.elapsed_s() - t0) * 1000.0 / images_scored as f64,
-        );
+        tel.gauge("score.ms_per_image", wall_s * 1000.0 / images_scored as f64);
+    }
+    if wall_s > 0.0 && busy_s > 0.0 {
+        // Sum of per-shard compute time over wall time ≈ achieved speedup
+        // vs running the same shards serially.
+        tel.gauge("score.parallel_speedup_est", busy_s / wall_s);
     }
     span.end();
     let scores = ImportanceScores { num_classes, units };

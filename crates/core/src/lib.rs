@@ -48,19 +48,22 @@ pub mod refine;
 pub mod search;
 
 pub use cbq_telemetry::Telemetry;
+pub use cbq_tensor::parallel::Parallelism;
 pub use checkpoint::{
     CalibrateCkpt, PretrainCkpt, RefineCkpt, ScoresCkpt, SearchCkpt, CHECKPOINT_SCHEMA,
 };
 pub use error::CqError;
 pub use importance::{
-    score_network, score_network_traced, ImportanceScores, ScoreConfig, UnitScores,
+    score_network, score_network_traced, score_network_with, ImportanceScores, ScoreConfig,
+    UnitScores,
 };
 pub use pipeline::{CqConfig, CqPipeline, CqReport};
 pub use refine::{
     refine, refine_resumable, refine_traced, teacher_probs, OnEpoch, RefineConfig, RefineResume,
 };
 pub use search::{
-    search, search_traced, Granularity, SearchConfig, SearchOutcome, SearchStep, ThresholdSummary,
+    search, search_traced, search_with, Granularity, ProbeCache, ProbeKey, SearchConfig,
+    SearchOutcome, SearchStep, ThresholdSummary,
 };
 
 /// Result alias for fallible CQ operations.

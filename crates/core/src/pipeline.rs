@@ -12,8 +12,8 @@ use crate::checkpoint::{
     PHASE_CALIBRATE, PHASE_PRETRAIN, PHASE_REFINE, PHASE_SCORES, PHASE_SEARCH,
 };
 use crate::{
-    refine_resumable, score_network_traced, search_traced, teacher_probs, CqError,
-    ImportanceScores, RefineConfig, RefineResume, Result, ScoreConfig, SearchConfig, SearchOutcome,
+    refine_resumable, score_network_with, search_with, teacher_probs, CqError, ImportanceScores,
+    Parallelism, RefineConfig, RefineResume, Result, ScoreConfig, SearchConfig, SearchOutcome,
 };
 use cbq_data::SyntheticImages;
 use cbq_nn::{
@@ -24,7 +24,7 @@ use cbq_quant::{
     act_clip_bounds, install_act_quant, install_arrangement, model_size_bits,
     restore_act_clip_bounds, set_act_bits, set_act_calibration, BitWidth, SizeReport,
 };
-use cbq_resilience::{CheckpointStore, FaultPlan, LoadOutcome};
+use cbq_resilience::{CheckpointStore, FaultPlan, LoadOutcome, RunMeta};
 use cbq_telemetry::{Level, Telemetry};
 use rand::Rng;
 use std::path::PathBuf;
@@ -56,6 +56,11 @@ pub struct CqConfig {
     pub eval_batch: usize,
     /// Samples used to calibrate activation clip bounds.
     pub calibration_samples: usize,
+    /// Worker-thread budget for the scoring and search phases. Every
+    /// phase is bit-exact at any setting — [`Parallelism::serial`] and
+    /// [`Parallelism::auto`] produce byte-identical reports and
+    /// checkpoints; only wall-clock differs.
+    pub parallelism: Parallelism,
 }
 
 impl CqConfig {
@@ -82,6 +87,7 @@ impl CqConfig {
             refine: RefineConfig::quick(10, 0.01),
             eval_batch: 200,
             calibration_samples: 200,
+            parallelism: Parallelism::auto(),
         }
     }
 
@@ -258,6 +264,25 @@ impl CqPipeline {
             None => None,
         };
         let fault = &self.fault;
+        let par = self.config.parallelism;
+        tel.gauge("parallelism.workers", par.threads() as f64);
+        if let Some(store) = store.as_ref() {
+            if self.resume {
+                if let Some(meta) = store.load_meta() {
+                    tel.event(
+                        Level::Info,
+                        "checkpoint.meta",
+                        &[
+                            ("recorded_threads", (meta.threads as i64).into()),
+                            ("current_threads", (par.threads() as i64).into()),
+                        ],
+                    );
+                }
+            }
+            store.save_meta(&RunMeta {
+                threads: par.threads() as u32,
+            })?;
+        }
         // Runs after each phase completes: persist the checkpoint, then
         // fire any armed fault for the phase (truncation corrupts the file
         // just written; fail-at simulates a crash *after* the write, which
@@ -287,6 +312,7 @@ impl CqPipeline {
                     Trainer::new(tc.clone())
                         .with_telemetry(tel.clone())
                         .with_fault_plan(self.fault.clone())
+                        .with_parallelism(par)
                         .fit(&mut model, data.train(), rng)?;
                     span.end();
                     let ckpt = PretrainCkpt {
@@ -310,12 +336,13 @@ impl CqPipeline {
                 let fp_accuracy = evaluate(&mut model, data.test(), self.config.eval_batch)?;
                 let teacher = teacher_probs(&mut model, data.train(), self.config.eval_batch)?;
                 span.end();
-                let scores = score_network_traced(
+                let scores = score_network_with(
                     &mut model,
                     data.val(),
                     data.num_classes(),
                     &self.config.score,
                     tel,
+                    par,
                 )?;
                 let ckpt = ScoresCkpt {
                     fp_accuracy,
@@ -374,7 +401,7 @@ impl CqPipeline {
             None => {
                 let mut search_cfg = self.config.search.clone();
                 search_cfg.target_avg_bits = self.config.weight_bits;
-                let outcome = search_traced(&mut model, &scores, data.val(), &search_cfg, tel)?;
+                let outcome = search_with(&mut model, &scores, data.val(), &search_cfg, tel, par)?;
                 let pre_refine_accuracy =
                     evaluate(&mut model, data.test(), self.config.eval_batch)?;
                 let ckpt = SearchCkpt {

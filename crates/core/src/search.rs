@@ -14,7 +14,9 @@ use cbq_nn::{evaluate, Sequential};
 use cbq_quant::{install_arrangement, BitArrangement, BitWidth, UnitArrangement};
 use cbq_resilience::{BudgetExhausted, BudgetTracker, SearchBudget};
 use cbq_telemetry::{Level, Telemetry};
+use cbq_tensor::parallel::{parallel_map_with, Parallelism};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 
 /// Bit-allocation granularity.
 ///
@@ -173,10 +175,17 @@ pub struct SearchOutcome {
     pub final_avg_bits: f32,
     /// Validation accuracy of the final (unrefined) arrangement.
     pub final_probe_accuracy: f32,
-    /// Total accuracy probes performed (phase-1 moves plus the final
-    /// probe). `#[serde(default)]` keeps pre-telemetry results loadable.
+    /// Accuracy probes actually evaluated (phase-1 moves plus the final
+    /// probe, *excluding* probe-cache hits — see
+    /// [`SearchOutcome::probe_cache_hits`]). `#[serde(default)]` keeps
+    /// pre-telemetry results loadable.
     #[serde(default)]
     pub probe_count: usize,
+    /// Moves answered from the probe cache instead of a fresh evaluation:
+    /// an arrangement already measured this search (including the final
+    /// post-squeeze probe when phase 1 saw the same arrangement).
+    #[serde(default)]
+    pub probe_cache_hits: usize,
     /// Per-threshold digest of the trace.
     #[serde(default)]
     pub threshold_summaries: Vec<ThresholdSummary>,
@@ -211,6 +220,68 @@ fn summarize_thresholds(trace: &[SearchStep], thresholds: &[f64]) -> Vec<Thresho
         }
     }
     summaries
+}
+
+/// Exact identity of a quantization arrangement, used as the probe-cache
+/// key: every unit's name with its full per-filter bit map.
+///
+/// The key *is* the bit map — not a hash digest — so two distinct
+/// arrangements can never collide; equal arrangements (however reached)
+/// always produce equal keys.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ProbeKey(Vec<(String, Vec<u8>)>);
+
+impl ProbeKey {
+    /// Builds the key for an arrangement.
+    pub fn of(arr: &BitArrangement) -> Self {
+        ProbeKey(
+            arr.units()
+                .iter()
+                .map(|u| (u.name.clone(), u.bits.iter().map(|b| b.bits()).collect()))
+                .collect(),
+        )
+    }
+}
+
+/// Memoizes probe accuracies by exact arrangement.
+///
+/// Probe accuracy is a pure function of the (fixed) weights, the probe
+/// set, and the arrangement — [`install_arrangement`] installs stateless
+/// per-filter transforms that recompute from the shadow weights on every
+/// forward — which is what makes memoization sound. The search consults
+/// the cache before every committed move, so a threshold step that lands
+/// on an already-measured arrangement (common when a step does not cross
+/// any filter score), and the final post-squeeze probe, never re-evaluate.
+#[derive(Debug, Default)]
+pub struct ProbeCache {
+    map: HashMap<ProbeKey, f32>,
+}
+
+impl ProbeCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        ProbeCache::default()
+    }
+
+    /// The memoized accuracy for `key`, if this arrangement was measured.
+    pub fn get(&self, key: &ProbeKey) -> Option<f32> {
+        self.map.get(key).copied()
+    }
+
+    /// Records a measured accuracy.
+    pub fn insert(&mut self, key: ProbeKey, accuracy: f32) {
+        self.map.insert(key, accuracy);
+    }
+
+    /// Number of distinct arrangements measured.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no arrangement has been measured yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
 }
 
 /// Maps filter scores to bit-widths given the currently-determined
@@ -320,11 +391,40 @@ pub fn search_traced(
     config: &SearchConfig,
     tel: &Telemetry,
 ) -> Result<SearchOutcome> {
+    search_with(net, scores, val, config, tel, Parallelism::auto())
+}
+
+/// [`search_traced`] with an explicit worker budget.
+///
+/// Phase-1 probes are evaluated speculatively: the next `par.threads()`
+/// candidate positions of the moving threshold are measured concurrently,
+/// each on a private clone of `net` (probing is read-only — the installed
+/// transforms are stateless and recompute from the shadow weights, so a
+/// probe's accuracy does not depend on which network evaluated it). The
+/// results are then *committed strictly in candidate order*, applying the
+/// serial stopping rules; anything a stop discards never reaches the probe
+/// cache, `probe_count`, or the probe budget. The committed sequence —
+/// thresholds, trace, probe counts, cache hits — is therefore
+/// bit-identical at any thread count; only wall-clock time changes (which
+/// is why a `max_seconds` budget remains the one nondeterministic input).
+///
+/// # Errors
+///
+/// Same as [`search`].
+pub fn search_with(
+    net: &mut Sequential,
+    scores: &ImportanceScores,
+    val: &Subset,
+    config: &SearchConfig,
+    tel: &Telemetry,
+    par: Parallelism,
+) -> Result<SearchOutcome> {
     config.validate()?;
     if scores.units.is_empty() {
         return Err(CqError::ScoreMismatch("no scored units".into()));
     }
     let n = config.max_bits;
+    let threads = par.threads().max(1);
     let max_score = scores.max_phi().max(config.step);
     let probe_set = val.head(config.probe_samples)?;
     // Forward passes (batches) per accuracy probe.
@@ -332,6 +432,10 @@ pub fn search_traced(
     let mut trace: Vec<SearchStep> = Vec::new();
     let mut determined: Vec<f64> = Vec::new();
     let mut probe_count = 0usize;
+    let mut cache = ProbeCache::new();
+    let mut cache_hits = 0usize;
+    let mut speculative_evals = 0u64;
+    let mut busy_s = 0.0f64;
     let mut tracker = BudgetTracker::start(config.budget());
     let mut budget_exhausted: Option<String> = None;
     let report_exhaustion = |reason: &BudgetExhausted| {
@@ -342,11 +446,13 @@ pub fn search_traced(
         );
     };
 
+    let t_search = tel.elapsed_s();
     let search_span = tel.span_with(
         "search",
         &[
             ("target_avg_bits", config.target_avg_bits.into()),
             ("max_bits", config.max_bits.into()),
+            ("threads", threads.into()),
         ],
     );
     let probe = |net: &mut Sequential,
@@ -359,9 +465,13 @@ pub fn search_traced(
         *count += 1;
         tracker.record_probe();
         tel.counter_add("search.probes", 1);
+        tel.counter_add("search.probe_cache_misses", 1);
         tel.counter_add("probe.forward_passes", batches_per_probe);
         Ok(acc)
     };
+
+    // Worker clones for speculative probes (one suffices when serial).
+    let mut probe_nets: Vec<Sequential> = (0..threads).map(|_| net.clone()).collect();
 
     // Phase 1: move each threshold upward until its accuracy target is
     // violated or the average bit target is met.
@@ -369,46 +479,128 @@ pub fn search_traced(
     let mut target = config.t1;
     'outer: for k in 0..n as usize {
         let mut p = determined.last().copied().unwrap_or(0.0);
-        loop {
+        'threshold: loop {
             if let Some(reason) = tracker.exhausted() {
                 report_exhaustion(&reason);
                 budget_exhausted = Some(reason.to_string());
                 determined.push(p);
                 break 'outer;
             }
-            let candidate = p + config.step;
-            if candidate > max_score + config.step {
-                break; // ran off the top of the score range
+            // The speculative window: the next `threads` candidate
+            // positions, generated by the same chained additions the
+            // serial path performs (p + step, then + step again, …) so
+            // the committed positions are bitwise the serial ones.
+            let mut cands: Vec<f64> = Vec::new();
+            {
+                let mut c = p;
+                while cands.len() < threads {
+                    c += config.step;
+                    if c > max_score + config.step {
+                        break;
+                    }
+                    cands.push(c);
+                }
             }
-            let mut trial = determined.clone();
-            trial.push(candidate);
-            let arr = arrangement_from(scores, &trial, n, config.granularity);
-            let avg = arr.average_bits();
-            let acc = probe(net, &arr, &mut probe_count, &mut tracker)?;
-            tel.gauge("search.avg_bits", avg as f64);
-            tel.trace(
-                "search.move",
-                &[
-                    ("threshold_index", k.into()),
-                    ("threshold", candidate.into()),
-                    ("accuracy", acc.into()),
-                    ("avg_bits", avg.into()),
-                ],
-            );
-            trace.push(SearchStep {
-                threshold_index: k,
-                threshold: candidate,
-                accuracy: acc,
-                avg_bits: avg,
-                squeeze: false,
-            });
-            p = candidate;
-            if acc < target {
-                break; // p_k determined at the position where accuracy fell
+            if cands.is_empty() {
+                break 'threshold; // ran off the top of the score range
             }
-            if avg <= config.target_avg_bits {
-                determined.push(p);
-                break 'outer;
+            let trials: Vec<(f64, BitArrangement, f32, ProbeKey)> = cands
+                .iter()
+                .map(|&candidate| {
+                    let mut trial = determined.clone();
+                    trial.push(candidate);
+                    let arr = arrangement_from(scores, &trial, n, config.granularity);
+                    let avg = arr.average_bits();
+                    let key = ProbeKey::of(&arr);
+                    (candidate, arr, avg, key)
+                })
+                .collect();
+            // Evaluate the window's unseen arrangements concurrently.
+            let mut pending: Vec<(ProbeKey, &BitArrangement)> = Vec::new();
+            for (_, arr, _, key) in &trials {
+                if cache.get(key).is_none() && pending.iter().all(|(seen, _)| seen != key) {
+                    pending.push((key.clone(), arr));
+                }
+            }
+            let mut speculative: HashMap<ProbeKey, f32> = HashMap::new();
+            if !pending.is_empty() {
+                let states: Vec<&mut Sequential> =
+                    probe_nets.iter_mut().take(pending.len()).collect();
+                let pending_ref = &pending;
+                let probe_set_ref = &probe_set;
+                let batch_size = config.batch_size;
+                let evals: Vec<Result<(f32, f64)>> =
+                    parallel_map_with(states, pending.len(), move |worker, i| {
+                        let clock = std::time::Instant::now();
+                        install_arrangement(&mut **worker, pending_ref[i].1)?;
+                        let acc = evaluate(worker, probe_set_ref, batch_size)?;
+                        Ok((acc, clock.elapsed().as_secs_f64()))
+                    });
+                speculative_evals += pending.len() as u64;
+                tel.counter_add(
+                    "probe.forward_passes",
+                    batches_per_probe * pending.len() as u64,
+                );
+                for (i, e) in evals.into_iter().enumerate() {
+                    let (acc, secs) = e?;
+                    busy_s += secs;
+                    speculative.insert(pending[i].0.clone(), acc);
+                }
+            }
+            // Commit strictly in candidate order, applying the serial
+            // stopping rules; results past a stop are discarded unseen.
+            for (ci, (candidate, _, avg, key)) in trials.iter().enumerate() {
+                if ci > 0 {
+                    if let Some(reason) = tracker.exhausted() {
+                        report_exhaustion(&reason);
+                        budget_exhausted = Some(reason.to_string());
+                        determined.push(p);
+                        break 'outer;
+                    }
+                }
+                let acc = match cache.get(key) {
+                    Some(acc) => {
+                        cache_hits += 1;
+                        tel.counter_add("search.probe_cache_hits", 1);
+                        acc
+                    }
+                    None => {
+                        let acc = *speculative
+                            .get(key)
+                            .expect("window candidate was evaluated");
+                        probe_count += 1;
+                        tracker.record_probe();
+                        cache.insert(key.clone(), acc);
+                        tel.counter_add("search.probes", 1);
+                        tel.counter_add("search.probe_cache_misses", 1);
+                        acc
+                    }
+                };
+                tel.gauge("search.avg_bits", *avg as f64);
+                tel.trace(
+                    "search.move",
+                    &[
+                        ("threshold_index", k.into()),
+                        ("threshold", (*candidate).into()),
+                        ("accuracy", acc.into()),
+                        ("avg_bits", (*avg).into()),
+                    ],
+                );
+                trace.push(SearchStep {
+                    threshold_index: k,
+                    threshold: *candidate,
+                    accuracy: acc,
+                    avg_bits: *avg,
+                    squeeze: false,
+                });
+                p = *candidate;
+                if acc < target {
+                    break 'threshold; // p_k determined where accuracy fell
+                }
+                if *avg <= config.target_avg_bits {
+                    determined.push(p);
+                    break 'outer;
+                }
             }
         }
         determined.push(p);
@@ -473,8 +665,38 @@ pub fn search_traced(
         phase2.end();
     }
 
-    let final_acc = probe(net, &arr, &mut probe_count, &mut tracker)?;
+    // Final probe of the chosen arrangement. A cache hit (phase 1 already
+    // measured this exact arrangement) skips the evaluation but still
+    // installs the arrangement on the network, which is the search's
+    // on-return contract.
+    let final_key = ProbeKey::of(&arr);
+    let final_acc = match cache.get(&final_key) {
+        Some(acc) => {
+            cache_hits += 1;
+            tel.counter_add("search.probe_cache_hits", 1);
+            install_arrangement(net, &arr)?;
+            acc
+        }
+        None => {
+            let clock = std::time::Instant::now();
+            let acc = probe(net, &arr, &mut probe_count, &mut tracker)?;
+            busy_s += clock.elapsed().as_secs_f64();
+            speculative_evals += 1;
+            cache.insert(final_key, acc);
+            acc
+        }
+    };
     tel.gauge("search.avg_bits", arr.average_bits() as f64);
+    tel.counter_add(
+        "search.speculative_wasted",
+        speculative_evals.saturating_sub(probe_count as u64),
+    );
+    let wall_s = tel.elapsed_s() - t_search;
+    if wall_s > 0.0 && busy_s > 0.0 {
+        // Sum of per-probe compute time over wall time ≈ achieved speedup
+        // vs evaluating the same probes serially.
+        tel.gauge("search.parallel_speedup_est", busy_s / wall_s);
+    }
     search_span.end();
     let threshold_summaries = summarize_thresholds(&trace, &determined);
     Ok(SearchOutcome {
@@ -484,6 +706,7 @@ pub fn search_traced(
         arrangement: arr,
         trace,
         probe_count,
+        probe_cache_hits: cache_hits,
         threshold_summaries,
         budget_exhausted,
     })
@@ -634,6 +857,38 @@ mod tests {
     fn granularity_default_is_per_filter() {
         assert_eq!(Granularity::default(), Granularity::PerFilter);
         assert_eq!(SearchConfig::new(2.0).granularity, Granularity::PerFilter);
+    }
+
+    #[test]
+    fn probe_keys_equal_iff_arrangements_equal() {
+        let scores = fake_scores(vec![0.5, 1.5, 2.5, 3.5, 4.5]);
+        let a = arrangement_from(&scores, &[1.0, 2.0, 3.0, 4.0], 4, Granularity::PerFilter);
+        // Same bit map reached through different threshold positions that
+        // cross the same filter scores → equal keys.
+        let b = arrangement_from(&scores, &[0.9, 1.9, 2.9, 3.9], 4, Granularity::PerFilter);
+        assert_eq!(a.units()[0].bits, b.units()[0].bits);
+        assert_eq!(ProbeKey::of(&a), ProbeKey::of(&b));
+        // A threshold move that crosses a filter score changes a bit →
+        // keys must differ (full bit map, no collisions possible).
+        let c = arrangement_from(&scores, &[1.6, 2.0, 3.0, 4.0], 4, Granularity::PerFilter);
+        assert_ne!(a.units()[0].bits, c.units()[0].bits);
+        assert_ne!(ProbeKey::of(&a), ProbeKey::of(&c));
+    }
+
+    #[test]
+    fn probe_cache_returns_recorded_accuracy() {
+        let scores = fake_scores(vec![0.5, 1.5, 2.5]);
+        let arr = arrangement_from(&scores, &[1.0, 2.0], 4, Granularity::PerFilter);
+        let mut cache = ProbeCache::new();
+        assert!(cache.is_empty());
+        assert_eq!(cache.get(&ProbeKey::of(&arr)), None);
+        cache.insert(ProbeKey::of(&arr), 0.875);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get(&ProbeKey::of(&arr)), Some(0.875));
+        // Re-inserting the same arrangement overwrites, not duplicates.
+        cache.insert(ProbeKey::of(&arr), 0.5);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get(&ProbeKey::of(&arr)), Some(0.5));
     }
 
     // End-to-end search behaviour is covered by the integration tests in

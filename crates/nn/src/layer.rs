@@ -66,6 +66,17 @@ pub trait ActivationQuantizer: Debug + Send {
     /// Overrides the clip bound (restoring calibration from a checkpoint).
     /// The default is a no-op for quantizers without a stored bound.
     fn set_clip(&mut self, _clip: f32) {}
+
+    /// Deep-copies the quantizer behind the trait object, enabling
+    /// [`Clone`] for boxed quantizers (and therefore for whole networks —
+    /// the parallel scoring/probe paths work on per-worker model clones).
+    fn clone_box(&self) -> Box<dyn ActivationQuantizer>;
+}
+
+impl Clone for Box<dyn ActivationQuantizer> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
 }
 
 /// A transformation applied to a layer's weights at forward time.
@@ -79,6 +90,16 @@ pub trait ActivationQuantizer: Debug + Send {
 pub trait WeightTransform: Debug + Send {
     /// Produces the effective weight tensor from the shadow weights.
     fn apply(&self, weight: &Tensor) -> Tensor;
+
+    /// Deep-copies the transform behind the trait object (see
+    /// [`ActivationQuantizer::clone_box`]).
+    fn clone_box(&self) -> Box<dyn WeightTransform>;
+}
+
+impl Clone for Box<dyn WeightTransform> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
 }
 
 /// A differentiable network layer with manual forward/backward.
@@ -183,6 +204,18 @@ pub trait Layer: Debug + Send {
     /// Restores state captured by [`Layer::extra_state`]. Layers without
     /// extra state ignore the call.
     fn set_extra_state(&mut self, _state: &[f32]) {}
+
+    /// Deep-copies the layer behind the trait object. This is what makes
+    /// [`Sequential`](crate::Sequential) cloneable, which the data-parallel
+    /// paths rely on: each worker scores/probes on its own clone, so the
+    /// shared model is never mutated concurrently.
+    fn clone_box(&self) -> Box<dyn Layer>;
+}
+
+impl Clone for Box<dyn Layer> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
 }
 
 #[cfg(test)]

@@ -12,7 +12,7 @@ use cbq_tensor::Tensor;
 /// scoring pass of the paper runs backward through a frozen network):
 /// in that case the statistics are constants, so
 /// `dx = gy * gamma / sqrt(running_var + eps)`.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct BatchNorm2d {
     gamma: Param,
     beta: Param,
@@ -68,6 +68,10 @@ impl BatchNorm2d {
 }
 
 impl Layer for BatchNorm2d {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn forward(&mut self, x: &Tensor, phase: Phase) -> Result<Tensor> {
         x.shape_obj().ensure_rank(4)?;
         let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);

@@ -7,7 +7,7 @@ use rand::Rng;
 ///
 /// Weights are `[out_channels, in_channels, k, k]`; the bias is optional
 /// (the model zoo disables it before batch norm).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Conv2d {
     weight: Param,
     bias: Option<Param>,
@@ -117,6 +117,10 @@ impl Conv2d {
 }
 
 impl Layer for Conv2d {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn forward(&mut self, x: &Tensor, phase: Phase) -> Result<Tensor> {
         let eff = self.effective_weight();
         let out = conv2d(x, &eff, self.bias.as_ref().map(|b| &b.value), self.spec)?;
@@ -222,9 +226,13 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    #[derive(Debug)]
+    #[derive(Debug, Clone)]
     struct Halve;
     impl WeightTransform for Halve {
+        fn clone_box(&self) -> Box<dyn WeightTransform> {
+            Box::new(self.clone())
+        }
+
         fn apply(&self, w: &Tensor) -> Tensor {
             w.scale(0.5)
         }

@@ -9,7 +9,7 @@ use rand::{Rng, SeedableRng};
 ///
 /// The layer owns its RNG (seeded at construction) so training runs stay
 /// reproducible without threading an RNG through `forward`.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Dropout {
     p: f32,
     name: String,
@@ -44,6 +44,10 @@ impl Dropout {
 }
 
 impl Layer for Dropout {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn forward(&mut self, x: &Tensor, phase: Phase) -> Result<Tensor> {
         if phase == Phase::Eval || self.p == 0.0 {
             self.cached_mask = Some(Tensor::ones(x.shape()));

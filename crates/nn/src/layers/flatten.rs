@@ -2,7 +2,7 @@ use crate::{Layer, LayerKind, NnError, Param, Phase, Result};
 use cbq_tensor::Tensor;
 
 /// Flattens `[N, ...]` into `[N, prod(...)]` — the CNN-to-FC adapter.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Flatten {
     name: String,
     cached_dims: Option<Vec<usize>>,
@@ -19,6 +19,10 @@ impl Flatten {
 }
 
 impl Layer for Flatten {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn forward(&mut self, x: &Tensor, _phase: Phase) -> Result<Tensor> {
         if x.rank() == 0 {
             return Err(NnError::Tensor(cbq_tensor::TensorError::RankMismatch {

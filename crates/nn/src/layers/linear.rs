@@ -7,7 +7,7 @@ use rand::Rng;
 /// Like [`Conv2d`](crate::layers::Conv2d) it supports a weight transform
 /// for fake quantization; gradients pass straight through to the shadow
 /// weights (STE).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Linear {
     weight: Param,
     bias: Option<Param>,
@@ -101,6 +101,10 @@ impl Linear {
 }
 
 impl Layer for Linear {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn forward(&mut self, x: &Tensor, _phase: Phase) -> Result<Tensor> {
         x.shape_obj().ensure_rank(2)?;
         let eff = self.effective_weight();

@@ -5,7 +5,7 @@ use cbq_tensor::{
 };
 
 /// Max-pooling layer.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct MaxPool2dLayer {
     spec: PoolSpec,
     name: String,
@@ -24,6 +24,10 @@ impl MaxPool2dLayer {
 }
 
 impl Layer for MaxPool2dLayer {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn forward(&mut self, x: &Tensor, _phase: Phase) -> Result<Tensor> {
         let (out, idx) = max_pool2d(x, self.spec)?;
         self.cached_indices = Some(idx);
@@ -60,7 +64,7 @@ impl Layer for MaxPool2dLayer {
 }
 
 /// Average-pooling layer.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct AvgPool2dLayer {
     spec: PoolSpec,
     name: String,
@@ -79,6 +83,10 @@ impl AvgPool2dLayer {
 }
 
 impl Layer for AvgPool2dLayer {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn forward(&mut self, x: &Tensor, _phase: Phase) -> Result<Tensor> {
         let dims = [x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]];
         let out = avg_pool2d(x, self.spec)?;
@@ -115,7 +123,7 @@ impl Layer for AvgPool2dLayer {
 }
 
 /// Global average pooling `[N, C, H, W] -> [N, C]` (the ResNet head).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct GlobalAvgPoolLayer {
     name: String,
     cached_dims: Option<[usize; 4]>,
@@ -132,6 +140,10 @@ impl GlobalAvgPoolLayer {
 }
 
 impl Layer for GlobalAvgPoolLayer {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn forward(&mut self, x: &Tensor, _phase: Phase) -> Result<Tensor> {
         let dims = [x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]];
         let out = global_avg_pool(x)?;

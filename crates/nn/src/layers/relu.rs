@@ -11,7 +11,7 @@ use cbq_tensor::Tensor;
 /// internals. When an activation quantizer is installed, the cached
 /// output is the *quantized* activation and the backward pass applies the
 /// quantizer's straight-through mask before the ReLU mask.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Relu {
     name: String,
     quantizer: Option<Box<dyn ActivationQuantizer>>,
@@ -36,6 +36,10 @@ impl Relu {
 }
 
 impl Layer for Relu {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn forward(&mut self, x: &Tensor, _phase: Phase) -> Result<Tensor> {
         let relu_out = x.map(|v| v.max(0.0));
         let (out, mask) = match &mut self.quantizer {
@@ -146,11 +150,15 @@ mod tests {
         assert!(r.backward(&Tensor::zeros(&[1])).is_err());
     }
 
-    #[derive(Debug)]
+    #[derive(Debug, Clone)]
     struct HalveAboveOne {
         bits: Option<u8>,
     }
     impl ActivationQuantizer for HalveAboveOne {
+        fn clone_box(&self) -> Box<dyn ActivationQuantizer> {
+            Box::new(self.clone())
+        }
+
         fn apply(&mut self, x: &Tensor) -> (Tensor, Tensor) {
             // clip at 1.0: output min(x, 1), mask 1 where x <= 1
             let out = x.map(|v| v.min(1.0));

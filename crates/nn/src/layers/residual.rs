@@ -8,7 +8,7 @@ use rand::Rng;
 ///
 /// When the block changes resolution or width, the skip path is a strided
 /// 1×1 convolution + BN (the standard "option B" projection shortcut).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct BasicBlock {
     conv1: Conv2d,
     bn1: BatchNorm2d,
@@ -97,6 +97,10 @@ impl BasicBlock {
 }
 
 impl Layer for BasicBlock {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn forward(&mut self, x: &Tensor, phase: Phase) -> Result<Tensor> {
         let main = self.conv1.forward(x, phase)?;
         let main = self.bn1.forward(&main, phase)?;

@@ -22,7 +22,7 @@ use cbq_tensor::Tensor;
 /// assert_eq!(y.shape(), &[1, 2]);
 /// # Ok::<(), cbq_nn::NnError>(())
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Sequential {
     name: String,
     layers: Vec<Box<dyn Layer>>,
@@ -110,6 +110,10 @@ impl Sequential {
 }
 
 impl Layer for Sequential {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn forward(&mut self, x: &Tensor, phase: Phase) -> Result<Tensor> {
         let mut cur = x.clone();
         for layer in &mut self.layers {

@@ -1,7 +1,9 @@
 use crate::{losses, Layer, NnError, Phase, Result, Sequential, Sgd, SgdConfig, StepLr};
-use cbq_data::Subset;
+use cbq_data::{Batch, Subset};
 use cbq_resilience::{scan_finite_f32, FaultPlan, GuardAction, GuardPolicy, GuardState};
 use cbq_telemetry::{Level, Telemetry};
+use cbq_tensor::parallel::{fixed_order_reduce, parallel_slots, Parallelism};
+use cbq_tensor::Tensor;
 use rand::Rng;
 use std::sync::Arc;
 
@@ -27,6 +29,13 @@ pub struct TrainerConfig {
     pub verbose: bool,
     /// Reaction when a loss or gradient turns NaN/Inf mid-training.
     pub guard: GuardPolicy,
+    /// Number of gradient shards each minibatch is split into. `1` (the
+    /// default) runs the exact legacy single-pass path; larger values
+    /// forward/backward the shards on per-shard model clones — potentially
+    /// concurrently, see [`Trainer::with_parallelism`] — and merge the
+    /// shard gradients in fixed shard order, so for a given `grad_shards`
+    /// the trained weights are bit-identical at any worker count.
+    pub grad_shards: usize,
 }
 
 impl TrainerConfig {
@@ -43,6 +52,7 @@ impl TrainerConfig {
             weight_decay: 1e-4,
             verbose: false,
             guard: GuardPolicy::Abort,
+            grad_shards: 1,
         }
     }
 }
@@ -84,6 +94,7 @@ pub struct Trainer {
     config: TrainerConfig,
     telemetry: Telemetry,
     fault: Arc<FaultPlan>,
+    parallelism: Parallelism,
 }
 
 impl Trainer {
@@ -93,7 +104,19 @@ impl Trainer {
             config,
             telemetry: Telemetry::disabled(),
             fault: Arc::new(FaultPlan::none()),
+            parallelism: Parallelism::auto(),
         }
+    }
+
+    /// Sets the worker budget used when
+    /// [`grad_shards`](TrainerConfig::grad_shards) splits minibatches. The
+    /// budget changes only wall-clock time: shard-to-clone pairing and the
+    /// gradient merge order are fixed by shard index, so trained weights
+    /// are bit-identical at any setting.
+    #[must_use]
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
     }
 
     /// Attaches a fault-injection plan (chaos testing): armed
@@ -146,17 +169,37 @@ impl Trainer {
         let span = tel.span("train");
         let mut guard = GuardState::new(self.config.guard);
         let mut stats = Vec::with_capacity(self.config.epochs);
+        let shards = self.config.grad_shards.max(1);
+        // Slot-persistent clones for sharded gradient accumulation: clone
+        // `s` always processes shard `s`, so each clone's internal history
+        // (dropout RNG stream, batch-norm statistics) is a function of the
+        // shard index alone — never of the worker budget.
+        let mut shard_nets: Vec<Sequential> = if shards > 1 {
+            (0..shards).map(|_| net.clone()).collect()
+        } else {
+            Vec::new()
+        };
         for epoch in 0..self.config.epochs {
             opt.set_lr(schedule.lr_at(epoch) * guard.lr_scale());
             let mut loss_sum = 0.0f64;
             let mut acc_sum = 0.0f64;
             let mut batches = 0usize;
+            let mut passes = 0u64;
             for batch in train.batches_shuffled(self.config.batch_size, rng) {
-                net.zero_grad();
-                let logits = net.forward(&batch.images, Phase::Train)?;
-                let (loss, grad) = losses::cross_entropy(&logits, &batch.labels)?;
-                let acc = losses::accuracy(&logits, &batch.labels)?;
-                net.backward(&grad)?;
+                let (loss, acc) = if shards > 1 {
+                    let (loss, acc, active) =
+                        sharded_step(net, &mut shard_nets, &batch, self.parallelism.threads())?;
+                    passes += active as u64;
+                    (loss, acc)
+                } else {
+                    net.zero_grad();
+                    let logits = net.forward(&batch.images, Phase::Train)?;
+                    let (loss, grad) = losses::cross_entropy(&logits, &batch.labels)?;
+                    let acc = losses::accuracy(&logits, &batch.labels)?;
+                    net.backward(&grad)?;
+                    passes += 1;
+                    (loss, acc)
+                };
                 if self.fault.poison_this_step() {
                     poison_first_gradient(net);
                 }
@@ -188,8 +231,8 @@ impl Trainer {
                 acc_sum += acc as f64;
                 batches += 1;
             }
-            tel.counter_add("train.forward_passes", batches as u64);
-            tel.counter_add("train.backward_passes", batches as u64);
+            tel.counter_add("train.forward_passes", passes);
+            tel.counter_add("train.backward_passes", passes);
             let epoch_stats = EpochStats {
                 epoch,
                 loss: (loss_sum / batches.max(1) as f64) as f32,
@@ -215,6 +258,135 @@ impl Trainer {
         drop(span);
         Ok(stats)
     }
+}
+
+/// Per-shard output of one sharded training step.
+struct ShardResult {
+    /// Flattened parameter gradients (stable `visit_params` order), each
+    /// pre-scaled by the shard's batch-fraction weight.
+    grads: Vec<f32>,
+    loss: f32,
+    acc: f32,
+    weight: f32,
+    /// Post-forward extra state (batch-norm running statistics) per leaf.
+    extra: Vec<Option<Vec<f32>>>,
+}
+
+/// One sharded training step: splits `batch` into `shard_nets.len()`
+/// contiguous gradient shards, forwards/backwards shard `s` on clone `s`
+/// (slot-persistent — see [`parallel_slots`]), merges the weighted shard
+/// gradients into `net`'s parameter grads in fixed shard order via
+/// [`fixed_order_reduce`], and copies the first shard's batch-norm
+/// statistics back to `net`. Returns the shard-weighted `(loss, accuracy,
+/// active_shards)`. Everything downstream of the worker budget is fixed
+/// by shard index, so results are bit-identical at any thread count.
+fn sharded_step(
+    net: &mut Sequential,
+    shard_nets: &mut [Sequential],
+    batch: &Batch,
+    threads: usize,
+) -> Result<(f32, f32, usize)> {
+    let b = batch.len();
+    let shards = shard_nets.len();
+    if b == 0 || shards == 0 {
+        return Ok((0.0, 0.0, 0));
+    }
+    // Broadcast the main net's current parameters and batch-norm state to
+    // the clones (their own histories keep only RNG streams between steps).
+    let mut param_values: Vec<Vec<f32>> = Vec::new();
+    net.visit_params(&mut |p| param_values.push(p.value.as_slice().to_vec()));
+    let mut extra: Vec<Option<Vec<f32>>> = Vec::new();
+    net.visit_layers_mut(&mut |l| extra.push(l.extra_state()));
+    let dims = batch.images.shape().to_vec();
+    let row_len: usize = dims[1..].iter().product();
+    let spans: Vec<(usize, usize)> = (0..shards)
+        .map(|s| (s * b / shards, (s + 1) * b / shards))
+        .collect();
+    let images = batch.images.as_slice();
+    let results = parallel_slots(
+        shard_nets,
+        threads,
+        |slot: usize, worker: &mut Sequential| -> Result<Option<ShardResult>> {
+            let (start, end) = spans[slot];
+            if start == end {
+                return Ok(None);
+            }
+            let m = end - start;
+            let mut i = 0usize;
+            worker.visit_params(&mut |p| {
+                p.value.as_mut_slice().copy_from_slice(&param_values[i]);
+                i += 1;
+            });
+            let mut j = 0usize;
+            worker.visit_layers_mut(&mut |l| {
+                if let Some(state) = &extra[j] {
+                    l.set_extra_state(state);
+                }
+                j += 1;
+            });
+            worker.zero_grad();
+            let mut shard_dims = dims.clone();
+            shard_dims[0] = m;
+            let shard_images =
+                Tensor::from_vec(images[start * row_len..end * row_len].to_vec(), &shard_dims)?;
+            let shard_labels = &batch.labels[start..end];
+            let logits = worker.forward(&shard_images, Phase::Train)?;
+            let (loss, grad) = losses::cross_entropy(&logits, shard_labels)?;
+            let acc = losses::accuracy(&logits, shard_labels)?;
+            worker.backward(&grad)?;
+            // Scale here so the fixed-order merge is a plain sum reproducing
+            // the full-batch mean gradient: sum_s (m_s / b) * grad_s.
+            let weight = m as f32 / b as f32;
+            let mut grads = Vec::new();
+            worker.visit_params(&mut |p| {
+                grads.extend(p.grad.as_slice().iter().map(|g| g * weight));
+            });
+            let mut extra_after = Vec::new();
+            worker.visit_layers_mut(&mut |l| extra_after.push(l.extra_state()));
+            Ok(Some(ShardResult {
+                grads,
+                loss,
+                acc,
+                weight,
+                extra: extra_after,
+            }))
+        },
+    );
+    let mut steps: Vec<ShardResult> = Vec::new();
+    for r in results {
+        if let Some(step) = r? {
+            steps.push(step);
+        }
+    }
+    let Some(first) = steps.first() else {
+        return Ok((0.0, 0.0, 0));
+    };
+    let mut merged = vec![0.0f32; first.grads.len()];
+    let parts: Vec<&[f32]> = steps.iter().map(|s| s.grads.as_slice()).collect();
+    fixed_order_reduce(&parts, &mut merged);
+    net.zero_grad();
+    let mut off = 0usize;
+    net.visit_params(&mut |p| {
+        let g = p.grad.as_mut_slice();
+        g.copy_from_slice(&merged[off..off + g.len()]);
+        off += g.len();
+    });
+    // The first shard's batch-norm statistics become the main net's —
+    // shard 0's slot pairing is fixed, so this choice is deterministic.
+    let mut j = 0usize;
+    net.visit_layers_mut(&mut |l| {
+        if let Some(state) = &first.extra[j] {
+            l.set_extra_state(state);
+        }
+        j += 1;
+    });
+    let mut loss = 0.0f32;
+    let mut acc = 0.0f32;
+    for s in &steps {
+        loss += s.weight * s.loss;
+        acc += s.weight * s.acc;
+    }
+    Ok((loss, acc, steps.len()))
 }
 
 /// Overwrites one gradient value of the first parameter with NaN — the

@@ -52,6 +52,10 @@ impl Default for ActQuant {
 }
 
 impl ActivationQuantizer for ActQuant {
+    fn clone_box(&self) -> Box<dyn ActivationQuantizer> {
+        Box::new(self.clone())
+    }
+
     fn apply(&mut self, x: &Tensor) -> (Tensor, Tensor) {
         if self.calibrating {
             let batch_max = x.as_slice().iter().fold(0.0f32, |m, &v| m.max(v));

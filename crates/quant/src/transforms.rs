@@ -93,6 +93,10 @@ impl PerFilterQuantizer {
 }
 
 impl WeightTransform for PerFilterQuantizer {
+    fn clone_box(&self) -> Box<dyn WeightTransform> {
+        Box::new(self.clone())
+    }
+
     fn apply(&self, weight: &Tensor) -> Tensor {
         let filters = self.bits.len();
         if filters == 0 || weight.is_empty() {

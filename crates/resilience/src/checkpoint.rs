@@ -225,6 +225,69 @@ impl CheckpointStore {
     pub fn invalidate(&self, phase: &str) {
         let _ = fs::remove_file(self.path_for(phase));
     }
+
+    /// Atomically records run metadata as the `meta` pseudo-phase.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResilienceError::Io`] on filesystem failure.
+    pub fn save_meta(&self, meta: &RunMeta) -> Result<()> {
+        self.save(RunMeta::PHASE, meta.to_bytes())
+    }
+
+    /// Loads run metadata saved by [`CheckpointStore::save_meta`].
+    ///
+    /// Missing or corrupt metadata returns `None` — metadata is advisory
+    /// (it describes how a run was produced); it must never block a resume.
+    pub fn load_meta(&self) -> Option<RunMeta> {
+        let payload = self.load(RunMeta::PHASE).payload()?;
+        RunMeta::from_bytes(&payload).ok()
+    }
+}
+
+/// Metadata describing how a run's checkpoints were produced.
+///
+/// Saved as `meta.ckpt` next to the phase checkpoints. The CQ pipeline's
+/// phases are bit-exact at any worker count, so the recorded `threads` is
+/// informational — a resumed run may use a different thread count and
+/// still reproduce identical bytes — but recording it lets reports and
+/// post-mortems state exactly how a checkpoint came to be.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunMeta {
+    /// Worker-thread count the run was configured with.
+    pub threads: u32,
+}
+
+impl RunMeta {
+    /// Pseudo-phase name under which the metadata file is stored.
+    pub const PHASE: &'static str = "meta";
+
+    /// Serializes into the payload byte format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_u32(self.threads);
+        w.into_bytes()
+    }
+
+    /// Deserializes a payload written by [`RunMeta::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResilienceError::Corrupt`] on truncated or oversized
+    /// payloads.
+    pub fn from_bytes(bytes: &[u8]) -> Result<RunMeta> {
+        let mut r = ByteReader::new(bytes);
+        let threads = r
+            .get_u32()
+            .map_err(|e| ResilienceError::Corrupt(format!("run meta: {e}")))?;
+        if !r.is_exhausted() {
+            return Err(ResilienceError::Corrupt(format!(
+                "run meta: {} trailing bytes",
+                r.remaining()
+            )));
+        }
+        Ok(RunMeta { threads })
+    }
 }
 
 impl ByteReader<'_> {
@@ -315,6 +378,36 @@ mod tests {
         // phase name inside the file must match the file the caller asked for
         fs::copy(s.path_for("calibrate"), s.path_for("search")).unwrap();
         assert!(matches!(s.load("search"), LoadOutcome::Invalid(_)));
+        fs::remove_dir_all(s.dir()).ok();
+    }
+
+    #[test]
+    fn run_meta_round_trip() {
+        let s = store("meta");
+        assert_eq!(s.load_meta(), None);
+        s.save_meta(&RunMeta { threads: 7 }).unwrap();
+        assert_eq!(s.load_meta(), Some(RunMeta { threads: 7 }));
+        fs::remove_dir_all(s.dir()).ok();
+    }
+
+    #[test]
+    fn run_meta_rejects_malformed_payloads() {
+        assert!(RunMeta::from_bytes(&[1, 2]).is_err());
+        let mut long = RunMeta { threads: 4 }.to_bytes();
+        long.push(0);
+        assert!(RunMeta::from_bytes(&long).is_err());
+    }
+
+    #[test]
+    fn corrupt_run_meta_is_advisory_not_fatal() {
+        let s = store("meta_corrupt");
+        s.save_meta(&RunMeta { threads: 4 }).unwrap();
+        let path = s.path_for(RunMeta::PHASE);
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+        assert_eq!(s.load_meta(), None);
         fs::remove_dir_all(s.dir()).ok();
     }
 

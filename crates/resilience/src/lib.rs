@@ -32,7 +32,7 @@ mod guards;
 
 pub use atomic::{atomic_write, atomic_write_text};
 pub use budget::{BudgetExhausted, BudgetTracker, SearchBudget};
-pub use checkpoint::{crc64, Checkpoint, CheckpointStore, LoadOutcome};
+pub use checkpoint::{crc64, Checkpoint, CheckpointStore, LoadOutcome, RunMeta};
 pub use codec::{ByteReader, ByteWriter};
 pub use error::{ResilienceError, Result};
 pub use fault::FaultPlan;

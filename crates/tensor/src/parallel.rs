@@ -4,18 +4,84 @@
 //! patterns reduce to "split a disjoint output buffer into chunks and let
 //! one thread fill each chunk", which scoped threads express safely without
 //! any external dependency.
+//!
+//! Determinism is a first-class constraint: every helper here either
+//! performs order-independent work (disjoint writes, integer sums) or
+//! fixes the reduction order explicitly ([`fixed_order_reduce`]), so the
+//! same inputs produce bit-identical outputs at any worker count.
 
+use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Number of worker threads used by [`parallel_chunks_mut`] and
-/// [`parallel_for`]. Defaults to the machine's available parallelism,
-/// capped at 8 (the kernels here stop scaling beyond that on typical
-/// laptop-class hardware).
+/// [`parallel_for`].
+///
+/// Defaults to the machine's available parallelism capped at 8 — the
+/// kernels here stop scaling much beyond that on typical laptop-class
+/// hardware, and an uncapped default would oversubscribe shared CI
+/// runners. Larger machines opt in by setting the `CBQ_MAX_THREADS`
+/// environment variable to a positive integer, which replaces the cap
+/// (`CBQ_MAX_THREADS=32` allows up to 32 workers; available parallelism
+/// still bounds the result).
 pub fn worker_count() -> usize {
+    let cap = std::env::var("CBQ_MAX_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(8);
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
-        .min(8)
+        .min(cap)
+}
+
+/// How many worker threads a pipeline phase may use.
+///
+/// `threads == 1` forces the serial path; anything larger allows that many
+/// concurrent workers. Because every parallel reduction in the stack is
+/// fixed-order (see [`fixed_order_reduce`]) or order-independent (integer
+/// pathway counts), the thread count only changes wall-clock time — results
+/// are bit-identical at any setting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Parallelism {
+    threads: usize,
+}
+
+impl Parallelism {
+    /// Exactly one worker: the serial reference path.
+    pub fn serial() -> Self {
+        Parallelism { threads: 1 }
+    }
+
+    /// One worker per core, honoring the [`worker_count`] cap.
+    pub fn auto() -> Self {
+        Parallelism {
+            threads: worker_count(),
+        }
+    }
+
+    /// A fixed worker budget; `0` is clamped to `1`.
+    pub fn new(threads: usize) -> Self {
+        Parallelism {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The worker budget.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Whether this configuration forces the serial path.
+    pub fn is_serial(&self) -> bool {
+        self.threads <= 1
+    }
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Parallelism::auto()
+    }
 }
 
 /// Splits `out` into `chunk` sized pieces and applies `f(chunk_index, piece)`
@@ -103,6 +169,164 @@ where
     });
 }
 
+/// Maps `f` over `0..n`, giving each worker exclusive, reusable state.
+///
+/// `states` supplies one pre-built state per worker (e.g. a cloned model);
+/// its length is the worker budget. Tasks are handed out through an atomic
+/// counter, each worker threads its own `&mut S` through every task it
+/// claims, and results land at their task index, so the output order is
+/// `0..n` regardless of scheduling. A single state (or `n <= 1`) runs the
+/// loop inline on the calling thread.
+///
+/// Determinism contract: `f`'s result for task `i` must not depend on the
+/// worker state's history (model clones qualify — forward/backward caches
+/// are overwritten per call). Under that contract the output vector is
+/// identical for any `states.len()`.
+pub fn parallel_map_with<S, T, F>(mut states: Vec<S>, n: usize, f: F) -> Vec<T>
+where
+    S: Send,
+    T: Send,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    assert!(!states.is_empty(), "parallel_map_with needs >= 1 state");
+    if states.len() == 1 || n <= 1 {
+        let state = &mut states[0];
+        return (0..n).map(|i| f(state, i)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let f = &f;
+    let next = &next;
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = states
+            .drain(..)
+            .map(|mut state| {
+                s.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(&mut state, i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, v) in h.join().expect("parallel_map_with worker panicked") {
+                out[i] = Some(v);
+            }
+        }
+    });
+    out.into_iter()
+        .map(|v| v.expect("every task index claimed exactly once"))
+        .collect()
+}
+
+/// Runs `f(i, &mut states[i])` for every slot `i`, with slot-to-state
+/// pairing that never depends on the worker budget.
+///
+/// Unlike [`parallel_map_with`] — where any worker may claim any task —
+/// slot `i` always executes against state `i`. That is the contract the
+/// trainer's sharded gradient accumulation needs: each gradient shard owns
+/// a persistent model clone whose internal history (dropout RNG stream,
+/// batch-norm running statistics) must evolve as a function of the shard
+/// index alone, so changing `workers` cannot change any result.
+///
+/// `workers` threads each process a contiguous block of slots; `workers
+/// <= 1` (or a single slot) runs inline. Results are ordered by slot.
+pub fn parallel_slots<S, T, F>(states: &mut [S], workers: usize, f: F) -> Vec<T>
+where
+    S: Send,
+    T: Send,
+    F: Fn(usize, &mut S) -> T + Sync,
+{
+    let n = states.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = workers.max(1).min(n);
+    if workers == 1 {
+        return states
+            .iter_mut()
+            .enumerate()
+            .map(|(i, s)| f(i, s))
+            .collect();
+    }
+    let f = &f;
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut state_rest = &mut states[..];
+        let mut out_rest = &mut out[..];
+        let mut start = 0usize;
+        for t in 0..workers {
+            let end = (t + 1) * n / workers;
+            let take = end - start;
+            let (state_chunk, state_tail) = state_rest.split_at_mut(take);
+            let (out_chunk, out_tail) = out_rest.split_at_mut(take);
+            state_rest = state_tail;
+            out_rest = out_tail;
+            let base = start;
+            scope.spawn(move || {
+                for (j, (state, slot)) in state_chunk.iter_mut().zip(out_chunk).enumerate() {
+                    *slot = Some(f(base + j, state));
+                }
+            });
+            start = end;
+        }
+    });
+    out.into_iter()
+        .map(|v| v.expect("every slot executed exactly once"))
+        .collect()
+}
+
+/// Sums equal-length shard vectors into `out` in a fixed reduction order,
+/// bit-identical to the serial fold at any worker count.
+///
+/// Element `e` of the result is the left-to-right fold
+/// `((parts[0][e] + parts[1][e]) + parts[2][e]) + …` — the reduction tree
+/// is fixed by shard *index*, never by completion order, so float
+/// non-associativity cannot leak scheduling into the result. Parallelism
+/// runs across elements (each element's chain is independent), which is
+/// why the output cannot depend on how many threads executed it.
+///
+/// # Panics
+///
+/// Panics if any shard's length differs from `out.len()`.
+pub fn fixed_order_reduce(parts: &[&[f32]], out: &mut [f32]) {
+    for (k, p) in parts.iter().enumerate() {
+        assert_eq!(
+            p.len(),
+            out.len(),
+            "shard {k} length {} != output length {}",
+            p.len(),
+            out.len()
+        );
+    }
+    let len = out.len();
+    if len == 0 {
+        return;
+    }
+    // Pick the largest chunk <= 1024 that divides the buffer so
+    // parallel_chunks_mut's divisibility contract holds for any length.
+    let chunk = (1..=len.min(1024))
+        .rev()
+        .find(|c| len.is_multiple_of(*c))
+        .unwrap_or(1);
+    parallel_chunks_mut(out, chunk, |i, piece| {
+        let base = i * chunk;
+        for (j, slot) in piece.iter_mut().enumerate() {
+            let mut acc = 0.0f32;
+            for p in parts {
+                acc += p[base + j];
+            }
+            *slot = acc;
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -148,5 +372,71 @@ mod tests {
     #[test]
     fn worker_count_positive() {
         assert!(worker_count() >= 1);
+    }
+
+    #[test]
+    fn parallelism_constructors() {
+        assert!(Parallelism::serial().is_serial());
+        assert_eq!(Parallelism::new(0).threads(), 1);
+        assert_eq!(Parallelism::new(7).threads(), 7);
+        assert!(Parallelism::auto().threads() >= 1);
+        assert!(!Parallelism::new(4).is_serial());
+    }
+
+    #[test]
+    fn map_with_orders_results_by_task_index() {
+        for workers in [1usize, 2, 5] {
+            let states = vec![0u64; workers];
+            let got = parallel_map_with(states, 37, |state, i| {
+                *state += 1; // worker-local history must not affect results
+                i * i
+            });
+            let want: Vec<usize> = (0..37).map(|i| i * i).collect();
+            assert_eq!(got, want, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn slots_pair_state_and_index_at_any_worker_count() {
+        for workers in [1usize, 2, 3, 8] {
+            let mut states: Vec<u64> = (0..5).map(|i| 100 * i as u64).collect();
+            let got = parallel_slots(&mut states, workers, |i, state| {
+                *state += 1; // mutates its own slot only
+                (i as u64, *state)
+            });
+            let want: Vec<(u64, u64)> = (0..5).map(|i| (i, 100 * i + 1)).collect();
+            assert_eq!(got, want, "workers={workers}");
+            // state history stays with the slot regardless of worker budget
+            let after: Vec<u64> = (0..5).map(|i| 100 * i + 1).collect();
+            assert_eq!(states, after, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn fixed_order_reduce_matches_serial_fold() {
+        let a: Vec<f32> = (0..5000).map(|i| (i as f32).sin() * 1e-3).collect();
+        let b: Vec<f32> = (0..5000).map(|i| (i as f32).cos() * 7.0).collect();
+        let c: Vec<f32> = (0..5000).map(|i| 1.0 / (i as f32 + 1.0)).collect();
+        let mut out = vec![9.9f32; 5000];
+        fixed_order_reduce(&[&a, &b, &c], &mut out);
+        for i in 0..5000 {
+            let serial = (a[i] + b[i]) + c[i];
+            assert_eq!(out[i].to_bits(), serial.to_bits(), "element {i}");
+        }
+    }
+
+    #[test]
+    fn fixed_order_reduce_empty_parts_zeroes_output() {
+        let mut out = vec![3.0f32; 10];
+        fixed_order_reduce(&[], &mut out);
+        assert!(out.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "length")]
+    fn fixed_order_reduce_rejects_ragged_shards() {
+        let mut out = vec![0.0f32; 4];
+        let short = vec![0.0f32; 3];
+        fixed_order_reduce(&[&short], &mut out);
     }
 }

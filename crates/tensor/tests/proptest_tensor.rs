@@ -1,5 +1,6 @@
 //! Property-based tests of the tensor substrate's algebraic invariants.
 
+use cbq_tensor::parallel::{fixed_order_reduce, parallel_chunks_mut};
 use cbq_tensor::{col2im, conv2d, im2col, ConvSpec, Tensor};
 use proptest::prelude::*;
 
@@ -104,5 +105,68 @@ proptest! {
         let lhs = t.scale(alpha).sum();
         let rhs = alpha * t.sum();
         prop_assert!((lhs - rhs).abs() < 1e-2);
+    }
+
+    /// The fixed-order tree reduction over an *arbitrary* split of shards
+    /// equals the serial left fold exactly — compared on f32 bit patterns,
+    /// so float non-associativity would fail the test if the reduction
+    /// order ever depended on shard count or scheduling.
+    #[test]
+    fn fixed_order_reduce_equals_serial_fold_for_any_split(
+        len in 1usize..600,
+        shards in 1usize..9,
+        seed in 0u64..1000,
+    ) {
+        // Deterministic pseudo-random shard data covering many magnitudes,
+        // where (a + b) + c != a + (b + c) bitwise for most triples.
+        let parts: Vec<Vec<f32>> = (0..shards)
+            .map(|s| {
+                (0..len)
+                    .map(|i| {
+                        let x = (seed as f32 + (s * len + i) as f32 * 0.7311).sin();
+                        x * 10f32.powi(((seed as usize + s + i) % 7) as i32 - 3)
+                    })
+                    .collect()
+            })
+            .collect();
+        let refs: Vec<&[f32]> = parts.iter().map(|p| p.as_slice()).collect();
+        let mut out = vec![f32::NAN; len];
+        fixed_order_reduce(&refs, &mut out);
+        for e in 0..len {
+            let mut serial = 0.0f32;
+            for p in &parts {
+                serial += p[e];
+            }
+            prop_assert_eq!(
+                out[e].to_bits(),
+                serial.to_bits(),
+                "element {} diverged: {} vs {}", e, out[e], serial
+            );
+        }
+    }
+
+    /// `parallel_chunks_mut` hands every element to exactly one chunk
+    /// callback, for arbitrary valid (length, chunk-size) combinations —
+    /// including lengths above and below its internal sequential-fallback
+    /// threshold.
+    #[test]
+    fn parallel_chunks_cover_every_element_exactly_once(
+        chunk in 1usize..70,
+        chunks in 1usize..130,
+    ) {
+        let len = chunk * chunks;
+        let mut buf = vec![0.0f32; len];
+        parallel_chunks_mut(&mut buf, chunk, |i, piece| {
+            assert_eq!(piece.len(), chunk);
+            for x in piece.iter_mut() {
+                // Any element visited twice would end at 2.0, never 1.0;
+                // the chunk index pins each element to its one chunk.
+                *x += 1.0 + i as f32 * len as f32;
+            }
+        });
+        for (e, &x) in buf.iter().enumerate() {
+            let expected = 1.0 + (e / chunk) as f32 * len as f32;
+            prop_assert_eq!(x, expected, "element {} written wrongly/not exactly once", e);
+        }
     }
 }

@@ -39,6 +39,7 @@ struct Options {
     search_deadline: Option<f64>,
     guard: GuardPolicy,
     faults: Option<FaultPlan>,
+    threads: Option<usize>,
 }
 
 impl Default for Options {
@@ -59,6 +60,7 @@ impl Default for Options {
             search_deadline: None,
             guard: GuardPolicy::Abort,
             faults: None,
+            threads: None,
         }
     }
 }
@@ -68,7 +70,7 @@ const USAGE: &str = "usage: cbq [--model vgg|resnet20x1|resnet20x5|mlp] \
 [--out FILE.json] [--log-level error|warn|info|debug|trace] \
 [--trace-out FILE.jsonl] [--checkpoint-dir DIR] [--resume DIR] \
 [--max-probes N] [--search-deadline SECONDS] \
-[--guard abort|skip-batch|halve-lr[:N]] [--faults SPEC]";
+[--guard abort|skip-batch|halve-lr[:N]] [--faults SPEC] [--threads N]";
 
 fn parse_level(s: &str) -> Result<Level, String> {
     match s.to_ascii_lowercase().as_str() {
@@ -140,6 +142,15 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 opts.faults = Some(
                     FaultPlan::parse(value("--faults")?).map_err(|e| format!("--faults: {e}"))?,
                 );
+            }
+            "--threads" => {
+                let n: usize = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
+                if n == 0 {
+                    return Err("--threads must be positive (1 forces the serial path)".into());
+                }
+                opts.threads = Some(n);
             }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
@@ -219,9 +230,20 @@ fn run(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
     config.search.step = 0.2;
     config.search.max_probes = opts.max_probes;
     config.search.max_seconds = opts.search_deadline;
+    // Scoring, search and checkpoints are bit-exact at any worker count;
+    // --threads 1 forces the serial reference path.
+    if let Some(n) = opts.threads {
+        config.parallelism = cbq::core::Parallelism::new(n);
+    }
     eprintln!(
-        "cbq: {} on {} -> {:.1}-bit weights / {}-bit activations, {} epochs, seed {}",
-        opts.model, opts.dataset, opts.wbits, opts.abits, opts.epochs, opts.seed
+        "cbq: {} on {} -> {:.1}-bit weights / {}-bit activations, {} epochs, seed {}, {} worker(s)",
+        opts.model,
+        opts.dataset,
+        opts.wbits,
+        opts.abits,
+        opts.epochs,
+        opts.seed,
+        config.parallelism.threads()
     );
     let mut pipeline = CqPipeline::new(config).with_telemetry(telemetry.clone());
     // --resume implies checkpointing into the same directory, so the run
@@ -382,6 +404,17 @@ mod tests {
         assert!(parse_args(&args(&["--guard", "explode"])).is_err());
         assert!(parse_args(&args(&["--faults", "nonsense"])).is_err());
         assert!(parse_args(&args(&["--max-probes", "many"])).is_err());
+    }
+
+    #[test]
+    fn threads_flag_parses_and_rejects_zero() {
+        let o = parse_args(&args(&["--threads", "4"])).unwrap();
+        assert_eq!(o.threads, Some(4));
+        let o = parse_args(&[]).unwrap();
+        assert_eq!(o.threads, None);
+        assert!(parse_args(&args(&["--threads", "0"])).is_err());
+        assert!(parse_args(&args(&["--threads", "lots"])).is_err());
+        assert!(parse_args(&args(&["--threads"])).is_err());
     }
 
     #[test]

@@ -1,0 +1,360 @@
+//! Differential tests proving the parallel paths are *bit-exact*: at any
+//! worker count, importance scores, the full search outcome, sharded
+//! training, and every phase checkpoint must be byte-identical to the
+//! serial reference — including a run interrupted under one thread count
+//! and resumed under another.
+//!
+//! The thread counts under test come from `CBQ_TEST_THREADS` (a
+//! comma-separated list; default `1,2,4,7` — deliberately including a
+//! count that does not divide the per-class sample counts evenly).
+
+use cbq::core::{
+    score_network_with, search_with, CqConfig, CqPipeline, CqReport, Parallelism, RefineConfig,
+    ScoreConfig, SearchConfig, SearchOutcome, Telemetry,
+};
+use cbq::data::{SyntheticImages, SyntheticSpec};
+use cbq::nn::{models, Layer, Sequential, Trainer, TrainerConfig};
+use cbq::resilience::FaultPlan;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+const SEED: u64 = 1234;
+
+/// Thread counts under test, from `CBQ_TEST_THREADS` (default `1,2,4,7`).
+fn thread_counts() -> Vec<usize> {
+    let spec = std::env::var("CBQ_TEST_THREADS").unwrap_or_else(|_| "1,2,4,7".into());
+    let counts: Vec<usize> = spec
+        .split(',')
+        .filter_map(|t| t.trim().parse().ok())
+        .filter(|&n| n > 0)
+        .collect();
+    assert!(!counts.is_empty(), "CBQ_TEST_THREADS={spec} parsed empty");
+    counts
+}
+
+/// A small trained network plus its dataset, identical for every caller.
+fn trained_fixture() -> (Sequential, SyntheticImages) {
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let data = SyntheticImages::generate(&SyntheticSpec::tiny(4), &mut rng).unwrap();
+    let mut net = models::mlp(&[data.feature_len(), 24, 16, 4], &mut rng).unwrap();
+    let tc = TrainerConfig {
+        batch_size: 16,
+        ..TrainerConfig::quick(4, 0.05)
+    };
+    Trainer::new(tc)
+        .fit(&mut net, data.train(), &mut rng)
+        .unwrap();
+    (net, data)
+}
+
+fn score_cfg() -> ScoreConfig {
+    ScoreConfig {
+        samples_per_class: 10, // not divisible by 4 or 7 shards
+        epsilon: 1e-30,
+    }
+}
+
+fn search_cfg() -> SearchConfig {
+    let mut cfg = SearchConfig::new(2.0);
+    cfg.step = 0.25;
+    cfg.probe_samples = 32;
+    cfg
+}
+
+#[test]
+fn importance_scores_bit_identical_across_thread_counts() {
+    let (mut net, data) = trained_fixture();
+    let tel = Telemetry::disabled();
+    let baseline = score_network_with(
+        &mut net,
+        data.val(),
+        4,
+        &score_cfg(),
+        &tel,
+        Parallelism::serial(),
+    )
+    .unwrap();
+    for &t in &thread_counts() {
+        let scores = score_network_with(
+            &mut net,
+            data.val(),
+            4,
+            &score_cfg(),
+            &tel,
+            Parallelism::new(t),
+        )
+        .unwrap();
+        assert_eq!(baseline.units.len(), scores.units.len(), "threads={t}");
+        for (a, b) in baseline.units.iter().zip(&scores.units) {
+            assert_eq!(a.name, b.name, "threads={t}");
+            for (i, (x, y)) in a.gamma.iter().zip(&b.gamma).enumerate() {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "threads={t}: gamma[{i}] of {} diverged ({x} vs {y})",
+                    a.name
+                );
+            }
+            for (i, (x, y)) in a.phi.iter().zip(&b.phi).enumerate() {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "threads={t}: phi[{i}] of {} diverged ({x} vs {y})",
+                    a.name
+                );
+            }
+            assert_eq!(
+                a.beta_filter, b.beta_filter,
+                "threads={t}: beta of {}",
+                a.name
+            );
+        }
+    }
+}
+
+fn assert_outcomes_bit_identical(a: &SearchOutcome, b: &SearchOutcome, scenario: &str) {
+    for (i, (x, y)) in a.thresholds.iter().zip(&b.thresholds).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{scenario}: threshold {i} diverged ({x} vs {y})"
+        );
+    }
+    assert_eq!(a.thresholds.len(), b.thresholds.len(), "{scenario}");
+    assert_eq!(a.probe_count, b.probe_count, "{scenario}: probe_count");
+    assert_eq!(
+        a.probe_cache_hits, b.probe_cache_hits,
+        "{scenario}: probe_cache_hits"
+    );
+    assert_eq!(a.arrangement, b.arrangement, "{scenario}: arrangement");
+    assert_eq!(a.trace, b.trace, "{scenario}: trace");
+    assert_eq!(
+        a.threshold_summaries, b.threshold_summaries,
+        "{scenario}: threshold summaries"
+    );
+    assert_eq!(
+        a.final_avg_bits.to_bits(),
+        b.final_avg_bits.to_bits(),
+        "{scenario}: final_avg_bits"
+    );
+    assert_eq!(
+        a.final_probe_accuracy.to_bits(),
+        b.final_probe_accuracy.to_bits(),
+        "{scenario}: final_probe_accuracy"
+    );
+    assert_eq!(a.budget_exhausted, b.budget_exhausted, "{scenario}: budget");
+}
+
+#[test]
+fn search_outcome_bit_identical_across_thread_counts() {
+    let (mut net, data) = trained_fixture();
+    let tel = Telemetry::disabled();
+    let scores = score_network_with(
+        &mut net,
+        data.val(),
+        4,
+        &score_cfg(),
+        &tel,
+        Parallelism::serial(),
+    )
+    .unwrap();
+    let mut serial_net = net.clone();
+    let baseline = search_with(
+        &mut serial_net,
+        &scores,
+        data.val(),
+        &search_cfg(),
+        &tel,
+        Parallelism::serial(),
+    )
+    .unwrap();
+
+    // Every phase-1 move and the final probe increments exactly one of
+    // {probe_count, probe_cache_hits}; phase-2 squeezing must never probe.
+    let phase1_moves = baseline.trace.iter().filter(|s| !s.squeeze).count();
+    assert_eq!(
+        baseline.probe_count + baseline.probe_cache_hits,
+        phase1_moves + 1,
+        "probe accounting identity (phase-1 moves + final probe)"
+    );
+
+    for &t in &thread_counts() {
+        let mut probe_net = net.clone();
+        let outcome = search_with(
+            &mut probe_net,
+            &scores,
+            data.val(),
+            &search_cfg(),
+            &tel,
+            Parallelism::new(t),
+        )
+        .unwrap();
+        assert_outcomes_bit_identical(&baseline, &outcome, &format!("threads={t}"));
+
+        // The searched arrangements install identically: both networks
+        // must produce bit-identical logits on the probe set.
+        let probe = data.val().head(16).unwrap();
+        let a = serial_net
+            .forward(probe.images(), cbq::nn::Phase::Eval)
+            .unwrap();
+        let b = probe_net
+            .forward(probe.images(), cbq::nn::Phase::Eval)
+            .unwrap();
+        let bits = |t: &cbq::tensor::Tensor| -> Vec<u32> {
+            t.as_slice().iter().map(|x| x.to_bits()).collect()
+        };
+        assert_eq!(bits(&a), bits(&b), "threads={t}: quantized logits diverged");
+    }
+}
+
+#[test]
+fn sharded_training_bit_identical_across_thread_counts() {
+    let (net, data) = trained_fixture();
+    let weights_after = |threads: usize| -> Vec<u32> {
+        let mut trainee = net.clone();
+        let mut rng = StdRng::seed_from_u64(SEED ^ 0xfeed);
+        let tc = TrainerConfig {
+            batch_size: 16,
+            grad_shards: 3,
+            ..TrainerConfig::quick(2, 0.05)
+        };
+        Trainer::new(tc)
+            .with_parallelism(Parallelism::new(threads))
+            .fit(&mut trainee, data.train(), &mut rng)
+            .unwrap();
+        let mut bits = Vec::new();
+        trainee.visit_params(&mut |p| {
+            bits.extend(p.value.as_slice().iter().map(|v| v.to_bits()));
+        });
+        bits
+    };
+    let baseline = weights_after(1);
+    assert!(!baseline.is_empty());
+    for &t in &thread_counts() {
+        assert_eq!(
+            baseline,
+            weights_after(t),
+            "threads={t}: sharded training weights diverged"
+        );
+    }
+}
+
+// ---- full-pipeline determinism, including checkpoints and resume ----
+
+fn pipeline_config(threads: usize) -> CqConfig {
+    let mut config = CqConfig::new(2.0, 2.0);
+    config.pretrain = Some(TrainerConfig {
+        batch_size: 16,
+        ..TrainerConfig::quick(2, 0.05)
+    });
+    config.refine = RefineConfig {
+        batch_size: 16,
+        shuffle_seed: Some(SEED),
+        ..RefineConfig::quick(2, 0.02)
+    };
+    config.score = score_cfg();
+    config.search.step = 0.25;
+    config.search.probe_samples = 32;
+    config.eval_batch = 64;
+    config.calibration_samples = 64;
+    config.parallelism = Parallelism::new(threads);
+    config
+}
+
+fn run_pipeline(
+    threads: usize,
+    dir: Option<&Path>,
+    resume: bool,
+    fault: FaultPlan,
+) -> cbq::core::Result<CqReport> {
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let data = SyntheticImages::generate(&SyntheticSpec::tiny(4), &mut rng).unwrap();
+    let model = models::mlp(&[data.feature_len(), 24, 16, 4], &mut rng).unwrap();
+    let mut rng = StdRng::seed_from_u64(SEED ^ 0x5bd1_e995);
+    let mut pipeline = CqPipeline::new(pipeline_config(threads)).with_fault_plan(Arc::new(fault));
+    if let Some(dir) = dir {
+        pipeline = pipeline.with_checkpoint_dir(dir).with_resume(resume);
+    }
+    pipeline.run(model, &data, &mut rng)
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cbq_par_det_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn assert_reports_match(a: &CqReport, b: &CqReport, scenario: &str) {
+    assert_outcomes_bit_identical(&a.search, &b.search, scenario);
+    assert_eq!(a.refine_stats, b.refine_stats, "{scenario}: refine stats");
+    for (what, x, y) in [
+        ("fp_accuracy", a.fp_accuracy, b.fp_accuracy),
+        (
+            "pre_refine_accuracy",
+            a.pre_refine_accuracy,
+            b.pre_refine_accuracy,
+        ),
+        ("final_accuracy", a.final_accuracy, b.final_accuracy),
+    ] {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{scenario}: {what} diverged ({x} vs {y})"
+        );
+    }
+}
+
+#[test]
+fn pipeline_and_checkpoint_bytes_bit_identical_across_thread_counts() {
+    let serial_dir = scratch_dir("serial");
+    let baseline = run_pipeline(1, Some(&serial_dir), false, FaultPlan::none()).unwrap();
+
+    for &t in &thread_counts() {
+        let dir = scratch_dir(&format!("t{t}"));
+        let report = run_pipeline(t, Some(&dir), false, FaultPlan::none()).unwrap();
+        assert_reports_match(&baseline, &report, &format!("threads={t}"));
+
+        // Every phase checkpoint must be byte-identical. `meta.ckpt` is
+        // the one deliberate exception: it records the worker count that
+        // produced the run.
+        for phase in ["pretrain", "scores", "calibrate", "search", "refine"] {
+            let name = format!("{phase}.ckpt");
+            let a = std::fs::read(serial_dir.join(&name)).unwrap();
+            let b = std::fs::read(dir.join(&name)).unwrap();
+            assert_eq!(a, b, "threads={t}: {name} bytes diverged");
+        }
+        assert!(dir.join("meta.ckpt").exists(), "threads={t}: meta missing");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+    std::fs::remove_dir_all(&serial_dir).unwrap();
+}
+
+#[test]
+fn interrupt_under_one_thread_count_resume_under_another() {
+    let baseline = run_pipeline(1, None, false, FaultPlan::none()).unwrap();
+
+    // Crash a 4-worker run right after the scores checkpoint, resume it
+    // serially; then the reverse: crash a serial run, resume with 4
+    // workers. Both must land on the serial baseline bit for bit.
+    for (crash_threads, resume_threads, fault) in
+        [(4usize, 1usize, "fail-at:scores"), (1, 4, "fail-at:search")]
+    {
+        let dir = scratch_dir(&format!("resume_{crash_threads}_{resume_threads}"));
+        let crashed = run_pipeline(
+            crash_threads,
+            Some(&dir),
+            false,
+            FaultPlan::parse(fault).unwrap(),
+        );
+        assert!(crashed.is_err(), "{fault} did not interrupt the run");
+        let resumed = run_pipeline(resume_threads, Some(&dir), true, FaultPlan::none()).unwrap();
+        assert_reports_match(
+            &baseline,
+            &resumed,
+            &format!("crash@{crash_threads} resume@{resume_threads} ({fault})"),
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
