@@ -1,0 +1,408 @@
+//! Measures the packed-GEMM / batched-im2col / zero-alloc forward stack
+//! against the legacy per-item path on the search-probe workload, gates
+//! on bit-for-bit equivalence and on zero steady-state allocations, and
+//! writes the numbers to `results/BENCH_kernels.json` (published as a CI
+//! artifact).
+//!
+//! Three measurements:
+//!
+//! 1. **GEMM GFLOP/s** — `naive_gemm` vs `gemm_packed` at the exact
+//!    matrix shapes the vgg-small probe produces (conv layers as
+//!    batched-im2col GEMMs, FC layers as NT GEMMs).
+//! 2. **Per-probe wall-clock** — the legacy probe (per-item `im2col` +
+//!    `naive_gemm` + fresh allocations per call, reconstructed
+//!    straight-line from the network's state dict, since the old kernel
+//!    no longer exists) vs `evaluate_with_scratch` on a warm arena.
+//! 3. **Allocations per probe** — pool misses reported by the `Scratch`
+//!    debug counters across one steady-state probe; must be zero.
+//!
+//! ```sh
+//! cargo run --release -p cbq-bench --bin kernel_speedup
+//! THREADS=4 REPS=5 cargo run --release -p cbq-bench --bin kernel_speedup
+//! ```
+//!
+//! `THREADS` defaults to 1 so the headline speedup is a single-core
+//! number; it is forwarded to `CBQ_MAX_THREADS` before any kernel runs.
+
+use cbq_data::{Subset, SyntheticImages, SyntheticSpec};
+use cbq_nn::{evaluate_with_scratch, models, state_dict, Layer, Phase, StateDict};
+use cbq_resilience::atomic_write_text;
+use cbq_tensor::kernels::{gemm_packed, naive_gemm};
+use cbq_tensor::scratch::{fresh_alloc_count, reset_fresh_alloc_count};
+use cbq_tensor::{im2col, max_pool2d, ConvSpec, PoolSpec, Scratch, Tensor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+}
+
+/// Best-of-`reps` wall-clock for `f`, in seconds.
+fn time_best<T>(reps: usize, mut f: impl FnMut() -> T) -> (T, f64) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let v = f();
+        best = best.min(t.elapsed().as_secs_f64());
+        out = Some(v);
+    }
+    (out.expect("reps >= 1"), best)
+}
+
+/// The legacy evaluation path, reconstructed straight-line for vgg-small
+/// from a state dict: per-item im2col feeding one naive GEMM per image,
+/// eval-mode batch norm from running statistics, and a fresh heap
+/// allocation for every intermediate — exactly what the forward pass did
+/// before the kernel rework. Its logits are the equivalence baseline.
+struct LegacyVgg {
+    /// (weight `[O, C, KH, KW]`) per conv layer, in order.
+    conv_w: Vec<Tensor>,
+    /// (gamma, beta, running_mean, running_var) per batch-norm layer.
+    bn: Vec<BnParams>,
+    /// (weight `[out, in]`, bias `[out]`) per FC layer, in order.
+    fc: Vec<(Tensor, Tensor)>,
+}
+
+/// (gamma, beta, running_mean, running_var) for one batch-norm layer.
+type BnParams = (Vec<f32>, Vec<f32>, Vec<f32>, Vec<f32>);
+
+const BN_EPS: f32 = 1e-5;
+
+impl LegacyVgg {
+    fn from_state(dict: &StateDict) -> Self {
+        let conv_w = (1..=4)
+            .map(|i| dict.params[&format!("conv{i}.weight")].clone())
+            .collect();
+        let bn = (1..=4)
+            .map(|i| {
+                let stats = &dict.extra[&format!("bn{i}")];
+                let c = stats.len() / 2;
+                (
+                    dict.params[&format!("bn{i}.gamma")].as_slice().to_vec(),
+                    dict.params[&format!("bn{i}.beta")].as_slice().to_vec(),
+                    stats[..c].to_vec(),
+                    stats[c..].to_vec(),
+                )
+            })
+            .collect();
+        let fc = (5..=8)
+            .map(|i| {
+                (
+                    dict.params[&format!("fc{i}.weight")].clone(),
+                    dict.params[&format!("fc{i}.bias")].clone(),
+                )
+            })
+            .collect();
+        LegacyVgg { conv_w, bn, fc }
+    }
+
+    /// Per-item conv: unfold each image on its own, one naive GEMM per
+    /// image, fresh buffers throughout.
+    fn conv(&self, idx: usize, x: &Tensor) -> Tensor {
+        let w = &self.conv_w[idx];
+        let (n, c, h, wd) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+        let (o, kh, kw) = (w.shape()[0], w.shape()[2], w.shape()[3]);
+        let k = c * kh * kw;
+        let spec = ConvSpec::new(1, 1);
+        let oh = spec.out_extent(h, kh).expect("geometry");
+        let ow = spec.out_extent(wd, kw).expect("geometry");
+        let s = oh * ow;
+        let item_len = c * h * wd;
+        let mut out = vec![0.0f32; n * o * s];
+        for ni in 0..n {
+            let item = Tensor::from_vec(
+                x.as_slice()[ni * item_len..(ni + 1) * item_len].to_vec(),
+                &[c, h, wd],
+            )
+            .expect("item");
+            let cols = im2col(&item, kh, kw, spec).expect("im2col");
+            let mut y = vec![0.0f32; o * s];
+            naive_gemm(o, s, k, w.as_slice(), k, 1, cols.as_slice(), s, 1, &mut y);
+            out[ni * o * s..(ni + 1) * o * s].copy_from_slice(&y);
+        }
+        Tensor::from_vec(out, &[n, o, oh, ow]).expect("conv out")
+    }
+
+    /// Eval-mode batch norm from running statistics — the same float ops
+    /// in the same order as the layer's eval path.
+    fn bn(&self, idx: usize, x: &Tensor) -> Tensor {
+        let (gamma, beta, mean, var) = &self.bn[idx];
+        let (n, c) = (x.shape()[0], x.shape()[1]);
+        let plane = x.shape()[2] * x.shape()[3];
+        let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v + BN_EPS).sqrt()).collect();
+        let src = x.as_slice();
+        let mut out = vec![0.0f32; src.len()];
+        for ni in 0..n {
+            for ci in 0..c {
+                let base = (ni * c + ci) * plane;
+                let (mu, is, gc, bc) = (mean[ci], inv_std[ci], gamma[ci], beta[ci]);
+                for k in base..base + plane {
+                    let v = (src[k] - mu) * is;
+                    out[k] = gc * v + bc;
+                }
+            }
+        }
+        Tensor::from_vec(out, x.shape()).expect("bn out")
+    }
+
+    fn relu(&self, x: &Tensor) -> Tensor {
+        x.map(|v| v.max(0.0))
+    }
+
+    /// NT GEMM against the `[out, in]` weight plus bias, one fresh output
+    /// buffer per call.
+    fn linear(&self, idx: usize, x: &Tensor) -> Tensor {
+        let (w, b) = &self.fc[idx];
+        let (m, k) = (x.shape()[0], x.shape()[1]);
+        let n = w.shape()[0];
+        let mut out = vec![0.0f32; m * n];
+        naive_gemm(m, n, k, x.as_slice(), k, 1, w.as_slice(), 1, k, &mut out);
+        let bias = b.as_slice();
+        for row in out.chunks_exact_mut(n) {
+            for (v, &bv) in row.iter_mut().zip(bias) {
+                *v += bv;
+            }
+        }
+        Tensor::from_vec(out, &[m, n]).expect("fc out")
+    }
+
+    /// Full legacy forward to logits for one image batch.
+    fn forward(&self, x: &Tensor) -> Tensor {
+        let pool = PoolSpec::new(2, 2);
+        let mut t = self.relu(&self.bn(0, &self.conv(0, x)));
+        t = self.relu(&self.bn(1, &self.conv(1, &t)));
+        t = max_pool2d(&t, pool).expect("pool2").0;
+        t = self.relu(&self.bn(2, &self.conv(2, &t)));
+        t = self.relu(&self.bn(3, &self.conv(3, &t)));
+        t = max_pool2d(&t, pool).expect("pool4").0;
+        let n = t.shape()[0];
+        let f = t.len() / n;
+        t = t.reshape(&[n, f]).expect("flatten");
+        for i in 0..self.fc.len() {
+            t = self.linear(i, &t);
+            if i + 1 < self.fc.len() {
+                t = self.relu(&t);
+            }
+        }
+        t
+    }
+
+    /// Legacy accuracy probe: batch, forward, first-maximum argmax.
+    fn evaluate(&self, subset: &Subset, batch_size: usize) -> f32 {
+        let n = subset.len();
+        let item_dims: Vec<usize> = subset.images().shape()[1..].to_vec();
+        let row_len: usize = item_dims.iter().product();
+        let mut correct = 0usize;
+        let mut start = 0usize;
+        while start < n {
+            let m = batch_size.min(n - start);
+            let data = subset.images().as_slice()[start * row_len..(start + m) * row_len].to_vec();
+            let mut dims = vec![m];
+            dims.extend_from_slice(&item_dims);
+            let x = Tensor::from_vec(data, &dims).expect("batch");
+            let logits = self.forward(&x);
+            let cols = logits.shape()[1];
+            for (r, row) in logits.as_slice().chunks_exact(cols).enumerate() {
+                let mut best = 0usize;
+                for (j, &v) in row.iter().enumerate() {
+                    if v > row[best] {
+                        best = j;
+                    }
+                }
+                if best == subset.labels()[start + r] {
+                    correct += 1;
+                }
+            }
+            start += m;
+        }
+        correct as f32 / n as f32
+    }
+}
+
+/// Times one GEMM shape through both kernels and checks bit-equality.
+fn bench_gemm(
+    label: &str,
+    m: usize,
+    n: usize,
+    k: usize,
+    reps: usize,
+    rng: &mut StdRng,
+) -> (serde_json::Value, bool) {
+    let a: Vec<f32> = (0..m * k).map(|_| rng.gen::<f32>() - 0.5).collect();
+    let b: Vec<f32> = (0..k * n).map(|_| rng.gen::<f32>() - 0.5).collect();
+    let mut out_naive = vec![0.0f32; m * n];
+    let mut out_packed = vec![0.0f32; m * n];
+    let mut scratch = Scratch::new();
+    // Warm the pack buffers so the timed runs see the steady state.
+    gemm_packed(m, n, k, &a, k, 1, &b, n, 1, &mut out_packed, &mut scratch);
+    let (_, naive_s) = time_best(reps, || {
+        naive_gemm(m, n, k, &a, k, 1, &b, n, 1, &mut out_naive);
+    });
+    let (_, packed_s) = time_best(reps, || {
+        gemm_packed(m, n, k, &a, k, 1, &b, n, 1, &mut out_packed, &mut scratch);
+    });
+    let exact = out_naive
+        .iter()
+        .zip(&out_packed)
+        .all(|(x, y)| x.to_bits() == y.to_bits());
+    let flop = 2.0 * m as f64 * n as f64 * k as f64;
+    eprintln!(
+        "gemm {label} [{m}x{k}]*[{k}x{n}]: naive {:.2} GFLOP/s  packed {:.2} GFLOP/s  x{:.2}  bit_exact {exact}",
+        flop / naive_s.max(1e-12) / 1e9,
+        flop / packed_s.max(1e-12) / 1e9,
+        naive_s / packed_s.max(1e-12),
+    );
+    (
+        serde_json::json!({
+            "label": label,
+            "m": m, "n": n, "k": k,
+            "naive_gflops": flop / naive_s.max(1e-12) / 1e9,
+            "packed_gflops": flop / packed_s.max(1e-12) / 1e9,
+            "speedup": naive_s / packed_s.max(1e-12),
+            "bit_exact": exact,
+        }),
+        exact,
+    )
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let threads = env_usize("THREADS", 1);
+    let reps = env_usize("REPS", 3);
+    // Forwarded before any kernel call: the packed GEMM consults this cap,
+    // so THREADS=1 (the default) makes every number below single-core.
+    std::env::set_var("CBQ_MAX_THREADS", threads.to_string());
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    // Probe workload: vgg-small on the CIFAR-10-like synthetic set,
+    // briefly trained so batch-norm statistics and probe accuracy are
+    // meaningful, probing 200 validation images in batches of 100 (the
+    // search defaults).
+    let mut rng = StdRng::seed_from_u64(0);
+    let spec = SyntheticSpec::cifar10_like();
+    let data = SyntheticImages::generate(&spec, &mut rng)?;
+    let cfg =
+        models::VggConfig::for_input(spec.channels, spec.height, spec.width, spec.num_classes);
+    let mut net = models::vgg_small(&cfg, &mut rng)?;
+    cbq_nn::Trainer::new(cbq_nn::TrainerConfig::quick(1, 0.02)).fit(
+        &mut net,
+        data.train(),
+        &mut rng,
+    )?;
+    let probe_set = data.val().head(200)?;
+    let batch_size = 100usize;
+    eprintln!(
+        "workload ready: vgg_small {}x{}x{}, {} probe images, THREADS={threads}, {host_cores} host core(s)",
+        spec.channels,
+        spec.height,
+        spec.width,
+        probe_set.len()
+    );
+
+    // 1. GEMM GFLOP/s at the probe's matrix shapes.
+    let s1 = spec.height * spec.width; // conv1/conv2 output positions
+    let s2 = s1 / 4; // after the first 2x2 pool
+    let (w1, w2) = (cfg.base_width, cfg.base_width * 2);
+    let shapes = [
+        ("conv1", w1, batch_size * s1, spec.channels * 9),
+        ("conv2", w1, batch_size * s1, w1 * 9),
+        ("conv4", w2, batch_size * s2, w2 * 9),
+        ("fc5", batch_size, cfg.fc_dim, w2 * (s2 / 4)),
+    ];
+    let mut gemms = Vec::new();
+    let mut all_exact = true;
+    for &(label, m, n, k) in &shapes {
+        let (j, exact) = bench_gemm(label, m, n, k, reps, &mut rng);
+        gemms.push(j);
+        all_exact &= exact;
+    }
+
+    // 2. Bit-for-bit probe equivalence: legacy straight-line logits vs
+    // the Eval forward vs the zero-alloc Infer forward, on one batch.
+    let legacy = LegacyVgg::from_state(&state_dict(&mut net));
+    let item_len: usize = probe_set.images().shape()[1..].iter().product();
+    let batch = Tensor::from_vec(
+        probe_set.images().as_slice()[..batch_size * item_len].to_vec(),
+        &[batch_size, spec.channels, spec.height, spec.width],
+    )?;
+    let legacy_logits = legacy.forward(&batch);
+    let eval_logits = net.forward(&batch, Phase::Eval)?;
+    let mut eq_scratch = Scratch::new();
+    let infer_logits = net.forward_scratch(batch.clone(), Phase::Infer, &mut eq_scratch)?;
+    let probe_exact = legacy_logits.len() == eval_logits.len()
+        && legacy_logits
+            .as_slice()
+            .iter()
+            .zip(eval_logits.as_slice())
+            .zip(infer_logits.as_slice())
+            .all(|((a, b), c)| a.to_bits() == b.to_bits() && b.to_bits() == c.to_bits());
+    all_exact &= probe_exact;
+    eprintln!("probe logits bit_exact (legacy == eval == infer): {probe_exact}");
+
+    // 3. Per-probe wall-clock, legacy vs zero-alloc, plus the allocation
+    // gate. One warm pass fills the arena; the counters must then stay
+    // flat across a whole probe.
+    let (legacy_acc, before_s) = time_best(reps, || legacy.evaluate(&probe_set, batch_size));
+    let mut scratch = Scratch::new();
+    let warm_acc = evaluate_with_scratch(&mut net, &probe_set, batch_size, &mut scratch)?;
+    let pool_misses_before = scratch.fresh_allocs();
+    reset_fresh_alloc_count();
+    let steady_acc = evaluate_with_scratch(&mut net, &probe_set, batch_size, &mut scratch)?;
+    let allocs_per_probe = scratch.fresh_allocs() - pool_misses_before;
+    let global_allocs = fresh_alloc_count();
+    let (after_acc, after_s) = time_best(reps, || {
+        evaluate_with_scratch(&mut net, &probe_set, batch_size, &mut scratch).expect("probe")
+    });
+    let acc_match = legacy_acc == warm_acc && warm_acc == steady_acc && steady_acc == after_acc;
+    all_exact &= acc_match;
+    let speedup = before_s / after_s.max(1e-12);
+    eprintln!(
+        "probe : legacy {before_s:.4}s  zero-alloc {after_s:.4}s  speedup {speedup:.2}x  acc {after_acc:.3} (match {acc_match})"
+    );
+    eprintln!(
+        "allocs: {allocs_per_probe} pool misses per steady-state probe ({global_allocs} across all arenas)"
+    );
+
+    let payload = serde_json::json!({
+        "workload": "vgg_small/cifar10_like probe (200 images, batch 100)",
+        "threads": threads,
+        "reps": reps,
+        "host_cores": host_cores,
+        "gemm": gemms,
+        "probe": {
+            "legacy_s": before_s,
+            "zero_alloc_s": after_s,
+            "speedup": speedup,
+            "accuracy": after_acc,
+            "bit_exact_logits": probe_exact,
+            "accuracy_match": acc_match,
+        },
+        "allocations": {
+            "per_steady_state_probe": allocs_per_probe,
+            "global_pool_misses": global_allocs,
+        },
+    });
+    std::fs::create_dir_all("results")?;
+    atomic_write_text(
+        "results/BENCH_kernels.json",
+        &serde_json::to_string_pretty(&payload)?,
+    )?;
+    eprintln!("wrote results/BENCH_kernels.json");
+
+    if !all_exact {
+        eprintln!("BIT-EXACTNESS VIOLATION — see results/BENCH_kernels.json");
+        std::process::exit(1);
+    }
+    if allocs_per_probe != 0 {
+        eprintln!("ALLOCATION GATE FAILED: {allocs_per_probe} pool misses in a steady-state probe");
+        std::process::exit(1);
+    }
+    Ok(())
+}

@@ -242,6 +242,14 @@ struct ShardCounts {
 /// Runs one eval-mode forward/backward over `images` on `net` and counts,
 /// per unit neuron, in how many images the neuron is critical
 /// (`|a · ∂Φ/∂a| > ε`, Eq. 5 + Eq. 6 numerator).
+///
+/// Scoring must run at `Phase::Eval`, *not* the allocation-free
+/// `Phase::Infer` path the search probes use: the harvest below reads
+/// `cached_output` / `cached_grad_out` off the tap layers, and `Infer`
+/// deliberately skips that caching. The heavy lifting (conv/linear
+/// forwards and backwards) still goes through the packed-GEMM kernels
+/// either way, so scoring gets the kernel speedup without the zero-alloc
+/// plumbing.
 fn count_critical(
     net: &mut Sequential,
     plans: &[TapPlan],

@@ -10,11 +10,12 @@
 
 use crate::{CqError, ImportanceScores, Result};
 use cbq_data::Subset;
-use cbq_nn::{evaluate, Sequential};
+use cbq_nn::{evaluate_with_scratch, Sequential};
 use cbq_quant::{install_arrangement, BitArrangement, BitWidth, UnitArrangement};
 use cbq_resilience::{BudgetExhausted, BudgetTracker, SearchBudget};
 use cbq_telemetry::{Level, Telemetry};
 use cbq_tensor::parallel::{parallel_map_with, Parallelism};
+use cbq_tensor::Scratch;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -398,9 +399,13 @@ pub fn search_traced(
 ///
 /// Phase-1 probes are evaluated speculatively: the next `par.threads()`
 /// candidate positions of the moving threshold are measured concurrently,
-/// each on a private clone of `net` (probing is read-only — the installed
-/// transforms are stateless and recompute from the shadow weights, so a
-/// probe's accuracy does not depend on which network evaluated it). The
+/// each on a private clone of `net` paired with a private scratch arena
+/// (probing is read-only — the installed transforms are stateless and
+/// recompute from the shadow weights, so a probe's accuracy does not
+/// depend on which network evaluated it). Probes run at `Phase::Infer`
+/// via [`evaluate_with_scratch`], which produces bit-identical logits to
+/// an `Eval`-mode forward while reusing pooled buffers, so steady-state
+/// probes allocate nothing on the heap in the forward path. The
 /// results are then *committed strictly in candidate order*, applying the
 /// serial stopping rules; anything a stop discards never reaches the probe
 /// cache, `probe_count`, or the probe budget. The committed sequence —
@@ -458,10 +463,11 @@ pub fn search_with(
     let probe = |net: &mut Sequential,
                  arr: &BitArrangement,
                  count: &mut usize,
-                 tracker: &mut BudgetTracker|
+                 tracker: &mut BudgetTracker,
+                 scratch: &mut Scratch|
      -> Result<f32> {
         install_arrangement(net, arr)?;
-        let acc = evaluate(net, &probe_set, config.batch_size)?;
+        let acc = evaluate_with_scratch(net, &probe_set, config.batch_size, scratch)?;
         *count += 1;
         tracker.record_probe();
         tel.counter_add("search.probes", 1);
@@ -471,7 +477,16 @@ pub fn search_with(
     };
 
     // Worker clones for speculative probes (one suffices when serial).
-    let mut probe_nets: Vec<Sequential> = (0..threads).map(|_| net.clone()).collect();
+    // Each worker owns a scratch arena: the first probe fills its buffer
+    // pool and every later probe on that worker reuses the pooled
+    // buffers, so steady-state probes perform no heap allocation in the
+    // forward path. Probes run at `Phase::Infer` through
+    // `evaluate_with_scratch` — bit-identical logits to the former
+    // `Phase::Eval` evaluation, minus the intermediate caching.
+    let mut probe_workers: Vec<(Sequential, Scratch)> = (0..threads)
+        .map(|_| (net.clone(), Scratch::new()))
+        .collect();
+    let mut final_scratch = Scratch::new();
 
     // Phase 1: move each threshold upward until its accuracy target is
     // violated or the average bit target is met.
@@ -524,16 +539,22 @@ pub fn search_with(
             }
             let mut speculative: HashMap<ProbeKey, f32> = HashMap::new();
             if !pending.is_empty() {
-                let states: Vec<&mut Sequential> =
-                    probe_nets.iter_mut().take(pending.len()).collect();
+                let states: Vec<&mut (Sequential, Scratch)> =
+                    probe_workers.iter_mut().take(pending.len()).collect();
                 let pending_ref = &pending;
                 let probe_set_ref = &probe_set;
                 let batch_size = config.batch_size;
                 let evals: Vec<Result<(f32, f64)>> =
                     parallel_map_with(states, pending.len(), move |worker, i| {
                         let clock = std::time::Instant::now();
-                        install_arrangement(&mut **worker, pending_ref[i].1)?;
-                        let acc = evaluate(worker, probe_set_ref, batch_size)?;
+                        let (worker_net, worker_scratch) = &mut **worker;
+                        install_arrangement(worker_net, pending_ref[i].1)?;
+                        let acc = evaluate_with_scratch(
+                            worker_net,
+                            probe_set_ref,
+                            batch_size,
+                            worker_scratch,
+                        )?;
                         Ok((acc, clock.elapsed().as_secs_f64()))
                     });
                 speculative_evals += pending.len() as u64;
@@ -679,7 +700,13 @@ pub fn search_with(
         }
         None => {
             let clock = std::time::Instant::now();
-            let acc = probe(net, &arr, &mut probe_count, &mut tracker)?;
+            let acc = probe(
+                net,
+                &arr,
+                &mut probe_count,
+                &mut tracker,
+                &mut final_scratch,
+            )?;
             busy_s += clock.elapsed().as_secs_f64();
             speculative_evals += 1;
             cache.insert(final_key, acc);

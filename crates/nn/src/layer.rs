@@ -1,19 +1,26 @@
 use crate::{Param, Result};
-use cbq_tensor::Tensor;
+use cbq_tensor::{Scratch, Tensor};
 use std::fmt::Debug;
 
 /// Whether a forward pass is part of training or inference.
 ///
 /// Training mode uses batch statistics in batch-norm and caches everything
-/// a backward pass needs; eval mode uses running statistics. Backward after
-/// an eval-mode forward is still supported (the importance-scoring pass of
-/// the paper runs exactly that way).
+/// a backward pass needs; eval mode uses running statistics but still
+/// caches, so backward after an eval-mode forward works (the
+/// importance-scoring pass of the paper runs exactly that way). Infer mode
+/// is forward-only: running statistics, **no** caching — the accuracy-probe
+/// phase of the threshold search runs thousands of these and never reads a
+/// cache, so skipping the clones is pure savings.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Phase {
     /// Training forward: batch statistics, full caching.
     Train,
-    /// Inference forward: running statistics.
+    /// Evaluation forward: running statistics, caches kept so a backward
+    /// pass (importance scoring) can follow.
     Eval,
+    /// Forward-only inference: running statistics, no caching. A backward
+    /// pass after an Infer forward fails with `BackwardBeforeForward`.
+    Infer,
 }
 
 /// Coarse classification of a layer, used by the quantization pipeline to
@@ -50,6 +57,19 @@ pub enum LayerKind {
 pub trait ActivationQuantizer: Debug + Send {
     /// Transforms post-ReLU activations; returns `(output, ste_mask)`.
     fn apply(&mut self, x: &Tensor) -> (Tensor, Tensor);
+
+    /// In-place, forward-only variant of [`ActivationQuantizer::apply`]
+    /// used by the zero-allocation probe path: transforms `data` without
+    /// producing an STE mask. Must compute the same output values as
+    /// `apply`. The default routes through `apply` via a temporary tensor;
+    /// quantizers on the probe hot path override it with a true in-place
+    /// loop.
+    fn apply_infer(&mut self, data: &mut [f32]) {
+        let tmp = Tensor::from_vec(data.to_vec(), &[data.len()])
+            .expect("flat shape always matches its own data");
+        let (out, _mask) = self.apply(&tmp);
+        data.copy_from_slice(out.as_slice());
+    }
 
     /// Sets the quantization bit-width; `None` disables (identity).
     fn set_bits(&mut self, bits: Option<u8>);
@@ -91,6 +111,14 @@ pub trait WeightTransform: Debug + Send {
     /// Produces the effective weight tensor from the shadow weights.
     fn apply(&self, weight: &Tensor) -> Tensor;
 
+    /// Writes the effective weights into `out` (same length as `weight`)
+    /// without allocating a fresh tensor. Must produce the same values as
+    /// [`WeightTransform::apply`]. The default copies `apply`'s result;
+    /// transforms on the probe hot path override it.
+    fn apply_into(&self, weight: &Tensor, out: &mut [f32]) {
+        out.copy_from_slice(self.apply(weight).as_slice());
+    }
+
     /// Deep-copies the transform behind the trait object (see
     /// [`ActivationQuantizer::clone_box`]).
     fn clone_box(&self) -> Box<dyn WeightTransform>;
@@ -116,6 +144,27 @@ pub trait Layer: Debug + Send {
     /// Returns an [`NnError`](crate::NnError) when `x` has an incompatible
     /// shape.
     fn forward(&mut self, x: &Tensor, phase: Phase) -> Result<Tensor>;
+
+    /// Scratch-threaded forward taking *ownership* of the input, so layers
+    /// can recycle the input buffer (or pass it through untouched) instead
+    /// of cloning. The default delegates to [`Layer::forward`]; layers on
+    /// the probe hot path override it with a [`Phase::Infer`] fast path
+    /// that draws every temporary from `scratch` and recycles the input
+    /// via [`Scratch::recycle_f32`]. Must compute exactly the same values
+    /// as `forward` for the same phase.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Layer::forward`].
+    fn forward_scratch(
+        &mut self,
+        x: Tensor,
+        phase: Phase,
+        scratch: &mut Scratch,
+    ) -> Result<Tensor> {
+        let _ = scratch;
+        self.forward(&x, phase)
+    }
 
     /// Propagates `grad_out` (gradient w.r.t. this layer's output) back to
     /// the layer input, accumulating parameter gradients.

@@ -3,7 +3,7 @@
 #![allow(clippy::needless_range_loop)]
 
 use crate::{Layer, LayerKind, NnError, Param, Phase, Result};
-use cbq_tensor::Tensor;
+use cbq_tensor::{Scratch, Tensor};
 
 /// Batch normalization over `[N, C, H, W]` with learnable affine
 /// parameters and running statistics.
@@ -142,10 +142,51 @@ impl Layer for BatchNorm2d {
                 }
             }
         }
-        self.cached_xhat = Some(xhat);
-        self.cached_inv_std = inv_std;
-        self.cached_phase = phase;
+        if phase != Phase::Infer {
+            self.cached_xhat = Some(xhat);
+            self.cached_inv_std = inv_std;
+            self.cached_phase = phase;
+        }
         Ok(out)
+    }
+
+    fn forward_scratch(
+        &mut self,
+        mut x: Tensor,
+        phase: Phase,
+        _scratch: &mut Scratch,
+    ) -> Result<Tensor> {
+        if phase != Phase::Infer {
+            return self.forward(&x, phase);
+        }
+        x.shape_obj().ensure_rank(4)?;
+        let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+        if c != self.channels {
+            return Err(NnError::Tensor(cbq_tensor::TensorError::ShapeMismatch {
+                lhs: x.shape().to_vec(),
+                rhs: vec![n, self.channels, h, w],
+            }));
+        }
+        let plane = h * w;
+        let g = self.gamma.value.as_slice();
+        let b = self.beta.value.as_slice();
+        let data = x.as_mut_slice();
+        for ni in 0..n {
+            for ci in 0..c {
+                // Identical op sequence to the eval branch of `forward`
+                // ((v - mu) * inv_std, then gamma * xhat + beta), so the
+                // fused in-place pass is bit-for-bit equal to it.
+                let mu = self.running_mean[ci];
+                let is = 1.0 / (self.running_var[ci] + self.eps).sqrt();
+                let (gc, bc) = (g[ci], b[ci]);
+                let base = (ni * c + ci) * plane;
+                for v in &mut data[base..base + plane] {
+                    let xh = (*v - mu) * is;
+                    *v = gc * xh + bc;
+                }
+            }
+        }
+        Ok(x)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
@@ -306,6 +347,28 @@ mod tests {
         for &v in y.as_slice() {
             assert!((v - 2.0).abs() < 1e-3);
         }
+    }
+
+    #[test]
+    fn infer_matches_eval_bit_for_bit_without_caching() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut bn = BatchNorm2d::new("bn", 3).unwrap();
+        bn.running_mean = vec![0.3, -1.2, 2.0];
+        bn.running_var = vec![0.9, 4.0, 0.2];
+        bn.gamma.value = Tensor::from_vec(vec![1.5, 0.7, -2.0], &[3]).unwrap();
+        bn.beta.value = Tensor::from_vec(vec![0.1, -0.4, 3.0], &[3]).unwrap();
+        let x = Tensor::from_fn(&[2, 3, 4, 4], |_| rng.gen_range(-3.0..3.0));
+        let eval = bn.forward(&x, Phase::Eval).unwrap();
+        let mut bn2 = bn.clone();
+        bn2.clear_cache();
+        let mut scratch = Scratch::new();
+        let infer = bn2
+            .forward_scratch(x.clone(), Phase::Infer, &mut scratch)
+            .unwrap();
+        for (a, b) in eval.as_slice().iter().zip(infer.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert!(bn2.backward(&Tensor::ones(eval.shape())).is_err());
     }
 
     #[test]

@@ -1,5 +1,5 @@
 use crate::{Layer, LayerKind, NnError, Param, Phase, Result, WeightTransform};
-use cbq_tensor::{conv2d, conv2d_backward, ConvSpec, Tensor};
+use cbq_tensor::{conv2d, conv2d_backward, conv2d_into, ConvSpec, Scratch, Tensor};
 use rand::Rng;
 
 /// 2-D convolution layer with an optional weight transform (fake
@@ -124,12 +124,45 @@ impl Layer for Conv2d {
     fn forward(&mut self, x: &Tensor, phase: Phase) -> Result<Tensor> {
         let eff = self.effective_weight();
         let out = conv2d(x, &eff, self.bias.as_ref().map(|b| &b.value), self.spec)?;
-        self.cached_input = Some(x.clone());
-        self.cached_eff_weight = Some(eff);
-        if phase == Phase::Train || phase == Phase::Eval {
+        if phase != Phase::Infer {
+            self.cached_input = Some(x.clone());
+            self.cached_eff_weight = Some(eff);
             self.cached_output = Some(out.clone());
         }
         Ok(out)
+    }
+
+    fn forward_scratch(
+        &mut self,
+        x: Tensor,
+        phase: Phase,
+        scratch: &mut Scratch,
+    ) -> Result<Tensor> {
+        if phase != Phase::Infer {
+            return self.forward(&x, phase);
+        }
+        x.shape_obj().ensure_rank(4)?;
+        let (n, h, w) = (x.shape()[0], x.shape()[2], x.shape()[3]);
+        let oh = self.spec.out_extent(h, self.kernel)?;
+        let ow = self.spec.out_extent(w, self.kernel)?;
+        let mut eff = scratch.take_f32(self.weight.value.len());
+        match &self.transform {
+            Some(t) => t.apply_into(&self.weight.value, &mut eff),
+            None => eff.copy_from_slice(self.weight.value.as_slice()),
+        }
+        let eff = Tensor::from_vec(eff, self.weight.value.shape())?;
+        let mut out = scratch.take_f32(n * self.out_channels * oh * ow);
+        conv2d_into(
+            &x,
+            &eff,
+            self.bias.as_ref().map(|b| &b.value),
+            self.spec,
+            &mut out,
+            scratch,
+        )?;
+        scratch.recycle_f32(x.into_vec());
+        scratch.recycle_f32(eff.into_vec());
+        Ok(Tensor::from_vec(out, &[n, self.out_channels, oh, ow])?)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {

@@ -1,5 +1,5 @@
 use crate::{Layer, LayerKind, NnError, Param, Phase, Result};
-use cbq_tensor::Tensor;
+use cbq_tensor::{Scratch, Tensor};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -49,6 +49,10 @@ impl Layer for Dropout {
     }
 
     fn forward(&mut self, x: &Tensor, phase: Phase) -> Result<Tensor> {
+        if phase == Phase::Infer {
+            // Identity, and no mask cache: Infer never runs backward.
+            return Ok(x.clone());
+        }
         if phase == Phase::Eval || self.p == 0.0 {
             self.cached_mask = Some(Tensor::ones(x.shape()));
             return Ok(x.clone());
@@ -69,6 +73,19 @@ impl Layer for Dropout {
         let out = x.mul(&mask)?;
         self.cached_mask = Some(mask);
         Ok(out)
+    }
+
+    fn forward_scratch(
+        &mut self,
+        x: Tensor,
+        phase: Phase,
+        _scratch: &mut Scratch,
+    ) -> Result<Tensor> {
+        if phase != Phase::Infer {
+            return self.forward(&x, phase);
+        }
+        // Owns the input: pass the buffer straight through, zero copies.
+        Ok(x)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {

@@ -1,5 +1,5 @@
 use crate::{Layer, LayerKind, NnError, Param, Phase, Result};
-use cbq_tensor::Tensor;
+use cbq_tensor::{Scratch, Tensor};
 
 /// Flattens `[N, ...]` into `[N, prod(...)]` — the CNN-to-FC adapter.
 #[derive(Debug, Clone, Default)]
@@ -23,7 +23,7 @@ impl Layer for Flatten {
         Box::new(self.clone())
     }
 
-    fn forward(&mut self, x: &Tensor, _phase: Phase) -> Result<Tensor> {
+    fn forward(&mut self, x: &Tensor, phase: Phase) -> Result<Tensor> {
         if x.rank() == 0 {
             return Err(NnError::Tensor(cbq_tensor::TensorError::RankMismatch {
                 expected: 2,
@@ -32,8 +32,31 @@ impl Layer for Flatten {
         }
         let n = x.shape()[0];
         let rest: usize = x.shape()[1..].iter().product();
-        self.cached_dims = Some(x.shape().to_vec());
+        if phase != Phase::Infer {
+            self.cached_dims = Some(x.shape().to_vec());
+        }
         Ok(x.reshape(&[n, rest])?)
+    }
+
+    fn forward_scratch(
+        &mut self,
+        x: Tensor,
+        phase: Phase,
+        _scratch: &mut Scratch,
+    ) -> Result<Tensor> {
+        if phase != Phase::Infer {
+            return self.forward(&x, phase);
+        }
+        if x.rank() == 0 {
+            return Err(NnError::Tensor(cbq_tensor::TensorError::RankMismatch {
+                expected: 2,
+                actual: 0,
+            }));
+        }
+        let n = x.shape()[0];
+        let rest: usize = x.shape()[1..].iter().product();
+        // Owns the tensor, so the reshape reuses its storage — zero copies.
+        Ok(x.into_reshape(&[n, rest])?)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {

@@ -1,5 +1,5 @@
 use crate::{Layer, LayerKind, NnError, Param, Phase, Result, WeightTransform};
-use cbq_tensor::Tensor;
+use cbq_tensor::{Scratch, Tensor};
 use rand::Rng;
 
 /// Fully-connected layer `y = x · Wᵀ + b` with weights `[out, in]`.
@@ -105,7 +105,7 @@ impl Layer for Linear {
         Box::new(self.clone())
     }
 
-    fn forward(&mut self, x: &Tensor, _phase: Phase) -> Result<Tensor> {
+    fn forward(&mut self, x: &Tensor, phase: Phase) -> Result<Tensor> {
         x.shape_obj().ensure_rank(2)?;
         let eff = self.effective_weight();
         let mut out = x.matmul_nt(&eff)?; // [B, out]
@@ -116,10 +116,43 @@ impl Layer for Linear {
                 *v += bs[i % o];
             }
         }
-        self.cached_input = Some(x.clone());
-        self.cached_eff_weight = Some(eff);
-        self.cached_output = Some(out.clone());
+        if phase != Phase::Infer {
+            self.cached_input = Some(x.clone());
+            self.cached_eff_weight = Some(eff);
+            self.cached_output = Some(out.clone());
+        }
         Ok(out)
+    }
+
+    fn forward_scratch(
+        &mut self,
+        x: Tensor,
+        phase: Phase,
+        scratch: &mut Scratch,
+    ) -> Result<Tensor> {
+        if phase != Phase::Infer {
+            return self.forward(&x, phase);
+        }
+        x.shape_obj().ensure_rank(2)?;
+        let batch = x.shape()[0];
+        let o = self.out_features;
+        let mut eff = scratch.take_f32(self.weight.value.len());
+        match &self.transform {
+            Some(t) => t.apply_into(&self.weight.value, &mut eff),
+            None => eff.copy_from_slice(self.weight.value.as_slice()),
+        }
+        let eff = Tensor::from_vec(eff, &[o, self.in_features])?;
+        let mut out = scratch.take_f32(batch * o);
+        x.matmul_nt_into(&eff, &mut out, scratch)?;
+        if let Some(b) = &self.bias {
+            let bs = b.value.as_slice();
+            for (i, v) in out.iter_mut().enumerate() {
+                *v += bs[i % o];
+            }
+        }
+        scratch.recycle_f32(x.into_vec());
+        scratch.recycle_f32(eff.into_vec());
+        Ok(Tensor::from_vec(out, &[batch, o])?)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {

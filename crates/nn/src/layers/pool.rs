@@ -1,7 +1,7 @@
 use crate::{Layer, LayerKind, NnError, Param, Phase, Result};
 use cbq_tensor::{
     avg_pool2d, avg_pool2d_backward, global_avg_pool, global_avg_pool_backward, max_pool2d,
-    max_pool2d_backward, MaxPoolIndices, PoolSpec, Tensor,
+    max_pool2d_backward, ConvSpec, MaxPoolIndices, PoolSpec, Scratch, Tensor,
 };
 
 /// Max-pooling layer.
@@ -28,10 +28,60 @@ impl Layer for MaxPool2dLayer {
         Box::new(self.clone())
     }
 
-    fn forward(&mut self, x: &Tensor, _phase: Phase) -> Result<Tensor> {
+    fn forward(&mut self, x: &Tensor, phase: Phase) -> Result<Tensor> {
         let (out, idx) = max_pool2d(x, self.spec)?;
-        self.cached_indices = Some(idx);
+        if phase != Phase::Infer {
+            self.cached_indices = Some(idx);
+        }
         Ok(out)
+    }
+
+    fn forward_scratch(
+        &mut self,
+        x: Tensor,
+        phase: Phase,
+        scratch: &mut Scratch,
+    ) -> Result<Tensor> {
+        if phase != Phase::Infer {
+            return self.forward(&x, phase);
+        }
+        x.shape_obj().ensure_rank(4)?;
+        let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+        let cs = ConvSpec {
+            stride: self.spec.stride,
+            padding: 0,
+        };
+        let oh = cs.out_extent(h, self.spec.kernel)?;
+        let ow = cs.out_extent(w, self.spec.kernel)?;
+        let mut out = scratch.take_f32(n * c * oh * ow);
+        let data = x.as_slice();
+        // Same scan as max_pool2d, minus the winner-index bookkeeping the
+        // backward pass would need — Infer never runs backward.
+        for ni in 0..n {
+            for ci in 0..c {
+                let in_base = (ni * c + ci) * h * w;
+                let out_base = (ni * c + ci) * oh * ow;
+                for oi in 0..oh {
+                    for oj in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        for ki in 0..self.spec.kernel {
+                            for kj in 0..self.spec.kernel {
+                                let p = in_base
+                                    + (oi * self.spec.stride + ki) * w
+                                    + oj * self.spec.stride
+                                    + kj;
+                                if data[p] > best {
+                                    best = data[p];
+                                }
+                            }
+                        }
+                        out[out_base + oi * ow + oj] = best;
+                    }
+                }
+            }
+        }
+        scratch.recycle_f32(x.into_vec());
+        Ok(Tensor::from_vec(out, &[n, c, oh, ow])?)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
@@ -87,10 +137,12 @@ impl Layer for AvgPool2dLayer {
         Box::new(self.clone())
     }
 
-    fn forward(&mut self, x: &Tensor, _phase: Phase) -> Result<Tensor> {
+    fn forward(&mut self, x: &Tensor, phase: Phase) -> Result<Tensor> {
         let dims = [x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]];
         let out = avg_pool2d(x, self.spec)?;
-        self.cached_dims = Some(dims);
+        if phase != Phase::Infer {
+            self.cached_dims = Some(dims);
+        }
         Ok(out)
     }
 
@@ -144,10 +196,12 @@ impl Layer for GlobalAvgPoolLayer {
         Box::new(self.clone())
     }
 
-    fn forward(&mut self, x: &Tensor, _phase: Phase) -> Result<Tensor> {
+    fn forward(&mut self, x: &Tensor, phase: Phase) -> Result<Tensor> {
         let dims = [x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]];
         let out = global_avg_pool(x)?;
-        self.cached_dims = Some(dims);
+        if phase != Phase::Infer {
+            self.cached_dims = Some(dims);
+        }
         Ok(out)
     }
 
@@ -213,6 +267,22 @@ mod tests {
         let gx = p.backward(&Tensor::ones(&[2, 3])).unwrap();
         assert_eq!(gx.shape(), &[2, 3, 4, 4]);
         assert!((gx.sum() - 6.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn max_pool_infer_matches_eval_without_caching() {
+        let mut p = MaxPool2dLayer::new("mp", 2, 2);
+        let x = Tensor::from_fn(&[2, 3, 4, 4], |i| ((i * 37) % 19) as f32 - 9.0);
+        let eval = p.forward(&x, Phase::Eval).unwrap();
+        let mut scratch = Scratch::new();
+        let mut p2 = MaxPool2dLayer::new("mp", 2, 2);
+        let infer = p2
+            .forward_scratch(x.clone(), Phase::Infer, &mut scratch)
+            .unwrap();
+        assert_eq!(eval.shape(), infer.shape());
+        assert_eq!(eval.as_slice(), infer.as_slice());
+        // Infer must not leave a backward-usable cache behind.
+        assert!(p2.backward(&Tensor::ones(infer.shape())).is_err());
     }
 
     #[test]

@@ -1,5 +1,5 @@
 use crate::{ActivationQuantizer, Layer, LayerKind, NnError, Param, Phase, Result};
-use cbq_tensor::Tensor;
+use cbq_tensor::{Scratch, Tensor};
 
 /// Rectified linear activation, optionally followed by an installed
 /// [`ActivationQuantizer`].
@@ -40,7 +40,15 @@ impl Layer for Relu {
         Box::new(self.clone())
     }
 
-    fn forward(&mut self, x: &Tensor, _phase: Phase) -> Result<Tensor> {
+    fn forward(&mut self, x: &Tensor, phase: Phase) -> Result<Tensor> {
+        if phase == Phase::Infer {
+            // Forward-only fast path: no STE mask, no caches.
+            let mut out = x.map(|v| v.max(0.0));
+            if let Some(q) = &mut self.quantizer {
+                q.apply_infer(out.as_mut_slice());
+            }
+            return Ok(out);
+        }
         let relu_out = x.map(|v| v.max(0.0));
         let (out, mask) = match &mut self.quantizer {
             Some(q) => {
@@ -53,6 +61,25 @@ impl Layer for Relu {
         self.cached_quant_mask = mask;
         self.cached_output = Some(out.clone());
         Ok(out)
+    }
+
+    fn forward_scratch(
+        &mut self,
+        mut x: Tensor,
+        phase: Phase,
+        _scratch: &mut Scratch,
+    ) -> Result<Tensor> {
+        if phase != Phase::Infer {
+            return self.forward(&x, phase);
+        }
+        // Owns the buffer: clamp and quantize fully in place, zero copies.
+        for v in x.as_mut_slice() {
+            *v = v.max(0.0);
+        }
+        if let Some(q) = &mut self.quantizer {
+            q.apply_infer(x.as_mut_slice());
+        }
+        Ok(x)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {

@@ -1,5 +1,5 @@
 use crate::{Layer, LayerKind, Param, Phase, Result, WeightTransform};
-use cbq_tensor::Tensor;
+use cbq_tensor::{Scratch, Tensor};
 
 /// An ordered stack of layers, itself a [`Layer`], so residual blocks and
 /// whole networks compose.
@@ -122,6 +122,22 @@ impl Layer for Sequential {
         Ok(cur)
     }
 
+    fn forward_scratch(
+        &mut self,
+        x: Tensor,
+        phase: Phase,
+        scratch: &mut Scratch,
+    ) -> Result<Tensor> {
+        // Ownership of the activation buffer flows layer to layer; each
+        // layer recycles its input into `scratch` (or passes it through),
+        // so a warm arena serves the whole pass with zero fresh allocations.
+        let mut cur = x;
+        for layer in &mut self.layers {
+            cur = layer.forward_scratch(cur, phase, scratch)?;
+        }
+        Ok(cur)
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
         let mut cur = grad_out.clone();
         for layer in self.layers.iter_mut().rev() {
@@ -204,6 +220,44 @@ mod tests {
                 - net.forward(&xm, Phase::Train).unwrap().sum())
                 / (2.0 * eps);
             assert!((fd - gx.as_slice()[idx]).abs() < 2e-2, "x[{idx}]");
+        }
+    }
+
+    #[test]
+    fn infer_forward_scratch_matches_eval_and_allocates_nothing_warm() {
+        use crate::layers::{BatchNorm2d, Conv2d, Flatten, MaxPool2dLayer};
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut net = Sequential::new("cnn");
+        net.push(Conv2d::new("c1", 2, 4, 3, 1, 1, false, &mut rng).unwrap());
+        net.push(BatchNorm2d::new("bn1", 4).unwrap());
+        net.push(Relu::new("r1"));
+        net.push(MaxPool2dLayer::new("mp1", 2, 2));
+        net.push(Flatten::new("fl"));
+        net.push(Linear::new("fc", 4 * 4 * 4, 3, true, &mut rng).unwrap());
+        let x = Tensor::randn(&[3, 2, 8, 8], 1.0, &mut rng);
+        let eval = net.forward(&x, Phase::Eval).unwrap();
+
+        let mut net2 = net.clone();
+        net2.clear_cache();
+        let mut scratch = cbq_tensor::Scratch::new();
+        // Warmup pass populates the arena; the second pass must hit the
+        // pool for every buffer.
+        let warm = net2
+            .forward_scratch(x.clone(), Phase::Infer, &mut scratch)
+            .unwrap();
+        scratch.recycle_f32(warm.into_vec());
+        let before = scratch.fresh_allocs();
+        let infer = net2
+            .forward_scratch(x.clone(), Phase::Infer, &mut scratch)
+            .unwrap();
+        assert_eq!(
+            scratch.fresh_allocs(),
+            before,
+            "steady-state probe pass must not miss the scratch pool"
+        );
+        assert_eq!(eval.shape(), infer.shape());
+        for (a, b) in eval.as_slice().iter().zip(infer.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
         }
     }
 

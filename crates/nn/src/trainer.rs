@@ -3,7 +3,7 @@ use cbq_data::{Batch, Subset};
 use cbq_resilience::{scan_finite_f32, FaultPlan, GuardAction, GuardPolicy, GuardState};
 use cbq_telemetry::{Level, Telemetry};
 use cbq_tensor::parallel::{fixed_order_reduce, parallel_slots, Parallelism};
-use cbq_tensor::Tensor;
+use cbq_tensor::{Scratch, Tensor};
 use rand::Rng;
 use std::sync::Arc;
 
@@ -433,28 +433,84 @@ pub fn non_finite_step(net: &mut Sequential, loss: f32) -> Option<String> {
     diagnosis
 }
 
-/// Evaluates classification accuracy of `net` on `subset` in eval mode.
+/// Evaluates classification accuracy of `net` on `subset` with the
+/// forward-only inference path ([`Phase::Infer`]).
+///
+/// Convenience wrapper over [`evaluate_with_scratch`] with a throwaway
+/// arena; callers on the probe hot path (the threshold search) keep a
+/// per-worker [`Scratch`] alive across calls so steady-state evaluations
+/// allocate nothing.
 ///
 /// # Errors
 ///
 /// Propagates any layer error.
 pub fn evaluate(net: &mut Sequential, subset: &Subset, batch_size: usize) -> Result<f32> {
+    let mut scratch = Scratch::new();
+    evaluate_with_scratch(net, subset, batch_size, &mut scratch)
+}
+
+/// Evaluates classification accuracy of `net` on `subset`, drawing every
+/// per-batch buffer from `scratch`.
+///
+/// Forwards run at [`Phase::Infer`] through [`Layer::forward_scratch`]:
+/// no layer caches are written, the input copy and all layer temporaries
+/// come from the arena, and the logits buffer is recycled back into it —
+/// after the first (warming) batch the loop's f32 traffic is entirely
+/// pool hits. Batching is by contiguous index range, and predictions use
+/// the same first-maximum-wins rule as [`Tensor::argmax_rows`], so the
+/// returned accuracy is identical to the historical eval-mode path.
+///
+/// # Errors
+///
+/// Propagates any layer error.
+pub fn evaluate_with_scratch(
+    net: &mut Sequential,
+    subset: &Subset,
+    batch_size: usize,
+    scratch: &mut Scratch,
+) -> Result<f32> {
+    let bs = batch_size.max(1);
+    let n = subset.len();
+    let images = subset.images().as_slice();
+    let labels = subset.labels();
+    let dims = subset.images().shape().to_vec();
+    let row_len: usize = dims[1..].iter().product();
+    let mut shape = dims;
     let mut correct = 0usize;
-    let mut total = 0usize;
-    for batch in subset.batches(batch_size.max(1)) {
-        let logits = net.forward(&batch.images, Phase::Eval)?;
-        let preds = logits.argmax_rows()?;
-        correct += preds
-            .iter()
-            .zip(&batch.labels)
-            .filter(|(p, l)| p == l)
-            .count();
-        total += batch.len();
+    let mut start = 0usize;
+    while start < n {
+        let end = (start + bs).min(n);
+        let m = end - start;
+        let mut buf = scratch.take_f32(m * row_len);
+        buf.copy_from_slice(&images[start * row_len..end * row_len]);
+        shape[0] = m;
+        let x = Tensor::from_vec(buf, &shape)?;
+        let logits = net.forward_scratch(x, Phase::Infer, scratch)?;
+        logits.shape_obj().ensure_rank(2)?;
+        let cols = logits.shape()[1];
+        if cols == 0 {
+            return Err(NnError::Tensor(cbq_tensor::TensorError::Empty));
+        }
+        let ls = logits.as_slice();
+        for r in 0..m {
+            let row = &ls[r * cols..(r + 1) * cols];
+            let mut best = 0;
+            for (i, &v) in row.iter().enumerate() {
+                if v > row[best] {
+                    best = i;
+                }
+            }
+            if best == labels[start + r] {
+                correct += 1;
+            }
+        }
+        scratch.recycle_f32(logits.into_vec());
+        start = end;
     }
-    Ok(if total == 0 {
+    Ok(if n == 0 {
         0.0
     } else {
-        correct as f32 / total as f32
+        correct as f32 / n as f32
     })
 }
 
@@ -503,7 +559,7 @@ pub fn evaluate_per_class(
         total: vec![0; num_classes],
     };
     for batch in subset.batches(batch_size.max(1)) {
-        let logits = net.forward(&batch.images, Phase::Eval)?;
+        let logits = net.forward(&batch.images, Phase::Infer)?;
         let preds = logits.argmax_rows()?;
         for (&p, &l) in preds.iter().zip(&batch.labels) {
             if l < num_classes {
@@ -562,6 +618,45 @@ mod tests {
         );
         let acc = evaluate(&mut net, &test, 64).unwrap();
         assert!(acc > 0.8, "test accuracy only {acc}");
+    }
+
+    #[test]
+    fn evaluate_with_scratch_matches_eval_mode_and_goes_alloc_free() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let data = SyntheticImages::generate(&SyntheticSpec::tiny(3), &mut rng).unwrap();
+        let f = data.feature_len();
+        let test = Subset::new(
+            data.test()
+                .images()
+                .reshape(&[data.test().len(), f])
+                .unwrap(),
+            data.test().labels().to_vec(),
+        )
+        .unwrap();
+        let mut net = models::mlp(&[f, 16, 3], &mut rng).unwrap();
+        // legacy-style eval-mode accuracy, computed by hand
+        let mut legacy_correct = 0usize;
+        for batch in test.batches(8) {
+            let logits = net.forward(&batch.images, Phase::Eval).unwrap();
+            let preds = logits.argmax_rows().unwrap();
+            legacy_correct += preds
+                .iter()
+                .zip(&batch.labels)
+                .filter(|(p, l)| p == l)
+                .count();
+        }
+        let legacy = legacy_correct as f32 / test.len() as f32;
+        let mut scratch = Scratch::new();
+        let warm = evaluate_with_scratch(&mut net, &test, 8, &mut scratch).unwrap();
+        assert_eq!(warm, legacy);
+        let before = scratch.fresh_allocs();
+        let again = evaluate_with_scratch(&mut net, &test, 8, &mut scratch).unwrap();
+        assert_eq!(again, legacy);
+        assert_eq!(
+            scratch.fresh_allocs(),
+            before,
+            "warm evaluation must draw every buffer from the pool"
+        );
     }
 
     #[test]

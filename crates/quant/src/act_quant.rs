@@ -73,6 +73,19 @@ impl ActivationQuantizer for ActQuant {
         }
     }
 
+    fn apply_infer(&mut self, data: &mut [f32]) {
+        if self.calibrating {
+            let batch_max = data.iter().fold(0.0f32, |m, &v| m.max(v));
+            self.observed_max = self.observed_max.max(batch_max);
+            return;
+        }
+        let Some(bits) = self.bits else { return };
+        // Same quantizer construction as `apply`, run in place — identical
+        // values, no output/mask tensors.
+        let q = UniformQuantizer::activation(self.observed_max, bits);
+        q.quantize_slice(data);
+    }
+
     fn set_bits(&mut self, bits: Option<u8>) {
         self.bits = bits.and_then(|b| BitWidth::new(b).ok());
     }
@@ -203,6 +216,30 @@ mod tests {
         assert!((y.as_slice()[2] - 8.0 / 3.0).abs() < 1e-5);
         assert!((y.as_slice()[3] - 4.0).abs() < 1e-6);
         assert_eq!(mask.as_slice(), &[1.0, 1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn apply_infer_matches_apply_values() {
+        let mut aq = ActQuant::with_clip(4.0, bw(2));
+        let x = Tensor::from_vec(vec![0.1, 1.5, 3.0, 9.0, -0.2], &[5]).unwrap();
+        let (y, _mask) = aq.apply(&x);
+        let mut data: Vec<f32> = x.as_slice().to_vec();
+        aq.apply_infer(&mut data);
+        for (a, b) in y.as_slice().iter().zip(&data) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // calibration records maxima through the in-place path too
+        let mut cal = ActQuant::new();
+        cal.set_calibrating(true);
+        let mut seen = vec![0.5f32, 2.5, 1.0];
+        cal.apply_infer(&mut seen);
+        assert_eq!(
+            seen,
+            vec![0.5, 2.5, 1.0],
+            "calibration must not rewrite data"
+        );
+        cal.set_calibrating(false);
+        assert_eq!(cal.observed_max(), 2.5);
     }
 
     #[test]

@@ -21,7 +21,7 @@
 //! overflow behaviour the WrapNet baseline simulates at training time.
 
 use crate::{BitWidth, QuantError, Result};
-use cbq_tensor::Tensor;
+use cbq_tensor::{Scratch, Tensor};
 
 /// A batch of integer-coded activations.
 #[derive(Debug, Clone, PartialEq)]
@@ -42,6 +42,32 @@ impl IntActivations {
     /// [`QuantError::BitWidthOutOfRange`] for 0 bits (activations cannot
     /// be pruned wholesale).
     pub fn quantize(x: &Tensor, clip: f32, bits: BitWidth) -> Result<Self> {
+        Self::quantize_into_codes(x, clip, bits, Vec::new())
+    }
+
+    /// Like [`IntActivations::quantize`], but draws the code buffer from
+    /// `scratch` so warm probe loops skip the allocation. Pair with
+    /// [`IntActivations::recycle`] to return the buffer.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`IntActivations::quantize`].
+    pub fn quantize_with_scratch(
+        x: &Tensor,
+        clip: f32,
+        bits: BitWidth,
+        scratch: &mut Scratch,
+    ) -> Result<Self> {
+        let codes = scratch.take_i32(x.len());
+        Self::quantize_into_codes(x, clip, bits, codes)
+    }
+
+    fn quantize_into_codes(
+        x: &Tensor,
+        clip: f32,
+        bits: BitWidth,
+        mut codes: Vec<i32>,
+    ) -> Result<Self> {
         if bits.is_pruned() {
             return Err(QuantError::BitWidthOutOfRange { bits: 0 });
         }
@@ -51,20 +77,22 @@ impl IntActivations {
         x.shape_obj().ensure_rank(2)?;
         let m = bits.levels() as f32;
         let scale = clip / (m - 1.0);
-        let codes = x
-            .as_slice()
-            .iter()
-            .map(|&v| {
-                let clamped = v.clamp(0.0, clip);
-                (clamped / scale).round() as i32
-            })
-            .collect();
+        codes.clear();
+        codes.extend(x.as_slice().iter().map(|&v| {
+            let clamped = v.clamp(0.0, clip);
+            (clamped / scale).round() as i32
+        }));
         Ok(IntActivations {
             codes,
             scale,
             batch: x.shape()[0],
             features: x.shape()[1],
         })
+    }
+
+    /// Returns the code buffer to `scratch` for reuse.
+    pub fn recycle(self, scratch: &mut Scratch) {
+        scratch.recycle_i32(self.codes);
     }
 
     /// The quantization scale `s_a`.
@@ -208,6 +236,35 @@ impl IntegerLinear {
         x: &IntActivations,
         acc_bits: Option<u8>,
     ) -> Result<Tensor> {
+        let mut out = vec![0.0f32; x.batch * self.out_features];
+        self.forward_into(x, acc_bits, &mut out)?;
+        Ok(Tensor::from_vec(out, &[x.batch, self.out_features])?)
+    }
+
+    /// Scratch-arena forward: the output buffer comes from `scratch`;
+    /// recycle the returned tensor's storage (`Tensor::into_vec` +
+    /// [`Scratch::recycle_f32`]) to keep warm probe loops allocation-free.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`IntegerLinear::forward_with_accumulator`].
+    pub fn forward_with_scratch(
+        &self,
+        x: &IntActivations,
+        acc_bits: Option<u8>,
+        scratch: &mut Scratch,
+    ) -> Result<Tensor> {
+        let mut out = scratch.take_f32(x.batch * self.out_features);
+        self.forward_into(x, acc_bits, &mut out)?;
+        Ok(Tensor::from_vec(out, &[x.batch, self.out_features])?)
+    }
+
+    fn forward_into(
+        &self,
+        x: &IntActivations,
+        acc_bits: Option<u8>,
+        out: &mut [f32],
+    ) -> Result<()> {
         if x.features != self.in_features {
             return Err(QuantError::ArrangementMismatch(format!(
                 "activation features {} vs layer input {}",
@@ -219,7 +276,6 @@ impl IntegerLinear {
             Some(0) => return Err(QuantError::BitWidthOutOfRange { bits: 0 }),
             Some(n) => Some(1i64 << (n - 1)),
         };
-        let mut out = vec![0.0f32; x.batch * self.out_features];
         for b in 0..x.batch {
             let arow = &x.codes[b * self.in_features..(b + 1) * self.in_features];
             for k in 0..self.out_features {
@@ -246,7 +302,7 @@ impl IntegerLinear {
                 out[b * self.out_features + k] = y;
             }
         }
-        Ok(Tensor::from_vec(out, &[x.batch, self.out_features])?)
+        Ok(())
     }
 
     /// Output width.
@@ -331,6 +387,32 @@ impl IntegerConv2d {
     ///
     /// Returns shape/geometry errors for inconsistent operands.
     pub fn forward_codes(&self, codes: &Tensor, act_scale: f32) -> Result<Tensor> {
+        let (n, oh, ow) = self.out_geometry(codes)?;
+        let mut out = vec![0.0f32; n * self.out_channels * oh * ow];
+        self.forward_codes_into(codes, act_scale, &mut out)?;
+        Ok(Tensor::from_vec(out, &[n, self.out_channels, oh, ow])?)
+    }
+
+    /// Scratch-arena variant of [`IntegerConv2d::forward_codes`]: the
+    /// output buffer comes from `scratch`; recycle the returned tensor's
+    /// storage to keep warm loops allocation-free.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`IntegerConv2d::forward_codes`].
+    pub fn forward_codes_with_scratch(
+        &self,
+        codes: &Tensor,
+        act_scale: f32,
+        scratch: &mut Scratch,
+    ) -> Result<Tensor> {
+        let (n, oh, ow) = self.out_geometry(codes)?;
+        let mut out = scratch.take_f32(n * self.out_channels * oh * ow);
+        self.forward_codes_into(codes, act_scale, &mut out)?;
+        Ok(Tensor::from_vec(out, &[n, self.out_channels, oh, ow])?)
+    }
+
+    fn out_geometry(&self, codes: &Tensor) -> Result<(usize, usize, usize)> {
         codes.shape_obj().ensure_rank(4)?;
         let (n, c, h, w) = (
             codes.shape()[0],
@@ -344,12 +426,20 @@ impl IntegerConv2d {
                 self.in_channels
             )));
         }
+        let spec = cbq_tensor::ConvSpec::new(self.stride, self.padding);
+        let oh = spec.out_extent(h, self.kernel)?;
+        let ow = spec.out_extent(w, self.kernel)?;
+        Ok((n, oh, ow))
+    }
+
+    fn forward_codes_into(&self, codes: &Tensor, act_scale: f32, out: &mut [f32]) -> Result<()> {
+        let (n, _oh, _ow) = self.out_geometry(codes)?;
+        let (c, h, w) = (codes.shape()[1], codes.shape()[2], codes.shape()[3]);
         let k = self.kernel;
         let spec = cbq_tensor::ConvSpec::new(self.stride, self.padding);
         let oh = spec.out_extent(h, k)?;
         let ow = spec.out_extent(w, k)?;
         let src = codes.as_slice();
-        let mut out = vec![0.0f32; n * self.out_channels * oh * ow];
         for ni in 0..n {
             for oc in 0..self.out_channels {
                 let wbase = oc * self.in_channels * k * k;
@@ -384,7 +474,7 @@ impl IntegerConv2d {
                 }
             }
         }
-        Ok(Tensor::from_vec(out, &[n, self.out_channels, oh, ow])?)
+        Ok(())
     }
 }
 
@@ -520,6 +610,34 @@ mod tests {
             diff < 1e-3,
             "integer conv deviates from fake-quant by {diff}"
         );
+    }
+
+    #[test]
+    fn scratch_variants_match_and_reuse_buffers() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let w = Tensor::randn(&[5, 12], 0.4, &mut rng);
+        let bits = vec![bw(3); 5];
+        let lin = IntegerLinear::quantize(&w, &bits, None).unwrap();
+        let x = Tensor::rand_uniform(&[3, 12], 0.0, 2.0, &mut rng);
+        let plain = IntActivations::quantize(&x, 2.0, bw(4)).unwrap();
+        let y_plain = lin.forward(&plain).unwrap();
+
+        let mut scratch = Scratch::new();
+        // warmup populates the pools
+        let ia = IntActivations::quantize_with_scratch(&x, 2.0, bw(4), &mut scratch).unwrap();
+        let y = lin.forward_with_scratch(&ia, None, &mut scratch).unwrap();
+        for (a, b) in y_plain.as_slice().iter().zip(y.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        ia.recycle(&mut scratch);
+        scratch.recycle_f32(y.into_vec());
+        // steady state: no pool misses
+        let before = scratch.fresh_allocs();
+        let ia = IntActivations::quantize_with_scratch(&x, 2.0, bw(4), &mut scratch).unwrap();
+        let y = lin.forward_with_scratch(&ia, None, &mut scratch).unwrap();
+        ia.recycle(&mut scratch);
+        scratch.recycle_f32(y.into_vec());
+        assert_eq!(scratch.fresh_allocs(), before);
     }
 
     #[test]

@@ -105,7 +105,26 @@ impl WeightTransform for PerFilterQuantizer {
         let per_filter = weight.len() / filters;
         let layer_bound = weight.max_abs();
         let mut out = weight.clone();
-        let data = out.as_mut_slice();
+        Self::quantize_into(self, out.as_mut_slice(), per_filter, layer_bound);
+        out
+    }
+
+    fn apply_into(&self, weight: &Tensor, out: &mut [f32]) {
+        out.copy_from_slice(weight.as_slice());
+        let filters = self.bits.len();
+        if filters == 0 || weight.is_empty() {
+            return;
+        }
+        let per_filter = weight.len() / filters;
+        let layer_bound = weight.max_abs();
+        Self::quantize_into(self, out, per_filter, layer_bound);
+    }
+}
+
+impl PerFilterQuantizer {
+    /// Shared quantization kernel of `apply`/`apply_into`: fake-quantizes
+    /// the weights already present in `data`, chunked per filter.
+    fn quantize_into(&self, data: &mut [f32], per_filter: usize, layer_bound: f32) {
         for (k, &bits) in self.bits.iter().enumerate() {
             let chunk = &mut data[k * per_filter..(k + 1) * per_filter];
             let bound = match self.bound_mode {
@@ -115,7 +134,6 @@ impl WeightTransform for PerFilterQuantizer {
             let q = UniformQuantizer::symmetric(bound, bits);
             q.quantize_slice(chunk);
         }
-        out
     }
 }
 
@@ -256,6 +274,22 @@ mod tests {
         let q = t.apply(&w);
         // 1 bit over [-1, 1]: levels ±1. 0.1 rounds to +1.
         assert_eq!(q.as_slice(), &[1.0, 1.0, 1.0, -1.0]);
+    }
+
+    #[test]
+    fn apply_into_matches_apply_bit_for_bit() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let w = Tensor::randn(&[3, 8], 0.5, &mut rng);
+        for mode in [BoundMode::PerLayer, BoundMode::PerFilter] {
+            let t =
+                PerFilterQuantizer::new(vec![bw(1), bw(3), BitWidth::ZERO]).with_bound_mode(mode);
+            let via_apply = t.apply(&w);
+            let mut via_into = vec![0.0f32; w.len()];
+            t.apply_into(&w, &mut via_into);
+            for (a, b) in via_apply.as_slice().iter().zip(&via_into) {
+                assert_eq!(a.to_bits(), b.to_bits(), "mode {mode:?}");
+            }
+        }
     }
 
     #[test]

@@ -1,11 +1,22 @@
 //! 2-D convolution via im2col/col2im, with full backward passes.
 //!
 //! Layout conventions: activations are `[N, C, H, W]`, weights are
-//! `[O, C, KH, KW]`, biases are `[O]`. The im2col matrix for one batch item
-//! is `[C*KH*KW, OH*OW]`, so the forward pass is a single matrix product
-//! per item and the backward pass reuses the same matrix for both the
-//! weight gradient and (through [`col2im`]) the input gradient.
+//! `[O, C, KH, KW]`, biases are `[O]`. The whole minibatch is unfolded at
+//! once into a single `[C*KH*KW, N*OH*OW]` matrix (column block `ni` is
+//! exactly the per-item [`im2col`] matrix of item `ni`), so the forward
+//! pass is **one** GEMM per layer instead of N small ones, and the backward
+//! pass reuses the same batched matrix for both the weight gradient (one
+//! `dY · colsᵀ` GEMM over the folded batch-and-space dimension) and the
+//! input gradient (one `Wᵀ · dY` GEMM followed by per-item [`col2im`]).
+//! The per-item [`im2col`]/[`col2im`] pair is kept as the reference the
+//! batched path is property-tested against.
+//!
+//! Every step has an `_into` variant that writes caller-provided buffers
+//! and draws temporaries from a [`Scratch`] arena, which is what makes the
+//! probe forward path allocation-free in steady state.
 
+use crate::kernels::gemm_packed;
+use crate::scratch::{with_thread_scratch, Scratch};
 use crate::{Result, Tensor, TensorError};
 
 /// Geometry of a convolution or correlation: stride and zero padding,
@@ -81,13 +92,48 @@ pub fn im2col(input: &Tensor, kh: usize, kw: usize, spec: ConvSpec) -> Result<Te
     let rows = c * kh * kw;
     let cols = oh * ow;
     let mut out = vec![0.0f32; rows * cols];
-    let data = input.as_slice();
+    unfold_item(
+        input.as_slice(),
+        c,
+        h,
+        w,
+        kh,
+        kw,
+        oh,
+        ow,
+        spec,
+        &mut out,
+        cols,
+        0,
+    );
+    Tensor::from_vec(out, &[rows, cols])
+}
+
+/// Copies one image's receptive fields into its column block of an
+/// (possibly batched) im2col matrix. `row_stride` is the full matrix's
+/// column count and `col_off` the first column of this item's block; the
+/// destination must already be zeroed (padding positions are skipped).
+#[allow(clippy::too_many_arguments)]
+fn unfold_item(
+    data: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    oh: usize,
+    ow: usize,
+    spec: ConvSpec,
+    out: &mut [f32],
+    row_stride: usize,
+    col_off: usize,
+) {
     let pad = spec.padding as isize;
     for ci in 0..c {
         for ki in 0..kh {
             for kj in 0..kw {
                 let row = (ci * kh + ki) * kw + kj;
-                let base = row * cols;
+                let base = row * row_stride + col_off;
                 for oi in 0..oh {
                     let ii = (oi * spec.stride) as isize + ki as isize - pad;
                     if ii < 0 || ii >= h as isize {
@@ -105,7 +151,49 @@ pub fn im2col(input: &Tensor, kh: usize, kw: usize, spec: ConvSpec) -> Result<Te
             }
         }
     }
-    Tensor::from_vec(out, &[rows, cols])
+}
+
+/// Scatter-adds one column block of an im2col-shaped gradient back onto one
+/// image gradient (the adjoint of [`unfold_item`], accumulation order
+/// identical to [`col2im`]).
+#[allow(clippy::too_many_arguments)]
+fn fold_item(
+    cols_mat: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    oh: usize,
+    ow: usize,
+    spec: ConvSpec,
+    grad: &mut [f32],
+    row_stride: usize,
+    col_off: usize,
+) {
+    let pad = spec.padding as isize;
+    for ci in 0..c {
+        for ki in 0..kh {
+            for kj in 0..kw {
+                let row = (ci * kh + ki) * kw + kj;
+                let base = row * row_stride + col_off;
+                for oi in 0..oh {
+                    let ii = (oi * spec.stride) as isize + ki as isize - pad;
+                    if ii < 0 || ii >= h as isize {
+                        continue;
+                    }
+                    let out_row = (ci * h + ii as usize) * w;
+                    for oj in 0..ow {
+                        let jj = (oj * spec.stride) as isize + kj as isize - pad;
+                        if jj < 0 || jj >= w as isize {
+                            continue;
+                        }
+                        grad[out_row + jj as usize] += cols_mat[base + oi * ow + oj];
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// Folds an im2col-shaped gradient `[C*KH*KW, OH*OW]` back onto an image
@@ -137,34 +225,178 @@ pub fn col2im(
         });
     }
     let mut out = vec![0.0f32; c * h * w];
-    let data = cols_mat.as_slice();
-    let pad = spec.padding as isize;
-    for ci in 0..c {
-        for ki in 0..kh {
-            for kj in 0..kw {
-                let row = (ci * kh + ki) * kw + kj;
-                let base = row * cols;
-                for oi in 0..oh {
-                    let ii = (oi * spec.stride) as isize + ki as isize - pad;
-                    if ii < 0 || ii >= h as isize {
-                        continue;
-                    }
-                    let out_row = (ci * h + ii as usize) * w;
-                    for oj in 0..ow {
-                        let jj = (oj * spec.stride) as isize + kj as isize - pad;
-                        if jj < 0 || jj >= w as isize {
-                            continue;
-                        }
-                        out[out_row + jj as usize] += data[base + oi * ow + oj];
-                    }
-                }
-            }
-        }
-    }
+    fold_item(
+        cols_mat.as_slice(),
+        c,
+        h,
+        w,
+        kh,
+        kw,
+        oh,
+        ow,
+        spec,
+        &mut out,
+        cols,
+        0,
+    );
     Tensor::from_vec(out, &[c, h, w])
 }
 
+/// Validated geometry of a batched convolution.
+struct ConvGeom {
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    o: usize,
+    kh: usize,
+    kw: usize,
+    oh: usize,
+    ow: usize,
+}
+
+impl ConvGeom {
+    fn check(
+        input: &Tensor,
+        weight: &Tensor,
+        bias: Option<&Tensor>,
+        spec: ConvSpec,
+    ) -> Result<ConvGeom> {
+        input.shape_obj().ensure_rank(4)?;
+        weight.shape_obj().ensure_rank(4)?;
+        let (n, c, h, w) = (
+            input.shape()[0],
+            input.shape()[1],
+            input.shape()[2],
+            input.shape()[3],
+        );
+        let (o, wc, kh, kw) = (
+            weight.shape()[0],
+            weight.shape()[1],
+            weight.shape()[2],
+            weight.shape()[3],
+        );
+        if c != wc {
+            return Err(TensorError::ShapeMismatch {
+                lhs: input.shape().to_vec(),
+                rhs: weight.shape().to_vec(),
+            });
+        }
+        if let Some(b) = bias {
+            if b.shape() != [o] {
+                return Err(TensorError::ShapeMismatch {
+                    lhs: b.shape().to_vec(),
+                    rhs: vec![o],
+                });
+            }
+        }
+        let oh = spec.out_extent(h, kh)?;
+        let ow = spec.out_extent(w, kw)?;
+        Ok(ConvGeom {
+            n,
+            c,
+            h,
+            w,
+            o,
+            kh,
+            kw,
+            oh,
+            ow,
+        })
+    }
+
+    fn k(&self) -> usize {
+        self.c * self.kh * self.kw
+    }
+
+    fn space(&self) -> usize {
+        self.oh * self.ow
+    }
+}
+
+/// Unfolds a whole minibatch `[N, C, H, W]` into one batched im2col matrix
+/// `[C*KH*KW, N*OH*OW]`; column block `ni` equals `im2col(item ni)`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for non-rank-4 input and
+/// [`TensorError::InvalidGeometry`] when the kernel does not fit.
+pub fn im2col_batched(input: &Tensor, kh: usize, kw: usize, spec: ConvSpec) -> Result<Tensor> {
+    input.shape_obj().ensure_rank(4)?;
+    let (n, c, h, w) = (
+        input.shape()[0],
+        input.shape()[1],
+        input.shape()[2],
+        input.shape()[3],
+    );
+    let oh = spec.out_extent(h, kh)?;
+    let ow = spec.out_extent(w, kw)?;
+    let rows = c * kh * kw;
+    let cols = n * oh * ow;
+    let mut out = vec![0.0f32; rows * cols];
+    im2col_batched_into(input, kh, kw, spec, &mut out)?;
+    Tensor::from_vec(out, &[rows, cols])
+}
+
+/// Allocation-free [`im2col_batched`]: fills `out` (length
+/// `C*KH*KW * N*OH*OW`, row-major) in place.
+///
+/// # Errors
+///
+/// Same conditions as [`im2col_batched`], plus
+/// [`TensorError::LengthMismatch`] when `out` has the wrong length.
+pub fn im2col_batched_into(
+    input: &Tensor,
+    kh: usize,
+    kw: usize,
+    spec: ConvSpec,
+    out: &mut [f32],
+) -> Result<()> {
+    input.shape_obj().ensure_rank(4)?;
+    let (n, c, h, w) = (
+        input.shape()[0],
+        input.shape()[1],
+        input.shape()[2],
+        input.shape()[3],
+    );
+    let oh = spec.out_extent(h, kh)?;
+    let ow = spec.out_extent(w, kw)?;
+    let rows = c * kh * kw;
+    let cols = n * oh * ow;
+    if out.len() != rows * cols {
+        return Err(TensorError::LengthMismatch {
+            expected: rows * cols,
+            actual: out.len(),
+        });
+    }
+    out.fill(0.0);
+    let img = c * h * w;
+    let space = oh * ow;
+    let data = input.as_slice();
+    for ni in 0..n {
+        unfold_item(
+            &data[ni * img..(ni + 1) * img],
+            c,
+            h,
+            w,
+            kh,
+            kw,
+            oh,
+            ow,
+            spec,
+            out,
+            cols,
+            ni * space,
+        );
+    }
+    Ok(())
+}
+
 /// Batched 2-D convolution: `[N, C, H, W] * [O, C, KH, KW] -> [N, O, OH, OW]`.
+///
+/// One batched im2col plus one packed GEMM for the entire minibatch; the
+/// per-output-element accumulation order (ascending over `C*KH*KW`) is
+/// identical to the per-item formulation, so results are bit-equal to it.
 ///
 /// # Errors
 ///
@@ -176,58 +408,72 @@ pub fn conv2d(
     bias: Option<&Tensor>,
     spec: ConvSpec,
 ) -> Result<Tensor> {
-    input.shape_obj().ensure_rank(4)?;
-    weight.shape_obj().ensure_rank(4)?;
-    let (n, c, h, w) = (
-        input.shape()[0],
-        input.shape()[1],
-        input.shape()[2],
-        input.shape()[3],
-    );
-    let (o, wc, kh, kw) = (
-        weight.shape()[0],
-        weight.shape()[1],
-        weight.shape()[2],
-        weight.shape()[3],
-    );
-    if c != wc {
-        return Err(TensorError::ShapeMismatch {
-            lhs: input.shape().to_vec(),
-            rhs: weight.shape().to_vec(),
+    let g = ConvGeom::check(input, weight, bias, spec)?;
+    let mut out = vec![0.0f32; g.n * g.o * g.space()];
+    with_thread_scratch(|s| conv2d_into(input, weight, bias, spec, &mut out, s))?;
+    Tensor::from_vec(out, &[g.n, g.o, g.oh, g.ow])
+}
+
+/// Allocation-free [`conv2d`]: writes `[N, O, OH, OW]` into `out`, drawing
+/// the im2col and GEMM temporaries from `scratch`. Returns the output dims.
+///
+/// # Errors
+///
+/// Same conditions as [`conv2d`], plus [`TensorError::LengthMismatch`] when
+/// `out` has the wrong length.
+pub fn conv2d_into(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    spec: ConvSpec,
+    out: &mut [f32],
+    scratch: &mut Scratch,
+) -> Result<[usize; 4]> {
+    let g = ConvGeom::check(input, weight, bias, spec)?;
+    let (k, space) = (g.k(), g.space());
+    let cols_total = g.n * space;
+    if out.len() != g.n * g.o * space {
+        return Err(TensorError::LengthMismatch {
+            expected: g.n * g.o * space,
+            actual: out.len(),
         });
     }
-    if let Some(b) = bias {
-        if b.shape() != [o] {
-            return Err(TensorError::ShapeMismatch {
-                lhs: b.shape().to_vec(),
-                rhs: vec![o],
-            });
-        }
-    }
-    let oh = spec.out_extent(h, kh)?;
-    let ow = spec.out_extent(w, kw)?;
-    let w2 = weight.reshape(&[o, c * kh * kw])?;
-    let mut out = Tensor::zeros(&[n, o, oh, ow]);
-    let plane = o * oh * ow;
-    for ni in 0..n {
-        let item = Tensor::from_vec(
-            input.as_slice()[ni * c * h * w..(ni + 1) * c * h * w].to_vec(),
-            &[c, h, w],
-        )?;
-        let cols = im2col(&item, kh, kw, spec)?;
-        let prod = w2.matmul(&cols)?; // [o, oh*ow]
-        let dst = &mut out.as_mut_slice()[ni * plane..(ni + 1) * plane];
-        dst.copy_from_slice(prod.as_slice());
-        if let Some(b) = bias {
-            for oi in 0..o {
-                let bv = b.as_slice()[oi];
-                for v in &mut dst[oi * oh * ow..(oi + 1) * oh * ow] {
-                    *v += bv;
+    let mut cols = scratch.take_f32(k * cols_total);
+    im2col_batched_into(input, g.kh, g.kw, spec, &mut cols)?;
+    // One GEMM for the whole batch: W2 [O, K] × cols [K, N*S] -> [O, N*S].
+    let mut prod = scratch.take_f32(g.o * cols_total);
+    gemm_packed(
+        g.o,
+        cols_total,
+        k,
+        weight.as_slice(),
+        k,
+        1,
+        &cols,
+        cols_total,
+        1,
+        &mut prod,
+        scratch,
+    );
+    // Transpose [O, N, S] -> [N, O, S], fusing in the bias add.
+    for ni in 0..g.n {
+        for oi in 0..g.o {
+            let src = &prod[oi * cols_total + ni * space..oi * cols_total + (ni + 1) * space];
+            let dst = &mut out[(ni * g.o + oi) * space..(ni * g.o + oi + 1) * space];
+            match bias {
+                Some(b) => {
+                    let bv = b.as_slice()[oi];
+                    for (d, &s) in dst.iter_mut().zip(src) {
+                        *d = s + bv;
+                    }
                 }
+                None => dst.copy_from_slice(src),
             }
         }
     }
-    Ok(out)
+    scratch.recycle_f32(cols);
+    scratch.recycle_f32(prod);
+    Ok([g.n, g.o, g.oh, g.ow])
 }
 
 /// Backward pass of [`conv2d`]: gradients with respect to input, weight and
@@ -243,64 +489,143 @@ pub fn conv2d_backward(
     grad_out: &Tensor,
     spec: ConvSpec,
 ) -> Result<Conv2dGrads> {
-    input.shape_obj().ensure_rank(4)?;
-    weight.shape_obj().ensure_rank(4)?;
-    grad_out.shape_obj().ensure_rank(4)?;
-    let (n, c, h, w) = (
-        input.shape()[0],
-        input.shape()[1],
-        input.shape()[2],
-        input.shape()[3],
-    );
-    let (o, _, kh, kw) = (
-        weight.shape()[0],
-        weight.shape()[1],
-        weight.shape()[2],
-        weight.shape()[3],
-    );
-    let oh = spec.out_extent(h, kh)?;
-    let ow = spec.out_extent(w, kw)?;
-    if grad_out.shape() != [n, o, oh, ow] {
-        return Err(TensorError::ShapeMismatch {
-            lhs: grad_out.shape().to_vec(),
-            rhs: vec![n, o, oh, ow],
-        });
-    }
-    let k = c * kh * kw;
-    let w2 = weight.reshape(&[o, k])?;
-    let mut grad_input = Tensor::zeros(&[n, c, h, w]);
-    let mut grad_weight2 = Tensor::zeros(&[o, k]);
-    let mut grad_bias = Tensor::zeros(&[o]);
-    let plane = o * oh * ow;
-    let img = c * h * w;
-    for ni in 0..n {
-        let item = Tensor::from_vec(
-            input.as_slice()[ni * img..(ni + 1) * img].to_vec(),
-            &[c, h, w],
-        )?;
-        let cols = im2col(&item, kh, kw, spec)?; // [k, oh*ow]
-        let gy = Tensor::from_vec(
-            grad_out.as_slice()[ni * plane..(ni + 1) * plane].to_vec(),
-            &[o, oh * ow],
-        )?;
-        // dW += gy · cols^T
-        let gw = gy.matmul_nt(&cols)?;
-        grad_weight2.add_scaled(&gw, 1.0)?;
-        // db += row sums of gy
-        for oi in 0..o {
-            let s: f32 = gy.as_slice()[oi * oh * ow..(oi + 1) * oh * ow].iter().sum();
-            grad_bias.as_mut_slice()[oi] += s;
-        }
-        // dX = col2im(W^T · gy)
-        let gcols = w2.matmul_tn(&gy)?; // [k, oh*ow]
-        let gx = col2im(&gcols, c, h, w, kh, kw, spec)?;
-        grad_input.as_mut_slice()[ni * img..(ni + 1) * img].copy_from_slice(gx.as_slice());
-    }
+    let g = ConvGeom::check(input, weight, None, spec)?;
+    let mut grad_input = Tensor::zeros(&[g.n, g.c, g.h, g.w]);
+    let mut grad_weight = Tensor::zeros(&[g.o, g.c, g.kh, g.kw]);
+    let mut grad_bias = Tensor::zeros(&[g.o]);
+    with_thread_scratch(|s| {
+        conv2d_backward_into(
+            input,
+            weight,
+            grad_out,
+            spec,
+            grad_input.as_mut_slice(),
+            grad_weight.as_mut_slice(),
+            grad_bias.as_mut_slice(),
+            s,
+        )
+    })?;
     Ok(Conv2dGrads {
         grad_input,
-        grad_weight: grad_weight2.into_reshape(&[o, c, kh, kw])?,
+        grad_weight,
         grad_bias,
     })
+}
+
+/// Allocation-free [`conv2d_backward`]: writes the input, weight and bias
+/// gradients into the provided buffers, drawing temporaries from `scratch`.
+/// The whole batch's weight gradient is one `dY · colsᵀ` GEMM (contraction
+/// over the folded `N*OH*OW` dimension) and the input gradient one
+/// `Wᵀ · dY` GEMM followed by per-item col2im.
+///
+/// # Errors
+///
+/// Same conditions as [`conv2d_backward`], plus
+/// [`TensorError::LengthMismatch`] for wrongly sized output buffers.
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_backward_into(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_out: &Tensor,
+    spec: ConvSpec,
+    grad_input: &mut [f32],
+    grad_weight: &mut [f32],
+    grad_bias: &mut [f32],
+    scratch: &mut Scratch,
+) -> Result<()> {
+    let g = ConvGeom::check(input, weight, None, spec)?;
+    grad_out.shape_obj().ensure_rank(4)?;
+    if grad_out.shape() != [g.n, g.o, g.oh, g.ow] {
+        return Err(TensorError::ShapeMismatch {
+            lhs: grad_out.shape().to_vec(),
+            rhs: vec![g.n, g.o, g.oh, g.ow],
+        });
+    }
+    let (k, space) = (g.k(), g.space());
+    let cols_total = g.n * space;
+    for (buf, want) in [
+        (&*grad_input, g.n * g.c * g.h * g.w),
+        (&*grad_weight, g.o * k),
+        (&*grad_bias, g.o),
+    ] {
+        if buf.len() != want {
+            return Err(TensorError::LengthMismatch {
+                expected: want,
+                actual: buf.len(),
+            });
+        }
+    }
+    let mut cols = scratch.take_f32(k * cols_total);
+    im2col_batched_into(input, g.kh, g.kw, spec, &mut cols)?;
+    // gy in [O, N*S] layout: transpose of grad_out's [N, O, S].
+    let mut gy = scratch.take_f32(g.o * cols_total);
+    let go = grad_out.as_slice();
+    for ni in 0..g.n {
+        for oi in 0..g.o {
+            let src = &go[(ni * g.o + oi) * space..(ni * g.o + oi + 1) * space];
+            gy[oi * cols_total + ni * space..oi * cols_total + (ni + 1) * space]
+                .copy_from_slice(src);
+        }
+    }
+    // dW = gy · colsᵀ : [O, N*S] × [N*S, K] -> [O, K], one GEMM.
+    gemm_packed(
+        g.o,
+        k,
+        cols_total,
+        &gy,
+        cols_total,
+        1,
+        &cols,
+        1,
+        cols_total,
+        grad_weight,
+        scratch,
+    );
+    // db = row sums of gy.
+    for (oi, gb) in grad_bias.iter_mut().enumerate() {
+        let mut acc = 0.0f32;
+        for &v in &gy[oi * cols_total..(oi + 1) * cols_total] {
+            acc += v;
+        }
+        *gb = acc;
+    }
+    // dX = col2im(Wᵀ · gy) : [K, O] × [O, N*S] -> [K, N*S], then fold.
+    let mut gcols = scratch.take_f32(k * cols_total);
+    gemm_packed(
+        k,
+        cols_total,
+        g.o,
+        weight.as_slice(),
+        1,
+        k,
+        &gy,
+        cols_total,
+        1,
+        &mut gcols,
+        scratch,
+    );
+    grad_input.fill(0.0);
+    let img = g.c * g.h * g.w;
+    for ni in 0..g.n {
+        fold_item(
+            &gcols,
+            g.c,
+            g.h,
+            g.w,
+            g.kh,
+            g.kw,
+            g.oh,
+            g.ow,
+            spec,
+            &mut grad_input[ni * img..(ni + 1) * img],
+            cols_total,
+            ni * space,
+        );
+    }
+    scratch.recycle_f32(cols);
+    scratch.recycle_f32(gy);
+    scratch.recycle_f32(gcols);
+    Ok(())
 }
 
 #[cfg(test)]
@@ -374,6 +699,54 @@ mod tests {
     }
 
     #[test]
+    fn batched_im2col_blocks_equal_per_item() {
+        let mut rng = StdRng::seed_from_u64(47);
+        for &(stride, pad) in &[(1usize, 0usize), (1, 1), (2, 1), (3, 2)] {
+            let spec = ConvSpec::new(stride, pad);
+            let x = Tensor::randn(&[3, 2, 6, 6], 1.0, &mut rng);
+            let batched = im2col_batched(&x, 3, 3, spec).unwrap();
+            let space = batched.shape()[1] / 3;
+            for ni in 0..3 {
+                let item = Tensor::from_vec(
+                    x.as_slice()[ni * 2 * 36..(ni + 1) * 2 * 36].to_vec(),
+                    &[2, 6, 6],
+                )
+                .unwrap();
+                let per_item = im2col(&item, 3, 3, spec).unwrap();
+                for r in 0..batched.shape()[0] {
+                    for s in 0..space {
+                        assert_eq!(
+                            batched.as_slice()[r * batched.shape()[1] + ni * space + s].to_bits(),
+                            per_item.as_slice()[r * space + s].to_bits(),
+                            "item {ni} row {r} col {s} (stride {stride} pad {pad})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn conv2d_into_matches_and_reuses_buffers() {
+        let mut rng = StdRng::seed_from_u64(51);
+        let spec = ConvSpec::new(1, 1);
+        let x = Tensor::randn(&[2, 3, 5, 5], 1.0, &mut rng);
+        let w = Tensor::randn(&[4, 3, 3, 3], 0.5, &mut rng);
+        let b = Tensor::randn(&[4], 0.1, &mut rng);
+        let want = conv2d(&x, &w, Some(&b), spec).unwrap();
+        let mut s = Scratch::new();
+        let mut out = s.take_f32(want.len());
+        let dims = conv2d_into(&x, &w, Some(&b), spec, &mut out, &mut s).unwrap();
+        assert_eq!(&dims[..], want.shape());
+        for (a, c) in out.iter().zip(want.as_slice()) {
+            assert_eq!(a.to_bits(), c.to_bits());
+        }
+        let misses = s.fresh_allocs();
+        conv2d_into(&x, &w, Some(&b), spec, &mut out, &mut s).unwrap();
+        assert_eq!(s.fresh_allocs(), misses, "steady state must not allocate");
+    }
+
+    #[test]
     fn im2col_col2im_are_adjoint() {
         // <im2col(x), y> == <x, col2im(y)> for random x, y — the defining
         // property that makes the backward pass correct.
@@ -428,6 +801,41 @@ mod tests {
         let per_channel = (y.len() / 3) as f32;
         for &gb in grads.grad_bias.as_slice() {
             assert!((gb - per_channel).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn batched_backward_matches_multi_item_finite_difference() {
+        // Multi-item batch exercises the folded N*S contraction dimension.
+        let mut rng = StdRng::seed_from_u64(61);
+        let spec = ConvSpec::new(2, 1);
+        let x = Tensor::randn(&[3, 2, 5, 5], 1.0, &mut rng);
+        let w = Tensor::randn(&[2, 2, 3, 3], 0.5, &mut rng);
+        let y = conv2d(&x, &w, None, spec).unwrap();
+        let gy = Tensor::ones(y.shape());
+        let grads = conv2d_backward(&x, &w, &gy, spec).unwrap();
+        let eps = 1e-2f32;
+        for idx in [0usize, 9, 17, 30] {
+            let mut wp = w.clone();
+            wp.as_mut_slice()[idx] += eps;
+            let mut wm = w.clone();
+            wm.as_mut_slice()[idx] -= eps;
+            let fd = (conv2d(&x, &wp, None, spec).unwrap().sum()
+                - conv2d(&x, &wm, None, spec).unwrap().sum())
+                / (2.0 * eps);
+            let an = grads.grad_weight.as_slice()[idx];
+            assert!((fd - an).abs() < 3e-2, "weight[{idx}]: fd {fd} vs an {an}");
+        }
+        for idx in [0usize, 24, 60, 149] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let fd = (conv2d(&xp, &w, None, spec).unwrap().sum()
+                - conv2d(&xm, &w, None, spec).unwrap().sum())
+                / (2.0 * eps);
+            let an = grads.grad_input.as_slice()[idx];
+            assert!((fd - an).abs() < 3e-2, "input[{idx}]: fd {fd} vs an {an}");
         }
     }
 

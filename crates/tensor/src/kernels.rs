@@ -1,0 +1,332 @@
+//! Cache-blocked packed GEMM with a fixed k-accumulation order.
+//!
+//! Every dense hot path in the CBQ stack (`matmul`, `matmul_tn`,
+//! `matmul_nt`, and the batched im2col convolutions) funnels into
+//! [`gemm_packed`], a BLIS-style kernel:
+//!
+//! * The k dimension is blocked into chunks of [`KC`]. For each chunk, all
+//!   of A's row panels and all of B's column panels are packed **serially**
+//!   into contiguous tile-major scratch (`a_pack[tile][p][r]`,
+//!   `b_pack[tile][p][c]`, edges zero-padded), then the output row tiles
+//!   are computed — possibly in parallel, each tile writing a disjoint slice
+//!   of C.
+//! * The [`MR`]×[`NR`] micro-kernel keeps one `f32` accumulator per output
+//!   element. It loads the current C tile, folds the chunk's k range in
+//!   strictly ascending order, and stores the tile back. Because an `f32`
+//!   store/load round-trip is exact, chaining chunks reproduces the single
+//!   left-to-right fold `((0 + a·b)₀ + a·b)₁ + …` bit-for-bit — exactly the
+//!   naive kernel's order.
+//!
+//! Determinism argument: the packing pass is serial, each output tile is
+//! computed by exactly one worker from read-only packed panels, and the
+//! k order inside a tile is fixed by construction. The worker count decides
+//! only *which thread* computes a tile, never *what* it computes, so results
+//! are bit-identical at any `CBQ_MAX_THREADS` — and bit-identical to
+//! [`naive_gemm`], which is kept as the reference for the equivalence
+//! proptests and the bench gate. Zero-padded pack lanes can produce
+//! `0 · NaN = NaN` only in accumulator lanes that lie outside the matrix
+//! and are discarded on store.
+
+use crate::parallel::{parallel_for, worker_count};
+use crate::scratch::Scratch;
+
+/// Rows per register tile of the micro-kernel.
+pub const MR: usize = 8;
+/// Columns per register tile of the micro-kernel.
+pub const NR: usize = 8;
+/// k-dimension block size: one A panel chunk of `MR·KC` floats (8 KiB) plus
+/// one B panel chunk stays resident in L1/L2 while a tile is computed.
+pub const KC: usize = 256;
+
+/// Below this many multiply-adds the kernel always runs on the calling
+/// thread; the choice affects wall-clock only, never results.
+const PARALLEL_FLOP_CUTOFF: usize = 1 << 15;
+
+/// Reference kernel: the plain ijk triple loop over strided operands.
+///
+/// Element `(i, p)` of A is `a[i*a_rs + p*a_cs]` and element `(p, j)` of B
+/// is `b[p*b_rs + j*b_cs]`, so the same routine serves all of NN / TN / NT
+/// by stride choice. `out` is row-major `[m, n]` and is fully overwritten.
+/// Kept (and exercised in CI) as the ground truth [`gemm_packed`] must match
+/// bit-for-bit.
+#[allow(clippy::too_many_arguments)]
+pub fn naive_gemm(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    a_rs: usize,
+    a_cs: usize,
+    b: &[f32],
+    b_rs: usize,
+    b_cs: usize,
+    out: &mut [f32],
+) {
+    assert_eq!(out.len(), m * n, "output buffer must be m*n");
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                acc += a[i * a_rs + p * a_cs] * b[p * b_rs + j * b_cs];
+            }
+            out[i * n + j] = acc;
+        }
+    }
+}
+
+/// Packs rows `0..m` of A for k range `k0..k0+kc` into tile-major layout:
+/// `pack[t*kc*MR + p*MR + r]` holds `A[t*MR + r, k0 + p]`, zero for rows
+/// past `m`.
+fn pack_a(a: &[f32], a_rs: usize, a_cs: usize, m: usize, k0: usize, kc: usize, pack: &mut [f32]) {
+    let row_tiles = m.div_ceil(MR);
+    for t in 0..row_tiles {
+        let i0 = t * MR;
+        let rows = MR.min(m - i0);
+        let base = t * kc * MR;
+        for p in 0..kc {
+            let dst = &mut pack[base + p * MR..base + p * MR + MR];
+            for (r, slot) in dst.iter_mut().enumerate() {
+                *slot = if r < rows {
+                    a[(i0 + r) * a_rs + (k0 + p) * a_cs]
+                } else {
+                    0.0
+                };
+            }
+        }
+    }
+}
+
+/// Packs columns `0..n` of B for k range `k0..k0+kc` into tile-major layout:
+/// `pack[t*kc*NR + p*NR + c]` holds `B[k0 + p, t*NR + c]`, zero for columns
+/// past `n`.
+fn pack_b(b: &[f32], b_rs: usize, b_cs: usize, n: usize, k0: usize, kc: usize, pack: &mut [f32]) {
+    let col_tiles = n.div_ceil(NR);
+    for t in 0..col_tiles {
+        let j0 = t * NR;
+        let cols = NR.min(n - j0);
+        let base = t * kc * NR;
+        for p in 0..kc {
+            let dst = &mut pack[base + p * NR..base + p * NR + NR];
+            for (c, slot) in dst.iter_mut().enumerate() {
+                *slot = if c < cols {
+                    b[(k0 + p) * b_rs + (j0 + c) * b_cs]
+                } else {
+                    0.0
+                };
+            }
+        }
+    }
+}
+
+/// Computes one MR×NR output tile for one k chunk: loads the live C lanes,
+/// folds `kc` steps in ascending order with one accumulator per element,
+/// and stores the live lanes back.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn micro_kernel(
+    kc: usize,
+    a_tile: &[f32],
+    b_tile: &[f32],
+    c_rows: &mut [f32],
+    n: usize,
+    j0: usize,
+    rows: usize,
+    cols: usize,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    for (r, acc_row) in acc.iter_mut().enumerate().take(rows) {
+        let row = &c_rows[r * n + j0..r * n + j0 + cols];
+        acc_row[..cols].copy_from_slice(row);
+    }
+    for p in 0..kc {
+        let ab = &a_tile[p * MR..p * MR + MR];
+        let bb = &b_tile[p * NR..p * NR + NR];
+        for (r, acc_row) in acc.iter_mut().enumerate() {
+            let ar = ab[r];
+            for (c, slot) in acc_row.iter_mut().enumerate() {
+                // One mul, one add — Rust never contracts these into an FMA,
+                // so the sequence matches the naive fold exactly.
+                *slot += ar * bb[c];
+            }
+        }
+    }
+    for (r, acc_row) in acc.iter().enumerate().take(rows) {
+        let row = &mut c_rows[r * n + j0..r * n + j0 + cols];
+        row.copy_from_slice(&acc_row[..cols]);
+    }
+}
+
+/// Cache-blocked packed GEMM: `out[i, j] = Σ_p A[i, p] · B[p, j]` with the
+/// strided-operand convention of [`naive_gemm`]. `out` is fully
+/// overwritten. Pack buffers come from `scratch` and are recycled before
+/// returning, so steady-state calls allocate nothing.
+///
+/// Bit-for-bit identical to [`naive_gemm`] for every input, at every worker
+/// count — see the module docs for the argument.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_packed(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    a_rs: usize,
+    a_cs: usize,
+    b: &[f32],
+    b_rs: usize,
+    b_cs: usize,
+    out: &mut [f32],
+    scratch: &mut Scratch,
+) {
+    assert_eq!(out.len(), m * n, "output buffer must be m*n");
+    out.fill(0.0);
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let row_tiles = m.div_ceil(MR);
+    let col_tiles = n.div_ceil(NR);
+    let kc_max = KC.min(k);
+    let mut a_pack = scratch.take_f32(row_tiles * MR * kc_max);
+    let mut b_pack = scratch.take_f32(col_tiles * NR * kc_max);
+    let mut k0 = 0;
+    while k0 < k {
+        let kc = KC.min(k - k0);
+        pack_a(a, a_rs, a_cs, m, k0, kc, &mut a_pack[..row_tiles * MR * kc]);
+        pack_b(b, b_rs, b_cs, n, k0, kc, &mut b_pack[..col_tiles * NR * kc]);
+        let a_pack = &a_pack[..row_tiles * MR * kc];
+        let b_pack = &b_pack[..col_tiles * NR * kc];
+        let compute_tile = |rt: usize, c_rows: &mut [f32]| {
+            let i0 = rt * MR;
+            let rows = MR.min(m - i0);
+            let a_tile = &a_pack[rt * kc * MR..(rt + 1) * kc * MR];
+            for ct in 0..col_tiles {
+                let j0 = ct * NR;
+                let cols = NR.min(n - j0);
+                let b_tile = &b_pack[ct * kc * NR..(ct + 1) * kc * NR];
+                micro_kernel(kc, a_tile, b_tile, c_rows, n, j0, rows, cols);
+            }
+        };
+        if worker_count() <= 1 || row_tiles <= 1 || m * n * k < PARALLEL_FLOP_CUTOFF {
+            for rt in 0..row_tiles {
+                let i0 = rt * MR;
+                let rows = MR.min(m - i0);
+                compute_tile(rt, &mut out[i0 * n..(i0 + rows) * n]);
+            }
+        } else {
+            // Row tiles map to disjoint row ranges of `out`; hand each tile
+            // to exactly one worker through parallel_for's atomic counter.
+            let ptr = out.as_mut_ptr() as usize;
+            parallel_for(row_tiles, |rt| {
+                let i0 = rt * MR;
+                let rows = MR.min(m - i0);
+                // SAFETY: tile `rt` covers rows `i0..i0+rows`, claimed by
+                // exactly one worker; the ranges are disjoint and in bounds.
+                let c_rows = unsafe {
+                    std::slice::from_raw_parts_mut((ptr as *mut f32).add(i0 * n), rows * n)
+                };
+                compute_tile(rt, c_rows);
+            });
+        }
+        k0 += kc;
+    }
+    scratch.recycle_f32(a_pack);
+    scratch.recycle_f32(b_pack);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scratch::with_thread_scratch;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn fill(rng: &mut StdRng, len: usize) -> Vec<f32> {
+        (0..len).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+    }
+
+    fn check_all_layouts(m: usize, n: usize, k: usize, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = fill(&mut rng, m * k);
+        let b = fill(&mut rng, k * n);
+        // (a_rs, a_cs) for NN and TN storage; (b_rs, b_cs) for NN and NT.
+        for (a_rs, a_cs) in [(k, 1), (1, m)] {
+            for (b_rs, b_cs) in [(n, 1), (1, k)] {
+                let mut want = vec![0.0f32; m * n];
+                naive_gemm(m, n, k, &a, a_rs, a_cs, &b, b_rs, b_cs, &mut want);
+                let mut got = vec![f32::NAN; m * n];
+                with_thread_scratch(|s| {
+                    gemm_packed(m, n, k, &a, a_rs, a_cs, &b, b_rs, b_cs, &mut got, s)
+                });
+                for i in 0..m * n {
+                    assert_eq!(
+                        got[i].to_bits(),
+                        want[i].to_bits(),
+                        "m={m} n={n} k={k} a=({a_rs},{a_cs}) b=({b_rs},{b_cs}) elem {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_naive_bitwise_at_tile_edges() {
+        for &m in &[1, 7, 8, 9, 16] {
+            for &n in &[1, 7, 8, 9, 17] {
+                for &k in &[1, 3, 8, 31] {
+                    check_all_layouts(m, n, k, (m * 1000 + n * 100 + k) as u64);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_naive_across_kc_boundary() {
+        check_all_layouts(5, 6, KC - 1, 1);
+        check_all_layouts(5, 6, KC, 2);
+        check_all_layouts(5, 6, KC + 1, 3);
+        check_all_layouts(3, 3, 2 * KC + 7, 4);
+    }
+
+    #[test]
+    fn large_parallel_shape_matches_naive_bitwise() {
+        // Big enough to cross PARALLEL_FLOP_CUTOFF and span many tiles.
+        check_all_layouts(70, 65, 40, 9);
+    }
+
+    #[test]
+    fn zero_sized_dims_yield_zero_output() {
+        let mut s = Scratch::new();
+        let mut out = vec![5.0f32; 0];
+        gemm_packed(0, 0, 0, &[], 1, 1, &[], 1, 1, &mut out, &mut s);
+        let mut out = vec![5.0f32; 6];
+        gemm_packed(2, 3, 0, &[], 1, 1, &[], 1, 1, &mut out, &mut s);
+        assert!(out.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn nan_and_inf_propagate() {
+        let mut s = Scratch::new();
+        let a = vec![0.0f32, 1.0];
+        let mut b = vec![f32::NAN, 2.0];
+        let mut out = vec![0.0f32; 1];
+        gemm_packed(1, 1, 2, &a, 2, 1, &b, 1, 1, &mut out, &mut s);
+        assert!(out[0].is_nan(), "0·NaN must reach the accumulator");
+        b[0] = f32::INFINITY;
+        gemm_packed(1, 1, 2, &a, 2, 1, &b, 1, 1, &mut out, &mut s);
+        assert!(out[0].is_nan(), "0·Inf = NaN must reach the accumulator");
+    }
+
+    #[test]
+    fn steady_state_calls_do_not_allocate() {
+        let mut s = Scratch::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = fill(&mut rng, 20 * 30);
+        let b = fill(&mut rng, 30 * 10);
+        let mut out = vec![0.0f32; 20 * 10];
+        gemm_packed(20, 10, 30, &a, 30, 1, &b, 10, 1, &mut out, &mut s);
+        let after_warmup = s.fresh_allocs();
+        for _ in 0..5 {
+            gemm_packed(20, 10, 30, &a, 30, 1, &b, 10, 1, &mut out, &mut s);
+        }
+        assert_eq!(s.fresh_allocs(), after_warmup);
+    }
+}

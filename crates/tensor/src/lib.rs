@@ -25,19 +25,25 @@
 
 mod conv;
 mod error;
+pub mod kernels;
 mod matmul;
 mod ops;
 pub mod parallel;
 mod pool;
+pub mod scratch;
 mod shape;
 mod tensor;
 
-pub use conv::{col2im, conv2d, conv2d_backward, im2col, Conv2dGrads, ConvSpec};
+pub use conv::{
+    col2im, conv2d, conv2d_backward, conv2d_backward_into, conv2d_into, im2col, im2col_batched,
+    im2col_batched_into, Conv2dGrads, ConvSpec,
+};
 pub use error::TensorError;
 pub use pool::{
     avg_pool2d, avg_pool2d_backward, global_avg_pool, global_avg_pool_backward, max_pool2d,
     max_pool2d_backward, MaxPoolIndices, PoolSpec,
 };
+pub use scratch::Scratch;
 pub use shape::Shape;
 pub use tensor::Tensor;
 

@@ -1,44 +1,60 @@
-use crate::parallel::parallel_chunks_mut;
+use crate::kernels::gemm_packed;
+use crate::scratch::{with_thread_scratch, Scratch};
 use crate::{Result, Tensor, TensorError};
+
+/// Validates rank-2 operands, then returns their shapes as
+/// `([rows_a, cols_a], [rows_b, cols_b])`.
+fn rank2_dims(lhs: &Tensor, rhs: &Tensor) -> Result<([usize; 2], [usize; 2])> {
+    lhs.shape_obj().ensure_rank(2)?;
+    rhs.shape_obj().ensure_rank(2)?;
+    Ok((
+        [lhs.shape()[0], lhs.shape()[1]],
+        [rhs.shape()[0], rhs.shape()[1]],
+    ))
+}
+
+/// Checks the contraction dimensions agree.
+fn check_inner(inner_lhs: usize, inner_rhs: usize) -> Result<()> {
+    if inner_lhs != inner_rhs {
+        return Err(TensorError::MatmulDimMismatch {
+            lhs_cols: inner_lhs,
+            rhs_rows: inner_rhs,
+        });
+    }
+    Ok(())
+}
 
 impl Tensor {
     /// Matrix product of two rank-2 tensors: `[m, k] x [k, n] -> [m, n]`.
     ///
-    /// Uses an ikj loop order (streaming the right operand row-wise) and
-    /// parallelizes over output rows.
+    /// Runs on the packed tiled kernel (see [`crate::kernels`]), which
+    /// accumulates every output element in a fixed ascending-k order —
+    /// results are bit-identical at any worker count, and non-finite
+    /// operands propagate per IEEE semantics (no zero-skip short-circuits).
     ///
     /// # Errors
     ///
     /// Returns [`TensorError::RankMismatch`] for non-rank-2 operands and
     /// [`TensorError::MatmulDimMismatch`] when the inner dimensions differ.
     pub fn matmul(&self, rhs: &Tensor) -> Result<Tensor> {
-        self.shape_obj().ensure_rank(2)?;
-        rhs.shape_obj().ensure_rank(2)?;
-        let (m, k) = (self.shape()[0], self.shape()[1]);
-        let (k2, n) = (rhs.shape()[0], rhs.shape()[1]);
-        if k != k2 {
-            return Err(TensorError::MatmulDimMismatch {
-                lhs_cols: k,
-                rhs_rows: k2,
-            });
-        }
+        let ([m, k], [k2, n]) = rank2_dims(self, rhs)?;
+        check_inner(k, k2)?;
         let mut out = vec![0.0f32; m * n];
-        if n > 0 {
-            let a = self.as_slice();
-            let b = rhs.as_slice();
-            parallel_chunks_mut(&mut out, n, |i, row| {
-                for p in 0..k {
-                    let aik = a[i * k + p];
-                    if aik == 0.0 {
-                        continue;
-                    }
-                    let brow = &b[p * n..(p + 1) * n];
-                    for (o, &bv) in row.iter_mut().zip(brow) {
-                        *o += aik * bv;
-                    }
-                }
-            });
-        }
+        with_thread_scratch(|s| {
+            gemm_packed(
+                m,
+                n,
+                k,
+                self.as_slice(),
+                k,
+                1,
+                rhs.as_slice(),
+                n,
+                1,
+                &mut out,
+                s,
+            )
+        });
         Tensor::from_vec(out, &[m, n])
     }
 
@@ -50,33 +66,24 @@ impl Tensor {
     /// Same conditions as [`Tensor::matmul`], with the inner dimension taken
     /// from `self`'s rows.
     pub fn matmul_tn(&self, rhs: &Tensor) -> Result<Tensor> {
-        self.shape_obj().ensure_rank(2)?;
-        rhs.shape_obj().ensure_rank(2)?;
-        let (k, m) = (self.shape()[0], self.shape()[1]);
-        let (k2, n) = (rhs.shape()[0], rhs.shape()[1]);
-        if k != k2 {
-            return Err(TensorError::MatmulDimMismatch {
-                lhs_cols: k,
-                rhs_rows: k2,
-            });
-        }
+        let ([k, m], [k2, n]) = rank2_dims(self, rhs)?;
+        check_inner(k, k2)?;
         let mut out = vec![0.0f32; m * n];
-        if n > 0 {
-            let a = self.as_slice();
-            let b = rhs.as_slice();
-            parallel_chunks_mut(&mut out, n, |i, row| {
-                for p in 0..k {
-                    let a_pi = a[p * m + i];
-                    if a_pi == 0.0 {
-                        continue;
-                    }
-                    let brow = &b[p * n..(p + 1) * n];
-                    for (o, &bv) in row.iter_mut().zip(brow) {
-                        *o += a_pi * bv;
-                    }
-                }
-            });
-        }
+        with_thread_scratch(|s| {
+            gemm_packed(
+                m,
+                n,
+                k,
+                self.as_slice(),
+                1,
+                m,
+                rhs.as_slice(),
+                n,
+                1,
+                &mut out,
+                s,
+            )
+        });
         Tensor::from_vec(out, &[m, n])
     }
 
@@ -89,33 +96,62 @@ impl Tensor {
     /// Same conditions as [`Tensor::matmul`], with the inner dimension taken
     /// from both operands' columns.
     pub fn matmul_nt(&self, rhs: &Tensor) -> Result<Tensor> {
-        self.shape_obj().ensure_rank(2)?;
-        rhs.shape_obj().ensure_rank(2)?;
-        let (m, k) = (self.shape()[0], self.shape()[1]);
-        let (n, k2) = (rhs.shape()[0], rhs.shape()[1]);
-        if k != k2 {
-            return Err(TensorError::MatmulDimMismatch {
-                lhs_cols: k,
-                rhs_rows: k2,
-            });
-        }
+        let ([m, k], [n, k2]) = rank2_dims(self, rhs)?;
+        check_inner(k, k2)?;
         let mut out = vec![0.0f32; m * n];
-        if n > 0 {
-            let a = self.as_slice();
-            let b = rhs.as_slice();
-            parallel_chunks_mut(&mut out, n, |i, row| {
-                let arow = &a[i * k..(i + 1) * k];
-                for (j, o) in row.iter_mut().enumerate() {
-                    let brow = &b[j * k..(j + 1) * k];
-                    let mut acc = 0.0f32;
-                    for (&av, &bv) in arow.iter().zip(brow) {
-                        acc += av * bv;
-                    }
-                    *o = acc;
-                }
+        with_thread_scratch(|s| {
+            gemm_packed(
+                m,
+                n,
+                k,
+                self.as_slice(),
+                k,
+                1,
+                rhs.as_slice(),
+                1,
+                k,
+                &mut out,
+                s,
+            )
+        });
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Allocation-free [`Tensor::matmul_nt`]: writes `[m, n]` row-major into
+    /// `out`, drawing pack buffers from `scratch`.
+    ///
+    /// # Errors
+    ///
+    /// Same shape conditions as [`Tensor::matmul_nt`], plus
+    /// [`TensorError::LengthMismatch`] when `out` is not `m * n` long.
+    pub fn matmul_nt_into(
+        &self,
+        rhs: &Tensor,
+        out: &mut [f32],
+        scratch: &mut Scratch,
+    ) -> Result<()> {
+        let ([m, k], [n, k2]) = rank2_dims(self, rhs)?;
+        check_inner(k, k2)?;
+        if out.len() != m * n {
+            return Err(TensorError::LengthMismatch {
+                expected: m * n,
+                actual: out.len(),
             });
         }
-        Tensor::from_vec(out, &[m, n])
+        gemm_packed(
+            m,
+            n,
+            k,
+            self.as_slice(),
+            k,
+            1,
+            rhs.as_slice(),
+            1,
+            k,
+            out,
+            scratch,
+        );
+        Ok(())
     }
 }
 
@@ -157,7 +193,7 @@ mod tests {
         let fast = a.matmul(&b).unwrap();
         let slow = naive(&a, &b);
         for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
-            assert!((x - y).abs() < 1e-4);
+            assert_eq!(x.to_bits(), y.to_bits(), "packed kernel must match naive");
         }
     }
 
@@ -169,7 +205,7 @@ mod tests {
         let fused = a.matmul_tn(&b).unwrap();
         let explicit = a.transpose2d().unwrap().matmul(&b).unwrap();
         for (x, y) in fused.as_slice().iter().zip(explicit.as_slice()) {
-            assert!((x - y).abs() < 1e-4);
+            assert_eq!(x.to_bits(), y.to_bits());
         }
     }
 
@@ -181,8 +217,27 @@ mod tests {
         let fused = a.matmul_nt(&b).unwrap();
         let explicit = a.matmul(&b.transpose2d().unwrap()).unwrap();
         for (x, y) in fused.as_slice().iter().zip(explicit.as_slice()) {
-            assert!((x - y).abs() < 1e-4);
+            assert_eq!(x.to_bits(), y.to_bits());
         }
+    }
+
+    #[test]
+    fn matmul_nt_into_matches_and_reuses_buffers() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let a = Tensor::randn(&[9, 7], 1.0, &mut rng);
+        let b = Tensor::randn(&[5, 7], 1.0, &mut rng);
+        let want = a.matmul_nt(&b).unwrap();
+        let mut s = Scratch::new();
+        let mut out = s.take_f32(9 * 5);
+        a.matmul_nt_into(&b, &mut out, &mut s).unwrap();
+        assert_eq!(out.as_slice(), want.as_slice());
+        let misses = s.fresh_allocs();
+        s.recycle_f32(out);
+        let mut out = s.take_f32(9 * 5);
+        a.matmul_nt_into(&b, &mut out, &mut s).unwrap();
+        assert_eq!(s.fresh_allocs(), misses, "steady state must not allocate");
+        let wrong = &mut [0.0f32; 3][..];
+        assert!(a.matmul_nt_into(&b, wrong, &mut s).is_err());
     }
 
     #[test]
@@ -221,5 +276,19 @@ mod tests {
             .matmul(&Tensor::zeros(&[3, 0]))
             .unwrap();
         assert_eq!(d.shape(), &[2, 0]);
+    }
+
+    /// Regression for the removed `aik == 0.0` skip branches: a zero on the
+    /// left times NaN/Inf on the right must poison the product, so the
+    /// resilience guards can see non-finite activations.
+    #[test]
+    fn zero_times_nan_propagates_through_all_variants() {
+        let a = Tensor::from_vec(vec![0.0, 0.0], &[1, 2]).unwrap();
+        let b = Tensor::from_vec(vec![f32::NAN, f32::INFINITY], &[2, 1]).unwrap();
+        assert!(a.matmul(&b).unwrap().as_slice()[0].is_nan());
+        let a_t = Tensor::from_vec(vec![0.0, 0.0], &[2, 1]).unwrap();
+        assert!(a_t.matmul_tn(&b).unwrap().as_slice()[0].is_nan());
+        let b_nt = Tensor::from_vec(vec![f32::NAN, f32::INFINITY], &[1, 2]).unwrap();
+        assert!(a.matmul_nt(&b_nt).unwrap().as_slice()[0].is_nan());
     }
 }

@@ -1,0 +1,216 @@
+//! Reusable buffer arena for the zero-allocation forward path.
+//!
+//! Steady-state search probes run the same network shape over and over; the
+//! only thing that changes between probes is the data inside the buffers.
+//! [`Scratch`] recycles those buffers: `take_f32` hands out a zeroed vector,
+//! preferring a pooled one whose capacity already fits, and `recycle_f32`
+//! returns it to the pool once the caller is done. After one warmup pass the
+//! pool holds every buffer size the workload needs and `take` never touches
+//! the allocator again.
+//!
+//! Every pool miss (a take that had to allocate fresh backing store)
+//! increments both a per-arena counter and a process-wide atomic counter —
+//! the debug hook the `kernel_speedup` bench uses to prove the probe loop is
+//! allocation-free after warmup. Small fixed-size allocations outside the
+//! arena (tensor shape vectors, boxed weight transforms installed per probe)
+//! are *not* counted; the arena tracks the O(batch·channels) data buffers
+//! that dominate allocator traffic.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide count of pool misses across every [`Scratch`] instance.
+static GLOBAL_FRESH: AtomicU64 = AtomicU64::new(0);
+
+/// Total number of pool misses (fresh heap allocations) recorded by all
+/// [`Scratch`] arenas since process start or the last
+/// [`reset_fresh_alloc_count`].
+pub fn fresh_alloc_count() -> u64 {
+    GLOBAL_FRESH.load(Ordering::Relaxed)
+}
+
+/// Resets the process-wide pool-miss counter. Benchmarks call this after
+/// warmup so that a subsequent [`fresh_alloc_count`] reads steady-state
+/// misses only.
+pub fn reset_fresh_alloc_count() {
+    GLOBAL_FRESH.store(0, Ordering::Relaxed);
+}
+
+/// A pool of recycled `f32`/`i32` buffers.
+///
+/// Not thread-safe by design: each worker slot owns its own arena (the same
+/// ownership discipline as the model clones handed to `parallel_slots` /
+/// `parallel_map_with`), so pooling never introduces cross-thread traffic or
+/// scheduling-dependent behavior.
+#[derive(Debug, Default)]
+pub struct Scratch {
+    f32_pool: Vec<Vec<f32>>,
+    i32_pool: Vec<Vec<i32>>,
+    fresh: u64,
+}
+
+impl Scratch {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Scratch::default()
+    }
+
+    /// Returns a zero-filled buffer of exactly `len` elements, reusing the
+    /// best-fitting pooled buffer (smallest capacity that fits) when one
+    /// exists and allocating fresh backing store otherwise.
+    pub fn take_f32(&mut self, len: usize) -> Vec<f32> {
+        let mut best: Option<usize> = None;
+        for (i, buf) in self.f32_pool.iter().enumerate() {
+            if buf.capacity() >= len
+                && best.is_none_or(|b| buf.capacity() < self.f32_pool[b].capacity())
+            {
+                best = Some(i);
+            }
+        }
+        match best {
+            Some(i) => {
+                let mut buf = self.f32_pool.swap_remove(i);
+                buf.clear();
+                buf.resize(len, 0.0);
+                buf
+            }
+            None => {
+                self.fresh += 1;
+                GLOBAL_FRESH.fetch_add(1, Ordering::Relaxed);
+                vec![0.0; len]
+            }
+        }
+    }
+
+    /// Returns a buffer to the pool for later reuse.
+    pub fn recycle_f32(&mut self, buf: Vec<f32>) {
+        if buf.capacity() > 0 {
+            self.f32_pool.push(buf);
+        }
+    }
+
+    /// Integer twin of [`Scratch::take_f32`], used by the integer inference
+    /// pathway (`IntActivations` codes).
+    pub fn take_i32(&mut self, len: usize) -> Vec<i32> {
+        let mut best: Option<usize> = None;
+        for (i, buf) in self.i32_pool.iter().enumerate() {
+            if buf.capacity() >= len
+                && best.is_none_or(|b| buf.capacity() < self.i32_pool[b].capacity())
+            {
+                best = Some(i);
+            }
+        }
+        match best {
+            Some(i) => {
+                let mut buf = self.i32_pool.swap_remove(i);
+                buf.clear();
+                buf.resize(len, 0);
+                buf
+            }
+            None => {
+                self.fresh += 1;
+                GLOBAL_FRESH.fetch_add(1, Ordering::Relaxed);
+                vec![0; len]
+            }
+        }
+    }
+
+    /// Integer twin of [`Scratch::recycle_f32`].
+    pub fn recycle_i32(&mut self, buf: Vec<i32>) {
+        if buf.capacity() > 0 {
+            self.i32_pool.push(buf);
+        }
+    }
+
+    /// Pool misses recorded by this arena alone.
+    pub fn fresh_allocs(&self) -> u64 {
+        self.fresh
+    }
+
+    /// Number of buffers currently parked in the pools.
+    pub fn pooled(&self) -> usize {
+        self.f32_pool.len() + self.i32_pool.len()
+    }
+}
+
+thread_local! {
+    static THREAD_SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::new());
+}
+
+/// Runs `f` with this thread's shared arena.
+///
+/// The convenience `Tensor::matmul*` entry points use this for their pack
+/// buffers so that even code outside the explicit scratch-threaded probe
+/// path reuses packing storage across calls. `f` must not recursively call
+/// `with_thread_scratch` (the arena is behind a `RefCell`); the kernels
+/// below never do.
+pub fn with_thread_scratch<R>(f: impl FnOnce(&mut Scratch) -> R) -> R {
+    THREAD_SCRATCH.with(|s| f(&mut s.borrow_mut()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_is_zeroed_and_reuse_hits_pool() {
+        let mut s = Scratch::new();
+        let mut a = s.take_f32(64);
+        assert!(a.iter().all(|&x| x == 0.0));
+        a.fill(7.0);
+        s.recycle_f32(a);
+        assert_eq!(s.fresh_allocs(), 1);
+        let b = s.take_f32(32); // smaller request reuses the 64-cap buffer
+        assert!(b.iter().all(|&x| x == 0.0));
+        assert_eq!(b.len(), 32);
+        assert_eq!(s.fresh_allocs(), 1, "reuse must not count as fresh");
+    }
+
+    #[test]
+    fn best_fit_prefers_smallest_adequate_buffer() {
+        let mut s = Scratch::new();
+        let big = s.take_f32(1024);
+        let small = s.take_f32(16);
+        s.recycle_f32(big);
+        s.recycle_f32(small);
+        let got = s.take_f32(10);
+        assert!(got.capacity() < 1024, "should pick the 16-cap buffer");
+        s.recycle_f32(got);
+        let got = s.take_f32(512);
+        assert!(got.capacity() >= 1024, "only the big buffer fits");
+    }
+
+    #[test]
+    fn i32_pool_is_independent() {
+        let mut s = Scratch::new();
+        let a = s.take_i32(8);
+        s.recycle_i32(a);
+        let fresh_before = s.fresh_allocs();
+        let b = s.take_i32(8);
+        assert_eq!(s.fresh_allocs(), fresh_before);
+        assert!(b.iter().all(|&x| x == 0));
+        assert_eq!(s.pooled(), 0);
+    }
+
+    #[test]
+    fn global_counter_tracks_misses() {
+        // Other tests may bump the process-wide counter concurrently, so
+        // assert on deltas and on this arena's private counter only.
+        let before = fresh_alloc_count();
+        let mut s = Scratch::new();
+        let a = s.take_f32(128);
+        s.recycle_f32(a);
+        let _ = s.take_f32(128);
+        assert!(fresh_alloc_count() > before);
+        assert_eq!(s.fresh_allocs(), 1);
+    }
+
+    #[test]
+    fn zero_length_take_works() {
+        let mut s = Scratch::new();
+        let a = s.take_f32(0);
+        assert!(a.is_empty());
+        s.recycle_f32(a); // capacity 0 buffers are dropped, not pooled
+        assert_eq!(s.pooled(), 0);
+    }
+}

@@ -1,0 +1,191 @@
+//! Property-based equivalence tests for the packed GEMM kernel and the
+//! batched im2col unfolding — the two transforms the probe hot path leans
+//! on. Every assertion is bit-for-bit (`to_bits`), not approximate: the
+//! packed kernel's contract is exact equality with the naive triple loop,
+//! and batched unfolding is a pure data-movement reshape.
+//!
+//! The check bodies live in plain functions driven two ways: exhaustive
+//! deterministic sweeps over the tile-remainder edges (always run), and
+//! `proptest!` cases that explore the same spaces randomly with
+//! shrinking.
+
+use cbq_tensor::kernels::{gemm_packed, naive_gemm, KC, MR, NR};
+use cbq_tensor::{im2col, im2col_batched, ConvSpec, Scratch, Tensor};
+use proptest::prelude::*;
+
+/// Dimensions straddling the register-tile boundaries: `1..=3*tile`
+/// contains every remainder edge (`tile±1`, `2*tile±1`) around one and
+/// two full tiles.
+fn tile_edge_dim(tile: usize) -> impl Strategy<Value = usize> {
+    1usize..=3 * tile
+}
+
+/// K dimensions around the cache-blocking boundary: the small values
+/// `1..=24` (all MR/NR remainder shapes) plus the KC straddle
+/// `{KC-1, KC, KC+1}`, kept sparse so the naive reference stays fast.
+fn k_dim() -> impl Strategy<Value = usize> {
+    (0usize..27).prop_map(|i| if i < 24 { i + 1 } else { KC + i - 25 })
+}
+
+fn dense(len: usize, seed: u64) -> Vec<f32> {
+    // Deterministic pseudo-random fill; includes negatives and zeros.
+    (0..len)
+        .map(|i| {
+            let x = ((i as u64)
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(seed)
+                >> 33) as f32;
+            (x / 1e8).sin()
+        })
+        .collect()
+}
+
+/// Panics on the first bitwise mismatch (a panic fails the proptest case
+/// and triggers shrinking, same as `prop_assert!`).
+fn assert_bits_eq(a: &[f32], b: &[f32]) {
+    assert_eq!(a.len(), b.len());
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "mismatch at index {i}: {x} vs {y}"
+        );
+    }
+}
+
+/// Packed-vs-naive equality at `(m, n, k)` in all three stride layouts
+/// the network uses — NN (forward conv), TN (A stored `[k, m]`, the
+/// backward stride pattern) and NT (B stored `[n, k]`, the FC forward) —
+/// plus a warm-arena rerun that must reproduce the cold result exactly.
+fn check_gemm_all_layouts(m: usize, n: usize, k: usize) {
+    let mut scratch = Scratch::new();
+    let mut out_naive = vec![0.0f32; m * n];
+    let mut out_packed = vec![0.0f32; m * n];
+
+    // NN: A [m, k], B [k, n], both row-major.
+    let a = dense(m * k, 1);
+    let b = dense(k * n, 2);
+    naive_gemm(m, n, k, &a, k, 1, &b, n, 1, &mut out_naive);
+    gemm_packed(m, n, k, &a, k, 1, &b, n, 1, &mut out_packed, &mut scratch);
+    assert_bits_eq(&out_naive, &out_packed);
+
+    // Warm-scratch determinism: recycled (non-zeroed) pool buffers must
+    // not change the result.
+    let mut out_warm = vec![0.0f32; m * n];
+    gemm_packed(m, n, k, &a, k, 1, &b, n, 1, &mut out_warm, &mut scratch);
+    assert_bits_eq(&out_packed, &out_warm);
+
+    // TN: A stored [k, m] row-major, read transposed: A(i,p) = a[p*m + i].
+    let a_t = dense(k * m, 3);
+    naive_gemm(m, n, k, &a_t, 1, m, &b, n, 1, &mut out_naive);
+    gemm_packed(m, n, k, &a_t, 1, m, &b, n, 1, &mut out_packed, &mut scratch);
+    assert_bits_eq(&out_naive, &out_packed);
+
+    // NT: B stored [n, k] row-major, read transposed: B(p,j) = b[j*k + p].
+    let b_t = dense(n * k, 4);
+    naive_gemm(m, n, k, &a, k, 1, &b_t, 1, k, &mut out_naive);
+    gemm_packed(m, n, k, &a, k, 1, &b_t, 1, k, &mut out_packed, &mut scratch);
+    assert_bits_eq(&out_naive, &out_packed);
+}
+
+/// Batched unfolding must be column-block concatenation of per-item
+/// im2col for the given geometry. Returns without checking when the
+/// kernel does not fit the padded input.
+#[allow(clippy::too_many_arguments)]
+fn check_batched_im2col(
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    padding: usize,
+) {
+    if kh > h + 2 * padding || kw > w + 2 * padding {
+        return;
+    }
+    let spec = ConvSpec::new(stride, padding);
+    let item_len = c * h * w;
+    let x = Tensor::from_vec(dense(n * item_len, 9), &[n, c, h, w]).unwrap();
+    let batched = im2col_batched(&x, kh, kw, spec).unwrap();
+    let rows = batched.shape()[0];
+    let cols = batched.shape()[1];
+    assert_eq!(rows, c * kh * kw);
+    assert_eq!(cols % n, 0);
+    let s = cols / n;
+    for ni in 0..n {
+        let item = Tensor::from_vec(
+            x.as_slice()[ni * item_len..(ni + 1) * item_len].to_vec(),
+            &[c, h, w],
+        )
+        .unwrap();
+        let single = im2col(&item, kh, kw, spec).unwrap();
+        assert_eq!(single.shape(), &[rows, s]);
+        for r in 0..rows {
+            let batched_row = &batched.as_slice()[r * cols + ni * s..r * cols + (ni + 1) * s];
+            let single_row = &single.as_slice()[r * s..(r + 1) * s];
+            assert_bits_eq(single_row, batched_row);
+        }
+    }
+}
+
+/// Deterministic sweep over every tile-remainder edge in m and n, with k
+/// covering both small shapes and the KC cache-block straddle.
+#[test]
+fn packed_matches_naive_at_tile_edges_sweep() {
+    let m_edges = [1, MR - 1, MR, MR + 1, 2 * MR - 1, 2 * MR, 2 * MR + 1];
+    let n_edges = [1, NR - 1, NR, NR + 1, 2 * NR - 1, 2 * NR, 2 * NR + 1];
+    for &m in &m_edges {
+        for &n in &n_edges {
+            for k in [1, 3, MR, 24] {
+                check_gemm_all_layouts(m, n, k);
+            }
+        }
+    }
+    // KC straddle at one representative remainder shape.
+    for k in [KC - 1, KC, KC + 1] {
+        check_gemm_all_layouts(MR + 1, NR + 1, k);
+    }
+}
+
+/// Deterministic sweep over kernel/stride/padding combinations, including
+/// stride > 1 and padding > 0.
+#[test]
+fn batched_im2col_matches_per_item_sweep() {
+    for kh in 1..=3 {
+        for kw in 1..=3 {
+            for stride in 1..=2 {
+                for padding in 0..=2 {
+                    check_batched_im2col(3, 2, 5, 6, kh, kw, stride, padding);
+                }
+            }
+        }
+    }
+    // Single-item and single-channel degenerate batches.
+    check_batched_im2col(1, 1, 4, 4, 2, 2, 2, 1);
+    check_batched_im2col(2, 3, 3, 3, 3, 3, 1, 0);
+}
+
+proptest! {
+    /// Random exploration of the same GEMM space the sweep covers.
+    #[test]
+    fn packed_matches_naive(m in tile_edge_dim(MR), n in tile_edge_dim(NR), k in k_dim()) {
+        check_gemm_all_layouts(m, n, k);
+    }
+
+    /// Random conv geometries, stride 1..2 and padding 0..2 inclusive.
+    #[test]
+    fn batched_im2col_matches_per_item(
+        n in 1usize..4,
+        c in 1usize..4,
+        h in 3usize..8,
+        w in 3usize..8,
+        kh in 1usize..4,
+        kw in 1usize..4,
+        stride in 1usize..3,
+        padding in 0usize..3,
+    ) {
+        check_batched_im2col(n, c, h, w, kh, kw, stride, padding);
+    }
+}
