@@ -1,0 +1,317 @@
+//! Load generator for the `cbq-serve` micro-batching runtime: drives a
+//! multi-client request stream against all three backends of one trained
+//! model, gates on bit-for-bit equivalence with the offline single-sample
+//! reference and on zero steady-state scratch-pool misses, then runs a
+//! deterministic overload burst to measure bounded-queue admission. The
+//! numbers land in `results/BENCH_serve.json` (published as a CI
+//! artifact).
+//!
+//! Three phases:
+//!
+//! 1. **Steady load** — `CLIENTS` threads submit `REQUESTS` single-sample
+//!    requests round-robin across the float / fake-quant / integer
+//!    backends. Every response must be bit-identical to
+//!    [`offline_logits`]; worker arenas are pre-warmed, so the steady
+//!    phase must report **zero** pool misses.
+//! 2. **Overload burst** — a one-worker server with a tiny admission
+//!    queue and a long `max_wait` receives a synchronous burst; the
+//!    excess must be rejected with `ServeError::Overloaded` (never
+//!    buffered unboundedly) and every admitted request must still
+//!    complete through the graceful drain.
+//! 3. **Report** — throughput, latency quantiles, batch shapes, and the
+//!    gate verdicts.
+//!
+//! ```sh
+//! cargo run --release -p cbq-bench --bin serve_load
+//! WORKERS=4 CLIENTS=16 REQUESTS=1200 cargo run --release -p cbq-bench --bin serve_load
+//! ```
+
+use cbq_data::{SyntheticImages, SyntheticSpec};
+use cbq_nn::{state_dict, Layer, Phase, Trainer, TrainerConfig};
+use cbq_quant::{
+    act_clip_bounds, install_act_quant, install_uniform, set_act_calibration, BitWidth,
+};
+use cbq_resilience::atomic_write_text;
+use cbq_serve::{
+    offline_logits, ArchSpec, Backend, BatchPolicy, ModelArtifact, ModelRegistry, QuantState,
+    ServeError, Server, ServerConfig,
+};
+use cbq_telemetry::Telemetry;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+const BACKENDS: [Backend; 3] = [Backend::Float, Backend::FakeQuant, Backend::Integer];
+
+/// Trains a small MLP on the tiny synthetic set and captures a serving
+/// artifact with calibrated activation clips and a uniform 4-bit weight
+/// arrangement — the same deployment flow as `cbq serve`.
+fn build_artifact(
+    seed: u64,
+) -> Result<(ModelArtifact, SyntheticImages), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let spec = SyntheticSpec::tiny(4);
+    let data = SyntheticImages::generate(&spec, &mut rng)?;
+    let arch = ArchSpec::Mlp(vec![spec.feature_len(), 48, 24, spec.num_classes]);
+    let mut net = arch.build_init(&mut rng)?;
+    Trainer::new(TrainerConfig::quick(2, 0.1)).fit(&mut net, data.train(), &mut rng)?;
+    let state = state_dict(&mut net);
+    install_act_quant(&mut net);
+    set_act_calibration(&mut net, true);
+    for batch in data.val().batches(32) {
+        net.forward(&batch.images, Phase::Eval)?;
+    }
+    set_act_calibration(&mut net, false);
+    net.clear_cache();
+    let quant = QuantState {
+        arrangement: install_uniform(&mut net, BitWidth::new(4)?),
+        act_bits: 4,
+        act_clips: act_clip_bounds(&mut net),
+    };
+    let artifact = ModelArtifact {
+        arch,
+        input_shape: vec![spec.channels, spec.height, spec.width],
+        state,
+        quant: Some(quant),
+    };
+    Ok((artifact, data))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workers = env_usize("WORKERS", 2);
+    let clients = env_usize("CLIENTS", 8).max(1);
+    let requests = env_usize("REQUESTS", 600).max(1);
+    let max_batch = env_usize("MAX_BATCH", 8).max(1);
+
+    let (artifact, data) = build_artifact(7)?;
+    let registry = Arc::new(ModelRegistry::new());
+    let mut targets = Vec::new();
+    for backend in BACKENDS {
+        let handle = registry.load(backend.as_str(), &artifact, backend)?;
+        let model = registry.get(&handle)?;
+        targets.push((backend, handle, model));
+    }
+
+    // Phase 1: steady multi-client load across all three backends.
+    let server = Server::start(
+        registry.clone(),
+        ServerConfig {
+            policy: BatchPolicy {
+                max_batch,
+                max_wait: Duration::from_micros(200),
+                queue_capacity: 4096,
+            },
+            workers,
+        },
+        Telemetry::disabled(),
+    )?;
+    let item_len: usize = artifact.input_shape.iter().product();
+    let test = data.test();
+    let images = test.images().as_slice();
+    let samples: Vec<&[f32]> = (0..requests)
+        .map(|i| {
+            let j = i % test.len();
+            &images[j * item_len..(j + 1) * item_len]
+        })
+        .collect();
+    let started = Instant::now();
+    let mut results = Vec::with_capacity(requests);
+    std::thread::scope(|scope| {
+        let mut joins = Vec::new();
+        for c in 0..clients {
+            let server = &server;
+            let samples = &samples;
+            let targets = &targets;
+            joins.push(scope.spawn(move || {
+                let mut out = Vec::new();
+                let mut i = c;
+                while i < samples.len() {
+                    let t = i % targets.len();
+                    out.push((i, t, server.infer(&targets[t].1, samples[i].to_vec())));
+                    i += clients;
+                }
+                out
+            }));
+        }
+        for join in joins {
+            results.extend(join.join().expect("client thread panicked"));
+        }
+    });
+    let wall_s = started.elapsed().as_secs_f64();
+
+    let mut exact = vec![0usize; targets.len()];
+    let mut served = vec![0usize; targets.len()];
+    let mut errors = 0usize;
+    for (i, t, outcome) in results {
+        match outcome {
+            Ok(resp) => {
+                let offline = offline_logits(&targets[t].2, samples[i])?;
+                served[t] += 1;
+                if resp.logits.len() == offline.len()
+                    && resp
+                        .logits
+                        .iter()
+                        .zip(&offline)
+                        .all(|(a, b)| a.to_bits() == b.to_bits())
+                {
+                    exact[t] += 1;
+                }
+            }
+            Err(e) => {
+                errors += 1;
+                eprintln!("request {i}: {e}");
+            }
+        }
+    }
+    let stats = server.shutdown();
+    let all_exact = errors == 0 && exact == served && served.iter().sum::<usize>() == requests;
+    let throughput = stats.completed as f64 / wall_s.max(1e-9);
+    eprintln!(
+        "steady: {} requests, {} clients, {} workers -> {throughput:.0} req/s, \
+         p50 {}us p99 {}us, {} batches (largest {})",
+        requests,
+        clients,
+        stats.workers,
+        stats.latency.quantile_us(0.5),
+        stats.latency.quantile_us(0.99),
+        stats.batches,
+        stats.largest_batch,
+    );
+    for (idx, (backend, _, _)) in targets.iter().enumerate() {
+        eprintln!(
+            "  {:<10} bit-exact {}/{} vs offline",
+            backend.as_str(),
+            exact[idx],
+            served[idx]
+        );
+    }
+    eprintln!(
+        "  scratch: {} steady-state pool misses ({} warm-up)",
+        stats.steady_pool_misses,
+        stats.total_pool_misses - stats.steady_pool_misses,
+    );
+
+    // Phase 2: deterministic overload burst. One worker, a queue of 4,
+    // and a max_wait far beyond the burst duration: the queue fills with
+    // exactly `queue_capacity` entries, every further submit is rejected
+    // with `Overloaded`, and the graceful drain completes the admitted
+    // requests (drain overrides max_wait, so nothing deadlocks).
+    let burst_cap = 4usize;
+    let burst_submits = 32usize;
+    let burst_server = Server::start(
+        registry,
+        ServerConfig {
+            policy: BatchPolicy {
+                // Strictly above the queue capacity so the worker can
+                // never form a batch before the drain: admission counts
+                // below are exact, not racy.
+                max_batch: 2 * burst_cap,
+                max_wait: Duration::from_secs(3600),
+                queue_capacity: burst_cap,
+            },
+            workers: 1,
+        },
+        Telemetry::disabled(),
+    )?;
+    let mut tickets = Vec::new();
+    let mut burst_rejected = 0usize;
+    for i in 0..burst_submits {
+        match burst_server.submit(&targets[0].1, samples[i % samples.len()].to_vec()) {
+            Ok(t) => tickets.push(t),
+            Err(ServeError::Overloaded { capacity }) => {
+                assert_eq!(capacity, burst_cap);
+                burst_rejected += 1;
+            }
+            Err(e) => return Err(format!("burst submit {i}: {e}").into()),
+        }
+    }
+    let burst_admitted = tickets.len();
+    let burst_stats = burst_server.shutdown();
+    let mut burst_completed = 0usize;
+    for ticket in tickets {
+        if ticket.wait().is_ok() {
+            burst_completed += 1;
+        }
+    }
+    let burst_ok = burst_rejected > 0
+        && burst_admitted + burst_rejected == burst_submits
+        && burst_completed == burst_admitted
+        && burst_stats.rejected == burst_rejected as u64
+        && burst_stats.completed == burst_admitted as u64;
+    eprintln!(
+        "burst : {burst_submits} submits -> {burst_admitted} admitted, {burst_rejected} rejected, \
+         {burst_completed} completed through drain (ok {burst_ok})"
+    );
+
+    let payload = serde_json::json!({
+        "workload": "mlp/tiny artifact served on float+fake-quant+integer backends",
+        "workers": stats.workers,
+        "clients": clients,
+        "requests": requests,
+        "max_batch": max_batch,
+        "steady": {
+            "wall_s": wall_s,
+            "throughput_req_per_s": throughput,
+            "latency_p50_us": stats.latency.quantile_us(0.5),
+            "latency_p95_us": stats.latency.quantile_us(0.95),
+            "latency_p99_us": stats.latency.quantile_us(0.99),
+            "latency_mean_us": stats.latency.mean_us(),
+            "batches": stats.batches,
+            "largest_batch": stats.largest_batch,
+            "latency_buckets_us": stats.latency.sparse_counts(),
+            "accepted": stats.accepted,
+            "rejected": stats.rejected,
+            "completed": stats.completed,
+            "failed": stats.failed,
+            "bit_exact": BACKENDS.iter().zip(&exact).zip(&served).map(|((b, e), s)| {
+                serde_json::json!({"backend": b.as_str(), "exact": e, "served": s})
+            }).collect::<Vec<_>>(),
+            "steady_pool_misses": stats.steady_pool_misses,
+            "warmup_pool_misses": stats.total_pool_misses - stats.steady_pool_misses,
+        },
+        "burst": {
+            "submits": burst_submits,
+            "queue_capacity": burst_cap,
+            "admitted": burst_admitted,
+            "rejected": burst_rejected,
+            "completed_through_drain": burst_completed,
+            "ok": burst_ok,
+        },
+        "gates": {
+            "bit_exact_vs_offline": all_exact,
+            "zero_steady_pool_misses": stats.steady_pool_misses == 0,
+            "bounded_admission": burst_ok,
+        },
+    });
+    std::fs::create_dir_all("results")?;
+    atomic_write_text(
+        "results/BENCH_serve.json",
+        &serde_json::to_string_pretty(&payload)?,
+    )?;
+    eprintln!("wrote results/BENCH_serve.json");
+
+    if !all_exact {
+        eprintln!("BIT-EXACTNESS VIOLATION — see results/BENCH_serve.json");
+        std::process::exit(1);
+    }
+    if stats.steady_pool_misses != 0 {
+        eprintln!(
+            "ALLOCATION GATE FAILED: {} steady-state pool misses",
+            stats.steady_pool_misses
+        );
+        std::process::exit(1);
+    }
+    if !burst_ok {
+        eprintln!("ADMISSION GATE FAILED — see results/BENCH_serve.json");
+        std::process::exit(1);
+    }
+    Ok(())
+}

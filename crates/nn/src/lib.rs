@@ -58,8 +58,8 @@ pub use param::Param;
 pub use sequential::Sequential;
 pub use serialize::{load_state_dict, state_dict, StateDict};
 pub use trainer::{
-    evaluate, evaluate_per_class, evaluate_with_scratch, non_finite_step, poison_first_gradient,
-    ClassAccuracy, EpochStats, Trainer, TrainerConfig,
+    evaluate, evaluate_per_class, evaluate_with_scratch, infer_logits_scratch, non_finite_step,
+    poison_first_gradient, ClassAccuracy, EpochStats, Trainer, TrainerConfig,
 };
 
 /// Result alias for fallible network operations.

@@ -481,8 +481,7 @@ pub fn evaluate_with_scratch(
     while start < n {
         let end = (start + bs).min(n);
         let m = end - start;
-        let mut buf = scratch.take_f32(m * row_len);
-        buf.copy_from_slice(&images[start * row_len..end * row_len]);
+        let buf = scratch.take_f32_copy(&images[start * row_len..end * row_len]);
         shape[0] = m;
         let x = Tensor::from_vec(buf, &shape)?;
         let logits = net.forward_scratch(x, Phase::Infer, scratch)?;
@@ -512,6 +511,45 @@ pub fn evaluate_with_scratch(
     } else {
         correct as f32 / n as f32
     })
+}
+
+/// Runs one forward-only inference over a staged batch and returns the
+/// `[m, classes]` logits — the request-level entry point used by the
+/// serving runtime.
+///
+/// `batch` is `m` samples flattened back to back (`m * row_len` values)
+/// and `sample_shape` the per-sample dims (e.g. `[3, 12, 12]` or `[f]`).
+/// The input copy and all layer temporaries come from `scratch`; the
+/// returned logits own a pooled buffer that callers should recycle
+/// (`Tensor::into_vec` + [`Scratch::recycle_f32`]) to keep warm serving
+/// loops allocation-free. Runs at [`Phase::Infer`], so a call is
+/// bit-identical to the corresponding [`evaluate_with_scratch`] batch.
+///
+/// # Errors
+///
+/// Returns a shape error when `batch` is not a whole number of samples,
+/// and propagates any layer error.
+pub fn infer_logits_scratch(
+    net: &mut Sequential,
+    batch: &[f32],
+    sample_shape: &[usize],
+    scratch: &mut Scratch,
+) -> Result<Tensor> {
+    let row_len: usize = sample_shape.iter().product();
+    if row_len == 0 || !batch.len().is_multiple_of(row_len) {
+        return Err(NnError::Tensor(cbq_tensor::TensorError::ShapeMismatch {
+            lhs: vec![row_len.max(1)],
+            rhs: vec![batch.len()],
+        }));
+    }
+    let m = batch.len() / row_len;
+    let mut shape = Vec::with_capacity(sample_shape.len() + 1);
+    shape.push(m);
+    shape.extend_from_slice(sample_shape);
+    let x = Tensor::from_vec(scratch.take_f32_copy(batch), &shape)?;
+    let logits = net.forward_scratch(x, Phase::Infer, scratch)?;
+    logits.shape_obj().ensure_rank(2)?;
+    Ok(logits)
 }
 
 /// Per-class accuracy report from [`evaluate_per_class`].

@@ -1,0 +1,469 @@
+//! Whole-network integer-code compilation: the deployment-side backend
+//! behind `cbq-serve`'s `Backend::Integer`.
+//!
+//! [`IntegerNet::compile`] walks a trained, arrangement-installed
+//! [`Sequential`] and lowers every layer into an integer execution stage:
+//! quantizable linears become [`IntegerLinear`] units (integer MACs over
+//! weight/activation codes, rescaled once per output), unquantized
+//! linears stay in f32 through the packed GEMM kernels, and Relu
+//! activation quantizers become code-domain quantization steps. The
+//! supported topology is the MLP family (`Flatten` → `Linear`/`Relu`
+//! chains); conv/BN nets are rejected with a typed error rather than
+//! silently served through the wrong backend.
+//!
+//! Determinism: every stage is per-sample — integer MACs accumulate over
+//! the input features of one sample, the f32 GEMM accumulates ascending-k
+//! per output element, and quantization is elementwise — so a sample's
+//! output is bit-identical no matter which micro-batch it rides in. That
+//! property is what lets the serving runtime batch requests freely while
+//! promising bit-exact parity with offline single-sample execution.
+
+use crate::{BitArrangement, BitWidth, IntActivations, IntegerLinear, QuantError, Result};
+use cbq_nn::{state_dict, Layer, LayerKind, Sequential};
+use cbq_tensor::kernels::gemm_packed;
+use cbq_tensor::{Scratch, Tensor};
+
+/// One lowered execution stage of an [`IntegerNet`].
+#[derive(Debug, Clone)]
+enum Stage {
+    /// Unquantized fully-connected layer, run in f32 via the packed GEMM.
+    Linear {
+        name: String,
+        weight: Tensor,
+        bias: Option<Tensor>,
+    },
+    /// Rectified linear activation, in place.
+    Relu,
+    /// Activation fake-quantization feeding an f32 consumer: clamp to
+    /// `[0, clip]`, snap to the code grid, decode back to values.
+    QuantValues { clip: f32, scale: f32 },
+    /// Integer-code fully-connected layer. The incoming activations are
+    /// quantized to codes over `[0, clip]` at `bits`, then multiplied
+    /// against the layer's weight codes entirely in integer arithmetic.
+    IntLinear {
+        name: String,
+        lin: IntegerLinear,
+        clip: f32,
+        bits: BitWidth,
+    },
+}
+
+/// A whole network lowered to integer-code execution stages.
+///
+/// Cheap to clone (weights are shared per clone, codes are plain vecs),
+/// so serving workers each keep a private instance next to a persistent
+/// [`Scratch`] arena and run steady-state requests without allocating.
+#[derive(Debug, Clone)]
+pub struct IntegerNet {
+    stages: Vec<Stage>,
+    in_features: usize,
+    out_features: usize,
+    integer_layers: usize,
+}
+
+/// Intermediate leaf description gathered from the source network.
+enum Leaf {
+    Noop,
+    Relu { quant: Option<(f32, u8)> },
+    Linear { name: String, quantizable: bool },
+}
+
+impl IntegerNet {
+    /// Lowers `net` (trained, with the bit arrangement's activation
+    /// quantizers installed and calibrated) into integer stages.
+    ///
+    /// Every quantizable linear must have a unit in `arrangement` and be
+    /// fed by an activation-quantized `Relu` — the integer engine consumes
+    /// activation *codes*, so an unquantized input to a quantized layer
+    /// has no integer representation.
+    ///
+    /// # Errors
+    ///
+    /// [`QuantError::ArrangementMismatch`] when the topology is not an
+    /// MLP-style chain, a unit is missing or mis-sized, a quantized
+    /// linear lacks a preceding activation quantizer, or layer widths do
+    /// not chain.
+    pub fn compile(net: &mut Sequential, arrangement: &BitArrangement) -> Result<IntegerNet> {
+        let mut leaves: Vec<Leaf> = Vec::new();
+        let mut unsupported: Option<String> = None;
+        net.visit_layers_mut(&mut |l| match l.kind() {
+            LayerKind::Reshape => leaves.push(Leaf::Noop),
+            LayerKind::Relu => {
+                let quant = l
+                    .activation_quantizer_mut()
+                    .and_then(|q| q.bits().map(|b| (q.clip(), b)));
+                leaves.push(Leaf::Relu { quant });
+            }
+            LayerKind::Linear => leaves.push(Leaf::Linear {
+                name: l.name().to_string(),
+                quantizable: l.quantizable(),
+            }),
+            LayerKind::Container => {}
+            other => {
+                if unsupported.is_none() {
+                    unsupported = Some(format!("{}: {:?}", l.name(), other));
+                }
+            }
+        });
+        if let Some(which) = unsupported {
+            return Err(QuantError::ArrangementMismatch(format!(
+                "integer backend supports Flatten/Linear/Relu topologies only, found {which}"
+            )));
+        }
+
+        let dict = state_dict(net);
+        let weight_of = |name: &str| -> Result<Tensor> {
+            dict.params
+                .get(&format!("{name}.weight"))
+                .cloned()
+                .ok_or_else(|| {
+                    QuantError::ArrangementMismatch(format!("layer {name} has no weight tensor"))
+                })
+        };
+
+        let mut stages = Vec::new();
+        let mut pending: Option<(f32, u8)> = None;
+        let mut cur_features: Option<usize> = None;
+        let mut in_features = 0usize;
+        let mut integer_layers = 0usize;
+        for (i, leaf) in leaves.iter().enumerate() {
+            match leaf {
+                Leaf::Noop => {}
+                Leaf::Relu { quant } => {
+                    stages.push(Stage::Relu);
+                    if let Some((clip, bits)) = *quant {
+                        let bw = BitWidth::new(bits)?;
+                        if bw.is_pruned() {
+                            return Err(QuantError::BitWidthOutOfRange { bits: 0 });
+                        }
+                        if !(clip.is_finite() && clip > 0.0) {
+                            return Err(QuantError::InvalidRange { lo: 0.0, hi: clip });
+                        }
+                        // Fold the quantization into the consumer when it is
+                        // an integer linear (codes stay integer end to end);
+                        // otherwise decode back to values for the f32 layer.
+                        let next_is_int = leaves[i + 1..]
+                            .iter()
+                            .find(|l| !matches!(l, Leaf::Noop))
+                            .is_some_and(|l| {
+                                matches!(
+                                    l,
+                                    Leaf::Linear {
+                                        quantizable: true,
+                                        ..
+                                    }
+                                )
+                            });
+                        if next_is_int {
+                            pending = Some((clip, bits));
+                        } else {
+                            let scale = clip / (bw.levels() as f32 - 1.0);
+                            stages.push(Stage::QuantValues { clip, scale });
+                        }
+                    }
+                }
+                Leaf::Linear { name, quantizable } => {
+                    let weight = weight_of(name)?;
+                    if weight.rank() != 2 {
+                        return Err(QuantError::ArrangementMismatch(format!(
+                            "layer {name} weight must be rank-2"
+                        )));
+                    }
+                    let (out_f, in_f) = (weight.shape()[0], weight.shape()[1]);
+                    if let Some(prev) = cur_features {
+                        if prev != in_f {
+                            return Err(QuantError::ArrangementMismatch(format!(
+                                "layer {name} expects {in_f} inputs but receives {prev}"
+                            )));
+                        }
+                    } else {
+                        in_features = in_f;
+                    }
+                    cur_features = Some(out_f);
+                    let bias = dict.params.get(&format!("{name}.bias")).cloned();
+                    if *quantizable {
+                        let unit = arrangement.unit(name).ok_or_else(|| {
+                            QuantError::ArrangementMismatch(format!(
+                                "arrangement has no unit for quantizable layer {name}"
+                            ))
+                        })?;
+                        let (clip, bits) = pending.take().ok_or_else(|| {
+                            QuantError::ArrangementMismatch(format!(
+                                "quantized layer {name} must follow an activation-quantized Relu"
+                            ))
+                        })?;
+                        let lin = IntegerLinear::quantize(&weight, &unit.bits, bias.as_ref())?;
+                        stages.push(Stage::IntLinear {
+                            name: name.clone(),
+                            lin,
+                            clip,
+                            bits: BitWidth::new(bits)?,
+                        });
+                        integer_layers += 1;
+                    } else {
+                        stages.push(Stage::Linear {
+                            name: name.clone(),
+                            weight,
+                            bias,
+                        });
+                    }
+                }
+            }
+        }
+        let out_features = cur_features.ok_or_else(|| {
+            QuantError::ArrangementMismatch("network has no linear layers".into())
+        })?;
+        Ok(IntegerNet {
+            stages,
+            in_features,
+            out_features,
+            integer_layers,
+        })
+    }
+
+    /// Input width (features per sample after flattening).
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output width (number of classes).
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// How many layers execute in the integer-code domain.
+    pub fn integer_layers(&self) -> usize {
+        self.integer_layers
+    }
+
+    /// Runs a `[m, in_features]` batch, drawing every temporary from
+    /// `scratch`. The returned logits own a pooled buffer — recycle it
+    /// (`Tensor::into_vec` + [`Scratch::recycle_f32`]) to keep warm loops
+    /// allocation-free. Per-sample results are bit-identical regardless
+    /// of batch composition.
+    ///
+    /// # Errors
+    ///
+    /// Shape mismatches or any integer-engine error.
+    pub fn forward_scratch(&self, x: Tensor, scratch: &mut Scratch) -> Result<Tensor> {
+        x.shape_obj().ensure_rank(2)?;
+        if x.shape()[1] != self.in_features {
+            return Err(QuantError::ArrangementMismatch(format!(
+                "input features {} vs network input {}",
+                x.shape()[1],
+                self.in_features
+            )));
+        }
+        let mut cur = x;
+        for stage in &self.stages {
+            match stage {
+                Stage::Relu => cur.map_inplace(|v| v.max(0.0)),
+                Stage::QuantValues { clip, scale } => {
+                    cur.map_inplace(|v| (v.clamp(0.0, *clip) / scale).round() * scale);
+                }
+                Stage::Linear { weight, bias, .. } => {
+                    let m = cur.shape()[0];
+                    let k = cur.shape()[1];
+                    let n = weight.shape()[0];
+                    let mut out = scratch.take_f32(m * n);
+                    gemm_packed(
+                        m,
+                        n,
+                        k,
+                        cur.as_slice(),
+                        k,
+                        1,
+                        weight.as_slice(),
+                        1,
+                        k,
+                        &mut out,
+                        scratch,
+                    );
+                    if let Some(b) = bias {
+                        let bs = b.as_slice();
+                        for r in 0..m {
+                            let row = &mut out[r * n..(r + 1) * n];
+                            for (o, &bv) in row.iter_mut().zip(bs) {
+                                *o += bv;
+                            }
+                        }
+                    }
+                    scratch.recycle_f32(cur.into_vec());
+                    cur = Tensor::from_vec(out, &[m, n])?;
+                }
+                Stage::IntLinear {
+                    lin, clip, bits, ..
+                } => {
+                    let acts = IntActivations::quantize_with_scratch(&cur, *clip, *bits, scratch)?;
+                    let y = lin.forward_with_scratch(&acts, None, scratch)?;
+                    acts.recycle(scratch);
+                    scratch.recycle_f32(cur.into_vec());
+                    cur = y;
+                }
+            }
+        }
+        Ok(cur)
+    }
+
+    /// Convenience forward with a throwaway arena.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`IntegerNet::forward_scratch`].
+    pub fn forward(&self, x: &Tensor) -> Result<Tensor> {
+        let mut scratch = Scratch::new();
+        self.forward_scratch(x.clone(), &mut scratch)
+    }
+
+    /// Names of the stages in execution order (diagnostics / tests).
+    pub fn stage_names(&self) -> Vec<String> {
+        self.stages
+            .iter()
+            .map(|s| match s {
+                Stage::Relu => "relu".to_string(),
+                Stage::QuantValues { .. } => "act-quant".to_string(),
+                Stage::Linear { name, .. } => format!("fp:{name}"),
+                Stage::IntLinear { name, .. } => format!("int:{name}"),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{
+        install_act_quant, install_arrangement, set_act_bits, set_act_calibration, UnitArrangement,
+    };
+    use cbq_nn::{models, Phase};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn quantized_fixture(bits: u8) -> (Sequential, BitArrangement) {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut net = models::mlp(&[6, 10, 8, 3], &mut rng).unwrap();
+        // Calibrate activation clips on a few random batches.
+        install_act_quant(&mut net);
+        set_act_calibration(&mut net, true);
+        for _ in 0..4 {
+            let x = Tensor::rand_uniform(&[5, 6], -1.0, 1.0, &mut rng);
+            net.forward(&x, Phase::Eval).unwrap();
+        }
+        set_act_calibration(&mut net, false);
+        set_act_bits(&mut net, Some(BitWidth::new(bits).unwrap()));
+        let mut arr = BitArrangement::new();
+        arr.push(UnitArrangement::uniform(
+            "fc2",
+            8,
+            10,
+            BitWidth::new(bits).unwrap(),
+        ));
+        (net, arr)
+    }
+
+    #[test]
+    fn compile_lowers_mlp_topology() {
+        let (mut net, arr) = quantized_fixture(4);
+        let int = IntegerNet::compile(&mut net, &arr).unwrap();
+        assert_eq!(int.in_features(), 6);
+        assert_eq!(int.out_features(), 3);
+        assert_eq!(int.integer_layers(), 1);
+        let names = int.stage_names();
+        assert_eq!(
+            names,
+            vec!["fp:fc1", "relu", "int:fc2", "relu", "act-quant", "fp:fc3"]
+        );
+    }
+
+    #[test]
+    fn integer_forward_tracks_fake_quant_reference() {
+        let (mut net, arr) = quantized_fixture(6);
+        let int = IntegerNet::compile(&mut net, &arr).unwrap();
+        // Reference: the fake-quant network (weight transform installed).
+        install_arrangement(&mut net, &arr).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let x = Tensor::rand_uniform(&[4, 6], -1.0, 1.0, &mut rng);
+        let reference = net.forward(&x, Phase::Eval).unwrap();
+        let got = int.forward(&x).unwrap();
+        for (a, b) in reference.as_slice().iter().zip(got.as_slice()) {
+            assert!((a - b).abs() < 2e-3, "fake-quant {a} vs integer {b}");
+        }
+    }
+
+    #[test]
+    fn batching_is_bit_invariant() {
+        let (mut net, arr) = quantized_fixture(3);
+        let int = IntegerNet::compile(&mut net, &arr).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = Tensor::rand_uniform(&[6, 6], -1.0, 1.0, &mut rng);
+        let batched = int.forward(&x).unwrap();
+        for r in 0..6 {
+            let single = int
+                .forward(&x.row(r).unwrap().reshape(&[1, 6]).unwrap())
+                .unwrap();
+            for (a, b) in batched.as_slice()[r * 3..(r + 1) * 3]
+                .iter()
+                .zip(single.as_slice())
+            {
+                assert_eq!(a.to_bits(), b.to_bits(), "row {r} differs under batching");
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_forward_is_bitwise_and_warm_loops_hit_the_pool() {
+        let (mut net, arr) = quantized_fixture(5);
+        let int = IntegerNet::compile(&mut net, &arr).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let x = Tensor::rand_uniform(&[3, 6], -1.0, 1.0, &mut rng);
+        let cold = int.forward(&x).unwrap();
+        let mut scratch = Scratch::new();
+        // Warm pass populates the pools.
+        let y = int.forward_scratch(x.clone(), &mut scratch).unwrap();
+        assert_eq!(y.as_slice(), cold.as_slice());
+        scratch.recycle_f32(y.into_vec());
+        let before = scratch.fresh_allocs();
+        for _ in 0..8 {
+            let input = scratch.take_f32_copy(x.as_slice());
+            let x2 = Tensor::from_vec(input, &[3, 6]).unwrap();
+            let y = int.forward_scratch(x2, &mut scratch).unwrap();
+            assert_eq!(y.as_slice(), cold.as_slice());
+            scratch.recycle_f32(y.into_vec());
+        }
+        assert_eq!(scratch.fresh_allocs(), before, "warm loop missed the pool");
+    }
+
+    #[test]
+    fn missing_unit_and_conv_topologies_are_rejected() {
+        let (mut net, _) = quantized_fixture(4);
+        let empty = BitArrangement::new();
+        assert!(matches!(
+            IntegerNet::compile(&mut net, &empty),
+            Err(QuantError::ArrangementMismatch(_))
+        ));
+
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = cbq_nn::models::VggConfig::for_input(3, 8, 8, 4);
+        let mut vgg = cbq_nn::models::vgg_small(&cfg, &mut rng).unwrap();
+        assert!(matches!(
+            IntegerNet::compile(&mut vgg, &BitArrangement::new()),
+            Err(QuantError::ArrangementMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn quantized_layer_without_act_quant_is_rejected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut net = models::mlp(&[6, 10, 8, 3], &mut rng).unwrap();
+        // No activation quantizers installed at all.
+        let mut arr = BitArrangement::new();
+        arr.push(UnitArrangement::uniform(
+            "fc2",
+            8,
+            10,
+            BitWidth::new(4).unwrap(),
+        ));
+        let err = IntegerNet::compile(&mut net, &arr).unwrap_err();
+        assert!(err.to_string().contains("activation-quantized"));
+    }
+}

@@ -38,6 +38,7 @@ mod arrangement;
 mod bitwidth;
 mod error;
 pub mod integer;
+pub mod integer_net;
 mod quantizer;
 mod report;
 mod transforms;
@@ -51,6 +52,7 @@ pub use arrangement::{BitArrangement, BitHistogram, UnitArrangement};
 pub use bitwidth::BitWidth;
 pub use error::QuantError;
 pub use integer::{IntActivations, IntegerConv2d, IntegerLinear};
+pub use integer_net::IntegerNet;
 pub use quantizer::UniformQuantizer;
 pub use report::quant_state_report;
 pub use transforms::{

@@ -1,0 +1,248 @@
+//! Property-based tests of the integer execution engine's edge cases:
+//! 1-bit weights and activations, clip-boundary activation values, pruned
+//! (0-bit) filters, and the accumulator-wrap parity that grounds the
+//! WrapNet baseline — per-addition wrapping into a narrow signed range is
+//! exactly the single wrap of the full-precision sum (modular
+//! arithmetic), and a wide accumulator is exactly the unwrapped forward.
+//!
+//! Each property also has a deterministic sweep companion (`#[test]`),
+//! so the coverage holds even where the proptest harness is unavailable.
+
+use cbq_quant::{BitWidth, IntActivations, IntegerLinear};
+use cbq_tensor::Tensor;
+use proptest::prelude::*;
+
+/// Signed wrap of `x` into `[-2^(n-1), 2^(n-1))` — the WrapNet-style
+/// one-shot overflow applied to a full-precision accumulator.
+fn wrap_once(x: i64, acc_bits: u8) -> i64 {
+    let l = 1i64 << (acc_bits - 1);
+    (x + l).rem_euclid(2 * l) - l
+}
+
+/// An `IntegerLinear` whose codes are known exactly: ±1 weights compiled
+/// at 1 bit (bound = 1, per-filter scale = 1, codes = the signs).
+fn one_bit_layer(signs: &[i32], out: usize, inf: usize) -> IntegerLinear {
+    assert_eq!(signs.len(), out * inf);
+    let w = Tensor::from_vec(signs.iter().map(|&s| s as f32).collect(), &[out, inf]).unwrap();
+    IntegerLinear::quantize(&w, &vec![BitWidth::new(1).unwrap(); out], None).unwrap()
+}
+
+/// Activations whose codes are known exactly: integer values in
+/// `[0, levels-1]` quantized with `clip = levels - 1` (scale = 1).
+fn exact_activations(levels_minus_1: u32, values: &[i32], batch: usize) -> IntActivations {
+    let feats = values.len() / batch;
+    let x = Tensor::from_vec(values.iter().map(|&v| v as f32).collect(), &[batch, feats]).unwrap();
+    let bits = (32 - levels_minus_1.leading_zeros()).max(1) as u8;
+    // clip = M-1 at `bits` makes the scale exactly 1.0.
+    IntActivations::quantize(
+        &x,
+        ((1u32 << bits) - 1) as f32,
+        BitWidth::new(bits).unwrap(),
+    )
+    .unwrap()
+}
+
+#[test]
+fn one_bit_weights_quantize_to_sign_codes() {
+    // 1-bit symmetric quantization has exactly two levels, ±bound: the
+    // dequantized weights must be the per-layer bound with the weight's
+    // sign, whatever the magnitudes were.
+    let w = Tensor::from_vec(vec![0.3, -0.7, 2.0, -0.01, 1.4, -2.0], &[2, 3]).unwrap();
+    let lin = IntegerLinear::quantize(&w, &[BitWidth::new(1).unwrap(); 2], None).unwrap();
+    let bound = 2.0f32; // max |w|
+    let deq = lin.dequantized_weights();
+    for (orig, got) in w.as_slice().iter().zip(deq.as_slice()) {
+        let expect = bound * orig.signum();
+        assert_eq!(
+            got.to_bits(),
+            expect.to_bits(),
+            "{orig} -> {got}, expected {expect}"
+        );
+    }
+}
+
+#[test]
+fn one_bit_activations_are_binary_codes() {
+    // 1-bit activations have levels {0, clip}: everything at or below
+    // half-clip rounds to code 0, everything above to code 1.
+    let clip = 3.0f32;
+    let x = Tensor::from_vec(vec![-1.0, 0.0, 1.49, 1.51, clip, clip + 10.0], &[1, 6]).unwrap();
+    let acts = IntActivations::quantize(&x, clip, BitWidth::new(1).unwrap()).unwrap();
+    assert_eq!(acts.scale(), clip);
+    let deq = acts.dequantize();
+    let expect = [0.0, 0.0, 0.0, clip, clip, clip];
+    for (got, want) in deq.as_slice().iter().zip(expect) {
+        assert_eq!(got.to_bits(), want.to_bits());
+    }
+}
+
+#[test]
+fn clip_boundary_values_stay_in_code_range() {
+    // Codes must lie in [0, M-1] for every input, including negatives,
+    // exact clip hits, and just-past-clip values.
+    for bits in 1u8..=8 {
+        let levels = 1u32 << bits;
+        let clip = 2.5f32;
+        let eps = 1e-4f32;
+        let inputs = [
+            f32::MIN_POSITIVE,
+            -1e30,
+            -eps,
+            0.0,
+            eps,
+            clip / 2.0,
+            clip - eps,
+            clip,
+            clip + eps,
+            1e30,
+        ];
+        let x = Tensor::from_vec(inputs.to_vec(), &[1, inputs.len()]).unwrap();
+        let acts = IntActivations::quantize(&x, clip, BitWidth::new(bits).unwrap()).unwrap();
+        let scale = acts.scale();
+        for (&v, &d) in inputs.iter().zip(acts.dequantize().as_slice()) {
+            let code = (d / scale).round();
+            assert!(
+                (0.0..=(levels - 1) as f32).contains(&code),
+                "input {v} at {bits} bits produced code {code}"
+            );
+        }
+        // The boundaries land exactly on the extreme codes.
+        let deq = acts.dequantize();
+        assert_eq!(deq.as_slice()[3], 0.0, "0 must encode to code 0");
+        assert_eq!(
+            (deq.as_slice()[7] / scale).round(),
+            (levels - 1) as f32,
+            "clip must encode to the top code at {bits} bits"
+        );
+    }
+}
+
+#[test]
+fn pruned_rows_contribute_only_bias() {
+    let w = Tensor::from_vec(vec![1.0, -2.0, 0.5, 0.25], &[2, 2]).unwrap();
+    let bias = Tensor::from_vec(vec![0.75, -1.25], &[2]).unwrap();
+    let bits = [BitWidth::new(0).unwrap(), BitWidth::new(4).unwrap()];
+    let lin = IntegerLinear::quantize(&w, &bits, Some(&bias)).unwrap();
+    let x = Tensor::from_vec(vec![1.0, 2.0], &[1, 2]).unwrap();
+    let acts = IntActivations::quantize(&x, 2.0, BitWidth::new(8).unwrap()).unwrap();
+    let y = lin.forward(&acts).unwrap();
+    // Filter 0 is pruned: its output is exactly the bias.
+    assert_eq!(y.as_slice()[0].to_bits(), 0.75f32.to_bits());
+    // Filter 1 executes normally (nonzero contribution on this input).
+    assert_ne!(y.as_slice()[1].to_bits(), (-1.25f32).to_bits());
+}
+
+#[test]
+fn per_addition_wrap_equals_single_wrap_of_exact_sum() {
+    // The WrapNet parity: wrapping after every MAC is congruent mod 2^n
+    // to one wrap of the exact integer sum, and both land in the same
+    // signed range — so they are *equal*, not merely congruent. Sweep
+    // deterministic sign/activation patterns across accumulator widths.
+    for acc_bits in [2u8, 3, 4, 6, 8] {
+        for seed in 0..20i64 {
+            let inf = 9usize;
+            let signs: Vec<i32> = (0..inf as i64)
+                .map(|i| if (seed * 31 + i * 17) % 3 == 0 { -1 } else { 1 })
+                .collect();
+            let values: Vec<i32> = (0..inf as i64)
+                .map(|i| ((seed * 13 + i * 7) % 16) as i32)
+                .collect();
+            let lin = one_bit_layer(&signs, 1, inf);
+            let acts = exact_activations(15, &values, 1);
+            // scale_w = scale_a = 1, so the forward output *is* the
+            // accumulator value as f32.
+            let wrapped = lin.forward_with_accumulator(&acts, Some(acc_bits)).unwrap();
+            let exact: i64 = signs
+                .iter()
+                .zip(&values)
+                .map(|(&s, &v)| s as i64 * v as i64)
+                .sum();
+            let expect = wrap_once(exact, acc_bits) as f32;
+            assert_eq!(
+                wrapped.as_slice()[0].to_bits(),
+                expect.to_bits(),
+                "acc_bits {acc_bits}, seed {seed}: per-add wrap {} != single wrap {expect}",
+                wrapped.as_slice()[0]
+            );
+        }
+    }
+}
+
+#[test]
+fn wide_accumulator_equals_unwrapped_forward() {
+    // With an accumulator wide enough to never overflow, wrapping is the
+    // identity: the output must be bit-identical to the unwrapped path.
+    let signs: Vec<i32> = (0..12).map(|i| if i % 2 == 0 { 1 } else { -1 }).collect();
+    let values: Vec<i32> = (0..12).map(|i| (i * 5) % 16).collect();
+    let lin = one_bit_layer(&signs, 1, 12);
+    let acts = exact_activations(15, &values, 1);
+    let wide = lin.forward_with_accumulator(&acts, Some(32)).unwrap();
+    let unwrapped = lin.forward(&acts).unwrap();
+    assert_eq!(
+        wide.as_slice()[0].to_bits(),
+        unwrapped.as_slice()[0].to_bits()
+    );
+}
+
+proptest! {
+    /// Per-addition wrapping equals a single wrap of the exact sum for
+    /// arbitrary sign patterns, activation codes, and accumulator widths.
+    #[test]
+    fn prop_wrap_parity(
+        signs in proptest::collection::vec(prop_oneof![Just(-1i32), Just(1i32)], 1..24),
+        raw in proptest::collection::vec(0i32..16, 1..24),
+        acc_bits in 2u8..12,
+    ) {
+        let inf = signs.len().min(raw.len());
+        let signs = &signs[..inf];
+        let values = &raw[..inf];
+        let lin = one_bit_layer(signs, 1, inf);
+        let acts = exact_activations(15, values, 1);
+        let wrapped = lin.forward_with_accumulator(&acts, Some(acc_bits)).unwrap();
+        let exact: i64 = signs.iter().zip(values).map(|(&s, &v)| s as i64 * v as i64).sum();
+        prop_assert_eq!(
+            wrapped.as_slice()[0].to_bits(),
+            (wrap_once(exact, acc_bits) as f32).to_bits()
+        );
+    }
+
+    /// Activation codes stay in `[0, 2^bits - 1]` for arbitrary inputs
+    /// and clips, and dequantized values stay in `[0, clip]`.
+    #[test]
+    fn prop_activation_codes_in_range(
+        xs in proptest::collection::vec(-100.0f32..100.0, 1..32),
+        clip in 0.01f32..50.0,
+        bits in 1u8..=8,
+    ) {
+        let n = xs.len();
+        let x = Tensor::from_vec(xs, &[1, n]).unwrap();
+        let acts = IntActivations::quantize(&x, clip, BitWidth::new(bits).unwrap()).unwrap();
+        let scale = acts.scale();
+        let top = ((1u32 << bits) - 1) as f32;
+        for &d in acts.dequantize().as_slice() {
+            let code = (d / scale).round();
+            prop_assert!((0.0..=top).contains(&code));
+            prop_assert!(d >= 0.0 && d <= clip + 1e-4);
+        }
+    }
+
+    /// 1-bit weight codes are exactly ±bound after dequantization.
+    #[test]
+    fn prop_one_bit_weights_are_signed_bound(
+        ws in proptest::collection::vec(-10.0f32..10.0, 2..16)
+    ) {
+        prop_assume!(ws.iter().any(|w| w.abs() > 1e-6));
+        let n = ws.len();
+        let w = Tensor::from_vec(ws.clone(), &[1, n]).unwrap();
+        let lin = IntegerLinear::quantize(&w, &[BitWidth::new(1).unwrap()], None).unwrap();
+        let bound = ws.iter().fold(0.0f32, |m, w| m.max(w.abs()));
+        for (orig, got) in ws.iter().zip(lin.dequantized_weights().as_slice()) {
+            prop_assert_eq!(got.abs(), bound);
+            // Exactly-zero weights sit on the rounding tie between the
+            // two levels; only check the sign away from it.
+            if orig.abs() > 1e-6 {
+                prop_assert_eq!(got.signum(), orig.signum());
+            }
+        }
+    }
+}

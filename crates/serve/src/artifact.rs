@@ -1,0 +1,423 @@
+//! Serializable model checkpoints for the serving runtime.
+//!
+//! A [`ModelArtifact`] is everything the registry needs to rebuild a
+//! trained (and optionally quantized) network in any backend: the
+//! architecture spec, the full [`StateDict`], and — when the model went
+//! through the CQ pipeline — the searched [`BitArrangement`] plus the
+//! calibrated activation-quantizer state.
+//!
+//! The byte format reuses the checkpoint codec from `cbq-resilience`:
+//! floats are stored as raw IEEE-754 bits so a decode → rebuild → serve
+//! round trip is bit-exact, and encoding is deterministic (`BTreeMap`
+//! iteration inside [`StateDict::to_bytes`], fixed field order here).
+
+use crate::error::{Result, ServeError};
+use cbq_nn::{models, Sequential, StateDict};
+use cbq_quant::{BitArrangement, BitWidth, UnitArrangement};
+use cbq_resilience::{atomic_write, ByteReader, ByteWriter};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::Path;
+
+const MAGIC: &[u8] = b"CBQSRV1\n";
+
+/// Architecture of a servable model — enough to rebuild the [`Sequential`]
+/// whose parameters the state dict then overwrites.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArchSpec {
+    /// Multi-layer perceptron: layer sizes including input and output.
+    Mlp(Vec<usize>),
+    /// VGG-small from the model zoo.
+    VggSmall {
+        /// Input channels.
+        in_channels: usize,
+        /// Input height.
+        height: usize,
+        /// Input width.
+        width: usize,
+        /// Base conv width.
+        base_width: usize,
+        /// FC hidden width.
+        fc_dim: usize,
+        /// Output classes.
+        num_classes: usize,
+    },
+    /// ResNet-20 from the model zoo.
+    ResNet20 {
+        /// Input channels.
+        in_channels: usize,
+        /// First-stage width before expansion.
+        base_width: usize,
+        /// Paper expand factor (x1/x5).
+        expand: usize,
+        /// Residual blocks per stage.
+        blocks_per_stage: usize,
+        /// Output classes.
+        num_classes: usize,
+    },
+}
+
+impl ArchSpec {
+    /// Rebuilds the architecture. Initial weights are placeholders — the
+    /// caller immediately overwrites them from the state dict, so the
+    /// fixed seed only has to be deterministic, not meaningful.
+    pub fn build(&self) -> Result<Sequential> {
+        self.build_init(&mut StdRng::seed_from_u64(0))
+    }
+
+    /// Rebuilds the architecture with caller-controlled initial weights —
+    /// for callers that train the network from scratch (e.g. the
+    /// `cbq serve` demo) rather than overwrite it from a state dict.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model-zoo construction errors.
+    pub fn build_init(&self, rng: &mut StdRng) -> Result<Sequential> {
+        let net = match self {
+            ArchSpec::Mlp(sizes) => models::mlp(sizes, rng)?,
+            ArchSpec::VggSmall {
+                in_channels,
+                height,
+                width,
+                base_width,
+                fc_dim,
+                num_classes,
+            } => {
+                let cfg = models::VggConfig {
+                    in_channels: *in_channels,
+                    height: *height,
+                    width: *width,
+                    base_width: *base_width,
+                    fc_dim: *fc_dim,
+                    num_classes: *num_classes,
+                };
+                models::vgg_small(&cfg, rng)?
+            }
+            ArchSpec::ResNet20 {
+                in_channels,
+                base_width,
+                expand,
+                blocks_per_stage,
+                num_classes,
+            } => {
+                let cfg = models::ResNetConfig {
+                    in_channels: *in_channels,
+                    base_width: *base_width,
+                    expand: *expand,
+                    blocks_per_stage: *blocks_per_stage,
+                    num_classes: *num_classes,
+                };
+                models::resnet20(&cfg, rng)?
+            }
+        };
+        Ok(net)
+    }
+
+    fn encode(&self, w: &mut ByteWriter) {
+        match self {
+            ArchSpec::Mlp(sizes) => {
+                w.put_u8(0);
+                w.put_usize_slice(sizes);
+            }
+            ArchSpec::VggSmall {
+                in_channels,
+                height,
+                width,
+                base_width,
+                fc_dim,
+                num_classes,
+            } => {
+                w.put_u8(1);
+                w.put_usize_slice(&[
+                    *in_channels,
+                    *height,
+                    *width,
+                    *base_width,
+                    *fc_dim,
+                    *num_classes,
+                ]);
+            }
+            ArchSpec::ResNet20 {
+                in_channels,
+                base_width,
+                expand,
+                blocks_per_stage,
+                num_classes,
+            } => {
+                w.put_u8(2);
+                w.put_usize_slice(&[
+                    *in_channels,
+                    *base_width,
+                    *expand,
+                    *blocks_per_stage,
+                    *num_classes,
+                ]);
+            }
+        }
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<ArchSpec> {
+        let tag = r.get_u8()?;
+        let fields = r.get_usize_vec()?;
+        let need = |n: usize| -> Result<()> {
+            if fields.len() == n {
+                Ok(())
+            } else {
+                Err(ServeError::Artifact(format!(
+                    "arch spec expects {n} fields, found {}",
+                    fields.len()
+                )))
+            }
+        };
+        match tag {
+            0 => Ok(ArchSpec::Mlp(fields)),
+            1 => {
+                need(6)?;
+                Ok(ArchSpec::VggSmall {
+                    in_channels: fields[0],
+                    height: fields[1],
+                    width: fields[2],
+                    base_width: fields[3],
+                    fc_dim: fields[4],
+                    num_classes: fields[5],
+                })
+            }
+            2 => {
+                need(5)?;
+                Ok(ArchSpec::ResNet20 {
+                    in_channels: fields[0],
+                    base_width: fields[1],
+                    expand: fields[2],
+                    blocks_per_stage: fields[3],
+                    num_classes: fields[4],
+                })
+            }
+            other => Err(ServeError::Artifact(format!("unknown arch tag {other}"))),
+        }
+    }
+}
+
+/// Quantization state captured after the CQ pipeline: the searched bit
+/// arrangement plus calibrated activation-quantizer clips and width.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantState {
+    /// Per-filter bit-widths for every quantizable layer.
+    pub arrangement: BitArrangement,
+    /// Activation quantizer width (uniform across layers, paper §III).
+    pub act_bits: u8,
+    /// Calibrated clip bound per activation-quantized layer name.
+    pub act_clips: Vec<(String, f32)>,
+}
+
+/// A self-contained, bit-exact snapshot of a servable model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelArtifact {
+    /// Architecture to rebuild.
+    pub arch: ArchSpec,
+    /// Per-sample input dims, e.g. `[3, 12, 12]` or `[features]`.
+    pub input_shape: Vec<usize>,
+    /// Trained parameters and running statistics.
+    pub state: StateDict,
+    /// Quantization state; `None` for float-only checkpoints.
+    pub quant: Option<QuantState>,
+}
+
+impl ModelArtifact {
+    /// Features per sample (product of `input_shape`).
+    pub fn input_len(&self) -> usize {
+        self.input_shape.iter().product()
+    }
+
+    /// Encodes deterministically; floats survive bit-for-bit.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_bytes(MAGIC);
+        self.arch.encode(&mut w);
+        w.put_usize_slice(&self.input_shape);
+        w.put_bytes(&self.state.to_bytes());
+        match &self.quant {
+            None => w.put_bool(false),
+            Some(q) => {
+                w.put_bool(true);
+                w.put_u8(q.act_bits);
+                w.put_usize(q.act_clips.len());
+                for (name, clip) in &q.act_clips {
+                    w.put_str(name);
+                    w.put_f32(*clip);
+                }
+                w.put_usize(q.arrangement.units().len());
+                for unit in q.arrangement.units() {
+                    w.put_str(&unit.name);
+                    w.put_bytes(&unit.bits.iter().map(|b| b.bits()).collect::<Vec<u8>>());
+                    w.put_usize(unit.weights_per_filter);
+                }
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes an artifact, validating fully before returning.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Artifact`] on any truncation, bad magic, or invalid
+    /// field.
+    pub fn from_bytes(bytes: &[u8]) -> Result<ModelArtifact> {
+        let mut r = ByteReader::new(bytes);
+        let magic = r.get_bytes()?;
+        if magic != MAGIC {
+            return Err(ServeError::Artifact("bad artifact magic".into()));
+        }
+        let arch = ArchSpec::decode(&mut r)?;
+        let input_shape = r.get_usize_vec()?;
+        if input_shape.is_empty() || input_shape.iter().product::<usize>() == 0 {
+            return Err(ServeError::Artifact("empty input shape".into()));
+        }
+        let state_bytes = r.get_bytes()?;
+        let state = StateDict::from_bytes(&state_bytes)
+            .map_err(|e| ServeError::Artifact(format!("state dict: {e}")))?;
+        let quant = if r.get_bool()? {
+            let act_bits = r.get_u8()?;
+            let clip_count = r.get_usize()?;
+            let mut act_clips = Vec::with_capacity(clip_count);
+            for _ in 0..clip_count {
+                let name = r.get_string()?;
+                let clip = r.get_f32()?;
+                act_clips.push((name, clip));
+            }
+            let unit_count = r.get_usize()?;
+            let mut arrangement = BitArrangement::new();
+            for _ in 0..unit_count {
+                let name = r.get_string()?;
+                let raw_bits = r.get_bytes()?;
+                let mut bits = Vec::with_capacity(raw_bits.len());
+                for b in raw_bits {
+                    bits.push(
+                        BitWidth::new(b)
+                            .map_err(|e| ServeError::Artifact(format!("unit {name}: {e}")))?,
+                    );
+                }
+                let weights_per_filter = r.get_usize()?;
+                arrangement.push(UnitArrangement {
+                    name,
+                    bits,
+                    weights_per_filter,
+                });
+            }
+            Some(QuantState {
+                arrangement,
+                act_bits,
+                act_clips,
+            })
+        } else {
+            None
+        };
+        if !r.is_exhausted() {
+            return Err(ServeError::Artifact("trailing bytes after artifact".into()));
+        }
+        Ok(ModelArtifact {
+            arch,
+            input_shape,
+            state,
+            quant,
+        })
+    }
+
+    /// Writes the artifact atomically (temp file + rename).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
+        atomic_write(path, &self.to_bytes())?;
+        Ok(())
+    }
+
+    /// Reads and decodes an artifact file.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem or decode errors.
+    pub fn load(path: impl AsRef<Path>) -> Result<ModelArtifact> {
+        let bytes = std::fs::read(path.as_ref())
+            .map_err(|e| ServeError::Artifact(format!("read {}: {e}", path.as_ref().display())))?;
+        Self::from_bytes(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbq_nn::state_dict;
+
+    fn tiny_artifact(quant: bool) -> ModelArtifact {
+        let arch = ArchSpec::Mlp(vec![4, 6, 3]);
+        let mut net = arch.build().unwrap();
+        let state = state_dict(&mut net);
+        let quant = quant.then(|| QuantState {
+            arrangement: {
+                let mut a = BitArrangement::new();
+                a.push(UnitArrangement::uniform(
+                    "fc2",
+                    3,
+                    6,
+                    BitWidth::new(4).unwrap(),
+                ));
+                a
+            },
+            act_bits: 4,
+            act_clips: vec![("relu1".into(), 1.25)],
+        });
+        ModelArtifact {
+            arch,
+            input_shape: vec![4],
+            state,
+            quant,
+        }
+    }
+
+    #[test]
+    fn round_trip_is_exact_both_with_and_without_quant() {
+        for q in [false, true] {
+            let a = tiny_artifact(q);
+            let b = ModelArtifact::from_bytes(&a.to_bytes()).unwrap();
+            assert_eq!(a, b);
+            // Deterministic encoding: same artifact, same bytes.
+            assert_eq!(a.to_bytes(), b.to_bytes());
+        }
+    }
+
+    #[test]
+    fn corrupt_magic_and_truncation_are_rejected() {
+        let bytes = tiny_artifact(true).to_bytes();
+        assert!(ModelArtifact::from_bytes(&bytes[..bytes.len() - 3]).is_err());
+        let mut bad = bytes.clone();
+        bad[9] ^= 0xFF;
+        assert!(ModelArtifact::from_bytes(&bad).is_err());
+        assert!(ModelArtifact::from_bytes(b"junk").is_err());
+    }
+
+    #[test]
+    fn build_rebuilds_every_arch() {
+        assert!(ArchSpec::Mlp(vec![8, 4, 2]).build().is_ok());
+        assert!(ArchSpec::VggSmall {
+            in_channels: 3,
+            height: 8,
+            width: 8,
+            base_width: 4,
+            fc_dim: 16,
+            num_classes: 4,
+        }
+        .build()
+        .is_ok());
+        assert!(ArchSpec::ResNet20 {
+            in_channels: 3,
+            base_width: 4,
+            expand: 1,
+            blocks_per_stage: 1,
+            num_classes: 4,
+        }
+        .build()
+        .is_ok());
+    }
+}

@@ -1,0 +1,94 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by the serving runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The bounded admission queue is full — the request was rejected
+    /// rather than buffered without bound. Clients should back off and
+    /// retry; nothing was partially executed.
+    Overloaded {
+        /// The queue capacity that was exceeded.
+        capacity: usize,
+    },
+    /// The server is draining: no new requests are admitted, in-flight
+    /// requests still complete.
+    ShuttingDown,
+    /// The request referenced a model/version the registry does not hold.
+    UnknownModel(String),
+    /// The request payload does not match the model's input contract.
+    BadRequest(String),
+    /// A server or scheduler configuration value is invalid.
+    InvalidConfig(String),
+    /// A checkpoint artifact failed to decode or rebuild.
+    Artifact(String),
+    /// An underlying network error surfaced during execution.
+    Nn(String),
+    /// An underlying quantization error surfaced during execution.
+    Quant(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded { capacity } => {
+                write!(
+                    f,
+                    "admission queue full (capacity {capacity}): request rejected"
+                )
+            }
+            ServeError::ShuttingDown => write!(f, "server is draining: request rejected"),
+            ServeError::UnknownModel(name) => write!(f, "unknown model: {name}"),
+            ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            ServeError::InvalidConfig(msg) => write!(f, "invalid serve config: {msg}"),
+            ServeError::Artifact(msg) => write!(f, "model artifact error: {msg}"),
+            ServeError::Nn(msg) => write!(f, "network error: {msg}"),
+            ServeError::Quant(msg) => write!(f, "quantization error: {msg}"),
+        }
+    }
+}
+
+impl Error for ServeError {}
+
+impl From<cbq_tensor::TensorError> for ServeError {
+    fn from(e: cbq_tensor::TensorError) -> Self {
+        ServeError::Nn(e.to_string())
+    }
+}
+
+impl From<cbq_nn::NnError> for ServeError {
+    fn from(e: cbq_nn::NnError) -> Self {
+        ServeError::Nn(e.to_string())
+    }
+}
+
+impl From<cbq_quant::QuantError> for ServeError {
+    fn from(e: cbq_quant::QuantError) -> Self {
+        ServeError::Quant(e.to_string())
+    }
+}
+
+impl From<cbq_resilience::ResilienceError> for ServeError {
+    fn from(e: cbq_resilience::ResilienceError) -> Self {
+        ServeError::Artifact(e.to_string())
+    }
+}
+
+/// Result alias for serving operations.
+pub type Result<T> = std::result::Result<T, ServeError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants_name_the_problem() {
+        assert!(ServeError::Overloaded { capacity: 8 }
+            .to_string()
+            .contains('8'));
+        assert!(ServeError::ShuttingDown.to_string().contains("draining"));
+        assert!(ServeError::UnknownModel("m".into())
+            .to_string()
+            .contains('m'));
+    }
+}

@@ -1,0 +1,199 @@
+#![warn(missing_docs)]
+
+//! # cbq-serve — dynamic micro-batching inference for quantized models
+//!
+//! The deployment side of the CQ pipeline: load a trained/quantized
+//! checkpoint ([`ModelArtifact`]) into one of three backends, coalesce
+//! single-sample requests into micro-batches, and answer each request
+//! with logits that are **bit-identical to offline single-sample
+//! evaluation** — regardless of batching, interleaving, or worker count.
+//!
+//! Pieces:
+//!
+//! - [`ModelRegistry`] — versioned model store. [`Backend::Float`] serves
+//!   raw weights, [`Backend::FakeQuant`] the value-domain quantized
+//!   network, [`Backend::Integer`] the code-domain
+//!   [`IntegerNet`](cbq_quant::IntegerNet) lowering.
+//! - [`BatchScheduler`] — bounded admission queue with a
+//!   `max_batch`/`max_wait` coalescing policy ([`BatchPolicy`]). Full
+//!   queue ⇒ typed [`ServeError::Overloaded`] rejection, never unbounded
+//!   buffering. The `max_wait` clock is injectable ([`ServeClock`]):
+//!   production uses [`SystemClock`], tests drive a [`ManualClock`].
+//! - [`Server`] — worker pool where each worker owns persistent
+//!   `(engine, Scratch)` slots, pre-warmed so steady-state requests do
+//!   zero heap allocations on the forward path. Graceful
+//!   [`Server::shutdown`] drains the queue, completes in-flight
+//!   requests, and returns [`ServeStats`] (latency histogram, admission
+//!   counters, pool-miss accounting).
+//!
+//! Telemetry: queue-depth gauges on admission, batch/completion/rejection
+//! counters on the hot path, latency quantile gauges at drain — all
+//! through [`cbq_telemetry::Telemetry`].
+//!
+//! # Example
+//!
+//! ```
+//! use cbq_serve::{ArchSpec, Backend, BatchPolicy, ModelArtifact, ModelRegistry,
+//!                 Server, ServerConfig};
+//! use cbq_telemetry::Telemetry;
+//! use std::sync::Arc;
+//!
+//! # fn main() -> Result<(), cbq_serve::ServeError> {
+//! let arch = ArchSpec::Mlp(vec![4, 8, 3]);
+//! let mut net = arch.build()?;
+//! let artifact = ModelArtifact {
+//!     arch,
+//!     input_shape: vec![4],
+//!     state: cbq_nn::state_dict(&mut net),
+//!     quant: None,
+//! };
+//! let registry = Arc::new(ModelRegistry::new());
+//! let handle = registry.load("demo", &artifact, Backend::Float)?;
+//! let server = Server::start(
+//!     registry,
+//!     ServerConfig { policy: BatchPolicy::default(), workers: 2 },
+//!     Telemetry::disabled(),
+//! )?;
+//! let response = server.infer(&handle, vec![0.1, -0.2, 0.3, 0.4])?;
+//! assert_eq!(response.logits.len(), 3);
+//! server.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+
+mod artifact;
+mod clock;
+mod error;
+mod registry;
+mod scheduler;
+mod server;
+
+pub use artifact::{ArchSpec, ModelArtifact, QuantState};
+pub use clock::{ManualClock, ServeClock, SystemClock};
+pub use error::{Result, ServeError};
+pub use registry::{offline_logits, Backend, LoadedModel, ModelHandle, ModelRegistry};
+pub use scheduler::{BatchPolicy, BatchScheduler};
+pub use server::{InferResponse, ServeStats, Server, ServerConfig, Ticket};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbq_telemetry::Telemetry;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn float_artifact(sizes: &[usize]) -> ModelArtifact {
+        let arch = ArchSpec::Mlp(sizes.to_vec());
+        let mut net = arch.build().unwrap();
+        ModelArtifact {
+            arch,
+            input_shape: vec![sizes[0]],
+            state: cbq_nn::state_dict(&mut net),
+            quant: None,
+        }
+    }
+
+    #[test]
+    fn serves_and_matches_offline_reference() {
+        let registry = Arc::new(ModelRegistry::new());
+        let handle = registry
+            .load("m", &float_artifact(&[5, 7, 3]), Backend::Float)
+            .unwrap();
+        let model = registry.get(&handle).unwrap();
+        let server = Server::start(
+            registry.clone(),
+            ServerConfig {
+                policy: BatchPolicy {
+                    max_batch: 4,
+                    max_wait: Duration::from_micros(50),
+                    queue_capacity: 64,
+                },
+                workers: 2,
+            },
+            Telemetry::disabled(),
+        )
+        .unwrap();
+        let sample: Vec<f32> = (0..5).map(|i| (i as f32) * 0.3 - 0.7).collect();
+        let resp = server.infer(&handle, sample.clone()).unwrap();
+        let offline = offline_logits(&model, &sample).unwrap();
+        assert_eq!(resp.logits.len(), 3);
+        for (a, b) in resp.logits.iter().zip(&offline) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.rejected, 0);
+        assert_eq!(stats.steady_pool_misses, 0);
+    }
+
+    #[test]
+    fn wrong_sample_length_is_a_bad_request() {
+        let registry = Arc::new(ModelRegistry::new());
+        let handle = registry
+            .load("m", &float_artifact(&[5, 4, 2]), Backend::Float)
+            .unwrap();
+        let server =
+            Server::start(registry, ServerConfig::default(), Telemetry::disabled()).unwrap();
+        assert!(matches!(
+            server.submit(&handle, vec![1.0; 3]),
+            Err(ServeError::BadRequest(_))
+        ));
+        server.shutdown();
+    }
+
+    #[test]
+    fn versioned_handles_survive_reload() {
+        let registry = Arc::new(ModelRegistry::new());
+        let art = float_artifact(&[4, 6, 2]);
+        let v1 = registry.load("m", &art, Backend::Float).unwrap();
+        let v2 = registry.load("m", &art, Backend::Float).unwrap();
+        assert_eq!(v1.version(), 1);
+        assert_eq!(v2.version(), 2);
+        assert_eq!(registry.latest("m").unwrap(), v2);
+        assert!(registry.get(&v1).is_ok());
+        assert_eq!(registry.names(), vec![("m".to_string(), 2)]);
+    }
+
+    #[test]
+    fn manual_clock_holds_partial_batches_until_advanced() {
+        let registry = Arc::new(ModelRegistry::new());
+        let handle = registry
+            .load("m", &float_artifact(&[3, 5, 2]), Backend::Float)
+            .unwrap();
+        let clock = ManualClock::new();
+        let server = Server::start_with(
+            registry,
+            ServerConfig {
+                policy: BatchPolicy {
+                    max_batch: 8,
+                    max_wait: Duration::from_millis(10),
+                    queue_capacity: 16,
+                },
+                workers: 1,
+            },
+            Arc::new(clock.clone()),
+            Telemetry::disabled(),
+        )
+        .unwrap();
+        let ticket = server.submit(&handle, vec![0.5, -0.5, 0.25]).unwrap();
+        // Logical time is frozen: the partial batch must not dispatch.
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(
+            ticket.try_wait().is_none(),
+            "dispatched before max_wait elapsed"
+        );
+        clock.advance(Duration::from_millis(10));
+        let resp = ticket.wait().unwrap();
+        assert_eq!(resp.batch_size, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn integer_backend_requires_quant_state() {
+        let registry = ModelRegistry::new();
+        let err = registry
+            .load("m", &float_artifact(&[4, 4, 2]), Backend::Integer)
+            .unwrap_err();
+        assert!(matches!(err, ServeError::Artifact(_)));
+    }
+}

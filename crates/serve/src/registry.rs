@@ -1,0 +1,326 @@
+//! Versioned model registry: artifact → executable backend.
+//!
+//! Loading an artifact compiles it into one of three backends and parks
+//! the result behind an immutable [`LoadedModel`] template. Workers clone
+//! the template once per `(worker, model-version)` pair and keep the
+//! clone warm next to a private scratch arena; versioned [`ModelHandle`]s
+//! mean an in-flight request keeps executing against the version it was
+//! admitted with even if the name is reloaded mid-flight.
+
+use crate::artifact::ModelArtifact;
+use crate::error::{Result, ServeError};
+use cbq_nn::{infer_logits_scratch, load_state_dict, Layer, Phase, Sequential};
+use cbq_quant::{
+    install_act_quant, install_arrangement, restore_act_clip_bounds, set_act_bits,
+    set_act_calibration, BitWidth, IntegerNet,
+};
+use cbq_tensor::{Scratch, Tensor};
+use std::collections::HashMap;
+use std::sync::{Mutex, RwLock};
+
+/// Which execution engine a model is served through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// Raw float weights, no quantization anywhere.
+    Float,
+    /// Fake-quantized weights + activation quantizers (training-time
+    /// semantics, value domain).
+    FakeQuant,
+    /// Integer-code execution via [`cbq_quant::IntegerNet`].
+    Integer,
+}
+
+impl Backend {
+    /// Stable lowercase name (CLI flags, telemetry fields, reports).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Backend::Float => "float",
+            Backend::FakeQuant => "fake-quant",
+            Backend::Integer => "integer",
+        }
+    }
+
+    /// Parses a backend name as written by [`Backend::as_str`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidConfig`] on unknown names.
+    pub fn parse(s: &str) -> Result<Backend> {
+        match s {
+            "float" => Ok(Backend::Float),
+            "fake-quant" | "fakequant" => Ok(Backend::FakeQuant),
+            "integer" | "int" => Ok(Backend::Integer),
+            other => Err(ServeError::InvalidConfig(format!(
+                "unknown backend {other:?}"
+            ))),
+        }
+    }
+}
+
+/// A pinned reference to one loaded model version.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ModelHandle {
+    name: String,
+    version: u64,
+}
+
+impl ModelHandle {
+    /// Registry name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Monotonic version under that name (1-based).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+}
+
+impl std::fmt::Display for ModelHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}@v{}", self.name, self.version)
+    }
+}
+
+/// The compiled execution engine held by a [`LoadedModel`] template and
+/// cloned into each worker.
+#[derive(Debug, Clone)]
+pub(crate) enum Engine {
+    /// Float or fake-quant: a `Sequential` run at `Phase::Infer`.
+    Net(Sequential),
+    /// Integer-code network.
+    Integer(IntegerNet),
+}
+
+impl Engine {
+    /// Runs `batch` (`m * input_len` values, samples back to back) and
+    /// returns `[m, classes]` logits owning a pooled buffer.
+    pub(crate) fn infer(
+        &mut self,
+        batch: &[f32],
+        sample_shape: &[usize],
+        scratch: &mut Scratch,
+    ) -> Result<Tensor> {
+        match self {
+            Engine::Net(net) => Ok(infer_logits_scratch(net, batch, sample_shape, scratch)?),
+            Engine::Integer(net) => {
+                let row = net.in_features();
+                if row == 0 || !batch.len().is_multiple_of(row) {
+                    return Err(ServeError::BadRequest(format!(
+                        "batch of {} values is not a whole number of {row}-feature samples",
+                        batch.len()
+                    )));
+                }
+                let m = batch.len() / row;
+                let x = Tensor::from_vec(scratch.take_f32_copy(batch), &[m, row])?;
+                Ok(net.forward_scratch(x, scratch)?)
+            }
+        }
+    }
+}
+
+/// An immutable compiled model version: the template workers clone.
+///
+/// The engine template sits behind a mutex because `Sequential` trait
+/// objects are `Send` but not `Sync`; it is locked only for the one-time
+/// per-worker clone, never on the request path.
+#[derive(Debug)]
+pub struct LoadedModel {
+    handle: ModelHandle,
+    backend: Backend,
+    input_shape: Vec<usize>,
+    classes: usize,
+    engine: Mutex<Engine>,
+}
+
+impl LoadedModel {
+    /// The version-pinned handle.
+    pub fn handle(&self) -> &ModelHandle {
+        &self.handle
+    }
+
+    /// Which backend this version executes in.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// Per-sample input dims.
+    pub fn input_shape(&self) -> &[usize] {
+        &self.input_shape
+    }
+
+    /// Features per sample.
+    pub fn input_len(&self) -> usize {
+        self.input_shape.iter().product()
+    }
+
+    /// Number of output classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Clones the engine for a worker's private use.
+    pub(crate) fn instantiate(&self) -> Engine {
+        self.engine
+            .lock()
+            .expect("engine template lock poisoned")
+            .clone()
+    }
+}
+
+/// Single-sample offline reference execution: a fresh engine clone, a
+/// fresh arena, one sample — exactly the semantics of the offline
+/// `evaluate` path. Serving must match this bit-for-bit regardless of
+/// batching, and the test battery + load-gen bench hold it to that.
+///
+/// # Errors
+///
+/// Propagates engine errors; rejects samples of the wrong length.
+pub fn offline_logits(model: &LoadedModel, sample: &[f32]) -> Result<Vec<f32>> {
+    if sample.len() != model.input_len() {
+        return Err(ServeError::BadRequest(format!(
+            "sample has {} values, model expects {}",
+            sample.len(),
+            model.input_len()
+        )));
+    }
+    let mut engine = model.instantiate();
+    let mut scratch = Scratch::new();
+    let logits = engine.infer(sample, &model.input_shape, &mut scratch)?;
+    Ok(logits.into_vec())
+}
+
+fn compile(artifact: &ModelArtifact, backend: Backend) -> Result<(Engine, usize)> {
+    let mut net = artifact.arch.build()?;
+    load_state_dict(&mut net, &artifact.state)
+        .map_err(|e| ServeError::Artifact(format!("state dict does not fit arch: {e}")))?;
+    // Probe the output width with a zero batch before any quantizer state
+    // is installed (the probe must not touch calibration).
+    let classes = probe_classes(&mut net, &artifact.input_shape)?;
+    let engine = match backend {
+        Backend::Float => Engine::Net(net),
+        Backend::FakeQuant | Backend::Integer => {
+            let quant = artifact.quant.as_ref().ok_or_else(|| {
+                ServeError::Artifact(format!(
+                    "artifact has no quantization state, required by the {} backend",
+                    backend.as_str()
+                ))
+            })?;
+            install_act_quant(&mut net);
+            set_act_calibration(&mut net, false);
+            restore_act_clip_bounds(&mut net, &quant.act_clips);
+            set_act_bits(
+                &mut net,
+                Some(
+                    BitWidth::new(quant.act_bits)
+                        .map_err(|e| ServeError::Artifact(format!("act bits: {e}")))?,
+                ),
+            );
+            if backend == Backend::FakeQuant {
+                install_arrangement(&mut net, &quant.arrangement)?;
+                Engine::Net(net)
+            } else {
+                Engine::Integer(IntegerNet::compile(&mut net, &quant.arrangement)?)
+            }
+        }
+    };
+    Ok((engine, classes))
+}
+
+fn probe_classes(net: &mut Sequential, input_shape: &[usize]) -> Result<usize> {
+    let mut shape = Vec::with_capacity(input_shape.len() + 1);
+    shape.push(1);
+    shape.extend_from_slice(input_shape);
+    let x = Tensor::zeros(&shape);
+    let logits = net.forward(&x, Phase::Infer)?;
+    net.clear_cache();
+    if logits.rank() != 2 || logits.shape()[1] == 0 {
+        return Err(ServeError::Artifact(format!(
+            "model produced {:?} logits for a single sample",
+            logits.shape()
+        )));
+    }
+    Ok(logits.shape()[1])
+}
+
+/// Thread-safe registry of loaded model versions.
+#[derive(Debug, Default)]
+pub struct ModelRegistry {
+    inner: RwLock<HashMap<String, Vec<std::sync::Arc<LoadedModel>>>>,
+}
+
+impl ModelRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        ModelRegistry::default()
+    }
+
+    /// Compiles `artifact` into `backend` and registers it under `name`,
+    /// returning the new version's handle. Existing versions stay
+    /// resolvable through their handles.
+    ///
+    /// # Errors
+    ///
+    /// Artifact/compile errors; the registry is unchanged on failure.
+    pub fn load(
+        &self,
+        name: &str,
+        artifact: &ModelArtifact,
+        backend: Backend,
+    ) -> Result<ModelHandle> {
+        if name.is_empty() {
+            return Err(ServeError::InvalidConfig(
+                "model name must be non-empty".into(),
+            ));
+        }
+        let (engine, classes) = compile(artifact, backend)?;
+        let mut inner = self.inner.write().expect("registry lock poisoned");
+        let versions = inner.entry(name.to_string()).or_default();
+        let handle = ModelHandle {
+            name: name.to_string(),
+            version: versions.len() as u64 + 1,
+        };
+        versions.push(std::sync::Arc::new(LoadedModel {
+            handle: handle.clone(),
+            backend,
+            input_shape: artifact.input_shape.clone(),
+            classes,
+            engine: Mutex::new(engine),
+        }));
+        Ok(handle)
+    }
+
+    /// Latest version handle under `name`.
+    pub fn latest(&self, name: &str) -> Option<ModelHandle> {
+        let inner = self.inner.read().expect("registry lock poisoned");
+        inner
+            .get(name)
+            .and_then(|v| v.last())
+            .map(|m| m.handle.clone())
+    }
+
+    /// Resolves a handle to its compiled model.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownModel`] when the handle is not registered.
+    pub fn get(&self, handle: &ModelHandle) -> Result<std::sync::Arc<LoadedModel>> {
+        let inner = self.inner.read().expect("registry lock poisoned");
+        inner
+            .get(&handle.name)
+            .and_then(|v| v.get(handle.version.checked_sub(1)? as usize))
+            .cloned()
+            .ok_or_else(|| ServeError::UnknownModel(handle.to_string()))
+    }
+
+    /// Registered names (sorted) with their version counts.
+    pub fn names(&self) -> Vec<(String, u64)> {
+        let inner = self.inner.read().expect("registry lock poisoned");
+        let mut out: Vec<(String, u64)> = inner
+            .iter()
+            .map(|(k, v)| (k.clone(), v.len() as u64))
+            .collect();
+        out.sort();
+        out
+    }
+}

@@ -1,0 +1,228 @@
+//! Dynamic micro-batching: the bounded admission queue and the
+//! `max_batch`/`max_wait` coalescing policy.
+//!
+//! Requests enter through [`BatchScheduler::submit`]; workers block in
+//! [`BatchScheduler::next_batch`] until a batch is *ready*:
+//!
+//! - `max_batch` same-model requests are queued, or
+//! - the oldest queued request has aged past `max_wait` on the injected
+//!   [`ServeClock`], or
+//! - the scheduler is draining (shutdown flushes whatever is left).
+//!
+//! A formed batch is the front request plus up to `max_batch - 1` later
+//! requests *for the same model version*, in admission order — FIFO is
+//! preserved per model, and a batch never mixes versions, so reloading a
+//! model mid-flight cannot change what an admitted request executes
+//! against.
+//!
+//! Admission is bounded: beyond `queue_capacity` waiting requests,
+//! [`submit`](BatchScheduler::submit) fails fast with
+//! [`ServeError::Overloaded`] instead of buffering without bound.
+
+use crate::clock::ServeClock;
+use crate::error::{Result, ServeError};
+use crate::registry::ModelHandle;
+use crate::server::InferResponse;
+use std::collections::VecDeque;
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// How a manual-clock wait polls: short real sleeps between re-checks of
+/// the logical clock. Correctness never depends on this value — a batch
+/// can only form when the *logical* readiness condition holds.
+const MANUAL_POLL: Duration = Duration::from_millis(1);
+
+/// Micro-batching policy knobs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Largest micro-batch a worker executes at once.
+    pub max_batch: usize,
+    /// Longest a request may wait for co-batchable peers before the
+    /// scheduler dispatches a partial batch.
+    pub max_wait: Duration,
+    /// Bound on waiting requests; beyond it submissions are rejected.
+    pub queue_capacity: usize,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy {
+            max_batch: 8,
+            max_wait: Duration::from_millis(2),
+            queue_capacity: 256,
+        }
+    }
+}
+
+impl BatchPolicy {
+    /// Validates the knobs.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidConfig`] for zero batch size or capacity.
+    pub fn validate(&self) -> Result<()> {
+        if self.max_batch == 0 {
+            return Err(ServeError::InvalidConfig("max_batch must be >= 1".into()));
+        }
+        if self.queue_capacity == 0 {
+            return Err(ServeError::InvalidConfig(
+                "queue_capacity must be >= 1".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// One admitted request waiting for (or riding in) a micro-batch.
+pub(crate) struct Pending {
+    pub(crate) id: u64,
+    pub(crate) model: ModelHandle,
+    pub(crate) sample: Vec<f32>,
+    pub(crate) enqueued: Duration,
+    pub(crate) reply: Sender<Result<InferResponse>>,
+}
+
+#[derive(Default)]
+struct QueueState {
+    queue: VecDeque<Pending>,
+    draining: bool,
+    accepted: u64,
+    rejected: u64,
+}
+
+/// The shared scheduler: a bounded queue, a condvar, and the policy.
+pub struct BatchScheduler {
+    state: Mutex<QueueState>,
+    ready: Condvar,
+    policy: BatchPolicy,
+    clock: Arc<dyn ServeClock>,
+}
+
+impl std::fmt::Debug for BatchScheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchScheduler")
+            .field("policy", &self.policy)
+            .finish_non_exhaustive()
+    }
+}
+
+impl BatchScheduler {
+    /// Creates a scheduler with the given policy and time source.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidConfig`] when the policy is invalid.
+    pub fn new(policy: BatchPolicy, clock: Arc<dyn ServeClock>) -> Result<BatchScheduler> {
+        policy.validate()?;
+        Ok(BatchScheduler {
+            state: Mutex::new(QueueState::default()),
+            ready: Condvar::new(),
+            policy,
+            clock,
+        })
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> &BatchPolicy {
+        &self.policy
+    }
+
+    /// Current queue depth (waiting requests).
+    pub fn depth(&self) -> usize {
+        self.state
+            .lock()
+            .expect("scheduler lock poisoned")
+            .queue
+            .len()
+    }
+
+    /// Lifetime admission counters: `(accepted, rejected)`.
+    pub fn admission_counts(&self) -> (u64, u64) {
+        let st = self.state.lock().expect("scheduler lock poisoned");
+        (st.accepted, st.rejected)
+    }
+
+    /// Admits one request, or rejects it without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::ShuttingDown`] while draining,
+    /// [`ServeError::Overloaded`] when the queue is at capacity.
+    pub(crate) fn submit(&self, pending: Pending) -> Result<usize> {
+        let mut st = self.state.lock().expect("scheduler lock poisoned");
+        if st.draining {
+            return Err(ServeError::ShuttingDown);
+        }
+        if st.queue.len() >= self.policy.queue_capacity {
+            st.rejected += 1;
+            return Err(ServeError::Overloaded {
+                capacity: self.policy.queue_capacity,
+            });
+        }
+        st.accepted += 1;
+        st.queue.push_back(pending);
+        let depth = st.queue.len();
+        drop(st);
+        self.ready.notify_one();
+        Ok(depth)
+    }
+
+    /// Blocks until a micro-batch is ready and returns it, or `None` once
+    /// the scheduler is draining and the queue is empty (worker exit).
+    pub(crate) fn next_batch(&self) -> Option<Vec<Pending>> {
+        let mut st = self.state.lock().expect("scheduler lock poisoned");
+        loop {
+            if let Some(front) = st.queue.front() {
+                let same_model = st.queue.iter().filter(|p| p.model == front.model).count();
+                let deadline = front.enqueued + self.policy.max_wait;
+                let now = self.clock.now();
+                if st.draining || same_model >= self.policy.max_batch || now >= deadline {
+                    let target = front.model.clone();
+                    let mut batch = Vec::with_capacity(same_model.min(self.policy.max_batch));
+                    batch.push(st.queue.pop_front().expect("front checked above"));
+                    let mut i = 0;
+                    while batch.len() < self.policy.max_batch && i < st.queue.len() {
+                        if st.queue[i].model == target {
+                            batch.push(st.queue.remove(i).expect("index in bounds"));
+                        } else {
+                            i += 1;
+                        }
+                    }
+                    let more = !st.queue.is_empty();
+                    drop(st);
+                    if more {
+                        // Another model's requests may already be ready.
+                        self.ready.notify_one();
+                    }
+                    return Some(batch);
+                }
+                // Not ready: sleep until the deadline (system clock) or
+                // poll the logical clock (manual clock in tests).
+                let timeout = if self.clock.is_manual() {
+                    MANUAL_POLL
+                } else {
+                    deadline.saturating_sub(now)
+                };
+                let (guard, _) = self
+                    .ready
+                    .wait_timeout(st, timeout)
+                    .expect("scheduler lock poisoned");
+                st = guard;
+            } else if st.draining {
+                return None;
+            } else {
+                st = self.ready.wait(st).expect("scheduler lock poisoned");
+            }
+        }
+    }
+
+    /// Stops admission and flushes: queued requests are dispatched
+    /// immediately (ignoring `max_wait`), then workers see `None`.
+    pub(crate) fn drain(&self) {
+        let mut st = self.state.lock().expect("scheduler lock poisoned");
+        st.draining = true;
+        drop(st);
+        self.ready.notify_all();
+    }
+}

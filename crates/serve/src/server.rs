@@ -1,0 +1,479 @@
+//! The serving runtime: worker pool, request lifecycle, stats.
+//!
+//! `Server::start` spawns a pool of worker threads (sized by
+//! [`cbq_tensor::parallel::worker_count`] unless overridden). Each worker
+//! owns a private `(engine, Scratch)` slot per model version — engines
+//! are cloned from the registry template on first use and *pre-warmed*
+//! with one `max_batch`-sized forward so every steady-state request runs
+//! entirely out of the arena pools (zero fresh heap allocations on the
+//! forward path, same discipline as the PR 4 probe loop).
+//!
+//! Determinism contract: a response's logits are bit-identical to
+//! [`offline_logits`](crate::registry::offline_logits) on the same
+//! sample, no matter how requests were batched or interleaved. This
+//! falls out of the PR 3/4 invariants — the packed GEMM accumulates
+//! ascending-k per output element and every other stage is per-sample —
+//! and the serve test battery enforces it across the thread matrix.
+
+use crate::clock::{ServeClock, SystemClock};
+use crate::error::{Result, ServeError};
+use crate::registry::{Engine, LoadedModel, ModelHandle, ModelRegistry};
+use crate::scheduler::{BatchPolicy, BatchScheduler, Pending};
+use cbq_resilience::ByteWriter;
+use cbq_telemetry::{Histogram, Telemetry};
+use cbq_tensor::{parallel, Scratch};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, TryRecvError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Server construction knobs.
+#[derive(Debug, Clone, Default)]
+pub struct ServerConfig {
+    /// Micro-batching policy.
+    pub policy: BatchPolicy,
+    /// Worker threads; `0` means [`parallel::worker_count`].
+    pub workers: usize,
+}
+
+/// One completed inference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferResponse {
+    /// Request id (caller-chosen or auto-assigned).
+    pub id: u64,
+    /// Model name the request executed against.
+    pub model: String,
+    /// Model version the request executed against.
+    pub version: u64,
+    /// Raw logits, one value per class.
+    pub logits: Vec<f32>,
+    /// First-maximum argmax of the logits (same rule as offline
+    /// `evaluate`).
+    pub argmax: usize,
+    /// How many requests rode in the same micro-batch (observability
+    /// only — excluded from [`InferResponse::canonical_bytes`]).
+    pub batch_size: usize,
+    /// Queue + execution latency on the server clock (observability
+    /// only — excluded from [`InferResponse::canonical_bytes`]).
+    pub latency: Duration,
+}
+
+impl InferResponse {
+    /// Deterministic byte encoding of the *semantic* response fields:
+    /// id, model, version, argmax, and logits as raw IEEE-754 bits.
+    /// Timing and batching metadata are excluded, so replaying a request
+    /// log yields byte-identical responses regardless of scheduling.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_u64(self.id);
+        w.put_str(&self.model);
+        w.put_u64(self.version);
+        w.put_usize(self.argmax);
+        w.put_f32_slice(&self.logits);
+        w.into_bytes()
+    }
+}
+
+/// A pending response: redeem with [`Ticket::wait`].
+#[derive(Debug)]
+pub struct Ticket {
+    rx: Receiver<Result<InferResponse>>,
+}
+
+impl Ticket {
+    /// Blocks until the response (or a typed error) arrives.
+    ///
+    /// # Errors
+    ///
+    /// The execution error, or [`ServeError::ShuttingDown`] if the
+    /// server terminated without answering.
+    pub fn wait(self) -> Result<InferResponse> {
+        self.rx.recv().unwrap_or(Err(ServeError::ShuttingDown))
+    }
+
+    /// Non-blocking poll: `None` while the request is still in flight.
+    pub fn try_wait(&self) -> Option<Result<InferResponse>> {
+        match self.rx.try_recv() {
+            Ok(r) => Some(r),
+            Err(TryRecvError::Empty) => None,
+            Err(TryRecvError::Disconnected) => Some(Err(ServeError::ShuttingDown)),
+        }
+    }
+}
+
+/// Aggregate statistics returned by [`Server::shutdown`].
+#[derive(Debug, Clone)]
+pub struct ServeStats {
+    /// Worker threads that served.
+    pub workers: usize,
+    /// Requests admitted to the queue.
+    pub accepted: u64,
+    /// Requests rejected with [`ServeError::Overloaded`].
+    pub rejected: u64,
+    /// Requests answered successfully.
+    pub completed: u64,
+    /// Requests answered with an execution error.
+    pub failed: u64,
+    /// Micro-batches executed.
+    pub batches: u64,
+    /// Largest micro-batch observed.
+    pub largest_batch: usize,
+    /// Per-request latency distribution (µs buckets).
+    pub latency: Histogram,
+    /// Scratch pool misses on the steady-state request path — fresh
+    /// allocations *after* each worker slot's warm-up pass. The zero
+    /// target is the PR 4 discipline, gated by the load-gen bench.
+    pub steady_pool_misses: u64,
+    /// Total fresh allocations including the expected warm-up misses.
+    pub total_pool_misses: u64,
+}
+
+struct WorkerReport {
+    latency: Histogram,
+    completed: u64,
+    failed: u64,
+    batches: u64,
+    largest_batch: usize,
+    steady_pool_misses: u64,
+    total_pool_misses: u64,
+}
+
+/// The micro-batching inference server.
+///
+/// Cheap to share: all methods take `&self`, so wrap in an [`Arc`] and
+/// hand clones to client threads. Dropping the server drains it; prefer
+/// [`Server::shutdown`] to also collect [`ServeStats`].
+pub struct Server {
+    scheduler: Arc<BatchScheduler>,
+    registry: Arc<ModelRegistry>,
+    clock: Arc<dyn ServeClock>,
+    telemetry: Telemetry,
+    handles: Vec<JoinHandle<WorkerReport>>,
+    next_id: AtomicU64,
+    workers: usize,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("workers", &self.workers)
+            .field("scheduler", &self.scheduler)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Server {
+    /// Starts the worker pool with an explicit clock and telemetry.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidConfig`] for an invalid policy.
+    pub fn start_with(
+        registry: Arc<ModelRegistry>,
+        config: ServerConfig,
+        clock: Arc<dyn ServeClock>,
+        telemetry: Telemetry,
+    ) -> Result<Server> {
+        let workers = if config.workers == 0 {
+            parallel::worker_count()
+        } else {
+            config.workers
+        };
+        let scheduler = Arc::new(BatchScheduler::new(config.policy, clock.clone())?);
+        let mut handles = Vec::with_capacity(workers);
+        for idx in 0..workers {
+            let scheduler = scheduler.clone();
+            let registry = registry.clone();
+            let clock = clock.clone();
+            let telemetry = telemetry.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("cbq-serve-{idx}"))
+                    .spawn(move || worker_loop(scheduler, registry, clock, telemetry))
+                    .expect("spawn serve worker"),
+            );
+        }
+        telemetry.gauge("serve.workers", workers as f64);
+        Ok(Server {
+            scheduler,
+            registry,
+            clock,
+            telemetry,
+            handles,
+            next_id: AtomicU64::new(1),
+            workers,
+        })
+    }
+
+    /// Starts with the system clock and the given telemetry.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Server::start_with`].
+    pub fn start(
+        registry: Arc<ModelRegistry>,
+        config: ServerConfig,
+        telemetry: Telemetry,
+    ) -> Result<Server> {
+        Self::start_with(registry, config, Arc::new(SystemClock::new()), telemetry)
+    }
+
+    /// The registry this server resolves handles against.
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.registry
+    }
+
+    /// Worker threads serving.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Current queue depth.
+    pub fn queue_depth(&self) -> usize {
+        self.scheduler.depth()
+    }
+
+    /// Submits a sample under an auto-assigned request id.
+    ///
+    /// # Errors
+    ///
+    /// Admission errors ([`ServeError::Overloaded`],
+    /// [`ServeError::ShuttingDown`]) and request validation errors.
+    pub fn submit(&self, model: &ModelHandle, sample: Vec<f32>) -> Result<Ticket> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.submit_with_id(id, model, sample)
+    }
+
+    /// Submits a sample with a caller-chosen id (replayable logs).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Server::submit`].
+    pub fn submit_with_id(&self, id: u64, model: &ModelHandle, sample: Vec<f32>) -> Result<Ticket> {
+        let loaded = self.registry.get(model)?;
+        if sample.len() != loaded.input_len() {
+            return Err(ServeError::BadRequest(format!(
+                "sample has {} values, model {} expects {}",
+                sample.len(),
+                model,
+                loaded.input_len()
+            )));
+        }
+        let (tx, rx) = channel();
+        let outcome = self.scheduler.submit(Pending {
+            id,
+            model: model.clone(),
+            sample,
+            enqueued: self.clock.now(),
+            reply: tx,
+        });
+        match outcome {
+            Ok(depth) => {
+                self.telemetry.gauge("serve.queue_depth", depth as f64);
+                Ok(Ticket { rx })
+            }
+            Err(e) => {
+                if matches!(e, ServeError::Overloaded { .. }) {
+                    self.telemetry.counter_add("serve.rejected", 1);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Blocking convenience: submit and wait.
+    ///
+    /// # Errors
+    ///
+    /// Admission or execution errors.
+    pub fn infer(&self, model: &ModelHandle, sample: Vec<f32>) -> Result<InferResponse> {
+        self.submit(model, sample)?.wait()
+    }
+
+    /// Drains gracefully: admission stops immediately, queued and
+    /// in-flight requests complete, workers exit, and the merged
+    /// statistics are returned.
+    pub fn shutdown(mut self) -> ServeStats {
+        self.do_shutdown()
+            .expect("first shutdown always yields stats")
+    }
+
+    fn do_shutdown(&mut self) -> Option<ServeStats> {
+        if self.handles.is_empty() {
+            return None;
+        }
+        let _span = self.telemetry.span("serve.drain");
+        self.scheduler.drain();
+        let mut latency = Histogram::new();
+        let mut stats = ServeStats {
+            workers: self.workers,
+            accepted: 0,
+            rejected: 0,
+            completed: 0,
+            failed: 0,
+            batches: 0,
+            largest_batch: 0,
+            latency: Histogram::new(),
+            steady_pool_misses: 0,
+            total_pool_misses: 0,
+        };
+        for handle in std::mem::take(&mut self.handles) {
+            let report = handle.join().expect("serve worker panicked");
+            latency.merge(&report.latency);
+            stats.completed += report.completed;
+            stats.failed += report.failed;
+            stats.batches += report.batches;
+            stats.largest_batch = stats.largest_batch.max(report.largest_batch);
+            stats.steady_pool_misses += report.steady_pool_misses;
+            stats.total_pool_misses += report.total_pool_misses;
+        }
+        let (accepted, rejected) = self.scheduler.admission_counts();
+        stats.accepted = accepted;
+        stats.rejected = rejected;
+        stats.latency = latency;
+        self.telemetry.gauge(
+            "serve.latency_p50_us",
+            stats.latency.quantile_us(0.5) as f64,
+        );
+        self.telemetry.gauge(
+            "serve.latency_p99_us",
+            stats.latency.quantile_us(0.99) as f64,
+        );
+        self.telemetry
+            .gauge("serve.steady_pool_misses", stats.steady_pool_misses as f64);
+        self.telemetry.flush();
+        Some(stats)
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.do_shutdown();
+    }
+}
+
+/// One worker's private execution slot for a model version.
+struct Slot {
+    engine: Engine,
+    scratch: Scratch,
+    /// Arena misses recorded during the slot's warm-up pass; anything
+    /// beyond this after serving is a steady-state miss.
+    warm_misses: u64,
+}
+
+fn make_slot(model: &LoadedModel, max_batch: usize) -> Slot {
+    let mut engine = model.instantiate();
+    let mut scratch = Scratch::new();
+    // Pre-warm at the largest batch the scheduler can form, staging the
+    // input exactly like the serving path does (the staging buffer and
+    // the engine's internal copy are live simultaneously): every smaller
+    // batch then draws strictly smaller buffers with the same
+    // take/recycle structure, so the best-fit pools always hit.
+    let mut input = scratch.take_f32(max_batch * model.input_len());
+    input.fill(0.0);
+    let outcome = engine.infer(&input, model.input_shape(), &mut scratch);
+    scratch.recycle_f32(input);
+    if let Ok(logits) = outcome {
+        scratch.recycle_f32(logits.into_vec());
+    }
+    let warm_misses = scratch.fresh_allocs();
+    Slot {
+        engine,
+        scratch,
+        warm_misses,
+    }
+}
+
+fn worker_loop(
+    scheduler: Arc<BatchScheduler>,
+    registry: Arc<ModelRegistry>,
+    clock: Arc<dyn ServeClock>,
+    telemetry: Telemetry,
+) -> WorkerReport {
+    let max_batch = scheduler.policy().max_batch;
+    let mut slots: HashMap<(String, u64), Slot> = HashMap::new();
+    let mut report = WorkerReport {
+        latency: Histogram::new(),
+        completed: 0,
+        failed: 0,
+        batches: 0,
+        largest_batch: 0,
+        steady_pool_misses: 0,
+        total_pool_misses: 0,
+    };
+    while let Some(batch) = scheduler.next_batch() {
+        let handle = batch[0].model.clone();
+        let model = match registry.get(&handle) {
+            Ok(m) => m,
+            Err(e) => {
+                for pending in batch {
+                    let _ = pending.reply.send(Err(e.clone()));
+                    report.failed += 1;
+                }
+                continue;
+            }
+        };
+        let key = (handle.name().to_string(), handle.version());
+        let slot = slots
+            .entry(key)
+            .or_insert_with(|| make_slot(&model, max_batch));
+        let m = batch.len();
+        let row = model.input_len();
+        let mut input = slot.scratch.take_f32(m * row);
+        for (r, pending) in batch.iter().enumerate() {
+            input[r * row..(r + 1) * row].copy_from_slice(&pending.sample);
+        }
+        let outcome = slot
+            .engine
+            .infer(&input, model.input_shape(), &mut slot.scratch);
+        slot.scratch.recycle_f32(input);
+        report.batches += 1;
+        report.largest_batch = report.largest_batch.max(m);
+        telemetry.counter_add("serve.batches", 1);
+        match outcome {
+            Ok(logits) => {
+                let classes = logits.shape()[1];
+                let ls = logits.as_slice();
+                let now = clock.now();
+                for (r, pending) in batch.into_iter().enumerate() {
+                    let row_logits = &ls[r * classes..(r + 1) * classes];
+                    let mut best = 0;
+                    for (i, &v) in row_logits.iter().enumerate() {
+                        if v > row_logits[best] {
+                            best = i;
+                        }
+                    }
+                    let latency = now.saturating_sub(pending.enqueued);
+                    report.latency.record(latency);
+                    let _ = pending.reply.send(Ok(InferResponse {
+                        id: pending.id,
+                        model: handle.name().to_string(),
+                        version: handle.version(),
+                        logits: row_logits.to_vec(),
+                        argmax: best,
+                        batch_size: m,
+                        latency,
+                    }));
+                    report.completed += 1;
+                }
+                slot.scratch.recycle_f32(logits.into_vec());
+                telemetry.counter_add("serve.completed", m as u64);
+            }
+            Err(e) => {
+                for pending in batch {
+                    let _ = pending.reply.send(Err(e.clone()));
+                    report.failed += 1;
+                }
+                telemetry.counter_add("serve.failed", m as u64);
+            }
+        }
+    }
+    for slot in slots.values() {
+        let total = slot.scratch.fresh_allocs();
+        report.total_pool_misses += total;
+        report.steady_pool_misses += total.saturating_sub(slot.warm_misses);
+    }
+    report
+}

@@ -1,0 +1,189 @@
+//! Fixed-bucket latency histogram for hot paths.
+//!
+//! The serving runtime records one latency observation per request; a
+//! lock-free-enough design matters less than a zero-allocation one, so the
+//! histogram is a plain fixed array of power-of-two microsecond buckets.
+//! Workers each own a private histogram and the server merges them at
+//! report time — no contention on the request path.
+
+/// Number of power-of-two buckets: bucket `i` counts observations with
+/// `value_us < 2^i`, except the last which is a catch-all.
+pub const HISTOGRAM_BUCKETS: usize = 32;
+
+/// A fixed-size log2 histogram of microsecond values.
+///
+/// Recording is allocation-free; merging and quantile queries are cheap.
+/// Bucket `i` spans `[2^(i-1), 2^i)` microseconds (bucket 0 is `[0, 1)`),
+/// with the final bucket absorbing everything larger.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    counts: [u64; HISTOGRAM_BUCKETS],
+    total: u64,
+    sum_us: u64,
+    max_us: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: [0; HISTOGRAM_BUCKETS],
+            total: 0,
+            sum_us: 0,
+            max_us: 0,
+        }
+    }
+
+    fn bucket_for(value_us: u64) -> usize {
+        let idx = (64 - value_us.leading_zeros()) as usize;
+        idx.min(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Records one observation in microseconds.
+    pub fn record_us(&mut self, value_us: u64) {
+        self.counts[Self::bucket_for(value_us)] += 1;
+        self.total += 1;
+        self.sum_us = self.sum_us.saturating_add(value_us);
+        self.max_us = self.max_us.max(value_us);
+    }
+
+    /// Records a [`std::time::Duration`] observation.
+    pub fn record(&mut self, d: std::time::Duration) {
+        self.record_us(d.as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum_us = self.sum_us.saturating_add(other.sum_us);
+        self.max_us = self.max_us.max(other.max_us);
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean observation in microseconds (0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum_us as f64 / self.total as f64
+        }
+    }
+
+    /// Largest recorded observation in microseconds.
+    pub fn max_us(&self) -> u64 {
+        self.max_us
+    }
+
+    /// Upper bound (exclusive, in microseconds) of the bucket containing
+    /// the `q`-quantile observation, `q` in `[0, 1]`. Returns 0 when empty.
+    ///
+    /// The bound is a conservative over-estimate — the true observation
+    /// lies somewhere inside the returned bucket.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return 1u64 << i;
+            }
+        }
+        1u64 << (HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Raw bucket counts (bucket `i` = observations `< 2^i` µs).
+    pub fn counts(&self) -> &[u64; HISTOGRAM_BUCKETS] {
+        &self.counts
+    }
+
+    /// Non-empty buckets as `(upper_bound_us, count)` pairs — compact form
+    /// for JSON reports.
+    pub fn sparse_counts(&self) -> Vec<(u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (1u64 << i, c))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile_us(0.5), 0);
+        assert_eq!(h.mean_us(), 0.0);
+        assert!(h.sparse_counts().is_empty());
+    }
+
+    #[test]
+    fn buckets_are_log2() {
+        let mut h = Histogram::new();
+        h.record_us(0); // bucket 0: < 1
+        h.record_us(1); // bucket 1: < 2
+        h.record_us(3); // bucket 2: < 4
+        h.record_us(1000); // bucket 10: < 1024
+        assert_eq!(h.count(), 4);
+        let sparse = h.sparse_counts();
+        assert_eq!(sparse, vec![(1, 1), (2, 1), (4, 1), (1024, 1)]);
+        assert_eq!(h.max_us(), 1000);
+    }
+
+    #[test]
+    fn quantiles_walk_the_cdf() {
+        let mut h = Histogram::new();
+        for _ in 0..90 {
+            h.record_us(10); // bucket 4 (< 16)
+        }
+        for _ in 0..10 {
+            h.record_us(5000); // bucket 13 (< 8192)
+        }
+        assert_eq!(h.quantile_us(0.5), 16);
+        assert_eq!(h.quantile_us(0.9), 16);
+        assert_eq!(h.quantile_us(0.95), 8192);
+        assert_eq!(h.quantile_us(1.0), 8192);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record_us(7);
+        b.record_us(7);
+        b.record_us(100_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max_us(), 100_000);
+        assert_eq!(a.counts()[3], 2); // 7 -> bucket 3 (< 8)
+    }
+
+    #[test]
+    fn huge_values_land_in_last_bucket() {
+        let mut h = Histogram::new();
+        h.record_us(u64::MAX);
+        assert_eq!(h.counts()[HISTOGRAM_BUCKETS - 1], 1);
+        assert_eq!(h.quantile_us(1.0), 1u64 << (HISTOGRAM_BUCKETS - 1));
+    }
+}

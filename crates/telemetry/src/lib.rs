@@ -53,6 +53,7 @@
 //! ```
 
 mod collector;
+mod histogram;
 mod json;
 mod record;
 mod report;
@@ -60,6 +61,7 @@ mod sinks;
 mod telemetry;
 
 pub use collector::Collector;
+pub use histogram::{Histogram, HISTOGRAM_BUCKETS};
 pub use record::{FieldValue, Level, Record, RecordKind};
 pub use report::{PhaseTiming, RunReport};
 pub use sinks::{JsonlSink, Sink, StderrSink};

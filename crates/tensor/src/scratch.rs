@@ -89,6 +89,14 @@ impl Scratch {
         }
     }
 
+    /// Takes a pooled buffer sized and filled from `src` — the common
+    /// "stage a batch into the arena" step in evaluation and serving.
+    pub fn take_f32_copy(&mut self, src: &[f32]) -> Vec<f32> {
+        let mut buf = self.take_f32(src.len());
+        buf.copy_from_slice(src);
+        buf
+    }
+
     /// Integer twin of [`Scratch::take_f32`], used by the integer inference
     /// pathway (`IntActivations` codes).
     pub fn take_i32(&mut self, len: usize) -> Vec<i32> {

@@ -10,16 +10,35 @@
 //! Generates the synthetic dataset, trains the model, runs the full CQ
 //! pipeline, prints a summary, and (optionally) writes the searched bit
 //! arrangement plus the headline numbers as JSON.
+//!
+//! The `serve` subcommand demos the micro-batching inference runtime:
+//! it trains a small model, captures a serving artifact (weights +
+//! quantization state), loads it into the requested backends, drives a
+//! multi-client load against the server, and verifies every response
+//! bit-for-bit against the offline single-sample reference:
+//!
+//! ```sh
+//! cargo run --release --bin cbq -- serve \
+//!     --backends float,fake-quant,integer --requests 96 --clients 4
+//! ```
 
 use cbq::core::{CqConfig, CqPipeline, RefineConfig};
 use cbq::data::{SyntheticImages, SyntheticSpec};
-use cbq::nn::{models, Sequential, TrainerConfig};
+use cbq::nn::{evaluate, models, state_dict, Layer, Phase, Sequential, Trainer, TrainerConfig};
+use cbq::quant::{
+    act_clip_bounds, install_act_quant, install_uniform, set_act_calibration, BitWidth,
+};
 use cbq::resilience::{atomic_write_text, FaultPlan, GuardPolicy};
+use cbq::serve::{
+    offline_logits, ArchSpec, Backend, BatchPolicy, ModelArtifact, ModelRegistry, QuantState,
+    Server, ServerConfig,
+};
 use cbq::telemetry::{JsonlSink, Level, Sink, StderrSink, Telemetry};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Parsed command-line options.
 #[derive(Debug, Clone, PartialEq)]
@@ -298,6 +317,9 @@ fn run(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("serve") {
+        return serve_main(&args[1..]);
+    }
     let opts = match parse_args(&args) {
         Ok(o) => o,
         Err(msg) => {
@@ -309,6 +331,425 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("cbq: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Parsed `cbq serve` options.
+#[derive(Debug, Clone, PartialEq)]
+struct ServeOptions {
+    model: String,
+    dataset: String,
+    backends: Vec<Backend>,
+    wbits: u8,
+    abits: u8,
+    epochs: usize,
+    seed: u64,
+    workers: usize,
+    max_batch: usize,
+    max_wait_us: u64,
+    queue_cap: usize,
+    requests: usize,
+    clients: usize,
+    out: Option<String>,
+    log_level: Option<Level>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            model: "mlp".into(),
+            dataset: "tiny".into(),
+            backends: vec![Backend::Float, Backend::FakeQuant, Backend::Integer],
+            wbits: 4,
+            abits: 4,
+            epochs: 3,
+            seed: 0,
+            workers: 0,
+            max_batch: 8,
+            max_wait_us: 500,
+            queue_cap: 256,
+            requests: 96,
+            clients: 4,
+            out: None,
+            log_level: None,
+        }
+    }
+}
+
+const SERVE_USAGE: &str = "usage: cbq serve [--model mlp|vgg|resnet20x1|resnet20x5] \
+[--dataset tiny|c10|c100] [--backends float,fake-quant,integer] [--wbits N] [--abits N] \
+[--epochs N] [--seed N] [--workers N] [--max-batch N] [--max-wait-us N] [--queue-cap N] \
+[--requests N] [--clients N] [--out FILE.json] [--log-level error|warn|info|debug|trace]";
+
+fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
+    let mut opts = ServeOptions::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} requires a value"))
+        };
+        let parse_usize = |name: &str, v: &str| -> Result<usize, String> {
+            v.parse().map_err(|e| format!("{name}: {e}"))
+        };
+        match flag.as_str() {
+            "--model" => opts.model = value("--model")?.clone(),
+            "--dataset" => opts.dataset = value("--dataset")?.clone(),
+            "--backends" => {
+                let spec = value("--backends")?;
+                let mut backends = Vec::new();
+                for token in spec.split(',').filter(|t| !t.trim().is_empty()) {
+                    let b = Backend::parse(token.trim()).map_err(|e| format!("--backends: {e}"))?;
+                    if !backends.contains(&b) {
+                        backends.push(b);
+                    }
+                }
+                if backends.is_empty() {
+                    return Err("--backends parsed empty".into());
+                }
+                opts.backends = backends;
+            }
+            "--wbits" => {
+                opts.wbits = value("--wbits")?
+                    .parse()
+                    .map_err(|e| format!("--wbits: {e}"))?;
+            }
+            "--abits" => {
+                opts.abits = value("--abits")?
+                    .parse()
+                    .map_err(|e| format!("--abits: {e}"))?;
+            }
+            "--epochs" => opts.epochs = parse_usize("--epochs", value("--epochs")?)?,
+            "--seed" => {
+                opts.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--workers" => opts.workers = parse_usize("--workers", value("--workers")?)?,
+            "--max-batch" => opts.max_batch = parse_usize("--max-batch", value("--max-batch")?)?,
+            "--max-wait-us" => {
+                opts.max_wait_us = value("--max-wait-us")?
+                    .parse()
+                    .map_err(|e| format!("--max-wait-us: {e}"))?;
+            }
+            "--queue-cap" => opts.queue_cap = parse_usize("--queue-cap", value("--queue-cap")?)?,
+            "--requests" => opts.requests = parse_usize("--requests", value("--requests")?)?,
+            "--clients" => opts.clients = parse_usize("--clients", value("--clients")?)?,
+            "--out" => opts.out = Some(value("--out")?.clone()),
+            "--log-level" => opts.log_level = Some(parse_level(value("--log-level")?)?),
+            "--help" | "-h" => return Err(SERVE_USAGE.to_string()),
+            other => return Err(format!("unknown flag {other}\n{SERVE_USAGE}")),
+        }
+    }
+    if !["mlp", "vgg", "resnet20x1", "resnet20x5"].contains(&opts.model.as_str()) {
+        return Err(format!("unknown model {}\n{SERVE_USAGE}", opts.model));
+    }
+    if !["tiny", "c10", "c100"].contains(&opts.dataset.as_str()) {
+        return Err(format!("unknown dataset {}\n{SERVE_USAGE}", opts.dataset));
+    }
+    if opts.model != "mlp" && opts.backends.contains(&Backend::Integer) {
+        return Err(
+            "the integer backend lowers Flatten/Linear/Relu topologies only; \
+             use --backends float,fake-quant with conv models"
+                .into(),
+        );
+    }
+    if opts.wbits == 0 || opts.wbits > 8 {
+        return Err("--wbits must lie in 1..=8".into());
+    }
+    if opts.abits == 0 || opts.abits > 8 {
+        return Err("--abits must lie in 1..=8".into());
+    }
+    for (name, v) in [
+        ("--max-batch", opts.max_batch),
+        ("--queue-cap", opts.queue_cap),
+        ("--requests", opts.requests),
+        ("--clients", opts.clients),
+    ] {
+        if v == 0 {
+            return Err(format!("{name} must be positive"));
+        }
+    }
+    Ok(opts)
+}
+
+/// The architecture spec matching the main command's model zoo choices.
+fn serve_arch(model: &str, spec: &SyntheticSpec) -> ArchSpec {
+    match model {
+        "vgg" => {
+            let c = models::VggConfig::for_input(
+                spec.channels,
+                spec.height,
+                spec.width,
+                spec.num_classes,
+            );
+            ArchSpec::VggSmall {
+                in_channels: c.in_channels,
+                height: c.height,
+                width: c.width,
+                base_width: c.base_width,
+                fc_dim: c.fc_dim,
+                num_classes: c.num_classes,
+            }
+        }
+        "resnet20x1" | "resnet20x5" => {
+            let expand = if model == "resnet20x5" { 5 } else { 1 };
+            let c = models::ResNetConfig::resnet20(spec.channels, expand, spec.num_classes);
+            ArchSpec::ResNet20 {
+                in_channels: c.in_channels,
+                base_width: c.base_width,
+                expand: c.expand,
+                blocks_per_stage: c.blocks_per_stage,
+                num_classes: c.num_classes,
+            }
+        }
+        _ => ArchSpec::Mlp(vec![spec.feature_len(), 64, 32, 16, spec.num_classes]),
+    }
+}
+
+/// Per-backend outcome of the load run.
+struct BackendReport {
+    backend: Backend,
+    served: usize,
+    correct: usize,
+    mismatches: usize,
+    errors: usize,
+}
+
+fn run_serve(opts: &ServeOptions) -> Result<(), Box<dyn std::error::Error>> {
+    let stderr = match opts.log_level {
+        Some(level) => StderrSink::new(level),
+        None => StderrSink::from_env(),
+    };
+    let telemetry = Telemetry::new(vec![Arc::new(stderr) as Arc<dyn Sink>]);
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let spec = match opts.dataset.as_str() {
+        "c10" => SyntheticSpec::cifar10_like(),
+        "c100" => SyntheticSpec::cifar100_like(),
+        _ => SyntheticSpec::tiny(4),
+    };
+    let data = SyntheticImages::generate(&spec, &mut rng)?;
+    let arch = serve_arch(&opts.model, &spec);
+    let mut net = arch.build_init(&mut rng)?;
+    let lr = if opts.model == "vgg" { 0.02 } else { 0.1 };
+    Trainer::new(TrainerConfig::quick(opts.epochs, lr)).fit(&mut net, data.train(), &mut rng)?;
+    let float_acc = evaluate(&mut net, data.test(), 64)?;
+
+    // Capture the serving artifact: weights first, then calibrate the
+    // activation quantizers (same order as the pipeline: clips measured
+    // on the float network) and freeze a uniform weight arrangement.
+    let state = state_dict(&mut net);
+    install_act_quant(&mut net);
+    set_act_calibration(&mut net, true);
+    let calib = data.val().head(256)?;
+    for batch in calib.batches(32) {
+        net.forward(&batch.images, Phase::Eval)?;
+    }
+    set_act_calibration(&mut net, false);
+    net.clear_cache();
+    let quant = QuantState {
+        arrangement: install_uniform(&mut net, BitWidth::new(opts.wbits)?),
+        act_bits: opts.abits,
+        act_clips: act_clip_bounds(&mut net),
+    };
+    let artifact = ModelArtifact {
+        arch,
+        input_shape: vec![spec.channels, spec.height, spec.width],
+        state,
+        quant: Some(quant),
+    };
+
+    let registry = Arc::new(ModelRegistry::new());
+    let mut targets = Vec::new();
+    for &backend in &opts.backends {
+        let handle = registry.load(backend.as_str(), &artifact, backend)?;
+        let model = registry.get(&handle)?;
+        targets.push((backend, handle, model));
+    }
+
+    let server = Server::start(
+        registry,
+        ServerConfig {
+            policy: BatchPolicy {
+                max_batch: opts.max_batch,
+                max_wait: Duration::from_micros(opts.max_wait_us),
+                queue_capacity: opts.queue_cap,
+            },
+            workers: opts.workers,
+        },
+        telemetry.clone(),
+    )?;
+    eprintln!(
+        "cbq serve: {} on {} -> {} backend(s), {} worker(s), max batch {}, \
+         {} requests from {} client(s)",
+        opts.model,
+        opts.dataset,
+        targets.len(),
+        server.workers(),
+        opts.max_batch,
+        opts.requests,
+        opts.clients,
+    );
+
+    // Load phase: each client walks its own stride of the request space,
+    // round-robining across backends so micro-batches interleave models.
+    let item_len = spec.feature_len();
+    let test = data.test();
+    let images = test.images().as_slice();
+    let labels = test.labels();
+    let samples: Vec<(&[f32], usize)> = (0..opts.requests)
+        .map(|i| {
+            let j = i % test.len();
+            (&images[j * item_len..(j + 1) * item_len], labels[j])
+        })
+        .collect();
+    let mut results = Vec::with_capacity(opts.requests);
+    std::thread::scope(|scope| {
+        let mut joins = Vec::new();
+        for c in 0..opts.clients {
+            let server = &server;
+            let samples = &samples;
+            let targets = &targets;
+            joins.push(scope.spawn(move || {
+                let mut out = Vec::new();
+                let mut i = c;
+                while i < samples.len() {
+                    let t = i % targets.len();
+                    out.push((i, t, server.infer(&targets[t].1, samples[i].0.to_vec())));
+                    i += opts.clients;
+                }
+                out
+            }));
+        }
+        for join in joins {
+            results.extend(join.join().expect("client thread panicked"));
+        }
+    });
+
+    // Verify every response bit-for-bit against the offline single-sample
+    // reference and score served accuracy per backend.
+    let mut reports: Vec<BackendReport> = targets
+        .iter()
+        .map(|(b, _, _)| BackendReport {
+            backend: *b,
+            served: 0,
+            correct: 0,
+            mismatches: 0,
+            errors: 0,
+        })
+        .collect();
+    for (i, t, outcome) in results {
+        match outcome {
+            Ok(resp) => {
+                let (sample, label) = samples[i];
+                let offline = offline_logits(&targets[t].2, sample)?;
+                let exact = resp.logits.len() == offline.len()
+                    && resp
+                        .logits
+                        .iter()
+                        .zip(&offline)
+                        .all(|(a, b)| a.to_bits() == b.to_bits());
+                reports[t].served += 1;
+                if !exact {
+                    reports[t].mismatches += 1;
+                }
+                if resp.argmax == label {
+                    reports[t].correct += 1;
+                }
+            }
+            Err(e) => {
+                reports[t].errors += 1;
+                eprintln!("request {i}: {e}");
+            }
+        }
+    }
+    let stats = server.shutdown();
+
+    println!(
+        "float accuracy : {:6.2}% (offline, {} epochs)",
+        100.0 * float_acc,
+        opts.epochs
+    );
+    for rep in &reports {
+        println!(
+            "{:<15}: acc {:6.2}%  bit-exact {}/{} vs offline{}",
+            rep.backend.as_str(),
+            100.0 * rep.correct as f32 / rep.served.max(1) as f32,
+            rep.served - rep.mismatches,
+            rep.served,
+            if rep.errors > 0 {
+                format!("  ({} errors)", rep.errors)
+            } else {
+                String::new()
+            },
+        );
+    }
+    println!(
+        "admission      : accepted {}, rejected {}, completed {}, failed {}",
+        stats.accepted, stats.rejected, stats.completed, stats.failed
+    );
+    println!(
+        "batching       : {} micro-batches, largest {}, latency p50 {}us p99 {}us",
+        stats.batches,
+        stats.largest_batch,
+        stats.latency.quantile_us(0.5),
+        stats.latency.quantile_us(0.99),
+    );
+    println!(
+        "scratch        : {} steady-state pool misses ({} warm-up)",
+        stats.steady_pool_misses,
+        stats.total_pool_misses - stats.steady_pool_misses,
+    );
+
+    let mismatches: usize = reports.iter().map(|r| r.mismatches).sum();
+    if let Some(path) = &opts.out {
+        let payload = serde_json::json!({
+            "model": opts.model,
+            "dataset": opts.dataset,
+            "seed": opts.seed,
+            "weight_bits": opts.wbits,
+            "act_bits": opts.abits,
+            "workers": stats.workers,
+            "requests": opts.requests,
+            "clients": opts.clients,
+            "float_accuracy": float_acc,
+            "backends": reports.iter().map(|r| serde_json::json!({
+                "backend": r.backend.as_str(),
+                "served": r.served,
+                "accuracy": r.correct as f32 / r.served.max(1) as f32,
+                "bit_exact": r.served - r.mismatches,
+                "errors": r.errors,
+            })).collect::<Vec<_>>(),
+            "accepted": stats.accepted,
+            "rejected": stats.rejected,
+            "batches": stats.batches,
+            "largest_batch": stats.largest_batch,
+            "latency_p50_us": stats.latency.quantile_us(0.5),
+            "latency_p99_us": stats.latency.quantile_us(0.99),
+            "steady_pool_misses": stats.steady_pool_misses,
+        });
+        atomic_write_text(path, &serde_json::to_string_pretty(&payload)?)?;
+        eprintln!("wrote {path}");
+    }
+    if mismatches > 0 {
+        return Err(format!("{mismatches} responses diverged from the offline reference").into());
+    }
+    Ok(())
+}
+
+fn serve_main(args: &[String]) -> ExitCode {
+    let opts = match parse_serve_args(args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run_serve(&opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("cbq serve: {e}");
             ExitCode::FAILURE
         }
     }
@@ -429,5 +870,78 @@ mod tests {
         assert!(parse_args(&args(&["--help"])).is_err());
         assert!(parse_args(&args(&["--log-level", "loud"])).is_err());
         assert!(parse_args(&args(&["--trace-out"])).is_err());
+    }
+
+    #[test]
+    fn serve_defaults_parse() {
+        let o = parse_serve_args(&[]).unwrap();
+        assert_eq!(o, ServeOptions::default());
+        assert_eq!(
+            o.backends,
+            vec![Backend::Float, Backend::FakeQuant, Backend::Integer]
+        );
+    }
+
+    #[test]
+    fn serve_full_flag_set_parses() {
+        let o = parse_serve_args(&args(&[
+            "--model",
+            "mlp",
+            "--dataset",
+            "c10",
+            "--backends",
+            "integer,float",
+            "--wbits",
+            "3",
+            "--abits",
+            "2",
+            "--epochs",
+            "5",
+            "--seed",
+            "9",
+            "--workers",
+            "3",
+            "--max-batch",
+            "16",
+            "--max-wait-us",
+            "250",
+            "--queue-cap",
+            "32",
+            "--requests",
+            "64",
+            "--clients",
+            "8",
+            "--out",
+            "serve.json",
+        ]))
+        .unwrap();
+        assert_eq!(o.dataset, "c10");
+        assert_eq!(o.backends, vec![Backend::Integer, Backend::Float]);
+        assert_eq!((o.wbits, o.abits), (3, 2));
+        assert_eq!((o.epochs, o.seed), (5, 9));
+        assert_eq!((o.workers, o.max_batch), (3, 16));
+        assert_eq!((o.max_wait_us, o.queue_cap), (250, 32));
+        assert_eq!((o.requests, o.clients), (64, 8));
+        assert_eq!(o.out.as_deref(), Some("serve.json"));
+    }
+
+    #[test]
+    fn serve_rejects_invalid_inputs() {
+        assert!(parse_serve_args(&args(&["--model", "alexnet"])).is_err());
+        assert!(parse_serve_args(&args(&["--dataset", "imagenet"])).is_err());
+        assert!(parse_serve_args(&args(&["--backends", "gpu"])).is_err());
+        assert!(parse_serve_args(&args(&["--backends", ","])).is_err());
+        assert!(parse_serve_args(&args(&["--wbits", "0"])).is_err());
+        assert!(parse_serve_args(&args(&["--wbits", "9"])).is_err());
+        assert!(parse_serve_args(&args(&["--abits", "0"])).is_err());
+        assert!(parse_serve_args(&args(&["--max-batch", "0"])).is_err());
+        assert!(parse_serve_args(&args(&["--clients", "0"])).is_err());
+        assert!(parse_serve_args(&args(&["--frobnicate"])).is_err());
+        assert!(parse_serve_args(&args(&["--help"])).is_err());
+        // The integer backend only lowers MLP topologies.
+        assert!(parse_serve_args(&args(&["--model", "vgg"])).is_err());
+        let o =
+            parse_serve_args(&args(&["--model", "vgg", "--backends", "float,fake-quant"])).unwrap();
+        assert_eq!(o.backends, vec![Backend::Float, Backend::FakeQuant]);
     }
 }

@@ -22,6 +22,9 @@
 //!   search, knowledge-distillation refining, the end-to-end pipeline
 //! - [`baselines`] — APN-style uniform quantization and a WrapNet-style
 //!   low-precision-accumulator baseline
+//! - [`serve`] — dynamic micro-batching inference runtime: versioned
+//!   model registry (float / fake-quant / integer backends), bounded
+//!   admission queue, zero-alloc worker pool, bit-exact responses
 //! - [`telemetry`] — structured spans, counters, and run reports emitted
 //!   by every pipeline phase (`CBQ_LOG`, `--log-level`, `--trace-out`)
 //! - [`resilience`] — crash-safe checkpoints (atomic writes, CRC-64
@@ -54,5 +57,6 @@ pub use cbq_data as data;
 pub use cbq_nn as nn;
 pub use cbq_quant as quant;
 pub use cbq_resilience as resilience;
+pub use cbq_serve as serve;
 pub use cbq_telemetry as telemetry;
 pub use cbq_tensor as tensor;

@@ -1,0 +1,270 @@
+//! Differential tests proving the serving runtime is *bit-exact*: no
+//! matter how client threads interleave, how micro-batches form, or how
+//! many workers serve (`CBQ_TEST_THREADS` matrix), every response's
+//! logits are bit-identical to offline single-sample evaluation, served
+//! accuracy equals the offline `evaluate` number, and replaying a request
+//! log on a differently-shaped server yields byte-identical responses.
+
+use cbq::data::{SyntheticImages, SyntheticSpec};
+use cbq::nn::{evaluate, load_state_dict, state_dict, Layer, Phase, Trainer, TrainerConfig};
+use cbq::quant::{
+    act_clip_bounds, install_act_quant, install_uniform, set_act_calibration, BitWidth,
+};
+use cbq::serve::{
+    offline_logits, ArchSpec, Backend, BatchPolicy, LoadedModel, ModelArtifact, ModelHandle,
+    ModelRegistry, QuantState, Server, ServerConfig,
+};
+use cbq::telemetry::Telemetry;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Duration;
+
+const SEED: u64 = 77;
+const BACKENDS: [Backend; 3] = [Backend::Float, Backend::FakeQuant, Backend::Integer];
+
+/// Worker counts under test, from `CBQ_TEST_THREADS` (default `1,2,4,7`).
+fn thread_counts() -> Vec<usize> {
+    let spec = std::env::var("CBQ_TEST_THREADS").unwrap_or_else(|_| "1,2,4,7".into());
+    let counts: Vec<usize> = spec
+        .split(',')
+        .filter_map(|t| t.trim().parse().ok())
+        .filter(|&n| n > 0)
+        .collect();
+    assert!(!counts.is_empty(), "CBQ_TEST_THREADS={spec} parsed empty");
+    counts
+}
+
+/// A trained MLP captured as a serving artifact (with calibrated
+/// activation clips and a uniform 3-bit weight arrangement), plus the
+/// dataset it was trained on. Identical for every caller.
+fn artifact_fixture() -> (ModelArtifact, SyntheticImages) {
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let spec = SyntheticSpec::tiny(4);
+    let data = SyntheticImages::generate(&spec, &mut rng).unwrap();
+    let arch = ArchSpec::Mlp(vec![spec.feature_len(), 24, 16, spec.num_classes]);
+    let mut net = arch.build_init(&mut rng).unwrap();
+    Trainer::new(TrainerConfig::quick(2, 0.1))
+        .fit(&mut net, data.train(), &mut rng)
+        .unwrap();
+    let state = state_dict(&mut net);
+    install_act_quant(&mut net);
+    set_act_calibration(&mut net, true);
+    for batch in data.val().batches(16) {
+        net.forward(&batch.images, Phase::Eval).unwrap();
+    }
+    set_act_calibration(&mut net, false);
+    net.clear_cache();
+    let quant = QuantState {
+        arrangement: install_uniform(&mut net, BitWidth::new(3).unwrap()),
+        act_bits: 3,
+        act_clips: act_clip_bounds(&mut net),
+    };
+    let artifact = ModelArtifact {
+        arch,
+        input_shape: vec![spec.channels, spec.height, spec.width],
+        state,
+        quant: Some(quant),
+    };
+    (artifact, data)
+}
+
+type Target = (Backend, ModelHandle, Arc<LoadedModel>);
+
+fn load_backends(registry: &ModelRegistry, artifact: &ModelArtifact) -> Vec<Target> {
+    BACKENDS
+        .iter()
+        .map(|&backend| {
+            let handle = registry.load(backend.as_str(), artifact, backend).unwrap();
+            let model = registry.get(&handle).unwrap();
+            (backend, handle, model)
+        })
+        .collect()
+}
+
+/// Rows of the test split as single-sample request payloads.
+fn request_samples(data: &SyntheticImages) -> Vec<Vec<f32>> {
+    let test = data.test();
+    let item_len: usize = test.images().shape()[1..].iter().product();
+    let images = test.images().as_slice();
+    (0..test.len())
+        .map(|j| images[j * item_len..(j + 1) * item_len].to_vec())
+        .collect()
+}
+
+#[test]
+fn served_logits_bit_identical_to_offline_across_worker_counts() {
+    let (artifact, data) = artifact_fixture();
+    let samples = request_samples(&data);
+    for &workers in &thread_counts() {
+        let registry = Arc::new(ModelRegistry::new());
+        let targets = load_backends(&registry, &artifact);
+        let server = Server::start(
+            registry,
+            ServerConfig {
+                policy: BatchPolicy {
+                    // Deliberately not a divisor of the request count, so
+                    // ragged batches form at every worker count.
+                    max_batch: 5,
+                    max_wait: Duration::from_micros(200),
+                    queue_capacity: 1024,
+                },
+                workers,
+            },
+            Telemetry::disabled(),
+        )
+        .unwrap();
+        // Three concurrent clients interleave every sample against every
+        // backend; batches mix whatever lands together in the queue.
+        let mut results = Vec::new();
+        std::thread::scope(|scope| {
+            let mut joins = Vec::new();
+            for c in 0..3usize {
+                let server = &server;
+                let samples = &samples;
+                let targets = &targets;
+                joins.push(scope.spawn(move || {
+                    let mut out = Vec::new();
+                    for (i, sample) in samples.iter().enumerate() {
+                        let t = (i + c) % targets.len();
+                        out.push((i, t, server.infer(&targets[t].1, sample.clone()).unwrap()));
+                    }
+                    out
+                }));
+            }
+            for join in joins {
+                results.extend(join.join().expect("client panicked"));
+            }
+        });
+        assert_eq!(results.len(), 3 * samples.len());
+        for (i, t, resp) in results {
+            let offline = offline_logits(&targets[t].2, &samples[i]).unwrap();
+            assert_eq!(
+                resp.logits.len(),
+                offline.len(),
+                "{} workers, backend {}",
+                workers,
+                targets[t].0.as_str()
+            );
+            for (a, b) in resp.logits.iter().zip(&offline) {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "sample {i} diverged from offline on backend {} at {} worker(s)",
+                    targets[t].0.as_str(),
+                    workers
+                );
+            }
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.completed, 3 * samples.len() as u64);
+        assert_eq!(stats.failed, 0);
+        assert_eq!(
+            stats.steady_pool_misses, 0,
+            "steady-state pool misses at {workers} worker(s)"
+        );
+    }
+}
+
+#[test]
+fn served_accuracy_equals_offline_evaluate() {
+    let (artifact, data) = artifact_fixture();
+    let samples = request_samples(&data);
+    let labels = data.test().labels().to_vec();
+
+    // Offline reference: rebuild the float network from the artifact and
+    // run the stock evaluation loop.
+    let mut net = artifact.arch.build().unwrap();
+    load_state_dict(&mut net, &artifact.state).unwrap();
+    let offline_acc = evaluate(&mut net, data.test(), 64).unwrap();
+
+    let registry = Arc::new(ModelRegistry::new());
+    let handle = registry.load("float", &artifact, Backend::Float).unwrap();
+    let server = Server::start(
+        registry,
+        ServerConfig {
+            policy: BatchPolicy {
+                max_batch: 7,
+                max_wait: Duration::from_micros(200),
+                queue_capacity: 1024,
+            },
+            workers: 2,
+        },
+        Telemetry::disabled(),
+    )
+    .unwrap();
+    let mut correct = 0usize;
+    for (sample, &label) in samples.iter().zip(&labels) {
+        let resp = server.infer(&handle, sample.clone()).unwrap();
+        if resp.argmax == label {
+            correct += 1;
+        }
+    }
+    server.shutdown();
+    let served_acc = correct as f32 / samples.len() as f32;
+    assert_eq!(
+        served_acc.to_bits(),
+        offline_acc.to_bits(),
+        "served accuracy {served_acc} != offline evaluate {offline_acc}"
+    );
+}
+
+#[test]
+fn replaying_a_request_log_yields_byte_identical_responses() {
+    let (artifact, data) = artifact_fixture();
+    let samples = request_samples(&data);
+    // The "request log": (id, backend index, sample index), ids chosen by
+    // the client. Both runs submit exactly this log.
+    let log: Vec<(u64, usize, usize)> = (0..samples.len() * BACKENDS.len())
+        .map(|i| (1000 + i as u64, i % BACKENDS.len(), i % samples.len()))
+        .collect();
+
+    let run = |workers: usize, max_batch: usize, max_wait_us: u64| -> Vec<Vec<u8>> {
+        let registry = Arc::new(ModelRegistry::new());
+        let targets = load_backends(&registry, &artifact);
+        let server = Server::start(
+            registry,
+            ServerConfig {
+                policy: BatchPolicy {
+                    max_batch,
+                    max_wait: Duration::from_micros(max_wait_us),
+                    queue_capacity: 4096,
+                },
+                workers,
+            },
+            Telemetry::disabled(),
+        )
+        .unwrap();
+        // Submit asynchronously so micro-batches actually coalesce, then
+        // redeem every ticket.
+        let tickets: Vec<_> = log
+            .iter()
+            .map(|&(id, t, s)| {
+                (
+                    id,
+                    server
+                        .submit_with_id(id, &targets[t].1, samples[s].clone())
+                        .unwrap(),
+                )
+            })
+            .collect();
+        let mut responses: Vec<_> = tickets
+            .into_iter()
+            .map(|(id, ticket)| {
+                let resp = ticket.wait().unwrap();
+                assert_eq!(resp.id, id);
+                resp
+            })
+            .collect();
+        server.shutdown();
+        responses.sort_by_key(|r| r.id);
+        responses.iter().map(|r| r.canonical_bytes()).collect()
+    };
+
+    // Deliberately different serving shapes: single worker forming large
+    // batches vs. the widest tested worker count with no coalescing.
+    let widest = thread_counts().into_iter().max().unwrap();
+    let first = run(1, 8, 500);
+    let second = run(widest, 1, 1);
+    assert_eq!(first, second, "replay diverged between serving shapes");
+}

@@ -1,0 +1,180 @@
+//! Overload behavior of the serving runtime, made fully deterministic
+//! with the injectable clock: a frozen [`ManualClock`] plus a `max_wait`
+//! far beyond the test means the scheduler can never dispatch a partial
+//! batch on its own, so admission counts are exact — the bounded queue
+//! fills to exactly its capacity, every further submit is rejected with
+//! the typed [`ServeError::Overloaded`], the rejections are counted in
+//! telemetry, and the graceful drain completes every admitted request
+//! without deadlock.
+
+use cbq::data::{SyntheticImages, SyntheticSpec};
+use cbq::nn::{state_dict, Trainer, TrainerConfig};
+use cbq::serve::{
+    offline_logits, ArchSpec, Backend, BatchPolicy, ManualClock, ModelArtifact, ModelRegistry,
+    ServeError, Server, ServerConfig,
+};
+use cbq::telemetry::{Collector, Telemetry};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Duration;
+
+const SEED: u64 = 41;
+
+/// A small trained float artifact plus one valid request payload.
+fn fixture() -> (ModelArtifact, Vec<f32>) {
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let spec = SyntheticSpec::tiny(3);
+    let data = SyntheticImages::generate(&spec, &mut rng).unwrap();
+    let arch = ArchSpec::Mlp(vec![spec.feature_len(), 16, spec.num_classes]);
+    let mut net = arch.build_init(&mut rng).unwrap();
+    Trainer::new(TrainerConfig::quick(1, 0.1))
+        .fit(&mut net, data.train(), &mut rng)
+        .unwrap();
+    let state = state_dict(&mut net);
+    let item_len: usize = spec.feature_len();
+    let sample = data.test().images().as_slice()[..item_len].to_vec();
+    (
+        ModelArtifact {
+            arch,
+            input_shape: vec![spec.channels, spec.height, spec.width],
+            state,
+            quant: None,
+        },
+        sample,
+    )
+}
+
+#[test]
+fn burst_fills_queue_rejects_excess_and_drains_cleanly() {
+    let (artifact, sample) = fixture();
+    let registry = Arc::new(ModelRegistry::new());
+    let handle = registry.load("m", &artifact, Backend::Float).unwrap();
+    let model = registry.get(&handle).unwrap();
+
+    let capacity = 4usize;
+    let collector = Arc::new(Collector::new());
+    let server = Server::start_with(
+        registry,
+        ServerConfig {
+            policy: BatchPolicy {
+                // max_batch above the queue capacity + a frozen manual
+                // clock: the worker cannot dispatch until the drain, so
+                // the admission outcome of every submit is deterministic.
+                max_batch: 2 * capacity,
+                max_wait: Duration::from_secs(3600),
+                queue_capacity: capacity,
+            },
+            workers: 1,
+        },
+        Arc::new(ManualClock::new()),
+        Telemetry::new(vec![collector.clone()]),
+    )
+    .unwrap();
+
+    let burst = 12usize;
+    let mut tickets = Vec::new();
+    let mut rejected = 0usize;
+    for i in 0..burst {
+        match server.submit(&handle, sample.clone()) {
+            Ok(ticket) => tickets.push(ticket),
+            Err(ServeError::Overloaded { capacity: cap }) => {
+                assert_eq!(cap, capacity, "rejection names the exceeded capacity");
+                assert!(i >= capacity, "submit {i} rejected before the queue filled");
+                rejected += 1;
+            }
+            Err(e) => panic!("submit {i}: unexpected error {e}"),
+        }
+        assert!(
+            server.queue_depth() <= capacity,
+            "queue grew past its bound"
+        );
+    }
+    assert_eq!(
+        tickets.len(),
+        capacity,
+        "queue admitted exactly its capacity"
+    );
+    assert_eq!(rejected, burst - capacity);
+
+    // Graceful drain: the frozen clock never released the batch, so all
+    // admitted requests are still queued; shutdown must complete them
+    // (drain readiness overrides max_wait/max_batch) and then join.
+    let stats = server.shutdown();
+    let offline = offline_logits(&model, &sample).unwrap();
+    for ticket in tickets {
+        let resp = ticket.wait().expect("admitted request dropped by drain");
+        assert_eq!(resp.logits.len(), offline.len());
+        for (a, b) in resp.logits.iter().zip(&offline) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // The whole queue drained as one batch.
+        assert_eq!(resp.batch_size, capacity);
+    }
+
+    assert_eq!(stats.accepted, capacity as u64);
+    assert_eq!(stats.rejected, rejected as u64);
+    assert_eq!(stats.completed, capacity as u64);
+    assert_eq!(stats.failed, 0);
+    assert_eq!(stats.batches, 1);
+    assert_eq!(stats.largest_batch, capacity);
+
+    // Rejections were counted in telemetry, not just returned to callers.
+    assert_eq!(collector.counter_total("serve.rejected"), rejected as u64);
+    assert_eq!(collector.counter_total("serve.completed"), capacity as u64);
+}
+
+#[test]
+fn concurrent_burst_never_deadlocks_and_accounts_every_request() {
+    let (artifact, sample) = fixture();
+    let registry = Arc::new(ModelRegistry::new());
+    let handle = registry.load("m", &artifact, Backend::Float).unwrap();
+
+    let server = Server::start(
+        registry,
+        ServerConfig {
+            policy: BatchPolicy {
+                max_batch: 3,
+                max_wait: Duration::from_micros(100),
+                queue_capacity: 8,
+            },
+            workers: 2,
+        },
+        Telemetry::disabled(),
+    )
+    .unwrap();
+
+    // Six clients hammer the tiny queue; every submit either completes
+    // or is rejected as Overloaded — nothing hangs, nothing is lost.
+    let (done, rejected): (u64, u64) = std::thread::scope(|scope| {
+        let joins: Vec<_> = (0..6)
+            .map(|_| {
+                let server = &server;
+                let sample = &sample;
+                let handle = &handle;
+                scope.spawn(move || {
+                    let (mut ok, mut no) = (0u64, 0u64);
+                    for _ in 0..40 {
+                        match server.infer(handle, sample.clone()) {
+                            Ok(_) => ok += 1,
+                            Err(ServeError::Overloaded { .. }) => no += 1,
+                            Err(e) => panic!("unexpected error {e}"),
+                        }
+                    }
+                    (ok, no)
+                })
+            })
+            .collect();
+        joins
+            .into_iter()
+            .map(|j| j.join().expect("client panicked"))
+            .fold((0, 0), |(a, b), (x, y)| (a + x, b + y))
+    });
+
+    let stats = server.shutdown();
+    assert_eq!(done + rejected, 240);
+    assert_eq!(stats.completed, done);
+    assert_eq!(stats.rejected, rejected);
+    assert_eq!(stats.failed, 0);
+    assert_eq!(stats.accepted, done, "every accepted request completed");
+}
