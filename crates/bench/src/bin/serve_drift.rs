@@ -1,0 +1,253 @@
+//! Drift drill for the `cbq-serve` observability layer: a synthetic
+//! traffic generator with a scheduled class-mix shift drives an observed
+//! server on a manual clock, and the run gates on the drift detector's
+//! two promises — **zero false positives** while the mix is stationary,
+//! and the shift **flagged in its very first window** — plus the
+//! byte-identity contract: traces and metrics snapshots identical across
+//! worker counts. Results land in `results/BENCH_serve_drift.json`.
+//!
+//! Traffic is pooled by *offline-predicted* class, so each window's
+//! observed mix equals the planned mix exactly (largest-remainder
+//! apportionment, no sampling noise) and the stationary gate is robust
+//! rather than statistical.
+//!
+//! ```sh
+//! cargo run --release -p cbq-bench --bin serve_drift
+//! STATIONARY=8 SHIFTED=2 WINDOW=64 cargo run --release -p cbq-bench --bin serve_drift
+//! ```
+
+use cbq_data::{SyntheticImages, SyntheticSpec};
+use cbq_nn::{state_dict, Trainer, TrainerConfig};
+use cbq_resilience::atomic_write_text;
+use cbq_serve::{
+    achieved_mix, offline_logits, ArchSpec, Backend, BatchPolicy, ManualClock, ModelArtifact,
+    ModelRegistry, ObserveConfig, ServeStats, Server, ServerConfig, TrafficGenerator,
+};
+use cbq_telemetry::Telemetry;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Labeled samples pooled by the class the model predicts for them.
+type PredictedPools = Vec<(Vec<f32>, usize)>;
+
+/// Trains a float MLP and pools every test sample under the class the
+/// model itself predicts for it.
+fn build_pools(
+    seed: u64,
+) -> Result<(ModelArtifact, PredictedPools, usize), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let spec = SyntheticSpec::tiny(4);
+    let data = SyntheticImages::generate(&spec, &mut rng)?;
+    let arch = ArchSpec::Mlp(vec![spec.feature_len(), 24, 16, spec.num_classes]);
+    let mut net = arch.build_init(&mut rng)?;
+    Trainer::new(TrainerConfig::quick(2, 0.1)).fit(&mut net, data.train(), &mut rng)?;
+    let artifact = ModelArtifact {
+        arch,
+        input_shape: vec![spec.channels, spec.height, spec.width],
+        state: state_dict(&mut net),
+        quant: None,
+        baseline_mix: None,
+    };
+    let registry = ModelRegistry::new();
+    let handle = registry.load("drift", &artifact, Backend::Float)?;
+    let model = registry.get(&handle)?;
+    let test = data.test();
+    let item_len: usize = artifact.input_shape.iter().product();
+    let images = test.images().as_slice();
+    let mut pooled = Vec::new();
+    for j in 0..test.len() {
+        let sample = images[j * item_len..(j + 1) * item_len].to_vec();
+        let logits = offline_logits(&model, &sample)?;
+        let predicted = logits
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(c, _)| c)
+            .unwrap();
+        pooled.push((sample, predicted));
+    }
+    for c in 0..spec.num_classes {
+        if !pooled.iter().any(|(_, p)| *p == c) {
+            return Err(format!("fixture predicts no samples as class {c}; change seed").into());
+        }
+    }
+    Ok((artifact, pooled, spec.num_classes))
+}
+
+/// Runs the full traffic plan against an observed server and returns the
+/// drained stats plus the trace / snapshot documents.
+fn run_plan(
+    workers: usize,
+    artifact: &ModelArtifact,
+    plan: &[Vec<(Vec<f32>, usize)>],
+    baseline: &[f64],
+    window: u64,
+    out_dir: &std::path::Path,
+) -> Result<(ServeStats, String, String), Box<dyn std::error::Error>> {
+    let registry = Arc::new(ModelRegistry::new());
+    let handle = registry.load("drift", artifact, Backend::Float)?;
+    let clock = ManualClock::new();
+    let trace_path = out_dir.join(format!("drift-trace-{workers}.jsonl"));
+    let metrics_path = out_dir.join(format!("drift-metrics-{workers}.json"));
+    let server = Server::start_observed(
+        registry,
+        ServerConfig {
+            policy: BatchPolicy {
+                max_batch: 1,
+                max_wait: Duration::from_secs(3600),
+                queue_capacity: 1 << 16,
+            },
+            workers,
+        },
+        Arc::new(clock.clone()),
+        Telemetry::disabled(),
+        ObserveConfig {
+            baseline: Some(baseline.to_vec()),
+            window,
+            trace: true,
+            trace_path: Some(trace_path.clone()),
+            metrics_path: Some(metrics_path.clone()),
+            ..ObserveConfig::for_classes(4)
+        },
+    )?;
+    let mut id = 0u64;
+    for w in plan {
+        let tickets: Vec<_> = w
+            .iter()
+            .map(|(sample, label)| {
+                id += 1;
+                server.submit_request(id, &handle, sample.clone(), Some(*label))
+            })
+            .collect::<cbq_serve::Result<_>>()?;
+        for ticket in tickets {
+            ticket.wait()?;
+        }
+        clock.advance(Duration::from_millis(1));
+    }
+    let stats = server.shutdown();
+    let trace = std::fs::read_to_string(&trace_path)?;
+    let snapshot = std::fs::read_to_string(&metrics_path)?;
+    Ok((stats, trace, snapshot))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let stationary = env_usize("STATIONARY", 6);
+    let shifted = env_usize("SHIFTED", 2).max(1);
+    let window = env_usize("WINDOW", 32).max(1) as u64;
+    let worker_counts = [1usize, env_usize("WORKERS", 4).max(1)];
+
+    let (artifact, pooled, classes) = build_pools(91)?;
+    let mut gen = TrafficGenerator::new(&pooled, classes)?;
+    let uniform = vec![1.0; classes];
+    let mut shift_mix = vec![0.125; classes];
+    shift_mix[0] = 1.0; // class 0 surges, the rest thin out
+    let mut plan = Vec::new();
+    for _ in 0..stationary {
+        plan.push(gen.window(&uniform, window as usize));
+    }
+    for _ in 0..shifted {
+        plan.push(gen.window(&shift_mix, window as usize));
+    }
+    let baseline = achieved_mix(&uniform, window as usize);
+
+    let out_dir = std::path::Path::new("results");
+    std::fs::create_dir_all(out_dir)?;
+
+    let mut runs = Vec::new();
+    for &workers in &worker_counts {
+        runs.push((
+            workers,
+            run_plan(workers, &artifact, &plan, &baseline, window, out_dir)?,
+        ));
+    }
+    let (_, (stats, trace0, snapshot0)) = &runs[0];
+
+    // Gate 1: deterministic artifacts across worker counts.
+    let bytes_identical = runs
+        .iter()
+        .all(|(_, (s, t, m))| s.traces == stats.traces && t == trace0 && m == snapshot0);
+
+    // Gate 2: no stationary window flags; Gate 3: the first shifted
+    // window flags immediately.
+    let stationary_flags = stats
+        .drift
+        .iter()
+        .filter(|d| d.window < stationary as u64 && d.flagged)
+        .count();
+    let first_flagged = stats.drift.iter().find(|d| d.flagged).map(|d| d.window);
+    let flagged_on_time = first_flagged == Some(stationary as u64);
+
+    for run in &runs {
+        let (workers, (s, _, _)) = run;
+        let flags = s.drift.iter().filter(|d| d.flagged).count();
+        eprintln!(
+            "{workers} worker(s): {} windows sealed, {} drift checks, {} flagged, \
+             {} traces, {} snapshot writes",
+            s.windows.len(),
+            s.drift.len(),
+            flags,
+            s.traces.len(),
+            s.snapshot_writes,
+        );
+    }
+    eprintln!(
+        "drill : {stationary} stationary + {shifted} shifted windows of {window} -> \
+         stationary flags {stationary_flags}, first flag at window {first_flagged:?}, \
+         bytes identical across workers: {bytes_identical}"
+    );
+
+    let payload = serde_json::json!({
+        "workload": "predicted-class pooled traffic, uniform mix -> class-0 surge",
+        "window": window,
+        "stationary_windows": stationary,
+        "shifted_windows": shifted,
+        "worker_counts": worker_counts,
+        "baseline": baseline,
+        "drift": stats.drift.iter().map(|d| serde_json::json!({
+            "window": d.window,
+            "samples": d.samples,
+            "l1": d.l1,
+            "chi2": d.chi2,
+            "skipped": d.skipped,
+            "flagged": d.flagged,
+        })).collect::<Vec<_>>(),
+        "stationary_false_positives": stationary_flags,
+        "first_flagged_window": first_flagged.map(|w| w as i64).unwrap_or(-1),
+        "trace_lines": stats.traces.len(),
+        "gates": {
+            "bytes_identical_across_workers": bytes_identical,
+            "zero_stationary_false_positives": stationary_flags == 0,
+            "shift_flagged_in_first_window": flagged_on_time,
+        },
+    });
+    atomic_write_text(
+        "results/BENCH_serve_drift.json",
+        &serde_json::to_string_pretty(&payload)?,
+    )?;
+    eprintln!("wrote results/BENCH_serve_drift.json");
+
+    if !bytes_identical {
+        eprintln!("DETERMINISM GATE FAILED: observability bytes diverged across worker counts");
+        std::process::exit(1);
+    }
+    if stationary_flags != 0 {
+        eprintln!("FALSE-POSITIVE GATE FAILED: {stationary_flags} stationary windows flagged");
+        std::process::exit(1);
+    }
+    if !flagged_on_time {
+        eprintln!(
+            "DETECTION GATE FAILED: first flag at {first_flagged:?}, expected window {stationary}"
+        );
+        std::process::exit(1);
+    }
+    Ok(())
+}

@@ -81,6 +81,7 @@ fn build_artifact(
         input_shape: vec![spec.channels, spec.height, spec.width],
         state,
         quant: Some(quant),
+        baseline_mix: None,
     };
     Ok((artifact, data))
 }
@@ -176,12 +177,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let throughput = stats.completed as f64 / wall_s.max(1e-9);
     eprintln!(
         "steady: {} requests, {} clients, {} workers -> {throughput:.0} req/s, \
-         p50 {}us p99 {}us, {} batches (largest {})",
+         p50 {}us p95 {}us p99 {}us (queue p99 {}us, compute p99 {}us), \
+         {} batches (largest {})",
         requests,
         clients,
         stats.workers,
         stats.latency.quantile_us(0.5),
+        stats.latency.quantile_us(0.95),
         stats.latency.quantile_us(0.99),
+        stats.queue_wait.quantile_us(0.99),
+        stats.compute.quantile_us(0.99),
         stats.batches,
         stats.largest_batch,
     );
@@ -264,6 +269,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "latency_p95_us": stats.latency.quantile_us(0.95),
             "latency_p99_us": stats.latency.quantile_us(0.99),
             "latency_mean_us": stats.latency.mean_us(),
+            "queue_wait_p50_us": stats.queue_wait.quantile_us(0.5),
+            "queue_wait_p99_us": stats.queue_wait.quantile_us(0.99),
+            "batch_wait_p99_us": stats.batch_wait.quantile_us(0.99),
+            "compute_p50_us": stats.compute.quantile_us(0.5),
+            "compute_p99_us": stats.compute.quantile_us(0.99),
             "batches": stats.batches,
             "largest_batch": stats.largest_batch,
             "latency_buckets_us": stats.latency.sparse_counts(),

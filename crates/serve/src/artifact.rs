@@ -19,7 +19,12 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::path::Path;
 
-const MAGIC: &[u8] = b"CBQSRV1\n";
+/// Current artifact magic. V2 appends the optional calibration-time
+/// class mix (drift baseline) after the quantization state.
+const MAGIC_V2: &[u8] = b"CBQSRV2\n";
+/// Pre-observability magic, still decodable: a V1 artifact simply has no
+/// baseline mix.
+const MAGIC_V1: &[u8] = b"CBQSRV1\n";
 
 /// Architecture of a servable model — enough to rebuild the [`Sequential`]
 /// whose parameters the state dict then overwrites.
@@ -220,6 +225,12 @@ pub struct ModelArtifact {
     pub state: StateDict,
     /// Quantization state; `None` for float-only checkpoints.
     pub quant: Option<QuantState>,
+    /// Class mix the deployment was calibrated against (one nonnegative
+    /// finite weight per class, any scale) — the drift-detection baseline
+    /// the serve observability layer compares live traffic to. `None`
+    /// when no calibration mix was recorded (drift detection is then
+    /// disabled unless the operator supplies one).
+    pub baseline_mix: Option<Vec<f64>>,
 }
 
 impl ModelArtifact {
@@ -231,7 +242,7 @@ impl ModelArtifact {
     /// Encodes deterministically; floats survive bit-for-bit.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut w = ByteWriter::new();
-        w.put_bytes(MAGIC);
+        w.put_bytes(MAGIC_V2);
         self.arch.encode(&mut w);
         w.put_usize_slice(&self.input_shape);
         w.put_bytes(&self.state.to_bytes());
@@ -253,6 +264,13 @@ impl ModelArtifact {
                 }
             }
         }
+        match &self.baseline_mix {
+            None => w.put_bool(false),
+            Some(mix) => {
+                w.put_bool(true);
+                w.put_f64_slice(mix);
+            }
+        }
         w.into_bytes()
     }
 
@@ -265,7 +283,8 @@ impl ModelArtifact {
     pub fn from_bytes(bytes: &[u8]) -> Result<ModelArtifact> {
         let mut r = ByteReader::new(bytes);
         let magic = r.get_bytes()?;
-        if magic != MAGIC {
+        let v1 = magic == MAGIC_V1;
+        if !v1 && magic != MAGIC_V2 {
             return Err(ServeError::Artifact("bad artifact magic".into()));
         }
         let arch = ArchSpec::decode(&mut r)?;
@@ -312,6 +331,25 @@ impl ModelArtifact {
         } else {
             None
         };
+        let baseline_mix = if v1 {
+            None
+        } else if r.get_bool()? {
+            let mix = r.get_f64_vec()?;
+            if mix.is_empty() {
+                return Err(ServeError::Artifact("empty baseline mix".into()));
+            }
+            if mix.iter().any(|&p| !p.is_finite() || p < 0.0) {
+                return Err(ServeError::Artifact(
+                    "baseline mix weights must be finite and nonnegative".into(),
+                ));
+            }
+            if mix.iter().sum::<f64>() <= 0.0 {
+                return Err(ServeError::Artifact("baseline mix sums to zero".into()));
+            }
+            Some(mix)
+        } else {
+            None
+        };
         if !r.is_exhausted() {
             return Err(ServeError::Artifact("trailing bytes after artifact".into()));
         }
@@ -320,6 +358,7 @@ impl ModelArtifact {
             input_shape,
             state,
             quant,
+            baseline_mix,
         })
     }
 
@@ -373,6 +412,7 @@ mod tests {
             input_shape: vec![4],
             state,
             quant,
+            baseline_mix: Some(vec![0.5, 0.25, 0.25]),
         }
     }
 
@@ -395,6 +435,42 @@ mod tests {
         bad[9] ^= 0xFF;
         assert!(ModelArtifact::from_bytes(&bad).is_err());
         assert!(ModelArtifact::from_bytes(b"junk").is_err());
+    }
+
+    #[test]
+    fn v1_artifacts_still_decode_without_baseline() {
+        // Re-encode a V2 artifact in the V1 layout by hand: V1 magic, no
+        // trailing baseline section.
+        let mut a = tiny_artifact(true);
+        a.baseline_mix = None;
+        let v2 = a.to_bytes();
+        let mut r = ByteReader::new(&v2);
+        r.get_bytes().unwrap(); // magic
+        let body_start = v2.len() - r.remaining();
+        let mut w = ByteWriter::new();
+        w.put_bytes(MAGIC_V1);
+        let mut v1 = w.into_bytes();
+        // Strip the trailing `put_bool(false)` baseline marker (1 byte).
+        v1.extend_from_slice(&v2[body_start..v2.len() - 1]);
+        let b = ModelArtifact::from_bytes(&v1).unwrap();
+        assert_eq!(b.baseline_mix, None);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn degenerate_baseline_mixes_are_rejected() {
+        for bad in [vec![], vec![0.0, 0.0], vec![0.5, -0.1], vec![f64::NAN, 1.0]] {
+            let mut a = tiny_artifact(false);
+            a.baseline_mix = Some(bad);
+            assert!(
+                ModelArtifact::from_bytes(&a.to_bytes()).is_err(),
+                "baseline {:?} decoded",
+                a.baseline_mix
+            );
+        }
+        let good = tiny_artifact(false);
+        let back = ModelArtifact::from_bytes(&good.to_bytes()).unwrap();
+        assert_eq!(back.baseline_mix, Some(vec![0.5, 0.25, 0.25]));
     }
 
     #[test]

@@ -1,107 +1,11 @@
-//! Injectable time source for the batch scheduler.
+//! Injectable time source for the serving runtime.
 //!
-//! `max_wait` is the only wall-clock-dependent decision in the runtime,
-//! so it is routed through a [`ServeClock`] trait: production uses the
-//! monotonic [`SystemClock`], tests use a [`ManualClock`] they advance
-//! explicitly — batching behaviour then depends on *logical* time only
-//! and CI never races a real timer.
+//! The clock types live in `cbq-telemetry` (PR 6 moved them there so
+//! telemetry timestamps, per-stage span timings, and scheduler `max_wait`
+//! aging all run off the *same* injected time source). This module
+//! re-exports them under the historical serve-side names: production uses
+//! the monotonic [`SystemClock`], tests drive a [`ManualClock`] they
+//! advance explicitly — batching behaviour and trace timestamps then
+//! depend on *logical* time only and CI never races a real timer.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
-use std::time::{Duration, Instant};
-
-/// A monotonic time source the scheduler consults for `max_wait` aging.
-pub trait ServeClock: Send + Sync + std::fmt::Debug {
-    /// Time elapsed since the clock's origin.
-    fn now(&self) -> Duration;
-
-    /// Whether time only moves when a test advances it. Manual clocks
-    /// make scheduler waits poll at a short real interval instead of
-    /// sleeping out the (never-elapsing) wall timeout.
-    fn is_manual(&self) -> bool {
-        false
-    }
-}
-
-/// Production clock: monotonic time since server start.
-#[derive(Debug)]
-pub struct SystemClock {
-    origin: Instant,
-}
-
-impl SystemClock {
-    /// Creates a clock anchored at "now".
-    pub fn new() -> Self {
-        SystemClock {
-            origin: Instant::now(),
-        }
-    }
-}
-
-impl Default for SystemClock {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl ServeClock for SystemClock {
-    fn now(&self) -> Duration {
-        self.origin.elapsed()
-    }
-}
-
-/// Test clock: time is an atomic nanosecond counter that only moves via
-/// [`ManualClock::advance`]. Clone handles share the same timeline.
-#[derive(Debug, Clone, Default)]
-pub struct ManualClock {
-    nanos: Arc<AtomicU64>,
-}
-
-impl ManualClock {
-    /// Creates a clock at t=0.
-    pub fn new() -> Self {
-        ManualClock::default()
-    }
-
-    /// Moves time forward by `d`.
-    pub fn advance(&self, d: Duration) {
-        self.nanos.fetch_add(
-            d.as_nanos().min(u128::from(u64::MAX)) as u64,
-            Ordering::SeqCst,
-        );
-    }
-}
-
-impl ServeClock for ManualClock {
-    fn now(&self) -> Duration {
-        Duration::from_nanos(self.nanos.load(Ordering::SeqCst))
-    }
-
-    fn is_manual(&self) -> bool {
-        true
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn manual_clock_only_moves_on_advance() {
-        let c = ManualClock::new();
-        assert_eq!(c.now(), Duration::ZERO);
-        let peer = c.clone();
-        c.advance(Duration::from_millis(5));
-        assert_eq!(peer.now(), Duration::from_millis(5));
-        assert!(peer.is_manual());
-    }
-
-    #[test]
-    fn system_clock_is_monotonic() {
-        let c = SystemClock::new();
-        let a = c.now();
-        let b = c.now();
-        assert!(b >= a);
-        assert!(!c.is_manual());
-    }
-}
+pub use cbq_telemetry::{Clock as ServeClock, ManualClock, SystemClock};

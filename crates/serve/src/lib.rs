@@ -30,6 +30,18 @@
 //! counters on the hot path, latency quantile gauges at drain — all
 //! through [`cbq_telemetry::Telemetry`].
 //!
+//! Observability ([`Server::start_observed`] + [`ObserveConfig`]): every
+//! admitted request gets a dense sequence number and a [`RequestTrace`]
+//! with per-stage timings (queue wait, batch-coalescing wait, compute) on
+//! the injected clock; completions feed fixed-size per-class windows
+//! whose observed mix is checked against the artifact's calibration
+//! baseline ([`ModelArtifact::baseline_mix`]) by a drift detector
+//! (`serve.drift.*` gauges, [`DriftReport`]s in [`ServeStats`]). Traces,
+//! metrics snapshots, and drift verdicts are deterministic — byte-
+//! identical at any worker count under a manual clock. A rng-free
+//! [`TrafficGenerator`] produces labeled traffic with an exact,
+//! shiftable class mix for drift drills.
+//!
 //! # Example
 //!
 //! ```
@@ -46,6 +58,7 @@
 //!     input_shape: vec![4],
 //!     state: cbq_nn::state_dict(&mut net),
 //!     quant: None,
+//!     baseline_mix: None,
 //! };
 //! let registry = Arc::new(ModelRegistry::new());
 //! let handle = registry.load("demo", &artifact, Backend::Float)?;
@@ -64,16 +77,21 @@
 mod artifact;
 mod clock;
 mod error;
+mod observe;
 mod registry;
 mod scheduler;
 mod server;
+mod traffic;
 
 pub use artifact::{ArchSpec, ModelArtifact, QuantState};
+pub use cbq_telemetry::{ClassWindow, DriftConfig, DriftDetector, DriftReport, LatencySummary};
 pub use clock::{ManualClock, ServeClock, SystemClock};
 pub use error::{Result, ServeError};
+pub use observe::{ObserveConfig, RequestTrace, METRICS_SCHEMA};
 pub use registry::{offline_logits, Backend, LoadedModel, ModelHandle, ModelRegistry};
 pub use scheduler::{BatchPolicy, BatchScheduler};
 pub use server::{InferResponse, ServeStats, Server, ServerConfig, Ticket};
+pub use traffic::{achieved_mix, apportion, TrafficGenerator};
 
 #[cfg(test)]
 mod tests {
@@ -90,6 +108,7 @@ mod tests {
             input_shape: vec![sizes[0]],
             state: cbq_nn::state_dict(&mut net),
             quant: None,
+            baseline_mix: None,
         }
     }
 

@@ -1,0 +1,349 @@
+//! Request-scoped tracing and per-class serve observability.
+//!
+//! Everything here is *derived state*: the scheduler assigns each
+//! admitted request a dense admission sequence number, workers report
+//! per-stage timings on the injected clock, and this module folds those
+//! into three deterministic artifacts:
+//!
+//! - [`RequestTrace`] — one JSON line per request with span timings
+//!   (queue wait, batch-coalescing wait, compute) keyed by `seq`;
+//! - windowed per-class counters ([`cbq_telemetry::WindowSet`]) sealed in
+//!   admission order, feeding the drift detector;
+//! - a [`MetricsSnapshot`] JSON document re-rendered (atomically) on
+//!   every window seal and at drain.
+//!
+//! Determinism contract: window membership is `seq / window_size`,
+//! windows seal strictly in index order, and every statistic is computed
+//! from merged integer counters in ascending class order — so traces and
+//! snapshots are **byte-identical at any worker count** when driven by a
+//! manual clock.
+
+use cbq_telemetry::{json, ClassWindow, DriftConfig, DriftReport, LatencySummary, WindowSet};
+use std::path::PathBuf;
+
+/// Schema tag written into every metrics snapshot.
+pub const METRICS_SCHEMA: &str = "cbq.metrics.v1";
+
+/// Per-class observability knobs for [`crate::Server::start_observed`].
+#[derive(Debug, Clone, Default)]
+pub struct ObserveConfig {
+    /// Classes to track; `0` disables per-class observation entirely
+    /// (the stage histograms in [`crate::ServeStats`] are always on).
+    pub classes: usize,
+    /// Admitted requests per window. Windows seal in index order once
+    /// every member resolves, so smaller windows flag drift sooner at
+    /// the cost of noisier statistics.
+    pub window: u64,
+    /// Baseline class mix for drift detection (any nonnegative weights).
+    /// `None` disables the drift detector; models carry a calibration
+    /// mix in their artifact ([`crate::ModelArtifact::baseline_mix`])
+    /// that callers typically copy here.
+    pub baseline: Option<Vec<f64>>,
+    /// Drift thresholds.
+    pub drift: DriftConfig,
+    /// Collect a [`RequestTrace`] per request (returned in
+    /// [`crate::ServeStats::traces`], written to `trace_path` if set).
+    pub trace: bool,
+    /// Where to write the JSONL trace at drain (atomic write; implies
+    /// `trace`).
+    pub trace_path: Option<PathBuf>,
+    /// Where to (re)write the metrics snapshot on every window seal and
+    /// at drain (atomic write).
+    pub metrics_path: Option<PathBuf>,
+}
+
+impl ObserveConfig {
+    /// Observation disabled: no windows, no drift, no traces.
+    pub fn disabled() -> Self {
+        ObserveConfig::default()
+    }
+
+    /// Observation for `classes` classes with a 64-request window and
+    /// default drift thresholds.
+    pub fn for_classes(classes: usize) -> Self {
+        ObserveConfig {
+            classes,
+            window: 64,
+            ..ObserveConfig::default()
+        }
+    }
+
+    /// Whether any per-class observation is active.
+    pub fn enabled(&self) -> bool {
+        self.classes > 0 && self.window > 0
+    }
+
+    /// Whether request traces are collected.
+    pub fn tracing(&self) -> bool {
+        self.enabled() && (self.trace || self.trace_path.is_some())
+    }
+}
+
+/// One request's lifecycle through the runtime, all timestamps in
+/// microseconds on the server's injected clock.
+///
+/// Stage identities: `queue_wait = dispatched − enqueued` (admission to
+/// batch formation), `batch_wait = dispatched − front_enqueued` (how long
+/// the batch's *oldest* member waited — the coalescing cost), `compute =
+/// completed − dispatched`, and total latency is `completed − enqueued =
+/// queue_wait + compute`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestTrace {
+    /// Admission sequence number (dense over accepted requests).
+    pub seq: u64,
+    /// Caller-visible request id.
+    pub id: u64,
+    /// `name@vN` of the model version executed against.
+    pub model: String,
+    /// Observation window this request belongs to (`seq / window_size`).
+    pub window: u64,
+    /// Admission timestamp.
+    pub enqueued_us: u64,
+    /// Batch-formation timestamp.
+    pub dispatched_us: u64,
+    /// Response timestamp.
+    pub completed_us: u64,
+    /// `dispatched − enqueued`.
+    pub queue_wait_us: u64,
+    /// `dispatched − front_enqueued` of the batch's oldest member.
+    pub batch_wait_us: u64,
+    /// `completed − dispatched`.
+    pub compute_us: u64,
+    /// Requests that rode in the same micro-batch.
+    pub batch_size: usize,
+    /// Predicted class (argmax); `None` for failed requests.
+    pub predicted: Option<usize>,
+    /// Ground-truth class, when the caller supplied one.
+    pub label: Option<usize>,
+    /// Whether the request completed successfully.
+    pub ok: bool,
+}
+
+impl RequestTrace {
+    /// Single-line JSON with a fixed key order — the unit of the
+    /// byte-identical trace contract.
+    pub fn to_json(&self) -> String {
+        let opt = |v: Option<usize>| match v {
+            Some(c) => c.to_string(),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"seq\":{},\"id\":{},\"model\":{},\"window\":{},\"enqueued_us\":{},\
+             \"dispatched_us\":{},\"completed_us\":{},\"queue_wait_us\":{},\
+             \"batch_wait_us\":{},\"compute_us\":{},\"batch\":{},\"predicted\":{},\
+             \"label\":{},\"ok\":{}}}",
+            self.seq,
+            self.id,
+            json::string(&self.model),
+            self.window,
+            self.enqueued_us,
+            self.dispatched_us,
+            self.completed_us,
+            self.queue_wait_us,
+            self.batch_wait_us,
+            self.compute_us,
+            self.batch_size,
+            opt(self.predicted),
+            opt(self.label),
+            self.ok,
+        )
+    }
+}
+
+/// Renders the full JSONL trace document: one line per trace, ascending
+/// `seq`. The caller passes traces already sorted.
+pub(crate) fn render_trace_jsonl(traces: &[RequestTrace]) -> String {
+    let mut out = String::with_capacity(traces.len() * 160);
+    for t in traces {
+        out.push_str(&t.to_json());
+        out.push('\n');
+    }
+    out
+}
+
+fn mix_json(mix: &[f64]) -> String {
+    let mut out = String::from("[");
+    for (i, &p) in mix.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&json::number(p));
+    }
+    out.push(']');
+    out
+}
+
+fn latency_json(s: &LatencySummary) -> String {
+    format!(
+        "{{\"count\": {}, \"mean_us\": {}, \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}, \"max_us\": {}}}",
+        s.count,
+        json::number(s.mean_us),
+        s.p50_us,
+        s.p95_us,
+        s.p99_us,
+        s.max_us
+    )
+}
+
+fn window_json(w: &ClassWindow) -> String {
+    let accuracy = match w.accuracy() {
+        Some(a) => mix_json(&a),
+        None => "null".to_string(),
+    };
+    let overall = match w.overall_accuracy() {
+        Some(a) => json::number(a),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\"index\": {}, \"completed\": {}, \"errors\": {}, \"mix\": {}, \"accuracy\": {}, \"overall_accuracy\": {}, \"latency\": {}}}",
+        w.index,
+        w.completed,
+        w.errors,
+        mix_json(&w.mix()),
+        accuracy,
+        overall,
+        latency_json(&w.latency.summary())
+    )
+}
+
+fn drift_json(r: &DriftReport) -> String {
+    format!(
+        "{{\"window\": {}, \"samples\": {}, \"l1\": {}, \"chi2\": {}, \"skipped\": {}, \"flagged\": {}}}",
+        r.window,
+        r.samples,
+        json::number(r.l1),
+        json::number(r.chi2),
+        r.skipped,
+        r.flagged
+    )
+}
+
+/// Renders the metrics snapshot document: cumulative per-class state,
+/// every sealed window, and all drift verdicts so far. The bytes are a
+/// pure function of the sealed state — deliberately independent of *how
+/// many times* a snapshot was written (several windows can seal in one
+/// event under reordered completions), so the file is byte-identical at
+/// any worker count.
+pub(crate) fn render_snapshot(set: &WindowSet, drift: &[DriftReport]) -> String {
+    let mut out = String::with_capacity(1024);
+    out.push_str("{\n");
+    out.push_str(&format!(
+        "  \"schema\": {},\n",
+        json::string(METRICS_SCHEMA)
+    ));
+    out.push_str(&format!("  \"classes\": {},\n", set.classes()));
+    out.push_str(&format!("  \"window_size\": {},\n", set.window_size()));
+    out.push_str(&format!("  \"sealed_windows\": {},\n", set.sealed().len()));
+    out.push_str(&format!(
+        "  \"cumulative\": {},\n",
+        window_json(&set.cumulative())
+    ));
+    out.push_str("  \"windows\": [\n");
+    for (i, w) in set.sealed().iter().enumerate() {
+        out.push_str(&format!(
+            "    {}{}\n",
+            window_json(w),
+            if i + 1 < set.sealed().len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"drift\": [\n");
+    for (i, r) in drift.iter().enumerate() {
+        out.push_str(&format!(
+            "    {}{}\n",
+            drift_json(r),
+            if i + 1 < drift.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(seq: u64) -> RequestTrace {
+        RequestTrace {
+            seq,
+            id: seq + 1,
+            model: "m@v1".into(),
+            window: 0,
+            enqueued_us: 10,
+            dispatched_us: 30,
+            completed_us: 70,
+            queue_wait_us: 20,
+            batch_wait_us: 20,
+            compute_us: 40,
+            batch_size: 2,
+            predicted: Some(1),
+            label: None,
+            ok: true,
+        }
+    }
+
+    #[test]
+    fn trace_json_has_fixed_key_order_and_null_options() {
+        let j = trace(0).to_json();
+        assert!(
+            j.starts_with("{\"seq\":0,\"id\":1,\"model\":\"m@v1\""),
+            "{j}"
+        );
+        assert!(j.contains("\"queue_wait_us\":20,\"batch_wait_us\":20,\"compute_us\":40"));
+        assert!(j.contains("\"predicted\":1,\"label\":null,\"ok\":true"));
+        let mut failed = trace(3);
+        failed.predicted = None;
+        failed.ok = false;
+        assert!(failed
+            .to_json()
+            .contains("\"predicted\":null,\"label\":null,\"ok\":false"));
+    }
+
+    #[test]
+    fn trace_jsonl_is_one_line_per_request() {
+        let doc = render_trace_jsonl(&[trace(0), trace(1)]);
+        let lines: Vec<&str> = doc.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[1].contains("\"seq\":1"));
+    }
+
+    #[test]
+    fn snapshot_renders_windows_and_drift() {
+        let mut set = WindowSet::new(2, 4);
+        for seq in 0..4 {
+            set.record(seq, (seq % 2) as usize, Some(0), 10);
+        }
+        let drift = vec![DriftReport {
+            window: 0,
+            samples: 4,
+            l1: 0.0,
+            chi2: 0.0,
+            skipped: true,
+            flagged: false,
+        }];
+        let doc = render_snapshot(&set, &drift);
+        assert!(doc.contains("\"schema\": \"cbq.metrics.v1\""), "{doc}");
+        assert!(doc.contains("\"sealed_windows\": 1"), "{doc}");
+        assert!(doc.contains("\"mix\": [0.5,0.5]"), "{doc}");
+        assert!(doc.contains("\"skipped\": true"), "{doc}");
+        // Deterministic bytes.
+        assert_eq!(doc, render_snapshot(&set, &drift));
+        assert_eq!(
+            doc.matches('{').count(),
+            doc.matches('}').count(),
+            "unbalanced braces in {doc}"
+        );
+    }
+
+    #[test]
+    fn disabled_config_reports_disabled() {
+        assert!(!ObserveConfig::disabled().enabled());
+        assert!(!ObserveConfig::disabled().tracing());
+        let mut c = ObserveConfig::for_classes(3);
+        assert!(c.enabled());
+        assert!(!c.tracing());
+        c.trace = true;
+        assert!(c.tracing());
+    }
+}

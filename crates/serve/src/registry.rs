@@ -130,6 +130,7 @@ pub struct LoadedModel {
     backend: Backend,
     input_shape: Vec<usize>,
     classes: usize,
+    baseline_mix: Option<Vec<f64>>,
     engine: Mutex<Engine>,
 }
 
@@ -157,6 +158,12 @@ impl LoadedModel {
     /// Number of output classes.
     pub fn classes(&self) -> usize {
         self.classes
+    }
+
+    /// Calibration-time class mix carried by the artifact, if any — the
+    /// default drift baseline for this model.
+    pub fn baseline_mix(&self) -> Option<&[f64]> {
+        self.baseline_mix.as_deref()
     }
 
     /// Clones the engine for a worker's private use.
@@ -285,6 +292,7 @@ impl ModelRegistry {
             backend,
             input_shape: artifact.input_shape.clone(),
             classes,
+            baseline_mix: artifact.baseline_mix.clone(),
             engine: Mutex::new(engine),
         }));
         Ok(handle)

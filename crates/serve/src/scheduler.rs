@@ -79,8 +79,25 @@ pub(crate) struct Pending {
     pub(crate) id: u64,
     pub(crate) model: ModelHandle,
     pub(crate) sample: Vec<f32>,
+    /// Admission sequence number, assigned under the scheduler lock at
+    /// [`BatchScheduler::submit`] — the deterministic total order the
+    /// observability layer keys windows and traces on.
+    pub(crate) seq: u64,
+    /// Ground-truth class, when the caller supplied one (accuracy
+    /// telemetry).
+    pub(crate) label: Option<usize>,
     pub(crate) enqueued: Duration,
     pub(crate) reply: Sender<Result<InferResponse>>,
+}
+
+/// A dispatched micro-batch plus its scheduling timestamps, all on the
+/// injected clock: `dispatched` is when the batch formed, `front_enqueued`
+/// when its oldest member was admitted (their difference is the batch
+/// coalescing wait).
+pub(crate) struct Batch {
+    pub(crate) requests: Vec<Pending>,
+    pub(crate) dispatched: Duration,
+    pub(crate) front_enqueued: Duration,
 }
 
 #[derive(Default)]
@@ -143,13 +160,17 @@ impl BatchScheduler {
         (st.accepted, st.rejected)
     }
 
-    /// Admits one request, or rejects it without blocking.
+    /// Admits one request, or rejects it without blocking. The request's
+    /// admission sequence number (`Pending::seq`, assigned here under the
+    /// lock) is dense over accepted requests — rejections don't consume
+    /// one — which is what lets the observability layer treat `seq /
+    /// window_size` as a complete window membership rule.
     ///
     /// # Errors
     ///
     /// [`ServeError::ShuttingDown`] while draining,
     /// [`ServeError::Overloaded`] when the queue is at capacity.
-    pub(crate) fn submit(&self, pending: Pending) -> Result<usize> {
+    pub(crate) fn submit(&self, mut pending: Pending) -> Result<(u64, usize)> {
         let mut st = self.state.lock().expect("scheduler lock poisoned");
         if st.draining {
             return Err(ServeError::ShuttingDown);
@@ -160,22 +181,25 @@ impl BatchScheduler {
                 capacity: self.policy.queue_capacity,
             });
         }
+        let seq = st.accepted;
+        pending.seq = seq;
         st.accepted += 1;
         st.queue.push_back(pending);
         let depth = st.queue.len();
         drop(st);
         self.ready.notify_one();
-        Ok(depth)
+        Ok((seq, depth))
     }
 
     /// Blocks until a micro-batch is ready and returns it, or `None` once
     /// the scheduler is draining and the queue is empty (worker exit).
-    pub(crate) fn next_batch(&self) -> Option<Vec<Pending>> {
+    pub(crate) fn next_batch(&self) -> Option<Batch> {
         let mut st = self.state.lock().expect("scheduler lock poisoned");
         loop {
             if let Some(front) = st.queue.front() {
                 let same_model = st.queue.iter().filter(|p| p.model == front.model).count();
-                let deadline = front.enqueued + self.policy.max_wait;
+                let front_enqueued = front.enqueued;
+                let deadline = front_enqueued + self.policy.max_wait;
                 let now = self.clock.now();
                 if st.draining || same_model >= self.policy.max_batch || now >= deadline {
                     let target = front.model.clone();
@@ -195,7 +219,11 @@ impl BatchScheduler {
                         // Another model's requests may already be ready.
                         self.ready.notify_one();
                     }
-                    return Some(batch);
+                    return Some(Batch {
+                        requests: batch,
+                        dispatched: now,
+                        front_enqueued,
+                    });
                 }
                 // Not ready: sleep until the deadline (system clock) or
                 // poll the logical clock (manual clock in tests).

@@ -14,18 +14,27 @@
 //! falls out of the PR 3/4 invariants — the packed GEMM accumulates
 //! ascending-k per output element and every other stage is per-sample —
 //! and the serve test battery enforces it across the thread matrix.
+//!
+//! Observability (PR 6): every request carries a dense admission
+//! sequence number; workers time each lifecycle stage (queue wait,
+//! batch-coalescing wait, compute) on the injected clock and, under
+//! [`Server::start_observed`], feed completions into windowed per-class
+//! counters with drift detection against a calibration baseline. The
+//! derived artifacts — [`RequestTrace`]s, metrics snapshots, drift
+//! reports — are deterministic at any worker count.
 
 use crate::clock::{ServeClock, SystemClock};
 use crate::error::{Result, ServeError};
+use crate::observe::{render_snapshot, render_trace_jsonl, ObserveConfig, RequestTrace};
 use crate::registry::{Engine, LoadedModel, ModelHandle, ModelRegistry};
-use crate::scheduler::{BatchPolicy, BatchScheduler, Pending};
-use cbq_resilience::ByteWriter;
-use cbq_telemetry::{Histogram, Telemetry};
+use crate::scheduler::{Batch, BatchPolicy, BatchScheduler, Pending};
+use cbq_resilience::{atomic_write_text, ByteWriter};
+use cbq_telemetry::{ClassWindow, DriftDetector, DriftReport, Histogram, Telemetry, WindowSet};
 use cbq_tensor::{parallel, Scratch};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, TryRecvError};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -120,8 +129,25 @@ pub struct ServeStats {
     pub batches: u64,
     /// Largest micro-batch observed.
     pub largest_batch: usize,
-    /// Per-request latency distribution (µs buckets).
+    /// Per-request latency distribution (µs buckets), admission to
+    /// response.
     pub latency: Histogram,
+    /// Admission-to-dispatch wait per request.
+    pub queue_wait: Histogram,
+    /// Coalescing wait of each request's batch (dispatch minus the
+    /// *oldest* member's admission — how long batching held the batch).
+    pub batch_wait: Histogram,
+    /// Dispatch-to-response compute time per request.
+    pub compute: Histogram,
+    /// Sealed per-class windows (admission order), when observation was
+    /// on; trailing partial windows are sealed at drain.
+    pub windows: Vec<ClassWindow>,
+    /// Drift verdicts, one per sealed window, when a baseline was set.
+    pub drift: Vec<DriftReport>,
+    /// Request traces sorted by admission sequence, when tracing was on.
+    pub traces: Vec<RequestTrace>,
+    /// Metrics snapshot files written (seal events plus the final one).
+    pub snapshot_writes: u64,
     /// Scratch pool misses on the steady-state request path — fresh
     /// allocations *after* each worker slot's warm-up pass. The zero
     /// target is the PR 4 discipline, gated by the load-gen bench.
@@ -132,12 +158,147 @@ pub struct ServeStats {
 
 struct WorkerReport {
     latency: Histogram,
+    queue_wait: Histogram,
+    batch_wait: Histogram,
+    compute: Histogram,
+    traces: Vec<RequestTrace>,
     completed: u64,
     failed: u64,
     batches: u64,
     largest_batch: usize,
     steady_pool_misses: u64,
     total_pool_misses: u64,
+}
+
+impl WorkerReport {
+    fn new() -> Self {
+        WorkerReport {
+            latency: Histogram::new(),
+            queue_wait: Histogram::new(),
+            batch_wait: Histogram::new(),
+            compute: Histogram::new(),
+            traces: Vec::new(),
+            completed: 0,
+            failed: 0,
+            batches: 0,
+            largest_batch: 0,
+            steady_pool_misses: 0,
+            total_pool_misses: 0,
+        }
+    }
+}
+
+/// Shared observation state: the windowed per-class counters and the
+/// drift verdicts. One mutex, locked once per *completion* (not per
+/// batch poll); sealing, drift evaluation, gauge emission, and snapshot
+/// writes all happen under it so a snapshot never shows a sealed window
+/// without its drift verdict.
+struct Observer {
+    config: ObserveConfig,
+    detector: Option<DriftDetector>,
+    telemetry: Telemetry,
+    state: Mutex<ObserverState>,
+}
+
+struct ObserverState {
+    windows: WindowSet,
+    drift: Vec<DriftReport>,
+    snapshot_writes: u64,
+}
+
+impl Observer {
+    fn new(config: ObserveConfig, telemetry: Telemetry) -> Result<Observer> {
+        let detector = match &config.baseline {
+            Some(mix) => Some(
+                DriftDetector::new(mix, config.drift.clone()).ok_or_else(|| {
+                    ServeError::InvalidConfig(
+                        "drift baseline must be finite nonnegative weights with a positive sum"
+                            .into(),
+                    )
+                })?,
+            ),
+            None => None,
+        };
+        let windows = WindowSet::new(config.classes, config.window);
+        Ok(Observer {
+            detector,
+            telemetry,
+            state: Mutex::new(ObserverState {
+                windows,
+                drift: Vec::new(),
+                snapshot_writes: 0,
+            }),
+            config,
+        })
+    }
+
+    fn record(&self, seq: u64, predicted: usize, label: Option<usize>, latency_us: u64) {
+        let mut st = self.state.lock().expect("observer lock poisoned");
+        let sealed = st.windows.record(seq, predicted, label, latency_us);
+        self.on_sealed(&mut st, &sealed);
+    }
+
+    fn record_error(&self, seq: u64) {
+        let mut st = self.state.lock().expect("observer lock poisoned");
+        let sealed = st.windows.record_error(seq);
+        self.on_sealed(&mut st, &sealed);
+    }
+
+    fn on_sealed(&self, st: &mut ObserverState, sealed: &[u64]) {
+        if sealed.is_empty() {
+            return;
+        }
+        for &idx in sealed {
+            self.telemetry.counter_add("serve.windows_sealed", 1);
+            if let Some(detector) = &self.detector {
+                let window = st
+                    .windows
+                    .sealed()
+                    .iter()
+                    .rev()
+                    .find(|w| w.index == idx)
+                    .expect("window sealed just now");
+                let report = detector.evaluate(window);
+                self.telemetry.gauge("serve.drift.l1", report.l1);
+                self.telemetry.gauge("serve.drift.chi2", report.chi2);
+                self.telemetry.gauge(
+                    "serve.drift.flagged",
+                    if report.flagged { 1.0 } else { 0.0 },
+                );
+                if report.flagged {
+                    self.telemetry.counter_add("serve.drift.flags", 1);
+                }
+                st.drift.push(report);
+            }
+        }
+        self.write_snapshot(st);
+    }
+
+    fn write_snapshot(&self, st: &mut ObserverState) {
+        if let Some(path) = &self.config.metrics_path {
+            let doc = render_snapshot(&st.windows, &st.drift);
+            if atomic_write_text(path, &doc).is_ok() {
+                st.snapshot_writes += 1;
+            }
+        }
+    }
+
+    /// Seals trailing partial windows, evaluates their drift, writes the
+    /// final snapshot, and returns the complete observation record.
+    fn finalize(&self) -> (Vec<ClassWindow>, Vec<DriftReport>, u64) {
+        let mut st = self.state.lock().expect("observer lock poisoned");
+        let sealed = st.windows.finalize();
+        self.on_sealed(&mut st, &sealed);
+        if sealed.is_empty() {
+            // No new windows, but the final snapshot must still exist.
+            self.write_snapshot(&mut st);
+        }
+        (
+            st.windows.sealed().to_vec(),
+            st.drift.clone(),
+            st.snapshot_writes,
+        )
+    }
 }
 
 /// The micro-batching inference server.
@@ -150,6 +311,7 @@ pub struct Server {
     registry: Arc<ModelRegistry>,
     clock: Arc<dyn ServeClock>,
     telemetry: Telemetry,
+    observer: Option<Arc<Observer>>,
     handles: Vec<JoinHandle<WorkerReport>>,
     next_id: AtomicU64,
     workers: usize,
@@ -165,17 +327,32 @@ impl std::fmt::Debug for Server {
 }
 
 impl Server {
-    /// Starts the worker pool with an explicit clock and telemetry.
+    /// Starts the worker pool with an explicit clock, telemetry, and
+    /// per-class observation config.
     ///
     /// # Errors
     ///
-    /// [`ServeError::InvalidConfig`] for an invalid policy.
-    pub fn start_with(
+    /// [`ServeError::InvalidConfig`] for an invalid policy, a degenerate
+    /// drift baseline, or observation outputs requested with observation
+    /// disabled.
+    pub fn start_observed(
         registry: Arc<ModelRegistry>,
         config: ServerConfig,
         clock: Arc<dyn ServeClock>,
         telemetry: Telemetry,
+        observe: ObserveConfig,
     ) -> Result<Server> {
+        let observer = if observe.enabled() {
+            Some(Arc::new(Observer::new(observe, telemetry.clone())?))
+        } else {
+            if observe.trace || observe.trace_path.is_some() || observe.metrics_path.is_some() {
+                return Err(ServeError::InvalidConfig(
+                    "traces/metrics outputs need observation enabled (classes and window > 0)"
+                        .into(),
+                ));
+            }
+            None
+        };
         let workers = if config.workers == 0 {
             parallel::worker_count()
         } else {
@@ -188,10 +365,11 @@ impl Server {
             let registry = registry.clone();
             let clock = clock.clone();
             let telemetry = telemetry.clone();
+            let observer = observer.clone();
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("cbq-serve-{idx}"))
-                    .spawn(move || worker_loop(scheduler, registry, clock, telemetry))
+                    .spawn(move || worker_loop(scheduler, registry, clock, telemetry, observer))
                     .expect("spawn serve worker"),
             );
         }
@@ -201,10 +379,32 @@ impl Server {
             registry,
             clock,
             telemetry,
+            observer,
             handles,
             next_id: AtomicU64::new(1),
             workers,
         })
+    }
+
+    /// Starts the worker pool with an explicit clock and telemetry, no
+    /// per-class observation.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidConfig`] for an invalid policy.
+    pub fn start_with(
+        registry: Arc<ModelRegistry>,
+        config: ServerConfig,
+        clock: Arc<dyn ServeClock>,
+        telemetry: Telemetry,
+    ) -> Result<Server> {
+        Self::start_observed(
+            registry,
+            config,
+            clock,
+            telemetry,
+            ObserveConfig::disabled(),
+        )
     }
 
     /// Starts with the system clock and the given telemetry.
@@ -243,7 +443,7 @@ impl Server {
     /// [`ServeError::ShuttingDown`]) and request validation errors.
     pub fn submit(&self, model: &ModelHandle, sample: Vec<f32>) -> Result<Ticket> {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        self.submit_with_id(id, model, sample)
+        self.submit_request(id, model, sample, None)
     }
 
     /// Submits a sample with a caller-chosen id (replayable logs).
@@ -252,6 +452,39 @@ impl Server {
     ///
     /// Same conditions as [`Server::submit`].
     pub fn submit_with_id(&self, id: u64, model: &ModelHandle, sample: Vec<f32>) -> Result<Ticket> {
+        self.submit_request(id, model, sample, None)
+    }
+
+    /// Submits a sample with its ground-truth class, feeding the
+    /// per-class accuracy telemetry (auto-assigned id).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Server::submit`].
+    pub fn submit_labeled(
+        &self,
+        model: &ModelHandle,
+        sample: Vec<f32>,
+        label: usize,
+    ) -> Result<Ticket> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.submit_request(id, model, sample, Some(label))
+    }
+
+    /// Full-control submission: caller-chosen id plus an optional
+    /// ground-truth class for accuracy telemetry.
+    ///
+    /// # Errors
+    ///
+    /// Admission errors ([`ServeError::Overloaded`],
+    /// [`ServeError::ShuttingDown`]) and request validation errors.
+    pub fn submit_request(
+        &self,
+        id: u64,
+        model: &ModelHandle,
+        sample: Vec<f32>,
+        label: Option<usize>,
+    ) -> Result<Ticket> {
         let loaded = self.registry.get(model)?;
         if sample.len() != loaded.input_len() {
             return Err(ServeError::BadRequest(format!(
@@ -266,11 +499,13 @@ impl Server {
             id,
             model: model.clone(),
             sample,
+            seq: 0, // assigned under the scheduler lock
+            label,
             enqueued: self.clock.now(),
             reply: tx,
         });
         match outcome {
-            Ok(depth) => {
+            Ok((_seq, depth)) => {
                 self.telemetry.gauge("serve.queue_depth", depth as f64);
                 Ok(Ticket { rx })
             }
@@ -306,7 +541,6 @@ impl Server {
         }
         let _span = self.telemetry.span("serve.drain");
         self.scheduler.drain();
-        let mut latency = Histogram::new();
         let mut stats = ServeStats {
             workers: self.workers,
             accepted: 0,
@@ -316,12 +550,23 @@ impl Server {
             batches: 0,
             largest_batch: 0,
             latency: Histogram::new(),
+            queue_wait: Histogram::new(),
+            batch_wait: Histogram::new(),
+            compute: Histogram::new(),
+            windows: Vec::new(),
+            drift: Vec::new(),
+            traces: Vec::new(),
+            snapshot_writes: 0,
             steady_pool_misses: 0,
             total_pool_misses: 0,
         };
         for handle in std::mem::take(&mut self.handles) {
             let report = handle.join().expect("serve worker panicked");
-            latency.merge(&report.latency);
+            stats.latency.merge(&report.latency);
+            stats.queue_wait.merge(&report.queue_wait);
+            stats.batch_wait.merge(&report.batch_wait);
+            stats.compute.merge(&report.compute);
+            stats.traces.extend(report.traces);
             stats.completed += report.completed;
             stats.failed += report.failed;
             stats.batches += report.batches;
@@ -332,14 +577,33 @@ impl Server {
         let (accepted, rejected) = self.scheduler.admission_counts();
         stats.accepted = accepted;
         stats.rejected = rejected;
-        stats.latency = latency;
+        // Workers have all exited: every completion is in. Seal trailing
+        // partials, close out drift, and write the derived artifacts.
+        if let Some(observer) = &self.observer {
+            let (windows, drift, snapshot_writes) = observer.finalize();
+            stats.windows = windows;
+            stats.drift = drift;
+            stats.snapshot_writes = snapshot_writes;
+            stats.traces.sort_by_key(|t| t.seq);
+            if let Some(path) = &observer.config.trace_path {
+                let _ = atomic_write_text(path, &render_trace_jsonl(&stats.traces));
+            }
+        }
+        for (name, q) in [
+            ("serve.latency_p50_us", 0.5),
+            ("serve.latency_p95_us", 0.95),
+            ("serve.latency_p99_us", 0.99),
+        ] {
+            self.telemetry
+                .gauge(name, stats.latency.quantile_us(q) as f64);
+        }
         self.telemetry.gauge(
-            "serve.latency_p50_us",
-            stats.latency.quantile_us(0.5) as f64,
+            "serve.queue_wait_p99_us",
+            stats.queue_wait.quantile_us(0.99) as f64,
         );
         self.telemetry.gauge(
-            "serve.latency_p99_us",
-            stats.latency.quantile_us(0.99) as f64,
+            "serve.compute_p99_us",
+            stats.compute.quantile_us(0.99) as f64,
         );
         self.telemetry
             .gauge("serve.steady_pool_misses", stats.steady_pool_misses as f64);
@@ -386,29 +650,82 @@ fn make_slot(model: &LoadedModel, max_batch: usize) -> Slot {
     }
 }
 
+fn duration_us(d: Duration) -> u64 {
+    d.as_micros().min(u128::from(u64::MAX)) as u64
+}
+
+/// Builds the trace for one finished request and feeds the observer's
+/// windows; shared by the success and failure paths.
+#[allow(clippy::too_many_arguments)]
+fn observe_done(
+    observer: &Option<Arc<Observer>>,
+    report: &mut WorkerReport,
+    pending: &Pending,
+    predicted: Option<usize>,
+    dispatched: Duration,
+    front_enqueued: Duration,
+    completed: Duration,
+    batch_size: usize,
+) {
+    let Some(observer) = observer else { return };
+    let latency_us = duration_us(completed.saturating_sub(pending.enqueued));
+    match predicted {
+        Some(class) => observer.record(pending.seq, class, pending.label, latency_us),
+        None => observer.record_error(pending.seq),
+    }
+    if observer.config.tracing() {
+        report.traces.push(RequestTrace {
+            seq: pending.seq,
+            id: pending.id,
+            model: pending.model.to_string(),
+            window: pending.seq / observer.config.window,
+            enqueued_us: duration_us(pending.enqueued),
+            dispatched_us: duration_us(dispatched),
+            completed_us: duration_us(completed),
+            queue_wait_us: duration_us(dispatched.saturating_sub(pending.enqueued)),
+            batch_wait_us: duration_us(dispatched.saturating_sub(front_enqueued)),
+            compute_us: duration_us(completed.saturating_sub(dispatched)),
+            batch_size,
+            predicted,
+            label: pending.label,
+            ok: predicted.is_some(),
+        });
+    }
+}
+
 fn worker_loop(
     scheduler: Arc<BatchScheduler>,
     registry: Arc<ModelRegistry>,
     clock: Arc<dyn ServeClock>,
     telemetry: Telemetry,
+    observer: Option<Arc<Observer>>,
 ) -> WorkerReport {
     let max_batch = scheduler.policy().max_batch;
     let mut slots: HashMap<(String, u64), Slot> = HashMap::new();
-    let mut report = WorkerReport {
-        latency: Histogram::new(),
-        completed: 0,
-        failed: 0,
-        batches: 0,
-        largest_batch: 0,
-        steady_pool_misses: 0,
-        total_pool_misses: 0,
-    };
+    let mut report = WorkerReport::new();
     while let Some(batch) = scheduler.next_batch() {
-        let handle = batch[0].model.clone();
+        let Batch {
+            requests,
+            dispatched,
+            front_enqueued,
+        } = batch;
+        let m = requests.len();
+        let handle = requests[0].model.clone();
         let model = match registry.get(&handle) {
             Ok(m) => m,
             Err(e) => {
-                for pending in batch {
+                let completed = clock.now();
+                for pending in requests {
+                    observe_done(
+                        &observer,
+                        &mut report,
+                        &pending,
+                        None,
+                        dispatched,
+                        front_enqueued,
+                        completed,
+                        m,
+                    );
                     let _ = pending.reply.send(Err(e.clone()));
                     report.failed += 1;
                 }
@@ -419,10 +736,9 @@ fn worker_loop(
         let slot = slots
             .entry(key)
             .or_insert_with(|| make_slot(&model, max_batch));
-        let m = batch.len();
         let row = model.input_len();
         let mut input = slot.scratch.take_f32(m * row);
-        for (r, pending) in batch.iter().enumerate() {
+        for (r, pending) in requests.iter().enumerate() {
             input[r * row..(r + 1) * row].copy_from_slice(&pending.sample);
         }
         let outcome = slot
@@ -432,12 +748,12 @@ fn worker_loop(
         report.batches += 1;
         report.largest_batch = report.largest_batch.max(m);
         telemetry.counter_add("serve.batches", 1);
+        let completed = clock.now();
         match outcome {
             Ok(logits) => {
                 let classes = logits.shape()[1];
                 let ls = logits.as_slice();
-                let now = clock.now();
-                for (r, pending) in batch.into_iter().enumerate() {
+                for (r, pending) in requests.into_iter().enumerate() {
                     let row_logits = &ls[r * classes..(r + 1) * classes];
                     let mut best = 0;
                     for (i, &v) in row_logits.iter().enumerate() {
@@ -445,8 +761,25 @@ fn worker_loop(
                             best = i;
                         }
                     }
-                    let latency = now.saturating_sub(pending.enqueued);
+                    let latency = completed.saturating_sub(pending.enqueued);
                     report.latency.record(latency);
+                    report
+                        .queue_wait
+                        .record(dispatched.saturating_sub(pending.enqueued));
+                    report
+                        .batch_wait
+                        .record(dispatched.saturating_sub(front_enqueued));
+                    report.compute.record(completed.saturating_sub(dispatched));
+                    observe_done(
+                        &observer,
+                        &mut report,
+                        &pending,
+                        Some(best),
+                        dispatched,
+                        front_enqueued,
+                        completed,
+                        m,
+                    );
                     let _ = pending.reply.send(Ok(InferResponse {
                         id: pending.id,
                         model: handle.name().to_string(),
@@ -462,7 +795,17 @@ fn worker_loop(
                 telemetry.counter_add("serve.completed", m as u64);
             }
             Err(e) => {
-                for pending in batch {
+                for pending in requests {
+                    observe_done(
+                        &observer,
+                        &mut report,
+                        &pending,
+                        None,
+                        dispatched,
+                        front_enqueued,
+                        completed,
+                        m,
+                    );
                     let _ = pending.reply.send(Err(e.clone()));
                     report.failed += 1;
                 }

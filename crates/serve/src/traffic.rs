@@ -1,0 +1,192 @@
+//! Deterministic synthetic traffic with a controllable class mix.
+//!
+//! The drift bench and the observability tests need traffic whose class
+//! mix is *exact*, not sampled: a stationary phase must produce windows
+//! whose observed mix equals the baseline to the last count (so the
+//! zero-false-positive gate is robust), and a scheduled shift must move
+//! the mix by a known amount. So there is no RNG anywhere — per-window
+//! class counts come from largest-remainder apportionment and the
+//! interleaving is a greedy most-remaining-first schedule, both with
+//! ties broken by class index.
+
+use crate::error::{Result, ServeError};
+
+/// Deterministic labeled-sample source: per-class pools fed round-robin
+/// into windows with an exactly-apportioned class mix.
+#[derive(Debug, Clone)]
+pub struct TrafficGenerator {
+    pools: Vec<Vec<Vec<f32>>>,
+    cursors: Vec<usize>,
+}
+
+/// Largest-remainder apportionment of `n` requests over `mix` (ties by
+/// class index): the counts sum to exactly `n` and are the closest
+/// integer realization of the mix.
+pub fn apportion(mix: &[f64], n: usize) -> Vec<usize> {
+    let total: f64 = mix.iter().sum();
+    if mix.is_empty() || total <= 0.0 {
+        return vec![0; mix.len()];
+    }
+    let quotas: Vec<f64> = mix.iter().map(|&p| p / total * n as f64).collect();
+    let mut counts: Vec<usize> = quotas.iter().map(|&q| q.floor() as usize).collect();
+    let assigned: usize = counts.iter().sum();
+    // Hand the leftover slots to the largest remainders, ties by index.
+    let mut order: Vec<usize> = (0..mix.len()).collect();
+    order.sort_by(|&a, &b| {
+        let ra = quotas[a] - quotas[a].floor();
+        let rb = quotas[b] - quotas[b].floor();
+        rb.partial_cmp(&ra)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    for &c in order.iter().cycle().take(n - assigned) {
+        counts[c] += 1;
+    }
+    counts
+}
+
+/// The class mix `apportion` actually realizes for `(mix, n)` — exact
+/// fractions, suitable as a drift baseline that makes stationary windows
+/// score an L1 of exactly zero.
+pub fn achieved_mix(mix: &[f64], n: usize) -> Vec<f64> {
+    apportion(mix, n)
+        .into_iter()
+        .map(|c| c as f64 / n.max(1) as f64)
+        .collect()
+}
+
+impl TrafficGenerator {
+    /// Builds per-class pools from labeled samples. Labels at or beyond
+    /// `classes` are rejected, as is any class left without samples —
+    /// every class must be producible on demand.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidConfig`] on zero classes, out-of-range
+    /// labels, or an empty class pool.
+    pub fn new(samples: &[(Vec<f32>, usize)], classes: usize) -> Result<TrafficGenerator> {
+        if classes == 0 {
+            return Err(ServeError::InvalidConfig(
+                "traffic generator needs at least one class".into(),
+            ));
+        }
+        let mut pools = vec![Vec::new(); classes];
+        for (sample, label) in samples {
+            let pool = pools.get_mut(*label).ok_or_else(|| {
+                ServeError::InvalidConfig(format!(
+                    "label {label} out of range for {classes} classes"
+                ))
+            })?;
+            pool.push(sample.clone());
+        }
+        if let Some(empty) = pools.iter().position(Vec::is_empty) {
+            return Err(ServeError::InvalidConfig(format!(
+                "class {empty} has no samples to draw from"
+            )));
+        }
+        Ok(TrafficGenerator {
+            cursors: vec![0; classes],
+            pools,
+        })
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.pools.len()
+    }
+
+    /// Produces one window of `n` labeled samples at class mix `mix`
+    /// (weights beyond `classes` are ignored; missing weights count as
+    /// zero). Counts are exact per [`apportion`]; classes interleave
+    /// most-remaining-first; samples come round-robin from each class
+    /// pool, with cursors persisting across windows.
+    pub fn window(&mut self, mix: &[f64], n: usize) -> Vec<(Vec<f32>, usize)> {
+        let mut weights = vec![0.0; self.pools.len()];
+        for (w, &m) in weights.iter_mut().zip(mix.iter()) {
+            *w = m;
+        }
+        let mut remaining = apportion(&weights, n);
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let c = remaining
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+                .map(|(c, _)| c)
+                .expect("at least one class");
+            if remaining[c] == 0 {
+                break; // mix summed to zero: nothing left to emit
+            }
+            remaining[c] -= 1;
+            let pool = &self.pools[c];
+            let sample = pool[self.cursors[c] % pool.len()].clone();
+            self.cursors[c] += 1;
+            out.push((sample, c));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labeled(classes: usize, per_class: usize, features: usize) -> Vec<(Vec<f32>, usize)> {
+        let mut out = Vec::new();
+        for c in 0..classes {
+            for k in 0..per_class {
+                out.push((vec![(c * 10 + k) as f32; features], c));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn apportionment_is_exact_and_tie_stable() {
+        assert_eq!(apportion(&[0.5, 0.25, 0.25], 8), vec![4, 2, 2]);
+        assert_eq!(apportion(&[1.0, 1.0, 1.0], 8), vec![3, 3, 2]);
+        assert_eq!(apportion(&[0.0, 1.0], 5), vec![0, 5]);
+        let counts = apportion(&[0.3, 0.3, 0.4], 7);
+        assert_eq!(counts.iter().sum::<usize>(), 7);
+        assert_eq!(achieved_mix(&[0.5, 0.5], 4), vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn windows_realize_the_mix_exactly_and_deterministically() {
+        // Three samples per class: window counts (4, 2, 2) leave every
+        // cursor mid-pool, so the next window must draw different rows.
+        let data = labeled(3, 3, 4);
+        let mut gen = TrafficGenerator::new(&data, 3).unwrap();
+        let w = gen.window(&[0.5, 0.25, 0.25], 8);
+        assert_eq!(w.len(), 8);
+        let mut counts = [0usize; 3];
+        for (_, label) in &w {
+            counts[*label] += 1;
+        }
+        assert_eq!(counts, [4, 2, 2]);
+        // Fresh generator, same calls, same bytes.
+        let mut gen2 = TrafficGenerator::new(&data, 3).unwrap();
+        assert_eq!(gen2.window(&[0.5, 0.25, 0.25], 8), w);
+        // Cursors persist: the next window reuses the pool round-robin.
+        let w2 = gen.window(&[0.5, 0.25, 0.25], 8);
+        assert_ne!(w, w2, "pools rotate across windows");
+    }
+
+    #[test]
+    fn interleaving_spreads_classes() {
+        let mut gen = TrafficGenerator::new(&labeled(2, 1, 1), 2).unwrap();
+        let labels: Vec<usize> = gen.window(&[0.5, 0.5], 6).iter().map(|s| s.1).collect();
+        // Most-remaining-first alternates under an even mix.
+        assert_eq!(labels, vec![0, 1, 0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn bad_inputs_are_rejected() {
+        assert!(TrafficGenerator::new(&labeled(2, 1, 1), 0).is_err());
+        assert!(TrafficGenerator::new(&[(vec![1.0], 5)], 2).is_err());
+        assert!(
+            TrafficGenerator::new(&[(vec![1.0], 0)], 2).is_err(),
+            "class 1 has no samples"
+        );
+    }
+}

@@ -1,0 +1,415 @@
+//! Windowed per-class traffic counters with order-independent merges.
+//!
+//! The serving runtime needs to observe *which classes it actually sees*
+//! (the paper allocates bit-widths by class importance, so the observed
+//! class mix is the production signal for re-scoring). Observations are
+//! grouped into fixed-size **windows by admission sequence**, not by
+//! time or completion order: request `seq` belongs to window
+//! `seq / window_size`. Admission order is fixed by the submitting
+//! client, so window *membership* never depends on worker scheduling —
+//! and every per-window quantity below is either an integer counter
+//! (addition commutes) or a float derived from merged integers in
+//! ascending class order. Sealed-window snapshots are therefore
+//! bit-identical at any worker count.
+
+use crate::histogram::Histogram;
+use std::collections::BTreeMap;
+
+/// Per-class counters for one admission-sequence window.
+///
+/// All mutation is integer-only; derived rates ([`ClassWindow::mix`],
+/// [`ClassWindow::accuracy`]) are computed from the final integers in
+/// ascending class order, so merge order can never change their bits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassWindow {
+    /// Window index (`admission_seq / window_size`).
+    pub index: u64,
+    /// Requests completed successfully in this window.
+    pub completed: u64,
+    /// Requests that failed execution in this window.
+    pub errors: u64,
+    /// Latency distribution of the window's completed requests.
+    pub latency: Histogram,
+    predicted: Vec<u64>,
+    labeled: Vec<u64>,
+    correct: Vec<u64>,
+}
+
+impl ClassWindow {
+    /// Creates an empty window over `classes` classes.
+    pub fn new(index: u64, classes: usize) -> ClassWindow {
+        ClassWindow {
+            index,
+            completed: 0,
+            errors: 0,
+            latency: Histogram::new(),
+            predicted: vec![0; classes],
+            labeled: vec![0; classes],
+            correct: vec![0; classes],
+        }
+    }
+
+    /// Number of classes tracked.
+    pub fn classes(&self) -> usize {
+        self.predicted.len()
+    }
+
+    /// Records one completed request: the predicted class, the true
+    /// label when the caller supplied one (shadow/replay traffic), and
+    /// the request latency in microseconds. Out-of-range classes are
+    /// clamped into the last bucket rather than dropped, so totals
+    /// always reconcile with `completed`.
+    pub fn record(&mut self, predicted: usize, label: Option<usize>, latency_us: u64) {
+        let last = self.predicted.len().saturating_sub(1);
+        self.predicted[predicted.min(last)] += 1;
+        if let Some(label) = label {
+            let l = label.min(last);
+            self.labeled[l] += 1;
+            if label == predicted {
+                self.correct[l] += 1;
+            }
+        }
+        self.completed += 1;
+        self.latency.record_us(latency_us);
+    }
+
+    /// Records one request that failed execution (counted so the window
+    /// still seals when every member has resolved).
+    pub fn record_error(&mut self) {
+        self.errors += 1;
+    }
+
+    /// Requests resolved (completed or errored).
+    pub fn resolved(&self) -> u64 {
+        self.completed + self.errors
+    }
+
+    /// Per-class predicted-traffic counts.
+    pub fn predicted(&self) -> &[u64] {
+        &self.predicted
+    }
+
+    /// Per-class labeled-request counts.
+    pub fn labeled(&self) -> &[u64] {
+        &self.labeled
+    }
+
+    /// Per-class correct-prediction counts.
+    pub fn correct(&self) -> &[u64] {
+        &self.correct
+    }
+
+    /// Merges another window's counters into this one. Integer adds
+    /// only: merging in any order yields identical state.
+    ///
+    /// # Panics
+    ///
+    /// When class counts differ.
+    pub fn merge(&mut self, other: &ClassWindow) {
+        assert_eq!(
+            self.predicted.len(),
+            other.predicted.len(),
+            "merging windows over different class counts"
+        );
+        self.completed += other.completed;
+        self.errors += other.errors;
+        self.latency.merge(&other.latency);
+        for (a, b) in self.predicted.iter_mut().zip(&other.predicted) {
+            *a += b;
+        }
+        for (a, b) in self.labeled.iter_mut().zip(&other.labeled) {
+            *a += b;
+        }
+        for (a, b) in self.correct.iter_mut().zip(&other.correct) {
+            *a += b;
+        }
+    }
+
+    /// Observed class mix: predicted counts normalized to probabilities,
+    /// ascending class order (all zeros when the window is empty).
+    pub fn mix(&self) -> Vec<f64> {
+        let n = self.completed;
+        self.predicted
+            .iter()
+            .map(|&c| if n == 0 { 0.0 } else { c as f64 / n as f64 })
+            .collect()
+    }
+
+    /// Per-class accuracy over labeled requests, `None` when the window
+    /// saw no labels. Classes with no labeled requests report 0.
+    pub fn accuracy(&self) -> Option<Vec<f64>> {
+        if self.labeled.iter().all(|&n| n == 0) {
+            return None;
+        }
+        Some(
+            self.correct
+                .iter()
+                .zip(&self.labeled)
+                .map(|(&c, &n)| if n == 0 { 0.0 } else { c as f64 / n as f64 })
+                .collect(),
+        )
+    }
+
+    /// Overall accuracy over labeled requests (`None` without labels).
+    pub fn overall_accuracy(&self) -> Option<f64> {
+        let labeled: u64 = self.labeled.iter().sum();
+        if labeled == 0 {
+            return None;
+        }
+        let correct: u64 = self.correct.iter().sum();
+        Some(correct as f64 / labeled as f64)
+    }
+}
+
+/// Windows keyed by admission sequence, sealed strictly in index order.
+///
+/// A window **seals** once all `window_size` of its members have
+/// resolved (completed or errored) and every earlier window has sealed;
+/// [`WindowSet::finalize`] seals trailing partial windows at drain.
+/// Because membership is fixed at admission and sealing is in-order,
+/// the sealed prefix at any point is a pure function of the completed
+/// request set — independent of worker count or completion order.
+#[derive(Debug)]
+pub struct WindowSet {
+    classes: usize,
+    window_size: u64,
+    open: BTreeMap<u64, ClassWindow>,
+    sealed: Vec<ClassWindow>,
+    next_seal: u64,
+}
+
+impl WindowSet {
+    /// Creates an empty set of `window_size`-request windows over
+    /// `classes` classes. Both must be nonzero.
+    ///
+    /// # Panics
+    ///
+    /// On a zero class count or window size.
+    pub fn new(classes: usize, window_size: u64) -> WindowSet {
+        assert!(classes > 0, "WindowSet needs at least one class");
+        assert!(window_size > 0, "WindowSet needs a nonzero window size");
+        WindowSet {
+            classes,
+            window_size,
+            open: BTreeMap::new(),
+            sealed: Vec::new(),
+            next_seal: 0,
+        }
+    }
+
+    /// Requests per window.
+    pub fn window_size(&self) -> u64 {
+        self.window_size
+    }
+
+    /// Number of classes tracked.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// The window index an admission sequence number belongs to.
+    pub fn window_of(&self, seq: u64) -> u64 {
+        seq / self.window_size
+    }
+
+    /// Records a completed request into its window and returns the
+    /// indices of any windows that sealed as a result (ascending).
+    pub fn record(
+        &mut self,
+        seq: u64,
+        predicted: usize,
+        label: Option<usize>,
+        latency_us: u64,
+    ) -> Vec<u64> {
+        let w = self.window_of(seq);
+        let classes = self.classes;
+        self.open
+            .entry(w)
+            .or_insert_with(|| ClassWindow::new(w, classes))
+            .record(predicted, label, latency_us);
+        self.try_seal()
+    }
+
+    /// Records a failed request into its window (same sealing rules).
+    pub fn record_error(&mut self, seq: u64) -> Vec<u64> {
+        let w = self.window_of(seq);
+        let classes = self.classes;
+        self.open
+            .entry(w)
+            .or_insert_with(|| ClassWindow::new(w, classes))
+            .record_error();
+        self.try_seal()
+    }
+
+    fn try_seal(&mut self) -> Vec<u64> {
+        let mut sealed_now = Vec::new();
+        while let Some(w) = self.open.get(&self.next_seal) {
+            if w.resolved() < self.window_size {
+                break;
+            }
+            let w = self.open.remove(&self.next_seal).expect("checked above");
+            sealed_now.push(w.index);
+            self.sealed.push(w);
+            self.next_seal += 1;
+        }
+        sealed_now
+    }
+
+    /// Seals every remaining window (trailing partials included) in
+    /// index order — called at drain, when no more requests can arrive.
+    /// Returns the newly sealed indices.
+    pub fn finalize(&mut self) -> Vec<u64> {
+        let mut sealed_now = Vec::new();
+        while let Some((&idx, _)) = self.open.iter().next() {
+            let w = self.open.remove(&idx).expect("key from iterator");
+            sealed_now.push(w.index);
+            self.sealed.push(w);
+        }
+        self.next_seal = self.sealed.last().map(|w| w.index + 1).unwrap_or(0);
+        sealed_now
+    }
+
+    /// Sealed windows, ascending index.
+    pub fn sealed(&self) -> &[ClassWindow] {
+        &self.sealed
+    }
+
+    /// Merge of all sealed windows (index 0): the cumulative view a
+    /// snapshot reports. Ascending fixed-order merge of commutative
+    /// integer counters — bit-identical however the windows were fed.
+    pub fn cumulative(&self) -> ClassWindow {
+        let mut total = ClassWindow::new(0, self.classes);
+        for w in &self.sealed {
+            total.merge(w);
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_mix_and_accuracy() {
+        let mut w = ClassWindow::new(0, 3);
+        w.record(0, Some(0), 10);
+        w.record(0, Some(1), 10);
+        w.record(2, Some(2), 20);
+        w.record(2, None, 20);
+        assert_eq!(w.completed, 4);
+        assert_eq!(w.predicted(), &[2, 0, 2]);
+        assert_eq!(w.labeled(), &[1, 1, 1]);
+        assert_eq!(w.correct(), &[1, 0, 1]);
+        assert_eq!(w.mix(), vec![0.5, 0.0, 0.5]);
+        assert_eq!(w.accuracy().unwrap(), vec![1.0, 0.0, 1.0]);
+        assert_eq!(w.overall_accuracy().unwrap(), 2.0 / 3.0);
+    }
+
+    #[test]
+    fn unlabeled_window_has_no_accuracy() {
+        let mut w = ClassWindow::new(0, 2);
+        w.record(1, None, 5);
+        assert_eq!(w.accuracy(), None);
+        assert_eq!(w.overall_accuracy(), None);
+        assert_eq!(w.mix(), vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn out_of_range_classes_clamp_into_last_bucket() {
+        let mut w = ClassWindow::new(0, 2);
+        w.record(9, Some(9), 1);
+        assert_eq!(w.predicted(), &[0, 1]);
+        assert_eq!(w.labeled(), &[0, 1]);
+        assert_eq!(w.completed, 1);
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let mut a = ClassWindow::new(0, 3);
+        let mut b = ClassWindow::new(0, 3);
+        a.record(0, Some(0), 10);
+        a.record(1, Some(0), 100);
+        b.record(2, None, 1000);
+        b.record_error();
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.resolved(), 4);
+    }
+
+    #[test]
+    fn windows_seal_in_order_when_full() {
+        let mut set = WindowSet::new(2, 4);
+        // Window 1 fills before window 0: nothing seals until 0 does.
+        for seq in 4..8 {
+            assert!(
+                set.record(seq, 0, None, 1).is_empty(),
+                "seq {seq} sealed early"
+            );
+        }
+        for seq in 0..3 {
+            assert!(
+                set.record(seq, 1, None, 1).is_empty(),
+                "seq {seq} sealed early"
+            );
+        }
+        let sealed = set.record(3, 1, None, 1);
+        assert_eq!(sealed, vec![0, 1], "both seal once the gap closes");
+        assert_eq!(set.sealed().len(), 2);
+        assert_eq!(set.sealed()[0].index, 0);
+        assert_eq!(set.sealed()[0].predicted(), &[0, 4]);
+        assert_eq!(set.sealed()[1].predicted(), &[4, 0]);
+    }
+
+    #[test]
+    fn errors_count_toward_sealing() {
+        let mut set = WindowSet::new(2, 2);
+        assert!(set.record(0, 0, None, 1).is_empty());
+        let sealed = set.record_error(1);
+        assert_eq!(sealed, vec![0]);
+        assert_eq!(set.sealed()[0].completed, 1);
+        assert_eq!(set.sealed()[0].errors, 1);
+    }
+
+    #[test]
+    fn finalize_seals_trailing_partials() {
+        let mut set = WindowSet::new(2, 4);
+        for seq in 0..4 {
+            set.record(seq, (seq % 2) as usize, None, 1);
+        }
+        set.record(5, 1, Some(1), 1); // window 1, partial
+
+        // Recording used sequences 0..4 then 5 — window 1 holds one entry.
+        let sealed = set.finalize();
+        assert_eq!(sealed, vec![1]);
+        assert_eq!(set.sealed().len(), 2);
+        let total = set.cumulative();
+        assert_eq!(total.completed, 5);
+    }
+
+    #[test]
+    fn interleaved_feeds_match_serial_accumulation() {
+        // Simulate two "workers" splitting the same completion set; the
+        // sealed windows must equal a serial single-feed run.
+        let completions: Vec<(u64, usize, Option<usize>, u64)> = (0..12)
+            .map(|seq| (seq, (seq % 3) as usize, Some((seq % 2) as usize), seq * 7))
+            .collect();
+        let mut serial = WindowSet::new(3, 4);
+        for &(seq, p, l, us) in &completions {
+            serial.record(seq, p, l, us);
+        }
+        let mut split = WindowSet::new(3, 4);
+        // Feed evens first, then odds — a maximally reordered schedule.
+        for &(seq, p, l, us) in completions.iter().filter(|c| c.0 % 2 == 0) {
+            split.record(seq, p, l, us);
+        }
+        for &(seq, p, l, us) in completions.iter().filter(|c| c.0 % 2 == 1) {
+            split.record(seq, p, l, us);
+        }
+        assert_eq!(serial.sealed(), split.sealed());
+        assert_eq!(serial.cumulative(), split.cumulative());
+    }
+}

@@ -1,0 +1,222 @@
+//! Class-mix drift detection over sealed windows.
+//!
+//! The paper's premise is that bit-widths should track class importance;
+//! when the *served* class distribution walks away from the mix the
+//! deployment was calibrated against, the arrangement is stale and the
+//! search should re-run (ROADMAP: hot requantization). The detector
+//! compares each sealed [`ClassWindow`]'s observed mix against a
+//! registered baseline with two complementary statistics:
+//!
+//! - **L1 distance** `Σ |p_obs(c) − p_base(c)|` — scale-free, bounded
+//!   `[0, 2]`, robust for coarse shifts;
+//! - **Pearson chi-square** `Σ (n_obs(c) − n·p_base(c))² / (n·p_base(c))`
+//!   — sample-size aware, sensitive to shifts concentrated in rare
+//!   classes (classes with zero baseline mass are excluded; the L1 term
+//!   still catches mass appearing there).
+//!
+//! Everything is computed from merged integer counters in ascending
+//! class order, so a [`DriftReport`] is bit-identical at any worker
+//! count.
+
+use crate::classes::ClassWindow;
+
+/// Thresholds for flagging a window as drifted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftConfig {
+    /// Flag when the L1 distance to the baseline exceeds this.
+    pub l1_threshold: f64,
+    /// Flag when the chi-square statistic exceeds this.
+    pub chi2_threshold: f64,
+    /// Windows with fewer completed requests than this are skipped
+    /// (never flagged): tiny samples make both statistics noise.
+    pub min_samples: u64,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        DriftConfig {
+            l1_threshold: 0.25,
+            chi2_threshold: 20.0,
+            min_samples: 16,
+        }
+    }
+}
+
+/// Verdict for one window: the statistics and whether they crossed a
+/// threshold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftReport {
+    /// Index of the evaluated window.
+    pub window: u64,
+    /// Completed requests the statistics were computed over.
+    pub samples: u64,
+    /// L1 distance between observed and baseline mix.
+    pub l1: f64,
+    /// Pearson chi-square of observed counts vs baseline expectation.
+    pub chi2: f64,
+    /// True when the window was too small to evaluate.
+    pub skipped: bool,
+    /// True when either statistic crossed its threshold.
+    pub flagged: bool,
+}
+
+/// Compares sealed windows against a baseline class mix.
+#[derive(Debug, Clone)]
+pub struct DriftDetector {
+    baseline: Vec<f64>,
+    config: DriftConfig,
+}
+
+impl DriftDetector {
+    /// Creates a detector from baseline class weights (any nonnegative
+    /// finite weights; they are normalized to probabilities). Returns
+    /// `None` when the weights are empty, negative, non-finite, or sum
+    /// to zero.
+    pub fn new(baseline: &[f64], config: DriftConfig) -> Option<DriftDetector> {
+        if baseline.is_empty() || baseline.iter().any(|&p| !p.is_finite() || p < 0.0) {
+            return None;
+        }
+        let sum: f64 = baseline.iter().sum();
+        if sum <= 0.0 {
+            return None;
+        }
+        Some(DriftDetector {
+            baseline: baseline.iter().map(|&p| p / sum).collect(),
+            config,
+        })
+    }
+
+    /// The normalized baseline mix.
+    pub fn baseline(&self) -> &[f64] {
+        &self.baseline
+    }
+
+    /// The active thresholds.
+    pub fn config(&self) -> &DriftConfig {
+        &self.config
+    }
+
+    /// Evaluates one sealed window. Class counts beyond the baseline's
+    /// length fold into its last class (mirroring [`ClassWindow`]'s
+    /// clamping); a window smaller than `min_samples` comes back
+    /// `skipped` and never flagged.
+    pub fn evaluate(&self, window: &ClassWindow) -> DriftReport {
+        let n = window.completed;
+        let mut observed = vec![0u64; self.baseline.len()];
+        let last = self.baseline.len() - 1;
+        for (c, &count) in window.predicted().iter().enumerate() {
+            observed[c.min(last)] += count;
+        }
+        let mut l1 = 0.0;
+        let mut chi2 = 0.0;
+        for (c, &base_p) in self.baseline.iter().enumerate() {
+            let obs_p = if n == 0 {
+                0.0
+            } else {
+                observed[c] as f64 / n as f64
+            };
+            l1 += (obs_p - base_p).abs();
+            if base_p > 0.0 && n > 0 {
+                let expected = n as f64 * base_p;
+                let diff = observed[c] as f64 - expected;
+                chi2 += diff * diff / expected;
+            }
+        }
+        let skipped = n < self.config.min_samples;
+        DriftReport {
+            window: window.index,
+            samples: n,
+            l1,
+            chi2,
+            skipped,
+            flagged: !skipped
+                && (l1 > self.config.l1_threshold || chi2 > self.config.chi2_threshold),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window_with(index: u64, counts: &[u64]) -> ClassWindow {
+        let mut w = ClassWindow::new(index, counts.len());
+        for (c, &n) in counts.iter().enumerate() {
+            for _ in 0..n {
+                w.record(c, None, 1);
+            }
+        }
+        w
+    }
+
+    #[test]
+    fn rejects_degenerate_baselines() {
+        let cfg = DriftConfig::default();
+        assert!(DriftDetector::new(&[], cfg.clone()).is_none());
+        assert!(DriftDetector::new(&[0.0, 0.0], cfg.clone()).is_none());
+        assert!(DriftDetector::new(&[0.5, -0.1], cfg.clone()).is_none());
+        assert!(DriftDetector::new(&[f64::NAN, 1.0], cfg).is_none());
+    }
+
+    #[test]
+    fn baseline_weights_are_normalized() {
+        let d = DriftDetector::new(&[2.0, 6.0], DriftConfig::default()).unwrap();
+        assert_eq!(d.baseline(), &[0.25, 0.75]);
+    }
+
+    #[test]
+    fn matching_mix_is_not_flagged() {
+        let d = DriftDetector::new(&[0.5, 0.25, 0.25], DriftConfig::default()).unwrap();
+        let r = d.evaluate(&window_with(3, &[32, 16, 16]));
+        assert_eq!(r.window, 3);
+        assert_eq!(r.samples, 64);
+        assert_eq!(r.l1, 0.0);
+        assert_eq!(r.chi2, 0.0);
+        assert!(!r.flagged && !r.skipped);
+    }
+
+    #[test]
+    fn shifted_mix_is_flagged() {
+        let d = DriftDetector::new(&[0.5, 0.25, 0.25], DriftConfig::default()).unwrap();
+        let r = d.evaluate(&window_with(0, &[4, 4, 56]));
+        assert!(r.l1 > 0.9, "l1 {}", r.l1);
+        assert!(r.chi2 > 20.0, "chi2 {}", r.chi2);
+        assert!(r.flagged);
+    }
+
+    #[test]
+    fn small_windows_are_skipped_not_flagged() {
+        let d = DriftDetector::new(&[0.5, 0.5], DriftConfig::default()).unwrap();
+        let r = d.evaluate(&window_with(0, &[3, 0]));
+        assert!(r.skipped);
+        assert!(!r.flagged);
+        assert!(r.l1 > 0.0, "statistics are still reported");
+    }
+
+    #[test]
+    fn mass_on_zero_baseline_class_shows_up_in_l1() {
+        let cfg = DriftConfig {
+            min_samples: 1,
+            ..DriftConfig::default()
+        };
+        let d = DriftDetector::new(&[1.0, 0.0], cfg).unwrap();
+        let r = d.evaluate(&window_with(0, &[0, 32]));
+        assert_eq!(r.l1, 2.0);
+        assert!(r.chi2.is_finite(), "zero-baseline class excluded from chi2");
+        assert!(r.flagged);
+    }
+
+    #[test]
+    fn chi2_catches_rare_class_shifts_l1_misses() {
+        // 2% of mass moved onto a 1% class: small L1, large chi2.
+        let d = DriftDetector::new(&[0.99, 0.01], DriftConfig::default()).unwrap();
+        let mut w = window_with(0, &[970, 30]);
+        let r = d.evaluate(&w);
+        assert!(r.l1 < 0.25, "l1 {}", r.l1);
+        assert!(r.chi2 > 20.0, "chi2 {}", r.chi2);
+        assert!(r.flagged);
+        // And the same window at the baseline mix is quiet.
+        w = window_with(0, &[990, 10]);
+        assert!(!d.evaluate(&w).flagged);
+    }
+}

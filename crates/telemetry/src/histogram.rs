@@ -15,12 +15,32 @@ pub const HISTOGRAM_BUCKETS: usize = 32;
 /// Recording is allocation-free; merging and quantile queries are cheap.
 /// Bucket `i` spans `[2^(i-1), 2^i)` microseconds (bucket 0 is `[0, 1)`),
 /// with the final bucket absorbing everything larger.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Histogram {
     counts: [u64; HISTOGRAM_BUCKETS],
     total: u64,
     sum_us: u64,
     max_us: u64,
+}
+
+/// Fixed latency quantiles of one histogram, ready for JSON export.
+///
+/// Quantile bounds inherit [`Histogram::quantile_us`]'s bucket-upper-bound
+/// semantics (conservative over-estimates).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LatencySummary {
+    /// Observations summarized.
+    pub count: u64,
+    /// Mean latency, microseconds.
+    pub mean_us: f64,
+    /// Median bucket bound, microseconds.
+    pub p50_us: u64,
+    /// 95th-percentile bucket bound, microseconds.
+    pub p95_us: u64,
+    /// 99th-percentile bucket bound, microseconds.
+    pub p99_us: u64,
+    /// Largest observation, microseconds.
+    pub max_us: u64,
 }
 
 impl Default for Histogram {
@@ -113,6 +133,18 @@ impl Histogram {
         &self.counts
     }
 
+    /// The p50/p95/p99 summary of this histogram.
+    pub fn summary(&self) -> LatencySummary {
+        LatencySummary {
+            count: self.count(),
+            mean_us: self.mean_us(),
+            p50_us: self.quantile_us(0.5),
+            p95_us: self.quantile_us(0.95),
+            p99_us: self.quantile_us(0.99),
+            max_us: self.max_us(),
+        }
+    }
+
     /// Non-empty buckets as `(upper_bound_us, count)` pairs — compact form
     /// for JSON reports.
     pub fn sparse_counts(&self) -> Vec<(u64, u64)> {
@@ -177,6 +209,23 @@ mod tests {
         assert_eq!(a.count(), 3);
         assert_eq!(a.max_us(), 100_000);
         assert_eq!(a.counts()[3], 2); // 7 -> bucket 3 (< 8)
+    }
+
+    #[test]
+    fn summary_matches_quantile_queries() {
+        let mut h = Histogram::new();
+        for _ in 0..99 {
+            h.record_us(10);
+        }
+        h.record_us(100_000);
+        let s = h.summary();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50_us, h.quantile_us(0.5));
+        assert_eq!(s.p95_us, h.quantile_us(0.95));
+        assert_eq!(s.p99_us, h.quantile_us(0.99));
+        assert_eq!(s.max_us, 100_000);
+        assert!((s.mean_us - h.mean_us()).abs() < 1e-12);
+        assert_eq!(Histogram::new().summary(), LatencySummary::default());
     }
 
     #[test]

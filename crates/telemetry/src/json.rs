@@ -1,7 +1,9 @@
-//! Minimal JSON encoding helpers, so the crate stays dependency-free.
+//! Minimal JSON encoding helpers, so the crate needs no JSON dependency.
 //!
-//! Only *encoding* is needed: the trace writer and the run report emit
-//! JSON; nothing in the telemetry layer parses it back.
+//! Only *encoding* is needed: the trace writer, the run report, and the
+//! serve-side metrics snapshots emit JSON; nothing in the telemetry layer
+//! parses it back. The encoders are deterministic (fixed formatting, no
+//! locale), which is what makes byte-identical traces possible.
 
 /// Encodes a string as a JSON string literal (with surrounding quotes).
 pub fn string(s: &str) -> String {

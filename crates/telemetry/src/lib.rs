@@ -2,10 +2,11 @@
 
 //! # cbq-telemetry — observability for the CBQ pipeline
 //!
-//! A lightweight, dependency-free (std-only) telemetry layer used by every
-//! phase of the class-based quantization pipeline: importance scoring
-//! (paper §III-A/B), threshold search (§III-C), KD refining (§III-D), the
-//! trainers, and the figure/bench harness.
+//! A lightweight telemetry layer (std plus the crash-safe writers in
+//! `cbq-resilience`) used by every phase of the class-based quantization
+//! pipeline: importance scoring (paper §III-A/B), threshold search
+//! (§III-C), KD refining (§III-D), the trainers, the serving runtime, and
+//! the figure/bench harness.
 //!
 //! The model is deliberately small:
 //!
@@ -33,6 +34,14 @@
 //! final counter totals — the `results/run_report.json` artifact the bench
 //! harness writes after each experiment.
 //!
+//! For serving, the crate adds the deterministic per-class machinery:
+//! an injectable [`Clock`] (so traces are byte-stable under a
+//! [`ManualClock`]), windowed per-class traffic/accuracy counters
+//! ([`ClassWindow`] / [`WindowSet`], sealed in admission order so
+//! snapshots are bit-identical at any worker count), and a
+//! [`DriftDetector`] comparing each sealed window's class mix against a
+//! calibration baseline.
+//!
 //! # Example
 //!
 //! ```
@@ -52,16 +61,22 @@
 //! assert!(collector.span_total_secs("search.phase1") >= 0.0);
 //! ```
 
+mod classes;
+mod clock;
 mod collector;
+mod drift;
 mod histogram;
-mod json;
+pub mod json;
 mod record;
 mod report;
 mod sinks;
 mod telemetry;
 
+pub use classes::{ClassWindow, WindowSet};
+pub use clock::{Clock, ManualClock, SystemClock};
 pub use collector::Collector;
-pub use histogram::{Histogram, HISTOGRAM_BUCKETS};
+pub use drift::{DriftConfig, DriftDetector, DriftReport};
+pub use histogram::{Histogram, LatencySummary, HISTOGRAM_BUCKETS};
 pub use record::{FieldValue, Level, Record, RecordKind};
 pub use report::{PhaseTiming, RunReport};
 pub use sinks::{JsonlSink, Sink, StderrSink};

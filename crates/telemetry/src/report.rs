@@ -5,6 +5,7 @@
 //! (plus a `BENCH_observability.json` perf snapshot), so every future
 //! performance PR can diff per-phase wall-time and counter totals.
 
+use crate::histogram::{Histogram, LatencySummary};
 use crate::json;
 use crate::record::{Record, RecordKind};
 use std::path::Path;
@@ -34,6 +35,10 @@ pub struct RunReport {
     pub counters: Vec<(String, u64)>,
     /// Last observed value per gauge, in order of first observation.
     pub gauges: Vec<(String, f64)>,
+    /// Named latency quantile summaries registered via
+    /// [`RunReport::add_latency`] (e.g. serve request latency and its
+    /// per-stage breakdown), in registration order.
+    pub latencies: Vec<(String, LatencySummary)>,
 }
 
 impl RunReport {
@@ -85,6 +90,26 @@ impl RunReport {
             .find(|p| p.name == name)
             .map(|p| p.total_s)
             .unwrap_or(0.0)
+    }
+
+    /// Registers a named latency distribution; its p50/p95/p99 summary
+    /// is exported in the JSON document's `"latency"` section. A repeated
+    /// name overwrites the previous summary.
+    pub fn add_latency(&mut self, name: impl Into<String>, histogram: &Histogram) {
+        let name = name.into();
+        let summary = histogram.summary();
+        match self.latencies.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, s)) => *s = summary,
+            None => self.latencies.push((name, summary)),
+        }
+    }
+
+    /// A registered latency summary by name.
+    pub fn latency(&self, name: &str) -> Option<&LatencySummary> {
+        self.latencies
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| s)
     }
 
     /// Final total of one counter (0 when absent).
@@ -139,6 +164,27 @@ impl RunReport {
             out.push('\n');
             out.push_str("  ");
         }
+        out.push_str("},\n");
+        out.push_str("  \"latency\": {");
+        for (i, (n, s)) in self.latencies.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {}: {{\"count\": {}, \"mean_us\": {}, \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}, \"max_us\": {}}}",
+                json::string(n),
+                s.count,
+                json::number(s.mean_us),
+                s.p50_us,
+                s.p95_us,
+                s.p99_us,
+                s.max_us
+            ));
+        }
+        if !self.latencies.is_empty() {
+            out.push('\n');
+            out.push_str("  ");
+        }
         out.push_str("}\n");
         out.push_str("}\n");
         out
@@ -146,36 +192,15 @@ impl RunReport {
 
     /// Writes the JSON report to `path`, creating parent directories.
     ///
-    /// The write goes through a sibling temp file, is flushed to disk,
-    /// and is then renamed into place, so readers never observe a torn
-    /// report. (Inlined rather than borrowed from `cbq-resilience` to
-    /// keep this crate dependency-free.)
+    /// The write goes through [`cbq_resilience::atomic_write_text`]
+    /// (sibling temp file + fsync + rename), so readers never observe a
+    /// torn report — a killed process leaves the previous complete file.
     ///
     /// # Errors
     ///
     /// Returns any I/O error from directory or file creation.
     pub fn write_json(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
-        let path = path.as_ref();
-        if let Some(parent) = path.parent() {
-            if !parent.as_os_str().is_empty() {
-                std::fs::create_dir_all(parent)?;
-            }
-        }
-        let file_name = path
-            .file_name()
-            .map(|n| n.to_string_lossy().into_owned())
-            .unwrap_or_else(|| "report".to_string());
-        let tmp = path.with_file_name(format!(".{file_name}.tmp-{}", std::process::id()));
-        let result = (|| {
-            let mut f = std::fs::File::create(&tmp)?;
-            std::io::Write::write_all(&mut f, self.to_json().as_bytes())?;
-            f.sync_all()?;
-            std::fs::rename(&tmp, path)
-        })();
-        if result.is_err() {
-            let _ = std::fs::remove_file(&tmp);
-        }
-        result
+        cbq_resilience::atomic_write_text(path, &self.to_json()).map_err(std::io::Error::other)
     }
 }
 
@@ -270,6 +295,27 @@ mod tests {
         assert!(j.contains("\"phases\": [\n  ]"), "{j}");
         assert!(j.contains("\"counters\": {}"), "{j}");
         assert_eq!(r.total_s, 0.0);
+    }
+
+    #[test]
+    fn latency_summaries_are_exported() {
+        let mut r = RunReport::from_records("lat", &sample());
+        let mut h = Histogram::new();
+        for _ in 0..19 {
+            h.record_us(10);
+        }
+        h.record_us(5000);
+        r.add_latency("serve.latency", &h);
+        assert_eq!(r.latency("serve.latency").unwrap().count, 20);
+        assert_eq!(r.latency("missing"), None);
+        let j = r.to_json();
+        assert!(j.contains("\"serve.latency\": {\"count\": 20"), "{j}");
+        assert!(j.contains("\"p95_us\": 16"), "{j}");
+        assert!(j.contains("\"p99_us\": 8192"), "{j}");
+        // Re-adding overwrites rather than duplicating.
+        r.add_latency("serve.latency", &Histogram::new());
+        assert_eq!(r.latencies.len(), 1);
+        assert_eq!(r.latency("serve.latency").unwrap().count, 0);
     }
 
     #[test]

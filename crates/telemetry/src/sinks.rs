@@ -3,8 +3,6 @@
 //! module.
 
 use crate::record::{Level, Record};
-use std::fs::File;
-use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
@@ -54,13 +52,24 @@ impl Sink for StderrSink {
     }
 }
 
-/// JSONL trace writer: one JSON object per record, append-only.
+/// JSONL trace writer: one JSON object per record.
 ///
-/// Lines follow the schema of [`Record::to_json`]; the file is buffered
-/// and flushed on [`Sink::flush`] and on drop.
+/// Lines follow the schema of [`Record::to_json`]. Records accumulate in
+/// memory and the *whole* document is rewritten atomically (temp file +
+/// fsync + rename via [`cbq_resilience::atomic_write_text`]) on every
+/// [`Sink::flush`] and on drop — a killed process leaves the last
+/// complete flush, never a torn half-line. The buffer lives for the
+/// sink's lifetime, sized for the bounded traces the CLI, benches, and
+/// tests emit.
 pub struct JsonlSink {
     path: PathBuf,
-    file: Mutex<BufWriter<File>>,
+    buffer: Mutex<JsonlBuffer>,
+}
+
+#[derive(Default)]
+struct JsonlBuffer {
+    lines: String,
+    dirty: bool,
 }
 
 impl JsonlSink {
@@ -72,15 +81,10 @@ impl JsonlSink {
     /// Returns any I/O error from directory or file creation.
     pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
         let path = path.as_ref().to_path_buf();
-        if let Some(parent) = path.parent() {
-            if !parent.as_os_str().is_empty() {
-                std::fs::create_dir_all(parent)?;
-            }
-        }
-        let file = File::create(&path)?;
+        cbq_resilience::atomic_write_text(&path, "").map_err(std::io::Error::other)?;
         Ok(JsonlSink {
             path,
-            file: Mutex::new(BufWriter::new(file)),
+            buffer: Mutex::new(JsonlBuffer::default()),
         })
     }
 
@@ -100,14 +104,19 @@ impl std::fmt::Debug for JsonlSink {
 
 impl Sink for JsonlSink {
     fn record(&self, record: &Record) {
-        if let Ok(mut file) = self.file.lock() {
-            let _ = writeln!(file, "{}", record.to_json());
+        if let Ok(mut buf) = self.buffer.lock() {
+            buf.lines.push_str(&record.to_json());
+            buf.lines.push('\n');
+            buf.dirty = true;
         }
     }
 
     fn flush(&self) {
-        if let Ok(mut file) = self.file.lock() {
-            let _ = file.flush();
+        if let Ok(mut buf) = self.buffer.lock() {
+            if buf.dirty {
+                let _ = cbq_resilience::atomic_write_text(&self.path, &buf.lines);
+                buf.dirty = false;
+            }
         }
     }
 }

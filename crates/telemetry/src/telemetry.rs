@@ -1,15 +1,19 @@
 //! The [`Telemetry`] handle: span guards, counters, gauges, events, and
 //! sink fan-out.
 
+use crate::clock::{Clock, SystemClock};
 use crate::record::{FieldValue, Level, Record, RecordKind};
 use crate::sinks::{Sink, StderrSink};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::Duration;
 
 struct Inner {
-    start: Instant,
+    clock: Arc<dyn Clock>,
+    /// Clock reading at handle creation; record timestamps are relative
+    /// to it, so a shared clock can predate the handle.
+    origin: Duration,
     sinks: Vec<Arc<dyn Sink>>,
     counters: Mutex<HashMap<String, u64>>,
     /// Stack of currently open span ids (innermost last). The pipeline is
@@ -48,14 +52,24 @@ impl Default for Telemetry {
 }
 
 impl Telemetry {
-    /// Creates a handle fanning out to the given sinks.
+    /// Creates a handle fanning out to the given sinks, timestamped by
+    /// the system clock.
     pub fn new(sinks: Vec<Arc<dyn Sink>>) -> Telemetry {
+        Telemetry::with_clock(sinks, Arc::new(SystemClock::new()))
+    }
+
+    /// Creates a handle whose timestamps and span durations come from an
+    /// injected [`Clock`]. Under a [`crate::ManualClock`] every emitted
+    /// record carries *logical* time, so trace bytes are reproducible.
+    pub fn with_clock(sinks: Vec<Arc<dyn Sink>>, clock: Arc<dyn Clock>) -> Telemetry {
         if sinks.is_empty() {
             return Telemetry::disabled();
         }
+        let origin = clock.now();
         Telemetry {
             inner: Some(Arc::new(Inner {
-                start: Instant::now(),
+                clock,
+                origin,
                 sinks,
                 counters: Mutex::new(HashMap::new()),
                 stack: Mutex::new(Vec::new()),
@@ -81,12 +95,17 @@ impl Telemetry {
         self.inner.is_some()
     }
 
-    /// Seconds since this handle was created (0 when disabled).
+    /// Seconds since this handle was created (0 when disabled), on the
+    /// handle's clock.
     pub fn elapsed_s(&self) -> f64 {
+        self.elapsed().as_secs_f64()
+    }
+
+    fn elapsed(&self) -> Duration {
         self.inner
             .as_ref()
-            .map(|i| i.start.elapsed().as_secs_f64())
-            .unwrap_or(0.0)
+            .map(|i| i.clock.now().saturating_sub(i.origin))
+            .unwrap_or(Duration::ZERO)
     }
 
     fn emit(&self, span_id: u64, name: &str, kind: RecordKind, fields: &[(&str, FieldValue)]) {
@@ -108,7 +127,7 @@ impl Telemetry {
                 .unwrap_or(0)
         };
         let record = Record {
-            t_s: inner.start.elapsed().as_secs_f64(),
+            t_s: inner.clock.now().saturating_sub(inner.origin).as_secs_f64(),
             span_id,
             parent_id,
             name: name.to_string(),
@@ -137,7 +156,7 @@ impl Telemetry {
                 tel: Telemetry::disabled(),
                 id: 0,
                 name: String::new(),
-                start: Instant::now(),
+                start: Duration::ZERO,
                 done: true,
             };
         };
@@ -150,7 +169,7 @@ impl Telemetry {
             tel: self.clone(),
             id,
             name: name.to_string(),
-            start: Instant::now(),
+            start: self.elapsed(),
             done: false,
         }
     }
@@ -223,9 +242,9 @@ impl Telemetry {
         }
     }
 
-    fn close_span(&self, id: u64, name: &str, start: Instant) {
+    fn close_span(&self, id: u64, name: &str, start: Duration) {
         let Some(inner) = &self.inner else { return };
-        let duration_s = start.elapsed().as_secs_f64();
+        let duration_s = self.elapsed().saturating_sub(start).as_secs_f64();
         // Emit before popping so the record's parent resolves correctly
         // (emit treats a top-of-stack == own id specially).
         self.emit(id, name, RecordKind::SpanEnd { duration_s }, &[]);
@@ -244,7 +263,7 @@ pub struct SpanGuard {
     tel: Telemetry,
     id: u64,
     name: String,
-    start: Instant,
+    start: Duration,
     done: bool,
 }
 
@@ -407,6 +426,27 @@ mod tests {
         drop(inner); // closing a no-longer-stacked span still records
         assert_eq!(c.span_count("outer"), 1);
         assert_eq!(c.span_count("inner"), 1);
+    }
+
+    #[test]
+    fn manual_clock_drives_timestamps_and_span_durations() {
+        use crate::clock::ManualClock;
+        let run = || {
+            let clock = ManualClock::new();
+            let c = Arc::new(Collector::new());
+            let tel = Telemetry::with_clock(vec![c.clone()], Arc::new(clock.clone()));
+            clock.advance(std::time::Duration::from_millis(250));
+            let g = tel.span("phase");
+            clock.advance(std::time::Duration::from_millis(750));
+            g.end();
+            tel.gauge("v", 1.0);
+            c.records().iter().map(|r| r.to_json()).collect::<Vec<_>>()
+        };
+        let a = run();
+        assert_eq!(a, run(), "logical-clock records are byte-stable");
+        assert!(a[0].contains("\"t\":0.25"), "{}", a[0]);
+        assert!(a[1].contains("\"secs\":0.75"), "{}", a[1]);
+        assert!(a[2].contains("\"t\":1"), "{}", a[2]);
     }
 
     #[test]

@@ -1,0 +1,190 @@
+//! Property tests of the windowed per-class counters' determinism
+//! contract: sharding a completion stream across any number of workers
+//! and merging, or replaying it in any completion order, must reproduce
+//! the serial single-feed state bit for bit. These are the invariants
+//! the serving runtime's snapshot byte-identity gate rests on.
+//!
+//! The `proptest!` blocks explore random streams, shard counts, and
+//! permutations; the plain `#[test]` companions pin one adversarial
+//! instance of each property so the invariant is still exercised when
+//! the property harness is unavailable.
+
+use cbq_telemetry::{ClassWindow, WindowSet};
+use proptest::prelude::*;
+
+const CLASSES: usize = 6;
+
+/// One completed request: (predicted class, optional label, latency µs).
+/// Classes range past `CLASSES` on purpose — clamping must commute too.
+fn event_strategy() -> impl Strategy<Value = (usize, Option<usize>, u64)> {
+    (0usize..8, proptest::option::of(0usize..8), 0u64..50_000)
+}
+
+/// Deterministic in-place Fisher–Yates driven by splitmix64, so a plain
+/// `u64` seed parameter yields an arbitrary permutation without needing
+/// an external RNG crate.
+fn permute<T>(items: &mut [T], mut seed: u64) {
+    let mut next = || {
+        seed = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = seed;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    for i in (1..items.len()).rev() {
+        items.swap(i, (next() % (i as u64 + 1)) as usize);
+    }
+}
+
+fn serial_window(events: &[(usize, Option<usize>, u64)]) -> ClassWindow {
+    let mut w = ClassWindow::new(0, CLASSES);
+    for &(p, l, us) in events {
+        w.record(p, l, us);
+    }
+    w
+}
+
+proptest! {
+    /// Splitting a stream over any shard count and merging the shards in
+    /// *reverse* order equals serial accumulation — the per-worker
+    /// `ClassWindow` + drain-time merge design cannot change any bit.
+    #[test]
+    fn sharded_merge_equals_serial_accumulation(
+        events in proptest::collection::vec(event_strategy(), 1..160),
+        shards in 1usize..8,
+    ) {
+        let serial = serial_window(&events);
+        let mut parts: Vec<ClassWindow> =
+            (0..shards).map(|_| ClassWindow::new(0, CLASSES)).collect();
+        for (i, &(p, l, us)) in events.iter().enumerate() {
+            parts[i % shards].record(p, l, us);
+        }
+        let mut merged = ClassWindow::new(0, CLASSES);
+        for part in parts.iter().rev() {
+            merged.merge(part);
+        }
+        prop_assert_eq!(&merged, &serial);
+        prop_assert_eq!(merged.mix(), serial.mix());
+        prop_assert_eq!(merged.accuracy(), serial.accuracy());
+        prop_assert_eq!(merged.overall_accuracy(), serial.overall_accuracy());
+    }
+
+    /// Feeding a `WindowSet` the same completions in an arbitrary
+    /// permutation (workers finish in any order) seals the same windows
+    /// with the same counters as the in-order feed.
+    #[test]
+    fn window_set_is_completion_order_independent(
+        events in proptest::collection::vec(event_strategy(), 1..160),
+        window_size in 1u64..16,
+        seed in any::<u64>(),
+    ) {
+        let mut serial = WindowSet::new(CLASSES, window_size);
+        for (seq, &(p, l, us)) in events.iter().enumerate() {
+            serial.record(seq as u64, p, l, us);
+        }
+        serial.finalize();
+
+        let mut order: Vec<usize> = (0..events.len()).collect();
+        permute(&mut order, seed);
+        let mut shuffled = WindowSet::new(CLASSES, window_size);
+        for &seq in &order {
+            let (p, l, us) = events[seq];
+            shuffled.record(seq as u64, p, l, us);
+        }
+        shuffled.finalize();
+
+        prop_assert_eq!(serial.sealed(), shuffled.sealed());
+        prop_assert_eq!(serial.cumulative(), shuffled.cumulative());
+    }
+
+    /// Errors interleaved anywhere in the stream still seal windows at
+    /// exactly `window_size` resolved members, in index order.
+    #[test]
+    fn errors_never_stall_or_reorder_sealing(
+        outcomes in proptest::collection::vec(any::<bool>(), 1..120),
+        window_size in 1u64..12,
+    ) {
+        let mut set = WindowSet::new(CLASSES, window_size);
+        let mut sealed = Vec::new();
+        for (seq, &ok) in outcomes.iter().enumerate() {
+            let now = if ok {
+                set.record(seq as u64, seq % CLASSES, None, 1)
+            } else {
+                set.record_error(seq as u64)
+            };
+            sealed.extend(now);
+        }
+        let full = outcomes.len() as u64 / window_size;
+        prop_assert_eq!(sealed.len() as u64, full);
+        prop_assert_eq!(sealed, (0..full).collect::<Vec<u64>>());
+        set.finalize();
+        let total = set.cumulative();
+        prop_assert_eq!(total.resolved(), outcomes.len() as u64);
+    }
+}
+
+/// Pinned instance of `sharded_merge_equals_serial_accumulation`.
+#[test]
+fn pinned_sharded_merge_matches_serial() {
+    let mut events = Vec::new();
+    let mut seed = 0xCB0_2026u64;
+    for i in 0..150 {
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let label = if seed & 1 == 0 {
+            Some((seed >> 7) as usize % 8)
+        } else {
+            None
+        };
+        events.push(((seed >> 3) as usize % 8, label, (seed >> 11) % 50_000 + i));
+    }
+    let serial = serial_window(&events);
+    for shards in 1..8 {
+        let mut parts: Vec<ClassWindow> =
+            (0..shards).map(|_| ClassWindow::new(0, CLASSES)).collect();
+        for (i, &(p, l, us)) in events.iter().enumerate() {
+            parts[i % shards].record(p, l, us);
+        }
+        let mut merged = ClassWindow::new(0, CLASSES);
+        for part in parts.iter().rev() {
+            merged.merge(part);
+        }
+        assert_eq!(merged, serial, "{shards} shards diverged from serial");
+        assert_eq!(merged.mix(), serial.mix());
+        assert_eq!(merged.accuracy(), serial.accuracy());
+    }
+}
+
+/// Pinned instance of `window_set_is_completion_order_independent`.
+#[test]
+fn pinned_shuffled_feed_matches_serial() {
+    let events: Vec<(usize, Option<usize>, u64)> = (0..97)
+        .map(|i| {
+            (
+                (i * 5) % 8,
+                (i % 3 != 0).then_some((i * 11) % 8),
+                (i as u64) * 13 % 997,
+            )
+        })
+        .collect();
+    for window_size in [1u64, 3, 7, 16] {
+        let mut serial = WindowSet::new(CLASSES, window_size);
+        for (seq, &(p, l, us)) in events.iter().enumerate() {
+            serial.record(seq as u64, p, l, us);
+        }
+        serial.finalize();
+        for seed in [1u64, 0xDEAD_BEEF, u64::MAX / 3] {
+            let mut order: Vec<usize> = (0..events.len()).collect();
+            permute(&mut order, seed);
+            let mut shuffled = WindowSet::new(CLASSES, window_size);
+            for &seq in &order {
+                let (p, l, us) = events[seq];
+                shuffled.record(seq as u64, p, l, us);
+            }
+            shuffled.finalize();
+            assert_eq!(serial.sealed(), shuffled.sealed());
+            assert_eq!(serial.cumulative(), shuffled.cumulative());
+        }
+    }
+}

@@ -30,8 +30,8 @@ use cbq::quant::{
 };
 use cbq::resilience::{atomic_write_text, FaultPlan, GuardPolicy};
 use cbq::serve::{
-    offline_logits, ArchSpec, Backend, BatchPolicy, ModelArtifact, ModelRegistry, QuantState,
-    Server, ServerConfig,
+    offline_logits, ArchSpec, Backend, BatchPolicy, ModelArtifact, ModelRegistry, ObserveConfig,
+    QuantState, Server, ServerConfig, SystemClock,
 };
 use cbq::telemetry::{JsonlSink, Level, Sink, StderrSink, Telemetry};
 use rand::rngs::StdRng;
@@ -352,6 +352,9 @@ struct ServeOptions {
     queue_cap: usize,
     requests: usize,
     clients: usize,
+    drift_window: u64,
+    metrics_out: Option<String>,
+    trace_out: Option<String>,
     out: Option<String>,
     log_level: Option<Level>,
 }
@@ -372,6 +375,9 @@ impl Default for ServeOptions {
             queue_cap: 256,
             requests: 96,
             clients: 4,
+            drift_window: 32,
+            metrics_out: None,
+            trace_out: None,
             out: None,
             log_level: None,
         }
@@ -381,7 +387,8 @@ impl Default for ServeOptions {
 const SERVE_USAGE: &str = "usage: cbq serve [--model mlp|vgg|resnet20x1|resnet20x5] \
 [--dataset tiny|c10|c100] [--backends float,fake-quant,integer] [--wbits N] [--abits N] \
 [--epochs N] [--seed N] [--workers N] [--max-batch N] [--max-wait-us N] [--queue-cap N] \
-[--requests N] [--clients N] [--out FILE.json] [--log-level error|warn|info|debug|trace]";
+[--requests N] [--clients N] [--drift-window N] [--metrics-out FILE.json] \
+[--trace-out FILE.jsonl] [--out FILE.json] [--log-level error|warn|info|debug|trace]";
 
 fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
     let mut opts = ServeOptions::default();
@@ -436,6 +443,13 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
             "--queue-cap" => opts.queue_cap = parse_usize("--queue-cap", value("--queue-cap")?)?,
             "--requests" => opts.requests = parse_usize("--requests", value("--requests")?)?,
             "--clients" => opts.clients = parse_usize("--clients", value("--clients")?)?,
+            "--drift-window" => {
+                opts.drift_window = value("--drift-window")?
+                    .parse()
+                    .map_err(|e| format!("--drift-window: {e}"))?;
+            }
+            "--metrics-out" => opts.metrics_out = Some(value("--metrics-out")?.clone()),
+            "--trace-out" => opts.trace_out = Some(value("--trace-out")?.clone()),
             "--out" => opts.out = Some(value("--out")?.clone()),
             "--log-level" => opts.log_level = Some(parse_level(value("--log-level")?)?),
             "--help" | "-h" => return Err(SERVE_USAGE.to_string()),
@@ -470,6 +484,9 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
         if v == 0 {
             return Err(format!("{name} must be positive"));
         }
+    }
+    if opts.drift_window == 0 {
+        return Err("--drift-window must be positive".into());
     }
     Ok(opts)
 }
@@ -553,11 +570,18 @@ fn run_serve(opts: &ServeOptions) -> Result<(), Box<dyn std::error::Error>> {
         act_bits: opts.abits,
         act_clips: act_clip_bounds(&mut net),
     };
+    // The training-set label histogram is the drift baseline: serving
+    // windows whose predicted-class mix wanders from it get flagged.
+    let mut class_counts = vec![0u64; spec.num_classes];
+    for &label in data.train().labels() {
+        class_counts[label] += 1;
+    }
     let artifact = ModelArtifact {
         arch,
         input_shape: vec![spec.channels, spec.height, spec.width],
         state,
         quant: Some(quant),
+        baseline_mix: Some(class_counts.iter().map(|&c| c as f64).collect()),
     };
 
     let registry = Arc::new(ModelRegistry::new());
@@ -568,7 +592,15 @@ fn run_serve(opts: &ServeOptions) -> Result<(), Box<dyn std::error::Error>> {
         targets.push((backend, handle, model));
     }
 
-    let server = Server::start(
+    let observe = ObserveConfig {
+        baseline: artifact.baseline_mix.clone(),
+        window: opts.drift_window,
+        trace: opts.trace_out.is_some(),
+        trace_path: opts.trace_out.clone().map(Into::into),
+        metrics_path: opts.metrics_out.clone().map(Into::into),
+        ..ObserveConfig::for_classes(spec.num_classes)
+    };
+    let server = Server::start_observed(
         registry,
         ServerConfig {
             policy: BatchPolicy {
@@ -578,7 +610,9 @@ fn run_serve(opts: &ServeOptions) -> Result<(), Box<dyn std::error::Error>> {
             },
             workers: opts.workers,
         },
+        Arc::new(SystemClock::new()),
         telemetry.clone(),
+        observe,
     )?;
     eprintln!(
         "cbq serve: {} on {} -> {} backend(s), {} worker(s), max batch {}, \
@@ -616,7 +650,13 @@ fn run_serve(opts: &ServeOptions) -> Result<(), Box<dyn std::error::Error>> {
                 let mut i = c;
                 while i < samples.len() {
                     let t = i % targets.len();
-                    out.push((i, t, server.infer(&targets[t].1, samples[i].0.to_vec())));
+                    let (sample, label) = samples[i];
+                    // Labeled submission so per-class accuracy telemetry
+                    // resolves, not just the predicted mix.
+                    let outcome = server
+                        .submit_labeled(&targets[t].1, sample.to_vec(), label)
+                        .and_then(|ticket| ticket.wait());
+                    out.push((i, t, outcome));
                     i += opts.clients;
                 }
                 out
@@ -690,12 +730,33 @@ fn run_serve(opts: &ServeOptions) -> Result<(), Box<dyn std::error::Error>> {
         stats.accepted, stats.rejected, stats.completed, stats.failed
     );
     println!(
-        "batching       : {} micro-batches, largest {}, latency p50 {}us p99 {}us",
+        "batching       : {} micro-batches, largest {}, latency p50 {}us p95 {}us p99 {}us",
         stats.batches,
         stats.largest_batch,
         stats.latency.quantile_us(0.5),
+        stats.latency.quantile_us(0.95),
         stats.latency.quantile_us(0.99),
     );
+    println!(
+        "stages         : queue wait p99 {}us, batch wait p99 {}us, compute p99 {}us",
+        stats.queue_wait.quantile_us(0.99),
+        stats.batch_wait.quantile_us(0.99),
+        stats.compute.quantile_us(0.99),
+    );
+    let drift_flags = stats.drift.iter().filter(|d| d.flagged).count();
+    println!(
+        "observability  : {} sealed windows of {}, {} drift checks ({} flagged)",
+        stats.windows.len(),
+        opts.drift_window,
+        stats.drift.len(),
+        drift_flags,
+    );
+    if let Some(path) = &opts.metrics_out {
+        eprintln!("wrote {path} ({} snapshot writes)", stats.snapshot_writes);
+    }
+    if let Some(path) = &opts.trace_out {
+        eprintln!("wrote {path} ({} request traces)", stats.traces.len());
+    }
     println!(
         "scratch        : {} steady-state pool misses ({} warm-up)",
         stats.steady_pool_misses,
@@ -726,8 +787,14 @@ fn run_serve(opts: &ServeOptions) -> Result<(), Box<dyn std::error::Error>> {
             "batches": stats.batches,
             "largest_batch": stats.largest_batch,
             "latency_p50_us": stats.latency.quantile_us(0.5),
+            "latency_p95_us": stats.latency.quantile_us(0.95),
             "latency_p99_us": stats.latency.quantile_us(0.99),
+            "queue_wait_p99_us": stats.queue_wait.quantile_us(0.99),
+            "compute_p99_us": stats.compute.quantile_us(0.99),
             "steady_pool_misses": stats.steady_pool_misses,
+            "windows_sealed": stats.windows.len(),
+            "drift_checks": stats.drift.len(),
+            "drift_flags": drift_flags,
         });
         atomic_write_text(path, &serde_json::to_string_pretty(&payload)?)?;
         eprintln!("wrote {path}");

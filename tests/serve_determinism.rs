@@ -65,6 +65,7 @@ fn artifact_fixture() -> (ModelArtifact, SyntheticImages) {
         input_shape: vec![spec.channels, spec.height, spec.width],
         state,
         quant: Some(quant),
+        baseline_mix: None,
     };
     (artifact, data)
 }

@@ -40,6 +40,7 @@ fn fixture() -> (ModelArtifact, Vec<f32>) {
             input_shape: vec![spec.channels, spec.height, spec.width],
             state,
             quant: None,
+            baseline_mix: None,
         },
         sample,
     )
