@@ -1,0 +1,323 @@
+//! Chaos load generator for the `cbq-fleet` multi-replica serving tier:
+//! drives a large client request stream across N replicas, kills and
+//! restarts one replica mid-run via the fault plan's positional trigger,
+//! and hard-gates on the fleet's two invariants — **zero lost admitted
+//! requests** and a **byte-identical replay log** no matter the replica
+//! count, worker count, or fault timing. Numbers land in
+//! `results/BENCH_fleet.json` (published as a CI artifact).
+//!
+//! Three phases:
+//!
+//! 1. **Reference run** — a 1-replica, 1-worker fleet serves the full id
+//!    stream; its sorted canonical-byte replay log is the ground truth.
+//! 2. **Chaos runs** — the full fleet (default 4 replicas) serves the
+//!    same ids from many client threads, once fault-free and once with a
+//!    `kill-replica` trigger firing mid-run (kill → graceful drain →
+//!    restart). Every run must complete every request and reproduce the
+//!    reference log byte for byte.
+//! 3. **Report** — throughput, latency quantiles, failover/retry/shed
+//!    counters, per-replica load split, and the gate verdicts.
+//!
+//! ```sh
+//! cargo run --release -p cbq-bench --bin fleet_load
+//! REPLICAS=6 WORKERS=2 CLIENTS=16 REQUESTS=100000 \
+//!     cargo run --release -p cbq-bench --bin fleet_load
+//! ```
+
+use cbq_data::{SyntheticImages, SyntheticSpec};
+use cbq_fleet::{replica_name, Fleet, FleetConfig, FleetStats, RetryPolicy};
+use cbq_nn::{state_dict, Trainer, TrainerConfig};
+use cbq_resilience::{atomic_write_text, FaultPlan};
+use cbq_serve::{
+    ArchSpec, Backend, BatchPolicy, ModelArtifact, ModelRegistry, ServerConfig, SystemClock,
+};
+use cbq_telemetry::Telemetry;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Trains a small float MLP and captures it as a serving artifact.
+fn build_artifact(
+    seed: u64,
+) -> Result<(ModelArtifact, SyntheticImages), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let spec = SyntheticSpec::tiny(4);
+    let data = SyntheticImages::generate(&spec, &mut rng)?;
+    let arch = ArchSpec::Mlp(vec![spec.feature_len(), 32, spec.num_classes]);
+    let mut net = arch.build_init(&mut rng)?;
+    Trainer::new(TrainerConfig::quick(1, 0.1)).fit(&mut net, data.train(), &mut rng)?;
+    let artifact = ModelArtifact {
+        arch,
+        input_shape: vec![spec.channels, spec.height, spec.width],
+        state: state_dict(&mut net),
+        quant: None,
+        baseline_mix: None,
+    };
+    Ok((artifact, data))
+}
+
+struct RunOutcome {
+    /// Sorted (by id) canonical response bytes, concatenated per request.
+    log: Vec<Vec<u8>>,
+    stats: FleetStats,
+    wall_s: f64,
+    errors: usize,
+}
+
+/// Drives `requests` ids through a fresh fleet and collects the replay
+/// log. Client `c` owns ids `c, c+clients, …` so the id set is exactly
+/// `0..requests` in every configuration.
+#[allow(clippy::too_many_arguments)]
+fn run(
+    artifact: &ModelArtifact,
+    samples: &[&[f32]],
+    requests: usize,
+    replicas: usize,
+    workers: usize,
+    clients: usize,
+    max_batch: usize,
+    faults: Option<&str>,
+) -> Result<RunOutcome, Box<dyn std::error::Error>> {
+    let registry = Arc::new(ModelRegistry::new());
+    let handle = registry.load("m", artifact, Backend::Float)?;
+    let plan = match faults {
+        Some(spec) => Some(Arc::new(FaultPlan::parse(spec)?)),
+        None => None,
+    };
+    let config = FleetConfig {
+        replicas,
+        server: ServerConfig {
+            policy: BatchPolicy {
+                max_batch,
+                max_wait: Duration::from_micros(200),
+                queue_capacity: 4096,
+            },
+            workers,
+        },
+        retry: RetryPolicy {
+            max_attempts: (2 * replicas + 2) as u32,
+            ..RetryPolicy::default()
+        },
+        ..FleetConfig::default()
+    };
+    let fleet = Fleet::start_with_faults(
+        registry,
+        config,
+        Arc::new(SystemClock::new()),
+        Telemetry::disabled(),
+        plan,
+    )?;
+    let started = Instant::now();
+    let mut responses = Vec::with_capacity(requests);
+    let mut errors = 0usize;
+    std::thread::scope(|scope| {
+        let mut joins = Vec::new();
+        for c in 0..clients {
+            let fleet = &fleet;
+            let handle = &handle;
+            joins.push(scope.spawn(move || {
+                let mut ok = Vec::new();
+                let mut failed = 0usize;
+                let mut id = c as u64;
+                while (id as usize) < requests {
+                    let sample = samples[id as usize % samples.len()];
+                    match fleet.infer_with_id(id, handle, sample.to_vec(), None) {
+                        Ok(resp) => ok.push(resp),
+                        Err(e) => {
+                            failed += 1;
+                            eprintln!("request {id} failed: {e}");
+                        }
+                    }
+                    id += clients as u64;
+                }
+                (ok, failed)
+            }));
+        }
+        for join in joins {
+            let (ok, failed) = join.join().expect("client thread panicked");
+            responses.extend(ok);
+            errors += failed;
+        }
+    });
+    let wall_s = started.elapsed().as_secs_f64();
+    let stats = fleet.shutdown();
+    responses.sort_by_key(|r| r.id);
+    let log = responses.iter().map(|r| r.canonical_bytes()).collect();
+    Ok(RunOutcome {
+        log,
+        stats,
+        wall_s,
+        errors,
+    })
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let replicas = env_usize("REPLICAS", 4).max(1);
+    let workers = env_usize("WORKERS", 2);
+    let clients = env_usize("CLIENTS", 8).max(1);
+    let requests = env_usize("REQUESTS", 100_000).max(clients);
+    let max_batch = env_usize("MAX_BATCH", 8).max(1);
+    // Positional kill trigger: fire once mid-run (after ~half the
+    // requests), victim is the second replica when there is one.
+    let kill_at = env_usize("KILL_AT", requests / 2).max(1);
+    let victim = replica_name(1 % replicas);
+    let fault_spec = format!("kill-replica:{victim}@{kill_at}");
+
+    let (artifact, data) = build_artifact(11)?;
+    let item_len: usize = artifact.input_shape.iter().product();
+    let test = data.test();
+    let images = test.images().as_slice();
+    let samples: Vec<&[f32]> = (0..test.len())
+        .map(|j| &images[j * item_len..(j + 1) * item_len])
+        .collect();
+
+    // Phase 1: serial reference log.
+    eprintln!("reference: 1 replica / 1 worker / 1 client, {requests} requests");
+    let reference = run(&artifact, &samples, requests, 1, 1, 1, max_batch, None)?;
+
+    // Phase 2a: full fleet, fault-free.
+    eprintln!("fleet    : {replicas} replicas / {workers} workers / {clients} clients");
+    let steady = run(
+        &artifact, &samples, requests, replicas, workers, clients, max_batch, None,
+    )?;
+
+    // Phase 2b: same fleet with the mid-run kill/restart drill.
+    eprintln!("chaos    : {fault_spec}");
+    let chaos = run(
+        &artifact,
+        &samples,
+        requests,
+        replicas,
+        workers,
+        clients,
+        max_batch,
+        Some(&fault_spec),
+    )?;
+
+    let zero_lost = reference.errors == 0
+        && steady.errors == 0
+        && chaos.errors == 0
+        && reference.log.len() == requests
+        && steady.log.len() == requests
+        && chaos.log.len() == requests
+        && [&reference.stats, &steady.stats, &chaos.stats]
+            .iter()
+            .all(|s| s.merged.accepted == s.merged.completed && s.merged.failed == 0);
+    let replay_identical = steady.log == reference.log && chaos.log == reference.log;
+    let drill_fired = chaos.stats.replica_restarts == 1
+        && chaos
+            .stats
+            .replicas
+            .iter()
+            .any(|r| r.name == victim && r.restarts == 1);
+
+    for (label, outcome) in [
+        ("reference", &reference),
+        ("steady", &steady),
+        ("chaos", &chaos),
+    ] {
+        let s = &outcome.stats;
+        eprintln!(
+            "{label:>9}: {:.0} req/s ({:.3}s), p50 {}us p95 {}us p99 {}us, \
+             accepted {} completed {} failed {}, {} failovers, {} retries, \
+             {} shed, {} readmitted, {} budget-exhausted, {} restarts, errors {}",
+            s.merged.completed as f64 / outcome.wall_s.max(1e-9),
+            outcome.wall_s,
+            s.merged.latency.quantile_us(0.5),
+            s.merged.latency.quantile_us(0.95),
+            s.merged.latency.quantile_us(0.99),
+            s.merged.accepted,
+            s.merged.completed,
+            s.merged.failed,
+            s.failover,
+            s.retries,
+            s.shed,
+            s.readmitted,
+            s.budget_exhausted,
+            s.replica_restarts,
+            outcome.errors,
+        );
+        for r in &s.replicas {
+            eprintln!(
+                "           {:<10} completed {:>7} in {:>5} batches (restarts {})",
+                r.name, r.stats.completed, r.stats.batches, r.restarts
+            );
+        }
+    }
+    eprintln!(
+        "gates    : zero_lost {zero_lost}, replay_identical {replay_identical}, \
+         drill_fired {drill_fired}"
+    );
+
+    let run_json = |o: &RunOutcome| {
+        let s = &o.stats;
+        serde_json::json!({
+            "wall_s": o.wall_s,
+            "throughput_req_per_s": s.merged.completed as f64 / o.wall_s.max(1e-9),
+            "latency_p50_us": s.merged.latency.quantile_us(0.5),
+            "latency_p95_us": s.merged.latency.quantile_us(0.95),
+            "latency_p99_us": s.merged.latency.quantile_us(0.99),
+            "accepted": s.merged.accepted,
+            "completed": s.merged.completed,
+            "failed": s.merged.failed,
+            "errors": o.errors,
+            "retries": s.retries,
+            "shed": s.shed,
+            "failover": s.failover,
+            "readmitted": s.readmitted,
+            "budget_exhausted": s.budget_exhausted,
+            "replica_restarts": s.replica_restarts,
+            "per_replica": s.replicas.iter().map(|r| serde_json::json!({
+                "name": r.name,
+                "completed": r.stats.completed,
+                "batches": r.stats.batches,
+                "restarts": r.restarts,
+            })).collect::<Vec<_>>(),
+        })
+    };
+    let payload = serde_json::json!({
+        "workload": "mlp/tiny float artifact served by a loopback replica fleet",
+        "replicas": replicas,
+        "workers": workers,
+        "clients": clients,
+        "requests": requests,
+        "max_batch": max_batch,
+        "fault": fault_spec,
+        "reference": run_json(&reference),
+        "steady": run_json(&steady),
+        "chaos": run_json(&chaos),
+        "gates": {
+            "zero_lost_requests": zero_lost,
+            "replay_byte_identical": replay_identical,
+            "kill_drill_fired_once": drill_fired,
+        },
+    });
+    std::fs::create_dir_all("results")?;
+    atomic_write_text(
+        "results/BENCH_fleet.json",
+        &serde_json::to_string_pretty(&payload)?,
+    )?;
+    eprintln!("wrote results/BENCH_fleet.json");
+
+    if !zero_lost {
+        eprintln!("ZERO-LOST GATE FAILED — see results/BENCH_fleet.json");
+        std::process::exit(1);
+    }
+    if !replay_identical {
+        eprintln!("REPLAY BYTE-IDENTITY GATE FAILED — see results/BENCH_fleet.json");
+        std::process::exit(1);
+    }
+    if !drill_fired {
+        eprintln!("CHAOS DRILL GATE FAILED — see results/BENCH_fleet.json");
+        std::process::exit(1);
+    }
+    Ok(())
+}

@@ -1,0 +1,428 @@
+//! The fleet client: deterministic routing, bounded failover, retry
+//! budgets, and the chaos-drill kill/restart hook.
+//!
+//! One [`Fleet`] owns N replicas (each a [`Transport`], today the
+//! loopback kind), a [`HashRing`] mapping request ids to replicas, and
+//! the retry machinery. A request's full journey:
+//!
+//! 1. The fault plan's positional kill trigger is consulted
+//!    ([`FaultPlan::note_fleet_request`]) — when it fires, the victim
+//!    replica is killed (graceful drain) and restarted *before* this
+//!    request is admitted, so the drill's timing is a deterministic
+//!    function of the admission count, not of wall-clock racing.
+//! 2. The ring yields the replica failover order for the id.
+//! 3. Each attempt admits on the cursor's replica and waits the ticket.
+//!    [`ServeError::Overloaded`] costs a retry-budget token and a
+//!    deterministic backoff; [`ServeError::ReplicaDown`] /
+//!    [`ServeError::ShuttingDown`] fail over immediately and
+//!    budget-free (a drained replica sheds no load — dropping its
+//!    traffic would lose admitted work). Terminal errors return
+//!    immediately; attempts are bounded by [`RetryPolicy::max_attempts`].
+//!
+//! Why this preserves the serving tier's bit-identity contract: every
+//! replica shares one [`ModelRegistry`] and every response's canonical
+//! bytes ([`InferResponse::canonical_bytes`]) exclude timing/batching
+//! metadata, so *which* replica served a request — or whether it was
+//! re-admitted after a kill — cannot change the replay log.
+
+use crate::retry::{wait_backoff, RetryBudget, RetryPolicy};
+use crate::router::{HashRing, DEFAULT_VNODES};
+use crate::transport::{LoopbackReplica, Transport};
+use cbq_resilience::FaultPlan;
+use cbq_serve::{
+    InferResponse, ModelHandle, ModelRegistry, Result, ServeClock, ServeError, ServeStats,
+    ServerConfig, SystemClock,
+};
+use cbq_telemetry::Telemetry;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Fleet construction knobs.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Replica count (each gets its own worker pool and queue).
+    pub replicas: usize,
+    /// Per-replica server config (batch policy + workers).
+    pub server: ServerConfig,
+    /// Virtual nodes per replica on the routing ring.
+    pub vnodes: usize,
+    /// Retry/failover policy for client calls.
+    pub retry: RetryPolicy,
+    /// Retry-budget deposit per request (tokens per request).
+    pub budget_ratio: f64,
+    /// Retry-budget burst capacity (whole tokens).
+    pub budget_cap: u64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            replicas: 2,
+            server: ServerConfig::default(),
+            vnodes: DEFAULT_VNODES,
+            retry: RetryPolicy::default(),
+            budget_ratio: 0.2,
+            budget_cap: 1000,
+        }
+    }
+}
+
+/// Stable replica names: `replica-0`, `replica-1`, …
+pub fn replica_name(index: usize) -> String {
+    format!("replica-{index}")
+}
+
+#[derive(Debug, Default)]
+struct FleetCounters {
+    retries: AtomicU64,
+    shed: AtomicU64,
+    failover: AtomicU64,
+    readmitted: AtomicU64,
+    budget_exhausted: AtomicU64,
+    replica_restarts: AtomicU64,
+}
+
+/// One replica's contribution to [`FleetStats`].
+#[derive(Debug, Clone)]
+pub struct ReplicaReport {
+    /// Replica name.
+    pub name: String,
+    /// Restarts after kills.
+    pub restarts: u64,
+    /// Merged statistics across the replica's generations.
+    pub stats: ServeStats,
+}
+
+/// Aggregate fleet statistics returned by [`Fleet::shutdown`].
+#[derive(Debug, Clone)]
+pub struct FleetStats {
+    /// Per-replica breakdown, in replica-index order.
+    pub replicas: Vec<ReplicaReport>,
+    /// All replicas merged into one [`ServeStats`] view.
+    pub merged: ServeStats,
+    /// Re-attempts of any kind (`fleet.retries`).
+    pub retries: u64,
+    /// Overload rejections observed by fleet clients — every
+    /// `Overloaded` seen, retried or not (`fleet.shed`).
+    pub shed: u64,
+    /// Re-attempts that moved to a different replica (`fleet.failover`).
+    pub failover: u64,
+    /// Requests re-admitted after their replica died post-admission
+    /// without answering (`fleet.readmitted`).
+    pub readmitted: u64,
+    /// Retries refused by the exhausted budget (`fleet.budget_exhausted`).
+    pub budget_exhausted: u64,
+    /// Replica restarts performed (`fleet.replica_restarts`).
+    pub replica_restarts: u64,
+}
+
+/// A multi-replica serving fleet over one shared model registry.
+///
+/// Cheap to share: all request methods take `&self`, so wrap in an
+/// [`Arc`] and hand clones to client threads.
+pub struct Fleet {
+    registry: Arc<ModelRegistry>,
+    replicas: Vec<Arc<dyn Transport>>,
+    router: HashRing,
+    policy: RetryPolicy,
+    budget: RetryBudget,
+    faults: Option<Arc<FaultPlan>>,
+    telemetry: Telemetry,
+    clock: Arc<dyn ServeClock>,
+    counters: FleetCounters,
+    next_id: AtomicU64,
+}
+
+impl std::fmt::Debug for Fleet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fleet")
+            .field("replicas", &self.router.names())
+            .field("policy", &self.policy)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Fleet {
+    /// Starts a fleet on the system clock with no fault plan.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidConfig`] for zero replicas or invalid
+    /// server/retry/budget knobs.
+    pub fn start(
+        registry: Arc<ModelRegistry>,
+        config: FleetConfig,
+        telemetry: Telemetry,
+    ) -> Result<Fleet> {
+        Self::start_with(registry, config, Arc::new(SystemClock::new()), telemetry)
+    }
+
+    /// Starts a fleet with an explicit clock (tests inject a
+    /// [`ManualClock`](cbq_serve::ManualClock)).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Fleet::start`].
+    pub fn start_with(
+        registry: Arc<ModelRegistry>,
+        config: FleetConfig,
+        clock: Arc<dyn ServeClock>,
+        telemetry: Telemetry,
+    ) -> Result<Fleet> {
+        Self::start_with_faults(registry, config, clock, telemetry, None)
+    }
+
+    /// Starts a fleet with an optional fault plan wired into the request
+    /// path: a `kill-replica:<name>@<requests>` trigger kills and
+    /// restarts the named replica once the fleet has admitted that many
+    /// requests.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Fleet::start`].
+    pub fn start_with_faults(
+        registry: Arc<ModelRegistry>,
+        config: FleetConfig,
+        clock: Arc<dyn ServeClock>,
+        telemetry: Telemetry,
+        faults: Option<Arc<FaultPlan>>,
+    ) -> Result<Fleet> {
+        if config.replicas == 0 {
+            return Err(ServeError::InvalidConfig(
+                "fleet needs at least one replica".into(),
+            ));
+        }
+        config.retry.validate()?;
+        let budget = RetryBudget::new(config.budget_ratio, config.budget_cap)?;
+        let names: Vec<String> = (0..config.replicas).map(replica_name).collect();
+        let router = HashRing::new(&names, config.vnodes)?;
+        if let Some(plan) = &faults {
+            if let Some(victim) = plan.kill_replica_target() {
+                if !names.iter().any(|n| n == victim) {
+                    return Err(ServeError::InvalidConfig(format!(
+                        "fault plan targets unknown replica {victim:?} (fleet has {})",
+                        names.len()
+                    )));
+                }
+            }
+        }
+        let mut replicas: Vec<Arc<dyn Transport>> = Vec::with_capacity(config.replicas);
+        for name in &names {
+            replicas.push(Arc::new(LoopbackReplica::start(
+                name.clone(),
+                registry.clone(),
+                config.server.clone(),
+                clock.clone(),
+                telemetry.clone(),
+            )?));
+        }
+        telemetry.gauge("fleet.replicas", config.replicas as f64);
+        Ok(Fleet {
+            registry,
+            replicas,
+            router,
+            policy: config.retry,
+            budget,
+            faults,
+            telemetry,
+            clock,
+            counters: FleetCounters::default(),
+            next_id: AtomicU64::new(1),
+        })
+    }
+
+    /// The registry shared by every replica.
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.registry
+    }
+
+    /// The routing ring.
+    pub fn router(&self) -> &HashRing {
+        &self.router
+    }
+
+    /// Replica names in index order.
+    pub fn replica_names(&self) -> &[String] {
+        self.router.names()
+    }
+
+    /// The replica with this name.
+    pub fn replica(&self, name: &str) -> Option<&Arc<dyn Transport>> {
+        self.replicas.iter().find(|r| r.name() == name)
+    }
+
+    /// Kills a replica by name: admission stops, admitted requests
+    /// drain, in-flight fleet calls fail over. Returns the generation's
+    /// statistics (`None` when already down).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadRequest`] for an unknown replica name.
+    pub fn kill(&self, name: &str) -> Result<Option<ServeStats>> {
+        let replica = self
+            .replica(name)
+            .ok_or_else(|| ServeError::BadRequest(format!("unknown replica {name:?}")))?;
+        Ok(replica.kill())
+    }
+
+    /// Restarts a killed replica by name (no-op when up).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadRequest`] for an unknown replica name, or the
+    /// server start error.
+    pub fn restart(&self, name: &str) -> Result<()> {
+        let replica = self
+            .replica(name)
+            .ok_or_else(|| ServeError::BadRequest(format!("unknown replica {name:?}")))?;
+        replica.restart()?;
+        self.counters
+            .replica_restarts
+            .fetch_add(1, Ordering::SeqCst);
+        self.telemetry.counter_add("fleet.replica_restarts", 1);
+        Ok(())
+    }
+
+    /// The chaos-drill hook: called once per fleet request, kills and
+    /// restarts the fault plan's victim when the positional trigger
+    /// fires. Runs synchronously on the triggering client's thread so
+    /// the kill point in the admission stream is deterministic.
+    fn poke_fault_plan(&self) {
+        let Some(plan) = &self.faults else { return };
+        let Some(victim) = plan.note_fleet_request() else {
+            return;
+        };
+        if let Some(replica) = self.replica(&victim) {
+            replica.kill();
+            if replica.restart().is_ok() {
+                self.counters
+                    .replica_restarts
+                    .fetch_add(1, Ordering::SeqCst);
+                self.telemetry.counter_add("fleet.replica_restarts", 1);
+            }
+        }
+    }
+
+    /// Submits under an auto-assigned id and waits for the response,
+    /// with routing, failover, and retries applied.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Fleet::infer_with_id`].
+    pub fn infer(&self, model: &ModelHandle, sample: Vec<f32>) -> Result<InferResponse> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.infer_with_id(id, model, sample, None)
+    }
+
+    /// Full-control blocking inference: caller-chosen id (the routing
+    /// key — replayable logs must pin it) plus an optional ground-truth
+    /// label for accuracy telemetry.
+    ///
+    /// # Errors
+    ///
+    /// Terminal errors immediately ([`ServeError::is_terminal`]);
+    /// retryable errors once attempts ([`RetryPolicy::max_attempts`]) or
+    /// the overload budget are exhausted.
+    pub fn infer_with_id(
+        &self,
+        id: u64,
+        model: &ModelHandle,
+        sample: Vec<f32>,
+        label: Option<usize>,
+    ) -> Result<InferResponse> {
+        self.poke_fault_plan();
+        self.budget.note_request();
+        let order = self.router.failover_order(id);
+        let mut attempt: u32 = 0;
+        let mut overload_retries: u32 = 0;
+        let mut cursor = 0usize;
+        loop {
+            attempt += 1;
+            let replica = &self.replicas[order[cursor % order.len()]];
+            let admitted = replica.submit(id, model, sample.clone(), label);
+            let (outcome, was_admitted) = match admitted {
+                Ok(ticket) => (ticket.wait(), true),
+                Err(e) => (Err(e), false),
+            };
+            let err = match outcome {
+                Ok(response) => return Ok(response),
+                Err(e) => e,
+            };
+            if matches!(err, ServeError::Overloaded { .. }) {
+                self.counters.shed.fetch_add(1, Ordering::SeqCst);
+                self.telemetry.counter_add("fleet.shed", 1);
+            }
+            if err.is_terminal() || attempt >= self.policy.max_attempts {
+                return Err(err);
+            }
+            if was_admitted {
+                // Admitted but never answered: the replica died between
+                // admission and reply. Re-admit on the next replica.
+                self.counters.readmitted.fetch_add(1, Ordering::SeqCst);
+                self.telemetry.counter_add("fleet.readmitted", 1);
+            }
+            match &err {
+                ServeError::Overloaded { .. } => {
+                    if !self.budget.try_spend() {
+                        self.counters
+                            .budget_exhausted
+                            .fetch_add(1, Ordering::SeqCst);
+                        self.telemetry.counter_add("fleet.budget_exhausted", 1);
+                        return Err(err);
+                    }
+                    overload_retries += 1;
+                    wait_backoff(&self.clock, self.policy.backoff(overload_retries));
+                }
+                // ReplicaDown / ShuttingDown: fail over immediately and
+                // budget-free — see the module docs. Once a full ring
+                // walk found no live replica, back off before walking
+                // again instead of hot-spinning through the attempt
+                // budget while a restart is in flight.
+                _ => {
+                    if cursor + 1 >= order.len() {
+                        let wraps = ((cursor + 1) / order.len()) as u32;
+                        wait_backoff(&self.clock, self.policy.backoff(wraps));
+                    }
+                }
+            }
+            cursor += 1;
+            self.counters.retries.fetch_add(1, Ordering::SeqCst);
+            self.telemetry.counter_add("fleet.retries", 1);
+            if order.len() > 1 {
+                self.counters.failover.fetch_add(1, Ordering::SeqCst);
+                self.telemetry.counter_add("fleet.failover", 1);
+            }
+        }
+    }
+
+    /// Drains every replica gracefully and returns the merged fleet
+    /// statistics (per-replica breakdown plus fleet-level counters).
+    pub fn shutdown(self) -> FleetStats {
+        let mut reports = Vec::with_capacity(self.replicas.len());
+        let mut merged = ServeStats::empty();
+        for replica in &self.replicas {
+            replica.kill();
+            let stats = replica.lifetime_stats();
+            merged.merge(&stats);
+            reports.push(ReplicaReport {
+                name: replica.name().to_string(),
+                restarts: replica.restarts(),
+                stats,
+            });
+        }
+        let stats = FleetStats {
+            replicas: reports,
+            merged,
+            retries: self.counters.retries.load(Ordering::SeqCst),
+            shed: self.counters.shed.load(Ordering::SeqCst),
+            failover: self.counters.failover.load(Ordering::SeqCst),
+            readmitted: self.counters.readmitted.load(Ordering::SeqCst),
+            budget_exhausted: self.counters.budget_exhausted.load(Ordering::SeqCst),
+            replica_restarts: self.counters.replica_restarts.load(Ordering::SeqCst),
+        };
+        self.telemetry
+            .gauge("fleet.completed", stats.merged.completed as f64);
+        self.telemetry.flush();
+        stats
+    }
+}

@@ -1,0 +1,333 @@
+#![warn(missing_docs)]
+
+//! # cbq-fleet — fault-tolerant multi-replica serving for cbq-serve
+//!
+//! The fleet tier turns one micro-batching [`Server`](cbq_serve::Server)
+//! into N replicas behind a deterministic router, with client-side
+//! failover that survives a replica being killed mid-run — without
+//! giving up one bit of the serving tier's determinism contract.
+//!
+//! Pieces:
+//!
+//! - [`HashRing`] — consistent-hash router with virtual nodes and fixed
+//!   (seed-free) hash mixers. `route(id)` is a pure function of ring
+//!   membership and the request id; `failover_order(id)` extends it to a
+//!   full deterministic replica permutation. Removing a replica moves
+//!   only the keys it owned.
+//! - [`Transport`] / [`LoopbackReplica`] — the replica boundary: admit,
+//!   liveness, graceful kill (drain admitted work, tickets stay
+//!   redeemable), restart. Loopback channels today; the trait is the
+//!   seam where a socket transport slots in later.
+//! - [`RetryPolicy`] / [`RetryBudget`] — bounded attempts, deterministic
+//!   exponential backoff on the injected clock (no jitter, no wall-clock
+//!   sleeps in tests), and a token-bucket budget so shed traffic cannot
+//!   amplify into a retry storm. Failover after replica *death* is
+//!   budget-free: dropping drained traffic would lose admitted work.
+//! - [`Fleet`] — the client: routes, admits, waits, fails over on
+//!   [`ServeError::Overloaded`](cbq_serve::ServeError::Overloaded) /
+//!   [`ReplicaDown`](cbq_serve::ServeError::ReplicaDown) /
+//!   [`ShuttingDown`](cbq_serve::ServeError::ShuttingDown), re-admits
+//!   requests a dying replica never answered, and runs the chaos drill:
+//!   a [`FaultPlan`](cbq_resilience::FaultPlan)
+//!   `kill-replica:<name>@<requests>` trigger kills and restarts a
+//!   replica once the fleet has admitted that many requests.
+//!
+//! **Invariant the whole tier is built around:** the fleet-wide replay
+//! log — responses sorted by request id, canonical bytes concatenated —
+//! is byte-identical at any replica count, any worker count, and any
+//! fault timing. Replicas share one model registry and canonical bytes
+//! exclude timing/batching metadata, so routing, retries, failover, and
+//! kills are all invisible to replay. `tests/fleet_determinism.rs` and
+//! the `fleet_load` bench gate this, along with zero lost admitted
+//! requests across a kill/restart drill.
+
+mod fleet;
+mod retry;
+mod router;
+mod transport;
+
+pub use fleet::{replica_name, Fleet, FleetConfig, FleetStats, ReplicaReport};
+pub use retry::{RetryBudget, RetryPolicy};
+pub use router::{HashRing, DEFAULT_VNODES};
+pub use transport::{LoopbackReplica, Transport};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbq_resilience::FaultPlan;
+    use cbq_serve::{
+        offline_logits, ArchSpec, Backend, BatchPolicy, ModelArtifact, ModelRegistry, ServeError,
+        ServerConfig,
+    };
+    use cbq_telemetry::{Collector, Telemetry};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn artifact(sizes: &[usize]) -> ModelArtifact {
+        let arch = ArchSpec::Mlp(sizes.to_vec());
+        let mut net = arch.build().unwrap();
+        ModelArtifact {
+            arch,
+            input_shape: vec![sizes[0]],
+            state: cbq_nn::state_dict(&mut net),
+            quant: None,
+            baseline_mix: None,
+        }
+    }
+
+    fn small_config(replicas: usize) -> FleetConfig {
+        FleetConfig {
+            replicas,
+            server: ServerConfig {
+                policy: BatchPolicy {
+                    max_batch: 4,
+                    max_wait: Duration::from_micros(50),
+                    queue_capacity: 64,
+                },
+                workers: 2,
+            },
+            ..FleetConfig::default()
+        }
+    }
+
+    fn sample(i: u64, len: usize) -> Vec<f32> {
+        (0..len)
+            .map(|j| ((i * 31 + j as u64) % 17) as f32 * 0.1 - 0.8)
+            .collect()
+    }
+
+    #[test]
+    fn fleet_matches_offline_reference_on_every_replica() {
+        let registry = Arc::new(ModelRegistry::new());
+        let handle = registry
+            .load("m", &artifact(&[5, 7, 3]), Backend::Float)
+            .unwrap();
+        let model = registry.get(&handle).unwrap();
+        let fleet = Fleet::start(registry, small_config(3), Telemetry::disabled()).unwrap();
+        for id in 1..=30u64 {
+            let s = sample(id, 5);
+            let resp = fleet.infer_with_id(id, &handle, s.clone(), None).unwrap();
+            let offline = offline_logits(&model, &s).unwrap();
+            for (a, b) in resp.logits.iter().zip(&offline) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        let stats = fleet.shutdown();
+        assert_eq!(stats.merged.completed, 30);
+        assert_eq!(stats.merged.failed, 0);
+        assert_eq!(stats.retries, 0);
+        // 30 ids across the ring reach more than one replica.
+        assert!(
+            stats
+                .replicas
+                .iter()
+                .filter(|r| r.stats.completed > 0)
+                .count()
+                > 1
+        );
+    }
+
+    #[test]
+    fn killed_replica_sheds_then_failover_serves_and_restart_recovers() {
+        let registry = Arc::new(ModelRegistry::new());
+        let handle = registry
+            .load("m", &artifact(&[4, 6, 2]), Backend::Float)
+            .unwrap();
+        let fleet = Fleet::start(registry, small_config(2), Telemetry::disabled()).unwrap();
+        let victim = replica_name(0);
+        assert!(fleet.kill(&victim).unwrap().is_some());
+        assert!(
+            fleet.kill(&victim).unwrap().is_none(),
+            "double kill is a no-op"
+        );
+        assert!(!fleet.replica(&victim).unwrap().is_up());
+        // Every request still completes: ids owned by the dead replica
+        // fail over to the survivor.
+        for id in 1..=20u64 {
+            fleet
+                .infer_with_id(id, &handle, sample(id, 4), None)
+                .unwrap();
+        }
+        fleet.restart(&victim).unwrap();
+        assert!(fleet.replica(&victim).unwrap().is_up());
+        for id in 21..=40u64 {
+            fleet
+                .infer_with_id(id, &handle, sample(id, 4), None)
+                .unwrap();
+        }
+        let stats = fleet.shutdown();
+        assert_eq!(stats.merged.completed, 40);
+        assert_eq!(stats.replica_restarts, 1);
+        assert!(stats.failover > 0, "dead-replica ids must have failed over");
+        assert_eq!(stats.shed, 0);
+        assert!(fleet_err_is_bad_request());
+    }
+
+    fn fleet_err_is_bad_request() -> bool {
+        let registry = Arc::new(ModelRegistry::new());
+        let fleet = Fleet::start(registry, small_config(1), Telemetry::disabled()).unwrap();
+        let bad = matches!(fleet.kill("nope"), Err(ServeError::BadRequest(_)))
+            && matches!(fleet.restart("nope"), Err(ServeError::BadRequest(_)));
+        fleet.shutdown();
+        bad
+    }
+
+    #[test]
+    fn admitted_tickets_survive_a_kill() {
+        // Graceful-drain contract at the transport level: a request
+        // admitted before the kill is answered during the drain.
+        let registry = Arc::new(ModelRegistry::new());
+        let handle = registry
+            .load("m", &artifact(&[4, 5, 2]), Backend::Float)
+            .unwrap();
+        let replica = LoopbackReplica::start(
+            "r",
+            registry,
+            small_config(1).server,
+            Arc::new(cbq_serve::SystemClock::new()),
+            Telemetry::disabled(),
+        )
+        .unwrap();
+        let ticket = replica.submit(7, &handle, sample(7, 4), None).unwrap();
+        let stats = replica.kill().unwrap();
+        assert_eq!(stats.accepted, 1);
+        assert_eq!(stats.completed, 1);
+        let resp = ticket.wait().unwrap();
+        assert_eq!(resp.id, 7);
+        assert!(matches!(
+            replica.submit(8, &handle, sample(8, 4), None),
+            Err(ServeError::ReplicaDown { .. })
+        ));
+        assert_eq!(replica.queue_depth(), 0);
+        replica.restart().unwrap();
+        assert_eq!(replica.restarts(), 1);
+        let resp = replica
+            .submit(9, &handle, sample(9, 4), None)
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(resp.id, 9);
+        replica.kill();
+        assert_eq!(replica.lifetime_stats().completed, 2);
+    }
+
+    #[test]
+    fn fault_plan_kill_fires_once_and_loses_nothing() {
+        let registry = Arc::new(ModelRegistry::new());
+        let handle = registry
+            .load("m", &artifact(&[4, 6, 3]), Backend::Float)
+            .unwrap();
+        let victim = replica_name(1);
+        let plan = Arc::new(FaultPlan::parse(&format!("kill-replica:{victim}@10")).unwrap());
+        let collector = Arc::new(Collector::new());
+        let fleet = Fleet::start_with_faults(
+            registry,
+            small_config(3),
+            Arc::new(cbq_serve::SystemClock::new()),
+            Telemetry::new(vec![collector.clone()]),
+            Some(plan),
+        )
+        .unwrap();
+        for id in 1..=50u64 {
+            fleet
+                .infer_with_id(id, &handle, sample(id, 4), None)
+                .unwrap();
+        }
+        let stats = fleet.shutdown();
+        assert_eq!(stats.merged.completed, 50);
+        assert_eq!(stats.replica_restarts, 1);
+        let restarted: Vec<_> = stats.replicas.iter().filter(|r| r.restarts == 1).collect();
+        assert_eq!(restarted.len(), 1);
+        assert_eq!(restarted[0].name, victim);
+        assert_eq!(collector.counter_total("fleet.replica_restarts"), 1);
+    }
+
+    #[test]
+    fn fault_plan_targeting_unknown_replica_is_rejected() {
+        let registry = Arc::new(ModelRegistry::new());
+        let plan = Arc::new(FaultPlan::parse("kill-replica:replica-9@5").unwrap());
+        let err = Fleet::start_with_faults(
+            registry,
+            small_config(2),
+            Arc::new(cbq_serve::SystemClock::new()),
+            Telemetry::disabled(),
+            Some(plan),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ServeError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn zero_replicas_is_invalid() {
+        let registry = Arc::new(ModelRegistry::new());
+        let err = Fleet::start(registry, small_config(0), Telemetry::disabled()).unwrap_err();
+        assert!(matches!(err, ServeError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn overload_spends_budget_and_exhaustion_fails_fast() {
+        // One replica, one worker, single-slot queue, frozen manual
+        // clock: a parked request keeps the queue full, so every
+        // further call sheds deterministically.
+        let registry = Arc::new(ModelRegistry::new());
+        let handle = registry
+            .load("m", &artifact(&[4, 5, 2]), Backend::Float)
+            .unwrap();
+        let clock = cbq_serve::ManualClock::new();
+        let mut config = small_config(1);
+        config.server.policy = BatchPolicy {
+            max_batch: 2,
+            max_wait: Duration::from_millis(10),
+            queue_capacity: 1,
+        };
+        config.server.workers = 1;
+        config.retry = RetryPolicy {
+            max_attempts: 2,
+            backoff_base: Duration::ZERO,
+            backoff_cap: Duration::ZERO,
+        };
+        config.budget_ratio = 0.0; // never refills
+        config.budget_cap = 1; // exactly one stored retry token
+        let fleet = Arc::new(
+            Fleet::start_with(
+                registry,
+                config,
+                Arc::new(clock.clone()),
+                Telemetry::disabled(),
+            )
+            .unwrap(),
+        );
+        let parked = {
+            let fleet = fleet.clone();
+            let handle = handle.clone();
+            std::thread::spawn(move || fleet.infer_with_id(1, &handle, sample(1, 4), None))
+        };
+        let replica = replica_name(0);
+        while fleet.replica(&replica).unwrap().queue_depth() < 1 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // First overloaded call spends the lone token, retries, sheds
+        // again, and gives up on the attempt bound.
+        let err = fleet
+            .infer_with_id(2, &handle, sample(2, 4), None)
+            .unwrap_err();
+        assert!(matches!(err, ServeError::Overloaded { .. }));
+        assert!(err.is_retryable(), "shed must classify as retryable");
+        // Second call finds the budget empty and fails fast (one shed).
+        let err = fleet
+            .infer_with_id(3, &handle, sample(3, 4), None)
+            .unwrap_err();
+        assert!(matches!(err, ServeError::Overloaded { .. }));
+        clock.advance(Duration::from_millis(10));
+        parked.join().unwrap().unwrap();
+        let Ok(fleet) = Arc::try_unwrap(fleet) else {
+            panic!("all clones joined");
+        };
+        let stats = fleet.shutdown();
+        assert_eq!(stats.merged.completed, 1);
+        assert_eq!(stats.shed, 3);
+        assert_eq!(stats.retries, 1);
+        assert_eq!(stats.budget_exhausted, 1);
+        assert_eq!(stats.failover, 0, "single replica cannot fail over");
+    }
+}

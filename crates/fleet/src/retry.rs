@@ -1,0 +1,255 @@
+//! Client-side retry discipline: bounded attempts, deterministic
+//! exponential backoff on the injected clock, and a fleet-wide retry
+//! budget so shed traffic cannot amplify into a retry storm.
+//!
+//! Backoff waits go through [`wait_backoff`], which sleeps on the
+//! *logical* [`ServeClock`]: under a [`ManualClock`](cbq_serve::ManualClock)
+//! the wait only elapses when a test advances the clock (short real
+//! sleeps between re-checks, the same polling discipline as the
+//! scheduler's `max_wait`), so tests never depend on wall-clock timing.
+
+use cbq_serve::{Result, ServeClock, ServeError};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Polling granularity for manual-clock backoff waits. Correctness never
+/// depends on this value — the wait completes only when the *logical*
+/// deadline passes.
+const MANUAL_POLL: Duration = Duration::from_millis(1);
+
+/// Sub-token resolution of the [`RetryBudget`] bucket: deposits are
+/// fractions of a token, spends are whole tokens.
+const MILLI: u64 = 1000;
+
+/// Retry/failover policy for one fleet client call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total admission attempts per request, the first included. `1`
+    /// disables retries entirely.
+    pub max_attempts: u32,
+    /// Backoff before the first overload retry; doubles per retry.
+    pub backoff_base: Duration,
+    /// Ceiling on any single backoff wait.
+    pub backoff_cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            backoff_base: Duration::from_micros(200),
+            backoff_cap: Duration::from_millis(10),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Validates the knobs.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidConfig`] for zero attempts or a cap below
+    /// the base.
+    pub fn validate(&self) -> Result<()> {
+        if self.max_attempts == 0 {
+            return Err(ServeError::InvalidConfig(
+                "retry max_attempts must be >= 1".into(),
+            ));
+        }
+        if self.backoff_cap < self.backoff_base {
+            return Err(ServeError::InvalidConfig(
+                "retry backoff_cap must be >= backoff_base".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Deterministic backoff before overload retry number `retry`
+    /// (1-based): `base * 2^(retry-1)`, capped. `retry == 0` means no
+    /// wait. No jitter by design — fleet behaviour must be a pure
+    /// function of the request stream, and the failover cursor already
+    /// de-correlates retries by sending them to different replicas.
+    pub fn backoff(&self, retry: u32) -> Duration {
+        if retry == 0 || self.backoff_base.is_zero() {
+            return Duration::ZERO;
+        }
+        let doublings = retry - 1;
+        let capped = self
+            .backoff_base
+            .checked_mul(1u32.checked_shl(doublings).unwrap_or(u32::MAX))
+            .unwrap_or(self.backoff_cap);
+        capped.min(self.backoff_cap)
+    }
+}
+
+/// Blocks for `wait` of *logical* time on the injected clock.
+pub(crate) fn wait_backoff(clock: &Arc<dyn ServeClock>, wait: Duration) {
+    if wait.is_zero() {
+        return;
+    }
+    if clock.is_manual() {
+        let deadline = clock.now() + wait;
+        while clock.now() < deadline {
+            std::thread::sleep(MANUAL_POLL);
+        }
+    } else {
+        std::thread::sleep(wait);
+    }
+}
+
+/// A token bucket bounding how much of the offered load may be retries.
+///
+/// Every submitted request deposits `ratio` of a token (up to `cap`
+/// whole tokens); every overload retry spends one whole token. When the
+/// bucket is empty the client fails fast with the original
+/// [`ServeError::Overloaded`] instead of piling more load onto a fleet
+/// that is already shedding — the classic anti-retry-storm budget.
+/// Failover after a replica *death* is deliberately budget-free: a
+/// drained replica sheds no load, and dropping its traffic would violate
+/// the zero-lost-requests drill gate.
+#[derive(Debug)]
+pub struct RetryBudget {
+    millitokens: AtomicU64,
+    cap_milli: u64,
+    deposit_milli: u64,
+}
+
+impl RetryBudget {
+    /// A budget allowing roughly `ratio` retries per request, bursting
+    /// up to `cap` stored tokens. The bucket starts full so cold-start
+    /// bursts can still retry.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidConfig`] for a non-finite/negative ratio or
+    /// zero cap.
+    pub fn new(ratio: f64, cap: u64) -> Result<RetryBudget> {
+        if !ratio.is_finite() || ratio < 0.0 {
+            return Err(ServeError::InvalidConfig(
+                "retry budget ratio must be finite and >= 0".into(),
+            ));
+        }
+        if cap == 0 {
+            return Err(ServeError::InvalidConfig(
+                "retry budget cap must be >= 1".into(),
+            ));
+        }
+        let cap_milli = cap.saturating_mul(MILLI);
+        Ok(RetryBudget {
+            millitokens: AtomicU64::new(cap_milli),
+            cap_milli,
+            deposit_milli: (ratio * MILLI as f64).round() as u64,
+        })
+    }
+
+    /// Credits the budget for one submitted request.
+    pub fn note_request(&self) {
+        let deposit = self.deposit_milli;
+        if deposit == 0 {
+            return;
+        }
+        let _ = self
+            .millitokens
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |m| {
+                Some(m.saturating_add(deposit).min(self.cap_milli))
+            });
+    }
+
+    /// Takes one retry token; `false` means the budget is exhausted and
+    /// the caller must fail fast instead of retrying.
+    pub fn try_spend(&self) -> bool {
+        self.millitokens
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |m| m.checked_sub(MILLI))
+            .is_ok()
+    }
+
+    /// Whole tokens currently available.
+    pub fn available(&self) -> u64 {
+        self.millitokens.load(Ordering::SeqCst) / MILLI
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbq_serve::ManualClock;
+
+    #[test]
+    fn policy_validation_and_defaults() {
+        assert!(RetryPolicy::default().validate().is_ok());
+        let zero = RetryPolicy {
+            max_attempts: 0,
+            ..RetryPolicy::default()
+        };
+        assert!(zero.validate().is_err());
+        let inverted = RetryPolicy {
+            backoff_base: Duration::from_millis(5),
+            backoff_cap: Duration::from_millis(1),
+            ..RetryPolicy::default()
+        };
+        assert!(inverted.validate().is_err());
+    }
+
+    #[test]
+    fn backoff_doubles_then_caps() {
+        let p = RetryPolicy {
+            max_attempts: 10,
+            backoff_base: Duration::from_micros(100),
+            backoff_cap: Duration::from_micros(350),
+        };
+        assert_eq!(p.backoff(0), Duration::ZERO);
+        assert_eq!(p.backoff(1), Duration::from_micros(100));
+        assert_eq!(p.backoff(2), Duration::from_micros(200));
+        assert_eq!(p.backoff(3), Duration::from_micros(350));
+        assert_eq!(p.backoff(4), Duration::from_micros(350));
+        // Huge retry ordinals saturate at the cap instead of overflowing.
+        assert_eq!(p.backoff(64), Duration::from_micros(350));
+    }
+
+    #[test]
+    fn budget_deposits_and_spends() {
+        let b = RetryBudget::new(0.5, 2).unwrap();
+        assert_eq!(b.available(), 2); // starts full
+        assert!(b.try_spend());
+        assert!(b.try_spend());
+        assert!(!b.try_spend(), "empty bucket must refuse");
+        b.note_request(); // +0.5 tokens: still below a whole token
+        assert!(!b.try_spend());
+        b.note_request();
+        assert!(b.try_spend());
+        // Deposits clamp at the cap.
+        for _ in 0..100 {
+            b.note_request();
+        }
+        assert_eq!(b.available(), 2);
+        assert!(RetryBudget::new(f64::NAN, 1).is_err());
+        assert!(RetryBudget::new(-0.1, 1).is_err());
+        assert!(RetryBudget::new(0.1, 0).is_err());
+    }
+
+    #[test]
+    fn manual_clock_backoff_elapses_logically() {
+        let clock = ManualClock::new();
+        // Deadline already passed: returns without advancing real time
+        // unboundedly. (The frozen-clock "does not elapse" direction is
+        // covered by the server's wait_timeout test battery.)
+        clock.advance(Duration::from_millis(5));
+        let shared: Arc<dyn ServeClock> = Arc::new(clock.clone());
+        let advancer = {
+            let clock = clock.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(20));
+                clock.advance(Duration::from_millis(3));
+            })
+        };
+        let start = std::time::Instant::now();
+        wait_backoff(&shared, Duration::from_millis(3));
+        assert!(
+            start.elapsed() >= Duration::from_millis(15),
+            "backoff returned before the logical clock advanced"
+        );
+        advancer.join().unwrap();
+        wait_backoff(&shared, Duration::ZERO); // no-op
+    }
+}

@@ -1,0 +1,212 @@
+//! The replica transport boundary: how the fleet client reaches a
+//! replica, and how a chaos drill kills and restarts one.
+//!
+//! [`Transport`] is deliberately narrow — admit one request, report
+//! liveness/depth, kill (graceful drain), restart — so the in-process
+//! [`LoopbackReplica`] used today and a future socket transport are
+//! interchangeable to the routing/retry layer. Everything that makes the
+//! fleet deterministic lives *above* this trait (routing, retry order,
+//! replay canonicalisation) or *below* it (the server's bit-exact
+//! execution); the transport only moves requests.
+//!
+//! Kill semantics are the serving contract's: a killed replica stops
+//! admitting immediately (new submissions get
+//! [`ServeError::ReplicaDown`]) but every already-admitted request is
+//! drained to completion and its ticket stays redeemable — the drill's
+//! zero-lost-requests gate leans on exactly this.
+
+use cbq_serve::{
+    ModelHandle, ModelRegistry, Result, ServeClock, ServeError, ServeStats, Server, ServerConfig,
+    Ticket,
+};
+use cbq_telemetry::Telemetry;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// One replica as seen by the fleet client.
+pub trait Transport: Send + Sync + std::fmt::Debug {
+    /// Stable replica name (the routing identity).
+    fn name(&self) -> &str;
+
+    /// True while the replica admits requests.
+    fn is_up(&self) -> bool;
+
+    /// Waiting requests on the replica's admission queue (0 when down).
+    fn queue_depth(&self) -> usize;
+
+    /// Admits one request.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::ReplicaDown`] when the replica is killed, otherwise
+    /// the server's admission errors ([`ServeError::Overloaded`],
+    /// [`ServeError::ShuttingDown`]) and request validation errors.
+    fn submit(
+        &self,
+        id: u64,
+        model: &ModelHandle,
+        sample: Vec<f32>,
+        label: Option<usize>,
+    ) -> Result<Ticket>;
+
+    /// Kills the replica: admission stops immediately, admitted requests
+    /// drain to completion, and the generation's statistics are returned
+    /// (`None` when it was already down).
+    fn kill(&self) -> Option<ServeStats>;
+
+    /// Brings a killed replica back with a fresh server generation.
+    /// A no-op when the replica is already up.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidConfig`] when the stored server config is
+    /// invalid (never for configs that started once).
+    fn restart(&self) -> Result<()>;
+
+    /// How many times the replica was restarted after a kill.
+    fn restarts(&self) -> u64;
+
+    /// Merged statistics across every *retired* generation. Complete
+    /// only after a final [`Transport::kill`].
+    fn lifetime_stats(&self) -> ServeStats;
+}
+
+/// In-process transport: the replica is a [`Server`] behind a slot that
+/// [`LoopbackReplica::kill`] empties and [`LoopbackReplica::restart`]
+/// refills.
+///
+/// All replicas of a fleet share one [`ModelRegistry`], so a response's
+/// `model@version` — part of its canonical replay bytes — is identical
+/// no matter which replica (or which post-restart generation) served it.
+pub struct LoopbackReplica {
+    name: String,
+    registry: Arc<ModelRegistry>,
+    config: ServerConfig,
+    clock: Arc<dyn ServeClock>,
+    telemetry: Telemetry,
+    slot: RwLock<Option<Server>>,
+    restarts: AtomicU64,
+    retired: Mutex<ServeStats>,
+}
+
+impl std::fmt::Debug for LoopbackReplica {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LoopbackReplica")
+            .field("name", &self.name)
+            .field("up", &self.is_up())
+            .field("restarts", &self.restarts())
+            .finish_non_exhaustive()
+    }
+}
+
+impl LoopbackReplica {
+    /// Starts a replica serving from the shared registry.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidConfig`] for an invalid server config.
+    pub fn start(
+        name: impl Into<String>,
+        registry: Arc<ModelRegistry>,
+        config: ServerConfig,
+        clock: Arc<dyn ServeClock>,
+        telemetry: Telemetry,
+    ) -> Result<LoopbackReplica> {
+        let server = Server::start_with(
+            registry.clone(),
+            config.clone(),
+            clock.clone(),
+            telemetry.clone(),
+        )?;
+        Ok(LoopbackReplica {
+            name: name.into(),
+            registry,
+            config,
+            clock,
+            telemetry,
+            slot: RwLock::new(Some(server)),
+            restarts: AtomicU64::new(0),
+            retired: Mutex::new(ServeStats::empty()),
+        })
+    }
+}
+
+impl Transport for LoopbackReplica {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn is_up(&self) -> bool {
+        self.slot
+            .read()
+            .expect("replica slot lock poisoned")
+            .is_some()
+    }
+
+    fn queue_depth(&self) -> usize {
+        self.slot
+            .read()
+            .expect("replica slot lock poisoned")
+            .as_ref()
+            .map_or(0, |s| s.queue_depth())
+    }
+
+    fn submit(
+        &self,
+        id: u64,
+        model: &ModelHandle,
+        sample: Vec<f32>,
+        label: Option<usize>,
+    ) -> Result<Ticket> {
+        let slot = self.slot.read().expect("replica slot lock poisoned");
+        match slot.as_ref() {
+            Some(server) => server.submit_request(id, model, sample, label),
+            None => Err(ServeError::ReplicaDown {
+                replica: self.name.clone(),
+            }),
+        }
+    }
+
+    fn kill(&self) -> Option<ServeStats> {
+        // Take the server out under the write lock (admission flips to
+        // ReplicaDown at this instant), then drain it with no lock held
+        // so concurrent submitters and waiters are never blocked on us.
+        let server = self
+            .slot
+            .write()
+            .expect("replica slot lock poisoned")
+            .take()?;
+        let stats = server.shutdown();
+        self.retired
+            .lock()
+            .expect("replica stats lock poisoned")
+            .merge(&stats);
+        Some(stats)
+    }
+
+    fn restart(&self) -> Result<()> {
+        let mut slot = self.slot.write().expect("replica slot lock poisoned");
+        if slot.is_some() {
+            return Ok(());
+        }
+        *slot = Some(Server::start_with(
+            self.registry.clone(),
+            self.config.clone(),
+            self.clock.clone(),
+            self.telemetry.clone(),
+        )?);
+        self.restarts.fetch_add(1, Ordering::SeqCst);
+        Ok(())
+    }
+
+    fn restarts(&self) -> u64 {
+        self.restarts.load(Ordering::SeqCst)
+    }
+
+    fn lifetime_stats(&self) -> ServeStats {
+        self.retired
+            .lock()
+            .expect("replica stats lock poisoned")
+            .clone()
+    }
+}

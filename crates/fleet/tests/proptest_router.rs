@@ -1,0 +1,179 @@
+//! Property tests of the consistent-hash router — the two guarantees
+//! the fleet's failover story rests on:
+//!
+//! 1. **Balance**: over a large key set, every replica's share of keys
+//!    stays inside a tolerance band around the fair share (virtual
+//!    nodes keep the arc lengths from degenerating).
+//! 2. **Minimal movement**: removing one replica re-routes *only* the
+//!    keys that replica owned; every other key keeps its exact route.
+//!    This is what makes permanent replica retirement cheap and what
+//!    bounds the blast radius of a kill.
+//!
+//! Plus the pure-function properties (same ring + same id ⇒ same route,
+//! failover order is a permutation rooted at the route), which the
+//! replay byte-identity drill indirectly leans on.
+//!
+//! The `proptest!` blocks explore arbitrary replica sets and key
+//! streams; the plain `#[test]` companions pin one adversarial instance
+//! of each property so the invariants are still exercised when the
+//! property harness is unavailable.
+
+use cbq_fleet::{HashRing, DEFAULT_VNODES};
+use proptest::prelude::*;
+
+/// Distinct replica names `n0..n{count}` with a salt so the name set
+/// itself varies across cases.
+fn names(count: usize, salt: u64) -> Vec<String> {
+    (0..count).map(|i| format!("n{salt:x}-{i}")).collect()
+}
+
+/// Key stream derived from a seed with an LCG — ids are arbitrary u64s,
+/// not necessarily dense.
+fn keys(count: usize, mut seed: u64) -> Vec<u64> {
+    (0..count)
+        .map(|_| {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            seed
+        })
+        .collect()
+}
+
+/// Asserts every replica's key count lies within `[fair/3, 3*fair]`.
+/// With 128 vnodes the per-replica share spread is ~1/sqrt(128) ≈ 9%
+/// relative, so a 3x band has enormous margin while still catching a
+/// degenerate ring (one replica owning ~everything or ~nothing).
+fn assert_balanced(ring: &HashRing, ids: &[u64]) {
+    let mut counts = vec![0usize; ring.len()];
+    for &id in ids {
+        counts[ring.route_index(id)] += 1;
+    }
+    let fair = ids.len() as f64 / ring.len() as f64;
+    for (idx, &c) in counts.iter().enumerate() {
+        assert!(
+            (c as f64) >= fair / 3.0 && (c as f64) <= fair * 3.0,
+            "replica {} owns {} of {} keys (fair share {:.0})",
+            ring.names()[idx],
+            c,
+            ids.len(),
+            fair
+        );
+    }
+}
+
+/// Asserts removal moved only the removed replica's keys.
+fn assert_minimal_movement(ring: &HashRing, removed: &str, ids: &[u64]) -> usize {
+    let shrunk = ring.without(removed).unwrap();
+    let mut moved = 0usize;
+    for &id in ids {
+        let before = ring.route(id);
+        let after = shrunk.route(id);
+        if before == removed {
+            assert_ne!(
+                after, removed,
+                "key {id} still routed to the removed replica"
+            );
+            moved += 1;
+        } else {
+            assert_eq!(after, before, "key {id} moved though its replica survived");
+        }
+    }
+    moved
+}
+
+proptest! {
+    /// Key ownership stays within the tolerance band for any replica
+    /// count and any key stream.
+    #[test]
+    fn balance_within_tolerance_band(
+        replicas in 2usize..7,
+        salt in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        let ring = HashRing::new(&names(replicas, salt), DEFAULT_VNODES).unwrap();
+        let ids = keys(4000, seed);
+        assert_balanced(&ring, &ids);
+    }
+
+    /// Removing any one replica re-routes exactly its own keys — the
+    /// moved fraction matches that replica's ownership, and survivors
+    /// keep every key they had.
+    #[test]
+    fn removal_moves_only_the_removed_replicas_keys(
+        replicas in 2usize..7,
+        victim in 0usize..7,
+        salt in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        let ring = HashRing::new(&names(replicas, salt), DEFAULT_VNODES).unwrap();
+        let ids = keys(2500, seed);
+        let removed = ring.names()[victim % replicas].clone();
+        let owned = ids.iter().filter(|&&id| ring.route(id) == removed).count();
+        let moved = assert_minimal_movement(&ring, &removed, &ids);
+        prop_assert_eq!(moved, owned);
+    }
+
+    /// Routing is a pure function of (membership, id): two rings built
+    /// from the same names agree everywhere, and failover order is a
+    /// permutation of the replicas rooted at the primary route.
+    #[test]
+    fn routing_is_pure_and_failover_is_a_rooted_permutation(
+        replicas in 1usize..7,
+        salt in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        let ns = names(replicas, salt);
+        let a = HashRing::new(&ns, DEFAULT_VNODES).unwrap();
+        let b = HashRing::new(&ns, DEFAULT_VNODES).unwrap();
+        for &id in &keys(300, seed) {
+            prop_assert_eq!(a.route_index(id), b.route_index(id));
+            let order = a.failover_order(id);
+            prop_assert_eq!(order.len(), replicas);
+            prop_assert_eq!(order[0], a.route_index(id));
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(sorted, (0..replicas).collect::<Vec<usize>>());
+        }
+    }
+}
+
+/// Pinned instance of `balance_within_tolerance_band`.
+#[test]
+fn pinned_balance_within_tolerance_band() {
+    for replicas in [2usize, 3, 4, 6] {
+        let ring = HashRing::new(&names(replicas, 0xCB0), DEFAULT_VNODES).unwrap();
+        let ids = keys(4000, 0x5EED_0001);
+        assert_balanced(&ring, &ids);
+    }
+}
+
+/// Pinned instance of `removal_moves_only_the_removed_replicas_keys`.
+#[test]
+fn pinned_removal_is_minimal_movement() {
+    let ring = HashRing::new(&names(4, 0xFA11), DEFAULT_VNODES).unwrap();
+    let ids = keys(2500, 0x5EED_0002);
+    for victim in ring.names().to_vec() {
+        let owned = ids.iter().filter(|&&id| ring.route(id) == victim).count();
+        let moved = assert_minimal_movement(&ring, &victim, &ids);
+        assert_eq!(moved, owned);
+        assert!(owned > 0, "replica {victim} owned nothing out of 2500 keys");
+    }
+}
+
+/// Pinned instance of `routing_is_pure_and_failover_is_a_rooted_permutation`.
+#[test]
+fn pinned_failover_order_is_rooted_permutation() {
+    let ns = names(5, 0xF0F0);
+    let a = HashRing::new(&ns, DEFAULT_VNODES).unwrap();
+    let b = HashRing::new(&ns, DEFAULT_VNODES).unwrap();
+    for &id in &keys(500, 0x5EED_0003) {
+        assert_eq!(a.route_index(id), b.route_index(id));
+        let order = a.failover_order(id);
+        assert_eq!(order.len(), 5);
+        assert_eq!(order[0], a.route_index(id));
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3, 4]);
+    }
+}

@@ -22,6 +22,9 @@ pub struct FaultPlan {
     truncate_phase: Option<String>,
     truncate_armed: AtomicBool,
     steps_seen: AtomicU64,
+    kill_replica: Option<(String, u64)>,
+    kill_armed: AtomicBool,
+    fleet_requests_seen: AtomicU64,
 }
 
 impl PartialEq for FaultPlan {
@@ -29,12 +32,16 @@ impl PartialEq for FaultPlan {
         self.fail_phase == other.fail_phase
             && self.poison_step == other.poison_step
             && self.truncate_phase == other.truncate_phase
+            && self.kill_replica == other.kill_replica
             && self.fail_phase_armed.load(Ordering::SeqCst)
                 == other.fail_phase_armed.load(Ordering::SeqCst)
             && self.poison_armed.load(Ordering::SeqCst) == other.poison_armed.load(Ordering::SeqCst)
             && self.truncate_armed.load(Ordering::SeqCst)
                 == other.truncate_armed.load(Ordering::SeqCst)
+            && self.kill_armed.load(Ordering::SeqCst) == other.kill_armed.load(Ordering::SeqCst)
             && self.steps_seen.load(Ordering::SeqCst) == other.steps_seen.load(Ordering::SeqCst)
+            && self.fleet_requests_seen.load(Ordering::SeqCst)
+                == other.fleet_requests_seen.load(Ordering::SeqCst)
     }
 }
 
@@ -48,6 +55,9 @@ impl Clone for FaultPlan {
             truncate_phase: self.truncate_phase.clone(),
             truncate_armed: AtomicBool::new(self.truncate_armed.load(Ordering::SeqCst)),
             steps_seen: AtomicU64::new(self.steps_seen.load(Ordering::SeqCst)),
+            kill_replica: self.kill_replica.clone(),
+            kill_armed: AtomicBool::new(self.kill_armed.load(Ordering::SeqCst)),
+            fleet_requests_seen: AtomicU64::new(self.fleet_requests_seen.load(Ordering::SeqCst)),
         }
     }
 }
@@ -60,7 +70,10 @@ impl FaultPlan {
 
     /// Whether this plan injects anything at all.
     pub fn is_empty(&self) -> bool {
-        self.fail_phase.is_none() && self.poison_step.is_none() && self.truncate_phase.is_none()
+        self.fail_phase.is_none()
+            && self.poison_step.is_none()
+            && self.truncate_phase.is_none()
+            && self.kill_replica.is_none()
     }
 
     /// Arms a one-shot failure at the end of the named pipeline phase
@@ -87,8 +100,21 @@ impl FaultPlan {
         self
     }
 
+    /// Arms a one-shot replica kill: the fleet tier reports each admitted
+    /// request through [`FaultPlan::note_fleet_request`], and the plan
+    /// names the replica to kill as the `requests`-th request is
+    /// admitted. The trigger is positional (an admission count, not a
+    /// timestamp), so a chaos drill fires at a reproducible point in the
+    /// request stream at any worker or client count.
+    pub fn kill_replica_after(mut self, replica: &str, requests: u64) -> Self {
+        self.kill_replica = Some((replica.to_string(), requests.max(1)));
+        self.kill_armed = AtomicBool::new(true);
+        self
+    }
+
     /// Parses a CLI spec. Grammar, comma-separated:
-    /// `fail-at:<phase>`, `poison-grad:<step>`, `truncate:<phase>`.
+    /// `fail-at:<phase>`, `poison-grad:<step>`, `truncate:<phase>`,
+    /// `kill-replica:<name>@<requests>`.
     ///
     /// # Errors
     ///
@@ -106,9 +132,25 @@ impl FaultPlan {
                 plan = plan.poison_gradient_at_step(step);
             } else if let Some(phase) = clause.strip_prefix("truncate:") {
                 plan = plan.truncate_checkpoint(phase);
+            } else if let Some(spec) = clause.strip_prefix("kill-replica:") {
+                let (name, count) = spec.split_once('@').ok_or_else(|| {
+                    ResilienceError::Decode(format!(
+                        "bad kill-replica clause {spec:?} (expected <name>@<requests>)"
+                    ))
+                })?;
+                let count: u64 = count.parse().map_err(|_| {
+                    ResilienceError::Decode(format!("bad kill-replica request count {count:?}"))
+                })?;
+                if name.is_empty() || count == 0 {
+                    return Err(ResilienceError::Decode(format!(
+                        "bad kill-replica clause {spec:?} (name must be non-empty, count positive)"
+                    )));
+                }
+                plan = plan.kill_replica_after(name, count);
             } else {
                 return Err(ResilienceError::Decode(format!(
-                    "unknown fault clause {clause:?} (expected fail-at:<phase>, poison-grad:<step> or truncate:<phase>)"
+                    "unknown fault clause {clause:?} (expected fail-at:<phase>, poison-grad:<step>, \
+                     truncate:<phase> or kill-replica:<name>@<requests>)"
                 )));
             }
         }
@@ -135,6 +177,31 @@ impl FaultPlan {
     pub fn poison_this_step(&self) -> bool {
         let step = self.steps_seen.fetch_add(1, Ordering::SeqCst);
         self.poison_step == Some(step) && self.poison_armed.swap(false, Ordering::SeqCst)
+    }
+
+    /// Advances the fleet admission counter and reports (once) the
+    /// replica to kill when the armed admission count is reached.
+    ///
+    /// The fleet calls this on every admitted request; the drill fires on
+    /// the thread whose admission crosses the threshold, so exactly one
+    /// caller observes `Some` even under concurrent submission.
+    pub fn note_fleet_request(&self) -> Option<String> {
+        let admitted = self.fleet_requests_seen.fetch_add(1, Ordering::SeqCst) + 1;
+        match &self.kill_replica {
+            Some((name, at))
+                if admitted >= *at && self.kill_armed.swap(false, Ordering::SeqCst) =>
+            {
+                Some(name.clone())
+            }
+            _ => None,
+        }
+    }
+
+    /// The replica named by an armed `kill-replica` clause, if any —
+    /// lets a drill validate the plan against the fleet topology before
+    /// starting.
+    pub fn kill_replica_target(&self) -> Option<&str> {
+        self.kill_replica.as_ref().map(|(name, _)| name.as_str())
     }
 
     /// Reports (once) whether the just-written checkpoint for `phase`
@@ -211,6 +278,40 @@ mod tests {
         assert!(FaultPlan::parse("").unwrap().is_empty());
         assert!(FaultPlan::parse("poison-grad:nope").is_err());
         assert!(FaultPlan::parse("explode:now").is_err());
+    }
+
+    #[test]
+    fn kill_replica_fires_exactly_once_at_the_threshold() {
+        let plan = FaultPlan::none().kill_replica_after("replica-1", 3);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.kill_replica_target(), Some("replica-1"));
+        assert_eq!(plan.note_fleet_request(), None); // 1st admission
+        assert_eq!(plan.note_fleet_request(), None); // 2nd
+        assert_eq!(plan.note_fleet_request(), Some("replica-1".into())); // 3rd
+        assert_eq!(plan.note_fleet_request(), None); // one-shot
+    }
+
+    #[test]
+    fn kill_replica_parse_grammar() {
+        let plan = FaultPlan::parse("kill-replica:replica-2@64").unwrap();
+        assert_eq!(plan.kill_replica_target(), Some("replica-2"));
+        for i in 0..64 {
+            let fired = plan.note_fleet_request();
+            assert_eq!(fired.is_some(), i == 63, "admission {i}");
+        }
+        assert!(FaultPlan::parse("kill-replica:replica-2").is_err());
+        assert!(FaultPlan::parse("kill-replica:replica-2@zero").is_err());
+        assert!(FaultPlan::parse("kill-replica:@5").is_err());
+        assert!(FaultPlan::parse("kill-replica:r@0").is_err());
+    }
+
+    #[test]
+    fn plans_without_kill_never_fire_on_requests() {
+        let plan = FaultPlan::none().fail_at_phase("search");
+        for _ in 0..10 {
+            assert_eq!(plan.note_fleet_request(), None);
+        }
+        assert_eq!(plan.kill_replica_target(), None);
     }
 
     #[test]

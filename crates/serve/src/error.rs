@@ -14,6 +14,12 @@ pub enum ServeError {
     /// The server is draining: no new requests are admitted, in-flight
     /// requests still complete.
     ShuttingDown,
+    /// The targeted replica is down (killed or restarting). Clients
+    /// should fail over to another replica; nothing was admitted.
+    ReplicaDown {
+        /// Name of the unreachable replica.
+        replica: String,
+    },
     /// The request referenced a model/version the registry does not hold.
     UnknownModel(String),
     /// The request payload does not match the model's input contract.
@@ -28,6 +34,33 @@ pub enum ServeError {
     Quant(String),
 }
 
+impl ServeError {
+    /// Whether retrying the exact same request (against the same or
+    /// another replica) can succeed.
+    ///
+    /// Retryable errors are *admission* outcomes — the request was never
+    /// executed, so resubmitting cannot duplicate work: the queue was
+    /// full ([`ServeError::Overloaded`]), the server was draining
+    /// ([`ServeError::ShuttingDown`]), or the replica was down
+    /// ([`ServeError::ReplicaDown`]). Everything else is terminal: the
+    /// request itself is invalid or execution failed deterministically,
+    /// so a retry would fail the same way.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            ServeError::Overloaded { .. }
+                | ServeError::ShuttingDown
+                | ServeError::ReplicaDown { .. }
+        )
+    }
+
+    /// Whether the error is terminal — the negation of
+    /// [`ServeError::is_retryable`], named for call-site readability.
+    pub fn is_terminal(&self) -> bool {
+        !self.is_retryable()
+    }
+}
+
 impl fmt::Display for ServeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -38,6 +71,9 @@ impl fmt::Display for ServeError {
                 )
             }
             ServeError::ShuttingDown => write!(f, "server is draining: request rejected"),
+            ServeError::ReplicaDown { replica } => {
+                write!(f, "replica {replica} is down: request not admitted")
+            }
             ServeError::UnknownModel(name) => write!(f, "unknown model: {name}"),
             ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
             ServeError::InvalidConfig(msg) => write!(f, "invalid serve config: {msg}"),
@@ -90,5 +126,37 @@ mod tests {
         assert!(ServeError::UnknownModel("m".into())
             .to_string()
             .contains('m'));
+        assert!(ServeError::ReplicaDown {
+            replica: "replica-3".into()
+        }
+        .to_string()
+        .contains("replica-3"));
+    }
+
+    #[test]
+    fn admission_errors_are_retryable_execution_errors_terminal() {
+        let retryable = [
+            ServeError::Overloaded { capacity: 4 },
+            ServeError::ShuttingDown,
+            ServeError::ReplicaDown {
+                replica: "r".into(),
+            },
+        ];
+        for e in retryable {
+            assert!(e.is_retryable(), "{e} should be retryable");
+            assert!(!e.is_terminal());
+        }
+        let terminal = [
+            ServeError::UnknownModel("m".into()),
+            ServeError::BadRequest("len".into()),
+            ServeError::InvalidConfig("cfg".into()),
+            ServeError::Artifact("decode".into()),
+            ServeError::Nn("shape".into()),
+            ServeError::Quant("bits".into()),
+        ];
+        for e in terminal {
+            assert!(e.is_terminal(), "{e} should be terminal");
+            assert!(!e.is_retryable());
+        }
     }
 }

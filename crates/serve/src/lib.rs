@@ -208,6 +208,57 @@ mod tests {
     }
 
     #[test]
+    fn wait_timeout_elapses_on_the_logical_clock_not_wall_time() {
+        let registry = Arc::new(ModelRegistry::new());
+        let handle = registry
+            .load("m", &float_artifact(&[3, 5, 2]), Backend::Float)
+            .unwrap();
+        let clock = ManualClock::new();
+        let server = Server::start_with(
+            registry,
+            ServerConfig {
+                policy: BatchPolicy {
+                    max_batch: 8,
+                    max_wait: Duration::from_millis(10),
+                    queue_capacity: 16,
+                },
+                workers: 1,
+            },
+            Arc::new(clock.clone()),
+            Telemetry::disabled(),
+        )
+        .unwrap();
+        let ticket = server.submit(&handle, vec![0.5, -0.5, 0.25]).unwrap();
+        // The clock is frozen, so a 5 ms logical timeout must not elapse
+        // while real time passes: it only returns once a helper thread
+        // advances logical time past the deadline.
+        let advancer = {
+            let clock = clock.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(50));
+                clock.advance(Duration::from_millis(5));
+            })
+        };
+        let start = std::time::Instant::now();
+        let timed_out = ticket.wait_timeout(Duration::from_millis(5));
+        assert!(timed_out.is_none(), "request cannot finish before max_wait");
+        assert!(
+            start.elapsed() >= Duration::from_millis(40),
+            "wait_timeout returned on wall time, not the frozen clock"
+        );
+        advancer.join().unwrap();
+        // The ticket stays redeemable after a timeout: release the batch
+        // and the same ticket yields the response.
+        clock.advance(Duration::from_millis(10));
+        let resp = ticket
+            .wait_timeout(Duration::from_secs(1))
+            .expect("batch dispatched after max_wait elapsed")
+            .unwrap();
+        assert_eq!(resp.batch_size, 1);
+        server.shutdown();
+    }
+
+    #[test]
     fn integer_backend_requires_quant_state() {
         let registry = ModelRegistry::new();
         let err = registry

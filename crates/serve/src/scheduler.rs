@@ -31,7 +31,7 @@ use std::time::Duration;
 /// How a manual-clock wait polls: short real sleeps between re-checks of
 /// the logical clock. Correctness never depends on this value — a batch
 /// can only form when the *logical* readiness condition holds.
-const MANUAL_POLL: Duration = Duration::from_millis(1);
+pub(crate) const MANUAL_POLL: Duration = Duration::from_millis(1);
 
 /// Micro-batching policy knobs.
 #[derive(Debug, Clone, PartialEq, Eq)]

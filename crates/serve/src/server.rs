@@ -89,6 +89,7 @@ impl InferResponse {
 #[derive(Debug)]
 pub struct Ticket {
     rx: Receiver<Result<InferResponse>>,
+    clock: Arc<dyn ServeClock>,
 }
 
 impl Ticket {
@@ -108,6 +109,41 @@ impl Ticket {
             Ok(r) => Some(r),
             Err(TryRecvError::Empty) => None,
             Err(TryRecvError::Disconnected) => Some(Err(ServeError::ShuttingDown)),
+        }
+    }
+
+    /// Waits at most `timeout` on the server's injected clock, so
+    /// callers can bound waits without busy-looping [`Ticket::try_wait`].
+    ///
+    /// Returns `None` when the logical deadline passes with the request
+    /// still in flight — the ticket stays redeemable. Under a
+    /// [`ManualClock`](crate::ManualClock) the deadline only elapses when
+    /// a test advances the clock (short real sleeps between re-checks,
+    /// same discipline as the scheduler's `max_wait` polling); under the
+    /// system clock this is an ordinary bounded wait.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<InferResponse>> {
+        let deadline = self.clock.now() + timeout;
+        loop {
+            match self.rx.try_recv() {
+                Ok(r) => return Some(r),
+                Err(TryRecvError::Disconnected) => return Some(Err(ServeError::ShuttingDown)),
+                Err(TryRecvError::Empty) => {}
+            }
+            let now = self.clock.now();
+            if now >= deadline {
+                return None;
+            }
+            if self.clock.is_manual() {
+                std::thread::sleep(crate::scheduler::MANUAL_POLL);
+            } else {
+                match self.rx.recv_timeout(deadline - now) {
+                    Ok(r) => return Some(r),
+                    Err(std::sync::mpsc::RecvTimeoutError::Timeout) => return None,
+                    Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
+                        return Some(Err(ServeError::ShuttingDown))
+                    }
+                }
+            }
         }
     }
 }
@@ -154,6 +190,61 @@ pub struct ServeStats {
     pub steady_pool_misses: u64,
     /// Total fresh allocations including the expected warm-up misses.
     pub total_pool_misses: u64,
+}
+
+impl ServeStats {
+    /// Zeroed statistics (no workers, nothing served) — the identity
+    /// element for [`ServeStats::merge`].
+    pub fn empty() -> ServeStats {
+        ServeStats {
+            workers: 0,
+            accepted: 0,
+            rejected: 0,
+            completed: 0,
+            failed: 0,
+            batches: 0,
+            largest_batch: 0,
+            latency: Histogram::new(),
+            queue_wait: Histogram::new(),
+            batch_wait: Histogram::new(),
+            compute: Histogram::new(),
+            windows: Vec::new(),
+            drift: Vec::new(),
+            traces: Vec::new(),
+            snapshot_writes: 0,
+            steady_pool_misses: 0,
+            total_pool_misses: 0,
+        }
+    }
+
+    /// Folds another server's statistics into this one — how the fleet
+    /// tier aggregates per-replica stats into a fleet-wide view.
+    ///
+    /// Counters and histograms add; `workers` sums across replicas;
+    /// `largest_batch` takes the max. Windows, drift verdicts, and traces
+    /// concatenate in merge order: per-replica sequence numbers overlap
+    /// across replicas, so a fleet-wide trace order is only meaningful
+    /// per replica (callers wanting a global order must key on request
+    /// ids, as the fleet replay log does).
+    pub fn merge(&mut self, other: &ServeStats) {
+        self.workers += other.workers;
+        self.accepted += other.accepted;
+        self.rejected += other.rejected;
+        self.completed += other.completed;
+        self.failed += other.failed;
+        self.batches += other.batches;
+        self.largest_batch = self.largest_batch.max(other.largest_batch);
+        self.latency.merge(&other.latency);
+        self.queue_wait.merge(&other.queue_wait);
+        self.batch_wait.merge(&other.batch_wait);
+        self.compute.merge(&other.compute);
+        self.windows.extend(other.windows.iter().cloned());
+        self.drift.extend(other.drift.iter().cloned());
+        self.traces.extend(other.traces.iter().cloned());
+        self.snapshot_writes += other.snapshot_writes;
+        self.steady_pool_misses += other.steady_pool_misses;
+        self.total_pool_misses += other.total_pool_misses;
+    }
 }
 
 struct WorkerReport {
@@ -507,7 +598,10 @@ impl Server {
         match outcome {
             Ok((_seq, depth)) => {
                 self.telemetry.gauge("serve.queue_depth", depth as f64);
-                Ok(Ticket { rx })
+                Ok(Ticket {
+                    rx,
+                    clock: self.clock.clone(),
+                })
             }
             Err(e) => {
                 if matches!(e, ServeError::Overloaded { .. }) {
@@ -543,22 +637,7 @@ impl Server {
         self.scheduler.drain();
         let mut stats = ServeStats {
             workers: self.workers,
-            accepted: 0,
-            rejected: 0,
-            completed: 0,
-            failed: 0,
-            batches: 0,
-            largest_batch: 0,
-            latency: Histogram::new(),
-            queue_wait: Histogram::new(),
-            batch_wait: Histogram::new(),
-            compute: Histogram::new(),
-            windows: Vec::new(),
-            drift: Vec::new(),
-            traces: Vec::new(),
-            snapshot_writes: 0,
-            steady_pool_misses: 0,
-            total_pool_misses: 0,
+            ..ServeStats::empty()
         };
         for handle in std::mem::take(&mut self.handles) {
             let report = handle.join().expect("serve worker panicked");

@@ -63,6 +63,20 @@ impl Collector {
             .unwrap_or(0)
     }
 
+    /// Final running totals of every counter seen, sorted by name — the
+    /// deterministic aggregate view the fleet tier uses to merge and
+    /// report per-replica counters (`fleet.retries`, `fleet.shed`,
+    /// `fleet.failover`, `fleet.replica_restarts`, `serve.*`, …).
+    pub fn counter_totals(&self) -> Vec<(String, u64)> {
+        let mut totals: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
+        for r in self.records() {
+            if let RecordKind::Counter { total, .. } = r.kind {
+                totals.insert(r.name.clone(), total);
+            }
+        }
+        totals.into_iter().collect()
+    }
+
     /// Durations of every completed span with this name, in emission
     /// order.
     pub fn span_durations(&self, name: &str) -> Vec<f64> {
@@ -150,6 +164,12 @@ mod tests {
         push(&c, "x", RecordKind::Counter { delta: 2, total: 3 });
         assert_eq!(c.counter_total("x"), 3);
         assert_eq!(c.counter_total("y"), 5);
+        // Aggregate view: last total per counter, sorted by name.
+        assert_eq!(
+            c.counter_totals(),
+            vec![("x".to_string(), 3), ("y".to_string(), 5)]
+        );
+        assert!(Collector::new().counter_totals().is_empty());
     }
 
     #[test]

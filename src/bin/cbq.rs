@@ -24,14 +24,15 @@
 
 use cbq::core::{CqConfig, CqPipeline, RefineConfig};
 use cbq::data::{SyntheticImages, SyntheticSpec};
+use cbq::fleet::{Fleet, FleetConfig, RetryPolicy};
 use cbq::nn::{evaluate, models, state_dict, Layer, Phase, Sequential, Trainer, TrainerConfig};
 use cbq::quant::{
     act_clip_bounds, install_act_quant, install_uniform, set_act_calibration, BitWidth,
 };
 use cbq::resilience::{atomic_write_text, FaultPlan, GuardPolicy};
 use cbq::serve::{
-    offline_logits, ArchSpec, Backend, BatchPolicy, ModelArtifact, ModelRegistry, ObserveConfig,
-    QuantState, Server, ServerConfig, SystemClock,
+    offline_logits, ArchSpec, Backend, BatchPolicy, LoadedModel, ModelArtifact, ModelHandle,
+    ModelRegistry, ObserveConfig, QuantState, Server, ServerConfig, SystemClock,
 };
 use cbq::telemetry::{JsonlSink, Level, Sink, StderrSink, Telemetry};
 use rand::rngs::StdRng;
@@ -352,6 +353,8 @@ struct ServeOptions {
     queue_cap: usize,
     requests: usize,
     clients: usize,
+    replicas: usize,
+    faults: Option<FaultPlan>,
     drift_window: u64,
     metrics_out: Option<String>,
     trace_out: Option<String>,
@@ -375,6 +378,8 @@ impl Default for ServeOptions {
             queue_cap: 256,
             requests: 96,
             clients: 4,
+            replicas: 1,
+            faults: None,
             drift_window: 32,
             metrics_out: None,
             trace_out: None,
@@ -387,8 +392,9 @@ impl Default for ServeOptions {
 const SERVE_USAGE: &str = "usage: cbq serve [--model mlp|vgg|resnet20x1|resnet20x5] \
 [--dataset tiny|c10|c100] [--backends float,fake-quant,integer] [--wbits N] [--abits N] \
 [--epochs N] [--seed N] [--workers N] [--max-batch N] [--max-wait-us N] [--queue-cap N] \
-[--requests N] [--clients N] [--drift-window N] [--metrics-out FILE.json] \
-[--trace-out FILE.jsonl] [--out FILE.json] [--log-level error|warn|info|debug|trace]";
+[--requests N] [--clients N] [--replicas N] [--faults SPEC] [--drift-window N] \
+[--metrics-out FILE.json] [--trace-out FILE.jsonl] [--out FILE.json] \
+[--log-level error|warn|info|debug|trace]";
 
 fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
     let mut opts = ServeOptions::default();
@@ -443,6 +449,12 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
             "--queue-cap" => opts.queue_cap = parse_usize("--queue-cap", value("--queue-cap")?)?,
             "--requests" => opts.requests = parse_usize("--requests", value("--requests")?)?,
             "--clients" => opts.clients = parse_usize("--clients", value("--clients")?)?,
+            "--replicas" => opts.replicas = parse_usize("--replicas", value("--replicas")?)?,
+            "--faults" => {
+                opts.faults = Some(
+                    FaultPlan::parse(value("--faults")?).map_err(|e| format!("--faults: {e}"))?,
+                );
+            }
             "--drift-window" => {
                 opts.drift_window = value("--drift-window")?
                     .parse()
@@ -480,6 +492,7 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
         ("--queue-cap", opts.queue_cap),
         ("--requests", opts.requests),
         ("--clients", opts.clients),
+        ("--replicas", opts.replicas),
     ] {
         if v == 0 {
             return Err(format!("{name} must be positive"));
@@ -487,6 +500,13 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
     }
     if opts.drift_window == 0 {
         return Err("--drift-window must be positive".into());
+    }
+    if (opts.replicas > 1 || opts.faults.is_some())
+        && (opts.metrics_out.is_some() || opts.trace_out.is_some())
+    {
+        return Err("--metrics-out/--trace-out observe a single server; \
+             they are not yet supported on the fleet path (--replicas/--faults)"
+            .into());
     }
     Ok(opts)
 }
@@ -592,6 +612,23 @@ fn run_serve(opts: &ServeOptions) -> Result<(), Box<dyn std::error::Error>> {
         targets.push((backend, handle, model));
     }
 
+    // Request payloads, shared by the single-server and fleet paths:
+    // request i carries test row i (mod test set) plus its label.
+    let item_len = spec.feature_len();
+    let test = data.test();
+    let images = test.images().as_slice();
+    let labels = test.labels();
+    let samples: Vec<(&[f32], usize)> = (0..opts.requests)
+        .map(|i| {
+            let j = i % test.len();
+            (&images[j * item_len..(j + 1) * item_len], labels[j])
+        })
+        .collect();
+
+    if opts.replicas > 1 || opts.faults.is_some() {
+        return run_serve_fleet(opts, registry, &targets, &samples, float_acc, &telemetry);
+    }
+
     let observe = ObserveConfig {
         baseline: artifact.baseline_mix.clone(),
         window: opts.drift_window,
@@ -628,16 +665,6 @@ fn run_serve(opts: &ServeOptions) -> Result<(), Box<dyn std::error::Error>> {
 
     // Load phase: each client walks its own stride of the request space,
     // round-robining across backends so micro-batches interleave models.
-    let item_len = spec.feature_len();
-    let test = data.test();
-    let images = test.images().as_slice();
-    let labels = test.labels();
-    let samples: Vec<(&[f32], usize)> = (0..opts.requests)
-        .map(|i| {
-            let j = i % test.len();
-            (&images[j * item_len..(j + 1) * item_len], labels[j])
-        })
-        .collect();
     let mut results = Vec::with_capacity(opts.requests);
     std::thread::scope(|scope| {
         let mut joins = Vec::new();
@@ -801,6 +828,236 @@ fn run_serve(opts: &ServeOptions) -> Result<(), Box<dyn std::error::Error>> {
     }
     if mismatches > 0 {
         return Err(format!("{mismatches} responses diverged from the offline reference").into());
+    }
+    Ok(())
+}
+
+/// Fleet execution path for `serve --replicas N [--faults SPEC]`: the
+/// same strided labeled load as the single-server path, but routed
+/// through the consistent-hash router with retry/failover, optionally
+/// with a replica-kill drill firing mid-run. Responses are still
+/// verified bit-for-bit against the offline reference — which replica
+/// served (or failed over, or was killed) must be invisible.
+fn run_serve_fleet(
+    opts: &ServeOptions,
+    registry: Arc<ModelRegistry>,
+    targets: &[(Backend, ModelHandle, Arc<LoadedModel>)],
+    samples: &[(&[f32], usize)],
+    float_acc: f32,
+    telemetry: &Telemetry,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let replicas = opts.replicas.max(1);
+    let config = FleetConfig {
+        replicas,
+        server: ServerConfig {
+            policy: BatchPolicy {
+                max_batch: opts.max_batch,
+                max_wait: Duration::from_micros(opts.max_wait_us),
+                queue_capacity: opts.queue_cap,
+            },
+            workers: opts.workers,
+        },
+        // A mid-run kill can bounce every in-flight id off the dead
+        // replica; attempts must cover a full ring walk with slack.
+        retry: RetryPolicy {
+            max_attempts: (2 * replicas + 2) as u32,
+            ..RetryPolicy::default()
+        },
+        ..FleetConfig::default()
+    };
+    let fleet = Fleet::start_with_faults(
+        registry,
+        config,
+        Arc::new(SystemClock::new()),
+        telemetry.clone(),
+        opts.faults.clone().map(Arc::new),
+    )?;
+    eprintln!(
+        "cbq serve: {} on {} -> {} backend(s), {} replica(s) x {} worker(s), \
+         max batch {}, {} requests from {} client(s){}",
+        opts.model,
+        opts.dataset,
+        targets.len(),
+        replicas,
+        if opts.workers == 0 {
+            "auto".to_string()
+        } else {
+            opts.workers.to_string()
+        },
+        opts.max_batch,
+        opts.requests,
+        opts.clients,
+        if opts.faults.is_some() {
+            " [fault plan armed]"
+        } else {
+            ""
+        },
+    );
+
+    let mut results = Vec::with_capacity(opts.requests);
+    std::thread::scope(|scope| {
+        let mut joins = Vec::new();
+        for c in 0..opts.clients {
+            let fleet = &fleet;
+            joins.push(scope.spawn(move || {
+                let mut out = Vec::new();
+                let mut i = c;
+                while i < samples.len() {
+                    let t = i % targets.len();
+                    let (sample, label) = samples[i];
+                    let outcome =
+                        fleet.infer_with_id(i as u64, &targets[t].1, sample.to_vec(), Some(label));
+                    out.push((i, t, outcome));
+                    i += opts.clients;
+                }
+                out
+            }));
+        }
+        for join in joins {
+            results.extend(join.join().expect("client thread panicked"));
+        }
+    });
+
+    let mut reports: Vec<BackendReport> = targets
+        .iter()
+        .map(|(b, _, _)| BackendReport {
+            backend: *b,
+            served: 0,
+            correct: 0,
+            mismatches: 0,
+            errors: 0,
+        })
+        .collect();
+    for (i, t, outcome) in results {
+        match outcome {
+            Ok(resp) => {
+                let (sample, label) = samples[i];
+                let offline = offline_logits(&targets[t].2, sample)?;
+                let exact = resp.logits.len() == offline.len()
+                    && resp
+                        .logits
+                        .iter()
+                        .zip(&offline)
+                        .all(|(a, b)| a.to_bits() == b.to_bits());
+                reports[t].served += 1;
+                if !exact {
+                    reports[t].mismatches += 1;
+                }
+                if resp.argmax == label {
+                    reports[t].correct += 1;
+                }
+            }
+            Err(e) => {
+                reports[t].errors += 1;
+                eprintln!("request {i}: {e}");
+            }
+        }
+    }
+    let stats = fleet.shutdown();
+
+    println!(
+        "float accuracy : {:6.2}% (offline, {} epochs)",
+        100.0 * float_acc,
+        opts.epochs
+    );
+    for rep in &reports {
+        println!(
+            "{:<15}: acc {:6.2}%  bit-exact {}/{} vs offline{}",
+            rep.backend.as_str(),
+            100.0 * rep.correct as f32 / rep.served.max(1) as f32,
+            rep.served - rep.mismatches,
+            rep.served,
+            if rep.errors > 0 {
+                format!("  ({} errors)", rep.errors)
+            } else {
+                String::new()
+            },
+        );
+    }
+    println!(
+        "admission      : accepted {}, rejected {}, completed {}, failed {}",
+        stats.merged.accepted, stats.merged.rejected, stats.merged.completed, stats.merged.failed
+    );
+    println!(
+        "fleet          : {} retries, {} shed, {} failovers, {} readmitted, \
+         {} budget-exhausted, {} restarts",
+        stats.retries,
+        stats.shed,
+        stats.failover,
+        stats.readmitted,
+        stats.budget_exhausted,
+        stats.replica_restarts,
+    );
+    for r in &stats.replicas {
+        println!(
+            "  {:<13}: completed {:>7}, {} micro-batches, restarts {}, \
+             latency p99 {}us",
+            r.name,
+            r.stats.completed,
+            r.stats.batches,
+            r.restarts,
+            r.stats.latency.quantile_us(0.99),
+        );
+    }
+    println!(
+        "batching       : {} micro-batches, largest {}, latency p50 {}us p95 {}us p99 {}us",
+        stats.merged.batches,
+        stats.merged.largest_batch,
+        stats.merged.latency.quantile_us(0.5),
+        stats.merged.latency.quantile_us(0.95),
+        stats.merged.latency.quantile_us(0.99),
+    );
+
+    let mismatches: usize = reports.iter().map(|r| r.mismatches).sum();
+    let errors: usize = reports.iter().map(|r| r.errors).sum();
+    if let Some(path) = &opts.out {
+        let payload = serde_json::json!({
+            "model": opts.model,
+            "dataset": opts.dataset,
+            "seed": opts.seed,
+            "weight_bits": opts.wbits,
+            "act_bits": opts.abits,
+            "replicas": replicas,
+            "workers": opts.workers,
+            "requests": opts.requests,
+            "clients": opts.clients,
+            "fault_plan": opts.faults.is_some(),
+            "float_accuracy": float_acc,
+            "backends": reports.iter().map(|r| serde_json::json!({
+                "backend": r.backend.as_str(),
+                "served": r.served,
+                "accuracy": r.correct as f32 / r.served.max(1) as f32,
+                "bit_exact": r.served - r.mismatches,
+                "errors": r.errors,
+            })).collect::<Vec<_>>(),
+            "accepted": stats.merged.accepted,
+            "rejected": stats.merged.rejected,
+            "completed": stats.merged.completed,
+            "failed": stats.merged.failed,
+            "retries": stats.retries,
+            "shed": stats.shed,
+            "failover": stats.failover,
+            "readmitted": stats.readmitted,
+            "budget_exhausted": stats.budget_exhausted,
+            "replica_restarts": stats.replica_restarts,
+            "latency_p50_us": stats.merged.latency.quantile_us(0.5),
+            "latency_p95_us": stats.merged.latency.quantile_us(0.95),
+            "latency_p99_us": stats.merged.latency.quantile_us(0.99),
+            "per_replica": stats.replicas.iter().map(|r| serde_json::json!({
+                "name": r.name,
+                "completed": r.stats.completed,
+                "batches": r.stats.batches,
+                "restarts": r.restarts,
+            })).collect::<Vec<_>>(),
+        });
+        atomic_write_text(path, &serde_json::to_string_pretty(&payload)?)?;
+        eprintln!("wrote {path}");
+    }
+    if mismatches > 0 {
+        return Err(format!("{mismatches} responses diverged from the offline reference").into());
+    }
+    if errors > 0 {
+        return Err(format!("{errors} requests failed despite retry/failover").into());
     }
     Ok(())
 }

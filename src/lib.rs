@@ -25,6 +25,9 @@
 //! - [`serve`] — dynamic micro-batching inference runtime: versioned
 //!   model registry (float / fake-quant / integer backends), bounded
 //!   admission queue, zero-alloc worker pool, bit-exact responses
+//! - [`fleet`] — fault-tolerant multi-replica serving: deterministic
+//!   consistent-hash routing, retry budgets with deterministic backoff,
+//!   graceful replica kill/restart chaos drills (`serve --replicas N`)
 //! - [`telemetry`] — structured spans, counters, and run reports emitted
 //!   by every pipeline phase (`CBQ_LOG`, `--log-level`, `--trace-out`)
 //! - [`resilience`] — crash-safe checkpoints (atomic writes, CRC-64
@@ -54,6 +57,7 @@
 pub use cbq_baselines as baselines;
 pub use cbq_core as core;
 pub use cbq_data as data;
+pub use cbq_fleet as fleet;
 pub use cbq_nn as nn;
 pub use cbq_quant as quant;
 pub use cbq_resilience as resilience;

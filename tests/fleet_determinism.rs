@@ -1,0 +1,201 @@
+//! The fleet tier's chaos gates: a multi-replica fleet with a mid-run
+//! replica kill/restart must (1) complete every admitted request — zero
+//! lost — and (2) produce a replay log whose sorted canonical bytes are
+//! identical at any replica count, any worker count, and any fault
+//! timing. Which replica served a request, whether it failed over, and
+//! when the kill fired are all *invisible* to replay: replicas share one
+//! model registry and canonical bytes exclude timing/batching metadata.
+
+use cbq::data::{SyntheticImages, SyntheticSpec};
+use cbq::fleet::{replica_name, Fleet, FleetConfig, FleetStats, RetryPolicy};
+use cbq::nn::{state_dict, Trainer, TrainerConfig};
+use cbq::resilience::FaultPlan;
+use cbq::serve::{ArchSpec, Backend, BatchPolicy, ModelArtifact, ModelRegistry, ServerConfig};
+use cbq::telemetry::Telemetry;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Duration;
+
+const SEED: u64 = 83;
+const REQUESTS: usize = 600;
+
+/// Worker counts under test, from `CBQ_TEST_THREADS` (default `1,2,4,7`).
+fn thread_counts() -> Vec<usize> {
+    let spec = std::env::var("CBQ_TEST_THREADS").unwrap_or_else(|_| "1,2,4,7".into());
+    let counts: Vec<usize> = spec
+        .split(',')
+        .filter_map(|t| t.trim().parse().ok())
+        .filter(|&n| n > 0)
+        .collect();
+    assert!(!counts.is_empty(), "CBQ_TEST_THREADS={spec} parsed empty");
+    counts
+}
+
+/// A trained float artifact plus request payloads (test rows).
+fn fixture() -> (ModelArtifact, Vec<Vec<f32>>) {
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let spec = SyntheticSpec::tiny(4);
+    let data = SyntheticImages::generate(&spec, &mut rng).unwrap();
+    let arch = ArchSpec::Mlp(vec![spec.feature_len(), 20, spec.num_classes]);
+    let mut net = arch.build_init(&mut rng).unwrap();
+    Trainer::new(TrainerConfig::quick(1, 0.1))
+        .fit(&mut net, data.train(), &mut rng)
+        .unwrap();
+    let artifact = ModelArtifact {
+        arch,
+        input_shape: vec![spec.channels, spec.height, spec.width],
+        state: state_dict(&mut net),
+        quant: None,
+        baseline_mix: None,
+    };
+    let test = data.test();
+    let item_len: usize = test.images().shape()[1..].iter().product();
+    let images = test.images().as_slice();
+    let samples = (0..test.len())
+        .map(|j| images[j * item_len..(j + 1) * item_len].to_vec())
+        .collect();
+    (artifact, samples)
+}
+
+/// Drives `REQUESTS` ids through a fleet from `clients` concurrent
+/// client threads, with an optional `kill-replica` fault plan, and
+/// returns the sorted replay log plus the fleet stats. Panics if any
+/// request fails — the zero-lost gate.
+fn run_fleet(
+    artifact: &ModelArtifact,
+    samples: &[Vec<f32>],
+    replicas: usize,
+    workers: usize,
+    clients: usize,
+    faults: Option<&str>,
+) -> (Vec<Vec<u8>>, FleetStats) {
+    let registry = Arc::new(ModelRegistry::new());
+    let handle = registry.load("m", artifact, Backend::Float).unwrap();
+    let plan = faults.map(|spec| Arc::new(FaultPlan::parse(spec).unwrap()));
+    let config = FleetConfig {
+        replicas,
+        server: ServerConfig {
+            policy: BatchPolicy {
+                max_batch: 5,
+                max_wait: Duration::from_micros(200),
+                queue_capacity: 4096,
+            },
+            workers,
+        },
+        // A kill mid-run can bounce every in-flight id off the dead
+        // replica: attempts must cover a full ring walk plus overload
+        // retries with room to spare.
+        retry: RetryPolicy {
+            max_attempts: (2 * replicas + 2) as u32,
+            ..RetryPolicy::default()
+        },
+        ..FleetConfig::default()
+    };
+    let fleet = Fleet::start_with_faults(
+        registry,
+        config,
+        Arc::new(cbq::serve::SystemClock::new()),
+        Telemetry::disabled(),
+        plan,
+    )
+    .unwrap();
+    let mut responses = Vec::with_capacity(REQUESTS);
+    std::thread::scope(|scope| {
+        let mut joins = Vec::new();
+        for c in 0..clients {
+            let fleet = &fleet;
+            let handle = &handle;
+            joins.push(scope.spawn(move || {
+                let mut out = Vec::new();
+                // Client c serves ids c, c+clients, c+2*clients, …:
+                // together exactly the ids 0..REQUESTS, disjointly.
+                let mut id = c as u64;
+                while (id as usize) < REQUESTS {
+                    let sample = &samples[id as usize % samples.len()];
+                    let resp = fleet
+                        .infer_with_id(id, handle, sample.clone(), None)
+                        .unwrap_or_else(|e| panic!("request {id} lost: {e}"));
+                    assert_eq!(resp.id, id);
+                    out.push(resp);
+                    id += clients as u64;
+                }
+                out
+            }));
+        }
+        for join in joins {
+            responses.extend(join.join().expect("client panicked"));
+        }
+    });
+    let stats = fleet.shutdown();
+    assert_eq!(responses.len(), REQUESTS, "request lost or duplicated");
+    responses.sort_by_key(|r| r.id);
+    let log = responses.iter().map(|r| r.canonical_bytes()).collect();
+    (log, stats)
+}
+
+#[test]
+fn replay_log_is_byte_identical_across_replica_and_worker_counts() {
+    let (artifact, samples) = fixture();
+    let (reference, ref_stats) = run_fleet(&artifact, &samples, 1, 1, 1, None);
+    assert_eq!(ref_stats.merged.completed, REQUESTS as u64);
+    for replicas in [2usize, 4] {
+        for &workers in &thread_counts() {
+            let (log, stats) = run_fleet(&artifact, &samples, replicas, workers, 3, None);
+            assert_eq!(
+                log, reference,
+                "replay diverged at {replicas} replicas / {workers} workers"
+            );
+            assert_eq!(stats.merged.completed, REQUESTS as u64);
+            assert_eq!(stats.merged.failed, 0);
+            // Traffic actually spread across the fleet.
+            assert!(
+                stats
+                    .replicas
+                    .iter()
+                    .filter(|r| r.stats.completed > 0)
+                    .count()
+                    > 1,
+                "all requests landed on one replica"
+            );
+        }
+    }
+}
+
+#[test]
+fn mid_run_kill_loses_nothing_and_leaves_replay_bytes_unchanged() {
+    let (artifact, samples) = fixture();
+    let (reference, _) = run_fleet(&artifact, &samples, 4, 2, 3, None);
+    // The same drill at several fault timings, killing several victims:
+    // the kill+restart must be invisible to the replay log.
+    for (victim, at) in [(0usize, 50u64), (1, 200), (2, 550)] {
+        let spec = format!("kill-replica:{}@{at}", replica_name(victim));
+        let (log, stats) = run_fleet(&artifact, &samples, 4, 2, 3, Some(&spec));
+        assert_eq!(log, reference, "replay diverged with fault {spec}");
+        assert_eq!(stats.replica_restarts, 1, "fault {spec} did not fire once");
+        assert_eq!(
+            stats.replicas[victim].restarts, 1,
+            "fault {spec} restarted the wrong replica"
+        );
+        // Zero lost: every fleet request returned a response (asserted
+        // inside run_fleet), and the drained generations account for
+        // every admitted request.
+        assert_eq!(stats.merged.accepted, stats.merged.completed);
+        assert_eq!(stats.merged.failed, 0);
+    }
+}
+
+#[test]
+fn fleet_with_faults_matches_single_server_reference() {
+    // Cross-tier differential: the 1-replica/1-worker fleet log equals a
+    // chaos-drilled 4-replica fleet's log *and* both match offline logits
+    // implicitly via the serve determinism battery; here we pin fleet
+    // vs. fleet across the chaos boundary at the widest worker count.
+    let (artifact, samples) = fixture();
+    let widest = thread_counts().into_iter().max().unwrap();
+    let (reference, _) = run_fleet(&artifact, &samples, 1, 1, 1, None);
+    let spec = format!("kill-replica:{}@120", replica_name(1));
+    let (log, stats) = run_fleet(&artifact, &samples, 4, widest, 4, Some(&spec));
+    assert_eq!(log, reference, "chaos fleet diverged from serial reference");
+    assert_eq!(stats.replica_restarts, 1);
+}

@@ -82,6 +82,12 @@ fn burst_fills_queue_rejects_excess_and_drains_cleanly() {
             Err(ServeError::Overloaded { capacity: cap }) => {
                 assert_eq!(cap, capacity, "rejection names the exceeded capacity");
                 assert!(i >= capacity, "submit {i} rejected before the queue filled");
+                // Load shedding is backpressure, not failure: the typed
+                // rejection must classify as retryable so fleet clients
+                // fail over instead of surfacing a terminal error.
+                let shed = ServeError::Overloaded { capacity: cap };
+                assert!(shed.is_retryable(), "Overloaded must be retryable");
+                assert!(!shed.is_terminal(), "Overloaded must not be terminal");
                 rejected += 1;
             }
             Err(e) => panic!("submit {i}: unexpected error {e}"),
@@ -116,7 +122,9 @@ fn burst_fills_queue_rejects_excess_and_drains_cleanly() {
     assert_eq!(stats.accepted, capacity as u64);
     assert_eq!(stats.rejected, rejected as u64);
     assert_eq!(stats.completed, capacity as u64);
-    assert_eq!(stats.failed, 0);
+    // Shed requests land in the `rejected` ledger only — never
+    // double-counted as execution failures.
+    assert_eq!(stats.failed, 0, "shed requests double-counted as failures");
     assert_eq!(stats.batches, 1);
     assert_eq!(stats.largest_batch, capacity);
 
@@ -158,8 +166,14 @@ fn concurrent_burst_never_deadlocks_and_accounts_every_request() {
                     for _ in 0..40 {
                         match server.infer(handle, sample.clone()) {
                             Ok(_) => ok += 1,
-                            Err(ServeError::Overloaded { .. }) => no += 1,
-                            Err(e) => panic!("unexpected error {e}"),
+                            Err(e) if e.is_retryable() => {
+                                assert!(
+                                    matches!(e, ServeError::Overloaded { .. }),
+                                    "only overload is retryable here, got {e}"
+                                );
+                                no += 1;
+                            }
+                            Err(e) => panic!("unexpected terminal error {e}"),
                         }
                     }
                     (ok, no)
