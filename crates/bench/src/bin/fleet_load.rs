@@ -18,18 +18,28 @@
 //! 3. **Report** — throughput, latency quantiles, failover/retry/shed
 //!    counters, per-replica load split, and the gate verdicts.
 //!
+//! The serving backend is selectable (`BACKEND=float|fake-quant|integer|
+//! packed`, default float); quantized backends get a calibrated uniform
+//! 4-bit artifact, and the packed backend additionally carries the V3
+//! packed-code section — the replay byte-identity gate then proves the
+//! packed engine deterministic under failover and restart as well.
+//!
 //! ```sh
 //! cargo run --release -p cbq-bench --bin fleet_load
-//! REPLICAS=6 WORKERS=2 CLIENTS=16 REQUESTS=100000 \
+//! REPLICAS=6 WORKERS=2 CLIENTS=16 REQUESTS=100000 BACKEND=packed \
 //!     cargo run --release -p cbq-bench --bin fleet_load
 //! ```
 
 use cbq_data::{SyntheticImages, SyntheticSpec};
 use cbq_fleet::{replica_name, Fleet, FleetConfig, FleetStats, RetryPolicy};
-use cbq_nn::{state_dict, Trainer, TrainerConfig};
+use cbq_nn::{state_dict, Layer, Phase, Trainer, TrainerConfig};
+use cbq_quant::{
+    act_clip_bounds, install_act_quant, install_uniform, set_act_calibration, BitWidth,
+};
 use cbq_resilience::{atomic_write_text, FaultPlan};
 use cbq_serve::{
-    ArchSpec, Backend, BatchPolicy, ModelArtifact, ModelRegistry, ServerConfig, SystemClock,
+    compile_packed_codes, ArchSpec, Backend, BatchPolicy, ModelArtifact, ModelRegistry, QuantState,
+    ServerConfig, SystemClock,
 };
 use cbq_telemetry::Telemetry;
 use rand::rngs::StdRng;
@@ -44,23 +54,48 @@ fn env_usize(name: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
-/// Trains a small float MLP and captures it as a serving artifact.
+/// Trains a small MLP and captures it as a serving artifact. Quantized
+/// backends get calibrated activation clips and a uniform 4-bit weight
+/// arrangement; the packed backend's artifact also embeds the V3
+/// packed-code section so load-time verification runs in every replica.
 fn build_artifact(
     seed: u64,
+    backend: Backend,
 ) -> Result<(ModelArtifact, SyntheticImages), Box<dyn std::error::Error>> {
     let mut rng = StdRng::seed_from_u64(seed);
     let spec = SyntheticSpec::tiny(4);
     let data = SyntheticImages::generate(&spec, &mut rng)?;
-    let arch = ArchSpec::Mlp(vec![spec.feature_len(), 32, spec.num_classes]);
+    let arch = ArchSpec::Mlp(vec![spec.feature_len(), 32, 16, spec.num_classes]);
     let mut net = arch.build_init(&mut rng)?;
     Trainer::new(TrainerConfig::quick(1, 0.1)).fit(&mut net, data.train(), &mut rng)?;
-    let artifact = ModelArtifact {
+    let state = state_dict(&mut net);
+    let quant = if backend == Backend::Float {
+        None
+    } else {
+        install_act_quant(&mut net);
+        set_act_calibration(&mut net, true);
+        for batch in data.val().batches(32) {
+            net.forward(&batch.images, Phase::Eval)?;
+        }
+        set_act_calibration(&mut net, false);
+        net.clear_cache();
+        Some(QuantState {
+            arrangement: install_uniform(&mut net, BitWidth::new(4)?),
+            act_bits: 4,
+            act_clips: act_clip_bounds(&mut net),
+        })
+    };
+    let mut artifact = ModelArtifact {
         arch,
         input_shape: vec![spec.channels, spec.height, spec.width],
-        state: state_dict(&mut net),
-        quant: None,
+        state,
+        quant,
         baseline_mix: None,
+        packed: None,
     };
+    if backend == Backend::PackedInteger {
+        artifact.packed = Some(compile_packed_codes(&artifact)?);
+    }
     Ok((artifact, data))
 }
 
@@ -78,6 +113,7 @@ struct RunOutcome {
 #[allow(clippy::too_many_arguments)]
 fn run(
     artifact: &ModelArtifact,
+    backend: Backend,
     samples: &[&[f32]],
     requests: usize,
     replicas: usize,
@@ -87,7 +123,7 @@ fn run(
     faults: Option<&str>,
 ) -> Result<RunOutcome, Box<dyn std::error::Error>> {
     let registry = Arc::new(ModelRegistry::new());
-    let handle = registry.load("m", artifact, Backend::Float)?;
+    let handle = registry.load("m", artifact, backend)?;
     let plan = match faults {
         Some(spec) => Some(Arc::new(FaultPlan::parse(spec)?)),
         None => None,
@@ -170,8 +206,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let kill_at = env_usize("KILL_AT", requests / 2).max(1);
     let victim = replica_name(1 % replicas);
     let fault_spec = format!("kill-replica:{victim}@{kill_at}");
+    let backend =
+        Backend::parse(&std::env::var("BACKEND").unwrap_or_else(|_| "float".to_string()))?;
 
-    let (artifact, data) = build_artifact(11)?;
+    let (artifact, data) = build_artifact(11, backend)?;
     let item_len: usize = artifact.input_shape.iter().product();
     let test = data.test();
     let images = test.images().as_slice();
@@ -180,19 +218,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
 
     // Phase 1: serial reference log.
-    eprintln!("reference: 1 replica / 1 worker / 1 client, {requests} requests");
-    let reference = run(&artifact, &samples, requests, 1, 1, 1, max_batch, None)?;
+    eprintln!(
+        "reference: 1 replica / 1 worker / 1 client, {requests} requests, \
+         backend {}",
+        backend.as_str()
+    );
+    let reference = run(
+        &artifact, backend, &samples, requests, 1, 1, 1, max_batch, None,
+    )?;
 
     // Phase 2a: full fleet, fault-free.
     eprintln!("fleet    : {replicas} replicas / {workers} workers / {clients} clients");
     let steady = run(
-        &artifact, &samples, requests, replicas, workers, clients, max_batch, None,
+        &artifact, backend, &samples, requests, replicas, workers, clients, max_batch, None,
     )?;
 
     // Phase 2b: same fleet with the mid-run kill/restart drill.
     eprintln!("chaos    : {fault_spec}");
     let chaos = run(
         &artifact,
+        backend,
         &samples,
         requests,
         replicas,
@@ -284,7 +329,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         })
     };
     let payload = serde_json::json!({
-        "workload": "mlp/tiny float artifact served by a loopback replica fleet",
+        "workload": "mlp/tiny artifact served by a loopback replica fleet",
+        "backend": backend.as_str(),
         "replicas": replicas,
         "workers": workers,
         "clients": clients,

@@ -56,6 +56,7 @@ fn build_pools(
         state: state_dict(&mut net),
         quant: None,
         baseline_mix: None,
+        packed: None,
     };
     let registry = ModelRegistry::new();
     let handle = registry.load("drift", &artifact, Backend::Float)?;

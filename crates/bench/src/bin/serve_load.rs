@@ -1,25 +1,32 @@
 //! Load generator for the `cbq-serve` micro-batching runtime: drives a
-//! multi-client request stream against all three backends of one trained
+//! multi-client request stream against all four backends of one trained
 //! model, gates on bit-for-bit equivalence with the offline single-sample
 //! reference and on zero steady-state scratch-pool misses, then runs a
 //! deterministic overload burst to measure bounded-queue admission. The
 //! numbers land in `results/BENCH_serve.json` (published as a CI
 //! artifact).
 //!
-//! Three phases:
+//! Four phases:
 //!
 //! 1. **Steady load** — `CLIENTS` threads submit `REQUESTS` single-sample
-//!    requests round-robin across the float / fake-quant / integer
-//!    backends. Every response must be bit-identical to
+//!    requests round-robin across the float / fake-quant / integer /
+//!    packed backends. Every response must be bit-identical to
 //!    [`offline_logits`]; worker arenas are pre-warmed, so the steady
-//!    phase must report **zero** pool misses.
-//! 2. **Overload burst** — a one-worker server with a tiny admission
+//!    phase must report **zero** pool misses. The artifact carries its V3
+//!    packed-code section, so the packed backend also exercises the
+//!    load-time CRC + recompile verification.
+//! 2. **Packed vs wide** — weight-code bytes touched per single-sample
+//!    request on the packed vs wide integer engine, offline throughput of
+//!    both, packed-vs-integer bit-identity over the whole test set, and
+//!    the artifact shrink at a uniform 2-bit arrangement. Gates:
+//!    `packed_bit_identical` and `artifact_shrink >= 4x` at 2 bits.
+//! 3. **Overload burst** — a one-worker server with a tiny admission
 //!    queue and a long `max_wait` receives a synchronous burst; the
 //!    excess must be rejected with `ServeError::Overloaded` (never
 //!    buffered unboundedly) and every admitted request must still
 //!    complete through the graceful drain.
-//! 3. **Report** — throughput, latency quantiles, batch shapes, and the
-//!    gate verdicts.
+//! 4. **Report** — throughput, latency quantiles, batch shapes,
+//!    bytes/request, and the gate verdicts.
 //!
 //! ```sh
 //! cargo run --release -p cbq-bench --bin serve_load
@@ -29,12 +36,13 @@
 use cbq_data::{SyntheticImages, SyntheticSpec};
 use cbq_nn::{state_dict, Layer, Phase, Trainer, TrainerConfig};
 use cbq_quant::{
-    act_clip_bounds, install_act_quant, install_uniform, set_act_calibration, BitWidth,
+    act_clip_bounds, install_act_quant, install_uniform, set_act_calibration, BitArrangement,
+    BitWidth, UnitArrangement,
 };
 use cbq_resilience::atomic_write_text;
 use cbq_serve::{
-    offline_logits, ArchSpec, Backend, BatchPolicy, ModelArtifact, ModelRegistry, QuantState,
-    ServeError, Server, ServerConfig,
+    compile_packed_codes, offline_logits, ArchSpec, Backend, BatchPolicy, ModelArtifact,
+    ModelRegistry, QuantState, ServeError, Server, ServerConfig,
 };
 use cbq_telemetry::Telemetry;
 use rand::rngs::StdRng;
@@ -49,7 +57,12 @@ fn env_usize(name: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
-const BACKENDS: [Backend; 3] = [Backend::Float, Backend::FakeQuant, Backend::Integer];
+const BACKENDS: [Backend; 4] = [
+    Backend::Float,
+    Backend::FakeQuant,
+    Backend::Integer,
+    Backend::PackedInteger,
+];
 
 /// Trains a small MLP on the tiny synthetic set and captures a serving
 /// artifact with calibrated activation clips and a uniform 4-bit weight
@@ -76,14 +89,37 @@ fn build_artifact(
         act_bits: 4,
         act_clips: act_clip_bounds(&mut net),
     };
-    let artifact = ModelArtifact {
+    let mut artifact = ModelArtifact {
         arch,
         input_shape: vec![spec.channels, spec.height, spec.width],
         state,
         quant: Some(quant),
         baseline_mix: None,
+        packed: None,
     };
+    // V3: embed the packed-code section so the packed backend's load-time
+    // CRC + recompile verification runs under load too.
+    artifact.packed = Some(compile_packed_codes(&artifact)?);
     Ok((artifact, data))
+}
+
+/// The same model re-declared at a uniform `bits` arrangement (no
+/// retraining — quantization is post-hoc), for the artifact-shrink gate.
+fn at_uniform_bits(artifact: &ModelArtifact, bits: BitWidth) -> ModelArtifact {
+    let mut low = artifact.clone();
+    let quant = low.quant.as_mut().expect("bench artifact is quantized");
+    let mut arrangement = BitArrangement::new();
+    for unit in quant.arrangement.units() {
+        arrangement.push(UnitArrangement::uniform(
+            &unit.name,
+            unit.bits.len(),
+            unit.weights_per_filter,
+            bits,
+        ));
+    }
+    quant.arrangement = arrangement;
+    low.packed = None;
+    low
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -204,7 +240,49 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.total_pool_misses - stats.steady_pool_misses,
     );
 
-    // Phase 2: deterministic overload burst. One worker, a queue of 4,
+    // Phase 2: packed vs wide. Weight-code bytes touched per
+    // single-sample request, offline throughput of both integer engines,
+    // bit-identity across the whole test set, and the artifact shrink at
+    // a uniform 2-bit arrangement.
+    let codes = artifact.packed.as_ref().expect("artifact carries V3 codes");
+    let bytes_packed = codes.packed_code_bytes();
+    let bytes_wide = codes.wide_code_bytes();
+    assert_eq!(targets[2].0, Backend::Integer);
+    assert_eq!(targets[3].0, Backend::PackedInteger);
+    let integer_model = &targets[2].2;
+    let packed_model = &targets[3].2;
+    let mut packed_identical = true;
+    for sample in samples.iter().take(test.len()) {
+        let a = offline_logits(integer_model, sample)?;
+        let b = offline_logits(packed_model, sample)?;
+        if a.len() != b.len() || a.iter().zip(&b).any(|(x, y)| x.to_bits() != y.to_bits()) {
+            packed_identical = false;
+            break;
+        }
+    }
+    let reps = env_usize("OFFLINE_REPS", 2000).max(1);
+    let offline_throughput = |model: &Arc<cbq_serve::LoadedModel>| {
+        let started = Instant::now();
+        for i in 0..reps {
+            std::hint::black_box(offline_logits(model, samples[i % samples.len()]))
+                .expect("offline inference failed");
+        }
+        reps as f64 / started.elapsed().as_secs_f64().max(1e-9)
+    };
+    let tput_wide = offline_throughput(integer_model);
+    let tput_packed = offline_throughput(packed_model);
+    let low = at_uniform_bits(&artifact, BitWidth::new(2)?);
+    let low_codes = compile_packed_codes(&low)?;
+    let shrink_2bit =
+        low_codes.wide_code_bytes() as f64 / (low_codes.packed_code_bytes().max(1)) as f64;
+    eprintln!(
+        "packed: {bytes_packed} weight-code bytes/request vs {bytes_wide} wide \
+         ({:.1}x), offline {tput_packed:.0} req/s vs {tput_wide:.0} wide, \
+         bit-identical {packed_identical}, 2-bit shrink {shrink_2bit:.1}x",
+        bytes_wide as f64 / (bytes_packed.max(1)) as f64,
+    );
+
+    // Phase 3: deterministic overload burst. One worker, a queue of 4,
     // and a max_wait far beyond the burst duration: the queue fills with
     // exactly `queue_capacity` entries, every further submit is rejected
     // with `Overloaded`, and the graceful drain completes the admitted
@@ -257,7 +335,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let payload = serde_json::json!({
-        "workload": "mlp/tiny artifact served on float+fake-quant+integer backends",
+        "workload": "mlp/tiny artifact served on float+fake-quant+integer+packed backends",
         "workers": stats.workers,
         "clients": clients,
         "requests": requests,
@@ -287,6 +365,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "steady_pool_misses": stats.steady_pool_misses,
             "warmup_pool_misses": stats.total_pool_misses - stats.steady_pool_misses,
         },
+        "packed": {
+            "bytes_per_request_packed": bytes_packed,
+            "bytes_per_request_wide": bytes_wide,
+            "code_density_x": bytes_wide as f64 / (bytes_packed.max(1)) as f64,
+            "offline_reps": reps,
+            "offline_throughput_packed_req_per_s": tput_packed,
+            "offline_throughput_wide_req_per_s": tput_wide,
+            "artifact_shrink_2bit_x": shrink_2bit,
+        },
         "burst": {
             "submits": burst_submits,
             "queue_capacity": burst_cap,
@@ -299,6 +386,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "bit_exact_vs_offline": all_exact,
             "zero_steady_pool_misses": stats.steady_pool_misses == 0,
             "bounded_admission": burst_ok,
+            "packed_bit_identical": packed_identical,
+            "artifact_shrink_4x_at_2bit": shrink_2bit >= 4.0,
         },
     });
     std::fs::create_dir_all("results")?;
@@ -321,6 +410,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     if !burst_ok {
         eprintln!("ADMISSION GATE FAILED — see results/BENCH_serve.json");
+        std::process::exit(1);
+    }
+    if !packed_identical {
+        eprintln!("PACKED BIT-IDENTITY GATE FAILED — see results/BENCH_serve.json");
+        std::process::exit(1);
+    }
+    if shrink_2bit < 4.0 {
+        eprintln!("PACKED SHRINK GATE FAILED: {shrink_2bit:.2}x < 4x at 2 bits");
         std::process::exit(1);
     }
     Ok(())

@@ -72,6 +72,7 @@ mod tests {
             state: cbq_nn::state_dict(&mut net),
             quant: None,
             baseline_mix: None,
+            packed: None,
         }
     }
 

@@ -19,6 +19,11 @@ pub enum QuantError {
     },
     /// An arrangement does not match the network it is being applied to.
     ArrangementMismatch(String),
+    /// A serialized packed-code section failed validation (truncated
+    /// stream, bad checksum, or codes inconsistent with the declared
+    /// bit-widths). Deliberately distinct from [`QuantError::ArrangementMismatch`]
+    /// so callers can treat storage corruption differently from caller bugs.
+    CorruptCodes(String),
     /// An underlying tensor operation failed.
     Tensor(TensorError),
     /// A network error surfaced during installation.
@@ -35,6 +40,7 @@ impl fmt::Display for QuantError {
                 write!(f, "invalid quantization range [{lo}, {hi}]")
             }
             QuantError::ArrangementMismatch(msg) => write!(f, "arrangement mismatch: {msg}"),
+            QuantError::CorruptCodes(msg) => write!(f, "corrupt packed codes: {msg}"),
             QuantError::Tensor(e) => write!(f, "tensor error: {e}"),
             QuantError::Nn(msg) => write!(f, "network error: {msg}"),
         }

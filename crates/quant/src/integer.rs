@@ -118,6 +118,66 @@ impl IntActivations {
     pub fn features(&self) -> usize {
         self.features
     }
+
+    /// The raw level codes, row-major `[batch, features]` — the packed
+    /// engine reads these to build per-sample activation bitplanes.
+    pub fn codes(&self) -> &[i32] {
+        &self.codes
+    }
+}
+
+/// Encodes odd symmetric weight codes `v = 2k − (N−1)` at `bits` into the
+/// unsigned level indices `k ∈ [0, N−1]` that the bitplane/nibble layouts
+/// store. The inverse is [`levels_to_codes`].
+///
+/// # Errors
+///
+/// [`QuantError::BitWidthOutOfRange`] for pruned widths and
+/// [`QuantError::CorruptCodes`] when a code is out of range or has the
+/// wrong parity for the bitwidth (odd codes require `v ≡ N−1 (mod 2)`).
+pub fn codes_to_levels(codes: &[i32], bits: BitWidth) -> Result<Vec<i32>> {
+    if bits.is_pruned() {
+        return Err(QuantError::BitWidthOutOfRange { bits: 0 });
+    }
+    let n_minus_1 = bits.levels() as i32 - 1;
+    codes
+        .iter()
+        .map(|&v| {
+            let k = v + n_minus_1;
+            if k < 0 || k > 2 * n_minus_1 || k % 2 != 0 {
+                return Err(QuantError::CorruptCodes(format!(
+                    "weight code {v} is not a valid {}-bit odd code",
+                    bits.bits()
+                )));
+            }
+            Ok(k / 2)
+        })
+        .collect()
+}
+
+/// Decodes unsigned level indices back to odd symmetric codes — the
+/// inverse of [`codes_to_levels`].
+///
+/// # Errors
+///
+/// [`QuantError::BitWidthOutOfRange`] for pruned widths and
+/// [`QuantError::CorruptCodes`] for levels outside `[0, N−1]`.
+pub fn levels_to_codes(levels: &[i32], bits: BitWidth) -> Result<Vec<i32>> {
+    if bits.is_pruned() {
+        return Err(QuantError::BitWidthOutOfRange { bits: 0 });
+    }
+    let n_minus_1 = bits.levels() as i32 - 1;
+    levels
+        .iter()
+        .map(|&k| {
+            if k < 0 || k > n_minus_1 {
+                return Err(QuantError::CorruptCodes(format!(
+                    "level {k} outside [0, {n_minus_1}]"
+                )));
+            }
+            Ok(2 * k - n_minus_1)
+        })
+        .collect()
 }
 
 /// A linear layer compiled to integer codes, one bit-width per output
@@ -313,6 +373,41 @@ impl IntegerLinear {
     /// Input width.
     pub fn in_features(&self) -> usize {
         self.in_features
+    }
+
+    /// The wide weight codes, row-major `[out, in]`.
+    pub fn codes(&self) -> &[i32] {
+        &self.codes
+    }
+
+    /// Per-filter rescale factors (0.0 for pruned filters).
+    pub fn filter_scales(&self) -> &[f32] {
+        &self.filter_scales
+    }
+
+    /// The bias vector, if present.
+    pub fn bias(&self) -> Option<&[f32]> {
+        self.bias.as_deref()
+    }
+
+    /// Reassembles a layer from raw parts — the packed engine's unpack
+    /// path uses this to rebuild the wide reference for round-trip tests.
+    pub(crate) fn from_parts(
+        codes: Vec<i32>,
+        filter_scales: Vec<f32>,
+        out_features: usize,
+        in_features: usize,
+        bias: Option<Vec<f32>>,
+    ) -> IntegerLinear {
+        debug_assert_eq!(codes.len(), out_features * in_features);
+        debug_assert_eq!(filter_scales.len(), out_features);
+        IntegerLinear {
+            codes,
+            filter_scales,
+            out_features,
+            in_features,
+            bias,
+        }
     }
 }
 

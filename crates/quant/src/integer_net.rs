@@ -23,9 +23,11 @@ use cbq_nn::{state_dict, Layer, LayerKind, Sequential};
 use cbq_tensor::kernels::gemm_packed;
 use cbq_tensor::{Scratch, Tensor};
 
-/// One lowered execution stage of an [`IntegerNet`].
+/// One lowered execution stage of an [`IntegerNet`]. Crate-visible so the
+/// packed engine (`crate::packed`) can re-lower compiled stages into the
+/// bit-packed layout without re-walking the source network.
 #[derive(Debug, Clone)]
-enum Stage {
+pub(crate) enum Stage {
     /// Unquantized fully-connected layer, run in f32 via the packed GEMM.
     Linear {
         name: String,
@@ -313,6 +315,11 @@ impl IntegerNet {
     pub fn forward(&self, x: &Tensor) -> Result<Tensor> {
         let mut scratch = Scratch::new();
         self.forward_scratch(x.clone(), &mut scratch)
+    }
+
+    /// The lowered stages in execution order, for the packed re-lowering.
+    pub(crate) fn stages(&self) -> &[Stage] {
+        &self.stages
     }
 
     /// Names of the stages in execution order (diagnostics / tests).

@@ -17,6 +17,9 @@
 //!   a straight-through estimator.
 //! - [`ActQuant`] — an activation-quantization layer with a calibration
 //!   mode that records the observed activation maximum (the paper's `b`).
+//! - [`IntegerNet`] / [`PackedIntegerNet`] — post-training lowering to
+//!   exact integer-code execution; the packed variant stores 1–4-bit
+//!   rows at bitplane/nibble density and is bit-identical in output.
 //!
 //! [`WeightTransform`]: cbq_nn::WeightTransform
 //!
@@ -39,6 +42,7 @@ mod bitwidth;
 mod error;
 pub mod integer;
 pub mod integer_net;
+pub mod packed;
 mod quantizer;
 mod report;
 mod transforms;
@@ -51,8 +55,9 @@ pub use act_quant::{
 pub use arrangement::{BitArrangement, BitHistogram, UnitArrangement};
 pub use bitwidth::BitWidth;
 pub use error::QuantError;
-pub use integer::{IntActivations, IntegerConv2d, IntegerLinear};
+pub use integer::{codes_to_levels, levels_to_codes, IntActivations, IntegerConv2d, IntegerLinear};
 pub use integer_net::IntegerNet;
+pub use packed::{PackedIntegerLinear, PackedIntegerNet, PackedModelCodes};
 pub use quantizer::UniformQuantizer;
 pub use report::quant_state_report;
 pub use transforms::{

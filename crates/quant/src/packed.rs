@@ -1,0 +1,926 @@
+//! Packed low-bit integer execution: the same code-domain semantics as
+//! [`IntegerLinear`]/[`IntegerNet`](crate::IntegerNet), but with 1–4-bit
+//! weight rows stored at their natural density instead of in wide `i32`
+//! containers.
+//!
+//! Storage per filter row, chosen by the filter's bit-width:
+//!
+//! - **0 bits (pruned)** — no storage; the row contributes bias only,
+//!   exactly like the wide engine's all-zero code row.
+//! - **1 bit** — a sign bitplane (bit set ⇔ code +1), executed by the
+//!   XNOR/popcount kernel family
+//!   ([`sign_plane_dot`](cbq_tensor::kernels::sign_plane_dot)) against
+//!   per-sample activation bitplanes. 32x denser than `i32` codes.
+//! - **2–4 bits** — level indices nibble-packed two per byte, executed by
+//!   the i8/i16 MAC kernel
+//!   ([`nibble_dot_i8`](cbq_tensor::kernels::nibble_dot_i8)). 8x denser.
+//! - **5–8 bits** — wide `i32` codes verbatim; packing targets the
+//!   low-bit regime the paper's arrangement search actually emits, and a
+//!   high-precision filter keeps the plain scalar path.
+//!
+//! # Bit-identity argument
+//!
+//! The wide engine computes `Σ_i v_i·a_i` as an exact `i64` left-to-right
+//! fold; every packed kernel computes the *same exact integer* (integer
+//! addition is associative, so grouping by bitplane or by MAC block cannot
+//! change the value), and the f32 rescale below is the verbatim expression
+//! from `IntegerLinear::forward`. WrapNet accumulator wrapping is applied
+//! as a single wrap of the exact sum, which equals the wide engine's
+//! per-addition wrap — the modular-arithmetic identity pinned by
+//! `prop_wrap_parity` in `crates/quant/tests/proptest_integer.rs`. Packed
+//! logits are therefore byte-equal to wide logits, not merely close.
+
+use crate::integer::{codes_to_levels, levels_to_codes};
+use crate::integer_net::Stage;
+use crate::{
+    BitArrangement, BitWidth, IntActivations, IntegerLinear, IntegerNet, QuantError, Result,
+};
+use cbq_nn::Sequential;
+use cbq_resilience::{crc64, ByteReader, ByteWriter};
+use cbq_tensor::kernels::{
+    gemm_packed, nibble_dot_i8, pack_bitplanes, pack_nibbles, plane_words, scalar_code_dot,
+    sign_plane_dot, unpack_bitplanes, unpack_nibbles,
+};
+use cbq_tensor::{Scratch, Tensor};
+
+/// Packed storage for one filter row.
+#[derive(Debug, Clone, PartialEq)]
+enum PackedRow {
+    /// 0-bit filter: codes are identically zero, contributes bias only.
+    Pruned,
+    /// 1-bit filter: ±1 codes as a sign plane (bit set ⇔ +1).
+    Sign(Vec<u64>),
+    /// 2–4-bit filter: level indices packed two per byte.
+    Nibble {
+        levels: Vec<u8>,
+        /// `N − 1` for the row's `N = 2^bits` levels (3, 7, or 15).
+        n_minus_1: u8,
+    },
+    /// 5–8-bit filter: wide codes, scalar MAC.
+    Wide(Vec<i32>),
+}
+
+/// A linear layer in packed low-bit storage, bit-identical in output to
+/// the [`IntegerLinear`] it was packed from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackedIntegerLinear {
+    rows: Vec<PackedRow>,
+    filter_scales: Vec<f32>,
+    out_features: usize,
+    in_features: usize,
+    bias: Option<Vec<f32>>,
+}
+
+impl PackedIntegerLinear {
+    /// Packs a compiled wide layer. `bits` must be the same per-filter
+    /// widths the layer was quantized with — they select each row's
+    /// storage class and are validated against the stored codes.
+    ///
+    /// # Errors
+    ///
+    /// [`QuantError::ArrangementMismatch`] on a bits/filter count
+    /// mismatch; [`QuantError::CorruptCodes`] when a row's codes do not
+    /// fit the declared width.
+    pub fn from_integer(lin: &IntegerLinear, bits: &[BitWidth]) -> Result<Self> {
+        let (out, inf) = (lin.out_features(), lin.in_features());
+        if bits.len() != out {
+            return Err(QuantError::ArrangementMismatch(format!(
+                "{out} filters but {} bit entries",
+                bits.len()
+            )));
+        }
+        let codes = lin.codes();
+        let mut rows = Vec::with_capacity(out);
+        for (k, &b) in bits.iter().enumerate() {
+            let row = &codes[k * inf..(k + 1) * inf];
+            rows.push(match b.bits() {
+                0 => {
+                    if row.iter().any(|&v| v != 0) {
+                        return Err(QuantError::CorruptCodes(format!(
+                            "pruned filter {k} has nonzero codes"
+                        )));
+                    }
+                    PackedRow::Pruned
+                }
+                1..=4 => {
+                    let levels = codes_to_levels(row, b)?;
+                    if b.bits() == 1 {
+                        let mut plane = vec![0u64; plane_words(inf)];
+                        pack_bitplanes(&levels, 1, &mut plane);
+                        PackedRow::Sign(plane)
+                    } else {
+                        let mut packed = vec![0u8; inf.div_ceil(2)];
+                        pack_nibbles(&levels, &mut packed);
+                        PackedRow::Nibble {
+                            levels: packed,
+                            n_minus_1: b.levels() as u8 - 1,
+                        }
+                    }
+                }
+                _ => PackedRow::Wide(row.to_vec()),
+            });
+        }
+        Ok(PackedIntegerLinear {
+            rows,
+            filter_scales: lin.filter_scales().to_vec(),
+            out_features: out,
+            in_features: inf,
+            bias: lin.bias().map(<[f32]>::to_vec),
+        })
+    }
+
+    /// Quantizes and packs in one step — [`IntegerLinear::quantize`]
+    /// followed by [`PackedIntegerLinear::from_integer`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as the two constituent steps.
+    pub fn quantize(weight: &Tensor, bits: &[BitWidth], bias: Option<&Tensor>) -> Result<Self> {
+        let lin = IntegerLinear::quantize(weight, bits, bias)?;
+        Self::from_integer(&lin, bits)
+    }
+
+    /// Unpacks back to the wide representation — the round-trip law
+    /// `from_integer(lin, bits).to_integer() == lin` is pinned in tests.
+    pub fn to_integer(&self) -> IntegerLinear {
+        let inf = self.in_features;
+        let mut codes = vec![0i32; self.out_features * inf];
+        for (k, row) in self.rows.iter().enumerate() {
+            let dst = &mut codes[k * inf..(k + 1) * inf];
+            match row {
+                PackedRow::Pruned => {}
+                PackedRow::Sign(plane) => {
+                    let mut levels = vec![0i32; inf];
+                    unpack_bitplanes(plane, 1, inf, &mut levels);
+                    for (d, &l) in dst.iter_mut().zip(&levels) {
+                        *d = 2 * l - 1;
+                    }
+                }
+                PackedRow::Nibble { levels, n_minus_1 } => {
+                    let mut lv = vec![0i32; inf];
+                    unpack_nibbles(levels, inf, &mut lv);
+                    let bits = BitWidth::new((*n_minus_1 as u16 + 1).trailing_zeros() as u8)
+                        .expect("nibble rows store 2..=4-bit levels");
+                    let row_codes = levels_to_codes(&lv, bits).expect("packed levels are in range");
+                    dst.copy_from_slice(&row_codes);
+                }
+                PackedRow::Wide(w) => dst.copy_from_slice(w),
+            }
+        }
+        IntegerLinear::from_parts(
+            codes,
+            self.filter_scales.clone(),
+            self.out_features,
+            self.in_features,
+            self.bias.clone(),
+        )
+    }
+
+    /// Packed forward pass, bit-identical to
+    /// [`IntegerLinear::forward_with_accumulator`] on the unpacked layer.
+    /// `x_bits` is the activation bit-width `x` was quantized at (it fixes
+    /// the bitplane count for the popcount path).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as the wide engine: feature mismatch or
+    /// `acc_bits == 0`.
+    pub fn forward(
+        &self,
+        x: &IntActivations,
+        x_bits: BitWidth,
+        acc_bits: Option<u8>,
+    ) -> Result<Tensor> {
+        let mut scratch = Scratch::new();
+        self.forward_with_scratch(x, x_bits, acc_bits, &mut scratch)
+    }
+
+    /// Scratch-arena packed forward: activation bitplanes and the output
+    /// buffer come from `scratch`, so warm serving loops allocate nothing.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PackedIntegerLinear::forward`].
+    pub fn forward_with_scratch(
+        &self,
+        x: &IntActivations,
+        x_bits: BitWidth,
+        acc_bits: Option<u8>,
+        scratch: &mut Scratch,
+    ) -> Result<Tensor> {
+        if x.features() != self.in_features {
+            return Err(QuantError::ArrangementMismatch(format!(
+                "activation features {} vs layer input {}",
+                x.features(),
+                self.in_features
+            )));
+        }
+        let wrap = match acc_bits {
+            None => None,
+            Some(0) => return Err(QuantError::BitWidthOutOfRange { bits: 0 }),
+            Some(n) => Some(1i64 << (n - 1)),
+        };
+        let abits = u32::from(x_bits.bits());
+        let words = plane_words(self.in_features);
+        let need_planes = self.rows.iter().any(|r| matches!(r, PackedRow::Sign(_)));
+        let mut planes = if need_planes {
+            scratch.take_u64(abits as usize * words)
+        } else {
+            Vec::new()
+        };
+        let mut out = scratch.take_f32(x.batch() * self.out_features);
+        for b in 0..x.batch() {
+            let arow = &x.codes()[b * self.in_features..(b + 1) * self.in_features];
+            let mut act_code_sum = 0i64;
+            if need_planes {
+                pack_bitplanes(arow, abits, &mut planes);
+                act_code_sum = arow.iter().map(|&a| a as i64).sum();
+            }
+            for (k, row) in self.rows.iter().enumerate() {
+                let acc: i64 = match row {
+                    PackedRow::Pruned => 0,
+                    PackedRow::Sign(sign) => sign_plane_dot(sign, &planes, abits, act_code_sum),
+                    PackedRow::Nibble { levels, n_minus_1 } => {
+                        nibble_dot_i8(levels, i32::from(*n_minus_1), arow)
+                    }
+                    PackedRow::Wide(w) => scalar_code_dot(w, arow),
+                };
+                // Wrapping the exact sum once equals the wide engine's
+                // per-addition wrap (prop_wrap_parity).
+                let acc = match wrap {
+                    None => acc,
+                    Some(l) => (acc + l).rem_euclid(2 * l) - l,
+                };
+                // Verbatim rescale from IntegerLinear::forward_into — the
+                // f32 expression order is part of the bit-identity contract.
+                let mut y = acc as f32 * self.filter_scales[k] * x.scale();
+                if let Some(bias) = &self.bias {
+                    y += bias[k];
+                }
+                out[b * self.out_features + k] = y;
+            }
+        }
+        if need_planes {
+            scratch.recycle_u64(planes);
+        }
+        Ok(Tensor::from_vec(out, &[x.batch(), self.out_features])?)
+    }
+
+    /// Output width.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// Input width.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Bytes of packed weight-code storage. Scales and bias are excluded:
+    /// the wide engine carries the identical f32 sidecars, so the ratio
+    /// against [`PackedIntegerLinear::wide_code_bytes`] isolates what
+    /// packing actually buys.
+    pub fn packed_code_bytes(&self) -> usize {
+        self.rows
+            .iter()
+            .map(|r| match r {
+                PackedRow::Pruned => 0,
+                PackedRow::Sign(plane) => plane.len() * 8,
+                PackedRow::Nibble { levels, .. } => levels.len(),
+                PackedRow::Wide(w) => w.len() * 4,
+            })
+            .sum()
+    }
+
+    /// Bytes the wide `i32`-code engine stores for the same layer.
+    pub fn wide_code_bytes(&self) -> usize {
+        self.out_features * self.in_features * 4
+    }
+
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_usize(self.out_features);
+        w.put_usize(self.in_features);
+        w.put_f32_slice(&self.filter_scales);
+        w.put_bool(self.bias.is_some());
+        if let Some(b) = &self.bias {
+            w.put_f32_slice(b);
+        }
+        for row in &self.rows {
+            match row {
+                PackedRow::Pruned => w.put_u8(0),
+                PackedRow::Sign(plane) => {
+                    w.put_u8(1);
+                    for &word in plane {
+                        w.put_u64(word);
+                    }
+                }
+                PackedRow::Nibble { levels, n_minus_1 } => {
+                    w.put_u8(2);
+                    w.put_u8(*n_minus_1);
+                    w.put_bytes(levels);
+                }
+                PackedRow::Wide(codes) => {
+                    w.put_u8(3);
+                    for &c in codes {
+                        w.put_u32(c as u32);
+                    }
+                }
+            }
+        }
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self> {
+        let corrupt = |e: cbq_resilience::ResilienceError| QuantError::CorruptCodes(e.to_string());
+        let out_features = r.get_usize().map_err(corrupt)?;
+        let in_features = r.get_usize().map_err(corrupt)?;
+        let filter_scales = r.get_f32_vec().map_err(corrupt)?;
+        if filter_scales.len() != out_features {
+            return Err(QuantError::CorruptCodes(format!(
+                "{out_features} filters but {} scales",
+                filter_scales.len()
+            )));
+        }
+        let bias = if r.get_bool().map_err(corrupt)? {
+            let b = r.get_f32_vec().map_err(corrupt)?;
+            if b.len() != out_features {
+                return Err(QuantError::CorruptCodes("bias length mismatch".into()));
+            }
+            Some(b)
+        } else {
+            None
+        };
+        let mut rows = Vec::with_capacity(out_features);
+        for k in 0..out_features {
+            rows.push(match r.get_u8().map_err(corrupt)? {
+                0 => PackedRow::Pruned,
+                1 => {
+                    let mut plane = vec![0u64; plane_words(in_features)];
+                    for word in &mut plane {
+                        *word = r.get_u64().map_err(corrupt)?;
+                    }
+                    PackedRow::Sign(plane)
+                }
+                2 => {
+                    let n_minus_1 = r.get_u8().map_err(corrupt)?;
+                    if ![3, 7, 15].contains(&n_minus_1) {
+                        return Err(QuantError::CorruptCodes(format!(
+                            "row {k}: nibble level count {n_minus_1} is not 2..=4-bit"
+                        )));
+                    }
+                    let levels = r.get_bytes().map_err(corrupt)?;
+                    if levels.len() != in_features.div_ceil(2) {
+                        return Err(QuantError::CorruptCodes(format!(
+                            "row {k}: nibble payload length mismatch"
+                        )));
+                    }
+                    PackedRow::Nibble { levels, n_minus_1 }
+                }
+                3 => {
+                    let mut codes = vec![0i32; in_features];
+                    for c in &mut codes {
+                        *c = r.get_u32().map_err(corrupt)? as i32;
+                    }
+                    PackedRow::Wide(codes)
+                }
+                tag => {
+                    return Err(QuantError::CorruptCodes(format!(
+                        "row {k}: unknown storage tag {tag}"
+                    )))
+                }
+            });
+        }
+        Ok(PackedIntegerLinear {
+            rows,
+            filter_scales,
+            out_features,
+            in_features,
+            bias,
+        })
+    }
+}
+
+/// One lowered execution stage of a [`PackedIntegerNet`].
+#[derive(Debug, Clone)]
+enum PackedStage {
+    Linear {
+        name: String,
+        weight: Tensor,
+        bias: Option<Tensor>,
+    },
+    Relu,
+    QuantValues {
+        clip: f32,
+        scale: f32,
+    },
+    IntLinear {
+        name: String,
+        lin: PackedIntegerLinear,
+        clip: f32,
+        bits: BitWidth,
+    },
+}
+
+/// A whole network lowered to packed integer execution, bit-identical in
+/// output to the [`IntegerNet`] it was packed from: the f32 stages run
+/// the very same `gemm_packed` calls, and the integer stages compute the
+/// same exact sums through the packed kernels.
+#[derive(Debug, Clone)]
+pub struct PackedIntegerNet {
+    stages: Vec<PackedStage>,
+    in_features: usize,
+    out_features: usize,
+    integer_layers: usize,
+}
+
+impl PackedIntegerNet {
+    /// Lowers a trained, arrangement-installed network straight to packed
+    /// stages — [`IntegerNet::compile`] followed by
+    /// [`PackedIntegerNet::from_integer`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as the two constituent steps.
+    pub fn compile(net: &mut Sequential, arrangement: &BitArrangement) -> Result<PackedIntegerNet> {
+        let wide = IntegerNet::compile(net, arrangement)?;
+        Self::from_integer(&wide, arrangement)
+    }
+
+    /// Re-lowers a compiled wide net into packed storage. `arrangement`
+    /// supplies the per-filter widths that pick each row's storage class;
+    /// it must be the same arrangement the wide net was compiled with.
+    ///
+    /// # Errors
+    ///
+    /// [`QuantError::ArrangementMismatch`] when an integer layer has no
+    /// unit in `arrangement`; [`QuantError::CorruptCodes`] when the codes
+    /// do not fit the declared widths.
+    pub fn from_integer(wide: &IntegerNet, arrangement: &BitArrangement) -> Result<Self> {
+        let mut stages = Vec::new();
+        let mut integer_layers = 0usize;
+        for stage in wide.stages() {
+            stages.push(match stage {
+                Stage::Relu => PackedStage::Relu,
+                Stage::QuantValues { clip, scale } => PackedStage::QuantValues {
+                    clip: *clip,
+                    scale: *scale,
+                },
+                Stage::Linear { name, weight, bias } => PackedStage::Linear {
+                    name: name.clone(),
+                    weight: weight.clone(),
+                    bias: bias.clone(),
+                },
+                Stage::IntLinear {
+                    name,
+                    lin,
+                    clip,
+                    bits,
+                } => {
+                    let unit = arrangement.unit(name).ok_or_else(|| {
+                        QuantError::ArrangementMismatch(format!(
+                            "arrangement has no unit for integer layer {name}"
+                        ))
+                    })?;
+                    integer_layers += 1;
+                    PackedStage::IntLinear {
+                        name: name.clone(),
+                        lin: PackedIntegerLinear::from_integer(lin, &unit.bits)?,
+                        clip: *clip,
+                        bits: *bits,
+                    }
+                }
+            });
+        }
+        Ok(PackedIntegerNet {
+            stages,
+            in_features: wide.in_features(),
+            out_features: wide.out_features(),
+            integer_layers,
+        })
+    }
+
+    /// Input width (features per sample after flattening).
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output width (number of classes).
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// How many layers execute in the packed integer-code domain.
+    pub fn integer_layers(&self) -> usize {
+        self.integer_layers
+    }
+
+    /// Total packed weight-code bytes across the integer layers.
+    pub fn packed_code_bytes(&self) -> usize {
+        self.int_layers().map(|(_, l)| l.packed_code_bytes()).sum()
+    }
+
+    /// Total wide (`i32`) weight-code bytes the unpacked engine stores
+    /// for the same integer layers.
+    pub fn wide_code_bytes(&self) -> usize {
+        self.int_layers().map(|(_, l)| l.wide_code_bytes()).sum()
+    }
+
+    fn int_layers(&self) -> impl Iterator<Item = (&str, &PackedIntegerLinear)> {
+        self.stages.iter().filter_map(|s| match s {
+            PackedStage::IntLinear { name, lin, .. } => Some((name.as_str(), lin)),
+            _ => None,
+        })
+    }
+
+    /// Names of the stages in execution order (diagnostics / tests).
+    /// Packed integer layers are tagged `pkd:` to distinguish them from
+    /// the wide engine's `int:` stages.
+    pub fn stage_names(&self) -> Vec<String> {
+        self.stages
+            .iter()
+            .map(|s| match s {
+                PackedStage::Relu => "relu".to_string(),
+                PackedStage::QuantValues { .. } => "act-quant".to_string(),
+                PackedStage::Linear { name, .. } => format!("fp:{name}"),
+                PackedStage::IntLinear { name, .. } => format!("pkd:{name}"),
+            })
+            .collect()
+    }
+
+    /// Runs a `[m, in_features]` batch, drawing every temporary from
+    /// `scratch` — the packed twin of [`IntegerNet::forward_scratch`],
+    /// byte-equal in output to it on every input.
+    ///
+    /// # Errors
+    ///
+    /// Shape mismatches or any integer-engine error.
+    pub fn forward_scratch(&self, x: Tensor, scratch: &mut Scratch) -> Result<Tensor> {
+        x.shape_obj().ensure_rank(2)?;
+        if x.shape()[1] != self.in_features {
+            return Err(QuantError::ArrangementMismatch(format!(
+                "input features {} vs network input {}",
+                x.shape()[1],
+                self.in_features
+            )));
+        }
+        let mut cur = x;
+        for stage in &self.stages {
+            match stage {
+                PackedStage::Relu => cur.map_inplace(|v| v.max(0.0)),
+                PackedStage::QuantValues { clip, scale } => {
+                    cur.map_inplace(|v| (v.clamp(0.0, *clip) / scale).round() * scale);
+                }
+                PackedStage::Linear { weight, bias, .. } => {
+                    let m = cur.shape()[0];
+                    let k = cur.shape()[1];
+                    let n = weight.shape()[0];
+                    let mut out = scratch.take_f32(m * n);
+                    gemm_packed(
+                        m,
+                        n,
+                        k,
+                        cur.as_slice(),
+                        k,
+                        1,
+                        weight.as_slice(),
+                        1,
+                        k,
+                        &mut out,
+                        scratch,
+                    );
+                    if let Some(b) = bias {
+                        let bs = b.as_slice();
+                        for r in 0..m {
+                            let row = &mut out[r * n..(r + 1) * n];
+                            for (o, &bv) in row.iter_mut().zip(bs) {
+                                *o += bv;
+                            }
+                        }
+                    }
+                    scratch.recycle_f32(cur.into_vec());
+                    cur = Tensor::from_vec(out, &[m, n])?;
+                }
+                PackedStage::IntLinear {
+                    lin, clip, bits, ..
+                } => {
+                    let acts = IntActivations::quantize_with_scratch(&cur, *clip, *bits, scratch)?;
+                    let y = lin.forward_with_scratch(&acts, *bits, None, scratch)?;
+                    acts.recycle(scratch);
+                    scratch.recycle_f32(cur.into_vec());
+                    cur = y;
+                }
+            }
+        }
+        Ok(cur)
+    }
+
+    /// Convenience forward with a throwaway arena.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PackedIntegerNet::forward_scratch`].
+    pub fn forward(&self, x: &Tensor) -> Result<Tensor> {
+        let mut scratch = Scratch::new();
+        self.forward_scratch(x.clone(), &mut scratch)
+    }
+}
+
+/// The serialized packed-code section of a model artifact: every packed
+/// integer layer by name, CRC-64-guarded so storage corruption is caught
+/// at decode time instead of surfacing as silently wrong logits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackedModelCodes {
+    layers: Vec<(String, PackedIntegerLinear)>,
+}
+
+impl PackedModelCodes {
+    /// Captures the packed integer layers of a compiled net.
+    pub fn from_net(net: &PackedIntegerNet) -> Self {
+        PackedModelCodes {
+            layers: net
+                .int_layers()
+                .map(|(name, lin)| (name.to_string(), lin.clone()))
+                .collect(),
+        }
+    }
+
+    /// Number of packed layers in the section.
+    pub fn layer_count(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Total packed weight-code bytes across the section.
+    pub fn packed_code_bytes(&self) -> usize {
+        self.layers.iter().map(|(_, l)| l.packed_code_bytes()).sum()
+    }
+
+    /// Total wide weight-code bytes the same layers cost unpacked.
+    pub fn wide_code_bytes(&self) -> usize {
+        self.layers.iter().map(|(_, l)| l.wide_code_bytes()).sum()
+    }
+
+    /// Checks that a freshly compiled net reproduces exactly the codes in
+    /// this section — the load-time differential gate: quantization is
+    /// deterministic, so any disagreement means the artifact's packed
+    /// section and state dict belong to different models.
+    ///
+    /// # Errors
+    ///
+    /// [`QuantError::CorruptCodes`] naming the first diverging layer.
+    pub fn verify_against(&self, net: &PackedIntegerNet) -> Result<()> {
+        let recompiled = PackedModelCodes::from_net(net);
+        if self.layers.len() != recompiled.layers.len() {
+            return Err(QuantError::CorruptCodes(format!(
+                "packed section has {} layers, recompiled net has {}",
+                self.layers.len(),
+                recompiled.layers.len()
+            )));
+        }
+        for ((name_a, lin_a), (name_b, lin_b)) in self.layers.iter().zip(&recompiled.layers) {
+            if name_a != name_b || lin_a != lin_b {
+                return Err(QuantError::CorruptCodes(format!(
+                    "packed section layer {name_a} disagrees with recompiled layer {name_b}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Encodes the section: a length-prefixed payload followed by its
+    /// CRC-64/XZ. The bytes are a pure function of the codes, so equal
+    /// models produce byte-identical sections.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut payload = ByteWriter::new();
+        payload.put_usize(self.layers.len());
+        for (name, lin) in &self.layers {
+            payload.put_str(name);
+            lin.encode(&mut payload);
+        }
+        let payload = payload.into_bytes();
+        let mut outer = ByteWriter::new();
+        outer.put_bytes(&payload);
+        outer.put_u64(crc64(&payload));
+        outer.into_bytes()
+    }
+
+    /// Decodes and validates a section.
+    ///
+    /// # Errors
+    ///
+    /// [`QuantError::CorruptCodes`] on truncation, checksum mismatch,
+    /// trailing garbage, or structurally invalid rows.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let corrupt = |e: cbq_resilience::ResilienceError| QuantError::CorruptCodes(e.to_string());
+        let mut outer = ByteReader::new(bytes);
+        let payload = outer.get_bytes().map_err(corrupt)?;
+        let stored_crc = outer.get_u64().map_err(corrupt)?;
+        if !outer.is_exhausted() {
+            return Err(QuantError::CorruptCodes(format!(
+                "{} trailing bytes after packed section",
+                outer.remaining()
+            )));
+        }
+        let actual = crc64(&payload);
+        if actual != stored_crc {
+            return Err(QuantError::CorruptCodes(format!(
+                "checksum mismatch: stored {stored_crc:#018x}, computed {actual:#018x}"
+            )));
+        }
+        let mut r = ByteReader::new(&payload);
+        let count = r.get_usize().map_err(corrupt)?;
+        let mut layers = Vec::with_capacity(count.min(1 << 16));
+        for _ in 0..count {
+            let name = r.get_string().map_err(corrupt)?;
+            let lin = PackedIntegerLinear::decode(&mut r)?;
+            layers.push((name, lin));
+        }
+        if !r.is_exhausted() {
+            return Err(QuantError::CorruptCodes(format!(
+                "{} trailing bytes inside packed payload",
+                r.remaining()
+            )));
+        }
+        Ok(PackedModelCodes { layers })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{install_act_quant, set_act_bits, set_act_calibration, UnitArrangement};
+    use cbq_nn::{models, Layer, Phase};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn bw(b: u8) -> BitWidth {
+        BitWidth::new(b).unwrap()
+    }
+
+    /// A layer with every storage class: pruned, 1-bit, 2/3/4-bit
+    /// nibbles, and a wide 8-bit row.
+    fn mixed_layer(seed: u64, inf: usize) -> (IntegerLinear, PackedIntegerLinear, Vec<BitWidth>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bits = vec![BitWidth::ZERO, bw(1), bw(2), bw(3), bw(4), bw(8)];
+        let w = Tensor::randn(&[bits.len(), inf], 0.5, &mut rng);
+        let bias = Tensor::randn(&[bits.len()], 0.2, &mut rng);
+        let lin = IntegerLinear::quantize(&w, &bits, Some(&bias)).unwrap();
+        let packed = PackedIntegerLinear::from_integer(&lin, &bits).unwrap();
+        (lin, packed, bits)
+    }
+
+    #[test]
+    fn pack_unpack_round_trips_exactly() {
+        for &inf in &[1usize, 63, 64, 65, 130] {
+            let (lin, packed, _) = mixed_layer(inf as u64, inf);
+            assert_eq!(packed.to_integer(), lin, "inf={inf}");
+        }
+    }
+
+    #[test]
+    fn packed_forward_is_bit_identical_to_wide() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for &inf in &[7usize, 64, 100] {
+            let (lin, packed, _) = mixed_layer(inf as u64 + 7, inf);
+            let x = Tensor::rand_uniform(&[3, inf], 0.0, 2.5, &mut rng);
+            for abits in [1u8, 3, 8] {
+                let ia = IntActivations::quantize(&x, 2.0, bw(abits)).unwrap();
+                let wide = lin.forward(&ia).unwrap();
+                let fast = packed.forward(&ia, bw(abits), None).unwrap();
+                for (a, b) in wide.as_slice().iter().zip(fast.as_slice()) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "inf={inf} abits={abits}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packed_wrap_semantics_match_per_addition_wrap() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let (lin, packed, _) = mixed_layer(11, 80);
+        let x = Tensor::rand_uniform(&[4, 80], 0.0, 3.0, &mut rng);
+        let ia = IntActivations::quantize(&x, 3.0, bw(7)).unwrap();
+        for acc_bits in [6u8, 8, 12, 48] {
+            let wide = lin.forward_with_accumulator(&ia, Some(acc_bits)).unwrap();
+            let fast = packed.forward(&ia, bw(7), Some(acc_bits)).unwrap();
+            for (a, b) in wide.as_slice().iter().zip(fast.as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "acc_bits={acc_bits}");
+            }
+        }
+        assert!(packed.forward(&ia, bw(7), Some(0)).is_err());
+    }
+
+    #[test]
+    fn packed_bytes_shrink_low_bit_layers() {
+        let (_, packed, _) = mixed_layer(3, 128);
+        // 6 rows of 128: wide = 6*128*4 bytes. Packed: 0 + 16 + 64*3 + 512.
+        assert_eq!(packed.wide_code_bytes(), 6 * 128 * 4);
+        assert_eq!(packed.packed_code_bytes(), 16 + 3 * 64 + 512);
+        let uniform2 =
+            PackedIntegerLinear::quantize(&Tensor::ones(&[4, 128]), &[bw(2); 4], None).unwrap();
+        assert!(
+            uniform2.wide_code_bytes() >= 8 * uniform2.packed_code_bytes(),
+            "2-bit nibble packing must shrink at least 8x"
+        );
+    }
+
+    #[test]
+    fn scratch_forward_reuses_pools() {
+        let (_, packed, _) = mixed_layer(21, 96);
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = Tensor::rand_uniform(&[2, 96], 0.0, 2.0, &mut rng);
+        let mut scratch = Scratch::new();
+        let ia = IntActivations::quantize_with_scratch(&x, 2.0, bw(4), &mut scratch).unwrap();
+        let y = packed
+            .forward_with_scratch(&ia, bw(4), None, &mut scratch)
+            .unwrap();
+        scratch.recycle_f32(y.into_vec());
+        ia.recycle(&mut scratch);
+        let before = scratch.fresh_allocs();
+        for _ in 0..5 {
+            let ia = IntActivations::quantize_with_scratch(&x, 2.0, bw(4), &mut scratch).unwrap();
+            let y = packed
+                .forward_with_scratch(&ia, bw(4), None, &mut scratch)
+                .unwrap();
+            scratch.recycle_f32(y.into_vec());
+            ia.recycle(&mut scratch);
+        }
+        assert_eq!(scratch.fresh_allocs(), before, "warm loop missed the pool");
+    }
+
+    #[test]
+    fn mismatched_bits_are_rejected_as_corrupt() {
+        let (lin, _, mut bits) = mixed_layer(31, 16);
+        bits[5] = bw(1); // the 8-bit row's codes cannot be ±1
+        assert!(matches!(
+            PackedIntegerLinear::from_integer(&lin, &bits),
+            Err(QuantError::CorruptCodes(_))
+        ));
+        bits.pop();
+        assert!(matches!(
+            PackedIntegerLinear::from_integer(&lin, &bits),
+            Err(QuantError::ArrangementMismatch(_))
+        ));
+    }
+
+    fn quantized_fixture(bits: u8) -> (Sequential, BitArrangement) {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut net = models::mlp(&[6, 10, 8, 3], &mut rng).unwrap();
+        install_act_quant(&mut net);
+        set_act_calibration(&mut net, true);
+        for _ in 0..4 {
+            let x = Tensor::rand_uniform(&[5, 6], -1.0, 1.0, &mut rng);
+            net.forward(&x, Phase::Eval).unwrap();
+        }
+        set_act_calibration(&mut net, false);
+        set_act_bits(&mut net, Some(bw(bits)));
+        let mut arr = BitArrangement::new();
+        arr.push(UnitArrangement::uniform("fc2", 8, 10, bw(bits)));
+        (net, arr)
+    }
+
+    #[test]
+    fn packed_net_is_byte_equal_to_wide_net() {
+        for nbits in [1u8, 2, 4] {
+            let (mut net, arr) = quantized_fixture(nbits);
+            let wide = IntegerNet::compile(&mut net, &arr).unwrap();
+            let packed = PackedIntegerNet::from_integer(&wide, &arr).unwrap();
+            assert_eq!(packed.integer_layers(), wide.integer_layers());
+            assert_eq!(
+                packed.stage_names(),
+                vec!["fp:fc1", "relu", "pkd:fc2", "relu", "act-quant", "fp:fc3"]
+            );
+            let mut rng = StdRng::seed_from_u64(nbits as u64);
+            let x = Tensor::rand_uniform(&[5, 6], -1.0, 1.0, &mut rng);
+            let a = wide.forward(&x).unwrap();
+            let b = packed.forward(&x).unwrap();
+            for (p, q) in a.as_slice().iter().zip(b.as_slice()) {
+                assert_eq!(p.to_bits(), q.to_bits(), "nbits={nbits}");
+            }
+        }
+    }
+
+    #[test]
+    fn model_codes_round_trip_and_detect_corruption() {
+        let (mut net, arr) = quantized_fixture(2);
+        let packed = PackedIntegerNet::compile(&mut net, &arr).unwrap();
+        let codes = PackedModelCodes::from_net(&packed);
+        assert_eq!(codes.layer_count(), 1);
+        codes.verify_against(&packed).unwrap();
+        let bytes = codes.to_bytes();
+        let back = PackedModelCodes::from_bytes(&bytes).unwrap();
+        assert_eq!(back, codes);
+        assert_eq!(back.to_bytes(), bytes, "re-encode must be byte-identical");
+        // Flip one payload byte: the CRC must catch it.
+        let mut bad = bytes.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0x40;
+        assert!(matches!(
+            PackedModelCodes::from_bytes(&bad),
+            Err(QuantError::CorruptCodes(_))
+        ));
+        // Truncation is also typed corruption.
+        assert!(matches!(
+            PackedModelCodes::from_bytes(&bytes[..bytes.len() - 3]),
+            Err(QuantError::CorruptCodes(_))
+        ));
+    }
+}

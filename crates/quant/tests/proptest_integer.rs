@@ -1,9 +1,11 @@
 //! Property-based tests of the integer execution engine's edge cases:
 //! 1-bit weights and activations, clip-boundary activation values, pruned
-//! (0-bit) filters, and the accumulator-wrap parity that grounds the
-//! WrapNet baseline — per-addition wrapping into a narrow signed range is
-//! exactly the single wrap of the full-precision sum (modular
-//! arithmetic), and a wide accumulator is exactly the unwrapped forward.
+//! (0-bit) filters — including fully-pruned layers and all-zero filter
+//! rows — the asymmetric `[0, clip]` activation range's edge behavior,
+//! and the accumulator-wrap parity that grounds the WrapNet baseline —
+//! per-addition wrapping into a narrow signed range is exactly the single
+//! wrap of the full-precision sum (modular arithmetic), and a wide
+//! accumulator is exactly the unwrapped forward.
 //!
 //! Each property also has a deterministic sweep companion (`#[test]`),
 //! so the coverage holds even where the proptest harness is unavailable.
@@ -11,6 +13,36 @@
 use cbq_quant::{BitWidth, IntActivations, IntegerLinear};
 use cbq_tensor::Tensor;
 use proptest::prelude::*;
+
+/// Exact integer reference for `IntegerLinear::forward`: i64 dot of the
+/// weight and activation codes, rescaled with the engine's verbatim f32
+/// expression. Pruned rows (scale 0) contribute bias only.
+fn reference_forward(lin: &IntegerLinear, acts: &IntActivations) -> Vec<f32> {
+    let (out, inf) = (lin.out_features(), lin.in_features());
+    let codes = lin.codes();
+    let mut y = Vec::with_capacity(acts.batch() * out);
+    for b in 0..acts.batch() {
+        let xrow = &acts.codes()[b * inf..(b + 1) * inf];
+        for k in 0..out {
+            let mut v = if lin.filter_scales()[k] == 0.0 {
+                0.0
+            } else {
+                let wrow = &codes[k * inf..(k + 1) * inf];
+                let acc: i64 = wrow
+                    .iter()
+                    .zip(xrow)
+                    .map(|(&w, &a)| w as i64 * a as i64)
+                    .sum();
+                acc as f32 * lin.filter_scales()[k] * acts.scale()
+            };
+            if let Some(bias) = lin.bias() {
+                v += bias[k];
+            }
+            y.push(v);
+        }
+    }
+    y
+}
 
 /// Signed wrap of `x` into `[-2^(n-1), 2^(n-1))` — the WrapNet-style
 /// one-shot overflow applied to a full-precision accumulator.
@@ -184,6 +216,110 @@ fn wide_accumulator_equals_unwrapped_forward() {
     );
 }
 
+#[test]
+fn all_pruned_layer_is_bias_only_for_any_input() {
+    // A fully-pruned layer (every filter at 0 bits) must ignore its
+    // weights entirely: the output is exactly the bias, or exactly 0.0
+    // without one — for wild weights and wild inputs alike.
+    let w = Tensor::from_vec(
+        vec![1e30, -1e30, 0.5, f32::MIN_POSITIVE, -7.0, 42.0],
+        &[2, 3],
+    )
+    .unwrap();
+    let bits = vec![BitWidth::new(0).unwrap(); 2];
+    let x = Tensor::from_vec(vec![5.0, -3.0, 0.125, 100.0, 0.0, 2.5], &[2, 3]).unwrap();
+    let acts = IntActivations::quantize(&x, 4.0, BitWidth::new(8).unwrap()).unwrap();
+
+    let biased = IntegerLinear::quantize(
+        &w,
+        &bits,
+        Some(&Tensor::from_vec(vec![0.5, -0.25], &[2]).unwrap()),
+    )
+    .unwrap();
+    let y = biased.forward(&acts).unwrap();
+    assert_eq!(y.shape(), &[2, 2]);
+    for row in 0..2 {
+        assert_eq!(y.as_slice()[row * 2].to_bits(), 0.5f32.to_bits());
+        assert_eq!(y.as_slice()[row * 2 + 1].to_bits(), (-0.25f32).to_bits());
+    }
+
+    let unbiased = IntegerLinear::quantize(&w, &bits, None).unwrap();
+    let y = unbiased.forward(&acts).unwrap();
+    assert!(y.as_slice().iter().all(|v| v.to_bits() == 0.0f32.to_bits()));
+}
+
+#[test]
+fn zero_filter_rows_follow_the_layer_bound() {
+    // An all-zero filter row at a *nonzero* bitwidth is not pruned: the
+    // symmetric grid has no zero level (odd codes), so every weight
+    // rounds to the level nearest zero. With an even level count the
+    // midpoint rounds away from zero, landing on code +1 — the row
+    // contributes +scale * sum(activations), not nothing. Pin that, and
+    // pin the forward against the exact integer reference.
+    let w = Tensor::from_vec(vec![0.0, 0.0, 0.0, 3.0, -1.5, 0.75], &[2, 3]).unwrap();
+    let bits = [BitWidth::new(4).unwrap(), BitWidth::new(4).unwrap()];
+    let lin = IntegerLinear::quantize(&w, &bits, None).unwrap();
+    assert_eq!(
+        &lin.codes()[..3],
+        &[1, 1, 1],
+        "zero weights sit on the midpoint tie"
+    );
+    let scale = 3.0f32 / 15.0; // bound / (levels - 1)
+    for &d in &lin.dequantized_weights().as_slice()[..3] {
+        assert_eq!(d.to_bits(), scale.to_bits());
+    }
+    let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]).unwrap();
+    let acts = IntActivations::quantize(&x, 3.0, BitWidth::new(4).unwrap()).unwrap();
+    let y = lin.forward(&acts).unwrap();
+    for (got, want) in y.as_slice().iter().zip(reference_forward(&lin, &acts)) {
+        assert_eq!(got.to_bits(), want.to_bits());
+    }
+    assert_ne!(y.as_slice()[0], 0.0, "zero-filter row still contributes");
+}
+
+#[test]
+fn asymmetric_clip_edges_pin_extreme_codes() {
+    // The activation range [0, clip] is asymmetric: negatives clamp to
+    // code 0, everything at or above clip to the top code, and the
+    // half-step boundary rounds away from zero (f32 `round`). Sweep
+    // non-power-aligned clips so the scale is never a dyadic rational.
+    for clip in [0.3f32, 1.25, 2.5, 7.9] {
+        for bits in [1u8, 2, 3, 4, 8] {
+            let top = ((1u32 << bits) - 1) as f32;
+            let scale = clip / top;
+            let inputs = [
+                -1e20,
+                -f32::MIN_POSITIVE,
+                0.0,
+                0.5 * scale, // tie: rounds up to code 1
+                0.49 * scale,
+                clip,
+                clip + 1e-3,
+                1e20,
+            ];
+            let x = Tensor::from_vec(inputs.to_vec(), &[1, inputs.len()]).unwrap();
+            let acts = IntActivations::quantize(&x, clip, BitWidth::new(bits).unwrap()).unwrap();
+            let codes: Vec<f32> = acts
+                .dequantize()
+                .as_slice()
+                .iter()
+                .map(|d| (d / acts.scale()).round())
+                .collect();
+            assert_eq!(
+                codes[0], 0.0,
+                "far-negative clamps to 0 (clip {clip}, {bits}b)"
+            );
+            assert_eq!(codes[1], 0.0, "tiny negative clamps to 0");
+            assert_eq!(codes[2], 0.0, "exact zero is code 0");
+            assert_eq!(codes[3], 1.0, "half-step tie rounds away from zero");
+            assert_eq!(codes[4], 0.0, "just below the tie stays at 0");
+            assert_eq!(codes[5], top, "exact clip is the top code");
+            assert_eq!(codes[6], top, "past clip clamps to the top code");
+            assert_eq!(codes[7], top, "far-positive clamps to the top code");
+        }
+    }
+}
+
 proptest! {
     /// Per-addition wrapping equals a single wrap of the exact sum for
     /// arbitrary sign patterns, activation codes, and accumulator widths.
@@ -223,6 +359,108 @@ proptest! {
             let code = (d / scale).round();
             prop_assert!((0.0..=top).contains(&code));
             prop_assert!(d >= 0.0 && d <= clip + 1e-4);
+        }
+    }
+
+    /// A fully-pruned layer outputs exactly its bias (or exactly zero)
+    /// for arbitrary weights, inputs, and batch shapes.
+    #[test]
+    fn prop_all_pruned_forward_is_exactly_bias(
+        ws in proptest::collection::vec(-50.0f32..50.0, 4..24),
+        xs in proptest::collection::vec(-10.0f32..10.0, 2..12),
+        bias in proptest::option::of(proptest::collection::vec(-5.0f32..5.0, 2..5)),
+        abits in 1u8..=8,
+    ) {
+        let out = bias.as_ref().map_or(2, Vec::len);
+        let inf = (ws.len() / out).min(xs.len()).max(1);
+        let w = Tensor::from_vec(ws[..out * inf].to_vec(), &[out, inf]).unwrap();
+        let b = bias
+            .as_ref()
+            .map(|b| Tensor::from_vec(b.clone(), &[out]).unwrap());
+        let lin = IntegerLinear::quantize(
+            &w,
+            &vec![BitWidth::new(0).unwrap(); out],
+            b.as_ref(),
+        )
+        .unwrap();
+        let x = Tensor::from_vec(xs[..inf].to_vec(), &[1, inf]).unwrap();
+        let acts = IntActivations::quantize(&x, 4.0, BitWidth::new(abits).unwrap()).unwrap();
+        let y = lin.forward(&acts).unwrap();
+        for (k, &got) in y.as_slice().iter().enumerate() {
+            let want = bias.as_ref().map_or(0.0, |b| b[k]);
+            prop_assert_eq!(got.to_bits(), want.to_bits());
+        }
+    }
+
+    /// The engine's forward is bit-identical to an exact i64 reference
+    /// dot over the codes — for arbitrary weights (zero rows included),
+    /// per-filter bit mixes with pruned entries, and arbitrary inputs.
+    #[test]
+    fn prop_forward_matches_integer_reference(
+        mut ws in proptest::collection::vec(-10.0f32..10.0, 12..36),
+        xs in proptest::collection::vec(-6.0f32..6.0, 3..12),
+        bit_picks in proptest::collection::vec(0u8..=8, 3..6),
+        zero_row in any::<bool>(),
+        clip in 0.1f32..8.0,
+        abits in 1u8..=8,
+    ) {
+        let out = bit_picks.len();
+        let inf = (ws.len() / out).min(xs.len()).max(1);
+        ws.truncate(out * inf);
+        if zero_row {
+            // Force a zero-filter row at a (possibly) nonzero bitwidth.
+            for v in &mut ws[..inf] {
+                *v = 0.0;
+            }
+        }
+        prop_assume!(ws.iter().any(|v| *v != 0.0));
+        let w = Tensor::from_vec(ws, &[out, inf]).unwrap();
+        let bits: Vec<BitWidth> =
+            bit_picks.iter().map(|&b| BitWidth::new(b).unwrap()).collect();
+        let lin = IntegerLinear::quantize(&w, &bits, None).unwrap();
+        let x = Tensor::from_vec(xs[..inf].to_vec(), &[1, inf]).unwrap();
+        let acts = IntActivations::quantize(&x, clip, BitWidth::new(abits).unwrap()).unwrap();
+        let y = lin.forward(&acts).unwrap();
+        for (got, want) in y.as_slice().iter().zip(reference_forward(&lin, &acts)) {
+            prop_assert_eq!(got.to_bits(), want.to_bits());
+        }
+    }
+
+    /// Asymmetric clip edges: arbitrary (clip, bits) pin zero/negative
+    /// inputs to code 0 and clip-or-above inputs to the top code, with
+    /// codes monotone in the input.
+    #[test]
+    fn prop_asymmetric_clip_edges(
+        clip in 0.01f32..50.0,
+        bits in 1u8..=8,
+        mut probes in proptest::collection::vec(-2.0f32..2.0, 2..16),
+    ) {
+        let top = ((1u32 << bits) - 1) as f32;
+        let inputs: Vec<f32> = [-1e20, -clip, 0.0, clip, clip * 1.5, 1e20]
+            .into_iter()
+            .chain(probes.drain(..).map(|p| p * clip))
+            .collect();
+        let x = Tensor::from_vec(inputs.clone(), &[1, inputs.len()]).unwrap();
+        let acts = IntActivations::quantize(&x, clip, BitWidth::new(bits).unwrap()).unwrap();
+        let codes: Vec<f32> = acts
+            .dequantize()
+            .as_slice()
+            .iter()
+            .map(|d| (d / acts.scale()).round())
+            .collect();
+        prop_assert_eq!(codes[0], 0.0);
+        prop_assert_eq!(codes[1], 0.0);
+        prop_assert_eq!(codes[2], 0.0);
+        prop_assert_eq!(codes[3], top);
+        prop_assert_eq!(codes[4], top);
+        prop_assert_eq!(codes[5], top);
+        let mut order: Vec<usize> = (0..inputs.len()).collect();
+        order.sort_by(|&a, &b| inputs[a].total_cmp(&inputs[b]));
+        for pair in order.windows(2) {
+            prop_assert!(
+                codes[pair[0]] <= codes[pair[1]],
+                "codes must be monotone in the input"
+            );
         }
     }
 

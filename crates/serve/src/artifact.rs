@@ -13,17 +13,20 @@
 
 use crate::error::{Result, ServeError};
 use cbq_nn::{models, Sequential, StateDict};
-use cbq_quant::{BitArrangement, BitWidth, UnitArrangement};
+use cbq_quant::{BitArrangement, BitWidth, PackedModelCodes, UnitArrangement};
 use cbq_resilience::{atomic_write, ByteReader, ByteWriter};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::path::Path;
 
-/// Current artifact magic. V2 appends the optional calibration-time
-/// class mix (drift baseline) after the quantization state.
+/// Current artifact magic. V3 appends the optional CRC-guarded packed
+/// weight-code section after the drift baseline.
+const MAGIC_V3: &[u8] = b"CBQSRV3\n";
+/// Pre-packing magic, still decodable: a V2 artifact simply has no
+/// packed-code section.
 const MAGIC_V2: &[u8] = b"CBQSRV2\n";
-/// Pre-observability magic, still decodable: a V1 artifact simply has no
-/// baseline mix.
+/// Pre-observability magic, still decodable: a V1 artifact has neither a
+/// baseline mix nor a packed-code section.
 const MAGIC_V1: &[u8] = b"CBQSRV1\n";
 
 /// Architecture of a servable model — enough to rebuild the [`Sequential`]
@@ -231,6 +234,12 @@ pub struct ModelArtifact {
     /// when no calibration mix was recorded (drift detection is then
     /// disabled unless the operator supplies one).
     pub baseline_mix: Option<Vec<f64>>,
+    /// Pre-packed integer weight codes (V3), CRC-64-guarded. Optional and
+    /// purely an integrity artifact: quantization is deterministic, so the
+    /// packed backend always recompiles from the state dict and *verifies*
+    /// against this section — a mismatch means the artifact's sections
+    /// belong to different models and the load is refused.
+    pub packed: Option<PackedModelCodes>,
 }
 
 impl ModelArtifact {
@@ -242,7 +251,7 @@ impl ModelArtifact {
     /// Encodes deterministically; floats survive bit-for-bit.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut w = ByteWriter::new();
-        w.put_bytes(MAGIC_V2);
+        w.put_bytes(MAGIC_V3);
         self.arch.encode(&mut w);
         w.put_usize_slice(&self.input_shape);
         w.put_bytes(&self.state.to_bytes());
@@ -271,6 +280,13 @@ impl ModelArtifact {
                 w.put_f64_slice(mix);
             }
         }
+        match &self.packed {
+            None => w.put_bool(false),
+            Some(codes) => {
+                w.put_bool(true);
+                w.put_bytes(&codes.to_bytes());
+            }
+        }
         w.into_bytes()
     }
 
@@ -283,10 +299,12 @@ impl ModelArtifact {
     pub fn from_bytes(bytes: &[u8]) -> Result<ModelArtifact> {
         let mut r = ByteReader::new(bytes);
         let magic = r.get_bytes()?;
-        let v1 = magic == MAGIC_V1;
-        if !v1 && magic != MAGIC_V2 {
-            return Err(ServeError::Artifact("bad artifact magic".into()));
-        }
+        let version = match &magic {
+            m if m == MAGIC_V1 => 1u8,
+            m if m == MAGIC_V2 => 2,
+            m if m == MAGIC_V3 => 3,
+            _ => return Err(ServeError::Artifact("bad artifact magic".into())),
+        };
         let arch = ArchSpec::decode(&mut r)?;
         let input_shape = r.get_usize_vec()?;
         if input_shape.is_empty() || input_shape.iter().product::<usize>() == 0 {
@@ -331,7 +349,7 @@ impl ModelArtifact {
         } else {
             None
         };
-        let baseline_mix = if v1 {
+        let baseline_mix = if version < 2 {
             None
         } else if r.get_bool()? {
             let mix = r.get_f64_vec()?;
@@ -350,6 +368,17 @@ impl ModelArtifact {
         } else {
             None
         };
+        let packed = if version < 3 {
+            None
+        } else if r.get_bool()? {
+            let section = r.get_bytes()?;
+            // PackedModelCodes::from_bytes validates the CRC; a failure
+            // surfaces as a typed quantization error (corrupt packed
+            // codes), distinct from the structural Artifact errors above.
+            Some(PackedModelCodes::from_bytes(&section)?)
+        } else {
+            None
+        };
         if !r.is_exhausted() {
             return Err(ServeError::Artifact("trailing bytes after artifact".into()));
         }
@@ -359,6 +388,7 @@ impl ModelArtifact {
             state,
             quant,
             baseline_mix,
+            packed,
         })
     }
 
@@ -413,7 +443,38 @@ mod tests {
             state,
             quant,
             baseline_mix: Some(vec![0.5, 0.25, 0.25]),
+            packed: None,
         }
+    }
+
+    /// A fixture with a quantizable *middle* layer (the zoo pins first
+    /// and last layers as non-quantizable) and the V3 packed-code section
+    /// attached, compiled from the artifact's own state (verifies clean).
+    fn packed_artifact() -> ModelArtifact {
+        let arch = ArchSpec::Mlp(vec![4, 6, 5, 3]);
+        let mut net = arch.build().unwrap();
+        let state = state_dict(&mut net);
+        let mut arrangement = BitArrangement::new();
+        arrangement.push(UnitArrangement::uniform(
+            "fc2",
+            5,
+            6,
+            BitWidth::new(2).unwrap(),
+        ));
+        let mut a = ModelArtifact {
+            arch,
+            input_shape: vec![4],
+            state,
+            quant: Some(QuantState {
+                arrangement,
+                act_bits: 4,
+                act_clips: vec![("relu1".into(), 1.25), ("relu2".into(), 0.9)],
+            }),
+            baseline_mix: None,
+            packed: None,
+        };
+        a.packed = Some(crate::registry::compile_packed_codes(&a).unwrap());
+        a
     }
 
     #[test]
@@ -437,24 +498,69 @@ mod tests {
         assert!(ModelArtifact::from_bytes(b"junk").is_err());
     }
 
+    /// Re-encodes a current-format artifact in an older layout by hand:
+    /// `magic` plus the shared body with `strip` trailing absent-section
+    /// markers removed (V2 = no packed marker, V1 = neither marker).
+    fn downgrade(bytes: &[u8], magic: &[u8], strip: usize) -> Vec<u8> {
+        let mut r = ByteReader::new(bytes);
+        r.get_bytes().unwrap(); // magic
+        let body_start = bytes.len() - r.remaining();
+        let mut w = ByteWriter::new();
+        w.put_bytes(magic);
+        let mut out = w.into_bytes();
+        out.extend_from_slice(&bytes[body_start..bytes.len() - strip]);
+        out
+    }
+
     #[test]
-    fn v1_artifacts_still_decode_without_baseline() {
-        // Re-encode a V2 artifact in the V1 layout by hand: V1 magic, no
-        // trailing baseline section.
+    fn v1_artifacts_still_decode_without_baseline_or_packed() {
         let mut a = tiny_artifact(true);
         a.baseline_mix = None;
-        let v2 = a.to_bytes();
-        let mut r = ByteReader::new(&v2);
-        r.get_bytes().unwrap(); // magic
-        let body_start = v2.len() - r.remaining();
-        let mut w = ByteWriter::new();
-        w.put_bytes(MAGIC_V1);
-        let mut v1 = w.into_bytes();
-        // Strip the trailing `put_bool(false)` baseline marker (1 byte).
-        v1.extend_from_slice(&v2[body_start..v2.len() - 1]);
+        // Strip both trailing `put_bool(false)` markers (baseline, packed).
+        let v1 = downgrade(&a.to_bytes(), MAGIC_V1, 2);
         let b = ModelArtifact::from_bytes(&v1).unwrap();
         assert_eq!(b.baseline_mix, None);
+        assert_eq!(b.packed, None);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn v2_artifacts_still_decode_without_packed() {
+        // A V2 artifact keeps its baseline mix but has no packed section.
+        let a = tiny_artifact(true);
+        let v2 = downgrade(&a.to_bytes(), MAGIC_V2, 1);
+        let b = ModelArtifact::from_bytes(&v2).unwrap();
+        assert_eq!(b.baseline_mix, a.baseline_mix);
+        assert_eq!(b.packed, None);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn v3_packed_section_round_trips_byte_identically() {
+        let a = packed_artifact();
+        let bytes = a.to_bytes();
+        let b = ModelArtifact::from_bytes(&bytes).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(b.to_bytes(), bytes, "re-encode must be byte-identical");
+        assert!(b.packed.is_some());
+        assert_eq!(b.packed.unwrap().layer_count(), 1);
+    }
+
+    #[test]
+    fn corrupted_packed_section_is_a_typed_quant_error() {
+        let a = packed_artifact();
+        let mut bytes = a.to_bytes();
+        // Flip a byte inside the packed section (it is the final section,
+        // comfortably inside the last quarter of the file): the CRC must
+        // catch it and surface as corruption, not a structural error.
+        let idx = bytes.len() - 12;
+        bytes[idx] ^= 0x10;
+        match ModelArtifact::from_bytes(&bytes) {
+            Err(ServeError::Quant(msg)) => {
+                assert!(msg.contains("corrupt packed codes"), "{msg}");
+            }
+            other => panic!("expected typed corruption error, got {other:?}"),
+        }
     }
 
     #[test]

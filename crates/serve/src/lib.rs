@@ -3,7 +3,7 @@
 //! # cbq-serve — dynamic micro-batching inference for quantized models
 //!
 //! The deployment side of the CQ pipeline: load a trained/quantized
-//! checkpoint ([`ModelArtifact`]) into one of three backends, coalesce
+//! checkpoint ([`ModelArtifact`]) into one of four backends, coalesce
 //! single-sample requests into micro-batches, and answer each request
 //! with logits that are **bit-identical to offline single-sample
 //! evaluation** — regardless of batching, interleaving, or worker count.
@@ -13,7 +13,14 @@
 //! - [`ModelRegistry`] — versioned model store. [`Backend::Float`] serves
 //!   raw weights, [`Backend::FakeQuant`] the value-domain quantized
 //!   network, [`Backend::Integer`] the code-domain
-//!   [`IntegerNet`](cbq_quant::IntegerNet) lowering.
+//!   [`IntegerNet`](cbq_quant::IntegerNet) lowering, and
+//!   [`Backend::PackedInteger`] the bitplane/nibble-packed
+//!   [`PackedIntegerNet`](cbq_quant::PackedIntegerNet) lowering —
+//!   bit-identical to `Integer` while storing 1–4-bit weight rows at
+//!   their natural density. V3 artifacts may embed the CRC-guarded
+//!   packed-code section ([`ModelArtifact::packed`],
+//!   [`compile_packed_codes`]); the packed backend verifies it against a
+//!   fresh recompile at load time and refuses mismatched artifacts.
 //! - [`BatchScheduler`] — bounded admission queue with a
 //!   `max_batch`/`max_wait` coalescing policy ([`BatchPolicy`]). Full
 //!   queue ⇒ typed [`ServeError::Overloaded`] rejection, never unbounded
@@ -59,6 +66,7 @@
 //!     state: cbq_nn::state_dict(&mut net),
 //!     quant: None,
 //!     baseline_mix: None,
+//!     packed: None,
 //! };
 //! let registry = Arc::new(ModelRegistry::new());
 //! let handle = registry.load("demo", &artifact, Backend::Float)?;
@@ -88,7 +96,9 @@ pub use cbq_telemetry::{ClassWindow, DriftConfig, DriftDetector, DriftReport, La
 pub use clock::{ManualClock, ServeClock, SystemClock};
 pub use error::{Result, ServeError};
 pub use observe::{ObserveConfig, RequestTrace, METRICS_SCHEMA};
-pub use registry::{offline_logits, Backend, LoadedModel, ModelHandle, ModelRegistry};
+pub use registry::{
+    compile_packed_codes, offline_logits, Backend, LoadedModel, ModelHandle, ModelRegistry,
+};
 pub use scheduler::{BatchPolicy, BatchScheduler};
 pub use server::{InferResponse, ServeStats, Server, ServerConfig, Ticket};
 pub use traffic::{achieved_mix, apportion, TrafficGenerator};
@@ -109,6 +119,7 @@ mod tests {
             state: cbq_nn::state_dict(&mut net),
             quant: None,
             baseline_mix: None,
+            packed: None,
         }
     }
 
@@ -259,11 +270,13 @@ mod tests {
     }
 
     #[test]
-    fn integer_backend_requires_quant_state() {
+    fn integer_backends_require_quant_state() {
         let registry = ModelRegistry::new();
-        let err = registry
-            .load("m", &float_artifact(&[4, 4, 2]), Backend::Integer)
-            .unwrap_err();
-        assert!(matches!(err, ServeError::Artifact(_)));
+        for backend in [Backend::Integer, Backend::PackedInteger] {
+            let err = registry
+                .load("m", &float_artifact(&[4, 4, 2]), backend)
+                .unwrap_err();
+            assert!(matches!(err, ServeError::Artifact(_)), "{backend:?}");
+        }
     }
 }

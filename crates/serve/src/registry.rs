@@ -12,7 +12,7 @@ use crate::error::{Result, ServeError};
 use cbq_nn::{infer_logits_scratch, load_state_dict, Layer, Phase, Sequential};
 use cbq_quant::{
     install_act_quant, install_arrangement, restore_act_clip_bounds, set_act_bits,
-    set_act_calibration, BitWidth, IntegerNet,
+    set_act_calibration, BitWidth, IntegerNet, PackedIntegerNet, PackedModelCodes,
 };
 use cbq_tensor::{Scratch, Tensor};
 use std::collections::HashMap;
@@ -28,6 +28,10 @@ pub enum Backend {
     FakeQuant,
     /// Integer-code execution via [`cbq_quant::IntegerNet`].
     Integer,
+    /// Packed low-bit execution via [`cbq_quant::PackedIntegerNet`]:
+    /// bitplane XNOR/popcount for 1-bit rows, nibble i8 MAC for 2–4-bit
+    /// rows. Bit-identical in output to [`Backend::Integer`].
+    PackedInteger,
 }
 
 impl Backend {
@@ -37,6 +41,7 @@ impl Backend {
             Backend::Float => "float",
             Backend::FakeQuant => "fake-quant",
             Backend::Integer => "integer",
+            Backend::PackedInteger => "packed",
         }
     }
 
@@ -50,6 +55,7 @@ impl Backend {
             "float" => Ok(Backend::Float),
             "fake-quant" | "fakequant" => Ok(Backend::FakeQuant),
             "integer" | "int" => Ok(Backend::Integer),
+            "packed" | "packed-integer" => Ok(Backend::PackedInteger),
             other => Err(ServeError::InvalidConfig(format!(
                 "unknown backend {other:?}"
             ))),
@@ -90,6 +96,8 @@ pub(crate) enum Engine {
     Net(Sequential),
     /// Integer-code network.
     Integer(IntegerNet),
+    /// Packed low-bit integer network.
+    Packed(PackedIntegerNet),
 }
 
 impl Engine {
@@ -104,6 +112,18 @@ impl Engine {
         match self {
             Engine::Net(net) => Ok(infer_logits_scratch(net, batch, sample_shape, scratch)?),
             Engine::Integer(net) => {
+                let row = net.in_features();
+                if row == 0 || !batch.len().is_multiple_of(row) {
+                    return Err(ServeError::BadRequest(format!(
+                        "batch of {} values is not a whole number of {row}-feature samples",
+                        batch.len()
+                    )));
+                }
+                let m = batch.len() / row;
+                let x = Tensor::from_vec(scratch.take_f32_copy(batch), &[m, row])?;
+                Ok(net.forward_scratch(x, scratch)?)
+            }
+            Engine::Packed(net) => {
                 let row = net.in_features();
                 if row == 0 || !batch.len().is_multiple_of(row) {
                     return Err(ServeError::BadRequest(format!(
@@ -206,7 +226,7 @@ fn compile(artifact: &ModelArtifact, backend: Backend) -> Result<(Engine, usize)
     let classes = probe_classes(&mut net, &artifact.input_shape)?;
     let engine = match backend {
         Backend::Float => Engine::Net(net),
-        Backend::FakeQuant | Backend::Integer => {
+        Backend::FakeQuant | Backend::Integer | Backend::PackedInteger => {
             let quant = artifact.quant.as_ref().ok_or_else(|| {
                 ServeError::Artifact(format!(
                     "artifact has no quantization state, required by the {} backend",
@@ -223,15 +243,45 @@ fn compile(artifact: &ModelArtifact, backend: Backend) -> Result<(Engine, usize)
                         .map_err(|e| ServeError::Artifact(format!("act bits: {e}")))?,
                 ),
             );
-            if backend == Backend::FakeQuant {
-                install_arrangement(&mut net, &quant.arrangement)?;
-                Engine::Net(net)
-            } else {
-                Engine::Integer(IntegerNet::compile(&mut net, &quant.arrangement)?)
+            match backend {
+                Backend::FakeQuant => {
+                    install_arrangement(&mut net, &quant.arrangement)?;
+                    Engine::Net(net)
+                }
+                Backend::Integer => {
+                    Engine::Integer(IntegerNet::compile(&mut net, &quant.arrangement)?)
+                }
+                _ => {
+                    let packed = PackedIntegerNet::compile(&mut net, &quant.arrangement)?;
+                    // Quantization is deterministic, so an artifact's
+                    // packed section must reproduce the recompiled codes
+                    // byte-for-byte; a disagreement means the section and
+                    // the state dict belong to different models.
+                    if let Some(section) = &artifact.packed {
+                        section.verify_against(&packed)?;
+                    }
+                    Engine::Packed(packed)
+                }
             }
         }
     };
     Ok((engine, classes))
+}
+
+/// Compiles an artifact's packed weight-code section — what a V3 artifact
+/// embeds so the packed backend can verify integrity at load time. A pure
+/// function of the artifact's state dict + quantization state.
+///
+/// # Errors
+///
+/// [`ServeError::Artifact`] when the artifact carries no quantization
+/// state; compile errors otherwise.
+pub fn compile_packed_codes(artifact: &ModelArtifact) -> Result<PackedModelCodes> {
+    let (engine, _) = compile(artifact, Backend::PackedInteger)?;
+    match engine {
+        Engine::Packed(net) => Ok(PackedModelCodes::from_net(&net)),
+        _ => unreachable!("packed backend compiles to a packed engine"),
+    }
 }
 
 fn probe_classes(net: &mut Sequential, input_shape: &[usize]) -> Result<usize> {

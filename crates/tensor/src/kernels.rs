@@ -232,6 +232,192 @@ pub fn gemm_packed(
     scratch.recycle_f32(b_pack);
 }
 
+// ---------------------------------------------------------------------------
+// Packed low-bit integer kernels: bitplane XNOR/popcount + nibble i8 MAC
+// ---------------------------------------------------------------------------
+//
+// The float GEMM above needs a fixed accumulation order for bit-identity;
+// the integer kernels below do not. Integer addition is associative, so any
+// packing layout and any summation grouping reproduces the exact Σ w·a the
+// wide `i32`-code path computes — the determinism burden moves entirely into
+// "compute the exact integer sum", which these kernels do by construction.
+
+/// Lanes per packed word in the bitplane layout.
+pub const WORD_BITS: usize = 64;
+
+/// Words per bitplane covering `len` lanes (trailing lanes zero-padded).
+pub fn plane_words(len: usize) -> usize {
+    len.div_ceil(WORD_BITS)
+}
+
+/// Packs unsigned integer codes into a plane-major bitplane layout.
+///
+/// Plane `q` occupies `out[q*W..(q+1)*W]` with `W = plane_words(codes.len())`;
+/// bit `i % 64` of word `i / 64` in plane `q` holds bit `q` of `codes[i]`.
+/// Padding bits past the last lane stay zero, so whole-word popcounts never
+/// see garbage. Panics if a code is negative or needs more than `bits` bits,
+/// or if `out` is not exactly `bits * W` words.
+pub fn pack_bitplanes(codes: &[i32], bits: u32, out: &mut [u64]) {
+    let w = plane_words(codes.len());
+    assert_eq!(
+        out.len(),
+        bits as usize * w,
+        "plane buffer must be bits * plane_words(len)"
+    );
+    out[..bits as usize * w].fill(0);
+    for (i, &c) in codes.iter().enumerate() {
+        assert!(
+            c >= 0 && (bits >= 31 || c < (1i32 << bits)),
+            "code {c} does not fit {bits} unsigned bits"
+        );
+        let (word, bit) = (i / WORD_BITS, i % WORD_BITS);
+        for q in 0..bits as usize {
+            if c >> q & 1 == 1 {
+                out[q * w + word] |= 1u64 << bit;
+            }
+        }
+    }
+}
+
+/// Inverse of [`pack_bitplanes`]: reconstructs `len` codes from `bits`
+/// planes. `out` is fully overwritten.
+pub fn unpack_bitplanes(planes: &[u64], bits: u32, len: usize, out: &mut [i32]) {
+    let w = plane_words(len);
+    assert_eq!(planes.len(), bits as usize * w, "plane count mismatch");
+    assert_eq!(out.len(), len, "output must hold len codes");
+    for (i, slot) in out.iter_mut().enumerate() {
+        let (word, bit) = (i / WORD_BITS, i % WORD_BITS);
+        let mut c = 0i32;
+        for q in 0..bits as usize {
+            c |= (((planes[q * w + word] >> bit) & 1) as i32) << q;
+        }
+        *slot = c;
+    }
+}
+
+/// Packs level indices (each in `0..16`) two per byte, low nibble first —
+/// the storage layout for 2–4-bit weight rows executed by
+/// [`nibble_dot_i8`].
+pub fn pack_nibbles(levels: &[i32], out: &mut [u8]) {
+    assert_eq!(out.len(), levels.len().div_ceil(2), "nibble buffer size");
+    out.fill(0);
+    for (i, &k) in levels.iter().enumerate() {
+        assert!((0..16).contains(&k), "level {k} does not fit a nibble");
+        out[i / 2] |= (k as u8) << ((i % 2) * 4);
+    }
+}
+
+/// Inverse of [`pack_nibbles`].
+pub fn unpack_nibbles(packed: &[u8], len: usize, out: &mut [i32]) {
+    assert_eq!(packed.len(), len.div_ceil(2), "nibble buffer size");
+    assert_eq!(out.len(), len, "output must hold len levels");
+    for (i, slot) in out.iter_mut().enumerate() {
+        *slot = ((packed[i / 2] >> ((i % 2) * 4)) & 0x0F) as i32;
+    }
+}
+
+/// Scalar ground truth for the packed kernels: `Σ_i w_i·a_i` over plain
+/// `i32` codes in exact `i64` arithmetic — the same sum
+/// `IntegerLinear::forward` computes. The equivalence proptests and benches
+/// pin every packed kernel against this.
+pub fn scalar_code_dot(weights: &[i32], acts: &[i32]) -> i64 {
+    assert_eq!(weights.len(), acts.len(), "operand length mismatch");
+    weights
+        .iter()
+        .zip(acts)
+        .map(|(&w, &a)| w as i64 * a as i64)
+        .sum()
+}
+
+/// The classic XNOR/popcount dot: both operands are ±1 vectors stored as
+/// sign planes (bit set ⇔ +1), `live` masks the valid lanes. Returns
+/// `Σ_i w_i·x_i = 2·popcount(XNOR(w, x) ∧ live) − popcount(live)`:
+/// agreeing signs contribute +1, disagreeing −1.
+pub fn xnor_popcount_dot(w_sign: &[u64], x_sign: &[u64], live: &[u64]) -> i64 {
+    assert!(
+        w_sign.len() == x_sign.len() && x_sign.len() == live.len(),
+        "operand plane length mismatch"
+    );
+    let mut agree = 0u64;
+    let mut lanes = 0u64;
+    for ((&w, &x), &m) in w_sign.iter().zip(x_sign).zip(live) {
+        agree += (!(w ^ x) & m).count_ones() as u64;
+        lanes += m.count_ones() as u64;
+    }
+    2 * agree as i64 - lanes as i64
+}
+
+/// 1-bit-weight dot against multi-bit activation bitplanes.
+///
+/// Weights are ±1 codes stored as one sign plane (bit set ⇔ +1);
+/// activations are unsigned codes `a_i = Σ_q 2^q·a_{q,i}` in the plane-major
+/// layout of [`pack_bitplanes`]. Substituting `w_i = 2·s_i − 1`:
+///
+/// ```text
+/// Σ_i w_i·a_i = 2·Σ_q 2^q·popcount(s ∧ a_q) − Σ_i a_i
+/// ```
+///
+/// Each plane term is [`xnor_popcount_dot`] with the activation plane as the
+/// live mask and all-ones as the second operand (`w XNOR 1 = w`, so the
+/// masked XNOR collapses to `s ∧ a_q`); the right-hand `Σ_i a_i` term is
+/// filter-independent, so the caller computes it once per sample and passes
+/// it as `act_code_sum` instead of re-popcounting it for every output row.
+pub fn sign_plane_dot(sign: &[u64], act_planes: &[u64], act_bits: u32, act_code_sum: i64) -> i64 {
+    let w = sign.len();
+    assert_eq!(
+        act_planes.len(),
+        act_bits as usize * w,
+        "activation planes must be act_bits * sign words"
+    );
+    let mut lifted = 0i64;
+    for q in 0..act_bits as usize {
+        let plane = &act_planes[q * w..(q + 1) * w];
+        let mut pc = 0u64;
+        for (&s, &a) in sign.iter().zip(plane) {
+            pc += (s & a).count_ones() as u64;
+        }
+        lifted += (pc as i64) << q;
+    }
+    2 * lifted - act_code_sum
+}
+
+/// Block size for the `i32` partial accumulator in [`nibble_dot_i8`]: with
+/// `|v| ≤ 15` and `a ≤ 255` every product fits an `i16` and 2¹³ of them
+/// stay far below `i32::MAX` (15 · 255 · 8192 ≈ 3.1·10⁷).
+const MAC_BLOCK: usize = 1 << 13;
+
+/// Nibble-packed i8/i16 multiply-accumulate for 2–4-bit weight rows.
+///
+/// Each 4-bit level `k_i` is decoded on the fly to the odd symmetric code
+/// `v_i = 2·k_i − n_minus_1` (an `i8` for every weight bitwidth ≤ 4) and
+/// multiplied against the activation code (an `i16` for every activation
+/// bitwidth ≤ 8). Products accumulate in `i32` blocks of [`MAC_BLOCK`] and
+/// fold into the `i64` total; associativity of integer addition makes the
+/// result exactly [`scalar_code_dot`] of the decoded codes.
+pub fn nibble_dot_i8(nibbles: &[u8], n_minus_1: i32, acts: &[i32]) -> i64 {
+    assert_eq!(nibbles.len(), acts.len().div_ceil(2), "nibble row length");
+    assert!((0..16).contains(&n_minus_1), "n_minus_1 must fit a nibble");
+    let mut total = 0i64;
+    let mut start = 0usize;
+    while start < acts.len() {
+        let end = (start + MAC_BLOCK).min(acts.len());
+        let mut block = 0i32;
+        for j in start..end {
+            let k = ((nibbles[j / 2] >> ((j % 2) * 4)) & 0x0F) as i32;
+            let v = (2 * k - n_minus_1) as i8;
+            debug_assert!(
+                (0..=255).contains(&acts[j]),
+                "activation code exceeds 8 bits"
+            );
+            let a = acts[j] as i16;
+            block += v as i32 * a as i32;
+        }
+        total += block as i64;
+        start = end;
+    }
+    total
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -328,5 +514,126 @@ mod tests {
             gemm_packed(20, 10, 30, &a, 30, 1, &b, 10, 1, &mut out, &mut s);
         }
         assert_eq!(s.fresh_allocs(), after_warmup);
+    }
+
+    // --- packed low-bit integer kernels ---
+
+    fn random_codes(rng: &mut StdRng, len: usize, bits: u32) -> Vec<i32> {
+        (0..len).map(|_| rng.gen_range(0..1i32 << bits)).collect()
+    }
+
+    #[test]
+    fn bitplane_round_trip_across_word_edges() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for bits in 1..=8u32 {
+            for &len in &[1usize, 7, 63, 64, 65, 130, 256] {
+                let codes = random_codes(&mut rng, len, bits);
+                let mut planes = vec![u64::MAX; bits as usize * plane_words(len)];
+                pack_bitplanes(&codes, bits, &mut planes);
+                let mut back = vec![-1i32; len];
+                unpack_bitplanes(&planes, bits, len, &mut back);
+                assert_eq!(back, codes, "bits={bits} len={len}");
+            }
+        }
+    }
+
+    #[test]
+    fn bitplane_padding_bits_stay_zero() {
+        let codes = vec![3i32; 5]; // 5 lanes, 59 padding bits per plane
+        let mut planes = vec![0u64; 2];
+        pack_bitplanes(&codes, 2, &mut planes);
+        for plane in &planes {
+            assert_eq!(plane & !0x1F, 0, "padding lanes must stay clear");
+        }
+    }
+
+    #[test]
+    fn nibble_round_trip_odd_and_even_lengths() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for &len in &[1usize, 2, 7, 8, 9, 64, 255, 256, 257] {
+            let levels = random_codes(&mut rng, len, 4);
+            let mut packed = vec![0xFFu8; len.div_ceil(2)];
+            pack_nibbles(&levels, &mut packed);
+            let mut back = vec![-1i32; len];
+            unpack_nibbles(&packed, len, &mut back);
+            assert_eq!(back, levels, "len={len}");
+        }
+    }
+
+    #[test]
+    fn xnor_popcount_matches_scalar_signed_dot() {
+        let mut rng = StdRng::seed_from_u64(17);
+        for &len in &[1usize, 8, 63, 64, 65, 200] {
+            let w: Vec<i32> = (0..len).map(|_| if rng.gen() { 1 } else { -1 }).collect();
+            let x: Vec<i32> = (0..len).map(|_| if rng.gen() { 1 } else { -1 }).collect();
+            let to_sign = |codes: &[i32]| {
+                let lv: Vec<i32> = codes.iter().map(|&c| i32::from(c == 1)).collect();
+                let mut plane = vec![0u64; plane_words(len)];
+                pack_bitplanes(&lv, 1, &mut plane);
+                plane
+            };
+            let ones: Vec<i32> = vec![1; len];
+            let live = to_sign(&ones);
+            let got = xnor_popcount_dot(&to_sign(&w), &to_sign(&x), &live);
+            assert_eq!(got, scalar_code_dot(&w, &x), "len={len}");
+        }
+    }
+
+    #[test]
+    fn sign_plane_dot_matches_scalar_reference() {
+        let mut rng = StdRng::seed_from_u64(19);
+        for act_bits in 1..=8u32 {
+            for &len in &[1usize, 9, 64, 65, 192] {
+                let w: Vec<i32> = (0..len).map(|_| if rng.gen() { 1 } else { -1 }).collect();
+                let acts = random_codes(&mut rng, len, act_bits);
+                let levels: Vec<i32> = w.iter().map(|&c| i32::from(c == 1)).collect();
+                let mut sign = vec![0u64; plane_words(len)];
+                pack_bitplanes(&levels, 1, &mut sign);
+                let mut planes = vec![0u64; act_bits as usize * plane_words(len)];
+                pack_bitplanes(&acts, act_bits, &mut planes);
+                let sum: i64 = acts.iter().map(|&a| a as i64).sum();
+                let got = sign_plane_dot(&sign, &planes, act_bits, sum);
+                assert_eq!(got, scalar_code_dot(&w, &acts), "bits={act_bits} len={len}");
+            }
+        }
+    }
+
+    #[test]
+    fn nibble_dot_matches_scalar_reference() {
+        let mut rng = StdRng::seed_from_u64(23);
+        for wbits in 2..=4u32 {
+            let n_minus_1 = (1i32 << wbits) - 1;
+            for &len in &[1usize, 2, 9, 64, 255, 300] {
+                let levels = random_codes(&mut rng, len, wbits);
+                let acts = random_codes(&mut rng, len, 8);
+                let mut packed = vec![0u8; len.div_ceil(2)];
+                pack_nibbles(&levels, &mut packed);
+                let codes: Vec<i32> = levels.iter().map(|&k| 2 * k - n_minus_1).collect();
+                let got = nibble_dot_i8(&packed, n_minus_1, &acts);
+                assert_eq!(
+                    got,
+                    scalar_code_dot(&codes, &acts),
+                    "wbits={wbits} len={len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nibble_dot_crosses_block_boundary_exactly() {
+        // Lengths straddling MAC_BLOCK exercise the i32→i64 fold seam.
+        let mut rng = StdRng::seed_from_u64(29);
+        for &len in &[MAC_BLOCK - 1, MAC_BLOCK, MAC_BLOCK + 1] {
+            let levels = random_codes(&mut rng, len, 4);
+            let acts = random_codes(&mut rng, len, 8);
+            let mut packed = vec![0u8; len.div_ceil(2)];
+            pack_nibbles(&levels, &mut packed);
+            let codes: Vec<i32> = levels.iter().map(|&k| 2 * k - 15).collect();
+            assert_eq!(
+                nibble_dot_i8(&packed, 15, &acts),
+                scalar_code_dot(&codes, &acts),
+                "len={len}"
+            );
+        }
     }
 }

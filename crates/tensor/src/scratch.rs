@@ -46,6 +46,7 @@ pub fn reset_fresh_alloc_count() {
 pub struct Scratch {
     f32_pool: Vec<Vec<f32>>,
     i32_pool: Vec<Vec<i32>>,
+    u64_pool: Vec<Vec<u64>>,
     fresh: u64,
 }
 
@@ -130,6 +131,39 @@ impl Scratch {
         }
     }
 
+    /// Bitplane twin of [`Scratch::take_f32`]: zero-filled `u64` words for
+    /// the packed integer pathway's per-sample activation bitplanes.
+    pub fn take_u64(&mut self, len: usize) -> Vec<u64> {
+        let mut best: Option<usize> = None;
+        for (i, buf) in self.u64_pool.iter().enumerate() {
+            if buf.capacity() >= len
+                && best.is_none_or(|b| buf.capacity() < self.u64_pool[b].capacity())
+            {
+                best = Some(i);
+            }
+        }
+        match best {
+            Some(i) => {
+                let mut buf = self.u64_pool.swap_remove(i);
+                buf.clear();
+                buf.resize(len, 0);
+                buf
+            }
+            None => {
+                self.fresh += 1;
+                GLOBAL_FRESH.fetch_add(1, Ordering::Relaxed);
+                vec![0; len]
+            }
+        }
+    }
+
+    /// Bitplane twin of [`Scratch::recycle_f32`].
+    pub fn recycle_u64(&mut self, buf: Vec<u64>) {
+        if buf.capacity() > 0 {
+            self.u64_pool.push(buf);
+        }
+    }
+
     /// Pool misses recorded by this arena alone.
     pub fn fresh_allocs(&self) -> u64 {
         self.fresh
@@ -137,7 +171,7 @@ impl Scratch {
 
     /// Number of buffers currently parked in the pools.
     pub fn pooled(&self) -> usize {
-        self.f32_pool.len() + self.i32_pool.len()
+        self.f32_pool.len() + self.i32_pool.len() + self.u64_pool.len()
     }
 }
 
@@ -198,6 +232,22 @@ mod tests {
         assert_eq!(s.fresh_allocs(), fresh_before);
         assert!(b.iter().all(|&x| x == 0));
         assert_eq!(s.pooled(), 0);
+    }
+
+    #[test]
+    fn u64_pool_recycles_and_zeroes() {
+        let mut s = Scratch::new();
+        let mut a = s.take_u64(9);
+        a.fill(u64::MAX);
+        s.recycle_u64(a);
+        assert_eq!(s.fresh_allocs(), 1);
+        let b = s.take_u64(4);
+        assert_eq!(s.fresh_allocs(), 1, "reuse must not count as fresh");
+        assert!(
+            b.iter().all(|&x| x == 0),
+            "recycled planes must come back zeroed"
+        );
+        assert_eq!(b.len(), 4);
     }
 
     #[test]

@@ -1,0 +1,227 @@
+//! Property-based laws for the packed low-bit integer kernels: bitplane and
+//! nibble pack→unpack round trips, and the popcount / nibble-MAC dots
+//! against the scalar `i32`-code reference. Every assertion is exact
+//! integer equality — the packed path's contract is "the same Σ w·a the
+//! wide path computes", not an approximation.
+//!
+//! Each property has a pinned plain-test companion sweeping the word-edge
+//! lengths deterministically (7/8/9, 63/64/65, 255/256/257 — the byte,
+//! word, and 4-word/256-lane seams), so the laws stay exercised even where
+//! the proptest runner is unavailable.
+
+use cbq_tensor::kernels::{
+    nibble_dot_i8, pack_bitplanes, pack_nibbles, plane_words, scalar_code_dot, sign_plane_dot,
+    unpack_bitplanes, unpack_nibbles, xnor_popcount_dot,
+};
+use proptest::collection::vec as pvec;
+use proptest::prelude::*;
+
+/// Lengths around the packing seams: 8 (nibble byte pair), 64 (plane
+/// word), 256 (MAC tile multiples), each ±1, plus the degenerate 1.
+const EDGE_LENS: [usize; 10] = [1, 7, 8, 9, 63, 64, 65, 255, 256, 257];
+
+/// Deterministic code fill in `0..2^bits` that hits both all-zero and
+/// all-ones patterns along the way.
+fn codes_fill(len: usize, bits: u32, seed: u64) -> Vec<i32> {
+    let mask = (1i64 << bits) - 1;
+    (0..len)
+        .map(|i| {
+            let x = (i as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(seed.wrapping_mul(0xD1B5_4A32_D192_ED03));
+            ((x >> 29) as i64 & mask) as i32
+        })
+        .collect()
+}
+
+fn check_bitplane_round_trip(codes: &[i32], bits: u32) {
+    let mut planes = vec![u64::MAX; bits as usize * plane_words(codes.len())];
+    pack_bitplanes(codes, bits, &mut planes);
+    let mut back = vec![-1i32; codes.len()];
+    unpack_bitplanes(&planes, bits, codes.len(), &mut back);
+    assert_eq!(back, codes, "bitplane round trip, bits={bits}");
+    // Padding lanes beyond len must be zero in every plane so whole-word
+    // popcounts are exact.
+    let w = plane_words(codes.len());
+    let tail_bits = codes.len() % 64;
+    if tail_bits != 0 {
+        let pad_mask = !0u64 << tail_bits;
+        for q in 0..bits as usize {
+            assert_eq!(
+                planes[q * w + w - 1] & pad_mask,
+                0,
+                "dirty padding, plane {q}"
+            );
+        }
+    }
+}
+
+fn check_nibble_round_trip(levels: &[i32]) {
+    let mut packed = vec![0xFFu8; levels.len().div_ceil(2)];
+    pack_nibbles(levels, &mut packed);
+    let mut back = vec![-1i32; levels.len()];
+    unpack_nibbles(&packed, levels.len(), &mut back);
+    assert_eq!(back, levels, "nibble round trip");
+}
+
+/// Signs as ±1 codes → (sign plane, live mask plane) pair.
+fn sign_plane(signs: &[i32]) -> Vec<u64> {
+    let levels: Vec<i32> = signs.iter().map(|&c| i32::from(c == 1)).collect();
+    let mut plane = vec![0u64; plane_words(signs.len())];
+    pack_bitplanes(&levels, 1, &mut plane);
+    plane
+}
+
+fn check_xnor_dot(w: &[i32], x: &[i32]) {
+    let live = sign_plane(&vec![1i32; w.len()]);
+    let got = xnor_popcount_dot(&sign_plane(w), &sign_plane(x), &live);
+    assert_eq!(got, scalar_code_dot(w, x), "xnor dot, len={}", w.len());
+}
+
+fn check_sign_plane_dot(w_signs: &[i32], acts: &[i32], act_bits: u32) {
+    let mut planes = vec![0u64; act_bits as usize * plane_words(acts.len())];
+    pack_bitplanes(acts, act_bits, &mut planes);
+    let code_sum: i64 = acts.iter().map(|&a| a as i64).sum();
+    let got = sign_plane_dot(&sign_plane(w_signs), &planes, act_bits, code_sum);
+    assert_eq!(
+        got,
+        scalar_code_dot(w_signs, acts),
+        "sign-plane dot, bits={act_bits} len={}",
+        acts.len()
+    );
+}
+
+fn check_nibble_dot(levels: &[i32], acts: &[i32], wbits: u32) {
+    let n_minus_1 = (1i32 << wbits) - 1;
+    let mut packed = vec![0u8; levels.len().div_ceil(2)];
+    pack_nibbles(levels, &mut packed);
+    let codes: Vec<i32> = levels.iter().map(|&k| 2 * k - n_minus_1).collect();
+    assert_eq!(
+        nibble_dot_i8(&packed, n_minus_1, acts),
+        scalar_code_dot(&codes, acts),
+        "nibble MAC, wbits={wbits} len={}",
+        levels.len()
+    );
+}
+
+// --- pinned deterministic companions (always run) ---
+
+#[test]
+fn pinned_bitplane_round_trip_edge_lengths() {
+    for bits in 1..=8u32 {
+        for &len in &EDGE_LENS {
+            check_bitplane_round_trip(&codes_fill(len, bits, 1000 + bits as u64), bits);
+        }
+    }
+}
+
+#[test]
+fn pinned_nibble_round_trip_edge_lengths() {
+    for &len in &EDGE_LENS {
+        check_nibble_round_trip(&codes_fill(len, 4, 2000 + len as u64));
+    }
+}
+
+#[test]
+fn pinned_xnor_dot_edge_lengths() {
+    for &len in &EDGE_LENS {
+        let w: Vec<i32> = codes_fill(len, 1, 31).iter().map(|&b| 2 * b - 1).collect();
+        let x: Vec<i32> = codes_fill(len, 1, 37).iter().map(|&b| 2 * b - 1).collect();
+        check_xnor_dot(&w, &x);
+    }
+}
+
+#[test]
+fn pinned_sign_plane_dot_edge_lengths_all_act_bits() {
+    for act_bits in 1..=8u32 {
+        for &len in &EDGE_LENS {
+            let w: Vec<i32> = codes_fill(len, 1, 41).iter().map(|&b| 2 * b - 1).collect();
+            let acts = codes_fill(len, act_bits, 43 + act_bits as u64);
+            check_sign_plane_dot(&w, &acts, act_bits);
+        }
+    }
+}
+
+#[test]
+fn pinned_nibble_dot_edge_lengths_all_weight_bits() {
+    for wbits in 2..=4u32 {
+        for &len in &EDGE_LENS {
+            let levels = codes_fill(len, wbits, 47 + wbits as u64);
+            let acts = codes_fill(len, 8, 53 + len as u64);
+            check_nibble_dot(&levels, &acts, wbits);
+        }
+    }
+}
+
+#[test]
+fn pinned_extreme_patterns() {
+    // All-zero and all-max codes at a straddling length: packing must not
+    // leak between lanes and the dots must stay exact at the range edges.
+    for bits in 1..=4u32 {
+        let max = (1i32 << bits) - 1;
+        check_bitplane_round_trip(&vec![0i32; 65], bits);
+        check_bitplane_round_trip(&vec![max; 65], bits);
+    }
+    check_nibble_dot(&vec![0i32; 65], &vec![255i32; 65], 4);
+    check_nibble_dot(&vec![15i32; 65], &vec![255i32; 65], 4);
+    check_sign_plane_dot(&vec![-1i32; 65], &vec![255i32; 65], 8);
+    check_sign_plane_dot(&vec![1i32; 65], &vec![0i32; 65], 8);
+}
+
+// --- randomized exploration with shrinking ---
+
+fn edge_len() -> impl Strategy<Value = usize> {
+    prop_oneof![1usize..=10, 61usize..=68, 253usize..=260,]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn prop_bitplane_round_trip(
+        (len, bits) in (edge_len(), 1u32..=8),
+        seed in any::<u64>(),
+    ) {
+        check_bitplane_round_trip(&codes_fill(len, bits, seed), bits);
+    }
+
+    #[test]
+    fn prop_nibble_round_trip(len in edge_len(), seed in any::<u64>()) {
+        check_nibble_round_trip(&codes_fill(len, 4, seed));
+    }
+
+    #[test]
+    fn prop_xnor_dot_matches_scalar(len in edge_len(), seed in any::<u64>()) {
+        let w: Vec<i32> = codes_fill(len, 1, seed).iter().map(|&b| 2 * b - 1).collect();
+        let x: Vec<i32> = codes_fill(len, 1, !seed).iter().map(|&b| 2 * b - 1).collect();
+        check_xnor_dot(&w, &x);
+    }
+
+    #[test]
+    fn prop_sign_plane_dot_matches_scalar(
+        len in edge_len(),
+        act_bits in 1u32..=8,
+        acts_seed in any::<u64>(),
+        w_seed in any::<u64>(),
+    ) {
+        let w: Vec<i32> = codes_fill(len, 1, w_seed).iter().map(|&b| 2 * b - 1).collect();
+        let acts = codes_fill(len, act_bits, acts_seed);
+        check_sign_plane_dot(&w, &acts, act_bits);
+    }
+
+    #[test]
+    fn prop_nibble_dot_matches_scalar(
+        len in edge_len(),
+        wbits in 2u32..=4,
+        seed in any::<u64>(),
+    ) {
+        let levels = codes_fill(len, wbits, seed);
+        let acts = codes_fill(len, 8, seed.rotate_left(17));
+        check_nibble_dot(&levels, &acts, wbits);
+    }
+
+    #[test]
+    fn prop_arbitrary_level_vectors_round_trip(levels in pvec(0i32..16, 0..300)) {
+        check_nibble_round_trip(&levels);
+    }
+}

@@ -19,7 +19,7 @@
 //!
 //! ```sh
 //! cargo run --release --bin cbq -- serve \
-//!     --backends float,fake-quant,integer --requests 96 --clients 4
+//!     --backends float,fake-quant,integer,packed --requests 96 --clients 4
 //! ```
 
 use cbq::core::{CqConfig, CqPipeline, RefineConfig};
@@ -31,8 +31,9 @@ use cbq::quant::{
 };
 use cbq::resilience::{atomic_write_text, FaultPlan, GuardPolicy};
 use cbq::serve::{
-    offline_logits, ArchSpec, Backend, BatchPolicy, LoadedModel, ModelArtifact, ModelHandle,
-    ModelRegistry, ObserveConfig, QuantState, Server, ServerConfig, SystemClock,
+    compile_packed_codes, offline_logits, ArchSpec, Backend, BatchPolicy, LoadedModel,
+    ModelArtifact, ModelHandle, ModelRegistry, ObserveConfig, QuantState, Server, ServerConfig,
+    SystemClock,
 };
 use cbq::telemetry::{JsonlSink, Level, Sink, StderrSink, Telemetry};
 use rand::rngs::StdRng;
@@ -367,7 +368,12 @@ impl Default for ServeOptions {
         ServeOptions {
             model: "mlp".into(),
             dataset: "tiny".into(),
-            backends: vec![Backend::Float, Backend::FakeQuant, Backend::Integer],
+            backends: vec![
+                Backend::Float,
+                Backend::FakeQuant,
+                Backend::Integer,
+                Backend::PackedInteger,
+            ],
             wbits: 4,
             abits: 4,
             epochs: 3,
@@ -390,7 +396,7 @@ impl Default for ServeOptions {
 }
 
 const SERVE_USAGE: &str = "usage: cbq serve [--model mlp|vgg|resnet20x1|resnet20x5] \
-[--dataset tiny|c10|c100] [--backends float,fake-quant,integer] [--wbits N] [--abits N] \
+[--dataset tiny|c10|c100] [--backends float,fake-quant,integer,packed] [--wbits N] [--abits N] \
 [--epochs N] [--seed N] [--workers N] [--max-batch N] [--max-wait-us N] [--queue-cap N] \
 [--requests N] [--clients N] [--replicas N] [--faults SPEC] [--drift-window N] \
 [--metrics-out FILE.json] [--trace-out FILE.jsonl] [--out FILE.json] \
@@ -474,10 +480,15 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
     if !["tiny", "c10", "c100"].contains(&opts.dataset.as_str()) {
         return Err(format!("unknown dataset {}\n{SERVE_USAGE}", opts.dataset));
     }
-    if opts.model != "mlp" && opts.backends.contains(&Backend::Integer) {
+    if opts.model != "mlp"
+        && opts
+            .backends
+            .iter()
+            .any(|b| matches!(b, Backend::Integer | Backend::PackedInteger))
+    {
         return Err(
-            "the integer backend lowers Flatten/Linear/Relu topologies only; \
-             use --backends float,fake-quant with conv models"
+            "the integer and packed backends lower Flatten/Linear/Relu topologies \
+             only; use --backends float,fake-quant with conv models"
                 .into(),
         );
     }
@@ -596,13 +607,19 @@ fn run_serve(opts: &ServeOptions) -> Result<(), Box<dyn std::error::Error>> {
     for &label in data.train().labels() {
         class_counts[label] += 1;
     }
-    let artifact = ModelArtifact {
+    let mut artifact = ModelArtifact {
         arch,
         input_shape: vec![spec.channels, spec.height, spec.width],
         state,
         quant: Some(quant),
         baseline_mix: Some(class_counts.iter().map(|&c| c as f64).collect()),
+        packed: None,
     };
+    if opts.backends.contains(&Backend::PackedInteger) {
+        // Author the V3 packed-code section so the packed backend's
+        // load-time integrity verification runs against it.
+        artifact.packed = Some(compile_packed_codes(&artifact)?);
+    }
 
     let registry = Arc::new(ModelRegistry::new());
     let mut targets = Vec::new();
@@ -676,7 +693,9 @@ fn run_serve(opts: &ServeOptions) -> Result<(), Box<dyn std::error::Error>> {
                 let mut out = Vec::new();
                 let mut i = c;
                 while i < samples.len() {
-                    let t = i % targets.len();
+                    // Rotate the backend per block so no backend's subset
+                    // aligns with the dataset's class period.
+                    let t = (i + i / targets.len()) % targets.len();
                     let (sample, label) = samples[i];
                     // Labeled submission so per-class accuracy telemetry
                     // resolves, not just the predicted mix.
@@ -903,7 +922,7 @@ fn run_serve_fleet(
                 let mut out = Vec::new();
                 let mut i = c;
                 while i < samples.len() {
-                    let t = i % targets.len();
+                    let t = (i + i / targets.len()) % targets.len();
                     let (sample, label) = samples[i];
                     let outcome =
                         fleet.infer_with_id(i as u64, &targets[t].1, sample.to_vec(), Some(label));
@@ -1202,7 +1221,12 @@ mod tests {
         assert_eq!(o, ServeOptions::default());
         assert_eq!(
             o.backends,
-            vec![Backend::Float, Backend::FakeQuant, Backend::Integer]
+            vec![
+                Backend::Float,
+                Backend::FakeQuant,
+                Backend::Integer,
+                Backend::PackedInteger
+            ]
         );
     }
 
@@ -1262,8 +1286,13 @@ mod tests {
         assert!(parse_serve_args(&args(&["--clients", "0"])).is_err());
         assert!(parse_serve_args(&args(&["--frobnicate"])).is_err());
         assert!(parse_serve_args(&args(&["--help"])).is_err());
-        // The integer backend only lowers MLP topologies.
+        // The integer and packed backends only lower MLP topologies.
         assert!(parse_serve_args(&args(&["--model", "vgg"])).is_err());
+        assert!(parse_serve_args(&args(&["--model", "vgg", "--backends", "packed"])).is_err());
+        assert!(parse_serve_args(&args(&["--backends", "packed-integer"]))
+            .unwrap()
+            .backends
+            .contains(&Backend::PackedInteger));
         let o =
             parse_serve_args(&args(&["--model", "vgg", "--backends", "float,fake-quant"])).unwrap();
         assert_eq!(o.backends, vec![Backend::Float, Backend::FakeQuant]);

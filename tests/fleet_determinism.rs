@@ -48,6 +48,7 @@ fn fixture() -> (ModelArtifact, Vec<Vec<f32>>) {
         state: state_dict(&mut net),
         quant: None,
         baseline_mix: None,
+        packed: None,
     };
     let test = data.test();
     let item_len: usize = test.images().shape()[1..].iter().product();

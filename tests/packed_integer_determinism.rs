@@ -1,0 +1,307 @@
+//! Differential battery for the packed low-bit execution engine: the
+//! `packed` backend's logits must be **bit-identical** to the wide
+//! `integer` backend's for a genuinely mixed arrangement — pruned (0-bit)
+//! filters, 1-bit sign rows (XNOR/popcount), 2–4-bit nibble rows (i8
+//! MAC), and 5–8-bit wide-fallback rows in the same model — across every
+//! worker count in the `CBQ_TEST_THREADS` matrix, across serving shapes
+//! (batch coalescing vs. none), under request replay, and through a V3
+//! artifact serialization round trip with the CRC-guarded packed-code
+//! section attached.
+
+use cbq::data::{SyntheticImages, SyntheticSpec};
+use cbq::nn::{state_dict, Layer, Phase, Trainer, TrainerConfig};
+use cbq::quant::{
+    act_clip_bounds, install_act_quant, set_act_calibration, BitArrangement, BitWidth,
+    UnitArrangement,
+};
+use cbq::serve::{
+    compile_packed_codes, offline_logits, ArchSpec, Backend, BatchPolicy, LoadedModel,
+    ModelArtifact, ModelHandle, ModelRegistry, QuantState, Server, ServerConfig,
+};
+use cbq::telemetry::Telemetry;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Duration;
+
+const SEED: u64 = 41;
+
+/// Worker counts under test, from `CBQ_TEST_THREADS` (default `1,2,4,7`).
+fn thread_counts() -> Vec<usize> {
+    let spec = std::env::var("CBQ_TEST_THREADS").unwrap_or_else(|_| "1,2,4,7".into());
+    let counts: Vec<usize> = spec
+        .split(',')
+        .filter_map(|t| t.trim().parse().ok())
+        .filter(|&n| n > 0)
+        .collect();
+    assert!(!counts.is_empty(), "CBQ_TEST_THREADS={spec} parsed empty");
+    counts
+}
+
+fn bits_of(picks: &[u8]) -> Vec<BitWidth> {
+    picks.iter().map(|&b| BitWidth::new(b).unwrap()).collect()
+}
+
+/// A trained 5-layer MLP whose two quantizable middle layers carry a
+/// deliberately adversarial bit mix: `fc2` spans the packed row kinds
+/// 0/1/2/3/4 (pruned, sign, nibble), `fc3` additionally forces the
+/// 5–8-bit wide fallback. Identical for every caller.
+fn artifact_fixture() -> (ModelArtifact, SyntheticImages) {
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let spec = SyntheticSpec::tiny(4);
+    let data = SyntheticImages::generate(&spec, &mut rng).unwrap();
+    let arch = ArchSpec::Mlp(vec![spec.feature_len(), 24, 16, 12, spec.num_classes]);
+    let mut net = arch.build_init(&mut rng).unwrap();
+    Trainer::new(TrainerConfig::quick(2, 0.1))
+        .fit(&mut net, data.train(), &mut rng)
+        .unwrap();
+    let state = state_dict(&mut net);
+    install_act_quant(&mut net);
+    set_act_calibration(&mut net, true);
+    for batch in data.val().batches(16) {
+        net.forward(&batch.images, Phase::Eval).unwrap();
+    }
+    set_act_calibration(&mut net, false);
+    net.clear_cache();
+
+    let mut arrangement = BitArrangement::new();
+    arrangement.push(UnitArrangement {
+        name: "fc2".into(),
+        bits: bits_of(&[0, 1, 1, 2, 2, 3, 3, 4, 4, 1, 2, 3, 4, 0, 1, 4]),
+        weights_per_filter: 24,
+    });
+    arrangement.push(UnitArrangement {
+        name: "fc3".into(),
+        bits: bits_of(&[5, 6, 8, 1, 0, 2, 7, 3, 4, 8, 1, 5]),
+        weights_per_filter: 16,
+    });
+    let quant = QuantState {
+        arrangement,
+        act_bits: 3,
+        act_clips: act_clip_bounds(&mut net),
+    };
+    let artifact = ModelArtifact {
+        arch,
+        input_shape: vec![spec.channels, spec.height, spec.width],
+        state,
+        quant: Some(quant),
+        baseline_mix: None,
+        packed: None,
+    };
+    (artifact, data)
+}
+
+type Target = (Backend, ModelHandle, Arc<LoadedModel>);
+
+fn load_pair(registry: &ModelRegistry, artifact: &ModelArtifact) -> Vec<Target> {
+    [Backend::Integer, Backend::PackedInteger]
+        .iter()
+        .map(|&backend| {
+            let handle = registry.load(backend.as_str(), artifact, backend).unwrap();
+            let model = registry.get(&handle).unwrap();
+            (backend, handle, model)
+        })
+        .collect()
+}
+
+/// Rows of the test split as single-sample request payloads.
+fn request_samples(data: &SyntheticImages) -> Vec<Vec<f32>> {
+    let test = data.test();
+    let item_len: usize = test.images().shape()[1..].iter().product();
+    let images = test.images().as_slice();
+    (0..test.len())
+        .map(|j| images[j * item_len..(j + 1) * item_len].to_vec())
+        .collect()
+}
+
+#[test]
+fn fixture_exercises_every_packed_row_kind() {
+    // Guard the battery's premise: both middle layers compile to packed
+    // form, and the mix actually shrinks the code bytes (it would not if
+    // everything fell back to wide rows).
+    let (artifact, _) = artifact_fixture();
+    let codes = compile_packed_codes(&artifact).unwrap();
+    assert_eq!(codes.layer_count(), 2);
+    assert!(
+        codes.packed_code_bytes() < codes.wide_code_bytes(),
+        "packed {} bytes vs wide {} — the mix must compress",
+        codes.packed_code_bytes(),
+        codes.wide_code_bytes()
+    );
+}
+
+#[test]
+fn packed_offline_logits_bit_identical_to_integer() {
+    // Offline single-sample inference: the packed engine must reproduce
+    // the wide integer engine bit for bit on every test row.
+    let (artifact, data) = artifact_fixture();
+    let samples = request_samples(&data);
+    let registry = ModelRegistry::new();
+    let targets = load_pair(&registry, &artifact);
+    for (i, sample) in samples.iter().enumerate() {
+        let wide = offline_logits(&targets[0].2, sample).unwrap();
+        let packed = offline_logits(&targets[1].2, sample).unwrap();
+        assert_eq!(wide.len(), packed.len());
+        for (a, b) in wide.iter().zip(&packed) {
+            assert_eq!(a.to_bits(), b.to_bits(), "sample {i} diverged offline");
+        }
+    }
+}
+
+#[test]
+fn packed_served_logits_bit_identical_across_worker_counts() {
+    let (artifact, data) = artifact_fixture();
+    let samples = request_samples(&data);
+    for &workers in &thread_counts() {
+        let registry = Arc::new(ModelRegistry::new());
+        let targets = load_pair(&registry, &artifact);
+        let server = Server::start(
+            registry,
+            ServerConfig {
+                policy: BatchPolicy {
+                    // Not a divisor of the request count: ragged batches
+                    // form at every worker count.
+                    max_batch: 5,
+                    max_wait: Duration::from_micros(200),
+                    queue_capacity: 1024,
+                },
+                workers,
+            },
+            Telemetry::disabled(),
+        )
+        .unwrap();
+        // Concurrent clients interleave both backends so micro-batches
+        // mix packed and wide requests in the same queue.
+        let mut results = Vec::new();
+        std::thread::scope(|scope| {
+            let mut joins = Vec::new();
+            for c in 0..3usize {
+                let server = &server;
+                let samples = &samples;
+                let targets = &targets;
+                joins.push(scope.spawn(move || {
+                    let mut out = Vec::new();
+                    for (i, sample) in samples.iter().enumerate() {
+                        let t = (i + c) % targets.len();
+                        out.push((i, t, server.infer(&targets[t].1, sample.clone()).unwrap()));
+                    }
+                    out
+                }));
+            }
+            for join in joins {
+                results.extend(join.join().expect("client panicked"));
+            }
+        });
+        assert_eq!(results.len(), 3 * samples.len());
+        for (i, t, resp) in results {
+            let offline = offline_logits(&targets[t].2, &samples[i]).unwrap();
+            // Served == own offline reference...
+            for (a, b) in resp.logits.iter().zip(&offline) {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "sample {i} diverged from offline on backend {} at {workers} worker(s)",
+                    targets[t].0.as_str(),
+                );
+            }
+            // ...and the two backends' references agree bit for bit, so
+            // every served response is transitively backend-agnostic.
+            let other = offline_logits(&targets[1 - t].2, &samples[i]).unwrap();
+            for (a, b) in offline.iter().zip(&other) {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "sample {i}: packed and integer disagree at {workers} worker(s)",
+                );
+            }
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.completed, 3 * samples.len() as u64);
+        assert_eq!(stats.failed, 0);
+    }
+}
+
+#[test]
+fn packed_replay_log_is_byte_identical_across_serving_shapes() {
+    let (artifact, data) = artifact_fixture();
+    let samples = request_samples(&data);
+    // The "request log": (id, backend index, sample index). Both runs
+    // submit exactly this log against integer + packed targets.
+    let log: Vec<(u64, usize, usize)> = (0..samples.len() * 2)
+        .map(|i| (5000 + i as u64, i % 2, i % samples.len()))
+        .collect();
+
+    let run = |workers: usize, max_batch: usize, max_wait_us: u64| -> Vec<Vec<u8>> {
+        let registry = Arc::new(ModelRegistry::new());
+        let targets = load_pair(&registry, &artifact);
+        let server = Server::start(
+            registry,
+            ServerConfig {
+                policy: BatchPolicy {
+                    max_batch,
+                    max_wait: Duration::from_micros(max_wait_us),
+                    queue_capacity: 4096,
+                },
+                workers,
+            },
+            Telemetry::disabled(),
+        )
+        .unwrap();
+        let tickets: Vec<_> = log
+            .iter()
+            .map(|&(id, t, s)| {
+                (
+                    id,
+                    server
+                        .submit_with_id(id, &targets[t].1, samples[s].clone())
+                        .unwrap(),
+                )
+            })
+            .collect();
+        let mut responses: Vec<_> = tickets
+            .into_iter()
+            .map(|(id, ticket)| {
+                let resp = ticket.wait().unwrap();
+                assert_eq!(resp.id, id);
+                resp
+            })
+            .collect();
+        server.shutdown();
+        responses.sort_by_key(|r| r.id);
+        responses.iter().map(|r| r.canonical_bytes()).collect()
+    };
+
+    let widest = thread_counts().into_iter().max().unwrap();
+    let first = run(1, 8, 500);
+    let second = run(widest, 1, 1);
+    assert_eq!(first, second, "replay diverged between serving shapes");
+}
+
+#[test]
+fn v3_artifact_round_trip_serves_identically() {
+    // Attach the packed-code section, push the artifact through the V3
+    // byte format, and serve from the decoded copy: load-time CRC +
+    // recompile verification must accept it, and the decoded model's
+    // logits must match the original's bit for bit.
+    let (mut artifact, data) = artifact_fixture();
+    artifact.packed = Some(compile_packed_codes(&artifact).unwrap());
+    let decoded = ModelArtifact::from_bytes(&artifact.to_bytes()).unwrap();
+    assert!(decoded.packed.is_some(), "packed section lost in transit");
+
+    let registry = ModelRegistry::new();
+    let original = registry
+        .load("orig", &artifact, Backend::PackedInteger)
+        .unwrap();
+    let reloaded = registry
+        .load("reload", &decoded, Backend::PackedInteger)
+        .unwrap();
+    let original = registry.get(&original).unwrap();
+    let reloaded = registry.get(&reloaded).unwrap();
+    for sample in request_samples(&data) {
+        let a = offline_logits(&original, &sample).unwrap();
+        let b = offline_logits(&reloaded, &sample).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+}

@@ -66,6 +66,7 @@ fn artifact_fixture() -> (ModelArtifact, SyntheticImages) {
         state,
         quant: Some(quant),
         baseline_mix: None,
+        packed: None,
     };
     (artifact, data)
 }

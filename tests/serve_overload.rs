@@ -41,6 +41,7 @@ fn fixture() -> (ModelArtifact, Vec<f32>) {
             state,
             quant: None,
             baseline_mix: None,
+            packed: None,
         },
         sample,
     )
