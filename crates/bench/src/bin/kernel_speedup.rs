@@ -4,7 +4,7 @@
 //! writes the numbers to `results/BENCH_kernels.json` (published as a CI
 //! artifact).
 //!
-//! Three measurements:
+//! Four measurements:
 //!
 //! 1. **GEMM GFLOP/s** — `naive_gemm` vs `gemm_packed` at the exact
 //!    matrix shapes the vgg-small probe produces (conv layers as
@@ -15,6 +15,13 @@
 //!    no longer exists) vs `evaluate_with_scratch` on a warm arena.
 //! 3. **Allocations per probe** — pool misses reported by the `Scratch`
 //!    debug counters across one steady-state probe; must be zero.
+//! 4. **Per-ISA dispatch sweep** — every ISA the dispatch layer knows
+//!    (AVX-512, AVX2+FMA, NEON, scalar) forced in turn over the GEMM
+//!    micro-kernel, the sign-plane popcount dot, and the nibble MAC.
+//!    Each available ISA must reproduce forced-scalar bytes in bit-exact
+//!    mode (hard gate), and on hosts with any vector ISA the popcount
+//!    and nibble dots must clear 1.5x over scalar. Unavailable ISAs are
+//!    recorded with `"isa_available": false` and skipped, never faked.
 //!
 //! ```sh
 //! cargo run --release -p cbq-bench --bin kernel_speedup
@@ -27,7 +34,11 @@
 use cbq_data::{Subset, SyntheticImages, SyntheticSpec};
 use cbq_nn::{evaluate_with_scratch, models, state_dict, Layer, Phase, StateDict};
 use cbq_resilience::atomic_write_text;
-use cbq_tensor::kernels::{gemm_packed, naive_gemm};
+use cbq_tensor::dispatch::{self, Isa, NumericsMode};
+use cbq_tensor::kernels::{
+    gemm_packed, naive_gemm, nibble_dot_i8, pack_bitplanes, pack_nibbles, plane_words,
+    sign_plane_dot,
+};
 use cbq_tensor::scratch::{fresh_alloc_count, reset_fresh_alloc_count};
 use cbq_tensor::{im2col, max_pool2d, ConvSpec, PoolSpec, Scratch, Tensor};
 use rand::rngs::StdRng;
@@ -370,6 +381,200 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "allocs: {allocs_per_probe} pool misses per steady-state probe ({global_allocs} across all arenas)"
     );
 
+    // 4. Per-ISA dispatch sweep. One fixed workload — 32 packed weight
+    // rows of 16384 elements against shared activations, plus the conv2
+    // probe GEMM shape — with every ISA forced in turn. Forced-scalar is
+    // both the byte reference and the timing baseline.
+    const DOT_LEN: usize = 16384;
+    const DOT_ROWS: usize = 32;
+    const ACT_BITS: u32 = 4;
+    let words = plane_words(DOT_LEN);
+    let sign_rows: Vec<Vec<u64>> = (0..DOT_ROWS)
+        .map(|_| {
+            let codes: Vec<i32> = (0..DOT_LEN).map(|_| rng.gen_range(0..2)).collect();
+            let mut plane = vec![0u64; words];
+            pack_bitplanes(&codes, 1, &mut plane);
+            plane
+        })
+        .collect();
+    let act4: Vec<i32> = (0..DOT_LEN).map(|_| rng.gen_range(0..16)).collect();
+    let mut act_planes = vec![0u64; ACT_BITS as usize * words];
+    pack_bitplanes(&act4, ACT_BITS, &mut act_planes);
+    let act_sum: i64 = act4.iter().map(|&c| i64::from(c)).sum();
+    let nibble_rows: Vec<Vec<u8>> = (0..DOT_ROWS)
+        .map(|_| {
+            let levels: Vec<i32> = (0..DOT_LEN).map(|_| rng.gen_range(0..16)).collect();
+            let mut packed = vec![0u8; DOT_LEN.div_ceil(2)];
+            pack_nibbles(&levels, &mut packed);
+            packed
+        })
+        .collect();
+    let acts8: Vec<i32> = (0..DOT_LEN).map(|_| rng.gen_range(0..256)).collect();
+    let (gm, gn, gk) = (w1, batch_size * s1, w1 * 9); // the conv2 probe shape
+    let ga: Vec<f32> = (0..gm * gk).map(|_| rng.gen::<f32>() - 0.5).collect();
+    let gb: Vec<f32> = (0..gk * gn).map(|_| rng.gen::<f32>() - 0.5).collect();
+
+    let mut run_pop = || -> Vec<i64> {
+        sign_rows
+            .iter()
+            .map(|sign| sign_plane_dot(sign, &act_planes, ACT_BITS, act_sum))
+            .collect()
+    };
+    let mut run_nib = || -> Vec<i64> {
+        nibble_rows
+            .iter()
+            .map(|row| nibble_dot_i8(row, 15, &acts8))
+            .collect()
+    };
+
+    dispatch::set_numerics_mode(NumericsMode::BitExact);
+    dispatch::force_isa(Some(Isa::Scalar));
+    let mut sweep_scratch = Scratch::new();
+    let mut gemm_out = vec![0.0f32; gm * gn];
+    gemm_packed(
+        gm,
+        gn,
+        gk,
+        &ga,
+        gk,
+        1,
+        &gb,
+        gn,
+        1,
+        &mut gemm_out,
+        &mut sweep_scratch,
+    );
+    let (pop_ref, pop_scalar_s) = time_best(reps, &mut run_pop);
+    let (nib_ref, nib_scalar_s) = time_best(reps, &mut run_nib);
+    let (_, gemm_scalar_s) = time_best(reps, || {
+        gemm_packed(
+            gm,
+            gn,
+            gk,
+            &ga,
+            gk,
+            1,
+            &gb,
+            gn,
+            1,
+            &mut gemm_out,
+            &mut sweep_scratch,
+        );
+    });
+    let gemm_ref: Vec<u32> = gemm_out.iter().map(|v| v.to_bits()).collect();
+    let gemm_flop = 2.0 * gm as f64 * gn as f64 * gk as f64;
+
+    let mut isa_entries = Vec::new();
+    let mut best_pop = 1.0f64;
+    let mut best_nib = 1.0f64;
+    let mut any_vector = false;
+    for isa in Isa::ALL {
+        if !isa.is_available() {
+            eprintln!("isa {}: unavailable on this host", isa.name());
+            isa_entries.push(serde_json::json!({
+                "isa": isa.name(),
+                "isa_available": false,
+            }));
+            continue;
+        }
+        if isa != Isa::Scalar {
+            any_vector = true;
+        }
+        dispatch::force_isa(Some(isa));
+        let (pop_vals, pop_s, nib_vals, nib_s, gemm_s) = if isa == Isa::Scalar {
+            // The baseline above *is* the forced-scalar run; reuse it.
+            (
+                pop_ref.clone(),
+                pop_scalar_s,
+                nib_ref.clone(),
+                nib_scalar_s,
+                gemm_scalar_s,
+            )
+        } else {
+            let (p, ps) = time_best(reps, &mut run_pop);
+            let (nv, ns) = time_best(reps, &mut run_nib);
+            let (_, gs) = time_best(reps, || {
+                gemm_packed(
+                    gm,
+                    gn,
+                    gk,
+                    &ga,
+                    gk,
+                    1,
+                    &gb,
+                    gn,
+                    1,
+                    &mut gemm_out,
+                    &mut sweep_scratch,
+                );
+            });
+            (p, ps, nv, ns, gs)
+        };
+        let gemm_exact = gemm_out
+            .iter()
+            .zip(&gemm_ref)
+            .all(|(v, &r)| v.to_bits() == r);
+        let exact = pop_vals == pop_ref && nib_vals == nib_ref && gemm_exact;
+        all_exact &= exact;
+        // Fast mode may reassociate (FMA), so it is timed but never byte-gated.
+        dispatch::set_numerics_mode(NumericsMode::Fast);
+        let (_, gemm_fast_s) = time_best(reps, || {
+            gemm_packed(
+                gm,
+                gn,
+                gk,
+                &ga,
+                gk,
+                1,
+                &gb,
+                gn,
+                1,
+                &mut gemm_out,
+                &mut sweep_scratch,
+            );
+        });
+        dispatch::set_numerics_mode(NumericsMode::BitExact);
+        // Restore bit-exact bytes so the next ISA compares against the
+        // scalar reference, not a leftover fast-mode result.
+        gemm_packed(
+            gm,
+            gn,
+            gk,
+            &ga,
+            gk,
+            1,
+            &gb,
+            gn,
+            1,
+            &mut gemm_out,
+            &mut sweep_scratch,
+        );
+        let pop_speed = pop_scalar_s / pop_s.max(1e-12);
+        let nib_speed = nib_scalar_s / nib_s.max(1e-12);
+        let gemm_speed = gemm_scalar_s / gemm_s.max(1e-12);
+        if isa != Isa::Scalar {
+            best_pop = best_pop.max(pop_speed);
+            best_nib = best_nib.max(nib_speed);
+        }
+        eprintln!(
+            "isa {}: gemm {:.2} GFLOP/s (x{gemm_speed:.2} vs scalar, fast {:.2} GFLOP/s)  popcount x{pop_speed:.2}  nibble x{nib_speed:.2}  bit_exact {exact}",
+            isa.name(),
+            gemm_flop / gemm_s.max(1e-12) / 1e9,
+            gemm_flop / gemm_fast_s.max(1e-12) / 1e9,
+        );
+        isa_entries.push(serde_json::json!({
+            "isa": isa.name(),
+            "isa_available": true,
+            "gemm_gflops": gemm_flop / gemm_s.max(1e-12) / 1e9,
+            "gemm_fast_gflops": gemm_flop / gemm_fast_s.max(1e-12) / 1e9,
+            "gemm_speedup_vs_scalar": gemm_speed,
+            "popcount_speedup_vs_scalar": pop_speed,
+            "nibble_speedup_vs_scalar": nib_speed,
+            "bit_exact_vs_scalar": exact,
+        }));
+    }
+    dispatch::force_isa(None);
+
     let payload = serde_json::json!({
         "workload": "vgg_small/cifar10_like probe (200 images, batch 100)",
         "threads": threads,
@@ -388,6 +593,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "per_steady_state_probe": allocs_per_probe,
             "global_pool_misses": global_allocs,
         },
+        "isa": {
+            "active": dispatch::active_isa().name(),
+            "numerics": NumericsMode::BitExact.name(),
+            "vector_gate_applies": any_vector,
+            "sweep": isa_entries,
+        },
     });
     std::fs::create_dir_all("results")?;
     atomic_write_text(
@@ -402,6 +613,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     if allocs_per_probe != 0 {
         eprintln!("ALLOCATION GATE FAILED: {allocs_per_probe} pool misses in a steady-state probe");
+        std::process::exit(1);
+    }
+    if any_vector && (best_pop < 1.5 || best_nib < 1.5) {
+        eprintln!(
+            "VECTOR SPEEDUP GATE FAILED: best popcount x{best_pop:.2}, best nibble x{best_nib:.2} \
+             (need >= 1.5x over scalar on a vector host)"
+        );
         std::process::exit(1);
     }
     Ok(())

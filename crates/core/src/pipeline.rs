@@ -26,6 +26,7 @@ use cbq_quant::{
 };
 use cbq_resilience::{CheckpointStore, FaultPlan, LoadOutcome, RunMeta};
 use cbq_telemetry::{Level, Telemetry};
+use cbq_tensor::{dispatch, NumericsMode};
 use rand::Rng;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -61,6 +62,14 @@ pub struct CqConfig {
     /// [`Parallelism::auto`] produce byte-identical reports and
     /// checkpoints; only wall-clock differs.
     pub parallelism: Parallelism,
+    /// Floating-point numerics contract for the dispatched SIMD kernels.
+    /// [`NumericsMode::BitExact`] (the default) requires every ISA arm to
+    /// reproduce scalar bytes; [`NumericsMode::Fast`] permits FMA and
+    /// reassociation and is intended for benchmarking only. Installed
+    /// process-wide at the start of [`CqPipeline::run`]. Defaults to the
+    /// process mode, so `CBQ_NUMERICS=fast` in the environment is honored
+    /// unless a config overrides it explicitly.
+    pub numerics: NumericsMode,
 }
 
 impl CqConfig {
@@ -88,6 +97,7 @@ impl CqConfig {
             eval_batch: 200,
             calibration_samples: 200,
             parallelism: Parallelism::auto(),
+            numerics: dispatch::numerics_mode(),
         }
     }
 
@@ -266,6 +276,9 @@ impl CqPipeline {
         let fault = &self.fault;
         let par = self.config.parallelism;
         tel.gauge("parallelism.workers", par.threads() as f64);
+        dispatch::set_numerics_mode(self.config.numerics);
+        tel.gauge("kernels.isa", dispatch::active_isa().gauge_value());
+        tel.gauge("kernels.numerics", self.config.numerics.gauge_value());
         if let Some(store) = store.as_ref() {
             if self.resume {
                 if let Some(meta) = store.load_meta() {

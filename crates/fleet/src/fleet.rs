@@ -34,6 +34,7 @@ use cbq_serve::{
     ServerConfig, SystemClock,
 };
 use cbq_telemetry::Telemetry;
+use cbq_tensor::dispatch;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -217,6 +218,10 @@ impl Fleet {
             )?));
         }
         telemetry.gauge("fleet.replicas", config.replicas as f64);
+        // The replicas' servers pinned bit-exact numerics on start; echo
+        // the fleet-wide dispatch resolution once at the fleet level.
+        telemetry.gauge("kernels.isa", dispatch::active_isa().gauge_value());
+        telemetry.gauge("kernels.numerics", dispatch::numerics_mode().gauge_value());
         Ok(Fleet {
             registry,
             replicas,

@@ -57,7 +57,7 @@ pub use bitwidth::BitWidth;
 pub use error::QuantError;
 pub use integer::{codes_to_levels, levels_to_codes, IntActivations, IntegerConv2d, IntegerLinear};
 pub use integer_net::IntegerNet;
-pub use packed::{PackedIntegerLinear, PackedIntegerNet, PackedModelCodes};
+pub use packed::{kernel_isa, PackedIntegerLinear, PackedIntegerNet, PackedModelCodes};
 pub use quantizer::UniformQuantizer;
 pub use report::quant_state_report;
 pub use transforms::{

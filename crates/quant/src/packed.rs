@@ -29,6 +29,18 @@
 //! per-addition wrap — the modular-arithmetic identity pinned by
 //! `prop_wrap_parity` in `crates/quant/tests/proptest_integer.rs`. Packed
 //! logits are therefore byte-equal to wide logits, not merely close.
+//!
+//! # SIMD dispatch
+//!
+//! The kernels this module calls ([`sign_plane_dot`], [`nibble_dot_i8`],
+//! [`gemm_packed`]) dispatch internally through
+//! [`cbq_tensor::dispatch`] to the widest instruction set the host
+//! supports (AVX-512, AVX2+FMA, NEON, or scalar). Because the integer
+//! kernels compute exact associative sums, every ISA arm returns the same
+//! bytes — the bit-identity argument above is ISA-independent, and the
+//! differential tests in `crates/tensor/tests/proptest_packed.rs` pin it
+//! per ISA. [`kernel_isa`] reports which arm this process resolved to so
+//! serving and fleet stats can surface it.
 
 use crate::integer::{codes_to_levels, levels_to_codes};
 use crate::integer_net::Stage;
@@ -42,6 +54,17 @@ use cbq_tensor::kernels::{
     sign_plane_dot, unpack_bitplanes, unpack_nibbles,
 };
 use cbq_tensor::{Scratch, Tensor};
+
+/// The instruction set the packed kernels dispatch to in this process
+/// (`"avx512"`, `"avx2+fma"`, `"neon"`, or `"scalar"`), resolved once by
+/// the tensor dispatch layer from host capabilities and `CBQ_FORCE_ISA`.
+///
+/// Surfaced here so registry, serving, and fleet stat paths can report
+/// the execution ISA alongside packed-model checksums without reaching
+/// into `cbq-tensor` internals.
+pub fn kernel_isa() -> &'static str {
+    cbq_tensor::dispatch::active_isa().name()
+}
 
 /// Packed storage for one filter row.
 #[derive(Debug, Clone, PartialEq)]

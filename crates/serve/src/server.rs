@@ -30,6 +30,7 @@ use crate::registry::{Engine, LoadedModel, ModelHandle, ModelRegistry};
 use crate::scheduler::{Batch, BatchPolicy, BatchScheduler, Pending};
 use cbq_resilience::{atomic_write_text, ByteWriter};
 use cbq_telemetry::{ClassWindow, DriftDetector, DriftReport, Histogram, Telemetry, WindowSet};
+use cbq_tensor::dispatch::{self, NumericsMode};
 use cbq_tensor::{parallel, Scratch};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -190,6 +191,14 @@ pub struct ServeStats {
     pub steady_pool_misses: u64,
     /// Total fresh allocations including the expected warm-up misses.
     pub total_pool_misses: u64,
+    /// Instruction set the kernels dispatched to (`"avx512"`,
+    /// `"avx2+fma"`, `"neon"`, or `"scalar"`). Empty only for
+    /// [`ServeStats::empty`] before any merge.
+    pub kernel_isa: String,
+    /// Numerics contract in force while serving — always `"bit-exact"`:
+    /// [`Server::start_observed`] pins [`NumericsMode::BitExact`] so
+    /// served logits are reproducible across hosts and ISAs.
+    pub numerics: String,
 }
 
 impl ServeStats {
@@ -214,6 +223,8 @@ impl ServeStats {
             snapshot_writes: 0,
             steady_pool_misses: 0,
             total_pool_misses: 0,
+            kernel_isa: String::new(),
+            numerics: String::new(),
         }
     }
 
@@ -244,6 +255,14 @@ impl ServeStats {
         self.snapshot_writes += other.snapshot_writes;
         self.steady_pool_misses += other.steady_pool_misses;
         self.total_pool_misses += other.total_pool_misses;
+        // One process, one dispatch resolution: every replica reports the
+        // same ISA and mode, so adopt the first non-empty value.
+        if self.kernel_isa.is_empty() {
+            self.kernel_isa = other.kernel_isa.clone();
+        }
+        if self.numerics.is_empty() {
+            self.numerics = other.numerics.clone();
+        }
     }
 }
 
@@ -465,6 +484,12 @@ impl Server {
             );
         }
         telemetry.gauge("serve.workers", workers as f64);
+        // Serving pins bit-exact numerics: logits, traces, and replay
+        // logs must be byte-identical across hosts regardless of which
+        // ISA the kernels dispatch to. Fast mode is bench-only.
+        dispatch::set_numerics_mode(NumericsMode::BitExact);
+        telemetry.gauge("kernels.isa", dispatch::active_isa().gauge_value());
+        telemetry.gauge("kernels.numerics", NumericsMode::BitExact.gauge_value());
         Ok(Server {
             scheduler,
             registry,
@@ -637,6 +662,8 @@ impl Server {
         self.scheduler.drain();
         let mut stats = ServeStats {
             workers: self.workers,
+            kernel_isa: dispatch::active_isa().name().to_string(),
+            numerics: dispatch::numerics_mode().name().to_string(),
             ..ServeStats::empty()
         };
         for handle in std::mem::take(&mut self.handles) {

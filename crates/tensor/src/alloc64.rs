@@ -1,0 +1,140 @@
+//! 64-byte-aligned heap allocations for vector loads.
+//!
+//! The SIMD kernel arms stream f32/i32/u64 buffers with 256/512-bit loads,
+//! and the [`crate::scratch::Scratch`] arena promises the buffers it hands
+//! out start on a 64-byte boundary (one cache line, the widest vector
+//! register). `Vec<T>`'s own allocation only guarantees `align_of::<T>()`,
+//! and a `Vec` cannot soundly be built over a differently-aligned raw
+//! allocation — `Vec`'s destructor deallocates with `T`'s alignment, and the
+//! allocator contract requires dealloc to see the same layout as alloc.
+//!
+//! So the alignment is provided one level down: a global allocator that
+//! *promotes* every allocation of [`PROMOTED_SIZE`] bytes or more to
+//! [`PROMOTED_ALIGN`]. The promotion is a pure function of the requested
+//! layout, so alloc and dealloc always agree on the promoted layout and the
+//! contract holds. Small allocations (under one cache line) pass through
+//! untouched; `realloc` across the promotion threshold moves the block
+//! manually so both sides of the move see their own consistent layout.
+//!
+//! The arena completes the picture by rounding its buffer capacities up to
+//! at least one promoted allocation, making every pooled buffer 64-byte
+//! aligned by construction.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+
+/// Alignment promoted allocations receive: one cache line, and enough for a
+/// 512-bit vector load.
+pub const PROMOTED_ALIGN: usize = 64;
+
+/// Minimum allocation size (bytes) that gets promoted. Below this the
+/// request passes through unchanged, so tiny allocations keep their natural
+/// layout and cost.
+pub const PROMOTED_SIZE: usize = 64;
+
+/// Promotes `layout` to [`PROMOTED_ALIGN`] when it is large enough and not
+/// already at least that aligned. Pure in `layout`, so every call for the
+/// same layout yields the same answer — the soundness hinge.
+#[inline]
+fn promote(layout: Layout) -> Layout {
+    if layout.size() >= PROMOTED_SIZE && layout.align() < PROMOTED_ALIGN {
+        // Size is unchanged and already >= the new align's floor, so this
+        // cannot fail for any layout the allocator accepted.
+        Layout::from_size_align(layout.size(), PROMOTED_ALIGN).expect("promoted layout")
+    } else {
+        layout
+    }
+}
+
+/// The promoting allocator wrapped around [`System`].
+pub struct Align64Alloc;
+
+// SAFETY: every path delegates to `System` with `promote(layout)`, and
+// `promote` is deterministic, so a block allocated with a promoted layout is
+// always deallocated with the identical promoted layout. `realloc` only
+// delegates to `System::realloc` when old and new promoted layouts share an
+// alignment; otherwise it moves the block with a fresh alloc/copy/dealloc,
+// keeping each block's alloc/dealloc layouts paired.
+unsafe impl GlobalAlloc for Align64Alloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        System.alloc(promote(layout))
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        System.alloc_zeroed(promote(layout))
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, promote(layout))
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let old = promote(layout);
+        let Ok(requested) = Layout::from_size_align(new_size, layout.align()) else {
+            return std::ptr::null_mut();
+        };
+        let new = promote(requested);
+        if old.align() == new.align() {
+            System.realloc(ptr, old, new_size)
+        } else {
+            // Growing past (or shrinking under) the promotion threshold
+            // changes the alignment class: move manually so the old block is
+            // freed with its alloc layout and the new one starts clean.
+            let fresh = System.alloc(new);
+            if !fresh.is_null() {
+                std::ptr::copy_nonoverlapping(ptr, fresh, layout.size().min(new_size));
+                System.dealloc(ptr, old);
+            }
+            fresh
+        }
+    }
+}
+
+/// Installed for every binary that links `cbq-tensor` — the whole workspace.
+#[global_allocator]
+static GLOBAL: Align64Alloc = Align64Alloc;
+
+/// Whether `ptr` sits on a [`PROMOTED_ALIGN`] boundary — the check the
+/// scratch arena and its tests use.
+pub fn is_aligned_64<T>(ptr: *const T) -> bool {
+    (ptr as usize).is_multiple_of(PROMOTED_ALIGN)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn large_vecs_are_64_byte_aligned() {
+        for len in [16usize, 17, 100, 1024, 100_000] {
+            let v = vec![0.0f32; len];
+            assert!(is_aligned_64(v.as_ptr()), "f32 len={len}");
+            let v = vec![0u64; len];
+            assert!(is_aligned_64(v.as_ptr()), "u64 len={len}");
+            let v = vec![0u8; len.max(PROMOTED_SIZE)];
+            assert!(is_aligned_64(v.as_ptr()), "u8 len={len}");
+        }
+    }
+
+    #[test]
+    fn growth_across_the_promotion_threshold_preserves_contents() {
+        let mut v: Vec<u8> = Vec::with_capacity(8);
+        for i in 0..200u8 {
+            v.push(i);
+        }
+        assert!(is_aligned_64(v.as_ptr()), "grown past one cache line");
+        assert!(v.iter().enumerate().all(|(i, &b)| b == i as u8));
+        v.truncate(4);
+        v.shrink_to_fit();
+        assert_eq!(v, &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn boxed_slices_and_strings_round_trip() {
+        let b: Box<[f32]> = vec![1.0f32; 64].into_boxed_slice();
+        assert!(is_aligned_64(b.as_ptr()));
+        let s = "x".repeat(500);
+        assert_eq!(s.len(), 500);
+        drop(s);
+        drop(b);
+    }
+}

@@ -1,0 +1,453 @@
+//! Runtime SIMD ISA dispatch for the compute kernels.
+//!
+//! The packed GEMM micro-kernel and the low-bit integer dots in
+//! [`crate::kernels`] each ship several implementations: a scalar reference
+//! plus vector arms per instruction set. This module decides, once per
+//! process, which arm runs:
+//!
+//! * [`Isa`] names the supported instruction sets in ladder order
+//!   (`Avx512` > `Avx2Fma` > `Neon` > `Scalar`). [`Isa::detect`] probes the
+//!   host with `is_x86_feature_detected!` / `is_aarch64_feature_detected!`
+//!   and picks the highest available rung.
+//! * The `CBQ_FORCE_ISA` environment variable (`avx512`, `avx2`, `neon`,
+//!   `scalar`) overrides detection — the hook the forced-ISA test matrix and
+//!   the CI `simd-dispatch` job use. Forcing an ISA the host lacks clamps to
+//!   `Scalar` (never silently upgrades), so a matrix sweep is safe on any
+//!   runner. In-process tests and benches use [`force_isa`] instead of
+//!   re-reading the environment.
+//! * [`SimdOp`] is the dispatch seam: a kernel is a struct holding its
+//!   operands, with one method per ISA arm. Arms default *down* the ladder
+//!   (`avx512 → avx2_fma → scalar`, `neon → scalar`), so an op only
+//!   overrides the arms it actually specializes, and an arm is only ever
+//!   invoked when [`active_isa`] proved the features present at runtime.
+//!
+//! # Determinism contract: [`NumericsMode`]
+//!
+//! `BitExact` (the default) requires every dispatched arm to reproduce the
+//! scalar kernel's output bytes. For the float GEMM this works because the
+//! micro-kernel keeps one accumulator per output element and folds k in
+//! ascending order; a vector arm that keeps one *lane* per output element
+//! and uses separate multiply + add instructions runs the identical
+//! per-element fold, just eight elements at a time — same rounding at every
+//! step, same bytes. `Fast` lifts that constraint (FMA contraction,
+//! reassociation) for peak throughput; it is bench-only and never enabled by
+//! the serving path. The integer kernels (popcount, nibble MAC) compute an
+//! exact integer sum whose value is independent of grouping, so they run
+//! vectorized in both modes.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Instruction sets the kernels can dispatch to, in ladder order (widest
+/// first). `Avx2Fma` and `Avx512` exist on `x86_64`, `Neon` on `aarch64`;
+/// `Scalar` is the portable reference and is always available.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Isa {
+    /// AVX-512 (requires F, BW, DQ and VL; the popcount arm additionally
+    /// probes VPOPCNTDQ via [`has_vpopcntdq`] and falls back to the AVX2
+    /// arm without it).
+    Avx512,
+    /// AVX2 plus FMA.
+    Avx2Fma,
+    /// AArch64 Advanced SIMD.
+    Neon,
+    /// Portable scalar reference — the byte-level ground truth.
+    Scalar,
+}
+
+impl Isa {
+    /// Every ISA, widest first — the probe order of [`Isa::detect`] and the
+    /// candidate list benches iterate when reporting per-ISA results.
+    pub const ALL: [Isa; 4] = [Isa::Avx512, Isa::Avx2Fma, Isa::Neon, Isa::Scalar];
+
+    /// Stable lower-case name used in banners, stats and bench JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Isa::Avx512 => "avx512",
+            Isa::Avx2Fma => "avx2+fma",
+            Isa::Neon => "neon",
+            Isa::Scalar => "scalar",
+        }
+    }
+
+    /// Parses a `CBQ_FORCE_ISA` token. Accepts the canonical names plus the
+    /// obvious aliases; returns `None` for anything else.
+    pub fn parse(s: &str) -> Option<Isa> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "avx512" | "avx-512" => Some(Isa::Avx512),
+            "avx2" | "avx2+fma" | "avx2fma" => Some(Isa::Avx2Fma),
+            "neon" => Some(Isa::Neon),
+            "scalar" | "none" => Some(Isa::Scalar),
+            _ => None,
+        }
+    }
+
+    /// Whether the running host can execute this ISA's arms. Checked with
+    /// the std runtime feature probes, so a binary compiled for a generic
+    /// target still uses the widest ISA the actual CPU has.
+    pub fn is_available(self) -> bool {
+        match self {
+            Isa::Scalar => true,
+            Isa::Avx512 => {
+                #[cfg(target_arch = "x86_64")]
+                {
+                    std::arch::is_x86_feature_detected!("avx512f")
+                        && std::arch::is_x86_feature_detected!("avx512bw")
+                        && std::arch::is_x86_feature_detected!("avx512dq")
+                        && std::arch::is_x86_feature_detected!("avx512vl")
+                }
+                #[cfg(not(target_arch = "x86_64"))]
+                {
+                    false
+                }
+            }
+            Isa::Avx2Fma => {
+                #[cfg(target_arch = "x86_64")]
+                {
+                    std::arch::is_x86_feature_detected!("avx2")
+                        && std::arch::is_x86_feature_detected!("fma")
+                }
+                #[cfg(not(target_arch = "x86_64"))]
+                {
+                    false
+                }
+            }
+            Isa::Neon => {
+                #[cfg(target_arch = "aarch64")]
+                {
+                    std::arch::is_aarch64_feature_detected!("neon")
+                }
+                #[cfg(not(target_arch = "aarch64"))]
+                {
+                    false
+                }
+            }
+        }
+    }
+
+    /// The widest ISA available on this host.
+    pub fn detect() -> Isa {
+        *Isa::ALL
+            .iter()
+            .find(|isa| isa.is_available())
+            .unwrap_or(&Isa::Scalar)
+    }
+
+    /// All ISAs available on this host, widest first (always ends with
+    /// `Scalar`) — what the forced-ISA test matrices sweep.
+    pub fn available() -> Vec<Isa> {
+        Isa::ALL
+            .iter()
+            .copied()
+            .filter(|isa| isa.is_available())
+            .collect()
+    }
+
+    /// Numeric encoding for the `kernels.isa` telemetry gauge: ladder rung
+    /// from 0 (`Scalar`) to 3 (`Avx512`). Gauges carry `f64`, so the ISA is
+    /// reported as its rung rather than a string.
+    pub fn gauge_value(self) -> f64 {
+        match self {
+            Isa::Scalar => 0.0,
+            Isa::Neon => 1.0,
+            Isa::Avx2Fma => 2.0,
+            Isa::Avx512 => 3.0,
+        }
+    }
+}
+
+/// Whether the host has AVX-512 VPOPCNTDQ (Ice Lake+). The AVX-512 popcount
+/// arm uses it when present and falls back to the AVX2 lookup-table popcount
+/// otherwise; GEMM and nibble arms don't need it.
+pub fn has_vpopcntdq() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx512vpopcntdq")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+const ISA_UNSET: u8 = u8::MAX;
+
+/// The process-wide active ISA. `ISA_UNSET` until the first [`active_isa`]
+/// call resolves `CBQ_FORCE_ISA` / detection, or a [`force_isa`] call pins
+/// it explicitly.
+static ACTIVE_ISA: AtomicU8 = AtomicU8::new(ISA_UNSET);
+
+fn encode_isa(isa: Isa) -> u8 {
+    match isa {
+        Isa::Scalar => 0,
+        Isa::Neon => 1,
+        Isa::Avx2Fma => 2,
+        Isa::Avx512 => 3,
+    }
+}
+
+fn decode_isa(v: u8) -> Isa {
+    match v {
+        1 => Isa::Neon,
+        2 => Isa::Avx2Fma,
+        3 => Isa::Avx512,
+        _ => Isa::Scalar,
+    }
+}
+
+/// Resolves the startup ISA: `CBQ_FORCE_ISA` if set (clamped to `Scalar`
+/// when the named ISA is unavailable on this host), detection otherwise.
+fn isa_from_env() -> Isa {
+    match std::env::var("CBQ_FORCE_ISA") {
+        Ok(s) if !s.trim().is_empty() => match Isa::parse(&s) {
+            Some(isa) if isa.is_available() => isa,
+            Some(_) => Isa::Scalar,
+            None => {
+                eprintln!("cbq: ignoring unknown CBQ_FORCE_ISA value {s:?}; using detected ISA");
+                Isa::detect()
+            }
+        },
+        _ => Isa::detect(),
+    }
+}
+
+/// The ISA every dispatched kernel runs on. Resolved once (environment
+/// override, then detection) and cached; the steady-state cost is a single
+/// relaxed atomic load per kernel call.
+pub fn active_isa() -> Isa {
+    let v = ACTIVE_ISA.load(Ordering::Relaxed);
+    if v != ISA_UNSET {
+        return decode_isa(v);
+    }
+    let isa = isa_from_env();
+    ACTIVE_ISA.store(encode_isa(isa), Ordering::Relaxed);
+    isa
+}
+
+/// Pins the active ISA for this process — the in-process override the
+/// forced-ISA test matrices and the per-ISA bench arms use (sweeping the
+/// environment variable would need one process per ISA). `Some(isa)` clamps
+/// to `Scalar` if the host lacks `isa`; `None` re-resolves from
+/// `CBQ_FORCE_ISA` / detection. Returns the ISA that is now active.
+pub fn force_isa(isa: Option<Isa>) -> Isa {
+    let resolved = match isa {
+        Some(i) if i.is_available() => i,
+        Some(_) => Isa::Scalar,
+        None => isa_from_env(),
+    };
+    ACTIVE_ISA.store(encode_isa(resolved), Ordering::Relaxed);
+    resolved
+}
+
+/// Float-accumulation policy for the dispatched GEMM micro-kernel.
+///
+/// The integer kernels ignore this: their sums are exact at any grouping, so
+/// they vectorize in both modes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case")]
+pub enum NumericsMode {
+    /// Every dispatched arm must reproduce the scalar kernel's bytes:
+    /// separate multiply + add, ascending-k fold, one accumulator chain per
+    /// output element. The default, and the only mode the serving path runs.
+    #[default]
+    BitExact,
+    /// Vector arms may contract to FMA and reassociate the k fold for peak
+    /// throughput. Results are deterministic for a fixed build + ISA but are
+    /// *not* byte-comparable to scalar — bench-only.
+    Fast,
+}
+
+impl NumericsMode {
+    /// Stable name used in banners, stats and bench JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            NumericsMode::BitExact => "bit-exact",
+            NumericsMode::Fast => "fast",
+        }
+    }
+
+    /// Parses a `CBQ_NUMERICS` token.
+    pub fn parse(s: &str) -> Option<NumericsMode> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "bit-exact" | "bitexact" | "exact" => Some(NumericsMode::BitExact),
+            "fast" => Some(NumericsMode::Fast),
+            _ => None,
+        }
+    }
+
+    /// Numeric encoding for the `kernels.numerics` telemetry gauge.
+    pub fn gauge_value(self) -> f64 {
+        match self {
+            NumericsMode::BitExact => 0.0,
+            NumericsMode::Fast => 1.0,
+        }
+    }
+}
+
+const NUMERICS_UNSET: u8 = u8::MAX;
+
+static NUMERICS: AtomicU8 = AtomicU8::new(NUMERICS_UNSET);
+
+/// The active float-accumulation policy: `CBQ_NUMERICS` on first read
+/// (defaulting to `BitExact`), until [`set_numerics_mode`] overrides it.
+pub fn numerics_mode() -> NumericsMode {
+    match NUMERICS.load(Ordering::Relaxed) {
+        0 => NumericsMode::BitExact,
+        1 => NumericsMode::Fast,
+        _ => {
+            let mode = std::env::var("CBQ_NUMERICS")
+                .ok()
+                .and_then(|s| NumericsMode::parse(&s))
+                .unwrap_or_default();
+            NUMERICS.store(mode.gauge_value() as u8, Ordering::Relaxed);
+            mode
+        }
+    }
+}
+
+/// Sets the process-wide numerics mode. The pipeline applies
+/// `CqConfig.numerics` here at run start; the serving path pins `BitExact`
+/// before loading models (serving never reassociates).
+pub fn set_numerics_mode(mode: NumericsMode) {
+    NUMERICS.store(mode.gauge_value() as u8, Ordering::Relaxed);
+}
+
+/// A kernel with per-ISA specializations — the dispatch seam.
+///
+/// Implementors are operand-holding structs; each ISA arm consumes the op.
+/// Default arms delegate down the ladder (`avx512 → avx2_fma → scalar`,
+/// `neon → scalar`), which is always sound: every AVX-512-capable host also
+/// executes AVX2+FMA, and `scalar` runs anywhere. [`SimdOp::run`] is the
+/// only place an arm is selected, and callers pass it an ISA obtained from
+/// [`active_isa`] / [`force_isa`], both of which verify availability — the
+/// invariant that makes the `unsafe { target_feature }` calls inside the
+/// arms sound.
+pub trait SimdOp {
+    /// The kernel's result type.
+    type Output;
+
+    /// Portable reference arm; in `BitExact` mode every other arm must
+    /// reproduce its bytes.
+    fn scalar(self) -> Self::Output;
+
+    /// AVX2+FMA arm.
+    fn avx2_fma(self) -> Self::Output
+    where
+        Self: Sized,
+    {
+        self.scalar()
+    }
+
+    /// AVX-512 arm. Defaults to the AVX2+FMA arm: any host that can run
+    /// AVX-512 can run AVX2+FMA.
+    fn avx512(self) -> Self::Output
+    where
+        Self: Sized,
+    {
+        self.avx2_fma()
+    }
+
+    /// AArch64 NEON arm.
+    fn neon(self) -> Self::Output
+    where
+        Self: Sized,
+    {
+        self.scalar()
+    }
+
+    /// Runs the arm for `isa`. `isa` must come from [`active_isa`] /
+    /// [`force_isa`] (or otherwise be verified available on this host).
+    fn run(self, isa: Isa) -> Self::Output
+    where
+        Self: Sized,
+    {
+        debug_assert!(isa.is_available(), "dispatching to unavailable ISA");
+        match isa {
+            Isa::Avx512 => self.avx512(),
+            Isa::Avx2Fma => self.avx2_fma(),
+            Isa::Neon => self.neon(),
+            Isa::Scalar => self.scalar(),
+        }
+    }
+
+    /// Runs the arm for the process-wide [`active_isa`].
+    fn dispatch(self) -> Self::Output
+    where
+        Self: Sized,
+    {
+        self.run(active_isa())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_is_always_available_and_detect_returns_available() {
+        assert!(Isa::Scalar.is_available());
+        assert!(Isa::detect().is_available());
+        let avail = Isa::available();
+        assert_eq!(avail.last(), Some(&Isa::Scalar), "scalar closes the ladder");
+        assert!(avail.contains(&Isa::detect()));
+    }
+
+    #[test]
+    fn parse_round_trips_canonical_names() {
+        for isa in Isa::ALL {
+            assert_eq!(Isa::parse(isa.name()), Some(isa));
+        }
+        assert_eq!(Isa::parse("AVX2"), Some(Isa::Avx2Fma));
+        assert_eq!(Isa::parse("riscv-v"), None);
+        for mode in [NumericsMode::BitExact, NumericsMode::Fast] {
+            assert_eq!(NumericsMode::parse(mode.name()), Some(mode));
+        }
+    }
+
+    #[test]
+    fn force_isa_pins_and_clamps() {
+        let prev = active_isa();
+        assert_eq!(force_isa(Some(Isa::Scalar)), Isa::Scalar);
+        assert_eq!(active_isa(), Isa::Scalar);
+        // Forcing an unavailable ISA must clamp to scalar, never upgrade.
+        let unavailable = Isa::ALL.iter().copied().find(|i| !i.is_available());
+        if let Some(isa) = unavailable {
+            assert_eq!(force_isa(Some(isa)), Isa::Scalar);
+        }
+        force_isa(None);
+        // Restore whatever the process had (other tests may run after us).
+        force_isa(Some(prev));
+        force_isa(None);
+    }
+
+    #[test]
+    fn numerics_defaults_to_bit_exact_and_set_overrides() {
+        set_numerics_mode(NumericsMode::BitExact);
+        assert_eq!(numerics_mode(), NumericsMode::BitExact);
+        set_numerics_mode(NumericsMode::Fast);
+        assert_eq!(numerics_mode(), NumericsMode::Fast);
+        set_numerics_mode(NumericsMode::BitExact);
+    }
+
+    #[test]
+    fn gauge_values_follow_the_ladder() {
+        assert!(Isa::Avx512.gauge_value() > Isa::Avx2Fma.gauge_value());
+        assert!(Isa::Avx2Fma.gauge_value() > Isa::Neon.gauge_value());
+        assert!(Isa::Neon.gauge_value() > Isa::Scalar.gauge_value());
+    }
+
+    struct Probe;
+    impl SimdOp for Probe {
+        type Output = &'static str;
+        fn scalar(self) -> &'static str {
+            "scalar"
+        }
+    }
+
+    #[test]
+    fn simd_op_defaults_fall_down_the_ladder() {
+        for isa in Isa::available() {
+            assert_eq!(Probe.run(isa), "scalar", "default arms delegate to scalar");
+        }
+    }
+}

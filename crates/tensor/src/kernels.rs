@@ -26,7 +26,19 @@
 //! proptests and the bench gate. Zero-padded pack lanes can produce
 //! `0 · NaN = NaN` only in accumulator lanes that lie outside the matrix
 //! and are discarded on store.
+//!
+//! # SIMD dispatch
+//!
+//! The micro-kernel and the integer dots are [`SimdOp`]s: each has a scalar
+//! reference arm plus AVX2+FMA / AVX-512 / NEON arms selected at runtime by
+//! [`crate::dispatch::active_isa`]. In `BitExact` mode (the default) the
+//! vector GEMM arms keep one *lane* per output element and use separate
+//! multiply + add instructions, so every element still runs the scalar
+//! ascending-k fold and the bytes match; `Fast` mode lets them contract to
+//! FMA (bench-only). The integer arms are exact at any grouping, so they
+//! vectorize in both modes.
 
+use crate::dispatch::{self, NumericsMode, SimdOp};
 use crate::parallel::{parallel_for, worker_count};
 use crate::scratch::Scratch;
 
@@ -118,41 +130,86 @@ fn pack_b(b: &[f32], b_rs: usize, b_cs: usize, n: usize, k0: usize, kc: usize, p
     }
 }
 
-/// Computes one MR×NR output tile for one k chunk: loads the live C lanes,
-/// folds `kc` steps in ascending order with one accumulator per element,
-/// and stores the live lanes back.
-#[inline]
-#[allow(clippy::too_many_arguments)]
-fn micro_kernel(
+/// One MR×NR micro-tile update for one k chunk, as a dispatched [`SimdOp`]:
+/// load the live C lanes, fold `kc` steps in ascending order with one
+/// accumulator (chain) per element, store the live lanes back.
+///
+/// Every arm stages the live C region into a zero-padded MR×NR stack tile
+/// first and copies the live region back out at the end — exact f32 moves,
+/// so staging never perturbs bytes. In `BitExact` mode the vector arms issue
+/// separate multiply + add instructions; each output element's accumulator
+/// is a fixed vector lane, so its rounding sequence is identical to the
+/// scalar arm's. `fast` permits FMA contraction instead (bench-only).
+struct MicroTile<'a> {
     kc: usize,
-    a_tile: &[f32],
-    b_tile: &[f32],
-    c_rows: &mut [f32],
+    a_tile: &'a [f32],
+    b_tile: &'a [f32],
+    c_rows: &'a mut [f32],
     n: usize,
     j0: usize,
     rows: usize,
     cols: usize,
-) {
-    let mut acc = [[0.0f32; NR]; MR];
-    for (r, acc_row) in acc.iter_mut().enumerate().take(rows) {
-        let row = &c_rows[r * n + j0..r * n + j0 + cols];
-        acc_row[..cols].copy_from_slice(row);
+    fast: bool,
+}
+
+impl MicroTile<'_> {
+    /// Copies the live C lanes into a zero-padded stack tile.
+    #[inline]
+    fn load_tile(&self) -> [[f32; NR]; MR] {
+        let mut tile = [[0.0f32; NR]; MR];
+        for (r, tile_row) in tile.iter_mut().enumerate().take(self.rows) {
+            let row = &self.c_rows[r * self.n + self.j0..r * self.n + self.j0 + self.cols];
+            tile_row[..self.cols].copy_from_slice(row);
+        }
+        tile
     }
-    for p in 0..kc {
-        let ab = &a_tile[p * MR..p * MR + MR];
-        let bb = &b_tile[p * NR..p * NR + NR];
-        for (r, acc_row) in acc.iter_mut().enumerate() {
-            let ar = ab[r];
-            for (c, slot) in acc_row.iter_mut().enumerate() {
-                // One mul, one add — Rust never contracts these into an FMA,
-                // so the sequence matches the naive fold exactly.
-                *slot += ar * bb[c];
-            }
+
+    /// Copies the live lanes of the computed tile back into C.
+    #[inline]
+    fn store_tile(&mut self, tile: &[[f32; NR]; MR]) {
+        for (r, tile_row) in tile.iter().enumerate().take(self.rows) {
+            let row = &mut self.c_rows[r * self.n + self.j0..r * self.n + self.j0 + self.cols];
+            row.copy_from_slice(&tile_row[..self.cols]);
         }
     }
-    for (r, acc_row) in acc.iter().enumerate().take(rows) {
-        let row = &mut c_rows[r * n + j0..r * n + j0 + cols];
-        row.copy_from_slice(&acc_row[..cols]);
+}
+
+impl SimdOp for MicroTile<'_> {
+    type Output = ();
+
+    fn scalar(mut self) {
+        let mut acc = self.load_tile();
+        for p in 0..self.kc {
+            let ab = &self.a_tile[p * MR..p * MR + MR];
+            let bb = &self.b_tile[p * NR..p * NR + NR];
+            for (r, acc_row) in acc.iter_mut().enumerate() {
+                let ar = ab[r];
+                for (c, slot) in acc_row.iter_mut().enumerate() {
+                    // One mul, one add — Rust never contracts these into an
+                    // FMA, so the sequence matches the naive fold exactly.
+                    *slot += ar * bb[c];
+                }
+            }
+        }
+        self.store_tile(&acc);
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    fn avx2_fma(self) {
+        // SAFETY: dispatched only when `Isa::Avx2Fma` probed available.
+        unsafe { x86::micro_tile_avx2(self) }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    fn avx512(self) {
+        // SAFETY: dispatched only when `Isa::Avx512` probed available.
+        unsafe { x86::micro_tile_avx512(self) }
+    }
+
+    #[cfg(target_arch = "aarch64")]
+    fn neon(self) {
+        // SAFETY: dispatched only when `Isa::Neon` probed available.
+        unsafe { neon::micro_tile_neon(self) }
     }
 }
 
@@ -182,6 +239,10 @@ pub fn gemm_packed(
     if m == 0 || n == 0 || k == 0 {
         return;
     }
+    // Resolve the dispatch decision once per GEMM call; every tile of every
+    // k chunk then runs the same arm (a mid-call mode flip cannot mix arms).
+    let isa = dispatch::active_isa();
+    let fast = dispatch::numerics_mode() == NumericsMode::Fast;
     let row_tiles = m.div_ceil(MR);
     let col_tiles = n.div_ceil(NR);
     let kc_max = KC.min(k);
@@ -202,7 +263,18 @@ pub fn gemm_packed(
                 let j0 = ct * NR;
                 let cols = NR.min(n - j0);
                 let b_tile = &b_pack[ct * kc * NR..(ct + 1) * kc * NR];
-                micro_kernel(kc, a_tile, b_tile, c_rows, n, j0, rows, cols);
+                MicroTile {
+                    kc,
+                    a_tile,
+                    b_tile,
+                    c_rows,
+                    n,
+                    j0,
+                    rows,
+                    cols,
+                    fast,
+                }
+                .run(isa);
             }
         };
         if worker_count() <= 1 || row_tiles <= 1 || m * n * k < PARALLEL_FLOP_CUTOFF {
@@ -338,13 +410,100 @@ pub fn xnor_popcount_dot(w_sign: &[u64], x_sign: &[u64], live: &[u64]) -> i64 {
         w_sign.len() == x_sign.len() && x_sign.len() == live.len(),
         "operand plane length mismatch"
     );
-    let mut agree = 0u64;
-    let mut lanes = 0u64;
-    for ((&w, &x), &m) in w_sign.iter().zip(x_sign).zip(live) {
-        agree += (!(w ^ x) & m).count_ones() as u64;
-        lanes += m.count_ones() as u64;
+    let (agree, lanes) = XnorDot {
+        w_sign,
+        x_sign,
+        live,
     }
+    .dispatch();
     2 * agree as i64 - lanes as i64
+}
+
+/// The XNOR/popcount core as a dispatched [`SimdOp`]: returns
+/// `(Σ popcount(XNOR(w, x) ∧ live), Σ popcount(live))`. Both are exact
+/// integer sums, so every arm is byte-equivalent by construction and runs in
+/// both numerics modes.
+struct XnorDot<'a> {
+    w_sign: &'a [u64],
+    x_sign: &'a [u64],
+    live: &'a [u64],
+}
+
+impl SimdOp for XnorDot<'_> {
+    type Output = (u64, u64);
+
+    fn scalar(self) -> (u64, u64) {
+        let mut agree = 0u64;
+        let mut lanes = 0u64;
+        for ((&w, &x), &m) in self.w_sign.iter().zip(self.x_sign).zip(self.live) {
+            agree += (!(w ^ x) & m).count_ones() as u64;
+            lanes += m.count_ones() as u64;
+        }
+        (agree, lanes)
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    fn avx2_fma(self) -> (u64, u64) {
+        // SAFETY: dispatched only when `Isa::Avx2Fma` probed available.
+        unsafe { x86::xnor_dot_avx2(self.w_sign, self.x_sign, self.live) }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    fn avx512(self) -> (u64, u64) {
+        if dispatch::has_vpopcntdq() {
+            // SAFETY: `Isa::Avx512` probed available and VPOPCNTDQ present.
+            unsafe { x86::xnor_dot_avx512(self.w_sign, self.x_sign, self.live) }
+        } else {
+            self.avx2_fma()
+        }
+    }
+
+    #[cfg(target_arch = "aarch64")]
+    fn neon(self) -> (u64, u64) {
+        // SAFETY: dispatched only when `Isa::Neon` probed available.
+        unsafe { neon::xnor_dot_neon(self.w_sign, self.x_sign, self.live) }
+    }
+}
+
+/// `Σ popcount(a ∧ b)` over equal-length word slices as a dispatched
+/// [`SimdOp`] — the per-plane primitive under [`sign_plane_dot`].
+struct AndPopcount<'a> {
+    a: &'a [u64],
+    b: &'a [u64],
+}
+
+impl SimdOp for AndPopcount<'_> {
+    type Output = u64;
+
+    fn scalar(self) -> u64 {
+        self.a
+            .iter()
+            .zip(self.b)
+            .map(|(&x, &y)| (x & y).count_ones() as u64)
+            .sum()
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    fn avx2_fma(self) -> u64 {
+        // SAFETY: dispatched only when `Isa::Avx2Fma` probed available.
+        unsafe { x86::and_popcount_avx2(self.a, self.b) }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    fn avx512(self) -> u64 {
+        if dispatch::has_vpopcntdq() {
+            // SAFETY: `Isa::Avx512` probed available and VPOPCNTDQ present.
+            unsafe { x86::and_popcount_avx512(self.a, self.b) }
+        } else {
+            self.avx2_fma()
+        }
+    }
+
+    #[cfg(target_arch = "aarch64")]
+    fn neon(self) -> u64 {
+        // SAFETY: dispatched only when `Isa::Neon` probed available.
+        unsafe { neon::and_popcount_neon(self.a, self.b) }
+    }
 }
 
 /// 1-bit-weight dot against multi-bit activation bitplanes.
@@ -369,13 +528,11 @@ pub fn sign_plane_dot(sign: &[u64], act_planes: &[u64], act_bits: u32, act_code_
         act_bits as usize * w,
         "activation planes must be act_bits * sign words"
     );
+    let isa = dispatch::active_isa();
     let mut lifted = 0i64;
     for q in 0..act_bits as usize {
         let plane = &act_planes[q * w..(q + 1) * w];
-        let mut pc = 0u64;
-        for (&s, &a) in sign.iter().zip(plane) {
-            pc += (s & a).count_ones() as u64;
-        }
+        let pc = AndPopcount { a: sign, b: plane }.run(isa);
         lifted += (pc as i64) << q;
     }
     2 * lifted - act_code_sum
@@ -397,25 +554,466 @@ const MAC_BLOCK: usize = 1 << 13;
 pub fn nibble_dot_i8(nibbles: &[u8], n_minus_1: i32, acts: &[i32]) -> i64 {
     assert_eq!(nibbles.len(), acts.len().div_ceil(2), "nibble row length");
     assert!((0..16).contains(&n_minus_1), "n_minus_1 must fit a nibble");
-    let mut total = 0i64;
-    let mut start = 0usize;
-    while start < acts.len() {
-        let end = (start + MAC_BLOCK).min(acts.len());
+    NibbleDot {
+        nibbles,
+        n_minus_1,
+        acts,
+    }
+    .dispatch()
+}
+
+/// The nibble MAC as a dispatched [`SimdOp`]. The vector arms decode 16 (or
+/// 32) levels at a time, widen the i8 codes to i32 lanes, and
+/// multiply-accumulate into per-lane i32 partials inside the same
+/// [`MAC_BLOCK`] bound as the scalar arm (each lane holds at most
+/// `MAC_BLOCK / lanes` products of magnitude ≤ 15·255, far below `i32`
+/// range), folding lanes into the i64 total per block. Integer addition is
+/// associative, so every arm computes the identical sum.
+struct NibbleDot<'a> {
+    nibbles: &'a [u8],
+    n_minus_1: i32,
+    acts: &'a [i32],
+}
+
+impl NibbleDot<'_> {
+    /// Scalar MAC over `self.acts[start..end]` — the in-block tail loop the
+    /// vector arms also use past their last full vector group.
+    #[inline]
+    fn scalar_block(&self, start: usize, end: usize) -> i32 {
         let mut block = 0i32;
         for j in start..end {
-            let k = ((nibbles[j / 2] >> ((j % 2) * 4)) & 0x0F) as i32;
-            let v = (2 * k - n_minus_1) as i8;
+            let k = ((self.nibbles[j / 2] >> ((j % 2) * 4)) & 0x0F) as i32;
+            let v = (2 * k - self.n_minus_1) as i8;
             debug_assert!(
-                (0..=255).contains(&acts[j]),
+                (0..=255).contains(&self.acts[j]),
                 "activation code exceeds 8 bits"
             );
-            let a = acts[j] as i16;
+            let a = self.acts[j] as i16;
             block += v as i32 * a as i32;
         }
-        total += block as i64;
-        start = end;
+        block
     }
-    total
+}
+
+impl SimdOp for NibbleDot<'_> {
+    type Output = i64;
+
+    fn scalar(self) -> i64 {
+        let mut total = 0i64;
+        let mut start = 0usize;
+        while start < self.acts.len() {
+            let end = (start + MAC_BLOCK).min(self.acts.len());
+            total += self.scalar_block(start, end) as i64;
+            start = end;
+        }
+        total
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    fn avx2_fma(self) -> i64 {
+        // SAFETY: dispatched only when `Isa::Avx2Fma` probed available.
+        unsafe { x86::nibble_dot_avx2(&self) }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    fn avx512(self) -> i64 {
+        // SAFETY: dispatched only when `Isa::Avx512` probed available.
+        unsafe { x86::nibble_dot_avx512(&self) }
+    }
+
+    #[cfg(target_arch = "aarch64")]
+    fn neon(self) -> i64 {
+        // SAFETY: dispatched only when `Isa::Neon` probed available.
+        unsafe { neon::nibble_dot_neon(&self) }
+    }
+}
+
+/// AVX2+FMA and AVX-512 arms. Every function carries the matching
+/// `#[target_feature]` and is only reachable through [`SimdOp::run`] with an
+/// ISA the dispatch layer probed available, which makes the calls sound.
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::{MicroTile, NibbleDot, MR, NR};
+    use std::arch::x86_64::*;
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn micro_tile_avx2(mut op: MicroTile<'_>) {
+        let mut tile = op.load_tile();
+        // One 8-lane accumulator per row: lane c is output element (r, c),
+        // and in bit-exact mode each lane folds ascending k with separate
+        // mul + add — the scalar chain, eight elements at a time.
+        let mut acc = [_mm256_setzero_ps(); MR];
+        for (a, row) in acc.iter_mut().zip(tile.iter()) {
+            *a = _mm256_loadu_ps(row.as_ptr());
+        }
+        for p in 0..op.kc {
+            let bb = _mm256_loadu_ps(op.b_tile.as_ptr().add(p * NR));
+            for (r, a) in acc.iter_mut().enumerate() {
+                let av = _mm256_set1_ps(*op.a_tile.get_unchecked(p * MR + r));
+                *a = if op.fast {
+                    _mm256_fmadd_ps(av, bb, *a)
+                } else {
+                    _mm256_add_ps(*a, _mm256_mul_ps(av, bb))
+                };
+            }
+        }
+        for (row, a) in tile.iter_mut().zip(acc.iter()) {
+            _mm256_storeu_ps(row.as_mut_ptr(), *a);
+        }
+        op.store_tile(&tile);
+    }
+
+    #[target_feature(enable = "avx512f", enable = "avx512dq")]
+    pub unsafe fn micro_tile_avx512(mut op: MicroTile<'_>) {
+        let mut tile = op.load_tile();
+        // Row-pair accumulators: acc[q] lanes 0..7 hold row 2q, lanes 8..15
+        // row 2q+1. Same per-lane fold as the scalar chain in bit-exact mode.
+        let mut acc = [_mm512_setzero_ps(); MR / 2];
+        let mut idx = [_mm512_setzero_si512(); MR / 2];
+        for q in 0..MR / 2 {
+            let lo = _mm256_loadu_ps(tile[2 * q].as_ptr());
+            let hi = _mm256_loadu_ps(tile[2 * q + 1].as_ptr());
+            acc[q] = _mm512_insertf32x8::<1>(_mm512_castps256_ps512(lo), hi);
+            let (l, h) = (2 * q as i32, 2 * q as i32 + 1);
+            // Broadcast map for the packed a column: lanes 0..7 take entry
+            // 2q, lanes 8..15 entry 2q+1.
+            idx[q] = _mm512_set_epi32(h, h, h, h, h, h, h, h, l, l, l, l, l, l, l, l);
+        }
+        for p in 0..op.kc {
+            let bcol = _mm256_loadu_ps(op.b_tile.as_ptr().add(p * NR));
+            let b2 = _mm512_insertf32x8::<1>(_mm512_castps256_ps512(bcol), bcol);
+            let acol = _mm512_castps256_ps512(_mm256_loadu_ps(op.a_tile.as_ptr().add(p * MR)));
+            for q in 0..MR / 2 {
+                let av = _mm512_permutexvar_ps(idx[q], acol);
+                acc[q] = if op.fast {
+                    _mm512_fmadd_ps(av, b2, acc[q])
+                } else {
+                    _mm512_add_ps(acc[q], _mm512_mul_ps(av, b2))
+                };
+            }
+        }
+        for q in 0..MR / 2 {
+            _mm256_storeu_ps(tile[2 * q].as_mut_ptr(), _mm512_castps512_ps256(acc[q]));
+            _mm256_storeu_ps(
+                tile[2 * q + 1].as_mut_ptr(),
+                _mm512_extractf32x8_ps::<1>(acc[q]),
+            );
+        }
+        op.store_tile(&tile);
+    }
+
+    /// Per-64-bit-lane popcount without VPOPCNTDQ: the nibble lookup-table
+    /// method (`shuffle_epi8` as a 16-entry table) plus `sad_epu8` to fold
+    /// bytes into the four word lanes.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn popcnt_epi64_avx2(v: __m256i) -> __m256i {
+        #[rustfmt::skip]
+        let lut = _mm256_setr_epi8(
+            0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+            0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+        );
+        let low = _mm256_set1_epi8(0x0F);
+        let lo = _mm256_and_si256(v, low);
+        let hi = _mm256_and_si256(_mm256_srli_epi16::<4>(v), low);
+        let cnt = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo), _mm256_shuffle_epi8(lut, hi));
+        _mm256_sad_epu8(cnt, _mm256_setzero_si256())
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn hsum_epi64_avx2(v: __m256i) -> u64 {
+        let mut lanes = [0u64; 4];
+        _mm256_storeu_si256(lanes.as_mut_ptr().cast(), v);
+        lanes.iter().sum()
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn and_popcount_avx2(a: &[u64], b: &[u64]) -> u64 {
+        let mut acc = _mm256_setzero_si256();
+        let chunks = a.len() / 4;
+        for i in 0..chunks {
+            let va = _mm256_loadu_si256(a.as_ptr().add(4 * i).cast());
+            let vb = _mm256_loadu_si256(b.as_ptr().add(4 * i).cast());
+            acc = _mm256_add_epi64(acc, popcnt_epi64_avx2(_mm256_and_si256(va, vb)));
+        }
+        let mut total = hsum_epi64_avx2(acc);
+        for i in 4 * chunks..a.len() {
+            total += (a[i] & b[i]).count_ones() as u64;
+        }
+        total
+    }
+
+    #[target_feature(enable = "avx512f", enable = "avx512vpopcntdq")]
+    pub unsafe fn and_popcount_avx512(a: &[u64], b: &[u64]) -> u64 {
+        let mut acc = _mm512_setzero_si512();
+        let chunks = a.len() / 8;
+        for i in 0..chunks {
+            let va = _mm512_loadu_epi64(a.as_ptr().add(8 * i).cast());
+            let vb = _mm512_loadu_epi64(b.as_ptr().add(8 * i).cast());
+            acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(_mm512_and_si512(va, vb)));
+        }
+        let mut total = _mm512_reduce_add_epi64(acc) as u64;
+        for i in 8 * chunks..a.len() {
+            total += (a[i] & b[i]).count_ones() as u64;
+        }
+        total
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn xnor_dot_avx2(w: &[u64], x: &[u64], m: &[u64]) -> (u64, u64) {
+        let mut agree_acc = _mm256_setzero_si256();
+        let mut lanes_acc = _mm256_setzero_si256();
+        let chunks = w.len() / 4;
+        for i in 0..chunks {
+            let vw = _mm256_loadu_si256(w.as_ptr().add(4 * i).cast());
+            let vx = _mm256_loadu_si256(x.as_ptr().add(4 * i).cast());
+            let vm = _mm256_loadu_si256(m.as_ptr().add(4 * i).cast());
+            // (w XNOR x) ∧ m = ANDNOT(w ⊕ x, m).
+            let agree = _mm256_andnot_si256(_mm256_xor_si256(vw, vx), vm);
+            agree_acc = _mm256_add_epi64(agree_acc, popcnt_epi64_avx2(agree));
+            lanes_acc = _mm256_add_epi64(lanes_acc, popcnt_epi64_avx2(vm));
+        }
+        let mut agree = hsum_epi64_avx2(agree_acc);
+        let mut lanes = hsum_epi64_avx2(lanes_acc);
+        for i in 4 * chunks..w.len() {
+            agree += (!(w[i] ^ x[i]) & m[i]).count_ones() as u64;
+            lanes += m[i].count_ones() as u64;
+        }
+        (agree, lanes)
+    }
+
+    #[target_feature(enable = "avx512f", enable = "avx512vpopcntdq")]
+    pub unsafe fn xnor_dot_avx512(w: &[u64], x: &[u64], m: &[u64]) -> (u64, u64) {
+        let mut agree_acc = _mm512_setzero_si512();
+        let mut lanes_acc = _mm512_setzero_si512();
+        let chunks = w.len() / 8;
+        for i in 0..chunks {
+            let vw = _mm512_loadu_epi64(w.as_ptr().add(8 * i).cast());
+            let vx = _mm512_loadu_epi64(x.as_ptr().add(8 * i).cast());
+            let vm = _mm512_loadu_epi64(m.as_ptr().add(8 * i).cast());
+            // Truth table 0x82 is exactly (a XNOR b) ∧ c in one op.
+            let agree = _mm512_ternarylogic_epi64::<0x82>(vw, vx, vm);
+            agree_acc = _mm512_add_epi64(agree_acc, _mm512_popcnt_epi64(agree));
+            lanes_acc = _mm512_add_epi64(lanes_acc, _mm512_popcnt_epi64(vm));
+        }
+        let mut agree = _mm512_reduce_add_epi64(agree_acc) as u64;
+        let mut lanes = _mm512_reduce_add_epi64(lanes_acc) as u64;
+        for i in 8 * chunks..w.len() {
+            agree += (!(w[i] ^ x[i]) & m[i]).count_ones() as u64;
+            lanes += m[i].count_ones() as u64;
+        }
+        (agree, lanes)
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn nibble_dot_avx2(op: &NibbleDot<'_>) -> i64 {
+        let acts = op.acts;
+        let n1 = _mm_set1_epi8(op.n_minus_1 as i8);
+        let lowmask = _mm_set1_epi8(0x0F);
+        let mut total = 0i64;
+        let mut start = 0usize;
+        while start < acts.len() {
+            let end = (start + super::MAC_BLOCK).min(acts.len());
+            let mut acc0 = _mm256_setzero_si256();
+            let mut acc1 = _mm256_setzero_si256();
+            let mut j = start;
+            while j + 16 <= end {
+                // 8 packed bytes = 16 levels, low nibble first; `j` stays
+                // even (16-step from an even block start), so `j / 2` is the
+                // exact byte offset.
+                let bytes = _mm_loadl_epi64(op.nibbles.as_ptr().add(j / 2).cast());
+                let lo = _mm_and_si128(bytes, lowmask);
+                let hi = _mm_and_si128(_mm_srli_epi16::<4>(bytes), lowmask);
+                // lo holds even elements, hi odd — interleave restores order.
+                let levels = _mm_unpacklo_epi8(lo, hi);
+                // v = 2k − (n−1) fits i8 for every nibble level.
+                let v = _mm_sub_epi8(_mm_add_epi8(levels, levels), n1);
+                let v0 = _mm256_cvtepi8_epi32(v);
+                let v1 = _mm256_cvtepi8_epi32(_mm_srli_si128::<8>(v));
+                let a0 = _mm256_loadu_si256(acts.as_ptr().add(j).cast());
+                let a1 = _mm256_loadu_si256(acts.as_ptr().add(j + 8).cast());
+                acc0 = _mm256_add_epi32(acc0, _mm256_mullo_epi32(v0, a0));
+                acc1 = _mm256_add_epi32(acc1, _mm256_mullo_epi32(v1, a1));
+                j += 16;
+            }
+            // Lane partials stay far below i32 range inside one MAC_BLOCK
+            // (≤ MAC_BLOCK · 15 · 255 ≈ 3.1e7 across all lanes combined).
+            let mut lanes = [0i32; 8];
+            _mm256_storeu_si256(lanes.as_mut_ptr().cast(), _mm256_add_epi32(acc0, acc1));
+            total += lanes.iter().map(|&v| v as i64).sum::<i64>();
+            total += op.scalar_block(j, end) as i64;
+            start = end;
+        }
+        total
+    }
+
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn nibble_dot_avx512(op: &NibbleDot<'_>) -> i64 {
+        let acts = op.acts;
+        let n1 = _mm_set1_epi8(op.n_minus_1 as i8);
+        let lowmask = _mm_set1_epi8(0x0F);
+        let mut total = 0i64;
+        let mut start = 0usize;
+        while start < acts.len() {
+            let end = (start + super::MAC_BLOCK).min(acts.len());
+            let mut acc0 = _mm512_setzero_si512();
+            let mut acc1 = _mm512_setzero_si512();
+            let mut j = start;
+            while j + 32 <= end {
+                // 16 packed bytes = 32 levels, decoded in the SSE domain and
+                // widened i8 → i32 into the 512-bit MAC lanes.
+                let bytes = _mm_loadu_si128(op.nibbles.as_ptr().add(j / 2).cast());
+                let lo = _mm_and_si128(bytes, lowmask);
+                let hi = _mm_and_si128(_mm_srli_epi16::<4>(bytes), lowmask);
+                let lo16 = _mm_unpacklo_epi8(lo, hi);
+                let hi16 = _mm_unpackhi_epi8(lo, hi);
+                let v0 = _mm512_cvtepi8_epi32(_mm_sub_epi8(_mm_add_epi8(lo16, lo16), n1));
+                let v1 = _mm512_cvtepi8_epi32(_mm_sub_epi8(_mm_add_epi8(hi16, hi16), n1));
+                let a0 = _mm512_loadu_epi32(acts.as_ptr().add(j).cast());
+                let a1 = _mm512_loadu_epi32(acts.as_ptr().add(j + 16).cast());
+                acc0 = _mm512_add_epi32(acc0, _mm512_mullo_epi32(v0, a0));
+                acc1 = _mm512_add_epi32(acc1, _mm512_mullo_epi32(v1, a1));
+                j += 32;
+            }
+            // The whole-block sum is ≤ MAC_BLOCK · 15 · 255 ≈ 3.1e7, so the
+            // i32 reduction cannot overflow.
+            total += _mm512_reduce_add_epi32(_mm512_add_epi32(acc0, acc1)) as i64;
+            total += op.scalar_block(j, end) as i64;
+            start = end;
+        }
+        total
+    }
+}
+
+/// AArch64 NEON arms, mirroring the x86 module. Compiled only on `aarch64`;
+/// on other targets the `SimdOp` default routes `Isa::Neon` to scalar (and
+/// the dispatch layer never reports NEON available there anyway).
+#[cfg(target_arch = "aarch64")]
+mod neon {
+    use super::{MicroTile, NibbleDot, MR, NR};
+    use std::arch::aarch64::*;
+
+    #[target_feature(enable = "neon")]
+    pub unsafe fn micro_tile_neon(mut op: MicroTile<'_>) {
+        let mut tile = op.load_tile();
+        // Two 4-lane accumulators per row cover the NR = 8 tile width.
+        let mut acc = [[vdupq_n_f32(0.0); 2]; MR];
+        for r in 0..MR {
+            acc[r][0] = vld1q_f32(tile[r].as_ptr());
+            acc[r][1] = vld1q_f32(tile[r].as_ptr().add(4));
+        }
+        for p in 0..op.kc {
+            let b0 = vld1q_f32(op.b_tile.as_ptr().add(p * NR));
+            let b1 = vld1q_f32(op.b_tile.as_ptr().add(p * NR + 4));
+            for r in 0..MR {
+                let av = vdupq_n_f32(*op.a_tile.get_unchecked(p * MR + r));
+                if op.fast {
+                    acc[r][0] = vfmaq_f32(acc[r][0], av, b0);
+                    acc[r][1] = vfmaq_f32(acc[r][1], av, b1);
+                } else {
+                    acc[r][0] = vaddq_f32(acc[r][0], vmulq_f32(av, b0));
+                    acc[r][1] = vaddq_f32(acc[r][1], vmulq_f32(av, b1));
+                }
+            }
+        }
+        for r in 0..MR {
+            vst1q_f32(tile[r].as_mut_ptr(), acc[r][0]);
+            vst1q_f32(tile[r].as_mut_ptr().add(4), acc[r][1]);
+        }
+        op.store_tile(&tile);
+    }
+
+    /// Per-64-bit-lane popcount: byte counts then pairwise widening adds.
+    #[inline]
+    #[target_feature(enable = "neon")]
+    unsafe fn popcnt_words(v: uint64x2_t) -> uint64x2_t {
+        vpaddlq_u32(vpaddlq_u16(vpaddlq_u8(vcntq_u8(vreinterpretq_u8_u64(v)))))
+    }
+
+    #[inline]
+    #[target_feature(enable = "neon")]
+    unsafe fn hsum_u64(v: uint64x2_t) -> u64 {
+        vgetq_lane_u64::<0>(v) + vgetq_lane_u64::<1>(v)
+    }
+
+    #[target_feature(enable = "neon")]
+    pub unsafe fn and_popcount_neon(a: &[u64], b: &[u64]) -> u64 {
+        let mut acc = vdupq_n_u64(0);
+        let chunks = a.len() / 2;
+        for i in 0..chunks {
+            let va = vld1q_u64(a.as_ptr().add(2 * i));
+            let vb = vld1q_u64(b.as_ptr().add(2 * i));
+            acc = vaddq_u64(acc, popcnt_words(vandq_u64(va, vb)));
+        }
+        let mut total = hsum_u64(acc);
+        for i in 2 * chunks..a.len() {
+            total += (a[i] & b[i]).count_ones() as u64;
+        }
+        total
+    }
+
+    #[target_feature(enable = "neon")]
+    pub unsafe fn xnor_dot_neon(w: &[u64], x: &[u64], m: &[u64]) -> (u64, u64) {
+        let mut agree_acc = vdupq_n_u64(0);
+        let mut lanes_acc = vdupq_n_u64(0);
+        let chunks = w.len() / 2;
+        for i in 0..chunks {
+            let vw = vld1q_u64(w.as_ptr().add(2 * i));
+            let vx = vld1q_u64(x.as_ptr().add(2 * i));
+            let vm = vld1q_u64(m.as_ptr().add(2 * i));
+            // (w XNOR x) ∧ m = BIC(m, w ⊕ x) — BIC is a ∧ ¬b.
+            let agree = vbicq_u64(vm, veorq_u64(vw, vx));
+            agree_acc = vaddq_u64(agree_acc, popcnt_words(agree));
+            lanes_acc = vaddq_u64(lanes_acc, popcnt_words(vm));
+        }
+        let mut agree = hsum_u64(agree_acc);
+        let mut lanes = hsum_u64(lanes_acc);
+        for i in 2 * chunks..w.len() {
+            agree += (!(w[i] ^ x[i]) & m[i]).count_ones() as u64;
+            lanes += m[i].count_ones() as u64;
+        }
+        (agree, lanes)
+    }
+
+    #[target_feature(enable = "neon")]
+    pub unsafe fn nibble_dot_neon(op: &NibbleDot<'_>) -> i64 {
+        let acts = op.acts;
+        let n1 = vdup_n_s8(op.n_minus_1 as i8);
+        let lowmask = vdup_n_u8(0x0F);
+        let mut total = 0i64;
+        let mut start = 0usize;
+        while start < acts.len() {
+            let end = (start + super::MAC_BLOCK).min(acts.len());
+            let mut acc = vdupq_n_s32(0);
+            let mut j = start;
+            while j + 16 <= end {
+                // 8 packed bytes = 16 levels, low nibble first.
+                let bytes = vld1_u8(op.nibbles.as_ptr().add(j / 2));
+                let lo = vand_u8(bytes, lowmask);
+                let hi = vshr_n_u8::<4>(bytes);
+                // Interleave back to element order (lo = even, hi = odd).
+                let halves = [(vzip1_u8(lo, hi), j), (vzip2_u8(lo, hi), j + 8)];
+                for (half, base) in halves {
+                    let k = vreinterpret_s8_u8(half);
+                    let v8 = vsub_s8(vadd_s8(k, k), n1);
+                    let v16 = vmovl_s8(v8);
+                    let v_lo = vmovl_s16(vget_low_s16(v16));
+                    let v_hi = vmovl_s16(vget_high_s16(v16));
+                    let a_lo = vld1q_s32(acts.as_ptr().add(base));
+                    let a_hi = vld1q_s32(acts.as_ptr().add(base + 4));
+                    acc = vmlaq_s32(acc, v_lo, a_lo);
+                    acc = vmlaq_s32(acc, v_hi, a_hi);
+                }
+                j += 16;
+            }
+            // Whole-block sum ≤ MAC_BLOCK · 15 · 255 ≈ 3.1e7: i32-safe.
+            total += vaddvq_s32(acc) as i64;
+            total += op.scalar_block(j, end) as i64;
+            start = end;
+        }
+        total
+    }
 }
 
 #[cfg(test)]

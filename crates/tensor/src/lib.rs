@@ -23,7 +23,9 @@
 //! # Ok::<(), cbq_tensor::TensorError>(())
 //! ```
 
+pub mod alloc64;
 mod conv;
+pub mod dispatch;
 mod error;
 pub mod kernels;
 mod matmul;
@@ -38,6 +40,7 @@ pub use conv::{
     col2im, conv2d, conv2d_backward, conv2d_backward_into, conv2d_into, im2col, im2col_batched,
     im2col_batched_into, Conv2dGrads, ConvSpec,
 };
+pub use dispatch::{Isa, NumericsMode};
 pub use error::TensorError;
 pub use pool::{
     avg_pool2d, avg_pool2d_backward, global_avg_pool, global_avg_pool_backward, max_pool2d,

@@ -15,9 +15,31 @@
 //! arena (tensor shape vectors, boxed weight transforms installed per probe)
 //! are *not* counted; the arena tracks the O(batch·channels) data buffers
 //! that dominate allocator traffic.
+//!
+//! Every non-empty buffer the arena hands out is **64-byte aligned** for the
+//! SIMD kernel arms: fresh allocations round their capacity up to at least
+//! one promoted allocation of [`crate::alloc64`] (which aligns every heap
+//! block of 64+ bytes to a cache line), `take` only resizes within existing
+//! capacity (never moving the storage), and `recycle` drops the rare
+//! externally-allocated buffer that is too small to carry the guarantee.
 
+use crate::alloc64::{is_aligned_64, PROMOTED_SIZE};
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Allocates a zero-filled `Vec` whose backing store is 64-byte aligned:
+/// capacity is rounded up so the allocation reaches the promotion threshold
+/// of [`crate::alloc64`]. Zero-length requests allocate nothing.
+fn fresh_aligned<T: Clone + Default>(len: usize) -> Vec<T> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let min_cap = PROMOTED_SIZE.div_ceil(std::mem::size_of::<T>());
+    let mut buf = Vec::with_capacity(len.max(min_cap));
+    buf.resize(len, T::default());
+    debug_assert!(is_aligned_64(buf.as_ptr()));
+    buf
+}
 
 /// Process-wide count of pool misses across every [`Scratch`] instance.
 static GLOBAL_FRESH: AtomicU64 = AtomicU64::new(0);
@@ -58,7 +80,8 @@ impl Scratch {
 
     /// Returns a zero-filled buffer of exactly `len` elements, reusing the
     /// best-fitting pooled buffer (smallest capacity that fits) when one
-    /// exists and allocating fresh backing store otherwise.
+    /// exists and allocating fresh backing store otherwise. Non-empty
+    /// buffers are always 64-byte aligned (see the module docs).
     pub fn take_f32(&mut self, len: usize) -> Vec<f32> {
         let mut best: Option<usize> = None;
         for (i, buf) in self.f32_pool.iter().enumerate() {
@@ -78,14 +101,17 @@ impl Scratch {
             None => {
                 self.fresh += 1;
                 GLOBAL_FRESH.fetch_add(1, Ordering::Relaxed);
-                vec![0.0; len]
+                fresh_aligned(len)
             }
         }
     }
 
-    /// Returns a buffer to the pool for later reuse.
+    /// Returns a buffer to the pool for later reuse. Buffers whose backing
+    /// store is not 64-byte aligned (possible only for small vectors
+    /// allocated outside the arena) are dropped instead of pooled, so every
+    /// buffer a later `take` hands out keeps the alignment guarantee.
     pub fn recycle_f32(&mut self, buf: Vec<f32>) {
-        if buf.capacity() > 0 {
+        if buf.capacity() > 0 && is_aligned_64(buf.as_ptr()) {
             self.f32_pool.push(buf);
         }
     }
@@ -119,14 +145,15 @@ impl Scratch {
             None => {
                 self.fresh += 1;
                 GLOBAL_FRESH.fetch_add(1, Ordering::Relaxed);
-                vec![0; len]
+                fresh_aligned(len)
             }
         }
     }
 
-    /// Integer twin of [`Scratch::recycle_f32`].
+    /// Integer twin of [`Scratch::recycle_f32`], with the same alignment
+    /// filter.
     pub fn recycle_i32(&mut self, buf: Vec<i32>) {
-        if buf.capacity() > 0 {
+        if buf.capacity() > 0 && is_aligned_64(buf.as_ptr()) {
             self.i32_pool.push(buf);
         }
     }
@@ -152,14 +179,15 @@ impl Scratch {
             None => {
                 self.fresh += 1;
                 GLOBAL_FRESH.fetch_add(1, Ordering::Relaxed);
-                vec![0; len]
+                fresh_aligned(len)
             }
         }
     }
 
-    /// Bitplane twin of [`Scratch::recycle_f32`].
+    /// Bitplane twin of [`Scratch::recycle_f32`], with the same alignment
+    /// filter.
     pub fn recycle_u64(&mut self, buf: Vec<u64>) {
-        if buf.capacity() > 0 {
+        if buf.capacity() > 0 && is_aligned_64(buf.as_ptr()) {
             self.u64_pool.push(buf);
         }
     }
@@ -261,6 +289,45 @@ mod tests {
         let _ = s.take_f32(128);
         assert!(fresh_alloc_count() > before);
         assert_eq!(s.fresh_allocs(), 1);
+    }
+
+    #[test]
+    fn buffers_are_64_byte_aligned_through_take_and_recycle() {
+        let mut s = Scratch::new();
+        for len in [1usize, 3, 15, 16, 17, 63, 64, 65, 1000] {
+            let f = s.take_f32(len);
+            let i = s.take_i32(len);
+            let u = s.take_u64(len);
+            assert!(is_aligned_64(f.as_ptr()), "fresh f32 len={len}");
+            assert!(is_aligned_64(i.as_ptr()), "fresh i32 len={len}");
+            assert!(is_aligned_64(u.as_ptr()), "fresh u64 len={len}");
+            s.recycle_f32(f);
+            s.recycle_i32(i);
+            s.recycle_u64(u);
+        }
+        // The pooled path must preserve the guarantee: resize-in-place never
+        // moves the storage, so recycled buffers come back aligned.
+        for len in [1usize, 17, 64, 1000] {
+            let fresh_before = s.fresh_allocs();
+            let f = s.take_f32(len);
+            let u = s.take_u64(len);
+            assert!(is_aligned_64(f.as_ptr()), "pooled f32 len={len}");
+            assert!(is_aligned_64(u.as_ptr()), "pooled u64 len={len}");
+            assert_eq!(s.fresh_allocs(), fresh_before, "reuse, not realloc");
+            s.recycle_f32(f);
+            s.recycle_u64(u);
+        }
+        // Externally allocated buffers only enter the pool if they carry the
+        // guarantee themselves.
+        let tiny: Vec<f32> = vec![1.0; 2];
+        let aligned = is_aligned_64(tiny.as_ptr());
+        let pooled_before = s.pooled();
+        s.recycle_f32(tiny);
+        assert_eq!(
+            s.pooled(),
+            pooled_before + usize::from(aligned),
+            "misaligned external buffers must be dropped, aligned ones kept"
+        );
     }
 
     #[test]

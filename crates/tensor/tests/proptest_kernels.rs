@@ -9,9 +9,26 @@
 //! `proptest!` cases that explore the same spaces randomly with
 //! shrinking.
 
+use cbq_tensor::dispatch::{self, Isa};
 use cbq_tensor::kernels::{gemm_packed, naive_gemm, KC, MR, NR};
 use cbq_tensor::{im2col, im2col_batched, ConvSpec, Scratch, Tensor};
 use proptest::prelude::*;
+use std::sync::Mutex;
+
+/// Serializes the tests that force the process-global dispatch ISA. Other
+/// tests in this binary may observe a forced ISA while one runs; that is
+/// benign — in bit-exact mode every arm is byte-equal, which is exactly
+/// what the matrix test proves.
+static ISA_LOCK: Mutex<()> = Mutex::new(());
+
+/// Restores automatic ISA detection when dropped, panic included.
+struct IsaGuard;
+
+impl Drop for IsaGuard {
+    fn drop(&mut self) {
+        dispatch::force_isa(None);
+    }
+}
 
 /// Dimensions straddling the register-tile boundaries: `1..=3*tile`
 /// contains every remainder edge (`tile±1`, `2*tile±1`) around one and
@@ -146,6 +163,35 @@ fn packed_matches_naive_at_tile_edges_sweep() {
     // KC straddle at one representative remainder shape.
     for k in [KC - 1, KC, KC + 1] {
         check_gemm_all_layouts(MR + 1, NR + 1, k);
+    }
+}
+
+/// Forced-ISA matrix: under every ISA available on this host (scalar
+/// included), the packed GEMM must reproduce the naive triple loop
+/// byte-for-byte in all three stride layouts. `naive_gemm` never
+/// dispatches, so each pass proves one vector arm against the scalar
+/// reference directly. Shapes pin the tail edges: partial MR/NR tiles,
+/// k not a multiple of any vector lane width (7, 9, 33), and the KC
+/// cache-block straddle.
+#[test]
+fn forced_isa_matrix_gemm_matches_naive_at_tile_edges() {
+    let _lock = ISA_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let _guard = IsaGuard;
+    for isa in Isa::ALL {
+        if !isa.is_available() {
+            continue;
+        }
+        assert_eq!(dispatch::force_isa(Some(isa)), isa);
+        for (m, n, k) in [
+            (1, 1, 1),
+            (MR, NR, 4),
+            (MR + 1, NR + 1, 7),
+            (2 * MR + 1, 2 * NR - 1, 9),
+            (MR - 1, 2 * NR + 1, 33),
+            (MR, NR, KC + 1),
+        ] {
+            check_gemm_all_layouts(m, n, k);
+        }
     }
 }
 

@@ -9,12 +9,29 @@
 //! word, and 4-word/256-lane seams), so the laws stay exercised even where
 //! the proptest runner is unavailable.
 
+use cbq_tensor::dispatch::{self, Isa};
 use cbq_tensor::kernels::{
     nibble_dot_i8, pack_bitplanes, pack_nibbles, plane_words, scalar_code_dot, sign_plane_dot,
     unpack_bitplanes, unpack_nibbles, xnor_popcount_dot,
 };
 use proptest::collection::vec as pvec;
 use proptest::prelude::*;
+use std::sync::Mutex;
+
+/// Serializes the tests that force the process-global dispatch ISA. Other
+/// tests in this binary may observe a forced ISA while one of these runs;
+/// that is benign — every arm is byte-equal, which is exactly what this
+/// matrix proves.
+static ISA_LOCK: Mutex<()> = Mutex::new(());
+
+/// Restores automatic ISA detection when dropped, panic included.
+struct IsaGuard;
+
+impl Drop for IsaGuard {
+    fn drop(&mut self) {
+        dispatch::force_isa(None);
+    }
+}
 
 /// Lengths around the packing seams: 8 (nibble byte pair), 64 (plane
 /// word), 256 (MAC tile multiples), each ±1, plus the degenerate 1.
@@ -166,6 +183,84 @@ fn pinned_extreme_patterns() {
     check_nibble_dot(&vec![15i32; 65], &vec![255i32; 65], 4);
     check_sign_plane_dot(&vec![-1i32; 65], &vec![255i32; 65], 8);
     check_sign_plane_dot(&vec![1i32; 65], &vec![0i32; 65], 8);
+}
+
+// --- forced-ISA differential matrix ---
+
+/// Every vector ISA available on this host must return the identical
+/// `i64` the forced-scalar arm returns for all three integer dot kernels,
+/// at every packing seam plus the `MAC_BLOCK` (8192) accumulator-block
+/// straddle and a two-block length. Unavailable ISAs are skipped — the
+/// dispatch layer refuses to force them (`force_isa` clamps to scalar).
+#[test]
+fn forced_isa_matrix_dots_bit_identical_to_scalar() {
+    const LENS: [usize; 13] = [1, 7, 9, 15, 17, 63, 64, 65, 257, 8191, 8192, 8193, 16385];
+    let _lock = ISA_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let _guard = IsaGuard;
+    for &len in &LENS {
+        let w_signs: Vec<i32> = codes_fill(len, 1, 71).iter().map(|&b| 2 * b - 1).collect();
+        let x_signs: Vec<i32> = codes_fill(len, 1, 73).iter().map(|&b| 2 * b - 1).collect();
+        let wplane = sign_plane(&w_signs);
+        let xplane = sign_plane(&x_signs);
+        let live = sign_plane(&vec![1i32; len]);
+        let acts4 = codes_fill(len, 4, 79);
+        let mut planes = vec![0u64; 4 * plane_words(len)];
+        pack_bitplanes(&acts4, 4, &mut planes);
+        let act_sum: i64 = acts4.iter().map(|&a| i64::from(a)).sum();
+        let levels = codes_fill(len, 4, 83);
+        let mut packed = vec![0u8; len.div_ceil(2)];
+        pack_nibbles(&levels, &mut packed);
+        let acts8 = codes_fill(len, 8, 89);
+
+        assert_eq!(dispatch::force_isa(Some(Isa::Scalar)), Isa::Scalar);
+        let ref_xnor = xnor_popcount_dot(&wplane, &xplane, &live);
+        let ref_sign = sign_plane_dot(&wplane, &planes, 4, act_sum);
+        let ref_nib = nibble_dot_i8(&packed, 15, &acts8);
+
+        for isa in Isa::ALL {
+            if isa == Isa::Scalar || !isa.is_available() {
+                continue;
+            }
+            assert_eq!(dispatch::force_isa(Some(isa)), isa);
+            let name = isa.name();
+            assert_eq!(
+                xnor_popcount_dot(&wplane, &xplane, &live),
+                ref_xnor,
+                "xnor dot, isa={name} len={len}"
+            );
+            assert_eq!(
+                sign_plane_dot(&wplane, &planes, 4, act_sum),
+                ref_sign,
+                "sign-plane dot, isa={name} len={len}"
+            );
+            assert_eq!(
+                nibble_dot_i8(&packed, 15, &acts8),
+                ref_nib,
+                "nibble MAC, isa={name} len={len}"
+            );
+        }
+    }
+}
+
+/// Forcing an unavailable ISA clamps to scalar instead of executing
+/// illegal instructions — the property that makes the CI forced-ISA
+/// matrix safe on any runner.
+#[test]
+fn forcing_unavailable_isa_clamps_to_scalar() {
+    let _lock = ISA_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let _guard = IsaGuard;
+    for isa in Isa::ALL {
+        let got = dispatch::force_isa(Some(isa));
+        if isa.is_available() {
+            assert_eq!(got, isa);
+        } else {
+            assert_eq!(got, Isa::Scalar, "unavailable {} must clamp", isa.name());
+        }
+        // The clamped ISA must still produce correct results end to end.
+        let w: Vec<i32> = codes_fill(65, 1, 91).iter().map(|&b| 2 * b - 1).collect();
+        let acts = codes_fill(65, 8, 93);
+        check_sign_plane_dot(&w, &acts, 8);
+    }
 }
 
 // --- randomized exploration with shrinking ---

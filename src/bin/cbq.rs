@@ -257,14 +257,16 @@ fn run(opts: &Options) -> Result<(), Box<dyn std::error::Error>> {
         config.parallelism = cbq::core::Parallelism::new(n);
     }
     eprintln!(
-        "cbq: {} on {} -> {:.1}-bit weights / {}-bit activations, {} epochs, seed {}, {} worker(s)",
+        "cbq: {} on {} -> {:.1}-bit weights / {}-bit activations, {} epochs, seed {}, {} worker(s), {} kernels ({})",
         opts.model,
         opts.dataset,
         opts.wbits,
         opts.abits,
         opts.epochs,
         opts.seed,
-        config.parallelism.threads()
+        config.parallelism.threads(),
+        cbq::tensor::dispatch::active_isa().name(),
+        config.numerics.name()
     );
     let mut pipeline = CqPipeline::new(config).with_telemetry(telemetry.clone());
     // --resume implies checkpointing into the same directory, so the run
@@ -670,7 +672,7 @@ fn run_serve(opts: &ServeOptions) -> Result<(), Box<dyn std::error::Error>> {
     )?;
     eprintln!(
         "cbq serve: {} on {} -> {} backend(s), {} worker(s), max batch {}, \
-         {} requests from {} client(s)",
+         {} requests from {} client(s), {} kernels (bit-exact)",
         opts.model,
         opts.dataset,
         targets.len(),
@@ -678,6 +680,7 @@ fn run_serve(opts: &ServeOptions) -> Result<(), Box<dyn std::error::Error>> {
         opts.max_batch,
         opts.requests,
         opts.clients,
+        cbq::tensor::dispatch::active_isa().name(),
     );
 
     // Load phase: each client walks its own stride of the request space,
@@ -893,7 +896,7 @@ fn run_serve_fleet(
     )?;
     eprintln!(
         "cbq serve: {} on {} -> {} backend(s), {} replica(s) x {} worker(s), \
-         max batch {}, {} requests from {} client(s){}",
+         max batch {}, {} requests from {} client(s), {} kernels (bit-exact){}",
         opts.model,
         opts.dataset,
         targets.len(),
@@ -906,6 +909,7 @@ fn run_serve_fleet(
         opts.max_batch,
         opts.requests,
         opts.clients,
+        cbq::tensor::dispatch::active_isa().name(),
         if opts.faults.is_some() {
             " [fault plan armed]"
         } else {
