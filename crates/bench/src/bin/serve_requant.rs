@@ -1,0 +1,558 @@
+//! Static-vs-adaptive serving drill for the closed drift loop: the same
+//! traffic plan — stationary windows, then a sustained class surge —
+//! runs against a *static* quantized server and an *adaptive* one
+//! ([`Server::start_adaptive`] wired to the real re-quantization glue,
+//! `cbq_core::requant_for_mix`). Gates:
+//!
+//! - **stationary identity**: with no shift, the adaptive arm never
+//!   triggers and its responses are byte-identical to the static arm's;
+//! - **adaptive never loses**: under the shift, post-cutover adaptive
+//!   accuracy is at least the static arm's (the shadow-scoring gate
+//!   rejects any candidate that does not earn the swap);
+//! - **determinism**: the adaptive arm's decisions and responses are
+//!   byte-identical across worker counts, and the cutover seq is
+//!   window-aligned.
+//!
+//! Results — `accuracy_recovered`, `requant_latency_windows`,
+//! `static_vs_adaptive_delta` — land in
+//! `results/BENCH_serve_requant.json`.
+//!
+//! ```sh
+//! cargo run --release -p cbq-bench --bin serve_requant
+//! WINDOW=48 SHADOW=3 POST=4 cargo run --release -p cbq-bench --bin serve_requant
+//! ```
+
+use cbq_core::{requant_for_mix, ScoreConfig, SearchConfig};
+use cbq_data::{Subset, SyntheticImages, SyntheticSpec};
+use cbq_nn::{load_state_dict, state_dict, Layer, Phase, Trainer, TrainerConfig};
+use cbq_quant::{
+    act_clip_bounds, install_act_quant, restore_act_clip_bounds, set_act_bits,
+    set_act_calibration, BitWidth,
+};
+use cbq_resilience::atomic_write_text;
+use cbq_serve::{
+    achieved_mix, apportion, ArchSpec, Backend, BatchPolicy, ManualClock, ModelArtifact,
+    ModelRegistry, ObserveConfig, QuantState, RequantConfig, RequantDecision, RequantReport,
+    RequantSetup, ServeError, Server, ServerConfig,
+};
+use cbq_telemetry::Telemetry;
+use cbq_tensor::parallel::Parallelism;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// One labeled request: the sample, the class the *incumbent* predicts
+/// for it (the pooling key — drift is measured on predicted mixes), and
+/// its ground-truth label (what accuracy is scored against).
+struct Pooled {
+    sample: Vec<f32>,
+    true_label: usize,
+}
+
+/// Traffic pooled by incumbent-predicted class but labeled with ground
+/// truth: planned predicted-mixes are realized *exactly* (stationary
+/// windows score a drift L1 of literally zero) while accuracy counters
+/// measure real correctness — the quantity the adaptive loop must not
+/// lose and should recover.
+struct LabeledTraffic {
+    pools: Vec<Vec<Pooled>>,
+    cursors: Vec<usize>,
+}
+
+impl LabeledTraffic {
+    fn new(classes: usize) -> LabeledTraffic {
+        LabeledTraffic {
+            pools: (0..classes).map(|_| Vec::new()).collect(),
+            cursors: vec![0; classes],
+        }
+    }
+
+    /// One window of `n` requests realizing `mix` over predicted
+    /// classes, interleaved round-robin, each pool cycled in order.
+    fn window(&mut self, mix: &[f64], n: usize) -> Vec<(Vec<f32>, usize)> {
+        let mut remaining = apportion(mix, n);
+        let mut out = Vec::with_capacity(n);
+        while out.len() < n {
+            for c in 0..self.pools.len() {
+                if remaining[c] == 0 {
+                    continue;
+                }
+                let pool = &self.pools[c];
+                let item = &pool[self.cursors[c] % pool.len()];
+                self.cursors[c] += 1;
+                remaining[c] -= 1;
+                out.push((item.sample.clone(), item.true_label));
+            }
+        }
+        out
+    }
+}
+
+struct Fixture {
+    artifact: ModelArtifact,
+    traffic: LabeledTraffic,
+    val_flat: Subset,
+    classes: usize,
+}
+
+/// Trains a float MLP, calibrates activation quantizers, searches the
+/// incumbent bit arrangement for the *uniform* (training) mix with the
+/// same machinery the adaptive loop uses, and pools every test sample
+/// under the class the quantized incumbent predicts for it.
+fn build_fixture(
+    seed: u64,
+    epochs: usize,
+    avg_bits: f32,
+    probe_samples: usize,
+) -> Result<Fixture, Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let spec = SyntheticSpec::tiny(4);
+    let data = SyntheticImages::generate(&spec, &mut rng)?;
+    let classes = spec.num_classes;
+    let arch = ArchSpec::Mlp(vec![spec.feature_len(), 24, 16, classes]);
+    let mut net = arch.build_init(&mut rng)?;
+    Trainer::new(TrainerConfig::quick(epochs, 0.1)).fit(&mut net, data.train(), &mut rng)?;
+    let state = state_dict(&mut net);
+
+    // Calibrate activation quantizers exactly like the serve CLI.
+    install_act_quant(&mut net);
+    set_act_calibration(&mut net, true);
+    let calib = data.val().head(256)?;
+    for batch in calib.batches(32) {
+        net.forward(&batch.images, Phase::Eval)?;
+    }
+    set_act_calibration(&mut net, false);
+    net.clear_cache();
+    let act_clips = act_clip_bounds(&mut net);
+    let act_bits = 4u8;
+    set_act_bits(&mut net, Some(BitWidth::new(act_bits)?));
+
+    let flatten = |s: &Subset| -> Result<Subset, Box<dyn std::error::Error>> {
+        Ok(Subset::new(
+            s.images().reshape(&[s.len(), spec.feature_len()])?,
+            s.labels().to_vec(),
+        )?)
+    };
+    let val_flat = flatten(data.val())?;
+
+    // The incumbent's arrangement: the same mix-directed search the
+    // adaptive loop runs, fed the uniform mix (all-ones weights make it
+    // bit-identical to the offline scorer/search).
+    let score = ScoreConfig {
+        samples_per_class: 8,
+        ..ScoreConfig::default()
+    };
+    let mut search = SearchConfig::new(avg_bits);
+    search.probe_samples = probe_samples;
+    let tel = Telemetry::disabled();
+    let uniform_counts = vec![1u64; classes];
+    let out = requant_for_mix(
+        &mut net,
+        &val_flat,
+        &uniform_counts,
+        &score,
+        &search,
+        &tel,
+        Parallelism::serial(),
+    )?;
+
+    let artifact = ModelArtifact {
+        arch,
+        input_shape: vec![spec.channels, spec.height, spec.width],
+        state,
+        quant: Some(QuantState {
+            arrangement: out.search.arrangement,
+            act_bits,
+            act_clips,
+        }),
+        baseline_mix: None,
+        packed: None,
+    };
+
+    // Pool test samples by the class the quantized incumbent predicts.
+    let registry = ModelRegistry::new();
+    let handle = registry.load("adaptive", &artifact, Backend::FakeQuant)?;
+    let model = registry.get(&handle)?;
+    let test = data.test();
+    let item_len = spec.feature_len();
+    let images = test.images().as_slice();
+    let mut traffic = LabeledTraffic::new(classes);
+    for j in 0..test.len() {
+        let sample = images[j * item_len..(j + 1) * item_len].to_vec();
+        let logits = cbq_serve::offline_logits(&model, &sample)?;
+        let predicted = logits
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(c, _)| c)
+            .unwrap();
+        traffic.pools[predicted].push(Pooled {
+            sample,
+            true_label: test.labels()[j],
+        });
+    }
+    for (c, pool) in traffic.pools.iter().enumerate() {
+        if pool.is_empty() {
+            return Err(format!("incumbent predicts no samples as class {c}; change seed").into());
+        }
+    }
+    Ok(Fixture {
+        artifact,
+        traffic,
+        val_flat,
+        classes,
+    })
+}
+
+/// The adaptive arm's candidate builder: the real scoring/search glue.
+/// Rebuilds the serving-configured net from the incumbent artifact and
+/// re-runs `requant_for_mix` against the observed mix.
+fn real_builder(
+    val: Subset,
+    avg_bits: f32,
+    probe_samples: usize,
+) -> Box<dyn cbq_serve::CandidateBuilder> {
+    Box::new(
+        move |mix: &[u64], incumbent: &ModelArtifact| -> cbq_serve::Result<ModelArtifact> {
+            let glue = |e: String| ServeError::Artifact(format!("requant glue: {e}"));
+            let quant = incumbent
+                .quant
+                .clone()
+                .ok_or_else(|| glue("incumbent has no quant state".into()))?;
+            let mut net = incumbent.arch.build()?;
+            load_state_dict(&mut net, &incumbent.state).map_err(|e| glue(e.to_string()))?;
+            install_act_quant(&mut net);
+            set_act_calibration(&mut net, false);
+            restore_act_clip_bounds(&mut net, &quant.act_clips);
+            set_act_bits(
+                &mut net,
+                Some(BitWidth::new(quant.act_bits).map_err(|e| glue(e.to_string()))?),
+            );
+            let score = ScoreConfig {
+                samples_per_class: 8,
+                ..ScoreConfig::default()
+            };
+            let mut search = SearchConfig::new(avg_bits);
+            search.probe_samples = probe_samples;
+            let tel = Telemetry::disabled();
+            let out = requant_for_mix(
+                &mut net,
+                &val,
+                mix,
+                &score,
+                &search,
+                &tel,
+                Parallelism::serial(),
+            )
+            .map_err(|e| glue(e.to_string()))?;
+            Ok(ModelArtifact {
+                quant: Some(QuantState {
+                    arrangement: out.search.arrangement,
+                    ..quant
+                }),
+                ..incumbent.clone()
+            })
+        },
+    )
+}
+
+struct ArmRun {
+    /// `(version, argmax, ok)` per response, in admission-seq order.
+    responses: Vec<(u64, usize, bool)>,
+    requant: Option<RequantReport>,
+}
+
+/// Drives one arm over the plan with the drained-window protocol; when
+/// `adaptive` carries a setup, the requant loop runs and each window
+/// fully settles (`requant_sync`) before the next is admitted.
+fn run_arm(
+    workers: usize,
+    artifact: &ModelArtifact,
+    plan: &[Vec<(Vec<f32>, usize)>],
+    classes: usize,
+    window: u64,
+    adaptive: Option<RequantSetup>,
+) -> Result<ArmRun, Box<dyn std::error::Error>> {
+    let registry = Arc::new(ModelRegistry::new());
+    let handle = registry.load("adaptive", artifact, Backend::FakeQuant)?;
+    let clock = ManualClock::new();
+    let config = ServerConfig {
+        policy: BatchPolicy {
+            max_batch: 1,
+            max_wait: Duration::from_secs(3600),
+            queue_capacity: 1 << 16,
+        },
+        workers,
+    };
+    let observe = ObserveConfig {
+        baseline: Some(achieved_mix(&vec![1.0; classes], window as usize)),
+        window,
+        ..ObserveConfig::for_classes(classes)
+    };
+    let telemetry = Telemetry::disabled();
+    let clock_arc: Arc<dyn cbq_serve::ServeClock> = Arc::new(clock.clone());
+    let is_adaptive = adaptive.is_some();
+    let server = match adaptive {
+        Some(setup) => Server::start_adaptive(
+            registry, config, clock_arc, telemetry, observe, setup,
+        )?,
+        None => Server::start_observed(registry, config, clock_arc, telemetry, observe)?,
+    };
+
+    let mut id = 0u64;
+    let mut responses = Vec::new();
+    for w in plan {
+        let tickets: Vec<_> = w
+            .iter()
+            .map(|(sample, label)| {
+                id += 1;
+                server.submit_request(id, &handle, sample.clone(), Some(*label))
+            })
+            .collect::<cbq_serve::Result<Vec<_>>>()?;
+        for (k, ticket) in tickets.into_iter().enumerate() {
+            let r = ticket.wait()?;
+            let (_, label) = &w[k];
+            responses.push((r.version, r.argmax, r.argmax == *label));
+        }
+        if is_adaptive {
+            server.requant_sync();
+        }
+        clock.advance(Duration::from_millis(1));
+    }
+    let stats = server.shutdown();
+    Ok(ArmRun {
+        responses,
+        requant: stats.requant,
+    })
+}
+
+fn accuracy(responses: &[(u64, usize, bool)]) -> f64 {
+    if responses.is_empty() {
+        return 0.0;
+    }
+    responses.iter().filter(|(_, _, ok)| *ok).count() as f64 / responses.len() as f64
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let window = env_usize("WINDOW", 32).max(16) as u64;
+    let stationary = env_usize("STATIONARY", 2);
+    let shadow = env_usize("SHADOW", 2).max(1) as u64;
+    let post = env_usize("POST", 3).max(1);
+    let seed = env_usize("SEED", 5) as u64;
+    let epochs = env_usize("EPOCHS", 3);
+    let avg_bits = env_usize("AVG_BITS_X10", 20) as f32 / 10.0;
+    let probe_samples = env_usize("PROBE", 48);
+    let workers = env_usize("WORKERS", 4).max(1);
+
+    eprintln!("training fixture + searching incumbent arrangement (uniform mix)...");
+    let Fixture {
+        artifact,
+        mut traffic,
+        val_flat,
+        classes,
+    } = build_fixture(seed, epochs, avg_bits, probe_samples)?;
+
+    // The plan: `stationary` uniform windows, then a sustained surge of
+    // the incumbent's weakest predicted class — 1 trigger window +
+    // `shadow` shadow windows + `post` post-decision windows of it.
+    let uniform = vec![1.0; classes];
+    let surge = {
+        let mut m = vec![0.0; classes];
+        m[0] = 1.0;
+        m
+    };
+    let shifted_span = 1 + shadow as usize + post;
+    let mut plan = Vec::new();
+    for _ in 0..stationary {
+        plan.push(traffic.window(&uniform, window as usize));
+    }
+    for _ in 0..shifted_span {
+        plan.push(traffic.window(&surge, window as usize));
+    }
+    // A pure-stationary plan for the identity gate, from fresh cursors.
+    let mut stationary_traffic = LabeledTraffic::new(classes);
+    stationary_traffic.pools = std::mem::take(&mut traffic.pools);
+    stationary_traffic.cursors = vec![0; classes];
+    let calm_plan: Vec<_> = (0..stationary + 2)
+        .map(|_| stationary_traffic.window(&uniform, window as usize))
+        .collect();
+
+    let requant_config = RequantConfig {
+        shadow_windows: shadow,
+        ..RequantConfig::default()
+    };
+    let setup = |builder| RequantSetup {
+        model: "adaptive".into(),
+        backend: Backend::FakeQuant,
+        artifact: artifact.clone(),
+        config: requant_config.clone(),
+        builder,
+    };
+
+    // Identity gate: no shift, no trigger, bytes equal to static.
+    eprintln!("stationary identity gate ({} windows)...", calm_plan.len());
+    let calm_static = run_arm(workers, &artifact, &calm_plan, classes, window, None)?;
+    let calm_adaptive = run_arm(
+        workers,
+        &artifact,
+        &calm_plan,
+        classes,
+        window,
+        Some(setup(real_builder(val_flat.clone(), avg_bits, probe_samples))),
+    )?;
+    let calm_report = calm_adaptive.requant.as_ref().expect("adaptive report");
+    let stationary_identical = calm_static.responses == calm_adaptive.responses;
+    let stationary_quiet = calm_report.triggered == 0;
+
+    // The shift drill, static vs adaptive, plus a 1-worker adaptive
+    // replay for the determinism gate.
+    eprintln!("shift drill ({} windows, surge on class 0)...", plan.len());
+    let static_arm = run_arm(workers, &artifact, &plan, classes, window, None)?;
+    let adaptive_arm = run_arm(
+        workers,
+        &artifact,
+        &plan,
+        classes,
+        window,
+        Some(setup(real_builder(val_flat.clone(), avg_bits, probe_samples))),
+    )?;
+    let adaptive_single = run_arm(
+        1,
+        &artifact,
+        &plan,
+        classes,
+        window,
+        Some(setup(real_builder(val_flat.clone(), avg_bits, probe_samples))),
+    )?;
+    let report = adaptive_arm.requant.as_ref().expect("adaptive report");
+    let deterministic = adaptive_arm.responses == adaptive_single.responses
+        && adaptive_arm.requant == adaptive_single.requant;
+
+    let (cutover_seq, cutover_version) = report
+        .jobs
+        .iter()
+        .find_map(|j| match &j.decision {
+            RequantDecision::Cutover { seq, version } => Some((*seq, *version)),
+            _ => None,
+        })
+        .map_or((None, None), |(s, v)| (Some(s), Some(v)));
+    let cutover_aligned = cutover_seq.map_or(true, |s| s % window == 0);
+    let requant_latency_windows = match (cutover_seq, report.jobs.first()) {
+        (Some(seq), Some(job)) => Some(seq / window - job.trigger_window),
+        _ => None,
+    };
+
+    // Post-decision comparison: the span both arms serve after the
+    // adaptive arm's decision landed (cutover or rejection — when
+    // rejected the arms must be identical there too).
+    let shift_start = stationary * window as usize;
+    let decision_start = cutover_seq
+        .map(|s| s as usize)
+        .unwrap_or((stationary + 1 + shadow as usize) * window as usize);
+    let static_post = &static_arm.responses[decision_start..];
+    let adaptive_post = &adaptive_arm.responses[decision_start..];
+    let static_post_acc = accuracy(static_post);
+    let adaptive_post_acc = accuracy(adaptive_post);
+    let accuracy_recovered = adaptive_post_acc - static_post_acc;
+    let adaptive_never_loses = adaptive_post
+        .iter()
+        .filter(|(_, _, ok)| *ok)
+        .count()
+        >= static_post.iter().filter(|(_, _, ok)| *ok).count();
+    let static_shift_acc = accuracy(&static_arm.responses[shift_start..]);
+    let adaptive_shift_acc = accuracy(&adaptive_arm.responses[shift_start..]);
+    let static_vs_adaptive_delta = adaptive_arm.responses[shift_start..]
+        .iter()
+        .filter(|(_, _, ok)| *ok)
+        .count() as i64
+        - static_arm.responses[shift_start..]
+            .iter()
+            .filter(|(_, _, ok)| *ok)
+            .count() as i64;
+
+    eprintln!(
+        "static  : post-decision accuracy {static_post_acc:.4} (shift span {static_shift_acc:.4})"
+    );
+    eprintln!(
+        "recovery: accuracy_recovered {accuracy_recovered:+.4}, static_vs_adaptive_delta \
+         {static_vs_adaptive_delta:+} correct answers over the shifted span"
+    );
+    eprintln!(
+        "adaptive: post-decision accuracy {adaptive_post_acc:.4} (shift span \
+         {adaptive_shift_acc:.4}), triggered {}, cutovers {}, rejected {}, cutover seq \
+         {cutover_seq:?} (v{cutover_version:?}), requant latency {requant_latency_windows:?} \
+         windows",
+        report.triggered, report.cutovers, report.rejected,
+    );
+    eprintln!(
+        "gates   : stationary identical {stationary_identical}, stationary quiet \
+         {stationary_quiet}, adaptive never loses {adaptive_never_loses}, deterministic \
+         {deterministic}, cutover aligned {cutover_aligned}"
+    );
+
+    let payload = serde_json::json!({
+        "workload": "predicted-class pooled traffic with ground-truth labels, \
+                     uniform mix -> class-0 surge",
+        "window": window,
+        "stationary_windows": stationary,
+        "shadow_windows": shadow,
+        "post_windows": post,
+        "avg_bits": avg_bits,
+        "workers": workers,
+        "triggered": report.triggered,
+        "cutovers": report.cutovers,
+        "rejected": report.rejected,
+        "cutover_seq": cutover_seq,
+        "cutover_version": cutover_version,
+        "requant_latency_windows": requant_latency_windows,
+        "static_post_accuracy": static_post_acc,
+        "adaptive_post_accuracy": adaptive_post_acc,
+        "accuracy_recovered": accuracy_recovered,
+        "static_shift_accuracy": static_shift_acc,
+        "adaptive_shift_accuracy": adaptive_shift_acc,
+        "static_vs_adaptive_delta": static_vs_adaptive_delta,
+        "gates": {
+            "stationary_identical_to_static": stationary_identical,
+            "stationary_never_triggers": stationary_quiet,
+            "adaptive_never_loses_post_decision": adaptive_never_loses,
+            "deterministic_across_worker_counts": deterministic,
+            "cutover_window_aligned": cutover_aligned,
+        },
+    });
+    std::fs::create_dir_all("results")?;
+    atomic_write_text(
+        "results/BENCH_serve_requant.json",
+        &serde_json::to_string_pretty(&payload)?,
+    )?;
+    eprintln!("wrote results/BENCH_serve_requant.json");
+
+    let mut failed = false;
+    if !stationary_identical || !stationary_quiet {
+        eprintln!("STATIONARY GATE FAILED: adaptive arm diverged from static without drift");
+        failed = true;
+    }
+    if !adaptive_never_loses {
+        eprintln!("RECOVERY GATE FAILED: adaptive arm lost accuracy after its decision");
+        failed = true;
+    }
+    if !deterministic {
+        eprintln!("DETERMINISM GATE FAILED: adaptive arm diverged across worker counts");
+        failed = true;
+    }
+    if !cutover_aligned {
+        eprintln!("ALIGNMENT GATE FAILED: cutover seq not window-aligned");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    Ok(())
+}

@@ -337,6 +337,64 @@ pub fn score_network_with(
     tel: &Telemetry,
     par: Parallelism,
 ) -> Result<ImportanceScores> {
+    score_network_impl(net, val, num_classes, config, None, tel, par)
+}
+
+/// Class-*weighted* importance scoring for an observed traffic mix.
+///
+/// Identical to [`score_network_with`] except that each class's `β`
+/// contribution to `γ` (Eq. 7) is scaled by `class_weights[class]` — the
+/// requant path derives those weights from the observed class mix via
+/// [`mix_weights`](crate::mix_weights), so neurons serving over-represented
+/// classes earn proportionally higher scores and therefore more bits.
+/// With all weights equal to 1 the result is bit-identical to the
+/// unweighted scorer (the same float operations in the same order).
+/// Weights normalized to mean 1 keep `γ ≤ Σ w = M`, preserving the
+/// search's `max_phi ≤ M` upper bound.
+///
+/// # Errors
+///
+/// Same as [`score_network`], plus [`CqError::InvalidConfig`] when
+/// `class_weights` has the wrong length, a non-finite or negative entry,
+/// or sums to zero.
+pub fn score_network_mix(
+    net: &mut Sequential,
+    val: &Subset,
+    num_classes: usize,
+    config: &ScoreConfig,
+    class_weights: &[f64],
+    tel: &Telemetry,
+    par: Parallelism,
+) -> Result<ImportanceScores> {
+    if class_weights.len() != num_classes {
+        return Err(CqError::InvalidConfig(format!(
+            "class_weights has {} entries for {} classes",
+            class_weights.len(),
+            num_classes
+        )));
+    }
+    if class_weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
+        return Err(CqError::InvalidConfig(
+            "class_weights must be finite and non-negative".into(),
+        ));
+    }
+    if class_weights.iter().sum::<f64>() <= 0.0 {
+        return Err(CqError::InvalidConfig(
+            "class_weights must not all be zero".into(),
+        ));
+    }
+    score_network_impl(net, val, num_classes, config, Some(class_weights), tel, par)
+}
+
+fn score_network_impl(
+    net: &mut Sequential,
+    val: &Subset,
+    num_classes: usize,
+    config: &ScoreConfig,
+    weights: Option<&[f64]>,
+    tel: &Telemetry,
+    par: Parallelism,
+) -> Result<ImportanceScores> {
     if num_classes == 0 {
         return Err(CqError::InvalidConfig(
             "num_classes must be positive".into(),
@@ -463,7 +521,12 @@ pub fn score_network_with(
             let mut bf = vec![0.0f64; plan.out_channels];
             for (n, &c) in crit.iter().enumerate() {
                 let beta = c as f64 / n_s as f64;
-                gamma[i][n] += beta;
+                // β stays unweighted in the per-class diagnostics; only
+                // the γ accumulation is mix-weighted.
+                match weights {
+                    None => gamma[i][n] += beta,
+                    Some(w) => gamma[i][n] += w[class] * beta,
+                }
                 let filter = n / npf;
                 if beta > bf[filter] {
                     bf[filter] = beta;
@@ -700,6 +763,103 @@ mod tests {
         assert_eq!(conv2.phi.len(), 4);
         let fc5 = scores.unit("fc5").unwrap();
         assert_eq!(fc5.neurons_per_filter, 1);
+    }
+
+    #[test]
+    fn unit_weights_match_unweighted_scorer_bitwise() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let data = SyntheticImages::generate(&SyntheticSpec::tiny(3), &mut rng).unwrap();
+        let f = data.feature_len();
+        let flat_train = cbq_data::Subset::new(
+            data.train()
+                .images()
+                .reshape(&[data.train().len(), f])
+                .unwrap(),
+            data.train().labels().to_vec(),
+        )
+        .unwrap();
+        let flat_val = cbq_data::Subset::new(
+            data.val().images().reshape(&[data.val().len(), f]).unwrap(),
+            data.val().labels().to_vec(),
+        )
+        .unwrap();
+        let mut net = models::mlp(&[f, 16, 8, 3], &mut rng).unwrap();
+        Trainer::new(TrainerConfig {
+            batch_size: 16,
+            ..TrainerConfig::quick(6, 0.05)
+        })
+        .fit(&mut net, &flat_train, &mut rng)
+        .unwrap();
+        let cfg = ScoreConfig {
+            samples_per_class: 8,
+            epsilon: 1e-30,
+        };
+        let tel = Telemetry::disabled();
+        let plain =
+            score_network_with(&mut net, &flat_val, 3, &cfg, &tel, Parallelism::serial()).unwrap();
+        let ones = score_network_mix(
+            &mut net,
+            &flat_val,
+            3,
+            &cfg,
+            &[1.0, 1.0, 1.0],
+            &tel,
+            Parallelism::serial(),
+        )
+        .unwrap();
+        assert_eq!(plain, ones, "unit weights must reproduce unweighted bits");
+
+        // A skewed mix reweights γ but never pushes it past Σw.
+        let skew = score_network_mix(
+            &mut net,
+            &flat_val,
+            3,
+            &cfg,
+            &[2.5, 0.25, 0.25],
+            &tel,
+            Parallelism::serial(),
+        )
+        .unwrap();
+        assert!(skew.max_phi() <= 3.0 + 1e-9);
+        assert_ne!(plain.units[0].gamma, skew.units[0].gamma);
+    }
+
+    #[test]
+    fn mix_weights_validation() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let data = SyntheticImages::generate(&SyntheticSpec::tiny(2), &mut rng).unwrap();
+        let f = data.feature_len();
+        let flat_val = cbq_data::Subset::new(
+            data.val().images().reshape(&[data.val().len(), f]).unwrap(),
+            data.val().labels().to_vec(),
+        )
+        .unwrap();
+        let mut net = models::mlp(&[f, 8, 4, 2], &mut rng).unwrap();
+        let cfg = ScoreConfig {
+            samples_per_class: 4,
+            epsilon: 1e-30,
+        };
+        let tel = Telemetry::disabled();
+        for bad in [
+            vec![1.0],                // wrong length
+            vec![1.0, f64::NAN],      // non-finite
+            vec![1.0, -0.5],          // negative
+            vec![0.0, 0.0],           // all zero
+        ] {
+            assert!(
+                score_network_mix(
+                    &mut net,
+                    &flat_val,
+                    2,
+                    &cfg,
+                    &bad,
+                    &tel,
+                    Parallelism::serial()
+                )
+                .is_err(),
+                "weights {bad:?} should be rejected"
+            );
+        }
     }
 
     #[test]

@@ -45,6 +45,7 @@ mod error;
 pub mod importance;
 pub mod pipeline;
 pub mod refine;
+pub mod requant;
 pub mod search;
 
 pub use cbq_telemetry::Telemetry;
@@ -54,13 +55,14 @@ pub use checkpoint::{
 };
 pub use error::CqError;
 pub use importance::{
-    score_network, score_network_traced, score_network_with, ImportanceScores, ScoreConfig,
-    UnitScores,
+    score_network, score_network_mix, score_network_traced, score_network_with, ImportanceScores,
+    ScoreConfig, UnitScores,
 };
 pub use pipeline::{CqConfig, CqPipeline, CqReport};
 pub use refine::{
     refine, refine_resumable, refine_traced, teacher_probs, OnEpoch, RefineConfig, RefineResume,
 };
+pub use requant::{mix_probe_indices, mix_weights, requant_for_mix, MixRequant};
 pub use search::{
     search, search_traced, search_with, Granularity, ProbeCache, ProbeKey, SearchConfig,
     SearchOutcome, SearchStep, ThresholdSummary,

@@ -1,0 +1,340 @@
+//! Re-quantization against an *observed* class mix (the actuation half of
+//! the drift loop).
+//!
+//! The offline pipeline optimizes the bit arrangement for the class mix
+//! of the training distribution. When serving telemetry shows the live
+//! mix has drifted, [`requant_for_mix`] re-runs the paper's two search
+//! inputs against the observed traffic instead:
+//!
+//! - importance scores are computed with each class's `β` contribution
+//!   weighted by its observed share ([`mix_weights`] +
+//!   [`score_network_mix`]), so the class-weighted objective follows the
+//!   deployment, not the training set;
+//! - the threshold search probes accuracy on a validation subset
+//!   apportioned to the observed mix ([`mix_probe_indices`]), so "does
+//!   this arrangement still classify well?" is answered on the traffic
+//!   actually arriving.
+//!
+//! Everything here is deterministic: weights are exact ratios of integer
+//! counts, probe slots are apportioned by the largest-remainder method
+//! with index-order tie-breaking, and the underlying scorer/search are
+//! already bit-exact at any thread count.
+
+use crate::{
+    score_network_mix, search_with, CqError, ImportanceScores, Result, ScoreConfig, SearchConfig,
+    SearchOutcome,
+};
+use cbq_data::Subset;
+use cbq_nn::Sequential;
+use cbq_telemetry::Telemetry;
+use cbq_tensor::parallel::Parallelism;
+
+/// Everything one mix-directed re-quantization produced.
+#[derive(Debug, Clone)]
+pub struct MixRequant {
+    /// The class weights derived from the observed counts (mean 1).
+    pub weights: Vec<f64>,
+    /// Mix-weighted importance scores (Eqs. 5–8 with weighted Eq. 7).
+    pub scores: ImportanceScores,
+    /// The search outcome on the mix-apportioned probe subset; its
+    /// `arrangement` is the candidate bit allocation.
+    pub search: SearchOutcome,
+}
+
+/// Converts observed per-class request counts into scoring weights
+/// normalized to mean 1: `w[c] = counts[c] · M / Σ counts`.
+///
+/// Mean-1 normalization keeps the weighted `γ` bounded by the class count
+/// `M` (`γ = Σ_c w[c]·β_c ≤ Σ_c w[c] = M`), so the search's score-range
+/// assumptions hold unchanged. A uniform mix yields all-ones weights,
+/// making the weighted scorer bit-identical to the offline one.
+///
+/// # Errors
+///
+/// Returns [`CqError::InvalidConfig`] when `counts` is empty or all zero.
+pub fn mix_weights(counts: &[u64]) -> Result<Vec<f64>> {
+    if counts.is_empty() {
+        return Err(CqError::InvalidConfig(
+            "observed mix must have at least one class".into(),
+        ));
+    }
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return Err(CqError::InvalidConfig(
+            "observed mix must have at least one request".into(),
+        ));
+    }
+    let m = counts.len() as f64;
+    Ok(counts
+        .iter()
+        .map(|&c| c as f64 * m / total as f64)
+        .collect())
+}
+
+/// Apportions `probe_samples` probe slots across classes proportionally
+/// to the observed counts (largest-remainder method, ties broken by lower
+/// class index) and returns validation-sample indices filling those
+/// quotas, interleaved round-robin across classes.
+///
+/// The interleaving keeps any prefix of the returned order close to the
+/// target mix. A class whose quota exceeds its available validation
+/// samples cycles through them (repeats are deliberate: the probe subset
+/// must reflect the traffic mix even from a small validation pool).
+/// Everything is integer arithmetic on the counts, so the result is a
+/// pure function of `(labels, counts, probe_samples)`.
+///
+/// # Errors
+///
+/// Returns [`CqError::InvalidConfig`] when `probe_samples` is zero, the
+/// mix is empty/all-zero, or a class with a nonzero quota has no
+/// validation samples.
+pub fn mix_probe_indices(val: &Subset, counts: &[u64], probe_samples: usize) -> Result<Vec<usize>> {
+    if probe_samples == 0 {
+        return Err(CqError::InvalidConfig(
+            "probe_samples must be positive".into(),
+        ));
+    }
+    if counts.is_empty() {
+        return Err(CqError::InvalidConfig(
+            "observed mix must have at least one class".into(),
+        ));
+    }
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return Err(CqError::InvalidConfig(
+            "observed mix must have at least one request".into(),
+        ));
+    }
+
+    // Largest-remainder apportionment in exact integer arithmetic.
+    let n = probe_samples as u64;
+    let mut quota: Vec<usize> = Vec::with_capacity(counts.len());
+    let mut remainders: Vec<(u64, usize)> = Vec::with_capacity(counts.len());
+    let mut assigned = 0u64;
+    for (class, &c) in counts.iter().enumerate() {
+        let exact = n * c;
+        quota.push((exact / total) as usize);
+        assigned += exact / total;
+        remainders.push((exact % total, class));
+    }
+    // Largest remainder first; equal remainders go to the lower class.
+    remainders.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    let mut leftover = n - assigned;
+    for &(rem, class) in &remainders {
+        if leftover == 0 {
+            break;
+        }
+        if rem > 0 {
+            quota[class] += 1;
+            leftover -= 1;
+        }
+    }
+    // All-integral shares leave no remainders; hand the (rare) leftover
+    // slots to the heaviest classes in count-then-index order.
+    if leftover > 0 {
+        let mut by_count: Vec<usize> = (0..counts.len()).collect();
+        by_count.sort_by(|&a, &b| counts[b].cmp(&counts[a]).then(a.cmp(&b)));
+        for class in by_count.into_iter().cycle() {
+            if leftover == 0 {
+                break;
+            }
+            if counts[class] > 0 {
+                quota[class] += 1;
+                leftover -= 1;
+            }
+        }
+    }
+
+    // Per-class sample pools, in validation order.
+    let mut pools: Vec<Vec<usize>> = vec![Vec::new(); counts.len()];
+    for (i, &label) in val.labels().iter().enumerate() {
+        if label < counts.len() {
+            pools[label].push(i);
+        }
+    }
+    for (class, q) in quota.iter().enumerate() {
+        if *q > 0 && pools[class].is_empty() {
+            return Err(CqError::InvalidConfig(format!(
+                "class {class} needs {q} probe samples but has none in the validation split"
+            )));
+        }
+    }
+
+    // Round-robin interleave: pass after pass, each class that still owes
+    // samples contributes its next (cycled) pool entry.
+    let mut taken = vec![0usize; counts.len()];
+    let mut indices = Vec::with_capacity(probe_samples);
+    while indices.len() < probe_samples {
+        for class in 0..counts.len() {
+            if taken[class] < quota[class] {
+                indices.push(pools[class][taken[class] % pools[class].len()]);
+                taken[class] += 1;
+            }
+        }
+    }
+    Ok(indices)
+}
+
+/// Re-runs importance scoring and threshold search against an observed
+/// class mix, producing the candidate bit arrangement for a hot
+/// re-quantization.
+///
+/// `net` must be in its serving configuration (trained weights loaded,
+/// activation quantizers installed and calibrated as deployed); the
+/// search leaves the winning arrangement installed on it, exactly like
+/// the offline [`search_with`]. `observed_mix[c]` is the number of
+/// requests predicted as class `c` over the drifted window(s);
+/// `search.probe_samples` sets the size of the mix-apportioned probe
+/// subset drawn from `val`.
+///
+/// # Errors
+///
+/// Propagates scoring, search and dataset errors, plus
+/// [`CqError::InvalidConfig`] for a degenerate mix.
+pub fn requant_for_mix(
+    net: &mut Sequential,
+    val: &Subset,
+    observed_mix: &[u64],
+    score: &ScoreConfig,
+    search: &SearchConfig,
+    tel: &Telemetry,
+    par: Parallelism,
+) -> Result<MixRequant> {
+    let span = tel.span_with(
+        "requant",
+        &[("classes", observed_mix.len().into())],
+    );
+    let weights = mix_weights(observed_mix)?;
+    let scores = score_network_mix(net, val, observed_mix.len(), score, &weights, tel, par)?;
+    let indices = mix_probe_indices(val, observed_mix, search.probe_samples)?;
+    let probe = val.select(&indices)?;
+    let mut cfg = search.clone();
+    cfg.probe_samples = probe.len();
+    let outcome = search_with(net, &scores, &probe, &cfg, tel, par)?;
+    span.end();
+    Ok(MixRequant {
+        weights,
+        scores,
+        search: outcome,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbq_data::{SyntheticImages, SyntheticSpec};
+    use cbq_nn::{models, Trainer, TrainerConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn weights_are_mean_one_ratios() {
+        let w = mix_weights(&[30, 10]).unwrap();
+        assert_eq!(w, vec![1.5, 0.5]);
+        let uniform = mix_weights(&[7, 7, 7]).unwrap();
+        assert_eq!(uniform, vec![1.0, 1.0, 1.0]);
+        assert!(mix_weights(&[]).is_err());
+        assert!(mix_weights(&[0, 0]).is_err());
+    }
+
+    fn labeled_subset(labels: &[usize]) -> Subset {
+        let data: Vec<f32> = (0..labels.len() * 2).map(|v| v as f32).collect();
+        Subset::new(
+            cbq_tensor::Tensor::from_vec(data, &[labels.len(), 2]).unwrap(),
+            labels.to_vec(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn apportionment_matches_mix_and_interleaves() {
+        let val = labeled_subset(&[0, 1, 0, 1, 0, 1]);
+        // 3:1 mix over 8 slots → quotas 6 and 2.
+        let idx = mix_probe_indices(&val, &[75, 25], 8).unwrap();
+        assert_eq!(idx.len(), 8);
+        let labels: Vec<usize> = idx.iter().map(|&i| val.labels()[i]).collect();
+        assert_eq!(labels.iter().filter(|&&l| l == 0).count(), 6);
+        assert_eq!(labels.iter().filter(|&&l| l == 1).count(), 2);
+        // Round-robin: the first two slots cover both classes.
+        assert_ne!(labels[0], labels[1]);
+        // Class 0 has 3 pool entries but owes 6 → cycles deterministically.
+        let class0: Vec<usize> = idx
+            .iter()
+            .copied()
+            .filter(|&i| val.labels()[i] == 0)
+            .collect();
+        assert_eq!(class0, vec![0, 2, 4, 0, 2, 4]);
+    }
+
+    #[test]
+    fn zero_count_classes_get_no_probe_slots() {
+        let val = labeled_subset(&[0, 1, 2, 0, 1, 2]);
+        let idx = mix_probe_indices(&val, &[10, 0, 10], 6).unwrap();
+        assert!(idx.iter().all(|&i| val.labels()[i] != 1));
+    }
+
+    #[test]
+    fn missing_validation_class_is_rejected() {
+        let val = labeled_subset(&[0, 0, 0]);
+        assert!(mix_probe_indices(&val, &[1, 1], 4).is_err());
+    }
+
+    #[test]
+    fn requant_on_shifted_mix_produces_valid_arrangement() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let data = SyntheticImages::generate(&SyntheticSpec::tiny(3), &mut rng).unwrap();
+        let f = data.feature_len();
+        let flat = |s: &Subset| {
+            Subset::new(
+                s.images().reshape(&[s.len(), f]).unwrap(),
+                s.labels().to_vec(),
+            )
+            .unwrap()
+        };
+        let train = flat(data.train());
+        let val = flat(data.val());
+        let mut net = models::mlp(&[f, 16, 8, 3], &mut rng).unwrap();
+        Trainer::new(TrainerConfig {
+            batch_size: 16,
+            ..TrainerConfig::quick(8, 0.05)
+        })
+        .fit(&mut net, &train, &mut rng)
+        .unwrap();
+
+        let score = ScoreConfig {
+            samples_per_class: 8,
+            epsilon: 1e-30,
+        };
+        let mut search = SearchConfig::new(2.0);
+        search.probe_samples = 24;
+        let tel = Telemetry::disabled();
+        let out = requant_for_mix(
+            &mut net,
+            &val,
+            &[80, 10, 10],
+            &score,
+            &search,
+            &tel,
+            Parallelism::serial(),
+        )
+        .unwrap();
+        assert_eq!(out.weights.len(), 3);
+        assert!(out.search.final_avg_bits <= 2.0 + 1e-4);
+        assert!(out.search.arrangement.total_weights() > 0);
+
+        // Deterministic: same inputs, same arrangement.
+        let mut net2 = models::mlp(&[f, 16, 8, 3], &mut rng).unwrap();
+        cbq_nn::load_state_dict(&mut net2, &cbq_nn::state_dict(&mut net)).unwrap();
+        let out2 = requant_for_mix(
+            &mut net2,
+            &val,
+            &[80, 10, 10],
+            &score,
+            &search,
+            &tel,
+            Parallelism::serial(),
+        )
+        .unwrap();
+        assert_eq!(out.search.arrangement, out2.search.arrangement);
+    }
+}

@@ -122,6 +122,36 @@ impl Subset {
         let images = Tensor::from_vec(self.images.as_slice()[..n * item_len].to_vec(), &dims)?;
         Subset::new(images, self.labels[..n].to_vec())
     }
+
+    /// Copies the given sample indices (in order, repeats allowed) into a
+    /// new subset — the building block for mix-weighted probe sets, where
+    /// the sample composition must mirror an observed class distribution
+    /// rather than the split's own ordering.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidSpec`] for an out-of-range index;
+    /// propagates tensor errors.
+    pub fn select(&self, indices: &[usize]) -> Result<Subset, DataError> {
+        let item_dims: Vec<usize> = self.images.shape()[1..].to_vec();
+        let item_len: usize = item_dims.iter().product();
+        let src = self.images.as_slice();
+        let mut data = Vec::with_capacity(indices.len() * item_len);
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            if i >= self.len() {
+                return Err(DataError::InvalidSpec(format!(
+                    "select index {i} out of range for subset of {}",
+                    self.len()
+                )));
+            }
+            data.extend_from_slice(&src[i * item_len..(i + 1) * item_len]);
+            labels.push(self.labels[i]);
+        }
+        let mut dims = vec![indices.len()];
+        dims.extend_from_slice(&item_dims);
+        Subset::new(Tensor::from_vec(data, &dims)?, labels)
+    }
 }
 
 /// A generated synthetic dataset with train/val/test splits.
@@ -325,6 +355,23 @@ mod tests {
         assert_eq!(h.labels(), &d.val().labels()[..4]);
         let all = d.val().head(10_000).unwrap();
         assert_eq!(all.len(), d.val().len());
+    }
+
+    #[test]
+    fn select_copies_indices_in_order_with_repeats() {
+        let d = tiny_data();
+        let v = d.val();
+        let s = v.select(&[2, 0, 2]).unwrap();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.labels()[0], v.labels()[2]);
+        assert_eq!(s.labels()[1], v.labels()[0]);
+        assert_eq!(s.labels()[2], v.labels()[2]);
+        let f = d.feature_len();
+        assert_eq!(
+            &s.images().as_slice()[..f],
+            &v.images().as_slice()[2 * f..3 * f]
+        );
+        assert!(v.select(&[v.len()]).is_err());
     }
 
     #[test]

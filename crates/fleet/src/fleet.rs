@@ -256,6 +256,41 @@ impl Fleet {
         self.replicas.iter().find(|r| r.name() == name)
     }
 
+    /// Propagates a model cutover to every replica: installs a
+    /// seq-pinned route for `to` on each replica in index order and
+    /// returns `(replica name, replica-local cutover seq)` pairs, also in
+    /// index order. Admission seqs are per-replica, so the cutover seqs
+    /// differ across replicas — what is fleet-invariant is the *rule*:
+    /// on every replica, requests before its seq execute the old version
+    /// and requests at or after it the new one, window-aligned.
+    ///
+    /// Down replicas are skipped (their next generation starts from the
+    /// shared registry's latest state anyway); a fleet where *no* replica
+    /// accepted the route returns the last error.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownModel`] / [`ServeError::InvalidConfig`] from
+    /// the first replica that rejects the route for a non-liveness
+    /// reason, or [`ServeError::ReplicaDown`] when every replica was
+    /// down.
+    pub fn install_cutover(&self, to: &ModelHandle, window: u64) -> Result<Vec<(String, u64)>> {
+        let mut out = Vec::with_capacity(self.replicas.len());
+        let mut last_down: Option<ServeError> = None;
+        for replica in &self.replicas {
+            match replica.install_route(to, window) {
+                Ok(seq) => out.push((replica.name().to_string(), seq)),
+                Err(e @ ServeError::ReplicaDown { .. }) => last_down = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        if out.is_empty() {
+            return Err(last_down.unwrap_or(ServeError::ShuttingDown));
+        }
+        self.telemetry.counter_add("fleet.cutovers", 1);
+        Ok(out)
+    }
+
     /// Kills a replica by name: admission stops, admitted requests
     /// drain, in-flight fleet calls fail over. Returns the generation's
     /// statistics (`None` when already down).

@@ -31,6 +31,9 @@
 //!   a [`FaultPlan`](cbq_resilience::FaultPlan)
 //!   `kill-replica:<name>@<requests>` trigger kills and restarts a
 //!   replica once the fleet has admitted that many requests.
+//!   [`Fleet::install_cutover`] propagates a requantized model version to
+//!   every live replica as a seq-pinned, window-aligned admission route —
+//!   the fleet face of the serve tier's hot-swap primitive.
 //!
 //! **Invariant the whole tier is built around:** the fleet-wide replay
 //! log — responses sorted by request id, canonical bytes concatenated —
@@ -241,6 +244,61 @@ mod tests {
         assert_eq!(restarted.len(), 1);
         assert_eq!(restarted[0].name, victim);
         assert_eq!(collector.counter_total("fleet.replica_restarts"), 1);
+    }
+
+    #[test]
+    fn install_cutover_propagates_in_replica_order_and_reroutes_admissions() {
+        let registry = Arc::new(ModelRegistry::new());
+        let v1 = registry
+            .load("m", &artifact(&[4, 6, 2]), Backend::Float)
+            .unwrap();
+        let collector = Arc::new(Collector::new());
+        let fleet = Fleet::start(
+            registry.clone(),
+            small_config(3),
+            Telemetry::new(vec![collector.clone()]),
+        )
+        .unwrap();
+        for id in 1..=9u64 {
+            let resp = fleet.infer_with_id(id, &v1, sample(id, 4), None).unwrap();
+            assert_eq!(resp.version, 1);
+        }
+        // A kill before the cutover: the down replica is skipped, the
+        // live ones get the route in replica-index order.
+        let down = replica_name(1);
+        fleet.kill(&down).unwrap();
+        let v2 = registry
+            .load("m", &artifact(&[4, 6, 2]), Backend::Float)
+            .unwrap();
+        let routed = fleet.install_cutover(&v2, 1).unwrap();
+        let names: Vec<String> = routed.iter().map(|(n, _)| n.clone()).collect();
+        assert_eq!(names, vec![replica_name(0), replica_name(2)]);
+        fleet.restart(&down).unwrap();
+        // Requests still *name* v1; routed replicas execute v2. The
+        // restarted replica holds no route, so ids it owns stay on v1 —
+        // assert only on responses that crossed a routed replica.
+        let mut rerouted = 0;
+        for id in 10..=40u64 {
+            let resp = fleet.infer_with_id(id, &v1, sample(id, 4), None).unwrap();
+            assert!(resp.version == 1 || resp.version == 2);
+            rerouted += u64::from(resp.version == 2);
+        }
+        assert!(rerouted > 0, "some ids must land on routed replicas");
+        assert_eq!(collector.counter_total("fleet.cutovers"), 1);
+        // Unknown target and zero window are typed errors. (The ghost
+        // handle comes from a different registry this fleet never saw.)
+        let ghost = ModelRegistry::new()
+            .load("ghost", &artifact(&[4, 6, 2]), Backend::Float)
+            .unwrap();
+        assert!(matches!(
+            fleet.install_cutover(&ghost, 1),
+            Err(ServeError::UnknownModel(_))
+        ));
+        assert!(matches!(
+            fleet.install_cutover(&v2, 0),
+            Err(ServeError::InvalidConfig(_))
+        ));
+        fleet.shutdown();
     }
 
     #[test]

@@ -49,6 +49,18 @@ pub trait Transport: Send + Sync + std::fmt::Debug {
         label: Option<usize>,
     ) -> Result<Ticket>;
 
+    /// Installs a seq-pinned cutover route on the replica: admissions of
+    /// `to`'s model name from the replica's next `window`-aligned
+    /// admission seq on execute against `to`. Returns the replica-local
+    /// cutover seq (each replica numbers its own admissions).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::ReplicaDown`] when the replica is killed,
+    /// [`ServeError::UnknownModel`] for an unregistered target,
+    /// [`ServeError::InvalidConfig`] for a zero window.
+    fn install_route(&self, to: &ModelHandle, window: u64) -> Result<u64>;
+
     /// Kills the replica: admission stops immediately, admitted requests
     /// drain to completion, and the generation's statistics are returned
     /// (`None` when it was already down).
@@ -161,6 +173,16 @@ impl Transport for LoopbackReplica {
         let slot = self.slot.read().expect("replica slot lock poisoned");
         match slot.as_ref() {
             Some(server) => server.submit_request(id, model, sample, label),
+            None => Err(ServeError::ReplicaDown {
+                replica: self.name.clone(),
+            }),
+        }
+    }
+
+    fn install_route(&self, to: &ModelHandle, window: u64) -> Result<u64> {
+        let slot = self.slot.read().expect("replica slot lock poisoned");
+        match slot.as_ref() {
+            Some(server) => server.install_route_at_boundary(to, window),
             None => Err(ServeError::ReplicaDown {
                 replica: self.name.clone(),
             }),

@@ -547,6 +547,22 @@ mod tests {
     }
 
     #[test]
+    fn v3_packed_artifact_keeps_its_baseline_mix() {
+        // Regression: the requant loop rewrites `baseline_mix` to the
+        // observed mix before persisting a candidate, and candidates can
+        // carry a packed-code section — both sections must survive one
+        // encode/decode together, not shadow each other.
+        let mut a = packed_artifact();
+        a.baseline_mix = Some(vec![80.0, 10.0, 10.0]);
+        let bytes = a.to_bytes();
+        let b = ModelArtifact::from_bytes(&bytes).unwrap();
+        assert_eq!(b.baseline_mix, Some(vec![80.0, 10.0, 10.0]));
+        assert!(b.packed.is_some());
+        assert_eq!(a, b);
+        assert_eq!(b.to_bytes(), bytes, "re-encode must be byte-identical");
+    }
+
+    #[test]
     fn corrupted_packed_section_is_a_typed_quant_error() {
         let a = packed_artifact();
         let mut bytes = a.to_bytes();

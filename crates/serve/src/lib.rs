@@ -49,6 +49,17 @@
 //! [`TrafficGenerator`] produces labeled traffic with an exact,
 //! shiftable class mix for drift drills.
 //!
+//! Adaptive serving ([`Server::start_adaptive`] + [`RequantSetup`]):
+//! the actuation half of the drift loop. When the detector flags a
+//! sealed window, a background worker rebuilds the quantization for the
+//! *observed* class mix through an injected [`CandidateBuilder`],
+//! shadow-scores the candidate on labeled traffic (never serving from
+//! it), and hot-swaps via a versioned registry reload plus a seq-pinned
+//! scheduler route at a window boundary — only when the candidate beats
+//! the incumbent by the configured margin ([`RequantConfig`]). The whole
+//! loop keys on admission seqs, never the clock, and reports itself as a
+//! [`RequantReport`] in [`ServeStats`] and the metrics snapshot.
+//!
 //! # Example
 //!
 //! ```
@@ -87,6 +98,7 @@ mod clock;
 mod error;
 mod observe;
 mod registry;
+mod requant;
 mod scheduler;
 mod server;
 mod traffic;
@@ -98,6 +110,9 @@ pub use error::{Result, ServeError};
 pub use observe::{ObserveConfig, RequestTrace, METRICS_SCHEMA};
 pub use registry::{
     compile_packed_codes, offline_logits, Backend, LoadedModel, ModelHandle, ModelRegistry,
+};
+pub use requant::{
+    CandidateBuilder, RequantConfig, RequantDecision, RequantJob, RequantReport, RequantSetup,
 };
 pub use scheduler::{BatchPolicy, BatchScheduler};
 pub use server::{InferResponse, ServeStats, Server, ServerConfig, Ticket};
@@ -182,6 +197,31 @@ mod tests {
         assert_eq!(registry.latest("m").unwrap(), v2);
         assert!(registry.get(&v1).is_ok());
         assert_eq!(registry.names(), vec![("m".to_string(), 2)]);
+    }
+
+    #[test]
+    fn reload_adopts_the_new_artifacts_baseline_mix() {
+        // Regression for the requant cutover path: the candidate artifact
+        // carries the *observed* mix as its baseline, and the registry
+        // version minted at cutover must expose that mix — not the stale
+        // authoring-time baseline of the incumbent version.
+        let registry = Arc::new(ModelRegistry::new());
+        let mut art = float_artifact(&[4, 6, 2]);
+        art.baseline_mix = Some(vec![0.5, 0.5]);
+        let v1 = registry.load("m", &art, Backend::Float).unwrap();
+        art.baseline_mix = Some(vec![0.9, 0.1]);
+        let v2 = registry.load("m", &art, Backend::Float).unwrap();
+        assert_eq!(
+            registry.get(&v1).unwrap().baseline_mix(),
+            Some(&[0.5, 0.5][..]),
+            "old version keeps its own baseline"
+        );
+        assert_eq!(
+            registry.get(&v2).unwrap().baseline_mix(),
+            Some(&[0.9, 0.1][..]),
+            "reload must adopt the new baseline"
+        );
+        assert_eq!(registry.latest("m").unwrap(), v2);
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! snapshots are **byte-identical at any worker count** when driven by a
 //! manual clock.
 
+use crate::requant::{RequantDecision, RequantJob, RequantReport};
 use cbq_telemetry::{json, ClassWindow, DriftConfig, DriftReport, LatencySummary, WindowSet};
 use std::path::PathBuf;
 
@@ -218,13 +219,101 @@ fn drift_json(r: &DriftReport) -> String {
     )
 }
 
+fn counts_json(counts: &[u64]) -> String {
+    let mut out = String::from("[");
+    for (i, &c) in counts.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&c.to_string());
+    }
+    out.push(']');
+    out
+}
+
+fn decision_json(d: &RequantDecision) -> String {
+    match d {
+        RequantDecision::Pending => "{\"kind\": \"pending\"}".to_string(),
+        RequantDecision::Cutover { seq, version } => format!(
+            "{{\"kind\": \"cutover\", \"seq\": {seq}, \"version\": {version}}}"
+        ),
+        RequantDecision::Rejected { delta } => {
+            format!("{{\"kind\": \"rejected\", \"delta\": {delta}}}")
+        }
+        RequantDecision::Aborted { phase } => format!(
+            "{{\"kind\": \"aborted\", \"phase\": {}}}",
+            json::string(phase)
+        ),
+    }
+}
+
+fn requant_job_json(j: &RequantJob) -> String {
+    let (labeled, incumbent_correct, candidate_correct) = j.shadow.totals();
+    let mut windows = String::from("[");
+    for (i, w) in j.shadow.windows().enumerate() {
+        if i > 0 {
+            windows.push(',');
+        }
+        windows.push_str(&format!(
+            "{{\"index\": {}, \"labeled\": {}, \"incumbent_correct\": {}, \"candidate_correct\": {}}}",
+            w.index,
+            w.labeled(),
+            w.incumbent_correct(),
+            w.candidate_correct()
+        ));
+    }
+    windows.push(']');
+    format!(
+        "{{\"trigger_window\": {}, \"observed_mix\": {}, \"from_checkpoint\": {}, \"labeled\": {}, \"incumbent_correct\": {}, \"candidate_correct\": {}, \"delta\": {}, \"shadow_windows\": {}, \"decision\": {}}}",
+        j.trigger_window,
+        counts_json(&j.observed_mix),
+        j.from_checkpoint,
+        labeled,
+        incumbent_correct,
+        candidate_correct,
+        j.shadow.delta(),
+        windows,
+        decision_json(&j.decision)
+    )
+}
+
+fn requant_json(r: &RequantReport) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("    \"triggered\": {},\n", r.triggered));
+    out.push_str(&format!("    \"built\": {},\n", r.built));
+    out.push_str(&format!("    \"cutovers\": {},\n", r.cutovers));
+    out.push_str(&format!("    \"rejected\": {},\n", r.rejected));
+    out.push_str(&format!("    \"aborted\": {},\n", r.aborted));
+    out.push_str(&format!(
+        "    \"checkpoint_hits\": {},\n",
+        r.checkpoint_hits
+    ));
+    out.push_str("    \"jobs\": [\n");
+    for (i, j) in r.jobs.iter().enumerate() {
+        out.push_str(&format!(
+            "      {}{}\n",
+            requant_job_json(j),
+            if i + 1 < r.jobs.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("    ]\n");
+    out.push_str("  }");
+    out
+}
+
 /// Renders the metrics snapshot document: cumulative per-class state,
 /// every sealed window, and all drift verdicts so far. The bytes are a
 /// pure function of the sealed state — deliberately independent of *how
 /// many times* a snapshot was written (several windows can seal in one
 /// event under reordered completions), so the file is byte-identical at
-/// any worker count.
-pub(crate) fn render_snapshot(set: &WindowSet, drift: &[DriftReport]) -> String {
+/// any worker count. The `requant` section appears only in the final
+/// drain-time snapshot of an adaptive server (`None` mid-run keeps the
+/// bytes identical to a non-adaptive server's).
+pub(crate) fn render_snapshot(
+    set: &WindowSet,
+    drift: &[DriftReport],
+    requant: Option<&RequantReport>,
+) -> String {
     let mut out = String::with_capacity(1024);
     out.push_str("{\n");
     out.push_str(&format!(
@@ -255,7 +344,13 @@ pub(crate) fn render_snapshot(set: &WindowSet, drift: &[DriftReport]) -> String 
             if i + 1 < drift.len() { "," } else { "" }
         ));
     }
-    out.push_str("  ]\n");
+    match requant {
+        None => out.push_str("  ]\n"),
+        Some(r) => {
+            out.push_str("  ],\n");
+            out.push_str(&format!("  \"requant\": {}\n", requant_json(r)));
+        }
+    }
     out.push_str("}\n");
     out
 }
@@ -322,13 +417,63 @@ mod tests {
             skipped: true,
             flagged: false,
         }];
-        let doc = render_snapshot(&set, &drift);
+        let doc = render_snapshot(&set, &drift, None);
         assert!(doc.contains("\"schema\": \"cbq.metrics.v1\""), "{doc}");
         assert!(doc.contains("\"sealed_windows\": 1"), "{doc}");
         assert!(doc.contains("\"mix\": [0.5,0.5]"), "{doc}");
         assert!(doc.contains("\"skipped\": true"), "{doc}");
-        // Deterministic bytes.
-        assert_eq!(doc, render_snapshot(&set, &drift));
+        // Deterministic bytes; no requant section unless a report exists.
+        assert_eq!(doc, render_snapshot(&set, &drift, None));
+        assert!(!doc.contains("\"requant\""), "{doc}");
+        assert_eq!(
+            doc.matches('{').count(),
+            doc.matches('}').count(),
+            "unbalanced braces in {doc}"
+        );
+    }
+
+    #[test]
+    fn snapshot_requant_section_renders_jobs_and_decisions() {
+        let set = WindowSet::new(2, 4);
+        let mut shadow = cbq_telemetry::ShadowSet::new();
+        shadow.record(4, false, true);
+        shadow.record(5, true, true);
+        let report = RequantReport {
+            jobs: vec![
+                RequantJob {
+                    trigger_window: 3,
+                    observed_mix: vec![7, 1],
+                    from_checkpoint: true,
+                    shadow,
+                    decision: RequantDecision::Cutover { seq: 24, version: 2 },
+                },
+                RequantJob {
+                    trigger_window: 9,
+                    observed_mix: vec![4, 4],
+                    from_checkpoint: false,
+                    shadow: cbq_telemetry::ShadowSet::new(),
+                    decision: RequantDecision::Rejected { delta: -1 },
+                },
+            ],
+            triggered: 2,
+            built: 2,
+            cutovers: 1,
+            rejected: 1,
+            aborted: 0,
+            checkpoint_hits: 1,
+        };
+        let doc = render_snapshot(&set, &[], Some(&report));
+        assert!(doc.contains("\"requant\""), "{doc}");
+        assert!(doc.contains("\"observed_mix\": [7,1]"), "{doc}");
+        assert!(
+            doc.contains("\"decision\": {\"kind\": \"cutover\", \"seq\": 24, \"version\": 2}"),
+            "{doc}"
+        );
+        assert!(
+            doc.contains("\"decision\": {\"kind\": \"rejected\", \"delta\": -1}"),
+            "{doc}"
+        );
+        assert!(doc.contains("\"checkpoint_hits\": 1"), "{doc}");
         assert_eq!(
             doc.matches('{').count(),
             doc.matches('}').count(),

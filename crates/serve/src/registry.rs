@@ -217,7 +217,10 @@ pub fn offline_logits(model: &LoadedModel, sample: &[f32]) -> Result<Vec<f32>> {
     Ok(logits.into_vec())
 }
 
-fn compile(artifact: &ModelArtifact, backend: Backend) -> Result<(Engine, usize)> {
+/// Compiles an artifact into a backend engine without registering it —
+/// the requant worker shadow-scores candidates through a private engine
+/// so no registry version exists until the cutover decision.
+pub(crate) fn compile(artifact: &ModelArtifact, backend: Backend) -> Result<(Engine, usize)> {
     let mut net = artifact.arch.build()?;
     load_state_dict(&mut net, &artifact.state)
         .map_err(|e| ServeError::Artifact(format!("state dict does not fit arch: {e}")))?;

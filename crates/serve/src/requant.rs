@@ -1,0 +1,722 @@
+//! Background re-quantization: the actuation half of the drift loop.
+//!
+//! The sensing half (PR 6) seals per-class windows and flags drifted
+//! ones against the artifact's calibration baseline. This module closes
+//! the loop: a background [`RequantWorker`] consumes a serialized event
+//! feed from the observer — one [`RequantEvent::Completed`] per labeled
+//! completion, one [`RequantEvent::Sealed`] per sealed window — and
+//! drives the state machine
+//!
+//! ```text
+//! Idle ──drift flag──▶ Scoring ──candidate built──▶ Shadow ──▶ Cutover
+//!                         │                            │
+//!                         └── fault/abort ◀────────────┴──▶ Rejected
+//! ```
+//!
+//! - **Scoring**: a [`CandidateBuilder`] re-runs importance scoring and
+//!   bit-arrangement search on the *observed* class mix of the flagged
+//!   window, producing a candidate [`ModelArtifact`] whose
+//!   `baseline_mix` is the observed mix. The build is checkpointed
+//!   through `cbq-resilience`: a kill between build and cutover resumes
+//!   from the persisted candidate instead of re-searching.
+//! - **Shadow**: for the next `shadow_windows` sealed windows every
+//!   labeled completion is scored twice — the incumbent's verdict came
+//!   from the serving path, the candidate's from a private unregistered
+//!   engine. No served response ever comes from the candidate.
+//! - **Cutover/Rejected**: the integer-exact
+//!   [`ShadowSet::beats_incumbent_by`] decision either hot-swaps via a
+//!   versioned registry load plus a seq-pinned scheduler route at the
+//!   next window boundary, or rejects the candidate and keeps the
+//!   incumbent untouched.
+//!
+//! Determinism contract: events are emitted under the observer lock (a
+//! single serialized stream), triggers and cutovers key on admission
+//! sequence numbers — never on the clock — and shadow counters are
+//! integer sums, so the same traffic produces the same decisions, at the
+//! same seqs, at any worker count.
+
+use crate::artifact::ModelArtifact;
+use crate::error::{Result, ServeError};
+use crate::registry::{compile, Backend, Engine, ModelRegistry};
+use crate::scheduler::BatchScheduler;
+use cbq_resilience::{ByteReader, ByteWriter, CheckpointStore, FaultPlan, LoadOutcome};
+use cbq_telemetry::{ShadowSet, Telemetry};
+use cbq_tensor::Scratch;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Schema version of the requant checkpoint payload.
+pub(crate) const REQUANT_SCHEMA: u32 = 1;
+/// Checkpoint phase name (also the `fail-at:` fault target for the
+/// post-checkpoint crash window).
+pub(crate) const REQUANT_PHASE: &str = "requant";
+
+/// Knobs of the background re-quantization loop.
+#[derive(Debug, Clone)]
+pub struct RequantConfig {
+    /// Cutover margin: the candidate must beat the incumbent by at least
+    /// `margin · labeled` correct answers over the shadow windows
+    /// (see [`ShadowSet::beats_incumbent_by`]). `0.0` means "at least as
+    /// good".
+    pub margin: f64,
+    /// Sealed windows the candidate shadows before the decision.
+    pub shadow_windows: u64,
+    /// Windows after a decision during which new triggers are ignored.
+    pub cooldown_windows: u64,
+    /// Requantizations the worker may trigger over the server's
+    /// lifetime.
+    pub max_requants: u64,
+    /// Directory for the candidate checkpoint; `None` disables
+    /// checkpointing (a mid-requant kill then re-searches on resume).
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Deterministic fault injection for kill drills (`fail-at:
+    /// requant.score` aborts before the build, `fail-at:requant.commit`
+    /// right after the checkpoint is written).
+    pub faults: Option<Arc<FaultPlan>>,
+}
+
+impl Default for RequantConfig {
+    fn default() -> Self {
+        RequantConfig {
+            margin: 0.0,
+            shadow_windows: 2,
+            cooldown_windows: 2,
+            max_requants: 1,
+            checkpoint_dir: None,
+            faults: None,
+        }
+    }
+}
+
+impl RequantConfig {
+    /// Validates the knobs.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidConfig`] naming the offending field.
+    pub fn validate(&self) -> Result<()> {
+        if !self.margin.is_finite() || self.margin < 0.0 {
+            return Err(ServeError::InvalidConfig(
+                "requant margin must be finite and >= 0".into(),
+            ));
+        }
+        if self.shadow_windows == 0 {
+            return Err(ServeError::InvalidConfig(
+                "shadow_windows must be >= 1".into(),
+            ));
+        }
+        if self.max_requants == 0 {
+            return Err(ServeError::InvalidConfig(
+                "max_requants must be >= 1".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Produces a candidate artifact for an observed class mix.
+///
+/// The serving crate stays independent of the scoring/search crates, so
+/// the builder is injected: production glue wires
+/// `cbq_core::requant_for_mix` here, tests inject cheap deterministic
+/// builders. Implemented for any compatible `FnMut` closure.
+pub trait CandidateBuilder: Send {
+    /// Builds a candidate artifact from the observed per-class request
+    /// counts and the incumbent artifact.
+    ///
+    /// # Errors
+    ///
+    /// Any build failure; the worker records an aborted job and the
+    /// incumbent keeps serving.
+    fn build(&mut self, observed_mix: &[u64], incumbent: &ModelArtifact) -> Result<ModelArtifact>;
+}
+
+impl<F> CandidateBuilder for F
+where
+    F: FnMut(&[u64], &ModelArtifact) -> Result<ModelArtifact> + Send,
+{
+    fn build(&mut self, observed_mix: &[u64], incumbent: &ModelArtifact) -> Result<ModelArtifact> {
+        self(observed_mix, incumbent)
+    }
+}
+
+/// Everything [`crate::Server::start_adaptive`] needs to run the loop
+/// for one model.
+pub struct RequantSetup {
+    /// Registry name the incumbent serves under (and candidates reload
+    /// into).
+    pub model: String,
+    /// Backend candidates compile to (same as the incumbent's).
+    pub backend: Backend,
+    /// The incumbent artifact — the builder's starting point.
+    pub artifact: ModelArtifact,
+    /// Loop knobs.
+    pub config: RequantConfig,
+    /// The scoring/search glue producing candidates.
+    pub builder: Box<dyn CandidateBuilder>,
+}
+
+impl std::fmt::Debug for RequantSetup {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RequantSetup")
+            .field("model", &self.model)
+            .field("backend", &self.backend)
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The outcome of one requantization job.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequantDecision {
+    /// Shadow scoring had not finished when the server drained.
+    Pending,
+    /// The candidate won: hot-swapped at this admission seq as this
+    /// registry version.
+    Cutover {
+        /// First admission seq served by the new version.
+        seq: u64,
+        /// Registry version the candidate was loaded as.
+        version: u64,
+    },
+    /// The candidate lost: the incumbent keeps serving.
+    Rejected {
+        /// Candidate-minus-incumbent correct count over the shadow
+        /// windows.
+        delta: i64,
+    },
+    /// A fault or error aborted the job; the incumbent is untouched and
+    /// the worker disarms until the server is restarted.
+    Aborted {
+        /// Phase the abort happened in (`requant.score`,
+        /// `requant.commit`, `build`, `compile`, `load`).
+        phase: String,
+    },
+}
+
+/// One requantization job, trigger to decision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequantJob {
+    /// Sealed window whose drift flag triggered the job.
+    pub trigger_window: u64,
+    /// Observed per-class request counts of the trigger window — the mix
+    /// the candidate was optimized for.
+    pub observed_mix: Vec<u64>,
+    /// Whether the candidate was restored from a checkpoint instead of
+    /// rebuilt (kill-resume path).
+    pub from_checkpoint: bool,
+    /// Shadow counters, one [`cbq_telemetry::ShadowWindow`] per scored
+    /// window.
+    pub shadow: ShadowSet,
+    /// How the job ended.
+    pub decision: RequantDecision,
+}
+
+/// Lifetime record of the requant loop, returned in
+/// [`crate::ServeStats::requant`] and rendered into the metrics
+/// snapshot.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RequantReport {
+    /// Jobs in trigger order.
+    pub jobs: Vec<RequantJob>,
+    /// Drift flags that armed a job.
+    pub triggered: u64,
+    /// Candidates built (or restored) and shadow-scored.
+    pub built: u64,
+    /// Jobs that ended in a hot-swap.
+    pub cutovers: u64,
+    /// Jobs whose candidate lost the shadow comparison.
+    pub rejected: u64,
+    /// Jobs aborted by faults or errors.
+    pub aborted: u64,
+    /// Candidates restored from a checkpoint.
+    pub checkpoint_hits: u64,
+}
+
+/// One event of the observer → requant-worker feed. Emitted under the
+/// observer lock, so the stream is a deterministic serialization:
+/// every `Completed` of window `w` precedes `Sealed(w)`.
+pub(crate) enum RequantEvent {
+    /// A labeled request completed successfully.
+    Completed {
+        /// Window index (`seq / window_size`).
+        window: u64,
+        /// The request's input sample (for candidate shadow scoring).
+        sample: Vec<f32>,
+        /// Ground-truth class.
+        label: usize,
+        /// Whether the incumbent predicted it correctly.
+        incumbent_ok: bool,
+    },
+    /// A window sealed, with its drift verdict and observed mix.
+    Sealed {
+        /// Window index.
+        index: u64,
+        /// Whether the drift detector flagged it.
+        flagged: bool,
+        /// Per-class predicted-traffic counts of the window.
+        observed_mix: Vec<u64>,
+    },
+}
+
+/// Sent/processed event accounting: lets a caller wait until the worker
+/// has drained every event emitted so far, making "submit a window, wait
+/// tickets, `requant_sync()`" a deterministic drill step.
+pub(crate) struct RequantSync {
+    state: Mutex<(u64, u64)>, // (sent, done)
+    cv: Condvar,
+}
+
+impl RequantSync {
+    pub(crate) fn new() -> RequantSync {
+        RequantSync {
+            state: Mutex::new((0, 0)),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn note_sent(&self) {
+        self.state.lock().expect("requant sync poisoned").0 += 1;
+    }
+
+    pub(crate) fn note_done(&self) {
+        self.state.lock().expect("requant sync poisoned").1 += 1;
+        self.cv.notify_all();
+    }
+
+    /// Blocks until every event sent so far has been processed.
+    pub(crate) fn wait_idle(&self) {
+        let mut st = self.state.lock().expect("requant sync poisoned");
+        while st.1 < st.0 {
+            st = self.cv.wait(st).expect("requant sync poisoned");
+        }
+    }
+}
+
+/// The observer's sending half of the feed.
+pub(crate) struct RequantFeed {
+    pub(crate) tx: Sender<RequantEvent>,
+    pub(crate) sync: Arc<RequantSync>,
+}
+
+impl RequantFeed {
+    /// Sends one event, keeping the sent/done accounting balanced even
+    /// when the worker has already exited.
+    pub(crate) fn send(&self, ev: RequantEvent) {
+        self.sync.note_sent();
+        if self.tx.send(ev).is_err() {
+            self.sync.note_done();
+        }
+    }
+}
+
+/// A labeled completion buffered for shadow scoring.
+struct ShadowSample {
+    sample: Vec<f32>,
+    label: usize,
+    incumbent_ok: bool,
+}
+
+/// The candidate being shadow-scored.
+struct ShadowJob {
+    trigger_window: u64,
+    last_window: u64,
+    observed_mix: Vec<u64>,
+    from_checkpoint: bool,
+    candidate: ModelArtifact,
+    engine: Engine,
+    input_shape: Vec<usize>,
+    scratch: Scratch,
+    shadow: ShadowSet,
+}
+
+enum Phase {
+    Idle,
+    Shadow(Box<ShadowJob>),
+}
+
+/// The background worker driving the requant state machine.
+pub(crate) struct RequantWorker {
+    rx: Receiver<RequantEvent>,
+    registry: Arc<ModelRegistry>,
+    scheduler: Arc<BatchScheduler>,
+    telemetry: Telemetry,
+    sync: Arc<RequantSync>,
+    model: String,
+    backend: Backend,
+    incumbent: ModelArtifact,
+    config: RequantConfig,
+    builder: Box<dyn CandidateBuilder>,
+    window_size: u64,
+    store: Option<CheckpointStore>,
+    faults: Arc<FaultPlan>,
+    buckets: BTreeMap<u64, Vec<ShadowSample>>,
+    phase: Phase,
+    disabled: bool,
+    cooldown_until: u64,
+    report: RequantReport,
+}
+
+impl RequantWorker {
+    /// Builds a worker (opening the checkpoint store, if configured).
+    pub(crate) fn new(
+        rx: Receiver<RequantEvent>,
+        registry: Arc<ModelRegistry>,
+        scheduler: Arc<BatchScheduler>,
+        telemetry: Telemetry,
+        sync: Arc<RequantSync>,
+        setup: RequantSetup,
+        window_size: u64,
+    ) -> Result<RequantWorker> {
+        setup.config.validate()?;
+        let store = match &setup.config.checkpoint_dir {
+            Some(dir) => Some(CheckpointStore::open(dir, REQUANT_SCHEMA)?),
+            None => None,
+        };
+        let faults = setup
+            .config
+            .faults
+            .clone()
+            .unwrap_or_else(|| Arc::new(FaultPlan::none()));
+        Ok(RequantWorker {
+            rx,
+            registry,
+            scheduler,
+            telemetry,
+            sync,
+            model: setup.model,
+            backend: setup.backend,
+            incumbent: setup.artifact,
+            config: setup.config,
+            builder: setup.builder,
+            window_size,
+            store,
+            faults,
+            buckets: BTreeMap::new(),
+            phase: Phase::Idle,
+            disabled: false,
+            cooldown_until: 0,
+            report: RequantReport::default(),
+        })
+    }
+
+    /// Consumes the feed until the observer drops it, then returns the
+    /// lifetime report. A job still shadowing at shutdown is recorded
+    /// with [`RequantDecision::Pending`].
+    pub(crate) fn run(mut self) -> RequantReport {
+        while let Ok(ev) = self.rx.recv() {
+            self.handle(ev);
+            self.sync.note_done();
+        }
+        if let Phase::Shadow(job) = std::mem::replace(&mut self.phase, Phase::Idle) {
+            self.report.jobs.push(RequantJob {
+                trigger_window: job.trigger_window,
+                observed_mix: job.observed_mix,
+                from_checkpoint: job.from_checkpoint,
+                shadow: job.shadow,
+                decision: RequantDecision::Pending,
+            });
+        }
+        self.report
+    }
+
+    /// Whether labeled completions still need buffering: yes while a
+    /// shadow is running or another trigger is still possible.
+    fn retaining(&self) -> bool {
+        !self.disabled
+            && (matches!(self.phase, Phase::Shadow(_))
+                || self.report.triggered < self.config.max_requants)
+    }
+
+    fn handle(&mut self, ev: RequantEvent) {
+        match ev {
+            RequantEvent::Completed {
+                window,
+                sample,
+                label,
+                incumbent_ok,
+            } => {
+                if self.retaining() {
+                    self.buckets.entry(window).or_default().push(ShadowSample {
+                        sample,
+                        label,
+                        incumbent_ok,
+                    });
+                } else if !self.buckets.is_empty() {
+                    self.buckets.clear();
+                }
+            }
+            RequantEvent::Sealed {
+                index,
+                flagged,
+                observed_mix,
+            } => self.on_sealed(index, flagged, observed_mix),
+        }
+    }
+
+    fn on_sealed(&mut self, index: u64, flagged: bool, observed_mix: Vec<u64>) {
+        match std::mem::replace(&mut self.phase, Phase::Idle) {
+            Phase::Idle => {
+                if flagged
+                    && !self.disabled
+                    && self.report.triggered < self.config.max_requants
+                    && index >= self.cooldown_until
+                {
+                    self.trigger(index, observed_mix);
+                }
+                // A future trigger's shadow windows all lie past `index`,
+                // so buckets at or below it can never be scored again.
+                self.buckets = self.buckets.split_off(&(index + 1));
+            }
+            Phase::Shadow(mut job) => {
+                if index > job.trigger_window && index <= job.last_window {
+                    let samples = self.buckets.remove(&index).unwrap_or_default();
+                    score_window(&mut job, index, &samples);
+                    if index == job.last_window {
+                        self.decide(*job);
+                        return;
+                    }
+                }
+                self.phase = Phase::Shadow(job);
+            }
+        }
+    }
+
+    fn trigger(&mut self, index: u64, observed_mix: Vec<u64>) {
+        self.report.triggered += 1;
+        self.telemetry.counter_add("serve.requant.triggered", 1);
+        self.telemetry.gauge("serve.requant.trigger_window", index as f64);
+
+        // Resume path: a persisted candidate for the *same* trigger
+        // window and mix skips the (expensive) rebuild entirely.
+        let mut restored: Option<ModelArtifact> = None;
+        if let Some(store) = &self.store {
+            if let LoadOutcome::Loaded(payload) = store.load(REQUANT_PHASE) {
+                if let Ok((w, mix, art)) = decode_checkpoint(&payload) {
+                    if w == index && mix == observed_mix {
+                        restored = Some(art);
+                    }
+                }
+            }
+        }
+        let (candidate, from_checkpoint) = match restored {
+            Some(art) => {
+                self.report.checkpoint_hits += 1;
+                self.telemetry.counter_add("serve.requant.checkpoint_hits", 1);
+                (art, true)
+            }
+            None => {
+                // `fail-at:requant.score` models a crash before any
+                // candidate exists: nothing persisted, nothing swapped.
+                if self.faults.check_phase("requant.score").is_err() {
+                    return self.abort(index, observed_mix, false, "requant.score");
+                }
+                let mut art = match self.builder.build(&observed_mix, &self.incumbent) {
+                    Ok(a) => a,
+                    Err(_) => return self.abort(index, observed_mix, false, "build"),
+                };
+                // The candidate's drift baseline is the mix it was
+                // optimized for — a reload must carry the *new* mix, not
+                // the authoring-time histogram.
+                art.baseline_mix = Some(observed_mix.iter().map(|&c| c as f64).collect());
+                if let Some(store) = &self.store {
+                    let _ = store.save(REQUANT_PHASE, encode_checkpoint(index, &observed_mix, &art));
+                }
+                // `fail-at:requant.commit` models a crash right after the
+                // checkpoint landed — exactly what resume recovers from.
+                if self.faults.check_phase("requant.commit").is_err() {
+                    return self.abort(index, observed_mix, false, "requant.commit");
+                }
+                (art, false)
+            }
+        };
+        let (engine, _classes) = match compile(&candidate, self.backend) {
+            Ok(v) => v,
+            Err(_) => return self.abort(index, observed_mix, from_checkpoint, "compile"),
+        };
+        self.report.built += 1;
+        self.telemetry.counter_add("serve.requant.built", 1);
+        let input_shape = self.incumbent.input_shape.clone();
+        self.phase = Phase::Shadow(Box::new(ShadowJob {
+            trigger_window: index,
+            last_window: index + self.config.shadow_windows,
+            observed_mix,
+            from_checkpoint,
+            candidate,
+            engine,
+            input_shape,
+            scratch: Scratch::new(),
+            shadow: ShadowSet::new(),
+        }));
+    }
+
+    fn decide(&mut self, job: ShadowJob) {
+        let delta = job.shadow.delta();
+        self.telemetry
+            .gauge("serve.requant.shadow_delta", delta as f64);
+        let decision = if job.shadow.beats_incumbent_by(self.config.margin) {
+            match self
+                .registry
+                .load(&self.model, &job.candidate, self.backend)
+            {
+                Ok(handle) => {
+                    let seq = self
+                        .scheduler
+                        .install_route_at_boundary(&handle, self.window_size);
+                    self.report.cutovers += 1;
+                    self.telemetry.counter_add("serve.requant.cutover", 1);
+                    self.telemetry
+                        .gauge("serve.requant.active_version", handle.version() as f64);
+                    self.incumbent = job.candidate.clone();
+                    RequantDecision::Cutover {
+                        seq,
+                        version: handle.version(),
+                    }
+                }
+                Err(_) => {
+                    return self.abort(job.trigger_window, job.observed_mix, job.from_checkpoint, "load")
+                }
+            }
+        } else {
+            self.report.rejected += 1;
+            self.telemetry.counter_add("serve.requant.rejected", 1);
+            RequantDecision::Rejected { delta }
+        };
+        self.cooldown_until = job.last_window + 1 + self.config.cooldown_windows;
+        self.report.jobs.push(RequantJob {
+            trigger_window: job.trigger_window,
+            observed_mix: job.observed_mix,
+            from_checkpoint: job.from_checkpoint,
+            shadow: job.shadow,
+            decision,
+        });
+        self.phase = Phase::Idle;
+    }
+
+    /// Records an aborted job and disarms the worker: a deterministic
+    /// drill must not see a *different* requant fire later in the run
+    /// (the operator restarts the server to resume — the checkpoint, if
+    /// one landed, then completes the same cutover).
+    fn abort(&mut self, trigger_window: u64, observed_mix: Vec<u64>, from_checkpoint: bool, phase: &str) {
+        self.report.aborted += 1;
+        self.telemetry.counter_add("serve.requant.aborted", 1);
+        self.report.jobs.push(RequantJob {
+            trigger_window,
+            observed_mix,
+            from_checkpoint,
+            shadow: ShadowSet::new(),
+            decision: RequantDecision::Aborted {
+                phase: phase.to_string(),
+            },
+        });
+        self.disabled = true;
+        self.buckets.clear();
+        self.phase = Phase::Idle;
+    }
+}
+
+/// Scores one sealed window's buffered completions against the
+/// candidate. Per-sample inference is stateless and the counters are
+/// integer sums, so the arrival order of the samples — the one
+/// scheduling-dependent input — cannot change the outcome.
+fn score_window(job: &mut ShadowJob, index: u64, samples: &[ShadowSample]) {
+    for s in samples {
+        let candidate_ok = match job.engine.infer(&s.sample, &job.input_shape, &mut job.scratch) {
+            Ok(logits) => {
+                let ls = logits.as_slice();
+                let mut best = 0;
+                for (i, &v) in ls.iter().enumerate() {
+                    if v > ls[best] {
+                        best = i;
+                    }
+                }
+                job.scratch.recycle_f32(logits.into_vec());
+                best == s.label
+            }
+            Err(_) => false,
+        };
+        job.shadow.record(index, s.incumbent_ok, candidate_ok);
+    }
+}
+
+fn encode_checkpoint(window: u64, mix: &[u64], artifact: &ModelArtifact) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u64(window);
+    w.put_usize(mix.len());
+    for &c in mix {
+        w.put_u64(c);
+    }
+    w.put_bytes(&artifact.to_bytes());
+    w.into_bytes()
+}
+
+fn decode_checkpoint(bytes: &[u8]) -> Result<(u64, Vec<u64>, ModelArtifact)> {
+    let mut r = ByteReader::new(bytes);
+    let window = r.get_u64()?;
+    let n = r.get_usize()?;
+    let mut mix = Vec::with_capacity(n);
+    for _ in 0..n {
+        mix.push(r.get_u64()?);
+    }
+    let artifact = ModelArtifact::from_bytes(&r.get_bytes()?)?;
+    Ok((window, mix, artifact))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_validation_names_the_field() {
+        assert!(RequantConfig::default().validate().is_ok());
+        let mut c = RequantConfig::default();
+        c.margin = f64::NAN;
+        assert!(c.validate().is_err());
+        let mut c = RequantConfig::default();
+        c.shadow_windows = 0;
+        assert!(c.validate().is_err());
+        let mut c = RequantConfig::default();
+        c.max_requants = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn sync_waits_for_processing() {
+        let sync = Arc::new(RequantSync::new());
+        sync.note_sent();
+        let done = {
+            let sync = sync.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                sync.note_done();
+            })
+        };
+        sync.wait_idle();
+        done.join().unwrap();
+        // Balanced again: an immediate wait returns.
+        sync.wait_idle();
+    }
+
+    #[test]
+    fn checkpoint_round_trips_window_mix_and_artifact() {
+        let arch = crate::ArchSpec::Mlp(vec![4, 6, 3]);
+        let mut net = arch.build().unwrap();
+        let artifact = ModelArtifact {
+            arch,
+            input_shape: vec![4],
+            state: cbq_nn::state_dict(&mut net),
+            quant: None,
+            baseline_mix: Some(vec![5.0, 2.0, 1.0]),
+            packed: None,
+        };
+        let bytes = encode_checkpoint(7, &[50, 20, 10], &artifact);
+        let (w, mix, art) = decode_checkpoint(&bytes).unwrap();
+        assert_eq!(w, 7);
+        assert_eq!(mix, vec![50, 20, 10]);
+        assert_eq!(art.baseline_mix, Some(vec![5.0, 2.0, 1.0]));
+        assert_eq!(art.input_shape, vec![4]);
+        assert!(decode_checkpoint(&bytes[..10]).is_err());
+    }
+}

@@ -100,12 +100,23 @@ pub(crate) struct Batch {
     pub(crate) front_enqueued: Duration,
 }
 
+/// A seq-pinned admission rewrite: from `cutover_seq` on, requests
+/// naming `name` are re-pointed at `to` (a newer version of the same
+/// model). Installed by the requant worker at a window boundary so a
+/// cutover never splits an observation window.
+struct Route {
+    name: String,
+    cutover_seq: u64,
+    to: ModelHandle,
+}
+
 #[derive(Default)]
 struct QueueState {
     queue: VecDeque<Pending>,
     draining: bool,
     accepted: u64,
     rejected: u64,
+    routes: Vec<Route>,
 }
 
 /// The shared scheduler: a bounded queue, a condvar, and the policy.
@@ -184,6 +195,18 @@ impl BatchScheduler {
         let seq = st.accepted;
         pending.seq = seq;
         st.accepted += 1;
+        // Seq-pinned routing: the latest route whose cutover has been
+        // reached rewrites the target version. Admission order decides —
+        // request `seq` executes against the same version no matter how
+        // workers interleave afterwards.
+        for route in st.routes.iter().rev() {
+            if seq >= route.cutover_seq && route.name == pending.model.name() {
+                if pending.model != route.to {
+                    pending.model = route.to.clone();
+                }
+                break;
+            }
+        }
         st.queue.push_back(pending);
         let depth = st.queue.len();
         drop(st);
@@ -243,6 +266,25 @@ impl BatchScheduler {
                 st = self.ready.wait(st).expect("scheduler lock poisoned");
             }
         }
+    }
+
+    /// Installs a route that re-points future admissions of `to`'s model
+    /// name at `to`, starting at the next multiple of `window` at or
+    /// after the current admission count, and returns that cutover seq.
+    /// Aligning to a window boundary means no observation window ever
+    /// mixes versions; requests already admitted keep their version
+    /// (batches never mix versions either — the coalescer matches on the
+    /// full handle).
+    pub(crate) fn install_route_at_boundary(&self, to: &ModelHandle, window: u64) -> u64 {
+        let w = window.max(1);
+        let mut st = self.state.lock().expect("scheduler lock poisoned");
+        let cutover_seq = st.accepted.div_ceil(w) * w;
+        st.routes.push(Route {
+            name: to.name().to_string(),
+            cutover_seq,
+            to: to.clone(),
+        });
+        cutover_seq
     }
 
     /// Stops admission and flushes: queued requests are dispatched

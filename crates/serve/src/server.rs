@@ -27,6 +27,9 @@ use crate::clock::{ServeClock, SystemClock};
 use crate::error::{Result, ServeError};
 use crate::observe::{render_snapshot, render_trace_jsonl, ObserveConfig, RequestTrace};
 use crate::registry::{Engine, LoadedModel, ModelHandle, ModelRegistry};
+use crate::requant::{
+    RequantEvent, RequantFeed, RequantReport, RequantSetup, RequantSync, RequantWorker,
+};
 use crate::scheduler::{Batch, BatchPolicy, BatchScheduler, Pending};
 use cbq_resilience::{atomic_write_text, ByteWriter};
 use cbq_telemetry::{ClassWindow, DriftDetector, DriftReport, Histogram, Telemetry, WindowSet};
@@ -199,6 +202,9 @@ pub struct ServeStats {
     /// [`Server::start_observed`] pins [`NumericsMode::BitExact`] so
     /// served logits are reproducible across hosts and ISAs.
     pub numerics: String,
+    /// Lifetime record of the background requantization loop, when the
+    /// server ran under [`Server::start_adaptive`].
+    pub requant: Option<RequantReport>,
 }
 
 impl ServeStats {
@@ -225,6 +231,7 @@ impl ServeStats {
             total_pool_misses: 0,
             kernel_isa: String::new(),
             numerics: String::new(),
+            requant: None,
         }
     }
 
@@ -262,6 +269,11 @@ impl ServeStats {
         }
         if self.numerics.is_empty() {
             self.numerics = other.numerics.clone();
+        }
+        // At most one replica runs the requant loop per merge chain today;
+        // adopt the first report seen.
+        if self.requant.is_none() {
+            self.requant = other.requant.clone();
         }
     }
 }
@@ -314,6 +326,11 @@ struct ObserverState {
     windows: WindowSet,
     drift: Vec<DriftReport>,
     snapshot_writes: u64,
+    /// Sending half of the requant event feed, when the server is
+    /// adaptive. Living inside the observer state means every event is
+    /// emitted under the observer lock: the worker sees one serialized
+    /// stream where all of window `w`'s completions precede `Sealed(w)`.
+    feed: Option<RequantFeed>,
 }
 
 impl Observer {
@@ -337,29 +354,49 @@ impl Observer {
                 windows,
                 drift: Vec::new(),
                 snapshot_writes: 0,
+                feed: None,
             }),
             config,
         })
     }
 
-    fn record(&self, seq: u64, predicted: usize, label: Option<usize>, latency_us: u64) {
+    fn record(
+        &self,
+        seq: u64,
+        predicted: usize,
+        label: Option<usize>,
+        latency_us: u64,
+        sample: &[f32],
+    ) {
         let mut st = self.state.lock().expect("observer lock poisoned");
+        // Feed the labeled completion *before* recording it: if this
+        // completion seals its window, the worker must already hold the
+        // sample when `Sealed` arrives.
+        if let (Some(feed), Some(label)) = (&st.feed, label) {
+            feed.send(RequantEvent::Completed {
+                window: seq / self.config.window,
+                sample: sample.to_vec(),
+                label,
+                incumbent_ok: predicted == label,
+            });
+        }
         let sealed = st.windows.record(seq, predicted, label, latency_us);
-        self.on_sealed(&mut st, &sealed);
+        self.on_sealed(&mut st, &sealed, None);
     }
 
     fn record_error(&self, seq: u64) {
         let mut st = self.state.lock().expect("observer lock poisoned");
         let sealed = st.windows.record_error(seq);
-        self.on_sealed(&mut st, &sealed);
+        self.on_sealed(&mut st, &sealed, None);
     }
 
-    fn on_sealed(&self, st: &mut ObserverState, sealed: &[u64]) {
+    fn on_sealed(&self, st: &mut ObserverState, sealed: &[u64], requant: Option<&RequantReport>) {
         if sealed.is_empty() {
             return;
         }
         for &idx in sealed {
             self.telemetry.counter_add("serve.windows_sealed", 1);
+            let mut flagged = false;
             if let Some(detector) = &self.detector {
                 let window = st
                     .windows
@@ -375,33 +412,59 @@ impl Observer {
                     "serve.drift.flagged",
                     if report.flagged { 1.0 } else { 0.0 },
                 );
+                flagged = report.flagged;
                 if report.flagged {
                     self.telemetry.counter_add("serve.drift.flags", 1);
                 }
                 st.drift.push(report);
             }
+            if let Some(feed) = &st.feed {
+                let window = st
+                    .windows
+                    .sealed()
+                    .iter()
+                    .rev()
+                    .find(|w| w.index == idx)
+                    .expect("window sealed just now");
+                feed.send(RequantEvent::Sealed {
+                    index: idx,
+                    flagged,
+                    observed_mix: window.predicted().to_vec(),
+                });
+            }
         }
-        self.write_snapshot(st);
+        self.write_snapshot(st, requant);
     }
 
-    fn write_snapshot(&self, st: &mut ObserverState) {
+    fn write_snapshot(&self, st: &mut ObserverState, requant: Option<&RequantReport>) {
         if let Some(path) = &self.config.metrics_path {
-            let doc = render_snapshot(&st.windows, &st.drift);
+            let doc = render_snapshot(&st.windows, &st.drift, requant);
             if atomic_write_text(path, &doc).is_ok() {
                 st.snapshot_writes += 1;
             }
         }
     }
 
+    /// Drops the requant feed, disconnecting the worker's event channel
+    /// so it drains and exits. Called during shutdown after the serve
+    /// workers have joined (no completion can race the close).
+    fn close_requant(&self) {
+        self.state.lock().expect("observer lock poisoned").feed = None;
+    }
+
     /// Seals trailing partial windows, evaluates their drift, writes the
-    /// final snapshot, and returns the complete observation record.
-    fn finalize(&self) -> (Vec<ClassWindow>, Vec<DriftReport>, u64) {
+    /// final snapshot (including the requant report, when one exists),
+    /// and returns the complete observation record.
+    fn finalize_with(
+        &self,
+        requant: Option<&RequantReport>,
+    ) -> (Vec<ClassWindow>, Vec<DriftReport>, u64) {
         let mut st = self.state.lock().expect("observer lock poisoned");
         let sealed = st.windows.finalize();
-        self.on_sealed(&mut st, &sealed);
+        self.on_sealed(&mut st, &sealed, requant);
         if sealed.is_empty() {
             // No new windows, but the final snapshot must still exist.
-            self.write_snapshot(&mut st);
+            self.write_snapshot(&mut st, requant);
         }
         (
             st.windows.sealed().to_vec(),
@@ -423,8 +486,15 @@ pub struct Server {
     telemetry: Telemetry,
     observer: Option<Arc<Observer>>,
     handles: Vec<JoinHandle<WorkerReport>>,
+    requant: Option<RequantRuntime>,
     next_id: AtomicU64,
     workers: usize,
+}
+
+/// Handle on the background requant worker.
+struct RequantRuntime {
+    handle: JoinHandle<RequantReport>,
+    sync: Arc<RequantSync>,
 }
 
 impl std::fmt::Debug for Server {
@@ -452,6 +522,43 @@ impl Server {
         telemetry: Telemetry,
         observe: ObserveConfig,
     ) -> Result<Server> {
+        Self::start_inner(registry, config, clock, telemetry, observe, None)
+    }
+
+    /// Starts an *adaptive* server: observation plus the background
+    /// requantization loop. When the drift detector flags a sealed
+    /// window, the loop builds a candidate artifact for the observed
+    /// class mix, shadow-scores it on labeled traffic (the candidate
+    /// never answers a request), and hot-swaps at a window-aligned
+    /// admission seq only if the candidate beats the incumbent by the
+    /// configured margin — see [`crate::requant`].
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Server::start_observed`] rejects, plus
+    /// [`ServeError::InvalidConfig`] when observation or the drift
+    /// baseline is missing (the loop has no trigger without them), the
+    /// requant knobs are invalid, or the setup names an unregistered
+    /// model.
+    pub fn start_adaptive(
+        registry: Arc<ModelRegistry>,
+        config: ServerConfig,
+        clock: Arc<dyn ServeClock>,
+        telemetry: Telemetry,
+        observe: ObserveConfig,
+        requant: RequantSetup,
+    ) -> Result<Server> {
+        Self::start_inner(registry, config, clock, telemetry, observe, Some(requant))
+    }
+
+    fn start_inner(
+        registry: Arc<ModelRegistry>,
+        config: ServerConfig,
+        clock: Arc<dyn ServeClock>,
+        telemetry: Telemetry,
+        observe: ObserveConfig,
+        requant: Option<RequantSetup>,
+    ) -> Result<Server> {
         let observer = if observe.enabled() {
             Some(Arc::new(Observer::new(observe, telemetry.clone())?))
         } else {
@@ -469,6 +576,48 @@ impl Server {
             config.workers
         };
         let scheduler = Arc::new(BatchScheduler::new(config.policy, clock.clone())?);
+        // Arm the requant loop before any serve worker exists, so the
+        // feed observes every completion from the first request on.
+        let requant = match requant {
+            None => None,
+            Some(setup) => {
+                let Some(observer) = &observer else {
+                    return Err(ServeError::InvalidConfig(
+                        "adaptive serving needs observation enabled (classes and window > 0)"
+                            .into(),
+                    ));
+                };
+                if observer.detector.is_none() {
+                    return Err(ServeError::InvalidConfig(
+                        "adaptive serving needs a drift baseline to trigger on".into(),
+                    ));
+                }
+                if registry.latest(&setup.model).is_none() {
+                    return Err(ServeError::UnknownModel(setup.model.clone()));
+                }
+                let (tx, rx) = channel();
+                let sync = Arc::new(RequantSync::new());
+                let worker = RequantWorker::new(
+                    rx,
+                    registry.clone(),
+                    scheduler.clone(),
+                    telemetry.clone(),
+                    sync.clone(),
+                    setup,
+                    observer.config.window,
+                )?;
+                let handle = std::thread::Builder::new()
+                    .name("cbq-requant".into())
+                    .spawn(move || worker.run())
+                    .expect("spawn requant worker");
+                observer.state.lock().expect("observer lock poisoned").feed =
+                    Some(RequantFeed {
+                        tx,
+                        sync: sync.clone(),
+                    });
+                Some(RequantRuntime { handle, sync })
+            }
+        };
         let mut handles = Vec::with_capacity(workers);
         for idx in 0..workers {
             let scheduler = scheduler.clone();
@@ -497,6 +646,7 @@ impl Server {
             telemetry,
             observer,
             handles,
+            requant,
             next_id: AtomicU64::new(1),
             workers,
         })
@@ -549,6 +699,38 @@ impl Server {
     /// Current queue depth.
     pub fn queue_depth(&self) -> usize {
         self.scheduler.depth()
+    }
+
+    /// Blocks until the requant worker has processed every observer
+    /// event emitted so far. No-op on a non-adaptive server.
+    ///
+    /// Deterministic drill step: "submit a window, wait the tickets,
+    /// `requant_sync()`" guarantees the loop's state machine has reacted
+    /// to that window before the next one is offered.
+    pub fn requant_sync(&self) {
+        if let Some(rt) = &self.requant {
+            rt.sync.wait_idle();
+        }
+    }
+
+    /// Installs a seq-pinned route: admissions of `to`'s model name from
+    /// the next `window`-aligned admission seq on execute against `to`.
+    /// Returns the cutover seq. This is the hot-swap primitive the
+    /// requant loop uses internally, exposed so a fleet controller can
+    /// cut replicas over to an externally built artifact.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownModel`] when `to` is not registered,
+    /// [`ServeError::InvalidConfig`] for a zero window.
+    pub fn install_route_at_boundary(&self, to: &ModelHandle, window: u64) -> Result<u64> {
+        if window == 0 {
+            return Err(ServeError::InvalidConfig(
+                "cutover window must be >= 1".into(),
+            ));
+        }
+        self.registry.get(to)?;
+        Ok(self.scheduler.install_route_at_boundary(to, window))
     }
 
     /// Submits a sample under an auto-assigned request id.
@@ -683,10 +865,20 @@ impl Server {
         let (accepted, rejected) = self.scheduler.admission_counts();
         stats.accepted = accepted;
         stats.rejected = rejected;
+        // Serve workers have all exited, so every completion has been
+        // fed. Close the feed (disconnecting the worker's channel) and
+        // join the requant worker before finalizing, so the final
+        // snapshot carries its report.
+        if let Some(rt) = self.requant.take() {
+            if let Some(observer) = &self.observer {
+                observer.close_requant();
+            }
+            stats.requant = Some(rt.handle.join().expect("requant worker panicked"));
+        }
         // Workers have all exited: every completion is in. Seal trailing
         // partials, close out drift, and write the derived artifacts.
         if let Some(observer) = &self.observer {
-            let (windows, drift, snapshot_writes) = observer.finalize();
+            let (windows, drift, snapshot_writes) = observer.finalize_with(stats.requant.as_ref());
             stats.windows = windows;
             stats.drift = drift;
             stats.snapshot_writes = snapshot_writes;
@@ -776,7 +968,13 @@ fn observe_done(
     let Some(observer) = observer else { return };
     let latency_us = duration_us(completed.saturating_sub(pending.enqueued));
     match predicted {
-        Some(class) => observer.record(pending.seq, class, pending.label, latency_us),
+        Some(class) => observer.record(
+            pending.seq,
+            class,
+            pending.label,
+            latency_us,
+            &pending.sample,
+        ),
         None => observer.record_error(pending.seq),
     }
     if observer.config.tracing() {

@@ -40,7 +40,9 @@
 //! ([`ClassWindow`] / [`WindowSet`], sealed in admission order so
 //! snapshots are bit-identical at any worker count), and a
 //! [`DriftDetector`] comparing each sealed window's class mix against a
-//! calibration baseline.
+//! calibration baseline, plus the [`ShadowWindow`] / [`ShadowSet`]
+//! counters that score a requantization candidate against the incumbent
+//! on the same labeled traffic before any cutover.
 //!
 //! # Example
 //!
@@ -69,6 +71,7 @@ mod histogram;
 pub mod json;
 mod record;
 mod report;
+mod shadow;
 mod sinks;
 mod telemetry;
 
@@ -79,5 +82,6 @@ pub use drift::{DriftConfig, DriftDetector, DriftReport};
 pub use histogram::{Histogram, LatencySummary, HISTOGRAM_BUCKETS};
 pub use record::{FieldValue, Level, Record, RecordKind};
 pub use report::{PhaseTiming, RunReport};
+pub use shadow::{ShadowSet, ShadowWindow};
 pub use sinks::{JsonlSink, Sink, StderrSink};
 pub use telemetry::{SpanGuard, Telemetry};

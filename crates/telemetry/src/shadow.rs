@@ -1,0 +1,224 @@
+//! Shadow-scoring accounting for hot requantization.
+//!
+//! While a candidate model shadows the incumbent, every labeled
+//! completion is scored twice — once by the incumbent (the response that
+//! was actually served) and once, offline, by the candidate. The
+//! [`ShadowWindow`] / [`ShadowSet`] counters mirror the design of
+//! [`ClassWindow`](crate::ClassWindow) / [`WindowSet`](crate::WindowSet):
+//! integer-only accumulation keyed by the *admission-derived* window
+//! index, so sharding the stream across workers and merging — in any
+//! completion order — reproduces the serial accounting bit for bit. The
+//! cutover decision (`candidate - incumbent ≥ margin · labeled`) is then
+//! a pure integer comparison, independent of scheduling.
+
+/// Shadow accuracy counters for one sealed traffic window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShadowWindow {
+    /// Window index (admission seq / window size).
+    pub index: u64,
+    labeled: u64,
+    incumbent_correct: u64,
+    candidate_correct: u64,
+}
+
+impl ShadowWindow {
+    /// A fresh window with zeroed counters.
+    pub fn new(index: u64) -> ShadowWindow {
+        ShadowWindow {
+            index,
+            labeled: 0,
+            incumbent_correct: 0,
+            candidate_correct: 0,
+        }
+    }
+
+    /// Records one labeled completion scored by both models.
+    pub fn record(&mut self, incumbent_ok: bool, candidate_ok: bool) {
+        self.labeled += 1;
+        self.incumbent_correct += incumbent_ok as u64;
+        self.candidate_correct += candidate_ok as u64;
+    }
+
+    /// Labeled completions scored in this window.
+    pub fn labeled(&self) -> u64 {
+        self.labeled
+    }
+
+    /// Completions the incumbent classified correctly.
+    pub fn incumbent_correct(&self) -> u64 {
+        self.incumbent_correct
+    }
+
+    /// Completions the candidate classified correctly.
+    pub fn candidate_correct(&self) -> u64 {
+        self.candidate_correct
+    }
+
+    /// Candidate-minus-incumbent correct count (may be negative).
+    pub fn delta(&self) -> i64 {
+        self.candidate_correct as i64 - self.incumbent_correct as i64
+    }
+
+    /// Folds another shard of the *same* window into this one. Integer
+    /// addition, so merge order cannot change any bit.
+    ///
+    /// # Panics
+    ///
+    /// In debug builds when the indices disagree.
+    pub fn merge(&mut self, other: &ShadowWindow) {
+        debug_assert_eq!(self.index, other.index, "merging different windows");
+        self.labeled += other.labeled;
+        self.incumbent_correct += other.incumbent_correct;
+        self.candidate_correct += other.candidate_correct;
+    }
+}
+
+/// Shadow counters across the windows of one requantization job.
+///
+/// Windows are kept in a sorted map keyed by index, so iteration order —
+/// and therefore every derived report — is independent of the order in
+/// which completions arrived or shards merged.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ShadowSet {
+    windows: std::collections::BTreeMap<u64, ShadowWindow>,
+}
+
+impl ShadowSet {
+    /// An empty set.
+    pub fn new() -> ShadowSet {
+        ShadowSet::default()
+    }
+
+    /// Records one dual-scored completion into its window.
+    pub fn record(&mut self, window: u64, incumbent_ok: bool, candidate_ok: bool) {
+        self.windows
+            .entry(window)
+            .or_insert_with(|| ShadowWindow::new(window))
+            .record(incumbent_ok, candidate_ok);
+    }
+
+    /// Folds another set in, merging windows by index.
+    pub fn merge(&mut self, other: &ShadowSet) {
+        for (idx, w) in &other.windows {
+            self.windows
+                .entry(*idx)
+                .and_modify(|mine| mine.merge(w))
+                .or_insert_with(|| w.clone());
+        }
+    }
+
+    /// Windows in ascending index order.
+    pub fn windows(&self) -> impl Iterator<Item = &ShadowWindow> {
+        self.windows.values()
+    }
+
+    /// Number of windows with at least one scored completion.
+    pub fn len(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// True when nothing was scored yet.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// Totals over all windows: `(labeled, incumbent_correct,
+    /// candidate_correct)`.
+    pub fn totals(&self) -> (u64, u64, u64) {
+        let mut t = (0, 0, 0);
+        for w in self.windows.values() {
+            t.0 += w.labeled;
+            t.1 += w.incumbent_correct;
+            t.2 += w.candidate_correct;
+        }
+        t
+    }
+
+    /// Total candidate-minus-incumbent correct count.
+    pub fn delta(&self) -> i64 {
+        let (_, inc, cand) = self.totals();
+        cand as i64 - inc as i64
+    }
+
+    /// The integer-exact cutover test: does the candidate beat the
+    /// incumbent by at least `margin` (a fraction of labeled traffic)?
+    /// With zero labeled completions the answer is always `false` — no
+    /// evidence, no swap.
+    pub fn beats_incumbent_by(&self, margin: f64) -> bool {
+        let (labeled, _, _) = self.totals();
+        if labeled == 0 {
+            return false;
+        }
+        self.delta() as f64 >= margin * labeled as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_counts_and_delta() {
+        let mut w = ShadowWindow::new(3);
+        w.record(true, true);
+        w.record(false, true);
+        w.record(true, false);
+        assert_eq!(w.labeled(), 3);
+        assert_eq!(w.incumbent_correct(), 2);
+        assert_eq!(w.candidate_correct(), 2);
+        assert_eq!(w.delta(), 0);
+    }
+
+    #[test]
+    fn merge_is_integer_addition() {
+        let mut a = ShadowWindow::new(0);
+        a.record(true, false);
+        let mut b = ShadowWindow::new(0);
+        b.record(false, true);
+        b.record(true, true);
+        a.merge(&b);
+        assert_eq!(a.labeled(), 3);
+        assert_eq!(a.incumbent_correct(), 2);
+        assert_eq!(a.candidate_correct(), 2);
+    }
+
+    #[test]
+    fn set_totals_and_decision() {
+        let mut s = ShadowSet::new();
+        s.record(5, false, true);
+        s.record(6, false, true);
+        s.record(5, true, true);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.totals(), (3, 1, 3));
+        assert_eq!(s.delta(), 2);
+        assert!(s.beats_incumbent_by(0.5)); // 2 >= 0.5 * 3
+        assert!(!s.beats_incumbent_by(0.7)); // 2 < 0.7 * 3
+        let idx: Vec<u64> = s.windows().map(|w| w.index).collect();
+        assert_eq!(idx, vec![5, 6]);
+    }
+
+    #[test]
+    fn empty_set_never_cuts_over() {
+        let s = ShadowSet::new();
+        assert!(!s.beats_incumbent_by(0.0));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn set_merge_order_independent() {
+        let events = [(0u64, true, false), (1, false, true), (0, true, true)];
+        let mut serial = ShadowSet::new();
+        for &(w, i, c) in &events {
+            serial.record(w, i, c);
+        }
+        let mut a = ShadowSet::new();
+        a.record(0, true, false);
+        let mut b = ShadowSet::new();
+        b.record(1, false, true);
+        b.record(0, true, true);
+        let mut ba = ShadowSet::new();
+        ba.merge(&b);
+        ba.merge(&a);
+        assert_eq!(ba, serial);
+    }
+}

@@ -9,7 +9,7 @@
 //! instance of each property so the invariant is still exercised when
 //! the property harness is unavailable.
 
-use cbq_telemetry::{ClassWindow, WindowSet};
+use cbq_telemetry::{ClassWindow, ShadowSet, WindowSet};
 use proptest::prelude::*;
 
 const CLASSES: usize = 6;
@@ -97,6 +97,57 @@ proptest! {
         prop_assert_eq!(serial.cumulative(), shuffled.cumulative());
     }
 
+    /// Shadow-accuracy accounting sharded across workers and merged in
+    /// any completion order equals the serial feed — the cutover
+    /// decision (`delta ≥ margin · labeled`) therefore cannot depend on
+    /// which worker scored which completion, or when.
+    #[test]
+    fn sharded_shadow_accounting_equals_serial(
+        events in proptest::collection::vec(
+            (0u64..6, any::<bool>(), any::<bool>()), 1..200),
+        shards in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        let mut serial = ShadowSet::new();
+        for &(w, i, c) in &events {
+            serial.record(w, i, c);
+        }
+
+        // Shard by round-robin, then merge the shards in a seeded
+        // arbitrary order (workers finish in any order).
+        let mut parts: Vec<ShadowSet> = (0..shards).map(|_| ShadowSet::new()).collect();
+        for (k, &(w, i, c)) in events.iter().enumerate() {
+            parts[k % shards].record(w, i, c);
+        }
+        let mut order: Vec<usize> = (0..shards).collect();
+        permute(&mut order, seed);
+        let mut merged = ShadowSet::new();
+        for &s in &order {
+            merged.merge(&parts[s]);
+        }
+
+        prop_assert_eq!(&merged, &serial);
+        prop_assert_eq!(merged.totals(), serial.totals());
+        prop_assert_eq!(merged.delta(), serial.delta());
+        for margin in [0.0, 0.25, 1.0] {
+            prop_assert_eq!(
+                merged.beats_incumbent_by(margin),
+                serial.beats_incumbent_by(margin)
+            );
+        }
+
+        // And a plain permutation of the record order — no sharding at
+        // all — is just as invisible.
+        let mut order: Vec<usize> = (0..events.len()).collect();
+        permute(&mut order, seed ^ 0xA5A5_A5A5);
+        let mut shuffled = ShadowSet::new();
+        for &k in &order {
+            let (w, i, c) = events[k];
+            shuffled.record(w, i, c);
+        }
+        prop_assert_eq!(&shuffled, &serial);
+    }
+
     /// Errors interleaved anywhere in the stream still seal windows at
     /// exactly `window_size` resolved members, in index order.
     #[test]
@@ -153,6 +204,40 @@ fn pinned_sharded_merge_matches_serial() {
         assert_eq!(merged, serial, "{shards} shards diverged from serial");
         assert_eq!(merged.mix(), serial.mix());
         assert_eq!(merged.accuracy(), serial.accuracy());
+    }
+}
+
+/// Pinned instance of `sharded_shadow_accounting_equals_serial`.
+#[test]
+fn pinned_sharded_shadow_accounting_matches_serial() {
+    let mut events = Vec::new();
+    let mut seed = 0x5AD0_2026u64;
+    for _ in 0..180 {
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        events.push((seed >> 5 & 0x7, seed & 1 == 0, seed & 2 == 0));
+    }
+    let mut serial = ShadowSet::new();
+    for &(w, i, c) in &events {
+        serial.record(w, i, c);
+    }
+    for shards in 1..8 {
+        let mut parts: Vec<ShadowSet> = (0..shards).map(|_| ShadowSet::new()).collect();
+        for (k, &(w, i, c)) in events.iter().enumerate() {
+            parts[k % shards].record(w, i, c);
+        }
+        let mut merged = ShadowSet::new();
+        for part in parts.iter().rev() {
+            merged.merge(part);
+        }
+        assert_eq!(merged, serial, "{shards} shards diverged from serial");
+        assert_eq!(merged.totals(), serial.totals());
+        assert_eq!(merged.delta(), serial.delta());
+        assert_eq!(
+            merged.beats_incumbent_by(0.1),
+            serial.beats_incumbent_by(0.1)
+        );
     }
 }
 

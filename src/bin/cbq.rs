@@ -22,18 +22,24 @@
 //!     --backends float,fake-quant,integer,packed --requests 96 --clients 4
 //! ```
 
-use cbq::core::{CqConfig, CqPipeline, RefineConfig};
-use cbq::data::{SyntheticImages, SyntheticSpec};
+use cbq::core::{
+    requant_for_mix, CqConfig, CqPipeline, Parallelism, RefineConfig, ScoreConfig, SearchConfig,
+};
+use cbq::data::{Subset, SyntheticImages, SyntheticSpec};
 use cbq::fleet::{Fleet, FleetConfig, RetryPolicy};
-use cbq::nn::{evaluate, models, state_dict, Layer, Phase, Sequential, Trainer, TrainerConfig};
+use cbq::nn::{
+    evaluate, load_state_dict, models, state_dict, Layer, Phase, Sequential, Trainer,
+    TrainerConfig,
+};
 use cbq::quant::{
-    act_clip_bounds, install_act_quant, install_uniform, set_act_calibration, BitWidth,
+    act_clip_bounds, install_act_quant, install_uniform, restore_act_clip_bounds, set_act_bits,
+    set_act_calibration, BitWidth,
 };
 use cbq::resilience::{atomic_write_text, FaultPlan, GuardPolicy};
 use cbq::serve::{
     compile_packed_codes, offline_logits, ArchSpec, Backend, BatchPolicy, LoadedModel,
-    ModelArtifact, ModelHandle, ModelRegistry, ObserveConfig, QuantState, Server, ServerConfig,
-    SystemClock,
+    ModelArtifact, ModelHandle, ModelRegistry, ObserveConfig, QuantState, RequantConfig,
+    RequantDecision, RequantSetup, Server, ServeError, ServerConfig, SystemClock,
 };
 use cbq::telemetry::{JsonlSink, Level, Sink, StderrSink, Telemetry};
 use rand::rngs::StdRng;
@@ -359,6 +365,9 @@ struct ServeOptions {
     replicas: usize,
     faults: Option<FaultPlan>,
     drift_window: u64,
+    requant: bool,
+    requant_margin: f64,
+    shadow_windows: u64,
     metrics_out: Option<String>,
     trace_out: Option<String>,
     out: Option<String>,
@@ -389,6 +398,9 @@ impl Default for ServeOptions {
             replicas: 1,
             faults: None,
             drift_window: 32,
+            requant: false,
+            requant_margin: 0.0,
+            shadow_windows: 2,
             metrics_out: None,
             trace_out: None,
             out: None,
@@ -401,6 +413,7 @@ const SERVE_USAGE: &str = "usage: cbq serve [--model mlp|vgg|resnet20x1|resnet20
 [--dataset tiny|c10|c100] [--backends float,fake-quant,integer,packed] [--wbits N] [--abits N] \
 [--epochs N] [--seed N] [--workers N] [--max-batch N] [--max-wait-us N] [--queue-cap N] \
 [--requests N] [--clients N] [--replicas N] [--faults SPEC] [--drift-window N] \
+[--requant] [--requant-margin F] [--shadow-windows N] \
 [--metrics-out FILE.json] [--trace-out FILE.jsonl] [--out FILE.json] \
 [--log-level error|warn|info|debug|trace]";
 
@@ -468,6 +481,17 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
                     .parse()
                     .map_err(|e| format!("--drift-window: {e}"))?;
             }
+            "--requant" => opts.requant = true,
+            "--requant-margin" => {
+                opts.requant_margin = value("--requant-margin")?
+                    .parse()
+                    .map_err(|e| format!("--requant-margin: {e}"))?;
+            }
+            "--shadow-windows" => {
+                opts.shadow_windows = value("--shadow-windows")?
+                    .parse()
+                    .map_err(|e| format!("--shadow-windows: {e}"))?;
+            }
             "--metrics-out" => opts.metrics_out = Some(value("--metrics-out")?.clone()),
             "--trace-out" => opts.trace_out = Some(value("--trace-out")?.clone()),
             "--out" => opts.out = Some(value("--out")?.clone()),
@@ -521,6 +545,27 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
              they are not yet supported on the fleet path (--replicas/--faults)"
             .into());
     }
+    if opts.requant && (opts.replicas > 1 || opts.faults.is_some()) {
+        return Err("--requant runs a single adaptive server; it is not yet \
+             supported on the fleet path (--replicas/--faults)"
+            .into());
+    }
+    if opts.requant && !opts.backends.contains(&Backend::FakeQuant) {
+        return Err("--requant re-searches the bit arrangement, which only the \
+             fake-quant backend executes; add fake-quant to --backends"
+            .into());
+    }
+    if !opts.requant && (opts.requant_margin != 0.0 || opts.shadow_windows != 2) {
+        return Err("--requant-margin/--shadow-windows tune the requant loop; \
+             they need --requant"
+            .into());
+    }
+    if !opts.requant_margin.is_finite() || opts.requant_margin < 0.0 {
+        return Err("--requant-margin must be finite and >= 0".into());
+    }
+    if opts.shadow_windows == 0 {
+        return Err("--shadow-windows must be positive".into());
+    }
     Ok(opts)
 }
 
@@ -556,6 +601,60 @@ fn serve_arch(model: &str, spec: &SyntheticSpec) -> ArchSpec {
         }
         _ => ArchSpec::Mlp(vec![spec.feature_len(), 64, 32, 16, spec.num_classes]),
     }
+}
+
+/// Production glue for `serve --requant`: rebuilds the serving-config
+/// network from the incumbent artifact (weights, calibrated activation
+/// clips, activation bits) and re-runs importance scoring plus the
+/// bit-arrangement search with the observed per-class request counts as
+/// the class weights — the mix-weighted form of the paper's Eq. 7
+/// objective. Only the weight arrangement changes; everything else in
+/// the artifact is inherited from the incumbent.
+fn requant_builder(val: Subset, avg_bits: u8) -> Box<dyn cbq::serve::CandidateBuilder> {
+    Box::new(
+        move |mix: &[u64], incumbent: &ModelArtifact| -> cbq::serve::Result<ModelArtifact> {
+            let glue = |e: String| ServeError::Artifact(format!("requant glue: {e}"));
+            let quant = incumbent
+                .quant
+                .clone()
+                .ok_or_else(|| glue("incumbent has no quant state".into()))?;
+            let mut net = incumbent.arch.build()?;
+            load_state_dict(&mut net, &incumbent.state).map_err(|e| glue(e.to_string()))?;
+            install_act_quant(&mut net);
+            set_act_calibration(&mut net, false);
+            restore_act_clip_bounds(&mut net, &quant.act_clips);
+            set_act_bits(
+                &mut net,
+                Some(BitWidth::new(quant.act_bits).map_err(|e| glue(e.to_string()))?),
+            );
+            let score = ScoreConfig {
+                samples_per_class: 8,
+                ..ScoreConfig::default()
+            };
+            let search = SearchConfig::new(f32::from(avg_bits));
+            let out = requant_for_mix(
+                &mut net,
+                &val,
+                mix,
+                &score,
+                &search,
+                &Telemetry::disabled(),
+                Parallelism::serial(),
+            )
+            .map_err(|e| glue(e.to_string()))?;
+            Ok(ModelArtifact {
+                quant: Some(QuantState {
+                    arrangement: out.search.arrangement,
+                    ..quant
+                }),
+                // Packed codes encode the incumbent's arrangement; the
+                // candidate serves the fake-quant backend only, so drop
+                // them rather than ship a stale section.
+                packed: None,
+                ..incumbent.clone()
+            })
+        },
+    )
 }
 
 /// Per-backend outcome of the load run.
@@ -656,20 +755,47 @@ fn run_serve(opts: &ServeOptions) -> Result<(), Box<dyn std::error::Error>> {
         metrics_path: opts.metrics_out.clone().map(Into::into),
         ..ObserveConfig::for_classes(spec.num_classes)
     };
-    let server = Server::start_observed(
-        registry,
-        ServerConfig {
-            policy: BatchPolicy {
-                max_batch: opts.max_batch,
-                max_wait: Duration::from_micros(opts.max_wait_us),
-                queue_capacity: opts.queue_cap,
-            },
-            workers: opts.workers,
+    let server_config = ServerConfig {
+        policy: BatchPolicy {
+            max_batch: opts.max_batch,
+            max_wait: Duration::from_micros(opts.max_wait_us),
+            queue_capacity: opts.queue_cap,
         },
-        Arc::new(SystemClock::new()),
-        telemetry.clone(),
-        observe,
-    )?;
+        workers: opts.workers,
+    };
+    // Kept for the post-run verification: a requant cutover loads a new
+    // registry version whose logits the offline check must compare
+    // against, not the incumbent's.
+    let registry_ref = registry.clone();
+    let clock = Arc::new(SystemClock::new());
+    let server = if opts.requant {
+        let setup = RequantSetup {
+            model: Backend::FakeQuant.as_str().into(),
+            backend: Backend::FakeQuant,
+            artifact: artifact.clone(),
+            config: RequantConfig {
+                margin: opts.requant_margin,
+                shadow_windows: opts.shadow_windows,
+                ..RequantConfig::default()
+            },
+            builder: requant_builder(data.val().clone(), opts.wbits),
+        };
+        eprintln!(
+            "cbq serve: adaptive requant armed on fake-quant \
+             (margin {}, {} shadow window(s))",
+            opts.requant_margin, opts.shadow_windows,
+        );
+        Server::start_adaptive(
+            registry,
+            server_config,
+            clock,
+            telemetry.clone(),
+            observe,
+            setup,
+        )?
+    } else {
+        Server::start_observed(registry, server_config, clock, telemetry.clone(), observe)?
+    };
     eprintln!(
         "cbq serve: {} on {} -> {} backend(s), {} worker(s), max batch {}, \
          {} requests from {} client(s), {} kernels (bit-exact)",
@@ -728,11 +854,35 @@ fn run_serve(opts: &ServeOptions) -> Result<(), Box<dyn std::error::Error>> {
             errors: 0,
         })
         .collect();
+    // A requant cutover reloads the fake-quant model as a new registry
+    // version mid-run; responses carry the version that served them, so
+    // resolve the offline reference per response instead of per target.
+    let latest_fake_quant = if opts.requant {
+        registry_ref
+            .latest(Backend::FakeQuant.as_str())
+            .map(|h| registry_ref.get(&h))
+            .transpose()?
+    } else {
+        None
+    };
     for (i, t, outcome) in results {
         match outcome {
             Ok(resp) => {
                 let (sample, label) = samples[i];
-                let offline = offline_logits(&targets[t].2, sample)?;
+                let reference = if resp.version == targets[t].1.version() {
+                    &targets[t].2
+                } else {
+                    latest_fake_quant
+                        .as_ref()
+                        .filter(|m| m.handle().version() == resp.version)
+                        .ok_or_else(|| {
+                            format!(
+                                "response {i} served by unknown {} version {}",
+                                resp.model, resp.version
+                            )
+                        })?
+                };
+                let offline = offline_logits(reference, sample)?;
                 let exact = resp.logits.len() == offline.len()
                     && resp
                         .logits
@@ -800,6 +950,29 @@ fn run_serve(opts: &ServeOptions) -> Result<(), Box<dyn std::error::Error>> {
         stats.drift.len(),
         drift_flags,
     );
+    if let Some(rq) = &stats.requant {
+        println!(
+            "requant        : triggered {}, built {}, cutovers {}, rejected {}, \
+             aborted {} ({} checkpoint hits)",
+            rq.triggered, rq.built, rq.cutovers, rq.rejected, rq.aborted, rq.checkpoint_hits,
+        );
+        for job in &rq.jobs {
+            let verdict = match &job.decision {
+                RequantDecision::Cutover { seq, version } => {
+                    format!("cutover at seq {seq} as v{version}")
+                }
+                RequantDecision::Rejected { delta } => {
+                    format!("candidate rejected (shadow delta {delta})")
+                }
+                RequantDecision::Aborted { phase } => format!("aborted in {phase}"),
+                RequantDecision::Pending => "still shadow-scoring at drain".into(),
+            };
+            println!(
+                "                 window {} flagged drift -> {verdict}",
+                job.trigger_window,
+            );
+        }
+    }
     if let Some(path) = &opts.metrics_out {
         eprintln!("wrote {path} ({} snapshot writes)", stats.snapshot_writes);
     }
@@ -844,6 +1017,13 @@ fn run_serve(opts: &ServeOptions) -> Result<(), Box<dyn std::error::Error>> {
             "windows_sealed": stats.windows.len(),
             "drift_checks": stats.drift.len(),
             "drift_flags": drift_flags,
+            "requant_enabled": opts.requant,
+            "requant_triggered": stats.requant.as_ref().map_or(0, |r| r.triggered),
+            "requant_built": stats.requant.as_ref().map_or(0, |r| r.built),
+            "requant_cutovers": stats.requant.as_ref().map_or(0, |r| r.cutovers),
+            "requant_rejected": stats.requant.as_ref().map_or(0, |r| r.rejected),
+            "requant_aborted": stats.requant.as_ref().map_or(0, |r| r.aborted),
+            "requant_checkpoint_hits": stats.requant.as_ref().map_or(0, |r| r.checkpoint_hits),
         });
         atomic_write_text(path, &serde_json::to_string_pretty(&payload)?)?;
         eprintln!("wrote {path}");
@@ -1300,5 +1480,40 @@ mod tests {
         let o =
             parse_serve_args(&args(&["--model", "vgg", "--backends", "float,fake-quant"])).unwrap();
         assert_eq!(o.backends, vec![Backend::Float, Backend::FakeQuant]);
+    }
+
+    #[test]
+    fn serve_requant_flags_parse() {
+        let o = parse_serve_args(&args(&[
+            "--requant",
+            "--requant-margin",
+            "0.05",
+            "--shadow-windows",
+            "3",
+        ]))
+        .unwrap();
+        assert!(o.requant);
+        assert_eq!(o.requant_margin, 0.05);
+        assert_eq!(o.shadow_windows, 3);
+        // Off by default with the loop's own defaults.
+        let o = parse_serve_args(&[]).unwrap();
+        assert!(!o.requant);
+        assert_eq!(o.requant_margin, 0.0);
+        assert_eq!(o.shadow_windows, 2);
+    }
+
+    #[test]
+    fn serve_requant_rejects_bad_combinations() {
+        // The knobs require the loop itself.
+        assert!(parse_serve_args(&args(&["--requant-margin", "0.1"])).is_err());
+        assert!(parse_serve_args(&args(&["--shadow-windows", "4"])).is_err());
+        // No fleet path, and the fake-quant backend must be served.
+        assert!(parse_serve_args(&args(&["--requant", "--replicas", "2"])).is_err());
+        assert!(parse_serve_args(&args(&["--requant", "--faults", "fail-at:serve"])).is_err());
+        assert!(parse_serve_args(&args(&["--requant", "--backends", "float"])).is_err());
+        // Degenerate knob values.
+        assert!(parse_serve_args(&args(&["--requant", "--requant-margin", "-0.5"])).is_err());
+        assert!(parse_serve_args(&args(&["--requant", "--requant-margin", "NaN"])).is_err());
+        assert!(parse_serve_args(&args(&["--requant", "--shadow-windows", "0"])).is_err());
     }
 }

@@ -1,0 +1,601 @@
+//! End-to-end drill of the closed drift loop: drift flag → background
+//! re-quantization → shadow scoring → seq-pinned hot-swap — all
+//! **deterministic at every worker count**.
+//!
+//! Four cases, per the serving contract:
+//!
+//! 1. Stationary traffic: the loop never arms, the version never moves,
+//!    and every run byte-identical across worker counts.
+//! 2. A class-mix shift: the flagged window triggers a rebuild, the
+//!    candidate shadows two windows (never serving), and cutover lands
+//!    at a window-aligned admission seq — post-cutover responses are
+//!    bit-identical to an offline evaluation of the new artifact.
+//! 3. A worse candidate: shadow scoring rejects it and the registry
+//!    version never changes.
+//! 4. A kill mid-requant (fault right after the checkpoint lands): the
+//!    incumbent serves uninterrupted; a restart resumes from the
+//!    checkpoint — builder never re-invoked — and completes the *same*
+//!    cutover at the *same* admission seq as a never-killed run.
+//!
+//! Traffic is pooled by *offline-predicted* class (as in the
+//! observability drill), so planned mixes are realized exactly and
+//! incumbent accuracy is literally 1.0 — every accuracy delta in the
+//! shadow comparison is the candidate's doing alone.
+
+use cbq::data::{SyntheticImages, SyntheticSpec};
+use cbq::nn::{state_dict, Trainer, TrainerConfig};
+use cbq::resilience::FaultPlan;
+use cbq::serve::{
+    achieved_mix, offline_logits, ArchSpec, Backend, BatchPolicy, CandidateBuilder, ManualClock,
+    ModelArtifact, ModelRegistry, ObserveConfig, RequantConfig, RequantDecision, RequantSetup,
+    Server, ServerConfig,
+};
+use cbq::telemetry::Telemetry;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const SEED: u64 = 91;
+const WINDOW: u64 = 16;
+const SHADOW_WINDOWS: u64 = 2;
+
+/// Worker counts under test, from `CBQ_TEST_THREADS` (default `1,2,4,7`).
+fn thread_counts() -> Vec<usize> {
+    let spec = std::env::var("CBQ_TEST_THREADS").unwrap_or_else(|_| "1,2,4,7".into());
+    let counts: Vec<usize> = spec
+        .split(',')
+        .filter_map(|t| t.trim().parse().ok())
+        .filter(|&n| n > 0)
+        .collect();
+    assert!(!counts.is_empty(), "CBQ_TEST_THREADS={spec} parsed empty");
+    counts
+}
+
+/// A trained float artifact plus the test samples pooled by their
+/// *offline-predicted* class (same fixture as the observability drill).
+fn fixture() -> (ModelArtifact, Vec<(Vec<f32>, usize)>, usize) {
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let spec = SyntheticSpec::tiny(4);
+    let data = SyntheticImages::generate(&spec, &mut rng).unwrap();
+    let arch = ArchSpec::Mlp(vec![spec.feature_len(), 24, 16, spec.num_classes]);
+    let mut net = arch.build_init(&mut rng).unwrap();
+    Trainer::new(TrainerConfig::quick(2, 0.1))
+        .fit(&mut net, data.train(), &mut rng)
+        .unwrap();
+    let artifact = ModelArtifact {
+        arch,
+        input_shape: vec![spec.channels, spec.height, spec.width],
+        state: state_dict(&mut net),
+        quant: None,
+        baseline_mix: None,
+        packed: None,
+    };
+
+    let registry = ModelRegistry::new();
+    let handle = registry.load("cls", &artifact, Backend::Float).unwrap();
+    let model = registry.get(&handle).unwrap();
+    let test = data.test();
+    let item_len: usize = test.images().shape()[1..].iter().product();
+    let images = test.images().as_slice();
+    let mut labeled = Vec::new();
+    let mut seen = vec![false; spec.num_classes];
+    for j in 0..test.len() {
+        let sample = images[j * item_len..(j + 1) * item_len].to_vec();
+        let logits = offline_logits(&model, &sample).unwrap();
+        let predicted = logits
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(c, _)| c)
+            .unwrap();
+        seen[predicted] = true;
+        labeled.push((sample, predicted));
+    }
+    assert!(
+        seen.iter().all(|&s| s),
+        "fixture model must predict every class at least once; adjust SEED"
+    );
+    (artifact, labeled, spec.num_classes)
+}
+
+/// Name of the bias parameter on the classifier head (the tensor with
+/// one value per class — hidden widths differ, so it is unique).
+fn head_bias_name(artifact: &ModelArtifact, classes: usize) -> String {
+    artifact
+        .state
+        .params
+        .iter()
+        .find(|(n, t)| n.ends_with(".bias") && t.as_slice().len() == classes)
+        .map(|(n, _)| n.clone())
+        .expect("classifier head bias")
+}
+
+/// A builder whose candidate is *equally accurate but numerically
+/// distinct*: every head bias shifted by the same constant moves all
+/// logits together, so the argmax — and therefore shadow accuracy — is
+/// untouched while the served bytes change detectably.
+fn good_builder(calls: Arc<AtomicU64>, classes: usize) -> Box<dyn CandidateBuilder> {
+    Box::new(
+        move |_mix: &[u64], incumbent: &ModelArtifact| -> cbq::serve::Result<ModelArtifact> {
+            calls.fetch_add(1, Ordering::SeqCst);
+            let mut art = incumbent.clone();
+            let name = head_bias_name(&art, classes);
+            let bias = art.state.params.get_mut(&name).expect("head bias");
+            for v in bias.as_mut_slice() {
+                *v += 3.0;
+            }
+            Ok(art)
+        },
+    )
+}
+
+/// A builder whose candidate is deterministically *worse*: the head is
+/// zeroed and its bias one-hot on class 1, so the candidate answers
+/// class 1 unconditionally — hopeless against class-0-heavy traffic.
+fn bad_builder(calls: Arc<AtomicU64>, classes: usize) -> Box<dyn CandidateBuilder> {
+    Box::new(
+        move |_mix: &[u64], incumbent: &ModelArtifact| -> cbq::serve::Result<ModelArtifact> {
+            calls.fetch_add(1, Ordering::SeqCst);
+            let mut art = incumbent.clone();
+            let bias_name = head_bias_name(&art, classes);
+            let weight_name = format!(
+                "{}.weight",
+                bias_name.strip_suffix(".bias").expect("bias suffix")
+            );
+            let weight = art.state.params.get_mut(&weight_name).expect("head weight");
+            weight.as_mut_slice().fill(0.0);
+            let bias = art.state.params.get_mut(&bias_name).expect("head bias");
+            bias.as_mut_slice().fill(0.0);
+            bias.as_mut_slice()[1] = 1.0;
+            Ok(art)
+        },
+    )
+}
+
+/// The shared traffic plan: two stationary uniform windows, then every
+/// later window fully concentrated on class 0. Window 2 is the flagged
+/// trigger; windows 3–4 are the shadow span; windows 5–6 are the
+/// post-decision span.
+fn shifted_plan(
+    pooled: &[(Vec<f32>, usize)],
+    classes: usize,
+    windows: usize,
+) -> Vec<Vec<(Vec<f32>, usize)>> {
+    let mut gen = cbq::serve::TrafficGenerator::new(pooled, classes).unwrap();
+    let uniform = vec![1.0; classes];
+    let shifted = {
+        let mut m = vec![0.0; classes];
+        m[0] = 1.0;
+        m
+    };
+    let mut plan: Vec<Vec<(Vec<f32>, usize)>> = (0..2)
+        .map(|_| gen.window(&uniform, WINDOW as usize))
+        .collect();
+    for _ in 2..windows {
+        plan.push(gen.window(&shifted, WINDOW as usize));
+    }
+    plan
+}
+
+struct AdaptiveRun {
+    stats: cbq::serve::ServeStats,
+    /// `(seq, version, logits)` per response, in admission order.
+    responses: Vec<(u64, u64, Vec<f32>)>,
+    snapshot: String,
+}
+
+/// One adaptive run over `plan`. Each window is fully drained — tickets
+/// waited, then `requant_sync()` — before the next submits, so the
+/// requant state machine advances at exact admission-seq boundaries.
+fn adaptive_run(
+    workers: usize,
+    artifact: &ModelArtifact,
+    plan: &[Vec<(Vec<f32>, usize)>],
+    classes: usize,
+    config: RequantConfig,
+    builder: Box<dyn CandidateBuilder>,
+    out_dir: &Path,
+) -> AdaptiveRun {
+    let registry = Arc::new(ModelRegistry::new());
+    let handle = registry.load("cls", artifact, Backend::Float).unwrap();
+    let clock = ManualClock::new();
+    let metrics_path = out_dir.join(format!("metrics-{workers}.json"));
+    let baseline = achieved_mix(&vec![1.0; classes], WINDOW as usize);
+    let server = Server::start_adaptive(
+        registry.clone(),
+        ServerConfig {
+            policy: BatchPolicy {
+                max_batch: 1,
+                max_wait: Duration::from_secs(3600),
+                queue_capacity: 4096,
+            },
+            workers,
+        },
+        Arc::new(clock.clone()),
+        Telemetry::disabled(),
+        ObserveConfig {
+            baseline: Some(baseline),
+            window: WINDOW,
+            trace: true,
+            metrics_path: Some(metrics_path.clone()),
+            ..ObserveConfig::for_classes(classes)
+        },
+        RequantSetup {
+            model: "cls".into(),
+            backend: Backend::Float,
+            artifact: artifact.clone(),
+            config,
+            builder,
+        },
+    )
+    .unwrap();
+
+    let mut id = 0u64;
+    let mut responses = Vec::new();
+    for window in plan {
+        let tickets: Vec<_> = window
+            .iter()
+            .map(|(sample, label)| {
+                id += 1;
+                server
+                    .submit_request(id, &handle, sample.clone(), Some(*label))
+                    .unwrap()
+            })
+            .collect();
+        for ticket in tickets {
+            let r = ticket.wait().unwrap();
+            responses.push((r.version, r.logits));
+        }
+        // All tickets resolved: every Completed event (and the window's
+        // Sealed event) is already *sent*; wait until the requant worker
+        // has *processed* them so any trigger/decision lands before the
+        // next window's admissions.
+        server.requant_sync();
+        clock.advance(Duration::from_millis(1));
+    }
+    let stats = server.shutdown();
+    // Responses arrive ticket-by-ticket in submit order, which equals
+    // seq order under the drained-window protocol.
+    let responses = responses
+        .into_iter()
+        .enumerate()
+        .map(|(seq, (v, l))| (seq as u64, v, l))
+        .collect();
+    let snapshot = std::fs::read_to_string(&metrics_path).unwrap();
+    AdaptiveRun {
+        stats,
+        responses,
+        snapshot,
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cbq-requant-{tag}-{SEED}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn stationary_traffic_never_triggers_and_stays_byte_identical() {
+    let (artifact, pooled, classes) = fixture();
+    let mut gen = cbq::serve::TrafficGenerator::new(&pooled, classes).unwrap();
+    let uniform = vec![1.0; classes];
+    let plan: Vec<Vec<(Vec<f32>, usize)>> = (0..5)
+        .map(|_| gen.window(&uniform, WINDOW as usize))
+        .collect();
+    let out_dir = temp_dir("stationary");
+
+    let mut reference: Option<(Vec<(u64, u64, Vec<f32>)>, String)> = None;
+    for &workers in &thread_counts() {
+        let calls = Arc::new(AtomicU64::new(0));
+        let run = adaptive_run(
+            workers,
+            &artifact,
+            &plan,
+            classes,
+            RequantConfig::default(),
+            good_builder(calls.clone(), classes),
+            &out_dir,
+        );
+        let report = run.stats.requant.as_ref().expect("adaptive run reports");
+        assert_eq!(report.triggered, 0, "{workers} workers: phantom trigger");
+        assert_eq!(report.built, 0);
+        assert_eq!(report.cutovers, 0);
+        assert!(report.jobs.is_empty());
+        assert_eq!(calls.load(Ordering::SeqCst), 0, "builder ran unprovoked");
+        assert!(
+            run.responses.iter().all(|(_, v, _)| *v == 1),
+            "{workers} workers: version moved without a cutover"
+        );
+        for report in &run.stats.drift {
+            assert!(!report.flagged, "stationary window {} flagged", report.window);
+        }
+        // The requant section is part of the final snapshot even when
+        // idle: zero counters, no jobs.
+        assert!(run.snapshot.contains("\"requant\""));
+        assert!(run.snapshot.contains("\"triggered\": 0"));
+        match &reference {
+            None => reference = Some((run.responses, run.snapshot)),
+            Some((responses0, snapshot0)) => {
+                assert_eq!(&run.responses, responses0, "{workers} workers: responses diverged");
+                assert_eq!(&run.snapshot, snapshot0, "{workers} workers: snapshot diverged");
+            }
+        }
+    }
+}
+
+#[test]
+fn shift_triggers_shadow_scoring_and_window_aligned_cutover() {
+    let (artifact, pooled, classes) = fixture();
+    let plan = shifted_plan(&pooled, classes, 7);
+    let out_dir = temp_dir("cutover");
+
+    // The drained-window protocol fixes the decision point: the shadow
+    // span ends when window 4 seals, and at that instant exactly
+    // 5 windows of admissions exist — so the route pins to seq 80.
+    let expected_cutover = 5 * WINDOW;
+
+    let mut reference: Option<(Vec<(u64, u64, Vec<f32>)>, String)> = None;
+    for &workers in &thread_counts() {
+        let calls = Arc::new(AtomicU64::new(0));
+        let run = adaptive_run(
+            workers,
+            &artifact,
+            &plan,
+            classes,
+            RequantConfig::default(),
+            good_builder(calls.clone(), classes),
+            &out_dir,
+        );
+        let report = run.stats.requant.as_ref().expect("adaptive run reports");
+        assert_eq!(report.triggered, 1, "{workers} workers");
+        assert_eq!(report.built, 1);
+        assert_eq!(report.cutovers, 1);
+        assert_eq!(report.rejected, 0);
+        assert_eq!(report.aborted, 0);
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+        assert_eq!(report.jobs.len(), 1);
+        let job = &report.jobs[0];
+        assert_eq!(job.trigger_window, 2);
+        assert!(!job.from_checkpoint);
+        // The observed mix of the fully-shifted trigger window.
+        assert_eq!(job.observed_mix[0], WINDOW);
+        assert_eq!(job.observed_mix.iter().sum::<u64>(), WINDOW);
+        // Equal-accuracy candidate over two fully-labeled shadow
+        // windows: 32 labeled, both sides perfect, delta zero — which
+        // the default margin (0.0, "at least as good") promotes.
+        assert_eq!(
+            job.shadow.totals(),
+            (SHADOW_WINDOWS * WINDOW, SHADOW_WINDOWS * WINDOW, SHADOW_WINDOWS * WINDOW)
+        );
+        let RequantDecision::Cutover { seq, version } = &job.decision else {
+            panic!("{workers} workers: expected cutover, got {:?}", job.decision);
+        };
+        assert_eq!(*seq, expected_cutover, "{workers} workers: cutover seq");
+        assert_eq!(*version, 2);
+
+        // The served split: v1 strictly before the pinned seq, v2 from
+        // it on — batches never straddle the boundary.
+        for (seq, version, _) in &run.responses {
+            let expected = if *seq < expected_cutover { 1 } else { 2 };
+            assert_eq!(
+                *version, expected,
+                "{workers} workers: seq {seq} served by v{version}"
+            );
+        }
+
+        // Post-cutover responses are bit-identical to an *offline*
+        // evaluation of the requantized artifact, fetched through the
+        // registry as v2 — the loop's output is a first-class model.
+        let registry = Arc::new(ModelRegistry::new());
+        registry.load("cls", &artifact, Backend::Float).unwrap();
+        let mut candidate = artifact.clone();
+        let name = head_bias_name(&candidate, classes);
+        for v in candidate
+            .state
+            .params
+            .get_mut(&name)
+            .unwrap()
+            .as_mut_slice()
+        {
+            *v += 3.0;
+        }
+        // The worker stamps the observed mix as the candidate's new
+        // drift baseline before loading it — mirror that here.
+        let mix: Vec<f64> = run.stats.requant.as_ref().unwrap().jobs[0]
+            .observed_mix
+            .iter()
+            .map(|&c| c as f64)
+            .collect();
+        candidate.baseline_mix = Some(mix.clone());
+        let v2 = registry.load("cls", &candidate, Backend::Float).unwrap();
+        assert_eq!(v2.version(), 2);
+        let model = registry.get(&v2).unwrap();
+        // The reload carries the *new* baseline, not the incumbent's
+        // calibration histogram.
+        assert_eq!(model.baseline_mix(), Some(&mix[..]));
+        let flat: Vec<&(Vec<f32>, usize)> = plan.iter().flatten().collect();
+        for (seq, _, logits) in run.responses.iter().filter(|(s, _, _)| *s >= expected_cutover) {
+            let offline = offline_logits(&model, &flat[*seq as usize].0).unwrap();
+            assert_eq!(logits, &offline, "{workers} workers: seq {seq} drifted from offline");
+        }
+        // And they differ from the incumbent's logits — the swap is
+        // observable in the bytes, not just the version string.
+        let first_post = run
+            .responses
+            .iter()
+            .find(|(s, _, _)| *s >= expected_cutover)
+            .unwrap();
+        let incumbent_registry = Arc::new(ModelRegistry::new());
+        let h1 = incumbent_registry
+            .load("cls", &artifact, Backend::Float)
+            .unwrap();
+        let m1 = incumbent_registry.get(&h1).unwrap();
+        let incumbent_logits =
+            offline_logits(&m1, &flat[first_post.0 as usize].0).unwrap();
+        assert_ne!(first_post.2, incumbent_logits, "candidate must be numerically distinct");
+
+        match &reference {
+            None => reference = Some((run.responses, run.snapshot)),
+            Some((responses0, snapshot0)) => {
+                assert_eq!(&run.responses, responses0, "{workers} workers: responses diverged");
+                assert_eq!(&run.snapshot, snapshot0, "{workers} workers: snapshot diverged");
+            }
+        }
+    }
+}
+
+#[test]
+fn worse_shadow_candidate_is_rejected_and_version_never_changes() {
+    let (artifact, pooled, classes) = fixture();
+    let plan = shifted_plan(&pooled, classes, 7);
+    let out_dir = temp_dir("rejected");
+
+    for &workers in &thread_counts() {
+        let calls = Arc::new(AtomicU64::new(0));
+        let run = adaptive_run(
+            workers,
+            &artifact,
+            &plan,
+            classes,
+            RequantConfig::default(),
+            bad_builder(calls.clone(), classes),
+            &out_dir,
+        );
+        let report = run.stats.requant.as_ref().expect("adaptive run reports");
+        assert_eq!(report.triggered, 1, "{workers} workers");
+        assert_eq!(report.built, 1);
+        assert_eq!(report.cutovers, 0);
+        assert_eq!(report.rejected, 1);
+        assert_eq!(report.jobs.len(), 1);
+        let job = &report.jobs[0];
+        // Class-0-only shadow traffic against an always-class-1
+        // candidate: the incumbent is perfect, the candidate scores
+        // zero, and the delta is exactly minus the labeled count.
+        let labeled = SHADOW_WINDOWS * WINDOW;
+        assert_eq!(job.shadow.totals(), (labeled, labeled, 0));
+        assert_eq!(
+            job.decision,
+            RequantDecision::Rejected {
+                delta: -(labeled as i64)
+            },
+            "{workers} workers"
+        );
+        // The incumbent never blinked: every response v1, accuracy 1.0
+        // in every window, and no v2 in the registry of the run (the
+        // report records no cutover seq to even check).
+        assert!(run.responses.iter().all(|(_, v, _)| *v == 1));
+        for w in &run.stats.windows {
+            assert_eq!(w.overall_accuracy(), Some(1.0));
+        }
+        assert!(run.snapshot.contains("\"kind\": \"rejected\""));
+    }
+}
+
+#[test]
+fn kill_mid_requant_leaves_incumbent_serving_and_resume_completes_the_same_cutover() {
+    let (artifact, pooled, classes) = fixture();
+    let plan = shifted_plan(&pooled, classes, 7);
+    let ck_dir = temp_dir("kill-ck");
+    let out_dir = temp_dir("kill-out");
+    let expected_cutover = 5 * WINDOW;
+
+    // Run 1: fault fires right after the candidate checkpoint lands —
+    // the moment a crash is most dangerous. The job aborts, the worker
+    // disarms, and the incumbent serves the whole plan untouched.
+    let calls1 = Arc::new(AtomicU64::new(0));
+    let run1 = adaptive_run(
+        2,
+        &artifact,
+        &plan,
+        classes,
+        RequantConfig {
+            checkpoint_dir: Some(ck_dir.clone()),
+            faults: Some(Arc::new(FaultPlan::parse("fail-at:requant.commit").unwrap())),
+            ..RequantConfig::default()
+        },
+        good_builder(calls1.clone(), classes),
+        &out_dir,
+    );
+    let report1 = run1.stats.requant.as_ref().expect("report");
+    assert_eq!(report1.triggered, 1);
+    assert_eq!(report1.aborted, 1);
+    assert_eq!(report1.cutovers, 0);
+    assert_eq!(calls1.load(Ordering::SeqCst), 1, "candidate was built before the kill");
+    assert_eq!(report1.jobs.len(), 1);
+    assert_eq!(
+        report1.jobs[0].decision,
+        RequantDecision::Aborted {
+            phase: "requant.commit".into()
+        }
+    );
+    // Uninterrupted incumbent: all responses v1, all windows perfect.
+    assert!(run1.responses.iter().all(|(_, v, _)| *v == 1));
+    for w in &run1.stats.windows {
+        assert_eq!(w.overall_accuracy(), Some(1.0));
+    }
+
+    // Run 2: restart over the same checkpoint dir, no fault. The same
+    // traffic re-triggers at the same window with the same mix, the
+    // persisted candidate is adopted without re-invoking the builder,
+    // and the cutover completes.
+    let calls2 = Arc::new(AtomicU64::new(0));
+    let run2 = adaptive_run(
+        2,
+        &artifact,
+        &plan,
+        classes,
+        RequantConfig {
+            checkpoint_dir: Some(ck_dir.clone()),
+            ..RequantConfig::default()
+        },
+        good_builder(calls2.clone(), classes),
+        &out_dir,
+    );
+    let report2 = run2.stats.requant.as_ref().expect("report");
+    assert_eq!(calls2.load(Ordering::SeqCst), 0, "resume must not re-search");
+    assert_eq!(report2.checkpoint_hits, 1);
+    assert_eq!(report2.cutovers, 1);
+    assert_eq!(report2.jobs.len(), 1);
+    assert!(report2.jobs[0].from_checkpoint);
+    let RequantDecision::Cutover { seq: seq2, version } = &report2.jobs[0].decision else {
+        panic!("resume run must cut over, got {:?}", report2.jobs[0].decision);
+    };
+    assert_eq!(*version, 2);
+
+    // Run 3: the control — fresh checkpoint dir, never killed. Resume
+    // and control land the cutover at the *same* admission seq with
+    // byte-identical responses: the kill changed nothing downstream.
+    let ck3 = temp_dir("kill-ck3");
+    let calls3 = Arc::new(AtomicU64::new(0));
+    let run3 = adaptive_run(
+        2,
+        &artifact,
+        &plan,
+        classes,
+        RequantConfig {
+            checkpoint_dir: Some(ck3),
+            ..RequantConfig::default()
+        },
+        good_builder(calls3.clone(), classes),
+        &out_dir,
+    );
+    let report3 = run3.stats.requant.as_ref().expect("report");
+    assert_eq!(calls3.load(Ordering::SeqCst), 1);
+    assert_eq!(report3.checkpoint_hits, 0);
+    let RequantDecision::Cutover { seq: seq3, .. } = &report3.jobs[0].decision else {
+        panic!("control run must cut over");
+    };
+    assert_eq!(seq2, seq3, "resume and control disagree on the cutover seq");
+    assert_eq!(*seq2, expected_cutover);
+    assert_eq!(run2.responses, run3.responses, "resume diverged from control");
+    assert_eq!(
+        run2.stats.requant.as_ref().unwrap().jobs[0].shadow,
+        run3.stats.requant.as_ref().unwrap().jobs[0].shadow,
+        "shadow accounting diverged"
+    );
+}
